@@ -1,0 +1,211 @@
+//! The Append-Only File (paper §2.2.1).
+//!
+//! Redis's local-durability mechanism: every mutating effect is appended to
+//! a file, with three fsync policies. `Always` linearizes the instance at
+//! fsync cost; `EverySec` bounds loss to ~1 s of writes; `No` leaves
+//! flushing to the OS. Recovery replays the file. The limitation the paper
+//! highlights remains: the AOF lives on the node's own disk, so it
+//! neither survives node loss nor constrains which replica wins a failover.
+
+use memorydb_engine::effects::{decode_effect_batch, encode_effect_batch, EffectCmd};
+use memorydb_engine::exec::Role;
+use memorydb_engine::Engine;
+use std::time::{Duration, Instant};
+
+/// When the AOF fsyncs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync before acknowledging every write.
+    Always,
+    /// fsync at most once per second (the Redis default).
+    EverySec,
+    /// Never fsync explicitly; the OS flushes eventually.
+    No,
+}
+
+/// A simulated append-only file: an in-memory "disk" with an explicit
+/// durable prefix, so crash simulations can drop unsynced suffixes.
+#[derive(Debug)]
+pub struct Aof {
+    policy: FsyncPolicy,
+    /// All bytes written (page cache + disk).
+    buffer: Vec<u8>,
+    /// Length of the durably synced prefix.
+    synced_len: usize,
+    last_sync: Instant,
+    /// Count of fsync() calls (throughput accounting in benches).
+    pub fsync_count: u64,
+}
+
+impl Aof {
+    /// Creates an empty AOF with the given policy.
+    pub fn new(policy: FsyncPolicy) -> Aof {
+        Aof {
+            policy,
+            buffer: Vec::new(),
+            synced_len: 0,
+            last_sync: Instant::now(),
+            fsync_count: 0,
+        }
+    }
+
+    /// Appends one atomic effect batch, applying the fsync policy.
+    pub fn append(&mut self, effects: &[EffectCmd]) {
+        let record = encode_effect_batch(effects);
+        self.buffer
+            .extend_from_slice(&(record.len() as u32).to_le_bytes());
+        self.buffer.extend_from_slice(&record);
+        match self.policy {
+            FsyncPolicy::Always => self.fsync(),
+            FsyncPolicy::EverySec => {
+                if self.last_sync.elapsed() >= Duration::from_secs(1) {
+                    self.fsync();
+                }
+            }
+            FsyncPolicy::No => {}
+        }
+    }
+
+    /// Forces an fsync (background flusher / shutdown).
+    pub fn fsync(&mut self) {
+        self.synced_len = self.buffer.len();
+        self.last_sync = Instant::now();
+        self.fsync_count += 1;
+    }
+
+    /// Bytes that would survive a power loss right now.
+    pub fn durable_bytes(&self) -> usize {
+        self.synced_len
+    }
+
+    /// Total bytes written (including unsynced).
+    pub fn written_bytes(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Simulates a crash: everything past the durable prefix is lost.
+    pub fn crash(&mut self) {
+        self.buffer.truncate(self.synced_len);
+    }
+
+    /// Replays the (durable) file into a fresh engine, returning it along
+    /// with the number of effect batches applied. Truncated trailing
+    /// records (torn writes) are skipped, like Redis's aof-load-truncated.
+    pub fn recover(&self) -> (Engine, usize) {
+        let mut engine = Engine::new(Role::Primary);
+        let data = &self.buffer[..self.synced_len.min(self.buffer.len())];
+        let mut pos = 0usize;
+        let mut batches = 0usize;
+        while pos + 4 <= data.len() {
+            let len = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let Some(record) = data.get(pos + 4..pos + 4 + len) else {
+                break; // torn tail
+            };
+            pos += 4 + len;
+            let Some(effects) = decode_effect_batch(record) else {
+                break;
+            };
+            for eff in &effects {
+                let _ = engine.apply_effect(eff);
+            }
+            batches += 1;
+        }
+        (engine, batches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memorydb_engine::{cmd, Frame, SessionState};
+
+    fn write_batches(aof: &mut Aof, engine: &mut Engine, n: usize) {
+        let mut s = SessionState::new();
+        for i in 0..n {
+            let out = engine.execute(&mut s, &cmd(["SET", &format!("k{i}"), &i.to_string()]));
+            assert!(!out.reply.is_error());
+            aof.append(&out.effects);
+        }
+    }
+
+    #[test]
+    fn always_policy_survives_crash_completely() {
+        let mut aof = Aof::new(FsyncPolicy::Always);
+        let mut engine = Engine::new(Role::Primary);
+        write_batches(&mut aof, &mut engine, 25);
+        aof.crash();
+        let (recovered, batches) = aof.recover();
+        assert_eq!(batches, 25);
+        assert_eq!(
+            memorydb_engine::rdb::dump(&recovered.db),
+            memorydb_engine::rdb::dump(&engine.db)
+        );
+        assert_eq!(aof.fsync_count, 25);
+    }
+
+    #[test]
+    fn no_policy_loses_unsynced_writes_on_crash() {
+        let mut aof = Aof::new(FsyncPolicy::No);
+        let mut engine = Engine::new(Role::Primary);
+        write_batches(&mut aof, &mut engine, 25);
+        assert_eq!(aof.durable_bytes(), 0);
+        aof.crash();
+        let (recovered, batches) = aof.recover();
+        assert_eq!(batches, 0);
+        assert_eq!(recovered.db.len(), 0, "everything unsynced is gone");
+    }
+
+    #[test]
+    fn everysec_bounds_the_loss_window() {
+        let mut aof = Aof::new(FsyncPolicy::EverySec);
+        let mut engine = Engine::new(Role::Primary);
+        write_batches(&mut aof, &mut engine, 10);
+        // Within the first second nothing has synced yet.
+        assert_eq!(aof.durable_bytes(), 0);
+        aof.fsync(); // the background flusher fires
+        write_batches(&mut aof, &mut engine, 5);
+        aof.crash();
+        let (recovered, batches) = aof.recover();
+        assert_eq!(batches, 10, "only the pre-fsync batches survive");
+        assert_eq!(recovered.db.len(), 10);
+    }
+
+    #[test]
+    fn torn_tail_is_skipped() {
+        let mut aof = Aof::new(FsyncPolicy::Always);
+        let mut engine = Engine::new(Role::Primary);
+        write_batches(&mut aof, &mut engine, 3);
+        // Corrupt: chop the last record in half (but keep synced_len high).
+        aof.buffer.truncate(aof.buffer.len() - 3);
+        aof.synced_len = aof.buffer.len();
+        let (recovered, batches) = aof.recover();
+        assert_eq!(batches, 2);
+        assert_eq!(recovered.db.len(), 2);
+    }
+
+    #[test]
+    fn recovery_reproduces_reads() {
+        let mut aof = Aof::new(FsyncPolicy::Always);
+        let mut engine = Engine::new(Role::Primary);
+        let mut s = SessionState::new();
+        for c in [
+            cmd(["RPUSH", "l", "a", "b"]),
+            cmd(["SADD", "s", "x"]),
+            cmd(["ZADD", "z", "1", "m"]),
+            cmd(["LPOP", "l"]),
+        ] {
+            let out = engine.execute(&mut s, &c);
+            aof.append(&out.effects);
+        }
+        let (mut recovered, _) = aof.recover();
+        let mut rs = SessionState::new();
+        assert_eq!(
+            recovered.execute(&mut rs, &cmd(["LRANGE", "l", "0", "-1"])).reply,
+            Frame::Array(vec![Frame::Bulk(bytes::Bytes::from_static(b"b"))])
+        );
+        assert_eq!(
+            recovered.execute(&mut rs, &cmd(["ZSCORE", "z", "m"])).reply,
+            Frame::Bulk(bytes::Bytes::from_static(b"1"))
+        );
+    }
+}

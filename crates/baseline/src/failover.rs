@@ -1,0 +1,128 @@
+//! Redis-style failover: rank-based replica election (paper §2.2.1, §4.1).
+//!
+//! When the primary is declared failed, the cluster votes to promote the
+//! replica that looks most up-to-date **from each voter's local view** — the
+//! replication offset the replica advertises. Nothing guarantees the winner
+//! observed every acknowledged write, so acknowledged writes can vanish.
+//! This module makes that loss measurable, which is what the durability
+//! ablation benchmark reports against MemoryDB's zero.
+
+use crate::replication::RedisShard;
+
+/// Result of a Redis failover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailoverReport {
+    /// Id of the promoted replica.
+    pub promoted: u64,
+    /// Replication offset the failed primary had acknowledged through.
+    pub primary_offset: u64,
+    /// Offset the winner had actually applied.
+    pub winner_offset: u64,
+    /// Acknowledged-but-lost write count (`primary - winner`).
+    pub lost_writes: u64,
+}
+
+/// Runs the rank-based election after the primary failed and promotes the
+/// winner. Panics if no replica is alive (total data loss — the worst case
+/// §2.2.1 describes).
+pub fn elect_and_promote(shard: &RedisShard) -> FailoverReport {
+    let primary_offset = shard.primary().offset();
+    // Rank: highest advertised replication offset wins; ties break by id
+    // (Redis uses run-id ordering).
+    let winner = shard
+        .replicas()
+        .into_iter()
+        .max_by_key(|r| (r.offset(), std::cmp::Reverse(r.id)))
+        .expect("at least one live replica to promote");
+    let winner_offset = winner.offset();
+    let report = FailoverReport {
+        promoted: winner.id,
+        primary_offset,
+        winner_offset,
+        lost_writes: primary_offset.saturating_sub(winner_offset),
+    };
+    shard.promote(winner.id);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replication::ReplicationConfig;
+    use bytes::Bytes;
+    use memorydb_engine::{cmd, Frame, SessionState};
+    use std::time::Duration;
+
+    #[test]
+    fn failover_with_lag_loses_acknowledged_writes() {
+        // The §2.2 defect, demonstrated: a laggy replica gets promoted and
+        // acknowledged writes disappear.
+        let shard = RedisShard::new(
+            ReplicationConfig {
+                lag: Duration::from_millis(200),
+            },
+            1,
+        );
+        let mut s = SessionState::new();
+        let mut acked = 0u64;
+        for i in 0..50 {
+            let r = shard.execute(&mut s, &cmd(["SET", &format!("k{i}"), "v"]));
+            assert_eq!(r, Frame::ok());
+            acked += 1;
+        }
+        // Crash before the replica caught up.
+        shard.kill_primary();
+        let report = elect_and_promote(&shard);
+        assert!(
+            report.lost_writes > 0,
+            "with 200ms lag and immediate crash, some acked writes must be lost"
+        );
+        assert!(report.lost_writes <= acked);
+        // And indeed the data is gone on the new primary.
+        let mut s2 = SessionState::new();
+        let lost_key = format!("k{}", acked - 1);
+        assert_eq!(
+            shard.execute(&mut s2, &cmd(["GET", lost_key.as_str()])),
+            Frame::Null,
+            "the most recent acknowledged write should be gone"
+        );
+    }
+
+    #[test]
+    fn failover_with_caught_up_replica_loses_nothing() {
+        let shard = RedisShard::new(ReplicationConfig { lag: Duration::ZERO }, 1);
+        let mut s = SessionState::new();
+        for i in 0..20 {
+            shard.execute(&mut s, &cmd(["SET", &format!("k{i}"), "v"]));
+        }
+        shard.wait(1, Duration::from_secs(5));
+        shard.kill_primary();
+        let report = elect_and_promote(&shard);
+        assert_eq!(report.lost_writes, 0);
+        let mut s2 = SessionState::new();
+        assert_eq!(
+            shard.execute(&mut s2, &cmd(["GET", "k19"])),
+            Frame::Bulk(Bytes::from_static(b"v"))
+        );
+    }
+
+    #[test]
+    fn election_prefers_most_caught_up_replica() {
+        let shard = RedisShard::new(
+            ReplicationConfig {
+                lag: Duration::from_millis(1),
+            },
+            2,
+        );
+        let mut s = SessionState::new();
+        for i in 0..30 {
+            shard.execute(&mut s, &cmd(["SET", &format!("k{i}"), "v"]));
+        }
+        // Let both catch up fully, then the ranking is a tie broken by id.
+        shard.wait(2, Duration::from_secs(5));
+        shard.kill_primary();
+        let report = elect_and_promote(&shard);
+        assert_eq!(report.lost_writes, 0);
+        assert_eq!(report.promoted, 1, "tie breaks toward the lowest id");
+    }
+}

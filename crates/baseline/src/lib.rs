@@ -1,0 +1,30 @@
+//! # memorydb-baseline — the OSS Redis comparator
+//!
+//! The paper evaluates MemoryDB against OSS Redis (§6) and motivates the
+//! design with Redis's failure modes (§2.2). This crate reproduces those
+//! baseline semantics over the same `memorydb-engine`:
+//!
+//! * [`replication`] — **asynchronous** primary→replica replication: the
+//!   primary acknowledges writes immediately and ships effects with a
+//!   configurable lag, so acknowledged writes can be lost (§2.2.2). `WAIT`
+//!   is provided with its real (weak) semantics.
+//! * [`failover`] — quorum-style failover with rank-based replica election:
+//!   the most-up-to-date replica *by local view* wins, which guarantees
+//!   nothing about acknowledged writes (§2.2.1). The number of lost writes
+//!   is measurable.
+//! * [`aof`] — the Append-Only File with `always` / `everysec` / `no`
+//!   fsync policies on a simulated disk, plus AOF-based recovery.
+//! * [`bgsave`] — an analytic model of fork-based snapshotting: page-table
+//!   clone cost (the paper's own 12 ms/GB), copy-on-write accumulation
+//!   under writes, and the swap collapse once RSS exceeds DRAM — the
+//!   mechanism behind Figure 6.
+
+pub mod aof;
+pub mod bgsave;
+pub mod failover;
+pub mod replication;
+
+pub use aof::{Aof, FsyncPolicy};
+pub use bgsave::{BgSaveModel, BgSaveRun, MemoryPressure};
+pub use failover::FailoverReport;
+pub use replication::{RedisShard, ReplicationConfig};

@@ -1,0 +1,359 @@
+//! Asynchronous (OSS Redis) replication.
+//!
+//! Mutating commands execute on the primary, which **replies immediately**
+//! and then ships the effect stream to each replica with a configurable
+//! delivery lag (paper §2.1/§2.2.2). Replicas apply in order and advertise
+//! their acknowledged offset, which is all `WAIT` can consult — it cannot
+//! stop other clients from observing unreplicated writes, and nothing ties
+//! failover to it.
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use memorydb_engine::exec::Role;
+use memorydb_engine::{EffectCmd, Engine, Frame, SessionState};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Replication tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicationConfig {
+    /// Delivery delay from primary to each replica.
+    pub lag: Duration,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        ReplicationConfig {
+            lag: Duration::from_millis(2),
+        }
+    }
+}
+
+struct ReplItem {
+    offset: u64,
+    deliver_at: Instant,
+    effects: Vec<EffectCmd>,
+}
+
+/// One Redis node.
+pub struct RedisNode {
+    /// Node id within the shard.
+    pub id: u64,
+    engine: Mutex<Engine>,
+    /// Replication offset this node has applied (replicas) or produced
+    /// (primary).
+    offset: AtomicU64,
+    rx: Mutex<Option<Receiver<ReplItem>>>,
+    alive: AtomicBool,
+}
+
+impl RedisNode {
+    /// Applied/produced replication offset.
+    pub fn offset(&self) -> u64 {
+        self.offset.load(Ordering::SeqCst)
+    }
+
+    /// Is the node up?
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    /// Executes a read directly against this node (replica reads are
+    /// consistent-but-stale, §2.1).
+    pub fn read(&self, session: &mut SessionState, args: &[Bytes]) -> Frame {
+        let mut engine = self.engine.lock();
+        engine.set_time_ms(now_ms());
+        engine.execute(session, args).reply
+    }
+
+    /// Number of keys stored.
+    pub fn key_count(&self) -> usize {
+        self.engine.lock().db.len()
+    }
+
+    /// Canonical serialization of this node's keyspace (test comparisons).
+    pub fn dump(&self) -> Vec<u8> {
+        memorydb_engine::rdb::dump(&self.engine.lock().db)
+    }
+}
+
+fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .expect("clock after epoch")
+        .as_millis() as u64
+}
+
+/// A Redis shard: one primary plus asynchronous replicas.
+pub struct RedisShard {
+    cfg: ReplicationConfig,
+    nodes: Vec<Arc<RedisNode>>,
+    primary: RwLock<usize>,
+    senders: Mutex<Vec<(u64, Sender<ReplItem>)>>,
+    next_offset: AtomicU64,
+    /// Effects shipped but possibly undelivered, for AOF mirroring.
+    pub aof: Mutex<Option<crate::aof::Aof>>,
+}
+
+impl RedisShard {
+    /// Builds a shard with `replicas` asynchronous replicas.
+    pub fn new(cfg: ReplicationConfig, replicas: usize) -> Arc<RedisShard> {
+        let mut nodes = Vec::new();
+        let mut senders = Vec::new();
+        for id in 0..=(replicas as u64) {
+            let role = if id == 0 { Role::Primary } else { Role::Replica };
+            let (node, sender) = Self::make_node(id, role);
+            nodes.push(node);
+            if let Some(tx) = sender {
+                senders.push((id, tx));
+            }
+        }
+        let shard = Arc::new(RedisShard {
+            cfg,
+            nodes,
+            primary: RwLock::new(0),
+            senders: Mutex::new(senders),
+            next_offset: AtomicU64::new(1),
+            aof: Mutex::new(None),
+        });
+        for node in &shard.nodes {
+            if node.id != 0 {
+                Self::spawn_applier(Arc::clone(node));
+            }
+        }
+        shard
+    }
+
+    fn make_node(id: u64, role: Role) -> (Arc<RedisNode>, Option<Sender<ReplItem>>) {
+        let (node, sender) = if role == Role::Replica {
+            let (tx, rx) = unbounded();
+            (
+                RedisNode {
+                    id,
+                    engine: Mutex::new(Engine::new(Role::Replica)),
+                    offset: AtomicU64::new(0),
+                    rx: Mutex::new(Some(rx)),
+                    alive: AtomicBool::new(true),
+                },
+                Some(tx),
+            )
+        } else {
+            (
+                RedisNode {
+                    id,
+                    engine: Mutex::new(Engine::new(Role::Primary)),
+                    offset: AtomicU64::new(0),
+                    rx: Mutex::new(None),
+                    alive: AtomicBool::new(true),
+                },
+                None,
+            )
+        };
+        (Arc::new(node), sender)
+    }
+
+    fn spawn_applier(node: Arc<RedisNode>) {
+        std::thread::Builder::new()
+            .name(format!("redis-replica-{}", node.id))
+            .spawn(move || {
+                let rx = node.rx.lock().take().expect("replica has a receiver");
+                while node.alive.load(Ordering::SeqCst) {
+                    match rx.recv_timeout(Duration::from_millis(20)) {
+                        Ok(item) => {
+                            let now = Instant::now();
+                            if item.deliver_at > now {
+                                std::thread::sleep(item.deliver_at - now);
+                            }
+                            if !node.alive.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            let mut engine = node.engine.lock();
+                            engine.set_time_ms(now_ms());
+                            for eff in &item.effects {
+                                let _ = engine.apply_effect(eff);
+                            }
+                            node.offset.store(item.offset, Ordering::SeqCst);
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+            })
+            .expect("spawn replica applier");
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Arc<RedisNode>] {
+        &self.nodes
+    }
+
+    /// The current primary.
+    pub fn primary(&self) -> Arc<RedisNode> {
+        Arc::clone(&self.nodes[*self.primary.read()])
+    }
+
+    /// Live replicas.
+    pub fn replicas(&self) -> Vec<Arc<RedisNode>> {
+        let p = *self.primary.read();
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, n)| *i != p && n.is_alive())
+            .map(|(_, n)| Arc::clone(n))
+            .collect()
+    }
+
+    /// Executes one client command on the primary. Writes are acknowledged
+    /// **before** replication — the §2.2 behaviour MemoryDB fixes.
+    pub fn execute(&self, session: &mut SessionState, args: &[Bytes]) -> Frame {
+        let primary = self.primary();
+        if !primary.is_alive() {
+            return Frame::error("CLUSTERDOWN primary is down");
+        }
+        let mut engine = primary.engine.lock();
+        engine.set_time_ms(now_ms());
+        let outcome = engine.execute(session, args);
+        if !outcome.effects.is_empty() {
+            let offset = self.next_offset.fetch_add(1, Ordering::SeqCst);
+            primary.offset.store(offset, Ordering::SeqCst);
+            // AOF (if enabled) persists before the reply only under
+            // `always`; other policies are buffered.
+            if let Some(aof) = self.aof.lock().as_mut() {
+                aof.append(&outcome.effects);
+            }
+            let deliver_at = Instant::now() + self.cfg.lag;
+            for (_, tx) in self.senders.lock().iter() {
+                let _ = tx.send(ReplItem {
+                    offset,
+                    deliver_at,
+                    effects: outcome.effects.clone(),
+                });
+            }
+        }
+        outcome.reply
+    }
+
+    /// `WAIT numreplicas timeout`: blocks until that many replicas have
+    /// acknowledged the primary's current offset (or timeout). Returns how
+    /// many had.
+    pub fn wait(&self, numreplicas: usize, timeout: Duration) -> usize {
+        let target = self.primary().offset();
+        let deadline = Instant::now() + timeout;
+        loop {
+            let acked = self
+                .replicas()
+                .iter()
+                .filter(|r| r.offset() >= target)
+                .count();
+            if acked >= numreplicas || Instant::now() >= deadline {
+                return acked;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Kills the primary (fault injection). See [`crate::failover`] for the
+    /// election that follows.
+    pub fn kill_primary(&self) -> Arc<RedisNode> {
+        let p = self.primary();
+        p.alive.store(false, Ordering::SeqCst);
+        p
+    }
+
+    /// Promotes the node at `index` to primary (the failover module decides
+    /// which). All other replicas would resync from it in real Redis; here
+    /// the promoted node's state simply becomes authoritative.
+    pub fn promote(&self, node_id: u64) {
+        let idx = self
+            .nodes
+            .iter()
+            .position(|n| n.id == node_id)
+            .expect("node exists");
+        self.nodes[idx].engine.lock().set_role(Role::Primary);
+        *self.primary.write() = idx;
+    }
+
+    /// Enables AOF with the given policy.
+    pub fn enable_aof(&self, policy: crate::aof::FsyncPolicy) {
+        *self.aof.lock() = Some(crate::aof::Aof::new(policy));
+    }
+}
+
+impl Drop for RedisShard {
+    fn drop(&mut self) {
+        for n in &self.nodes {
+            n.alive.store(false, Ordering::SeqCst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memorydb_engine::cmd;
+
+    fn bulk(s: &str) -> Frame {
+        Frame::Bulk(Bytes::copy_from_slice(s.as_bytes()))
+    }
+
+    #[test]
+    fn writes_ack_immediately_and_replicate_async() {
+        let shard = RedisShard::new(
+            ReplicationConfig {
+                lag: Duration::from_millis(30),
+            },
+            1,
+        );
+        let mut s = SessionState::new();
+        let t0 = Instant::now();
+        assert_eq!(shard.execute(&mut s, &cmd(["SET", "k", "v"])), Frame::ok());
+        // Ack is immediate — no multi-AZ wait.
+        assert!(t0.elapsed() < Duration::from_millis(20));
+        // The replica does not have it yet...
+        let replica = shard.replicas()[0].clone();
+        let mut rs = SessionState::new();
+        assert_eq!(replica.read(&mut rs, &cmd(["GET", "k"])), Frame::Null);
+        // ...but converges after the lag.
+        std::thread::sleep(Duration::from_millis(80));
+        assert_eq!(replica.read(&mut rs, &cmd(["GET", "k"])), bulk("v"));
+    }
+
+    #[test]
+    fn wait_counts_acked_replicas() {
+        let shard = RedisShard::new(
+            ReplicationConfig {
+                lag: Duration::from_millis(10),
+            },
+            2,
+        );
+        let mut s = SessionState::new();
+        shard.execute(&mut s, &cmd(["SET", "k", "v"]));
+        assert_eq!(shard.wait(2, Duration::from_secs(2)), 2);
+        // WAIT with an impossible count times out with the real count.
+        assert_eq!(shard.wait(5, Duration::from_millis(30)), 2);
+    }
+
+    #[test]
+    fn replicas_apply_in_order() {
+        let shard = RedisShard::new(ReplicationConfig { lag: Duration::ZERO }, 1);
+        let mut s = SessionState::new();
+        for i in 0..200 {
+            shard.execute(&mut s, &cmd(["RPUSH", "l", &i.to_string()]));
+        }
+        shard.wait(1, Duration::from_secs(5));
+        let replica = shard.replicas()[0].clone();
+        assert_eq!(replica.dump(), shard.primary().dump());
+    }
+
+    #[test]
+    fn nondeterministic_commands_replicate_by_effect() {
+        let shard = RedisShard::new(ReplicationConfig { lag: Duration::ZERO }, 1);
+        let mut s = SessionState::new();
+        shard.execute(&mut s, &cmd(["SADD", "set", "a", "b", "c", "d", "e"]));
+        shard.execute(&mut s, &cmd(["SPOP", "set", "2"]));
+        shard.wait(1, Duration::from_secs(5));
+        assert_eq!(shard.replicas()[0].dump(), shard.primary().dump());
+    }
+}

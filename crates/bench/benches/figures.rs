@@ -1,0 +1,166 @@
+//! `cargo bench` entry point that regenerates every paper figure at reduced
+//! duration (harness = false): Figure 4, Figure 5, Figure 6, Figure 7, the
+//! §6.1.2.1 bandwidth sweep, and both ablations. The standalone binaries in
+//! `src/bin/` run the same drivers at full duration.
+
+use memorydb_bench::output::{kops, ms, Table};
+use memorydb_bench::{extras, fig4, fig5, fig6, fig7};
+use memorydb_sim::SystemKind;
+
+fn main() {
+    println!("=== MemoryDB paper figure reproduction (reduced durations) ===\n");
+
+    // ---- Figure 4 ----------------------------------------------------
+    for (panel, read_only) in [("4a read-only", true), ("4b write-only", false)] {
+        let rows = fig4::run(read_only, 0.8);
+        let mut t = Table::new(&["instance", "redis", "memorydb"]);
+        for r in &rows {
+            t.row(vec![r.instance.into(), kops(r.redis), kops(r.memorydb)]);
+        }
+        println!("Figure {panel} — max throughput (op/s)\n{}", t.render());
+    }
+
+    // ---- Figure 5 ----------------------------------------------------
+    for (panel, w) in [
+        ("5a read-only", fig5::Workload::ReadOnly),
+        ("5b write-only", fig5::Workload::WriteOnly),
+        ("5c mixed 80/20", fig5::Workload::Mixed),
+    ] {
+        let redis = fig5::run(SystemKind::Redis, w, 0.6);
+        let memdb = fig5::run(SystemKind::MemoryDb, w, 0.6);
+        let mut t = Table::new(&["offered", "redis p50", "redis p99", "memdb p50", "memdb p99"]);
+        for (r, m) in redis.iter().zip(&memdb) {
+            t.row(vec![
+                kops(r.offered),
+                ms(r.p50_ms),
+                ms(r.p99_ms),
+                ms(m.p50_ms),
+                ms(m.p99_ms),
+            ]);
+        }
+        println!("Figure {panel} — latency (ms) vs offered load, 16xlarge\n{}", t.render());
+    }
+
+    // ---- Figure 6 ----------------------------------------------------
+    let rows = fig6::run(fig6::Fig6Params::default());
+    let mut t = Table::new(&["t(s)", "op/s", "p100 ms", "swap %", "regime"]);
+    for r in rows.iter().step_by(5) {
+        t.row(vec![
+            format!("{:.0}", r.t_s),
+            format!("{:.0}", r.throughput),
+            ms(r.p100_ms),
+            format!("{:.1}", r.swap_pct),
+            format!("{:?}", r.pressure),
+        ]);
+    }
+    println!("Figure 6 — Redis BGSave under memory pressure (fork at t=10)\n{}", t.render());
+
+    // ---- Figure 7 (real stack, short run) ------------------------------
+    let rows = fig7::run(fig7::Fig7Params {
+        duration_s: 6,
+        snapshot_at_s: 2,
+        read_clients: 10,
+        write_clients: 4,
+        prefill_keys: 1_000,
+        value_bytes: 500,
+    });
+    let mut t = Table::new(&["t(s)", "op/s", "avg ms", "p100 ms", "snapshotting"]);
+    for r in &rows {
+        t.row(vec![
+            r.t_s.to_string(),
+            format!("{:.0}", r.throughput),
+            ms(r.avg_ms),
+            ms(r.p100_ms),
+            if r.snapshotting { "yes".into() } else { "".into() },
+        ]);
+    }
+    println!("Figure 7 — live MemoryDB during an off-box snapshot (real stack)\n{}", t.render());
+
+    // ---- §6.1.2.1 write bandwidth --------------------------------------
+    let rows = extras::write_bandwidth(0.5);
+    let mut t = Table::new(&["value", "op/s", "MB/s"]);
+    for r in &rows {
+        t.row(vec![
+            format!("{}B", r.value_bytes),
+            kops(r.ops),
+            format!("{:.1}", r.mb_per_s),
+        ]);
+    }
+    println!("§6.1.2.1 — single-shard write bandwidth (MemoryDB)\n{}", t.render());
+
+    // ---- Durability ablation -------------------------------------------
+    let rows = extras::durability_ablation(100);
+    let mut t = Table::new(&["system", "acked", "lost"]);
+    for r in &rows {
+        t.row(vec![
+            r.system.into(),
+            r.acknowledged.to_string(),
+            r.lost.to_string(),
+        ]);
+    }
+    println!("Durability ablation — acknowledged writes lost across failover\n{}", t.render());
+
+    // ---- Recovery MTTR ---------------------------------------------------
+    let rows = extras::recovery_mttr(&[0, 2_000, 8_000], 1_000);
+    let mut t = Table::new(&["log suffix", "restore ms", "keys"]);
+    for r in &rows {
+        t.row(vec![
+            r.log_suffix.to_string(),
+            format!("{:.1}", r.restore.as_secs_f64() * 1000.0),
+            r.keys.to_string(),
+        ]);
+    }
+    println!("Recovery MTTR — restore time vs log suffix\n{}", t.render());
+
+    // ---- §4.1 lease ablation (real stack, small) -----------------------
+    {
+        use memorydb_core::{ClusterBus, NodeIdGen, Shard, ShardConfig};
+        use memorydb_engine::{cmd, Frame, SessionState};
+        use memorydb_objectstore::ObjectStore;
+        use std::sync::Arc;
+        use std::time::{Duration, Instant};
+        let mut t = Table::new(&["lease ms", "crash failover ms"]);
+        for lease_ms in [100u64, 400] {
+            let cfg = ShardConfig {
+                lease: Duration::from_millis(lease_ms),
+                renew_interval: Duration::from_millis(lease_ms / 3),
+                backoff: Duration::from_millis(lease_ms * 3 / 2),
+                tick: Duration::from_millis(5),
+                ..ShardConfig::default()
+            };
+            let shard = Shard::bootstrap(
+                lease_ms as u32,
+                cfg,
+                Arc::new(ObjectStore::new()),
+                Arc::new(ClusterBus::new()),
+                Arc::new(NodeIdGen::new()),
+                vec![(0, 16383)],
+                1,
+            );
+            let primary = shard.wait_for_primary(Duration::from_secs(20)).unwrap();
+            let mut session = SessionState::new();
+            primary.handle(&mut session, &cmd(["SET", "k", "v"]));
+            assert!(shard.wait_replicas_caught_up(Duration::from_secs(10)));
+            let t0 = Instant::now();
+            primary.crash();
+            loop {
+                if let Some(p) = shard.primary() {
+                    if p.id != primary.id {
+                        let mut s = SessionState::new();
+                        if p.handle(&mut s, &cmd(["SET", "probe", "1"])) == Frame::ok() {
+                            break;
+                        }
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            t.row(vec![
+                lease_ms.to_string(),
+                format!("{:.0}", t0.elapsed().as_secs_f64() * 1000.0),
+            ]);
+        }
+        println!("§4.1 lease ablation — failover window scales with the lease\n{}", t.render());
+    }
+
+    println!("=== done ===");
+}

@@ -1,0 +1,210 @@
+//! Criterion microbenchmarks of the building blocks: engine command
+//! dispatch, skiplist, RESP codec, HLL, CRC64, snapshot (de)serialization,
+//! effect encoding, and the linearizability checker.
+
+use bytes::{Bytes, BytesMut};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use memorydb_engine::ds::zset::ZSet;
+use memorydb_engine::exec::{Engine, Role, SessionState};
+use memorydb_engine::{cmd, rdb};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn engine_commands(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(1));
+
+    let mut e = Engine::new(Role::Primary);
+    e.set_time_ms(1);
+    let mut s = SessionState::new();
+    for i in 0..10_000 {
+        e.execute(&mut s, &cmd(["SET", &format!("key:{i}"), "value-payload-100b"]));
+    }
+    let get = cmd(["GET", "key:5000"]);
+    group.bench_function("get_hit", |b| {
+        b.iter(|| black_box(e.execute(&mut s, black_box(&get))))
+    });
+    let get_miss = cmd(["GET", "missing-key"]);
+    group.bench_function("get_miss", |b| {
+        b.iter(|| black_box(e.execute(&mut s, black_box(&get_miss))))
+    });
+    let set = cmd(["SET", "key:5000", "new-value"]);
+    group.bench_function("set_overwrite", |b| {
+        b.iter(|| black_box(e.execute(&mut s, black_box(&set))))
+    });
+    let incr = cmd(["INCR", "counter"]);
+    group.bench_function("incr", |b| {
+        b.iter(|| black_box(e.execute(&mut s, black_box(&incr))))
+    });
+    e.execute(&mut s, &cmd(["ZADD", "zb", "1", "m1", "2", "m2", "3", "m3"]));
+    let zrange = cmd(["ZRANGE", "zb", "0", "-1"]);
+    group.bench_function("zrange_small", |b| {
+        b.iter(|| black_box(e.execute(&mut s, black_box(&zrange))))
+    });
+    group.finish();
+}
+
+fn skiplist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zset_skiplist");
+    group.bench_function("insert_100k_then_rank", |b| {
+        b.iter_with_setup(
+            || {
+                let mut z = ZSet::new();
+                let mut rng = StdRng::seed_from_u64(1);
+                for i in 0..100_000u32 {
+                    z.insert(
+                        Bytes::from(format!("member:{i}")),
+                        rng.gen_range(0.0..1e6),
+                    );
+                }
+                z
+            },
+            |z| black_box(z.rank(b"member:5000")),
+        )
+    });
+    let mut z = ZSet::new();
+    let mut rng = StdRng::seed_from_u64(2);
+    for i in 0..100_000u32 {
+        z.insert(Bytes::from(format!("member:{i}")), rng.gen_range(0.0..1e6));
+    }
+    group.bench_function("rank_in_100k", |b| {
+        b.iter(|| black_box(z.rank(black_box(b"member:77777"))))
+    });
+    group.bench_function("by_rank_in_100k", |b| {
+        b.iter(|| black_box(z.by_rank(black_box(50_000))))
+    });
+    group.bench_function("insert_remove_in_100k", |b| {
+        b.iter(|| {
+            z.insert(Bytes::from_static(b"bench-probe"), 123.0);
+            z.remove(b"bench-probe")
+        })
+    });
+    group.finish();
+}
+
+fn resp_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resp");
+    let frame = memorydb_resp::Frame::command(["SET", "key:123456", "value-payload-of-100-bytes"]);
+    let mut buf = BytesMut::new();
+    memorydb_resp::encode(&frame, &mut buf);
+    let encoded = buf.freeze();
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_set", |b| {
+        b.iter(|| {
+            let mut out = BytesMut::with_capacity(128);
+            memorydb_resp::encode(black_box(&frame), &mut out);
+            black_box(out)
+        })
+    });
+    group.bench_function("decode_set", |b| {
+        b.iter(|| black_box(memorydb_resp::decode(black_box(&encoded)).unwrap()))
+    });
+    group.finish();
+}
+
+fn hll(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hyperloglog");
+    let mut h = memorydb_engine::ds::hll::Hll::new();
+    let mut i = 0u64;
+    group.bench_function("pfadd", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(h.add(&i.to_le_bytes()))
+        })
+    });
+    for j in 0..100_000u64 {
+        h.add(&j.to_le_bytes());
+    }
+    group.bench_function("pfcount_100k", |b| b.iter(|| black_box(h.count())));
+    group.finish();
+}
+
+fn snapshot_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rdb");
+    let mut e = Engine::new(Role::Primary);
+    let mut s = SessionState::new();
+    for i in 0..10_000 {
+        e.execute(&mut s, &cmd(["SET", &format!("key:{i}"), "0123456789abcdef"]));
+    }
+    let snapshot = rdb::dump(&e.db);
+    group.throughput(Throughput::Bytes(snapshot.len() as u64));
+    group.bench_function("dump_10k_keys", |b| b.iter(|| black_box(rdb::dump(&e.db))));
+    group.bench_function("load_10k_keys", |b| {
+        b.iter(|| black_box(rdb::load(black_box(&snapshot)).unwrap()))
+    });
+    group.bench_function("crc64_1mb", |b| {
+        let data = vec![0xA5u8; 1 << 20];
+        b.iter(|| black_box(rdb::crc64(black_box(&data))))
+    });
+    group.finish();
+}
+
+fn effects(c: &mut Criterion) {
+    let mut group = c.benchmark_group("effects");
+    let batch: Vec<Vec<Bytes>> = (0..8)
+        .map(|i| cmd(["SET", &format!("k{i}"), "value-payload-of-100-bytes"]))
+        .collect();
+    group.bench_function("encode_batch_8", |b| {
+        b.iter(|| black_box(memorydb_engine::effects::encode_effect_batch(black_box(&batch))))
+    });
+    let encoded = memorydb_engine::effects::encode_effect_batch(&batch);
+    group.bench_function("decode_batch_8", |b| {
+        b.iter(|| black_box(memorydb_engine::effects::decode_effect_batch(black_box(&encoded))))
+    });
+    group.finish();
+}
+
+fn checker(c: &mut Criterion) {
+    use memorydb_consistency::{check, KvInput, KvModel, KvOutput, Operation};
+    let mut group = c.benchmark_group("linearizability");
+    // A 500-op mostly-sequential history over 8 keys.
+    let mut ops = Vec::new();
+    let mut t = 0u64;
+    let mut values: std::collections::HashMap<String, String> = Default::default();
+    let mut rng = StdRng::seed_from_u64(3);
+    for i in 0..500 {
+        let key = format!("k{}", i % 8);
+        if rng.gen_bool(0.5) {
+            let v = i.to_string();
+            values.insert(key.clone(), v.clone());
+            ops.push(Operation {
+                client: 0,
+                input: KvInput::Set(key, v),
+                output: KvOutput::Ok,
+                call: t,
+                ret: t + 1,
+            });
+        } else {
+            ops.push(Operation {
+                client: 0,
+                input: KvInput::Get(key.clone()),
+                output: KvOutput::Value(values.get(&key).cloned()),
+                call: t,
+                ret: t + 1,
+            });
+        }
+        t += 2;
+    }
+    group.bench_function("check_500_sequential", |b| {
+        b.iter(|| {
+            black_box(check(
+                &KvModel,
+                ops.clone(),
+                std::time::Duration::from_secs(10),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    engine_commands,
+    skiplist,
+    resp_codec,
+    hll,
+    snapshot_roundtrip,
+    effects,
+    checker
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Ablation of the §4.1 lease design: failover time as a function of the
+//! lease/backoff durations, on the real stack.
+//!
+//! The paper's safety argument requires `backoff > lease` (disjoint
+//! leases). The cost of that safety is availability: after a primary crash,
+//! no writes are possible until a replica's backoff elapses and its claim
+//! commits. This bench measures that window — and contrasts it with the
+//! collaborative transfer (LeaseRelease), which skips the backoff entirely.
+
+use memorydb_bench::output::{results_dir, Table};
+use memorydb_core::{ClusterBus, NodeIdGen, Shard, ShardConfig};
+use memorydb_engine::{cmd, Frame, SessionState};
+use memorydb_objectstore::ObjectStore;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn measure(lease_ms: u64, collaborative: bool, trials: u32) -> Duration {
+    let mut total = Duration::ZERO;
+    for trial in 0..trials {
+        let cfg = ShardConfig {
+            lease: Duration::from_millis(lease_ms),
+            renew_interval: Duration::from_millis(lease_ms / 3),
+            backoff: Duration::from_millis(lease_ms * 3 / 2),
+            tick: Duration::from_millis(5),
+            ..ShardConfig::default()
+        };
+        let shard = Shard::bootstrap(
+            trial,
+            cfg,
+            Arc::new(ObjectStore::new()),
+            Arc::new(ClusterBus::new()),
+            Arc::new(NodeIdGen::new()),
+            vec![(0, 16383)],
+            1,
+        );
+        let primary = shard.wait_for_primary(Duration::from_secs(20)).expect("primary");
+        let mut session = SessionState::new();
+        for i in 0..20 {
+            primary.handle(&mut session, &cmd(["SET", &format!("k{i}"), "v"]));
+        }
+        assert!(shard.wait_replicas_caught_up(Duration::from_secs(10)));
+
+        let t0 = Instant::now();
+        if collaborative {
+            primary.release_leadership();
+        } else {
+            primary.crash();
+        }
+        // Time to first successful write on the NEW primary.
+        loop {
+            if let Some(p) = shard.primary() {
+                if p.id != primary.id {
+                    let mut s = SessionState::new();
+                    if p.handle(&mut s, &cmd(["SET", "probe", "1"])) == Frame::ok() {
+                        break;
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        total += t0.elapsed();
+    }
+    total / trials
+}
+
+fn main() {
+    let trials = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    println!(
+        "§4.1 ablation — write-unavailability window after leadership change\n\
+         (backoff fixed at 1.5× lease; {trials} trials per point; real stack)\n"
+    );
+    let mut table = Table::new(&["lease ms", "crash failover ms", "collaborative transfer ms"]);
+    for lease_ms in [100u64, 200, 400, 800] {
+        let crash = measure(lease_ms, false, trials);
+        let collab = measure(lease_ms, true, trials);
+        table.row(vec![
+            lease_ms.to_string(),
+            format!("{:.0}", crash.as_secs_f64() * 1000.0),
+            format!("{:.0}", collab.as_secs_f64() * 1000.0),
+        ]);
+    }
+    println!("{}", table.render());
+    let csv = results_dir().join("failover_latency.csv");
+    if table.write_csv(&csv).is_ok() {
+        println!("wrote {}", csv.display());
+    }
+    println!(
+        "\nExpected: crash failover scales with the backoff (safety: leases stay disjoint,\n\
+         so a successor must wait out ~1.5× lease); collaborative transfer (§5.2's N+1\n\
+         scaling path) is near-constant because LeaseRelease waives the backoff."
+    );
+}

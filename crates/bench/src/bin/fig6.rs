@@ -1,0 +1,34 @@
+//! Reproduces Figure 6: client-perceived latency and throughput during
+//! Redis BGSave under memory pressure.
+
+use memorydb_bench::fig6::{run, Fig6Params};
+use memorydb_bench::output::{ms, results_dir, Table};
+
+fn main() {
+    let rows = run(Fig6Params::default());
+    let mut table = Table::new(&["t (s)", "throughput op/s", "avg ms", "p100 ms", "swap %", "regime"]);
+    for row in &rows {
+        table.row(vec![
+            format!("{:.0}", row.t_s),
+            format!("{:.0}", row.throughput),
+            ms(row.avg_ms),
+            ms(row.p100_ms),
+            format!("{:.1}", row.swap_pct),
+            format!("{:?}", row.pressure),
+        ]);
+    }
+    println!(
+        "Figure 6 — Redis BGSave on a 2 vCPU / 16 GB host, 12 GB maxmemory, 20M×500B keys,\n\
+         100 GET + 20 SET clients. BGSave starts at t=10s.\n"
+    );
+    println!("{}", table.render());
+    let csv = results_dir().join("fig6.csv");
+    if table.write_csv(&csv).is_ok() {
+        println!("wrote {}", csv.display());
+    }
+    println!(
+        "\nPaper shape: p100 spike at fork (12 ms/GB page-table clone; 144 ms for our 12 GB RSS,\n\
+         the paper's 67 ms implies ~5.6 GB resident), no throughput impact at fork, then COW\n\
+         exhausts DRAM and — once swap exceeds ~8% — latency passes 1s and throughput drops to ~0."
+    );
+}

@@ -1,0 +1,40 @@
+//! Reproduces Figure 7: MemoryDB serving while an off-box snapshot runs.
+//! This one runs the REAL threaded stack (live shard + off-box worker).
+
+use memorydb_bench::fig7::{run, Fig7Params};
+use memorydb_bench::output::{ms, results_dir, Table};
+
+fn main() {
+    let duration = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    println!(
+        "Figure 7 — live MemoryDB shard (multi-AZ commit latency), mixed GET/SET clients,\n\
+         off-box snapshot mid-run. Running for {duration}s of wall-clock time...\n"
+    );
+    let rows = run(Fig7Params {
+        duration_s: duration,
+        ..Fig7Params::default()
+    });
+    let mut table = Table::new(&["t (s)", "throughput op/s", "avg ms", "p100 ms", "snapshotting"]);
+    for row in &rows {
+        table.row(vec![
+            row.t_s.to_string(),
+            format!("{:.0}", row.throughput),
+            ms(row.avg_ms),
+            ms(row.p100_ms),
+            if row.snapshotting { "yes".into() } else { "".into() },
+        ]);
+    }
+    println!("{}", table.render());
+    let csv = results_dir().join("fig7.csv");
+    if table.write_csv(&csv).is_ok() {
+        println!("wrote {}", csv.display());
+    }
+    println!(
+        "\nPaper shape: throughput and latency unchanged before/during/after the snapshot —\n\
+         the off-box cluster shares only S3 and the transaction log with the serving cluster,\n\
+         so customers reserve no memory for snapshots and never schedule around them."
+    );
+}

@@ -1,0 +1,265 @@
+//! Ablations and prose claims beyond the four figures.
+//!
+//! * [`write_bandwidth`] — §6.1.2.1's claim that a single shard sustains up
+//!   to ~100 MB/s of write bandwidth with larger payloads/pipelining.
+//! * [`durability_ablation`] — the §2.2-vs-§4 comparison: acknowledged
+//!   writes lost across a failover, Redis vs MemoryDB (real stacks).
+//! * [`recovery_mttr`] — §4.2.1/§4.2.3: restore time vs log-suffix length;
+//!   fresher snapshots keep restoration snapshot-dominant.
+
+use memorydb_core::{ClusterBus, NodeIdGen, OffboxSnapshotter, Shard, ShardConfig};
+use memorydb_engine::{cmd, Frame, SessionState};
+use memorydb_objectstore::ObjectStore;
+use memorydb_sim::{run_sim, InstanceType, LoadMode, SimParams, SystemKind};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Write bandwidth (§6.1.2.1)
+// ---------------------------------------------------------------------------
+
+/// One value-size point of the bandwidth sweep.
+#[derive(Debug, Clone)]
+pub struct BandwidthRow {
+    /// Payload size per SET, bytes.
+    pub value_bytes: usize,
+    /// Simulated concurrent connections (pipelining modeled as extra
+    /// outstanding requests).
+    pub connections: usize,
+    /// Achieved ops/s.
+    pub ops: f64,
+    /// Achieved write bandwidth, MB/s.
+    pub mb_per_s: f64,
+}
+
+/// Sweeps payload size at high concurrency on MemoryDB; the curve should
+/// rise with value size and flatten near the 100 MB/s log cap.
+pub fn write_bandwidth(duration_s: f64) -> Vec<BandwidthRow> {
+    [100usize, 1024, 4096, 16 * 1024, 64 * 1024]
+        .iter()
+        .map(|&value_bytes| {
+            let connections = 4000; // 1000 conns × pipeline depth 4
+            let result = run_sim(SimParams {
+                system: SystemKind::MemoryDb,
+                instance: InstanceType::X16Large,
+                clients: connections,
+                mode: LoadMode::ClosedLoop,
+                read_fraction: 0.0,
+                value_bytes,
+                duration_s,
+                warmup_s: duration_s * 0.25,
+                seed: 11,
+            });
+            BandwidthRow {
+                value_bytes,
+                connections,
+                ops: result.throughput,
+                mb_per_s: result.throughput * value_bytes as f64 / 1e6,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Durability ablation (real stacks)
+// ---------------------------------------------------------------------------
+
+/// Result of one durability trial.
+#[derive(Debug, Clone)]
+pub struct DurabilityRow {
+    /// System under test.
+    pub system: &'static str,
+    /// Writes acknowledged before the primary was killed.
+    pub acknowledged: usize,
+    /// Acknowledged writes missing after failover.
+    pub lost: usize,
+}
+
+/// Kills the primary mid-burst on both stacks and counts acknowledged-but-
+/// lost writes after failover. MemoryDB must report zero; Redis with
+/// replication lag must not.
+pub fn durability_ablation(writes: usize) -> Vec<DurabilityRow> {
+    let mut rows = Vec::new();
+
+    // --- OSS Redis with async replication -------------------------------
+    {
+        let shard = memorydb_baseline::RedisShard::new(
+            memorydb_baseline::ReplicationConfig {
+                lag: Duration::from_millis(50),
+            },
+            1,
+        );
+        let mut session = SessionState::new();
+        let mut acked = Vec::new();
+        for i in 0..writes {
+            let key = format!("k{i}");
+            if shard.execute(&mut session, &cmd(["SET", key.as_str(), "v"])) == Frame::ok() {
+                acked.push(key);
+            }
+            // Trickle so the burst spans several lag windows: the replica
+            // has the old prefix, and exactly the acked tail is at risk.
+            if i % 5 == 0 {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        shard.kill_primary();
+        memorydb_baseline::failover::elect_and_promote(&shard);
+        let mut lost = 0;
+        let mut s = SessionState::new();
+        for key in &acked {
+            if shard.execute(&mut s, &cmd(["GET", key.as_str()])) == Frame::Null {
+                lost += 1;
+            }
+        }
+        rows.push(DurabilityRow {
+            system: "redis-async",
+            acknowledged: acked.len(),
+            lost,
+        });
+    }
+
+    // --- MemoryDB -------------------------------------------------------
+    {
+        let shard = Shard::bootstrap(
+            0,
+            ShardConfig::fast(),
+            Arc::new(ObjectStore::new()),
+            Arc::new(ClusterBus::new()),
+            Arc::new(NodeIdGen::new()),
+            vec![(0, 16383)],
+            2,
+        );
+        let primary = shard.wait_for_primary(Duration::from_secs(5)).expect("primary");
+        let mut session = SessionState::new();
+        let mut acked = Vec::new();
+        for i in 0..writes {
+            let key = format!("k{i}");
+            if primary.handle(&mut session, &cmd(["SET", key.as_str(), "v"])) == Frame::ok() {
+                acked.push(key);
+            }
+        }
+        primary.crash();
+        let new_primary = shard
+            .wait_for_primary(Duration::from_secs(10))
+            .expect("failover");
+        let mut lost = 0;
+        let mut s = SessionState::new();
+        for key in &acked {
+            if new_primary.handle(&mut s, &cmd(["GET", key.as_str()])) == Frame::Null {
+                lost += 1;
+            }
+        }
+        rows.push(DurabilityRow {
+            system: "memorydb",
+            acknowledged: acked.len(),
+            lost,
+        });
+    }
+
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Recovery MTTR vs snapshot freshness (§4.2.1, §4.2.3)
+// ---------------------------------------------------------------------------
+
+/// One restore-time measurement.
+#[derive(Debug, Clone)]
+pub struct MttrRow {
+    /// Log entries written after the snapshot (the suffix a recovering
+    /// replica must replay).
+    pub log_suffix: u64,
+    /// Wall-clock restore time.
+    pub restore: Duration,
+    /// Keys restored.
+    pub keys: usize,
+}
+
+/// Measures replica restore time as the un-snapshotted log suffix grows.
+pub fn recovery_mttr(suffixes: &[u64], base_keys: usize) -> Vec<MttrRow> {
+    suffixes
+        .iter()
+        .map(|&suffix| {
+            let shard = Shard::bootstrap(
+                0,
+                ShardConfig::fast(),
+                Arc::new(ObjectStore::new()),
+                Arc::new(ClusterBus::new()),
+                Arc::new(NodeIdGen::new()),
+                vec![(0, 16383)],
+                0,
+            );
+            let primary = shard.wait_for_primary(Duration::from_secs(5)).expect("primary");
+            let mut session = SessionState::new();
+            for i in 0..base_keys {
+                primary.handle(&mut session, &cmd(["SET", &format!("base:{i}"), "v"]));
+            }
+            // Snapshot now; everything after is replay work.
+            let offbox = OffboxSnapshotter::new(
+                Arc::clone(shard.ctx()),
+                memorydb_engine::EngineVersion::CURRENT,
+                999,
+            );
+            offbox.create_snapshot(true).expect("snapshot");
+            for i in 0..suffix {
+                primary.handle(&mut session, &cmd(["SET", &format!("suffix:{i}"), "v"]));
+            }
+            let t0 = Instant::now();
+            let node = shard.add_node();
+            assert!(shard.wait_replicas_caught_up(Duration::from_secs(30)));
+            let restore = t0.elapsed();
+            MttrRow {
+                log_suffix: suffix,
+                restore,
+                keys: node.key_count(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_flattens_near_the_log_cap() {
+        let rows = write_bandwidth(0.3);
+        // Rising with value size...
+        assert!(rows[1].mb_per_s > rows[0].mb_per_s);
+        assert!(rows[2].mb_per_s > rows[1].mb_per_s);
+        // ...flattening near 100 MB/s for large payloads (§6.1.2.1).
+        let top = rows.last().unwrap();
+        assert!(
+            (70.0..110.0).contains(&top.mb_per_s),
+            "cap at {} MB/s",
+            top.mb_per_s
+        );
+        // Small values are ops-bound, far below the cap.
+        assert!(rows[0].mb_per_s < 25.0, "{}", rows[0].mb_per_s);
+    }
+
+    #[test]
+    fn durability_redis_loses_memorydb_does_not() {
+        let rows = durability_ablation(60);
+        let redis = rows.iter().find(|r| r.system == "redis-async").unwrap();
+        let memdb = rows.iter().find(|r| r.system == "memorydb").unwrap();
+        assert!(redis.lost > 0, "redis with lag must lose acked writes");
+        assert_eq!(memdb.lost, 0, "memorydb must lose nothing");
+        assert!(memdb.acknowledged > 0);
+    }
+
+    #[test]
+    fn restore_time_grows_with_log_suffix() {
+        let rows = recovery_mttr(&[0, 400], 200);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].keys, 200);
+        assert_eq!(rows[1].keys, 600);
+        // Replaying 400 extra entries must cost measurably more than zero.
+        assert!(
+            rows[1].restore > rows[0].restore,
+            "suffix replay not visible: {:?} vs {:?}",
+            rows[1].restore,
+            rows[0].restore
+        );
+    }
+}

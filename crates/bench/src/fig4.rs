@@ -1,0 +1,96 @@
+//! Figure 4: maximum throughput by instance type, read-only and write-only.
+//!
+//! Paper shapes to reproduce:
+//! * (a) read-only — comparable ≤ xlarge (≤ ~200 K op/s); from 2xlarge up,
+//!   MemoryDB plateaus ≈ 500 K while Redis tops out ≈ 330 K (Enhanced-IO
+//!   multiplexing).
+//! * (b) write-only — Redis wins everywhere (≈ 300 K max) because MemoryDB
+//!   commits every write to the multi-AZ transaction log (≈ 185 K max).
+
+use memorydb_sim::{run_sim, InstanceType, LoadMode, SimParams, SystemKind};
+
+/// One measurement point.
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// Instance type name.
+    pub instance: &'static str,
+    /// Redis max throughput, op/s.
+    pub redis: f64,
+    /// MemoryDB max throughput, op/s.
+    pub memorydb: f64,
+}
+
+/// Runs one panel of Figure 4. `read_only` selects panel (a) vs (b);
+/// `duration_s` trades precision for speed.
+pub fn run(read_only: bool, duration_s: f64) -> Vec<Fig4Row> {
+    let read_fraction = if read_only { 1.0 } else { 0.0 };
+    InstanceType::all()
+        .iter()
+        .map(|&instance| {
+            let measure = |system| {
+                run_sim(SimParams {
+                    system,
+                    instance,
+                    clients: 1000,
+                    mode: LoadMode::ClosedLoop,
+                    read_fraction,
+                    value_bytes: 100,
+                    duration_s,
+                    warmup_s: duration_s * 0.25,
+                    seed: 42,
+                })
+                .throughput
+            };
+            Fig4Row {
+                instance: instance.name(),
+                redis: measure(SystemKind::Redis),
+                memorydb: measure(SystemKind::MemoryDb),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_4_shapes_hold() {
+        let reads = run(true, 0.5);
+        let writes = run(false, 0.5);
+        assert_eq!(reads.len(), 7);
+
+        // (a) read-only: MemoryDB ≥ Redis on every 2xlarge+ size, plateaus.
+        let big_reads: Vec<&Fig4Row> = reads.iter().skip(2).collect();
+        for row in &big_reads {
+            assert!(
+                row.memorydb > row.redis * 1.3,
+                "{}: memdb {} vs redis {}",
+                row.instance,
+                row.memorydb,
+                row.redis
+            );
+        }
+        // Plateau: 16xlarge within 10% of 2xlarge.
+        let first = big_reads.first().unwrap();
+        let last = big_reads.last().unwrap();
+        assert!((last.memorydb / first.memorydb - 1.0).abs() < 0.10);
+        // Small instances comparable.
+        let small = &reads[0];
+        assert!((small.memorydb / small.redis) < 1.45);
+
+        // (b) write-only: Redis wins on every size.
+        for row in &writes {
+            assert!(
+                row.redis > row.memorydb,
+                "{}: redis {} vs memdb {}",
+                row.instance,
+                row.redis,
+                row.memorydb
+            );
+        }
+        let top = writes.last().unwrap();
+        assert!((270e3..330e3).contains(&top.redis), "{}", top.redis);
+        assert!((160e3..205e3).contains(&top.memorydb), "{}", top.memorydb);
+    }
+}

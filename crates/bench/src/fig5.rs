@@ -1,0 +1,150 @@
+//! Figure 5: latency vs offered throughput on r7g.16xlarge, for read-only,
+//! write-only, and 80/20 mixed workloads.
+//!
+//! Paper shapes: reads — both systems sub-ms p50, <2 ms p99. Writes —
+//! Redis sub-ms p50 / ≤3 ms p99; MemoryDB ≈3 ms p50 / ≈6 ms p99 (multi-AZ
+//! commit in the critical path). Mixed — sub-ms p50 both; p99 ≈2 ms Redis
+//! vs ≈4 ms MemoryDB (the tail lands in the write population).
+
+use memorydb_sim::{run_sim, InstanceType, LoadMode, SimParams, SystemKind};
+
+/// Which Figure 5 panel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Panel (a): GET only.
+    ReadOnly,
+    /// Panel (b): SET only.
+    WriteOnly,
+    /// Panel (c): 80% GET / 20% SET.
+    Mixed,
+}
+
+impl Workload {
+    /// Read fraction of the mix.
+    pub fn read_fraction(&self) -> f64 {
+        match self {
+            Workload::ReadOnly => 1.0,
+            Workload::WriteOnly => 0.0,
+            Workload::Mixed => 0.8,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::ReadOnly => "read-only",
+            Workload::WriteOnly => "write-only",
+            Workload::Mixed => "mixed-80-20",
+        }
+    }
+
+    /// Offered-load sweep points (op/s), spanning up to each system's
+    /// saturation region from Figure 4.
+    pub fn sweep(&self) -> Vec<f64> {
+        match self {
+            Workload::ReadOnly => vec![50e3, 100e3, 200e3, 300e3, 400e3, 480e3],
+            Workload::WriteOnly => vec![25e3, 50e3, 100e3, 150e3, 180e3, 250e3],
+            Workload::Mixed => vec![50e3, 100e3, 200e3, 300e3, 400e3],
+        }
+    }
+}
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// Offered load, op/s.
+    pub offered: f64,
+    /// Achieved throughput, op/s.
+    pub achieved: f64,
+    /// Median latency, ms.
+    pub p50_ms: f64,
+    /// 99th percentile latency, ms.
+    pub p99_ms: f64,
+}
+
+/// Runs one system's sweep for one workload.
+pub fn run(system: SystemKind, workload: Workload, duration_s: f64) -> Vec<Fig5Row> {
+    workload
+        .sweep()
+        .into_iter()
+        .map(|rate| {
+            let result = run_sim(SimParams {
+                system,
+                instance: InstanceType::X16Large,
+                clients: 1000,
+                mode: LoadMode::OpenLoop(rate),
+                read_fraction: workload.read_fraction(),
+                value_bytes: 100,
+                duration_s,
+                warmup_s: duration_s * 0.25,
+                seed: 7,
+            });
+            Fig5Row {
+                offered: rate,
+                achieved: result.throughput,
+                p50_ms: result.all.p50_ms(),
+                p99_ms: result.all.p99_ms(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_latency_panel_a() {
+        let redis = run(SystemKind::Redis, Workload::ReadOnly, 0.4);
+        let memdb = run(SystemKind::MemoryDb, Workload::ReadOnly, 0.4);
+        // Below saturation both are sub-ms p50 and <2 ms p99.
+        for row in redis.iter().take(4).chain(memdb.iter().take(4)) {
+            assert!(row.p50_ms < 1.0, "p50 {} at {}", row.p50_ms, row.offered);
+            assert!(row.p99_ms < 2.0, "p99 {} at {}", row.p99_ms, row.offered);
+        }
+    }
+
+    #[test]
+    fn write_latency_panel_b() {
+        let redis = run(SystemKind::Redis, Workload::WriteOnly, 0.4);
+        let memdb = run(SystemKind::MemoryDb, Workload::WriteOnly, 0.4);
+        for row in redis.iter().take(4) {
+            assert!(row.p50_ms < 1.0, "redis write p50 {}", row.p50_ms);
+            assert!(row.p99_ms < 3.0, "redis write p99 {}", row.p99_ms);
+        }
+        for row in memdb.iter().take(4) {
+            assert!(
+                (2.0..4.5).contains(&row.p50_ms),
+                "memdb write p50 {} at {}",
+                row.p50_ms,
+                row.offered
+            );
+            assert!(row.p99_ms < 7.0, "memdb write p99 {}", row.p99_ms);
+        }
+    }
+
+    #[test]
+    fn mixed_latency_panel_c() {
+        let redis = run(SystemKind::Redis, Workload::Mixed, 0.4);
+        let memdb = run(SystemKind::MemoryDb, Workload::Mixed, 0.4);
+        for (r, m) in redis.iter().take(3).zip(memdb.iter().take(3)) {
+            assert!(r.p50_ms < 1.0 && m.p50_ms < 1.0);
+            assert!(r.p99_ms < 2.5, "redis mixed p99 {}", r.p99_ms);
+            assert!(
+                (2.0..6.5).contains(&m.p99_ms),
+                "memdb mixed p99 {}",
+                m.p99_ms
+            );
+            assert!(m.p99_ms > r.p99_ms);
+        }
+    }
+
+    #[test]
+    fn achieved_tracks_offered_below_saturation() {
+        let rows = run(SystemKind::MemoryDb, Workload::ReadOnly, 0.4);
+        for row in rows.iter().take(4) {
+            let ratio = row.achieved / row.offered;
+            assert!((0.9..1.1).contains(&ratio), "{} at {}", ratio, row.offered);
+        }
+    }
+}

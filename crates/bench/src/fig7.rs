@@ -1,0 +1,239 @@
+//! Figure 7: throughput and latency of a MemoryDB cluster while an off-box
+//! snapshot runs in parallel.
+//!
+//! Unlike Figures 4–6 this experiment runs the **real threaded stack**: a
+//! live shard with multi-AZ commit latency serving a mixed read/write
+//! workload, while an off-box shadow replica (sharing only the object store
+//! and the transaction log) builds and verifies a snapshot. The paper's
+//! shape: average latency ≈1 ms and max 10–20 ms, *unchanged* before,
+//! during, and after snapshotting — because the customer cluster is not
+//! involved at all.
+
+use memorydb_core::{ClusterBus, NodeIdGen, OffboxSnapshotter, Shard, ShardConfig};
+use memorydb_engine::{cmd, SessionState};
+use memorydb_objectstore::ObjectStore;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Experiment knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7Params {
+    /// Total run, seconds.
+    pub duration_s: u64,
+    /// When the off-box snapshot starts, seconds into the run.
+    pub snapshot_at_s: u64,
+    /// GET-issuing client threads (paper: 100).
+    pub read_clients: usize,
+    /// SET-issuing client threads (paper: 20).
+    pub write_clients: usize,
+    /// Pre-filled keys.
+    pub prefill_keys: usize,
+    /// Value size (paper: 500 B).
+    pub value_bytes: usize,
+}
+
+impl Default for Fig7Params {
+    fn default() -> Self {
+        Fig7Params {
+            duration_s: 12,
+            snapshot_at_s: 4,
+            read_clients: 20,
+            write_clients: 8,
+            prefill_keys: 2_000,
+            value_bytes: 500,
+        }
+    }
+}
+
+/// One one-second sample.
+#[derive(Debug, Clone)]
+pub struct Fig7Row {
+    /// Seconds since start.
+    pub t_s: u64,
+    /// Completed ops in this second.
+    pub throughput: f64,
+    /// Average latency, ms.
+    pub avg_ms: f64,
+    /// Max (p100) latency in this second, ms.
+    pub p100_ms: f64,
+    /// Whether the off-box snapshot was running during this second.
+    pub snapshotting: bool,
+}
+
+#[derive(Default)]
+struct Window {
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+/// Runs the Figure 7 experiment on the real stack. Wall-clock time equals
+/// `params.duration_s`.
+pub fn run(params: Fig7Params) -> Vec<Fig7Row> {
+    let cfg = ShardConfig {
+        log: memorydb_txlog::LogConfig::multi_az(),
+        ..ShardConfig::default()
+    };
+    let shard = Shard::bootstrap(
+        0,
+        cfg,
+        Arc::new(ObjectStore::new()),
+        Arc::new(ClusterBus::new()),
+        Arc::new(NodeIdGen::new()),
+        vec![(0, 16383)],
+        1,
+    );
+    let primary = shard
+        .wait_for_primary(Duration::from_secs(10))
+        .expect("primary");
+
+    // Pre-fill concurrently (each write waits out its own commit; the
+    // engine pipeline overlaps them).
+    let value = "v".repeat(params.value_bytes);
+    let prefill_threads = 16usize;
+    let per = params.prefill_keys.div_ceil(prefill_threads);
+    let mut handles = Vec::new();
+    for t in 0..prefill_threads {
+        let primary = Arc::clone(&primary);
+        let value = value.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut session = SessionState::new();
+            for i in (t * per)..((t + 1) * per) {
+                let _ = primary.handle(&mut session, &cmd(["SET", &format!("key:{i}"), &value]));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Shared per-second windows.
+    let windows: Arc<Vec<Mutex<Window>>> = Arc::new(
+        (0..params.duration_s)
+            .map(|_| Mutex::new(Window::default()))
+            .collect(),
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let t0 = Instant::now();
+
+    let spawn_client = |is_writer: bool, seed: usize| {
+        let primary = Arc::clone(&primary);
+        let windows = Arc::clone(&windows);
+        let stop = Arc::clone(&stop);
+        let value = value.clone();
+        let keys = params.prefill_keys;
+        std::thread::spawn(move || {
+            let mut session = SessionState::new();
+            let mut x = seed as u64 + 1;
+            while !stop.load(Ordering::Relaxed) {
+                // xorshift key choice
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let key = format!("key:{}", x as usize % keys);
+                let started = Instant::now();
+                let reply = if is_writer {
+                    primary.handle(&mut session, &cmd(["SET", key.as_str(), &value]))
+                } else {
+                    primary.handle(&mut session, &cmd(["GET", key.as_str()]))
+                };
+                let lat_us = started.elapsed().as_micros() as u64;
+                let _ = reply;
+                let slot = t0.elapsed().as_secs();
+                if let Some(w) = windows.get(slot as usize) {
+                    let mut w = w.lock();
+                    w.count += 1;
+                    w.sum_us += lat_us;
+                    w.max_us = w.max_us.max(lat_us);
+                }
+            }
+        })
+    };
+
+    let mut clients = Vec::new();
+    for i in 0..params.read_clients {
+        clients.push(spawn_client(false, i));
+    }
+    for i in 0..params.write_clients {
+        clients.push(spawn_client(true, 1000 + i));
+    }
+
+    // The off-box snapshot, on schedule (§4.2.2): an ephemeral worker that
+    // only touches the object store and the log.
+    let snap_window: Arc<Mutex<(u64, u64)>> = Arc::new(Mutex::new((u64::MAX, 0)));
+    let snap_window2 = Arc::clone(&snap_window);
+    let ctx = Arc::clone(shard.ctx());
+    let snapshot_at = params.snapshot_at_s;
+    let snapshotter = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_secs(snapshot_at));
+        let started_s = t0.elapsed().as_secs();
+        let worker =
+            OffboxSnapshotter::new(ctx, memorydb_engine::EngineVersion::CURRENT, 999_999);
+        worker.create_snapshot(true).expect("off-box snapshot");
+        let ended_s = t0.elapsed().as_secs();
+        *snap_window2.lock() = (started_s, ended_s);
+    });
+
+    std::thread::sleep(Duration::from_secs(params.duration_s));
+    stop.store(true, Ordering::Relaxed);
+    for c in clients {
+        let _ = c.join();
+    }
+    let _ = snapshotter.join();
+
+    let (snap_start, snap_end) = *snap_window.lock();
+    windows
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let w = w.lock();
+            Fig7Row {
+                t_s: i as u64,
+                throughput: w.count as f64,
+                avg_ms: if w.count == 0 {
+                    0.0
+                } else {
+                    w.sum_us as f64 / w.count as f64 / 1000.0
+                },
+                p100_ms: w.max_us as f64 / 1000.0,
+                snapshotting: (i as u64) >= snap_start && (i as u64) <= snap_end,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offbox_snapshot_does_not_disturb_serving() {
+        let rows = run(Fig7Params {
+            duration_s: 6,
+            snapshot_at_s: 2,
+            read_clients: 8,
+            write_clients: 4,
+            prefill_keys: 500,
+            value_bytes: 500,
+        });
+        assert!(rows.iter().any(|r| r.snapshotting), "snapshot must run");
+        // Drop the first (warm-up) and last (shutdown) windows.
+        let mid = &rows[1..rows.len() - 1];
+        let tputs: Vec<f64> = mid.iter().map(|r| r.throughput).collect();
+        let max = tputs.iter().cloned().fold(0.0, f64::max);
+        let min = tputs.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(min > 0.0);
+        // Stability: no window collapses (generous bound for CI noise) —
+        // the Figure 6 counterpart here would drop to ~0.
+        assert!(
+            min > max * 0.3,
+            "throughput should stay stable: min {min} max {max}"
+        );
+        // Latency stays in the single/double-digit-ms regime throughout.
+        for r in mid {
+            assert!(r.avg_ms < 50.0, "avg {} ms at t={}", r.avg_ms, r.t_s);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! # memorydb-bench — the evaluation-reproduction harness
+//!
+//! One driver per figure of the paper's §6 plus the ablations DESIGN.md
+//! commits to. Each driver returns structured rows; the `src/bin/*`
+//! binaries print them as aligned tables and CSV, and the
+//! `benches/figures.rs` target (harness = false) runs scaled-down versions
+//! under `cargo bench` so every figure regenerates in CI.
+//!
+//! | Driver | Paper result |
+//! |---|---|
+//! | [`fig4`] | Fig 4a/4b — max throughput vs instance type |
+//! | [`fig5`] | Fig 5a/5b/5c — latency vs offered throughput (16xlarge) |
+//! | [`fig6`] | Fig 6 — Redis BGSave under memory pressure |
+//! | [`fig7`] | Fig 7 — MemoryDB off-box snapshotting impact |
+//! | [`extras`] | §6.1.2.1 write bandwidth, durability & recovery ablations |
+
+pub mod extras;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod output;

@@ -1,0 +1,513 @@
+//! The linearizability checker: Wing–Gong search with Lowe's memoization.
+//!
+//! Given a concurrent history of operations (invoke/return timestamp
+//! intervals), decide whether some linear order of the operations —
+//! consistent with real-time precedence — is legal under a sequential
+//! model. The search walks the history as a doubly-linked list of
+//! call/return events, tentatively linearizing calls and backtracking on
+//! dead ends; a cache of `(linearized-set, state)` pairs prunes re-visits
+//! (Lowe's optimization), and P-compositionality splits the history into
+//! independent sub-histories (per key) checked separately.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::time::{Duration, Instant};
+
+/// One completed operation in a history.
+#[derive(Debug, Clone)]
+pub struct Operation<I, O> {
+    /// Issuing client (diagnostics only).
+    pub client: usize,
+    /// The operation's input.
+    pub input: I,
+    /// The observed output.
+    pub output: O,
+    /// Invocation timestamp (any monotonic unit).
+    pub call: u64,
+    /// Return timestamp; must be ≥ `call`.
+    pub ret: u64,
+}
+
+/// A sequential specification.
+pub trait Model {
+    /// Sequential state.
+    type State: Clone + Eq + Hash;
+    /// Operation input.
+    type Input: Clone;
+    /// Operation output.
+    type Output: Clone;
+
+    /// Initial state.
+    fn init(&self) -> Self::State;
+
+    /// Applies `input` to `state`; returns whether `output` is legal and
+    /// the successor state.
+    fn step(&self, state: &Self::State, input: &Self::Input, output: &Self::Output)
+        -> (bool, Self::State);
+
+    /// Splits a history into independently-checkable partitions
+    /// (P-compositionality). Default: one partition.
+    fn partition(
+        &self,
+        ops: Vec<Operation<Self::Input, Self::Output>>,
+    ) -> Vec<Vec<Operation<Self::Input, Self::Output>>> {
+        vec![ops]
+    }
+}
+
+/// Result of a check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// A legal linearization exists.
+    Ok,
+    /// No legal linearization exists — the history is NOT linearizable.
+    Illegal,
+    /// The search hit its time budget before deciding.
+    Unknown,
+}
+
+/// Checks a history against a model within a time budget.
+pub fn check<M: Model>(
+    model: &M,
+    history: Vec<Operation<M::Input, M::Output>>,
+    timeout: Duration,
+) -> CheckOutcome {
+    let deadline = Instant::now() + timeout;
+    for part in model.partition(history) {
+        match check_partition(model, part, deadline) {
+            CheckOutcome::Ok => continue,
+            other => return other,
+        }
+    }
+    CheckOutcome::Ok
+}
+
+// --- the WGL search over one partition -------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    Call,
+    Return,
+}
+
+/// Event node in the doubly-linked list. `usize::MAX` is the null link.
+struct Event {
+    kind: EventKind,
+    op: usize,
+    prev: usize,
+    next: usize,
+    /// For a Call: index of its matching Return event.
+    matching: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+struct EventList {
+    events: Vec<Event>,
+    head: usize, // sentinel-free: index of first live event
+}
+
+impl EventList {
+    /// Builds the event list from operations, ordered by (time, Call<Return).
+    fn build<I, O>(ops: &[Operation<I, O>]) -> EventList {
+        let mut order: Vec<(u64, u8, usize, EventKind)> = Vec::with_capacity(ops.len() * 2);
+        for (i, op) in ops.iter().enumerate() {
+            // Calls sort before returns at equal timestamps, making
+            // same-instant operations concurrent (permissive, avoiding
+            // false Illegal verdicts from clock granularity).
+            order.push((op.call, 0, i, EventKind::Call));
+            order.push((op.ret, 1, i, EventKind::Return));
+        }
+        order.sort_by_key(|&(t, k, i, _)| (t, k, i));
+        let mut events: Vec<Event> = order
+            .iter()
+            .map(|&(_, _, op, kind)| Event {
+                kind,
+                op,
+                prev: NIL,
+                next: NIL,
+                matching: NIL,
+            })
+            .collect();
+        // Link.
+        for i in 0..events.len() {
+            events[i].prev = if i == 0 { NIL } else { i - 1 };
+            events[i].next = if i + 1 == events.len() { NIL } else { i + 1 };
+        }
+        // Match calls to returns.
+        let mut pending_call: Vec<usize> = vec![NIL; ops.len()];
+        for i in 0..events.len() {
+            match events[i].kind {
+                EventKind::Call => pending_call[events[i].op] = i,
+                EventKind::Return => {
+                    let c = pending_call[events[i].op];
+                    events[c].matching = i;
+                    events[i].matching = c;
+                }
+            }
+        }
+        EventList { events, head: 0 }
+    }
+
+    fn lift(&mut self, call: usize) {
+        // Unlink the call and its return.
+        let ret = self.events[call].matching;
+        for &e in &[call, ret] {
+            let (p, n) = (self.events[e].prev, self.events[e].next);
+            if p != NIL {
+                self.events[p].next = n;
+            } else if self.head == e {
+                self.head = n;
+            }
+            if n != NIL {
+                self.events[n].prev = p;
+            }
+        }
+    }
+
+    fn unlift(&mut self, call: usize) {
+        // Re-link in reverse order: return first, then call.
+        let ret = self.events[call].matching;
+        for &e in &[ret, call] {
+            let (p, n) = (self.events[e].prev, self.events[e].next);
+            if p != NIL {
+                self.events[p].next = e;
+            } else {
+                self.head = e;
+            }
+            if n != NIL {
+                self.events[n].prev = e;
+            }
+        }
+    }
+}
+
+/// Compact bitset keyed into the memoization cache.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct BitSet(Vec<u64>);
+
+impl BitSet {
+    fn new(n: usize) -> BitSet {
+        BitSet(vec![0; n.div_ceil(64)])
+    }
+    fn set(&mut self, i: usize) {
+        self.0[i / 64] |= 1 << (i % 64);
+    }
+    fn clear(&mut self, i: usize) {
+        self.0[i / 64] &= !(1 << (i % 64));
+    }
+}
+
+fn check_partition<M: Model>(
+    model: &M,
+    ops: Vec<Operation<M::Input, M::Output>>,
+    deadline: Instant,
+) -> CheckOutcome {
+    let n = ops.len();
+    if n == 0 {
+        return CheckOutcome::Ok;
+    }
+    let mut list = EventList::build(&ops);
+    let mut state = model.init();
+    let mut linearized = BitSet::new(n);
+    let mut cache: HashSet<(BitSet, M::State)> = HashSet::new();
+    // Undo stack: (call event index, state before linearizing it).
+    let mut calls: Vec<(usize, M::State)> = Vec::new();
+    let mut entry = list.head;
+    let mut steps: u64 = 0;
+
+    loop {
+        steps += 1;
+        if steps % 4096 == 0 && Instant::now() >= deadline {
+            return CheckOutcome::Unknown;
+        }
+        if list.head == NIL {
+            return CheckOutcome::Ok; // everything linearized
+        }
+        if entry == NIL {
+            // Exhausted candidates at this level: backtrack.
+            let Some((call, prev_state)) = calls.pop() else {
+                return CheckOutcome::Illegal;
+            };
+            state = prev_state;
+            linearized.clear(list.events[call].op);
+            list.unlift(call);
+            entry = list.events[call].next;
+            continue;
+        }
+        let ev = &list.events[entry];
+        match ev.kind {
+            EventKind::Call => {
+                let op_idx = ev.op;
+                let (ok, new_state) = model.step(&state, &ops[op_idx].input, &ops[op_idx].output);
+                if ok {
+                    let mut tentative = linearized.clone();
+                    tentative.set(op_idx);
+                    if cache.insert((tentative.clone(), new_state.clone())) {
+                        // Linearize it.
+                        calls.push((entry, state));
+                        state = new_state;
+                        linearized = tentative;
+                        list.lift(entry);
+                        entry = list.head;
+                        continue;
+                    }
+                }
+                entry = list.events[entry].next;
+            }
+            EventKind::Return => {
+                // A pending return blocks further postponement: everything
+                // before it must linearize first; trigger backtracking by
+                // treating this as "no candidate".
+                entry = NIL;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A simple int register: Write(v) -> Ok, Read -> v.
+    struct IntRegister;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum In {
+        Read,
+        Write(i64),
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Out {
+        Value(i64),
+        Ok,
+    }
+
+    impl Model for IntRegister {
+        type State = i64;
+        type Input = In;
+        type Output = Out;
+
+        fn init(&self) -> i64 {
+            0
+        }
+
+        fn step(&self, state: &i64, input: &In, output: &Out) -> (bool, i64) {
+            match (input, output) {
+                (In::Read, Out::Value(v)) => (v == state, *state),
+                (In::Write(v), Out::Ok) => (true, *v),
+                _ => (false, *state),
+            }
+        }
+    }
+
+    fn op(client: usize, input: In, output: Out, call: u64, ret: u64) -> Operation<In, Out> {
+        Operation {
+            client,
+            input,
+            output,
+            call,
+            ret,
+        }
+    }
+
+    const T: Duration = Duration::from_secs(10);
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        assert_eq!(check(&IntRegister, vec![], T), CheckOutcome::Ok);
+    }
+
+    #[test]
+    fn sequential_history_ok() {
+        let h = vec![
+            op(0, In::Write(1), Out::Ok, 0, 1),
+            op(0, In::Read, Out::Value(1), 2, 3),
+            op(0, In::Write(2), Out::Ok, 4, 5),
+            op(0, In::Read, Out::Value(2), 6, 7),
+        ];
+        assert_eq!(check(&IntRegister, h, T), CheckOutcome::Ok);
+    }
+
+    #[test]
+    fn stale_read_after_write_returns_is_illegal() {
+        // W(1) completes before the read starts, yet the read sees 0.
+        let h = vec![
+            op(0, In::Write(1), Out::Ok, 0, 1),
+            op(1, In::Read, Out::Value(0), 2, 3),
+        ];
+        assert_eq!(check(&IntRegister, h, T), CheckOutcome::Illegal);
+    }
+
+    #[test]
+    fn concurrent_read_may_see_either_value() {
+        // Read overlaps the write: both 0 and 1 are legal.
+        let h0 = vec![
+            op(0, In::Write(1), Out::Ok, 0, 10),
+            op(1, In::Read, Out::Value(0), 1, 2),
+        ];
+        let h1 = vec![
+            op(0, In::Write(1), Out::Ok, 0, 10),
+            op(1, In::Read, Out::Value(1), 1, 2),
+        ];
+        assert_eq!(check(&IntRegister, h0, T), CheckOutcome::Ok);
+        assert_eq!(check(&IntRegister, h1, T), CheckOutcome::Ok);
+    }
+
+    #[test]
+    fn read_cannot_unsee_a_value() {
+        // Classic: two sequential reads observe 1 then 0 with no
+        // intervening write back to 0 — not linearizable.
+        let h = vec![
+            op(0, In::Write(1), Out::Ok, 0, 10),
+            op(1, In::Read, Out::Value(1), 11, 12),
+            op(1, In::Read, Out::Value(0), 13, 14),
+        ];
+        assert_eq!(check(&IntRegister, h, T), CheckOutcome::Illegal);
+    }
+
+    #[test]
+    fn interleaved_writers_classic_example() {
+        // Porcupine's standard example: C0 writes 0, C1 writes 1, C2 reads.
+        let ok = vec![
+            op(0, In::Write(100), Out::Ok, 0, 10),
+            op(1, In::Write(200), Out::Ok, 5, 15),
+            op(2, In::Read, Out::Value(200), 6, 7),
+            op(3, In::Read, Out::Value(100), 8, 9),
+        ];
+        // Read(200) then Read(100): 200 before 100 requires W(100) to
+        // linearize after W(200); both orders are possible given overlap —
+        // but the two reads are sequential (6..7 then 8..9), so we need
+        // state to go 200 -> 100, i.e. W(200) ; R(200) ; W(100) ; R(100).
+        // That respects all intervals, so it IS linearizable.
+        assert_eq!(check(&IntRegister, ok, T), CheckOutcome::Ok);
+
+        let bad = vec![
+            op(0, In::Write(100), Out::Ok, 0, 10),
+            op(1, In::Write(200), Out::Ok, 5, 15),
+            op(2, In::Read, Out::Value(200), 6, 7),
+            op(3, In::Read, Out::Value(100), 8, 9),
+            // A third read after both writes completed seeing 200 again —
+            // needs 100 -> 200 after R(100), but W(200) was already used.
+            op(4, In::Read, Out::Value(200), 20, 21),
+        ];
+        assert_eq!(check(&IntRegister, bad, T), CheckOutcome::Illegal);
+    }
+
+    #[test]
+    fn wrong_write_ack_rejected() {
+        let h = vec![op(0, In::Write(1), Out::Value(5), 0, 1)];
+        assert_eq!(check(&IntRegister, h, T), CheckOutcome::Illegal);
+    }
+
+    /// Brute-force oracle: try all permutations respecting real-time order.
+    fn brute_force(ops: &[Operation<In, Out>]) -> bool {
+        fn recurse(
+            model: &IntRegister,
+            ops: &[Operation<In, Out>],
+            remaining: &mut Vec<usize>,
+            state: i64,
+            max_ret_linearized: &mut Vec<u64>,
+        ) -> bool {
+            if remaining.is_empty() {
+                return true;
+            }
+            for pos in 0..remaining.len() {
+                let idx = remaining[pos];
+                // Real-time: cannot linearize an op if some other remaining
+                // op returned before this one was called.
+                let blocked = remaining
+                    .iter()
+                    .any(|&other| other != idx && ops[other].ret < ops[idx].call);
+                if blocked {
+                    continue;
+                }
+                let (ok, new_state) =
+                    model.step(&state, &ops[idx].input, &ops[idx].output);
+                if !ok {
+                    continue;
+                }
+                remaining.remove(pos);
+                if recurse(model, ops, remaining, new_state, max_ret_linearized) {
+                    remaining.insert(pos, idx);
+                    return true;
+                }
+                remaining.insert(pos, idx);
+            }
+            false
+        }
+        let mut remaining: Vec<usize> = (0..ops.len()).collect();
+        recurse(&IntRegister, ops, &mut remaining, 0, &mut vec![])
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_histories() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        let mut checked = 0;
+        let mut illegal_seen = 0;
+        for _case in 0..300 {
+            let n = rng.gen_range(1..=6);
+            let mut ops = Vec::new();
+            for client in 0..n {
+                let call = rng.gen_range(0..20) * 2;
+                let ret = call + rng.gen_range(1..10) * 2 + 1;
+                let (input, output) = if rng.gen_bool(0.5) {
+                    (In::Write(rng.gen_range(1..4)), Out::Ok)
+                } else {
+                    (In::Read, Out::Value(rng.gen_range(0..4)))
+                };
+                ops.push(op(client, input, output, call, ret));
+            }
+            let expect = brute_force(&ops);
+            let got = check(&IntRegister, ops.clone(), T);
+            let got_bool = match got {
+                CheckOutcome::Ok => true,
+                CheckOutcome::Illegal => false,
+                CheckOutcome::Unknown => panic!("tiny history timed out"),
+            };
+            assert_eq!(got_bool, expect, "mismatch on {ops:?}");
+            checked += 1;
+            if !expect {
+                illegal_seen += 1;
+            }
+        }
+        assert_eq!(checked, 300);
+        assert!(illegal_seen > 30, "random cases should include illegal ones");
+    }
+
+    #[test]
+    fn large_legal_history_checks_fast() {
+        // 2000 sequential ops: the memoized search must be ~linear here.
+        let mut h = Vec::new();
+        let mut t = 0;
+        let mut value = 0;
+        for i in 0..2000 {
+            if i % 3 == 0 {
+                value = i as i64;
+                h.push(op(0, In::Write(value), Out::Ok, t, t + 1));
+            } else {
+                h.push(op(0, In::Read, Out::Value(value), t, t + 1));
+            }
+            t += 2;
+        }
+        let t0 = Instant::now();
+        assert_eq!(check(&IntRegister, h, T), CheckOutcome::Ok);
+        assert!(t0.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn timeout_returns_unknown() {
+        // An adversarial all-concurrent history with contradictory reads
+        // forces heavy search; a zero budget must yield Unknown quickly.
+        let mut h = Vec::new();
+        for i in 0..14 {
+            h.push(op(i, In::Write(i as i64), Out::Ok, 0, 1000));
+            h.push(op(100 + i, In::Read, Out::Value(((i + 7) % 14) as i64), 0, 1000));
+        }
+        let got = check(&IntRegister, h, Duration::from_millis(0));
+        assert!(matches!(got, CheckOutcome::Unknown | CheckOutcome::Illegal));
+    }
+}

@@ -1,0 +1,158 @@
+//! Thread-safe recording of concurrent histories.
+
+use crate::checker::Operation;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Handle for an in-flight operation; complete it with
+/// [`HistoryRecorder::finish`].
+#[derive(Debug)]
+pub struct OpHandle<I> {
+    client: usize,
+    input: I,
+    call: u64,
+}
+
+struct Inner<I, O> {
+    ops: Mutex<Vec<Operation<I, O>>>,
+    // A logical clock strictly ordered with real time: ticks on every
+    // event, so equal wall-clock instants still get distinct, ordered
+    // stamps consistent with happens-before.
+    clock: AtomicU64,
+    epoch: Instant,
+}
+
+/// Records invoke/return events from many client threads.
+pub struct HistoryRecorder<I, O> {
+    inner: Arc<Inner<I, O>>,
+}
+
+impl<I, O> Clone for HistoryRecorder<I, O> {
+    fn clone(&self) -> Self {
+        HistoryRecorder {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<I, O> Default for HistoryRecorder<I, O> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<I, O> HistoryRecorder<I, O> {
+    /// Creates an empty recorder.
+    pub fn new() -> HistoryRecorder<I, O> {
+        HistoryRecorder {
+            inner: Arc::new(Inner {
+                ops: Mutex::new(Vec::new()),
+                clock: AtomicU64::new(0),
+                epoch: Instant::now(),
+            }),
+        }
+    }
+
+    fn stamp(&self) -> u64 {
+        // Nanoseconds since epoch, made strictly monotone across threads by
+        // a fetch_max-style CAS loop.
+        let now = self.inner.epoch.elapsed().as_nanos() as u64;
+        let mut cur = self.inner.clock.load(Ordering::SeqCst);
+        loop {
+            let next = now.max(cur + 1);
+            match self.inner.clock.compare_exchange(
+                cur,
+                next,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return next,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Records an invocation.
+    pub fn begin(&self, client: usize, input: I) -> OpHandle<I> {
+        OpHandle {
+            client,
+            input,
+            call: self.stamp(),
+        }
+    }
+
+    /// Records the matching return.
+    pub fn finish(&self, handle: OpHandle<I>, output: O) {
+        let ret = self.stamp();
+        self.inner.ops.lock().push(Operation {
+            client: handle.client,
+            input: handle.input,
+            output,
+            call: handle.call,
+            ret,
+        });
+    }
+
+    /// Takes the recorded history (completed operations only — in-flight
+    /// operations at crash time are legitimately ambiguous and omitted,
+    /// which is the permissive treatment).
+    pub fn take(&self) -> Vec<Operation<I, O>> {
+        std::mem::take(&mut self.inner.ops.lock())
+    }
+
+    /// Number of completed operations recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.ops.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_intervals_in_order() {
+        let rec: HistoryRecorder<&'static str, i32> = HistoryRecorder::new();
+        let h = rec.begin(0, "op1");
+        rec.finish(h, 1);
+        let h2 = rec.begin(1, "op2");
+        rec.finish(h2, 2);
+        let ops = rec.take();
+        assert_eq!(ops.len(), 2);
+        assert!(ops[0].call < ops[0].ret);
+        assert!(ops[0].ret < ops[1].call, "sequential ops have ordered stamps");
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe_and_strictly_stamped() {
+        let rec: HistoryRecorder<usize, usize> = HistoryRecorder::new();
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let rec = rec.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    let h = rec.begin(t, i);
+                    rec.finish(h, i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let ops = rec.take();
+        assert_eq!(ops.len(), 800);
+        // All stamps distinct.
+        let mut stamps: Vec<u64> = ops.iter().flat_map(|o| [o.call, o.ret]).collect();
+        stamps.sort_unstable();
+        stamps.dedup();
+        assert_eq!(stamps.len(), 1600);
+    }
+}

@@ -1,0 +1,26 @@
+//! # memorydb-consistency — linearizability checking (paper §7.2.2)
+//!
+//! MemoryDB validates its consistency claims by recording concurrent client
+//! histories and checking them with porcupine, a linearizability checker.
+//! This crate is a from-scratch Rust equivalent:
+//!
+//! * [`checker`] — the Wing–Gong tree search with Lowe's memoization
+//!   (cache of `(linearized-set, state)` pairs) and **P-compositionality**
+//!   (per-key partitioning), the same algorithm family porcupine uses.
+//! * [`model`] — sequential specifications: a per-key register/value model
+//!   covering the command shapes the histories exercise.
+//! * [`history`] — a thread-safe recorder of invoke/return events with
+//!   monotonic timestamps.
+//! * [`generator`] — a spec-driven command generator with **argument
+//!   biasing** (§7.2.2.2): keys and values are drawn from small domains so
+//!   contention and edge cases actually occur.
+
+pub mod checker;
+pub mod generator;
+pub mod history;
+pub mod model;
+
+pub use checker::{check, CheckOutcome, Model, Operation};
+pub use generator::CommandGenerator;
+pub use history::{HistoryRecorder, OpHandle};
+pub use model::{KvInput, KvModel, KvOutput};

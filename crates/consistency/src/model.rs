@@ -1,0 +1,194 @@
+//! Sequential specification of the key-value surface the consistency tests
+//! exercise, with per-key partitioning (P-compositionality).
+
+use crate::checker::{Model, Operation};
+use std::collections::HashMap;
+
+/// Input of one KV operation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum KvInput {
+    /// `GET key`.
+    Get(String),
+    /// `SET key value`.
+    Set(String, String),
+    /// `DEL key`.
+    Del(String),
+    /// `INCR key`.
+    Incr(String),
+    /// `APPEND key suffix`.
+    Append(String, String),
+}
+
+impl KvInput {
+    /// The key this operation touches (the partition function's basis).
+    pub fn key(&self) -> &str {
+        match self {
+            KvInput::Get(k)
+            | KvInput::Set(k, _)
+            | KvInput::Del(k)
+            | KvInput::Incr(k)
+            | KvInput::Append(k, _) => k,
+        }
+    }
+}
+
+/// Observed output of one KV operation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum KvOutput {
+    /// `+OK`.
+    Ok,
+    /// Bulk value or nil.
+    Value(Option<String>),
+    /// Integer reply.
+    Int(i64),
+    /// An error reply (never legal in these histories).
+    Error,
+}
+
+/// The per-key sequential model: state is the key's current value.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KvModel;
+
+impl Model for KvModel {
+    type State = Option<String>;
+    type Input = KvInput;
+    type Output = KvOutput;
+
+    fn init(&self) -> Self::State {
+        None
+    }
+
+    fn step(
+        &self,
+        state: &Self::State,
+        input: &Self::Input,
+        output: &Self::Output,
+    ) -> (bool, Self::State) {
+        match (input, output) {
+            (KvInput::Get(_), KvOutput::Value(v)) => (v == state, state.clone()),
+            (KvInput::Set(_, v), KvOutput::Ok) => (true, Some(v.clone())),
+            (KvInput::Del(_), KvOutput::Int(n)) => {
+                let existed = state.is_some() as i64;
+                (*n == existed, None)
+            }
+            (KvInput::Incr(_), KvOutput::Int(n)) => {
+                let current: i64 = match state {
+                    None => 0,
+                    Some(s) => match s.parse() {
+                        Ok(v) => v,
+                        Err(_) => return (false, state.clone()),
+                    },
+                };
+                let next = current + 1;
+                (*n == next, Some(next.to_string()))
+            }
+            (KvInput::Append(_, suffix), KvOutput::Int(n)) => {
+                let mut new = state.clone().unwrap_or_default();
+                new.push_str(suffix);
+                (*n == new.len() as i64, Some(new))
+            }
+            _ => (false, state.clone()),
+        }
+    }
+
+    fn partition(
+        &self,
+        ops: Vec<Operation<KvInput, KvOutput>>,
+    ) -> Vec<Vec<Operation<KvInput, KvOutput>>> {
+        let mut by_key: HashMap<String, Vec<Operation<KvInput, KvOutput>>> = HashMap::new();
+        for op in ops {
+            by_key
+                .entry(op.input.key().to_string())
+                .or_default()
+                .push(op);
+        }
+        by_key.into_values().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{check, CheckOutcome};
+    use std::time::Duration;
+
+    fn op(
+        client: usize,
+        input: KvInput,
+        output: KvOutput,
+        call: u64,
+        ret: u64,
+    ) -> Operation<KvInput, KvOutput> {
+        Operation {
+            client,
+            input,
+            output,
+            call,
+            ret,
+        }
+    }
+
+    const T: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn get_set_del_semantics() {
+        let h = vec![
+            op(0, KvInput::Get("k".into()), KvOutput::Value(None), 0, 1),
+            op(0, KvInput::Set("k".into(), "v".into()), KvOutput::Ok, 2, 3),
+            op(0, KvInput::Get("k".into()), KvOutput::Value(Some("v".into())), 4, 5),
+            op(0, KvInput::Del("k".into()), KvOutput::Int(1), 6, 7),
+            op(0, KvInput::Del("k".into()), KvOutput::Int(0), 8, 9),
+            op(0, KvInput::Get("k".into()), KvOutput::Value(None), 10, 11),
+        ];
+        assert_eq!(check(&KvModel, h, T), CheckOutcome::Ok);
+    }
+
+    #[test]
+    fn incr_and_append_chains() {
+        let h = vec![
+            op(0, KvInput::Incr("n".into()), KvOutput::Int(1), 0, 1),
+            op(0, KvInput::Incr("n".into()), KvOutput::Int(2), 2, 3),
+            op(0, KvInput::Get("n".into()), KvOutput::Value(Some("2".into())), 4, 5),
+            op(0, KvInput::Append("s".into(), "ab".into()), KvOutput::Int(2), 0, 1),
+            op(0, KvInput::Append("s".into(), "c".into()), KvOutput::Int(3), 2, 3),
+        ];
+        assert_eq!(check(&KvModel, h, T), CheckOutcome::Ok);
+    }
+
+    #[test]
+    fn incr_on_non_numeric_is_never_legal() {
+        let h = vec![
+            op(0, KvInput::Set("k".into(), "abc".into()), KvOutput::Ok, 0, 1),
+            op(0, KvInput::Incr("k".into()), KvOutput::Int(1), 2, 3),
+        ];
+        assert_eq!(check(&KvModel, h, T), CheckOutcome::Illegal);
+    }
+
+    #[test]
+    fn partitioning_checks_keys_independently() {
+        // Key `a` is fine; key `b` has a stale read — the whole history is
+        // illegal, and partitioning must still find it.
+        let h = vec![
+            op(0, KvInput::Set("a".into(), "1".into()), KvOutput::Ok, 0, 1),
+            op(0, KvInput::Get("a".into()), KvOutput::Value(Some("1".into())), 2, 3),
+            op(1, KvInput::Set("b".into(), "1".into()), KvOutput::Ok, 0, 1),
+            op(1, KvInput::Get("b".into()), KvOutput::Value(None), 2, 3),
+        ];
+        assert_eq!(check(&KvModel, h, T), CheckOutcome::Illegal);
+    }
+
+    #[test]
+    fn concurrent_incrs_must_account_exactly() {
+        // Two concurrent INCRs may return (1,2) or (2,1)... but never both 1.
+        let good = vec![
+            op(0, KvInput::Incr("n".into()), KvOutput::Int(1), 0, 10),
+            op(1, KvInput::Incr("n".into()), KvOutput::Int(2), 0, 10),
+        ];
+        let bad = vec![
+            op(0, KvInput::Incr("n".into()), KvOutput::Int(1), 0, 10),
+            op(1, KvInput::Incr("n".into()), KvOutput::Int(1), 0, 10),
+        ];
+        assert_eq!(check(&KvModel, good, T), CheckOutcome::Ok);
+        assert_eq!(check(&KvModel, bad, T), CheckOutcome::Illegal);
+    }
+}

@@ -1,0 +1,154 @@
+//! The cluster bus: in-process gossip between nodes (paper §2.1, §4.1.2).
+//!
+//! MemoryDB keeps the Redis cluster bus for what it is good at — topology
+//! propagation and health gossip — while *removing* it from the leader
+//! election critical path (election runs purely against the transaction
+//! log). Nodes heartbeat here, announce role changes after elections so the
+//! rest of the cluster can point clients at the new primary quickly, and the
+//! monitoring service reads the "internal view" of cluster health from here
+//! (§4.2).
+
+use crate::record::{NodeId, ShardId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Role of a node as announced on the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusRole {
+    /// Shard leader.
+    Primary,
+    /// Read replica.
+    Replica,
+}
+
+#[derive(Debug, Clone)]
+struct NodeInfo {
+    shard: ShardId,
+    role: BusRole,
+    last_heartbeat: Instant,
+}
+
+/// The shared gossip medium. One per cluster.
+#[derive(Debug, Default)]
+pub struct ClusterBus {
+    nodes: Mutex<HashMap<NodeId, NodeInfo>>,
+}
+
+impl ClusterBus {
+    /// Creates an empty bus.
+    pub fn new() -> ClusterBus {
+        ClusterBus::default()
+    }
+
+    /// Publishes a heartbeat with the node's current role.
+    pub fn heartbeat(&self, node: NodeId, shard: ShardId, role: BusRole) {
+        self.nodes.lock().insert(
+            node,
+            NodeInfo {
+                shard,
+                role,
+                last_heartbeat: Instant::now(),
+            },
+        );
+    }
+
+    /// Removes a node (decommissioned or replaced).
+    pub fn remove(&self, node: NodeId) {
+        self.nodes.lock().remove(&node);
+    }
+
+    /// The announced primary of a shard, if any is gossiping.
+    pub fn primary_of(&self, shard: ShardId) -> Option<NodeId> {
+        self.nodes
+            .lock()
+            .iter()
+            .find(|(_, info)| info.shard == shard && info.role == BusRole::Primary)
+            .map(|(id, _)| *id)
+    }
+
+    /// All nodes of a shard with their roles.
+    pub fn members_of(&self, shard: ShardId) -> Vec<(NodeId, BusRole)> {
+        let mut out: Vec<(NodeId, BusRole)> = self
+            .nodes
+            .lock()
+            .iter()
+            .filter(|(_, info)| info.shard == shard)
+            .map(|(id, info)| (*id, info.role))
+            .collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Number of replicas currently gossiping for a shard (the `WAIT`
+    /// reply).
+    pub fn replica_count(&self, shard: ShardId) -> usize {
+        self.nodes
+            .lock()
+            .values()
+            .filter(|info| info.shard == shard && info.role == BusRole::Replica)
+            .count()
+    }
+
+    /// Internal health view: nodes whose last heartbeat is older than
+    /// `staleness` (suspected failed by their peers).
+    pub fn stale_nodes(&self, staleness: Duration) -> Vec<NodeId> {
+        let now = Instant::now();
+        let mut out: Vec<NodeId> = self
+            .nodes
+            .lock()
+            .iter()
+            .filter(|(_, info)| now.duration_since(info.last_heartbeat) > staleness)
+            .map(|(id, _)| *id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heartbeat_and_roles() {
+        let bus = ClusterBus::new();
+        bus.heartbeat(1, 0, BusRole::Primary);
+        bus.heartbeat(2, 0, BusRole::Replica);
+        bus.heartbeat(3, 1, BusRole::Primary);
+        assert_eq!(bus.primary_of(0), Some(1));
+        assert_eq!(bus.primary_of(1), Some(3));
+        assert_eq!(bus.primary_of(9), None);
+        assert_eq!(bus.replica_count(0), 1);
+        assert_eq!(bus.members_of(0), vec![(1, BusRole::Primary), (2, BusRole::Replica)]);
+    }
+
+    #[test]
+    fn role_change_overwrites() {
+        let bus = ClusterBus::new();
+        bus.heartbeat(1, 0, BusRole::Primary);
+        bus.heartbeat(1, 0, BusRole::Replica);
+        assert_eq!(bus.primary_of(0), None);
+        assert_eq!(bus.replica_count(0), 1);
+    }
+
+    #[test]
+    fn staleness_detection() {
+        let bus = ClusterBus::new();
+        bus.heartbeat(1, 0, BusRole::Primary);
+        assert!(bus.stale_nodes(Duration::from_secs(5)).is_empty());
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(bus.stale_nodes(Duration::from_millis(10)), vec![1]);
+        bus.heartbeat(1, 0, BusRole::Primary);
+        assert!(bus.stale_nodes(Duration::from_millis(10)).is_empty());
+    }
+
+    #[test]
+    fn remove_node() {
+        let bus = ClusterBus::new();
+        bus.heartbeat(1, 0, BusRole::Primary);
+        bus.remove(1);
+        assert_eq!(bus.primary_of(0), None);
+        assert!(bus.members_of(0).is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! A cluster-aware client: slot routing, MOVED redirects, and the READONLY
+//! opt-in for replica reads (paper §2.1, §3.2).
+
+use crate::cluster::Cluster;
+use crate::node::Node;
+use crate::shard::Shard;
+use bytes::Bytes;
+use memorydb_engine::{cmd, key_hash_slot, keys_for, Frame, SessionState};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A client connection bundle to a cluster.
+///
+/// Like a real Redis Cluster client it caches the slot→shard map and
+/// refreshes it on `MOVED`, retries `TRYAGAIN` (mid-migration), and waits
+/// out `CLUSTERDOWN` (mid-failover) up to a bounded number of attempts.
+pub struct ClusterClient {
+    cluster: Arc<Cluster>,
+    route: HashMap<u16, Arc<Shard>>,
+    sessions: HashMap<u64, SessionState>,
+    /// READONLY mode: route reads to replicas (sequential consistency from
+    /// one replica; the client pins a replica per shard).
+    pub read_from_replicas: bool,
+    /// Max redirect/retry attempts before giving up.
+    pub max_retries: usize,
+    pinned_replica: HashMap<u32, u64>,
+}
+
+impl ClusterClient {
+    /// Connects to a cluster.
+    pub fn new(cluster: Arc<Cluster>) -> ClusterClient {
+        ClusterClient {
+            cluster,
+            route: HashMap::new(),
+            sessions: HashMap::new(),
+            read_from_replicas: false,
+            max_retries: 64,
+            pinned_replica: HashMap::new(),
+        }
+    }
+
+    /// Issues a command built from string parts.
+    pub fn command<S: Into<Vec<u8>>>(&mut self, parts: impl IntoIterator<Item = S>) -> Frame {
+        self.command_args(&cmd(parts))
+    }
+
+    /// Issues a raw command.
+    pub fn command_args(&mut self, args: &[Bytes]) -> Frame {
+        let slot = keys_for(args)
+            .and_then(|keys| keys.first().map(|k| key_hash_slot(k)));
+        let is_write = args
+            .first()
+            .and_then(|name| {
+                memorydb_engine::command_spec(&String::from_utf8_lossy(name).to_ascii_uppercase())
+            })
+            .is_some_and(|spec| spec.flags.write);
+
+        let mut last_err = Frame::error("cluster unavailable");
+        for _attempt in 0..self.max_retries {
+            let Some(shard) = self.shard_for(slot) else {
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            };
+            let Some(node) = self.pick_node(&shard, is_write) else {
+                // No serving node on that shard (mid-failover, or the shard
+                // was destroyed by scale-in): invalidate the route.
+                if let Some(s) = slot {
+                    self.route.remove(&s);
+                }
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            };
+            let session = self.sessions.entry(node.id).or_default();
+            let reply = node.handle(session, args);
+            match &reply {
+                Frame::Error(msg) if msg.starts_with("MOVED") => {
+                    // Stale routing: refresh and retry.
+                    if let Some(s) = slot {
+                        self.route.remove(&s);
+                    }
+                    last_err = reply;
+                    continue;
+                }
+                Frame::Error(msg) if msg.starts_with("TRYAGAIN") => {
+                    last_err = reply;
+                    std::thread::sleep(Duration::from_millis(5));
+                    continue;
+                }
+                Frame::Error(msg) if msg.starts_with("CLUSTERDOWN") => {
+                    // The shard may be mid-failover — or destroyed (scale
+                    // in). Drop the cached route so the retry re-resolves.
+                    if let Some(s) = slot {
+                        self.route.remove(&s);
+                    }
+                    last_err = reply;
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+                _ => return reply,
+            }
+        }
+        last_err
+    }
+
+    fn shard_for(&mut self, slot: Option<u16>) -> Option<Arc<Shard>> {
+        match slot {
+            None => self.cluster.shards().into_iter().next(),
+            Some(s) => {
+                if let Some(shard) = self.route.get(&s) {
+                    return Some(Arc::clone(shard));
+                }
+                let shard = self.cluster.shard_for_slot(s)?;
+                self.route.insert(s, Arc::clone(&shard));
+                Some(shard)
+            }
+        }
+    }
+
+    fn pick_node(&mut self, shard: &Arc<Shard>, is_write: bool) -> Option<Arc<Node>> {
+        if !is_write && self.read_from_replicas {
+            // Pin one replica per shard: reading from a single replica
+            // yields sequential consistency (§3.2); load-balancing across
+            // replicas would weaken that to eventual consistency.
+            if let Some(id) = self.pinned_replica.get(&shard.id) {
+                if let Some(node) = shard.replicas().into_iter().find(|n| n.id == *id) {
+                    return Some(node);
+                }
+            }
+            if let Some(replica) = shard.replicas().into_iter().next() {
+                self.pinned_replica.insert(shard.id, replica.id);
+                return Some(replica);
+            }
+            // No replica: fall through to the primary.
+        }
+        shard.wait_for_primary(Duration::from_millis(500))
+    }
+}

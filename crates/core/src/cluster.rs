@@ -1,0 +1,251 @@
+//! A multi-shard MemoryDB cluster: slot partitioning, shard lifecycle, and
+//! the scaling operations of paper §5.2.
+
+use crate::bus::ClusterBus;
+use crate::config::ShardConfig;
+use crate::migration::{migrate_slot, MigrationError};
+use crate::record::ShardId;
+use crate::shard::{NodeIdGen, Shard};
+use memorydb_engine::NUM_SLOTS;
+use memorydb_objectstore::ObjectStore;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A MemoryDB cluster.
+pub struct Cluster {
+    store: Arc<ObjectStore>,
+    bus: Arc<ClusterBus>,
+    ids: Arc<NodeIdGen>,
+    cfg: ShardConfig,
+    shards: RwLock<Vec<Arc<Shard>>>,
+    next_shard_id: AtomicU32,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("shards", &self.shards.read().len())
+            .finish()
+    }
+}
+
+/// Splits the 16384 slots into `n` contiguous ranges.
+pub fn even_slot_ranges(n: usize) -> Vec<(u16, u16)> {
+    assert!(n > 0 && n <= NUM_SLOTS as usize);
+    let per = NUM_SLOTS as usize / n;
+    let mut rem = NUM_SLOTS as usize % n;
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0usize;
+    for _ in 0..n {
+        let mut len = per;
+        if rem > 0 {
+            len += 1;
+            rem -= 1;
+        }
+        out.push((start as u16, (start + len - 1) as u16));
+        start += len;
+    }
+    out
+}
+
+impl Cluster {
+    /// Launches a cluster with `num_shards` shards (slots split evenly) and
+    /// `replicas` replicas per shard.
+    pub fn launch(cfg: ShardConfig, num_shards: usize, replicas: usize) -> Arc<Cluster> {
+        let cluster = Arc::new(Cluster {
+            store: Arc::new(ObjectStore::new()),
+            bus: Arc::new(ClusterBus::new()),
+            ids: Arc::new(NodeIdGen::new()),
+            cfg,
+            shards: RwLock::new(Vec::new()),
+            next_shard_id: AtomicU32::new(0),
+        });
+        for range in even_slot_ranges(num_shards) {
+            cluster.create_shard(vec![range], replicas);
+        }
+        cluster
+    }
+
+    /// The shared snapshot store.
+    pub fn store(&self) -> &Arc<ObjectStore> {
+        &self.store
+    }
+
+    /// The cluster bus.
+    pub fn bus(&self) -> &Arc<ClusterBus> {
+        &self.bus
+    }
+
+    /// All shards.
+    pub fn shards(&self) -> Vec<Arc<Shard>> {
+        self.shards.read().clone()
+    }
+
+    /// Looks up a shard by id.
+    pub fn shard(&self, id: ShardId) -> Option<Arc<Shard>> {
+        self.shards.read().iter().find(|s| s.id == id).cloned()
+    }
+
+    /// Creates a shard owning `slot_ranges` (empty for a scale-out target).
+    pub fn create_shard(&self, slot_ranges: Vec<(u16, u16)>, replicas: usize) -> Arc<Shard> {
+        let id = self.next_shard_id.fetch_add(1, Ordering::Relaxed);
+        let shard = Shard::bootstrap(
+            id,
+            self.cfg.clone(),
+            Arc::clone(&self.store),
+            Arc::clone(&self.bus),
+            Arc::clone(&self.ids),
+            slot_ranges,
+            replicas,
+        );
+        self.shards.write().push(Arc::clone(&shard));
+        shard
+    }
+
+    /// Which shard owns `slot` right now (asks the shards' primaries).
+    pub fn shard_for_slot(&self, slot: u16) -> Option<Arc<Shard>> {
+        for shard in self.shards.read().iter() {
+            // Any live node's view works; prefer the primary's.
+            let node = shard.primary().or_else(|| shard.nodes().into_iter().next())?;
+            if node.owns_slot(slot) {
+                return Some(Arc::clone(shard));
+            }
+        }
+        None
+    }
+
+    /// The full slot map as `(start, end, shard id)` ranges.
+    pub fn slot_map(&self) -> Vec<(u16, u16, ShardId)> {
+        let mut out = Vec::new();
+        for shard in self.shards.read().iter() {
+            if let Some(node) = shard.primary().or_else(|| shard.nodes().into_iter().next()) {
+                for (lo, hi) in node.owned_ranges() {
+                    out.push((lo, hi, shard.id));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Scale out (§5.2): adds a new shard and migrates an even share of
+    /// slots to it, one slot at a time. Returns the new shard.
+    pub fn scale_out(&self, replicas: usize) -> Result<Arc<Shard>, MigrationError> {
+        let new_shard = self.create_shard(Vec::new(), replicas);
+        let shards = self.shards();
+        let total_donors = shards.len() - 1;
+        // Even target share.
+        let target_share = NUM_SLOTS as usize / shards.len();
+        let mut moved = 0usize;
+        'outer: for donor in shards.iter().filter(|s| s.id != new_shard.id) {
+            let Some(primary) = donor.wait_for_primary(Duration::from_secs(5)) else {
+                continue;
+            };
+            let give = primary
+                .owned_ranges()
+                .iter()
+                .flat_map(|(lo, hi)| *lo..=*hi)
+                .take(target_share / total_donors.max(1))
+                .collect::<Vec<u16>>();
+            for slot in give {
+                migrate_slot(donor, &new_shard, slot)?;
+                moved += 1;
+                if moved >= target_share {
+                    break 'outer;
+                }
+            }
+        }
+        Ok(new_shard)
+    }
+
+    /// Scale in (§5.2): migrates all slots off `shard_id`, then destroys the
+    /// shard.
+    pub fn scale_in(&self, shard_id: ShardId) -> Result<(), MigrationError> {
+        let victim = self
+            .shard(shard_id)
+            .ok_or_else(|| MigrationError::Precondition(format!("no shard {shard_id}")))?;
+        let survivors: Vec<Arc<Shard>> = self
+            .shards()
+            .into_iter()
+            .filter(|s| s.id != shard_id)
+            .collect();
+        if survivors.is_empty() {
+            return Err(MigrationError::Precondition(
+                "cannot scale in the last shard".into(),
+            ));
+        }
+        let primary = victim
+            .wait_for_primary(Duration::from_secs(5))
+            .ok_or_else(|| MigrationError::Precondition("victim shard has no primary".into()))?;
+        let slots: Vec<u16> = primary
+            .owned_ranges()
+            .iter()
+            .flat_map(|(lo, hi)| *lo..=*hi)
+            .collect();
+        for (i, slot) in slots.iter().enumerate() {
+            let dest = &survivors[i % survivors.len()];
+            migrate_slot(&victim, dest, *slot)?;
+        }
+        // Destroy: terminate nodes, drop the shard (its log dies with it).
+        for node in victim.nodes() {
+            node.crash();
+        }
+        self.shards.write().retain(|s| s.id != shard_id);
+        Ok(())
+    }
+
+    /// Instance-type scaling as an N+1 rolling update (§5.2): adds a fresh
+    /// node, waits for it to catch up, then decommissions an old one
+    /// (replicas first, primary last — with collaborative leadership
+    /// transfer for the primary).
+    pub fn replace_all_nodes(&self, shard_id: ShardId) -> Result<(), String> {
+        let shard = self
+            .shard(shard_id)
+            .ok_or_else(|| format!("no shard {shard_id}"))?;
+        let old_nodes = shard.nodes();
+        for old in old_nodes {
+            // N+1: bring the replacement up and let it catch up first.
+            let _fresh = shard.add_node();
+            if !shard.wait_replicas_caught_up(Duration::from_secs(10)) {
+                return Err("replacement replica failed to catch up".into());
+            }
+            if old.is_active_primary() {
+                // Collaborative transfer minimizes downtime.
+                old.release_leadership();
+                if shard.wait_for_primary(Duration::from_secs(10)).is_none() {
+                    return Err("no primary emerged after leadership transfer".into());
+                }
+            }
+            old.crash();
+            shard.reap_dead();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_ranges_cover_everything_disjointly() {
+        for n in [1usize, 2, 3, 5, 16] {
+            let ranges = even_slot_ranges(n);
+            assert_eq!(ranges.len(), n);
+            let mut covered = 0usize;
+            let mut prev_end: Option<u16> = None;
+            for (lo, hi) in &ranges {
+                assert!(lo <= hi);
+                if let Some(p) = prev_end {
+                    assert_eq!(*lo, p + 1);
+                }
+                covered += (*hi - *lo + 1) as usize;
+                prev_end = Some(*hi);
+            }
+            assert_eq!(covered, 16384);
+            assert_eq!(ranges.last().unwrap().1, 16383);
+        }
+    }
+}

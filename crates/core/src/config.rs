@@ -1,0 +1,116 @@
+//! Shard and cluster configuration.
+
+use memorydb_txlog::LogConfig;
+use std::time::Duration;
+
+/// Tunables of one MemoryDB shard.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Leadership lease duration (paper §4.1.3). A primary that cannot
+    /// renew self-demotes at lease end.
+    pub lease: Duration,
+    /// How long before lease end a primary renews (renew interval =
+    /// `lease - renew_margin`... in practice we renew every `lease / 3`).
+    pub renew_interval: Duration,
+    /// How long a replica refrains from campaigning after observing a
+    /// renewal. MUST be strictly greater than `lease` so leases stay
+    /// disjoint (paper: "backoff is ensured to be strictly greater than the
+    /// lease duration").
+    pub backoff: Duration,
+    /// Background tick granularity for lease/election timers.
+    pub tick: Duration,
+    /// How long a client write waits for durability before the node treats
+    /// the commit as failed.
+    pub commit_timeout: Duration,
+    /// Inject a checksum probe every this many Effects records (§7.2.1).
+    pub checksum_probe_every: u64,
+    /// Transaction-log service configuration for this shard.
+    pub log: LogConfig,
+    /// Snapshot scheduling: take a new snapshot once the un-snapshotted log
+    /// suffix exceeds `max(snapshot_min_bytes, dataset * snapshot_ratio)`
+    /// (§4.2.3).
+    pub snapshot_min_bytes: usize,
+    /// See `snapshot_min_bytes`.
+    pub snapshot_ratio: f64,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            lease: Duration::from_millis(600),
+            renew_interval: Duration::from_millis(200),
+            backoff: Duration::from_millis(900),
+            tick: Duration::from_millis(25),
+            commit_timeout: Duration::from_secs(5),
+            checksum_probe_every: 64,
+            log: LogConfig::instant(),
+            snapshot_min_bytes: 64 * 1024,
+            snapshot_ratio: 0.25,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// Fast timings for tests: short lease/backoff so failovers complete in
+    /// tens of milliseconds.
+    pub fn fast() -> ShardConfig {
+        ShardConfig {
+            lease: Duration::from_millis(150),
+            renew_interval: Duration::from_millis(50),
+            backoff: Duration::from_millis(225),
+            tick: Duration::from_millis(10),
+            commit_timeout: Duration::from_secs(2),
+            ..ShardConfig::default()
+        }
+    }
+
+    /// Validates the invariants the election safety argument needs.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.backoff <= self.lease {
+            return Err(format!(
+                "backoff ({:?}) must be strictly greater than lease ({:?})",
+                self.backoff, self.lease
+            ));
+        }
+        if self.renew_interval >= self.lease {
+            return Err(format!(
+                "renew interval ({:?}) must be below the lease ({:?})",
+                self.renew_interval, self.lease
+            ));
+        }
+        if self.snapshot_ratio <= 0.0 {
+            return Err("snapshot_ratio must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        ShardConfig::default().validate().unwrap();
+        ShardConfig::fast().validate().unwrap();
+    }
+
+    #[test]
+    fn backoff_must_exceed_lease() {
+        let cfg = ShardConfig {
+            backoff: Duration::from_millis(100),
+            lease: Duration::from_millis(100),
+            ..ShardConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn renew_interval_below_lease() {
+        let cfg = ShardConfig {
+            renew_interval: Duration::from_secs(10),
+            ..ShardConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+}

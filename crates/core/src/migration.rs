@@ -1,0 +1,242 @@
+//! Atomic slot migration (resharding) between shards (paper §5.2).
+//!
+//! The transfer has two phases:
+//!
+//! 1. **Data movement** — conceptually a Redis replica sync limited to one
+//!    slot: the source serializes every key in the slot (sent as `RESTORE`
+//!    effects the target commits to its own transaction log, so the
+//!    target's replicas converge too) while concurrent mutations of the
+//!    slot are mirrored to the target in execution order.
+//! 2. **Slot ownership transfer** — the source blocks new writes to the
+//!    slot, drains in-flight writes to both logs, performs a data-integrity
+//!    handshake, and then runs a 2-phase commit of durably committed
+//!    messages (`MigrationPrepare` in the source log, `MigrationCommit` in
+//!    the target log, `MigrationDone` in the source log). Ownership changes
+//!    are therefore recoverable from the logs after any crash; cluster-bus
+//!    propagation of the new routing is advisory only.
+//!
+//! Any failure before the prepare point simply abandons the transfer: the
+//! source resumes writes and the target deletes the transferred data.
+
+use crate::node::Node;
+use crate::record::Record;
+use crate::shard::Shard;
+use bytes::Bytes;
+use memorydb_engine::EffectCmd;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Errors from a slot migration.
+#[derive(Debug)]
+pub enum MigrationError {
+    /// Preconditions failed (no primary, wrong ownership...).
+    Precondition(String),
+    /// The data-movement or control-record path failed.
+    Transfer(String),
+    /// The integrity handshake failed even after repair.
+    IntegrityMismatch {
+        /// (key count, digest) on the source.
+        source: (usize, u64),
+        /// (key count, digest) on the target.
+        target: (usize, u64),
+    },
+}
+
+impl std::fmt::Display for MigrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigrationError::Precondition(e) => write!(f, "migration precondition failed: {e}"),
+            MigrationError::Transfer(e) => write!(f, "migration transfer failed: {e}"),
+            MigrationError::IntegrityMismatch { source, target } => write!(
+                f,
+                "integrity handshake failed: source {source:?} vs target {target:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MigrationError {}
+
+/// Builds the `RESTORE` effect moving one serialized entry.
+fn restore_effect(key: &Bytes, blob: &[u8]) -> EffectCmd {
+    vec![
+        Bytes::from_static(b"RESTORE"),
+        key.clone(),
+        Bytes::from_static(b"0"),
+        Bytes::copy_from_slice(blob),
+        Bytes::from_static(b"REPLACE"),
+    ]
+}
+
+/// Ships the full current content of `slot` from `source` to `target`
+/// (idempotent: `RESTORE ... REPLACE`), deleting target-side keys the
+/// source no longer has. Returns how many keys were shipped.
+fn ship_slot(source: &Arc<Node>, target: &Arc<Node>, slot: u16) -> Result<usize, MigrationError> {
+    let entries = source.serialize_slot(slot);
+    let shipped = entries.len();
+    for chunk in entries.chunks(64) {
+        let effects: Vec<EffectCmd> = chunk
+            .iter()
+            .map(|(k, blob)| restore_effect(k, blob))
+            .collect();
+        target
+            .ingest_effects(&effects, true)
+            .map_err(MigrationError::Transfer)?;
+    }
+    // Delete extras on the target (keys removed on the source mid-move).
+    let source_keys: std::collections::HashSet<Bytes> =
+        source.serialize_slot(slot).into_iter().map(|(k, _)| k).collect();
+    let target_keys = target.slot_keys(slot);
+    let extras: Vec<EffectCmd> = target_keys
+        .into_iter()
+        .filter(|k| !source_keys.contains(k))
+        .map(|k| vec![Bytes::from_static(b"DEL"), k])
+        .collect();
+    if !extras.is_empty() {
+        target
+            .ingest_effects(&extras, true)
+            .map_err(MigrationError::Transfer)?;
+    }
+    Ok(shipped)
+}
+
+/// Migrates one slot from `source` to `target`. Blocks the slot's writes
+/// only for the final handshake + 2PC (a few log round trips).
+pub fn migrate_slot(
+    source: &Shard,
+    target: &Shard,
+    slot: u16,
+) -> Result<(), MigrationError> {
+    let timeout = Duration::from_secs(10);
+    let src = source
+        .wait_for_primary(timeout)
+        .ok_or_else(|| MigrationError::Precondition("source shard has no primary".into()))?;
+    let dst = target
+        .wait_for_primary(timeout)
+        .ok_or_else(|| MigrationError::Precondition("target shard has no primary".into()))?;
+    if !src.owns_slot(slot) {
+        return Err(MigrationError::Precondition(format!(
+            "source does not own slot {slot}"
+        )));
+    }
+    if dst.owns_slot(slot) {
+        return Err(MigrationError::Precondition(format!(
+            "target already owns slot {slot}"
+        )));
+    }
+
+    // ---- Phase 1: data movement with live mirroring -----------------------
+    src.set_forward(slot, Some(Arc::clone(&dst)));
+    let moved = (|| -> Result<(), MigrationError> {
+        ship_slot(&src, &dst, slot)?;
+
+        // ---- Phase 2: ownership transfer ----------------------------------
+        // Block new writes and wait for in-progress writes to reach both
+        // transaction logs.
+        src.block_slot_local(slot, true);
+        if let Some(pending) = src.max_pending_write() {
+            if !src.ctx().log.wait_durable(pending, timeout) {
+                return Err(MigrationError::Transfer(
+                    "source writes did not drain".into(),
+                ));
+            }
+        }
+        // Final repair pass (covers effects the lenient mirror skipped),
+        // then the data-integrity handshake.
+        ship_slot(&src, &dst, slot)?;
+        let s_digest = src.slot_digest(slot);
+        let t_digest = dst.slot_digest(slot);
+        if s_digest != t_digest {
+            return Err(MigrationError::IntegrityMismatch {
+                source: s_digest,
+                target: t_digest,
+            });
+        }
+
+        // 2PC of durably committed messages.
+        src.commit_record(&Record::MigrationPrepare {
+            slot,
+            target: target.id,
+        })
+        .map_err(MigrationError::Transfer)?;
+        dst.commit_record(&Record::MigrationCommit {
+            slot,
+            source: source.id,
+        })
+        .map_err(MigrationError::Transfer)?;
+        src.commit_record(&Record::MigrationDone { slot })
+            .map_err(MigrationError::Transfer)?;
+        Ok(())
+    })();
+
+    src.set_forward(slot, None);
+    match moved {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            // Abandon: resume writes on the source, delete transferred data
+            // on the target (§5.2 "easily recovered from by simply
+            // abandoning the transfer operation").
+            let _ = src.commit_record(&Record::MigrationAbort { slot });
+            src.block_slot_local(slot, false);
+            let target_keys = dst.slot_keys(slot);
+            if !target_keys.is_empty() && !dst.owns_slot(slot) {
+                let dels: Vec<EffectCmd> = target_keys
+                    .into_iter()
+                    .map(|k| vec![Bytes::from_static(b"DEL"), k])
+                    .collect();
+                let _ = dst.ingest_effects(&dels, true);
+            }
+            Err(e)
+        }
+    }
+}
+
+/// Crash recovery for an interrupted migration (§5.2: "the progress of the
+/// 2PC is recorded in the transaction log; after a primary node failure the
+/// ownership transfer protocol can continue").
+///
+/// Consults both shards' durable state and drives the transfer to a
+/// consistent conclusion: if the target durably committed ownership, the
+/// source finishes with `MigrationDone`; otherwise the source aborts.
+pub fn resume_migration(
+    source: &Shard,
+    target: &Shard,
+    slot: u16,
+) -> Result<(), MigrationError> {
+    let timeout = Duration::from_secs(10);
+    let src = source
+        .wait_for_primary(timeout)
+        .ok_or_else(|| MigrationError::Precondition("source shard has no primary".into()))?;
+    let dst = target
+        .wait_for_primary(timeout)
+        .ok_or_else(|| MigrationError::Precondition("target shard has no primary".into()))?;
+
+    let target_owns = dst.owns_slot(slot);
+    let source_owns = src.owns_slot(slot);
+    match (source_owns, target_owns) {
+        (true, true) => {
+            // Commit happened; Done did not. Finish the protocol.
+            src.commit_record(&Record::MigrationDone { slot })
+                .map_err(MigrationError::Transfer)?;
+            Ok(())
+        }
+        (true, false) => {
+            // Prepare without Commit: abort and clean the target.
+            src.commit_record(&Record::MigrationAbort { slot })
+                .map_err(MigrationError::Transfer)?;
+            let dels: Vec<EffectCmd> = dst
+                .slot_keys(slot)
+                .into_iter()
+                .map(|k| vec![Bytes::from_static(b"DEL"), k])
+                .collect();
+            if !dels.is_empty() {
+                let _ = dst.ingest_effects(&dels, true);
+            }
+            Ok(())
+        }
+        (false, true) => Ok(()), // already complete
+        (false, false) => Err(MigrationError::Precondition(format!(
+            "slot {slot} owned by neither shard"
+        ))),
+    }
+}

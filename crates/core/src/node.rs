@@ -1,0 +1,962 @@
+//! A MemoryDB node: the in-memory engine wired to the transaction log.
+//!
+//! One [`Node`] is one database process. A primary executes commands,
+//! intercepts the engine's effect stream, appends it to the shard's
+//! transaction log, and **withholds replies until the log acknowledges
+//! durability** (paper §3.2). Replicas consume the committed log and serve
+//! sequentially consistent reads. Leader election runs purely against the
+//! log's conditional-append API with leases (§4.1); no cluster quorum is
+//! involved.
+
+use crate::apply::{apply_entry, fold_appended_payload, ReplicaState};
+use crate::bus::{BusRole, ClusterBus};
+use crate::config::ShardConfig;
+use crate::record::{NodeId, Record, ShardId};
+use crate::restore::{restore_replica, ReplayTarget, RestorePoint};
+use crate::snapshot::ShardSnapshot;
+use crate::tracker::Tracker;
+use bytes::Bytes;
+use memorydb_engine::command::command_spec;
+use memorydb_engine::exec::Role;
+use memorydb_engine::{keys_for, key_hash_slot, EffectCmd, Engine, Frame, SessionState};
+use memorydb_objectstore::ObjectStore;
+use memorydb_txlog::{AppendError, EntryId, LogService, ReadError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Everything a node needs to know about its shard's environment.
+pub struct ShardContext {
+    /// Shard identifier within the cluster.
+    pub shard_id: ShardId,
+    /// Human-readable shard name (object-store key prefix).
+    pub name: String,
+    /// The shard's transaction log.
+    pub log: Arc<LogService>,
+    /// The snapshot store (shared cluster-wide).
+    pub store: Arc<ObjectStore>,
+    /// The cluster bus (gossip).
+    pub bus: Arc<ClusterBus>,
+    /// Tunables.
+    pub cfg: ShardConfig,
+}
+
+impl std::fmt::Debug for ShardContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardContext")
+            .field("shard_id", &self.shard_id)
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+struct NodeState {
+    role: Role,
+    rs: ReplicaState,
+    tracker: Tracker,
+    /// Primary: my lease is valid until here; I stop serving at expiry.
+    lease_valid_until: Instant,
+    /// Primary: a renewal appended but not yet confirmed durable.
+    pending_renewal: Option<(EntryId, Instant)>,
+    /// Primary: when to append the next renewal.
+    next_renewal_at: Instant,
+    effects_since_probe: u64,
+    demote_requested: bool,
+    /// A rebuild (restore from snapshot+log) is in progress.
+    rebuilding: bool,
+    /// Migration forwarding: writes to these slots are mirrored to the
+    /// target shard's primary during the data-movement phase (§5.2).
+    forward: HashMap<u16, Arc<Node>>,
+}
+
+/// Wall-clock milliseconds (the engine clock source in the threaded
+/// runtime).
+pub fn wall_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .expect("clock after epoch")
+        .as_millis() as u64
+}
+
+/// A MemoryDB node (primary or replica).
+pub struct Node {
+    /// Globally unique node id (also its txlog client id).
+    pub id: NodeId,
+    ctx: Arc<ShardContext>,
+    engine: Mutex<Engine>,
+    st: Mutex<NodeState>,
+    alive: AtomicBool,
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("id", &self.id)
+            .field("role", &self.role())
+            .finish()
+    }
+}
+
+impl Node {
+    /// Starts a node from a restore point, spawning its run loop.
+    pub fn start(ctx: Arc<ShardContext>, id: NodeId, rp: RestorePoint) -> Arc<Node> {
+        let mut rs = rp.rs;
+        // A fresh node always starts as a replica (paper §4.2) and must
+        // wait out a full backoff before campaigning.
+        rs.last_leadership_signal = Instant::now();
+        let node = Arc::new(Node {
+            id,
+            ctx,
+            engine: Mutex::new(rp.engine),
+            st: Mutex::new(NodeState {
+                role: Role::Replica,
+                rs,
+                tracker: Tracker::new(),
+                lease_valid_until: Instant::now(),
+                pending_renewal: None,
+                next_renewal_at: Instant::now(),
+                effects_since_probe: 0,
+                demote_requested: false,
+                rebuilding: false,
+                forward: HashMap::new(),
+            }),
+            alive: AtomicBool::new(true),
+        });
+        let runner = Arc::clone(&node);
+        std::thread::Builder::new()
+            .name(format!("node-{id}"))
+            .spawn(move || runner.run_loop())
+            .expect("spawn node loop");
+        node
+    }
+
+    /// Starts a brand-new node that restores itself from the object store
+    /// and log (the path every recovering or scaling replica takes, §4.2.1).
+    pub fn start_restored(ctx: Arc<ShardContext>, id: NodeId) -> Result<Arc<Node>, crate::restore::RestoreError> {
+        Node::start_restored_with_version(ctx, id, memorydb_engine::EngineVersion::CURRENT)
+    }
+
+    /// Like [`Node::start_restored`] but pinning an engine version — used
+    /// to stage mixed-version clusters for the §7.1 upgrade-protection
+    /// scenarios.
+    pub fn start_restored_with_version(
+        ctx: Arc<ShardContext>,
+        id: NodeId,
+        version: memorydb_engine::EngineVersion,
+    ) -> Result<Arc<Node>, crate::restore::RestoreError> {
+        let mut rp = restore_replica(&ctx.store, &ctx.log, id, &ctx.name, version, ReplayTarget::Tail)?;
+        // restore_replica builds the engine at `version` already; assert the
+        // invariant here so a future refactor cannot silently drop it.
+        debug_assert_eq!(rp.engine.version(), version);
+        rp.engine.set_role(Role::Replica);
+        Ok(Node::start(ctx, id, rp))
+    }
+
+    /// Current role.
+    pub fn role(&self) -> Role {
+        self.st.lock().role
+    }
+
+    /// Is this node the shard primary with a currently valid lease?
+    pub fn is_active_primary(&self) -> bool {
+        let st = self.st.lock();
+        st.role == Role::Primary && Instant::now() < st.lease_valid_until && !st.rebuilding
+    }
+
+    /// Last applied (or appended) log position.
+    pub fn applied(&self) -> EntryId {
+        self.st.lock().rs.applied
+    }
+
+    /// Current leadership epoch.
+    pub fn epoch(&self) -> u64 {
+        self.st.lock().rs.epoch
+    }
+
+    /// Why this node stopped consuming the log, if it did.
+    pub fn halted(&self) -> Option<crate::apply::HaltReason> {
+        self.st.lock().rs.halted.clone()
+    }
+
+    /// Number of keys currently dirtied by unpersisted writes.
+    pub fn pending_writes(&self) -> usize {
+        self.st.lock().tracker.pending_keys()
+    }
+
+    /// The shard context (tests & controllers).
+    pub fn ctx(&self) -> &Arc<ShardContext> {
+        &self.ctx
+    }
+
+    /// Simulates a hard crash: the run loop exits, the node stops serving.
+    pub fn crash(&self) {
+        self.alive.store(false, Ordering::SeqCst);
+        self.ctx.bus.remove(self.id);
+    }
+
+    /// Is the node alive (not crashed)?
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    /// Requests voluntary demotion (used by tests and scaling).
+    pub fn request_demotion(&self) {
+        self.st.lock().demote_requested = true;
+    }
+
+    /// Collaborative leadership transfer (§5.2): the primary appends a
+    /// lease release, letting observers campaign immediately, then demotes.
+    /// Returns whether the release was durably recorded.
+    pub fn release_leadership(&self) -> bool {
+        let (id, payload) = {
+            let mut st = self.st.lock();
+            if st.role != Role::Primary {
+                return false;
+            }
+            let rec = Record::LeaseRelease {
+                node: self.id,
+                epoch: st.rs.epoch,
+            };
+            let payload = rec.encode();
+            match self
+                .ctx
+                .log
+                .append_after(self.id, st.rs.applied, payload.clone())
+            {
+                Ok(id) => {
+                    fold_appended_payload(&mut st.rs, id, &payload, false);
+                    (id, payload)
+                }
+                Err(_) => return false,
+            }
+        };
+        let _ = payload;
+        let ok = self.ctx.log.wait_durable(id, self.ctx.cfg.commit_timeout);
+        self.st.lock().demote_requested = true;
+        ok
+    }
+
+    // ---------------------------------------------------------------------
+    // Client command path
+    // ---------------------------------------------------------------------
+
+    /// Executes one client command against this node, blocking until the
+    /// reply may be released (commit for writes; hazard commit for reads).
+    pub fn handle(&self, session: &mut SessionState, args: &[Bytes]) -> Frame {
+        if args.is_empty() {
+            return Frame::error("empty command");
+        }
+        let name = String::from_utf8_lossy(&args[0]).to_ascii_uppercase();
+
+        // WAIT: every acknowledged write is already durable across AZs, so
+        // WAIT trivially satisfies any replica count; reply with the number
+        // of gossiping replicas, like MemoryDB.
+        if name == "WAIT" {
+            return Frame::Integer(self.ctx.bus.replica_count(self.ctx.shard_id) as i64);
+        }
+
+        // INFO at the node level: the engine only knows its keyspace; the
+        // replication/cluster sections live here.
+        if name == "INFO" {
+            return self.info_reply();
+        }
+
+        let keys = keys_for(args);
+
+        let mut engine = self.engine.lock();
+        let mut st = self.st.lock();
+
+        if st.rebuilding {
+            return Frame::Error("CLUSTERDOWN node is syncing from the transaction log".into());
+        }
+        if let Some(halt) = &st.rs.halted {
+            return Frame::Error(format!("CLUSTERDOWN replication halted: {halt}"));
+        }
+
+        let is_write = command_spec(&name).is_some_and(|s| s.flags.write);
+        match st.role {
+            Role::Primary => {
+                // §4.1.3: a primary that cannot keep its lease voluntarily
+                // stops servicing reads and writes.
+                if Instant::now() >= st.lease_valid_until {
+                    return Frame::Error(
+                        "CLUSTERDOWN leadership lease expired; demoting".into(),
+                    );
+                }
+            }
+            Role::Replica => {
+                if is_write {
+                    return Frame::Error(format!(
+                        "MOVED {} shard-{}",
+                        keys.as_ref()
+                            .and_then(|k| k.first())
+                            .map(|k| key_hash_slot(k))
+                            .unwrap_or(0),
+                        self.ctx.shard_id
+                    ));
+                }
+            }
+        }
+
+        // Cluster slot checks.
+        let mut cmd_slot: Option<u16> = None;
+        if let Some(keys) = &keys {
+            for key in keys {
+                let slot = key_hash_slot(key);
+                match cmd_slot {
+                    None => cmd_slot = Some(slot),
+                    Some(s) if s != slot => {
+                        return Frame::Error(
+                            "CROSSSLOT Keys in request don't hash to the same slot".into(),
+                        )
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(slot) = cmd_slot {
+                if !st.rs.owned_slots.contains(slot) {
+                    return Frame::Error(format!("MOVED {slot} ?"));
+                }
+                if is_write && st.rs.blocked_slots.contains(&slot) {
+                    return Frame::Error(
+                        "TRYAGAIN slot ownership transfer in progress".into(),
+                    );
+                }
+            }
+        }
+
+        engine.set_time_ms(wall_ms());
+        let outcome = engine.execute(session, args);
+
+        if outcome.effects.is_empty() {
+            // Read (or no-op write): key-level hazard check (§3.2). EXEC has
+            // no keys of its own; be conservative and use the max pending.
+            let hazard = match &keys {
+                Some(ks) if name != "EXEC" => st.tracker.hazard_for(ks.iter()),
+                _ if name == "EXEC" || name == "FLUSHALL" || name == "FLUSHDB" => {
+                    st.tracker.max_pending()
+                }
+                _ => None,
+            };
+            drop(st);
+            drop(engine);
+            if let Some(h) = hazard {
+                if !self.ctx.log.wait_durable(h, self.ctx.cfg.commit_timeout) {
+                    self.st.lock().demote_requested = true;
+                    return Frame::Error(
+                        "CLUSTERDOWN timed out waiting for hazard commit".into(),
+                    );
+                }
+                let committed = self.ctx.log.committed_tail();
+                self.st.lock().tracker.advance_committed(committed);
+            }
+            return outcome.reply;
+        }
+
+        // Mutation: write-behind log append while still holding the engine
+        // lock, so log order equals execution order (§3.2).
+        debug_assert_eq!(st.role, Role::Primary, "replicas never produce effects");
+        let record = Record::Effects {
+            version: engine.version(),
+            effects: outcome.effects.clone(),
+        };
+        let payload = record.encode();
+        let append = self
+            .ctx
+            .log
+            .append_after(self.id, st.rs.applied, payload.clone());
+        let entry_id = match append {
+            Ok(id) => {
+                fold_appended_payload(&mut st.rs, id, &payload, false);
+                st.tracker.stage(id, &outcome.dirty);
+                st.effects_since_probe += 1;
+                if st.effects_since_probe >= self.ctx.cfg.checksum_probe_every {
+                    st.effects_since_probe = 0;
+                    let probe = Record::ChecksumProbe {
+                        crc: st.rs.running_crc,
+                    }
+                    .encode();
+                    if let Ok(pid) =
+                        self.ctx.log.append_after(self.id, st.rs.applied, probe.clone())
+                    {
+                        fold_appended_payload(&mut st.rs, pid, &probe, true);
+                    }
+                }
+                id
+            }
+            Err(e) => {
+                // Fenced (a new leader exists) or partitioned: the mutation
+                // must not be acknowledged; demote and resync (§3.2).
+                st.demote_requested = true;
+                drop(st);
+                drop(engine);
+                return Frame::Error(format!(
+                    "CLUSTERDOWN cannot commit to transaction log ({e}); demoting"
+                ));
+            }
+        };
+
+        // Mirror to a migration target if this slot is being moved (§5.2).
+        // Sent while holding the engine lock so the target observes effects
+        // in execution order.
+        if let Some(slot) = cmd_slot {
+            if let Some(target) = st.forward.get(&slot).cloned() {
+                let _ = target.ingest_effects(&outcome.effects, true);
+            }
+        }
+
+        drop(st);
+        drop(engine);
+
+        // Block the reply until the log acknowledges persistence (§3.2).
+        if self.ctx.log.wait_durable(entry_id, self.ctx.cfg.commit_timeout) {
+            let committed = self.ctx.log.committed_tail();
+            self.st.lock().tracker.advance_committed(committed);
+            outcome.reply
+        } else {
+            self.st.lock().demote_requested = true;
+            Frame::Error("CLUSTERDOWN write could not be committed durably; demoting".into())
+        }
+    }
+
+    /// Builds the `INFO` reply: engine keyspace stats plus the node's
+    /// replication and durability state.
+    fn info_reply(&self) -> Frame {
+        let engine = self.engine.lock();
+        let st = self.st.lock();
+        let role = match st.role {
+            Role::Primary => "master",
+            Role::Replica => "slave",
+        };
+        let lease_remaining_ms = if st.role == Role::Primary {
+            st.lease_valid_until
+                .saturating_duration_since(Instant::now())
+                .as_millis() as i64
+        } else {
+            -1
+        };
+        let text = format!(
+            "# Server\r\nredis_version:{version}\r\nengine:memorydb-repro\r\nnode_id:{id}\r\n\
+             # Replication\r\nrole:{role}\r\nleader_epoch:{epoch}\r\nknown_leader:{leader}\r\n\
+             applied_log_entry:{applied}\r\ncommitted_log_tail:{committed}\r\n\
+             lease_remaining_ms:{lease_remaining_ms}\r\npending_unacked_keys:{pending}\r\n\
+             halted:{halted}\r\n\
+             # Cluster\r\nshard_id:{shard}\r\nowned_slots:{slots}\r\nconnected_replicas:{replicas}\r\n\
+             # Keyspace\r\ndb0:keys={keys}\r\n\
+             # Memory\r\nused_memory:{mem}\r\n",
+            version = engine.version(),
+            id = self.id,
+            role = role,
+            epoch = st.rs.epoch,
+            leader = st.rs.leader.map(|l| l.to_string()).unwrap_or_else(|| "?".into()),
+            applied = st.rs.applied.0,
+            committed = self.ctx.log.committed_tail().0,
+            lease_remaining_ms = lease_remaining_ms,
+            pending = st.tracker.pending_keys(),
+            halted = st.rs.halted.as_ref().map(|h| h.to_string()).unwrap_or_else(|| "no".into()),
+            shard = self.ctx.shard_id,
+            slots = st.rs.owned_slots.len(),
+            replicas = self.ctx.bus.replica_count(self.ctx.shard_id),
+            keys = engine.db.len(),
+            mem = engine.db.used_memory(),
+        );
+        Frame::Bulk(Bytes::from(text))
+    }
+
+    // ---------------------------------------------------------------------
+    // Migration support (used by the migration controller, §5.2)
+    // ---------------------------------------------------------------------
+
+    /// Applies a batch of effect commands *as a primary* and logs the
+    /// realized effects as one atomic record. With `lenient`, individual
+    /// command errors are skipped (data-movement forwarding may race the
+    /// key snapshot; the final `RESTORE` and the integrity handshake make
+    /// the end state exact). Returns the appended entry (or the current
+    /// position when nothing was logged).
+    pub fn ingest_effects(&self, cmds: &[EffectCmd], lenient: bool) -> Result<EntryId, String> {
+        let mut engine = self.engine.lock();
+        let mut st = self.st.lock();
+        if st.role != Role::Primary {
+            return Err("not the primary".into());
+        }
+        engine.set_time_ms(wall_ms());
+        let mut effects: Vec<EffectCmd> = Vec::new();
+        let mut dirty = memorydb_engine::DirtySet::None;
+        let mut session = SessionState::new();
+        for cmd in cmds {
+            let out = engine.execute(&mut session, cmd);
+            if out.reply.is_error() && !lenient {
+                return Err(format!("effect {cmd:?} failed: {:?}", out.reply));
+            }
+            effects.extend(out.effects);
+            dirty.merge(out.dirty);
+        }
+        if effects.is_empty() {
+            return Ok(st.rs.applied);
+        }
+        let record = Record::Effects {
+            version: engine.version(),
+            effects,
+        };
+        let payload = record.encode();
+        match self
+            .ctx
+            .log
+            .append_after(self.id, st.rs.applied, payload.clone())
+        {
+            Ok(id) => {
+                fold_appended_payload(&mut st.rs, id, &payload, false);
+                st.tracker.stage(id, &dirty);
+                Ok(id)
+            }
+            Err(e) => {
+                st.demote_requested = true;
+                Err(format!("log append failed: {e}"))
+            }
+        }
+    }
+
+    /// Durably appends a control record (migration 2PC messages). Blocks
+    /// until committed. The record's semantics are also applied to this
+    /// primary's own state (primaries do not consume their own log).
+    pub fn commit_record(&self, record: &Record) -> Result<EntryId, String> {
+        let id = {
+            let mut engine = self.engine.lock();
+            let mut st = self.st.lock();
+            if st.role != Role::Primary {
+                return Err("not the primary".into());
+            }
+            let payload = record.encode();
+            match self
+                .ctx
+                .log
+                .append_after(self.id, st.rs.applied, payload.clone())
+            {
+                Ok(id) => {
+                    fold_appended_payload(&mut st.rs, id, &payload, false);
+                    // Mirror the consumer-side semantics locally.
+                    match record {
+                        Record::MigrationPrepare { slot, .. } => {
+                            st.rs.blocked_slots.insert(*slot);
+                        }
+                        Record::MigrationCommit { slot, .. } => {
+                            st.rs.owned_slots.insert(*slot);
+                        }
+                        Record::MigrationDone { slot } => {
+                            st.rs.blocked_slots.remove(slot);
+                            st.rs.owned_slots.remove(*slot);
+                            engine.db.delete_slot(*slot);
+                        }
+                        Record::MigrationAbort { slot } => {
+                            st.rs.blocked_slots.remove(slot);
+                        }
+                        Record::SlotOwnership { ranges } => {
+                            st.rs.owned_slots = crate::slotset::SlotSet::from_ranges(ranges);
+                        }
+                        _ => {}
+                    }
+                    id
+                }
+                Err(e) => {
+                    st.demote_requested = true;
+                    return Err(format!("log append failed: {e}"));
+                }
+            }
+        };
+        if self.ctx.log.wait_durable(id, self.ctx.cfg.commit_timeout) {
+            Ok(id)
+        } else {
+            self.st.lock().demote_requested = true;
+            Err("control record did not commit".into())
+        }
+    }
+
+    /// Serializes every key in `slot` (with expiry) for transfer.
+    pub fn serialize_slot(&self, slot: u16) -> Vec<(Bytes, Vec<u8>)> {
+        let engine = self.engine.lock();
+        let mut out = Vec::new();
+        for key in engine.db.keys_in_slot(slot) {
+            // Serialize physical state including logically-expired entries;
+            // the target inherits the same expiry.
+            if let Some((value, expiry)) = engine
+                .db
+                .lookup(&key, 0)
+                .map(|v| (v.clone(), engine.db.expiry(&key)))
+            {
+                out.push((
+                    key,
+                    memorydb_engine::rdb::serialize_entry(&value, expiry),
+                ));
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Keys currently stored in a slot.
+    pub fn slot_keys(&self, slot: u16) -> Vec<Bytes> {
+        self.engine.lock().db.keys_in_slot(slot)
+    }
+
+    /// Digest of a slot's content for the §5.2 integrity handshake.
+    pub fn slot_digest(&self, slot: u16) -> (usize, u64) {
+        let entries = self.serialize_slot(slot);
+        let mut crc = memorydb_engine::rdb::Crc64::new();
+        for (key, blob) in &entries {
+            crc.update(key);
+            crc.update(blob);
+        }
+        (entries.len(), crc.digest())
+    }
+
+    /// Starts/stops mirroring writes for a slot to a migration target.
+    pub fn set_forward(&self, slot: u16, target: Option<Arc<Node>>) {
+        let mut st = self.st.lock();
+        match target {
+            Some(t) => {
+                st.forward.insert(slot, t);
+            }
+            None => {
+                st.forward.remove(&slot);
+            }
+        }
+    }
+
+    /// Locally blocks writes to a slot ahead of the durable
+    /// `MigrationPrepare` record (the source primary's immediate gate).
+    pub fn block_slot_local(&self, slot: u16, blocked: bool) {
+        let mut st = self.st.lock();
+        if blocked {
+            st.rs.blocked_slots.insert(slot);
+        } else {
+            st.rs.blocked_slots.remove(&slot);
+        }
+    }
+
+    /// The highest staged-but-unacked write, to drain before ownership
+    /// transfer.
+    pub fn max_pending_write(&self) -> Option<EntryId> {
+        self.st.lock().tracker.max_pending()
+    }
+
+    /// Does this node currently own `slot`?
+    pub fn owns_slot(&self, slot: u16) -> bool {
+        self.st.lock().rs.owned_slots.contains(slot)
+    }
+
+    /// Owned slots as ranges (CLUSTER SLOTS-style).
+    pub fn owned_ranges(&self) -> Vec<(u16, u16)> {
+        self.st.lock().rs.owned_slots.to_ranges()
+    }
+
+    // ---------------------------------------------------------------------
+    // Snapshots
+    // ---------------------------------------------------------------------
+
+    /// Captures a snapshot of this node's current state (used by tests and
+    /// by on-box snapshotting comparisons; production-path snapshots are
+    /// taken off-box, see `offbox.rs`).
+    pub fn capture_snapshot(&self) -> ShardSnapshot {
+        let engine = self.engine.lock();
+        let st = self.st.lock();
+        ShardSnapshot::capture(
+            &engine.db,
+            st.rs.applied,
+            st.rs.running_crc,
+            engine.version(),
+            st.rs.epoch,
+            st.rs.owned_slots.to_ranges(),
+            st.rs.blocked_slots.iter().copied().collect(),
+        )
+    }
+
+    /// Approximate dataset size in bytes (snapshot scheduling input).
+    pub fn dataset_bytes(&self) -> usize {
+        self.engine.lock().db.used_memory()
+    }
+
+    /// Number of keys stored.
+    pub fn key_count(&self) -> usize {
+        self.engine.lock().db.len()
+    }
+
+    // ---------------------------------------------------------------------
+    // Run loop: replication, election, lease maintenance
+    // ---------------------------------------------------------------------
+
+    fn run_loop(self: Arc<Node>) {
+        while self.alive.load(Ordering::SeqCst) {
+            let role = {
+                let st = self.st.lock();
+                st.role
+            };
+            match role {
+                Role::Replica => self.replica_step(),
+                Role::Primary => self.primary_step(),
+            }
+            let role_now = self.st.lock().role;
+            self.ctx.bus.heartbeat(
+                self.id,
+                self.ctx.shard_id,
+                match role_now {
+                    Role::Primary => BusRole::Primary,
+                    Role::Replica => BusRole::Replica,
+                },
+            );
+        }
+        self.ctx.bus.remove(self.id);
+    }
+
+    fn replica_step(&self) {
+        let cfg = &self.ctx.cfg;
+        let (applied, halted) = {
+            let st = self.st.lock();
+            (st.rs.applied, st.rs.halted.is_some())
+        };
+
+        if halted {
+            // Upgrade-stalled or corrupt: stay passive (§7.1).
+            std::thread::sleep(cfg.tick);
+            return;
+        }
+
+        match self
+            .ctx
+            .log
+            .wait_for_entries(self.id, applied, 256, cfg.tick)
+        {
+            Ok(entries) if !entries.is_empty() => {
+                let mut engine = self.engine.lock();
+                let mut st = self.st.lock();
+                engine.set_time_ms(wall_ms());
+                let version = engine.version();
+                for entry in &entries {
+                    if entry.id != st.rs.applied.next() {
+                        break; // raced with a state swap; re-read next tick
+                    }
+                    if apply_entry(&mut engine, &mut st.rs, entry, version).is_err() {
+                        break;
+                    }
+                }
+            }
+            Ok(_) => {}
+            Err(ReadError::Trimmed { .. }) => {
+                // Fell behind a trim: restore from snapshot + log (§4.2.1).
+                self.rebuild();
+                return;
+            }
+            Err(ReadError::Partitioned) => {
+                std::thread::sleep(cfg.tick);
+            }
+        }
+
+        // Election check (§4.1.3): campaign when no leadership signal has
+        // been observed for a full backoff (strictly greater than the
+        // lease), or immediately after a voluntary release.
+        let now = Instant::now();
+        let campaign = {
+            let st = self.st.lock();
+            st.rs.halted.is_none()
+                && (st.rs.release_observed
+                    || now.duration_since(st.rs.last_leadership_signal) >= cfg.backoff)
+        };
+        if campaign {
+            self.try_campaign();
+        }
+    }
+
+    fn try_campaign(&self) {
+        let cfg = &self.ctx.cfg;
+        let (claim_at, epoch, payload) = {
+            let st = self.st.lock();
+            let epoch = st.rs.epoch + 1;
+            let rec = Record::LeaderClaim {
+                node: self.id,
+                epoch,
+                lease_ms: cfg.lease.as_millis() as u64,
+            };
+            (st.rs.applied, epoch, rec.encode())
+        };
+        let t0 = Instant::now();
+        match self.ctx.log.append_after(self.id, claim_at, payload.clone()) {
+            Ok(id) => {
+                // Serve only after the claim itself is durable.
+                if self.ctx.log.wait_durable(id, cfg.commit_timeout) {
+                    let mut engine = self.engine.lock();
+                    let mut st = self.st.lock();
+                    // The append succeeded at our applied tail, so we had
+                    // observed every committed update — the §4.1.2
+                    // consistent-failover guarantee.
+                    fold_appended_payload(&mut st.rs, id, &payload, false);
+                    st.rs.epoch = epoch;
+                    st.rs.leader = Some(self.id);
+                    st.rs.release_observed = false;
+                    st.rs.last_leadership_signal = Instant::now();
+                    st.role = Role::Primary;
+                    engine.set_role(Role::Primary);
+                    st.lease_valid_until = t0 + cfg.lease;
+                    st.next_renewal_at = t0 + cfg.renew_interval;
+                    st.pending_renewal = None;
+                    st.tracker.reset();
+                    st.tracker.advance_committed(id);
+                    st.demote_requested = false;
+                    drop(st);
+                    drop(engine);
+                    self.ctx
+                        .bus
+                        .heartbeat(self.id, self.ctx.shard_id, BusRole::Primary);
+                }
+                // If the claim did not commit in time we stay a replica;
+                // the replication loop will apply our own claim entry when
+                // it eventually commits and backoff restarts from there.
+            }
+            Err(AppendError::Conflict { .. }) => {
+                // Not fully caught up, or another replica won: keep
+                // consuming (§4.1.2 — only caught-up replicas can win).
+            }
+            Err(AppendError::Partitioned) => {}
+        }
+    }
+
+    /// One active-expire pass (Redis's background expiration, §2.1): the
+    /// primary reaps expired keys and replicates explicit `DEL`s so
+    /// replicas converge without consulting their own clocks.
+    fn active_expire(&self) {
+        let mut engine = self.engine.lock();
+        let mut st = self.st.lock();
+        if st.role != Role::Primary || st.rebuilding {
+            return;
+        }
+        engine.set_time_ms(wall_ms());
+        let effects = engine.active_expire_cycle(64);
+        if effects.is_empty() {
+            return;
+        }
+        let dirty = memorydb_engine::DirtySet::Keys(
+            effects.iter().filter_map(|e| e.get(1).cloned()).collect(),
+        );
+        let record = Record::Effects {
+            version: engine.version(),
+            effects,
+        };
+        let payload = record.encode();
+        if let Ok(id) = self
+            .ctx
+            .log
+            .append_after(self.id, st.rs.applied, payload.clone())
+        {
+            fold_appended_payload(&mut st.rs, id, &payload, false);
+            st.tracker.stage(id, &dirty);
+        } else {
+            st.demote_requested = true;
+        }
+    }
+
+    fn primary_step(&self) {
+        let cfg = &self.ctx.cfg;
+        self.active_expire();
+        let now = Instant::now();
+        let mut demote = false;
+        {
+            let mut st = self.st.lock();
+            // Confirm a pending renewal's durability: the lease extends
+            // from the moment the renewal was *sent*, and only once the
+            // log has committed it.
+            if let Some((id, sent_at)) = st.pending_renewal {
+                if self.ctx.log.is_durable(id) {
+                    st.lease_valid_until = sent_at + cfg.lease;
+                    st.pending_renewal = None;
+                }
+            }
+            // Append a renewal when due.
+            if st.pending_renewal.is_none() && now >= st.next_renewal_at {
+                let rec = Record::LeaseRenewal {
+                    node: self.id,
+                    epoch: st.rs.epoch,
+                    lease_ms: cfg.lease.as_millis() as u64,
+                };
+                let payload = rec.encode();
+                match self
+                    .ctx
+                    .log
+                    .append_after(self.id, st.rs.applied, payload.clone())
+                {
+                    Ok(id) => {
+                        fold_appended_payload(&mut st.rs, id, &payload, false);
+                        st.pending_renewal = Some((id, now));
+                        st.next_renewal_at = now + cfg.renew_interval;
+                    }
+                    Err(AppendError::Conflict { .. }) => {
+                        // Fenced: someone else appended to our log — a new
+                        // leader exists. Demote immediately.
+                        demote = true;
+                    }
+                    Err(AppendError::Partitioned) => {
+                        // Keep trying until the lease runs out.
+                        st.next_renewal_at = now + cfg.tick;
+                    }
+                }
+            }
+            if st.demote_requested || now >= st.lease_valid_until {
+                demote = true;
+            }
+            if !demote {
+                st.tracker.advance_committed(self.ctx.log.committed_tail());
+            }
+        }
+        if demote {
+            self.rebuild();
+        } else {
+            std::thread::sleep(cfg.tick);
+        }
+    }
+
+    /// Demotes to replica by rebuilding local state from the snapshot store
+    /// plus the transaction log. A demoted primary may hold executed-but-
+    /// uncommitted mutations; those must not stay visible (§3.2), and a full
+    /// restore discards exactly them.
+    fn rebuild(&self) {
+        {
+            let mut st = self.st.lock();
+            st.rebuilding = true;
+            st.role = Role::Replica;
+            st.pending_renewal = None;
+            st.demote_requested = false;
+            st.forward.clear();
+        }
+        self.ctx
+            .bus
+            .heartbeat(self.id, self.ctx.shard_id, BusRole::Replica);
+        while self.alive.load(Ordering::SeqCst) {
+            let version = self.engine.lock().version();
+            match restore_replica(
+                &self.ctx.store,
+                &self.ctx.log,
+                self.id,
+                &self.ctx.name,
+                version,
+                ReplayTarget::Tail,
+            ) {
+                Ok(rp) => {
+                    let mut engine = self.engine.lock();
+                    let mut st = self.st.lock();
+                    *engine = rp.engine;
+                    st.rs = rp.rs;
+                    st.rs.last_leadership_signal = Instant::now();
+                    // A demoted primary defers to the other replicas even if
+                    // it observed its own lease release during replay.
+                    st.rs.release_observed = false;
+                    st.tracker.reset();
+                    st.rebuilding = false;
+                    return;
+                }
+                Err(_) => {
+                    // Likely partitioned from the log/store; retry.
+                    std::thread::sleep(self.ctx.cfg.tick.max(Duration::from_millis(10)));
+                }
+            }
+        }
+    }
+}

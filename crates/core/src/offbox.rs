@@ -1,0 +1,125 @@
+//! Off-box snapshotting and snapshot verification (paper §4.2.2, §7.2.1).
+//!
+//! Snapshots are never taken on customer nodes: an ephemeral **shadow
+//! replica** — sharing only the durable data sources (object store and
+//! transaction log) with the customer cluster — restores the latest
+//! snapshot, replays the log to a tail position recorded at creation time,
+//! and dumps a fresh snapshot. Because it is not part of the cluster, it
+//! steals no CPU, no memory headroom, and no replica read capacity from
+//! customer traffic (the Figure 7 result).
+//!
+//! Every new snapshot is **verified before it is made available**: the
+//! shadow replica recomputes the running checksum while replaying and
+//! cross-checks it against the checksum probes the primary injects into the
+//! log; the produced blob is then decoded and integrity-checked end to end
+//! (§7.2.1's "rehearse restoring it").
+
+use crate::node::ShardContext;
+use crate::restore::{restore_replica, ReplayTarget, RestoreError};
+use crate::snapshot::ShardSnapshot;
+use memorydb_engine::EngineVersion;
+use memorydb_txlog::EntryId;
+use std::sync::Arc;
+
+/// Errors from an off-box snapshot run.
+#[derive(Debug)]
+pub enum OffboxError {
+    /// Restoring the shadow replica failed (incl. checksum-probe mismatch
+    /// during replay — the §7.2.1 verification failing).
+    Restore(RestoreError),
+    /// The freshly produced snapshot failed its own verification rehearsal.
+    Verification(String),
+}
+
+impl std::fmt::Display for OffboxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OffboxError::Restore(e) => write!(f, "off-box restore failed: {e}"),
+            OffboxError::Verification(e) => write!(f, "snapshot verification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OffboxError {}
+
+/// The off-box snapshotter: an ephemeral worker bound to one shard's
+/// durable data sources.
+pub struct OffboxSnapshotter {
+    ctx: Arc<ShardContext>,
+    /// Engine version the shadow replica runs. During rolling upgrades the
+    /// control plane pins this to the OLDEST version in the cluster so
+    /// old-engine nodes can still be re-seeded from the result (§7.1).
+    version: EngineVersion,
+    /// Txlog client id of the shadow replica.
+    client_id: u64,
+}
+
+impl OffboxSnapshotter {
+    /// Creates a snapshotter for a shard.
+    pub fn new(ctx: Arc<ShardContext>, version: EngineVersion, client_id: u64) -> OffboxSnapshotter {
+        OffboxSnapshotter {
+            ctx,
+            version,
+            client_id,
+        }
+    }
+
+    /// Runs one off-box snapshot cycle and returns the new snapshot's store
+    /// key and covered position. `trim_log` additionally trims the log
+    /// prefix the verified snapshot now covers (§4.2.3).
+    pub fn create_snapshot(&self, trim_log: bool) -> Result<(String, EntryId), OffboxError> {
+        // (1) Record the tail at creation time, restore to exactly there —
+        // a static data view guaranteed fresher than any previous snapshot.
+        let tail = self.ctx.log.committed_tail();
+        let rp = restore_replica(
+            &self.ctx.store,
+            &self.ctx.log,
+            self.client_id,
+            &self.ctx.name,
+            self.version,
+            ReplayTarget::Exactly(tail),
+        )
+        .map_err(OffboxError::Restore)?;
+
+        // (2) Dump the view into a new snapshot.
+        let snapshot = ShardSnapshot::capture(
+            &rp.engine.db,
+            rp.rs.applied,
+            rp.rs.running_crc,
+            self.version,
+            rp.rs.epoch,
+            rp.rs.owned_slots.to_ranges(),
+            rp.rs.blocked_slots.iter().copied().collect(),
+        );
+
+        // (3) Verification rehearsal before publication (§7.2.1): decode the
+        // blob, check both checksums, reload the keyspace.
+        let blob = snapshot.encode();
+        let reparsed = ShardSnapshot::decode(&blob)
+            .map_err(|e| OffboxError::Verification(e.to_string()))?;
+        let db = reparsed
+            .load_db()
+            .map_err(|e| OffboxError::Verification(e.to_string()))?;
+        if db.len() != rp.engine.db.len() {
+            return Err(OffboxError::Verification(format!(
+                "rehearsal keyspace size mismatch: {} vs {}",
+                db.len(),
+                rp.engine.db.len()
+            )));
+        }
+        if reparsed.running_crc != rp.rs.running_crc {
+            return Err(OffboxError::Verification(
+                "rehearsal running checksum mismatch".into(),
+            ));
+        }
+
+        // Only successfully verified snapshots are made available.
+        let key = ShardSnapshot::store_key(&self.ctx.name, snapshot.covered);
+        self.ctx.store.put(&key, blob);
+
+        if trim_log {
+            self.ctx.log.trim_prefix(snapshot.covered);
+        }
+        Ok((key, snapshot.covered))
+    }
+}

@@ -1,0 +1,158 @@
+//! Data restoration (paper §4.2.1).
+//!
+//! Restoring is local to the restoring replica: fetch the latest verified
+//! snapshot from the object store, then replay the transaction log suffix —
+//! never talking to healthy peers, so any number of replicas can restore in
+//! parallel without a centralized bottleneck.
+
+use crate::apply::{apply_entry, HaltReason, ReplicaState};
+use crate::slotset::SlotSet;
+use crate::snapshot::ShardSnapshot;
+use memorydb_engine::exec::Role;
+use memorydb_engine::{Engine, EngineVersion};
+use memorydb_objectstore::ObjectStore;
+use memorydb_txlog::{ClientId, EntryId, LogService, ReadError};
+use std::time::Instant;
+
+/// A fully restored replica image: engine + log-derived state, positioned
+/// at `rs.applied`.
+pub struct RestorePoint {
+    /// The restored execution engine (in replica role).
+    pub engine: Engine,
+    /// Log-derived state at the restore position.
+    pub rs: ReplicaState,
+}
+
+/// Errors during restoration.
+#[derive(Debug)]
+pub enum RestoreError {
+    /// The snapshot blob failed integrity or structural checks.
+    Snapshot(crate::snapshot::SnapshotError),
+    /// The log suffix needed is unavailable (trimmed without a covering
+    /// snapshot, or the client is partitioned).
+    Log(ReadError),
+    /// Replay halted (checksum mismatch / upgrade stall / broken effect).
+    Halted(HaltReason),
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::Snapshot(e) => write!(f, "restore failed on snapshot: {e}"),
+            RestoreError::Log(e) => write!(f, "restore failed on log: {e}"),
+            RestoreError::Halted(e) => write!(f, "restore halted: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// How far to replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayTarget {
+    /// Replay to whatever the committed tail is when replay catches up.
+    Tail,
+    /// Replay up to exactly this entry and stop — the off-box snapshotter's
+    /// static data view (§4.2.2).
+    Exactly(EntryId),
+}
+
+/// Restores a replica image for `shard_name` from the object store plus the
+/// transaction log.
+///
+/// With `ReplayTarget::Tail` the returned state is caught up to the
+/// committed tail at return time; the caller's replication loop continues
+/// from there.
+pub fn restore_replica(
+    store: &ObjectStore,
+    log: &LogService,
+    client: ClientId,
+    shard_name: &str,
+    my_version: EngineVersion,
+    target: ReplayTarget,
+) -> Result<RestorePoint, RestoreError> {
+    let mut engine = Engine::with_version(Role::Replica, my_version);
+    let mut rs = ReplicaState::new();
+
+    // Step 1: newest snapshot, if any (§4.2.1 "loads a recent point-in-time
+    // snapshot").
+    if let Some(snap) = ShardSnapshot::fetch_latest(store, shard_name).map_err(RestoreError::Snapshot)? {
+        let db = snap.load_db().map_err(RestoreError::Snapshot)?;
+        engine.db = db;
+        rs.applied = snap.covered;
+        rs.running_crc = snap.running_crc;
+        rs.epoch = snap.epoch;
+        rs.owned_slots = SlotSet::from_ranges(&snap.slot_ranges);
+        rs.blocked_slots = snap.blocked_slots.iter().copied().collect();
+    }
+
+    // Step 2: replay the log suffix ("replays subsequent transactions").
+    'replay: loop {
+        let upper = match target {
+            ReplayTarget::Tail => None,
+            ReplayTarget::Exactly(id) => Some(id),
+        };
+        if let Some(limit) = upper {
+            if rs.applied >= limit {
+                break;
+            }
+        }
+        let batch = log
+            .read_committed_from(client, rs.applied, 512)
+            .map_err(RestoreError::Log)?;
+        if batch.is_empty() {
+            match target {
+                ReplayTarget::Tail => break,
+                ReplayTarget::Exactly(limit) => {
+                    // The target entry must commit eventually; wait for it.
+                    let more = log
+                        .wait_for_entries(client, rs.applied, 512, std::time::Duration::from_millis(100))
+                        .map_err(RestoreError::Log)?;
+                    if more.is_empty() && rs.applied < limit {
+                        continue;
+                    }
+                    if !apply_batch(&mut engine, &mut rs, &more, my_version, Some(limit))? {
+                        break 'replay;
+                    }
+                    continue;
+                }
+            }
+        }
+        if !apply_batch(&mut engine, &mut rs, &batch, my_version, upper)? {
+            break 'replay;
+        }
+    }
+    // Restoration is replay of already-persisted data: nothing it "applied"
+    // is a fresh leadership signal, so reset the election timer reference.
+    rs.last_leadership_signal = Instant::now();
+    Ok(RestorePoint { engine, rs })
+}
+
+/// Applies a batch. Returns `Ok(false)` when replay must stop because the
+/// consumer upgrade-stalled (§7.1) — the node still boots, parked at its
+/// last safely-applied position with `rs.halted` set. Corruption-class
+/// halts remain hard errors.
+fn apply_batch(
+    engine: &mut Engine,
+    rs: &mut ReplicaState,
+    batch: &[memorydb_txlog::LogEntry],
+    my_version: EngineVersion,
+    upper: Option<EntryId>,
+) -> Result<bool, RestoreError> {
+    for entry in batch {
+        if let Some(limit) = upper {
+            if entry.id > limit {
+                return Ok(true);
+            }
+        }
+        match apply_entry(engine, rs, entry, my_version) {
+            Ok(()) => {}
+            Err(halt @ HaltReason::StalledUpgrade(_)) => {
+                rs.halted = Some(halt);
+                return Ok(false);
+            }
+            Err(halt) => return Err(RestoreError::Halted(halt)),
+        }
+    }
+    Ok(true)
+}

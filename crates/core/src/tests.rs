@@ -1,0 +1,842 @@
+//! Core integration tests: durability, elections, failover consistency,
+//! snapshots, recovery — the paper's §3–§4 behaviours exercised end to end
+//! on the threaded runtime.
+
+use crate::bus::ClusterBus;
+use crate::config::ShardConfig;
+use crate::offbox::OffboxSnapshotter;
+use crate::shard::{NodeIdGen, Shard};
+use crate::snapshot::ShardSnapshot;
+use bytes::Bytes;
+use memorydb_engine::exec::Role;
+use memorydb_engine::{cmd, Frame, SessionState};
+use memorydb_objectstore::ObjectStore;
+use std::sync::Arc;
+use std::time::Duration;
+
+const T: Duration = Duration::from_secs(5);
+
+fn new_shard(replicas: usize) -> Arc<Shard> {
+    Shard::bootstrap(
+        0,
+        ShardConfig::fast(),
+        Arc::new(ObjectStore::new()),
+        Arc::new(ClusterBus::new()),
+        Arc::new(NodeIdGen::new()),
+        vec![(0, 16383)],
+        replicas,
+    )
+}
+
+fn bulk(s: &str) -> Frame {
+    Frame::Bulk(Bytes::copy_from_slice(s.as_bytes()))
+}
+
+/// Waits until a node OTHER than `old_id` is the active primary. The old
+/// primary may keep serving until its lease runs out (leases are disjoint,
+/// so this never overlaps the successor's reign).
+fn wait_for_new_primary(shard: &Shard, old_id: u64) -> Arc<crate::node::Node> {
+    let deadline = std::time::Instant::now() + T;
+    loop {
+        if let Some(p) = shard.primary() {
+            if p.id != old_id {
+                return p;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no new primary emerged within {T:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn shard_elects_a_primary_and_serves() {
+    let shard = new_shard(1);
+    let primary = shard.wait_for_primary(T).expect("a primary must emerge");
+    let mut session = SessionState::new();
+    assert_eq!(primary.handle(&mut session, &cmd(["SET", "k", "v"])), Frame::ok());
+    assert_eq!(primary.handle(&mut session, &cmd(["GET", "k"])), bulk("v"));
+    assert_eq!(primary.role(), Role::Primary);
+}
+
+#[test]
+fn exactly_one_primary_at_bootstrap() {
+    let shard = new_shard(2);
+    shard.wait_for_primary(T).expect("primary");
+    std::thread::sleep(Duration::from_millis(100));
+    let primaries = shard
+        .nodes()
+        .iter()
+        .filter(|n| n.role() == Role::Primary)
+        .count();
+    assert_eq!(primaries, 1, "leader singularity violated");
+}
+
+#[test]
+fn replicas_converge_and_serve_reads() {
+    let shard = new_shard(2);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut session = SessionState::new();
+    for i in 0..50 {
+        let r = primary.handle(&mut session, &cmd(["SET", &format!("k{i}"), &i.to_string()]));
+        assert_eq!(r, Frame::ok());
+    }
+    assert!(shard.wait_replicas_caught_up(T));
+    for replica in shard.replicas() {
+        let mut s = SessionState::new();
+        assert_eq!(replica.handle(&mut s, &cmd(["GET", "k42"])), bulk("42"));
+        assert_eq!(
+            replica.handle(&mut s, &cmd(["DBSIZE"])),
+            Frame::Integer(50)
+        );
+    }
+}
+
+#[test]
+fn writes_to_replicas_are_redirected() {
+    let shard = new_shard(1);
+    shard.wait_for_primary(T).unwrap();
+    let replica = shard.replicas().into_iter().next().unwrap();
+    let mut s = SessionState::new();
+    match replica.handle(&mut s, &cmd(["SET", "k", "v"])) {
+        Frame::Error(msg) => assert!(msg.starts_with("MOVED"), "got {msg}"),
+        other => panic!("expected MOVED, got {other:?}"),
+    }
+}
+
+#[test]
+fn acknowledged_writes_survive_failover() {
+    // The paper's core durability claim (§2.2 vs §3/4): nothing acknowledged
+    // is ever lost across a primary crash + election.
+    let shard = new_shard(2);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut session = SessionState::new();
+    let mut acked = Vec::new();
+    for i in 0..100 {
+        let key = format!("k{i}");
+        if primary.handle(&mut session, &cmd(["SET", &key, "v"])) == Frame::ok() {
+            acked.push(key);
+        }
+    }
+    let old_id = primary.id;
+    primary.crash();
+    let new_primary = shard.wait_for_primary(T).expect("failover must complete");
+    assert_ne!(new_primary.id, old_id);
+    let mut s = SessionState::new();
+    for key in &acked {
+        assert_eq!(
+            new_primary.handle(&mut s, &cmd(["GET", key.as_str()])),
+            bulk("v"),
+            "acknowledged write to {key} lost across failover"
+        );
+    }
+}
+
+#[test]
+fn partitioned_primary_self_demotes_and_new_leader_emerges() {
+    // Split-brain scenario (§4.1.3): the old primary is partitioned from
+    // the log; it must stop serving at lease end while a replica takes
+    // over. Leases stay disjoint, so at no instant do two primaries serve.
+    let shard = new_shard(2);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut session = SessionState::new();
+    assert_eq!(primary.handle(&mut session, &cmd(["SET", "stable", "1"])), Frame::ok());
+
+    shard.ctx().log.set_client_partitioned(primary.id, true);
+    // A write now fails (cannot commit) and must NOT be acknowledged.
+    let r = primary.handle(&mut session, &cmd(["SET", "lost", "x"]));
+    assert!(r.is_error(), "unacknowledged write must error, got {r:?}");
+
+    let new_primary = wait_for_new_primary(&shard, primary.id);
+    // The failed write is not visible on the new leader.
+    let mut s = SessionState::new();
+    assert_eq!(new_primary.handle(&mut s, &cmd(["GET", "lost"])), Frame::Null);
+    assert_eq!(new_primary.handle(&mut s, &cmd(["GET", "stable"])), bulk("1"));
+
+    // The old primary demoted and, once healed, rejoins as replica; its
+    // stale claim to leadership is fenced by the conditional append.
+    shard.ctx().log.set_client_partitioned(primary.id, false);
+    let deadline = std::time::Instant::now() + T;
+    while primary.role() != Role::Replica && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(primary.role(), Role::Replica);
+}
+
+#[test]
+fn unacknowledged_write_not_visible_after_demotion() {
+    // §3.2: if a commit fails the change must not become visible. The
+    // demoted primary rebuilds from the log, discarding the uncommitted
+    // mutation.
+    let shard = new_shard(1);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut session = SessionState::new();
+    assert_eq!(primary.handle(&mut session, &cmd(["SET", "a", "committed"])), Frame::ok());
+    shard.ctx().log.set_client_partitioned(primary.id, true);
+    let r = primary.handle(&mut session, &cmd(["SET", "a", "uncommitted"]));
+    assert!(r.is_error());
+    shard.ctx().log.set_client_partitioned(primary.id, false);
+    // Wait for the rebuild to finish.
+    let deadline = std::time::Instant::now() + T;
+    loop {
+        let mut s = SessionState::new();
+        let reply = primary.handle(&mut s, &cmd(["GET", "a"]));
+        if reply == bulk("committed") {
+            break; // stale value discarded, committed value restored
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "demoted primary still serves uncommitted data: {reply:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn reads_of_unpersisted_keys_are_delayed_not_stale() {
+    // §3.2 hazard tracking: with a slow log, a read of a freshly written
+    // key must wait for the commit; it never returns the pre-write value.
+    let cfg = ShardConfig {
+        log: memorydb_txlog::LogConfig {
+            latency: memorydb_txlog::CommitLatency {
+                base: Duration::from_millis(20),
+                jitter: Duration::ZERO,
+            },
+            ..memorydb_txlog::LogConfig::default()
+        },
+        ..ShardConfig::fast()
+    };
+    let shard = Shard::bootstrap(
+        0,
+        cfg,
+        Arc::new(ObjectStore::new()),
+        Arc::new(ClusterBus::new()),
+        Arc::new(NodeIdGen::new()),
+        vec![(0, 16383)],
+        0,
+    );
+    let primary = shard.wait_for_primary(T).unwrap();
+    let p2 = Arc::clone(&primary);
+    let writer = std::thread::spawn(move || {
+        let mut s = SessionState::new();
+        let t0 = std::time::Instant::now();
+        let r = p2.handle(&mut s, &cmd(["SET", "k", "new"]));
+        (r, t0.elapsed())
+    });
+    // Give the writer a head start so its mutation is staged.
+    std::thread::sleep(Duration::from_millis(5));
+    let mut s = SessionState::new();
+    let t0 = std::time::Instant::now();
+    let read = primary.handle(&mut s, &cmd(["GET", "k"]));
+    let read_latency = t0.elapsed();
+    let (write_reply, write_latency) = writer.join().unwrap();
+    assert_eq!(write_reply, Frame::ok());
+    assert!(
+        write_latency >= Duration::from_millis(15),
+        "write must wait for the multi-AZ commit"
+    );
+    // The read observed the new value and was delayed by the hazard.
+    assert_eq!(read, bulk("new"));
+    assert!(
+        read_latency >= Duration::from_millis(5),
+        "hazardous read returned before the write committed ({read_latency:?})"
+    );
+    // An unrelated key reads instantly even while writes are in flight.
+    let p3 = Arc::clone(&primary);
+    let writer2 = std::thread::spawn(move || {
+        let mut s = SessionState::new();
+        p3.handle(&mut s, &cmd(["SET", "other", "v"]))
+    });
+    std::thread::sleep(Duration::from_millis(5));
+    let t0 = std::time::Instant::now();
+    let _ = primary.handle(&mut s, &cmd(["GET", "unrelated"]));
+    assert!(t0.elapsed() < Duration::from_millis(15));
+    writer2.join().unwrap();
+}
+
+#[test]
+fn new_replica_restores_from_snapshot_and_log() {
+    let shard = new_shard(0);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut session = SessionState::new();
+    for i in 0..40 {
+        primary.handle(&mut session, &cmd(["SET", &format!("k{i}"), &i.to_string()]));
+    }
+    // Take an off-box snapshot covering part of the history, then write more.
+    let offbox = OffboxSnapshotter::new(
+        Arc::clone(shard.ctx()),
+        memorydb_engine::EngineVersion::CURRENT,
+        9_999,
+    );
+    let (key, covered) = offbox.create_snapshot(true).expect("off-box snapshot");
+    assert!(shard.ctx().store.get(&key).is_ok());
+    assert!(covered.0 > 0);
+    for i in 40..60 {
+        primary.handle(&mut session, &cmd(["SET", &format!("k{i}"), &i.to_string()]));
+    }
+    // A new replica restores: snapshot + log suffix (which was trimmed up
+    // to the snapshot, so replay alone cannot be enough).
+    let replica = shard.add_node();
+    assert!(shard.wait_replicas_caught_up(T));
+    let mut s = SessionState::new();
+    assert_eq!(replica.handle(&mut s, &cmd(["GET", "k10"])), bulk("10"));
+    assert_eq!(replica.handle(&mut s, &cmd(["GET", "k55"])), bulk("55"));
+    assert_eq!(replica.handle(&mut s, &cmd(["DBSIZE"])), Frame::Integer(60));
+}
+
+#[test]
+fn offbox_snapshot_verification_rejects_corruption() {
+    let shard = new_shard(0);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut session = SessionState::new();
+    for i in 0..20 {
+        primary.handle(&mut session, &cmd(["SET", &format!("k{i}"), "v"]));
+    }
+    let offbox = OffboxSnapshotter::new(
+        Arc::clone(shard.ctx()),
+        memorydb_engine::EngineVersion::CURRENT,
+        9_999,
+    );
+    let (key, _) = offbox.create_snapshot(false).unwrap();
+    // Corrupt the stored snapshot; a fetch (as any restoring replica would
+    // do) must fail integrity, not silently load garbage.
+    assert!(shard.ctx().store.corrupt_for_test(&key));
+    let err = ShardSnapshot::fetch_latest(&shard.ctx().store, &shard.ctx().name);
+    assert!(err.is_err(), "corrupted snapshot must not verify");
+}
+
+#[test]
+fn collaborative_leadership_transfer() {
+    let shard = new_shard(1);
+    let old = shard.wait_for_primary(T).unwrap();
+    let mut session = SessionState::new();
+    assert_eq!(old.handle(&mut session, &cmd(["SET", "k", "v"])), Frame::ok());
+    assert!(shard.wait_replicas_caught_up(T));
+    let t0 = std::time::Instant::now();
+    assert!(old.release_leadership());
+    let new = wait_for_new_primary(&shard, old.id);
+    // The release lets the replica skip the backoff, so this is much
+    // faster than a crash failover.
+    assert!(t0.elapsed() < ShardConfig::fast().backoff * 3);
+    let mut s = SessionState::new();
+    assert_eq!(new.handle(&mut s, &cmd(["GET", "k"])), bulk("v"));
+}
+
+#[test]
+fn wait_reports_replica_count() {
+    let shard = new_shard(2);
+    let primary = shard.wait_for_primary(T).unwrap();
+    std::thread::sleep(Duration::from_millis(80)); // let heartbeats land
+    let mut s = SessionState::new();
+    match primary.handle(&mut s, &cmd(["WAIT", "0", "0"])) {
+        Frame::Integer(n) => assert_eq!(n, 2),
+        other => panic!("expected integer, got {other:?}"),
+    }
+}
+
+#[test]
+fn cross_slot_commands_rejected() {
+    let shard = new_shard(0);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut s = SessionState::new();
+    // `foo` and `bar` hash to different slots.
+    match primary.handle(&mut s, &cmd(["MSET", "foo", "1", "bar", "2"])) {
+        Frame::Error(msg) => assert!(msg.starts_with("CROSSSLOT"), "{msg}"),
+        other => panic!("expected CROSSSLOT, got {other:?}"),
+    }
+    // Hash tags keep multi-key commands on one slot.
+    assert_eq!(
+        primary.handle(&mut s, &cmd(["MSET", "{t}foo", "1", "{t}bar", "2"])),
+        Frame::ok()
+    );
+}
+
+#[test]
+fn checksum_probes_validate_on_replicas() {
+    let cfg = ShardConfig {
+        checksum_probe_every: 5,
+        ..ShardConfig::fast()
+    };
+    let shard = Shard::bootstrap(
+        0,
+        cfg,
+        Arc::new(ObjectStore::new()),
+        Arc::new(ClusterBus::new()),
+        Arc::new(NodeIdGen::new()),
+        vec![(0, 16383)],
+        1,
+    );
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut session = SessionState::new();
+    for i in 0..25 {
+        primary.handle(&mut session, &cmd(["SET", &format!("k{i}"), "v"]));
+    }
+    assert!(shard.wait_replicas_caught_up(T));
+    // Replicas verified at least one probe (they halt on mismatch).
+    for r in shard.replicas() {
+        assert!(r.halted().is_none());
+        assert_eq!(r.applied(), shard.ctx().log.committed_tail());
+    }
+}
+
+#[test]
+fn monitoring_replaces_dead_replicas() {
+    let shard = new_shard(2);
+    shard.wait_for_primary(T).unwrap();
+    let monitor = crate::monitor::MonitoringService::new(vec![Arc::clone(&shard)], 2);
+    let victim = shard.replicas().into_iter().next().unwrap();
+    victim.crash();
+    let report = monitor.tick_shard(&shard);
+    assert_eq!(report.dead_nodes_replaced, 1);
+    assert_eq!(shard.nodes().len(), 3);
+    assert!(shard.wait_replicas_caught_up(T));
+}
+
+// ---------------------------------------------------------------------------
+// Cluster, migration, and scaling (§5.2)
+// ---------------------------------------------------------------------------
+
+mod cluster_tests {
+    use super::*;
+    use crate::client::ClusterClient;
+    use crate::cluster::Cluster;
+    use crate::migration::{migrate_slot, resume_migration};
+    use memorydb_engine::key_hash_slot;
+
+    #[test]
+    fn cluster_routes_by_slot() {
+        let cluster = Cluster::launch(ShardConfig::fast(), 2, 0);
+        for shard in cluster.shards() {
+            shard.wait_for_primary(T).unwrap();
+        }
+        let mut client = ClusterClient::new(Arc::clone(&cluster));
+        // Keys spread across both shards.
+        for i in 0..30 {
+            let key = format!("key:{i}");
+            assert_eq!(client.command(["SET", key.as_str(), "v"]), Frame::ok());
+        }
+        for i in 0..30 {
+            let key = format!("key:{i}");
+            assert_eq!(client.command(["GET", key.as_str()]), bulk("v"));
+        }
+        // Both shards actually hold data.
+        let counts: Vec<usize> = cluster
+            .shards()
+            .iter()
+            .map(|s| s.wait_for_primary(T).unwrap().key_count())
+            .collect();
+        assert!(counts.iter().all(|c| *c > 0), "distribution {counts:?}");
+        assert_eq!(counts.iter().sum::<usize>(), 30);
+    }
+
+    #[test]
+    fn slot_map_covers_all_slots() {
+        let cluster = Cluster::launch(ShardConfig::fast(), 3, 0);
+        for shard in cluster.shards() {
+            shard.wait_for_primary(T).unwrap();
+        }
+        let map = cluster.slot_map();
+        let covered: usize = map.iter().map(|(lo, hi, _)| (hi - lo + 1) as usize).sum();
+        assert_eq!(covered, 16384);
+    }
+
+    #[test]
+    fn migrate_slot_moves_data_and_ownership() {
+        let cluster = Cluster::launch(ShardConfig::fast(), 1, 0);
+        let source = cluster.shards()[0].clone();
+        source.wait_for_primary(T).unwrap();
+        let target = cluster.create_shard(Vec::new(), 0);
+        target.wait_for_primary(T).unwrap();
+
+        let mut client = ClusterClient::new(Arc::clone(&cluster));
+        let slot = key_hash_slot(b"{tag}");
+        for i in 0..20 {
+            let key = format!("{{tag}}k{i}");
+            assert_eq!(client.command(["SET", key.as_str(), &i.to_string()]), Frame::ok());
+        }
+        migrate_slot(&source, &target, slot).expect("migration");
+
+        // Ownership moved, data moved, source deleted its copy.
+        let sp = source.wait_for_primary(T).unwrap();
+        let tp = target.wait_for_primary(T).unwrap();
+        assert!(!sp.owns_slot(slot));
+        assert!(tp.owns_slot(slot));
+        assert_eq!(sp.slot_keys(slot).len(), 0);
+        assert_eq!(tp.slot_keys(slot).len(), 20);
+
+        // The client follows the MOVED redirect transparently.
+        assert_eq!(client.command(["GET", "{tag}k7"]), bulk("7"));
+        assert_eq!(client.command(["SET", "{tag}new", "x"]), Frame::ok());
+        assert_eq!(tp.slot_keys(slot).len(), 21);
+    }
+
+    #[test]
+    fn migration_under_concurrent_writes_loses_nothing() {
+        let cluster = Cluster::launch(ShardConfig::fast(), 1, 0);
+        let source = cluster.shards()[0].clone();
+        source.wait_for_primary(T).unwrap();
+        let target = cluster.create_shard(Vec::new(), 0);
+        target.wait_for_primary(T).unwrap();
+        let slot = key_hash_slot(b"{mig}");
+
+        // Writer hammers the slot while the migration runs.
+        let cluster2 = Arc::clone(&cluster);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let writer = std::thread::spawn(move || {
+            let mut client = ClusterClient::new(cluster2);
+            let mut acked = Vec::new();
+            let mut i = 0;
+            while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                let key = format!("{{mig}}k{i}");
+                if client.command(["SET", key.as_str(), "v"]) == Frame::ok() {
+                    acked.push(key);
+                }
+                i += 1;
+            }
+            acked
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        migrate_slot(&source, &target, slot).expect("migration under load");
+        std::thread::sleep(Duration::from_millis(30));
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let acked = writer.join().unwrap();
+        assert!(!acked.is_empty());
+
+        // Every acknowledged write is present on the new owner.
+        let mut client = ClusterClient::new(Arc::clone(&cluster));
+        for key in &acked {
+            assert_eq!(
+                client.command(["GET", key.as_str()]),
+                bulk("v"),
+                "acknowledged write {key} lost in migration"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_migration_completes_or_aborts() {
+        let cluster = Cluster::launch(ShardConfig::fast(), 1, 0);
+        let source = cluster.shards()[0].clone();
+        let sp = source.wait_for_primary(T).unwrap();
+        let target = cluster.create_shard(Vec::new(), 0);
+        let tp = target.wait_for_primary(T).unwrap();
+        let slot = key_hash_slot(b"{r}");
+
+        // Simulate a crash after Prepare but before Commit.
+        sp.commit_record(&crate::record::Record::MigrationPrepare { slot, target: target.id })
+            .unwrap();
+        resume_migration(&source, &target, slot).unwrap();
+        assert!(sp.owns_slot(slot), "abort path keeps source ownership");
+        assert!(!sp
+            .ctx()
+            .log
+            .committed_tail()
+            .0
+            .checked_sub(1)
+            .is_none());
+
+        // Simulate a crash after Commit but before Done.
+        sp.commit_record(&crate::record::Record::MigrationPrepare { slot, target: target.id })
+            .unwrap();
+        tp.commit_record(&crate::record::Record::MigrationCommit { slot, source: source.id })
+            .unwrap();
+        resume_migration(&source, &target, slot).unwrap();
+        assert!(!sp.owns_slot(slot), "completion path releases source");
+        assert!(tp.owns_slot(slot));
+    }
+
+    #[test]
+    fn scale_out_rebalances() {
+        let cluster = Cluster::launch(ShardConfig::fast(), 1, 0);
+        cluster.shards()[0].wait_for_primary(T).unwrap();
+        let mut client = ClusterClient::new(Arc::clone(&cluster));
+        for i in 0..40 {
+            assert_eq!(client.command(["SET", &format!("k{i}"), "v"]), Frame::ok());
+        }
+        // Scaling all 8192 slots one by one is slow; move a small share by
+        // migrating a handful of slots directly instead, then verify the
+        // cluster still serves everything.
+        let new_shard = cluster.create_shard(Vec::new(), 0);
+        new_shard.wait_for_primary(T).unwrap();
+        let donor = cluster.shards()[0].clone();
+        let mut moved = 0;
+        for slot in 0u16..64 {
+            migrate_slot(&donor, &new_shard, slot).unwrap();
+            moved += 1;
+        }
+        assert_eq!(moved, 64);
+        for i in 0..40 {
+            assert_eq!(client.command(["GET", &format!("k{i}")]), bulk("v"));
+        }
+        let np = new_shard.wait_for_primary(T).unwrap();
+        assert_eq!(np.owned_ranges(), vec![(0, 63)]);
+    }
+
+    #[test]
+    fn replica_scaling_up_and_down() {
+        let shard = new_shard(0);
+        let primary = shard.wait_for_primary(T).unwrap();
+        let mut session = SessionState::new();
+        for i in 0..10 {
+            primary.handle(&mut session, &cmd(["SET", &format!("k{i}"), "v"]));
+        }
+        // Scale up: new replica restores and serves.
+        let r1 = shard.add_node();
+        let _r2 = shard.add_node();
+        assert!(shard.wait_replicas_caught_up(T));
+        assert_eq!(shard.replicas().len(), 2);
+        let mut s = SessionState::new();
+        assert_eq!(r1.handle(&mut s, &cmd(["GET", "k3"])), bulk("v"));
+        // Scale down.
+        shard.remove_replica().unwrap();
+        assert_eq!(shard.replicas().len(), 1);
+    }
+
+    #[test]
+    fn n_plus_one_node_replacement() {
+        let cluster = Cluster::launch(ShardConfig::fast(), 1, 1);
+        let shard = cluster.shards()[0].clone();
+        let old_primary = shard.wait_for_primary(T).unwrap();
+        let mut client = ClusterClient::new(Arc::clone(&cluster));
+        for i in 0..10 {
+            assert_eq!(client.command(["SET", &format!("k{i}"), "v"]), Frame::ok());
+        }
+        let old_ids: Vec<u64> = shard.nodes().iter().map(|n| n.id).collect();
+        cluster.replace_all_nodes(shard.id).expect("rolling replacement");
+        let new_ids: Vec<u64> = shard.nodes().iter().map(|n| n.id).collect();
+        assert!(new_ids.iter().all(|id| !old_ids.contains(id)));
+        assert!(!old_primary.is_alive());
+        // Data survived the full fleet replacement.
+        for i in 0..10 {
+            assert_eq!(client.command(["GET", &format!("k{i}")]), bulk("v"));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Availability and expiry under infrastructure faults
+// ---------------------------------------------------------------------------
+
+#[test]
+fn active_expiry_propagates_to_replicas_without_access() {
+    // A key with a TTL disappears on primary AND replicas without anyone
+    // touching it: the primary's background cycle logs explicit DELs.
+    let shard = new_shard(1);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut session = SessionState::new();
+    assert_eq!(
+        primary.handle(&mut session, &cmd(["SET", "ephemeral", "v", "PX", "80"])),
+        Frame::ok()
+    );
+    assert_eq!(primary.handle(&mut session, &cmd(["SET", "stays", "v"])), Frame::ok());
+    assert!(shard.wait_replicas_caught_up(T));
+    let replica = shard.replicas().into_iter().next().unwrap();
+    assert_eq!(replica.key_count(), 2);
+    // Wait past the TTL plus a few ticks for the background cycle.
+    let deadline = std::time::Instant::now() + T;
+    loop {
+        if primary.key_count() == 1 && replica.key_count() == 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "active expiry did not propagate: primary={} replica={}",
+            primary.key_count(),
+            replica.key_count()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let mut s = SessionState::new();
+    assert_eq!(replica.handle(&mut s, &cmd(["GET", "stays"])), bulk("v"));
+}
+
+#[test]
+fn az_outage_stalls_writes_and_recovers() {
+    // Bootstrap takes one full backoff (2.5s) before the first campaign.
+    // With 2 of 3 AZs down the quorum is unreachable: writes cannot be
+    // acknowledged (no availability without durability); reads of clean
+    // keys keep working; service resumes when an AZ returns.
+    let cfg = ShardConfig {
+        // Commit timeout short so the blocked write returns quickly.
+        commit_timeout: Duration::from_millis(200),
+        // Lease long enough to survive the outage window: renewals also
+        // stall, and we don't want a demotion mid-test.
+        lease: Duration::from_secs(2),
+        renew_interval: Duration::from_millis(100),
+        backoff: Duration::from_millis(2_500),
+        ..ShardConfig::default()
+    };
+    let shard = Shard::bootstrap(
+        0,
+        cfg,
+        Arc::new(ObjectStore::new()),
+        Arc::new(ClusterBus::new()),
+        Arc::new(NodeIdGen::new()),
+        vec![(0, 16383)],
+        0,
+    );
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut session = SessionState::new();
+    assert_eq!(primary.handle(&mut session, &cmd(["SET", "pre", "1"])), Frame::ok());
+
+    shard.ctx().log.set_az_up(0, false);
+    shard.ctx().log.set_az_up(1, false);
+    // Write cannot commit → correctly refused.
+    let r = primary.handle(&mut session, &cmd(["SET", "during", "x"]));
+    assert!(r.is_error(), "write must not be acknowledged during quorum loss");
+    // Clean reads still work (the lease is still valid).
+    let mut s = SessionState::new();
+    assert_eq!(primary.handle(&mut s, &cmd(["GET", "pre"])), bulk("1"));
+
+    // AZ recovers → quorum restored → writes flow again. The node may have
+    // requested demotion after the failed commit; wait for a serving
+    // primary and write through it.
+    shard.ctx().log.set_az_up(0, true);
+    let deadline = std::time::Instant::now() + T;
+    loop {
+        if let Some(p) = shard.primary() {
+            let mut s = SessionState::new();
+            if p.handle(&mut s, &cmd(["SET", "post", "2"])) == Frame::ok() {
+                assert_eq!(p.handle(&mut s, &cmd(["GET", "post"])), bulk("2"));
+                break;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "service did not recover after the AZ returned"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn replica_behind_a_trim_rebuilds_from_snapshot() {
+    // A replica partitioned long enough for the log to be trimmed past its
+    // position must fall back to a full restore (§4.2.1) and still converge.
+    let shard = new_shard(1);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let replica = shard.replicas().into_iter().next().unwrap();
+    let mut session = SessionState::new();
+    for i in 0..20 {
+        primary.handle(&mut session, &cmd(["SET", &format!("a{i}"), "1"]));
+    }
+    assert!(shard.wait_replicas_caught_up(T));
+
+    // Freeze the replica, write more, snapshot + trim past its position.
+    shard.ctx().log.set_client_partitioned(replica.id, true);
+    for i in 0..30 {
+        primary.handle(&mut session, &cmd(["SET", &format!("b{i}"), "2"]));
+    }
+    let offbox = OffboxSnapshotter::new(
+        Arc::clone(shard.ctx()),
+        memorydb_engine::EngineVersion::CURRENT,
+        9_998,
+    );
+    offbox.create_snapshot(true).unwrap();
+    assert!(shard.ctx().log.first_available() > replica.applied());
+
+    // Heal: the replica hits Trimmed, rebuilds, and catches up.
+    shard.ctx().log.set_client_partitioned(replica.id, false);
+    assert!(shard.wait_replicas_caught_up(T), "rebuild after trim failed");
+    let mut s = SessionState::new();
+    assert_eq!(replica.handle(&mut s, &cmd(["GET", "a5"])), bulk("1"));
+    assert_eq!(replica.handle(&mut s, &cmd(["GET", "b29"])), bulk("2"));
+    assert_eq!(replica.handle(&mut s, &cmd(["DBSIZE"])), Frame::Integer(50));
+}
+
+#[test]
+fn monitor_schedules_snapshots_when_freshness_decays() {
+    // §4.2.3 end to end: heavy writes push the log suffix past the
+    // threshold; the monitoring pass creates (and trims behind) a snapshot.
+    let shard = new_shard(0);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut session = SessionState::new();
+    for i in 0..1500 {
+        primary.handle(&mut session, &cmd(["SET", &format!("k{i}"), "v"]));
+    }
+    let monitor = crate::monitor::MonitoringService::new(vec![Arc::clone(&shard)], 0)
+        .with_scheduler(crate::scheduler::SnapshotScheduler {
+            min_suffix_bytes: 16 * 1024,
+            suffix_to_dataset_ratio: 0.05,
+        });
+    let report = monitor.tick_shard(&shard);
+    assert!(report.snapshot_created, "freshness decay must trigger a snapshot");
+    assert!(
+        ShardSnapshot::fetch_latest(&shard.ctx().store, &shard.ctx().name)
+            .unwrap()
+            .is_some()
+    );
+    // The suffix is now bounded: an immediate second tick does nothing.
+    let report2 = monitor.tick_shard(&shard);
+    assert!(!report2.snapshot_created, "fresh snapshot must not be redone");
+}
+
+#[test]
+fn info_reports_replication_state() {
+    let shard = new_shard(1);
+    let primary = shard.wait_for_primary(T).unwrap();
+    std::thread::sleep(Duration::from_millis(60)); // heartbeats
+    let mut s = SessionState::new();
+    primary.handle(&mut s, &cmd(["SET", "k", "v"]));
+    let info = primary.handle(&mut s, &cmd(["INFO"]));
+    let Frame::Bulk(b) = info else { panic!("expected bulk INFO") };
+    let text = String::from_utf8_lossy(&b).to_string();
+    assert!(text.contains("role:master"), "{text}");
+    assert!(text.contains("leader_epoch:"), "{text}");
+    assert!(text.contains("owned_slots:16384"), "{text}");
+    assert!(text.contains("connected_replicas:1"), "{text}");
+    assert!(text.contains("halted:no"), "{text}");
+    let replica = shard.replicas().into_iter().next().unwrap();
+    let info = replica.handle(&mut s, &cmd(["INFO"]));
+    let Frame::Bulk(b) = info else { panic!("expected bulk INFO") };
+    let text = String::from_utf8_lossy(&b).to_string();
+    assert!(text.contains("role:slave"), "{text}");
+    assert!(text.contains("lease_remaining_ms:-1"), "{text}");
+}
+
+#[test]
+fn scale_in_drains_and_destroys_a_shard() {
+    use crate::client::ClusterClient;
+    use crate::cluster::Cluster;
+    // Shard 0 owns everything; shard 1 owns a small band we then drain.
+    let cluster = Cluster::launch(ShardConfig::fast(), 1, 0);
+    let donor = cluster.shards()[0].clone();
+    donor.wait_for_primary(T).unwrap();
+    let small = cluster.create_shard(Vec::new(), 0);
+    small.wait_for_primary(T).unwrap();
+    for slot in 0u16..12 {
+        crate::migration::migrate_slot(&donor, &small, slot).unwrap();
+    }
+    let mut client = ClusterClient::new(Arc::clone(&cluster));
+    // Data lands on both shards.
+    let mut keys = Vec::new();
+    let mut i = 0u64;
+    while keys.len() < 40 {
+        let key = format!("k{i}");
+        i += 1;
+        assert_eq!(client.command(["SET", key.as_str(), "v"]), Frame::ok());
+        keys.push(key);
+    }
+    assert!(small.wait_for_primary(T).unwrap().key_count() > 0 || {
+        // Ensure at least one key hashed into the small band; force one.
+        let forced = (0..)
+            .map(|j| format!("f{j}"))
+            .find(|k| memorydb_engine::key_hash_slot(k.as_bytes()) < 12)
+            .unwrap();
+        client.command(["SET", forced.as_str(), "v"]);
+        keys.push(forced);
+        true
+    });
+
+    cluster.scale_in(small.id).expect("scale in");
+    assert_eq!(cluster.shards().len(), 1);
+    // All data reachable on the surviving shard.
+    for key in &keys {
+        assert_eq!(client.command(["GET", key.as_str()]), bulk("v"), "{key}");
+    }
+    let map = cluster.slot_map();
+    assert_eq!(map, vec![(0, 16383, donor.id)]);
+}

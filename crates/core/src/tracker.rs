@@ -1,0 +1,207 @@
+//! The client-blocking tracker (paper §3.2).
+//!
+//! After a mutation executes on the primary, its reply is withheld until the
+//! transaction log acknowledges persistence; meanwhile the engine workloop
+//! stays free to process other operations. Non-mutating operations execute
+//! immediately but must consult this tracker: if any key in the response was
+//! modified by a not-yet-persisted operation, the response is delayed until
+//! that write commits. Hazards are detected at the key level.
+//!
+//! In this reproduction each client is a thread, so "withholding a reply"
+//! is the client thread blocking on the returned [`Hazard`]; the tracker's
+//! job is the bookkeeping: which log position each dirty key is waiting on.
+
+use bytes::Bytes;
+use memorydb_engine::DirtySet;
+use memorydb_txlog::EntryId;
+use std::collections::HashMap;
+
+/// What a read must wait for before its reply may be released.
+pub type Hazard = Option<EntryId>;
+
+/// Per-shard tracker of unpersisted writes.
+#[derive(Debug, Default)]
+pub struct Tracker {
+    /// Highest pending (unacked) log entry per dirty key.
+    key_watermark: HashMap<Bytes, EntryId>,
+    /// Watermark covering every key (set by FLUSHALL-class commands).
+    global_watermark: EntryId,
+    /// Everything at or below this has committed.
+    committed: EntryId,
+}
+
+impl Tracker {
+    /// Fresh tracker with nothing pending.
+    pub fn new() -> Tracker {
+        Tracker::default()
+    }
+
+    /// Registers a mutation staged at `entry` dirtying `dirty`.
+    pub fn stage(&mut self, entry: EntryId, dirty: &DirtySet) {
+        match dirty {
+            DirtySet::None => {}
+            DirtySet::Keys(keys) => {
+                for k in keys {
+                    let w = self.key_watermark.entry(k.clone()).or_insert(EntryId::ZERO);
+                    if entry > *w {
+                        *w = entry;
+                    }
+                }
+            }
+            DirtySet::All => {
+                if entry > self.global_watermark {
+                    self.global_watermark = entry;
+                }
+            }
+        }
+    }
+
+    /// Records that the log has committed everything up to `upto`.
+    pub fn advance_committed(&mut self, upto: EntryId) {
+        if upto > self.committed {
+            self.committed = upto;
+            // GC: drop watermarks that are now satisfied.
+            self.key_watermark.retain(|_, w| *w > upto);
+            if self.global_watermark <= upto {
+                self.global_watermark = EntryId::ZERO;
+            }
+        }
+    }
+
+    /// The hazard for a response touching `keys`: the log position the
+    /// caller must wait on, or `None` when everything relevant is already
+    /// persisted.
+    pub fn hazard_for<'a>(&self, keys: impl IntoIterator<Item = &'a Bytes>) -> Hazard {
+        let mut hazard = self.global_watermark;
+        for k in keys {
+            if let Some(w) = self.key_watermark.get(k) {
+                if *w > hazard {
+                    hazard = *w;
+                }
+            }
+        }
+        if hazard > self.committed {
+            Some(hazard)
+        } else {
+            None
+        }
+    }
+
+    /// Highest staged-but-uncommitted entry, if any (used when draining a
+    /// shard, e.g. before slot ownership transfer).
+    pub fn max_pending(&self) -> Hazard {
+        let mut max = self.global_watermark;
+        for w in self.key_watermark.values() {
+            if *w > max {
+                max = *w;
+            }
+        }
+        if max > self.committed {
+            Some(max)
+        } else {
+            None
+        }
+    }
+
+    /// Number of keys with unpersisted writes (diagnostics).
+    pub fn pending_keys(&self) -> usize {
+        self.key_watermark.len()
+    }
+
+    /// Drops all pending state (demotion path: the node re-syncs from the
+    /// log, so stale watermarks are meaningless).
+    pub fn reset(&mut self) {
+        self.key_watermark.clear();
+        self.global_watermark = EntryId::ZERO;
+        self.committed = EntryId::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn keys(v: &[&str]) -> DirtySet {
+        DirtySet::Keys(v.iter().map(|s| b(s)).collect())
+    }
+
+    #[test]
+    fn no_hazard_when_nothing_pending() {
+        let t = Tracker::new();
+        assert_eq!(t.hazard_for([&b("k")]), None);
+        assert_eq!(t.max_pending(), None);
+    }
+
+    #[test]
+    fn read_of_dirty_key_is_hazardous() {
+        let mut t = Tracker::new();
+        t.stage(EntryId(5), &keys(&["a"]));
+        assert_eq!(t.hazard_for([&b("a")]), Some(EntryId(5)));
+        // Unrelated keys read freely (paper: hazards are key-level).
+        assert_eq!(t.hazard_for([&b("b")]), None);
+    }
+
+    #[test]
+    fn hazard_is_max_over_touched_keys() {
+        let mut t = Tracker::new();
+        t.stage(EntryId(3), &keys(&["a"]));
+        t.stage(EntryId(7), &keys(&["b"]));
+        assert_eq!(t.hazard_for([&b("a"), &b("b")]), Some(EntryId(7)));
+    }
+
+    #[test]
+    fn commit_clears_hazards_in_order() {
+        let mut t = Tracker::new();
+        t.stage(EntryId(3), &keys(&["a"]));
+        t.stage(EntryId(7), &keys(&["a"])); // newer write to same key
+        assert_eq!(t.hazard_for([&b("a")]), Some(EntryId(7)));
+        t.advance_committed(EntryId(3));
+        // Still waiting on the newer write.
+        assert_eq!(t.hazard_for([&b("a")]), Some(EntryId(7)));
+        t.advance_committed(EntryId(7));
+        assert_eq!(t.hazard_for([&b("a")]), None);
+        assert_eq!(t.pending_keys(), 0);
+    }
+
+    #[test]
+    fn global_watermark_covers_all_keys() {
+        let mut t = Tracker::new();
+        t.stage(EntryId(9), &DirtySet::All);
+        assert_eq!(t.hazard_for([&b("anything")]), Some(EntryId(9)));
+        assert_eq!(t.hazard_for(std::iter::empty::<&Bytes>()), Some(EntryId(9)));
+        t.advance_committed(EntryId(9));
+        assert_eq!(t.hazard_for([&b("anything")]), None);
+    }
+
+    #[test]
+    fn advance_is_monotone() {
+        let mut t = Tracker::new();
+        t.stage(EntryId(5), &keys(&["a"]));
+        t.advance_committed(EntryId(5));
+        t.advance_committed(EntryId(2)); // stale ack, ignored
+        assert_eq!(t.hazard_for([&b("a")]), None);
+    }
+
+    #[test]
+    fn max_pending_and_reset() {
+        let mut t = Tracker::new();
+        t.stage(EntryId(4), &keys(&["a"]));
+        t.stage(EntryId(6), &keys(&["b"]));
+        assert_eq!(t.max_pending(), Some(EntryId(6)));
+        t.reset();
+        assert_eq!(t.max_pending(), None);
+        assert_eq!(t.hazard_for([&b("a")]), None);
+    }
+
+    #[test]
+    fn commits_already_satisfied_are_not_hazards() {
+        let mut t = Tracker::new();
+        t.advance_committed(EntryId(10));
+        t.stage(EntryId(8), &keys(&["a"])); // staged below committed (replay)
+        assert_eq!(t.hazard_for([&b("a")]), None);
+    }
+}

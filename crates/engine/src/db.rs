@@ -1,0 +1,679 @@
+//! The keyspace: key → value entries with expiration, a per-slot index for
+//! cluster migration, per-key versions for `WATCH`, and SCAN support.
+
+use crate::slots::key_hash_slot;
+use crate::value::Value;
+use bytes::Bytes;
+use std::collections::{HashMap, HashSet};
+
+/// One keyspace entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// The stored value.
+    pub value: Value,
+    /// Absolute expiry in engine milliseconds, if any.
+    pub expire_at: Option<u64>,
+}
+
+/// The keyspace of a single shard.
+///
+/// Besides the main hash map it maintains:
+/// * a dense key vector for O(1) `RANDOMKEY` and cursor-based `SCAN`;
+/// * a slot → keys index, used by slot migration (paper §5.2) and
+///   `CLUSTER GETKEYSINSLOT`;
+/// * per-key modification versions driving `WATCH`;
+/// * an index of keys carrying a TTL, for the active expiry cycle.
+#[derive(Debug, Default, Clone)]
+pub struct Db {
+    entries: HashMap<Bytes, Entry>,
+    key_list: Vec<Bytes>,
+    key_pos: HashMap<Bytes, usize>,
+    slot_index: HashMap<u16, HashSet<Bytes>>,
+    expires: HashSet<Bytes>,
+    versions: HashMap<Bytes, u64>,
+    version_counter: u64,
+    /// Count of state-changing operations since creation (Redis's `dirty`).
+    pub dirty: u64,
+}
+
+impl Db {
+    /// Creates an empty keyspace.
+    pub fn new() -> Db {
+        Db::default()
+    }
+
+    /// Number of live keys (including logically expired but unreaped ones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Is the entry at `key` logically expired at `now_ms`?
+    fn is_expired(&self, key: &[u8], now_ms: u64) -> bool {
+        self.entries
+            .get(key)
+            .and_then(|e| e.expire_at)
+            .is_some_and(|t| t <= now_ms)
+    }
+
+    /// Immutable lookup; logically expired keys read as absent.
+    pub fn lookup(&self, key: &[u8], now_ms: u64) -> Option<&Value> {
+        let e = self.entries.get(key)?;
+        if e.expire_at.is_some_and(|t| t <= now_ms) {
+            None
+        } else {
+            Some(&e.value)
+        }
+    }
+
+    /// Mutable lookup; logically expired keys read as absent. The caller is
+    /// responsible for calling [`Db::signal_modified`] if it mutates.
+    pub fn lookup_mut(&mut self, key: &[u8], now_ms: u64) -> Option<&mut Value> {
+        if self.is_expired(key, now_ms) {
+            return None;
+        }
+        self.entries.get_mut(key).map(|e| &mut e.value)
+    }
+
+    /// If `key` is logically expired, removes it and returns `true`.
+    ///
+    /// The primary calls this on access and turns the reap into an explicit
+    /// `DEL` effect for the replication stream; replicas never call it and
+    /// instead wait for the primary's `DEL` (paper §2.1 determinism rule).
+    pub fn reap_if_expired(&mut self, key: &[u8], now_ms: u64) -> bool {
+        if self.is_expired(key, now_ms) {
+            self.remove(key);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts or replaces the value at `key`, clearing any TTL (Redis `SET`
+    /// semantics; use [`Db::set_expiry`] afterwards to retain one).
+    pub fn set_value(&mut self, key: Bytes, value: Value) {
+        self.signal_modified(&key);
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.value = value;
+            e.expire_at = None;
+            self.expires.remove(&key);
+            return;
+        }
+        self.index_insert(key.clone());
+        self.entries.insert(
+            key,
+            Entry {
+                value,
+                expire_at: None,
+            },
+        );
+    }
+
+    /// Inserts a value preserving an existing TTL if the key already exists
+    /// (the `KEEPTTL` path and in-place aggregate creation).
+    pub fn set_value_keep_ttl(&mut self, key: Bytes, value: Value) {
+        self.signal_modified(&key);
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.value = value;
+            return;
+        }
+        self.index_insert(key.clone());
+        self.entries.insert(
+            key,
+            Entry {
+                value,
+                expire_at: None,
+            },
+        );
+    }
+
+    /// Fetches or creates an aggregate value via `default`, returning a
+    /// mutable reference. The caller must [`Db::signal_modified`] on change.
+    pub fn entry_or_insert_with(
+        &mut self,
+        key: &Bytes,
+        now_ms: u64,
+        default: impl FnOnce() -> Value,
+    ) -> &mut Value {
+        if self.is_expired(key, now_ms) {
+            self.remove(key);
+        }
+        if !self.entries.contains_key(key) {
+            self.index_insert(key.clone());
+            self.entries.insert(
+                key.clone(),
+                Entry {
+                    value: default(),
+                    expire_at: None,
+                },
+            );
+        }
+        &mut self
+            .entries
+            .get_mut(key)
+            .expect("inserted above")
+            .value
+    }
+
+    /// Removes a key, returning its value.
+    pub fn remove(&mut self, key: &[u8]) -> Option<Value> {
+        let entry = self.entries.remove(key)?;
+        self.index_remove(key);
+        self.expires.remove(key);
+        self.signal_modified(key);
+        Some(entry.value)
+    }
+
+    /// Removes the key if its container value became empty (Redis deletes
+    /// empty aggregates).
+    pub fn remove_if_empty(&mut self, key: &[u8]) {
+        if self
+            .entries
+            .get(key)
+            .is_some_and(|e| e.value.is_empty_container())
+        {
+            self.remove(key);
+        }
+    }
+
+    /// Sets or clears the expiry of an existing key. Returns `false` when
+    /// the key does not exist.
+    pub fn set_expiry(&mut self, key: &[u8], expire_at: Option<u64>) -> bool {
+        let Some(e) = self.entries.get_mut(key) else {
+            return false;
+        };
+        e.expire_at = expire_at;
+        // Own the key without re-allocating: fetch the stored instance.
+        let owned = self
+            .key_pos
+            .get_key_value(key)
+            .map(|(k, _)| k.clone())
+            .expect("key indexed");
+        if expire_at.is_some() {
+            self.expires.insert(owned);
+        } else {
+            self.expires.remove(key);
+        }
+        self.signal_modified(key);
+        true
+    }
+
+    /// Expiry timestamp of a live key.
+    pub fn expiry(&self, key: &[u8]) -> Option<u64> {
+        self.entries.get(key).and_then(|e| e.expire_at)
+    }
+
+    /// Does the key exist (and is not logically expired)?
+    pub fn exists(&self, key: &[u8], now_ms: u64) -> bool {
+        self.lookup(key, now_ms).is_some()
+    }
+
+    /// Samples up to `limit` logically-expired keys (the active expire
+    /// cycle's input).
+    pub fn expired_keys(&self, now_ms: u64, limit: usize) -> Vec<Bytes> {
+        self.expires
+            .iter()
+            .filter(|k| self.is_expired(k, now_ms))
+            .take(limit)
+            .cloned()
+            .collect()
+    }
+
+    /// Bumps the modification version of `key` (drives `WATCH`).
+    pub fn signal_modified(&mut self, key: &[u8]) {
+        self.version_counter += 1;
+        self.dirty += 1;
+        match self.versions.get_mut(key) {
+            Some(v) => *v = self.version_counter,
+            None => {
+                self.versions
+                    .insert(Bytes::copy_from_slice(key), self.version_counter);
+            }
+        }
+    }
+
+    /// Current modification version of `key` (0 = never modified).
+    pub fn version(&self, key: &[u8]) -> u64 {
+        self.versions.get(key).copied().unwrap_or(0)
+    }
+
+    /// A uniformly random live key, using the caller's RNG index.
+    pub fn random_key(&self, idx: usize) -> Option<&Bytes> {
+        if self.key_list.is_empty() {
+            None
+        } else {
+            Some(&self.key_list[idx % self.key_list.len()])
+        }
+    }
+
+    /// Cursor-based iteration: returns up to `count` keys starting at
+    /// `cursor` plus the next cursor (0 = done). Guarantees are the weak
+    /// SCAN guarantees: concurrent mutation may skip or repeat keys.
+    pub fn scan(&self, cursor: u64, count: usize, pattern: Option<&[u8]>) -> (u64, Vec<Bytes>) {
+        let mut out = Vec::new();
+        let mut i = cursor as usize;
+        while i < self.key_list.len() && out.len() < count {
+            let key = &self.key_list[i];
+            if pattern.is_none_or(|p| glob_match(p, key)) {
+                out.push(key.clone());
+            }
+            i += 1;
+        }
+        let next = if i >= self.key_list.len() { 0 } else { i as u64 };
+        (next, out)
+    }
+
+    /// All keys matching a glob pattern (the `KEYS` command).
+    pub fn keys_matching(&self, pattern: &[u8]) -> Vec<Bytes> {
+        self.key_list
+            .iter()
+            .filter(|k| glob_match(pattern, k))
+            .cloned()
+            .collect()
+    }
+
+    /// Keys currently mapped to a cluster slot.
+    pub fn keys_in_slot(&self, slot: u16) -> Vec<Bytes> {
+        self.slot_index
+            .get(&slot)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of keys in a cluster slot.
+    pub fn count_keys_in_slot(&self, slot: u16) -> usize {
+        self.slot_index.get(&slot).map_or(0, |s| s.len())
+    }
+
+    /// Deletes every key in a slot (migration abandon/cleanup path).
+    /// Returns how many were removed.
+    pub fn delete_slot(&mut self, slot: u16) -> usize {
+        let keys = self.keys_in_slot(slot);
+        for k in &keys {
+            self.remove(k);
+        }
+        keys.len()
+    }
+
+    /// Drops the entire keyspace.
+    pub fn flush(&mut self) {
+        self.entries.clear();
+        self.key_list.clear();
+        self.key_pos.clear();
+        self.slot_index.clear();
+        self.expires.clear();
+        self.dirty += 1;
+        self.version_counter += 1;
+        // Preserve version monotonicity for watched keys: clearing versions
+        // would let a flushed key look unmodified. Bump all watched-visible
+        // state by clearing — WATCH compares against a snapshot, so clearing
+        // versions would compare 0 == 0. Keep the map but reset values to
+        // the new counter.
+        for v in self.versions.values_mut() {
+            *v = self.version_counter;
+        }
+    }
+
+    /// Iterates all live entries (snapshot serialization).
+    pub fn iter_entries(&self) -> impl Iterator<Item = (&Bytes, &Entry)> {
+        self.entries.iter()
+    }
+
+    /// Recomputes the approximate dataset footprint in bytes.
+    pub fn used_memory(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(k, e)| k.len() + e.value.approx_size() + 16)
+            .sum()
+    }
+
+    fn index_insert(&mut self, key: Bytes) {
+        let slot = key_hash_slot(&key);
+        self.key_pos.insert(key.clone(), self.key_list.len());
+        self.key_list.push(key.clone());
+        self.slot_index.entry(slot).or_default().insert(key);
+    }
+
+    fn index_remove(&mut self, key: &[u8]) {
+        if let Some(pos) = self.key_pos.remove(key) {
+            let last = self.key_list.len() - 1;
+            self.key_list.swap(pos, last);
+            self.key_list.pop();
+            if pos < self.key_list.len() {
+                let moved = self.key_list[pos].clone();
+                self.key_pos.insert(moved, pos);
+            }
+        }
+        let slot = key_hash_slot(key);
+        if let Some(set) = self.slot_index.get_mut(&slot) {
+            set.remove(key);
+            if set.is_empty() {
+                self.slot_index.remove(&slot);
+            }
+        }
+    }
+}
+
+/// Redis-style glob matching: `*`, `?`, `[abc]`, `[^abc]`, `[a-z]`, and `\`
+/// escapes.
+pub fn glob_match(pattern: &[u8], text: &[u8]) -> bool {
+    glob_inner(pattern, text)
+}
+
+fn glob_inner(mut p: &[u8], mut t: &[u8]) -> bool {
+    while let Some(&pc) = p.first() {
+        match pc {
+            b'*' => {
+                // Collapse consecutive stars.
+                while p.first() == Some(&b'*') {
+                    p = &p[1..];
+                }
+                if p.is_empty() {
+                    return true;
+                }
+                for i in 0..=t.len() {
+                    if glob_inner(p, &t[i..]) {
+                        return true;
+                    }
+                }
+                return false;
+            }
+            b'?' => {
+                if t.is_empty() {
+                    return false;
+                }
+                p = &p[1..];
+                t = &t[1..];
+            }
+            b'[' => {
+                if t.is_empty() {
+                    return false;
+                }
+                let mut i = 1;
+                let negate = p.get(1) == Some(&b'^');
+                if negate {
+                    i += 1;
+                }
+                let mut matched = false;
+                let c = t[0];
+                while i < p.len() && p[i] != b']' {
+                    if p[i] == b'\\' && i + 1 < p.len() {
+                        if p[i + 1] == c {
+                            matched = true;
+                        }
+                        i += 2;
+                    } else if i + 2 < p.len() && p[i + 1] == b'-' && p[i + 2] != b']' {
+                        let (lo, hi) = (p[i].min(p[i + 2]), p[i].max(p[i + 2]));
+                        if (lo..=hi).contains(&c) {
+                            matched = true;
+                        }
+                        i += 3;
+                    } else {
+                        if p[i] == c {
+                            matched = true;
+                        }
+                        i += 1;
+                    }
+                }
+                if i >= p.len() {
+                    return false; // unterminated class
+                }
+                if matched == negate {
+                    return false;
+                }
+                p = &p[i + 1..];
+                t = &t[1..];
+            }
+            b'\\' if p.len() > 1 => {
+                if t.first() != Some(&p[1]) {
+                    return false;
+                }
+                p = &p[2..];
+                t = &t[1..];
+            }
+            _ => {
+                if t.first() != Some(&pc) {
+                    return false;
+                }
+                p = &p[1..];
+                t = &t[1..];
+            }
+        }
+    }
+    t.is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn sval(s: &str) -> Value {
+        Value::Str(b(s))
+    }
+
+    #[test]
+    fn set_get_remove() {
+        let mut db = Db::new();
+        db.set_value(b("k"), sval("v"));
+        assert_eq!(db.lookup(b"k", 0), Some(&sval("v")));
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.remove(b"k"), Some(sval("v")));
+        assert_eq!(db.lookup(b"k", 0), None);
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn expiry_hides_values() {
+        let mut db = Db::new();
+        db.set_value(b("k"), sval("v"));
+        assert!(db.set_expiry(b"k", Some(100)));
+        assert!(db.exists(b"k", 99));
+        assert!(!db.exists(b"k", 100));
+        assert!(db.lookup(b"k", 100).is_none());
+        // Entry is still physically present until reaped.
+        assert_eq!(db.len(), 1);
+        assert!(db.reap_if_expired(b"k", 100));
+        assert_eq!(db.len(), 0);
+        assert!(!db.reap_if_expired(b"k", 100));
+    }
+
+    #[test]
+    fn set_value_clears_ttl_keep_ttl_preserves() {
+        let mut db = Db::new();
+        db.set_value(b("k"), sval("v"));
+        db.set_expiry(b"k", Some(100));
+        db.set_value(b("k"), sval("v2"));
+        assert_eq!(db.expiry(b"k"), None);
+
+        db.set_expiry(b"k", Some(100));
+        db.set_value_keep_ttl(b("k"), sval("v3"));
+        assert_eq!(db.expiry(b"k"), Some(100));
+    }
+
+    #[test]
+    fn expiry_on_missing_key() {
+        let mut db = Db::new();
+        assert!(!db.set_expiry(b"nope", Some(1)));
+    }
+
+    #[test]
+    fn expired_keys_sampling() {
+        let mut db = Db::new();
+        for i in 0..10 {
+            let k = b(&format!("k{i}"));
+            db.set_value(k.clone(), sval("v"));
+            db.set_expiry(&k, Some(if i < 4 { 10 } else { 1000 }));
+        }
+        let expired = db.expired_keys(50, 100);
+        assert_eq!(expired.len(), 4);
+        assert!(db.expired_keys(5, 100).is_empty());
+    }
+
+    #[test]
+    fn versions_bump_on_modification() {
+        let mut db = Db::new();
+        assert_eq!(db.version(b"k"), 0);
+        db.set_value(b("k"), sval("v"));
+        let v1 = db.version(b"k");
+        assert!(v1 > 0);
+        db.signal_modified(b"k");
+        assert!(db.version(b"k") > v1);
+        // Removal is a modification too.
+        let v2 = db.version(b"k");
+        db.remove(b"k");
+        assert!(db.version(b"k") > v2);
+    }
+
+    #[test]
+    fn flush_bumps_versions() {
+        let mut db = Db::new();
+        db.set_value(b("k"), sval("v"));
+        let v = db.version(b"k");
+        db.flush();
+        assert!(db.version(b"k") > v);
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn scan_pages_through_all_keys() {
+        let mut db = Db::new();
+        for i in 0..25 {
+            db.set_value(b(&format!("k{i}")), sval("v"));
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut cursor = 0;
+        loop {
+            let (next, keys) = db.scan(cursor, 7, None);
+            seen.extend(keys);
+            if next == 0 {
+                break;
+            }
+            cursor = next;
+        }
+        assert_eq!(seen.len(), 25);
+    }
+
+    #[test]
+    fn scan_with_pattern() {
+        let mut db = Db::new();
+        db.set_value(b("user:1"), sval("a"));
+        db.set_value(b("user:2"), sval("b"));
+        db.set_value(b("order:1"), sval("c"));
+        let (_, keys) = db.scan(0, 100, Some(b"user:*"));
+        assert_eq!(keys.len(), 2);
+    }
+
+    #[test]
+    fn slot_index_tracks_keys() {
+        let mut db = Db::new();
+        db.set_value(b("{tag}a"), sval("1"));
+        db.set_value(b("{tag}b"), sval("2"));
+        let slot = crate::slots::key_hash_slot(b"{tag}a");
+        assert_eq!(db.count_keys_in_slot(slot), 2);
+        assert_eq!(db.keys_in_slot(slot).len(), 2);
+        db.remove(b"{tag}a");
+        assert_eq!(db.count_keys_in_slot(slot), 1);
+        assert_eq!(db.delete_slot(slot), 1);
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn random_key_none_when_empty() {
+        let db = Db::new();
+        assert!(db.random_key(3).is_none());
+        let mut db = Db::new();
+        db.set_value(b("only"), sval("v"));
+        assert_eq!(db.random_key(12345), Some(&b("only")));
+    }
+
+    #[test]
+    fn used_memory_reflects_content() {
+        let mut db = Db::new();
+        let base = db.used_memory();
+        db.set_value(b("k"), Value::Str(Bytes::from(vec![0u8; 1024])));
+        assert!(db.used_memory() > base + 1024);
+    }
+
+    #[test]
+    fn glob_literals_and_wildcards() {
+        assert!(glob_match(b"hello", b"hello"));
+        assert!(!glob_match(b"hello", b"hell"));
+        assert!(glob_match(b"*", b"anything"));
+        assert!(glob_match(b"*", b""));
+        assert!(glob_match(b"h*o", b"hello"));
+        assert!(glob_match(b"h*llo*", b"hello"));
+        assert!(!glob_match(b"h*z", b"hello"));
+        assert!(glob_match(b"h?llo", b"hello"));
+        assert!(!glob_match(b"h?llo", b"hllo"));
+    }
+
+    #[test]
+    fn glob_classes() {
+        assert!(glob_match(b"[abc]x", b"bx"));
+        assert!(!glob_match(b"[abc]x", b"dx"));
+        assert!(glob_match(b"[^abc]x", b"dx"));
+        assert!(!glob_match(b"[^abc]x", b"ax"));
+        assert!(glob_match(b"[a-c]x", b"bx"));
+        assert!(!glob_match(b"[a-c]x", b"dx"));
+        assert!(!glob_match(b"[ab", b"a")); // unterminated class
+    }
+
+    #[test]
+    fn glob_escapes() {
+        assert!(glob_match(b"a\\*b", b"a*b"));
+        assert!(!glob_match(b"a\\*b", b"axb"));
+        assert!(glob_match(b"a\\?b", b"a?b"));
+    }
+
+    #[test]
+    fn entry_or_insert_with_reaps_expired() {
+        let mut db = Db::new();
+        db.set_value(b("k"), sval("old"));
+        db.set_expiry(b"k", Some(5));
+        // At t=10 the key is expired; the default should be inserted fresh.
+        let v = db.entry_or_insert_with(&b("k"), 10, || sval("fresh"));
+        assert_eq!(v, &sval("fresh"));
+        assert_eq!(db.expiry(b"k"), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn prop_glob_never_panics(pattern in proptest::collection::vec(any::<u8>(), 0..32),
+                                  text in proptest::collection::vec(any::<u8>(), 0..32)) {
+            let _ = glob_match(&pattern, &text);
+        }
+
+        #[test]
+        fn prop_literal_patterns_match_exactly(text in proptest::collection::vec(any::<u8>(), 0..24)) {
+            // A pattern with every byte escaped matches exactly its text.
+            let mut pattern = Vec::new();
+            for &b in &text {
+                pattern.push(b'\\');
+                pattern.push(b);
+            }
+            prop_assert!(glob_match(&pattern, &text));
+            let mut other = text.clone();
+            other.push(b'x');
+            prop_assert!(!glob_match(&pattern, &other));
+        }
+
+        #[test]
+        fn prop_star_matches_everything(text in proptest::collection::vec(any::<u8>(), 0..32)) {
+            prop_assert!(glob_match(b"*", &text));
+        }
+    }
+}

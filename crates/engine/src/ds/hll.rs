@@ -1,0 +1,261 @@
+//! Dense HyperLogLog with 2^14 six-bit registers.
+//!
+//! Matches Redis's dense encoding parameters (16384 registers → standard
+//! error ≈ 0.81%) and uses the classic bias-corrected estimator with linear
+//! counting for small cardinalities. Hashing uses a fixed-key SipHash so
+//! estimates are deterministic across processes — a requirement for
+//! effect-stream replication (a replica merging the same `PFADD`s must reach
+//! an identical structure).
+
+use std::hash::{Hash, Hasher};
+
+/// Number of registers (2^14, Redis's choice).
+pub const REGISTERS: usize = 1 << 14;
+const REG_BITS: usize = 6;
+const DATA_BYTES: usize = REGISTERS * REG_BITS / 8; // 12288
+
+/// A dense HyperLogLog.
+#[derive(Clone, PartialEq)]
+pub struct Hll {
+    /// 6-bit registers packed little-endian-in-bit-order.
+    data: Box<[u8; DATA_BYTES]>,
+}
+
+impl std::fmt::Debug for Hll {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Hll(count≈{})", self.count())
+    }
+}
+
+impl Default for Hll {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A deterministic 64-bit hash: std's SipHash-1-3 with its fixed default
+/// keys, which is stable for a given Rust release and — more importantly —
+/// identical on primary and replicas within one process universe.
+fn hash64(data: &[u8]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    data.hash(&mut h);
+    h.finish()
+}
+
+impl Hll {
+    /// Creates an empty HLL (all registers zero).
+    pub fn new() -> Hll {
+        Hll {
+            data: Box::new([0u8; DATA_BYTES]),
+        }
+    }
+
+    fn get_register(&self, idx: usize) -> u8 {
+        let bit = idx * REG_BITS;
+        let byte = bit / 8;
+        let off = bit % 8;
+        let lo = self.data[byte] as u16;
+        let hi = if byte + 1 < DATA_BYTES {
+            self.data[byte + 1] as u16
+        } else {
+            0
+        };
+        (((lo | (hi << 8)) >> off) & 0x3F) as u8
+    }
+
+    fn set_register(&mut self, idx: usize, val: u8) {
+        debug_assert!(val < 64);
+        let bit = idx * REG_BITS;
+        let byte = bit / 8;
+        let off = bit % 8;
+        let mut word = self.data[byte] as u16;
+        if byte + 1 < DATA_BYTES {
+            word |= (self.data[byte + 1] as u16) << 8;
+        }
+        word &= !(0x3Fu16 << off);
+        word |= (val as u16) << off;
+        self.data[byte] = (word & 0xFF) as u8;
+        if byte + 1 < DATA_BYTES {
+            self.data[byte + 1] = (word >> 8) as u8;
+        }
+    }
+
+    /// Adds an element. Returns `true` if any register changed (the Redis
+    /// `PFADD` return contract).
+    pub fn add(&mut self, element: &[u8]) -> bool {
+        let h = hash64(element);
+        let idx = (h & (REGISTERS as u64 - 1)) as usize;
+        // Rank of first set bit in the remaining 50 bits, 1-based.
+        let rest = h >> 14;
+        let rank = (rest.trailing_zeros().min(50) + 1) as u8;
+        if rank > self.get_register(idx) {
+            self.set_register(idx, rank);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Merges another HLL into this one (register-wise max). Returns `true`
+    /// if any register changed.
+    pub fn merge(&mut self, other: &Hll) -> bool {
+        let mut changed = false;
+        for i in 0..REGISTERS {
+            let o = other.get_register(i);
+            if o > self.get_register(i) {
+                self.set_register(i, o);
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Estimates the cardinality.
+    pub fn count(&self) -> u64 {
+        let m = REGISTERS as f64;
+        let mut sum = 0.0;
+        let mut zeros = 0usize;
+        for i in 0..REGISTERS {
+            let r = self.get_register(i);
+            if r == 0 {
+                zeros += 1;
+            }
+            sum += 1.0 / (1u64 << r) as f64;
+        }
+        let alpha = 0.7213 / (1.0 + 1.079 / m);
+        let raw = alpha * m * m / sum;
+        if raw <= 2.5 * m && zeros > 0 {
+            // Linear counting for small cardinalities.
+            (m * (m / zeros as f64).ln()).round() as u64
+        } else {
+            raw.round() as u64
+        }
+    }
+
+    /// Serializes to bytes (used by the RDB-like snapshot format).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+
+    /// Deserializes from bytes produced by [`Hll::to_bytes`].
+    pub fn from_bytes(data: &[u8]) -> Option<Hll> {
+        if data.len() != DATA_BYTES {
+            return None;
+        }
+        let mut arr = Box::new([0u8; DATA_BYTES]);
+        arr.copy_from_slice(data);
+        Some(Hll { data: arr })
+    }
+
+    /// Approximate heap footprint.
+    pub fn approx_size(&self) -> usize {
+        DATA_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_counts_zero() {
+        assert_eq!(Hll::new().count(), 0);
+    }
+
+    #[test]
+    fn register_packing_roundtrip() {
+        let mut h = Hll::new();
+        // Exercise all bit offsets, including byte-straddling registers.
+        for (i, v) in [(0usize, 63u8), (1, 1), (2, 42), (3, 7), (100, 33), (16383, 50)] {
+            h.set_register(i, v);
+        }
+        assert_eq!(h.get_register(0), 63);
+        assert_eq!(h.get_register(1), 1);
+        assert_eq!(h.get_register(2), 42);
+        assert_eq!(h.get_register(3), 7);
+        assert_eq!(h.get_register(100), 33);
+        assert_eq!(h.get_register(16383), 50);
+        // Neighbours untouched.
+        assert_eq!(h.get_register(4), 0);
+        assert_eq!(h.get_register(99), 0);
+    }
+
+    #[test]
+    fn add_is_idempotent() {
+        let mut h = Hll::new();
+        assert!(h.add(b"x"));
+        assert!(!h.add(b"x"));
+        let c = h.count();
+        h.add(b"x");
+        assert_eq!(h.count(), c);
+    }
+
+    #[test]
+    fn small_cardinality_exactish() {
+        let mut h = Hll::new();
+        for i in 0..100 {
+            h.add(format!("item-{i}").as_bytes());
+        }
+        let c = h.count();
+        // Linear counting regime: should be essentially exact.
+        assert!((95..=105).contains(&c), "count {c} not within 5% of 100");
+    }
+
+    #[test]
+    fn large_cardinality_within_error_bound() {
+        let mut h = Hll::new();
+        let n = 100_000u64;
+        for i in 0..n {
+            h.add(format!("element-{i}").as_bytes());
+        }
+        let c = h.count() as f64;
+        let err = (c - n as f64).abs() / n as f64;
+        // Standard error is 0.81%; allow 4 sigma.
+        assert!(err < 0.033, "relative error {err} too large (count {c})");
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = Hll::new();
+        let mut b = Hll::new();
+        let mut union = Hll::new();
+        for i in 0..5_000 {
+            let e = format!("a-{i}");
+            a.add(e.as_bytes());
+            union.add(e.as_bytes());
+        }
+        for i in 0..5_000 {
+            let e = format!("b-{i}");
+            b.add(e.as_bytes());
+            union.add(e.as_bytes());
+        }
+        let mut merged = a.clone();
+        assert!(merged.merge(&b));
+        assert_eq!(merged.count(), union.count());
+        // Merging again changes nothing.
+        assert!(!merged.merge(&b));
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut h = Hll::new();
+        for i in 0..1_000 {
+            h.add(format!("x{i}").as_bytes());
+        }
+        let bytes = h.to_bytes();
+        let back = Hll::from_bytes(&bytes).unwrap();
+        assert_eq!(back.count(), h.count());
+        assert!(Hll::from_bytes(&bytes[1..]).is_none());
+    }
+
+    #[test]
+    fn determinism_across_instances() {
+        let mut a = Hll::new();
+        let mut b = Hll::new();
+        for i in 0..1_000 {
+            a.add(format!("k{i}").as_bytes());
+            b.add(format!("k{i}").as_bytes());
+        }
+        assert_eq!(a.to_bytes(), b.to_bytes());
+    }
+}

@@ -1,0 +1,16 @@
+//! The engine's from-scratch data structures.
+//!
+//! Strings, lists, hashes and sets use `std` collections directly (as fields
+//! of [`crate::Value`]); the structures with non-trivial algorithmic content
+//! live here:
+//!
+//! * [`zset`] — a skiplist with rank spans (the structure Redis itself uses
+//!   for sorted sets), supporting O(log n) insert/delete/rank and range
+//!   queries by rank, score, and lex order.
+//! * [`stream`] — an append-only log of (ms, seq) ids, as used by `XADD` &co.
+//! * [`hll`] — a dense HyperLogLog with 2^14 six-bit registers and the
+//!   standard bias-corrected estimator.
+
+pub mod hll;
+pub mod stream;
+pub mod zset;

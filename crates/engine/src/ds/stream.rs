@@ -1,0 +1,515 @@
+//! Redis streams: an append-only log of `(ms, seq)`-identified entries.
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// A stream entry id: millisecond timestamp plus a per-millisecond sequence.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StreamId {
+    /// Millisecond component.
+    pub ms: u64,
+    /// Sequence within the millisecond.
+    pub seq: u64,
+}
+
+impl StreamId {
+    /// The smallest possible id (`0-0`).
+    pub const MIN: StreamId = StreamId { ms: 0, seq: 0 };
+    /// The largest possible id.
+    pub const MAX: StreamId = StreamId {
+        ms: u64::MAX,
+        seq: u64::MAX,
+    };
+
+    /// The next id after this one, or `None` at the maximum.
+    pub fn next(self) -> Option<StreamId> {
+        if self.seq < u64::MAX {
+            Some(StreamId {
+                ms: self.ms,
+                seq: self.seq + 1,
+            })
+        } else if self.ms < u64::MAX {
+            Some(StreamId {
+                ms: self.ms + 1,
+                seq: 0,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.ms, self.seq)
+    }
+}
+
+/// Error parsing a stream id from its `ms-seq` text form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseStreamIdError;
+
+impl FromStr for StreamId {
+    type Err = ParseStreamIdError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.split_once('-') {
+            Some((ms, seq)) => Ok(StreamId {
+                ms: ms.parse().map_err(|_| ParseStreamIdError)?,
+                seq: seq.parse().map_err(|_| ParseStreamIdError)?,
+            }),
+            // A bare number means `ms-0` in range queries.
+            None => Ok(StreamId {
+                ms: s.parse().map_err(|_| ParseStreamIdError)?,
+                seq: 0,
+            }),
+        }
+    }
+}
+
+/// One stream entry: alternating field/value pairs.
+pub type StreamEntry = Vec<(Bytes, Bytes)>;
+
+/// A pending (delivered but unacknowledged) entry in a consumer group's PEL.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingEntry {
+    /// Consumer the entry is assigned to.
+    pub consumer: Bytes,
+    /// Last delivery time (engine milliseconds).
+    pub delivery_time_ms: u64,
+    /// How many times it has been delivered.
+    pub delivery_count: u64,
+}
+
+/// A consumer group over a stream.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConsumerGroup {
+    /// Last entry delivered to any consumer via `>`.
+    pub last_delivered: StreamId,
+    /// The pending entries list (PEL): delivered, not yet acknowledged.
+    pub pending: BTreeMap<StreamId, PendingEntry>,
+    /// Known consumer names (created on first read or explicitly).
+    pub consumers: std::collections::BTreeSet<Bytes>,
+}
+
+/// An append-only stream.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Stream {
+    entries: BTreeMap<StreamId, StreamEntry>,
+    /// Highest id ever assigned — persists across XDEL so ids never repeat.
+    pub last_id: StreamId,
+    /// Total entries ever added (monotone).
+    pub entries_added: u64,
+    /// Lowest id ever trimmed/deleted, for `XADD` id validation parity.
+    pub max_deleted_id: StreamId,
+    /// Consumer groups, by name (sorted for canonical serialization).
+    pub groups: BTreeMap<Bytes, ConsumerGroup>,
+}
+
+impl Stream {
+    /// Creates an empty stream.
+    pub fn new() -> Stream {
+        Stream::default()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no live entries remain.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Generates the id `XADD key *` would assign at wall time `now_ms`.
+    pub fn next_auto_id(&self, now_ms: u64) -> StreamId {
+        if now_ms > self.last_id.ms {
+            StreamId { ms: now_ms, seq: 0 }
+        } else {
+            StreamId {
+                ms: self.last_id.ms,
+                seq: self.last_id.seq + 1,
+            }
+        }
+    }
+
+    /// Appends an entry with an explicit id. Fails if the id is not strictly
+    /// greater than `last_id` (Redis's monotonicity rule).
+    pub fn add(&mut self, id: StreamId, fields: StreamEntry) -> Result<(), StreamAddError> {
+        if id == StreamId::MIN {
+            return Err(StreamAddError::IdZero);
+        }
+        if id <= self.last_id && self.entries_added > 0 {
+            return Err(StreamAddError::IdTooSmall);
+        }
+        self.last_id = id;
+        self.entries_added += 1;
+        self.entries.insert(id, fields);
+        Ok(())
+    }
+
+    /// Looks up a single entry.
+    pub fn get(&self, id: &StreamId) -> Option<&StreamEntry> {
+        self.entries.get(id)
+    }
+
+    /// Deletes entries by id, returning how many existed.
+    pub fn delete(&mut self, ids: &[StreamId]) -> usize {
+        let mut removed = 0;
+        for id in ids {
+            if self.entries.remove(id).is_some() {
+                removed += 1;
+                if *id > self.max_deleted_id {
+                    self.max_deleted_id = *id;
+                }
+            }
+        }
+        removed
+    }
+
+    /// Entries with `start <= id <= end`, ascending, up to `count`.
+    pub fn range(
+        &self,
+        start: StreamId,
+        end: StreamId,
+        count: Option<usize>,
+    ) -> Vec<(StreamId, StreamEntry)> {
+        let iter = self.entries.range(start..=end).map(|(id, e)| (*id, e.clone()));
+        match count {
+            Some(n) => iter.take(n).collect(),
+            None => iter.collect(),
+        }
+    }
+
+    /// Entries with `start <= id <= end`, **descending**, up to `count`.
+    pub fn rev_range(
+        &self,
+        start: StreamId,
+        end: StreamId,
+        count: Option<usize>,
+    ) -> Vec<(StreamId, StreamEntry)> {
+        let iter = self
+            .entries
+            .range(start..=end)
+            .rev()
+            .map(|(id, e)| (*id, e.clone()));
+        match count {
+            Some(n) => iter.take(n).collect(),
+            None => iter.collect(),
+        }
+    }
+
+    /// Entries strictly after `after`, ascending (the `XREAD` primitive).
+    pub fn read_after(&self, after: StreamId, count: Option<usize>) -> Vec<(StreamId, StreamEntry)> {
+        let Some(start) = after.next() else {
+            return Vec::new();
+        };
+        self.range(start, StreamId::MAX, count)
+    }
+
+    /// Trims to at most `maxlen` entries by dropping the oldest; returns the
+    /// number evicted (`XTRIM MAXLEN`).
+    pub fn trim_maxlen(&mut self, maxlen: usize) -> usize {
+        let mut evicted = 0;
+        while self.entries.len() > maxlen {
+            let id = *self.entries.keys().next().expect("non-empty");
+            self.entries.remove(&id);
+            if id > self.max_deleted_id {
+                self.max_deleted_id = id;
+            }
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Trims entries with id < `minid`; returns the number evicted.
+    pub fn trim_minid(&mut self, minid: StreamId) -> usize {
+        let victims: Vec<StreamId> = self
+            .entries
+            .range(..minid)
+            .map(|(id, _)| *id)
+            .collect();
+        let n = victims.len();
+        self.delete(&victims);
+        n
+    }
+
+    /// First (lowest-id) live entry.
+    pub fn first(&self) -> Option<(StreamId, &StreamEntry)> {
+        self.entries.iter().next().map(|(id, e)| (*id, e))
+    }
+
+    /// Last (highest-id) live entry.
+    pub fn last(&self) -> Option<(StreamId, &StreamEntry)> {
+        self.entries.iter().next_back().map(|(id, e)| (*id, e))
+    }
+
+    /// Approximate heap footprint.
+    pub fn approx_size(&self) -> usize {
+        let entries: usize = self
+            .entries
+            .values()
+            .map(|e| e.iter().map(|(f, v)| f.len() + v.len() + 32).sum::<usize>() + 48)
+            .sum();
+        let groups: usize = self
+            .groups
+            .iter()
+            .map(|(name, g)| name.len() + g.pending.len() * 48 + 64)
+            .sum();
+        entries + groups
+    }
+
+    // --- consumer groups (§2.1's "rich feature set") ----------------------
+
+    /// Creates a consumer group positioned after `start`. Returns `false`
+    /// if the group already exists.
+    pub fn create_group(&mut self, name: Bytes, start: StreamId) -> bool {
+        if self.groups.contains_key(&name) {
+            return false;
+        }
+        self.groups.insert(
+            name,
+            ConsumerGroup {
+                last_delivered: start,
+                ..ConsumerGroup::default()
+            },
+        );
+        true
+    }
+
+    /// Destroys a group; returns whether it existed.
+    pub fn destroy_group(&mut self, name: &[u8]) -> bool {
+        self.groups.remove(name).is_some()
+    }
+
+    /// New-message ids a `XREADGROUP ... >` call would deliver (does NOT
+    /// mutate; the caller assigns via [`Stream::claim`] + group SETID so
+    /// the mutation is expressible as deterministic effects).
+    pub fn undelivered(&self, group: &[u8], count: Option<usize>) -> Vec<StreamId> {
+        let Some(g) = self.groups.get(group) else {
+            return Vec::new();
+        };
+        let iter = self
+            .entries
+            .range(g.last_delivered..)
+            .map(|(id, _)| *id)
+            .filter(|id| *id > g.last_delivered);
+        match count {
+            Some(n) => iter.take(n).collect(),
+            None => iter.collect(),
+        }
+    }
+
+    /// Assigns entries to a consumer in a group's PEL with an explicit
+    /// delivery time — the deterministic primitive behind both `XCLAIM`
+    /// and the replication of `XREADGROUP` (Redis replicates group reads
+    /// as XCLAIM). With `force`, creates PEL entries even if absent.
+    /// Returns the ids actually (re)assigned.
+    pub fn claim(
+        &mut self,
+        group: &[u8],
+        consumer: &Bytes,
+        ids: &[StreamId],
+        time_ms: u64,
+        retry_count: Option<u64>,
+        force: bool,
+    ) -> Vec<StreamId> {
+        let Some(g) = self.groups.get_mut(group) else {
+            return Vec::new();
+        };
+        g.consumers.insert(consumer.clone());
+        let mut out = Vec::new();
+        for id in ids {
+            // Claiming an entry that no longer exists removes it from the
+            // PEL instead (Redis behaviour).
+            if !self.entries.contains_key(id) {
+                g.pending.remove(id);
+                continue;
+            }
+            match g.pending.get_mut(id) {
+                Some(p) => {
+                    p.consumer = consumer.clone();
+                    p.delivery_time_ms = time_ms;
+                    p.delivery_count = retry_count.unwrap_or(p.delivery_count + 1);
+                    out.push(*id);
+                }
+                None if force => {
+                    g.pending.insert(
+                        *id,
+                        PendingEntry {
+                            consumer: consumer.clone(),
+                            delivery_time_ms: time_ms,
+                            delivery_count: retry_count.unwrap_or(1),
+                        },
+                    );
+                    out.push(*id);
+                }
+                None => {}
+            }
+        }
+        out
+    }
+
+    /// Acknowledges ids in a group; returns how many were pending.
+    pub fn ack(&mut self, group: &[u8], ids: &[StreamId]) -> usize {
+        let Some(g) = self.groups.get_mut(group) else {
+            return 0;
+        };
+        ids.iter().filter(|id| g.pending.remove(id).is_some()).count()
+    }
+
+    /// Moves a group's delivery cursor (XGROUP SETID / replication of
+    /// group reads).
+    pub fn set_group_cursor(&mut self, group: &[u8], id: StreamId) -> bool {
+        match self.groups.get_mut(group) {
+            Some(g) => {
+                g.last_delivered = id;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// A consumer's pending entries in id order (the non-`>` XREADGROUP
+    /// form re-reads the consumer's own PEL).
+    pub fn consumer_pending(
+        &self,
+        group: &[u8],
+        consumer: &[u8],
+        after: StreamId,
+        count: Option<usize>,
+    ) -> Vec<StreamId> {
+        let Some(g) = self.groups.get(group) else {
+            return Vec::new();
+        };
+        let iter = g
+            .pending
+            .range(after..)
+            .filter(|(id, p)| **id > after && p.consumer.as_ref() == consumer)
+            .map(|(id, _)| *id);
+        match count {
+            Some(n) => iter.take(n).collect(),
+            None => iter.collect(),
+        }
+    }
+}
+
+/// Errors from [`Stream::add`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamAddError {
+    /// `0-0` is not a valid entry id.
+    IdZero,
+    /// The id is not greater than the stream's last id.
+    IdTooSmall,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fields(s: &str) -> StreamEntry {
+        vec![(Bytes::from_static(b"f"), Bytes::copy_from_slice(s.as_bytes()))]
+    }
+
+    fn id(ms: u64, seq: u64) -> StreamId {
+        StreamId { ms, seq }
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!("5-3".parse::<StreamId>().unwrap(), id(5, 3));
+        assert_eq!("7".parse::<StreamId>().unwrap(), id(7, 0));
+        assert!("x-1".parse::<StreamId>().is_err());
+        assert_eq!(id(5, 3).to_string(), "5-3");
+    }
+
+    #[test]
+    fn monotonic_ids_enforced() {
+        let mut s = Stream::new();
+        s.add(id(5, 0), fields("a")).unwrap();
+        assert_eq!(s.add(id(5, 0), fields("b")), Err(StreamAddError::IdTooSmall));
+        assert_eq!(s.add(id(4, 9), fields("b")), Err(StreamAddError::IdTooSmall));
+        s.add(id(5, 1), fields("b")).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.add(id(0, 0), fields("z")), Err(StreamAddError::IdZero));
+    }
+
+    #[test]
+    fn auto_id_generation() {
+        let mut s = Stream::new();
+        assert_eq!(s.next_auto_id(100), id(100, 0));
+        s.add(id(100, 0), fields("a")).unwrap();
+        // Same millisecond → bump sequence.
+        assert_eq!(s.next_auto_id(100), id(100, 1));
+        // Clock went backwards → stay at last ms, bump sequence.
+        assert_eq!(s.next_auto_id(50), id(100, 1));
+        assert_eq!(s.next_auto_id(200), id(200, 0));
+    }
+
+    #[test]
+    fn range_queries() {
+        let mut s = Stream::new();
+        for i in 1..=5 {
+            s.add(id(i, 0), fields(&i.to_string())).unwrap();
+        }
+        assert_eq!(s.range(id(2, 0), id(4, 0), None).len(), 3);
+        assert_eq!(s.range(StreamId::MIN, StreamId::MAX, Some(2)).len(), 2);
+        let rev = s.rev_range(StreamId::MIN, StreamId::MAX, Some(2));
+        assert_eq!(rev[0].0, id(5, 0));
+        assert_eq!(rev[1].0, id(4, 0));
+    }
+
+    #[test]
+    fn read_after_excludes_start() {
+        let mut s = Stream::new();
+        for i in 1..=3 {
+            s.add(id(i, 0), fields(&i.to_string())).unwrap();
+        }
+        let out = s.read_after(id(1, 0), None);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, id(2, 0));
+        assert!(s.read_after(id(3, 0), None).is_empty());
+    }
+
+    #[test]
+    fn delete_and_last_id_persistence() {
+        let mut s = Stream::new();
+        s.add(id(1, 0), fields("a")).unwrap();
+        s.add(id(2, 0), fields("b")).unwrap();
+        assert_eq!(s.delete(&[id(2, 0), id(9, 9)]), 1);
+        assert_eq!(s.len(), 1);
+        // last_id survives deletion: new adds must still exceed 2-0.
+        assert_eq!(s.add(id(2, 0), fields("c")), Err(StreamAddError::IdTooSmall));
+    }
+
+    #[test]
+    fn trim_maxlen_drops_oldest() {
+        let mut s = Stream::new();
+        for i in 1..=10 {
+            s.add(id(i, 0), fields(&i.to_string())).unwrap();
+        }
+        assert_eq!(s.trim_maxlen(3), 7);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.first().unwrap().0, id(8, 0));
+    }
+
+    #[test]
+    fn trim_minid() {
+        let mut s = Stream::new();
+        for i in 1..=5 {
+            s.add(id(i, 0), fields(&i.to_string())).unwrap();
+        }
+        assert_eq!(s.trim_minid(id(3, 0)), 2);
+        assert_eq!(s.first().unwrap().0, id(3, 0));
+    }
+
+    #[test]
+    fn id_next_overflow_behaviour() {
+        assert_eq!(id(1, u64::MAX).next(), Some(id(2, 0)));
+        assert_eq!(StreamId::MAX.next(), None);
+        assert_eq!(id(1, 1).next(), Some(id(1, 2)));
+    }
+}

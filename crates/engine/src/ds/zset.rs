@@ -1,0 +1,864 @@
+//! Sorted set: a skiplist with rank spans plus a member → score map.
+//!
+//! This mirrors Redis's own `t_zset.c` design: a hash map gives O(1) score
+//! lookup, and a skiplist ordered by `(score, member)` gives O(log n)
+//! insertion, deletion, rank queries, and range scans. Spans on each forward
+//! link count level-0 hops, which is what makes rank arithmetic O(log n).
+//!
+//! The arena-based representation (`Vec<Node>` + u32 links) avoids `unsafe`
+//! entirely: the workspace denies unsafe code.
+
+use bytes::Bytes;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+const MAX_LEVEL: usize = 32;
+/// Probability numerator for promoting a node one level (Redis uses 0.25).
+const P_NUM: u64 = 1;
+const P_DEN: u64 = 4;
+const NIL: u32 = u32::MAX;
+
+/// Inclusive/exclusive bound on a score range (`ZRANGEBYSCORE` syntax).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScoreBound {
+    /// Unbounded below (`-inf`).
+    NegInf,
+    /// Unbounded above (`+inf`).
+    PosInf,
+    /// Inclusive finite bound.
+    Incl(f64),
+    /// Exclusive finite bound (the `(1.5` syntax).
+    Excl(f64),
+}
+
+impl ScoreBound {
+    fn admits_from_below(&self, score: f64) -> bool {
+        match *self {
+            ScoreBound::NegInf => true,
+            ScoreBound::PosInf => false,
+            ScoreBound::Incl(b) => score >= b,
+            ScoreBound::Excl(b) => score > b,
+        }
+    }
+
+    fn admits_from_above(&self, score: f64) -> bool {
+        match *self {
+            ScoreBound::NegInf => false,
+            ScoreBound::PosInf => true,
+            ScoreBound::Incl(b) => score <= b,
+            ScoreBound::Excl(b) => score < b,
+        }
+    }
+}
+
+/// Bound on a lexicographic range (`ZRANGEBYLEX` syntax).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LexBound {
+    /// `-` — before every member.
+    NegInf,
+    /// `+` — after every member.
+    PosInf,
+    /// `[m` — inclusive.
+    Incl(Bytes),
+    /// `(m` — exclusive.
+    Excl(Bytes),
+}
+
+impl LexBound {
+    fn admits_from_below(&self, member: &[u8]) -> bool {
+        match self {
+            LexBound::NegInf => true,
+            LexBound::PosInf => false,
+            LexBound::Incl(b) => member >= b.as_ref(),
+            LexBound::Excl(b) => member > b.as_ref(),
+        }
+    }
+
+    fn admits_from_above(&self, member: &[u8]) -> bool {
+        match self {
+            LexBound::NegInf => false,
+            LexBound::PosInf => true,
+            LexBound::Incl(b) => member <= b.as_ref(),
+            LexBound::Excl(b) => member < b.as_ref(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Link {
+    next: u32,
+    /// Number of level-0 hops this link covers.
+    span: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    member: Bytes,
+    score: f64,
+    links: Vec<Link>,
+}
+
+/// A sorted set.
+#[derive(Debug, Clone)]
+pub struct ZSet {
+    scores: HashMap<Bytes, f64>,
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    level: usize,
+    len: usize,
+    /// xorshift64 state for level generation; seeded constant so that a
+    /// replica replaying the effect stream builds an identical structure.
+    rng: u64,
+}
+
+impl Default for ZSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PartialEq for ZSet {
+    fn eq(&self, other: &Self) -> bool {
+        // Structural layout (levels) is irrelevant; equal content suffices.
+        self.len == other.len && self.scores == other.scores
+    }
+}
+
+fn cmp_entry(a_score: f64, a_member: &[u8], b_score: f64, b_member: &[u8]) -> Ordering {
+    a_score
+        .partial_cmp(&b_score)
+        .expect("scores are never NaN")
+        .then_with(|| a_member.cmp(b_member))
+}
+
+impl ZSet {
+    /// Creates an empty sorted set.
+    pub fn new() -> ZSet {
+        let head = Node {
+            member: Bytes::new(),
+            score: f64::NEG_INFINITY,
+            links: vec![Link { next: NIL, span: 0 }; MAX_LEVEL],
+        };
+        ZSet {
+            scores: HashMap::new(),
+            nodes: vec![head],
+            free: Vec::new(),
+            level: 1,
+            len: 0,
+            rng: 0x9E3779B97F4A7C15,
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Score of `member`, if present.
+    pub fn score(&self, member: &[u8]) -> Option<f64> {
+        self.scores.get(member).copied()
+    }
+
+    /// Inserts or updates a member. Returns `true` if the member was new.
+    pub fn insert(&mut self, member: Bytes, score: f64) -> bool {
+        debug_assert!(!score.is_nan());
+        match self.scores.get(&member).copied() {
+            Some(old) => {
+                if old != score {
+                    self.list_remove(old, &member);
+                    self.list_insert(score, member.clone());
+                    self.scores.insert(member, score);
+                }
+                false
+            }
+            None => {
+                self.list_insert(score, member.clone());
+                self.scores.insert(member, score);
+                self.len += 1;
+                true
+            }
+        }
+    }
+
+    /// Removes a member. Returns its score if it was present.
+    pub fn remove(&mut self, member: &[u8]) -> Option<f64> {
+        let score = self.scores.remove(member)?;
+        self.list_remove(score, member);
+        self.len -= 1;
+        Some(score)
+    }
+
+    /// Adds `delta` to a member's score (inserting at `delta` when absent)
+    /// and returns the new score.
+    pub fn incr(&mut self, member: Bytes, delta: f64) -> f64 {
+        let new = self.scores.get(&member).copied().unwrap_or(0.0) + delta;
+        self.insert(member, new);
+        new
+    }
+
+    /// 0-based rank of a member in ascending `(score, member)` order.
+    pub fn rank(&self, member: &[u8]) -> Option<usize> {
+        let score = self.score(member)?;
+        let mut x = 0u32;
+        let mut rank = 0usize;
+        for i in (0..self.level).rev() {
+            loop {
+                let link = self.nodes[x as usize].links[i];
+                if link.next == NIL {
+                    break;
+                }
+                let nxt = &self.nodes[link.next as usize];
+                if cmp_entry(nxt.score, &nxt.member, score, member) == Ordering::Less {
+                    rank += link.span as usize;
+                    x = link.next;
+                } else {
+                    break;
+                }
+            }
+        }
+        Some(rank)
+    }
+
+    /// Member and score at a 0-based rank.
+    pub fn by_rank(&self, rank: usize) -> Option<(&Bytes, f64)> {
+        if rank >= self.len {
+            return None;
+        }
+        let target = rank + 1; // 1-based traversal position
+        let mut traversed = 0usize;
+        let mut x = 0u32;
+        for i in (0..self.level).rev() {
+            loop {
+                let link = self.nodes[x as usize].links[i];
+                if link.next == NIL || traversed + link.span as usize > target {
+                    break;
+                }
+                traversed += link.span as usize;
+                x = link.next;
+                if traversed == target {
+                    let n = &self.nodes[x as usize];
+                    return Some((&n.member, n.score));
+                }
+            }
+        }
+        None
+    }
+
+    /// Ascending iterator over all `(member, score)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Bytes, f64)> {
+        ZIter {
+            z: self,
+            cur: self.nodes[0].links[0].next,
+        }
+    }
+
+    /// Members in the 0-based rank window `[start, stop]` (both inclusive),
+    /// ascending.
+    pub fn range_by_rank(&self, start: usize, stop: usize) -> Vec<(Bytes, f64)> {
+        if start >= self.len || stop < start {
+            return Vec::new();
+        }
+        let stop = stop.min(self.len - 1);
+        let mut out = Vec::with_capacity(stop - start + 1);
+        // Jump to `start` with rank arithmetic, then walk level 0.
+        if let Some((m, s)) = self.by_rank(start) {
+            let mut cur_idx = self.find_index(s, m).expect("rank hit must exist");
+            out.push((m.clone(), s));
+            for _ in start..stop {
+                let nxt = self.nodes[cur_idx as usize].links[0].next;
+                if nxt == NIL {
+                    break;
+                }
+                let n = &self.nodes[nxt as usize];
+                out.push((n.member.clone(), n.score));
+                cur_idx = nxt;
+            }
+        }
+        out
+    }
+
+    /// Members whose score lies within `[min, max]`, ascending.
+    pub fn range_by_score(&self, min: &ScoreBound, max: &ScoreBound) -> Vec<(Bytes, f64)> {
+        let mut out = Vec::new();
+        let mut cur = self.first_in_score_range(min);
+        while cur != NIL {
+            let n = &self.nodes[cur as usize];
+            if !max.admits_from_above(n.score) {
+                break;
+            }
+            out.push((n.member.clone(), n.score));
+            cur = n.links[0].next;
+        }
+        out
+    }
+
+    /// Number of members whose score lies within the range.
+    pub fn count_by_score(&self, min: &ScoreBound, max: &ScoreBound) -> usize {
+        // O(range) walk; fine at this scale and keeps the code simple.
+        let mut count = 0;
+        let mut cur = self.first_in_score_range(min);
+        while cur != NIL {
+            let n = &self.nodes[cur as usize];
+            if !max.admits_from_above(n.score) {
+                break;
+            }
+            count += 1;
+            cur = n.links[0].next;
+        }
+        count
+    }
+
+    /// Members within a lexicographic range, ascending. Redis defines this
+    /// only when all members share a score; we apply it over member order
+    /// regardless.
+    pub fn range_by_lex(&self, min: &LexBound, max: &LexBound) -> Vec<(Bytes, f64)> {
+        let mut out = Vec::new();
+        let mut cur = self.nodes[0].links[0].next;
+        while cur != NIL {
+            let n = &self.nodes[cur as usize];
+            if min.admits_from_below(&n.member) {
+                if !max.admits_from_above(&n.member) {
+                    // Members are only lex-ordered within one score band, so
+                    // keep scanning rather than break (multi-score sets).
+                    cur = n.links[0].next;
+                    continue;
+                }
+                out.push((n.member.clone(), n.score));
+            }
+            cur = n.links[0].next;
+        }
+        out
+    }
+
+    /// Removes every member in the 0-based rank window, returning them.
+    pub fn remove_range_by_rank(&mut self, start: usize, stop: usize) -> Vec<(Bytes, f64)> {
+        let victims = self.range_by_rank(start, stop);
+        for (m, _) in &victims {
+            self.remove(m);
+        }
+        victims
+    }
+
+    /// Removes every member in the score range, returning them.
+    pub fn remove_range_by_score(
+        &mut self,
+        min: &ScoreBound,
+        max: &ScoreBound,
+    ) -> Vec<(Bytes, f64)> {
+        let victims = self.range_by_score(min, max);
+        for (m, _) in &victims {
+            self.remove(m);
+        }
+        victims
+    }
+
+    /// Pops the `count` lowest-ranked members (`ZPOPMIN`).
+    pub fn pop_min(&mut self, count: usize) -> Vec<(Bytes, f64)> {
+        if count == 0 || self.len == 0 {
+            return Vec::new();
+        }
+        let count = count.min(self.len);
+        self.remove_range_by_rank(0, count - 1)
+    }
+
+    /// Pops the `count` highest-ranked members (`ZPOPMAX`), highest first.
+    pub fn pop_max(&mut self, count: usize) -> Vec<(Bytes, f64)> {
+        if self.len == 0 || count == 0 {
+            return Vec::new();
+        }
+        let count = count.min(self.len);
+        let mut out = self.remove_range_by_rank(self.len - count, self.len - 1);
+        out.reverse();
+        out
+    }
+
+    /// Approximate heap footprint.
+    pub fn approx_size(&self) -> usize {
+        self.scores
+            .iter()
+            .map(|(m, _)| 2 * m.len() + 64)
+            .sum::<usize>()
+    }
+
+    // --- internals ---------------------------------------------------------
+
+    fn first_in_score_range(&self, min: &ScoreBound) -> u32 {
+        let mut x = 0u32;
+        for i in (0..self.level).rev() {
+            loop {
+                let link = self.nodes[x as usize].links[i];
+                if link.next == NIL {
+                    break;
+                }
+                let nxt = &self.nodes[link.next as usize];
+                if !min.admits_from_below(nxt.score) {
+                    x = link.next;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.nodes[x as usize].links[0].next
+    }
+
+    fn find_index(&self, score: f64, member: &[u8]) -> Option<u32> {
+        let mut x = 0u32;
+        for i in (0..self.level).rev() {
+            loop {
+                let link = self.nodes[x as usize].links[i];
+                if link.next == NIL {
+                    break;
+                }
+                let nxt = &self.nodes[link.next as usize];
+                if cmp_entry(nxt.score, &nxt.member, score, member) == Ordering::Less {
+                    x = link.next;
+                } else {
+                    break;
+                }
+            }
+        }
+        let candidate = self.nodes[x as usize].links[0].next;
+        if candidate != NIL {
+            let n = &self.nodes[candidate as usize];
+            if n.score == score && n.member.as_ref() == member {
+                return Some(candidate);
+            }
+        }
+        None
+    }
+
+    fn random_level(&mut self) -> usize {
+        let mut level = 1;
+        loop {
+            // xorshift64
+            self.rng ^= self.rng << 13;
+            self.rng ^= self.rng >> 7;
+            self.rng ^= self.rng << 17;
+            if self.rng % P_DEN < P_NUM && level < MAX_LEVEL {
+                level += 1;
+            } else {
+                return level;
+            }
+        }
+    }
+
+    fn alloc_node(&mut self, member: Bytes, score: f64, levels: usize) -> u32 {
+        let node = Node {
+            member,
+            score,
+            links: vec![Link { next: NIL, span: 0 }; levels],
+        };
+        match self.free.pop() {
+            Some(idx) => {
+                self.nodes[idx as usize] = node;
+                idx
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    fn list_insert(&mut self, score: f64, member: Bytes) {
+        let mut update = [0u32; MAX_LEVEL];
+        let mut rank = [0usize; MAX_LEVEL];
+        let mut x = 0u32;
+        for i in (0..self.level).rev() {
+            rank[i] = if i == self.level - 1 { 0 } else { rank[i + 1] };
+            loop {
+                let link = self.nodes[x as usize].links[i];
+                if link.next == NIL {
+                    break;
+                }
+                let nxt = &self.nodes[link.next as usize];
+                if cmp_entry(nxt.score, &nxt.member, score, &member) == Ordering::Less {
+                    rank[i] += link.span as usize;
+                    x = link.next;
+                } else {
+                    break;
+                }
+            }
+            update[i] = x;
+        }
+
+        let lvl = self.random_level();
+        if lvl > self.level {
+            for i in self.level..lvl {
+                rank[i] = 0;
+                update[i] = 0;
+                self.nodes[0].links[i].span = self.len as u32;
+            }
+            self.level = lvl;
+        }
+
+        let new = self.alloc_node(member, score, lvl);
+        for i in 0..lvl {
+            let up = update[i];
+            let up_link = self.nodes[up as usize].links[i];
+            self.nodes[new as usize].links[i] = Link {
+                next: up_link.next,
+                span: up_link.span - (rank[0] - rank[i]) as u32,
+            };
+            self.nodes[up as usize].links[i] = Link {
+                next: new,
+                span: (rank[0] - rank[i]) as u32 + 1,
+            };
+        }
+        for i in lvl..self.level {
+            self.nodes[update[i] as usize].links[i].span += 1;
+        }
+    }
+
+    fn list_remove(&mut self, score: f64, member: &[u8]) {
+        let mut update = [0u32; MAX_LEVEL];
+        let mut x = 0u32;
+        for i in (0..self.level).rev() {
+            loop {
+                let link = self.nodes[x as usize].links[i];
+                if link.next == NIL {
+                    break;
+                }
+                let nxt = &self.nodes[link.next as usize];
+                if cmp_entry(nxt.score, &nxt.member, score, member) == Ordering::Less {
+                    x = link.next;
+                } else {
+                    break;
+                }
+            }
+            update[i] = x;
+        }
+        let target = self.nodes[x as usize].links[0].next;
+        if target == NIL {
+            return;
+        }
+        {
+            let t = &self.nodes[target as usize];
+            if t.score != score || t.member.as_ref() != member {
+                return;
+            }
+        }
+        let t_levels = self.nodes[target as usize].links.len();
+        for i in 0..self.level {
+            let up = update[i];
+            if self.nodes[up as usize].links[i].next == target && i < t_levels {
+                let t_link = self.nodes[target as usize].links[i];
+                let up_link = &mut self.nodes[up as usize].links[i];
+                // Redis: span += x.span - 1 (x.span is 0 when x ends the
+                // level, making the predecessor's span shrink by one).
+                up_link.span = up_link.span + t_link.span - 1;
+                up_link.next = t_link.next;
+            } else {
+                self.nodes[up as usize].links[i].span -= 1;
+            }
+        }
+        while self.level > 1 && self.nodes[0].links[self.level - 1].next == NIL {
+            self.level -= 1;
+        }
+        // Return the slot to the free list; clear payload to release memory.
+        self.nodes[target as usize].member = Bytes::new();
+        self.nodes[target as usize].links.clear();
+        self.free.push(target);
+    }
+}
+
+struct ZIter<'a> {
+    z: &'a ZSet,
+    cur: u32,
+}
+
+impl<'a> Iterator for ZIter<'a> {
+    type Item = (&'a Bytes, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cur == NIL {
+            return None;
+        }
+        let n = &self.z.nodes[self.cur as usize];
+        self.cur = n.links[0].next;
+        Some((&n.member, n.score))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn m(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn insert_and_score() {
+        let mut z = ZSet::new();
+        assert!(z.insert(m("a"), 1.0));
+        assert!(z.insert(m("b"), 2.0));
+        assert!(!z.insert(m("a"), 3.0)); // update, not new
+        assert_eq!(z.score(b"a"), Some(3.0));
+        assert_eq!(z.score(b"b"), Some(2.0));
+        assert_eq!(z.score(b"zzz"), None);
+        assert_eq!(z.len(), 2);
+    }
+
+    #[test]
+    fn ordering_by_score_then_member() {
+        let mut z = ZSet::new();
+        z.insert(m("b"), 1.0);
+        z.insert(m("a"), 1.0);
+        z.insert(m("c"), 0.5);
+        let order: Vec<_> = z.iter().map(|(mm, _)| mm.clone()).collect();
+        assert_eq!(order, vec![m("c"), m("a"), m("b")]);
+    }
+
+    #[test]
+    fn rank_and_by_rank() {
+        let mut z = ZSet::new();
+        for (i, name) in ["a", "b", "c", "d", "e"].iter().enumerate() {
+            z.insert(m(name), i as f64);
+        }
+        for (i, name) in ["a", "b", "c", "d", "e"].iter().enumerate() {
+            assert_eq!(z.rank(name.as_bytes()), Some(i));
+            let (mm, s) = z.by_rank(i).unwrap();
+            assert_eq!(mm, &m(name));
+            assert_eq!(s, i as f64);
+        }
+        assert_eq!(z.rank(b"nope"), None);
+        assert_eq!(z.by_rank(5), None);
+    }
+
+    #[test]
+    fn remove_updates_ranks() {
+        let mut z = ZSet::new();
+        for (i, name) in ["a", "b", "c", "d"].iter().enumerate() {
+            z.insert(m(name), i as f64);
+        }
+        assert_eq!(z.remove(b"b"), Some(1.0));
+        assert_eq!(z.remove(b"b"), None);
+        assert_eq!(z.len(), 3);
+        assert_eq!(z.rank(b"a"), Some(0));
+        assert_eq!(z.rank(b"c"), Some(1));
+        assert_eq!(z.rank(b"d"), Some(2));
+    }
+
+    #[test]
+    fn score_update_moves_member() {
+        let mut z = ZSet::new();
+        z.insert(m("a"), 1.0);
+        z.insert(m("b"), 2.0);
+        z.insert(m("a"), 10.0);
+        assert_eq!(z.rank(b"a"), Some(1));
+        assert_eq!(z.rank(b"b"), Some(0));
+    }
+
+    #[test]
+    fn range_by_rank_windows() {
+        let mut z = ZSet::new();
+        for (i, name) in ["a", "b", "c", "d", "e"].iter().enumerate() {
+            z.insert(m(name), i as f64);
+        }
+        let r = z.range_by_rank(1, 3);
+        assert_eq!(
+            r.iter().map(|(mm, _)| mm.clone()).collect::<Vec<_>>(),
+            vec![m("b"), m("c"), m("d")]
+        );
+        assert_eq!(z.range_by_rank(4, 100).len(), 1);
+        assert!(z.range_by_rank(9, 10).is_empty());
+        assert!(z.range_by_rank(3, 2).is_empty());
+    }
+
+    #[test]
+    fn range_by_score_bounds() {
+        let mut z = ZSet::new();
+        for (i, name) in ["a", "b", "c", "d", "e"].iter().enumerate() {
+            z.insert(m(name), i as f64);
+        }
+        let incl = z.range_by_score(&ScoreBound::Incl(1.0), &ScoreBound::Incl(3.0));
+        assert_eq!(incl.len(), 3);
+        let excl = z.range_by_score(&ScoreBound::Excl(1.0), &ScoreBound::Excl(3.0));
+        assert_eq!(excl.len(), 1);
+        assert_eq!(excl[0].0, m("c"));
+        let all = z.range_by_score(&ScoreBound::NegInf, &ScoreBound::PosInf);
+        assert_eq!(all.len(), 5);
+        assert_eq!(z.count_by_score(&ScoreBound::Incl(2.0), &ScoreBound::PosInf), 3);
+    }
+
+    #[test]
+    fn lex_range_same_score() {
+        let mut z = ZSet::new();
+        for name in ["alpha", "beta", "delta", "gamma"] {
+            z.insert(m(name), 0.0);
+        }
+        let r = z.range_by_lex(&LexBound::Incl(m("beta")), &LexBound::Excl(m("gamma")));
+        assert_eq!(
+            r.iter().map(|(mm, _)| mm.clone()).collect::<Vec<_>>(),
+            vec![m("beta"), m("delta")]
+        );
+        let all = z.range_by_lex(&LexBound::NegInf, &LexBound::PosInf);
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn pop_min_max() {
+        let mut z = ZSet::new();
+        for (i, name) in ["a", "b", "c", "d"].iter().enumerate() {
+            z.insert(m(name), i as f64);
+        }
+        assert_eq!(z.pop_min(2), vec![(m("a"), 0.0), (m("b"), 1.0)]);
+        assert_eq!(z.pop_max(1), vec![(m("d"), 3.0)]);
+        assert_eq!(z.len(), 1);
+        assert_eq!(z.pop_max(10), vec![(m("c"), 2.0)]);
+        assert!(z.pop_min(1).is_empty());
+    }
+
+    #[test]
+    fn incr_inserts_and_accumulates() {
+        let mut z = ZSet::new();
+        assert_eq!(z.incr(m("a"), 2.5), 2.5);
+        assert_eq!(z.incr(m("a"), -1.0), 1.5);
+        assert_eq!(z.score(b"a"), Some(1.5));
+    }
+
+    #[test]
+    fn remove_range_by_score() {
+        let mut z = ZSet::new();
+        for i in 0..10 {
+            z.insert(m(&format!("m{i}")), i as f64);
+        }
+        let gone = z.remove_range_by_score(&ScoreBound::Incl(3.0), &ScoreBound::Incl(6.0));
+        assert_eq!(gone.len(), 4);
+        assert_eq!(z.len(), 6);
+        assert_eq!(z.score(b"m3"), None);
+        assert_eq!(z.score(b"m7"), Some(7.0));
+    }
+
+    #[test]
+    fn negative_scores_order_correctly() {
+        let mut z = ZSet::new();
+        z.insert(m("neg"), -5.0);
+        z.insert(m("zero"), 0.0);
+        z.insert(m("pos"), 5.0);
+        assert_eq!(z.rank(b"neg"), Some(0));
+        assert_eq!(z.rank(b"zero"), Some(1));
+        assert_eq!(z.rank(b"pos"), Some(2));
+    }
+
+    /// Reference-model property test: the skiplist must agree with a sorted
+    /// Vec on every operation sequence.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(u8, i16),
+        Remove(u8),
+        Rank(u8),
+        ByRank(u8),
+        RangeScore(i16, i16),
+        PopMin(u8),
+        PopMax(u8),
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (any::<u8>(), any::<i16>()).prop_map(|(k, s)| Op::Insert(k % 32, s)),
+            any::<u8>().prop_map(|k| Op::Remove(k % 32)),
+            any::<u8>().prop_map(|k| Op::Rank(k % 32)),
+            any::<u8>().prop_map(Op::ByRank),
+            (any::<i16>(), any::<i16>()).prop_map(|(a, b)| Op::RangeScore(a.min(b), a.max(b))),
+            (0u8..4).prop_map(Op::PopMin),
+            (0u8..4).prop_map(Op::PopMax),
+        ]
+    }
+
+    fn model_sorted(model: &HashMap<Vec<u8>, f64>) -> Vec<(Vec<u8>, f64)> {
+        let mut v: Vec<_> = model.iter().map(|(k, s)| (k.clone(), *s)).collect();
+        v.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("no NaN")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        v
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_reference_model(ops in proptest::collection::vec(arb_op(), 1..200)) {
+            let mut z = ZSet::new();
+            let mut model: HashMap<Vec<u8>, f64> = HashMap::new();
+            for op in ops {
+                match op {
+                    Op::Insert(k, s) => {
+                        let key = vec![k];
+                        let score = s as f64;
+                        let was_new = z.insert(Bytes::from(key.clone()), score);
+                        prop_assert_eq!(was_new, !model.contains_key(&key));
+                        model.insert(key, score);
+                    }
+                    Op::Remove(k) => {
+                        let key = vec![k];
+                        prop_assert_eq!(z.remove(&key), model.remove(&key));
+                    }
+                    Op::Rank(k) => {
+                        let key = vec![k];
+                        let sorted = model_sorted(&model);
+                        let expect = sorted.iter().position(|(kk, _)| kk == &key);
+                        prop_assert_eq!(z.rank(&key), expect);
+                    }
+                    Op::ByRank(r) => {
+                        let sorted = model_sorted(&model);
+                        let expect = sorted.get(r as usize);
+                        let got = z.by_rank(r as usize);
+                        match (got, expect) {
+                            (Some((gm, gs)), Some((em, es))) => {
+                                prop_assert_eq!(gm.as_ref(), em.as_slice());
+                                prop_assert_eq!(gs, *es);
+                            }
+                            (None, None) => {}
+                            other => prop_assert!(false, "by_rank mismatch: {:?}", other),
+                        }
+                    }
+                    Op::RangeScore(lo, hi) => {
+                        let got = z.range_by_score(
+                            &ScoreBound::Incl(lo as f64),
+                            &ScoreBound::Incl(hi as f64),
+                        );
+                        let expect: Vec<_> = model_sorted(&model)
+                            .into_iter()
+                            .filter(|(_, s)| *s >= lo as f64 && *s <= hi as f64)
+                            .collect();
+                        prop_assert_eq!(got.len(), expect.len());
+                        for (g, e) in got.iter().zip(&expect) {
+                            prop_assert_eq!(g.0.as_ref(), e.0.as_slice());
+                            prop_assert_eq!(g.1, e.1);
+                        }
+                    }
+                    Op::PopMin(n) => {
+                        let got = z.pop_min(n as usize);
+                        let sorted = model_sorted(&model);
+                        let expect: Vec<_> = sorted.iter().take(n as usize).cloned().collect();
+                        prop_assert_eq!(got.len(), expect.len());
+                        for (g, e) in got.iter().zip(&expect) {
+                            prop_assert_eq!(g.0.as_ref(), e.0.as_slice());
+                            model.remove(&e.0);
+                        }
+                    }
+                    Op::PopMax(n) => {
+                        let got = z.pop_max(n as usize);
+                        let sorted = model_sorted(&model);
+                        let expect: Vec<_> =
+                            sorted.iter().rev().take(n as usize).cloned().collect();
+                        prop_assert_eq!(got.len(), expect.len());
+                        for (g, e) in got.iter().zip(&expect) {
+                            prop_assert_eq!(g.0.as_ref(), e.0.as_slice());
+                            model.remove(&e.0);
+                        }
+                    }
+                }
+                prop_assert_eq!(z.len(), model.len());
+            }
+        }
+    }
+}

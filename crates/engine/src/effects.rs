@@ -1,0 +1,189 @@
+//! Effect-based replication primitives (paper §2.1, §3.2).
+//!
+//! Executing a command on the primary yields an [`ExecOutcome`]: the RESP
+//! reply for the client plus the **effects** — the deterministic command
+//! sequence that, applied in order to any replica, reproduces the primary's
+//! state change. MemoryDB intercepts exactly this stream and redirects it
+//! into the transaction log.
+
+use bytes::Bytes;
+use memorydb_resp::Frame;
+
+/// One effect: a deterministic command in argument-vector form.
+pub type EffectCmd = Vec<Bytes>;
+
+/// Which keys a command dirtied, for the key-level hazard tracker
+/// (paper §3.2: reads of keys with unpersisted writes must be delayed).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum DirtySet {
+    /// Nothing was modified.
+    #[default]
+    None,
+    /// These specific keys were modified.
+    Keys(Vec<Bytes>),
+    /// The entire keyspace was modified (`FLUSHALL`).
+    All,
+}
+
+impl DirtySet {
+    /// True when nothing was dirtied.
+    pub fn is_none(&self) -> bool {
+        matches!(self, DirtySet::None)
+    }
+
+    /// Merges another dirty set into this one.
+    pub fn merge(&mut self, other: DirtySet) {
+        match (&mut *self, other) {
+            (_, DirtySet::None) => {}
+            (DirtySet::All, _) => {}
+            (_, DirtySet::All) => *self = DirtySet::All,
+            (DirtySet::None, k @ DirtySet::Keys(_)) => *self = k,
+            (DirtySet::Keys(mine), DirtySet::Keys(theirs)) => mine.extend(theirs),
+        }
+    }
+}
+
+/// The result of executing one client command (or one `EXEC` transaction).
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// Reply to send to the client (possibly only after the effects commit,
+    /// which is the core crate's client-blocking tracker's job).
+    pub reply: Frame,
+    /// Deterministic effects to replicate. Empty for reads and no-op writes.
+    pub effects: Vec<EffectCmd>,
+    /// Keys dirtied by this execution.
+    pub dirty: DirtySet,
+}
+
+impl ExecOutcome {
+    /// A read-only outcome: a reply with no effects.
+    pub fn read(reply: Frame) -> ExecOutcome {
+        ExecOutcome {
+            reply,
+            effects: Vec::new(),
+            dirty: DirtySet::None,
+        }
+    }
+
+    /// A write outcome carrying its effects and dirtied keys.
+    pub fn write(reply: Frame, effects: Vec<EffectCmd>, dirty: DirtySet) -> ExecOutcome {
+        ExecOutcome {
+            reply,
+            effects,
+            dirty,
+        }
+    }
+
+    /// An error outcome (no effects).
+    pub fn error(msg: impl Into<String>) -> ExecOutcome {
+        ExecOutcome::read(Frame::error(msg))
+    }
+
+    /// Did this execution mutate state?
+    pub fn is_mutation(&self) -> bool {
+        !self.effects.is_empty()
+    }
+}
+
+/// Serializes an effect command into the compact length-prefixed record
+/// format used inside transaction-log payloads: `argc` then `len,bytes` per
+/// argument, all varint-free little-endian u32 (simple and unambiguous).
+pub fn encode_effect(cmd: &EffectCmd, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(cmd.len() as u32).to_le_bytes());
+    for arg in cmd {
+        out.extend_from_slice(&(arg.len() as u32).to_le_bytes());
+        out.extend_from_slice(arg);
+    }
+}
+
+/// Serializes a batch of effects (one atomic log record).
+pub fn encode_effect_batch(cmds: &[EffectCmd]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(cmds.len() as u32).to_le_bytes());
+    for c in cmds {
+        encode_effect(c, &mut out);
+    }
+    out
+}
+
+/// Decodes a batch produced by [`encode_effect_batch`].
+pub fn decode_effect_batch(data: &[u8]) -> Option<Vec<EffectCmd>> {
+    let mut pos = 0usize;
+    let take_u32 = |pos: &mut usize| -> Option<u32> {
+        let end = pos.checked_add(4)?;
+        let raw: [u8; 4] = data.get(*pos..end)?.try_into().ok()?;
+        *pos = end;
+        Some(u32::from_le_bytes(raw))
+    };
+    let n = take_u32(&mut pos)? as usize;
+    let mut cmds = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let argc = take_u32(&mut pos)? as usize;
+        let mut cmd = Vec::with_capacity(argc.min(64));
+        for _ in 0..argc {
+            let len = take_u32(&mut pos)? as usize;
+            let end = pos.checked_add(len)?;
+            cmd.push(Bytes::copy_from_slice(data.get(pos..end)?));
+            pos = end;
+        }
+        cmds.push(cmd);
+    }
+    if pos == data.len() {
+        Some(cmds)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn dirty_set_merge_rules() {
+        let mut d = DirtySet::None;
+        d.merge(DirtySet::Keys(vec![b("a")]));
+        assert_eq!(d, DirtySet::Keys(vec![b("a")]));
+        d.merge(DirtySet::Keys(vec![b("b")]));
+        assert_eq!(d, DirtySet::Keys(vec![b("a"), b("b")]));
+        d.merge(DirtySet::All);
+        assert_eq!(d, DirtySet::All);
+        d.merge(DirtySet::Keys(vec![b("c")]));
+        assert_eq!(d, DirtySet::All);
+        let mut n = DirtySet::None;
+        n.merge(DirtySet::None);
+        assert!(n.is_none());
+    }
+
+    #[test]
+    fn effect_batch_roundtrip() {
+        let cmds = vec![
+            vec![b("SET"), b("k"), b("v")],
+            vec![b("DEL"), b("k2")],
+            vec![b("SREM"), b("s"), Bytes::from(vec![0u8, 255u8, 10u8])],
+            vec![], // degenerate but encodable
+        ];
+        let encoded = encode_effect_batch(&cmds);
+        assert_eq!(decode_effect_batch(&encoded), Some(cmds));
+    }
+
+    #[test]
+    fn empty_batch_roundtrip() {
+        let encoded = encode_effect_batch(&[]);
+        assert_eq!(decode_effect_batch(&encoded), Some(vec![]));
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_trailing_garbage() {
+        let cmds = vec![vec![b("SET"), b("k"), b("v")]];
+        let mut encoded = encode_effect_batch(&cmds);
+        assert!(decode_effect_batch(&encoded[..encoded.len() - 1]).is_none());
+        encoded.push(0);
+        assert!(decode_effect_batch(&encoded).is_none());
+        assert!(decode_effect_batch(&[1, 2]).is_none());
+    }
+}

@@ -1,0 +1,196 @@
+//! Bitmap commands (bit operations over string values).
+
+use super::*;
+use crate::value::Value;
+
+fn read_str<'a>(e: &'a Engine, key: &[u8]) -> Result<Option<&'a Bytes>, ExecOutcome> {
+    match e.db.lookup(key, e.now()) {
+        Some(Value::Str(s)) => Ok(Some(s)),
+        Some(_) => Err(wrongtype()),
+        None => Ok(None),
+    }
+}
+
+const MAX_BIT_OFFSET: i64 = 4 * 1024 * 1024 * 1024 * 8 - 1; // 4 GB of bits
+
+/// `SETBIT key offset 0|1`
+pub(super) fn setbit(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let offset = p_i64(&a[2])?;
+    if !(0..=MAX_BIT_OFFSET).contains(&offset) {
+        return Err(ExecOutcome::error("bit offset is not an integer or out of range"));
+    }
+    let bit = match a[3].as_ref() {
+        b"0" => 0u8,
+        b"1" => 1u8,
+        _ => return Err(ExecOutcome::error("bit is not an integer or out of range")),
+    };
+    let byte_idx = (offset / 8) as usize;
+    let bit_idx = 7 - (offset % 8) as u8; // Redis bit order: MSB first
+    let existing = read_str(e, &a[1])?.cloned().unwrap_or_default();
+    let mut buf = existing.to_vec();
+    if buf.len() <= byte_idx {
+        buf.resize(byte_idx + 1, 0);
+    }
+    let old = (buf[byte_idx] >> bit_idx) & 1;
+    if bit == 1 {
+        buf[byte_idx] |= 1 << bit_idx;
+    } else {
+        buf[byte_idx] &= !(1 << bit_idx);
+    }
+    e.db.set_value_keep_ttl(a[1].clone(), Value::Str(Bytes::from(buf)));
+    Ok(verbatim_write(Frame::Integer(old as i64), a, vec![a[1].clone()]))
+}
+
+/// `GETBIT key offset`
+pub(super) fn getbit(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let offset = p_i64(&a[2])?;
+    if !(0..=MAX_BIT_OFFSET).contains(&offset) {
+        return Err(ExecOutcome::error("bit offset is not an integer or out of range"));
+    }
+    let byte_idx = (offset / 8) as usize;
+    let bit_idx = 7 - (offset % 8) as u8;
+    let bit = read_str(e, &a[1])?
+        .and_then(|s| s.get(byte_idx).copied())
+        .map(|byte| (byte >> bit_idx) & 1)
+        .unwrap_or(0);
+    Ok(ExecOutcome::read(Frame::Integer(bit as i64)))
+}
+
+/// `BITCOUNT key [start end [BYTE|BIT]]`
+pub(super) fn bitcount(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let Some(s) = read_str(e, &a[1])?.cloned() else {
+        return Ok(ExecOutcome::read(Frame::Integer(0)));
+    };
+    if a.len() == 2 {
+        let count: u32 = s.iter().map(|b| b.count_ones()).sum();
+        return Ok(ExecOutcome::read(Frame::Integer(count as i64)));
+    }
+    if a.len() < 4 || a.len() > 5 {
+        return Err(ExecOutcome::error("syntax error"));
+    }
+    let (start, end) = (p_i64(&a[2])?, p_i64(&a[3])?);
+    let bit_mode = match a.get(4).map(|m| upper(m)) {
+        None => false,
+        Some(m) if m == "BYTE" => false,
+        Some(m) if m == "BIT" => true,
+        Some(_) => return Err(ExecOutcome::error("syntax error")),
+    };
+    let total = if bit_mode { s.len() as i64 * 8 } else { s.len() as i64 };
+    let norm = |v: i64| if v < 0 { (total + v).max(0) } else { v.min(total - 1) };
+    if total == 0 {
+        return Ok(ExecOutcome::read(Frame::Integer(0)));
+    }
+    let (lo, hi) = (norm(start), norm(end));
+    if lo > hi {
+        return Ok(ExecOutcome::read(Frame::Integer(0)));
+    }
+    let count: i64 = if bit_mode {
+        (lo..=hi)
+            .filter(|&bit| {
+                let byte = (bit / 8) as usize;
+                let idx = 7 - (bit % 8) as u8;
+                s.get(byte).is_some_and(|b| (b >> idx) & 1 == 1)
+            })
+            .count() as i64
+    } else {
+        s[lo as usize..=(hi as usize)]
+            .iter()
+            .map(|b| b.count_ones() as i64)
+            .sum()
+    };
+    Ok(ExecOutcome::read(Frame::Integer(count)))
+}
+
+/// `BITPOS key bit [start [end [BYTE|BIT]]]` (BYTE ranges only)
+pub(super) fn bitpos(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let target = match a[2].as_ref() {
+        b"0" => 0u8,
+        b"1" => 1u8,
+        _ => return Err(ExecOutcome::error("The bit argument must be 1 or 0.")),
+    };
+    let Some(s) = read_str(e, &a[1])?.cloned() else {
+        // Missing key: looking for 1 finds nothing; looking for 0 finds
+        // position 0 (an empty string is "all zeroes" conceptually... Redis
+        // returns 0 for bit=0 with no range, -1 for bit=1).
+        return Ok(ExecOutcome::read(Frame::Integer(if target == 0 { 0 } else { -1 })));
+    };
+    let len = s.len() as i64;
+    let explicit_end = a.len() >= 5;
+    let start = if a.len() >= 4 { p_i64(&a[3])? } else { 0 };
+    let end = if explicit_end { p_i64(&a[4])? } else { len - 1 };
+    let norm = |v: i64| if v < 0 { (len + v).max(0) } else { v.min(len - 1) };
+    if len == 0 {
+        return Ok(ExecOutcome::read(Frame::Integer(-1)));
+    }
+    let (lo, hi) = (norm(start), norm(end));
+    if lo > hi {
+        return Ok(ExecOutcome::read(Frame::Integer(-1)));
+    }
+    for byte in lo..=hi {
+        let b = s[byte as usize];
+        for bit in 0..8u8 {
+            if (b >> (7 - bit)) & 1 == target {
+                return Ok(ExecOutcome::read(Frame::Integer(byte * 8 + bit as i64)));
+            }
+        }
+    }
+    // Searching for 0 past the end of the string: the "virtual" zeroes
+    // count only when no explicit end was given (Redis semantics).
+    if target == 0 && !explicit_end {
+        return Ok(ExecOutcome::read(Frame::Integer(len * 8)));
+    }
+    Ok(ExecOutcome::read(Frame::Integer(-1)))
+}
+
+/// `BITOP AND|OR|XOR|NOT dest src...`
+pub(super) fn bitop(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let op = upper(&a[1]);
+    let dest = a[2].clone();
+    let srcs = &a[3..];
+    if op == "NOT" && srcs.len() != 1 {
+        return Err(ExecOutcome::error(
+            "BITOP NOT must be called with a single source key.",
+        ));
+    }
+    if srcs.is_empty() {
+        return Err(wrong_arity("bitop"));
+    }
+    let mut inputs: Vec<Bytes> = Vec::with_capacity(srcs.len());
+    for key in srcs {
+        inputs.push(read_str(e, key)?.cloned().unwrap_or_default());
+    }
+    let max_len = inputs.iter().map(|b| b.len()).max().unwrap_or(0);
+    let result: Vec<u8> = match op.as_str() {
+        "NOT" => inputs[0].iter().map(|b| !b).collect(),
+        "AND" | "OR" | "XOR" => {
+            let mut out = vec![0u8; max_len];
+            for (i, slot) in out.iter_mut().enumerate() {
+                let mut acc: Option<u8> = None;
+                for input in &inputs {
+                    let byte = input.get(i).copied().unwrap_or(0);
+                    acc = Some(match (acc, op.as_str()) {
+                        (None, _) => byte,
+                        (Some(x), "AND") => x & byte,
+                        (Some(x), "OR") => x | byte,
+                        (Some(x), _) => x ^ byte,
+                    });
+                }
+                *slot = acc.unwrap_or(0);
+            }
+            out
+        }
+        _ => return Err(ExecOutcome::error("syntax error")),
+    };
+    let result_len = result.len() as i64;
+    if result.is_empty() {
+        let existed = e.db.exists(&dest, e.now());
+        if existed {
+            e.db.remove(&dest);
+            let eff = vec![Bytes::from_static(b"DEL"), dest.clone()];
+            return Ok(effect_write(Frame::Integer(0), vec![eff], vec![dest]));
+        }
+        return Ok(ExecOutcome::read(Frame::Integer(0)));
+    }
+    e.db.set_value(dest.clone(), Value::Str(Bytes::from(result)));
+    Ok(verbatim_write(Frame::Integer(result_len), a, vec![dest]))
+}

@@ -1,0 +1,287 @@
+//! Hash commands.
+
+use super::*;
+use crate::value::Value;
+use rand::seq::SliceRandom;
+use std::collections::HashMap;
+
+fn read_hash<'a>(e: &'a Engine, key: &[u8]) -> Result<Option<&'a HashMap<Bytes, Bytes>>, ExecOutcome> {
+    match e.db.lookup(key, e.now()) {
+        Some(Value::Hash(h)) => Ok(Some(h)),
+        Some(_) => Err(wrongtype()),
+        None => Ok(None),
+    }
+}
+
+fn hash_mut<'a>(e: &'a mut Engine, key: &Bytes) -> Result<&'a mut HashMap<Bytes, Bytes>, ExecOutcome> {
+    let now = e.now();
+    // Pre-check type to avoid creating on WRONGTYPE.
+    if let Some(v) = e.db.lookup(key, now) {
+        if !matches!(v, Value::Hash(_)) {
+            return Err(wrongtype());
+        }
+    }
+    match e.db.entry_or_insert_with(key, now, || Value::Hash(HashMap::new())) {
+        Value::Hash(h) => Ok(h),
+        _ => Err(wrongtype()),
+    }
+}
+
+pub(super) fn hset(e: &mut Engine, a: &[Bytes], hmset_reply: bool) -> CmdResult {
+    if (a.len() - 2) % 2 != 0 {
+        return Err(wrong_arity(if hmset_reply { "hmset" } else { "hset" }));
+    }
+    let key = a[1].clone();
+    let h = hash_mut(e, &key)?;
+    let mut added = 0i64;
+    for pair in a[2..].chunks(2) {
+        if h.insert(pair[0].clone(), pair[1].clone()).is_none() {
+            added += 1;
+        }
+    }
+    e.db.signal_modified(&key);
+    let reply = if hmset_reply {
+        Frame::ok()
+    } else {
+        Frame::Integer(added)
+    };
+    Ok(verbatim_write(reply, a, vec![key]))
+}
+
+pub(super) fn hsetnx(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let key = a[1].clone();
+    let h = hash_mut(e, &key)?;
+    if h.contains_key(&a[2]) {
+        e.db.remove_if_empty(&key);
+        return Ok(ExecOutcome::read(Frame::Integer(0)));
+    }
+    h.insert(a[2].clone(), a[3].clone());
+    e.db.signal_modified(&key);
+    Ok(verbatim_write(Frame::Integer(1), a, vec![key]))
+}
+
+pub(super) fn hget(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let v = read_hash(e, &a[1])?.and_then(|h| h.get(&a[2]).cloned());
+    Ok(ExecOutcome::read(bulk_or_null(v)))
+}
+
+pub(super) fn hmget(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let h = read_hash(e, &a[1])?;
+    let out = a[2..]
+        .iter()
+        .map(|f| bulk_or_null(h.and_then(|h| h.get(f).cloned())))
+        .collect();
+    Ok(ExecOutcome::read(Frame::Array(out)))
+}
+
+pub(super) fn hdel(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let key = a[1].clone();
+    let Some(_) = read_hash(e, &key)? else {
+        return Ok(ExecOutcome::read(Frame::Integer(0)));
+    };
+    let now = e.now();
+    let Some(Value::Hash(h)) = e.db.lookup_mut(&key, now) else {
+        return Ok(ExecOutcome::read(Frame::Integer(0)));
+    };
+    let mut removed: Vec<Bytes> = Vec::new();
+    for field in &a[2..] {
+        if h.remove(field).is_some() {
+            removed.push(field.clone());
+        }
+    }
+    if removed.is_empty() {
+        return Ok(ExecOutcome::read(Frame::Integer(0)));
+    }
+    e.db.signal_modified(&key);
+    e.db.remove_if_empty(&key);
+    let mut eff: EffectCmd = vec![Bytes::from_static(b"HDEL"), key.clone()];
+    eff.extend(removed.iter().cloned());
+    Ok(effect_write(
+        Frame::Integer(removed.len() as i64),
+        vec![eff],
+        vec![key],
+    ))
+}
+
+pub(super) fn hlen(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let n = read_hash(e, &a[1])?.map_or(0, |h| h.len());
+    Ok(ExecOutcome::read(Frame::Integer(n as i64)))
+}
+
+pub(super) fn hexists(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let present = read_hash(e, &a[1])?.is_some_and(|h| h.contains_key(&a[2]));
+    Ok(ExecOutcome::read(Frame::Integer(present as i64)))
+}
+
+pub(super) fn hkeys(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let out = read_hash(e, &a[1])?
+        .map(|h| h.keys().cloned().map(Frame::Bulk).collect())
+        .unwrap_or_default();
+    Ok(ExecOutcome::read(Frame::Array(out)))
+}
+
+pub(super) fn hvals(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let out = read_hash(e, &a[1])?
+        .map(|h| h.values().cloned().map(Frame::Bulk).collect())
+        .unwrap_or_default();
+    Ok(ExecOutcome::read(Frame::Array(out)))
+}
+
+pub(super) fn hgetall(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let mut out = Vec::new();
+    if let Some(h) = read_hash(e, &a[1])? {
+        for (f, v) in h {
+            out.push(Frame::Bulk(f.clone()));
+            out.push(Frame::Bulk(v.clone()));
+        }
+    }
+    Ok(ExecOutcome::read(Frame::Array(out)))
+}
+
+pub(super) fn hincrby(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let delta = p_i64(&a[3])?;
+    let key = a[1].clone();
+    let h = hash_mut(e, &key)?;
+    let cur = match h.get(&a[2]) {
+        Some(v) => std::str::from_utf8(v)
+            .ok()
+            .and_then(|s| s.parse::<i64>().ok())
+            .ok_or_else(|| ExecOutcome::error("hash value is not an integer"))?,
+        None => 0,
+    };
+    let new = cur
+        .checked_add(delta)
+        .ok_or_else(|| ExecOutcome::error("increment or decrement would overflow"))?;
+    h.insert(a[2].clone(), Bytes::from(new.to_string()));
+    e.db.signal_modified(&key);
+    Ok(verbatim_write(Frame::Integer(new), a, vec![key]))
+}
+
+pub(super) fn hincrbyfloat(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let delta = p_f64(&a[3])?;
+    let key = a[1].clone();
+    let h = hash_mut(e, &key)?;
+    let cur = match h.get(&a[2]) {
+        Some(v) => std::str::from_utf8(v)
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .ok_or_else(|| ExecOutcome::error("hash value is not a float"))?,
+        None => 0.0,
+    };
+    let new = cur + delta;
+    if new.is_nan() || new.is_infinite() {
+        return Err(ExecOutcome::error("increment would produce NaN or Infinity"));
+    }
+    let text = Bytes::from(fmt_f64(new));
+    h.insert(a[2].clone(), text.clone());
+    e.db.signal_modified(&key);
+    // Effect rewrite: float math becomes a deterministic HSET of the result.
+    let eff = vec![
+        Bytes::from_static(b"HSET"),
+        key.clone(),
+        a[2].clone(),
+        text.clone(),
+    ];
+    Ok(effect_write(Frame::Bulk(text), vec![eff], vec![key]))
+}
+
+pub(super) fn hstrlen(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let n = read_hash(e, &a[1])?
+        .and_then(|h| h.get(&a[2]))
+        .map_or(0, |v| v.len());
+    Ok(ExecOutcome::read(Frame::Integer(n as i64)))
+}
+
+/// `HRANDFIELD key [count [WITHVALUES]]` — read-only, so its randomness
+/// needs no effect rewrite.
+pub(super) fn hrandfield(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let withvalues = a.len() > 3 && upper(&a[3]) == "WITHVALUES";
+    if a.len() > 4 || (a.len() == 4 && !withvalues) {
+        return Err(ExecOutcome::error("syntax error"));
+    }
+    let count = if a.len() >= 3 { Some(p_i64(&a[2])?) } else { None };
+    let Some(h) = read_hash(e, &a[1])?.cloned() else {
+        return Ok(ExecOutcome::read(match count {
+            Some(_) => Frame::Array(vec![]),
+            None => Frame::Null,
+        }));
+    };
+    let fields: Vec<&Bytes> = h.keys().collect();
+    match count {
+        None => {
+            let idx = rand::Rng::gen_range(e.rng(), 0..fields.len());
+            Ok(ExecOutcome::read(Frame::Bulk(fields[idx].clone())))
+        }
+        Some(n) => {
+            let chosen: Vec<Bytes> = if n >= 0 {
+                // Distinct fields, up to the hash size.
+                let mut pool: Vec<Bytes> = fields.into_iter().cloned().collect();
+                pool.shuffle(e.rng());
+                pool.truncate(n as usize);
+                pool
+            } else {
+                // With repetition, exactly |n| entries.
+                (0..n.unsigned_abs())
+                    .map(|_| {
+                        let idx = rand::Rng::gen_range(e.rng(), 0..fields.len());
+                        fields[idx].clone()
+                    })
+                    .collect()
+            };
+            let mut out = Vec::new();
+            for f in chosen {
+                if withvalues {
+                    let v = h.get(&f).cloned().unwrap_or_default();
+                    out.push(Frame::Bulk(f));
+                    out.push(Frame::Bulk(v));
+                } else {
+                    out.push(Frame::Bulk(f));
+                }
+            }
+            Ok(ExecOutcome::read(Frame::Array(out)))
+        }
+    }
+}
+
+pub(super) fn hscan(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let _cursor = p_i64(&a[2])?;
+    let mut pattern: Option<Bytes> = None;
+    let mut novalues = false;
+    let mut i = 3;
+    while i < a.len() {
+        match upper(&a[i]).as_str() {
+            "MATCH" => {
+                pattern = Some(
+                    a.get(i + 1)
+                        .ok_or_else(|| ExecOutcome::error("syntax error"))?
+                        .clone(),
+                );
+                i += 2;
+            }
+            "COUNT" => i += 2, // single-batch scan: COUNT is advisory
+            "NOVALUES" => {
+                novalues = true;
+                i += 1;
+            }
+            _ => return Err(ExecOutcome::error("syntax error")),
+        }
+    }
+    let mut out = Vec::new();
+    if let Some(h) = read_hash(e, &a[1])? {
+        for (f, v) in h {
+            if pattern
+                .as_deref()
+                .is_none_or(|p| crate::db::glob_match(p, f))
+            {
+                out.push(Frame::Bulk(f.clone()));
+                if !novalues {
+                    out.push(Frame::Bulk(v.clone()));
+                }
+            }
+        }
+    }
+    Ok(ExecOutcome::read(Frame::Array(vec![
+        Frame::Bulk(Bytes::from_static(b"0")),
+        Frame::Array(out),
+    ])))
+}

@@ -1,0 +1,84 @@
+//! HyperLogLog commands.
+//!
+//! `PFADD`/`PFMERGE` are deterministic given the fixed hash function, so
+//! verbatim replication suffices; the resulting registers are identical on
+//! every replica.
+
+use super::*;
+use crate::ds::hll::Hll;
+use crate::value::Value;
+
+fn read_hll<'a>(e: &'a Engine, key: &[u8]) -> Result<Option<&'a Hll>, ExecOutcome> {
+    match e.db.lookup(key, e.now()) {
+        Some(Value::Hll(h)) => Ok(Some(h)),
+        Some(_) => Err(ExecOutcome::read(Frame::Error(
+            "WRONGTYPE Key is not a valid HyperLogLog string value.".into(),
+        ))),
+        None => Ok(None),
+    }
+}
+
+fn hll_mut<'a>(e: &'a mut Engine, key: &Bytes) -> Result<&'a mut Hll, ExecOutcome> {
+    let now = e.now();
+    if let Some(v) = e.db.lookup(key, now) {
+        if !matches!(v, Value::Hll(_)) {
+            return Err(ExecOutcome::read(Frame::Error(
+                "WRONGTYPE Key is not a valid HyperLogLog string value.".into(),
+            )));
+        }
+    }
+    match e.db.entry_or_insert_with(key, now, || Value::Hll(Hll::new())) {
+        Value::Hll(h) => Ok(h),
+        _ => unreachable!("type pre-checked"),
+    }
+}
+
+pub(super) fn pfadd(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let key = a[1].clone();
+    let existed = e.db.exists(&key, e.now());
+    let h = hll_mut(e, &key)?;
+    let mut changed = false;
+    for el in &a[2..] {
+        changed |= h.add(el);
+    }
+    let created = !existed;
+    if !changed && !created {
+        return Ok(ExecOutcome::read(Frame::Integer(0)));
+    }
+    e.db.signal_modified(&key);
+    Ok(verbatim_write(
+        Frame::Integer((changed || created) as i64),
+        a,
+        vec![key],
+    ))
+}
+
+pub(super) fn pfcount(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    if a.len() == 2 {
+        let n = read_hll(e, &a[1])?.map_or(0, |h| h.count());
+        return Ok(ExecOutcome::read(Frame::Integer(n as i64)));
+    }
+    // Multi-key: count of the union.
+    let mut merged = Hll::new();
+    for key in &a[1..] {
+        if let Some(h) = read_hll(e, key)? {
+            merged.merge(h);
+        }
+    }
+    Ok(ExecOutcome::read(Frame::Integer(merged.count() as i64)))
+}
+
+pub(super) fn pfmerge(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let dest = a[1].clone();
+    let mut merged = match read_hll(e, &dest)? {
+        Some(h) => h.clone(),
+        None => Hll::new(),
+    };
+    for key in &a[2..] {
+        if let Some(h) = read_hll(e, key)? {
+            merged.merge(h);
+        }
+    }
+    e.db.set_value_keep_ttl(dest.clone(), Value::Hll(merged));
+    Ok(verbatim_write(Frame::ok(), a, vec![dest]))
+}

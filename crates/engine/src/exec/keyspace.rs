@@ -1,0 +1,319 @@
+//! Generic key-space commands: deletion, expiry, renaming, scanning.
+
+use super::*;
+use rand::Rng;
+
+pub(super) fn del(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let mut removed = Vec::new();
+    for key in &a[1..] {
+        if e.db.exists(key, e.now()) && e.db.remove(key).is_some() {
+            removed.push(key.clone());
+        }
+    }
+    if removed.is_empty() {
+        return Ok(ExecOutcome::read(Frame::Integer(0)));
+    }
+    let mut eff: EffectCmd = vec![Bytes::from_static(b"DEL")];
+    eff.extend(removed.iter().cloned());
+    Ok(effect_write(
+        Frame::Integer(removed.len() as i64),
+        vec![eff],
+        removed,
+    ))
+}
+
+pub(super) fn exists(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let count = a[1..]
+        .iter()
+        .filter(|k| e.db.exists(k, e.now()))
+        .count();
+    Ok(ExecOutcome::read(Frame::Integer(count as i64)))
+}
+
+pub(super) fn type_cmd(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let name = match e.db.lookup(&a[1], e.now()) {
+        Some(v) => v.type_name(),
+        None => "none",
+    };
+    Ok(ExecOutcome::read(Frame::Simple(name.into())))
+}
+
+/// Shared implementation of EXPIRE/PEXPIRE/EXPIREAT/PEXPIREAT.
+///
+/// `unit_ms` converts the argument to milliseconds; `absolute` selects the
+/// `*AT` variants. The effect is always a deterministic `PEXPIREAT`.
+pub(super) fn expire_generic(e: &mut Engine, a: &[Bytes], unit_ms: u64, absolute: bool) -> CmdResult {
+    let n = p_i64(&a[2])?;
+    // Optional NX/XX/GT/LT flag (Redis 7).
+    let flag = a.get(3).map(|f| upper(f));
+    if a.len() > 4 {
+        return Err(ExecOutcome::error("syntax error"));
+    }
+    if !e.db.exists(&a[1], e.now()) {
+        return Ok(ExecOutcome::read(Frame::Integer(0)));
+    }
+    let at: i64 = if absolute {
+        n.saturating_mul(unit_ms as i64)
+    } else {
+        (e.now() as i64).saturating_add(n.saturating_mul(unit_ms as i64))
+    };
+    let current = e.db.expiry(&a[1]);
+    let allowed = match flag.as_deref() {
+        None => true,
+        Some("NX") => current.is_none(),
+        Some("XX") => current.is_some(),
+        Some("GT") => current.is_some_and(|c| (at.max(0) as u64) > c),
+        Some("LT") => current.is_none_or(|c| (at.max(0) as u64) < c),
+        Some(_) => return Err(ExecOutcome::error("Unsupported option")),
+    };
+    if !allowed {
+        return Ok(ExecOutcome::read(Frame::Integer(0)));
+    }
+    if at <= e.now() as i64 {
+        // Expiring in the past deletes the key immediately.
+        e.db.remove(&a[1]);
+        let eff = vec![Bytes::from_static(b"DEL"), a[1].clone()];
+        return Ok(effect_write(Frame::Integer(1), vec![eff], vec![a[1].clone()]));
+    }
+    e.db.set_expiry(&a[1], Some(at as u64));
+    let eff = vec![
+        Bytes::from_static(b"PEXPIREAT"),
+        a[1].clone(),
+        Bytes::from(at.to_string()),
+    ];
+    Ok(effect_write(Frame::Integer(1), vec![eff], vec![a[1].clone()]))
+}
+
+pub(super) fn ttl(e: &mut Engine, a: &[Bytes], unit_ms: u64) -> CmdResult {
+    if !e.db.exists(&a[1], e.now()) {
+        return Ok(ExecOutcome::read(Frame::Integer(-2)));
+    }
+    let reply = match e.db.expiry(&a[1]) {
+        None => -1,
+        // 128-bit ceil-division: EXPIREAT accepts timestamps up to i64::MAX
+        // seconds, so the remaining-ms arithmetic can exceed i64.
+        Some(at) => {
+            let remaining = (at - e.now()) as i128;
+            let unit = unit_ms as i128;
+            ((remaining + unit - 1) / unit).min(i64::MAX as i128) as i64
+        }
+    };
+    Ok(ExecOutcome::read(Frame::Integer(reply)))
+}
+
+pub(super) fn expiretime(e: &mut Engine, a: &[Bytes], unit_ms: u64) -> CmdResult {
+    if !e.db.exists(&a[1], e.now()) {
+        return Ok(ExecOutcome::read(Frame::Integer(-2)));
+    }
+    let reply = match e.db.expiry(&a[1]) {
+        None => -1,
+        Some(at) => (at / unit_ms) as i64,
+    };
+    Ok(ExecOutcome::read(Frame::Integer(reply)))
+}
+
+pub(super) fn persist(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    if !e.db.exists(&a[1], e.now()) || e.db.expiry(&a[1]).is_none() {
+        return Ok(ExecOutcome::read(Frame::Integer(0)));
+    }
+    e.db.set_expiry(&a[1], None);
+    Ok(verbatim_write(Frame::Integer(1), a, vec![a[1].clone()]))
+}
+
+pub(super) fn keys(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let now = e.now();
+    let out: Vec<Frame> = e
+        .db
+        .keys_matching(&a[1])
+        .into_iter()
+        .filter(|k| e.db.exists(k, now))
+        .map(Frame::Bulk)
+        .collect();
+    Ok(ExecOutcome::read(Frame::Array(out)))
+}
+
+pub(super) fn scan(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let cursor = p_i64(&a[1])? as u64;
+    let mut count = 10usize;
+    let mut pattern: Option<Bytes> = None;
+    let mut type_filter: Option<String> = None;
+    let mut i = 2;
+    while i < a.len() {
+        match upper(&a[i]).as_str() {
+            "COUNT" => {
+                count = p_i64(a.get(i + 1).ok_or_else(|| ExecOutcome::error("syntax error"))?)?
+                    .max(1) as usize;
+                i += 2;
+            }
+            "MATCH" => {
+                pattern = Some(
+                    a.get(i + 1)
+                        .ok_or_else(|| ExecOutcome::error("syntax error"))?
+                        .clone(),
+                );
+                i += 2;
+            }
+            "TYPE" => {
+                type_filter = Some(
+                    String::from_utf8_lossy(
+                        a.get(i + 1).ok_or_else(|| ExecOutcome::error("syntax error"))?,
+                    )
+                    .to_lowercase(),
+                );
+                i += 2;
+            }
+            _ => return Err(ExecOutcome::error("syntax error")),
+        }
+    }
+    let now = e.now();
+    let (next, keys) = e.db.scan(cursor, count, pattern.as_deref());
+    let items: Vec<Frame> = keys
+        .into_iter()
+        .filter(|k| match (e.db.lookup(k, now), &type_filter) {
+            (Some(v), Some(want)) => v.type_name() == want,
+            (Some(_), None) => true,
+            (None, _) => false,
+        })
+        .map(Frame::Bulk)
+        .collect();
+    Ok(ExecOutcome::read(Frame::Array(vec![
+        Frame::Bulk(Bytes::from(next.to_string())),
+        Frame::Array(items),
+    ])))
+}
+
+pub(super) fn randomkey(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let _ = a;
+    // A few attempts to dodge logically-expired keys, like Redis.
+    for _ in 0..16 {
+        let idx: usize = e.rng().gen();
+        let Some(key) = e.db.random_key(idx).cloned() else {
+            return Ok(ExecOutcome::read(Frame::Null));
+        };
+        if e.db.exists(&key, e.now()) {
+            return Ok(ExecOutcome::read(Frame::Bulk(key)));
+        }
+    }
+    Ok(ExecOutcome::read(Frame::Null))
+}
+
+pub(super) fn rename(e: &mut Engine, a: &[Bytes], nx: bool) -> CmdResult {
+    if !e.db.exists(&a[1], e.now()) {
+        return Err(ExecOutcome::error("no such key"));
+    }
+    if nx && e.db.exists(&a[2], e.now()) {
+        return Ok(ExecOutcome::read(Frame::Integer(0)));
+    }
+    if a[1] == a[2] {
+        let reply = if nx { Frame::Integer(0) } else { Frame::ok() };
+        return Ok(ExecOutcome::read(reply));
+    }
+    let expiry = e.db.expiry(&a[1]);
+    let value = e.db.remove(&a[1]).expect("existence checked");
+    e.db.set_value(a[2].clone(), value);
+    e.db.set_expiry(&a[2], expiry);
+    let reply = if nx { Frame::Integer(1) } else { Frame::ok() };
+    Ok(verbatim_write(reply, a, vec![a[1].clone(), a[2].clone()]))
+}
+
+pub(super) fn copy(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let mut replace = false;
+    for opt in &a[3..] {
+        match upper(opt).as_str() {
+            "REPLACE" => replace = true,
+            "DB" => return Err(ExecOutcome::error("COPY DB is not supported")),
+            _ => return Err(ExecOutcome::error("syntax error")),
+        }
+    }
+    let Some(value) = e.db.lookup(&a[1], e.now()).cloned() else {
+        return Ok(ExecOutcome::read(Frame::Integer(0)));
+    };
+    if !replace && e.db.exists(&a[2], e.now()) {
+        return Ok(ExecOutcome::read(Frame::Integer(0)));
+    }
+    let expiry = e.db.expiry(&a[1]);
+    e.db.set_value(a[2].clone(), value);
+    e.db.set_expiry(&a[2], expiry);
+    Ok(verbatim_write(Frame::Integer(1), a, vec![a[2].clone()]))
+}
+
+/// `RESTORE key ttl serialized-value [REPLACE] [ABSTTL]`
+///
+/// The payload is the [`crate::rdb::serialize_entry`] form (which embeds the
+/// absolute expiry, so `ttl` is normally 0). This is the transport primitive
+/// slot migration uses to move keys between shards (paper §5.2): the source
+/// serializes each key and the target commits a `RESTORE` effect to its own
+/// transaction log, letting its replicas converge on the same state.
+pub(super) fn restore(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let ttl = p_i64(&a[2])?;
+    let mut replace = false;
+    let mut absttl = false;
+    for opt in &a[4..] {
+        match upper(opt).as_str() {
+            "REPLACE" => replace = true,
+            "ABSTTL" => absttl = true,
+            _ => return Err(ExecOutcome::error("syntax error")),
+        }
+    }
+    if ttl < 0 {
+        return Err(ExecOutcome::error("Invalid TTL value, must be >= 0"));
+    }
+    if !replace && e.db.exists(&a[1], e.now()) {
+        return Err(ExecOutcome::read(Frame::Error(
+            "BUSYKEY Target key name already exists.".into(),
+        )));
+    }
+    let (value, embedded_expiry) = crate::rdb::deserialize_entry(&a[3])
+        .map_err(|_| ExecOutcome::error("DUMP payload version or checksum are wrong"))?;
+    e.db.set_value(a[1].clone(), value);
+    let expiry = if ttl > 0 {
+        Some(if absttl {
+            ttl as u64
+        } else {
+            e.now().saturating_add(ttl as u64)
+        })
+    } else {
+        embedded_expiry
+    };
+    if expiry.is_some() {
+        e.db.set_expiry(&a[1], expiry);
+    }
+    // Rewrite to a canonical deterministic form: absolute TTL, REPLACE.
+    let mut eff: EffectCmd = vec![
+        Bytes::from_static(b"RESTORE"),
+        a[1].clone(),
+        Bytes::from_static(b"0"),
+        a[3].clone(),
+        Bytes::from_static(b"REPLACE"),
+    ];
+    if let Some(at) = expiry {
+        eff[2] = Bytes::from(at.to_string());
+        eff.push(Bytes::from_static(b"ABSTTL"));
+    }
+    Ok(effect_write(Frame::ok(), vec![eff], vec![a[1].clone()]))
+}
+
+pub(super) fn dbsize(e: &mut Engine, _a: &[Bytes]) -> CmdResult {
+    Ok(ExecOutcome::read(Frame::Integer(e.db.len() as i64)))
+}
+
+pub(super) fn flushall(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    // ASYNC/SYNC accepted and ignored; our flush is immediate.
+    if e.db.is_empty() {
+        return Ok(ExecOutcome::read(Frame::ok()));
+    }
+    e.db.flush();
+    Ok(ExecOutcome::write(
+        Frame::ok(),
+        vec![vec![a[0].clone()]],
+        DirtySet::All,
+    ))
+}
+
+pub(super) fn touch(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let count = a[1..]
+        .iter()
+        .filter(|k| e.db.exists(k, e.now()))
+        .count();
+    Ok(ExecOutcome::read(Frame::Integer(count as i64)))
+}

@@ -1,0 +1,394 @@
+//! List commands.
+
+use super::*;
+use crate::value::Value;
+use std::collections::VecDeque;
+
+fn read_list<'a>(e: &'a Engine, key: &[u8]) -> Result<Option<&'a VecDeque<Bytes>>, ExecOutcome> {
+    match e.db.lookup(key, e.now()) {
+        Some(Value::List(l)) => Ok(Some(l)),
+        Some(_) => Err(wrongtype()),
+        None => Ok(None),
+    }
+}
+
+fn list_mut<'a>(e: &'a mut Engine, key: &Bytes) -> Result<&'a mut VecDeque<Bytes>, ExecOutcome> {
+    let now = e.now();
+    if let Some(v) = e.db.lookup(key, now) {
+        if !matches!(v, Value::List(_)) {
+            return Err(wrongtype());
+        }
+    }
+    match e.db.entry_or_insert_with(key, now, || Value::List(VecDeque::new())) {
+        Value::List(l) => Ok(l),
+        _ => Err(wrongtype()),
+    }
+}
+
+/// Normalizes a possibly-negative index against a length; may be out of
+/// range.
+fn norm_index(i: i64, len: usize) -> i64 {
+    if i < 0 {
+        len as i64 + i
+    } else {
+        i
+    }
+}
+
+pub(super) fn push(e: &mut Engine, a: &[Bytes], left: bool, only_existing: bool) -> CmdResult {
+    let key = a[1].clone();
+    if only_existing && read_list(e, &key)?.is_none() {
+        return Ok(ExecOutcome::read(Frame::Integer(0)));
+    }
+    let l = list_mut(e, &key)?;
+    for item in &a[2..] {
+        if left {
+            l.push_front(item.clone());
+        } else {
+            l.push_back(item.clone());
+        }
+    }
+    let len = l.len() as i64;
+    e.db.signal_modified(&key);
+    Ok(verbatim_write(Frame::Integer(len), a, vec![key]))
+}
+
+pub(super) fn pop(e: &mut Engine, a: &[Bytes], left: bool) -> CmdResult {
+    let explicit_count = a.len() == 3;
+    let count = if explicit_count {
+        let n = p_i64(&a[2])?;
+        if n < 0 {
+            return Err(ExecOutcome::error("value is out of range, must be positive"));
+        }
+        n as usize
+    } else {
+        1
+    };
+    let key = a[1].clone();
+    if read_list(e, &key)?.is_none() {
+        return Ok(ExecOutcome::read(if explicit_count {
+            Frame::Null
+        } else {
+            Frame::Null
+        }));
+    }
+    let now = e.now();
+    let Some(Value::List(l)) = e.db.lookup_mut(&key, now) else {
+        return Ok(ExecOutcome::read(Frame::Null));
+    };
+    let mut popped = Vec::new();
+    for _ in 0..count {
+        let item = if left { l.pop_front() } else { l.pop_back() };
+        match item {
+            Some(v) => popped.push(v),
+            None => break,
+        }
+    }
+    if popped.is_empty() {
+        return Ok(ExecOutcome::read(Frame::Null));
+    }
+    e.db.signal_modified(&key);
+    e.db.remove_if_empty(&key);
+    // Deterministic: replicate the pop with its realized count.
+    let name: &'static [u8] = if left { b"LPOP" } else { b"RPOP" };
+    let eff = vec![
+        Bytes::from_static(name),
+        key.clone(),
+        Bytes::from(popped.len().to_string()),
+    ];
+    let reply = if explicit_count {
+        Frame::Array(popped.into_iter().map(Frame::Bulk).collect())
+    } else {
+        Frame::Bulk(popped.into_iter().next().expect("non-empty"))
+    };
+    Ok(effect_write(reply, vec![eff], vec![key]))
+}
+
+pub(super) fn llen(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let n = read_list(e, &a[1])?.map_or(0, |l| l.len());
+    Ok(ExecOutcome::read(Frame::Integer(n as i64)))
+}
+
+pub(super) fn lrange(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let (start, stop) = (p_i64(&a[2])?, p_i64(&a[3])?);
+    let Some(l) = read_list(e, &a[1])? else {
+        return Ok(ExecOutcome::read(Frame::Array(vec![])));
+    };
+    let len = l.len();
+    let start = norm_index(start, len).max(0) as usize;
+    let stop = norm_index(stop, len);
+    if stop < 0 || start >= len || start as i64 > stop {
+        return Ok(ExecOutcome::read(Frame::Array(vec![])));
+    }
+    let stop = (stop as usize).min(len - 1);
+    let out = l
+        .iter()
+        .skip(start)
+        .take(stop - start + 1)
+        .cloned()
+        .map(Frame::Bulk)
+        .collect();
+    Ok(ExecOutcome::read(Frame::Array(out)))
+}
+
+pub(super) fn lindex(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let idx = p_i64(&a[2])?;
+    let Some(l) = read_list(e, &a[1])? else {
+        return Ok(ExecOutcome::read(Frame::Null));
+    };
+    let i = norm_index(idx, l.len());
+    if i < 0 || i as usize >= l.len() {
+        return Ok(ExecOutcome::read(Frame::Null));
+    }
+    Ok(ExecOutcome::read(Frame::Bulk(l[i as usize].clone())))
+}
+
+pub(super) fn lset(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let idx = p_i64(&a[2])?;
+    let key = a[1].clone();
+    if read_list(e, &key)?.is_none() {
+        return Err(ExecOutcome::error("no such key"));
+    }
+    let now = e.now();
+    let Some(Value::List(l)) = e.db.lookup_mut(&key, now) else {
+        return Err(ExecOutcome::error("no such key"));
+    };
+    let i = norm_index(idx, l.len());
+    if i < 0 || i as usize >= l.len() {
+        return Err(ExecOutcome::error("index out of range"));
+    }
+    l[i as usize] = a[3].clone();
+    e.db.signal_modified(&key);
+    Ok(verbatim_write(Frame::ok(), a, vec![key]))
+}
+
+pub(super) fn linsert(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let before = match upper(&a[2]).as_str() {
+        "BEFORE" => true,
+        "AFTER" => false,
+        _ => return Err(ExecOutcome::error("syntax error")),
+    };
+    let key = a[1].clone();
+    if read_list(e, &key)?.is_none() {
+        return Ok(ExecOutcome::read(Frame::Integer(0)));
+    }
+    let now = e.now();
+    let Some(Value::List(l)) = e.db.lookup_mut(&key, now) else {
+        return Ok(ExecOutcome::read(Frame::Integer(0)));
+    };
+    let Some(pos) = l.iter().position(|x| x == &a[3]) else {
+        return Ok(ExecOutcome::read(Frame::Integer(-1)));
+    };
+    let insert_at = if before { pos } else { pos + 1 };
+    l.insert(insert_at, a[4].clone());
+    let len = l.len() as i64;
+    e.db.signal_modified(&key);
+    Ok(verbatim_write(Frame::Integer(len), a, vec![key]))
+}
+
+pub(super) fn lrem(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let count = p_i64(&a[2])?;
+    let key = a[1].clone();
+    if read_list(e, &key)?.is_none() {
+        return Ok(ExecOutcome::read(Frame::Integer(0)));
+    }
+    let now = e.now();
+    let Some(Value::List(l)) = e.db.lookup_mut(&key, now) else {
+        return Ok(ExecOutcome::read(Frame::Integer(0)));
+    };
+    let target = &a[3];
+    let mut removed = 0i64;
+    if count >= 0 {
+        let limit = if count == 0 { usize::MAX } else { count as usize };
+        let mut i = 0;
+        while i < l.len() && (removed as usize) < limit {
+            if &l[i] == target {
+                l.remove(i);
+                removed += 1;
+            } else {
+                i += 1;
+            }
+        }
+    } else {
+        let limit = count.unsigned_abs() as usize;
+        let mut i = l.len();
+        while i > 0 && (removed as usize) < limit {
+            i -= 1;
+            if &l[i] == target {
+                l.remove(i);
+                removed += 1;
+            }
+        }
+    }
+    if removed == 0 {
+        return Ok(ExecOutcome::read(Frame::Integer(0)));
+    }
+    e.db.signal_modified(&key);
+    e.db.remove_if_empty(&key);
+    Ok(verbatim_write(Frame::Integer(removed), a, vec![key]))
+}
+
+pub(super) fn ltrim(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let (start, stop) = (p_i64(&a[2])?, p_i64(&a[3])?);
+    let key = a[1].clone();
+    if read_list(e, &key)?.is_none() {
+        return Ok(ExecOutcome::read(Frame::ok()));
+    }
+    let now = e.now();
+    let Some(Value::List(l)) = e.db.lookup_mut(&key, now) else {
+        return Ok(ExecOutcome::read(Frame::ok()));
+    };
+    let len = l.len();
+    let start = norm_index(start, len).max(0) as usize;
+    let stop = norm_index(stop, len);
+    if stop < 0 || start >= len || start as i64 > stop {
+        l.clear();
+    } else {
+        let stop = (stop as usize).min(len - 1);
+        l.drain(stop + 1..);
+        l.drain(..start);
+    }
+    e.db.signal_modified(&key);
+    e.db.remove_if_empty(&key);
+    Ok(verbatim_write(Frame::ok(), a, vec![key]))
+}
+
+/// `RPOPLPUSH src dst` — legacy alias for `LMOVE src dst RIGHT LEFT`.
+pub(super) fn lmove_compat(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let args = vec![
+        Bytes::from_static(b"LMOVE"),
+        a[1].clone(),
+        a[2].clone(),
+        Bytes::from_static(b"RIGHT"),
+        Bytes::from_static(b"LEFT"),
+    ];
+    lmove(e, &args)
+}
+
+pub(super) fn lmove(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let from_left = match upper(&a[3]).as_str() {
+        "LEFT" => true,
+        "RIGHT" => false,
+        _ => return Err(ExecOutcome::error("syntax error")),
+    };
+    let to_left = match upper(&a[4]).as_str() {
+        "LEFT" => true,
+        "RIGHT" => false,
+        _ => return Err(ExecOutcome::error("syntax error")),
+    };
+    let (src, dst) = (a[1].clone(), a[2].clone());
+    if read_list(e, &src)?.is_none() {
+        return Ok(ExecOutcome::read(Frame::Null));
+    }
+    // Type-check destination before mutating the source.
+    if let Some(v) = e.db.lookup(&dst, e.now()) {
+        if !matches!(v, Value::List(_)) {
+            return Err(wrongtype());
+        }
+    }
+    let now = e.now();
+    let item = {
+        let Some(Value::List(l)) = e.db.lookup_mut(&src, now) else {
+            return Ok(ExecOutcome::read(Frame::Null));
+        };
+        let item = if from_left { l.pop_front() } else { l.pop_back() };
+        let Some(item) = item else {
+            return Ok(ExecOutcome::read(Frame::Null));
+        };
+        item
+    };
+    e.db.signal_modified(&src);
+    e.db.remove_if_empty(&src);
+    let d = list_mut(e, &dst)?;
+    if to_left {
+        d.push_front(item.clone());
+    } else {
+        d.push_back(item.clone());
+    }
+    e.db.signal_modified(&dst);
+    // The realized move is deterministic given list state; replicate LMOVE
+    // verbatim (replicas pop the same element).
+    let eff = vec![
+        Bytes::from_static(b"LMOVE"),
+        src.clone(),
+        dst.clone(),
+        a[3].clone(),
+        a[4].clone(),
+    ];
+    Ok(effect_write(Frame::Bulk(item), vec![eff], vec![src, dst]))
+}
+
+pub(super) fn lpos(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let mut rank = 1i64;
+    let mut count: Option<usize> = None;
+    let mut i = 3;
+    while i < a.len() {
+        match upper(&a[i]).as_str() {
+            "RANK" => {
+                rank = p_i64(a.get(i + 1).ok_or_else(|| ExecOutcome::error("syntax error"))?)?;
+                if rank == 0 {
+                    return Err(ExecOutcome::error(
+                        "RANK can't be zero",
+                    ));
+                }
+                i += 2;
+            }
+            "COUNT" => {
+                let n = p_i64(a.get(i + 1).ok_or_else(|| ExecOutcome::error("syntax error"))?)?;
+                if n < 0 {
+                    return Err(ExecOutcome::error("COUNT can't be negative"));
+                }
+                count = Some(if n == 0 { usize::MAX } else { n as usize });
+                i += 2;
+            }
+            "MAXLEN" => i += 2,
+            _ => return Err(ExecOutcome::error("syntax error")),
+        }
+    }
+    let Some(l) = read_list(e, &a[1])? else {
+        return Ok(ExecOutcome::read(match count {
+            Some(_) => Frame::Array(vec![]),
+            None => Frame::Null,
+        }));
+    };
+    let target = &a[2];
+    let mut matches: Vec<i64> = Vec::new();
+    let want = count.unwrap_or(1);
+    if rank > 0 {
+        let mut skip = rank - 1;
+        for (idx, item) in l.iter().enumerate() {
+            if item == target {
+                if skip > 0 {
+                    skip -= 1;
+                    continue;
+                }
+                matches.push(idx as i64);
+                if matches.len() >= want {
+                    break;
+                }
+            }
+        }
+    } else {
+        let mut skip = -rank - 1;
+        for (idx, item) in l.iter().enumerate().rev() {
+            if item == target {
+                if skip > 0 {
+                    skip -= 1;
+                    continue;
+                }
+                matches.push(idx as i64);
+                if matches.len() >= want {
+                    break;
+                }
+            }
+        }
+    }
+    let reply = match count {
+        Some(_) => Frame::Array(matches.into_iter().map(Frame::Integer).collect()),
+        None => match matches.first() {
+            Some(&idx) => Frame::Integer(idx),
+            None => Frame::Null,
+        },
+    };
+    Ok(ExecOutcome::read(reply))
+}

@@ -1,0 +1,357 @@
+//! Set commands.
+//!
+//! `SPOP` is the paper's canonical example of a non-deterministic command
+//! (§2.1): the primary picks random members, then replicates an explicit
+//! `SREM` of exactly those members so every replica deletes the same ones.
+
+use super::*;
+use crate::value::Value;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+
+fn read_set<'a>(e: &'a Engine, key: &[u8]) -> Result<Option<&'a HashSet<Bytes>>, ExecOutcome> {
+    match e.db.lookup(key, e.now()) {
+        Some(Value::Set(s)) => Ok(Some(s)),
+        Some(_) => Err(wrongtype()),
+        None => Ok(None),
+    }
+}
+
+fn set_mut<'a>(e: &'a mut Engine, key: &Bytes) -> Result<&'a mut HashSet<Bytes>, ExecOutcome> {
+    let now = e.now();
+    if let Some(v) = e.db.lookup(key, now) {
+        if !matches!(v, Value::Set(_)) {
+            return Err(wrongtype());
+        }
+    }
+    match e.db.entry_or_insert_with(key, now, || Value::Set(HashSet::new())) {
+        Value::Set(s) => Ok(s),
+        _ => Err(wrongtype()),
+    }
+}
+
+/// Sorted members for deterministic reply ordering where Redis order is
+/// unspecified anyway — stable output simplifies testing.
+fn sorted(members: impl IntoIterator<Item = Bytes>) -> Vec<Bytes> {
+    let mut v: Vec<Bytes> = members.into_iter().collect();
+    v.sort();
+    v
+}
+
+pub(super) fn sadd(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let key = a[1].clone();
+    let s = set_mut(e, &key)?;
+    let mut added = 0i64;
+    for m in &a[2..] {
+        if s.insert(m.clone()) {
+            added += 1;
+        }
+    }
+    if added == 0 {
+        e.db.remove_if_empty(&key);
+        return Ok(ExecOutcome::read(Frame::Integer(0)));
+    }
+    e.db.signal_modified(&key);
+    Ok(verbatim_write(Frame::Integer(added), a, vec![key]))
+}
+
+pub(super) fn srem(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let key = a[1].clone();
+    if read_set(e, &key)?.is_none() {
+        return Ok(ExecOutcome::read(Frame::Integer(0)));
+    }
+    let now = e.now();
+    let Some(Value::Set(s)) = e.db.lookup_mut(&key, now) else {
+        return Ok(ExecOutcome::read(Frame::Integer(0)));
+    };
+    let mut removed = 0i64;
+    for m in &a[2..] {
+        if s.remove(m) {
+            removed += 1;
+        }
+    }
+    if removed == 0 {
+        return Ok(ExecOutcome::read(Frame::Integer(0)));
+    }
+    e.db.signal_modified(&key);
+    e.db.remove_if_empty(&key);
+    Ok(verbatim_write(Frame::Integer(removed), a, vec![key]))
+}
+
+pub(super) fn smembers(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let out = read_set(e, &a[1])?
+        .map(|s| sorted(s.iter().cloned()))
+        .unwrap_or_default();
+    Ok(ExecOutcome::read(Frame::Array(
+        out.into_iter().map(Frame::Bulk).collect(),
+    )))
+}
+
+pub(super) fn sismember(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let present = read_set(e, &a[1])?.is_some_and(|s| s.contains(&a[2]));
+    Ok(ExecOutcome::read(Frame::Integer(present as i64)))
+}
+
+pub(super) fn smismember(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let s = read_set(e, &a[1])?;
+    let out = a[2..]
+        .iter()
+        .map(|m| Frame::Integer(s.is_some_and(|s| s.contains(m)) as i64))
+        .collect();
+    Ok(ExecOutcome::read(Frame::Array(out)))
+}
+
+pub(super) fn scard(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let n = read_set(e, &a[1])?.map_or(0, |s| s.len());
+    Ok(ExecOutcome::read(Frame::Integer(n as i64)))
+}
+
+/// `SPOP key [count]` — non-deterministic; replicated as `SREM`/`DEL`.
+pub(super) fn spop(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let explicit_count = a.len() == 3;
+    let count = if explicit_count {
+        let n = p_i64(&a[2])?;
+        if n < 0 {
+            return Err(ExecOutcome::error("value is out of range, must be positive"));
+        }
+        n as usize
+    } else {
+        1
+    };
+    let key = a[1].clone();
+    let Some(s) = read_set(e, &key)? else {
+        return Ok(ExecOutcome::read(if explicit_count {
+            Frame::Array(vec![])
+        } else {
+            Frame::Null
+        }));
+    };
+    let size = s.len();
+    let mut pool: Vec<Bytes> = s.iter().cloned().collect();
+    pool.sort(); // stable base order before the seeded shuffle
+    pool.shuffle(e.rng());
+    let chosen: Vec<Bytes> = pool.into_iter().take(count).collect();
+    if chosen.is_empty() {
+        return Ok(ExecOutcome::read(if explicit_count {
+            Frame::Array(vec![])
+        } else {
+            Frame::Null
+        }));
+    }
+    let now = e.now();
+    if let Some(Value::Set(s)) = e.db.lookup_mut(&key, now) {
+        for m in &chosen {
+            s.remove(m);
+        }
+    }
+    e.db.signal_modified(&key);
+    e.db.remove_if_empty(&key);
+    // Effect rewrite (paper §2.1): the whole set popped → DEL, otherwise an
+    // explicit SREM of the chosen members.
+    let eff: EffectCmd = if chosen.len() >= size {
+        vec![Bytes::from_static(b"DEL"), key.clone()]
+    } else {
+        let mut c: EffectCmd = vec![Bytes::from_static(b"SREM"), key.clone()];
+        c.extend(chosen.iter().cloned());
+        c
+    };
+    let reply = if explicit_count {
+        Frame::Array(chosen.into_iter().map(Frame::Bulk).collect())
+    } else {
+        Frame::Bulk(chosen.into_iter().next().expect("non-empty"))
+    };
+    Ok(effect_write(reply, vec![eff], vec![key]))
+}
+
+pub(super) fn srandmember(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let count = if a.len() == 3 { Some(p_i64(&a[2])?) } else { None };
+    let Some(s) = read_set(e, &a[1])? else {
+        return Ok(ExecOutcome::read(match count {
+            Some(_) => Frame::Array(vec![]),
+            None => Frame::Null,
+        }));
+    };
+    let mut pool: Vec<Bytes> = s.iter().cloned().collect();
+    pool.sort();
+    match count {
+        None => {
+            let idx = e.rng().gen_range(0..pool.len());
+            Ok(ExecOutcome::read(Frame::Bulk(pool[idx].clone())))
+        }
+        Some(n) if n >= 0 => {
+            pool.shuffle(e.rng());
+            pool.truncate(n as usize);
+            Ok(ExecOutcome::read(Frame::Array(
+                pool.into_iter().map(Frame::Bulk).collect(),
+            )))
+        }
+        Some(n) => {
+            let out: Vec<Frame> = (0..n.unsigned_abs())
+                .map(|_| {
+                    let idx = e.rng().gen_range(0..pool.len());
+                    Frame::Bulk(pool[idx].clone())
+                })
+                .collect();
+            Ok(ExecOutcome::read(Frame::Array(out)))
+        }
+    }
+}
+
+pub(super) fn smove(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let (src, dst, member) = (a[1].clone(), a[2].clone(), a[3].clone());
+    let Some(s) = read_set(e, &src)? else {
+        return Ok(ExecOutcome::read(Frame::Integer(0)));
+    };
+    if !s.contains(&member) {
+        return Ok(ExecOutcome::read(Frame::Integer(0)));
+    }
+    // Destination type check before mutating.
+    if let Some(v) = e.db.lookup(&dst, e.now()) {
+        if !matches!(v, Value::Set(_)) {
+            return Err(wrongtype());
+        }
+    }
+    let now = e.now();
+    if let Some(Value::Set(s)) = e.db.lookup_mut(&src, now) {
+        s.remove(&member);
+    }
+    e.db.signal_modified(&src);
+    e.db.remove_if_empty(&src);
+    let d = set_mut(e, &dst)?;
+    d.insert(member);
+    e.db.signal_modified(&dst);
+    Ok(verbatim_write(Frame::Integer(1), a, vec![src, dst]))
+}
+
+/// Which set algebra operation to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum SetOp {
+    /// Union of all sets.
+    Union,
+    /// Intersection of all sets.
+    Inter,
+    /// First set minus the rest.
+    Diff,
+}
+
+/// `SUNION`/`SINTER`/`SDIFF` and their `*STORE` variants.
+pub(super) fn setop(e: &mut Engine, a: &[Bytes], op: SetOp, store: bool) -> CmdResult {
+    let keys = if store { &a[2..] } else { &a[1..] };
+    if keys.is_empty() {
+        return Err(wrong_arity("setop"));
+    }
+    let mut result: HashSet<Bytes> = match read_set(e, &keys[0])? {
+        Some(s) => s.clone(),
+        None => HashSet::new(),
+    };
+    for key in &keys[1..] {
+        let other = read_set(e, key)?;
+        match op {
+            SetOp::Union => {
+                if let Some(o) = other {
+                    result.extend(o.iter().cloned());
+                }
+            }
+            SetOp::Inter => match other {
+                Some(o) => result.retain(|m| o.contains(m)),
+                None => result.clear(),
+            },
+            SetOp::Diff => {
+                if let Some(o) = other {
+                    result.retain(|m| !o.contains(m));
+                }
+            }
+        }
+    }
+    if !store {
+        let out = sorted(result);
+        return Ok(ExecOutcome::read(Frame::Array(
+            out.into_iter().map(Frame::Bulk).collect(),
+        )));
+    }
+    let dest = a[1].clone();
+    let n = result.len() as i64;
+    if result.is_empty() {
+        // Storing an empty result deletes the destination.
+        let existed = e.db.exists(&dest, e.now());
+        if existed {
+            e.db.remove(&dest);
+            let eff = vec![Bytes::from_static(b"DEL"), dest.clone()];
+            return Ok(effect_write(Frame::Integer(0), vec![eff], vec![dest]));
+        }
+        return Ok(ExecOutcome::read(Frame::Integer(0)));
+    }
+    e.db.set_value(dest.clone(), Value::Set(result));
+    Ok(verbatim_write(Frame::Integer(n), a, vec![dest]))
+}
+
+pub(super) fn sintercard(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let nk = p_i64(&a[1])?;
+    if nk <= 0 {
+        return Err(ExecOutcome::error("numkeys should be greater than 0"));
+    }
+    let nk = nk as usize;
+    if a.len() < 2 + nk {
+        return Err(ExecOutcome::error("Number of keys can't be greater than number of args"));
+    }
+    let mut limit = usize::MAX;
+    if a.len() > 2 + nk {
+        if upper(&a[2 + nk]) != "LIMIT" || a.len() != 4 + nk {
+            return Err(ExecOutcome::error("syntax error"));
+        }
+        let n = p_i64(&a[3 + nk])?;
+        if n < 0 {
+            return Err(ExecOutcome::error("LIMIT can't be negative"));
+        }
+        limit = if n == 0 { usize::MAX } else { n as usize };
+    }
+    let mut result: HashSet<Bytes> = match read_set(e, &a[2])? {
+        Some(s) => s.clone(),
+        None => HashSet::new(),
+    };
+    for key in &a[3..2 + nk] {
+        match read_set(e, key)? {
+            Some(o) => result.retain(|m| o.contains(m)),
+            None => result.clear(),
+        }
+    }
+    Ok(ExecOutcome::read(Frame::Integer(
+        result.len().min(limit) as i64
+    )))
+}
+
+pub(super) fn sscan(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let _cursor = p_i64(&a[2])?;
+    let mut pattern: Option<Bytes> = None;
+    let mut i = 3;
+    while i < a.len() {
+        match upper(&a[i]).as_str() {
+            "MATCH" => {
+                pattern = Some(
+                    a.get(i + 1)
+                        .ok_or_else(|| ExecOutcome::error("syntax error"))?
+                        .clone(),
+                );
+                i += 2;
+            }
+            "COUNT" => i += 2,
+            _ => return Err(ExecOutcome::error("syntax error")),
+        }
+    }
+    let mut out = Vec::new();
+    if let Some(s) = read_set(e, &a[1])? {
+        for m in sorted(s.iter().cloned()) {
+            if pattern
+                .as_deref()
+                .is_none_or(|p| crate::db::glob_match(p, &m))
+            {
+                out.push(Frame::Bulk(m));
+            }
+        }
+    }
+    Ok(ExecOutcome::read(Frame::Array(vec![
+        Frame::Bulk(Bytes::from_static(b"0")),
+        Frame::Array(out),
+    ])))
+}

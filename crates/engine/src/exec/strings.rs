@@ -1,0 +1,368 @@
+//! String commands.
+
+use super::*;
+use crate::value::Value;
+use bytes::{Bytes, BytesMut};
+
+fn read_str<'a>(e: &'a Engine, key: &[u8]) -> Result<Option<&'a Bytes>, ExecOutcome> {
+    match e.db.lookup(key, e.now()) {
+        Some(Value::Str(s)) => Ok(Some(s)),
+        Some(_) => Err(wrongtype()),
+        None => Ok(None),
+    }
+}
+
+pub(super) fn get(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    Ok(ExecOutcome::read(bulk_or_null(read_str(e, &a[1])?.cloned())))
+}
+
+pub(super) fn strlen(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let len = read_str(e, &a[1])?.map_or(0, |s| s.len());
+    Ok(ExecOutcome::read(Frame::Integer(len as i64)))
+}
+
+/// `SET key value [EX s|PX ms|EXAT s|PXAT ms|KEEPTTL] [NX|XX] [GET]`
+pub(super) fn set(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let key = a[1].clone();
+    let val = a[2].clone();
+    let mut expire_at: Option<u64> = None;
+    let mut keep_ttl = false;
+    let mut nx = false;
+    let mut xx = false;
+    let mut want_get = false;
+    let mut i = 3;
+    while i < a.len() {
+        match upper(&a[i]).as_str() {
+            "EX" | "PX" | "EXAT" | "PXAT" => {
+                let opt = upper(&a[i]);
+                let n = p_i64(a.get(i + 1).ok_or_else(|| ExecOutcome::error("syntax error"))?)?;
+                if n <= 0 && (opt == "EX" || opt == "PX") {
+                    return Err(ExecOutcome::error("invalid expire time in 'set' command"));
+                }
+                expire_at = Some(match opt.as_str() {
+                    "EX" => e.now().saturating_add((n as u64).saturating_mul(1000)),
+                    "PX" => e.now().saturating_add(n as u64),
+                    "EXAT" => (n.max(0) as u64).saturating_mul(1000),
+                    _ => n.max(0) as u64,
+                });
+                i += 2;
+            }
+            "KEEPTTL" => {
+                keep_ttl = true;
+                i += 1;
+            }
+            "NX" => {
+                nx = true;
+                i += 1;
+            }
+            "XX" => {
+                xx = true;
+                i += 1;
+            }
+            "GET" => {
+                want_get = true;
+                i += 1;
+            }
+            _ => return Err(ExecOutcome::error("syntax error")),
+        }
+    }
+    if nx && xx {
+        return Err(ExecOutcome::error("syntax error"));
+    }
+
+    // GET option requires the old value to be a string (or absent).
+    let old = if want_get {
+        Some(read_str(e, &key)?.cloned())
+    } else {
+        None
+    };
+
+    let exists = e.db.exists(&key, e.now());
+    if (nx && exists) || (xx && !exists) {
+        let reply = match old {
+            Some(o) => bulk_or_null(o),
+            None => Frame::Null,
+        };
+        return Ok(ExecOutcome::read(reply));
+    }
+
+    if keep_ttl {
+        e.db.set_value_keep_ttl(key.clone(), Value::Str(val.clone()));
+    } else {
+        e.db.set_value(key.clone(), Value::Str(val.clone()));
+    }
+    if let Some(at) = expire_at {
+        e.db.set_expiry(&key, Some(at));
+    }
+
+    // Deterministic effect: relative expirations become absolute PXAT.
+    let mut eff: EffectCmd = vec![Bytes::from_static(b"SET"), key.clone(), val];
+    if let Some(at) = expire_at {
+        eff.push(Bytes::from_static(b"PXAT"));
+        eff.push(Bytes::from(at.to_string()));
+    } else if keep_ttl {
+        eff.push(Bytes::from_static(b"KEEPTTL"));
+    }
+    let reply = match old {
+        Some(o) => bulk_or_null(o),
+        None => Frame::ok(),
+    };
+    Ok(effect_write(reply, vec![eff], vec![key]))
+}
+
+pub(super) fn setnx(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    if e.db.exists(&a[1], e.now()) {
+        return Ok(ExecOutcome::read(Frame::Integer(0)));
+    }
+    e.db.set_value(a[1].clone(), Value::Str(a[2].clone()));
+    let eff = vec![Bytes::from_static(b"SET"), a[1].clone(), a[2].clone()];
+    Ok(effect_write(Frame::Integer(1), vec![eff], vec![a[1].clone()]))
+}
+
+/// `SETEX key seconds value` / `PSETEX key ms value`
+pub(super) fn setex(e: &mut Engine, a: &[Bytes], millis: bool) -> CmdResult {
+    let n = p_i64(&a[2])?;
+    if n <= 0 {
+        return Err(ExecOutcome::error(format!(
+            "invalid expire time in '{}' command",
+            if millis { "psetex" } else { "setex" }
+        )));
+    }
+    let at = e
+        .now()
+        .saturating_add(if millis { n as u64 } else { (n as u64) * 1000 });
+    e.db.set_value(a[1].clone(), Value::Str(a[3].clone()));
+    e.db.set_expiry(&a[1], Some(at));
+    let eff = vec![
+        Bytes::from_static(b"SET"),
+        a[1].clone(),
+        a[3].clone(),
+        Bytes::from_static(b"PXAT"),
+        Bytes::from(at.to_string()),
+    ];
+    Ok(effect_write(Frame::ok(), vec![eff], vec![a[1].clone()]))
+}
+
+pub(super) fn getset(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let old = read_str(e, &a[1])?.cloned();
+    e.db.set_value(a[1].clone(), Value::Str(a[2].clone()));
+    let eff = vec![Bytes::from_static(b"SET"), a[1].clone(), a[2].clone()];
+    Ok(effect_write(bulk_or_null(old), vec![eff], vec![a[1].clone()]))
+}
+
+pub(super) fn getdel(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let old = read_str(e, &a[1])?.cloned();
+    if old.is_none() {
+        return Ok(ExecOutcome::read(Frame::Null));
+    }
+    e.db.remove(&a[1]);
+    let eff = vec![Bytes::from_static(b"DEL"), a[1].clone()];
+    Ok(effect_write(bulk_or_null(old), vec![eff], vec![a[1].clone()]))
+}
+
+/// `GETEX key [EX s|PX ms|EXAT s|PXAT ms|PERSIST]`
+pub(super) fn getex(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let val = read_str(e, &a[1])?.cloned();
+    let Some(val) = val else {
+        return Ok(ExecOutcome::read(Frame::Null));
+    };
+    if a.len() == 2 {
+        return Ok(ExecOutcome::read(Frame::Bulk(val)));
+    }
+    let opt = upper(&a[2]);
+    let (expire_at, persist) = match opt.as_str() {
+        "PERSIST" => (None, true),
+        "EX" | "PX" | "EXAT" | "PXAT" => {
+            let n = p_i64(a.get(3).ok_or_else(|| ExecOutcome::error("syntax error"))?)?;
+            let at = match opt.as_str() {
+                "EX" => e.now().saturating_add((n.max(0) as u64) * 1000),
+                "PX" => e.now().saturating_add(n.max(0) as u64),
+                "EXAT" => (n.max(0) as u64) * 1000,
+                _ => n.max(0) as u64,
+            };
+            (Some(at), false)
+        }
+        _ => return Err(ExecOutcome::error("syntax error")),
+    };
+    let mut effects = Vec::new();
+    if persist {
+        if e.db.expiry(&a[1]).is_some() {
+            e.db.set_expiry(&a[1], None);
+            effects.push(vec![Bytes::from_static(b"PERSIST"), a[1].clone()]);
+        }
+    } else if let Some(at) = expire_at {
+        e.db.set_expiry(&a[1], Some(at));
+        effects.push(vec![
+            Bytes::from_static(b"PEXPIREAT"),
+            a[1].clone(),
+            Bytes::from(at.to_string()),
+        ]);
+    }
+    if effects.is_empty() {
+        Ok(ExecOutcome::read(Frame::Bulk(val)))
+    } else {
+        Ok(effect_write(Frame::Bulk(val), effects, vec![a[1].clone()]))
+    }
+}
+
+pub(super) fn append(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let existing = read_str(e, &a[1])?.cloned();
+    let new = match existing {
+        Some(s) => {
+            let mut buf = BytesMut::with_capacity(s.len() + a[2].len());
+            buf.extend_from_slice(&s);
+            buf.extend_from_slice(&a[2]);
+            buf.freeze()
+        }
+        None => a[2].clone(),
+    };
+    let len = new.len();
+    e.db.set_value_keep_ttl(a[1].clone(), Value::Str(new));
+    Ok(verbatim_write(
+        Frame::Integer(len as i64),
+        a,
+        vec![a[1].clone()],
+    ))
+}
+
+pub(super) fn incr_by(e: &mut Engine, key: &Bytes, delta: i64) -> CmdResult {
+    let cur = match read_str(e, key)? {
+        Some(s) => std::str::from_utf8(s)
+            .ok()
+            .and_then(|t| t.parse::<i64>().ok())
+            .ok_or_else(|| ExecOutcome::error("value is not an integer or out of range"))?,
+        None => 0,
+    };
+    let new = cur
+        .checked_add(delta)
+        .ok_or_else(|| ExecOutcome::error("increment or decrement would overflow"))?;
+    e.db
+        .set_value_keep_ttl(key.clone(), Value::Str(Bytes::from(new.to_string())));
+    // Integer increments are deterministic; replicate a canonical INCRBY.
+    let eff = vec![
+        Bytes::from_static(b"INCRBY"),
+        key.clone(),
+        Bytes::from(delta.to_string()),
+    ];
+    Ok(effect_write(Frame::Integer(new), vec![eff], vec![key.clone()]))
+}
+
+pub(super) fn incrby(e: &mut Engine, a: &[Bytes], negate: bool) -> CmdResult {
+    let n = p_i64(&a[2])?;
+    let delta = if negate {
+        n.checked_neg()
+            .ok_or_else(|| ExecOutcome::error("decrement would overflow"))?
+    } else {
+        n
+    };
+    incr_by(e, &a[1], delta)
+}
+
+pub(super) fn incrbyfloat(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let delta = p_f64(&a[2])?;
+    let cur = match read_str(e, &a[1])? {
+        Some(s) => std::str::from_utf8(s)
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .ok_or_else(|| ExecOutcome::error("value is not a valid float"))?,
+        None => 0.0,
+    };
+    let new = cur + delta;
+    if new.is_nan() || new.is_infinite() {
+        return Err(ExecOutcome::error("increment would produce NaN or Infinity"));
+    }
+    let text = Bytes::from(fmt_f64(new));
+    e.db
+        .set_value_keep_ttl(a[1].clone(), Value::Str(text.clone()));
+    // Paper §2.1: float arithmetic is replicated by effect — a SET of the
+    // result — so replicas never re-do float math.
+    let eff = vec![Bytes::from_static(b"SET"), a[1].clone(), text.clone()];
+    Ok(effect_write(Frame::Bulk(text), vec![eff], vec![a[1].clone()]))
+}
+
+pub(super) fn mget(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let mut out = Vec::with_capacity(a.len() - 1);
+    for key in &a[1..] {
+        // MGET never raises WRONGTYPE; non-strings read as nil.
+        let v = match e.db.lookup(key, e.now()) {
+            Some(Value::Str(s)) => Frame::Bulk(s.clone()),
+            _ => Frame::Null,
+        };
+        out.push(v);
+    }
+    Ok(ExecOutcome::read(Frame::Array(out)))
+}
+
+pub(super) fn mset(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    if (a.len() - 1) % 2 != 0 {
+        return Err(wrong_arity("mset"));
+    }
+    let mut dirty = Vec::new();
+    for pair in a[1..].chunks(2) {
+        e.db.set_value(pair[0].clone(), Value::Str(pair[1].clone()));
+        dirty.push(pair[0].clone());
+    }
+    Ok(verbatim_write(Frame::ok(), a, dirty))
+}
+
+pub(super) fn msetnx(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    if (a.len() - 1) % 2 != 0 {
+        return Err(wrong_arity("msetnx"));
+    }
+    let any_exists = a[1..]
+        .chunks(2)
+        .any(|pair| e.db.exists(&pair[0], e.now()));
+    if any_exists {
+        return Ok(ExecOutcome::read(Frame::Integer(0)));
+    }
+    let mut dirty = Vec::new();
+    for pair in a[1..].chunks(2) {
+        e.db.set_value(pair[0].clone(), Value::Str(pair[1].clone()));
+        dirty.push(pair[0].clone());
+    }
+    Ok(verbatim_write(Frame::Integer(1), a, dirty))
+}
+
+pub(super) fn setrange(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let offset = p_i64(&a[2])?;
+    if offset < 0 {
+        return Err(ExecOutcome::error("offset is out of range"));
+    }
+    let offset = offset as usize;
+    let patch = &a[3];
+    let existing = read_str(e, &a[1])?.cloned().unwrap_or_default();
+    if patch.is_empty() {
+        return Ok(ExecOutcome::read(Frame::Integer(existing.len() as i64)));
+    }
+    let new_len = existing.len().max(offset + patch.len());
+    let mut buf = vec![0u8; new_len];
+    buf[..existing.len()].copy_from_slice(&existing);
+    buf[offset..offset + patch.len()].copy_from_slice(patch);
+    e.db
+        .set_value_keep_ttl(a[1].clone(), Value::Str(Bytes::from(buf)));
+    Ok(verbatim_write(
+        Frame::Integer(new_len as i64),
+        a,
+        vec![a[1].clone()],
+    ))
+}
+
+pub(super) fn getrange(e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    let s = read_str(e, &a[1])?.cloned().unwrap_or_default();
+    let (start, end) = (p_i64(&a[2])?, p_i64(&a[3])?);
+    let len = s.len() as i64;
+    let norm = |i: i64| -> i64 {
+        if i < 0 {
+            (len + i).max(0)
+        } else {
+            i
+        }
+    };
+    let (start, end) = (norm(start), norm(end).min(len - 1));
+    if len == 0 || start > end || start >= len {
+        return Ok(ExecOutcome::read(Frame::Bulk(Bytes::new())));
+    }
+    Ok(ExecOutcome::read(Frame::Bulk(
+        s.slice(start as usize..=(end as usize)),
+    )))
+}

@@ -1,0 +1,261 @@
+//! # memorydb-objectstore — an S3-like durable object store
+//!
+//! MemoryDB stores point-in-time snapshots durably in S3 (paper §4.2) so
+//! that data restoration is local to the restoring replica: fetch the latest
+//! snapshot, then replay the transaction log suffix — no interaction with
+//! healthy peers, no centralized bottleneck. This crate reproduces the slice
+//! of S3 semantics that workflow depends on:
+//!
+//! * immutable, versioned puts with read-after-write consistency;
+//! * per-object integrity checksums verified on read;
+//! * listing by key prefix (newest first), as used to find the latest
+//!   snapshot of a shard;
+//! * unlimited concurrent readers — S3 and the transaction log are scaled
+//!   so *all* replicas can restore at once (§4.2.1), which we model by
+//!   making reads lock-briefly and never throttle;
+//! * optional injected latency to keep restore-time benchmarks honest.
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Integrity checksum (FNV-1a 64); cheap and adequate for corruption
+/// detection in tests and benches.
+fn fnv1a(data: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Metadata of one stored object version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectMeta {
+    /// Full key of the object.
+    pub key: String,
+    /// Monotone version assigned at put time (global across the store).
+    pub version: u64,
+    /// Payload size in bytes.
+    pub size: usize,
+    /// Integrity checksum of the payload.
+    pub checksum: u64,
+}
+
+/// Errors from store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// No object at the requested key.
+    NotFound,
+    /// The stored payload no longer matches its checksum.
+    IntegrityFailure,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::NotFound => write!(f, "object not found"),
+            StoreError::IntegrityFailure => write!(f, "object integrity check failed"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[derive(Debug, Clone)]
+struct Stored {
+    meta: ObjectMeta,
+    data: Bytes,
+}
+
+/// The object store. Clone-free sharing via `Arc<ObjectStore>`.
+#[derive(Debug, Default)]
+pub struct ObjectStore {
+    objects: RwLock<BTreeMap<String, Stored>>,
+    counter: RwLock<u64>,
+    /// Simulated per-operation latency (applied to put and get).
+    latency: RwLock<Duration>,
+}
+
+impl ObjectStore {
+    /// Creates an empty store with no injected latency.
+    pub fn new() -> ObjectStore {
+        ObjectStore::default()
+    }
+
+    /// Sets the simulated per-operation latency.
+    pub fn set_latency(&self, latency: Duration) {
+        *self.latency.write() = latency;
+    }
+
+    fn simulate_latency(&self) {
+        let lat = *self.latency.read();
+        if !lat.is_zero() {
+            std::thread::sleep(lat);
+        }
+    }
+
+    /// Stores an object, replacing any previous version at the same key.
+    /// Returns the new version's metadata.
+    pub fn put(&self, key: &str, data: Bytes) -> ObjectMeta {
+        self.simulate_latency();
+        let mut counter = self.counter.write();
+        *counter += 1;
+        let meta = ObjectMeta {
+            key: key.to_string(),
+            version: *counter,
+            size: data.len(),
+            checksum: fnv1a(&data),
+        };
+        self.objects
+            .write()
+            .insert(key.to_string(), Stored { meta: meta.clone(), data });
+        meta
+    }
+
+    /// Fetches an object, verifying its checksum.
+    pub fn get(&self, key: &str) -> Result<(ObjectMeta, Bytes), StoreError> {
+        self.simulate_latency();
+        let guard = self.objects.read();
+        let stored = guard.get(key).ok_or(StoreError::NotFound)?;
+        if fnv1a(&stored.data) != stored.meta.checksum {
+            return Err(StoreError::IntegrityFailure);
+        }
+        Ok((stored.meta.clone(), stored.data.clone()))
+    }
+
+    /// Deletes an object; idempotent.
+    pub fn delete(&self, key: &str) {
+        self.objects.write().remove(key);
+    }
+
+    /// Lists object metadata under a key prefix, newest version first.
+    pub fn list(&self, prefix: &str) -> Vec<ObjectMeta> {
+        let guard = self.objects.read();
+        let mut out: Vec<ObjectMeta> = guard
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(_, s)| s.meta.clone())
+            .collect();
+        out.sort_by(|a, b| b.version.cmp(&a.version));
+        out
+    }
+
+    /// Metadata of the newest object under a prefix.
+    pub fn latest(&self, prefix: &str) -> Option<ObjectMeta> {
+        self.list(prefix).into_iter().next()
+    }
+
+    /// Total number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// True when the store holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.read().is_empty()
+    }
+
+    /// Test hook: silently corrupts a stored payload (flips one byte)
+    /// without updating its checksum, so the next `get` fails integrity.
+    pub fn corrupt_for_test(&self, key: &str) -> bool {
+        let mut guard = self.objects.write();
+        match guard.get_mut(key) {
+            Some(stored) if !stored.data.is_empty() => {
+                let mut raw = stored.data.to_vec();
+                let mid = raw.len() / 2;
+                raw[mid] ^= 0xFF;
+                stored.data = Bytes::from(raw);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let store = ObjectStore::new();
+        let meta = store.put("snapshots/shard-0/1", Bytes::from_static(b"payload"));
+        assert_eq!(meta.size, 7);
+        let (got_meta, data) = store.get("snapshots/shard-0/1").unwrap();
+        assert_eq!(got_meta, meta);
+        assert_eq!(data, Bytes::from_static(b"payload"));
+    }
+
+    #[test]
+    fn missing_object() {
+        let store = ObjectStore::new();
+        assert_eq!(store.get("nope").unwrap_err(), StoreError::NotFound);
+    }
+
+    #[test]
+    fn overwrite_bumps_version() {
+        let store = ObjectStore::new();
+        let v1 = store.put("k", Bytes::from_static(b"one"));
+        let v2 = store.put("k", Bytes::from_static(b"two"));
+        assert!(v2.version > v1.version);
+        let (_, data) = store.get("k").unwrap();
+        assert_eq!(data, Bytes::from_static(b"two"));
+    }
+
+    #[test]
+    fn list_by_prefix_newest_first() {
+        let store = ObjectStore::new();
+        store.put("snap/shard-0/a", Bytes::from_static(b"1"));
+        store.put("snap/shard-0/b", Bytes::from_static(b"2"));
+        store.put("snap/shard-1/a", Bytes::from_static(b"3"));
+        let listed = store.list("snap/shard-0/");
+        assert_eq!(listed.len(), 2);
+        assert_eq!(listed[0].key, "snap/shard-0/b");
+        assert_eq!(store.latest("snap/shard-0/").unwrap().key, "snap/shard-0/b");
+        assert!(store.latest("snap/shard-9/").is_none());
+        assert_eq!(store.list("").len(), 3);
+    }
+
+    #[test]
+    fn delete_is_idempotent() {
+        let store = ObjectStore::new();
+        store.put("k", Bytes::from_static(b"x"));
+        store.delete("k");
+        store.delete("k");
+        assert_eq!(store.get("k").unwrap_err(), StoreError::NotFound);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn corruption_detected_on_read() {
+        let store = ObjectStore::new();
+        store.put("k", Bytes::from_static(b"important bytes"));
+        assert!(store.corrupt_for_test("k"));
+        assert_eq!(store.get("k").unwrap_err(), StoreError::IntegrityFailure);
+        assert!(!store.corrupt_for_test("missing"));
+    }
+
+    #[test]
+    fn concurrent_readers() {
+        let store = std::sync::Arc::new(ObjectStore::new());
+        store.put("shared", Bytes::from(vec![7u8; 1024]));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let store = store.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    let (_, data) = store.get("shared").unwrap();
+                    assert_eq!(data.len(), 1024);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Incremental RESP frame decoder.
+
+use crate::Frame;
+use bytes::{Buf, Bytes, BytesMut};
+use std::fmt;
+
+/// Errors produced while decoding a RESP stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The byte stream is not valid RESP (with a human-readable reason).
+    Protocol(String),
+    /// A declared length exceeds the decoder's configured limit.
+    TooLarge { declared: usize, limit: usize },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            DecodeError::TooLarge { declared, limit } => {
+                write!(f, "declared length {declared} exceeds limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Default cap on any single declared bulk/array length (512 MB, the Redis
+/// proto-max-bulk-len default).
+pub const DEFAULT_MAX_LEN: usize = 512 * 1024 * 1024;
+
+/// A stateful decoder that accumulates bytes from a stream and yields
+/// complete frames.
+///
+/// Feed bytes with [`Decoder::feed`] and drain frames with
+/// [`Decoder::next_frame`]; partial frames stay buffered until enough bytes
+/// arrive.
+#[derive(Debug, Default)]
+pub struct Decoder {
+    buf: BytesMut,
+    max_len: usize,
+}
+
+impl Decoder {
+    /// Creates a decoder with the default length limit.
+    pub fn new() -> Decoder {
+        Decoder {
+            buf: BytesMut::new(),
+            max_len: DEFAULT_MAX_LEN,
+        }
+    }
+
+    /// Creates a decoder with a custom per-element length limit.
+    pub fn with_max_len(max_len: usize) -> Decoder {
+        Decoder {
+            buf: BytesMut::new(),
+            max_len,
+        }
+    }
+
+    /// Appends raw bytes received from the transport.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Number of bytes currently buffered but not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Attempts to decode the next complete frame.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, DecodeError> {
+        let mut cursor = Cursor {
+            data: &self.buf,
+            pos: 0,
+            max_len: self.max_len,
+        };
+        match parse_frame(&mut cursor) {
+            Ok(frame) => {
+                let consumed = cursor.pos;
+                self.buf.advance(consumed);
+                Ok(Some(frame))
+            }
+            Err(ParseOutcome::Incomplete) => Ok(None),
+            Err(ParseOutcome::Error(e)) => Err(e),
+        }
+    }
+}
+
+/// One-shot convenience: decodes a single frame from a byte slice, returning
+/// the frame and the number of bytes consumed. `Ok(None)` means the slice
+/// holds only a partial frame.
+pub fn decode(data: &[u8]) -> Result<Option<(Frame, usize)>, DecodeError> {
+    let mut cursor = Cursor {
+        data,
+        pos: 0,
+        max_len: DEFAULT_MAX_LEN,
+    };
+    match parse_frame(&mut cursor) {
+        Ok(frame) => Ok(Some((frame, cursor.pos))),
+        Err(ParseOutcome::Incomplete) => Ok(None),
+        Err(ParseOutcome::Error(e)) => Err(e),
+    }
+}
+
+enum ParseOutcome {
+    Incomplete,
+    Error(DecodeError),
+}
+
+impl From<DecodeError> for ParseOutcome {
+    fn from(e: DecodeError) -> Self {
+        ParseOutcome::Error(e)
+    }
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+    max_len: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.data.get(self.pos).copied()
+    }
+
+    fn take(&mut self) -> Result<u8, ParseOutcome> {
+        let b = self.peek().ok_or(ParseOutcome::Incomplete)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads up to and including the next CRLF, returning the line body.
+    fn line(&mut self) -> Result<&'a [u8], ParseOutcome> {
+        let start = self.pos;
+        let rest = &self.data[start..];
+        match rest.windows(2).position(|w| w == b"\r\n") {
+            Some(idx) => {
+                self.pos = start + idx + 2;
+                Ok(&rest[..idx])
+            }
+            None => Err(ParseOutcome::Incomplete),
+        }
+    }
+
+    fn exact(&mut self, n: usize) -> Result<&'a [u8], ParseOutcome> {
+        if self.data.len() - self.pos < n {
+            return Err(ParseOutcome::Incomplete);
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn crlf(&mut self) -> Result<(), ParseOutcome> {
+        let b = self.exact(2)?;
+        if b != b"\r\n" {
+            return Err(protocol("expected CRLF"));
+        }
+        Ok(())
+    }
+}
+
+fn protocol(msg: impl Into<String>) -> ParseOutcome {
+    ParseOutcome::Error(DecodeError::Protocol(msg.into()))
+}
+
+fn parse_int(line: &[u8]) -> Result<i64, ParseOutcome> {
+    let s = std::str::from_utf8(line).map_err(|_| protocol("non-utf8 integer"))?;
+    s.parse::<i64>()
+        .map_err(|_| match protocol(format!("invalid integer {s:?}")) {
+            e => e,
+        })
+}
+
+fn parse_len(line: &[u8], max: usize) -> Result<Option<usize>, ParseOutcome> {
+    let n = parse_int(line)?;
+    if n == -1 {
+        return Ok(None); // RESP2 null
+    }
+    if n < 0 {
+        return Err(protocol("negative length"));
+    }
+    let n = n as usize;
+    if n > max {
+        return Err(ParseOutcome::Error(DecodeError::TooLarge {
+            declared: n,
+            limit: max,
+        }));
+    }
+    Ok(Some(n))
+}
+
+fn parse_frame(c: &mut Cursor<'_>) -> Result<Frame, ParseOutcome> {
+    let tag = c.take()?;
+    match tag {
+        b'+' => {
+            let line = c.line()?;
+            let s = std::str::from_utf8(line)
+                .map_err(|_| protocol("non-utf8 simple string"))?
+                .to_string();
+            Ok(Frame::Simple(s))
+        }
+        b'-' => {
+            let line = c.line()?;
+            let s = std::str::from_utf8(line)
+                .map_err(|_| protocol("non-utf8 error string"))?
+                .to_string();
+            Ok(Frame::Error(s))
+        }
+        b':' => {
+            let line = c.line()?;
+            Ok(Frame::Integer(parse_int(line)?))
+        }
+        b'$' => {
+            let line = c.line()?;
+            match parse_len(line, c.max_len)? {
+                None => Ok(Frame::Null),
+                Some(n) => {
+                    let payload = c.exact(n)?;
+                    let bytes = Bytes::copy_from_slice(payload);
+                    c.crlf()?;
+                    Ok(Frame::Bulk(bytes))
+                }
+            }
+        }
+        b'*' => {
+            let line = c.line()?;
+            match parse_len(line, c.max_len)? {
+                None => Ok(Frame::Null),
+                Some(n) => {
+                    let mut items = Vec::with_capacity(n.min(1024));
+                    for _ in 0..n {
+                        items.push(parse_frame(c)?);
+                    }
+                    Ok(Frame::Array(items))
+                }
+            }
+        }
+        b'_' => {
+            let line = c.line()?;
+            if !line.is_empty() {
+                return Err(protocol("null frame with payload"));
+            }
+            Ok(Frame::Null)
+        }
+        b',' => {
+            let line = c.line()?;
+            let s = std::str::from_utf8(line).map_err(|_| protocol("non-utf8 double"))?;
+            let d = match s {
+                "inf" => f64::INFINITY,
+                "-inf" => f64::NEG_INFINITY,
+                "nan" => f64::NAN,
+                _ => s
+                    .parse::<f64>()
+                    .map_err(|_| match protocol(format!("invalid double {s:?}")) {
+                        e => e,
+                    })?,
+            };
+            Ok(Frame::Double(d))
+        }
+        b'#' => {
+            let line = c.line()?;
+            match line {
+                b"t" => Ok(Frame::Boolean(true)),
+                b"f" => Ok(Frame::Boolean(false)),
+                _ => Err(protocol("invalid boolean")),
+            }
+        }
+        b'%' => {
+            let line = c.line()?;
+            let n = parse_len(line, c.max_len)?.ok_or_else(|| protocol("null map length"))?;
+            let mut pairs = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let k = parse_frame(c)?;
+                let v = parse_frame(c)?;
+                pairs.push((k, v));
+            }
+            Ok(Frame::Map(pairs))
+        }
+        b'=' => {
+            let line = c.line()?;
+            let n = parse_len(line, c.max_len)?.ok_or_else(|| protocol("null verbatim"))?;
+            if n < 4 {
+                return Err(protocol("verbatim string too short"));
+            }
+            let payload = c.exact(n)?;
+            c.crlf()?;
+            if payload[3] != b':' {
+                return Err(protocol("verbatim string missing kind separator"));
+            }
+            let kind = std::str::from_utf8(&payload[..3])
+                .map_err(|_| protocol("non-utf8 verbatim kind"))?
+                .to_string();
+            Ok(Frame::Verbatim(kind, Bytes::copy_from_slice(&payload[4..])))
+        }
+        other => Err(protocol(format!(
+            "unexpected frame tag {:?}",
+            other as char
+        ))),
+    }
+}

@@ -1,0 +1,116 @@
+//! RESP frame encoder.
+
+use crate::Frame;
+use bytes::{BufMut, BytesMut};
+
+/// Encodes a frame onto the end of `out`.
+///
+/// Emits RESP2-compatible encodings where one exists (`Null` as `$-1\r\n`)
+/// so that RESP2-only clients can parse every reply our server produces;
+/// RESP3-only types (`Double`, `Boolean`, `Map`, `Verbatim`) use their RESP3
+/// encodings.
+pub fn encode(frame: &Frame, out: &mut BytesMut) {
+    match frame {
+        Frame::Simple(s) => {
+            out.put_u8(b'+');
+            out.put_slice(s.as_bytes());
+            out.put_slice(b"\r\n");
+        }
+        Frame::Error(s) => {
+            out.put_u8(b'-');
+            out.put_slice(s.as_bytes());
+            out.put_slice(b"\r\n");
+        }
+        Frame::Integer(i) => {
+            out.put_u8(b':');
+            out.put_slice(i.to_string().as_bytes());
+            out.put_slice(b"\r\n");
+        }
+        Frame::Bulk(b) => {
+            out.put_u8(b'$');
+            out.put_slice(b.len().to_string().as_bytes());
+            out.put_slice(b"\r\n");
+            out.put_slice(b);
+            out.put_slice(b"\r\n");
+        }
+        Frame::Null => out.put_slice(b"$-1\r\n"),
+        Frame::Array(items) => {
+            out.put_u8(b'*');
+            out.put_slice(items.len().to_string().as_bytes());
+            out.put_slice(b"\r\n");
+            for item in items {
+                encode(item, out);
+            }
+        }
+        Frame::Double(d) => {
+            out.put_u8(b',');
+            if d.is_nan() {
+                out.put_slice(b"nan");
+            } else if d.is_infinite() {
+                out.put_slice(if *d > 0.0 { b"inf" } else { b"-inf" });
+            } else {
+                out.put_slice(format_double(*d).as_bytes());
+            }
+            out.put_slice(b"\r\n");
+        }
+        Frame::Boolean(b) => {
+            out.put_slice(if *b { b"#t\r\n" } else { b"#f\r\n" });
+        }
+        Frame::Map(pairs) => {
+            out.put_u8(b'%');
+            out.put_slice(pairs.len().to_string().as_bytes());
+            out.put_slice(b"\r\n");
+            for (k, v) in pairs {
+                encode(k, out);
+                encode(v, out);
+            }
+        }
+        Frame::Verbatim(kind, b) => {
+            out.put_u8(b'=');
+            out.put_slice((b.len() + 4).to_string().as_bytes());
+            out.put_slice(b"\r\n");
+            out.put_slice(kind.as_bytes());
+            out.put_u8(b':');
+            out.put_slice(b);
+            out.put_slice(b"\r\n");
+        }
+    }
+}
+
+/// Formats a double the way Redis does: integers without a fractional part,
+/// otherwise shortest roundtrip representation.
+fn format_double(d: f64) -> String {
+    if d == d.trunc() && d.abs() < 1e17 {
+        format!("{}", d as i64)
+    } else {
+        format!("{d}")
+    }
+}
+
+/// Returns the exact number of bytes [`encode`] would write for `frame`.
+pub fn encoded_len(frame: &Frame) -> usize {
+    // Cheap to compute by encoding into a scratch buffer for the rare
+    // variable-width cases; the common cases are computed directly.
+    fn digits(mut n: usize) -> usize {
+        let mut d = 1;
+        while n >= 10 {
+            n /= 10;
+            d += 1;
+        }
+        d
+    }
+    match frame {
+        Frame::Simple(s) | Frame::Error(s) => 1 + s.len() + 2,
+        Frame::Integer(i) => 1 + i.to_string().len() + 2,
+        Frame::Bulk(b) => 1 + digits(b.len()) + 2 + b.len() + 2,
+        Frame::Null => 5,
+        Frame::Array(items) => {
+            1 + digits(items.len()) + 2 + items.iter().map(encoded_len).sum::<usize>()
+        }
+        Frame::Double(_) | Frame::Boolean(_) | Frame::Map(_) | Frame::Verbatim(..) => {
+            let mut buf = BytesMut::new();
+            encode(frame, &mut buf);
+            buf.len()
+        }
+    }
+}

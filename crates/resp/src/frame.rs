@@ -1,0 +1,172 @@
+//! The RESP value model.
+
+use bytes::Bytes;
+use std::fmt;
+
+/// A single RESP frame.
+///
+/// Covers RESP2 (`+ - : $ *`) plus the RESP3 types this reproduction's
+/// server emits (`_ , # = %`). Frames are cheap to clone: bulk payloads are
+/// reference-counted [`Bytes`].
+#[derive(Clone, PartialEq)]
+pub enum Frame {
+    /// `+OK\r\n` — a simple (non-binary-safe) string.
+    Simple(String),
+    /// `-ERR ...\r\n` — an error reply.
+    Error(String),
+    /// `:123\r\n` — a signed 64-bit integer.
+    Integer(i64),
+    /// `$5\r\nhello\r\n` — a binary-safe bulk string.
+    Bulk(Bytes),
+    /// `$-1\r\n` (RESP2) / `_\r\n` (RESP3) — absence of a value.
+    Null,
+    /// `*N\r\n...` — an array of frames.
+    Array(Vec<Frame>),
+    /// `,3.14\r\n` — an IEEE double (RESP3).
+    Double(f64),
+    /// `#t\r\n` — a boolean (RESP3).
+    Boolean(bool),
+    /// `%N\r\n...` — a map of frame pairs (RESP3).
+    Map(Vec<(Frame, Frame)>),
+    /// `=N\r\ntxt:...\r\n` — a verbatim string (RESP3).
+    Verbatim(String, Bytes),
+}
+
+impl Frame {
+    /// A conventional `+OK` reply.
+    pub fn ok() -> Frame {
+        Frame::Simple("OK".to_string())
+    }
+
+    /// Builds a bulk frame from anything byte-like.
+    pub fn bulk(data: impl Into<Bytes>) -> Frame {
+        Frame::Bulk(data.into())
+    }
+
+    /// Builds an error frame with the conventional `ERR` prefix unless the
+    /// message already carries an error code (all-caps first word).
+    pub fn error(msg: impl Into<String>) -> Frame {
+        let msg = msg.into();
+        let has_code = msg
+            .split_whitespace()
+            .next()
+            .is_some_and(|w| w.len() > 2 && w.chars().all(|c| c.is_ascii_uppercase()));
+        if has_code {
+            Frame::Error(msg)
+        } else {
+            Frame::Error(format!("ERR {msg}"))
+        }
+    }
+
+    /// An array of bulk strings — the shape of every Redis command.
+    pub fn command<I, B>(parts: I) -> Frame
+    where
+        I: IntoIterator<Item = B>,
+        B: Into<Bytes>,
+    {
+        Frame::Array(parts.into_iter().map(Frame::bulk).collect())
+    }
+
+    /// Returns the bulk payload if this frame is a bulk string.
+    pub fn as_bulk(&self) -> Option<&Bytes> {
+        match self {
+            Frame::Bulk(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer if this frame is an integer.
+    pub fn as_integer(&self) -> Option<i64> {
+        match self {
+            Frame::Integer(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the array elements if this frame is an array.
+    pub fn as_array(&self) -> Option<&[Frame]> {
+        match self {
+            Frame::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// True if the frame is an error reply.
+    pub fn is_error(&self) -> bool {
+        matches!(self, Frame::Error(_))
+    }
+
+    /// Interprets the frame as a command: an array of bulk strings.
+    ///
+    /// Returns the raw argument vector, or `None` if the frame has another
+    /// shape (the server replies with a protocol error in that case).
+    pub fn into_command_args(self) -> Option<Vec<Bytes>> {
+        match self {
+            Frame::Array(items) => items
+                .into_iter()
+                .map(|f| match f {
+                    Frame::Bulk(b) => Some(b),
+                    // Clients are allowed to send integers/simple strings as
+                    // command arguments; normalize to their textual form.
+                    Frame::Integer(i) => Some(Bytes::from(i.to_string())),
+                    Frame::Simple(s) => Some(Bytes::from(s)),
+                    _ => None,
+                })
+                .collect(),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Frame::Simple(s) => write!(f, "Simple({s:?})"),
+            Frame::Error(s) => write!(f, "Error({s:?})"),
+            Frame::Integer(i) => write!(f, "Integer({i})"),
+            Frame::Bulk(b) => match std::str::from_utf8(b) {
+                Ok(s) => write!(f, "Bulk({s:?})"),
+                Err(_) => write!(f, "Bulk({} bytes)", b.len()),
+            },
+            Frame::Null => write!(f, "Null"),
+            Frame::Array(items) => f.debug_list().entries(items).finish(),
+            Frame::Double(d) => write!(f, "Double({d})"),
+            Frame::Boolean(b) => write!(f, "Boolean({b})"),
+            Frame::Map(pairs) => f
+                .debug_map()
+                .entries(pairs.iter().map(|(k, v)| (k, v)))
+                .finish(),
+            Frame::Verbatim(kind, b) => write!(f, "Verbatim({kind}, {} bytes)", b.len()),
+        }
+    }
+}
+
+impl From<i64> for Frame {
+    fn from(v: i64) -> Self {
+        Frame::Integer(v)
+    }
+}
+
+impl From<&str> for Frame {
+    fn from(v: &str) -> Self {
+        Frame::Bulk(Bytes::copy_from_slice(v.as_bytes()))
+    }
+}
+
+impl From<String> for Frame {
+    fn from(v: String) -> Self {
+        Frame::Bulk(Bytes::from(v))
+    }
+}
+
+impl From<Bytes> for Frame {
+    fn from(v: Bytes) -> Self {
+        Frame::Bulk(v)
+    }
+}
+
+impl From<Vec<Frame>> for Frame {
+    fn from(v: Vec<Frame>) -> Self {
+        Frame::Array(v)
+    }
+}

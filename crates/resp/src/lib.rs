@@ -1,0 +1,29 @@
+//! RESP (REdis Serialization Protocol) codec.
+//!
+//! MemoryDB is wire-compatible with Redis, so every client-facing surface in
+//! this reproduction speaks RESP. This crate implements the protocol from
+//! scratch on top of [`bytes`]:
+//!
+//! * [`Frame`] — the value model (RESP2 plus the RESP3 types our server
+//!   emits: doubles, booleans, maps, nulls, verbatim strings).
+//! * [`Decoder`] — an incremental, allocation-light frame decoder that copes
+//!   with partial reads from a TCP stream.
+//! * [`encode`] — the matching encoder.
+//! * [`tokenize`] — inline-command tokenizer (the `PING\r\n` style accepted
+//!   by redis-cli), used by tests and the interactive examples.
+//!
+//! The codec is deliberately independent of the engine: it knows nothing
+//! about commands, only about frames.
+
+mod decode;
+mod encode;
+mod frame;
+mod tokenize;
+
+pub use decode::{decode, DecodeError, Decoder};
+pub use encode::{encode, encoded_len};
+pub use frame::Frame;
+pub use tokenize::{tokenize, TokenizeError};
+
+#[cfg(test)]
+mod tests;

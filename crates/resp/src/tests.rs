@@ -1,0 +1,316 @@
+use crate::{decode, encode, encoded_len, tokenize, DecodeError, Decoder, Frame, TokenizeError};
+use bytes::{Bytes, BytesMut};
+use proptest::prelude::*;
+
+fn enc(frame: &Frame) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    encode(frame, &mut buf);
+    buf.to_vec()
+}
+
+fn dec_full(data: &[u8]) -> Frame {
+    let (frame, used) = decode(data).expect("decode ok").expect("complete frame");
+    assert_eq!(used, data.len(), "must consume entire input");
+    frame
+}
+
+#[test]
+fn simple_string_roundtrip() {
+    let f = Frame::Simple("OK".into());
+    assert_eq!(enc(&f), b"+OK\r\n");
+    assert_eq!(dec_full(b"+OK\r\n"), f);
+}
+
+#[test]
+fn error_roundtrip() {
+    let f = Frame::Error("ERR unknown command".into());
+    assert_eq!(enc(&f), b"-ERR unknown command\r\n");
+    assert_eq!(dec_full(b"-ERR unknown command\r\n"), f);
+}
+
+#[test]
+fn error_helper_adds_prefix_only_when_missing() {
+    assert_eq!(
+        Frame::error("bad thing"),
+        Frame::Error("ERR bad thing".into())
+    );
+    assert_eq!(
+        Frame::error("WRONGTYPE bad thing"),
+        Frame::Error("WRONGTYPE bad thing".into())
+    );
+    assert_eq!(
+        Frame::error("MOVED 3999 10.0.0.1:6379"),
+        Frame::Error("MOVED 3999 10.0.0.1:6379".into())
+    );
+}
+
+#[test]
+fn integer_roundtrip() {
+    for v in [0i64, 1, -1, i64::MAX, i64::MIN, 1000] {
+        let f = Frame::Integer(v);
+        assert_eq!(dec_full(&enc(&f)), f);
+    }
+}
+
+#[test]
+fn bulk_roundtrip_binary_safe() {
+    let payload: Vec<u8> = (0..=255u8).collect();
+    let f = Frame::Bulk(Bytes::from(payload));
+    assert_eq!(dec_full(&enc(&f)), f);
+}
+
+#[test]
+fn empty_bulk() {
+    let f = Frame::Bulk(Bytes::new());
+    assert_eq!(enc(&f), b"$0\r\n\r\n");
+    assert_eq!(dec_full(b"$0\r\n\r\n"), f);
+}
+
+#[test]
+fn null_encodes_as_resp2_and_decodes_both_forms() {
+    assert_eq!(enc(&Frame::Null), b"$-1\r\n");
+    assert_eq!(dec_full(b"$-1\r\n"), Frame::Null);
+    assert_eq!(dec_full(b"*-1\r\n"), Frame::Null);
+    assert_eq!(dec_full(b"_\r\n"), Frame::Null);
+}
+
+#[test]
+fn nested_array_roundtrip() {
+    let f = Frame::Array(vec![
+        Frame::Integer(1),
+        Frame::Array(vec![Frame::bulk("a"), Frame::Null]),
+        Frame::Simple("x".into()),
+    ]);
+    assert_eq!(dec_full(&enc(&f)), f);
+}
+
+#[test]
+fn empty_array() {
+    let f = Frame::Array(vec![]);
+    assert_eq!(enc(&f), b"*0\r\n");
+    assert_eq!(dec_full(b"*0\r\n"), f);
+}
+
+#[test]
+fn double_roundtrip() {
+    for v in [0.0f64, 1.5, -2.25, 3.0, 1e100, f64::INFINITY, f64::NEG_INFINITY] {
+        let f = Frame::Double(v);
+        match dec_full(&enc(&f)) {
+            Frame::Double(d) => assert_eq!(d, v),
+            other => panic!("expected double, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn double_nan_roundtrip() {
+    match dec_full(&enc(&Frame::Double(f64::NAN))) {
+        Frame::Double(d) => assert!(d.is_nan()),
+        other => panic!("expected double, got {other:?}"),
+    }
+}
+
+#[test]
+fn boolean_roundtrip() {
+    assert_eq!(dec_full(b"#t\r\n"), Frame::Boolean(true));
+    assert_eq!(dec_full(b"#f\r\n"), Frame::Boolean(false));
+    assert_eq!(enc(&Frame::Boolean(true)), b"#t\r\n");
+}
+
+#[test]
+fn map_roundtrip() {
+    let f = Frame::Map(vec![
+        (Frame::bulk("k1"), Frame::Integer(1)),
+        (Frame::bulk("k2"), Frame::Null),
+    ]);
+    assert_eq!(dec_full(&enc(&f)), f);
+}
+
+#[test]
+fn verbatim_roundtrip() {
+    let f = Frame::Verbatim("txt".into(), Bytes::from_static(b"hello"));
+    assert_eq!(enc(&f), b"=9\r\ntxt:hello\r\n");
+    assert_eq!(dec_full(b"=9\r\ntxt:hello\r\n"), f);
+}
+
+#[test]
+fn incremental_decoder_handles_partial_frames() {
+    let f = Frame::Array(vec![Frame::bulk("SET"), Frame::bulk("key"), Frame::bulk("value")]);
+    let encoded = enc(&f);
+    let mut d = Decoder::new();
+    // Feed one byte at a time; only the final byte completes the frame.
+    for (i, b) in encoded.iter().enumerate() {
+        d.feed(&[*b]);
+        let got = d.next_frame().expect("no decode error");
+        if i + 1 < encoded.len() {
+            assert!(got.is_none(), "frame complete too early at byte {i}");
+        } else {
+            assert_eq!(got, Some(f.clone()));
+        }
+    }
+    assert_eq!(d.buffered(), 0);
+}
+
+#[test]
+fn decoder_yields_multiple_pipelined_frames() {
+    let mut stream = Vec::new();
+    let frames = vec![
+        Frame::command(["PING"]),
+        Frame::command(["GET", "x"]),
+        Frame::command(["SET", "x", "1"]),
+    ];
+    for f in &frames {
+        stream.extend_from_slice(&enc(f));
+    }
+    let mut d = Decoder::new();
+    d.feed(&stream);
+    for f in &frames {
+        assert_eq!(d.next_frame().unwrap(), Some(f.clone()));
+    }
+    assert_eq!(d.next_frame().unwrap(), None);
+}
+
+#[test]
+fn protocol_error_on_unknown_tag() {
+    assert!(matches!(
+        decode(b"!oops\r\n"),
+        Err(DecodeError::Protocol(_))
+    ));
+}
+
+#[test]
+fn protocol_error_on_bad_integer() {
+    assert!(matches!(decode(b":12a\r\n"), Err(DecodeError::Protocol(_))));
+}
+
+#[test]
+fn protocol_error_on_negative_length() {
+    assert!(matches!(decode(b"$-2\r\n"), Err(DecodeError::Protocol(_))));
+}
+
+#[test]
+fn too_large_declared_length_rejected() {
+    let mut d = Decoder::with_max_len(16);
+    d.feed(b"$100\r\n");
+    assert!(matches!(
+        d.next_frame(),
+        Err(DecodeError::TooLarge { declared: 100, limit: 16 })
+    ));
+}
+
+#[test]
+fn bulk_missing_trailing_crlf_is_protocol_error() {
+    assert!(matches!(
+        decode(b"$2\r\nabXX"),
+        Err(DecodeError::Protocol(_))
+    ));
+}
+
+#[test]
+fn into_command_args_normalizes_scalars() {
+    let f = Frame::Array(vec![Frame::bulk("SET"), Frame::Integer(5), Frame::Simple("v".into())]);
+    let args = f.into_command_args().unwrap();
+    assert_eq!(args, vec![Bytes::from("SET"), Bytes::from("5"), Bytes::from("v")]);
+    assert!(Frame::Integer(1).into_command_args().is_none());
+}
+
+#[test]
+fn tokenize_plain_and_quoted() {
+    let toks = tokenize(r#"SET key "hello world""#).unwrap();
+    assert_eq!(toks, vec![Bytes::from("SET"), Bytes::from("key"), Bytes::from("hello world")]);
+}
+
+#[test]
+fn tokenize_escapes() {
+    let toks = tokenize(r#"SET k "a\r\n\x41""#).unwrap();
+    assert_eq!(toks[2], Bytes::from_static(b"a\r\nA"));
+}
+
+#[test]
+fn tokenize_single_quotes_literal() {
+    let toks = tokenize(r#"SET k 'a\nb'"#).unwrap();
+    // Single quotes do not process escapes other than \'.
+    assert_eq!(toks[2], Bytes::from_static(b"a\\nb"));
+}
+
+#[test]
+fn tokenize_unbalanced_quote_error() {
+    assert_eq!(tokenize(r#"SET k "oops"#), Err(TokenizeError::UnbalancedQuotes));
+    assert_eq!(tokenize(r#"SET k "a"b"#), Err(TokenizeError::UnbalancedQuotes));
+}
+
+#[test]
+fn tokenize_empty_line() {
+    assert!(tokenize("   ").unwrap().is_empty());
+}
+
+// ------------------------------------------------------------------------
+// Property tests: arbitrary frames roundtrip, encoded_len is exact, and the
+// incremental decoder agrees with the one-shot decoder under arbitrary
+// chunking.
+// ------------------------------------------------------------------------
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    let leaf = prop_oneof![
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Frame::Simple),
+        "[A-Z]{3,8} [a-z ]{0,10}".prop_map(Frame::Error),
+        any::<i64>().prop_map(Frame::Integer),
+        proptest::collection::vec(any::<u8>(), 0..64)
+            .prop_map(|v| Frame::Bulk(Bytes::from(v))),
+        Just(Frame::Null),
+        any::<bool>().prop_map(Frame::Boolean),
+        // Finite doubles only: NaN breaks PartialEq-based comparison.
+        (-1e15f64..1e15).prop_map(Frame::Double),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Frame::Array),
+            proptest::collection::vec((inner.clone(), inner), 0..3).prop_map(Frame::Map),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn prop_roundtrip(f in arb_frame()) {
+        let bytes = enc(&f);
+        let (decoded, used) = decode(&bytes).unwrap().expect("complete");
+        prop_assert_eq!(used, bytes.len());
+        // Doubles may lose their exact textual form but must stay equal in
+        // value; Frame's PartialEq compares f64 by value, which suffices for
+        // the finite doubles we generate.
+        prop_assert_eq!(decoded, f);
+    }
+
+    #[test]
+    fn prop_encoded_len_exact(f in arb_frame()) {
+        prop_assert_eq!(encoded_len(&f), enc(&f).len());
+    }
+
+    #[test]
+    fn prop_incremental_matches_oneshot(f in arb_frame(), chunk in 1usize..7) {
+        let bytes = enc(&f);
+        let mut d = Decoder::new();
+        let mut got = None;
+        for piece in bytes.chunks(chunk) {
+            d.feed(piece);
+            if let Some(frame) = d.next_frame().unwrap() {
+                got = Some(frame);
+            }
+        }
+        prop_assert_eq!(got, Some(f));
+    }
+
+    #[test]
+    fn prop_decoder_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut d = Decoder::new();
+        d.feed(&data);
+        // Drain until error or exhaustion; must never panic or loop forever.
+        for _ in 0..data.len() + 1 {
+            match d.next_frame() {
+                Ok(Some(_)) => continue,
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+}

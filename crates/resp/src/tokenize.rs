@@ -1,0 +1,119 @@
+//! Inline-command tokenizer.
+//!
+//! Splits a command line the way `redis-cli` does: whitespace-separated
+//! tokens with single/double quoting and the usual backslash escapes inside
+//! double quotes. Used by tests, examples, and the interactive shell in the
+//! server crate.
+
+use bytes::Bytes;
+use std::fmt;
+
+/// Errors produced while tokenizing an inline command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenizeError {
+    /// A quote was opened but never closed.
+    UnbalancedQuotes,
+    /// A trailing backslash with nothing to escape.
+    TrailingEscape,
+}
+
+impl fmt::Display for TokenizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenizeError::UnbalancedQuotes => write!(f, "unbalanced quotes in request"),
+            TokenizeError::TrailingEscape => write!(f, "trailing escape character"),
+        }
+    }
+}
+
+impl std::error::Error for TokenizeError {}
+
+/// Tokenizes an inline command line into argument byte strings.
+pub fn tokenize(line: &str) -> Result<Vec<Bytes>, TokenizeError> {
+    let mut args = Vec::new();
+    let mut chars = line.chars().peekable();
+
+    loop {
+        // Skip leading whitespace.
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            break;
+        }
+
+        let mut token = Vec::new();
+        match *chars.peek().expect("peeked above") {
+            '"' => {
+                chars.next();
+                loop {
+                    match chars.next() {
+                        None => return Err(TokenizeError::UnbalancedQuotes),
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            None => return Err(TokenizeError::TrailingEscape),
+                            Some('n') => token.push(b'\n'),
+                            Some('r') => token.push(b'\r'),
+                            Some('t') => token.push(b'\t'),
+                            Some('b') => token.push(0x08),
+                            Some('a') => token.push(0x07),
+                            Some('x') => {
+                                let hi = chars.next().and_then(|c| c.to_digit(16));
+                                let lo = chars.next().and_then(|c| c.to_digit(16));
+                                match (hi, lo) {
+                                    (Some(h), Some(l)) => token.push((h * 16 + l) as u8),
+                                    _ => return Err(TokenizeError::TrailingEscape),
+                                }
+                            }
+                            Some(other) => {
+                                let mut buf = [0u8; 4];
+                                token.extend_from_slice(other.encode_utf8(&mut buf).as_bytes());
+                            }
+                        },
+                        Some(c) => {
+                            let mut buf = [0u8; 4];
+                            token.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                        }
+                    }
+                }
+                // A closing quote must be followed by whitespace or EOL.
+                if matches!(chars.peek(), Some(c) if !c.is_whitespace()) {
+                    return Err(TokenizeError::UnbalancedQuotes);
+                }
+            }
+            '\'' => {
+                chars.next();
+                loop {
+                    match chars.next() {
+                        None => return Err(TokenizeError::UnbalancedQuotes),
+                        Some('\'') => break,
+                        Some('\\') if chars.peek() == Some(&'\'') => {
+                            chars.next();
+                            token.push(b'\'');
+                        }
+                        Some(c) => {
+                            let mut buf = [0u8; 4];
+                            token.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                        }
+                    }
+                }
+                if matches!(chars.peek(), Some(c) if !c.is_whitespace()) {
+                    return Err(TokenizeError::UnbalancedQuotes);
+                }
+            }
+            _ => {
+                while let Some(&c) = chars.peek() {
+                    if c.is_whitespace() {
+                        break;
+                    }
+                    let mut buf = [0u8; 4];
+                    token.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                    chars.next();
+                }
+            }
+        }
+        args.push(Bytes::from(token));
+    }
+
+    Ok(args)
+}

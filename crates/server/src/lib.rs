@@ -1,0 +1,442 @@
+//! # memorydb-server — a RESP TCP server over a MemoryDB node
+//!
+//! Exposes one [`memorydb_core::Node`] on a real TCP socket speaking RESP,
+//! so any Redis client (or the bundled [`BlockingClient`]) can talk to the
+//! reproduction. Wire compatibility is the point of the whole design
+//! (paper §1: "remain fully compatible with Redis").
+//!
+//! Connection handling is thread-per-connection feeding the node's
+//! single-threaded engine — the same funnel shape as MemoryDB's Enhanced-IO
+//! threads multiplexing many sockets into one engine workloop, minus the
+//! syscall-level batching (which the simulator models instead; the paper's
+//! throughput argument about multiplexing lives there).
+//!
+//! Session semantics implemented here (they are connection state, not
+//! engine state): `READONLY`/`READWRITE` opt-in for replica reads (§3.2 —
+//! "clients must explicitly opt-in, ensuring they do not accidentally
+//! consume stale data") and `QUIT`.
+
+use bytes::{Bytes, BytesMut};
+use memorydb_core::Node;
+use memorydb_engine::{command_spec, Frame, SessionState};
+use memorydb_resp::{encode, Decoder};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A running server bound to one node.
+pub struct Server {
+    /// The bound address (useful with port 0).
+    pub local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts serving `node` on `addr` (use `127.0.0.1:0` for an ephemeral
+    /// port).
+    pub fn start(node: Arc<Node>, addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown2 = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("memorydb-accept".into())
+            .spawn(move || {
+                while !shutdown2.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let node = Arc::clone(&node);
+                            let shutdown = Arc::clone(&shutdown2);
+                            std::thread::spawn(move || {
+                                let _ = handle_connection(stream, node, shutdown);
+                            });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?;
+        Ok(Server {
+            local_addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// Stops accepting new connections (existing ones close on their own).
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Pulls the next command from the connection buffer: a RESP array frame,
+/// or (when the first byte is not a RESP type tag) an inline command line,
+/// the `PING\r\n` form redis-cli and telnet users send.
+fn next_command(raw: &mut Vec<u8>) -> Result<Option<Vec<Bytes>>, String> {
+    loop {
+        // Skip blank separator lines between inline commands.
+        while matches!(raw.first(), Some(b'\r') | Some(b'\n')) {
+            raw.remove(0);
+        }
+        let Some(&first) = raw.first() else {
+            return Ok(None);
+        };
+        if b"+-:$*_,#%=".contains(&first) {
+            return match memorydb_resp::decode(raw) {
+                Ok(Some((frame, used))) => {
+                    raw.drain(..used);
+                    match frame.into_command_args() {
+                        Some(args) if args.is_empty() => continue,
+                        Some(args) => Ok(Some(args)),
+                        None => Err("expected array of bulk strings".into()),
+                    }
+                }
+                Ok(None) => Ok(None),
+                Err(e) => Err(e.to_string()),
+            };
+        }
+        // Inline command: consume one line.
+        let Some(pos) = raw.iter().position(|&b| b == b'\n') else {
+            return Ok(None);
+        };
+        let line = String::from_utf8_lossy(&raw[..pos]).trim().to_string();
+        raw.drain(..=pos);
+        if line.is_empty() {
+            continue;
+        }
+        return match memorydb_resp::tokenize(&line) {
+            Ok(args) if args.is_empty() => continue,
+            Ok(args) => Ok(Some(args)),
+            Err(e) => Err(e.to_string()),
+        };
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    node: Arc<Node>,
+    shutdown: Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    stream.set_nodelay(true)?;
+    let mut raw: Vec<u8> = Vec::new();
+    let mut session = SessionState::new();
+    let mut readonly_mode = false;
+    let mut buf = [0u8; 16 * 1024];
+    let mut out = BytesMut::new();
+
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let n = match stream.read(&mut buf) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        raw.extend_from_slice(&buf[..n]);
+        loop {
+            let args = match next_command(&mut raw) {
+                Ok(Some(args)) => args,
+                Ok(None) => break,
+                Err(e) => {
+                    out.clear();
+                    encode(&Frame::error(format!("Protocol error: {e}")), &mut out);
+                    let _ = stream.write_all(&out);
+                    return Ok(());
+                }
+            };
+            let reply = dispatch(&node, &mut session, &mut readonly_mode, &args);
+            match reply {
+                Dispatch::Reply(frame) => {
+                    out.clear();
+                    encode(&frame, &mut out);
+                    stream.write_all(&out)?;
+                }
+                Dispatch::Quit => {
+                    out.clear();
+                    encode(&Frame::ok(), &mut out);
+                    let _ = stream.write_all(&out);
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+enum Dispatch {
+    Reply(Frame),
+    Quit,
+}
+
+fn dispatch(
+    node: &Node,
+    session: &mut SessionState,
+    readonly_mode: &mut bool,
+    args: &[Bytes],
+) -> Dispatch {
+    let name = String::from_utf8_lossy(&args[0]).to_ascii_uppercase();
+    match name.as_str() {
+        "QUIT" => return Dispatch::Quit,
+        // READONLY/READWRITE are connection state (paper §2.1: replica
+        // reads are an explicit opt-in).
+        "READONLY" => {
+            *readonly_mode = true;
+            return Dispatch::Reply(Frame::ok());
+        }
+        "READWRITE" => {
+            *readonly_mode = false;
+            return Dispatch::Reply(Frame::ok());
+        }
+        _ => {}
+    }
+    // Enforce the opt-in: a replica serves nothing but admin commands to
+    // sessions that did not issue READONLY.
+    if node.role() == memorydb_engine::exec::Role::Replica && !*readonly_mode {
+        let is_admin = command_spec(&name).is_some_and(|s| s.flags.admin);
+        if !is_admin {
+            return Dispatch::Reply(Frame::Error(
+                "MOVED 0 ? (replica requires READONLY opt-in)".into(),
+            ));
+        }
+    }
+    Dispatch::Reply(node.handle(session, args))
+}
+
+/// A minimal blocking RESP client for tests and examples.
+pub struct BlockingClient {
+    stream: TcpStream,
+    decoder: Decoder,
+}
+
+impl BlockingClient {
+    /// Connects to a server.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<BlockingClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        Ok(BlockingClient {
+            stream,
+            decoder: Decoder::new(),
+        })
+    }
+
+    /// Sends one command and reads one reply.
+    pub fn command<S: Into<Vec<u8>>>(
+        &mut self,
+        parts: impl IntoIterator<Item = S>,
+    ) -> std::io::Result<Frame> {
+        let frame = Frame::command(parts.into_iter().map(|p| p.into()));
+        let mut out = BytesMut::new();
+        encode(&frame, &mut out);
+        self.stream.write_all(&out)?;
+        self.read_reply()
+    }
+
+    /// Reads the next reply frame.
+    pub fn read_reply(&mut self) -> std::io::Result<Frame> {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            if let Ok(Some(frame)) = self.decoder.next_frame() {
+                return Ok(frame);
+            }
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed connection",
+                ));
+            }
+            self.decoder.feed(&buf[..n]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memorydb_core::{ClusterBus, NodeIdGen, Shard, ShardConfig};
+    use memorydb_objectstore::ObjectStore;
+
+    fn test_shard(replicas: usize) -> Arc<Shard> {
+        Shard::bootstrap(
+            0,
+            ShardConfig::fast(),
+            Arc::new(ObjectStore::new()),
+            Arc::new(ClusterBus::new()),
+            Arc::new(NodeIdGen::new()),
+            vec![(0, 16383)],
+            replicas,
+        )
+    }
+
+    fn bulk(s: &str) -> Frame {
+        Frame::Bulk(Bytes::copy_from_slice(s.as_bytes()))
+    }
+
+    #[test]
+    fn end_to_end_over_tcp() {
+        let shard = test_shard(0);
+        let primary = shard.wait_for_primary(Duration::from_secs(5)).unwrap();
+        let server = Server::start(primary, "127.0.0.1:0").unwrap();
+        let mut client = BlockingClient::connect(server.local_addr).unwrap();
+        assert_eq!(client.command(["PING"]).unwrap(), Frame::Simple("PONG".into()));
+        assert_eq!(client.command(["SET", "k", "v"]).unwrap(), Frame::ok());
+        assert_eq!(client.command(["GET", "k"]).unwrap(), bulk("v"));
+        assert_eq!(client.command(["INCR", "n"]).unwrap(), Frame::Integer(1));
+        assert_eq!(
+            client.command(["LPUSH", "l", "a", "b"]).unwrap(),
+            Frame::Integer(2)
+        );
+        assert_eq!(
+            client.command(["LRANGE", "l", "0", "-1"]).unwrap(),
+            Frame::Array(vec![bulk("b"), bulk("a")])
+        );
+    }
+
+    #[test]
+    fn pipelined_commands() {
+        let shard = test_shard(0);
+        let primary = shard.wait_for_primary(Duration::from_secs(5)).unwrap();
+        let server = Server::start(primary, "127.0.0.1:0").unwrap();
+        let mut client = BlockingClient::connect(server.local_addr).unwrap();
+        // Write three commands before reading any reply.
+        let mut out = BytesMut::new();
+        for c in [["SET", "a", "1"], ["SET", "b", "2"], ["SET", "c", "3"]] {
+            encode(&Frame::command(c), &mut out);
+        }
+        client.stream.write_all(&out).unwrap();
+        for _ in 0..3 {
+            assert_eq!(client.read_reply().unwrap(), Frame::ok());
+        }
+        assert_eq!(client.command(["DBSIZE"]).unwrap(), Frame::Integer(3));
+    }
+
+    #[test]
+    fn replica_requires_readonly_opt_in() {
+        let shard = test_shard(1);
+        let primary = shard.wait_for_primary(Duration::from_secs(5)).unwrap();
+        let mut session = SessionState::new();
+        primary.handle(&mut session, &memorydb_engine::cmd(["SET", "k", "v"]));
+        assert!(shard.wait_replicas_caught_up(Duration::from_secs(5)));
+        let replica = shard.replicas().into_iter().next().unwrap();
+        let server = Server::start(replica, "127.0.0.1:0").unwrap();
+        let mut client = BlockingClient::connect(server.local_addr).unwrap();
+        // Without the opt-in: redirected.
+        match client.command(["GET", "k"]).unwrap() {
+            Frame::Error(msg) => assert!(msg.starts_with("MOVED"), "{msg}"),
+            other => panic!("expected MOVED, got {other:?}"),
+        }
+        // With READONLY: served.
+        assert_eq!(client.command(["READONLY"]).unwrap(), Frame::ok());
+        assert_eq!(client.command(["GET", "k"]).unwrap(), bulk("v"));
+        // Writes still redirect.
+        match client.command(["SET", "x", "1"]).unwrap() {
+            Frame::Error(msg) => assert!(msg.starts_with("MOVED"), "{msg}"),
+            other => panic!("expected MOVED, got {other:?}"),
+        }
+        // READWRITE turns the opt-in back off.
+        assert_eq!(client.command(["READWRITE"]).unwrap(), Frame::ok());
+        assert!(client.command(["GET", "k"]).unwrap().is_error());
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let shard = test_shard(0);
+        let primary = shard.wait_for_primary(Duration::from_secs(5)).unwrap();
+        let server = Server::start(primary, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr;
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            handles.push(std::thread::spawn(move || {
+                let mut client = BlockingClient::connect(addr).unwrap();
+                for i in 0..50 {
+                    let key = format!("t{t}:k{i}");
+                    assert_eq!(client.command(["SET", key.as_str(), "v"]).unwrap(), Frame::ok());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut client = BlockingClient::connect(addr).unwrap();
+        assert_eq!(client.command(["DBSIZE"]).unwrap(), Frame::Integer(400));
+    }
+
+    #[test]
+    fn quit_closes_connection() {
+        let shard = test_shard(0);
+        let primary = shard.wait_for_primary(Duration::from_secs(5)).unwrap();
+        let server = Server::start(primary, "127.0.0.1:0").unwrap();
+        let mut client = BlockingClient::connect(server.local_addr).unwrap();
+        assert_eq!(client.command(["QUIT"]).unwrap(), Frame::ok());
+        // Subsequent use fails with EOF.
+        assert!(client.command(["PING"]).is_err());
+    }
+
+    #[test]
+    fn inline_commands_work() {
+        let shard = test_shard(0);
+        let primary = shard.wait_for_primary(Duration::from_secs(5)).unwrap();
+        let server = Server::start(primary, "127.0.0.1:0").unwrap();
+        let mut client = BlockingClient::connect(server.local_addr).unwrap();
+        // Telnet-style inline commands, mixed with RESP on one connection.
+        client.stream.write_all(b"PING\r\n").unwrap();
+        assert_eq!(client.read_reply().unwrap(), Frame::Simple("PONG".into()));
+        client
+            .stream
+            .write_all(b"SET greeting \"hello world\"\r\n")
+            .unwrap();
+        assert_eq!(client.read_reply().unwrap(), Frame::ok());
+        assert_eq!(
+            client.command(["GET", "greeting"]).unwrap(),
+            Frame::Bulk(Bytes::from_static(b"hello world"))
+        );
+        // Blank lines between inline commands are ignored.
+        client.stream.write_all(b"\r\n\r\nDBSIZE\r\n").unwrap();
+        assert_eq!(client.read_reply().unwrap(), Frame::Integer(1));
+    }
+
+    #[test]
+    fn protocol_error_reported() {
+        let shard = test_shard(0);
+        let primary = shard.wait_for_primary(Duration::from_secs(5)).unwrap();
+        let server = Server::start(primary, "127.0.0.1:0").unwrap();
+        let mut client = BlockingClient::connect(server.local_addr).unwrap();
+        // Non-RESP text is now interpreted as an inline command: an unknown
+        // name yields a normal command error, like Redis.
+        client.stream.write_all(b"!garbage\r\n").unwrap();
+        match client.read_reply().unwrap() {
+            Frame::Error(msg) => assert!(msg.contains("unknown command"), "{msg}"),
+            other => panic!("expected unknown-command error, got {other:?}"),
+        }
+        // Structurally invalid RESP is a protocol error and closes the
+        // connection.
+        client.stream.write_all(b"*1\r\n$abc\r\n").unwrap();
+        match client.read_reply().unwrap() {
+            Frame::Error(msg) => assert!(msg.contains("Protocol error"), "{msg}"),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,440 @@
+//! The discrete-event queueing simulator of the serving path.
+//!
+//! One simulated node processes requests through two stations — the IO
+//! thread pool and the single engine thread — with write durability modeled
+//! as a commit delay plus a shared log-bandwidth token line. Clients are
+//! either closed-loop (each connection has one outstanding request, like
+//! `redis-benchmark` without pipelining, §6.1.1) or open-loop Poisson (the
+//! offered-load sweeps of Figure 5).
+
+use crate::instance::{CostModel, InstanceType, SystemKind};
+use crate::metrics::Histogram;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// How load is generated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadMode {
+    /// `clients` connections, each back-to-back blocking requests.
+    ClosedLoop,
+    /// Poisson arrivals at this many requests/second.
+    OpenLoop(f64),
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimParams {
+    /// Which stack.
+    pub system: SystemKind,
+    /// Which instance size.
+    pub instance: InstanceType,
+    /// Connection count (closed-loop) / concurrency bound (open-loop cap).
+    pub clients: usize,
+    /// Load generation mode.
+    pub mode: LoadMode,
+    /// Fraction of GETs (1.0 = read only, 0.0 = write only, 0.8 = the
+    /// paper's mixed workload).
+    pub read_fraction: f64,
+    /// Value payload size in bytes (paper: 100 B for §6.1, 500 B for §6.2).
+    pub value_bytes: usize,
+    /// Virtual seconds to simulate.
+    pub duration_s: f64,
+    /// Virtual seconds to discard as warm-up.
+    pub warmup_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SimParams {
+    /// The paper's §6.1.1 benchmark setup on a given system/instance:
+    /// 10 load generators × 100 connections, 100-byte values.
+    pub fn paper_setup(system: SystemKind, instance: InstanceType, read_fraction: f64) -> SimParams {
+        SimParams {
+            system,
+            instance,
+            clients: 1000,
+            mode: LoadMode::ClosedLoop,
+            read_fraction,
+            value_bytes: 100,
+            duration_s: 2.0,
+            warmup_s: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+/// Simulation output.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Completed requests/second in the measurement window.
+    pub throughput: f64,
+    /// Latency over all requests.
+    pub all: Histogram,
+    /// Latency of reads only.
+    pub reads: Histogram,
+    /// Latency of writes only.
+    pub writes: Histogram,
+}
+
+const NS: f64 = 1e9;
+
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    start_ns: u64,
+    is_write: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    /// Request reaches the server NIC → IO queue.
+    ArriveServer(u32),
+    /// IO stage finished → engine queue.
+    IoDone(u32),
+    /// Engine stage finished → commit (writes) or response.
+    EngineDone(u32),
+    /// Durable commit acknowledged → response.
+    CommitDone(u32),
+    /// Response reaches the client.
+    Response(u32),
+    /// Open-loop: next Poisson arrival.
+    NextArrival,
+}
+
+struct Station {
+    capacity: usize,
+    busy: usize,
+    queue: VecDeque<u32>,
+}
+
+impl Station {
+    fn new(capacity: usize) -> Station {
+        Station {
+            capacity,
+            busy: 0,
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+/// Runs one simulation.
+pub fn run_sim(params: SimParams) -> SimResult {
+    let cost = CostModel::for_system(params.system, params.instance);
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut heap: BinaryHeap<Reverse<(u64, u64, Ev)>> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    let push = |heap: &mut BinaryHeap<Reverse<(u64, u64, Ev)>>, seq: &mut u64, t: u64, ev: Ev| {
+        *seq += 1;
+        heap.push(Reverse((t, *seq, ev)));
+    };
+
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut io = Station::new(params.instance.io_threads());
+    let mut engine = Station::new(1);
+    // The shared log line: serialization of records onto the 100 MB/s pipe.
+    let mut log_free_ns: u64 = 0;
+    let record_bytes = params.value_bytes as f64 + cost.log_record_overhead_b;
+
+    let duration_ns = (params.duration_s * NS) as u64;
+    let warmup_ns = (params.warmup_s * NS) as u64;
+    let net_ns = (cost.net_one_way_s * NS) as u64;
+
+    let mut all = Histogram::new();
+    let mut reads = Histogram::new();
+    let mut writes = Histogram::new();
+    let mut completed_after_warmup: u64 = 0;
+
+    let new_job = |jobs: &mut Vec<Job>, rng: &mut StdRng, now: u64| -> u32 {
+        let is_write = !rng.gen_bool(params.read_fraction);
+        jobs.push(Job {
+            start_ns: now,
+            is_write,
+        });
+        (jobs.len() - 1) as u32
+    };
+
+    // Seed initial load.
+    match params.mode {
+        LoadMode::ClosedLoop => {
+            for _ in 0..params.clients {
+                let id = new_job(&mut jobs, &mut rng, 0);
+                push(&mut heap, &mut seq, net_ns, Ev::ArriveServer(id));
+            }
+        }
+        LoadMode::OpenLoop(_) => {
+            push(&mut heap, &mut seq, 0, Ev::NextArrival);
+        }
+    }
+
+    while let Some(Reverse((now, _, ev))) = heap.pop() {
+        if now > duration_ns {
+            break;
+        }
+        match ev {
+            Ev::NextArrival => {
+                let LoadMode::OpenLoop(rate) = params.mode else {
+                    unreachable!("NextArrival only fires in open-loop mode")
+                };
+                let id = new_job(&mut jobs, &mut rng, now);
+                push(&mut heap, &mut seq, now + net_ns, Ev::ArriveServer(id));
+                // Exponential inter-arrival.
+                let gap_s = -rng.gen::<f64>().max(1e-12).ln() / rate;
+                push(
+                    &mut heap,
+                    &mut seq,
+                    now + (gap_s * NS) as u64,
+                    Ev::NextArrival,
+                );
+            }
+            Ev::ArriveServer(id) => {
+                if io.busy < io.capacity {
+                    io.busy += 1;
+                    let svc = (cost.io_request_s * NS) as u64;
+                    push(&mut heap, &mut seq, now + svc, Ev::IoDone(id));
+                } else {
+                    io.queue.push_back(id);
+                }
+            }
+            Ev::IoDone(id) => {
+                // Free the IO thread and pull the next waiter.
+                io.busy -= 1;
+                if let Some(next) = io.queue.pop_front() {
+                    io.busy += 1;
+                    let svc = (cost.io_request_s * NS) as u64;
+                    push(&mut heap, &mut seq, now + svc, Ev::IoDone(next));
+                }
+                if engine.busy < engine.capacity {
+                    engine.busy += 1;
+                    let svc = engine_service_ns(&jobs[id as usize], &cost);
+                    push(&mut heap, &mut seq, now + svc, Ev::EngineDone(id));
+                } else {
+                    engine.queue.push_back(id);
+                }
+            }
+            Ev::EngineDone(id) => {
+                engine.busy -= 1;
+                if let Some(next) = engine.queue.pop_front() {
+                    engine.busy += 1;
+                    let svc = engine_service_ns(&jobs[next as usize], &cost);
+                    push(&mut heap, &mut seq, now + svc, Ev::EngineDone(next));
+                }
+                let job = jobs[id as usize];
+                if job.is_write && cost.commit_base_s > 0.0 {
+                    // Serialize onto the log line (bandwidth cap), then wait
+                    // out the multi-AZ quorum latency.
+                    let ser_ns = (record_bytes / cost.log_bandwidth_bps * NS) as u64;
+                    log_free_ns = log_free_ns.max(now) + ser_ns;
+                    let mut commit_lat =
+                        cost.commit_base_s + rng.gen::<f64>() * cost.commit_jitter_s;
+                    if cost.commit_tail_prob > 0.0 && rng.gen::<f64>() < cost.commit_tail_prob {
+                        commit_lat *= cost.commit_tail_mult;
+                    }
+                    let done = log_free_ns + (commit_lat * NS) as u64;
+                    push(&mut heap, &mut seq, done, Ev::CommitDone(id));
+                } else {
+                    push(&mut heap, &mut seq, now + net_ns, Ev::Response(id));
+                }
+            }
+            Ev::CommitDone(id) => {
+                push(&mut heap, &mut seq, now + net_ns, Ev::Response(id));
+            }
+            Ev::Response(id) => {
+                let job = jobs[id as usize];
+                if now >= warmup_ns {
+                    let lat_us = (now - job.start_ns) / 1_000;
+                    all.record_us(lat_us);
+                    if job.is_write {
+                        writes.record_us(lat_us);
+                    } else {
+                        reads.record_us(lat_us);
+                    }
+                    completed_after_warmup += 1;
+                }
+                if params.mode == LoadMode::ClosedLoop {
+                    // The connection immediately issues its next request.
+                    let id = new_job(&mut jobs, &mut rng, now);
+                    push(&mut heap, &mut seq, now + net_ns, Ev::ArriveServer(id));
+                }
+            }
+        }
+    }
+
+    let window_s = (params.duration_s - params.warmup_s).max(1e-9);
+    SimResult {
+        throughput: completed_after_warmup as f64 / window_s,
+        all,
+        reads,
+        writes,
+    }
+}
+
+fn engine_service_ns(job: &Job, cost: &CostModel) -> u64 {
+    let s = if job.is_write {
+        cost.engine_write_s
+    } else {
+        cost.engine_read_s
+    };
+    (s * NS) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(system: SystemKind, instance: InstanceType, read_fraction: f64) -> SimResult {
+        run_sim(SimParams {
+            duration_s: 0.6,
+            warmup_s: 0.2,
+            ..SimParams::paper_setup(system, instance, read_fraction)
+        })
+    }
+
+    #[test]
+    fn read_ceilings_match_figure_4a() {
+        // 16xlarge: MemoryDB ~500K vs Redis ~330K.
+        let redis = quick(SystemKind::Redis, InstanceType::X16Large, 1.0);
+        let memdb = quick(SystemKind::MemoryDb, InstanceType::X16Large, 1.0);
+        assert!(
+            (300e3..360e3).contains(&redis.throughput),
+            "redis read {}",
+            redis.throughput
+        );
+        assert!(
+            (450e3..550e3).contains(&memdb.throughput),
+            "memdb read {}",
+            memdb.throughput
+        );
+        // Small instances: comparable, ≤ ~200K (Figure 4a's left side).
+        let redis_s = quick(SystemKind::Redis, InstanceType::Large, 1.0);
+        let memdb_s = quick(SystemKind::MemoryDb, InstanceType::Large, 1.0);
+        assert!(redis_s.throughput < 220e3, "{}", redis_s.throughput);
+        assert!(memdb_s.throughput < 220e3, "{}", memdb_s.throughput);
+        let ratio = memdb_s.throughput / redis_s.throughput;
+        assert!((0.7..1.45).contains(&ratio), "should be comparable: {ratio}");
+    }
+
+    #[test]
+    fn write_ceilings_match_figure_4b() {
+        // Redis outperforms MemoryDB on write-only everywhere; 16xlarge
+        // lands near 300K vs 185K.
+        let redis = quick(SystemKind::Redis, InstanceType::X16Large, 0.0);
+        let memdb = quick(SystemKind::MemoryDb, InstanceType::X16Large, 0.0);
+        assert!(
+            (270e3..330e3).contains(&redis.throughput),
+            "redis write {}",
+            redis.throughput
+        );
+        assert!(
+            (160e3..205e3).contains(&memdb.throughput),
+            "memdb write {}",
+            memdb.throughput
+        );
+        assert!(redis.throughput > memdb.throughput);
+    }
+
+    #[test]
+    fn latency_profile_matches_figure_5() {
+        // At moderate offered load on 16xlarge:
+        // read: both sub-ms p50; write: Redis sub-ms p50, MemoryDB ~3ms p50.
+        let read_load = |system| {
+            run_sim(SimParams {
+                mode: LoadMode::OpenLoop(100e3),
+                duration_s: 0.6,
+                warmup_s: 0.2,
+                ..SimParams::paper_setup(system, InstanceType::X16Large, 1.0)
+            })
+        };
+        let r = read_load(SystemKind::Redis);
+        let m = read_load(SystemKind::MemoryDb);
+        assert!(r.all.p50_ms() < 1.0, "redis read p50 {}", r.all.p50_ms());
+        assert!(m.all.p50_ms() < 1.0, "memdb read p50 {}", m.all.p50_ms());
+
+        let write_load = |system| {
+            run_sim(SimParams {
+                mode: LoadMode::OpenLoop(50e3),
+                duration_s: 0.6,
+                warmup_s: 0.2,
+                ..SimParams::paper_setup(system, InstanceType::X16Large, 0.0)
+            })
+        };
+        let rw = write_load(SystemKind::Redis);
+        let mw = write_load(SystemKind::MemoryDb);
+        assert!(rw.all.p50_ms() < 1.0, "redis write p50 {}", rw.all.p50_ms());
+        assert!(
+            (2.0..4.5).contains(&mw.all.p50_ms()),
+            "memdb write p50 {}",
+            mw.all.p50_ms()
+        );
+        assert!(
+            mw.all.p99_ms() < 8.0,
+            "memdb write p99 stays single-digit ms: {}",
+            mw.all.p99_ms()
+        );
+    }
+
+    #[test]
+    fn mixed_workload_tail_dominated_by_writes() {
+        // 80/20 mix: MemoryDB p50 sub-ms (reads dominate), p99 in the
+        // write-latency regime (Figure 5c).
+        let m = run_sim(SimParams {
+            mode: LoadMode::OpenLoop(100e3),
+            duration_s: 0.6,
+            warmup_s: 0.2,
+            ..SimParams::paper_setup(SystemKind::MemoryDb, InstanceType::X16Large, 0.8)
+        });
+        assert!(m.all.p50_ms() < 1.0, "mixed p50 {}", m.all.p50_ms());
+        assert!(
+            (2.0..6.5).contains(&m.all.p99_ms()),
+            "mixed p99 {}",
+            m.all.p99_ms()
+        );
+        // Reads and writes have distinct profiles.
+        assert!(m.reads.p50_ms() < 1.0);
+        assert!(m.writes.p50_ms() >= 2.0);
+    }
+
+    #[test]
+    fn open_loop_achieves_offered_rate_below_saturation() {
+        let m = run_sim(SimParams {
+            mode: LoadMode::OpenLoop(50e3),
+            duration_s: 0.6,
+            warmup_s: 0.2,
+            ..SimParams::paper_setup(SystemKind::Redis, InstanceType::X16Large, 1.0)
+        });
+        assert!(
+            (45e3..55e3).contains(&m.throughput),
+            "achieved {}",
+            m.throughput
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let p = SimParams {
+            duration_s: 0.3,
+            warmup_s: 0.1,
+            ..SimParams::paper_setup(SystemKind::MemoryDb, InstanceType::X4Large, 0.5)
+        };
+        let a = run_sim(p);
+        let b = run_sim(p);
+        assert_eq!(a.throughput, b.throughput);
+        assert_eq!(a.all.quantile_us(0.99), b.all.quantile_us(0.99));
+    }
+
+    #[test]
+    fn throughput_monotone_in_instance_size() {
+        let mut last = 0.0;
+        for inst in [InstanceType::Large, InstanceType::XLarge, InstanceType::X2Large] {
+            let r = quick(SystemKind::Redis, inst, 1.0);
+            assert!(
+                r.throughput >= last * 0.98,
+                "{}: {} < {}",
+                inst.name(),
+                r.throughput,
+                last
+            );
+            last = r.throughput;
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # memorydb-sim — deterministic performance simulation
+//!
+//! The paper's evaluation (§6) ran on real EC2 Graviton3 fleets we do not
+//! have, so the performance figures are regenerated with a deterministic
+//! discrete-event simulation of the serving path:
+//!
+//! ```text
+//! client ⇄ network ⇄ [IO-in threads] → [engine thread] → (txlog commit) → [IO-out threads] ⇄ client
+//! ```
+//!
+//! * [`instance`] — the r7g instance-type catalogue and the calibrated
+//!   **cost model** (per-op CPU costs, IO-thread counts, Enhanced-IO
+//!   multiplexing effect, multi-AZ commit latency). Every constant is
+//!   documented with its provenance; absolute numbers are calibrated, the
+//!   *shapes* are the reproduction target.
+//! * [`des`] — the event-driven queueing simulator: closed-loop clients
+//!   (the paper's 10×100 redis-benchmark connections) and open-loop Poisson
+//!   arrivals (the latency-vs-offered-load sweeps of Figure 5).
+//! * [`metrics`] — log-bucketed latency histograms (p50/p99/p100) and
+//!   throughput accounting.
+//!
+//! Figures 6 and 7 (BGSave collapse, off-box flatness) are driven from the
+//! analytic memory model in `memorydb_baseline::bgsave` by the bench crate.
+
+pub mod des;
+pub mod instance;
+pub mod metrics;
+
+pub use des::{run_sim, LoadMode, SimParams, SimResult};
+pub use instance::{CostModel, InstanceType, SystemKind};
+pub use metrics::Histogram;

@@ -1,0 +1,44 @@
+//! # memorydb-txlog — the multi-AZ durable transaction log service
+//!
+//! A library-scale reproduction of the internal AWS transaction log service
+//! MemoryDB offloads durability to (paper §3). The interface is exactly what
+//! the paper's consistency argument needs:
+//!
+//! * **Conditional append** ([`LogService::append_after`]): every append
+//!   names the entry id it intends to follow; a mismatch is rejected. This
+//!   single primitive provides the fencing that leader election is built on
+//!   (§4.1.1): only a fully caught-up replica can successfully append a
+//!   leadership claim, and a successful claim invalidates every concurrent
+//!   competitor.
+//! * **Quorum durability**: an append is *accepted* immediately (ordered,
+//!   sequence assigned) but only becomes *committed* — visible to readers
+//!   and acknowledged to the writer — once a quorum (2 of 3) of simulated
+//!   AZ replicas has durably stored it. Commit is strictly in sequence
+//!   order.
+//! * **Sequential readers** ([`LogService::read_committed_from`],
+//!   [`LogService::wait_for_entries`]): replicas stream committed entries;
+//!   a long-poll form supports the paper's "caught-up" notification.
+//! * **Fault injection**: AZ outages (commit stalls when a quorum is
+//!   unreachable and resumes on recovery) and per-client network partitions
+//!   (a partitioned primary's appends fail — the trigger for lease-expiry
+//!   self-demotion, §4.1.3).
+//! * **Prefix trimming** once a verified snapshot covers a prefix (§4.2.3),
+//!   and a **chained checksum** per entry supporting snapshot verification
+//!   (§7.2.1).
+//!
+//! The real service replicates with a consensus protocol verified in TLA+;
+//! here the service process itself is assumed reliable (it *is* the spec of
+//! the log) and we reproduce its latency and failure semantics, which is
+//! what MemoryDB's correctness depends on.
+
+mod service;
+
+pub use service::{
+    AppendError, ClientId, CommitLatency, EntryId, LogConfig, LogEntry, LogService, ReadError,
+};
+
+#[cfg(test)]
+pub(crate) use service::fnv1a_chain as service_chain_for_test;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,568 @@
+//! The log service implementation.
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Identifier of a log entry: a dense 1-based sequence number. `EntryId::ZERO`
+/// denotes the tail of an empty log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EntryId(pub u64);
+
+impl EntryId {
+    /// The "nothing appended yet" position.
+    pub const ZERO: EntryId = EntryId(0);
+
+    /// The id following this one.
+    pub fn next(self) -> EntryId {
+        EntryId(self.0 + 1)
+    }
+}
+
+impl std::fmt::Display for EntryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Identifier the service uses to tell writers/readers apart for fault
+/// injection (each node in a shard uses its own client id).
+pub type ClientId = u64;
+
+/// One committed log entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogEntry {
+    /// Sequence id (dense, 1-based).
+    pub id: EntryId,
+    /// Opaque payload — MemoryDB's core serializes its record format here.
+    pub payload: Bytes,
+    /// Chained checksum over all payloads up to and including this entry
+    /// (supports snapshot verification, paper §7.2.1).
+    pub chain_checksum: u64,
+}
+
+/// Commit latency model: quorum acknowledgement takes
+/// `base + U(0, jitter)`. Zero for unit tests; ~2 ms for multi-AZ realism.
+#[derive(Debug, Clone, Copy)]
+pub struct CommitLatency {
+    /// Fixed floor for a quorum round trip + fsync.
+    pub base: Duration,
+    /// Additional uniform jitter.
+    pub jitter: Duration,
+}
+
+impl CommitLatency {
+    /// No artificial latency (unit tests).
+    pub const ZERO: CommitLatency = CommitLatency {
+        base: Duration::ZERO,
+        jitter: Duration::ZERO,
+    };
+
+    /// A realistic multi-AZ profile: ~1.2 ms base, up to 0.8 ms jitter
+    /// (inter-AZ RTT ≈ 0.8 ms + storage fsync), yielding the paper's
+    /// single-digit-millisecond write latencies.
+    pub fn multi_az() -> CommitLatency {
+        CommitLatency {
+            base: Duration::from_micros(1200),
+            jitter: Duration::from_micros(800),
+        }
+    }
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct LogConfig {
+    /// Number of simulated AZ replicas (paper: 3).
+    pub num_azs: usize,
+    /// Replicas that must durably store an entry before commit (paper: 2).
+    pub quorum: usize,
+    /// Commit latency model.
+    pub latency: CommitLatency,
+    /// RNG seed for latency jitter.
+    pub seed: u64,
+}
+
+impl Default for LogConfig {
+    fn default() -> Self {
+        LogConfig {
+            num_azs: 3,
+            quorum: 2,
+            latency: CommitLatency::ZERO,
+            seed: 7,
+        }
+    }
+}
+
+impl LogConfig {
+    /// Zero-latency config for tests.
+    pub fn instant() -> LogConfig {
+        LogConfig::default()
+    }
+
+    /// Multi-AZ latency profile.
+    pub fn multi_az() -> LogConfig {
+        LogConfig {
+            latency: CommitLatency::multi_az(),
+            ..LogConfig::default()
+        }
+    }
+}
+
+/// Errors from [`LogService::append_after`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppendError {
+    /// The precondition failed: the log tail is not the id the caller
+    /// expected. Carries the actual assigned tail.
+    Conflict {
+        /// The tail the caller claimed to follow.
+        expected: EntryId,
+        /// The actual current tail.
+        actual: EntryId,
+    },
+    /// The calling client is network-partitioned from the service.
+    Partitioned,
+}
+
+impl std::fmt::Display for AppendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppendError::Conflict { expected, actual } => {
+                write!(f, "conditional append conflict: expected tail {expected}, actual {actual}")
+            }
+            AppendError::Partitioned => write!(f, "client partitioned from log service"),
+        }
+    }
+}
+
+impl std::error::Error for AppendError {}
+
+/// Errors from read paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadError {
+    /// The requested position was trimmed away; restore from a snapshot.
+    Trimmed {
+        /// First id still available.
+        first_available: EntryId,
+    },
+    /// The calling client is network-partitioned from the service.
+    Partitioned,
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Trimmed { first_available } => {
+                write!(f, "log prefix trimmed; first available entry is {first_available}")
+            }
+            ReadError::Partitioned => write!(f, "client partitioned from log service"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+pub(crate) fn fnv1a_chain(prev: u64, payload: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    for b in prev.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    for &b in payload {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+struct Pending {
+    payload: Bytes,
+    /// When a quorum will have stored this entry; `None` while a quorum is
+    /// unreachable (too many AZs down).
+    ready_at: Option<Instant>,
+}
+
+struct Inner {
+    /// Committed entries; `committed[i]` has id `trim_base + i + 1`.
+    committed: Vec<LogEntry>,
+    /// Id of the last entry removed by trimming (0 = nothing trimmed).
+    trim_base: u64,
+    /// Accepted-but-not-committed appends keyed by sequence.
+    pending: BTreeMap<u64, Pending>,
+    /// Highest assigned sequence (committed or pending).
+    assigned_tail: u64,
+    /// Chained checksum at the assigned tail.
+    assigned_chain: u64,
+    /// Chained checksum at the committed tail. Kept separately from the
+    /// entries so trimming the whole log cannot reset the chain (§7.2.1
+    /// verification depends on the chain being a pure function of the
+    /// payload sequence since the log's creation).
+    committed_chain: u64,
+    /// Per-AZ health.
+    az_up: Vec<bool>,
+    /// Clients currently partitioned from the service.
+    partitioned: std::collections::HashSet<ClientId>,
+    rng: StdRng,
+}
+
+impl Inner {
+    fn committed_tail(&self) -> u64 {
+        self.trim_base + self.committed.len() as u64
+    }
+
+    fn quorum_reachable(&self, quorum: usize) -> bool {
+        self.az_up.iter().filter(|up| **up).count() >= quorum
+    }
+
+    fn sample_quorum_latency(&mut self, cfg: &LogConfig) -> Duration {
+        let jitter_us = cfg.latency.jitter.as_micros() as u64;
+        let extra = if jitter_us == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_micros(self.rng.gen_range(0..=jitter_us))
+        };
+        cfg.latency.base + extra
+    }
+}
+
+/// The transaction log service. Cheap to share: wrap in [`Arc`].
+///
+/// A background committer thread promotes accepted appends to committed once
+/// their quorum latency has elapsed (strictly in sequence order) and wakes
+/// blocked readers and writers.
+pub struct LogService {
+    cfg: LogConfig,
+    inner: Mutex<Inner>,
+    /// Signalled whenever the committed tail advances or faults change.
+    commit_cv: Condvar,
+    /// Signalled to wake the committer thread (new pending work / faults).
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl std::fmt::Debug for LogService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("LogService")
+            .field("committed_tail", &inner.committed_tail())
+            .field("assigned_tail", &inner.assigned_tail)
+            .field("pending", &inner.pending.len())
+            .finish()
+    }
+}
+
+impl LogService {
+    /// Creates the service and spawns its committer thread.
+    pub fn new(cfg: LogConfig) -> Arc<LogService> {
+        let svc = Arc::new(LogService {
+            inner: Mutex::new(Inner {
+                committed: Vec::new(),
+                trim_base: 0,
+                pending: BTreeMap::new(),
+                assigned_tail: 0,
+                assigned_chain: 0,
+                committed_chain: 0,
+                az_up: vec![true; cfg.num_azs],
+                partitioned: Default::default(),
+                rng: StdRng::seed_from_u64(cfg.seed),
+            }),
+            cfg,
+            commit_cv: Condvar::new(),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let weak = Arc::downgrade(&svc);
+        std::thread::Builder::new()
+            .name("txlog-committer".into())
+            .spawn(move || {
+                while let Some(svc) = weak.upgrade() {
+                    if svc.shutdown.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    svc.committer_step();
+                    // Drop the Arc before sleeping so the service can die.
+                }
+            })
+            .expect("spawn committer");
+        svc
+    }
+
+    /// One committer iteration: commit everything ready, then sleep until
+    /// the next deadline or a wakeup.
+    fn committer_step(&self) {
+        let mut inner = self.inner.lock();
+        let now = Instant::now();
+        let mut advanced = false;
+        loop {
+            let next_seq = inner.committed_tail() + 1;
+            let Some(p) = inner.pending.get(&next_seq) else {
+                break;
+            };
+            match p.ready_at {
+                Some(t) if t <= now => {
+                    let p = inner.pending.remove(&next_seq).expect("present");
+                    let chain = fnv1a_chain(inner.committed_chain, &p.payload);
+                    inner.committed_chain = chain;
+                    let entry = LogEntry {
+                        id: EntryId(next_seq),
+                        chain_checksum: chain,
+                        payload: p.payload,
+                    };
+                    inner.committed.push(entry);
+                    advanced = true;
+                }
+                _ => break,
+            }
+        }
+        if advanced {
+            self.commit_cv.notify_all();
+        }
+        // Sleep until the next pending deadline (or a nudge).
+        let next_seq = inner.committed_tail() + 1;
+        let deadline = inner.pending.get(&next_seq).and_then(|p| p.ready_at);
+        match deadline {
+            Some(t) => {
+                let now = Instant::now();
+                if t > now {
+                    self.work_cv.wait_for(&mut inner, t - now);
+                }
+            }
+            None => {
+                self.work_cv.wait_for(&mut inner, Duration::from_millis(50));
+            }
+        }
+    }
+
+    /// Conditionally appends `payload` after `expected_tail`.
+    ///
+    /// On success the entry is **accepted** and its id returned; it becomes
+    /// durable (committed) asynchronously — poll with
+    /// [`LogService::is_durable`] or block with [`LogService::wait_durable`].
+    /// This split is what lets MemoryDB's primary keep executing other
+    /// commands while replies wait in the tracker (paper §3.2).
+    pub fn append_after(
+        &self,
+        client: ClientId,
+        expected_tail: EntryId,
+        payload: Bytes,
+    ) -> Result<EntryId, AppendError> {
+        let mut inner = self.inner.lock();
+        if inner.partitioned.contains(&client) {
+            return Err(AppendError::Partitioned);
+        }
+        if inner.assigned_tail != expected_tail.0 {
+            return Err(AppendError::Conflict {
+                expected: expected_tail,
+                actual: EntryId(inner.assigned_tail),
+            });
+        }
+        let seq = inner.assigned_tail + 1;
+        inner.assigned_tail = seq;
+        inner.assigned_chain = fnv1a_chain(inner.assigned_chain, &payload);
+        let ready_at = if inner.quorum_reachable(self.cfg.quorum) {
+            let lat = inner.sample_quorum_latency(&self.cfg);
+            Some(Instant::now() + lat)
+        } else {
+            None
+        };
+        inner.pending.insert(seq, Pending { payload, ready_at });
+        drop(inner);
+        self.work_cv.notify_all();
+        Ok(EntryId(seq))
+    }
+
+    /// Unconditional append: follows whatever the current tail is. Used by
+    /// writers that serialize externally (e.g. the slot-migration target,
+    /// which is the only writer of its shard's log during a migration).
+    pub fn append(&self, client: ClientId, payload: Bytes) -> Result<EntryId, AppendError> {
+        let tail = {
+            let inner = self.inner.lock();
+            if inner.partitioned.contains(&client) {
+                return Err(AppendError::Partitioned);
+            }
+            EntryId(inner.assigned_tail)
+        };
+        self.append_after(client, tail, payload)
+    }
+
+    /// Has `id` committed (durably stored on a quorum)?
+    pub fn is_durable(&self, id: EntryId) -> bool {
+        let inner = self.inner.lock();
+        id.0 <= inner.committed_tail()
+    }
+
+    /// Blocks until `id` commits or `timeout` elapses. Returns whether it
+    /// committed.
+    pub fn wait_durable(&self, id: EntryId, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        loop {
+            if id.0 <= inner.committed_tail() {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.commit_cv.wait_for(&mut inner, deadline - now);
+        }
+    }
+
+    /// Id of the last committed entry.
+    pub fn committed_tail(&self) -> EntryId {
+        EntryId(self.inner.lock().committed_tail())
+    }
+
+    /// Id of the last accepted (possibly uncommitted) entry — the value a
+    /// conditional append must name to win.
+    pub fn assigned_tail(&self) -> EntryId {
+        EntryId(self.inner.lock().assigned_tail)
+    }
+
+    /// Chained checksum at a committed position (0 = empty prefix).
+    ///
+    /// Returns `None` if `upto` exceeds the committed tail or was trimmed.
+    pub fn chain_checksum_at(&self, upto: EntryId) -> Option<u64> {
+        if upto == EntryId::ZERO {
+            return Some(0);
+        }
+        let inner = self.inner.lock();
+        if upto.0 <= inner.trim_base || upto.0 > inner.committed_tail() {
+            return None;
+        }
+        let idx = (upto.0 - inner.trim_base - 1) as usize;
+        Some(inner.committed[idx].chain_checksum)
+    }
+
+    /// Reads up to `max` committed entries with id > `after`.
+    pub fn read_committed_from(
+        &self,
+        client: ClientId,
+        after: EntryId,
+        max: usize,
+    ) -> Result<Vec<LogEntry>, ReadError> {
+        let inner = self.inner.lock();
+        if inner.partitioned.contains(&client) {
+            return Err(ReadError::Partitioned);
+        }
+        if after.0 < inner.trim_base {
+            return Err(ReadError::Trimmed {
+                first_available: EntryId(inner.trim_base + 1),
+            });
+        }
+        let start_idx = (after.0 - inner.trim_base) as usize;
+        let out = inner
+            .committed
+            .iter()
+            .skip(start_idx)
+            .take(max)
+            .cloned()
+            .collect();
+        Ok(out)
+    }
+
+    /// Long-poll: like [`LogService::read_committed_from`] but blocks up to
+    /// `timeout` waiting for at least one entry.
+    pub fn wait_for_entries(
+        &self,
+        client: ClientId,
+        after: EntryId,
+        max: usize,
+        timeout: Duration,
+    ) -> Result<Vec<LogEntry>, ReadError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let out = self.read_committed_from(client, after, max)?;
+            if !out.is_empty() {
+                return Ok(out);
+            }
+            let mut inner = self.inner.lock();
+            // Re-check under the lock to avoid a lost wakeup.
+            if inner.committed_tail() > after.0 {
+                continue;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(Vec::new());
+            }
+            self.commit_cv.wait_for(&mut inner, deadline - now);
+        }
+    }
+
+    /// Trims every entry with id ≤ `upto` (they are covered by a verified
+    /// snapshot, paper §4.2.3). Trimming beyond the committed tail is
+    /// clamped.
+    pub fn trim_prefix(&self, upto: EntryId) {
+        let mut inner = self.inner.lock();
+        let upto = upto.0.min(inner.committed_tail());
+        if upto <= inner.trim_base {
+            return;
+        }
+        let drop_count = (upto - inner.trim_base) as usize;
+        inner.committed.drain(..drop_count);
+        inner.trim_base = upto;
+    }
+
+    /// First id still readable (after trimming); `ZERO.next()` on a fresh log.
+    pub fn first_available(&self) -> EntryId {
+        EntryId(self.inner.lock().trim_base + 1)
+    }
+
+    // --- fault injection ---------------------------------------------------
+
+    /// Marks an AZ up or down. While fewer than `quorum` AZs are up, accepted
+    /// appends stall; they commit (with fresh latency) once a quorum returns.
+    pub fn set_az_up(&self, az: usize, up: bool) {
+        let mut inner = self.inner.lock();
+        inner.az_up[az] = up;
+        if inner.quorum_reachable(self.cfg.quorum) {
+            // Re-schedule stalled appends.
+            let now = Instant::now();
+            let mut deadlines = Vec::new();
+            for (&seq, p) in inner.pending.iter() {
+                if p.ready_at.is_none() {
+                    deadlines.push(seq);
+                }
+            }
+            for seq in deadlines {
+                let lat = inner.sample_quorum_latency(&self.cfg);
+                if let Some(p) = inner.pending.get_mut(&seq) {
+                    p.ready_at = Some(now + lat);
+                }
+            }
+        } else {
+            // Stall everything not yet committed.
+            for p in inner.pending.values_mut() {
+                p.ready_at = None;
+            }
+        }
+        drop(inner);
+        self.work_cv.notify_all();
+        self.commit_cv.notify_all();
+    }
+
+    /// Partitions (or heals) a client from the service.
+    pub fn set_client_partitioned(&self, client: ClientId, partitioned: bool) {
+        let mut inner = self.inner.lock();
+        if partitioned {
+            inner.partitioned.insert(client);
+        } else {
+            inner.partitioned.remove(&client);
+        }
+        drop(inner);
+        self.commit_cv.notify_all();
+    }
+
+    /// Stops the committer thread (used by tests; dropping all Arcs also
+    /// ends it).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.work_cv.notify_all();
+    }
+}

@@ -1,0 +1,398 @@
+use crate::*;
+use bytes::Bytes;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn b(s: &str) -> Bytes {
+    Bytes::copy_from_slice(s.as_bytes())
+}
+
+fn svc() -> Arc<LogService> {
+    LogService::new(LogConfig::instant())
+}
+
+const T: Duration = Duration::from_secs(2);
+
+#[test]
+fn append_and_read_in_order() {
+    let log = svc();
+    let id1 = log.append_after(1, EntryId::ZERO, b("a")).unwrap();
+    let id2 = log.append_after(1, id1, b("b")).unwrap();
+    assert_eq!(id1, EntryId(1));
+    assert_eq!(id2, EntryId(2));
+    assert!(log.wait_durable(id2, T));
+    let entries = log.read_committed_from(2, EntryId::ZERO, 10).unwrap();
+    assert_eq!(entries.len(), 2);
+    assert_eq!(entries[0].payload, b("a"));
+    assert_eq!(entries[1].payload, b("b"));
+    // Partial read.
+    let tail = log.read_committed_from(2, EntryId(1), 10).unwrap();
+    assert_eq!(tail.len(), 1);
+    assert_eq!(tail[0].id, EntryId(2));
+}
+
+#[test]
+fn conditional_append_rejects_stale_tail() {
+    let log = svc();
+    let id1 = log.append_after(1, EntryId::ZERO, b("a")).unwrap();
+    // A competitor that has not observed id1 must fail...
+    let err = log.append_after(2, EntryId::ZERO, b("x")).unwrap_err();
+    assert_eq!(
+        err,
+        AppendError::Conflict {
+            expected: EntryId::ZERO,
+            actual: id1
+        }
+    );
+    // ...and the winner proceeds.
+    assert!(log.append_after(1, id1, b("b")).is_ok());
+}
+
+#[test]
+fn fencing_only_one_contender_wins() {
+    // The §4.1.2 scenario: multiple caught-up replicas race to claim
+    // leadership; exactly one conditional append can succeed.
+    let log = svc();
+    let tail = log.append_after(9, EntryId::ZERO, b("data")).unwrap();
+    assert!(log.wait_durable(tail, T));
+    let mut wins = 0;
+    for client in 0..5u64 {
+        if log
+            .append_after(client, tail, b(&format!("claim-{client}")))
+            .is_ok()
+        {
+            wins += 1;
+        }
+    }
+    assert_eq!(wins, 1);
+}
+
+#[test]
+fn precondition_covers_accepted_not_just_committed() {
+    // An accepted-but-uncommitted entry still advances the tail contenders
+    // must name — stale writers are fenced even mid-commit.
+    let log = LogService::new(LogConfig {
+        latency: CommitLatency {
+            base: Duration::from_millis(20),
+            jitter: Duration::ZERO,
+        },
+        ..LogConfig::default()
+    });
+    let id1 = log.append_after(1, EntryId::ZERO, b("slow")).unwrap();
+    assert!(!log.is_durable(id1));
+    let err = log.append_after(2, EntryId::ZERO, b("usurper")).unwrap_err();
+    assert!(matches!(err, AppendError::Conflict { .. }));
+    assert!(log.wait_durable(id1, T));
+}
+
+#[test]
+fn commit_is_in_sequence_order() {
+    let log = LogService::new(LogConfig {
+        latency: CommitLatency {
+            base: Duration::from_millis(1),
+            jitter: Duration::from_millis(3),
+        },
+        ..LogConfig::default()
+    });
+    let mut last = EntryId::ZERO;
+    for i in 0..20 {
+        last = log.append_after(1, last, b(&format!("e{i}"))).unwrap();
+    }
+    assert!(log.wait_durable(last, T));
+    let entries = log.read_committed_from(2, EntryId::ZERO, 100).unwrap();
+    assert_eq!(entries.len(), 20);
+    for (i, e) in entries.iter().enumerate() {
+        assert_eq!(e.id, EntryId(i as u64 + 1));
+    }
+}
+
+#[test]
+fn durability_visible_only_after_commit() {
+    let log = LogService::new(LogConfig {
+        latency: CommitLatency {
+            base: Duration::from_millis(30),
+            jitter: Duration::ZERO,
+        },
+        ..LogConfig::default()
+    });
+    let id = log.append_after(1, EntryId::ZERO, b("x")).unwrap();
+    // Immediately after accept: not durable, not readable.
+    assert!(!log.is_durable(id));
+    assert!(log.read_committed_from(2, EntryId::ZERO, 10).unwrap().is_empty());
+    assert!(log.wait_durable(id, T));
+    assert_eq!(log.read_committed_from(2, EntryId::ZERO, 10).unwrap().len(), 1);
+}
+
+#[test]
+fn az_outage_stalls_and_recovers() {
+    let log = svc();
+    // Take down 2 of 3 AZs: quorum (2) unreachable.
+    log.set_az_up(0, false);
+    log.set_az_up(1, false);
+    let id = log.append_after(1, EntryId::ZERO, b("stalled")).unwrap();
+    assert!(!log.wait_durable(id, Duration::from_millis(50)));
+    // One AZ returns: quorum restored, entry commits.
+    log.set_az_up(0, true);
+    assert!(log.wait_durable(id, T));
+    // Single-AZ outage does not stall at all (AZs 0 and 1 up, 2 down).
+    log.set_az_up(1, true);
+    log.set_az_up(2, false);
+    let id2 = log.append_after(1, id, b("fine")).unwrap();
+    assert!(log.wait_durable(id2, T));
+}
+
+#[test]
+fn partitioned_client_cannot_append_or_read() {
+    let log = svc();
+    log.set_client_partitioned(1, true);
+    assert_eq!(
+        log.append_after(1, EntryId::ZERO, b("x")).unwrap_err(),
+        AppendError::Partitioned
+    );
+    assert_eq!(
+        log.read_committed_from(1, EntryId::ZERO, 10).unwrap_err(),
+        ReadError::Partitioned
+    );
+    // Other clients are unaffected.
+    assert!(log.append_after(2, EntryId::ZERO, b("y")).is_ok());
+    // Healing restores access.
+    log.set_client_partitioned(1, false);
+    assert!(log.read_committed_from(1, EntryId::ZERO, 10).is_ok());
+}
+
+#[test]
+fn long_poll_wakes_on_commit() {
+    let log = svc();
+    let log2 = log.clone();
+    let reader = std::thread::spawn(move || {
+        log2.wait_for_entries(2, EntryId::ZERO, 10, Duration::from_secs(5))
+            .unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(20));
+    log.append_after(1, EntryId::ZERO, b("wake")).unwrap();
+    let got = reader.join().unwrap();
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].payload, b("wake"));
+}
+
+#[test]
+fn long_poll_times_out_empty() {
+    let log = svc();
+    let got = log
+        .wait_for_entries(2, EntryId::ZERO, 10, Duration::from_millis(30))
+        .unwrap();
+    assert!(got.is_empty());
+}
+
+#[test]
+fn trim_prefix_and_trimmed_reads() {
+    let log = svc();
+    let mut last = EntryId::ZERO;
+    for i in 0..10 {
+        last = log.append_after(1, last, b(&format!("e{i}"))).unwrap();
+    }
+    assert!(log.wait_durable(last, T));
+    log.trim_prefix(EntryId(4));
+    assert_eq!(log.first_available(), EntryId(5));
+    // Reading from within the trimmed region fails with the restore hint.
+    let err = log.read_committed_from(2, EntryId(2), 10).unwrap_err();
+    assert_eq!(err, ReadError::Trimmed { first_available: EntryId(5) });
+    // Reading exactly from the trim point works.
+    let entries = log.read_committed_from(2, EntryId(4), 100).unwrap();
+    assert_eq!(entries.len(), 6);
+    assert_eq!(entries[0].id, EntryId(5));
+    // Double-trim and over-trim are safe.
+    log.trim_prefix(EntryId(4));
+    log.trim_prefix(EntryId(99));
+    assert_eq!(log.first_available(), EntryId(11));
+}
+
+#[test]
+fn chain_checksum_is_prefix_sensitive() {
+    let log = svc();
+    let id1 = log.append_after(1, EntryId::ZERO, b("a")).unwrap();
+    let id2 = log.append_after(1, id1, b("b")).unwrap();
+    assert!(log.wait_durable(id2, T));
+    let c0 = log.chain_checksum_at(EntryId::ZERO).unwrap();
+    let c1 = log.chain_checksum_at(id1).unwrap();
+    let c2 = log.chain_checksum_at(id2).unwrap();
+    assert_eq!(c0, 0);
+    assert_ne!(c1, c2);
+    assert!(log.chain_checksum_at(EntryId(99)).is_none());
+
+    // The same payloads on a fresh log give the same chain — it is a pure
+    // function of the payload sequence (snapshot verification relies on
+    // this, §7.2.1).
+    let log2 = svc();
+    let j1 = log2.append_after(1, EntryId::ZERO, b("a")).unwrap();
+    let j2 = log2.append_after(1, j1, b("b")).unwrap();
+    assert!(log2.wait_durable(j2, T));
+    assert_eq!(log2.chain_checksum_at(j2), Some(c2));
+    // Different order → different chain.
+    let log3 = svc();
+    let k1 = log3.append_after(1, EntryId::ZERO, b("b")).unwrap();
+    let k2 = log3.append_after(1, k1, b("a")).unwrap();
+    assert!(log3.wait_durable(k2, T));
+    assert_ne!(log3.chain_checksum_at(k2), Some(c2));
+}
+
+#[test]
+fn concurrent_writers_serialize_without_loss() {
+    // Writers retry on conflict; every payload must land exactly once.
+    let log = svc();
+    let mut handles = Vec::new();
+    for w in 0..4u64 {
+        let log = log.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..50 {
+                let payload = b(&format!("w{w}-{i}"));
+                loop {
+                    let tail = log.assigned_tail();
+                    match log.append_after(w, tail, payload.clone()) {
+                        Ok(_) => break,
+                        Err(AppendError::Conflict { .. }) => continue,
+                        Err(e) => panic!("unexpected: {e}"),
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let tail = log.assigned_tail();
+    assert_eq!(tail, EntryId(200));
+    assert!(log.wait_durable(tail, T));
+    let entries = log.read_committed_from(9, EntryId::ZERO, 1000).unwrap();
+    assert_eq!(entries.len(), 200);
+    let mut seen: std::collections::HashSet<Bytes> =
+        entries.iter().map(|e| e.payload.clone()).collect();
+    assert_eq!(seen.len(), 200);
+    for w in 0..4 {
+        for i in 0..50 {
+            assert!(seen.remove(&b(&format!("w{w}-{i}"))));
+        }
+    }
+}
+
+#[test]
+fn unconditional_append_follows_tail() {
+    let log = svc();
+    let a = log.append(1, b("one")).unwrap();
+    let bb = log.append(1, b("two")).unwrap();
+    assert_eq!(a, EntryId(1));
+    assert_eq!(bb, EntryId(2));
+    log.set_client_partitioned(1, true);
+    assert_eq!(log.append(1, b("no")).unwrap_err(), AppendError::Partitioned);
+}
+
+#[test]
+fn entry_ids_are_dense_and_display() {
+    assert_eq!(EntryId::ZERO.next(), EntryId(1));
+    assert_eq!(EntryId(41).next(), EntryId(42));
+    assert_eq!(format!("{}", EntryId(7)), "#7");
+}
+
+// ---------------------------------------------------------------------------
+// Model-based property test: the service must agree with a simple Vec model
+// under arbitrary interleavings of appends, trims, and reads.
+// ---------------------------------------------------------------------------
+
+mod model_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Append(u8),
+        AppendStaleTail(u8),
+        Trim(u8),
+        Read { after: u8, max: u8 },
+        Checksum(u8),
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            any::<u8>().prop_map(Op::Append),
+            any::<u8>().prop_map(Op::AppendStaleTail),
+            any::<u8>().prop_map(Op::Trim),
+            (any::<u8>(), 1u8..16).prop_map(|(after, max)| Op::Read { after, max }),
+            any::<u8>().prop_map(Op::Checksum),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_log_matches_vec_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
+            let log = LogService::new(LogConfig::instant());
+            let mut model: Vec<Bytes> = Vec::new(); // model[i] = payload of entry i+1
+            let mut trimmed: u64 = 0;
+            for op in ops {
+                match op {
+                    Op::Append(v) => {
+                        let payload = Bytes::from(vec![v]);
+                        let tail = EntryId(model.len() as u64);
+                        let id = log.append_after(1, tail, payload.clone()).unwrap();
+                        prop_assert_eq!(id, EntryId(model.len() as u64 + 1));
+                        model.push(payload);
+                        prop_assert!(log.wait_durable(id, Duration::from_secs(2)));
+                    }
+                    Op::AppendStaleTail(v) => {
+                        // Any tail other than the true one must conflict.
+                        let stale = EntryId((model.len() as u64).wrapping_add(1 + v as u64 % 7));
+                        let r = log.append_after(1, stale, Bytes::from(vec![v]));
+                        let is_conflict = matches!(r, Err(AppendError::Conflict { .. }));
+                        prop_assert!(is_conflict);
+                    }
+                    Op::Trim(upto) => {
+                        let upto = (upto as u64).min(model.len() as u64);
+                        log.trim_prefix(EntryId(upto));
+                        trimmed = trimmed.max(upto);
+                        prop_assert_eq!(log.first_available(), EntryId(trimmed + 1));
+                    }
+                    Op::Read { after, max } => {
+                        let after = after as u64 % (model.len() as u64 + 1);
+                        let result = log.read_committed_from(2, EntryId(after), max as usize);
+                        if after < trimmed {
+                            let is_trimmed = matches!(result, Err(ReadError::Trimmed { .. }));
+                            prop_assert!(is_trimmed);
+                        } else {
+                            let got = result.unwrap();
+                            let expect: Vec<&Bytes> = model
+                                .iter()
+                                .skip(after as usize)
+                                .take(max as usize)
+                                .collect();
+                            prop_assert_eq!(got.len(), expect.len());
+                            for (g, e) in got.iter().zip(expect) {
+                                prop_assert_eq!(&g.payload, e);
+                            }
+                            // Ids are dense and correct.
+                            for (i, g) in got.iter().enumerate() {
+                                prop_assert_eq!(g.id, EntryId(after + i as u64 + 1));
+                            }
+                        }
+                    }
+                    Op::Checksum(at) => {
+                        let at = at as u64 % (model.len() as u64 + 1);
+                        let c = log.chain_checksum_at(EntryId(at));
+                        if at == 0 {
+                            prop_assert_eq!(c, Some(0));
+                        } else if at <= trimmed {
+                            prop_assert!(c.is_none());
+                        } else {
+                            // Recompute from the model.
+                            let mut chain = 0u64;
+                            for p in &model[..at as usize] {
+                                chain = super::super::service_chain_for_test(chain, p);
+                            }
+                            prop_assert_eq!(c, Some(chain));
+                        }
+                    }
+                }
+                prop_assert_eq!(log.committed_tail(), EntryId(model.len() as u64));
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! The paper's motivating scenario (§1): an e-commerce catalog microservice.
+//!
+//! With cache-style Redis, teams kept the source of truth in another
+//! database and ran pipelines to hydrate Redis, plus reconciliation jobs
+//! for when Redis lost data. This example shows both worlds:
+//!
+//! 1. the **Redis-as-cache** failure: a primary dies before replicating and
+//!    acknowledged catalog items vanish (the signal that used to trigger
+//!    re-hydration jobs);
+//! 2. the **MemoryDB-as-primary-database** workflow: catalog items are
+//!    written once, survive the same failure, and there is no pipeline.
+//!
+//! ```sh
+//! cargo run --release --example durable_catalog
+//! ```
+
+use memorydb::baseline::{failover, RedisShard, ReplicationConfig};
+use memorydb::core::{ClusterBus, NodeIdGen, Shard, ShardConfig};
+use memorydb::engine::{cmd, Frame, SessionState};
+use memorydb::objectstore::ObjectStore;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn item_fields(id: u32) -> [String; 7] {
+    [
+        format!("item:{id}"),
+        "title".into(),
+        format!("Widget #{id}"),
+        "price_cents".into(),
+        format!("{}", 499 + id),
+        "stock".into(),
+        "25".into(),
+    ]
+}
+
+fn main() {
+    const ITEMS: u32 = 200;
+
+    // ---------------------------------------------------------------
+    // World 1: Redis as a cache with async replication.
+    // ---------------------------------------------------------------
+    println!("== Redis-as-cache (async replication) ==");
+    let redis = RedisShard::new(
+        ReplicationConfig {
+            lag: Duration::from_millis(100),
+        },
+        1,
+    );
+    let mut session = SessionState::new();
+    for id in 0..ITEMS {
+        let f = item_fields(id);
+        let args: Vec<&str> = std::iter::once("HSET")
+            .chain(f.iter().map(|s| s.as_str()))
+            .collect();
+        assert_eq!(redis.execute(&mut session, &cmd(args)), Frame::Integer(3));
+    }
+    println!("ingested {ITEMS} catalog items (all acknowledged)");
+    // Crash before the replica caught up; rank-based election promotes it.
+    redis.kill_primary();
+    let report = failover::elect_and_promote(&redis);
+    let mut missing = 0;
+    for id in 0..ITEMS {
+        let key = format!("item:{id}");
+        if redis.execute(&mut session, &cmd(["HGET", key.as_str(), "title"])) == Frame::Null {
+            missing += 1;
+        }
+    }
+    println!(
+        "after failover: {missing} items MISSING (replication lost {} acked writes)",
+        report.lost_writes
+    );
+    println!("-> this is the moment the old architecture kicks off a reconciliation job\n");
+
+    // ---------------------------------------------------------------
+    // World 2: MemoryDB as the primary database.
+    // ---------------------------------------------------------------
+    println!("== MemoryDB-as-primary-database ==");
+    let shard = Shard::bootstrap(
+        0,
+        ShardConfig::fast(),
+        Arc::new(ObjectStore::new()),
+        Arc::new(ClusterBus::new()),
+        Arc::new(NodeIdGen::new()),
+        vec![(0, 16383)],
+        1,
+    );
+    let primary = shard.wait_for_primary(Duration::from_secs(10)).unwrap();
+    let mut session = SessionState::new();
+    for id in 0..ITEMS {
+        let f = item_fields(id);
+        let args: Vec<&str> = std::iter::once("HSET")
+            .chain(f.iter().map(|s| s.as_str()))
+            .collect();
+        assert_eq!(primary.handle(&mut session, &cmd(args)), Frame::Integer(3));
+    }
+    println!("ingested {ITEMS} catalog items (each committed to 2/3 AZs before the ack)");
+    primary.crash();
+    let new_primary = shard.wait_for_primary(Duration::from_secs(10)).unwrap();
+    let mut missing = 0;
+    let mut s = SessionState::new();
+    for id in 0..ITEMS {
+        let key = format!("item:{id}");
+        if new_primary.handle(&mut s, &cmd(["HGET", key.as_str(), "title"])) == Frame::Null {
+            missing += 1;
+        }
+    }
+    println!("after failover: {missing} items missing");
+    assert_eq!(missing, 0);
+    println!("-> no pipeline, no hydration job, no reconciliation: the store IS the database");
+
+    // Bonus: the read path the page-view service uses.
+    let page = new_primary.handle(&mut s, &cmd(["HGETALL", "item:42"]));
+    println!("\nHGETALL item:42 -> {page:?}");
+}

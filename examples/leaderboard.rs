@@ -1,0 +1,116 @@
+//! Real-time aggregation on the server (§1's real-time-bidding motivation):
+//! sorted-set leaderboards, atomic multi-step updates via the script DSL,
+//! and scale-out reads from replicas with the READONLY opt-in.
+//!
+//! ```sh
+//! cargo run --release --example leaderboard
+//! ```
+
+use memorydb::core::{ClusterBus, NodeIdGen, Shard, ShardConfig};
+use memorydb::engine::{cmd, Frame, SessionState};
+use memorydb::objectstore::ObjectStore;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let shard = Shard::bootstrap(
+        0,
+        ShardConfig::fast(),
+        Arc::new(ObjectStore::new()),
+        Arc::new(ClusterBus::new()),
+        Arc::new(NodeIdGen::new()),
+        vec![(0, 16383)],
+        2,
+    );
+    let primary = shard.wait_for_primary(Duration::from_secs(10)).unwrap();
+    let mut session = SessionState::new();
+
+    // Bids stream in: each one bumps the bidder's aggregate. The sorted set
+    // keeps ranking server-side — no client-side scatter/gather.
+    println!("ingesting 5000 bids from 50 bidders...");
+    let mut x = 0x243F6A88u64;
+    for _ in 0..5000 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let bidder = format!("bidder:{:02}", x % 50);
+        let amount = format!("{}", 1 + x % 100);
+        primary.handle(
+            &mut session,
+            &cmd(["ZINCRBY", "{auction}board", amount.as_str(), bidder.as_str()]),
+        );
+    }
+
+    // Top 5 bidders — one O(log n + 5) command.
+    let top = primary.handle(
+        &mut session,
+        &cmd(["ZRANGE", "{auction}board", "0", "4", "REV", "WITHSCORES"]),
+    );
+    println!("top-5 bidders: {top:?}");
+
+    // Rank queries are where skiplist spans shine.
+    let rank = primary.handle(&mut session, &cmd(["ZRANK", "{auction}board", "bidder:07"]));
+    println!("bidder:07 rank (ascending): {rank:?}");
+
+    // An atomic "bid with budget check" as a server-side script (the Lua
+    // stand-in, §2.1): executed atomically, replicated by effects. Keys
+    // share the {auction} hash tag so the script stays on one slot.
+    let script = "LET spent = CALL GET $KEYS[2]\n\
+                  IF ISNIL $spent THEN\n\
+                    CALL SET $KEYS[2] 0\n\
+                  END\n\
+                  LET newspent = CALL INCRBY $KEYS[2] $ARGV[2]\n\
+                  CALL ZINCRBY $KEYS[1] $ARGV[2] $ARGV[1]\n\
+                  RETURN $newspent";
+    let reply = primary.handle(
+        &mut session,
+        &cmd([
+            "EVAL",
+            script,
+            "2",
+            "{auction}board",
+            "{auction}spend:bidder:07",
+            "bidder:07",
+            "250",
+        ]),
+    );
+    println!("scripted bid: bidder:07 total spend -> {reply:?}");
+
+    // Read scaling: page views hit replicas (sequentially consistent from
+    // any single replica; the opt-in is deliberate, §2.1).
+    assert!(shard.wait_replicas_caught_up(Duration::from_secs(10)));
+    for replica in shard.replicas() {
+        let mut s = SessionState::new();
+        let count = replica.handle(&mut s, &cmd(["ZCARD", "{auction}board"]));
+        let top1 = replica.handle(
+            &mut s,
+            &cmd(["ZRANGE", "{auction}board", "0", "0", "REV"]),
+        );
+        println!("replica {}: ZCARD={count:?}, leader={top1:?}", replica.id);
+    }
+
+    // Aggregations across boards: server-side set algebra.
+    primary.handle(&mut session, &cmd(["ZADD", "{auction}vip", "0", "bidder:07", "0", "bidder:13"]));
+    let vip_board = primary.handle(
+        &mut session,
+        &cmd([
+            "ZINTERSTORE",
+            "{auction}vip_board",
+            "2",
+            "{auction}board",
+            "{auction}vip",
+            "WEIGHTS",
+            "1",
+            "0",
+        ]),
+    );
+    match vip_board {
+        Frame::Integer(n) => println!("VIP leaderboard materialized with {n} entries"),
+        other => println!("unexpected: {other:?}"),
+    }
+    let vips = primary.handle(
+        &mut session,
+        &cmd(["ZRANGE", "{auction}vip_board", "0", "-1", "REV", "WITHSCORES"]),
+    );
+    println!("VIP standings: {vips:?}");
+}

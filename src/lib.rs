@@ -1,0 +1,63 @@
+//! # memorydb — facade crate
+//!
+//! A from-scratch Rust reproduction of *Amazon MemoryDB: A Fast and Durable
+//! Memory-First Cloud Database* (SIGMOD 2024). This crate re-exports every
+//! subsystem so examples and downstream users need a single dependency:
+//!
+//! * [`engine`] — the Redis-like in-memory execution engine.
+//! * [`txlog`] — the multi-AZ durable transaction log service.
+//! * [`objectstore`] — the S3-like snapshot store.
+//! * [`core`] — the MemoryDB shard/cluster built on top of the three above
+//!   (the paper's contribution).
+//! * [`baseline`] — OSS-Redis-style async replication/failover/AOF/BGSave,
+//!   the paper's comparison baseline.
+//! * [`consistency`] — linearizability checker and consistency test
+//!   framework (paper §7.2.2).
+//! * [`sim`] — the discrete-event simulator used to regenerate the
+//!   evaluation figures.
+//! * [`resp`] — the RESP wire protocol.
+//! * [`server`] — a threaded TCP server speaking RESP.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory; `EXPERIMENTS.md` records paper-vs-measured results for every
+//! figure.
+//!
+//! # Example: a durable shard surviving a primary crash
+//!
+//! ```
+//! use memorydb::core::{Shard, ShardConfig, ClusterBus, NodeIdGen};
+//! use memorydb::engine::{cmd, Frame, SessionState};
+//! use memorydb::objectstore::ObjectStore;
+//! use std::{sync::Arc, time::Duration};
+//!
+//! let shard = Shard::bootstrap(
+//!     0, ShardConfig::fast(),
+//!     Arc::new(ObjectStore::new()), Arc::new(ClusterBus::new()),
+//!     Arc::new(NodeIdGen::new()), vec![(0, 16383)], /*replicas*/ 1,
+//! );
+//! let primary = shard.wait_for_primary(Duration::from_secs(10)).unwrap();
+//! let mut session = SessionState::new();
+//!
+//! // The reply is withheld until the write is durable on a quorum of AZs.
+//! assert_eq!(primary.handle(&mut session, &cmd(["SET", "k", "v"])), Frame::ok());
+//!
+//! // Crash the primary: a caught-up replica wins the election via a
+//! // conditional append on the transaction log. Nothing acknowledged is lost.
+//! primary.crash();
+//! let successor = shard.wait_for_primary(Duration::from_secs(10)).unwrap();
+//! let mut s = SessionState::new();
+//! assert_eq!(
+//!     successor.handle(&mut s, &cmd(["GET", "k"])),
+//!     Frame::Bulk(bytes::Bytes::from_static(b"v")),
+//! );
+//! ```
+
+pub use memorydb_baseline as baseline;
+pub use memorydb_consistency as consistency;
+pub use memorydb_core as core;
+pub use memorydb_engine as engine;
+pub use memorydb_objectstore as objectstore;
+pub use memorydb_resp as resp;
+pub use memorydb_server as server;
+pub use memorydb_sim as sim;
+pub use memorydb_txlog as txlog;

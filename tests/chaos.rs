@@ -1,0 +1,150 @@
+//! Torture test: sustained concurrent load against a multi-shard cluster
+//! while failovers, node replacements, off-box snapshots with log trimming,
+//! and slot migrations all happen at once. Invariants checked afterwards:
+//!
+//! 1. **Zero acknowledged-write loss** (the paper's durability claim).
+//! 2. Exactly one active primary per shard (leader singularity).
+//! 3. Replicas converge to the committed tail and none are halted.
+//! 4. The slot map still covers all 16384 slots exactly once.
+
+use memorydb::core::migration::migrate_slot;
+use memorydb::core::{Cluster, ClusterClient, MonitoringService, ShardConfig};
+use memorydb::engine::Frame;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn cluster_survives_sustained_chaos() {
+    let cluster = Cluster::launch(ShardConfig::fast(), 2, 1);
+    for shard in cluster.shards() {
+        shard.wait_for_primary(Duration::from_secs(10)).unwrap();
+    }
+    let monitor = Arc::new(MonitoringService::new(cluster.shards(), 1));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    // Writers: unique keys, retry until acknowledged.
+    let mut writers = Vec::new();
+    for w in 0..4u32 {
+        let cluster = Arc::clone(&cluster);
+        let stop = Arc::clone(&stop);
+        writers.push(std::thread::spawn(move || {
+            let mut client = ClusterClient::new(cluster);
+            client.max_retries = 200;
+            let mut acked = Vec::new();
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let key = format!("w{w}:k{i}");
+                if client.command(["SET", key.as_str(), "v"]) == Frame::ok() {
+                    acked.push(key);
+                }
+                i += 1;
+            }
+            acked
+        }));
+    }
+    // Readers: hammer GETs (their replies only need to not wedge).
+    let mut readers = Vec::new();
+    for r in 0..2u32 {
+        let cluster = Arc::clone(&cluster);
+        let stop = Arc::clone(&stop);
+        readers.push(std::thread::spawn(move || {
+            let mut client = ClusterClient::new(cluster);
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let key = format!("w{}:k{}", r, i % 50);
+                let _ = client.command(["GET", key.as_str()]);
+                i += 1;
+            }
+        }));
+    }
+
+    // The chaos schedule.
+    let shard0 = cluster.shards()[0].clone();
+    let shard1 = cluster.shards()[1].clone();
+
+    std::thread::sleep(Duration::from_millis(150));
+    shard0.crash_primary();
+
+    std::thread::sleep(Duration::from_millis(150));
+    // Slot migrations while shard 0 is mid-failover recovery.
+    for slot in 8192u16..8196 {
+        migrate_slot(&shard1, &shard0, slot).expect("migration under chaos");
+    }
+
+    std::thread::sleep(Duration::from_millis(150));
+    shard1.crash_primary();
+    monitor.tick(); // replace dead nodes
+
+    std::thread::sleep(Duration::from_millis(150));
+    // Off-box snapshots + trims on both shards, mid-traffic.
+    for shard in cluster.shards() {
+        let offbox = memorydb::core::OffboxSnapshotter::new(
+            Arc::clone(shard.ctx()),
+            memorydb::engine::EngineVersion::CURRENT,
+            700_000 + shard.id as u64,
+        );
+        offbox.create_snapshot(true).expect("off-box snapshot under load");
+    }
+
+    std::thread::sleep(Duration::from_millis(150));
+    // Another round of failover + repair.
+    shard0.crash_primary();
+    monitor.tick();
+    std::thread::sleep(Duration::from_millis(300));
+
+    stop.store(true, Ordering::Relaxed);
+    let mut acked = Vec::new();
+    for w in writers {
+        acked.extend(w.join().unwrap());
+    }
+    for r in readers {
+        r.join().unwrap();
+    }
+    assert!(acked.len() > 100, "chaos run acked too few writes: {}", acked.len());
+
+    // Invariant 1: nothing acknowledged is lost.
+    let mut client = ClusterClient::new(Arc::clone(&cluster));
+    client.max_retries = 200;
+    for key in &acked {
+        assert_eq!(
+            client.command(["GET", key.as_str()]),
+            Frame::Bulk(bytes::Bytes::from_static(b"v")),
+            "acknowledged write {key} lost under chaos"
+        );
+    }
+
+    // Invariant 2: leader singularity per shard.
+    for shard in cluster.shards() {
+        shard.wait_for_primary(Duration::from_secs(10)).unwrap();
+        let actives = shard
+            .nodes()
+            .iter()
+            .filter(|n| n.is_active_primary())
+            .count();
+        assert_eq!(actives, 1, "shard {} has {actives} active primaries", shard.id);
+    }
+
+    // Invariant 3: replicas converge, none halted.
+    for shard in cluster.shards() {
+        assert!(
+            shard.wait_replicas_caught_up(Duration::from_secs(10)),
+            "shard {} replicas failed to converge",
+            shard.id
+        );
+        for r in shard.replicas() {
+            assert!(r.halted().is_none(), "replica {} halted: {:?}", r.id, r.halted());
+        }
+    }
+
+    // Invariant 4: the slot map is a partition of 0..16384.
+    let map = cluster.slot_map();
+    let mut covered = vec![false; 16384];
+    for (lo, hi, _) in &map {
+        for s in *lo..=*hi {
+            assert!(!covered[s as usize], "slot {s} owned twice: {map:?}");
+            covered[s as usize] = true;
+        }
+    }
+    assert!(covered.iter().all(|c| *c), "slots uncovered: {map:?}");
+}

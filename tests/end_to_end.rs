@@ -1,0 +1,329 @@
+//! Cross-crate integration scenarios: upgrade protection (§7.1), snapshot
+//! verification + trimming + restore (§4.2/§7.2.1), the WAIT contract, and
+//! the baseline-vs-MemoryDB durability comparison end to end.
+
+use memorydb::core::{
+    ClusterBus, HaltReason, NodeIdGen, OffboxSnapshotter, Shard, ShardConfig, ShardSnapshot,
+};
+use memorydb::engine::{cmd, EngineVersion, Frame, SessionState};
+use memorydb::objectstore::ObjectStore;
+use std::sync::Arc;
+use std::time::Duration;
+
+const T: Duration = Duration::from_secs(10);
+
+fn new_shard(replicas: usize) -> Arc<Shard> {
+    Shard::bootstrap(
+        0,
+        ShardConfig::fast(),
+        Arc::new(ObjectStore::new()),
+        Arc::new(ClusterBus::new()),
+        Arc::new(NodeIdGen::new()),
+        vec![(0, 16383)],
+        replicas,
+    )
+}
+
+fn bulk(s: &str) -> Frame {
+    Frame::Bulk(bytes::Bytes::copy_from_slice(s.as_bytes()))
+}
+
+#[test]
+fn upgrade_protection_stalls_older_replicas() {
+    // §7.1: during a rolling upgrade a replica running an OLDER engine must
+    // stop consuming a stream produced by a NEWER engine rather than
+    // misinterpret it.
+    let shard = new_shard(0);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut session = SessionState::new();
+    primary.handle(&mut session, &cmd(["SET", "before", "1"]));
+
+    // An old-engine replica joins (e.g. a node not yet upgraded).
+    let old_replica = shard.add_node_with_version(EngineVersion::new(6, 2, 0));
+    // It can consume the 7.0.7 stream? No: 6.2.0 < 7.0.7, so it must stall
+    // on the very first Effects record.
+    let deadline = std::time::Instant::now() + T;
+    loop {
+        if let Some(halt) = old_replica.halted() {
+            assert_eq!(halt, HaltReason::StalledUpgrade(EngineVersion::new(7, 0, 7)));
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "old replica should have stalled on the newer stream"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // A same-or-newer replica consumes the stream fine.
+    let new_replica = shard.add_node_with_version(EngineVersion::new(7, 1, 0));
+    primary.handle(&mut session, &cmd(["SET", "after", "2"]));
+    let deadline = std::time::Instant::now() + T;
+    loop {
+        let mut s = SessionState::new();
+        if new_replica.handle(&mut s, &cmd(["GET", "after"])) == bulk("2") {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "new replica must catch up");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // The stalled replica never campaigns: crash the primary and confirm
+    // only the compatible replica takes over.
+    primary.crash();
+    let new_primary = shard.wait_for_primary(T).expect("failover");
+    assert_eq!(new_primary.id, new_replica.id);
+}
+
+#[test]
+fn snapshot_trim_restore_cycle() {
+    // The full §4.2 lifecycle: write → off-box snapshot (verified) → trim →
+    // more writes → cold restore from snapshot + suffix.
+    let shard = new_shard(0);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut session = SessionState::new();
+    for i in 0..50 {
+        primary.handle(&mut session, &cmd(["SET", &format!("a{i}"), "1"]));
+    }
+    let offbox = OffboxSnapshotter::new(Arc::clone(shard.ctx()), EngineVersion::CURRENT, 500);
+    let (_, covered1) = offbox.create_snapshot(true).unwrap();
+    // Log trimmed: the prefix is gone.
+    assert!(shard.ctx().log.first_available() > memorydb::txlog::EntryId::ZERO.next());
+
+    for i in 0..50 {
+        primary.handle(&mut session, &cmd(["SET", &format!("b{i}"), "2"]));
+    }
+    // Second snapshot must cover strictly more than the first ("guaranteed
+    // to be fresher than any previous snapshot", §4.2.2).
+    let (_, covered2) = offbox.create_snapshot(true).unwrap();
+    assert!(covered2 > covered1);
+
+    for i in 0..25 {
+        primary.handle(&mut session, &cmd(["SET", &format!("c{i}"), "3"]));
+    }
+    // Cold restore: a brand-new replica gets everything.
+    let replica = shard.add_node();
+    assert!(shard.wait_replicas_caught_up(T));
+    let mut s = SessionState::new();
+    assert_eq!(replica.handle(&mut s, &cmd(["GET", "a25"])), bulk("1"));
+    assert_eq!(replica.handle(&mut s, &cmd(["GET", "b49"])), bulk("2"));
+    assert_eq!(replica.handle(&mut s, &cmd(["GET", "c24"])), bulk("3"));
+    assert_eq!(replica.handle(&mut s, &cmd(["DBSIZE"])), Frame::Integer(125));
+}
+
+#[test]
+fn parallel_restores_share_nothing_with_peers() {
+    // §4.2.1: restoration is local to each restoring replica — many can
+    // restore at once without touching the primary.
+    let shard = new_shard(0);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut session = SessionState::new();
+    for i in 0..100 {
+        primary.handle(&mut session, &cmd(["SET", &format!("k{i}"), "v"]));
+    }
+    let offbox = OffboxSnapshotter::new(Arc::clone(shard.ctx()), EngineVersion::CURRENT, 501);
+    offbox.create_snapshot(true).unwrap();
+    // Three replicas restore in parallel.
+    let handles: Vec<_> = (0..3)
+        .map(|_| {
+            let shard = Arc::clone(&shard);
+            std::thread::spawn(move || shard.add_node())
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(shard.wait_replicas_caught_up(T));
+    assert_eq!(shard.replicas().len(), 3);
+    for r in shard.replicas() {
+        assert_eq!(r.key_count(), 100);
+    }
+}
+
+#[test]
+fn only_verified_snapshots_are_served() {
+    // §7.2.1: a corrupt snapshot must fail verification at fetch time; the
+    // off-box snapshotter refuses to publish from a corrupt base.
+    let shard = new_shard(0);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut session = SessionState::new();
+    for i in 0..30 {
+        primary.handle(&mut session, &cmd(["SET", &format!("k{i}"), "v"]));
+    }
+    let offbox = OffboxSnapshotter::new(Arc::clone(shard.ctx()), EngineVersion::CURRENT, 502);
+    let (key, _) = offbox.create_snapshot(false).unwrap();
+    assert!(shard.ctx().store.corrupt_for_test(&key));
+    // Fetch (what any restoring replica does) fails closed.
+    assert!(ShardSnapshot::fetch_latest(&shard.ctx().store, &shard.ctx().name).is_err());
+    // And a new off-box run from the corrupt base fails rather than
+    // producing a bogus "fresher" snapshot.
+    assert!(offbox.create_snapshot(false).is_err());
+}
+
+#[test]
+fn wait_is_trivially_satisfied_by_durability() {
+    // §3.2: every acknowledged write is already durable across AZs, so WAIT
+    // never blocks and reports the replica count.
+    let shard = new_shard(2);
+    let primary = shard.wait_for_primary(T).unwrap();
+    std::thread::sleep(Duration::from_millis(100)); // heartbeats
+    let mut session = SessionState::new();
+    assert_eq!(primary.handle(&mut session, &cmd(["SET", "k", "v"])), Frame::ok());
+    let t0 = std::time::Instant::now();
+    let reply = primary.handle(&mut session, &cmd(["WAIT", "2", "1000"]));
+    assert_eq!(reply, Frame::Integer(2));
+    assert!(t0.elapsed() < Duration::from_millis(100), "WAIT must not block");
+}
+
+#[test]
+fn baseline_loses_what_memorydb_keeps() {
+    // The paper's thesis in one test, across both stacks.
+    use memorydb::baseline::{failover, RedisShard, ReplicationConfig};
+
+    let writes = 80;
+
+    // Redis with replication lag.
+    let redis = RedisShard::new(
+        ReplicationConfig {
+            lag: Duration::from_millis(200),
+        },
+        1,
+    );
+    let mut session = SessionState::new();
+    for i in 0..writes {
+        assert_eq!(
+            redis.execute(&mut session, &cmd(["SET", &format!("k{i}"), "v"])),
+            Frame::ok()
+        );
+    }
+    redis.kill_primary();
+    let report = failover::elect_and_promote(&redis);
+    assert!(report.lost_writes > 0, "baseline must lose acked writes here");
+
+    // MemoryDB, same scenario.
+    let shard = new_shard(1);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut session = SessionState::new();
+    for i in 0..writes {
+        assert_eq!(
+            primary.handle(&mut session, &cmd(["SET", &format!("k{i}"), "v"])),
+            Frame::ok()
+        );
+    }
+    primary.crash();
+    let new_primary = shard.wait_for_primary(T).unwrap();
+    let mut s = SessionState::new();
+    for i in 0..writes {
+        assert_eq!(
+            new_primary.handle(&mut s, &cmd(["GET", &format!("k{i}")])),
+            bulk("v"),
+            "memorydb lost k{i}"
+        );
+    }
+}
+
+#[test]
+fn transactions_commit_atomically_through_the_log() {
+    // MULTI/EXEC effects form one atomic log record; a replica never
+    // observes half a transaction.
+    let shard = new_shard(1);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut session = SessionState::new();
+    primary.handle(&mut session, &cmd(["MULTI"]));
+    primary.handle(&mut session, &cmd(["SET", "{t}a", "1"]));
+    primary.handle(&mut session, &cmd(["SET", "{t}b", "2"]));
+    primary.handle(&mut session, &cmd(["INCR", "{t}count"]));
+    let out = primary.handle(&mut session, &cmd(["EXEC"]));
+    assert_eq!(
+        out,
+        Frame::Array(vec![Frame::ok(), Frame::ok(), Frame::Integer(1)])
+    );
+    assert!(shard.wait_replicas_caught_up(T));
+    let replica = shard.replicas().into_iter().next().unwrap();
+    let mut s = SessionState::new();
+    assert_eq!(replica.handle(&mut s, &cmd(["GET", "{t}a"])), bulk("1"));
+    assert_eq!(replica.handle(&mut s, &cmd(["GET", "{t}b"])), bulk("2"));
+    assert_eq!(replica.handle(&mut s, &cmd(["GET", "{t}count"])), bulk("1"));
+}
+
+#[test]
+fn scripts_execute_atomically_and_replicate_by_effect() {
+    // §2.1's scripting model on the full stack: the script runs once on the
+    // primary; replicas converge via its effects.
+    let shard = new_shard(1);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut session = SessionState::new();
+    primary.handle(&mut session, &cmd(["SADD", "{s}pool", "a", "b", "c", "d"]));
+    let script = "LET winner = CALL SPOP $KEYS[1]\n\
+                  CALL SET $KEYS[2] $winner\n\
+                  RETURN $winner";
+    let reply = primary.handle(
+        &mut session,
+        &cmd(["EVAL", script, "2", "{s}pool", "{s}winner"]),
+    );
+    let Frame::Bulk(winner) = reply else {
+        panic!("expected winner, got {reply:?}");
+    };
+    assert!(shard.wait_replicas_caught_up(T));
+    let replica = shard.replicas().into_iter().next().unwrap();
+    let mut s = SessionState::new();
+    // The replica stored the same randomly chosen winner.
+    assert_eq!(
+        replica.handle(&mut s, &cmd(["GET", "{s}winner"])),
+        Frame::Bulk(winner.clone())
+    );
+    // And its pool no longer contains it.
+    assert_eq!(
+        replica.handle(
+            &mut s,
+            &cmd(["SISMEMBER", "{s}pool", &String::from_utf8_lossy(&winner)])
+        ),
+        Frame::Integer(0)
+    );
+    assert_eq!(replica.handle(&mut s, &cmd(["SCARD", "{s}pool"])), Frame::Integer(3));
+}
+
+#[test]
+fn consumer_groups_survive_replication_and_failover() {
+    // Stream consumer-group state (cursors, PEL, claims) flows through the
+    // transaction log as deterministic effects; after a failover the new
+    // primary serves the same group state.
+    let shard = new_shard(1);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut session = SessionState::new();
+    for i in 1..=5 {
+        primary.handle(&mut session, &cmd(["XADD", "jobs", &format!("{i}-0"), "job", &i.to_string()]));
+    }
+    assert_eq!(
+        primary.handle(&mut session, &cmd(["XGROUP", "CREATE", "jobs", "workers", "0"])),
+        Frame::ok()
+    );
+    // Worker A takes three jobs, acks one; worker B claims one of A's.
+    primary.handle(&mut session, &cmd(["XREADGROUP", "GROUP", "workers", "a", "COUNT", "3", "STREAMS", "jobs", ">"]));
+    assert_eq!(
+        primary.handle(&mut session, &cmd(["XACK", "jobs", "workers", "1-0"])),
+        Frame::Integer(1)
+    );
+    primary.handle(&mut session, &cmd(["XCLAIM", "jobs", "workers", "b", "0", "2-0"]));
+
+    assert!(shard.wait_replicas_caught_up(T));
+    let replica = shard.replicas().into_iter().next().unwrap();
+    let mut s = SessionState::new();
+    let pending = replica.handle(&mut s, &cmd(["XPENDING", "jobs", "workers"]));
+    assert_eq!(pending.as_array().unwrap()[0], Frame::Integer(2), "{pending:?}");
+
+    // Failover: the new primary (ex-replica) carries the group state.
+    primary.crash();
+    let new_primary = shard.wait_for_primary(T).unwrap();
+    let mut s = SessionState::new();
+    // Job 2 now belongs to b.
+    let rows = new_primary.handle(&mut s, &cmd(["XPENDING", "jobs", "workers", "-", "+", "10"]));
+    let rows = rows.as_array().unwrap();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].as_array().unwrap()[1], bulk("b"));
+    // Undelivered jobs 4 and 5 are still deliverable to a new worker.
+    let reply = new_primary.handle(
+        &mut s,
+        &cmd(["XREADGROUP", "GROUP", "workers", "c", "STREAMS", "jobs", ">"]),
+    );
+    let entries = reply.as_array().unwrap()[0].as_array().unwrap()[1].as_array().unwrap();
+    assert_eq!(entries.len(), 2);
+}

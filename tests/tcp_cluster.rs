@@ -1,0 +1,122 @@
+//! Wire-level integration: multiple RESP TCP servers fronting a cluster,
+//! driven concurrently while the cluster reshards and fails over.
+
+use memorydb::core::migration::migrate_slot;
+use memorydb::core::{Cluster, ClusterClient, ShardConfig};
+use memorydb::engine::{key_hash_slot, Frame};
+use memorydb::server::{BlockingClient, Server};
+use std::sync::Arc;
+use std::time::Duration;
+
+const T: Duration = Duration::from_secs(10);
+
+#[test]
+fn tcp_servers_over_a_two_shard_cluster() {
+    let cluster = Cluster::launch(ShardConfig::fast(), 2, 0);
+    let mut servers = Vec::new();
+    for shard in cluster.shards() {
+        let primary = shard.wait_for_primary(T).unwrap();
+        servers.push(Server::start(primary, "127.0.0.1:0").unwrap());
+    }
+    // Each server owns half the slots; a client must target the right one
+    // or get MOVED.
+    let slot_of_foo = key_hash_slot(b"foo"); // 12182 → second shard
+    let owner_idx = usize::from(slot_of_foo >= 8192);
+    let mut right = BlockingClient::connect(servers[owner_idx].local_addr).unwrap();
+    let mut wrong = BlockingClient::connect(servers[1 - owner_idx].local_addr).unwrap();
+    assert_eq!(right.command(["SET", "foo", "1"]).unwrap(), Frame::ok());
+    match wrong.command(["SET", "foo", "2"]).unwrap() {
+        Frame::Error(msg) => assert!(msg.starts_with("MOVED"), "{msg}"),
+        other => panic!("expected MOVED, got {other:?}"),
+    }
+    assert_eq!(
+        right.command(["GET", "foo"]).unwrap(),
+        Frame::Bulk(bytes::Bytes::from_static(b"1"))
+    );
+    // CLUSTER KEYSLOT agrees over the wire.
+    assert_eq!(
+        right.command(["CLUSTER", "KEYSLOT", "foo"]).unwrap(),
+        Frame::Integer(slot_of_foo as i64)
+    );
+}
+
+#[test]
+fn cluster_client_survives_failover_and_resharding_concurrently() {
+    let cluster = Cluster::launch(ShardConfig::fast(), 2, 1);
+    for shard in cluster.shards() {
+        shard.wait_for_primary(T).unwrap();
+    }
+
+    // Concurrent writers through the routing client.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut writers = Vec::new();
+    for w in 0..4u32 {
+        let cluster = Arc::clone(&cluster);
+        let stop = Arc::clone(&stop);
+        writers.push(std::thread::spawn(move || {
+            let mut client = ClusterClient::new(cluster);
+            let mut acked = Vec::new();
+            let mut i = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let key = format!("w{w}:k{i}");
+                if client.command(["SET", key.as_str(), "v"]) == Frame::ok() {
+                    acked.push(key);
+                }
+                i += 1;
+            }
+            acked
+        }));
+    }
+
+    std::thread::sleep(Duration::from_millis(100));
+    // Chaos: fail over shard 0 while migrating slots from shard 1 to 0.
+    let shard0 = cluster.shards()[0].clone();
+    let shard1 = cluster.shards()[1].clone();
+    shard0.crash_primary();
+    for slot in 8192u16..8200 {
+        migrate_slot(&shard1, &shard0, slot).expect("migration during failover");
+    }
+    std::thread::sleep(Duration::from_millis(200));
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+
+    let mut all_acked = Vec::new();
+    for w in writers {
+        all_acked.extend(w.join().unwrap());
+    }
+    assert!(!all_acked.is_empty());
+
+    // Every acknowledged write is durable and reachable.
+    let mut client = ClusterClient::new(Arc::clone(&cluster));
+    for key in &all_acked {
+        assert_eq!(
+            client.command(["GET", key.as_str()]),
+            Frame::Bulk(bytes::Bytes::from_static(b"v")),
+            "acked write {key} lost amid failover + resharding"
+        );
+    }
+}
+
+#[test]
+fn readonly_replica_scaling_over_tcp() {
+    let cluster = Cluster::launch(ShardConfig::fast(), 1, 2);
+    let shard = cluster.shards()[0].clone();
+    let primary = shard.wait_for_primary(T).unwrap();
+    let primary_srv = Server::start(Arc::clone(&primary), "127.0.0.1:0").unwrap();
+    let mut wclient = BlockingClient::connect(primary_srv.local_addr).unwrap();
+    for i in 0..20 {
+        let key = format!("k{i}");
+        assert_eq!(wclient.command(["SET", key.as_str(), "v"]).unwrap(), Frame::ok());
+    }
+    assert!(shard.wait_replicas_caught_up(T));
+    // Two replica endpoints for read scaling, each requiring the opt-in.
+    for replica in shard.replicas() {
+        let srv = Server::start(replica, "127.0.0.1:0").unwrap();
+        let mut rclient = BlockingClient::connect(srv.local_addr).unwrap();
+        assert_eq!(rclient.command(["READONLY"]).unwrap(), Frame::ok());
+        assert_eq!(
+            rclient.command(["GET", "k7"]).unwrap(),
+            Frame::Bulk(bytes::Bytes::from_static(b"v"))
+        );
+        assert_eq!(rclient.command(["DBSIZE"]).unwrap(), Frame::Integer(20));
+    }
+}
