@@ -13,6 +13,7 @@
 //! | [`fig6`] | Fig 6 — Redis BGSave under memory pressure |
 //! | [`fig7`] | Fig 7 — MemoryDB off-box snapshotting impact |
 //! | [`extras`] | §6.1.2.1 write bandwidth, durability & recovery ablations |
+//! | [`tcp`] | Enhanced-IO: real TCP throughput, multiplexed vs thread-per-conn |
 
 pub mod extras;
 pub mod fig4;
@@ -20,3 +21,4 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod output;
+pub mod tcp;

@@ -244,188 +244,303 @@ impl Node {
 
     /// Executes one client command against this node, blocking until the
     /// reply may be released (commit for writes; hazard commit for reads).
+    ///
+    /// This is the single-command view of [`Node::handle_batch`]; both
+    /// paths share one implementation so their semantics cannot drift.
     pub fn handle(&self, session: &mut SessionState, args: &[Bytes]) -> Frame {
-        if args.is_empty() {
-            return Frame::error("empty command");
-        }
-        let name = String::from_utf8_lossy(&args[0]).to_ascii_uppercase();
+        let one = [args.to_vec()];
+        self.handle_batch(session, &one)
+            .pop()
+            .expect("one reply per command")
+    }
 
-        // WAIT: every acknowledged write is already durable across AZs, so
-        // WAIT trivially satisfies any replica count; reply with the number
-        // of gossiping replicas, like MemoryDB.
-        if name == "WAIT" {
-            return Frame::Integer(self.ctx.bus.replica_count(self.ctx.shard_id) as i64);
+    /// Executes a pipeline of commands with **one** engine-lock
+    /// acquisition, **one** conditional log append covering every mutation
+    /// (group commit, §3.1's BtrLog batching), and **one** durability wait
+    /// releasing the whole pipeline of replies (§3.2).
+    ///
+    /// Replies come back in submission order. Semantics match running the
+    /// same commands one at a time through [`Node::handle`]: per-command
+    /// role/slot checks, MULTI/EXEC session state, read hazards, and the
+    /// no-unacknowledged-data-loss rule (a mutation whose append is fenced
+    /// poisons every later command in the batch, because those executed
+    /// against state that will be discarded on demotion).
+    pub fn handle_batch(&self, session: &mut SessionState, cmds: &[Vec<Bytes>]) -> Vec<Frame> {
+        let mut replies: Vec<Frame> = Vec::with_capacity(cmds.len());
+        if cmds.is_empty() {
+            return replies;
         }
 
-        // INFO at the node level: the engine only knows its keyspace; the
-        // replication/cluster sections live here.
-        if name == "INFO" {
-            return self.info_reply();
+        /// A mutation staged for the batch's single group-commit append.
+        struct StagedWrite {
+            index: usize,
+            payload: Bytes,
+            dirty: memorydb_engine::DirtySet,
+            slot: Option<u16>,
+            effects: Vec<EffectCmd>,
+            reply: Frame,
         }
 
-        let keys = keys_for(args);
+        let mut staged: Vec<StagedWrite> = Vec::new();
+        let mut first_write_index: Option<usize> = None;
+        // Read hazards for commands before the first mutation; later reads
+        // are covered by the batch's own (newer) log entries.
+        let mut hazard_reads: Vec<(usize, EntryId)> = Vec::new();
 
         let mut engine = self.engine.lock();
         let mut st = self.st.lock();
-
-        if st.rebuilding {
-            return Frame::Error("CLUSTERDOWN node is syncing from the transaction log".into());
-        }
-        if let Some(halt) = &st.rs.halted {
-            return Frame::Error(format!("CLUSTERDOWN replication halted: {halt}"));
-        }
-
-        let is_write = command_spec(&name).is_some_and(|s| s.flags.write);
-        match st.role {
-            Role::Primary => {
-                // §4.1.3: a primary that cannot keep its lease voluntarily
-                // stops servicing reads and writes.
-                if Instant::now() >= st.lease_valid_until {
-                    return Frame::Error(
-                        "CLUSTERDOWN leadership lease expired; demoting".into(),
-                    );
-                }
-            }
-            Role::Replica => {
-                if is_write {
-                    return Frame::Error(format!(
-                        "MOVED {} shard-{}",
-                        keys.as_ref()
-                            .and_then(|k| k.first())
-                            .map(|k| key_hash_slot(k))
-                            .unwrap_or(0),
-                        self.ctx.shard_id
-                    ));
-                }
-            }
-        }
-
-        // Cluster slot checks.
-        let mut cmd_slot: Option<u16> = None;
-        if let Some(keys) = &keys {
-            for key in keys {
-                let slot = key_hash_slot(key);
-                match cmd_slot {
-                    None => cmd_slot = Some(slot),
-                    Some(s) if s != slot => {
-                        return Frame::Error(
-                            "CROSSSLOT Keys in request don't hash to the same slot".into(),
-                        )
-                    }
-                    _ => {}
-                }
-            }
-            if let Some(slot) = cmd_slot {
-                if !st.rs.owned_slots.contains(slot) {
-                    return Frame::Error(format!("MOVED {slot} ?"));
-                }
-                if is_write && st.rs.blocked_slots.contains(&slot) {
-                    return Frame::Error(
-                        "TRYAGAIN slot ownership transfer in progress".into(),
-                    );
-                }
-            }
-        }
-
         engine.set_time_ms(wall_ms());
-        let outcome = engine.execute(session, args);
 
-        if outcome.effects.is_empty() {
-            // Read (or no-op write): key-level hazard check (§3.2). EXEC has
-            // no keys of its own; be conservative and use the max pending.
-            let hazard = match &keys {
-                Some(ks) if name != "EXEC" => st.tracker.hazard_for(ks.iter()),
-                _ if name == "EXEC" || name == "FLUSHALL" || name == "FLUSHDB" => {
-                    st.tracker.max_pending()
-                }
-                _ => None,
-            };
-            drop(st);
-            drop(engine);
-            if let Some(h) = hazard {
-                if !self.ctx.log.wait_durable(h, self.ctx.cfg.commit_timeout) {
-                    self.st.lock().demote_requested = true;
-                    return Frame::Error(
-                        "CLUSTERDOWN timed out waiting for hazard commit".into(),
-                    );
-                }
-                let committed = self.ctx.log.committed_tail();
-                self.st.lock().tracker.advance_committed(committed);
+        for (i, args) in cmds.iter().enumerate() {
+            if args.is_empty() {
+                replies.push(Frame::error("empty command"));
+                continue;
             }
-            return outcome.reply;
+            let name = String::from_utf8_lossy(&args[0]).to_ascii_uppercase();
+
+            // WAIT: every acknowledged write is already durable across AZs,
+            // so WAIT trivially satisfies any replica count; reply with the
+            // number of gossiping replicas, like MemoryDB.
+            if name == "WAIT" {
+                replies.push(Frame::Integer(
+                    self.ctx.bus.replica_count(self.ctx.shard_id) as i64,
+                ));
+                continue;
+            }
+
+            // INFO at the node level: the engine only knows its keyspace;
+            // the replication/cluster sections live here.
+            if name == "INFO" {
+                replies.push(self.info_reply_locked(&engine, &st));
+                continue;
+            }
+
+            if st.rebuilding {
+                replies.push(Frame::Error(
+                    "CLUSTERDOWN node is syncing from the transaction log".into(),
+                ));
+                continue;
+            }
+            if let Some(halt) = &st.rs.halted {
+                replies.push(Frame::Error(format!("CLUSTERDOWN replication halted: {halt}")));
+                continue;
+            }
+
+            let keys = keys_for(args);
+            let is_write = command_spec(&name).is_some_and(|s| s.flags.write);
+            match st.role {
+                Role::Primary => {
+                    // §4.1.3: a primary that cannot keep its lease
+                    // voluntarily stops servicing reads and writes.
+                    if Instant::now() >= st.lease_valid_until {
+                        replies.push(Frame::Error(
+                            "CLUSTERDOWN leadership lease expired; demoting".into(),
+                        ));
+                        continue;
+                    }
+                }
+                Role::Replica => {
+                    if is_write {
+                        replies.push(Frame::Error(format!(
+                            "MOVED {} shard-{}",
+                            keys.as_ref()
+                                .and_then(|k| k.first())
+                                .map(|k| key_hash_slot(k))
+                                .unwrap_or(0),
+                            self.ctx.shard_id
+                        )));
+                        continue;
+                    }
+                }
+            }
+
+            // Cluster slot checks.
+            let mut cmd_slot: Option<u16> = None;
+            let mut slot_error: Option<Frame> = None;
+            if let Some(keys) = &keys {
+                for key in keys {
+                    let slot = key_hash_slot(key);
+                    match cmd_slot {
+                        None => cmd_slot = Some(slot),
+                        Some(s) if s != slot => {
+                            slot_error = Some(Frame::Error(
+                                "CROSSSLOT Keys in request don't hash to the same slot".into(),
+                            ));
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                if slot_error.is_none() {
+                    if let Some(slot) = cmd_slot {
+                        if !st.rs.owned_slots.contains(slot) {
+                            slot_error = Some(Frame::Error(format!("MOVED {slot} ?")));
+                        } else if is_write && st.rs.blocked_slots.contains(&slot) {
+                            slot_error = Some(Frame::Error(
+                                "TRYAGAIN slot ownership transfer in progress".into(),
+                            ));
+                        }
+                    }
+                }
+            }
+            if let Some(err) = slot_error {
+                replies.push(err);
+                continue;
+            }
+
+            let outcome = engine.execute(session, args);
+
+            if outcome.effects.is_empty() {
+                // Read (or no-op write): key-level hazard check (§3.2).
+                // EXEC has no keys of its own; be conservative and use the
+                // max pending.
+                let hazard = match &keys {
+                    Some(ks) if name != "EXEC" => st.tracker.hazard_for(ks.iter()),
+                    _ if name == "EXEC" || name == "FLUSHALL" || name == "FLUSHDB" => {
+                        st.tracker.max_pending()
+                    }
+                    _ => None,
+                };
+                if let Some(h) = hazard {
+                    if first_write_index.is_none() {
+                        hazard_reads.push((i, h));
+                    }
+                    // else: the batch's own entries are newer than any
+                    // tracked hazard, so the single batch wait covers it.
+                }
+                replies.push(outcome.reply);
+            } else {
+                // Mutation: stage its effect record; the append happens
+                // once, below, while the engine lock is still held, so log
+                // order equals execution order (§3.2).
+                debug_assert_eq!(st.role, Role::Primary, "replicas never produce effects");
+                let payload = Record::Effects {
+                    version: engine.version(),
+                    effects: outcome.effects.clone(),
+                }
+                .encode();
+                first_write_index.get_or_insert(i);
+                staged.push(StagedWrite {
+                    index: i,
+                    payload,
+                    dirty: outcome.dirty,
+                    slot: cmd_slot,
+                    effects: outcome.effects,
+                    reply: outcome.reply,
+                });
+                // Placeholder until the batch commits durably.
+                replies.push(Frame::Null);
+            }
         }
 
-        // Mutation: write-behind log append while still holding the engine
-        // lock, so log order equals execution order (§3.2).
-        debug_assert_eq!(st.role, Role::Primary, "replicas never produce effects");
-        let record = Record::Effects {
-            version: engine.version(),
-            effects: outcome.effects.clone(),
-        };
-        let payload = record.encode();
-        let append = self
-            .ctx
-            .log
-            .append_after(self.id, st.rs.applied, payload.clone());
-        let entry_id = match append {
-            Ok(id) => {
-                fold_appended_payload(&mut st.rs, id, &payload, false);
-                st.tracker.stage(id, &outcome.dirty);
-                st.effects_since_probe += 1;
-                if st.effects_since_probe >= self.ctx.cfg.checksum_probe_every {
-                    st.effects_since_probe = 0;
-                    let probe = Record::ChecksumProbe {
-                        crc: st.rs.running_crc,
+        // Group commit: one conditional append — and one quorum round trip
+        // — covers every mutation in the batch.
+        let mut append_error: Option<String> = None;
+        let mut last_entry: Option<EntryId> = None;
+        if !staged.is_empty() {
+            let payloads: Vec<Bytes> = staged.iter().map(|w| w.payload.clone()).collect();
+            match self
+                .ctx
+                .log
+                .append_batch_after(self.id, st.rs.applied, &payloads)
+            {
+                Ok(ids) => {
+                    for (w, id) in staged.iter().zip(&ids) {
+                        fold_appended_payload(&mut st.rs, *id, &w.payload, false);
+                        st.tracker.stage(*id, &w.dirty);
                     }
-                    .encode();
-                    if let Ok(pid) =
-                        self.ctx.log.append_after(self.id, st.rs.applied, probe.clone())
-                    {
-                        fold_appended_payload(&mut st.rs, pid, &probe, true);
+                    st.effects_since_probe += ids.len() as u64;
+                    if st.effects_since_probe >= self.ctx.cfg.checksum_probe_every {
+                        st.effects_since_probe = 0;
+                        let probe = Record::ChecksumProbe {
+                            crc: st.rs.running_crc,
+                        }
+                        .encode();
+                        if let Ok(pid) =
+                            self.ctx.log.append_after(self.id, st.rs.applied, probe.clone())
+                        {
+                            fold_appended_payload(&mut st.rs, pid, &probe, true);
+                        }
                     }
+                    // Mirror to migration targets if these slots are being
+                    // moved (§5.2). Sent while holding the engine lock so
+                    // the target observes effects in execution order.
+                    for w in &staged {
+                        if let Some(slot) = w.slot {
+                            if let Some(target) = st.forward.get(&slot).cloned() {
+                                let _ = target.ingest_effects(&w.effects, true);
+                            }
+                        }
+                    }
+                    last_entry = ids.last().copied();
                 }
-                id
-            }
-            Err(e) => {
-                // Fenced (a new leader exists) or partitioned: the mutation
-                // must not be acknowledged; demote and resync (§3.2).
-                st.demote_requested = true;
-                drop(st);
-                drop(engine);
-                return Frame::Error(format!(
-                    "CLUSTERDOWN cannot commit to transaction log ({e}); demoting"
-                ));
-            }
-        };
-
-        // Mirror to a migration target if this slot is being moved (§5.2).
-        // Sent while holding the engine lock so the target observes effects
-        // in execution order.
-        if let Some(slot) = cmd_slot {
-            if let Some(target) = st.forward.get(&slot).cloned() {
-                let _ = target.ingest_effects(&outcome.effects, true);
+                Err(e) => {
+                    // Fenced (a new leader exists) or partitioned: these
+                    // mutations must not be acknowledged; demote and resync
+                    // (§3.2).
+                    st.demote_requested = true;
+                    append_error = Some(e.to_string());
+                }
             }
         }
 
         drop(st);
         drop(engine);
 
-        // Block the reply until the log acknowledges persistence (§3.2).
-        if self.ctx.log.wait_durable(entry_id, self.ctx.cfg.commit_timeout) {
-            let committed = self.ctx.log.committed_tail();
-            self.st.lock().tracker.advance_committed(committed);
-            outcome.reply
-        } else {
-            self.st.lock().demote_requested = true;
-            Frame::Error("CLUSTERDOWN write could not be committed durably; demoting".into())
+        if let Some(e) = append_error {
+            // The rebuild will discard everything from the first staged
+            // mutation on, and later commands in the batch observed that
+            // state — none of their replies may be released.
+            let first = first_write_index.expect("append failure implies a staged write");
+            for reply in replies.iter_mut().skip(first) {
+                *reply = Frame::Error(format!(
+                    "CLUSTERDOWN cannot commit to transaction log ({e}); demoting"
+                ));
+            }
+            // Reads before the first mutation still honor their hazards.
+            self.settle_hazard_reads(&mut replies, &hazard_reads);
+            return replies;
+        }
+
+        // Block once until the log acknowledges the whole batch (§3.2);
+        // a batch with no mutations waits on the newest read hazard only.
+        let wait_target = last_entry.or_else(|| hazard_reads.iter().map(|&(_, h)| h).max());
+        if let Some(target) = wait_target {
+            if self.ctx.log.wait_durable(target, self.ctx.cfg.commit_timeout) {
+                let committed = self.ctx.log.committed_tail();
+                self.st.lock().tracker.advance_committed(committed);
+                for w in staged {
+                    replies[w.index] = w.reply;
+                }
+            } else {
+                self.st.lock().demote_requested = true;
+                if let Some(first) = first_write_index {
+                    for reply in replies.iter_mut().skip(first) {
+                        *reply = Frame::Error(
+                            "CLUSTERDOWN write could not be committed durably; demoting".into(),
+                        );
+                    }
+                }
+                self.settle_hazard_reads(&mut replies, &hazard_reads);
+            }
+        }
+        replies
+    }
+
+    /// After a failed batch wait: reads whose individual hazard did commit
+    /// keep their replies; the rest get the single-command timeout error.
+    fn settle_hazard_reads(&self, replies: &mut [Frame], hazard_reads: &[(usize, EntryId)]) {
+        for &(i, h) in hazard_reads {
+            if !self.ctx.log.is_durable(h) {
+                replies[i] =
+                    Frame::Error("CLUSTERDOWN timed out waiting for hazard commit".into());
+            }
         }
     }
 
     /// Builds the `INFO` reply: engine keyspace stats plus the node's
     /// replication and durability state.
-    fn info_reply(&self) -> Frame {
-        let engine = self.engine.lock();
-        let st = self.st.lock();
+    fn info_reply_locked(&self, engine: &Engine, st: &NodeState) -> Frame {
         let role = match st.role {
             Role::Primary => "master",
             Role::Replica => "slave",

@@ -840,3 +840,164 @@ fn scale_in_drains_and_destroys_a_shard() {
     let map = cluster.slot_map();
     assert_eq!(map, vec![(0, 16383, donor.id)]);
 }
+
+// ---------------------------------------------------------------------------
+// Pipelined batch execution (Enhanced-IO): Node::handle_batch
+// ---------------------------------------------------------------------------
+
+/// A shard whose lease machinery stays quiet for a while after election
+/// (renewals only every 600ms), so the txlog append-call counter mostly
+/// isolates the batch under test. The backoff still has to exceed the lease
+/// (config invariant), so the first election lands after ~2.25s.
+fn quiet_shard(replicas: usize) -> Arc<Shard> {
+    Shard::bootstrap(
+        0,
+        ShardConfig {
+            lease: Duration::from_secs(2),
+            renew_interval: Duration::from_millis(600),
+            backoff: Duration::from_millis(2250),
+            ..ShardConfig::fast()
+        },
+        Arc::new(ObjectStore::new()),
+        Arc::new(ClusterBus::new()),
+        Arc::new(NodeIdGen::new()),
+        vec![(0, 16383)],
+        replicas,
+    )
+}
+
+#[test]
+fn batch_replies_in_submission_order_and_one_append_call() {
+    let shard = quiet_shard(0);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut s = SessionState::new();
+
+    let mut batch: Vec<Vec<Bytes>> = Vec::new();
+    for i in 0..16 {
+        batch.push(cmd(["SET", &format!("k{i}"), &format!("v{i}")]));
+    }
+    batch.push(cmd(["GET", "k7"]));
+    batch.push(cmd(["DBSIZE"]));
+
+    let calls_before = shard.ctx().log.append_calls();
+    let replies = primary.handle_batch(&mut s, &batch);
+    let calls_after = shard.ctx().log.append_calls();
+
+    assert_eq!(replies.len(), 18);
+    for r in &replies[..16] {
+        assert_eq!(*r, Frame::ok());
+    }
+    assert_eq!(replies[16], bulk("v7"));
+    assert_eq!(replies[17], Frame::Integer(16));
+    // Group commit: 16 mutations, ONE conditional append (one quorum ack).
+    assert_eq!(calls_after - calls_before, 1, "batch must group-commit");
+}
+
+#[test]
+fn batch_read_your_writes_within_batch() {
+    let shard = new_shard(0);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut s = SessionState::new();
+    let replies = primary.handle_batch(
+        &mut s,
+        &[
+            cmd(["SET", "k", "a"]),
+            cmd(["APPEND", "k", "b"]),
+            cmd(["GET", "k"]),
+        ],
+    );
+    assert_eq!(replies, vec![Frame::ok(), Frame::Integer(2), bulk("ab")]);
+}
+
+#[test]
+fn batch_multi_exec_spanning_batch_boundaries() {
+    let shard = new_shard(0);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut s = SessionState::new();
+
+    // MULTI and half the queue arrive in one batch...
+    let first = primary.handle_batch(
+        &mut s,
+        &[cmd(["MULTI"]), cmd(["SET", "t", "1"]), cmd(["INCR", "t"])],
+    );
+    assert_eq!(first[0], Frame::ok());
+    assert_eq!(first[1], Frame::Simple("QUEUED".into()));
+    assert_eq!(first[2], Frame::Simple("QUEUED".into()));
+
+    // ...EXEC arrives in the next batch; the transaction is one atomic
+    // record and its replies match one-at-a-time execution.
+    let second = primary.handle_batch(&mut s, &[cmd(["EXEC"]), cmd(["GET", "t"])]);
+    assert_eq!(
+        second[0],
+        Frame::Array(vec![Frame::ok(), Frame::Integer(2)])
+    );
+    assert_eq!(second[1], bulk("2"));
+}
+
+#[test]
+fn batch_watch_conflict_spanning_batches_aborts_exec() {
+    let shard = new_shard(0);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut watcher = SessionState::new();
+    let mut writer = SessionState::new();
+
+    let r = primary.handle_batch(&mut watcher, &[cmd(["WATCH", "w"]), cmd(["MULTI"])]);
+    assert_eq!(r, vec![Frame::ok(), Frame::ok()]);
+    // A different session clobbers the watched key between the batches.
+    assert_eq!(
+        primary.handle(&mut writer, &cmd(["SET", "w", "clobber"])),
+        Frame::ok()
+    );
+    let r = primary.handle_batch(&mut watcher, &[cmd(["SET", "w", "mine"]), cmd(["EXEC"])]);
+    assert_eq!(r[0], Frame::Simple("QUEUED".into()));
+    assert_eq!(r[1], Frame::Null, "EXEC must abort on watch conflict");
+    // The aborted transaction wrote nothing.
+    assert_eq!(primary.handle(&mut writer, &cmd(["GET", "w"])), bulk("clobber"));
+}
+
+#[test]
+fn batch_error_mid_batch_still_executes_rest() {
+    let shard = new_shard(0);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut s = SessionState::new();
+    let replies = primary.handle_batch(
+        &mut s,
+        &[
+            cmd(["SET", "a", "1"]),
+            cmd(["MGET", "a", "b"]), // cross-slot: a and b hash differently
+            cmd(["INCR", "a"]),
+        ],
+    );
+    assert_eq!(replies.len(), 3);
+    assert_eq!(replies[0], Frame::ok());
+    match &replies[1] {
+        Frame::Error(m) => assert!(m.starts_with("CROSSSLOT"), "{m}"),
+        other => panic!("expected CROSSSLOT, got {other:?}"),
+    }
+    assert_eq!(replies[2], Frame::Integer(2));
+}
+
+#[test]
+fn batch_matches_one_at_a_time_semantics() {
+    let program: Vec<Vec<Bytes>> = vec![
+        cmd(["SET", "x", "10"]),
+        cmd(["INCRBY", "x", "5"]),
+        cmd(["GET", "x"]),
+        cmd(["DEL", "x"]),
+        cmd(["GET", "x"]),
+        cmd(["RPUSH", "l", "a", "b"]),
+        cmd(["LRANGE", "l", "0", "-1"]),
+    ];
+
+    let shard_a = new_shard(0);
+    let pa = shard_a.wait_for_primary(T).unwrap();
+    let mut sa = SessionState::new();
+    let batched = pa.handle_batch(&mut sa, &program);
+
+    let shard_b = new_shard(0);
+    let pb = shard_b.wait_for_primary(T).unwrap();
+    let mut sb = SessionState::new();
+    let sequential: Vec<Frame> = program.iter().map(|c| pb.handle(&mut sb, c)).collect();
+
+    assert_eq!(batched, sequential);
+}

@@ -275,8 +275,14 @@ pub(super) fn incrbyfloat(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     e.db
         .set_value_keep_ttl(a[1].clone(), Value::Str(text.clone()));
     // Paper §2.1: float arithmetic is replicated by effect — a SET of the
-    // result — so replicas never re-do float math.
-    let eff = vec![Bytes::from_static(b"SET"), a[1].clone(), text.clone()];
+    // result — so replicas never re-do float math. KEEPTTL because
+    // INCRBYFLOAT preserves the key's expiry while plain SET clears it.
+    let eff = vec![
+        Bytes::from_static(b"SET"),
+        a[1].clone(),
+        text.clone(),
+        Bytes::from_static(b"KEEPTTL"),
+    ];
     Ok(effect_write(Frame::Bulk(text), vec![eff], vec![a[1].clone()]))
 }
 

@@ -102,9 +102,21 @@ fn incrbyfloat_effect_is_set_of_result() {
     let mut e = engine();
     let out = run_full(&mut e, &["INCRBYFLOAT", "f", "1.5"]);
     assert_eq!(out.reply, bulk("1.5"));
-    assert_eq!(out.effects, vec![cmd(["SET", "f", "1.5"])]);
+    assert_eq!(out.effects, vec![cmd(["SET", "f", "1.5", "KEEPTTL"])]);
     let out2 = run_full(&mut e, &["INCRBYFLOAT", "f", "0.25"]);
-    assert_eq!(out2.effects, vec![cmd(["SET", "f", "1.75"])]);
+    assert_eq!(out2.effects, vec![cmd(["SET", "f", "1.75", "KEEPTTL"])]);
+}
+
+#[test]
+fn incrbyfloat_preserves_ttl_on_replica() {
+    // Regression: INCRBYFLOAT keeps the key's TTL on the primary, so its
+    // replicated SET must carry KEEPTTL or the replica silently drops the
+    // expiry and the keyspaces diverge.
+    assert_replica_convergence(&[
+        cmd(["SET", "k", "1"]),
+        cmd(["PEXPIRE", "k", "289"]),
+        cmd(["INCRBYFLOAT", "k", "0.5"]),
+    ]);
 }
 
 #[test]

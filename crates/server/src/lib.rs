@@ -5,11 +5,15 @@
 //! reproduction. Wire compatibility is the point of the whole design
 //! (paper §1: "remain fully compatible with Redis").
 //!
-//! Connection handling is thread-per-connection feeding the node's
-//! single-threaded engine — the same funnel shape as MemoryDB's Enhanced-IO
-//! threads multiplexing many sockets into one engine workloop, minus the
-//! syscall-level batching (which the simulator models instead; the paper's
-//! throughput argument about multiplexing lives there).
+//! Connection handling reproduces MemoryDB's Enhanced-IO shape (§2.1): a
+//! fixed pool of IO threads ([`IoMode::Multiplexed`], the default) owns all
+//! client sockets in non-blocking mode and funnels parsed commands into the
+//! node's single-threaded engine. Each sweep over a connection parses every
+//! complete frame buffered on it and executes the run as ONE
+//! [`memorydb_core::Node::handle_batch`] call — one engine-lock acquisition
+//! and one group-committed txlog append per pipeline — then coalesces all
+//! replies into a single socket write. [`IoMode::ThreadPerConnection`] keeps
+//! the classic one-thread-per-socket baseline for comparison benchmarks.
 //!
 //! Session semantics implemented here (they are connection state, not
 //! engine state): `READONLY`/`READWRITE` opt-in for replica reads (§3.2 —
@@ -17,14 +21,54 @@
 //! consume stale data") and `QUIT`.
 
 use bytes::{Bytes, BytesMut};
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use memorydb_core::Node;
 use memorydb_engine::{command_spec, Frame, SessionState};
 use memorydb_resp::{encode, Decoder};
-use std::io::{Read, Write};
+use parking_lot::Mutex;
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// How connections are mapped onto OS threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoMode {
+    /// A fixed pool of IO threads multiplexes every socket (default).
+    /// Matches the paper's Enhanced-IO model: thread count is bounded by
+    /// the pool size, not the client count.
+    Multiplexed,
+    /// One OS thread per accepted connection. Kept as the baseline the
+    /// throughput benchmark compares against.
+    ThreadPerConnection,
+}
+
+/// Server tuning knobs. `ServerOptions::default()` gives the multiplexed
+/// pool sized to `min(4, available cores)`.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerOptions {
+    pub mode: IoMode,
+    /// IO-thread pool size; `0` means auto (`min(4, cores)`). Ignored in
+    /// thread-per-connection mode.
+    pub io_threads: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            mode: IoMode::Multiplexed,
+            io_threads: 0,
+        }
+    }
+}
+
+fn auto_io_threads() -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    cores.min(4).max(1)
+}
 
 /// A running server bound to one node.
 pub struct Server {
@@ -32,47 +76,127 @@ pub struct Server {
     pub local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    io_threads: Vec<std::thread::JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+enum Workers {
+    Multiplexed(Vec<Sender<TcpStream>>),
+    PerConn,
 }
 
 impl Server {
     /// Starts serving `node` on `addr` (use `127.0.0.1:0` for an ephemeral
-    /// port).
+    /// port) with the default multiplexed IO pool.
     pub fn start(node: Arc<Node>, addr: &str) -> std::io::Result<Server> {
+        Server::start_with(node, addr, ServerOptions::default())
+    }
+
+    /// Starts serving with explicit IO options.
+    pub fn start_with(
+        node: Arc<Node>,
+        addr: &str,
+        opts: ServerOptions,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let shutdown2 = Arc::clone(&shutdown);
-        let accept_thread = std::thread::Builder::new()
-            .name("memorydb-accept".into())
-            .spawn(move || {
-                while !shutdown2.load(Ordering::Relaxed) {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            let node = Arc::clone(&node);
-                            let shutdown = Arc::clone(&shutdown2);
-                            std::thread::spawn(move || {
-                                let _ = handle_connection(stream, node, shutdown);
-                            });
-                        }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(5));
-                        }
-                        Err(_) => break,
-                    }
+        let conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+
+        let mut io_threads = Vec::new();
+        let workers = match opts.mode {
+            IoMode::Multiplexed => {
+                let n = if opts.io_threads == 0 {
+                    auto_io_threads()
+                } else {
+                    opts.io_threads
+                };
+                let mut txs = Vec::with_capacity(n);
+                for i in 0..n {
+                    let (tx, rx) = channel::unbounded::<TcpStream>();
+                    txs.push(tx);
+                    let node = Arc::clone(&node);
+                    let shutdown = Arc::clone(&shutdown);
+                    io_threads.push(
+                        std::thread::Builder::new()
+                            .name(format!("memorydb-io-{i}"))
+                            .spawn(move || io_loop(node, rx, shutdown))?,
+                    );
                 }
-            })?;
+                Workers::Multiplexed(txs)
+            }
+            IoMode::ThreadPerConnection => Workers::PerConn,
+        };
+
+        let accept_thread = {
+            let node = Arc::clone(&node);
+            let shutdown = Arc::clone(&shutdown);
+            let conn_threads = Arc::clone(&conn_threads);
+            std::thread::Builder::new()
+                .name("memorydb-accept".into())
+                .spawn(move || {
+                    // Blocking accept; Server::stop wakes it with a
+                    // throwaway self-connection (no sleep/poll loop).
+                    let mut next = 0usize;
+                    loop {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                if shutdown.load(Ordering::Relaxed) {
+                                    return;
+                                }
+                                match &workers {
+                                    Workers::Multiplexed(txs) => {
+                                        let _ = txs[next % txs.len()].send(stream);
+                                        next += 1;
+                                    }
+                                    Workers::PerConn => {
+                                        let node = Arc::clone(&node);
+                                        let shutdown = Arc::clone(&shutdown);
+                                        let spawned = std::thread::Builder::new()
+                                            .name("memorydb-conn".into())
+                                            .spawn(move || {
+                                                let _ = serve_blocking(stream, node, shutdown);
+                                            });
+                                        if let Ok(h) = spawned {
+                                            conn_threads.lock().push(h);
+                                        }
+                                    }
+                                }
+                            }
+                            Err(_) => {
+                                if shutdown.load(Ordering::Relaxed) {
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                })?
+        };
+
         Ok(Server {
             local_addr,
             shutdown,
             accept_thread: Some(accept_thread),
+            io_threads,
+            conn_threads,
         })
     }
 
-    /// Stops accepting new connections (existing ones close on their own).
+    /// Stops the server: wakes the acceptor, then joins the accept thread,
+    /// every IO thread, and any per-connection threads.
     pub fn stop(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
+        // Unblock the acceptor; it checks the flag right after accept.
+        let _ = TcpStream::connect(self.local_addr);
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.io_threads.drain(..) {
+            let _ = t.join();
+        }
+        let handles: Vec<_> = self.conn_threads.lock().drain(..).collect();
+        for t in handles {
             let _ = t.join();
         }
     }
@@ -83,6 +207,18 @@ impl Drop for Server {
         self.stop();
     }
 }
+
+// ---------------------------------------------------------------------------
+// Command parsing and batch execution (shared by both IO modes)
+// ---------------------------------------------------------------------------
+
+/// Max commands executed per engine batch: bounds the time one connection
+/// can hold the engine lock before replies start flowing.
+const BATCH_CAP: usize = 128;
+
+/// Max bytes drained from one socket per sweep, so a fire-hose client
+/// cannot starve its IO thread's other connections.
+const READ_SWEEP_CAP: usize = 256 * 1024;
 
 /// Pulls the next command from the connection buffer: a RESP array frame,
 /// or (when the first byte is not a RESP type tag) an inline command line,
@@ -127,18 +263,332 @@ fn next_command(raw: &mut Vec<u8>) -> Result<Option<Vec<Bytes>>, String> {
     }
 }
 
-fn handle_connection(
+/// Per-connection protocol state, independent of the IO mode driving it.
+struct ConnState {
+    raw: Vec<u8>,
+    out: Vec<u8>,
+    session: SessionState,
+    readonly_mode: bool,
+    /// Set on QUIT or protocol error: flush `out`, then close.
+    closing: bool,
+}
+
+impl ConnState {
+    fn new() -> ConnState {
+        ConnState {
+            raw: Vec::new(),
+            out: Vec::new(),
+            session: SessionState::new(),
+            readonly_mode: false,
+            closing: false,
+        }
+    }
+}
+
+/// Parses every complete command buffered on the connection and executes
+/// them in engine batches, appending encoded replies to `conn.out`.
+///
+/// A protocol error mid-stream still executes and answers everything parsed
+/// before it, then appends the error reply and marks the connection closing.
+fn drain_commands(node: &Node, conn: &mut ConnState) {
+    while !conn.closing {
+        let mut cmds: Vec<Vec<Bytes>> = Vec::new();
+        let mut parse_err: Option<String> = None;
+        while cmds.len() < BATCH_CAP {
+            match next_command(&mut conn.raw) {
+                Ok(Some(args)) => cmds.push(args),
+                Ok(None) => break,
+                Err(e) => {
+                    parse_err = Some(e);
+                    break;
+                }
+            }
+        }
+        if !cmds.is_empty() {
+            execute_batch(node, conn, &cmds);
+        }
+        if let Some(e) = parse_err {
+            if !conn.closing {
+                let mut enc = BytesMut::new();
+                encode(&Frame::error(format!("Protocol error: {e}")), &mut enc);
+                conn.out.extend_from_slice(&enc);
+                conn.closing = true;
+            }
+            return;
+        }
+        if cmds.len() < BATCH_CAP {
+            return; // input buffer exhausted
+        }
+    }
+}
+
+/// Executes one parsed batch. Connection-level commands (QUIT, READONLY,
+/// READWRITE) and the replica read-gating check are handled here; runs of
+/// plain commands between them go to the engine as ONE
+/// [`Node::handle_batch`] call. Replies are positional, so ordering is
+/// preserved no matter how the batch is partitioned.
+fn execute_batch(node: &Node, conn: &mut ConnState, cmds: &[Vec<Bytes>]) {
+    let mut replies: Vec<Option<Frame>> = vec![None; cmds.len()];
+    let mut run: Vec<usize> = Vec::new();
+
+    fn flush_run(
+        node: &Node,
+        session: &mut SessionState,
+        cmds: &[Vec<Bytes>],
+        run: &mut Vec<usize>,
+        replies: &mut [Option<Frame>],
+    ) {
+        if run.is_empty() {
+            return;
+        }
+        let batch: Vec<Vec<Bytes>> = run.iter().map(|&i| cmds[i].clone()).collect();
+        let rs = node.handle_batch(session, &batch);
+        for (&i, r) in run.iter().zip(rs.into_iter()) {
+            replies[i] = Some(r);
+        }
+        run.clear();
+    }
+
+    for (i, args) in cmds.iter().enumerate() {
+        let name = String::from_utf8_lossy(&args[0]).to_ascii_uppercase();
+        match name.as_str() {
+            "QUIT" => {
+                flush_run(node, &mut conn.session, cmds, &mut run, &mut replies);
+                replies[i] = Some(Frame::ok());
+                conn.closing = true;
+                // Anything pipelined after QUIT is discarded, like Redis.
+                break;
+            }
+            // READONLY/READWRITE are connection state (paper §2.1: replica
+            // reads are an explicit opt-in). The pending run is flushed
+            // first so the mode flip cannot reorder around engine commands.
+            "READONLY" => {
+                flush_run(node, &mut conn.session, cmds, &mut run, &mut replies);
+                conn.readonly_mode = true;
+                replies[i] = Some(Frame::ok());
+            }
+            "READWRITE" => {
+                flush_run(node, &mut conn.session, cmds, &mut run, &mut replies);
+                conn.readonly_mode = false;
+                replies[i] = Some(Frame::ok());
+            }
+            _ => {
+                // Enforce the opt-in: a replica serves nothing but admin
+                // commands to sessions that did not issue READONLY.
+                let gated = node.role() == memorydb_engine::exec::Role::Replica
+                    && !conn.readonly_mode
+                    && !command_spec(&name).is_some_and(|s| s.flags.admin);
+                if gated {
+                    replies[i] = Some(Frame::Error(
+                        "MOVED 0 ? (replica requires READONLY opt-in)".into(),
+                    ));
+                } else {
+                    run.push(i);
+                }
+            }
+        }
+    }
+    flush_run(node, &mut conn.session, cmds, &mut run, &mut replies);
+
+    // Coalesce every reply of the batch into the connection's out buffer.
+    let mut enc = BytesMut::new();
+    for r in replies.into_iter().flatten() {
+        encode(&r, &mut enc);
+    }
+    conn.out.extend_from_slice(&enc);
+}
+
+// ---------------------------------------------------------------------------
+// Multiplexed IO loop
+// ---------------------------------------------------------------------------
+
+struct Conn {
+    stream: TcpStream,
+    state: ConnState,
+    eof: bool,
+}
+
+/// Writes as much of `out` as the socket accepts without blocking.
+/// Returns bytes written; `Err` means the connection is dead.
+fn flush_out(stream: &mut TcpStream, out: &mut Vec<u8>) -> std::io::Result<usize> {
+    let mut written = 0usize;
+    while written < out.len() {
+        match stream.write(&out[written..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::WriteZero,
+                    "socket write returned 0",
+                ))
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    out.drain(..written);
+    Ok(written)
+}
+
+/// One readiness sweep over one connection: flush pending output, drain
+/// readable input, execute, flush again. Returns `(keep, progressed)`.
+fn sweep_conn(node: &Node, conn: &mut Conn, buf: &mut [u8]) -> (bool, bool) {
+    let mut progressed = false;
+
+    match flush_out(&mut conn.stream, &mut conn.state.out) {
+        Ok(n) => progressed |= n > 0,
+        Err(_) => return (false, true),
+    }
+    if conn.state.closing {
+        // QUIT / protocol error: keep only until the farewell is flushed.
+        return (!conn.state.out.is_empty(), progressed);
+    }
+
+    if !conn.eof {
+        let mut total = 0usize;
+        loop {
+            match conn.stream.read(buf) {
+                Ok(0) => {
+                    conn.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.state.raw.extend_from_slice(&buf[..n]);
+                    total += n;
+                    if total >= READ_SWEEP_CAP {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return (false, true),
+            }
+        }
+        if total > 0 {
+            progressed = true;
+            drain_commands(node, &mut conn.state);
+            if flush_out(&mut conn.stream, &mut conn.state.out).is_err() {
+                return (false, true);
+            }
+        }
+    }
+
+    if conn.eof {
+        // Client sent FIN: answer whatever it managed to buffer, then drop.
+        if !conn.state.raw.is_empty() && !conn.state.closing {
+            drain_commands(node, &mut conn.state);
+        }
+        let _ = flush_out(&mut conn.stream, &mut conn.state.out);
+        return (false, progressed);
+    }
+    if conn.state.closing && conn.state.out.is_empty() {
+        return (false, progressed);
+    }
+    (true, progressed)
+}
+
+/// An IO thread: owns a set of non-blocking sockets, sweeps them for
+/// readiness, and parks on its intake channel when everything is idle
+/// (spin briefly first so pipelined bursts stay hot).
+fn io_loop(node: Arc<Node>, rx: Receiver<TcpStream>, shutdown: Arc<AtomicBool>) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut buf = vec![0u8; 16 * 1024];
+    let mut idle_spins = 0u32;
+    let mut accepting = true;
+
+    let adopt = |stream: TcpStream, conns: &mut Vec<Conn>| {
+        if stream.set_nonblocking(true).is_ok() {
+            let _ = stream.set_nodelay(true);
+            conns.push(Conn {
+                stream,
+                state: ConnState::new(),
+                eof: false,
+            });
+        }
+    };
+
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return; // dropping conns closes the sockets
+        }
+        if accepting {
+            loop {
+                match rx.try_recv() {
+                    Ok(s) => adopt(s, &mut conns),
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        accepting = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if !accepting && conns.is_empty() {
+            return;
+        }
+
+        let mut progressed = false;
+        let mut i = 0;
+        while i < conns.len() {
+            let (keep, p) = sweep_conn(&node, &mut conns[i], &mut buf);
+            progressed |= p;
+            if keep {
+                i += 1;
+            } else {
+                conns.swap_remove(i);
+            }
+        }
+
+        if progressed {
+            idle_spins = 0;
+            continue;
+        }
+        idle_spins += 1;
+        if idle_spins < 8 {
+            // A short spin keeps pipelined bursts hot; yielding (rather
+            // than busy-polling) matters on small machines where the
+            // clients need this core to produce the next request.
+            std::thread::yield_now();
+            continue;
+        }
+        // Idle: park on the intake channel so a fresh connection wakes us
+        // immediately; cap the nap so existing sockets get re-swept.
+        let nap = if conns.is_empty() {
+            Duration::from_millis(50)
+        } else {
+            Duration::from_millis(1)
+        };
+        if accepting {
+            match rx.recv_timeout(nap) {
+                Ok(s) => {
+                    adopt(s, &mut conns);
+                    idle_spins = 0;
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => accepting = false,
+            }
+        } else {
+            std::thread::sleep(nap);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-per-connection baseline
+// ---------------------------------------------------------------------------
+
+/// Classic blocking loop, one thread per socket. Shares the batch parser and
+/// executor with the multiplexed path, so the only variable the benchmark
+/// sees is the threading model.
+fn serve_blocking(
     mut stream: TcpStream,
     node: Arc<Node>,
     shutdown: Arc<AtomicBool>,
 ) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
     stream.set_nodelay(true)?;
-    let mut raw: Vec<u8> = Vec::new();
-    let mut session = SessionState::new();
-    let mut readonly_mode = false;
+    let mut conn = ConnState::new();
     let mut buf = [0u8; 16 * 1024];
-    let mut out = BytesMut::new();
 
     loop {
         if shutdown.load(Ordering::Relaxed) {
@@ -148,81 +598,27 @@ fn handle_connection(
             Ok(0) => return Ok(()), // client closed
             Ok(n) => n,
             Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
+                if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
             {
                 continue;
             }
             Err(e) => return Err(e),
         };
-        raw.extend_from_slice(&buf[..n]);
-        loop {
-            let args = match next_command(&mut raw) {
-                Ok(Some(args)) => args,
-                Ok(None) => break,
-                Err(e) => {
-                    out.clear();
-                    encode(&Frame::error(format!("Protocol error: {e}")), &mut out);
-                    let _ = stream.write_all(&out);
-                    return Ok(());
-                }
-            };
-            let reply = dispatch(&node, &mut session, &mut readonly_mode, &args);
-            match reply {
-                Dispatch::Reply(frame) => {
-                    out.clear();
-                    encode(&frame, &mut out);
-                    stream.write_all(&out)?;
-                }
-                Dispatch::Quit => {
-                    out.clear();
-                    encode(&Frame::ok(), &mut out);
-                    let _ = stream.write_all(&out);
-                    return Ok(());
-                }
-            }
+        conn.raw.extend_from_slice(&buf[..n]);
+        drain_commands(&node, &mut conn);
+        if !conn.out.is_empty() {
+            stream.write_all(&conn.out)?;
+            conn.out.clear();
+        }
+        if conn.closing {
+            return Ok(());
         }
     }
 }
 
-enum Dispatch {
-    Reply(Frame),
-    Quit,
-}
-
-fn dispatch(
-    node: &Node,
-    session: &mut SessionState,
-    readonly_mode: &mut bool,
-    args: &[Bytes],
-) -> Dispatch {
-    let name = String::from_utf8_lossy(&args[0]).to_ascii_uppercase();
-    match name.as_str() {
-        "QUIT" => return Dispatch::Quit,
-        // READONLY/READWRITE are connection state (paper §2.1: replica
-        // reads are an explicit opt-in).
-        "READONLY" => {
-            *readonly_mode = true;
-            return Dispatch::Reply(Frame::ok());
-        }
-        "READWRITE" => {
-            *readonly_mode = false;
-            return Dispatch::Reply(Frame::ok());
-        }
-        _ => {}
-    }
-    // Enforce the opt-in: a replica serves nothing but admin commands to
-    // sessions that did not issue READONLY.
-    if node.role() == memorydb_engine::exec::Role::Replica && !*readonly_mode {
-        let is_admin = command_spec(&name).is_some_and(|s| s.flags.admin);
-        if !is_admin {
-            return Dispatch::Reply(Frame::Error(
-                "MOVED 0 ? (replica requires READONLY opt-in)".into(),
-            ));
-        }
-    }
-    Dispatch::Reply(node.handle(session, args))
-}
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
 
 /// A minimal blocking RESP client for tests and examples.
 pub struct BlockingClient {
@@ -254,6 +650,32 @@ impl BlockingClient {
         self.read_reply()
     }
 
+    /// Sends a pipeline of commands in one write and reads every reply, in
+    /// order. This is the client half of Enhanced-IO batching: the server
+    /// executes the whole pipeline under one engine-lock acquisition and
+    /// one group-committed append.
+    pub fn pipeline<C, S>(&mut self, cmds: C) -> std::io::Result<Vec<Frame>>
+    where
+        C: IntoIterator,
+        C::Item: IntoIterator<Item = S>,
+        S: Into<Vec<u8>>,
+    {
+        let mut out = BytesMut::new();
+        let mut n = 0usize;
+        for parts in cmds {
+            encode(
+                &Frame::command(parts.into_iter().map(|p| p.into())),
+                &mut out,
+            );
+            n += 1;
+        }
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        self.stream.write_all(&out)?;
+        (0..n).map(|_| self.read_reply()).collect()
+    }
+
     /// Reads the next reply frame.
     pub fn read_reply(&mut self) -> std::io::Result<Frame> {
         let mut buf = [0u8; 16 * 1024];
@@ -274,169 +696,4 @@ impl BlockingClient {
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use memorydb_core::{ClusterBus, NodeIdGen, Shard, ShardConfig};
-    use memorydb_objectstore::ObjectStore;
-
-    fn test_shard(replicas: usize) -> Arc<Shard> {
-        Shard::bootstrap(
-            0,
-            ShardConfig::fast(),
-            Arc::new(ObjectStore::new()),
-            Arc::new(ClusterBus::new()),
-            Arc::new(NodeIdGen::new()),
-            vec![(0, 16383)],
-            replicas,
-        )
-    }
-
-    fn bulk(s: &str) -> Frame {
-        Frame::Bulk(Bytes::copy_from_slice(s.as_bytes()))
-    }
-
-    #[test]
-    fn end_to_end_over_tcp() {
-        let shard = test_shard(0);
-        let primary = shard.wait_for_primary(Duration::from_secs(5)).unwrap();
-        let server = Server::start(primary, "127.0.0.1:0").unwrap();
-        let mut client = BlockingClient::connect(server.local_addr).unwrap();
-        assert_eq!(client.command(["PING"]).unwrap(), Frame::Simple("PONG".into()));
-        assert_eq!(client.command(["SET", "k", "v"]).unwrap(), Frame::ok());
-        assert_eq!(client.command(["GET", "k"]).unwrap(), bulk("v"));
-        assert_eq!(client.command(["INCR", "n"]).unwrap(), Frame::Integer(1));
-        assert_eq!(
-            client.command(["LPUSH", "l", "a", "b"]).unwrap(),
-            Frame::Integer(2)
-        );
-        assert_eq!(
-            client.command(["LRANGE", "l", "0", "-1"]).unwrap(),
-            Frame::Array(vec![bulk("b"), bulk("a")])
-        );
-    }
-
-    #[test]
-    fn pipelined_commands() {
-        let shard = test_shard(0);
-        let primary = shard.wait_for_primary(Duration::from_secs(5)).unwrap();
-        let server = Server::start(primary, "127.0.0.1:0").unwrap();
-        let mut client = BlockingClient::connect(server.local_addr).unwrap();
-        // Write three commands before reading any reply.
-        let mut out = BytesMut::new();
-        for c in [["SET", "a", "1"], ["SET", "b", "2"], ["SET", "c", "3"]] {
-            encode(&Frame::command(c), &mut out);
-        }
-        client.stream.write_all(&out).unwrap();
-        for _ in 0..3 {
-            assert_eq!(client.read_reply().unwrap(), Frame::ok());
-        }
-        assert_eq!(client.command(["DBSIZE"]).unwrap(), Frame::Integer(3));
-    }
-
-    #[test]
-    fn replica_requires_readonly_opt_in() {
-        let shard = test_shard(1);
-        let primary = shard.wait_for_primary(Duration::from_secs(5)).unwrap();
-        let mut session = SessionState::new();
-        primary.handle(&mut session, &memorydb_engine::cmd(["SET", "k", "v"]));
-        assert!(shard.wait_replicas_caught_up(Duration::from_secs(5)));
-        let replica = shard.replicas().into_iter().next().unwrap();
-        let server = Server::start(replica, "127.0.0.1:0").unwrap();
-        let mut client = BlockingClient::connect(server.local_addr).unwrap();
-        // Without the opt-in: redirected.
-        match client.command(["GET", "k"]).unwrap() {
-            Frame::Error(msg) => assert!(msg.starts_with("MOVED"), "{msg}"),
-            other => panic!("expected MOVED, got {other:?}"),
-        }
-        // With READONLY: served.
-        assert_eq!(client.command(["READONLY"]).unwrap(), Frame::ok());
-        assert_eq!(client.command(["GET", "k"]).unwrap(), bulk("v"));
-        // Writes still redirect.
-        match client.command(["SET", "x", "1"]).unwrap() {
-            Frame::Error(msg) => assert!(msg.starts_with("MOVED"), "{msg}"),
-            other => panic!("expected MOVED, got {other:?}"),
-        }
-        // READWRITE turns the opt-in back off.
-        assert_eq!(client.command(["READWRITE"]).unwrap(), Frame::ok());
-        assert!(client.command(["GET", "k"]).unwrap().is_error());
-    }
-
-    #[test]
-    fn concurrent_clients() {
-        let shard = test_shard(0);
-        let primary = shard.wait_for_primary(Duration::from_secs(5)).unwrap();
-        let server = Server::start(primary, "127.0.0.1:0").unwrap();
-        let addr = server.local_addr;
-        let mut handles = Vec::new();
-        for t in 0..8 {
-            handles.push(std::thread::spawn(move || {
-                let mut client = BlockingClient::connect(addr).unwrap();
-                for i in 0..50 {
-                    let key = format!("t{t}:k{i}");
-                    assert_eq!(client.command(["SET", key.as_str(), "v"]).unwrap(), Frame::ok());
-                }
-            }));
-        }
-        for h in handles {
-            h.join().unwrap();
-        }
-        let mut client = BlockingClient::connect(addr).unwrap();
-        assert_eq!(client.command(["DBSIZE"]).unwrap(), Frame::Integer(400));
-    }
-
-    #[test]
-    fn quit_closes_connection() {
-        let shard = test_shard(0);
-        let primary = shard.wait_for_primary(Duration::from_secs(5)).unwrap();
-        let server = Server::start(primary, "127.0.0.1:0").unwrap();
-        let mut client = BlockingClient::connect(server.local_addr).unwrap();
-        assert_eq!(client.command(["QUIT"]).unwrap(), Frame::ok());
-        // Subsequent use fails with EOF.
-        assert!(client.command(["PING"]).is_err());
-    }
-
-    #[test]
-    fn inline_commands_work() {
-        let shard = test_shard(0);
-        let primary = shard.wait_for_primary(Duration::from_secs(5)).unwrap();
-        let server = Server::start(primary, "127.0.0.1:0").unwrap();
-        let mut client = BlockingClient::connect(server.local_addr).unwrap();
-        // Telnet-style inline commands, mixed with RESP on one connection.
-        client.stream.write_all(b"PING\r\n").unwrap();
-        assert_eq!(client.read_reply().unwrap(), Frame::Simple("PONG".into()));
-        client
-            .stream
-            .write_all(b"SET greeting \"hello world\"\r\n")
-            .unwrap();
-        assert_eq!(client.read_reply().unwrap(), Frame::ok());
-        assert_eq!(
-            client.command(["GET", "greeting"]).unwrap(),
-            Frame::Bulk(Bytes::from_static(b"hello world"))
-        );
-        // Blank lines between inline commands are ignored.
-        client.stream.write_all(b"\r\n\r\nDBSIZE\r\n").unwrap();
-        assert_eq!(client.read_reply().unwrap(), Frame::Integer(1));
-    }
-
-    #[test]
-    fn protocol_error_reported() {
-        let shard = test_shard(0);
-        let primary = shard.wait_for_primary(Duration::from_secs(5)).unwrap();
-        let server = Server::start(primary, "127.0.0.1:0").unwrap();
-        let mut client = BlockingClient::connect(server.local_addr).unwrap();
-        // Non-RESP text is now interpreted as an inline command: an unknown
-        // name yields a normal command error, like Redis.
-        client.stream.write_all(b"!garbage\r\n").unwrap();
-        match client.read_reply().unwrap() {
-            Frame::Error(msg) => assert!(msg.contains("unknown command"), "{msg}"),
-            other => panic!("expected unknown-command error, got {other:?}"),
-        }
-        // Structurally invalid RESP is a protocol error and closes the
-        // connection.
-        client.stream.write_all(b"*1\r\n$abc\r\n").unwrap();
-        match client.read_reply().unwrap() {
-            Frame::Error(msg) => assert!(msg.contains("Protocol error"), "{msg}"),
-            other => panic!("expected protocol error, got {other:?}"),
-        }
-    }
-}
+mod tests;

@@ -5,7 +5,7 @@ use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -244,6 +244,10 @@ pub struct LogService {
     /// Signalled to wake the committer thread (new pending work / faults).
     work_cv: Condvar,
     shutdown: AtomicBool,
+    /// Append API invocations (each one models a quorum round trip). A
+    /// batched append counts once — the observable that group commit
+    /// amortizes the per-append quorum latency.
+    append_calls: AtomicU64,
 }
 
 impl std::fmt::Debug for LogService {
@@ -276,6 +280,7 @@ impl LogService {
             commit_cv: Condvar::new(),
             work_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            append_calls: AtomicU64::new(0),
         });
         let weak = Arc::downgrade(&svc);
         std::thread::Builder::new()
@@ -352,6 +357,31 @@ impl LogService {
         expected_tail: EntryId,
         payload: Bytes,
     ) -> Result<EntryId, AppendError> {
+        self.append_batch_after(client, expected_tail, std::slice::from_ref(&payload))
+            .map(|ids| ids[0])
+    }
+
+    /// Conditionally appends a whole batch of payloads after `expected_tail`
+    /// — MemoryDB-style group commit. The batch is all-or-nothing: either
+    /// every payload is accepted with dense consecutive ids (returned in
+    /// order) or the precondition fails and nothing is appended.
+    ///
+    /// Each entry keeps its own id and chained checksum exactly as if the
+    /// payloads had been appended one at a time, but the *whole batch shares
+    /// one quorum round trip*: a single latency sample covers every entry, so
+    /// the last entry of the batch becomes durable at the same instant as the
+    /// first. One [`LogService::wait_durable`] on the final id therefore
+    /// releases a whole pipeline of client replies (paper §3.2; BtrLog-style
+    /// group commit).
+    ///
+    /// An empty batch is a no-op that still checks the precondition and
+    /// returns an empty id list.
+    pub fn append_batch_after(
+        &self,
+        client: ClientId,
+        expected_tail: EntryId,
+        payloads: &[Bytes],
+    ) -> Result<Vec<EntryId>, AppendError> {
         let mut inner = self.inner.lock();
         if inner.partitioned.contains(&client) {
             return Err(AppendError::Partitioned);
@@ -362,19 +392,42 @@ impl LogService {
                 actual: EntryId(inner.assigned_tail),
             });
         }
-        let seq = inner.assigned_tail + 1;
-        inner.assigned_tail = seq;
-        inner.assigned_chain = fnv1a_chain(inner.assigned_chain, &payload);
+        self.append_calls.fetch_add(1, Ordering::Relaxed);
+        if payloads.is_empty() {
+            return Ok(Vec::new());
+        }
+        // One quorum round trip for the whole batch (group commit).
         let ready_at = if inner.quorum_reachable(self.cfg.quorum) {
             let lat = inner.sample_quorum_latency(&self.cfg);
             Some(Instant::now() + lat)
         } else {
             None
         };
-        inner.pending.insert(seq, Pending { payload, ready_at });
+        let mut ids = Vec::with_capacity(payloads.len());
+        for payload in payloads {
+            let seq = inner.assigned_tail + 1;
+            inner.assigned_tail = seq;
+            inner.assigned_chain = fnv1a_chain(inner.assigned_chain, payload);
+            inner.pending.insert(
+                seq,
+                Pending {
+                    payload: payload.clone(),
+                    ready_at,
+                },
+            );
+            ids.push(EntryId(seq));
+        }
         drop(inner);
         self.work_cv.notify_all();
-        Ok(EntryId(seq))
+        Ok(ids)
+    }
+
+    /// Number of append API calls accepted so far (conditional, batched, or
+    /// unconditional — each models one quorum round trip). The ratio of
+    /// entries appended to calls made is the group-commit amortization
+    /// factor.
+    pub fn append_calls(&self) -> u64 {
+        self.append_calls.load(Ordering::Relaxed)
     }
 
     /// Unconditional append: follows whatever the current tail is. Used by

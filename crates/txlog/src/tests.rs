@@ -287,6 +287,117 @@ fn unconditional_append_follows_tail() {
 }
 
 #[test]
+fn append_batch_assigns_dense_ids_and_matches_sequential_chain() {
+    // A batch must be byte-for-byte indistinguishable (ids + chained
+    // checksums) from the same payloads appended one at a time.
+    let batched = svc();
+    let ids = batched
+        .append_batch_after(1, EntryId::ZERO, &[b("a"), b("b"), b("c")])
+        .unwrap();
+    assert_eq!(ids, vec![EntryId(1), EntryId(2), EntryId(3)]);
+    assert!(batched.wait_durable(EntryId(3), T));
+
+    let sequential = svc();
+    let mut tail = EntryId::ZERO;
+    for p in ["a", "b", "c"] {
+        tail = sequential.append_after(1, tail, b(p)).unwrap();
+    }
+    assert!(sequential.wait_durable(tail, T));
+
+    for id in 1..=3u64 {
+        assert_eq!(
+            batched.chain_checksum_at(EntryId(id)),
+            sequential.chain_checksum_at(EntryId(id))
+        );
+    }
+    let got = batched.read_committed_from(2, EntryId::ZERO, 10).unwrap();
+    assert_eq!(got.len(), 3);
+    assert_eq!(got[1].payload, b("b"));
+}
+
+#[test]
+fn append_batch_conflict_is_atomic() {
+    let log = svc();
+    let id1 = log.append_after(1, EntryId::ZERO, b("x")).unwrap();
+    // Stale precondition: nothing from the batch lands.
+    let err = log
+        .append_batch_after(2, EntryId::ZERO, &[b("a"), b("b")])
+        .unwrap_err();
+    assert!(matches!(err, AppendError::Conflict { .. }));
+    assert_eq!(log.assigned_tail(), id1);
+    // The correctly-conditioned batch proceeds.
+    let ids = log.append_batch_after(2, id1, &[b("a"), b("b")]).unwrap();
+    assert_eq!(ids, vec![EntryId(2), EntryId(3)]);
+    assert!(log.wait_durable(EntryId(3), T));
+}
+
+#[test]
+fn append_batch_is_one_quorum_ack() {
+    // With real commit latency, a 16-entry batch becomes durable as one
+    // unit: once the last entry commits, waiting took ~one latency sample,
+    // and exactly one append call was recorded.
+    let log = LogService::new(LogConfig {
+        latency: CommitLatency {
+            base: Duration::from_millis(10),
+            jitter: Duration::ZERO,
+        },
+        ..LogConfig::default()
+    });
+    let payloads: Vec<Bytes> = (0..16).map(|i| b(&format!("p{i}"))).collect();
+    assert_eq!(log.append_calls(), 0);
+    let t0 = std::time::Instant::now();
+    let ids = log.append_batch_after(1, EntryId::ZERO, &payloads).unwrap();
+    assert!(log.wait_durable(*ids.last().unwrap(), T));
+    let elapsed = t0.elapsed();
+    assert_eq!(log.append_calls(), 1);
+    // 16 sequential appends would take ≥160 ms; one group commit takes ~10.
+    assert!(
+        elapsed < Duration::from_millis(120),
+        "batch did not group-commit: {elapsed:?}"
+    );
+    // All entries commit together and in order.
+    let entries = log.read_committed_from(2, EntryId::ZERO, 100).unwrap();
+    assert_eq!(entries.len(), 16);
+}
+
+#[test]
+fn append_batch_empty_checks_precondition_only() {
+    let log = svc();
+    assert_eq!(
+        log.append_batch_after(1, EntryId::ZERO, &[]).unwrap(),
+        Vec::new()
+    );
+    let id1 = log.append_after(1, EntryId::ZERO, b("x")).unwrap();
+    let err = log.append_batch_after(1, EntryId::ZERO, &[]).unwrap_err();
+    assert!(matches!(err, AppendError::Conflict { .. }));
+    assert_eq!(log.assigned_tail(), id1);
+}
+
+#[test]
+fn append_batch_partitioned_client_rejected() {
+    let log = svc();
+    log.set_client_partitioned(1, true);
+    assert_eq!(
+        log.append_batch_after(1, EntryId::ZERO, &[b("x")]).unwrap_err(),
+        AppendError::Partitioned
+    );
+    assert_eq!(log.assigned_tail(), EntryId::ZERO);
+}
+
+#[test]
+fn append_batch_stalls_and_recovers_with_az_outage() {
+    let log = svc();
+    log.set_az_up(0, false);
+    log.set_az_up(1, false);
+    let ids = log
+        .append_batch_after(1, EntryId::ZERO, &[b("a"), b("b")])
+        .unwrap();
+    assert!(!log.wait_durable(ids[1], Duration::from_millis(50)));
+    log.set_az_up(0, true);
+    assert!(log.wait_durable(ids[1], T));
+}
+
+#[test]
 fn entry_ids_are_dense_and_display() {
     assert_eq!(EntryId::ZERO.next(), EntryId(1));
     assert_eq!(EntryId(41).next(), EntryId(42));
@@ -306,6 +417,8 @@ mod model_props {
     enum Op {
         Append(u8),
         AppendStaleTail(u8),
+        AppendBatch(Vec<u8>),
+        AppendBatchStaleTail(Vec<u8>),
         Trim(u8),
         Read { after: u8, max: u8 },
         Checksum(u8),
@@ -315,6 +428,8 @@ mod model_props {
         prop_oneof![
             any::<u8>().prop_map(Op::Append),
             any::<u8>().prop_map(Op::AppendStaleTail),
+            proptest::collection::vec(any::<u8>(), 0..6).prop_map(Op::AppendBatch),
+            proptest::collection::vec(any::<u8>(), 1..4).prop_map(Op::AppendBatchStaleTail),
             any::<u8>().prop_map(Op::Trim),
             (any::<u8>(), 1u8..16).prop_map(|(after, max)| Op::Read { after, max }),
             any::<u8>().prop_map(Op::Checksum),
@@ -344,6 +459,34 @@ mod model_props {
                         let r = log.append_after(1, stale, Bytes::from(vec![v]));
                         let is_conflict = matches!(r, Err(AppendError::Conflict { .. }));
                         prop_assert!(is_conflict);
+                    }
+                    Op::AppendBatch(vals) => {
+                        // A batched append behaves exactly like that many
+                        // sequential appends: dense ids, same chain.
+                        let payloads: Vec<Bytes> =
+                            vals.iter().map(|&v| Bytes::from(vec![v])).collect();
+                        let tail = EntryId(model.len() as u64);
+                        let ids = log.append_batch_after(1, tail, &payloads).unwrap();
+                        prop_assert_eq!(ids.len(), payloads.len());
+                        for (i, id) in ids.iter().enumerate() {
+                            prop_assert_eq!(*id, EntryId(model.len() as u64 + i as u64 + 1));
+                        }
+                        model.extend(payloads);
+                        if let Some(last) = ids.last() {
+                            prop_assert!(log.wait_durable(*last, Duration::from_secs(2)));
+                        }
+                    }
+                    Op::AppendBatchStaleTail(vals) => {
+                        // A conflicted batch must leave the log untouched.
+                        let payloads: Vec<Bytes> =
+                            vals.iter().map(|&v| Bytes::from(vec![v])).collect();
+                        let stale = EntryId(
+                            (model.len() as u64).wrapping_add(1 + vals[0] as u64 % 7),
+                        );
+                        let r = log.append_batch_after(1, stale, &payloads);
+                        let is_conflict = matches!(r, Err(AppendError::Conflict { .. }));
+                        prop_assert!(is_conflict);
+                        prop_assert_eq!(log.assigned_tail(), EntryId(model.len() as u64));
                     }
                     Op::Trim(upto) => {
                         let upto = (upto as u64).min(model.len() as u64);
