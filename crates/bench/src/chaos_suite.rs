@@ -1,0 +1,108 @@
+//! Chaos-harness drivers: CI smoke coverage and the heavy seed sweep.
+//!
+//! The harness itself lives in `memorydb_sim::chaos`; this module decides
+//! *how much* of it runs where:
+//!
+//! * [`run_smoke`] — every schedule once, small op counts. Wired into
+//!   `cargo test` (see the test at the bottom) so failover and
+//!   crash-recovery invariants are exercised on every CI run.
+//! * [`run_sweep`] — every schedule × many seeds at full size. Minutes of
+//!   wall-clock, so the test wrapper is `#[ignore]`d; run it with
+//!   `cargo test -p memorydb-bench --release -- --ignored chaos_sweep`
+//!   or via the `chaos` binary.
+
+use crate::output::Table;
+use memorydb_sim::chaos::{run_chaos, ChaosConfig, ChaosReport, ScheduleKind};
+
+/// Runs one config and panics with full detail if an invariant broke or
+/// the history is non-linearizable.
+pub fn run_and_assert(cfg: &ChaosConfig) -> ChaosReport {
+    let report = run_chaos(cfg);
+    assert!(
+        report.passed(),
+        "chaos run failed: schedule={} seed={} checker={:?} violations={:#?}",
+        report.schedule,
+        report.seed,
+        report.checker,
+        report.violations,
+    );
+    report
+}
+
+/// Every schedule once with smoke-sized runs. Fast enough for CI.
+pub fn run_smoke(seed: u64) -> Vec<ChaosReport> {
+    ScheduleKind::ALL
+        .iter()
+        .map(|&schedule| run_and_assert(&ChaosConfig::smoke(schedule, seed)))
+        .collect()
+}
+
+/// Every schedule × `seeds` full-size runs.
+pub fn run_sweep(seeds: std::ops::Range<u64>) -> Vec<ChaosReport> {
+    let mut reports = Vec::new();
+    for &schedule in &ScheduleKind::ALL {
+        for seed in seeds.clone() {
+            reports.push(run_and_assert(&ChaosConfig::new(schedule, seed)));
+        }
+    }
+    reports
+}
+
+/// Renders reports as the standard aligned table.
+pub fn report_table(reports: &[ChaosReport]) -> Table {
+    let mut t = Table::new(&[
+        "schedule",
+        "seed",
+        "attempted",
+        "recorded",
+        "acked-unique",
+        "epochs",
+        "checker",
+        "violations",
+    ]);
+    for r in reports {
+        t.row(vec![
+            r.schedule.to_string(),
+            r.seed.to_string(),
+            r.ops_attempted.to_string(),
+            r.ops_recorded.to_string(),
+            r.acked_unique_writes.to_string(),
+            r.epochs_claimed.to_string(),
+            format!("{:?}", r.checker),
+            r.violations.len().to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// CI smoke: all six fault schedules under one seed, invariants and
+    /// linearizability asserted. (~tens of seconds; the heavy sweep below
+    /// is the multi-seed version.)
+    #[test]
+    fn chaos_smoke_all_schedules() {
+        let reports = run_smoke(0xC0FFEE);
+        assert_eq!(reports.len(), ScheduleKind::ALL.len());
+        // The smoke run must actually exercise the system, not vacuously
+        // pass on an empty history.
+        for r in &reports {
+            assert!(
+                r.ops_recorded > 0,
+                "{}: no operations recorded",
+                r.schedule
+            );
+        }
+    }
+
+    /// Heavy sweep: every schedule × 20 seeds at full size. Run with
+    /// `cargo test -p memorydb-bench --release -- --ignored chaos_sweep`.
+    #[test]
+    #[ignore = "minutes of wall-clock; run explicitly"]
+    fn chaos_sweep_20_seeds() {
+        let reports = run_sweep(0..20);
+        assert_eq!(reports.len(), ScheduleKind::ALL.len() * 20);
+    }
+}

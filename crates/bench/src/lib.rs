@@ -14,7 +14,9 @@
 //! | [`fig7`] | Fig 7 — MemoryDB off-box snapshotting impact |
 //! | [`extras`] | §6.1.2.1 write bandwidth, durability & recovery ablations |
 //! | [`tcp`] | Enhanced-IO: real TCP throughput, multiplexed vs thread-per-conn |
+//! | [`chaos_suite`] | Deterministic chaos harness — failover/crash-recovery invariants |
 
+pub mod chaos_suite;
 pub mod extras;
 pub mod fig4;
 pub mod fig5;

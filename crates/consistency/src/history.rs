@@ -95,6 +95,23 @@ impl<I, O> HistoryRecorder<I, O> {
         });
     }
 
+    /// Records an operation whose outcome is unknown (a Jepsen-style "info"
+    /// op): the return stamp is `u64::MAX`, so the checker may linearize it
+    /// anywhere from its invocation to the end of the history. Use this for
+    /// errored/timed-out writes that may or may not have been applied —
+    /// paired with a model output that treats the write as applied, this is
+    /// sound for linearizability: if the write never landed, linearizing it
+    /// after every completed operation leaves all observed outputs legal.
+    pub fn finish_open(&self, handle: OpHandle<I>, output: O) {
+        self.inner.ops.lock().push(Operation {
+            client: handle.client,
+            input: handle.input,
+            output,
+            call: handle.call,
+            ret: u64::MAX,
+        });
+    }
+
     /// Takes the recorded history (completed operations only — in-flight
     /// operations at crash time are legitimately ambiguous and omitted,
     /// which is the permissive treatment).
@@ -129,6 +146,19 @@ mod tests {
         assert!(ops[0].call < ops[0].ret);
         assert!(ops[0].ret < ops[1].call, "sequential ops have ordered stamps");
         assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn finish_open_records_an_unbounded_return_window() {
+        let rec: HistoryRecorder<&'static str, i32> = HistoryRecorder::new();
+        let h = rec.begin(0, "ambiguous-write");
+        rec.finish_open(h, -1);
+        let h2 = rec.begin(0, "later-op");
+        rec.finish(h2, 2);
+        let ops = rec.take();
+        assert_eq!(ops[0].ret, u64::MAX, "open op overlaps everything after it");
+        assert!(ops[1].ret < u64::MAX);
+        assert!(ops[0].call < ops[1].call);
     }
 
     #[test]

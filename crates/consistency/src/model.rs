@@ -43,6 +43,12 @@ pub enum KvOutput {
     Int(i64),
     /// An error reply (never legal in these histories).
     Error,
+    /// The operation's outcome is unknown (errored/timed-out write that may
+    /// or may not have been applied — a Jepsen-style "info" op). The model
+    /// treats the write as applied; recording it with an open return window
+    /// (ret = `u64::MAX`) lets the checker also linearize it arbitrarily
+    /// late, which together covers both the applied and never-applied cases.
+    Ambiguous,
 }
 
 /// The per-key sequential model: state is the key's current value.
@@ -86,6 +92,27 @@ impl Model for KvModel {
                 let mut new = state.clone().unwrap_or_default();
                 new.push_str(suffix);
                 (*n == new.len() as i64, Some(new))
+            }
+            // Ambiguous writes: any return value would have been legal, so
+            // the transition is unconditionally accepted with the write's
+            // effect applied. Ambiguous reads carry no information and must
+            // not be recorded (a Get here is a recorder bug, not a legal op).
+            (KvInput::Set(_, v), KvOutput::Ambiguous) => (true, Some(v.clone())),
+            (KvInput::Del(_), KvOutput::Ambiguous) => (true, None),
+            (KvInput::Incr(_), KvOutput::Ambiguous) => {
+                let current: i64 = match state {
+                    None => 0,
+                    Some(s) => match s.parse() {
+                        Ok(v) => v,
+                        Err(_) => return (false, state.clone()),
+                    },
+                };
+                (true, Some((current + 1).to_string()))
+            }
+            (KvInput::Append(_, suffix), KvOutput::Ambiguous) => {
+                let mut new = state.clone().unwrap_or_default();
+                new.push_str(suffix);
+                (true, Some(new))
             }
             _ => (false, state.clone()),
         }
@@ -175,6 +202,34 @@ mod tests {
             op(1, KvInput::Get("b".into()), KvOutput::Value(None), 2, 3),
         ];
         assert_eq!(check(&KvModel, h, T), CheckOutcome::Illegal);
+    }
+
+    #[test]
+    fn ambiguous_write_may_or_may_not_be_observed() {
+        // The SET errored out (e.g. CLUSTERDOWN mid-failover): recorded as
+        // ambiguous with an open return window. Later reads seeing either
+        // the old or the new value must both be legal.
+        let saw_new = vec![
+            op(0, KvInput::Set("k".into(), "old".into()), KvOutput::Ok, 0, 1),
+            op(1, KvInput::Set("k".into(), "new".into()), KvOutput::Ambiguous, 2, u64::MAX),
+            op(2, KvInput::Get("k".into()), KvOutput::Value(Some("new".into())), 10, 11),
+        ];
+        let saw_old = vec![
+            op(0, KvInput::Set("k".into(), "old".into()), KvOutput::Ok, 0, 1),
+            op(1, KvInput::Set("k".into(), "new".into()), KvOutput::Ambiguous, 2, u64::MAX),
+            op(2, KvInput::Get("k".into()), KvOutput::Value(Some("old".into())), 10, 11),
+        ];
+        assert_eq!(check(&KvModel, saw_new, T), CheckOutcome::Ok);
+        assert_eq!(check(&KvModel, saw_old, T), CheckOutcome::Ok);
+
+        // But an ambiguous write is not a wildcard: a read of a value nobody
+        // ever wrote stays illegal.
+        let impossible = vec![
+            op(0, KvInput::Set("k".into(), "old".into()), KvOutput::Ok, 0, 1),
+            op(1, KvInput::Set("k".into(), "new".into()), KvOutput::Ambiguous, 2, u64::MAX),
+            op(2, KvInput::Get("k".into()), KvOutput::Value(Some("other".into())), 10, 11),
+        ];
+        assert_eq!(check(&KvModel, impossible, T), CheckOutcome::Illegal);
     }
 
     #[test]

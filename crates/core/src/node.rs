@@ -64,6 +64,12 @@ struct NodeState {
     next_renewal_at: Instant,
     effects_since_probe: u64,
     demote_requested: bool,
+    /// The engine executed mutations whose log append was REJECTED (fenced
+    /// or partitioned): those keys are dirty but not hazard-tracked, so the
+    /// node must not serve anything — not even reads — until the rebuild
+    /// discards them. A timed-out append is different: its entries are in
+    /// the log and in the tracker, so clean reads stay safe.
+    state_poisoned: bool,
     /// A rebuild (restore from snapshot+log) is in progress.
     rebuilding: bool,
     /// Migration forwarding: writes to these slots are mirrored to the
@@ -119,6 +125,7 @@ impl Node {
                 next_renewal_at: Instant::now(),
                 effects_since_probe: 0,
                 demote_requested: false,
+                state_poisoned: false,
                 rebuilding: false,
                 forward: HashMap::new(),
             }),
@@ -160,9 +167,16 @@ impl Node {
     }
 
     /// Is this node the shard primary with a currently valid lease?
+    ///
+    /// A primary with a pending demotion (fenced append, voluntary release)
+    /// no longer counts: its in-memory state may contain executed-but-
+    /// uncommitted mutations that the rebuild is about to discard.
     pub fn is_active_primary(&self) -> bool {
         let st = self.st.lock();
-        st.role == Role::Primary && Instant::now() < st.lease_valid_until && !st.rebuilding
+        st.role == Role::Primary
+            && Instant::now() < st.lease_valid_until
+            && !st.rebuilding
+            && !st.demote_requested
     }
 
     /// Last applied (or appended) log position.
@@ -173,6 +187,20 @@ impl Node {
     /// Current leadership epoch.
     pub fn epoch(&self) -> u64 {
         self.st.lock().rs.epoch
+    }
+
+    /// Running checksum over everything applied so far — equal positions
+    /// must have equal checksums on every node (the convergence invariant
+    /// the chaos harness asserts).
+    pub fn running_crc(&self) -> u64 {
+        self.st.lock().rs.running_crc
+    }
+
+    /// Applied position and running checksum read under one lock (an
+    /// un-torn pair — reading them separately can interleave with apply).
+    pub fn position(&self) -> (EntryId, u64) {
+        let st = self.st.lock();
+        (st.rs.applied, st.rs.running_crc)
     }
 
     /// Why this node stopped consuming the log, if it did.
@@ -330,6 +358,16 @@ impl Node {
             let is_write = command_spec(&name).is_some_and(|s| s.flags.write);
             match st.role {
                 Role::Primary => {
+                    // A fenced append left executed-but-unlogged mutations
+                    // in the engine: serving even a read here could expose
+                    // values that the imminent rebuild will discard (a
+                    // read-then-unread anomaly the chaos harness caught).
+                    if st.state_poisoned {
+                        replies.push(Frame::Error(
+                            "CLUSTERDOWN uncommitted state pending rebuild; demoting".into(),
+                        ));
+                        continue;
+                    }
                     // §4.1.3: a primary that cannot keep its lease
                     // voluntarily stops servicing reads and writes.
                     if Instant::now() >= st.lease_valid_until {
@@ -477,8 +515,10 @@ impl Node {
                 Err(e) => {
                     // Fenced (a new leader exists) or partitioned: these
                     // mutations must not be acknowledged; demote and resync
-                    // (§3.2).
+                    // (§3.2). The executed-but-unlogged effects also poison
+                    // the engine state until the rebuild replaces it.
                     st.demote_requested = true;
+                    st.state_poisoned = true;
                     append_error = Some(e.to_string());
                 }
             }
@@ -628,6 +668,7 @@ impl Node {
             }
             Err(e) => {
                 st.demote_requested = true;
+                st.state_poisoned = true;
                 Err(format!("log append failed: {e}"))
             }
         }
@@ -966,6 +1007,7 @@ impl Node {
             st.tracker.stage(id, &dirty);
         } else {
             st.demote_requested = true;
+            st.state_poisoned = true;
         }
     }
 
@@ -985,8 +1027,16 @@ impl Node {
                     st.pending_renewal = None;
                 }
             }
+            // Decide demotion BEFORE appending any renewal: an expired
+            // lease (or a requested demotion) means we are no longer the
+            // leader, and appending a renewal past that point would reset
+            // the replicas' election timers and delay the failover we are
+            // supposed to be enabling.
+            if st.demote_requested || now >= st.lease_valid_until {
+                demote = true;
+            }
             // Append a renewal when due.
-            if st.pending_renewal.is_none() && now >= st.next_renewal_at {
+            if !demote && st.pending_renewal.is_none() && now >= st.next_renewal_at {
                 let rec = Record::LeaseRenewal {
                     node: self.id,
                     epoch: st.rs.epoch,
@@ -1014,7 +1064,9 @@ impl Node {
                     }
                 }
             }
-            if st.demote_requested || now >= st.lease_valid_until {
+            // Appending the renewal can itself detect fencing and request
+            // demotion; re-check before continuing to serve.
+            if st.demote_requested {
                 demote = true;
             }
             if !demote {
@@ -1064,6 +1116,7 @@ impl Node {
                     // it observed its own lease release during replay.
                     st.rs.release_observed = false;
                     st.tracker.reset();
+                    st.state_poisoned = false;
                     st.rebuilding = false;
                     return;
                 }

@@ -67,6 +67,24 @@ impl OffboxSnapshotter {
     /// Runs one off-box snapshot cycle and returns the new snapshot's store
     /// key and covered position. `trim_log` additionally trims the log
     /// prefix the verified snapshot now covers (§4.2.3).
+    ///
+    /// **Ordering contract (trim safety).** The log prefix is trimmed only
+    /// *after* the verified snapshot blob is durably in the object store —
+    /// `store.put` strictly precedes `log.trim_prefix`, and the trim point
+    /// equals the snapshot's `covered` position. Consequences restorers may
+    /// rely on:
+    ///
+    /// 1. Every committed entry is always reachable as (some stored
+    ///    snapshot) + (the untrimmed log suffix): `first_available()` never
+    ///    exceeds `latest_snapshot.covered + 1`.
+    /// 2. A restore that observes `ReadError::Trimmed` mid-replay raced a
+    ///    concurrent snapshot+trim cycle, and a *fresher* snapshot covering
+    ///    at least the trim point is already fetchable — retrying from the
+    ///    latest snapshot always makes progress (see
+    ///    [`crate::restore::restore_replica`]).
+    ///
+    /// Violating this order (trim first, put after) would open a window
+    /// where a crash loses the only copy of the trimmed prefix.
     pub fn create_snapshot(&self, trim_log: bool) -> Result<(String, EntryId), OffboxError> {
         // (1) Record the tail at creation time, restore to exactly there —
         // a static data view guaranteed fresher than any previous snapshot.

@@ -63,7 +63,38 @@ pub enum ReplayTarget {
 /// With `ReplayTarget::Tail` the returned state is caught up to the
 /// committed tail at return time; the caller's replication loop continues
 /// from there.
+///
+/// **Trim races.** An off-box snapshotter may publish a snapshot and trim
+/// the log prefix *between* our snapshot fetch and a replay read, making the
+/// suffix we were replaying unavailable mid-restore. The snapshotter's
+/// ordering contract (put-before-trim, see [`crate::offbox`]) guarantees a
+/// `Trimmed` error implies a newer snapshot covering at least the trim point
+/// is already in the store — so the correct response is to start over from
+/// that fresher snapshot, not to fail. Retries are bounded: each one
+/// requires a whole snapshot+trim cycle to land inside our replay window, so
+/// repeated losses indicate a trimming policy violation and surface as the
+/// final `Trimmed` error rather than looping forever.
 pub fn restore_replica(
+    store: &ObjectStore,
+    log: &LogService,
+    client: ClientId,
+    shard_name: &str,
+    my_version: EngineVersion,
+    target: ReplayTarget,
+) -> Result<RestorePoint, RestoreError> {
+    const MAX_TRIM_RETRIES: usize = 5;
+    let mut attempt = 0;
+    loop {
+        match restore_replica_once(store, log, client, shard_name, my_version, target) {
+            Err(RestoreError::Log(ReadError::Trimmed { .. })) if attempt < MAX_TRIM_RETRIES => {
+                attempt += 1;
+            }
+            other => return other,
+        }
+    }
+}
+
+fn restore_replica_once(
     store: &ObjectStore,
     log: &LogService,
     client: ClientId,

@@ -104,12 +104,30 @@ impl Shard {
 
     /// Starts one more node pinned to an engine version (rolling-upgrade
     /// scenarios, §7.1).
+    ///
+    /// The restore is retried: a node joining a live shard can race a
+    /// concurrent snapshot+trim cycle or a transient log partition, both of
+    /// which are recoverable — only persistent failure (e.g. corrupt
+    /// snapshot store) panics.
     pub fn add_node_with_version(&self, version: memorydb_engine::EngineVersion) -> Arc<Node> {
         let id = self.ids.next();
-        let node = Node::start_restored_with_version(Arc::clone(&self.ctx), id, version)
-            .expect("restore for a live shard cannot fail");
-        self.nodes.write().push(Arc::clone(&node));
-        node
+        let mut last_err = None;
+        for _ in 0..100 {
+            match Node::start_restored_with_version(Arc::clone(&self.ctx), id, version) {
+                Ok(node) => {
+                    self.nodes.write().push(Arc::clone(&node));
+                    return node;
+                }
+                Err(e) => {
+                    last_err = Some(e);
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+        panic!(
+            "restore for a live shard kept failing: {}",
+            last_err.expect("loop ran")
+        );
     }
 
     /// All live nodes.

@@ -1001,3 +1001,178 @@ fn batch_matches_one_at_a_time_semantics() {
 
     assert_eq!(batched, sequential);
 }
+
+// ---------------------------------------------------------------------------
+// Failover & crash-recovery regressions (found/pinned by the chaos harness)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fenced_stale_primary_must_not_ack_in_flight_writes() {
+    // A primary whose conditional append loses to a competing log writer is
+    // fenced (§4.1): the write it was servicing must come back as an error,
+    // never +OK, and the value must not exist anywhere afterwards.
+    let shard = quiet_shard(1);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut session = SessionState::new();
+    assert_eq!(primary.handle(&mut session, &cmd(["SET", "stable", "1"])), Frame::ok());
+
+    // Fence the primary out-of-band: a benign Effects record appended by a
+    // foreign writer moves the log tail past the primary's applied position,
+    // so its next conditional append must conflict.
+    let fence = crate::record::Record::Effects {
+        version: memorydb_engine::EngineVersion::CURRENT,
+        effects: vec![cmd(["SET", "sneak", "1"])],
+    };
+    shard
+        .ctx()
+        .log
+        .append(999, fence.encode())
+        .expect("foreign append");
+
+    // quiet_shard renews only every 600ms, so this handle call reaches the
+    // append path well before the renewal loop notices the fence.
+    let r = primary.handle(&mut session, &cmd(["SET", "lost", "x"]));
+    match r {
+        Frame::Error(m) => assert!(
+            m.starts_with("CLUSTERDOWN cannot commit to transaction log"),
+            "fenced write must fail the commit path, got: {m}"
+        ),
+        other => panic!("fenced in-flight write was acknowledged: {other:?}"),
+    }
+
+    // Until the rebuild discards the poisoned state, the fenced node must
+    // refuse even reads — serving them would expose the uncommitted `lost`
+    // value, which then vanishes (a read-then-unread anomaly).
+    match primary.handle(&mut session, &cmd(["GET", "lost"])) {
+        Frame::Error(m) => assert!(m.starts_with("CLUSTERDOWN"), "{m}"),
+        other => panic!("fenced primary served a read: {other:?}"),
+    }
+
+    // After the dust settles some primary serves again; the fenced write is
+    // nowhere, while both the pre-fence write and the fencing record are.
+    let p = shard.wait_for_primary(Duration::from_secs(10)).expect("recovery");
+    let mut s = SessionState::new();
+    assert_eq!(p.handle(&mut s, &cmd(["GET", "lost"])), Frame::Null);
+    assert_eq!(p.handle(&mut s, &cmd(["GET", "stable"])), bulk("1"));
+    assert_eq!(p.handle(&mut s, &cmd(["GET", "sneak"])), bulk("1"));
+}
+
+#[test]
+fn lease_expiry_mid_batch_rejects_with_clusterdown() {
+    // §4.1.3: a primary that cannot renew must stop serving at lease end.
+    // The tick here is far larger than the lease, so the node sits in the
+    // expired-but-not-yet-demoted window for seconds — exactly the state a
+    // client batch can race into — and every command in the batch must be
+    // rejected through the CLUSTERDOWN lease path, reads included.
+    let cfg = ShardConfig {
+        lease: Duration::from_millis(300),
+        renew_interval: Duration::from_millis(100),
+        backoff: Duration::from_millis(400),
+        tick: Duration::from_secs(3),
+        ..ShardConfig::fast()
+    };
+    let shard = Shard::bootstrap(
+        0,
+        cfg,
+        Arc::new(ObjectStore::new()),
+        Arc::new(ClusterBus::new()),
+        Arc::new(NodeIdGen::new()),
+        vec![(0, 16383)],
+        1,
+    );
+    let primary = shard.wait_for_primary(Duration::from_secs(10)).unwrap();
+    let mut session = SessionState::new();
+    assert_eq!(primary.handle(&mut session, &cmd(["SET", "k", "v"])), Frame::ok());
+
+    // The 3s tick means no renewal lands before the 300ms lease runs out;
+    // 600ms later the lease is expired but the run loop hasn't demoted yet.
+    std::thread::sleep(Duration::from_millis(600));
+    let replies = primary.handle_batch(
+        &mut session,
+        &[cmd(["SET", "lost", "x"]), cmd(["GET", "k"]), cmd(["DEL", "k"])],
+    );
+    assert_eq!(replies.len(), 3);
+    for r in &replies {
+        match r {
+            Frame::Error(m) => assert_eq!(
+                m, "CLUSTERDOWN leadership lease expired; demoting",
+                "expired-lease batch must fail via the lease path"
+            ),
+            other => panic!("expired-lease primary served a command: {other:?}"),
+        }
+    }
+
+    // The rejected mutations never happened: a successor still has k and no
+    // trace of the poisoned batch.
+    let successor = wait_for_new_primary(&shard, primary.id);
+    let mut s = SessionState::new();
+    assert_eq!(successor.handle(&mut s, &cmd(["GET", "k"])), bulk("v"));
+    assert_eq!(successor.handle(&mut s, &cmd(["GET", "lost"])), Frame::Null);
+}
+
+#[test]
+fn restore_racing_snapshot_trim_retries_from_fresh_snapshot() {
+    // §4.2.1 vs §4.2.3: a replica restore that loses its log suffix to a
+    // concurrent off-box snapshot + trim must restart from the (necessarily
+    // fresher) snapshot and complete — not error out, and never mismatch a
+    // checksum. The restoring client is slowed so the snapshot+trim cycle
+    // deterministically lands inside its replay window.
+    let shard = new_shard(0);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut session = SessionState::new();
+    for chunk in 0..7 {
+        let batch: Vec<Vec<Bytes>> = (0..100)
+            .map(|i| cmd(["SET", &format!("k{}", chunk * 100 + i), "v"]))
+            .collect();
+        for r in primary.handle_batch(&mut session, &batch) {
+            assert_eq!(r, Frame::ok());
+        }
+    }
+
+    // >700 log entries now; a restore reads them in 512-entry batches, so a
+    // delayed reader needs several round trips.
+    let restorer_client = 7_777;
+    shard
+        .ctx()
+        .log
+        .set_read_delay(restorer_client, Some(Duration::from_millis(80)));
+    let ctx = Arc::clone(shard.ctx());
+    let restorer = std::thread::spawn(move || {
+        crate::restore::restore_replica(
+            &ctx.store,
+            &ctx.log,
+            restorer_client,
+            &ctx.name,
+            memorydb_engine::EngineVersion::CURRENT,
+            crate::restore::ReplayTarget::Tail,
+        )
+    });
+
+    // While the restorer is mid-replay, publish a covering snapshot and trim
+    // the whole prefix it was reading.
+    std::thread::sleep(Duration::from_millis(120));
+    let offbox = OffboxSnapshotter::new(
+        Arc::clone(shard.ctx()),
+        memorydb_engine::EngineVersion::CURRENT,
+        9_998,
+    );
+    let (_, covered) = offbox.create_snapshot(true).expect("off-box snapshot");
+    assert!(shard.ctx().log.first_available() > memorydb_txlog::EntryId::ZERO.next());
+
+    let rp = restorer
+        .join()
+        .unwrap()
+        .expect("restore racing a trim must retry from the fresh snapshot");
+    shard.ctx().log.set_read_delay(restorer_client, None);
+
+    assert!(
+        rp.rs.applied >= covered,
+        "retried restore must land at or past the trimming snapshot"
+    );
+    for i in 0..700 {
+        assert!(
+            rp.engine.db.lookup(format!("k{i}").as_bytes(), 0).is_some(),
+            "k{i} missing after trim-raced restore"
+        );
+    }
+}

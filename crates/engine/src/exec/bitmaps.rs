@@ -13,6 +13,27 @@ fn read_str<'a>(e: &'a Engine, key: &[u8]) -> Result<Option<&'a Bytes>, ExecOutc
 
 const MAX_BIT_OFFSET: i64 = 4 * 1024 * 1024 * 1024 * 8 - 1; // 4 GB of bits
 
+/// Normalizes a `[start, end]` range (in bytes or bits, per the caller's
+/// `total`) exactly the way Redis does for BITCOUNT/BITPOS: negative
+/// offsets count back from `total`, underflow clamps to 0, overflow clamps
+/// to `total - 1` **for the end only** — a start past the end is an empty
+/// range, never wrapped or clamped back inside. Returns `None` for empty.
+fn redis_bit_range(start: i64, end: i64, total: i64) -> Option<(i64, i64)> {
+    if total == 0 {
+        return None;
+    }
+    // Both negative and inverted: empty even though both would clamp to 0.
+    if start < 0 && end < 0 && start > end {
+        return None;
+    }
+    let lo = if start < 0 { (total + start).max(0) } else { start };
+    let hi = if end < 0 { (total + end).max(0) } else { end.min(total - 1) };
+    if lo > hi {
+        return None;
+    }
+    Some((lo, hi))
+}
+
 /// `SETBIT key offset 0|1`
 pub(super) fn setbit(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     let offset = p_i64(&a[2])?;
@@ -76,14 +97,9 @@ pub(super) fn bitcount(e: &mut Engine, a: &[Bytes]) -> CmdResult {
         Some(_) => return Err(ExecOutcome::error("syntax error")),
     };
     let total = if bit_mode { s.len() as i64 * 8 } else { s.len() as i64 };
-    let norm = |v: i64| if v < 0 { (total + v).max(0) } else { v.min(total - 1) };
-    if total == 0 {
+    let Some((lo, hi)) = redis_bit_range(start, end, total) else {
         return Ok(ExecOutcome::read(Frame::Integer(0)));
-    }
-    let (lo, hi) = (norm(start), norm(end));
-    if lo > hi {
-        return Ok(ExecOutcome::read(Frame::Integer(0)));
-    }
+    };
     let count: i64 = if bit_mode {
         (lo..=hi)
             .filter(|&bit| {
@@ -101,12 +117,22 @@ pub(super) fn bitcount(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     Ok(ExecOutcome::read(Frame::Integer(count)))
 }
 
-/// `BITPOS key bit [start [end [BYTE|BIT]]]` (BYTE ranges only)
+/// `BITPOS key bit [start [end [BYTE|BIT]]]`
 pub(super) fn bitpos(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     let target = match a[2].as_ref() {
         b"0" => 0u8,
         b"1" => 1u8,
         _ => return Err(ExecOutcome::error("The bit argument must be 1 or 0.")),
+    };
+    // The unit only ever accompanies an explicit start AND end.
+    if a.len() > 6 {
+        return Err(ExecOutcome::error("syntax error"));
+    }
+    let bit_mode = match a.get(5).map(|m| upper(m)) {
+        None => false,
+        Some(m) if m == "BYTE" => false,
+        Some(m) if m == "BIT" => true,
+        Some(_) => return Err(ExecOutcome::error("syntax error")),
     };
     let Some(s) = read_str(e, &a[1])?.cloned() else {
         // Missing key: looking for 1 finds nothing; looking for 0 finds
@@ -117,21 +143,18 @@ pub(super) fn bitpos(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     let len = s.len() as i64;
     let explicit_end = a.len() >= 5;
     let start = if a.len() >= 4 { p_i64(&a[3])? } else { 0 };
-    let end = if explicit_end { p_i64(&a[4])? } else { len - 1 };
-    let norm = |v: i64| if v < 0 { (len + v).max(0) } else { v.min(len - 1) };
-    if len == 0 {
+    // Range endpoints are in the range unit: bytes by default, bits with
+    // BIT — negative offsets count back from the same unit's total.
+    let total = if bit_mode { len * 8 } else { len };
+    let end = if explicit_end { p_i64(&a[4])? } else { total - 1 };
+    let Some((lo, hi)) = redis_bit_range(start, end, total) else {
         return Ok(ExecOutcome::read(Frame::Integer(-1)));
-    }
-    let (lo, hi) = (norm(start), norm(end));
-    if lo > hi {
-        return Ok(ExecOutcome::read(Frame::Integer(-1)));
-    }
-    for byte in lo..=hi {
-        let b = s[byte as usize];
-        for bit in 0..8u8 {
-            if (b >> (7 - bit)) & 1 == target {
-                return Ok(ExecOutcome::read(Frame::Integer(byte * 8 + bit as i64)));
-            }
+    };
+    let (first_bit, last_bit) = if bit_mode { (lo, hi) } else { (lo * 8, hi * 8 + 7) };
+    for pos in first_bit..=last_bit {
+        let b = s[(pos / 8) as usize];
+        if (b >> (7 - (pos % 8) as u8)) & 1 == target {
+            return Ok(ExecOutcome::read(Frame::Integer(pos)));
         }
     }
     // Searching for 0 past the end of the string: the "virtual" zeroes

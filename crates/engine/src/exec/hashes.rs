@@ -244,7 +244,7 @@ pub(super) fn hrandfield(e: &mut Engine, a: &[Bytes]) -> CmdResult {
 }
 
 pub(super) fn hscan(e: &mut Engine, a: &[Bytes]) -> CmdResult {
-    let _cursor = p_i64(&a[2])?;
+    let _cursor = p_cursor(&a[2])?;
     let mut pattern: Option<Bytes> = None;
     let mut novalues = false;
     let mut i = 3;

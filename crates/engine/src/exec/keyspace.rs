@@ -133,7 +133,7 @@ pub(super) fn keys(e: &mut Engine, a: &[Bytes]) -> CmdResult {
 }
 
 pub(super) fn scan(e: &mut Engine, a: &[Bytes]) -> CmdResult {
-    let cursor = p_i64(&a[1])? as u64;
+    let cursor = p_cursor(&a[1])?;
     let mut count = 10usize;
     let mut pattern: Option<Bytes> = None;
     let mut type_filter: Option<String> = None;

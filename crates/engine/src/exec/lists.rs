@@ -66,11 +66,12 @@ pub(super) fn pop(e: &mut Engine, a: &[Bytes], left: bool) -> CmdResult {
     };
     let key = a[1].clone();
     if read_list(e, &key)?.is_none() {
-        return Ok(ExecOutcome::read(if explicit_count {
-            Frame::Null
-        } else {
-            Frame::Null
-        }));
+        return Ok(ExecOutcome::read(Frame::Null));
+    }
+    // `LPOP key 0` on an existing key: Redis replies with an empty array
+    // (only a missing key yields nil), and nothing is mutated.
+    if explicit_count && count == 0 {
+        return Ok(ExecOutcome::read(Frame::Array(vec![])));
     }
     let now = e.now();
     let Some(Value::List(l)) = e.db.lookup_mut(&key, now) else {

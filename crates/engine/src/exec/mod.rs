@@ -558,6 +558,16 @@ pub(crate) fn p_i64(arg: &[u8]) -> Result<i64, ExecOutcome> {
         .ok_or_else(|| ExecOutcome::error("value is not an integer or out of range"))
 }
 
+/// Parses a SCAN-family cursor. Cursors are unsigned: Redis rejects
+/// negative or non-numeric cursors outright instead of letting them wrap
+/// into huge valid positions (`SCAN -1` must not become `SCAN 2^64-1`).
+pub(crate) fn p_cursor(arg: &[u8]) -> Result<u64, ExecOutcome> {
+    std::str::from_utf8(arg)
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .ok_or_else(|| ExecOutcome::error("invalid cursor"))
+}
+
 pub(crate) fn p_f64(arg: &[u8]) -> Result<f64, ExecOutcome> {
     let v = std::str::from_utf8(arg)
         .ok()

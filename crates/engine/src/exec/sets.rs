@@ -322,7 +322,7 @@ pub(super) fn sintercard(e: &mut Engine, a: &[Bytes]) -> CmdResult {
 }
 
 pub(super) fn sscan(e: &mut Engine, a: &[Bytes]) -> CmdResult {
-    let _cursor = p_i64(&a[2])?;
+    let _cursor = p_cursor(&a[2])?;
     let mut pattern: Option<Bytes> = None;
     let mut i = 3;
     while i < a.len() {

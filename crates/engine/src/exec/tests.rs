@@ -1255,3 +1255,252 @@ fn scan_type_filter_and_object_encoding() {
     assert_eq!(run(&mut e, &["OBJECT", "REFCOUNT", "s1"]), Frame::Integer(1));
     assert!(run(&mut e, &["OBJECT", "ENCODING", "missing"]).is_error());
 }
+
+// --- cursor & cast audit (SCAN family, bitmaps, lists, hashes) ------------
+
+fn err_text(f: &Frame) -> String {
+    match f {
+        Frame::Error(e) => e.clone(),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+}
+
+#[test]
+fn scan_family_rejects_negative_cursor() {
+    let mut e = engine();
+    run(&mut e, &["SET", "k", "v"]);
+    run(&mut e, &["HSET", "h", "f", "v"]);
+    run(&mut e, &["SADD", "s", "m"]);
+    run(&mut e, &["ZADD", "z", "1", "m"]);
+    // A negative cursor must not wrap into a huge valid u64 cursor.
+    for parts in [
+        vec!["SCAN", "-1"],
+        vec!["HSCAN", "h", "-1"],
+        vec!["SSCAN", "s", "-1"],
+        vec!["ZSCAN", "z", "-9223372036854775808"],
+        vec!["SCAN", "notanumber"],
+    ] {
+        assert_eq!(
+            err_text(&run(&mut e, &parts)),
+            "ERR invalid cursor",
+            "for {parts:?}"
+        );
+    }
+    // Valid unsigned cursors still work, including ones above i64::MAX.
+    let reply = run(&mut e, &["SCAN", "0", "COUNT", "100"]);
+    assert_eq!(reply.as_array().unwrap()[1].as_array().unwrap().len(), 4);
+    let reply = run(&mut e, &["SCAN", "18446744073709551615"]);
+    assert!(reply.as_array().is_some());
+}
+
+#[test]
+fn bitpos_honors_bit_unit_ranges() {
+    let mut e = engine();
+    // Value 0b0001_0000 0b0000_0000: only bit 3 is set.
+    run(&mut e, &["SETBIT", "k", "3", "1"]);
+    run(&mut e, &["SETBIT", "k", "15", "0"]);
+    // BIT-unit range [1,3] contains bit 3; the same numbers as a BYTE
+    // range (bytes 1..3 = bits 8..31) do not. Pre-fix the unit argument
+    // was silently ignored and this returned -1.
+    assert_eq!(run(&mut e, &["BITPOS", "k", "1", "1", "3", "BIT"]), Frame::Integer(3));
+    assert_eq!(run(&mut e, &["BITPOS", "k", "1", "1", "3", "BYTE"]), Frame::Integer(-1));
+    assert_eq!(run(&mut e, &["BITPOS", "k", "1", "4", "-1", "BIT"]), Frame::Integer(-1));
+    assert_eq!(run(&mut e, &["BITPOS", "k", "0", "3", "8", "BIT"]), Frame::Integer(4));
+    // Bad unit / trailing garbage are syntax errors.
+    assert!(run(&mut e, &["BITPOS", "k", "1", "0", "-1", "NIBBLE"]).is_error());
+    assert!(run(&mut e, &["BITPOS", "k", "1", "0", "-1", "BIT", "x"]).is_error());
+}
+
+#[test]
+fn bit_range_start_past_end_is_empty() {
+    let mut e = engine();
+    run(&mut e, &["SET", "k", "ab"]); // 2 bytes, 6 set bits
+    // A start beyond the value must yield an empty range, not clamp back
+    // onto the last byte (pre-fix this counted byte 1 / found bit 8).
+    assert_eq!(run(&mut e, &["BITCOUNT", "k", "5", "10"]), Frame::Integer(0));
+    assert_eq!(run(&mut e, &["BITPOS", "k", "1", "5", "10"]), Frame::Integer(-1));
+    assert_eq!(run(&mut e, &["BITCOUNT", "k", "30", "40", "BIT"]), Frame::Integer(0));
+    // Both-negative inverted ranges are empty even when both clamp to 0.
+    assert_eq!(run(&mut e, &["BITCOUNT", "k", "-1", "-10"]), Frame::Integer(0));
+    assert_eq!(run(&mut e, &["BITCOUNT", "k", "-100", "-200"]), Frame::Integer(0));
+}
+
+#[test]
+fn lpop_explicit_zero_count_returns_empty_array() {
+    let mut e = engine();
+    run(&mut e, &["RPUSH", "l", "a", "b"]);
+    // Existing key + count 0: empty array, nothing popped (pre-fix: nil).
+    assert_eq!(run(&mut e, &["LPOP", "l", "0"]), Frame::Array(vec![]));
+    assert_eq!(run(&mut e, &["RPOP", "l", "0"]), Frame::Array(vec![]));
+    assert_eq!(run(&mut e, &["LLEN", "l"]), Frame::Integer(2));
+    // Missing key with a count stays nil; negative counts stay errors.
+    assert_eq!(run(&mut e, &["LPOP", "missing", "0"]), Frame::Null);
+    assert!(run(&mut e, &["LPOP", "l", "-1"]).is_error());
+}
+
+/// Reference model for the documented BITCOUNT/BITPOS range semantics:
+/// negative offsets count back from the total, underflow clamps to 0,
+/// overflow clamps the END only, start past end is empty.
+fn model_bit_range(start: i64, end: i64, total: i64) -> Option<(usize, usize)> {
+    if total == 0 || (start < 0 && end < 0 && start > end) {
+        return None;
+    }
+    let lo = if start < 0 { (total + start).max(0) } else { start };
+    let hi = if end < 0 { (total + end).max(0) } else { end.min(total - 1) };
+    if lo > hi {
+        None
+    } else {
+        Some((lo as usize, hi as usize))
+    }
+}
+
+fn bits_of(s: &[u8]) -> Vec<u8> {
+    s.iter()
+        .flat_map(|b| (0..8u8).map(move |i| (b >> (7 - i)) & 1))
+        .collect()
+}
+
+fn set_raw_string(e: &mut Engine, key: &str, bytes: &[u8]) {
+    e.db.set_value(
+        Bytes::copy_from_slice(key.as_bytes()),
+        crate::value::Value::Str(Bytes::copy_from_slice(bytes)),
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn prop_bitcount_matches_bit_model(
+        bytes in proptest::collection::vec(any::<u8>(), 0..10),
+        start in -90i64..90,
+        end in -90i64..90,
+        bit_unit in any::<bool>(),
+    ) {
+        let mut e = engine();
+        set_raw_string(&mut e, "k", &bytes);
+        let bits = bits_of(&bytes);
+        let total = if bit_unit { bits.len() } else { bytes.len() } as i64;
+        let expect = match model_bit_range(start, end, total) {
+            None => 0,
+            Some((lo, hi)) => {
+                let (fb, lb) = if bit_unit { (lo, hi) } else { (lo * 8, hi * 8 + 7) };
+                bits[fb..=lb].iter().map(|&b| b as i64).sum()
+            }
+        };
+        let unit = if bit_unit { "BIT" } else { "BYTE" };
+        let got = run(&mut e, &["BITCOUNT", "k", &start.to_string(), &end.to_string(), unit]);
+        prop_assert_eq!(got, Frame::Integer(expect));
+    }
+
+    #[test]
+    fn prop_bitpos_matches_bit_model(
+        bytes in proptest::collection::vec(any::<u8>(), 0..10),
+        target in 0u8..2,
+        start in -90i64..90,
+        end in -90i64..90,
+        bit_unit in any::<bool>(),
+    ) {
+        let mut e = engine();
+        set_raw_string(&mut e, "k", &bytes);
+        let bits = bits_of(&bytes);
+        let total = if bit_unit { bits.len() } else { bytes.len() } as i64;
+        let expect = match model_bit_range(start, end, total) {
+            None => -1,
+            Some((lo, hi)) => {
+                let (fb, lb) = if bit_unit { (lo, hi) } else { (lo * 8, hi * 8 + 7) };
+                bits[fb..=lb]
+                    .iter()
+                    .position(|&b| b == target)
+                    .map(|p| (fb + p) as i64)
+                    .unwrap_or(-1)
+            }
+        };
+        let unit = if bit_unit { "BIT" } else { "BYTE" };
+        let got = run(
+            &mut e,
+            &["BITPOS", "k", &target.to_string(), &start.to_string(), &end.to_string(), unit],
+        );
+        prop_assert_eq!(got, Frame::Integer(expect));
+    }
+
+    #[test]
+    fn prop_list_index_casts_match_model(
+        items in proptest::collection::vec("[a-c]{1,2}", 1..8),
+        i in -12i64..12,
+        j in -12i64..12,
+        n in 0i64..7,
+    ) {
+        let mut e = engine();
+        let mut parts = vec!["RPUSH".to_string(), "l".to_string()];
+        parts.extend(items.iter().cloned());
+        let refs: Vec<&str> = parts.iter().map(|s| s.as_str()).collect();
+        run(&mut e, &refs);
+        let len = items.len() as i64;
+
+        // LRANGE: normalize both ends, clamp, empty when inverted.
+        let lo = if i < 0 { (len + i).max(0) } else { i };
+        let hi = if j < 0 { len + j } else { j.min(len - 1) };
+        let expect: Vec<Frame> = if lo > hi || hi < 0 || lo >= len {
+            vec![]
+        } else {
+            items[lo as usize..=hi as usize]
+                .iter()
+                .map(|s| bulk(s))
+                .collect()
+        };
+        let got = run(&mut e, &["LRANGE", "l", &i.to_string(), &j.to_string()]);
+        prop_assert_eq!(got, Frame::Array(expect));
+
+        // LINDEX: single normalized position or nil.
+        let pos = if i < 0 { len + i } else { i };
+        let expect = if (0..len).contains(&pos) {
+            bulk(&items[pos as usize])
+        } else {
+            Frame::Null
+        };
+        prop_assert_eq!(run(&mut e, &["LINDEX", "l", &i.to_string()]), expect);
+
+        // LPOP with a count pops min(n, len) from the front; count 0 is
+        // an empty array and mutates nothing.
+        let popped = run(&mut e, &["LPOP", "l", &n.to_string()]);
+        let take = n.min(len) as usize;
+        let expect: Vec<Frame> = items[..take].iter().map(|s| bulk(s)).collect();
+        prop_assert_eq!(popped, Frame::Array(expect));
+        let left = run(&mut e, &["LLEN", "l"]);
+        prop_assert_eq!(left, Frame::Integer(len - take as i64));
+    }
+
+    #[test]
+    fn prop_hrandfield_counts_match_semantics(
+        fields in proptest::collection::vec("[a-f]{1,2}", 1..7),
+        n in -9i64..9,
+    ) {
+        let mut e = engine();
+        let mut distinct = fields.clone();
+        distinct.sort();
+        distinct.dedup();
+        for f in &distinct {
+            run(&mut e, &["HSET", "h", f, "v"]);
+        }
+        let reply = run(&mut e, &["HRANDFIELD", "h", &n.to_string()]);
+        let got = reply.as_array().expect("array reply").to_vec();
+        if n >= 0 {
+            // Positive count: min(n, size) DISTINCT existing fields.
+            prop_assert_eq!(got.len() as i64, n.min(distinct.len() as i64));
+            let mut seen = std::collections::HashSet::new();
+            for f in &got {
+                prop_assert!(seen.insert(format!("{f:?}")), "duplicate field in {got:?}");
+            }
+        } else {
+            // Negative count: exactly |n| fields, repeats allowed.
+            prop_assert_eq!(got.len() as i64, -n);
+        }
+        for f in &got {
+            let name = match f {
+                Frame::Bulk(b) => String::from_utf8_lossy(b).to_string(),
+                other => panic!("expected bulk field, got {other:?}"),
+            };
+            prop_assert!(distinct.contains(&name), "unknown field {name}");
+        }
+    }
+}

@@ -835,7 +835,7 @@ pub(super) fn zread_op(e: &mut Engine, a: &[Bytes], op: ZOp) -> CmdResult {
 }
 
 pub(super) fn zscan(e: &mut Engine, a: &[Bytes]) -> CmdResult {
-    let _cursor = p_i64(&a[2])?;
+    let _cursor = p_cursor(&a[2])?;
     let mut pattern: Option<Bytes> = None;
     let mut i = 3;
     while i < a.len() {

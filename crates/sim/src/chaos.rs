@@ -1,0 +1,827 @@
+//! Deterministic chaos harness for failover & crash-recovery.
+//!
+//! Runs a full shard (primary + replicas sharing one LogService and object
+//! store) under scripted or seeded-random fault schedules while concurrent
+//! client workers record invocation/response histories, then feeds every
+//! history through the linearizability checker and asserts the four
+//! protocol invariants:
+//!
+//! 1. **Fencing / lease singularity** — at most one node is an active
+//!    primary at a time, and leadership epochs claimed in the log are
+//!    strictly increasing (no epoch is ever claimed twice).
+//! 2. **No acknowledged write lost** — every uniquely-keyed write that was
+//!    acknowledged is present, with its exact value, in the final state of
+//!    the shard *and* in a cold restore from snapshot + log.
+//! 3. **Convergence** — any two nodes (and a fresh restore) at the same
+//!    applied position report the same running checksum.
+//! 4. **Restorability** — restores complete (or fail cleanly) even when
+//!    racing snapshot+trim cycles; a trim never strands a restore below
+//!    `first_available()`.
+//!
+//! **Determinism model.** The *plan* — every worker's operation stream and
+//! the fault script with its trigger points — is a pure function of
+//! `(schedule, seed)`; see [`ChaosPlan::generate`] and the unit test
+//! pinning it. Execution then runs on real threads, so interleavings vary
+//! run to run — that variation is the point: correctness is judged by the
+//! checker and the invariants, which must hold under *every* interleaving
+//! the same plan can produce.
+
+use memorydb_consistency::checker::{check, CheckOutcome};
+use memorydb_consistency::history::HistoryRecorder;
+use memorydb_consistency::model::{KvInput, KvOutput, KvModel};
+use memorydb_core::config::ShardConfig;
+use memorydb_core::bus::ClusterBus;
+use memorydb_core::offbox::OffboxSnapshotter;
+use memorydb_core::record::Record;
+use memorydb_core::restore::{restore_replica, ReplayTarget};
+use memorydb_core::shard::{NodeIdGen, Shard};
+use memorydb_core::snapshot::ShardSnapshot;
+use memorydb_engine::{cmd, EngineVersion, Frame, SessionState};
+use memorydb_objectstore::ObjectStore;
+use memorydb_txlog::EntryId;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which fault script to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScheduleKind {
+    /// One AZ lost mid-run, then a short full-quorum outage, then healed.
+    AzOutage,
+    /// The primary is partitioned from the log: its lease expires while a
+    /// replica campaigns against it.
+    PrimaryPartition,
+    /// Snapshot, then crash the primary; a cold node restores from the
+    /// latest snapshot and rejoins.
+    PrimaryCrashRestore,
+    /// Off-box snapshot + trim cycles racing a slow replica restore.
+    SnapshotTrimRace,
+    /// The primary voluntarily releases leadership under load, twice.
+    VoluntaryHandover,
+    /// A seeded-random mix drawn from all of the above faults.
+    SeededRandom,
+}
+
+impl ScheduleKind {
+    /// Every schedule, in the order the sweep runs them.
+    pub const ALL: [ScheduleKind; 6] = [
+        ScheduleKind::AzOutage,
+        ScheduleKind::PrimaryPartition,
+        ScheduleKind::PrimaryCrashRestore,
+        ScheduleKind::SnapshotTrimRace,
+        ScheduleKind::VoluntaryHandover,
+        ScheduleKind::SeededRandom,
+    ];
+
+    fn tag(self) -> u64 {
+        match self {
+            ScheduleKind::AzOutage => 1,
+            ScheduleKind::PrimaryPartition => 2,
+            ScheduleKind::PrimaryCrashRestore => 3,
+            ScheduleKind::SnapshotTrimRace => 4,
+            ScheduleKind::VoluntaryHandover => 5,
+            ScheduleKind::SeededRandom => 6,
+        }
+    }
+}
+
+impl std::fmt::Display for ScheduleKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ScheduleKind::AzOutage => "az-outage",
+            ScheduleKind::PrimaryPartition => "primary-partition",
+            ScheduleKind::PrimaryCrashRestore => "primary-crash-restore",
+            ScheduleKind::SnapshotTrimRace => "snapshot-trim-race",
+            ScheduleKind::VoluntaryHandover => "voluntary-handover",
+            ScheduleKind::SeededRandom => "seeded-random",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One chaos run's parameters.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Fault script.
+    pub schedule: ScheduleKind,
+    /// Seed for the plan (op streams + fault trigger points).
+    pub seed: u64,
+    /// Concurrent client workers.
+    pub workers: usize,
+    /// Operations each worker attempts.
+    pub ops_per_worker: usize,
+    /// Replicas next to the initial primary.
+    pub replicas: usize,
+    /// Sleep between a worker's ops. Healthy in-memory ops finish in
+    /// microseconds — unpaced, the whole stream completes before a lease
+    /// can even expire, and every fault degenerates to a no-op fired into
+    /// an idle shard. Pacing keeps live traffic overlapping the faults.
+    pub op_pacing: Duration,
+}
+
+impl ChaosConfig {
+    /// Standard-size run.
+    pub fn new(schedule: ScheduleKind, seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            schedule,
+            seed,
+            workers: 4,
+            ops_per_worker: 120,
+            replicas: 2,
+            op_pacing: Duration::from_millis(12),
+        }
+    }
+
+    /// Small run for CI smoke tests.
+    pub fn smoke(schedule: ScheduleKind, seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            ops_per_worker: 50,
+            workers: 3,
+            op_pacing: Duration::from_millis(20),
+            ..ChaosConfig::new(schedule, seed)
+        }
+    }
+}
+
+/// One planned client operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlannedOp {
+    /// `SET key value` on a shared key (value unique per worker+index).
+    Set(String, String),
+    /// `GET key` on a shared key.
+    Get(String),
+    /// `DEL key` on a shared key.
+    Del(String),
+    /// `INCR` on a shared counter key.
+    Incr(String),
+    /// `APPEND key suffix`.
+    Append(String, String),
+    /// `SET` on a key owned by exactly one (worker, index) — acked ones go
+    /// into the lost-write ledger (invariant 2).
+    UniqueSet(String, String),
+}
+
+/// A fault action the director can take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Take one AZ down / up.
+    AzDown(usize),
+    AzUp(usize),
+    /// Partition the current primary's txlog client.
+    PartitionPrimary,
+    /// Heal all client partitions.
+    HealPartitions,
+    /// Hard-crash the current primary.
+    CrashPrimary,
+    /// Off-box snapshot + trim the covered prefix.
+    SnapshotTrim,
+    /// Ask the current primary to release leadership voluntarily.
+    ReleaseLeadership,
+    /// Stop / resume the log's commit pipeline (LogService crash/restart).
+    SuspendCommits,
+    ResumeCommits,
+    /// Start a fresh node that cold-restores from snapshot + log. The
+    /// `u64` is a read delay in ms applied to its txlog client, to widen
+    /// the restore window that `SnapshotTrim` then races.
+    AddSlowNode(u64),
+}
+
+/// A fault with its trigger: fired when the global completed-op counter
+/// reaches `at_op` (or after a bounded wait, if progress stalls).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultStep {
+    /// Global op-count trigger.
+    pub at_op: usize,
+    /// What to do.
+    pub action: FaultAction,
+}
+
+/// The full deterministic plan: everything the run does except thread
+/// interleaving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Per-worker operation streams.
+    pub ops: Vec<Vec<PlannedOp>>,
+    /// The fault script, ordered by trigger point.
+    pub faults: Vec<FaultStep>,
+}
+
+const SHARED_KEYS: usize = 6;
+const COUNTER_KEYS: usize = 2;
+
+impl ChaosPlan {
+    /// Generates the plan for a config — a pure function of
+    /// `(schedule, seed, workers, ops_per_worker)`.
+    pub fn generate(cfg: &ChaosConfig) -> ChaosPlan {
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ cfg.schedule.tag());
+        let mut ops = Vec::with_capacity(cfg.workers);
+        for w in 0..cfg.workers {
+            let mut stream = Vec::with_capacity(cfg.ops_per_worker);
+            for i in 0..cfg.ops_per_worker {
+                let key = format!("sk{}", rng.gen_range(0..SHARED_KEYS));
+                let roll = rng.gen_range(0u32..100);
+                let op = if roll < 35 {
+                    PlannedOp::Set(key, format!("w{w}i{i}"))
+                } else if roll < 60 {
+                    PlannedOp::Get(key)
+                } else if roll < 70 {
+                    PlannedOp::Incr(format!("ctr{}", rng.gen_range(0..COUNTER_KEYS)))
+                } else if roll < 80 {
+                    PlannedOp::Append(key, format!("+{w}.{i}"))
+                } else if roll < 87 {
+                    PlannedOp::Del(key)
+                } else {
+                    PlannedOp::UniqueSet(format!("uq-w{w}-{i}"), format!("val{w}.{i}"))
+                };
+                stream.push(op);
+            }
+            ops.push(stream);
+        }
+
+        let total = cfg.workers * cfg.ops_per_worker;
+        let at = |frac_pct: usize| (total * frac_pct) / 100;
+        let faults = match cfg.schedule {
+            ScheduleKind::AzOutage => vec![
+                FaultStep { at_op: at(20), action: FaultAction::AzDown(2) },
+                FaultStep { at_op: at(45), action: FaultAction::AzDown(1) },
+                FaultStep { at_op: at(55), action: FaultAction::AzUp(1) },
+                FaultStep { at_op: at(75), action: FaultAction::AzUp(2) },
+            ],
+            ScheduleKind::PrimaryPartition => vec![
+                FaultStep { at_op: at(30), action: FaultAction::PartitionPrimary },
+                FaultStep { at_op: at(70), action: FaultAction::HealPartitions },
+            ],
+            ScheduleKind::PrimaryCrashRestore => vec![
+                FaultStep { at_op: at(25), action: FaultAction::SnapshotTrim },
+                FaultStep { at_op: at(40), action: FaultAction::CrashPrimary },
+                FaultStep { at_op: at(55), action: FaultAction::AddSlowNode(0) },
+            ],
+            ScheduleKind::SnapshotTrimRace => vec![
+                FaultStep { at_op: at(25), action: FaultAction::SnapshotTrim },
+                FaultStep { at_op: at(40), action: FaultAction::AddSlowNode(40) },
+                FaultStep { at_op: at(45), action: FaultAction::SnapshotTrim },
+                FaultStep { at_op: at(60), action: FaultAction::SnapshotTrim },
+            ],
+            ScheduleKind::VoluntaryHandover => vec![
+                FaultStep { at_op: at(30), action: FaultAction::ReleaseLeadership },
+                FaultStep { at_op: at(65), action: FaultAction::ReleaseLeadership },
+            ],
+            ScheduleKind::SeededRandom => {
+                let mut faults = Vec::new();
+                let n = rng.gen_range(3..7);
+                let mut points: Vec<usize> = (0..n).map(|_| rng.gen_range(10..90)).collect();
+                points.sort_unstable();
+                for p in points {
+                    // Paired faults heal a bounded distance later so the
+                    // run always ends healable.
+                    match rng.gen_range(0u32..6) {
+                        0 => {
+                            faults.push(FaultStep { at_op: at(p), action: FaultAction::AzDown(2) });
+                            faults.push(FaultStep { at_op: at((p + 15).min(95)), action: FaultAction::AzUp(2) });
+                        }
+                        1 => {
+                            faults.push(FaultStep { at_op: at(p), action: FaultAction::PartitionPrimary });
+                            faults.push(FaultStep { at_op: at((p + 20).min(95)), action: FaultAction::HealPartitions });
+                        }
+                        2 => {
+                            faults.push(FaultStep { at_op: at(p), action: FaultAction::CrashPrimary });
+                            faults.push(FaultStep { at_op: at((p + 10).min(95)), action: FaultAction::AddSlowNode(0) });
+                        }
+                        3 => faults.push(FaultStep { at_op: at(p), action: FaultAction::SnapshotTrim }),
+                        4 => faults.push(FaultStep { at_op: at(p), action: FaultAction::ReleaseLeadership }),
+                        _ => {
+                            faults.push(FaultStep { at_op: at(p), action: FaultAction::SuspendCommits });
+                            faults.push(FaultStep { at_op: at((p + 10).min(95)), action: FaultAction::ResumeCommits });
+                        }
+                    }
+                }
+                faults.sort_by_key(|f| f.at_op);
+                faults
+            }
+        };
+        ChaosPlan { ops, faults }
+    }
+}
+
+/// Outcome of one chaos run.
+#[derive(Debug)]
+pub struct ChaosReport {
+    /// What ran.
+    pub schedule: ScheduleKind,
+    /// Plan seed.
+    pub seed: u64,
+    /// Operations attempted by workers.
+    pub ops_attempted: usize,
+    /// Operations recorded into the checkable history.
+    pub ops_recorded: usize,
+    /// Uniquely-keyed writes that were acknowledged (the loss ledger).
+    pub acked_unique_writes: usize,
+    /// Distinct leadership epochs claimed during the run.
+    pub epochs_claimed: usize,
+    /// Linearizability verdict over the recorded history.
+    pub checker: CheckOutcome,
+    /// Invariant violations (empty = pass).
+    pub violations: Vec<String>,
+}
+
+impl ChaosReport {
+    /// True when every invariant held and the history is linearizable (an
+    /// `Unknown` checker verdict — search timeout — counts as pass; it is
+    /// reported distinctly for visibility).
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty() && self.checker != CheckOutcome::Illegal
+    }
+}
+
+/// Timings used by chaos shards: short lease/backoff so failovers complete
+/// quickly, short commit timeout so stalled writes fail fast instead of
+/// freezing workers for seconds.
+fn chaos_config() -> ShardConfig {
+    ShardConfig {
+        commit_timeout: Duration::from_millis(400),
+        ..ShardConfig::fast()
+    }
+}
+
+/// Runs one chaos schedule to completion and reports.
+pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
+    let plan = ChaosPlan::generate(cfg);
+    let ids = Arc::new(NodeIdGen::new());
+    let shard = Shard::bootstrap(
+        0,
+        chaos_config(),
+        Arc::new(ObjectStore::new()),
+        Arc::new(ClusterBus::new()),
+        Arc::clone(&ids),
+        vec![(0, 16383)],
+        cfg.replicas,
+    );
+    shard
+        .wait_for_primary(Duration::from_secs(5))
+        .expect("chaos shard must elect an initial primary");
+
+    let recorder: HistoryRecorder<KvInput, KvOutput> = HistoryRecorder::new();
+    let done = Arc::new(AtomicUsize::new(0));
+    let violations: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let ledger: Arc<Mutex<Vec<(String, String)>>> = Arc::new(Mutex::new(Vec::new()));
+    let running = Arc::new(AtomicBool::new(true));
+
+    // --- lease-singularity sampler (invariant 1, live half) --------------
+    let sampler = {
+        let shard = Arc::clone(&shard);
+        let violations = Arc::clone(&violations);
+        let running = Arc::clone(&running);
+        std::thread::spawn(move || {
+            while running.load(Ordering::SeqCst) {
+                if active_primary_count(&shard) >= 2 {
+                    // Re-sample: a one-shot double can be a lock-order
+                    // artifact of checking nodes sequentially; a violation
+                    // persists.
+                    let confirmed = (0..3).all(|_| {
+                        std::thread::sleep(Duration::from_millis(2));
+                        active_primary_count(&shard) >= 2
+                    });
+                    if confirmed {
+                        violations
+                            .lock()
+                            .push("two nodes active primary simultaneously".into());
+                        return;
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(3));
+            }
+        })
+    };
+
+    // --- fault director ---------------------------------------------------
+    let director = {
+        let shard = Arc::clone(&shard);
+        let done = Arc::clone(&done);
+        let violations = Arc::clone(&violations);
+        let faults = plan.faults.clone();
+        let ids = Arc::clone(&ids);
+        std::thread::spawn(move || {
+            let mut partitioned: Vec<u64> = Vec::new();
+            let mut snap_client = 50_000u64;
+            for step in faults {
+                // Trigger on op progress, or after a bounded stall (faults
+                // like full outages legitimately freeze worker progress).
+                let wait_start = Instant::now();
+                while done.load(Ordering::SeqCst) < step.at_op
+                    && wait_start.elapsed() < Duration::from_secs(3)
+                {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                // Dwell after firing so the fault can bite (a lease must
+                // expire, a backoff must elapse) before the next step —
+                // otherwise consecutive steps whose triggers are already
+                // satisfied would fire back-to-back and cancel out.
+                let dwell = Duration::from_millis(400);
+                match step.action {
+                    FaultAction::AzDown(az) => shard.ctx().log.set_az_up(az, false),
+                    FaultAction::AzUp(az) => shard.ctx().log.set_az_up(az, true),
+                    FaultAction::PartitionPrimary => {
+                        if let Some(p) = shard.primary() {
+                            shard.ctx().log.set_client_partitioned(p.id, true);
+                            partitioned.push(p.id);
+                        }
+                    }
+                    FaultAction::HealPartitions => {
+                        for id in partitioned.drain(..) {
+                            shard.ctx().log.set_client_partitioned(id, false);
+                        }
+                    }
+                    FaultAction::CrashPrimary => {
+                        shard.crash_primary();
+                        shard.reap_dead();
+                    }
+                    FaultAction::SnapshotTrim => {
+                        snap_client += 1;
+                        let offbox = OffboxSnapshotter::new(
+                            Arc::clone(shard.ctx()),
+                            EngineVersion::CURRENT,
+                            snap_client,
+                        );
+                        match offbox.create_snapshot(true) {
+                            Ok((_, covered)) => {
+                                // Invariant 4: a trim never outruns its own
+                                // covering snapshot.
+                                let first = shard.ctx().log.first_available();
+                                if first > covered.next() {
+                                    violations.lock().push(format!(
+                                        "trim outran snapshot: first_available {first:?} > covered+1 {:?}",
+                                        covered.next()
+                                    ));
+                                }
+                            }
+                            Err(e) => violations
+                                .lock()
+                                .push(format!("off-box snapshot failed: {e}")),
+                        }
+                    }
+                    FaultAction::ReleaseLeadership => {
+                        if let Some(p) = shard.primary() {
+                            p.release_leadership();
+                        }
+                    }
+                    FaultAction::SuspendCommits => shard.ctx().log.set_commits_suspended(true),
+                    FaultAction::ResumeCommits => shard.ctx().log.set_commits_suspended(false),
+                    FaultAction::AddSlowNode(delay_ms) => {
+                        if delay_ms > 0 {
+                            // NodeIdGen has no peek; burn one probe id to
+                            // predict the next (the director is the only
+                            // allocator while a fault step runs), so the
+                            // read delay is installed before the node's
+                            // restore starts issuing log reads.
+                            let next_id = ids.next() + 1;
+                            shard.ctx().log.set_read_delay(
+                                next_id,
+                                Some(Duration::from_millis(delay_ms)),
+                            );
+                            let node = shard.add_node();
+                            // add_node is synchronous — the restore already
+                            // ran under the delay; let replication proceed
+                            // at full speed from here.
+                            shard.ctx().log.set_read_delay(node.id, None);
+                        } else {
+                            shard.add_node();
+                        }
+                    }
+                }
+                std::thread::sleep(dwell);
+            }
+        })
+    };
+
+    // --- client workers ---------------------------------------------------
+    let mut workers = Vec::new();
+    for (w, stream) in plan.ops.iter().cloned().enumerate() {
+        let shard = Arc::clone(&shard);
+        let recorder = recorder.clone();
+        let done = Arc::clone(&done);
+        let ledger = Arc::clone(&ledger);
+        let pacing = cfg.op_pacing;
+        workers.push(std::thread::spawn(move || {
+            let mut session = SessionState::new();
+            for op in stream {
+                run_one_op(&shard, &recorder, w, &op, &mut session, &ledger);
+                done.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(pacing);
+            }
+        }));
+    }
+    let ops_attempted = cfg.workers * cfg.ops_per_worker;
+    for t in workers {
+        t.join().expect("worker panicked");
+    }
+    director.join().expect("director panicked");
+
+    // --- heal, settle, final sweep ---------------------------------------
+    shard.ctx().log.clear_faults();
+    let primary = shard.wait_for_primary(Duration::from_secs(10));
+    if primary.is_none() {
+        violations
+            .lock()
+            .push("no primary emerged after healing all faults".into());
+    }
+    if !shard.wait_replicas_caught_up(Duration::from_secs(10)) {
+        violations
+            .lock()
+            .push("replicas did not catch up after healing".into());
+    }
+
+    let ledger_entries = ledger.lock().clone();
+    if let Some(p) = &primary {
+        let sweep_client = cfg.workers; // distinct history client id
+        let mut s = SessionState::new();
+        for k in (0..SHARED_KEYS).map(|i| format!("sk{i}")) {
+            let h = recorder.begin(sweep_client, KvInput::Get(k.clone()));
+            match p.handle(&mut s, &cmd(["GET", k.as_str()])) {
+                Frame::Bulk(b) => recorder.finish(
+                    h,
+                    KvOutput::Value(Some(String::from_utf8_lossy(&b).into_owned())),
+                ),
+                Frame::Null => recorder.finish(h, KvOutput::Value(None)),
+                other => violations
+                    .lock()
+                    .push(format!("final sweep read of {k} failed: {other:?}")),
+            }
+        }
+        // Invariant 2 (live half): every acked unique write is in the
+        // final served state with its exact value.
+        for (k, v) in &ledger_entries {
+            match p.handle(&mut s, &cmd(["GET", k.as_str()])) {
+                Frame::Bulk(b) if b.as_ref() == v.as_bytes() => {}
+                other => violations.lock().push(format!(
+                    "acked write {k}={v} lost from final state (got {other:?})"
+                )),
+            }
+        }
+    }
+    running.store(false, Ordering::SeqCst);
+    sampler.join().expect("sampler panicked");
+
+    // Invariant 2+3 (cold half): a fresh restore must also contain every
+    // acked write, and at any shared applied position every node agrees on
+    // the running checksum.
+    match restore_replica(
+        &shard.ctx().store,
+        &shard.ctx().log,
+        90_001,
+        &shard.ctx().name,
+        EngineVersion::CURRENT,
+        ReplayTarget::Tail,
+    ) {
+        Ok(rp) => {
+            for (k, v) in &ledger_entries {
+                match rp.engine.db.lookup(k.as_bytes(), 0) {
+                    Some(memorydb_engine::value::Value::Str(s)) if s.as_ref() == v.as_bytes() => {}
+                    other => violations.lock().push(format!(
+                        "acked write {k}={v} missing from cold restore (got {other:?})"
+                    )),
+                }
+            }
+            check_convergence(&shard, (rp.rs.applied, rp.rs.running_crc), &violations);
+        }
+        Err(e) => violations
+            .lock()
+            .push(format!("cold restore after healing failed: {e}")),
+    }
+
+    // Invariant 1 (log half): claimed epochs strictly increase.
+    let epochs = claimed_epochs(&shard);
+    if !epochs.windows(2).all(|w| w[0] < w[1]) {
+        violations
+            .lock()
+            .push(format!("leadership epochs not strictly increasing: {epochs:?}"));
+    }
+
+    // Invariant 4 (standing half): restores can never need entries below
+    // first_available().
+    if let Ok(Some(snap)) = ShardSnapshot::fetch_latest(&shard.ctx().store, &shard.ctx().name) {
+        let first = shard.ctx().log.first_available();
+        if first > snap.covered.next() {
+            violations.lock().push(format!(
+                "log trimmed past snapshot coverage: first_available {first:?}, covered {:?}",
+                snap.covered
+            ));
+        }
+    }
+
+    let history = recorder.take();
+    let ops_recorded = history.len();
+    let checker = check(&KvModel, history, Duration::from_secs(15));
+
+    let violations = std::mem::take(&mut *violations.lock());
+    ChaosReport {
+        schedule: cfg.schedule,
+        seed: cfg.seed,
+        ops_attempted,
+        ops_recorded,
+        acked_unique_writes: ledger_entries.len(),
+        epochs_claimed: epochs.len(),
+        checker,
+        violations,
+    }
+}
+
+/// Executes one planned op against the current primary, recording it.
+fn run_one_op(
+    shard: &Shard,
+    recorder: &HistoryRecorder<KvInput, KvOutput>,
+    worker: usize,
+    op: &PlannedOp,
+    session: &mut SessionState,
+    ledger: &Mutex<Vec<(String, String)>>,
+) {
+    // Find a target primary; under heavy faults there may be none for a
+    // while — skip the op rather than block the stream.
+    let deadline = Instant::now() + Duration::from_millis(300);
+    let target = loop {
+        if let Some(p) = shard.primary() {
+            break p;
+        }
+        if Instant::now() >= deadline {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+
+    let (input, args, is_write) = match op {
+        PlannedOp::Set(k, v) => (
+            KvInput::Set(k.clone(), v.clone()),
+            cmd(["SET", k, v]),
+            true,
+        ),
+        PlannedOp::UniqueSet(k, v) => (
+            KvInput::Set(k.clone(), v.clone()),
+            cmd(["SET", k, v]),
+            true,
+        ),
+        PlannedOp::Get(k) => (KvInput::Get(k.clone()), cmd(["GET", k]), false),
+        PlannedOp::Del(k) => (KvInput::Del(k.clone()), cmd(["DEL", k]), true),
+        PlannedOp::Incr(k) => (KvInput::Incr(k.clone()), cmd(["INCR", k]), true),
+        PlannedOp::Append(k, s) => (
+            KvInput::Append(k.clone(), s.clone()),
+            cmd(["APPEND", k, s]),
+            true,
+        ),
+    };
+
+    let handle = recorder.begin(worker, input);
+    let reply = target.handle(session, &args);
+    match (&reply, is_write) {
+        (Frame::Error(msg), true) => {
+            if msg.starts_with("MOVED") {
+                // Refused before execution: a definite no-op; drop it.
+            } else {
+                // Fenced / timed out / lease-expired: the write may or may
+                // not have landed — record it Jepsen-style as an open
+                // ambiguous op the checker can linearize anywhere.
+                recorder.finish_open(handle, KvOutput::Ambiguous);
+            }
+        }
+        (Frame::Error(_), false) => {} // failed read carries no information
+        (frame, _) => {
+            let out = match (op, frame) {
+                (PlannedOp::Get(_), Frame::Bulk(b)) => {
+                    KvOutput::Value(Some(String::from_utf8_lossy(b).into_owned()))
+                }
+                (PlannedOp::Get(_), Frame::Null) => KvOutput::Value(None),
+                (PlannedOp::Set(..) | PlannedOp::UniqueSet(..), f) if *f == Frame::ok() => {
+                    if let PlannedOp::UniqueSet(k, v) = op {
+                        ledger.lock().push((k.clone(), v.clone()));
+                    }
+                    KvOutput::Ok
+                }
+                (
+                    PlannedOp::Del(_) | PlannedOp::Incr(_) | PlannedOp::Append(..),
+                    Frame::Integer(n),
+                ) => KvOutput::Int(*n),
+                // Anything else (shape mismatch) is recorded as-is via
+                // Error so the checker flags it.
+                _ => KvOutput::Error,
+            };
+            recorder.finish(handle, out);
+        }
+    }
+}
+
+/// Number of nodes currently claiming an active (valid-lease) primary role.
+fn active_primary_count(shard: &Shard) -> usize {
+    shard
+        .nodes()
+        .iter()
+        .filter(|n| n.is_active_primary())
+        .count()
+}
+
+/// Leadership epochs claimed in the log, in log order.
+fn claimed_epochs(shard: &Shard) -> Vec<u64> {
+    let log = &shard.ctx().log;
+    let mut epochs = Vec::new();
+    let mut after = EntryId(log.first_available().0.saturating_sub(1));
+    let scan_client = 90_002;
+    while let Ok(batch) = log.read_committed_from(scan_client, after, 512) {
+        if batch.is_empty() {
+            break;
+        }
+        for entry in &batch {
+            if let Some(Record::LeaderClaim { epoch, .. }) = Record::decode(&entry.payload) {
+                epochs.push(epoch);
+            }
+            after = entry.id;
+        }
+    }
+    epochs
+}
+
+/// Invariant 3: every pair of observations (any node, or the cold restore)
+/// at the same applied position must agree on the running checksum.
+fn check_convergence(
+    shard: &Shard,
+    restore_pos: (EntryId, u64),
+    violations: &Mutex<Vec<String>>,
+) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut positions: Vec<(String, EntryId, u64)> = shard
+            .nodes()
+            .iter()
+            .map(|n| {
+                let (applied, crc) = n.position();
+                (format!("node-{}", n.id), applied, crc)
+            })
+            .collect();
+        positions.push(("cold-restore".into(), restore_pos.0, restore_pos.1));
+
+        // Same position ⇒ same checksum, always — check every sample.
+        for i in 0..positions.len() {
+            for j in i + 1..positions.len() {
+                let (an, ap, ac) = &positions[i];
+                let (bn, bp, bc) = &positions[j];
+                if ap == bp && ac != bc {
+                    violations.lock().push(format!(
+                        "checksum divergence at {ap:?}: {an} crc {ac:#x} vs {bn} crc {bc:#x}"
+                    ));
+                    return;
+                }
+            }
+        }
+        // Done once all live nodes meet at one position (renewals keep the
+        // tail moving, so allow a few rounds).
+        let all_equal = positions
+            .iter()
+            .filter(|(n, _, _)| n != "cold-restore")
+            .map(|(_, p, _)| *p)
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+            <= 1;
+        if all_equal || Instant::now() >= deadline {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_a_pure_function_of_seed() {
+        for schedule in ScheduleKind::ALL {
+            for seed in [0u64, 7, 0xDEAD_BEEF] {
+                let cfg = ChaosConfig::new(schedule, seed);
+                assert_eq!(
+                    ChaosPlan::generate(&cfg),
+                    ChaosPlan::generate(&cfg),
+                    "plan must be deterministic for {schedule} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_plans() {
+        let a = ChaosPlan::generate(&ChaosConfig::new(ScheduleKind::SeededRandom, 1));
+        let b = ChaosPlan::generate(&ChaosConfig::new(ScheduleKind::SeededRandom, 2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fault_scripts_are_ordered() {
+        for schedule in ScheduleKind::ALL {
+            for seed in 0..10 {
+                let plan = ChaosPlan::generate(&ChaosConfig::new(schedule, seed));
+                assert!(
+                    plan.faults.windows(2).all(|w| w[0].at_op <= w[1].at_op),
+                    "{schedule} seed {seed}: fault script out of order"
+                );
+            }
+        }
+    }
+}

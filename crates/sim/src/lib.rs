@@ -22,6 +22,7 @@
 //! Figures 6 and 7 (BGSave collapse, off-box flatness) are driven from the
 //! analytic memory model in `memorydb_baseline::bgsave` by the bench crate.
 
+pub mod chaos;
 pub mod des;
 pub mod instance;
 pub mod metrics;

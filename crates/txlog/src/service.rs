@@ -208,6 +208,13 @@ struct Inner {
     az_up: Vec<bool>,
     /// Clients currently partitioned from the service.
     partitioned: std::collections::HashSet<ClientId>,
+    /// Per-client read-side delay (fault injection: a slow replication
+    /// link). Applied before every `read_committed_from` by that client.
+    read_delay: std::collections::HashMap<ClientId, Duration>,
+    /// While true the committer is frozen: accepted appends stay pending
+    /// regardless of AZ health (fault injection: the log service's
+    /// commit pipeline crashed; clearing it models the restart).
+    commits_suspended: bool,
     rng: StdRng,
 }
 
@@ -274,6 +281,8 @@ impl LogService {
                 committed_chain: 0,
                 az_up: vec![true; cfg.num_azs],
                 partitioned: Default::default(),
+                read_delay: Default::default(),
+                commits_suspended: false,
                 rng: StdRng::seed_from_u64(cfg.seed),
             }),
             cfg,
@@ -304,7 +313,7 @@ impl LogService {
         let mut inner = self.inner.lock();
         let now = Instant::now();
         let mut advanced = false;
-        loop {
+        while !inner.commits_suspended {
             let next_seq = inner.committed_tail() + 1;
             let Some(p) = inner.pending.get(&next_seq) else {
                 break;
@@ -330,7 +339,11 @@ impl LogService {
         }
         // Sleep until the next pending deadline (or a nudge).
         let next_seq = inner.committed_tail() + 1;
-        let deadline = inner.pending.get(&next_seq).and_then(|p| p.ready_at);
+        let deadline = if inner.commits_suspended {
+            None
+        } else {
+            inner.pending.get(&next_seq).and_then(|p| p.ready_at)
+        };
         match deadline {
             Some(t) => {
                 let now = Instant::now();
@@ -500,6 +513,12 @@ impl LogService {
         after: EntryId,
         max: usize,
     ) -> Result<Vec<LogEntry>, ReadError> {
+        // Injected read-side latency happens outside the lock: a slow link
+        // delays this reader without stalling the service for anyone else.
+        let delay = { self.inner.lock().read_delay.get(&client).copied() };
+        if let Some(d) = delay {
+            std::thread::sleep(d);
+        }
         let inner = self.inner.lock();
         if inner.partitioned.contains(&client) {
             return Err(ReadError::Partitioned);
@@ -610,6 +629,66 @@ impl LogService {
         }
         drop(inner);
         self.commit_cv.notify_all();
+    }
+
+    /// Injects (or with `None` clears) a fixed delay before every log read
+    /// this client makes — a deterministic slow replication/restore link.
+    pub fn set_read_delay(&self, client: ClientId, delay: Option<Duration>) {
+        let mut inner = self.inner.lock();
+        match delay {
+            Some(d) => {
+                inner.read_delay.insert(client, d);
+            }
+            None => {
+                inner.read_delay.remove(&client);
+            }
+        }
+    }
+
+    /// Freezes (or restarts) the commit pipeline. While suspended, accepted
+    /// appends pile up as pending regardless of AZ health — the log
+    /// service's crash/restart hook. On restart every stalled append is
+    /// re-scheduled with fresh quorum latency.
+    pub fn set_commits_suspended(&self, suspended: bool) {
+        let mut inner = self.inner.lock();
+        inner.commits_suspended = suspended;
+        if !suspended {
+            let now = Instant::now();
+            let stalled: Vec<u64> = inner
+                .pending
+                .iter()
+                .filter(|(_, p)| p.ready_at.is_none())
+                .map(|(&seq, _)| seq)
+                .collect();
+            if inner.quorum_reachable(self.cfg.quorum) {
+                for seq in stalled {
+                    let lat = inner.sample_quorum_latency(&self.cfg);
+                    if let Some(p) = inner.pending.get_mut(&seq) {
+                        p.ready_at = Some(now + lat);
+                    }
+                }
+            }
+        }
+        drop(inner);
+        self.work_cv.notify_all();
+        self.commit_cv.notify_all();
+    }
+
+    /// Clears every injected fault at once: all AZs healthy, no client
+    /// partitions, no read delays, commits running. The chaos harness's
+    /// heal step between fault injection and invariant checking.
+    pub fn clear_faults(&self) {
+        {
+            let mut inner = self.inner.lock();
+            inner.partitioned.clear();
+            inner.read_delay.clear();
+            inner.commits_suspended = false;
+            for up in inner.az_up.iter_mut() {
+                *up = true;
+            }
+        }
+        // Re-schedule anything stalled by the faults just cleared.
+        self.set_az_up(0, true);
     }
 
     /// Stops the committer thread (used by tests; dropping all Arcs also

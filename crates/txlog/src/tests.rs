@@ -539,3 +539,81 @@ mod model_props {
         }
     }
 }
+
+#[test]
+fn commit_suspension_stalls_and_restart_recovers() {
+    let log = svc();
+    log.set_commits_suspended(true);
+    let id = log.append_after(1, EntryId::ZERO, b("a")).unwrap();
+    // Accepted but frozen: never durable while suspended.
+    assert!(!log.wait_durable(id, Duration::from_millis(60)));
+    assert_eq!(log.committed_tail(), EntryId::ZERO);
+    // Restarting the commit pipeline drains the backlog in order.
+    log.set_commits_suspended(false);
+    assert!(log.wait_durable(id, T));
+    let entries = log.read_committed_from(2, EntryId::ZERO, 10).unwrap();
+    assert_eq!(entries.len(), 1);
+    assert_eq!(entries[0].payload, b("a"));
+}
+
+#[test]
+fn commit_restart_reschedules_appends_stalled_by_az_outage() {
+    let log = svc();
+    // Quorum lost AND commits suspended: the append stalls with no deadline.
+    log.set_az_up(0, false);
+    log.set_az_up(1, false);
+    log.set_commits_suspended(true);
+    let id = log.append_after(1, EntryId::ZERO, b("a")).unwrap();
+    // AZs return while still suspended: nothing commits yet.
+    log.set_az_up(0, true);
+    log.set_az_up(1, true);
+    assert!(!log.wait_durable(id, Duration::from_millis(60)));
+    // Restart re-schedules the stalled entry with fresh quorum latency.
+    log.set_commits_suspended(false);
+    assert!(log.wait_durable(id, T));
+}
+
+#[test]
+fn read_delay_slows_one_client_only() {
+    let log = svc();
+    let id = log.append_after(1, EntryId::ZERO, b("a")).unwrap();
+    assert!(log.wait_durable(id, T));
+    log.set_read_delay(7, Some(Duration::from_millis(80)));
+    let t0 = std::time::Instant::now();
+    let slow = log.read_committed_from(7, EntryId::ZERO, 10).unwrap();
+    assert!(t0.elapsed() >= Duration::from_millis(80));
+    assert_eq!(slow.len(), 1);
+    // Other clients are unaffected.
+    let t0 = std::time::Instant::now();
+    let fast = log.read_committed_from(8, EntryId::ZERO, 10).unwrap();
+    assert!(t0.elapsed() < Duration::from_millis(50));
+    assert_eq!(fast.len(), 1);
+    // Clearing removes the delay.
+    log.set_read_delay(7, None);
+    let t0 = std::time::Instant::now();
+    log.read_committed_from(7, EntryId::ZERO, 10).unwrap();
+    assert!(t0.elapsed() < Duration::from_millis(50));
+}
+
+#[test]
+fn clear_faults_heals_everything_at_once() {
+    let log = svc();
+    log.set_az_up(0, false);
+    log.set_az_up(1, false);
+    log.set_client_partitioned(1, true);
+    log.set_read_delay(1, Some(Duration::from_millis(500)));
+    log.set_commits_suspended(true);
+    assert!(log.append_after(1, EntryId::ZERO, b("x")).is_err());
+    let id = log.append_after(2, EntryId::ZERO, b("a")).unwrap();
+    assert!(!log.is_durable(id));
+    log.clear_faults();
+    // Client 1 can append and read again with no delay, and the stalled
+    // entry commits.
+    assert!(log.wait_durable(id, T));
+    let id2 = log.append_after(1, id, b("b")).unwrap();
+    assert!(log.wait_durable(id2, T));
+    let t0 = std::time::Instant::now();
+    let entries = log.read_committed_from(1, EntryId::ZERO, 10).unwrap();
+    assert!(t0.elapsed() < Duration::from_millis(100));
+    assert_eq!(entries.len(), 2);
+}
