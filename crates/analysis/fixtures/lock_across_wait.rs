@@ -1,0 +1,46 @@
+// Fixture: lock-discipline lint (workspace-wide).
+// Positive cases: a let-bound guard live across wait_durable /
+// wait_for_entries / put / append_after.
+// Negative cases: guard dropped first, block-scoped guard, temporary guard,
+// io::Read::read (argument list non-empty => not a lock method).
+
+pub fn positive_guard_across_wait(node: &FakeNode) {
+    let st = node.st.lock();
+    node.log.wait_durable(st.applied);
+}
+
+pub fn positive_guard_across_put(node: &FakeNode) {
+    let mut engine = node.engine.lock();
+    node.store.put(engine.snapshot());
+}
+
+pub fn positive_guard_across_append(node: &FakeNode) {
+    let st = node.st.lock();
+    let _ = node.log.append_after(st.applied);
+}
+
+pub fn negative_guard_dropped_first(node: &FakeNode) {
+    let st = node.st.lock();
+    let pos = st.applied;
+    drop(st);
+    node.log.wait_durable(pos);
+}
+
+pub fn negative_block_scoped_guard(node: &FakeNode) {
+    let pos = {
+        let st = node.st.lock();
+        st.applied
+    };
+    node.log.wait_durable(pos);
+}
+
+pub fn negative_temporary_guard(node: &FakeNode) {
+    let pos = node.st.lock().applied;
+    node.log.wait_durable(pos);
+}
+
+pub fn negative_io_read_is_not_a_guard(node: &FakeNode, f: &mut impl std::io::Read) {
+    let mut buf = [0u8; 8];
+    let _n = f.read(&mut buf);
+    node.log.wait_durable(0);
+}

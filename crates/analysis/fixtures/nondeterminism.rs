@@ -1,0 +1,38 @@
+// Fixture: sim-determinism lint. Linted as if it were chaos/DES code.
+// Positive cases: Instant::now, SystemTime::now, thread_rng, from_entropy.
+// Negative cases: seeded rngs, tick counting, test-gated wall clock.
+
+pub fn positive_instant_now() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn positive_system_time() -> std::time::SystemTime {
+    SystemTime::now()
+}
+
+pub fn positive_thread_rng() -> u64 {
+    thread_rng().next_u64()
+}
+
+pub fn positive_from_entropy() -> StdRng {
+    StdRng::from_entropy()
+}
+
+pub fn negative_seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+pub fn negative_tick_budget(mut ticks: u32) -> u32 {
+    while ticks > 0 {
+        ticks -= 1;
+    }
+    ticks
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn negative_tests_may_use_wall_clock() {
+        let _t = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,55 @@
+// Fixture: panic-freedom lint. Linted as if it were a serving-path file.
+// Positive cases (must be flagged): unwrap, expect, panic!, unreachable!,
+// and — on the wire/log layer — direct indexing.
+// Negative cases (must NOT be flagged): test-gated code, unwrap_or family,
+// idents inside strings and comments.
+
+pub fn positive_unwrap(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+pub fn positive_expect(x: Option<u8>) -> u8 {
+    x.expect("boom")
+}
+
+pub fn positive_panic_macro(flag: bool) {
+    if flag {
+        panic!("explicit panic");
+    }
+}
+
+pub fn positive_unreachable(v: u8) -> u8 {
+    match v {
+        0 => 1,
+        _ => unreachable!("covered"),
+    }
+}
+
+pub fn positive_indexing(buf: &[u8]) -> u8 {
+    buf[0]
+}
+
+pub fn negative_unwrap_or(x: Option<u8>) -> u8 {
+    // "call x.unwrap() here" — lint must ignore strings and comments.
+    let _s = "x.unwrap() inside a string";
+    x.unwrap_or(0)
+}
+
+pub fn negative_get(buf: &[u8]) -> u8 {
+    buf.get(0).copied().unwrap_or_default()
+}
+
+pub fn negative_slice_type(frames: &mut [u8]) -> usize {
+    frames.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn negative_test_code_may_unwrap() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let buf = [1u8, 2];
+        assert_eq!(buf[1], 2);
+    }
+}

@@ -1,0 +1,34 @@
+// Fixture: sync-primitives lint (workspace-wide).
+// Positive cases: std::sync::Mutex / RwLock / Condvar via use-tree or path.
+// Negative cases: Arc, atomics, Barrier, parking_lot, test-gated use.
+
+use std::sync::{Arc, Mutex};
+use std::sync::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn positive_path_expr() -> std::sync::Mutex<u8> {
+    std::sync::Mutex::new(0)
+}
+
+pub fn negative_arc(v: u8) -> Arc<u8> {
+    Arc::new(v)
+}
+
+pub fn negative_atomic(a: &AtomicU64) -> u64 {
+    a.load(Ordering::Relaxed)
+}
+
+pub fn negative_parking_lot(m: &parking_lot::Mutex<u8>) -> u8 {
+    *m.lock()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex as NegativeTestMutex;
+
+    #[test]
+    fn negative_tests_may_use_std_sync() {
+        let m = NegativeTestMutex::new(1);
+        assert_eq!(*m.lock().unwrap(), 1);
+    }
+}

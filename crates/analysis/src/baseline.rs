@@ -1,0 +1,211 @@
+//! Reader for `analysis.toml`, the checked-in exception baseline. The file
+//! holds `[[allow]]` tables only — lint scopes live in the analyzer source,
+//! so the baseline can ratchet down but never silently widen a scope.
+//!
+//! Parsed with a deliberate TOML subset (the workspace has no `toml` crate
+//! and the hermetic build forbids adding one): `[[allow]]` headers,
+//! `key = "string"` / `key = integer` pairs, `#` comments. Anything else is
+//! a hard error — the analyzer exits nonzero on an unreadable baseline
+//! rather than ignoring exceptions it could not understand.
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Lint family the exception applies to (e.g. "lock-discipline").
+    pub lint: String,
+    /// Exact workspace-relative file the exception applies to.
+    pub path: String,
+    /// Optional substring that must appear in the finding's source line.
+    pub contains: Option<String>,
+    /// Optional cap: at most this many findings may match; extras are
+    /// violations (the ratchet). `None` = any number.
+    pub count: Option<usize>,
+    /// Mandatory one-line justification.
+    pub reason: String,
+    /// 1-based line in analysis.toml, for stale-entry reporting.
+    pub decl_line: u32,
+}
+
+/// Parses the baseline. Returns either the entries or a list of errors
+/// (every error carries its analysis.toml line number).
+pub fn parse_baseline(src: &str) -> Result<Vec<AllowEntry>, Vec<String>> {
+    struct Partial {
+        lint: Option<String>,
+        path: Option<String>,
+        contains: Option<String>,
+        count: Option<usize>,
+        reason: Option<String>,
+        decl_line: u32,
+    }
+
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut errors: Vec<String> = Vec::new();
+    let mut cur: Option<Partial> = None;
+
+    let mut finish = |cur: &mut Option<Partial>, errors: &mut Vec<String>| {
+        if let Some(p) = cur.take() {
+            match (p.lint, p.path, p.reason) {
+                (Some(lint), Some(path), Some(reason)) => entries.push(AllowEntry {
+                    lint,
+                    path,
+                    contains: p.contains,
+                    count: p.count,
+                    reason,
+                    decl_line: p.decl_line,
+                }),
+                (lint, path, reason) => {
+                    let mut missing = Vec::new();
+                    if lint.is_none() {
+                        missing.push("lint");
+                    }
+                    if path.is_none() {
+                        missing.push("path");
+                    }
+                    if reason.is_none() {
+                        missing.push("reason");
+                    }
+                    errors.push(format!(
+                        "analysis.toml:{}: [[allow]] entry missing required key(s): {}",
+                        p.decl_line,
+                        missing.join(", ")
+                    ));
+                }
+            }
+        }
+    };
+
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = (idx + 1) as u32;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            finish(&mut cur, &mut errors);
+            cur = Some(Partial {
+                lint: None,
+                path: None,
+                contains: None,
+                count: None,
+                reason: None,
+                decl_line: lineno,
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            errors.push(format!(
+                "analysis.toml:{lineno}: expected `[[allow]]` or `key = value`, got: {line}"
+            ));
+            continue;
+        };
+        let Some(p) = cur.as_mut() else {
+            errors.push(format!(
+                "analysis.toml:{lineno}: key outside any [[allow]] entry"
+            ));
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim();
+        match key {
+            "lint" | "path" | "contains" | "reason" => match parse_string(value) {
+                Some(s) => {
+                    let slot = match key {
+                        "lint" => &mut p.lint,
+                        "path" => &mut p.path,
+                        "contains" => &mut p.contains,
+                        _ => &mut p.reason,
+                    };
+                    if slot.is_some() {
+                        errors.push(format!(
+                            "analysis.toml:{lineno}: duplicate key `{key}`"
+                        ));
+                    }
+                    *slot = Some(s);
+                }
+                None => errors.push(format!(
+                    "analysis.toml:{lineno}: `{key}` must be a \"quoted string\""
+                )),
+            },
+            "count" => match value.parse::<usize>() {
+                Ok(n) if n > 0 => p.count = Some(n),
+                _ => errors.push(format!(
+                    "analysis.toml:{lineno}: `count` must be a positive integer"
+                )),
+            },
+            other => errors.push(format!(
+                "analysis.toml:{lineno}: unknown key `{other}` (allowed: lint, path, contains, count, reason)"
+            )),
+        }
+    }
+    finish(&mut cur, &mut errors);
+
+    if errors.is_empty() {
+        Ok(entries)
+    } else {
+        Err(errors)
+    }
+}
+
+/// `"..."` with `\"` and `\\` escapes; trailing `#` comments after the
+/// closing quote are tolerated.
+fn parse_string(value: &str) -> Option<String> {
+    let rest = value.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    loop {
+        match chars.next()? {
+            '\\' => out.push(chars.next()?),
+            '"' => break,
+            c => out.push(c),
+        }
+    }
+    let trailing = chars.as_str().trim();
+    if trailing.is_empty() || trailing.starts_with('#') {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_entry() {
+        let src = r#"
+# comment
+[[allow]]
+lint = "lock-discipline"
+path = "crates/core/src/node.rs"
+contains = "append_batch_after"
+count = 2
+reason = "log order = execution order"
+"#;
+        let entries = parse_baseline(src).expect("parses");
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert_eq!(e.lint, "lock-discipline");
+        assert_eq!(e.contains.as_deref(), Some("append_batch_after"));
+        assert_eq!(e.count, Some(2));
+        assert_eq!(e.decl_line, 3);
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let src = "[[allow]]\nlint = \"x\"\npath = \"y\"\n";
+        let errs = parse_baseline(src).expect_err("must fail");
+        assert!(errs[0].contains("reason"));
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let src = "[[allow]]\nlint = \"x\"\npath = \"y\"\nreason = \"z\"\nscope = \"w\"\n";
+        assert!(parse_baseline(src).is_err());
+    }
+
+    #[test]
+    fn empty_file_is_ok() {
+        assert_eq!(parse_baseline("# nothing\n").expect("ok"), vec![]);
+    }
+}

@@ -1,0 +1,438 @@
+//! A small Rust token scanner — just enough fidelity for the invariant
+//! lints: comments, string/char literals, and lifetimes are consumed (so
+//! `".unwrap()"` inside a string can never trip a lint), identifiers and
+//! punctuation come out with line numbers, and `#[cfg(test)]` / `#[test]`
+//! items are marked so test code is exempt.
+//!
+//! This is deliberately not a parser. The lints over it are heuristic and
+//! documented as such in DESIGN.md; the checked-in baseline (analysis.toml)
+//! absorbs the intentional exceptions.
+
+/// One scanned token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal (opaque).
+    Num,
+    /// String / char / byte literal (contents dropped).
+    Lit,
+    /// Lifetime such as `'a` (kept distinct from char literals).
+    Lifetime,
+    /// Any single punctuation character: `{ } ( ) [ ] . , ; : ! # = & ...`.
+    Punct(char),
+}
+
+/// A token with its source line and test-code marking.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// 1-based source line.
+    pub line: u32,
+    /// What it is.
+    pub kind: TokKind,
+    /// True when the token sits inside a `#[cfg(test)]` / `#[test]` item.
+    pub in_test: bool,
+}
+
+impl Tok {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Is this exactly the punctuation `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// Scans Rust source into tokens. Never panics on malformed input.
+pub fn scan(src: &str) -> Vec<Tok> {
+    let b = src.as_bytes();
+    let mut toks: Vec<Tok> = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    macro_rules! bump_lines {
+        ($range:expr) => {
+            for &c in b.get($range).unwrap_or(&[]) {
+                if c == b'\n' {
+                    line += 1;
+                }
+            }
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => {
+                i += 1;
+            }
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                // Line comment: skip to newline.
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Block comment, possibly nested.
+                let mut depth = 1usize;
+                let start = i;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                bump_lines!(start..i);
+            }
+            b'"' => {
+                let end = skip_string(b, i);
+                bump_lines!(i..end);
+                toks.push(Tok {
+                    line,
+                    kind: TokKind::Lit,
+                    in_test: false,
+                });
+                i = end;
+            }
+            b'\'' => {
+                // Lifetime vs char literal.
+                let next = b.get(i + 1).copied();
+                match next {
+                    Some(n)
+                        if (n.is_ascii_alphabetic() || n == b'_')
+                            && b.get(i + 2) != Some(&b'\'') =>
+                    {
+                        // `'a`, `'static`, `'_` — a lifetime.
+                        i += 1;
+                        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                            i += 1;
+                        }
+                        toks.push(Tok {
+                            line,
+                            kind: TokKind::Lifetime,
+                            in_test: false,
+                        });
+                    }
+                    _ => {
+                        // Char literal: consume to the closing quote,
+                        // honouring escapes.
+                        let start = i;
+                        i += 1;
+                        while i < b.len() {
+                            if b[i] == b'\\' {
+                                i += 2;
+                            } else if b[i] == b'\'' {
+                                i += 1;
+                                break;
+                            } else {
+                                i += 1;
+                            }
+                        }
+                        bump_lines!(start..i);
+                        toks.push(Tok {
+                            line,
+                            kind: TokKind::Lit,
+                            in_test: false,
+                        });
+                    }
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                // Raw / byte string prefixes: `r"..."`, `r#"..."#`, `b"..."`,
+                // `br#"..."#` — the "identifier" is really a literal prefix.
+                let is_str_prefix = matches!(word, "r" | "b" | "br" | "rb")
+                    && matches!(b.get(i), Some(&b'"') | Some(&b'#'));
+                if is_str_prefix && looks_like_raw_string(b, i) {
+                    let end = skip_maybe_raw_string(b, i);
+                    bump_lines!(i..end);
+                    toks.push(Tok {
+                        line,
+                        kind: TokKind::Lit,
+                        in_test: false,
+                    });
+                    i = end;
+                } else {
+                    toks.push(Tok {
+                        line,
+                        kind: TokKind::Ident(word.to_string()),
+                        in_test: false,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                i += 1;
+                while i < b.len() {
+                    let d = b[i];
+                    if d.is_ascii_alphanumeric() || d == b'_' {
+                        i += 1;
+                    } else if d == b'.' && b.get(i + 1).is_some_and(|n| n.is_ascii_digit()) {
+                        // `1.5` continues the number; `0..n` does not.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok {
+                    line,
+                    kind: TokKind::Num,
+                    in_test: false,
+                });
+            }
+            c => {
+                toks.push(Tok {
+                    line,
+                    kind: TokKind::Punct(c as char),
+                    in_test: false,
+                });
+                i += 1;
+            }
+        }
+    }
+
+    mark_test_regions(&mut toks);
+    toks
+}
+
+/// After a `r`/`b`/`br` prefix, is this actually a (raw) string literal?
+fn looks_like_raw_string(b: &[u8], mut i: usize) -> bool {
+    while b.get(i) == Some(&b'#') {
+        i += 1;
+    }
+    b.get(i) == Some(&b'"')
+}
+
+/// Skips a regular (escaped) string literal starting at the `"`; returns the
+/// index one past the closing quote.
+fn skip_string(b: &[u8], mut i: usize) -> usize {
+    i += 1; // opening quote
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a raw (`r#"..."#`) or plain string starting at the first `#` or `"`
+/// after a prefix; returns the index one past the end.
+fn skip_maybe_raw_string(b: &[u8], mut i: usize) -> usize {
+    let mut hashes = 0usize;
+    while b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if b.get(i) != Some(&b'"') {
+        return i;
+    }
+    if hashes == 0 {
+        return skip_string(b, i);
+    }
+    i += 1;
+    while i < b.len() {
+        if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && b.get(j) == Some(&b'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Marks every token belonging to a `#[cfg(test)]`- or `#[test]`-gated item
+/// (including whole `mod tests { ... }` bodies) as test code.
+fn mark_test_regions(toks: &mut [Tok]) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let (attr_end, is_test_attr) = scan_attribute(toks, i);
+            if is_test_attr {
+                // Cover the attribute itself, any further attributes, and
+                // the item that follows.
+                let item_end = skip_item(toks, attr_end);
+                for t in toks.iter_mut().take(item_end).skip(i) {
+                    t.in_test = true;
+                }
+                i = item_end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Scans one `#[...]` attribute starting at the `#`; returns (index one past
+/// the closing `]`, whether it gates test code).
+fn scan_attribute(toks: &[Tok], start: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut is_test = false;
+    let mut saw_cfg = false;
+    let mut i = start + 1; // at '['
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return (i + 1, is_test);
+            }
+        } else if let Some(id) = t.ident() {
+            match id {
+                "cfg" | "cfg_attr" => saw_cfg = true,
+                // `#[test]` directly, or `test` anywhere inside `cfg(...)`.
+                "test" if depth == 1 && !saw_cfg => is_test = true,
+                "test" if saw_cfg => is_test = true,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    (i, is_test)
+}
+
+/// Skips one item starting at `start` (past its attributes): consumes any
+/// further `#[...]` attributes, then either a `;`-terminated item or a
+/// braced item body (to the matching `}`), whichever comes first.
+fn skip_item(toks: &[Tok], mut start: usize) -> usize {
+    while start < toks.len()
+        && toks[start].is_punct('#')
+        && toks.get(start + 1).is_some_and(|t| t.is_punct('['))
+    {
+        let (end, _) = scan_attribute(toks, start);
+        start = end;
+    }
+    let mut i = start;
+    let mut brace = 0usize;
+    let mut paren = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct('{') => brace += 1,
+            TokKind::Punct('}') => {
+                brace = brace.saturating_sub(1);
+                if brace == 0 {
+                    return i + 1;
+                }
+            }
+            TokKind::Punct('(') | TokKind::Punct('[') => paren += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => paren = paren.saturating_sub(1),
+            TokKind::Punct(';') if brace == 0 && paren == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = r##"
+            // x.unwrap() in a comment
+            /* and /* nested */ here x.unwrap() */
+            let s = "call .unwrap() now";
+            let r = r#"raw .unwrap()"#;
+            let b = b"bytes .unwrap()";
+            let c = '\'';
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"real_ident".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x.trim() }");
+        assert!(ids.contains(&"trim".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = scan("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn cfg_test_items_are_marked() {
+        let src = r#"
+            fn live() { x.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                fn t() { y.unwrap(); }
+            }
+            fn live_again() { z.trim(); }
+        "#;
+        let toks = scan(src);
+        let unwraps: Vec<bool> = toks
+            .iter()
+            .filter(|t| t.ident() == Some("unwrap"))
+            .map(|t| t.in_test)
+            .collect();
+        assert_eq!(unwraps, vec![false, true]);
+        let trim = toks.iter().find(|t| t.ident() == Some("trim"));
+        assert!(trim.is_some_and(|t| !t.in_test));
+    }
+
+    #[test]
+    fn test_attribute_marks_single_fn() {
+        let src = r#"
+            #[test]
+            fn a_test() { q.unwrap(); }
+            fn live() { r.unwrap(); }
+        "#;
+        let toks = scan(src);
+        let unwraps: Vec<bool> = toks
+            .iter()
+            .filter(|t| t.ident() == Some("unwrap"))
+            .map(|t| t.in_test)
+            .collect();
+        assert_eq!(unwraps, vec![true, false]);
+    }
+}

@@ -1,0 +1,508 @@
+//! The four invariant families. Each lint is a pass over the token stream
+//! from [`crate::lexer`]; scopes are hardcoded here (the baseline file only
+//! holds *exceptions*, never scope). Every diagnostic names the part of the
+//! MemoryDB argument it protects, so a violation reads as "which paper
+//! property would this break", not just "style nit".
+
+use crate::lexer::Tok;
+use crate::lexer::TokKind::{Ident, Punct};
+
+/// A lint hit before file/snippet attachment (done by the caller).
+pub(crate) struct RawFinding {
+    pub lint: &'static str,
+    pub line: u32,
+    pub message: String,
+}
+
+/// Serving/apply paths where a panic kills the primary mid-lease.
+/// Entries ending in `/` are directory prefixes, others exact files.
+const PANIC_SCOPE: &[&str] = &[
+    "crates/engine/src/exec/",
+    "crates/engine/src/command.rs",
+    "crates/engine/src/ds/",
+    "crates/core/src/apply.rs",
+    "crates/core/src/node.rs",
+    "crates/txlog/src/service.rs",
+    "crates/resp/src/decode.rs",
+];
+
+/// Wire/log-input layer where direct indexing is forbidden outright.
+/// The exec and ds layers are excluded: exec's ~400 `args[i]` sites are all
+/// behind arity validation in the command table, and ds's skiplist/HLL
+/// indices are internal arena handles — the panic-freedom lint above still
+/// forbids unwrap/expect/panic in both. Decode, apply, the node frontend and
+/// the log service, by contrast, face untrusted socket/log bytes and must
+/// reject rather than crash.
+const INDEX_SCOPE: &[&str] = &[
+    "crates/core/src/apply.rs",
+    "crates/core/src/node.rs",
+    "crates/txlog/src/service.rs",
+    "crates/resp/src/decode.rs",
+];
+
+/// Deterministic-simulation code: chaos plan construction and the DES core.
+const DETERMINISM_SCOPE: &[&str] = &["crates/sim/src/chaos.rs", "crates/sim/src/des.rs"];
+
+/// Final-call methods in a `let` initializer that make the binding a guard.
+const GUARD_METHODS: &[&str] = &["lock", "read", "write", "upgradable_read"];
+
+/// Methods that block on remote durability / storage while running:
+/// holding any lock guard across these defeats PR-1 group commit and stalls
+/// the engine for a multi-AZ round trip. Always a violation.
+const BLOCKING_METHODS: &[&str] = &["wait_durable", "wait_for_entries", "put"];
+
+/// Non-blocking ordered-append calls into the txlog. Holding the engine/state
+/// lock across these is the *intentional* ordering contract (log order =
+/// execution order, MemoryDB §3.2) — each such site must be explicitly
+/// baselined in analysis.toml with a justification, so new ones are caught.
+const ORDERED_APPEND_METHODS: &[&str] = &["append_after", "append_batch_after"];
+
+fn in_scope(rel: &str, scope: &[&str]) -> bool {
+    scope.iter().any(|s| {
+        if s.ends_with('/') {
+            rel.starts_with(s)
+        } else {
+            rel == *s
+        }
+    })
+}
+
+/// Runs every lint applicable to `rel` over its token stream.
+pub(crate) fn lint_tokens(rel: &str, toks: &[Tok]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    if in_scope(rel, PANIC_SCOPE) {
+        panic_freedom(toks, &mut out);
+    }
+    if in_scope(rel, INDEX_SCOPE) {
+        index_freedom(toks, &mut out);
+    }
+    if in_scope(rel, DETERMINISM_SCOPE) {
+        determinism(toks, &mut out);
+    }
+    // Workspace-wide passes.
+    lock_discipline(toks, &mut out);
+    sync_primitives(toks, &mut out);
+    out.sort_by_key(|f| f.line);
+    out
+}
+
+/// (1) panic-freedom: `.unwrap()` / `.expect(` method calls and
+/// `panic!` / `unreachable!` / `todo!` / `unimplemented!` macros.
+fn panic_freedom(toks: &[Tok], out: &mut Vec<RawFinding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        let Some(id) = t.ident() else { continue };
+        match id {
+            "unwrap" | "expect" => {
+                let prev_dot = i > 0 && toks[i - 1].is_punct('.');
+                let next_paren = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+                if prev_dot && next_paren {
+                    out.push(RawFinding {
+                        lint: "panic-freedom",
+                        line: t.line,
+                        message: format!(
+                            "`.{id}()` can panic in the serving/apply path \
+                             (MemoryDB availability argument: a primary panic forfeits \
+                             its lease and forces failover, paper \u{a7}5)"
+                        ),
+                    });
+                }
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if toks.get(i + 1).is_some_and(|n| n.is_punct('!')) =>
+            {
+                out.push(RawFinding {
+                    lint: "panic-freedom",
+                    line: t.line,
+                    message: format!(
+                        "`{id}!` in the serving/apply path \
+                         (MemoryDB availability argument: a primary panic forfeits \
+                         its lease and forces failover, paper \u{a7}5)"
+                    ),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// (1b) indexing sub-lint: `expr[...]` indexing/slicing on the wire/log-input
+/// layer, where the indexed data came off a socket or the transaction log.
+fn index_freedom(toks: &[Tok], out: &mut Vec<RawFinding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test || !t.is_punct('[') || i == 0 {
+            continue;
+        }
+        let indexes_expr = match &toks[i - 1].kind {
+            // A keyword before `[` means an array/slice type or literal
+            // (`&mut [Frame]`, `return [0; 4]`), not an index expression.
+            Ident(id) => !matches!(
+                id.as_str(),
+                "mut" | "ref" | "dyn" | "return" | "break" | "else" | "in" | "match"
+            ),
+            Punct(')') | Punct(']') => true,
+            _ => false,
+        };
+        if indexes_expr {
+            out.push(RawFinding {
+                lint: "panic-freedom",
+                line: t.line,
+                message: "direct index/slice can panic on malformed wire/log input; \
+                          decode and apply must reject bad input, not crash the \
+                          primary (paper \u{a7}3.1, \u{a7}5)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// (3) sim determinism: no wall clock or ambient entropy in chaos-plan /
+/// DES code. Convergence-deadline helpers are allowlisted via analysis.toml.
+fn determinism(toks: &[Tok], out: &mut Vec<RawFinding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        let Some(id) = t.ident() else { continue };
+        let hit = match id {
+            "thread_rng" | "from_entropy" => Some(id.to_string()),
+            "now" => {
+                let path_now = i >= 3
+                    && toks[i - 1].is_punct(':')
+                    && toks[i - 2].is_punct(':')
+                    && matches!(toks[i - 3].ident(), Some("Instant") | Some("SystemTime"));
+                if path_now {
+                    toks[i - 3].ident().map(|p| format!("{p}::now"))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        if let Some(what) = hit {
+            out.push(RawFinding {
+                lint: "sim-determinism",
+                line: t.line,
+                message: format!(
+                    "`{what}` in deterministic simulation code; chaos plans and DES \
+                     scheduling must be pure functions of (schedule, seed) so every \
+                     failure reproduces (DESIGN.md \u{a7}8)"
+                ),
+            });
+        }
+    }
+}
+
+/// (4) concurrency-primitive consistency: `std::sync::Mutex` / `RwLock`
+/// paths and use-trees anywhere in non-test code. The workspace mandates
+/// parking_lot — no lock poisoning on the serving path, smaller guards.
+fn sync_primitives(toks: &[Tok], out: &mut Vec<RawFinding>) {
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        let starts_std_sync = !t.in_test
+            && t.ident() == Some("std")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 3).and_then(|n| n.ident()) == Some("sync");
+        if !starts_std_sync {
+            i += 1;
+            continue;
+        }
+        // Walk the rest of the path / use-tree: idents, `::`, `{`, `}`,
+        // `,`, `*`, stopping at `;` or anything else (e.g. `(`).
+        let mut j = i + 4;
+        while let Some(n) = toks.get(j) {
+            match &n.kind {
+                Ident(id) if id == "Mutex" || id == "RwLock" || id == "Condvar" => {
+                    out.push(RawFinding {
+                        lint: "sync-primitives",
+                        line: n.line,
+                        message: format!(
+                            "`std::sync::{id}` in non-test code; the workspace mandates \
+                             parking_lot (no poisoning to handle on the serving path, \
+                             guards are Send-friendly and smaller)"
+                        ),
+                    });
+                    j += 1;
+                }
+                Ident(_) | Punct(':') | Punct('{') | Punct('}') | Punct(',') | Punct('*') => {
+                    j += 1;
+                }
+                _ => break,
+            }
+        }
+        i = j;
+    }
+}
+
+/// A live lock guard: `let`-bound, final call in its initializer was a
+/// guard-returning method with empty argument list.
+#[derive(Clone)]
+struct Guard {
+    name: String,
+    depth: i32,
+}
+
+/// (2) lock discipline: heuristic dataflow over `let`-bound guards. A guard
+/// dies when its enclosing block closes or on `drop(name)`. While any guard
+/// is live, a call to a blocking durability/storage method is a violation;
+/// a call to an ordered-append method is a finding that must be baselined.
+fn lock_discipline(toks: &[Tok], out: &mut Vec<RawFinding>) {
+    let mut depth: i32 = 0;
+    let mut guards: Vec<Guard> = Vec::new();
+    // Guards activate only after their `let` statement's semicolon.
+    let mut pending: Vec<(usize, Guard)> = Vec::new();
+
+    let mut i = 0;
+    while i < toks.len() {
+        pending.retain(|(at, g)| {
+            if *at <= i {
+                guards.push(g.clone());
+                false
+            } else {
+                true
+            }
+        });
+
+        let t = &toks[i];
+        match &t.kind {
+            Punct('{') => depth += 1,
+            Punct('}') => {
+                depth -= 1;
+                let d = depth;
+                guards.retain(|g| g.depth <= d);
+                pending.retain(|(_, g)| g.depth <= d);
+            }
+            Ident(id) if id == "let" && !t.in_test => {
+                if let Some((name, semi)) = parse_let_guard(toks, i) {
+                    pending.push((semi + 1, Guard { name, depth }));
+                }
+            }
+            Ident(id) if id == "drop" && !t.in_test => {
+                // `drop(name)` releases the guard early.
+                let name = toks
+                    .get(i + 1)
+                    .filter(|n| n.is_punct('('))
+                    .and_then(|_| toks.get(i + 2))
+                    .and_then(|n| n.ident())
+                    .filter(|_| toks.get(i + 3).is_some_and(|n| n.is_punct(')')));
+                if let Some(name) = name {
+                    guards.retain(|g| g.name != name);
+                    pending.retain(|(_, g)| g.name != name);
+                }
+            }
+            Punct('.') if !t.in_test && !guards.is_empty() => {
+                let method = toks
+                    .get(i + 1)
+                    .and_then(|n| n.ident())
+                    .filter(|_| toks.get(i + 2).is_some_and(|n| n.is_punct('(')));
+                if let Some(m) = method {
+                    let names: Vec<&str> = guards.iter().map(|g| g.name.as_str()).collect();
+                    let names = names.join(", ");
+                    let line = toks.get(i + 1).map_or(t.line, |n| n.line);
+                    if BLOCKING_METHODS.contains(&m) {
+                        out.push(RawFinding {
+                            lint: "lock-discipline",
+                            line,
+                            message: format!(
+                                "lock guard(s) `{names}` held across blocking `.{m}()`; \
+                                 the engine must never stall on a multi-AZ durability or \
+                                 storage wait while locked — drop guards first \
+                                 (paper \u{a7}3.2/\u{a7}6, PR-1 group commit)"
+                            ),
+                        });
+                    } else if ORDERED_APPEND_METHODS.contains(&m) {
+                        out.push(RawFinding {
+                            lint: "lock-discipline",
+                            line,
+                            message: format!(
+                                "lock guard(s) `{names}` held across ordered `.{m}()`; \
+                                 append under the engine lock is the log-order = \
+                                 execution-order contract (paper \u{a7}3.2) and each site \
+                                 must be individually justified in analysis.toml"
+                            ),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Recognises `let [mut] NAME = <expr ending in .lock()/.read()/...>;` and
+/// returns (NAME, index of the terminating `;`). The guard method must be
+/// the *final* call with an empty argument list — this rejects
+/// `let role = { let st = self.st.lock(); st.role };` (guard scoped to the
+/// block), `let x = self.st.lock().role;` (guard is a temporary), and
+/// `file.read(&mut buf)` (argument list non-empty, io::Read not a lock).
+fn parse_let_guard(toks: &[Tok], let_idx: usize) -> Option<(String, usize)> {
+    let mut j = let_idx + 1;
+    if toks.get(j).and_then(|t| t.ident()) == Some("mut") {
+        j += 1;
+    }
+    let name = toks.get(j).and_then(|t| t.ident())?;
+    if name == "_" {
+        return None; // `let _ = ...` drops immediately.
+    }
+    j += 1;
+    if !toks.get(j)?.is_punct('=') {
+        return None; // patterns, type ascription, let-else: not handled.
+    }
+    let init_start = j + 1;
+    // Find the terminating `;` at relative bracket depth 0.
+    let mut depth = 0i32;
+    let mut semi = None;
+    let mut k = init_start;
+    while let Some(t) = toks.get(k) {
+        match &t.kind {
+            Punct('(') | Punct('[') | Punct('{') => depth += 1,
+            Punct(')') | Punct(']') | Punct('}') => depth -= 1,
+            Punct(';') if depth == 0 => {
+                semi = Some(k);
+                break;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    let semi = semi?;
+    let tail = &toks[init_start..semi];
+    let tail = match tail.last() {
+        Some(t) if t.is_punct('?') => &tail[..tail.len() - 1],
+        _ => tail,
+    };
+    if tail.len() < 4 {
+        return None;
+    }
+    let n = tail.len();
+    let is_guard = tail[n - 4].is_punct('.')
+        && tail[n - 3]
+            .ident()
+            .is_some_and(|m| GUARD_METHODS.contains(&m))
+        && tail[n - 2].is_punct('(')
+        && tail[n - 1].is_punct(')');
+    if is_guard {
+        Some((name.to_string(), semi))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn lints_for(rel: &str, src: &str) -> Vec<String> {
+        lint_tokens(rel, &scan(src))
+            .into_iter()
+            .map(|f| format!("{}:{}", f.lint, f.line))
+            .collect()
+    }
+
+    #[test]
+    fn unwrap_in_scope_is_flagged_tests_are_not() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+                   #[cfg(test)]\nmod tests { fn t() { Some(1).unwrap(); } }\n";
+        let hits = lints_for("crates/core/src/apply.rs", src);
+        assert_eq!(hits, vec!["panic-freedom:1"]);
+        // Same code out of scope: nothing.
+        assert!(lints_for("crates/core/src/lease.rs", src).is_empty());
+    }
+
+    #[test]
+    fn indexing_only_on_wire_layer() {
+        let src = "fn f(a: &[u8]) -> u8 { a[0] }\n";
+        assert_eq!(
+            lints_for("crates/resp/src/decode.rs", src),
+            vec!["panic-freedom:1"]
+        );
+        assert!(lints_for("crates/engine/src/exec/strings.rs", src).is_empty());
+    }
+
+    #[test]
+    fn guard_across_blocking_wait() {
+        let src = "fn f(&self) {\n\
+                   let st = self.st.lock();\n\
+                   self.log.wait_durable(st.id);\n\
+                   }\n";
+        assert_eq!(
+            lints_for("crates/core/src/x.rs", src),
+            vec!["lock-discipline:3"]
+        );
+    }
+
+    #[test]
+    fn dropped_guard_is_fine() {
+        let src = "fn f(&self) {\n\
+                   let st = self.st.lock();\n\
+                   let id = st.id;\n\
+                   drop(st);\n\
+                   self.log.wait_durable(id);\n\
+                   }\n";
+        assert!(lints_for("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn guard_scoped_to_block_is_fine() {
+        let src = "fn f(&self) {\n\
+                   let id = { let st = self.st.lock(); st.id };\n\
+                   self.log.wait_durable(id);\n\
+                   }\n";
+        assert!(lints_for("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn temporary_guard_is_fine() {
+        let src = "fn f(&self) {\n\
+                   let id = self.st.lock().id;\n\
+                   self.log.wait_durable(id);\n\
+                   }\n";
+        assert!(lints_for("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn io_read_with_args_is_not_a_guard() {
+        let src = "fn f(&self, f: &mut impl std::io::Read, buf: &mut [u8]) {\n\
+                   let n = f.read(buf);\n\
+                   self.log.wait_durable(0);\n\
+                   }\n";
+        assert!(lints_for("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn append_under_guard_is_reported() {
+        let src = "fn f(&self) {\n\
+                   let mut st = self.st.lock();\n\
+                   let ids = self.log.append_after(st.pos, vec![]);\n\
+                   }\n";
+        assert_eq!(
+            lints_for("crates/core/src/x.rs", src),
+            vec!["lock-discipline:3"]
+        );
+    }
+
+    #[test]
+    fn determinism_scope() {
+        let src = "fn gen() { let t = Instant::now(); let r = thread_rng(); }\n";
+        assert_eq!(
+            lints_for("crates/sim/src/chaos.rs", src),
+            vec!["sim-determinism:1", "sim-determinism:1"]
+        );
+        assert!(lints_for("crates/sim/src/workload.rs", src).is_empty());
+    }
+
+    #[test]
+    fn std_sync_mutex_flagged_atomics_fine() {
+        let hits = lints_for(
+            "crates/core/src/monitor.rs",
+            "use std::sync::{Arc, Mutex};\nuse std::sync::atomic::AtomicU64;\n",
+        );
+        assert_eq!(hits, vec!["sync-primitives:1"]);
+    }
+}

@@ -1,0 +1,70 @@
+//! `cargo run -p memorydb-analysis [workspace-root]`
+//!
+//! Runs the invariant gate and prints every violation with file:line, the
+//! invariant family, and the paper property it protects. Exit status is
+//! nonzero when any violation exists, when the baseline has stale entries,
+//! or when analysis.toml cannot be parsed — the same condition enforced in
+//! tier-1 by `tests/analysis.rs`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(memorydb_analysis::workspace_root);
+
+    let outcome = match memorydb_analysis::run_gate(&root) {
+        Ok(o) => o,
+        Err(errors) => {
+            for e in errors {
+                eprintln!("error: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if !outcome.allowed.is_empty() {
+        println!(
+            "{} finding(s) absorbed by the analysis.toml baseline:",
+            outcome.allowed.len()
+        );
+        for (f, idx) in &outcome.allowed {
+            println!(
+                "  allowed [{}] {}:{} (entry #{})",
+                f.lint,
+                f.file,
+                f.line,
+                idx + 1
+            );
+        }
+        println!();
+    }
+
+    for f in &outcome.violations {
+        println!("violation: {f}");
+    }
+    for e in &outcome.stale {
+        println!(
+            "stale baseline entry (matches nothing — remove it): \
+             analysis.toml:{} [{}] {} ({})",
+            e.decl_line, e.lint, e.path, e.reason
+        );
+    }
+
+    if outcome.is_green() {
+        println!(
+            "analysis: OK — 0 violations, {} baselined exception(s), 0 stale entries",
+            outcome.allowed.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "analysis: FAIL — {} violation(s), {} stale baseline entr(y/ies)",
+            outcome.violations.len(),
+            outcome.stale.len()
+        );
+        ExitCode::FAILURE
+    }
+}

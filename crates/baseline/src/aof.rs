@@ -200,7 +200,9 @@ mod tests {
         let (mut recovered, _) = aof.recover();
         let mut rs = SessionState::new();
         assert_eq!(
-            recovered.execute(&mut rs, &cmd(["LRANGE", "l", "0", "-1"])).reply,
+            recovered
+                .execute(&mut rs, &cmd(["LRANGE", "l", "0", "-1"]))
+                .reply,
             Frame::Array(vec![Frame::Bulk(bytes::Bytes::from_static(b"b"))])
         );
         assert_eq!(

@@ -174,16 +174,15 @@ impl BgSaveRun {
 
         // COW growth: only writes to not-yet-serialized, not-yet-copied
         // pages copy a page. Fraction of the dataset still shared:
-        let unserialized =
-            (self.model.dataset_bytes - self.serialized_bytes) as f64 / self.model.dataset_bytes as f64;
-        let uncopied = 1.0
-            - (self.cow_bytes as f64 / self.model.dataset_bytes as f64).min(1.0);
+        let unserialized = (self.model.dataset_bytes - self.serialized_bytes) as f64
+            / self.model.dataset_bytes as f64;
+        let uncopied = 1.0 - (self.cow_bytes as f64 / self.model.dataset_bytes as f64).min(1.0);
         let share_hit = unserialized.min(uncopied).max(0.0);
         // Each write dirties one whole page even for a 100-byte value —
         // the amplification that makes COW blow up under small writes.
         let cow_growth = write_ops_per_sec * dt_sec * share_hit * self.model.page_bytes as f64;
-        self.cow_bytes = (self.cow_bytes as f64 + cow_growth)
-            .min(self.model.dataset_bytes as f64) as u64;
+        self.cow_bytes =
+            (self.cow_bytes as f64 + cow_growth).min(self.model.dataset_bytes as f64) as u64;
 
         self.pressure()
     }

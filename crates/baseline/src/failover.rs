@@ -90,7 +90,12 @@ mod tests {
 
     #[test]
     fn failover_with_caught_up_replica_loses_nothing() {
-        let shard = RedisShard::new(ReplicationConfig { lag: Duration::ZERO }, 1);
+        let shard = RedisShard::new(
+            ReplicationConfig {
+                lag: Duration::ZERO,
+            },
+            1,
+        );
         let mut s = SessionState::new();
         for i in 0..20 {
             shard.execute(&mut s, &cmd(["SET", &format!("k{i}"), "v"]));

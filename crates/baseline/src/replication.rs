@@ -103,7 +103,11 @@ impl RedisShard {
         let mut nodes = Vec::new();
         let mut senders = Vec::new();
         for id in 0..=(replicas as u64) {
-            let role = if id == 0 { Role::Primary } else { Role::Replica };
+            let role = if id == 0 {
+                Role::Primary
+            } else {
+                Role::Replica
+            };
             let (node, sender) = Self::make_node(id, role);
             nodes.push(node);
             if let Some(tx) = sender {
@@ -337,7 +341,12 @@ mod tests {
 
     #[test]
     fn replicas_apply_in_order() {
-        let shard = RedisShard::new(ReplicationConfig { lag: Duration::ZERO }, 1);
+        let shard = RedisShard::new(
+            ReplicationConfig {
+                lag: Duration::ZERO,
+            },
+            1,
+        );
         let mut s = SessionState::new();
         for i in 0..200 {
             shard.execute(&mut s, &cmd(["RPUSH", "l", &i.to_string()]));
@@ -349,7 +358,12 @@ mod tests {
 
     #[test]
     fn nondeterministic_commands_replicate_by_effect() {
-        let shard = RedisShard::new(ReplicationConfig { lag: Duration::ZERO }, 1);
+        let shard = RedisShard::new(
+            ReplicationConfig {
+                lag: Duration::ZERO,
+            },
+            1,
+        );
         let mut s = SessionState::new();
         shard.execute(&mut s, &cmd(["SADD", "set", "a", "b", "c", "d", "e"]));
         shard.execute(&mut s, &cmd(["SPOP", "set", "2"]));

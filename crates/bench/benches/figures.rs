@@ -28,7 +28,13 @@ fn main() {
     ] {
         let redis = fig5::run(SystemKind::Redis, w, 0.6);
         let memdb = fig5::run(SystemKind::MemoryDb, w, 0.6);
-        let mut t = Table::new(&["offered", "redis p50", "redis p99", "memdb p50", "memdb p99"]);
+        let mut t = Table::new(&[
+            "offered",
+            "redis p50",
+            "redis p99",
+            "memdb p50",
+            "memdb p99",
+        ]);
         for (r, m) in redis.iter().zip(&memdb) {
             t.row(vec![
                 kops(r.offered),
@@ -38,7 +44,10 @@ fn main() {
                 ms(m.p99_ms),
             ]);
         }
-        println!("Figure {panel} — latency (ms) vs offered load, 16xlarge\n{}", t.render());
+        println!(
+            "Figure {panel} — latency (ms) vs offered load, 16xlarge\n{}",
+            t.render()
+        );
     }
 
     // ---- Figure 6 ----------------------------------------------------
@@ -53,7 +62,10 @@ fn main() {
             format!("{:?}", r.pressure),
         ]);
     }
-    println!("Figure 6 — Redis BGSave under memory pressure (fork at t=10)\n{}", t.render());
+    println!(
+        "Figure 6 — Redis BGSave under memory pressure (fork at t=10)\n{}",
+        t.render()
+    );
 
     // ---- Figure 7 (real stack, short run) ------------------------------
     let rows = fig7::run(fig7::Fig7Params {
@@ -71,10 +83,17 @@ fn main() {
             format!("{:.0}", r.throughput),
             ms(r.avg_ms),
             ms(r.p100_ms),
-            if r.snapshotting { "yes".into() } else { "".into() },
+            if r.snapshotting {
+                "yes".into()
+            } else {
+                "".into()
+            },
         ]);
     }
-    println!("Figure 7 — live MemoryDB during an off-box snapshot (real stack)\n{}", t.render());
+    println!(
+        "Figure 7 — live MemoryDB during an off-box snapshot (real stack)\n{}",
+        t.render()
+    );
 
     // ---- §6.1.2.1 write bandwidth --------------------------------------
     let rows = extras::write_bandwidth(0.5);
@@ -86,7 +105,10 @@ fn main() {
             format!("{:.1}", r.mb_per_s),
         ]);
     }
-    println!("§6.1.2.1 — single-shard write bandwidth (MemoryDB)\n{}", t.render());
+    println!(
+        "§6.1.2.1 — single-shard write bandwidth (MemoryDB)\n{}",
+        t.render()
+    );
 
     // ---- Durability ablation -------------------------------------------
     let rows = extras::durability_ablation(100);
@@ -98,7 +120,10 @@ fn main() {
             r.lost.to_string(),
         ]);
     }
-    println!("Durability ablation — acknowledged writes lost across failover\n{}", t.render());
+    println!(
+        "Durability ablation — acknowledged writes lost across failover\n{}",
+        t.render()
+    );
 
     // ---- Recovery MTTR ---------------------------------------------------
     let rows = extras::recovery_mttr(&[0, 2_000, 8_000], 1_000);
@@ -159,7 +184,10 @@ fn main() {
                 format!("{:.0}", t0.elapsed().as_secs_f64() * 1000.0),
             ]);
         }
-        println!("§4.1 lease ablation — failover window scales with the lease\n{}", t.render());
+        println!(
+            "§4.1 lease ablation — failover window scales with the lease\n{}",
+            t.render()
+        );
     }
 
     println!("=== done ===");

@@ -18,7 +18,10 @@ fn engine_commands(c: &mut Criterion) {
     e.set_time_ms(1);
     let mut s = SessionState::new();
     for i in 0..10_000 {
-        e.execute(&mut s, &cmd(["SET", &format!("key:{i}"), "value-payload-100b"]));
+        e.execute(
+            &mut s,
+            &cmd(["SET", &format!("key:{i}"), "value-payload-100b"]),
+        );
     }
     let get = cmd(["GET", "key:5000"]);
     group.bench_function("get_hit", |b| {
@@ -36,7 +39,10 @@ fn engine_commands(c: &mut Criterion) {
     group.bench_function("incr", |b| {
         b.iter(|| black_box(e.execute(&mut s, black_box(&incr))))
     });
-    e.execute(&mut s, &cmd(["ZADD", "zb", "1", "m1", "2", "m2", "3", "m3"]));
+    e.execute(
+        &mut s,
+        &cmd(["ZADD", "zb", "1", "m1", "2", "m2", "3", "m3"]),
+    );
     let zrange = cmd(["ZRANGE", "zb", "0", "-1"]);
     group.bench_function("zrange_small", |b| {
         b.iter(|| black_box(e.execute(&mut s, black_box(&zrange))))
@@ -52,10 +58,7 @@ fn skiplist(c: &mut Criterion) {
                 let mut z = ZSet::new();
                 let mut rng = StdRng::seed_from_u64(1);
                 for i in 0..100_000u32 {
-                    z.insert(
-                        Bytes::from(format!("member:{i}")),
-                        rng.gen_range(0.0..1e6),
-                    );
+                    z.insert(Bytes::from(format!("member:{i}")), rng.gen_range(0.0..1e6));
                 }
                 z
             },
@@ -124,7 +127,10 @@ fn snapshot_roundtrip(c: &mut Criterion) {
     let mut e = Engine::new(Role::Primary);
     let mut s = SessionState::new();
     for i in 0..10_000 {
-        e.execute(&mut s, &cmd(["SET", &format!("key:{i}"), "0123456789abcdef"]));
+        e.execute(
+            &mut s,
+            &cmd(["SET", &format!("key:{i}"), "0123456789abcdef"]),
+        );
     }
     let snapshot = rdb::dump(&e.db);
     group.throughput(Throughput::Bytes(snapshot.len() as u64));
@@ -145,11 +151,19 @@ fn effects(c: &mut Criterion) {
         .map(|i| cmd(["SET", &format!("k{i}"), "value-payload-of-100-bytes"]))
         .collect();
     group.bench_function("encode_batch_8", |b| {
-        b.iter(|| black_box(memorydb_engine::effects::encode_effect_batch(black_box(&batch))))
+        b.iter(|| {
+            black_box(memorydb_engine::effects::encode_effect_batch(black_box(
+                &batch,
+            )))
+        })
     });
     let encoded = memorydb_engine::effects::encode_effect_batch(&batch);
     group.bench_function("decode_batch_8", |b| {
-        b.iter(|| black_box(memorydb_engine::effects::decode_effect_batch(black_box(&encoded))))
+        b.iter(|| {
+            black_box(memorydb_engine::effects::decode_effect_batch(black_box(
+                &encoded,
+            )))
+        })
     });
     group.finish();
 }

@@ -33,7 +33,9 @@ fn measure(lease_ms: u64, collaborative: bool, trials: u32) -> Duration {
             vec![(0, 16383)],
             1,
         );
-        let primary = shard.wait_for_primary(Duration::from_secs(20)).expect("primary");
+        let primary = shard
+            .wait_for_primary(Duration::from_secs(20))
+            .expect("primary");
         let mut session = SessionState::new();
         for i in 0..20 {
             primary.handle(&mut session, &cmd(["SET", &format!("k{i}"), "v"]));

@@ -22,10 +22,7 @@ fn main() {
         }
         println!("Figure {panel} — max throughput, 1000 closed-loop connections, 100B values");
         println!("{}", table.render());
-        let csv = results_dir().join(format!(
-            "fig{}.csv",
-            if read_only { "4a" } else { "4b" }
-        ));
+        let csv = results_dir().join(format!("fig{}.csv", if read_only { "4a" } else { "4b" }));
         if table.write_csv(&csv).is_ok() {
             println!("wrote {}\n", csv.display());
         }

@@ -6,7 +6,14 @@ use memorydb_bench::output::{ms, results_dir, Table};
 
 fn main() {
     let rows = run(Fig6Params::default());
-    let mut table = Table::new(&["t (s)", "throughput op/s", "avg ms", "p100 ms", "swap %", "regime"]);
+    let mut table = Table::new(&[
+        "t (s)",
+        "throughput op/s",
+        "avg ms",
+        "p100 ms",
+        "swap %",
+        "regime",
+    ]);
     for row in &rows {
         table.row(vec![
             format!("{:.0}", row.t_s),

@@ -17,14 +17,24 @@ fn main() {
         duration_s: duration,
         ..Fig7Params::default()
     });
-    let mut table = Table::new(&["t (s)", "throughput op/s", "avg ms", "p100 ms", "snapshotting"]);
+    let mut table = Table::new(&[
+        "t (s)",
+        "throughput op/s",
+        "avg ms",
+        "p100 ms",
+        "snapshotting",
+    ]);
     for row in &rows {
         table.row(vec![
             row.t_s.to_string(),
             format!("{:.0}", row.throughput),
             ms(row.avg_ms),
             ms(row.p100_ms),
-            if row.snapshotting { "yes".into() } else { "".into() },
+            if row.snapshotting {
+                "yes".into()
+            } else {
+                "".into()
+            },
         ]);
     }
     println!("{}", table.render());

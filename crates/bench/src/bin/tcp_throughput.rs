@@ -64,14 +64,7 @@ fn main() {
 
     let rows = run(&params);
 
-    let mut table = Table::new(&[
-        "mode",
-        "conns",
-        "pipeline",
-        "op/s",
-        "appends",
-        "ops/append",
-    ]);
+    let mut table = Table::new(&["mode", "conns", "pipeline", "op/s", "appends", "ops/append"]);
     for r in &rows {
         table.row(vec![
             r.mode.to_string(),

@@ -89,11 +89,7 @@ mod tests {
         // The smoke run must actually exercise the system, not vacuously
         // pass on an empty history.
         for r in &reports {
-            assert!(
-                r.ops_recorded > 0,
-                "{}: no operations recorded",
-                r.schedule
-            );
+            assert!(r.ops_recorded > 0, "{}: no operations recorded", r.schedule);
         }
     }
 

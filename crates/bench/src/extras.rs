@@ -129,7 +129,9 @@ pub fn durability_ablation(writes: usize) -> Vec<DurabilityRow> {
             vec![(0, 16383)],
             2,
         );
-        let primary = shard.wait_for_primary(Duration::from_secs(5)).expect("primary");
+        let primary = shard
+            .wait_for_primary(Duration::from_secs(5))
+            .expect("primary");
         let mut session = SessionState::new();
         let mut acked = Vec::new();
         for i in 0..writes {
@@ -189,7 +191,9 @@ pub fn recovery_mttr(suffixes: &[u64], base_keys: usize) -> Vec<MttrRow> {
                 vec![(0, 16383)],
                 0,
             );
-            let primary = shard.wait_for_primary(Duration::from_secs(5)).expect("primary");
+            let primary = shard
+                .wait_for_primary(Duration::from_secs(5))
+                .expect("primary");
             let mut session = SessionState::new();
             for i in 0..base_keys {
                 primary.handle(&mut session, &cmd(["SET", &format!("base:{i}"), "v"]));

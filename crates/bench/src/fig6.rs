@@ -138,7 +138,10 @@ mod tests {
             "fork spike {} ms",
             at_fork.p100_ms
         );
-        assert!(at_fork.throughput > 100_000.0, "no throughput impact at fork");
+        assert!(
+            at_fork.throughput > 100_000.0,
+            "no throughput impact at fork"
+        );
 
         // Eventually: collapse — throughput near zero, latency over a
         // second, swap beyond 8%.
@@ -168,8 +171,6 @@ mod tests {
             write_fraction: 0.0,
             ..Fig6Params::default()
         });
-        assert!(rows
-            .iter()
-            .all(|r| r.pressure == MemoryPressure::Normal));
+        assert!(rows.iter().all(|r| r.pressure == MemoryPressure::Normal));
     }
 }

@@ -169,8 +169,7 @@ pub fn run(params: Fig7Params) -> Vec<Fig7Row> {
     let snapshotter = std::thread::spawn(move || {
         std::thread::sleep(Duration::from_secs(snapshot_at));
         let started_s = t0.elapsed().as_secs();
-        let worker =
-            OffboxSnapshotter::new(ctx, memorydb_engine::EngineVersion::CURRENT, 999_999);
+        let worker = OffboxSnapshotter::new(ctx, memorydb_engine::EngineVersion::CURRENT, 999_999);
         worker.create_snapshot(true).expect("off-box snapshot");
         let ended_s = t0.elapsed().as_secs();
         *snap_window2.lock() = (started_s, ended_s);

@@ -121,6 +121,6 @@ mod tests {
     #[test]
     fn formatters() {
         assert_eq!(kops(512_300.0), "512.3K");
-        assert_eq!(ms(3.14159), "3.14");
+        assert_eq!(ms(1.2375), "1.24");
     }
 }

@@ -42,8 +42,12 @@ pub trait Model {
 
     /// Applies `input` to `state`; returns whether `output` is legal and
     /// the successor state.
-    fn step(&self, state: &Self::State, input: &Self::Input, output: &Self::Output)
-        -> (bool, Self::State);
+    fn step(
+        &self,
+        state: &Self::State,
+        input: &Self::Input,
+        output: &Self::Output,
+    ) -> (bool, Self::State);
 
     /// Splits a history into independently-checkable partitions
     /// (P-compositionality). Default: one partition.
@@ -218,7 +222,7 @@ fn check_partition<M: Model>(
 
     loop {
         steps += 1;
-        if steps % 4096 == 0 && Instant::now() >= deadline {
+        if steps.is_multiple_of(4096) && Instant::now() >= deadline {
             return CheckOutcome::Unknown;
         }
         if list.head == NIL {
@@ -408,7 +412,6 @@ mod tests {
             ops: &[Operation<In, Out>],
             remaining: &mut Vec<usize>,
             state: i64,
-            max_ret_linearized: &mut Vec<u64>,
         ) -> bool {
             if remaining.is_empty() {
                 return true;
@@ -423,13 +426,12 @@ mod tests {
                 if blocked {
                     continue;
                 }
-                let (ok, new_state) =
-                    model.step(&state, &ops[idx].input, &ops[idx].output);
+                let (ok, new_state) = model.step(&state, &ops[idx].input, &ops[idx].output);
                 if !ok {
                     continue;
                 }
                 remaining.remove(pos);
-                if recurse(model, ops, remaining, new_state, max_ret_linearized) {
+                if recurse(model, ops, remaining, new_state) {
                     remaining.insert(pos, idx);
                     return true;
                 }
@@ -438,7 +440,7 @@ mod tests {
             false
         }
         let mut remaining: Vec<usize> = (0..ops.len()).collect();
-        recurse(&IntRegister, ops, &mut remaining, 0, &mut vec![])
+        recurse(&IntRegister, ops, &mut remaining, 0)
     }
 
     #[test]
@@ -475,7 +477,10 @@ mod tests {
             }
         }
         assert_eq!(checked, 300);
-        assert!(illegal_seen > 30, "random cases should include illegal ones");
+        assert!(
+            illegal_seen > 30,
+            "random cases should include illegal ones"
+        );
     }
 
     #[test]
@@ -505,7 +510,13 @@ mod tests {
         let mut h = Vec::new();
         for i in 0..14 {
             h.push(op(i, In::Write(i as i64), Out::Ok, 0, 1000));
-            h.push(op(100 + i, In::Read, Out::Value(((i + 7) % 14) as i64), 0, 1000));
+            h.push(op(
+                100 + i,
+                In::Read,
+                Out::Value(((i + 7) % 14) as i64),
+                0,
+                1000,
+            ));
         }
         let got = check(&IntRegister, h, Duration::from_millis(0));
         assert!(matches!(got, CheckOutcome::Unknown | CheckOutcome::Illegal));

@@ -77,15 +77,80 @@ impl CommandGenerator {
     /// engine's table: commands with data-path semantics).
     pub fn covered_commands() -> Vec<&'static str> {
         vec![
-            "GET", "SET", "SETNX", "GETSET", "GETDEL", "APPEND", "STRLEN", "INCR", "DECR",
-            "INCRBY", "DECRBY", "INCRBYFLOAT", "MGET", "MSET", "SETRANGE", "GETRANGE", "DEL",
-            "EXISTS", "TYPE", "EXPIRE", "PEXPIRE", "TTL", "PTTL", "PERSIST", "RENAME", "COPY",
-            "HSET", "HGET", "HDEL", "HLEN", "HGETALL", "HINCRBY", "HEXISTS", "HKEYS", "HVALS",
-            "LPUSH", "RPUSH", "LPOP", "RPOP", "LLEN", "LRANGE", "LINDEX", "LSET", "LREM",
-            "LTRIM", "SADD", "SREM", "SMEMBERS", "SISMEMBER", "SCARD", "SPOP", "SMOVE",
-            "SUNIONSTORE", "SINTERSTORE", "SDIFFSTORE", "ZADD", "ZREM", "ZSCORE", "ZINCRBY",
-            "ZCARD", "ZCOUNT", "ZRANGE", "ZRANK", "ZPOPMIN", "ZPOPMAX", "ZREMRANGEBYSCORE",
-            "XADD", "XLEN", "XRANGE", "XDEL", "XTRIM", "PFADD", "PFCOUNT", "PFMERGE",
+            "GET",
+            "SET",
+            "SETNX",
+            "GETSET",
+            "GETDEL",
+            "APPEND",
+            "STRLEN",
+            "INCR",
+            "DECR",
+            "INCRBY",
+            "DECRBY",
+            "INCRBYFLOAT",
+            "MGET",
+            "MSET",
+            "SETRANGE",
+            "GETRANGE",
+            "DEL",
+            "EXISTS",
+            "TYPE",
+            "EXPIRE",
+            "PEXPIRE",
+            "TTL",
+            "PTTL",
+            "PERSIST",
+            "RENAME",
+            "COPY",
+            "HSET",
+            "HGET",
+            "HDEL",
+            "HLEN",
+            "HGETALL",
+            "HINCRBY",
+            "HEXISTS",
+            "HKEYS",
+            "HVALS",
+            "LPUSH",
+            "RPUSH",
+            "LPOP",
+            "RPOP",
+            "LLEN",
+            "LRANGE",
+            "LINDEX",
+            "LSET",
+            "LREM",
+            "LTRIM",
+            "SADD",
+            "SREM",
+            "SMEMBERS",
+            "SISMEMBER",
+            "SCARD",
+            "SPOP",
+            "SMOVE",
+            "SUNIONSTORE",
+            "SINTERSTORE",
+            "SDIFFSTORE",
+            "ZADD",
+            "ZREM",
+            "ZSCORE",
+            "ZINCRBY",
+            "ZCARD",
+            "ZCOUNT",
+            "ZRANGE",
+            "ZRANK",
+            "ZPOPMIN",
+            "ZPOPMAX",
+            "ZREMRANGEBYSCORE",
+            "XADD",
+            "XLEN",
+            "XRANGE",
+            "XDEL",
+            "XTRIM",
+            "PFADD",
+            "PFCOUNT",
+            "PFMERGE",
         ]
     }
 
@@ -101,17 +166,21 @@ impl CommandGenerator {
         let k = self.key();
         let k2 = self.key();
         let parts: Vec<Vec<u8>> = match name {
-            "GET" | "STRLEN" | "INCR" | "DECR" | "TTL" | "PTTL" | "PERSIST" | "TYPE"
-            | "GETDEL" | "HLEN" | "HGETALL" | "HKEYS" | "HVALS" | "LLEN" | "LPOP" | "RPOP"
-            | "SMEMBERS" | "SCARD" | "SPOP" | "ZCARD" | "ZPOPMIN" | "ZPOPMAX" | "XLEN"
-            | "PFCOUNT" | "EXISTS" | "DEL" => {
+            "GET" | "STRLEN" | "INCR" | "DECR" | "TTL" | "PTTL" | "PERSIST" | "TYPE" | "GETDEL"
+            | "HLEN" | "HGETALL" | "HKEYS" | "HVALS" | "LLEN" | "LPOP" | "RPOP" | "SMEMBERS"
+            | "SCARD" | "SPOP" | "ZCARD" | "ZPOPMIN" | "ZPOPMAX" | "XLEN" | "PFCOUNT"
+            | "EXISTS" | "DEL" => {
                 vec![name.into(), k.into_bytes()]
             }
             "SET" | "SETNX" | "GETSET" | "APPEND" => {
                 vec![name.into(), k.into_bytes(), self.value()]
             }
             "INCRBY" | "DECRBY" | "EXPIRE" | "PEXPIRE" => {
-                vec![name.into(), k.into_bytes(), self.int().to_string().into_bytes()]
+                vec![
+                    name.into(),
+                    k.into_bytes(),
+                    self.int().to_string().into_bytes(),
+                ]
             }
             "INCRBYFLOAT" => vec![name.into(), k.into_bytes(), self.score().into_bytes()],
             "MGET" => vec![name.into(), k.into_bytes(), k2.into_bytes()],
@@ -154,7 +223,11 @@ impl CommandGenerator {
             "LPUSH" | "RPUSH" | "SADD" | "SREM" | "PFADD" => {
                 vec![name.into(), k.into_bytes(), self.value()]
             }
-            "LINDEX" => vec![name.into(), k.into_bytes(), self.int().to_string().into_bytes()],
+            "LINDEX" => vec![
+                name.into(),
+                k.into_bytes(),
+                self.int().to_string().into_bytes(),
+            ],
             "LSET" => vec![
                 name.into(),
                 k.into_bytes(),
@@ -225,8 +298,10 @@ mod tests {
 
     #[test]
     fn covered_commands_exist_in_the_spec() {
-        let known: std::collections::HashSet<&str> =
-            memorydb_engine::command::all_commands().iter().map(|s| s.name).collect();
+        let known: std::collections::HashSet<&str> = memorydb_engine::command::all_commands()
+            .iter()
+            .map(|s| s.name)
+            .collect();
         for name in CommandGenerator::covered_commands() {
             assert!(known.contains(name), "{name} missing from the engine spec");
         }

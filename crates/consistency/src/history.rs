@@ -62,12 +62,11 @@ impl<I, O> HistoryRecorder<I, O> {
         let mut cur = self.inner.clock.load(Ordering::SeqCst);
         loop {
             let next = now.max(cur + 1);
-            match self.inner.clock.compare_exchange(
-                cur,
-                next,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            ) {
+            match self
+                .inner
+                .clock
+                .compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst)
+            {
                 Ok(_) => return next,
                 Err(actual) => cur = actual,
             }
@@ -144,7 +143,10 @@ mod tests {
         let ops = rec.take();
         assert_eq!(ops.len(), 2);
         assert!(ops[0].call < ops[0].ret);
-        assert!(ops[0].ret < ops[1].call, "sequential ops have ordered stamps");
+        assert!(
+            ops[0].ret < ops[1].call,
+            "sequential ops have ordered stamps"
+        );
         assert!(rec.is_empty());
     }
 

@@ -162,7 +162,13 @@ mod tests {
         let h = vec![
             op(0, KvInput::Get("k".into()), KvOutput::Value(None), 0, 1),
             op(0, KvInput::Set("k".into(), "v".into()), KvOutput::Ok, 2, 3),
-            op(0, KvInput::Get("k".into()), KvOutput::Value(Some("v".into())), 4, 5),
+            op(
+                0,
+                KvInput::Get("k".into()),
+                KvOutput::Value(Some("v".into())),
+                4,
+                5,
+            ),
             op(0, KvInput::Del("k".into()), KvOutput::Int(1), 6, 7),
             op(0, KvInput::Del("k".into()), KvOutput::Int(0), 8, 9),
             op(0, KvInput::Get("k".into()), KvOutput::Value(None), 10, 11),
@@ -175,9 +181,27 @@ mod tests {
         let h = vec![
             op(0, KvInput::Incr("n".into()), KvOutput::Int(1), 0, 1),
             op(0, KvInput::Incr("n".into()), KvOutput::Int(2), 2, 3),
-            op(0, KvInput::Get("n".into()), KvOutput::Value(Some("2".into())), 4, 5),
-            op(0, KvInput::Append("s".into(), "ab".into()), KvOutput::Int(2), 0, 1),
-            op(0, KvInput::Append("s".into(), "c".into()), KvOutput::Int(3), 2, 3),
+            op(
+                0,
+                KvInput::Get("n".into()),
+                KvOutput::Value(Some("2".into())),
+                4,
+                5,
+            ),
+            op(
+                0,
+                KvInput::Append("s".into(), "ab".into()),
+                KvOutput::Int(2),
+                0,
+                1,
+            ),
+            op(
+                0,
+                KvInput::Append("s".into(), "c".into()),
+                KvOutput::Int(3),
+                2,
+                3,
+            ),
         ];
         assert_eq!(check(&KvModel, h, T), CheckOutcome::Ok);
     }
@@ -185,7 +209,13 @@ mod tests {
     #[test]
     fn incr_on_non_numeric_is_never_legal() {
         let h = vec![
-            op(0, KvInput::Set("k".into(), "abc".into()), KvOutput::Ok, 0, 1),
+            op(
+                0,
+                KvInput::Set("k".into(), "abc".into()),
+                KvOutput::Ok,
+                0,
+                1,
+            ),
             op(0, KvInput::Incr("k".into()), KvOutput::Int(1), 2, 3),
         ];
         assert_eq!(check(&KvModel, h, T), CheckOutcome::Illegal);
@@ -197,7 +227,13 @@ mod tests {
         // illegal, and partitioning must still find it.
         let h = vec![
             op(0, KvInput::Set("a".into(), "1".into()), KvOutput::Ok, 0, 1),
-            op(0, KvInput::Get("a".into()), KvOutput::Value(Some("1".into())), 2, 3),
+            op(
+                0,
+                KvInput::Get("a".into()),
+                KvOutput::Value(Some("1".into())),
+                2,
+                3,
+            ),
             op(1, KvInput::Set("b".into(), "1".into()), KvOutput::Ok, 0, 1),
             op(1, KvInput::Get("b".into()), KvOutput::Value(None), 2, 3),
         ];
@@ -210,14 +246,50 @@ mod tests {
         // ambiguous with an open return window. Later reads seeing either
         // the old or the new value must both be legal.
         let saw_new = vec![
-            op(0, KvInput::Set("k".into(), "old".into()), KvOutput::Ok, 0, 1),
-            op(1, KvInput::Set("k".into(), "new".into()), KvOutput::Ambiguous, 2, u64::MAX),
-            op(2, KvInput::Get("k".into()), KvOutput::Value(Some("new".into())), 10, 11),
+            op(
+                0,
+                KvInput::Set("k".into(), "old".into()),
+                KvOutput::Ok,
+                0,
+                1,
+            ),
+            op(
+                1,
+                KvInput::Set("k".into(), "new".into()),
+                KvOutput::Ambiguous,
+                2,
+                u64::MAX,
+            ),
+            op(
+                2,
+                KvInput::Get("k".into()),
+                KvOutput::Value(Some("new".into())),
+                10,
+                11,
+            ),
         ];
         let saw_old = vec![
-            op(0, KvInput::Set("k".into(), "old".into()), KvOutput::Ok, 0, 1),
-            op(1, KvInput::Set("k".into(), "new".into()), KvOutput::Ambiguous, 2, u64::MAX),
-            op(2, KvInput::Get("k".into()), KvOutput::Value(Some("old".into())), 10, 11),
+            op(
+                0,
+                KvInput::Set("k".into(), "old".into()),
+                KvOutput::Ok,
+                0,
+                1,
+            ),
+            op(
+                1,
+                KvInput::Set("k".into(), "new".into()),
+                KvOutput::Ambiguous,
+                2,
+                u64::MAX,
+            ),
+            op(
+                2,
+                KvInput::Get("k".into()),
+                KvOutput::Value(Some("old".into())),
+                10,
+                11,
+            ),
         ];
         assert_eq!(check(&KvModel, saw_new, T), CheckOutcome::Ok);
         assert_eq!(check(&KvModel, saw_old, T), CheckOutcome::Ok);
@@ -225,9 +297,27 @@ mod tests {
         // But an ambiguous write is not a wildcard: a read of a value nobody
         // ever wrote stays illegal.
         let impossible = vec![
-            op(0, KvInput::Set("k".into(), "old".into()), KvOutput::Ok, 0, 1),
-            op(1, KvInput::Set("k".into(), "new".into()), KvOutput::Ambiguous, 2, u64::MAX),
-            op(2, KvInput::Get("k".into()), KvOutput::Value(Some("other".into())), 10, 11),
+            op(
+                0,
+                KvInput::Set("k".into(), "old".into()),
+                KvOutput::Ok,
+                0,
+                1,
+            ),
+            op(
+                1,
+                KvInput::Set("k".into(), "new".into()),
+                KvOutput::Ambiguous,
+                2,
+                u64::MAX,
+            ),
+            op(
+                2,
+                KvInput::Get("k".into()),
+                KvOutput::Value(Some("other".into())),
+                10,
+                11,
+            ),
         ];
         assert_eq!(check(&KvModel, impossible, T), CheckOutcome::Illegal);
     }

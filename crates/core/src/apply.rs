@@ -1,5 +1,8 @@
 //! Shared log-application logic: how a consumer (replica, restoring node,
 //! off-box snapshotter) folds transaction-log records into its state.
+// Serving/apply path: panic-freedom is an enforced invariant (DESIGN.md §9;
+// `cargo run -p memorydb-analysis`). Keep clippy aligned with the analyzer.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 use crate::record::{NodeId, Record};
 use crate::slotset::SlotSet;
@@ -40,10 +43,16 @@ impl std::fmt::Display for HaltReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             HaltReason::StalledUpgrade(v) => {
-                write!(f, "stream produced by newer engine {v}; consumption stopped")
+                write!(
+                    f,
+                    "stream produced by newer engine {v}; consumption stopped"
+                )
             }
             HaltReason::ChecksumMismatch { expected, actual } => {
-                write!(f, "running checksum mismatch: log says {expected:#x}, local {actual:#x}")
+                write!(
+                    f,
+                    "running checksum mismatch: log says {expected:#x}, local {actual:#x}"
+                )
             }
             HaltReason::EffectFailed(e) => write!(f, "effect application failed: {e}"),
         }
@@ -135,14 +144,22 @@ pub fn apply_entry(
                 }
             }
         }
-        Record::LeaderClaim { node, epoch, lease_ms } => {
+        Record::LeaderClaim {
+            node,
+            epoch,
+            lease_ms,
+        } => {
             rs.epoch = *epoch;
             rs.leader = Some(*node);
             rs.observed_lease_ms = *lease_ms;
             rs.last_leadership_signal = Instant::now();
             rs.release_observed = false;
         }
-        Record::LeaseRenewal { node, epoch, lease_ms } => {
+        Record::LeaseRenewal {
+            node,
+            epoch,
+            lease_ms,
+        } => {
             rs.epoch = (*epoch).max(rs.epoch);
             rs.leader = Some(*node);
             rs.observed_lease_ms = *lease_ms;
@@ -222,7 +239,13 @@ mod tests {
             version: EngineVersion::CURRENT,
             effects: vec![cmd(["SET", "k", "v"])],
         };
-        apply_entry(&mut engine, &mut rs, &entry(1, &rec), EngineVersion::CURRENT).unwrap();
+        apply_entry(
+            &mut engine,
+            &mut rs,
+            &entry(1, &rec),
+            EngineVersion::CURRENT,
+        )
+        .unwrap();
         assert_eq!(rs.applied, EntryId(1));
         assert!(rs.running_crc != 0);
         let mut s = SessionState::new();
@@ -240,14 +263,25 @@ mod tests {
             version: EngineVersion::new(8, 0, 0),
             effects: vec![cmd(["SET", "k", "v"])],
         };
-        let err = apply_entry(&mut engine, &mut rs, &entry(1, &rec), EngineVersion::CURRENT)
-            .unwrap_err();
+        let err = apply_entry(
+            &mut engine,
+            &mut rs,
+            &entry(1, &rec),
+            EngineVersion::CURRENT,
+        )
+        .unwrap_err();
         assert_eq!(err, HaltReason::StalledUpgrade(EngineVersion::new(8, 0, 0)));
         assert_eq!(rs.applied, EntryId::ZERO); // did not advance
         assert!(rs.halted.is_some());
         // A NEWER engine consumes an older stream fine.
         let mut rs2 = ReplicaState::new();
-        apply_entry(&mut engine, &mut rs2, &entry(1, &rec), EngineVersion::new(8, 1, 0)).unwrap();
+        apply_entry(
+            &mut engine,
+            &mut rs2,
+            &entry(1, &rec),
+            EngineVersion::new(8, 1, 0),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -258,14 +292,35 @@ mod tests {
             version: EngineVersion::CURRENT,
             effects: vec![cmd(["SET", "a", "1"])],
         };
-        apply_entry(&mut engine, &mut rs, &entry(1, &eff), EngineVersion::CURRENT).unwrap();
-        let good = Record::ChecksumProbe { crc: rs.running_crc };
-        apply_entry(&mut engine, &mut rs, &entry(2, &good), EngineVersion::CURRENT).unwrap();
+        apply_entry(
+            &mut engine,
+            &mut rs,
+            &entry(1, &eff),
+            EngineVersion::CURRENT,
+        )
+        .unwrap();
+        let good = Record::ChecksumProbe {
+            crc: rs.running_crc,
+        };
+        apply_entry(
+            &mut engine,
+            &mut rs,
+            &entry(2, &good),
+            EngineVersion::CURRENT,
+        )
+        .unwrap();
         assert_eq!(rs.applied, EntryId(2));
         // A wrong probe halts consumption.
-        let bad = Record::ChecksumProbe { crc: rs.running_crc ^ 1 };
-        let err =
-            apply_entry(&mut engine, &mut rs, &entry(3, &bad), EngineVersion::CURRENT).unwrap_err();
+        let bad = Record::ChecksumProbe {
+            crc: rs.running_crc ^ 1,
+        };
+        let err = apply_entry(
+            &mut engine,
+            &mut rs,
+            &entry(3, &bad),
+            EngineVersion::CURRENT,
+        )
+        .unwrap_err();
         assert!(matches!(err, HaltReason::ChecksumMismatch { .. }));
         assert_eq!(rs.applied, EntryId(2));
     }
@@ -274,17 +329,43 @@ mod tests {
     fn leadership_records_update_state() {
         let mut engine = Engine::new(Role::Replica);
         let mut rs = ReplicaState::new();
-        let claim = Record::LeaderClaim { node: 7, epoch: 3, lease_ms: 500 };
-        apply_entry(&mut engine, &mut rs, &entry(1, &claim), EngineVersion::CURRENT).unwrap();
+        let claim = Record::LeaderClaim {
+            node: 7,
+            epoch: 3,
+            lease_ms: 500,
+        };
+        apply_entry(
+            &mut engine,
+            &mut rs,
+            &entry(1, &claim),
+            EngineVersion::CURRENT,
+        )
+        .unwrap();
         assert_eq!(rs.leader, Some(7));
         assert_eq!(rs.epoch, 3);
         assert_eq!(rs.observed_lease_ms, 500);
         let release = Record::LeaseRelease { node: 7, epoch: 3 };
-        apply_entry(&mut engine, &mut rs, &entry(2, &release), EngineVersion::CURRENT).unwrap();
+        apply_entry(
+            &mut engine,
+            &mut rs,
+            &entry(2, &release),
+            EngineVersion::CURRENT,
+        )
+        .unwrap();
         assert!(rs.release_observed);
         // A renewal clears the release flag.
-        let renew = Record::LeaseRenewal { node: 7, epoch: 3, lease_ms: 500 };
-        apply_entry(&mut engine, &mut rs, &entry(3, &renew), EngineVersion::CURRENT).unwrap();
+        let renew = Record::LeaseRenewal {
+            node: 7,
+            epoch: 3,
+            lease_ms: 500,
+        };
+        apply_entry(
+            &mut engine,
+            &mut rs,
+            &entry(3, &renew),
+            EngineVersion::CURRENT,
+        )
+        .unwrap();
         assert!(!rs.release_observed);
     }
 
@@ -292,32 +373,70 @@ mod tests {
     fn migration_records_update_slots_and_delete_data() {
         let mut engine = Engine::new(Role::Replica);
         let mut rs = ReplicaState::new();
-        let own = Record::SlotOwnership { ranges: vec![(0, 16383)] };
-        apply_entry(&mut engine, &mut rs, &entry(1, &own), EngineVersion::CURRENT).unwrap();
+        let own = Record::SlotOwnership {
+            ranges: vec![(0, 16383)],
+        };
+        apply_entry(
+            &mut engine,
+            &mut rs,
+            &entry(1, &own),
+            EngineVersion::CURRENT,
+        )
+        .unwrap();
         assert_eq!(rs.owned_slots.len(), 16384);
 
         // Put a key into some slot, then migrate that slot away.
         engine.apply_effect(&cmd(["SET", "foo", "v"])).unwrap();
         let slot = memorydb_engine::key_hash_slot(b"foo");
         let prep = Record::MigrationPrepare { slot, target: 9 };
-        apply_entry(&mut engine, &mut rs, &entry(2, &prep), EngineVersion::CURRENT).unwrap();
+        apply_entry(
+            &mut engine,
+            &mut rs,
+            &entry(2, &prep),
+            EngineVersion::CURRENT,
+        )
+        .unwrap();
         assert!(rs.blocked_slots.contains(&slot));
         let done = Record::MigrationDone { slot };
-        apply_entry(&mut engine, &mut rs, &entry(3, &done), EngineVersion::CURRENT).unwrap();
+        apply_entry(
+            &mut engine,
+            &mut rs,
+            &entry(3, &done),
+            EngineVersion::CURRENT,
+        )
+        .unwrap();
         assert!(!rs.owned_slots.contains(slot));
         assert!(!rs.blocked_slots.contains(&slot));
         assert_eq!(engine.db.len(), 0, "transferred data deleted");
 
         // Receiving side.
         let commit = Record::MigrationCommit { slot, source: 1 };
-        apply_entry(&mut engine, &mut rs, &entry(4, &commit), EngineVersion::CURRENT).unwrap();
+        apply_entry(
+            &mut engine,
+            &mut rs,
+            &entry(4, &commit),
+            EngineVersion::CURRENT,
+        )
+        .unwrap();
         assert!(rs.owned_slots.contains(slot));
 
         // Abort path unblocks without disowning.
         let prep2 = Record::MigrationPrepare { slot, target: 9 };
-        apply_entry(&mut engine, &mut rs, &entry(5, &prep2), EngineVersion::CURRENT).unwrap();
+        apply_entry(
+            &mut engine,
+            &mut rs,
+            &entry(5, &prep2),
+            EngineVersion::CURRENT,
+        )
+        .unwrap();
         let abort = Record::MigrationAbort { slot };
-        apply_entry(&mut engine, &mut rs, &entry(6, &abort), EngineVersion::CURRENT).unwrap();
+        apply_entry(
+            &mut engine,
+            &mut rs,
+            &entry(6, &abort),
+            EngineVersion::CURRENT,
+        )
+        .unwrap();
         assert!(rs.owned_slots.contains(slot));
         assert!(!rs.blocked_slots.contains(&slot));
     }
@@ -334,7 +453,11 @@ mod tests {
                 version: EngineVersion::CURRENT,
                 effects: vec![cmd(["SET", "a", "1"])],
             },
-            Record::LeaseRenewal { node: 1, epoch: 1, lease_ms: 100 },
+            Record::LeaseRenewal {
+                node: 1,
+                epoch: 1,
+                lease_ms: 100,
+            },
             Record::Effects {
                 version: EngineVersion::CURRENT,
                 effects: vec![cmd(["DEL", "a"])],
@@ -343,10 +466,46 @@ mod tests {
         for (i, rec) in recs.iter().enumerate() {
             let payload = rec.encode();
             fold_appended_payload(&mut producer, EntryId(i as u64 + 1), &payload, false);
-            apply_entry(&mut engine, &mut consumer, &entry(i as u64 + 1, rec), EngineVersion::CURRENT)
-                .unwrap();
+            apply_entry(
+                &mut engine,
+                &mut consumer,
+                &entry(i as u64 + 1, rec),
+                EngineVersion::CURRENT,
+            )
+            .unwrap();
         }
         assert_eq!(producer.running_crc, consumer.running_crc);
         assert_eq!(producer.applied, consumer.applied);
+    }
+
+    /// Panic-freedom regression (analyzer invariant 1): malformed or
+    /// truncated log payloads — exactly what a corrupted or adversarial log
+    /// stream would feed a replica — must halt consumption with a typed
+    /// error, never panic the apply path.
+    #[test]
+    fn garbage_log_payloads_halt_without_panicking() {
+        let payloads: [&[u8]; 5] = [
+            b"",                       // empty
+            b"\xff\xff\xff\xff",       // no known record tag
+            b"\x00",                   // truncated header
+            b"{\"not\":\"a record\"}", // wrong encoding entirely
+            &[0u8; 64],                // zero padding
+        ];
+        for (i, raw) in payloads.iter().enumerate() {
+            let mut engine = Engine::new(Role::Replica);
+            let mut rs = ReplicaState::new();
+            let bad = LogEntry {
+                id: EntryId(1),
+                payload: Bytes::copy_from_slice(raw),
+                chain_checksum: 0,
+            };
+            let err = apply_entry(&mut engine, &mut rs, &bad, EngineVersion::CURRENT);
+            assert!(
+                matches!(err, Err(HaltReason::EffectFailed(_))),
+                "payload #{i} must halt with a typed error, got {err:?}"
+            );
+            assert_eq!(rs.applied, EntryId::ZERO, "payload #{i} must not advance");
+            assert!(rs.halted.is_some(), "payload #{i} must mark the halt");
+        }
     }
 }

@@ -120,7 +120,10 @@ mod tests {
         assert_eq!(bus.primary_of(1), Some(3));
         assert_eq!(bus.primary_of(9), None);
         assert_eq!(bus.replica_count(0), 1);
-        assert_eq!(bus.members_of(0), vec![(1, BusRole::Primary), (2, BusRole::Replica)]);
+        assert_eq!(
+            bus.members_of(0),
+            vec![(1, BusRole::Primary), (2, BusRole::Replica)]
+        );
     }
 
     #[test]

@@ -47,8 +47,7 @@ impl ClusterClient {
 
     /// Issues a raw command.
     pub fn command_args(&mut self, args: &[Bytes]) -> Frame {
-        let slot = keys_for(args)
-            .and_then(|keys| keys.first().map(|k| key_hash_slot(k)));
+        let slot = keys_for(args).and_then(|keys| keys.first().map(|k| key_hash_slot(k)));
         let is_write = args
             .first()
             .and_then(|name| {

@@ -108,7 +108,9 @@ impl Cluster {
     pub fn shard_for_slot(&self, slot: u16) -> Option<Arc<Shard>> {
         for shard in self.shards.read().iter() {
             // Any live node's view works; prefer the primary's.
-            let node = shard.primary().or_else(|| shard.nodes().into_iter().next())?;
+            let node = shard
+                .primary()
+                .or_else(|| shard.nodes().into_iter().next())?;
             if node.owns_slot(slot) {
                 return Some(Arc::clone(shard));
             }

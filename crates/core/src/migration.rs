@@ -84,8 +84,11 @@ fn ship_slot(source: &Arc<Node>, target: &Arc<Node>, slot: u16) -> Result<usize,
             .map_err(MigrationError::Transfer)?;
     }
     // Delete extras on the target (keys removed on the source mid-move).
-    let source_keys: std::collections::HashSet<Bytes> =
-        source.serialize_slot(slot).into_iter().map(|(k, _)| k).collect();
+    let source_keys: std::collections::HashSet<Bytes> = source
+        .serialize_slot(slot)
+        .into_iter()
+        .map(|(k, _)| k)
+        .collect();
     let target_keys = target.slot_keys(slot);
     let extras: Vec<EffectCmd> = target_keys
         .into_iter()
@@ -102,11 +105,7 @@ fn ship_slot(source: &Arc<Node>, target: &Arc<Node>, slot: u16) -> Result<usize,
 
 /// Migrates one slot from `source` to `target`. Blocks the slot's writes
 /// only for the final handshake + 2PC (a few log round trips).
-pub fn migrate_slot(
-    source: &Shard,
-    target: &Shard,
-    slot: u16,
-) -> Result<(), MigrationError> {
+pub fn migrate_slot(source: &Shard, target: &Shard, slot: u16) -> Result<(), MigrationError> {
     let timeout = Duration::from_secs(10);
     let src = source
         .wait_for_primary(timeout)
@@ -198,11 +197,7 @@ pub fn migrate_slot(
 /// Consults both shards' durable state and drives the transfer to a
 /// consistent conclusion: if the target durably committed ownership, the
 /// source finishes with `MigrationDone`; otherwise the source aborts.
-pub fn resume_migration(
-    source: &Shard,
-    target: &Shard,
-    slot: u16,
-) -> Result<(), MigrationError> {
+pub fn resume_migration(source: &Shard, target: &Shard, slot: u16) -> Result<(), MigrationError> {
     let timeout = Duration::from_secs(10);
     let src = source
         .wait_for_primary(timeout)

@@ -7,6 +7,9 @@
 //! sequentially consistent reads. Leader election runs purely against the
 //! log's conditional-append API with leases (§4.1); no cluster quorum is
 //! involved.
+// Serving/apply path: panic-freedom is an enforced invariant (DESIGN.md §9;
+// `cargo run -p memorydb-analysis`). Keep clippy aligned with the analyzer.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 use crate::apply::{apply_entry, fold_appended_payload, ReplicaState};
 use crate::bus::{BusRole, ClusterBus};
@@ -18,7 +21,7 @@ use crate::tracker::Tracker;
 use bytes::Bytes;
 use memorydb_engine::command::command_spec;
 use memorydb_engine::exec::Role;
-use memorydb_engine::{keys_for, key_hash_slot, EffectCmd, Engine, Frame, SessionState};
+use memorydb_engine::{key_hash_slot, keys_for, EffectCmd, Engine, Frame, SessionState};
 use memorydb_objectstore::ObjectStore;
 use memorydb_txlog::{AppendError, EntryId, LogService, ReadError};
 use parking_lot::Mutex;
@@ -80,10 +83,10 @@ struct NodeState {
 /// Wall-clock milliseconds (the engine clock source in the threaded
 /// runtime).
 pub fn wall_ms() -> u64 {
+    // A pre-epoch clock yields 0 rather than panicking the serving path.
     SystemTime::now()
         .duration_since(UNIX_EPOCH)
-        .expect("clock after epoch")
-        .as_millis() as u64
+        .map_or(0, |d| d.as_millis() as u64)
 }
 
 /// A MemoryDB node (primary or replica).
@@ -132,6 +135,9 @@ impl Node {
             alive: AtomicBool::new(true),
         });
         let runner = Arc::clone(&node);
+        // Baselined in analysis.toml: failing to spawn at node startup is a
+        // boot error, not a serving-path panic — no lease is held yet.
+        #[allow(clippy::expect_used)]
         std::thread::Builder::new()
             .name(format!("node-{id}"))
             .spawn(move || runner.run_loop())
@@ -141,7 +147,10 @@ impl Node {
 
     /// Starts a brand-new node that restores itself from the object store
     /// and log (the path every recovering or scaling replica takes, §4.2.1).
-    pub fn start_restored(ctx: Arc<ShardContext>, id: NodeId) -> Result<Arc<Node>, crate::restore::RestoreError> {
+    pub fn start_restored(
+        ctx: Arc<ShardContext>,
+        id: NodeId,
+    ) -> Result<Arc<Node>, crate::restore::RestoreError> {
         Node::start_restored_with_version(ctx, id, memorydb_engine::EngineVersion::CURRENT)
     }
 
@@ -153,7 +162,14 @@ impl Node {
         id: NodeId,
         version: memorydb_engine::EngineVersion,
     ) -> Result<Arc<Node>, crate::restore::RestoreError> {
-        let mut rp = restore_replica(&ctx.store, &ctx.log, id, &ctx.name, version, ReplayTarget::Tail)?;
+        let mut rp = restore_replica(
+            &ctx.store,
+            &ctx.log,
+            id,
+            &ctx.name,
+            version,
+            ReplayTarget::Tail,
+        )?;
         // restore_replica builds the engine at `version` already; assert the
         // invariant here so a future refactor cannot silently drop it.
         debug_assert_eq!(rp.engine.version(), version);
@@ -279,7 +295,7 @@ impl Node {
         let one = [args.to_vec()];
         self.handle_batch(session, &one)
             .pop()
-            .expect("one reply per command")
+            .unwrap_or_else(|| Frame::error("ERR internal: batch returned no reply"))
     }
 
     /// Executes a pipeline of commands with **one** engine-lock
@@ -320,11 +336,11 @@ impl Node {
         engine.set_time_ms(wall_ms());
 
         for (i, args) in cmds.iter().enumerate() {
-            if args.is_empty() {
+            let Some(cmd_name) = args.first() else {
                 replies.push(Frame::error("empty command"));
                 continue;
-            }
-            let name = String::from_utf8_lossy(&args[0]).to_ascii_uppercase();
+            };
+            let name = String::from_utf8_lossy(cmd_name).to_ascii_uppercase();
 
             // WAIT: every acknowledged write is already durable across AZs,
             // so WAIT trivially satisfies any replica count; reply with the
@@ -350,7 +366,9 @@ impl Node {
                 continue;
             }
             if let Some(halt) = &st.rs.halted {
-                replies.push(Frame::Error(format!("CLUSTERDOWN replication halted: {halt}")));
+                replies.push(Frame::Error(format!(
+                    "CLUSTERDOWN replication halted: {halt}"
+                )));
                 continue;
             }
 
@@ -495,7 +513,9 @@ impl Node {
                         }
                         .encode();
                         if let Ok(pid) =
-                            self.ctx.log.append_after(self.id, st.rs.applied, probe.clone())
+                            self.ctx
+                                .log
+                                .append_after(self.id, st.rs.applied, probe.clone())
                         {
                             fold_appended_payload(&mut st.rs, pid, &probe, true);
                         }
@@ -530,8 +550,10 @@ impl Node {
         if let Some(e) = append_error {
             // The rebuild will discard everything from the first staged
             // mutation on, and later commands in the batch observed that
-            // state — none of their replies may be released.
-            let first = first_write_index.expect("append failure implies a staged write");
+            // state — none of their replies may be released. An append
+            // failure without a staged write cannot happen; treat it as
+            // "nothing to poison" rather than panicking the serving path.
+            let first = first_write_index.unwrap_or(replies.len());
             for reply in replies.iter_mut().skip(first) {
                 *reply = Frame::Error(format!(
                     "CLUSTERDOWN cannot commit to transaction log ({e}); demoting"
@@ -546,11 +568,17 @@ impl Node {
         // a batch with no mutations waits on the newest read hazard only.
         let wait_target = last_entry.or_else(|| hazard_reads.iter().map(|&(_, h)| h).max());
         if let Some(target) = wait_target {
-            if self.ctx.log.wait_durable(target, self.ctx.cfg.commit_timeout) {
+            if self
+                .ctx
+                .log
+                .wait_durable(target, self.ctx.cfg.commit_timeout)
+            {
                 let committed = self.ctx.log.committed_tail();
                 self.st.lock().tracker.advance_committed(committed);
                 for w in staged {
-                    replies[w.index] = w.reply;
+                    if let Some(slot) = replies.get_mut(w.index) {
+                        *slot = w.reply;
+                    }
                 }
             } else {
                 self.st.lock().demote_requested = true;
@@ -572,8 +600,9 @@ impl Node {
     fn settle_hazard_reads(&self, replies: &mut [Frame], hazard_reads: &[(usize, EntryId)]) {
         for &(i, h) in hazard_reads {
             if !self.ctx.log.is_durable(h) {
-                replies[i] =
-                    Frame::Error("CLUSTERDOWN timed out waiting for hazard commit".into());
+                if let Some(slot) = replies.get_mut(i) {
+                    *slot = Frame::Error("CLUSTERDOWN timed out waiting for hazard commit".into());
+                }
             }
         }
     }
@@ -741,10 +770,7 @@ impl Node {
                 .lookup(&key, 0)
                 .map(|v| (v.clone(), engine.db.expiry(&key)))
             {
-                out.push((
-                    key,
-                    memorydb_engine::rdb::serialize_entry(&value, expiry),
-                ));
+                out.push((key, memorydb_engine::rdb::serialize_entry(&value, expiry)));
             }
         }
         out.sort_by(|a, b| a.0.cmp(&b.0));
@@ -936,7 +962,11 @@ impl Node {
             (st.rs.applied, epoch, rec.encode())
         };
         let t0 = Instant::now();
-        match self.ctx.log.append_after(self.id, claim_at, payload.clone()) {
+        match self
+            .ctx
+            .log
+            .append_after(self.id, claim_at, payload.clone())
+        {
             Ok(id) => {
                 // Serve only after the claim itself is durable.
                 if self.ctx.log.wait_durable(id, cfg.commit_timeout) {

@@ -56,7 +56,11 @@ pub struct OffboxSnapshotter {
 
 impl OffboxSnapshotter {
     /// Creates a snapshotter for a shard.
-    pub fn new(ctx: Arc<ShardContext>, version: EngineVersion, client_id: u64) -> OffboxSnapshotter {
+    pub fn new(
+        ctx: Arc<ShardContext>,
+        version: EngineVersion,
+        client_id: u64,
+    ) -> OffboxSnapshotter {
         OffboxSnapshotter {
             ctx,
             version,
@@ -113,8 +117,8 @@ impl OffboxSnapshotter {
         // (3) Verification rehearsal before publication (§7.2.1): decode the
         // blob, check both checksums, reload the keyspace.
         let blob = snapshot.encode();
-        let reparsed = ShardSnapshot::decode(&blob)
-            .map_err(|e| OffboxError::Verification(e.to_string()))?;
+        let reparsed =
+            ShardSnapshot::decode(&blob).map_err(|e| OffboxError::Verification(e.to_string()))?;
         let db = reparsed
             .load_db()
             .map_err(|e| OffboxError::Verification(e.to_string()))?;

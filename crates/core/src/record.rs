@@ -163,13 +163,21 @@ impl Record {
                 push_u16(&mut out, version.patch);
                 out.extend_from_slice(&encode_effect_batch(effects));
             }
-            Record::LeaderClaim { node, epoch, lease_ms } => {
+            Record::LeaderClaim {
+                node,
+                epoch,
+                lease_ms,
+            } => {
                 out.push(TAG_CLAIM);
                 push_u64(&mut out, *node);
                 push_u64(&mut out, *epoch);
                 push_u64(&mut out, *lease_ms);
             }
-            Record::LeaseRenewal { node, epoch, lease_ms } => {
+            Record::LeaseRenewal {
+                node,
+                epoch,
+                lease_ms,
+            } => {
                 out.push(TAG_RENEWAL);
                 push_u64(&mut out, *node);
                 push_u64(&mut out, *epoch);
@@ -298,8 +306,14 @@ mod tests {
         });
         roundtrip(Record::LeaseRelease { node: 1, epoch: 2 });
         roundtrip(Record::ChecksumProbe { crc: 0xDEADBEEF });
-        roundtrip(Record::MigrationPrepare { slot: 100, target: 3 });
-        roundtrip(Record::MigrationCommit { slot: 100, source: 1 });
+        roundtrip(Record::MigrationPrepare {
+            slot: 100,
+            target: 3,
+        });
+        roundtrip(Record::MigrationCommit {
+            slot: 100,
+            source: 1,
+        });
         roundtrip(Record::MigrationDone { slot: 100 });
         roundtrip(Record::MigrationAbort { slot: 100 });
         roundtrip(Record::SlotOwnership {
@@ -334,17 +348,30 @@ mod proptests {
 
     fn arb_record() -> impl Strategy<Value = Record> {
         prop_oneof![
-            (any::<(u16, u16, u16)>(), proptest::collection::vec(arb_effect(), 0..4)).prop_map(
-                |((ma, mi, pa), effects)| Record::Effects {
+            (
+                any::<(u16, u16, u16)>(),
+                proptest::collection::vec(arb_effect(), 0..4)
+            )
+                .prop_map(|((ma, mi, pa), effects)| Record::Effects {
                     version: EngineVersion::new(ma, mi, pa),
                     effects,
+                }),
+            (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(node, epoch, lease_ms)| {
+                Record::LeaderClaim {
+                    node,
+                    epoch,
+                    lease_ms,
                 }
-            ),
-            (any::<u64>(), any::<u64>(), any::<u64>())
-                .prop_map(|(node, epoch, lease_ms)| Record::LeaderClaim { node, epoch, lease_ms }),
-            (any::<u64>(), any::<u64>(), any::<u64>())
-                .prop_map(|(node, epoch, lease_ms)| Record::LeaseRenewal { node, epoch, lease_ms }),
-            (any::<u64>(), any::<u64>()).prop_map(|(node, epoch)| Record::LeaseRelease { node, epoch }),
+            }),
+            (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(node, epoch, lease_ms)| {
+                Record::LeaseRenewal {
+                    node,
+                    epoch,
+                    lease_ms,
+                }
+            }),
+            (any::<u64>(), any::<u64>())
+                .prop_map(|(node, epoch)| Record::LeaseRelease { node, epoch }),
             any::<u64>().prop_map(|crc| Record::ChecksumProbe { crc }),
             (any::<u16>(), any::<u32>()).prop_map(|(slot, target)| Record::MigrationPrepare {
                 slot: slot % 16384,

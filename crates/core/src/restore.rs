@@ -107,7 +107,9 @@ fn restore_replica_once(
 
     // Step 1: newest snapshot, if any (§4.2.1 "loads a recent point-in-time
     // snapshot").
-    if let Some(snap) = ShardSnapshot::fetch_latest(store, shard_name).map_err(RestoreError::Snapshot)? {
+    if let Some(snap) =
+        ShardSnapshot::fetch_latest(store, shard_name).map_err(RestoreError::Snapshot)?
+    {
         let db = snap.load_db().map_err(RestoreError::Snapshot)?;
         engine.db = db;
         rs.applied = snap.covered;
@@ -137,7 +139,12 @@ fn restore_replica_once(
                 ReplayTarget::Exactly(limit) => {
                     // The target entry must commit eventually; wait for it.
                     let more = log
-                        .wait_for_entries(client, rs.applied, 512, std::time::Duration::from_millis(100))
+                        .wait_for_entries(
+                            client,
+                            rs.applied,
+                            512,
+                            std::time::Duration::from_millis(100),
+                        )
                         .map_err(RestoreError::Log)?;
                     if more.is_empty() && rs.applied < limit {
                         continue;

@@ -132,7 +132,12 @@ impl Shard {
 
     /// All live nodes.
     pub fn nodes(&self) -> Vec<Arc<Node>> {
-        self.nodes.read().iter().filter(|n| n.is_alive()).cloned().collect()
+        self.nodes
+            .read()
+            .iter()
+            .filter(|n| n.is_alive())
+            .cloned()
+            .collect()
     }
 
     /// The current active primary, if one holds a valid lease.

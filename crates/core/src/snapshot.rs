@@ -137,13 +137,19 @@ impl ShardSnapshot {
                 Ok(out)
             }
             fn u16(&mut self) -> Result<u16, SnapshotError> {
-                Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+                Ok(u16::from_le_bytes(
+                    self.take(2)?.try_into().expect("2 bytes"),
+                ))
             }
             fn u32(&mut self) -> Result<u32, SnapshotError> {
-                Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+                Ok(u32::from_le_bytes(
+                    self.take(4)?.try_into().expect("4 bytes"),
+                ))
             }
             fn u64(&mut self) -> Result<u64, SnapshotError> {
-                Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+                Ok(u64::from_le_bytes(
+                    self.take(8)?.try_into().expect("8 bytes"),
+                ))
             }
         }
         let mut c = Cur { d: payload, p: 4 };
@@ -222,8 +228,8 @@ impl ShardSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use memorydb_engine::exec::{Engine, Role, SessionState};
     use memorydb_engine::cmd;
+    use memorydb_engine::exec::{Engine, Role, SessionState};
 
     fn sample_snapshot() -> ShardSnapshot {
         let mut e = Engine::new(Role::Primary);
@@ -264,17 +270,23 @@ mod tests {
     #[test]
     fn store_roundtrip_latest() {
         let store = ObjectStore::new();
-        assert!(ShardSnapshot::fetch_latest(&store, "shard-0").unwrap().is_none());
+        assert!(ShardSnapshot::fetch_latest(&store, "shard-0")
+            .unwrap()
+            .is_none());
         let mut old = sample_snapshot();
         old.covered = EntryId(5);
         old.upload(&store, "shard-0");
         let mut newer = sample_snapshot();
         newer.covered = EntryId(9);
         newer.upload(&store, "shard-0");
-        let got = ShardSnapshot::fetch_latest(&store, "shard-0").unwrap().unwrap();
+        let got = ShardSnapshot::fetch_latest(&store, "shard-0")
+            .unwrap()
+            .unwrap();
         assert_eq!(got.covered, EntryId(9));
         // Other shards are isolated.
-        assert!(ShardSnapshot::fetch_latest(&store, "shard-1").unwrap().is_none());
+        assert!(ShardSnapshot::fetch_latest(&store, "shard-1")
+            .unwrap()
+            .is_none());
     }
 
     #[test]

@@ -56,7 +56,10 @@ fn shard_elects_a_primary_and_serves() {
     let shard = new_shard(1);
     let primary = shard.wait_for_primary(T).expect("a primary must emerge");
     let mut session = SessionState::new();
-    assert_eq!(primary.handle(&mut session, &cmd(["SET", "k", "v"])), Frame::ok());
+    assert_eq!(
+        primary.handle(&mut session, &cmd(["SET", "k", "v"])),
+        Frame::ok()
+    );
     assert_eq!(primary.handle(&mut session, &cmd(["GET", "k"])), bulk("v"));
     assert_eq!(primary.role(), Role::Primary);
 }
@@ -80,17 +83,17 @@ fn replicas_converge_and_serve_reads() {
     let primary = shard.wait_for_primary(T).unwrap();
     let mut session = SessionState::new();
     for i in 0..50 {
-        let r = primary.handle(&mut session, &cmd(["SET", &format!("k{i}"), &i.to_string()]));
+        let r = primary.handle(
+            &mut session,
+            &cmd(["SET", &format!("k{i}"), &i.to_string()]),
+        );
         assert_eq!(r, Frame::ok());
     }
     assert!(shard.wait_replicas_caught_up(T));
     for replica in shard.replicas() {
         let mut s = SessionState::new();
         assert_eq!(replica.handle(&mut s, &cmd(["GET", "k42"])), bulk("42"));
-        assert_eq!(
-            replica.handle(&mut s, &cmd(["DBSIZE"])),
-            Frame::Integer(50)
-        );
+        assert_eq!(replica.handle(&mut s, &cmd(["DBSIZE"])), Frame::Integer(50));
     }
 }
 
@@ -104,6 +107,34 @@ fn writes_to_replicas_are_redirected() {
         Frame::Error(msg) => assert!(msg.starts_with("MOVED"), "got {msg}"),
         other => panic!("expected MOVED, got {other:?}"),
     }
+}
+
+/// Panic-freedom regression (analyzer invariant 1): a pipeline containing
+/// an empty (zero-argument) command — which a client can produce with a
+/// bare `*0\r\n` array — must yield an error frame in its slot and leave
+/// the rest of the batch untouched.
+#[test]
+fn empty_command_in_batch_is_an_error_not_a_panic() {
+    let shard = new_shard(1);
+    let primary = shard.wait_for_primary(T).expect("primary");
+    let mut session = SessionState::new();
+    let batch = vec![
+        cmd(["SET", "k", "v"]),
+        Vec::new(), // zero-argument command
+        cmd(["GET", "k"]),
+    ];
+    let replies = primary.handle_batch(&mut session, &batch);
+    assert_eq!(replies.len(), 3);
+    assert_eq!(replies[0], Frame::ok());
+    assert!(
+        matches!(&replies[1], Frame::Error(_)),
+        "empty command must error, got {:?}",
+        replies[1]
+    );
+    assert_eq!(replies[2], bulk("v"));
+
+    // The single-command path degrades the same way.
+    assert!(matches!(primary.handle(&mut session, &[]), Frame::Error(_)));
 }
 
 #[test]
@@ -142,7 +173,10 @@ fn partitioned_primary_self_demotes_and_new_leader_emerges() {
     let shard = new_shard(2);
     let primary = shard.wait_for_primary(T).unwrap();
     let mut session = SessionState::new();
-    assert_eq!(primary.handle(&mut session, &cmd(["SET", "stable", "1"])), Frame::ok());
+    assert_eq!(
+        primary.handle(&mut session, &cmd(["SET", "stable", "1"])),
+        Frame::ok()
+    );
 
     shard.ctx().log.set_client_partitioned(primary.id, true);
     // A write now fails (cannot commit) and must NOT be acknowledged.
@@ -152,8 +186,14 @@ fn partitioned_primary_self_demotes_and_new_leader_emerges() {
     let new_primary = wait_for_new_primary(&shard, primary.id);
     // The failed write is not visible on the new leader.
     let mut s = SessionState::new();
-    assert_eq!(new_primary.handle(&mut s, &cmd(["GET", "lost"])), Frame::Null);
-    assert_eq!(new_primary.handle(&mut s, &cmd(["GET", "stable"])), bulk("1"));
+    assert_eq!(
+        new_primary.handle(&mut s, &cmd(["GET", "lost"])),
+        Frame::Null
+    );
+    assert_eq!(
+        new_primary.handle(&mut s, &cmd(["GET", "stable"])),
+        bulk("1")
+    );
 
     // The old primary demoted and, once healed, rejoins as replica; its
     // stale claim to leadership is fenced by the conditional append.
@@ -173,7 +213,10 @@ fn unacknowledged_write_not_visible_after_demotion() {
     let shard = new_shard(1);
     let primary = shard.wait_for_primary(T).unwrap();
     let mut session = SessionState::new();
-    assert_eq!(primary.handle(&mut session, &cmd(["SET", "a", "committed"])), Frame::ok());
+    assert_eq!(
+        primary.handle(&mut session, &cmd(["SET", "a", "committed"])),
+        Frame::ok()
+    );
     shard.ctx().log.set_client_partitioned(primary.id, true);
     let r = primary.handle(&mut session, &cmd(["SET", "a", "uncommitted"]));
     assert!(r.is_error());
@@ -262,7 +305,10 @@ fn new_replica_restores_from_snapshot_and_log() {
     let primary = shard.wait_for_primary(T).unwrap();
     let mut session = SessionState::new();
     for i in 0..40 {
-        primary.handle(&mut session, &cmd(["SET", &format!("k{i}"), &i.to_string()]));
+        primary.handle(
+            &mut session,
+            &cmd(["SET", &format!("k{i}"), &i.to_string()]),
+        );
     }
     // Take an off-box snapshot covering part of the history, then write more.
     let offbox = OffboxSnapshotter::new(
@@ -274,7 +320,10 @@ fn new_replica_restores_from_snapshot_and_log() {
     assert!(shard.ctx().store.get(&key).is_ok());
     assert!(covered.0 > 0);
     for i in 40..60 {
-        primary.handle(&mut session, &cmd(["SET", &format!("k{i}"), &i.to_string()]));
+        primary.handle(
+            &mut session,
+            &cmd(["SET", &format!("k{i}"), &i.to_string()]),
+        );
     }
     // A new replica restores: snapshot + log suffix (which was trimmed up
     // to the snapshot, so replay alone cannot be enough).
@@ -312,7 +361,10 @@ fn collaborative_leadership_transfer() {
     let shard = new_shard(1);
     let old = shard.wait_for_primary(T).unwrap();
     let mut session = SessionState::new();
-    assert_eq!(old.handle(&mut session, &cmd(["SET", "k", "v"])), Frame::ok());
+    assert_eq!(
+        old.handle(&mut session, &cmd(["SET", "k", "v"])),
+        Frame::ok()
+    );
     assert!(shard.wait_replicas_caught_up(T));
     let t0 = std::time::Instant::now();
     assert!(old.release_leadership());
@@ -454,7 +506,10 @@ mod cluster_tests {
         let slot = key_hash_slot(b"{tag}");
         for i in 0..20 {
             let key = format!("{{tag}}k{i}");
-            assert_eq!(client.command(["SET", key.as_str(), &i.to_string()]), Frame::ok());
+            assert_eq!(
+                client.command(["SET", key.as_str(), &i.to_string()]),
+                Frame::ok()
+            );
         }
         migrate_slot(&source, &target, slot).expect("migration");
 
@@ -526,23 +581,26 @@ mod cluster_tests {
         let slot = key_hash_slot(b"{r}");
 
         // Simulate a crash after Prepare but before Commit.
-        sp.commit_record(&crate::record::Record::MigrationPrepare { slot, target: target.id })
-            .unwrap();
+        sp.commit_record(&crate::record::Record::MigrationPrepare {
+            slot,
+            target: target.id,
+        })
+        .unwrap();
         resume_migration(&source, &target, slot).unwrap();
         assert!(sp.owns_slot(slot), "abort path keeps source ownership");
-        assert!(!sp
-            .ctx()
-            .log
-            .committed_tail()
-            .0
-            .checked_sub(1)
-            .is_none());
+        assert!(sp.ctx().log.committed_tail().0.checked_sub(1).is_some());
 
         // Simulate a crash after Commit but before Done.
-        sp.commit_record(&crate::record::Record::MigrationPrepare { slot, target: target.id })
-            .unwrap();
-        tp.commit_record(&crate::record::Record::MigrationCommit { slot, source: source.id })
-            .unwrap();
+        sp.commit_record(&crate::record::Record::MigrationPrepare {
+            slot,
+            target: target.id,
+        })
+        .unwrap();
+        tp.commit_record(&crate::record::Record::MigrationCommit {
+            slot,
+            source: source.id,
+        })
+        .unwrap();
         resume_migration(&source, &target, slot).unwrap();
         assert!(!sp.owns_slot(slot), "completion path releases source");
         assert!(tp.owns_slot(slot));
@@ -605,7 +663,9 @@ mod cluster_tests {
             assert_eq!(client.command(["SET", &format!("k{i}"), "v"]), Frame::ok());
         }
         let old_ids: Vec<u64> = shard.nodes().iter().map(|n| n.id).collect();
-        cluster.replace_all_nodes(shard.id).expect("rolling replacement");
+        cluster
+            .replace_all_nodes(shard.id)
+            .expect("rolling replacement");
         let new_ids: Vec<u64> = shard.nodes().iter().map(|n| n.id).collect();
         assert!(new_ids.iter().all(|id| !old_ids.contains(id)));
         assert!(!old_primary.is_alive());
@@ -631,7 +691,10 @@ fn active_expiry_propagates_to_replicas_without_access() {
         primary.handle(&mut session, &cmd(["SET", "ephemeral", "v", "PX", "80"])),
         Frame::ok()
     );
-    assert_eq!(primary.handle(&mut session, &cmd(["SET", "stays", "v"])), Frame::ok());
+    assert_eq!(
+        primary.handle(&mut session, &cmd(["SET", "stays", "v"])),
+        Frame::ok()
+    );
     assert!(shard.wait_replicas_caught_up(T));
     let replica = shard.replicas().into_iter().next().unwrap();
     assert_eq!(replica.key_count(), 2);
@@ -680,13 +743,19 @@ fn az_outage_stalls_writes_and_recovers() {
     );
     let primary = shard.wait_for_primary(T).unwrap();
     let mut session = SessionState::new();
-    assert_eq!(primary.handle(&mut session, &cmd(["SET", "pre", "1"])), Frame::ok());
+    assert_eq!(
+        primary.handle(&mut session, &cmd(["SET", "pre", "1"])),
+        Frame::ok()
+    );
 
     shard.ctx().log.set_az_up(0, false);
     shard.ctx().log.set_az_up(1, false);
     // Write cannot commit → correctly refused.
     let r = primary.handle(&mut session, &cmd(["SET", "during", "x"]));
-    assert!(r.is_error(), "write must not be acknowledged during quorum loss");
+    assert!(
+        r.is_error(),
+        "write must not be acknowledged during quorum loss"
+    );
     // Clean reads still work (the lease is still valid).
     let mut s = SessionState::new();
     assert_eq!(primary.handle(&mut s, &cmd(["GET", "pre"])), bulk("1"));
@@ -740,7 +809,10 @@ fn replica_behind_a_trim_rebuilds_from_snapshot() {
 
     // Heal: the replica hits Trimmed, rebuilds, and catches up.
     shard.ctx().log.set_client_partitioned(replica.id, false);
-    assert!(shard.wait_replicas_caught_up(T), "rebuild after trim failed");
+    assert!(
+        shard.wait_replicas_caught_up(T),
+        "rebuild after trim failed"
+    );
     let mut s = SessionState::new();
     assert_eq!(replica.handle(&mut s, &cmd(["GET", "a5"])), bulk("1"));
     assert_eq!(replica.handle(&mut s, &cmd(["GET", "b29"])), bulk("2"));
@@ -763,7 +835,10 @@ fn monitor_schedules_snapshots_when_freshness_decays() {
             suffix_to_dataset_ratio: 0.05,
         });
     let report = monitor.tick_shard(&shard);
-    assert!(report.snapshot_created, "freshness decay must trigger a snapshot");
+    assert!(
+        report.snapshot_created,
+        "freshness decay must trigger a snapshot"
+    );
     assert!(
         ShardSnapshot::fetch_latest(&shard.ctx().store, &shard.ctx().name)
             .unwrap()
@@ -771,7 +846,10 @@ fn monitor_schedules_snapshots_when_freshness_decays() {
     );
     // The suffix is now bounded: an immediate second tick does nothing.
     let report2 = monitor.tick_shard(&shard);
-    assert!(!report2.snapshot_created, "fresh snapshot must not be redone");
+    assert!(
+        !report2.snapshot_created,
+        "fresh snapshot must not be redone"
+    );
 }
 
 #[test]
@@ -782,7 +860,9 @@ fn info_reports_replication_state() {
     let mut s = SessionState::new();
     primary.handle(&mut s, &cmd(["SET", "k", "v"]));
     let info = primary.handle(&mut s, &cmd(["INFO"]));
-    let Frame::Bulk(b) = info else { panic!("expected bulk INFO") };
+    let Frame::Bulk(b) = info else {
+        panic!("expected bulk INFO")
+    };
     let text = String::from_utf8_lossy(&b).to_string();
     assert!(text.contains("role:master"), "{text}");
     assert!(text.contains("leader_epoch:"), "{text}");
@@ -791,7 +871,9 @@ fn info_reports_replication_state() {
     assert!(text.contains("halted:no"), "{text}");
     let replica = shard.replicas().into_iter().next().unwrap();
     let info = replica.handle(&mut s, &cmd(["INFO"]));
-    let Frame::Bulk(b) = info else { panic!("expected bulk INFO") };
+    let Frame::Bulk(b) = info else {
+        panic!("expected bulk INFO")
+    };
     let text = String::from_utf8_lossy(&b).to_string();
     assert!(text.contains("role:slave"), "{text}");
     assert!(text.contains("lease_remaining_ms:-1"), "{text}");
@@ -820,16 +902,18 @@ fn scale_in_drains_and_destroys_a_shard() {
         assert_eq!(client.command(["SET", key.as_str(), "v"]), Frame::ok());
         keys.push(key);
     }
-    assert!(small.wait_for_primary(T).unwrap().key_count() > 0 || {
-        // Ensure at least one key hashed into the small band; force one.
-        let forced = (0..)
-            .map(|j| format!("f{j}"))
-            .find(|k| memorydb_engine::key_hash_slot(k.as_bytes()) < 12)
-            .unwrap();
-        client.command(["SET", forced.as_str(), "v"]);
-        keys.push(forced);
-        true
-    });
+    assert!(
+        small.wait_for_primary(T).unwrap().key_count() > 0 || {
+            // Ensure at least one key hashed into the small band; force one.
+            let forced = (0..)
+                .map(|j| format!("f{j}"))
+                .find(|k| memorydb_engine::key_hash_slot(k.as_bytes()) < 12)
+                .unwrap();
+            client.command(["SET", forced.as_str(), "v"]);
+            keys.push(forced);
+            true
+        }
+    );
 
     cluster.scale_in(small.id).expect("scale in");
     assert_eq!(cluster.shards().len(), 1);
@@ -952,7 +1036,10 @@ fn batch_watch_conflict_spanning_batches_aborts_exec() {
     assert_eq!(r[0], Frame::Simple("QUEUED".into()));
     assert_eq!(r[1], Frame::Null, "EXEC must abort on watch conflict");
     // The aborted transaction wrote nothing.
-    assert_eq!(primary.handle(&mut writer, &cmd(["GET", "w"])), bulk("clobber"));
+    assert_eq!(
+        primary.handle(&mut writer, &cmd(["GET", "w"])),
+        bulk("clobber")
+    );
 }
 
 #[test]
@@ -1014,7 +1101,10 @@ fn fenced_stale_primary_must_not_ack_in_flight_writes() {
     let shard = quiet_shard(1);
     let primary = shard.wait_for_primary(T).unwrap();
     let mut session = SessionState::new();
-    assert_eq!(primary.handle(&mut session, &cmd(["SET", "stable", "1"])), Frame::ok());
+    assert_eq!(
+        primary.handle(&mut session, &cmd(["SET", "stable", "1"])),
+        Frame::ok()
+    );
 
     // Fence the primary out-of-band: a benign Effects record appended by a
     // foreign writer moves the log tail past the primary's applied position,
@@ -1050,7 +1140,9 @@ fn fenced_stale_primary_must_not_ack_in_flight_writes() {
 
     // After the dust settles some primary serves again; the fenced write is
     // nowhere, while both the pre-fence write and the fencing record are.
-    let p = shard.wait_for_primary(Duration::from_secs(10)).expect("recovery");
+    let p = shard
+        .wait_for_primary(Duration::from_secs(10))
+        .expect("recovery");
     let mut s = SessionState::new();
     assert_eq!(p.handle(&mut s, &cmd(["GET", "lost"])), Frame::Null);
     assert_eq!(p.handle(&mut s, &cmd(["GET", "stable"])), bulk("1"));
@@ -1082,14 +1174,21 @@ fn lease_expiry_mid_batch_rejects_with_clusterdown() {
     );
     let primary = shard.wait_for_primary(Duration::from_secs(10)).unwrap();
     let mut session = SessionState::new();
-    assert_eq!(primary.handle(&mut session, &cmd(["SET", "k", "v"])), Frame::ok());
+    assert_eq!(
+        primary.handle(&mut session, &cmd(["SET", "k", "v"])),
+        Frame::ok()
+    );
 
     // The 3s tick means no renewal lands before the 300ms lease runs out;
     // 600ms later the lease is expired but the run loop hasn't demoted yet.
     std::thread::sleep(Duration::from_millis(600));
     let replies = primary.handle_batch(
         &mut session,
-        &[cmd(["SET", "lost", "x"]), cmd(["GET", "k"]), cmd(["DEL", "k"])],
+        &[
+            cmd(["SET", "lost", "x"]),
+            cmd(["GET", "k"]),
+            cmd(["DEL", "k"]),
+        ],
     );
     assert_eq!(replies.len(), 3);
     for r in &replies {

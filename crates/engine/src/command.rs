@@ -5,6 +5,9 @@
 //! blocked until commit), which keys it touches (key-level hazard
 //! detection), and which cluster slot it belongs to (routing and slot-level
 //! migration blocking). This module is that metadata.
+// Serving/apply path: panic-freedom is an enforced invariant (DESIGN.md §9;
+// `cargo run -p memorydb-analysis`). Keep clippy aligned with the analyzer.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 use bytes::Bytes;
 
@@ -106,9 +109,10 @@ macro_rules! spec_table {
         }
 
         /// All command specs (drives the spec-driven test generator,
-        /// paper §7.2.2.2).
+        /// paper §7.2.2.2). Every table name resolves by construction;
+        /// `filter_map` keeps the serving path panic-free regardless.
         pub fn all_commands() -> Vec<&'static CommandSpec> {
-            vec![ $( command_spec($name).expect("self") ),* ]
+            [ $( $name ),* ].into_iter().filter_map(command_spec).collect()
         }
     };
 }
@@ -323,7 +327,11 @@ pub fn keys_for(args: &[Bytes]) -> Option<Vec<Bytes>> {
             if first >= argc {
                 return Some(Vec::new());
             }
-            let last = if last == 0 { argc - 1 } else { last.min(argc - 1) };
+            let last = if last == 0 {
+                argc - 1
+            } else {
+                last.min(argc - 1)
+            };
             let mut keys = Vec::new();
             let mut i = first;
             while i <= last {
@@ -336,11 +344,12 @@ pub fn keys_for(args: &[Bytes]) -> Option<Vec<Bytes>> {
             // Two layouts share this rule:
             //  ZUNIONSTORE dest numkeys k...   (dest at 1, numkeys at 2)
             //  SINTERCARD numkeys k...         (numkeys at 1)
-            let (dest, nk_pos) = if matches!(name.as_str(), "SINTERCARD" | "ZUNION" | "ZINTER" | "ZDIFF") {
-                (None, 1)
-            } else {
-                (Some(args.get(1)?.clone()), 2)
-            };
+            let (dest, nk_pos) =
+                if matches!(name.as_str(), "SINTERCARD" | "ZUNION" | "ZINTER" | "ZDIFF") {
+                    (None, 1)
+                } else {
+                    (Some(args.get(1)?.clone()), 2)
+                };
             let nk: usize = std::str::from_utf8(args.get(nk_pos)?).ok()?.parse().ok()?;
             let mut keys = Vec::new();
             if let Some(d) = dest {
@@ -364,7 +373,7 @@ pub fn keys_for(args: &[Bytes]) -> Option<Vec<Bytes>> {
                 .iter()
                 .position(|a| a.eq_ignore_ascii_case(b"STREAMS"))?;
             let rest = argc - streams_pos - 1;
-            if rest == 0 || rest % 2 != 0 {
+            if rest == 0 || !rest.is_multiple_of(2) {
                 return None;
             }
             Some(args[streams_pos + 1..streams_pos + 1 + rest / 2].to_vec())
@@ -403,8 +412,7 @@ mod tests {
     fn flags_consistency() {
         for spec in all_commands() {
             // A command is write xor readonly xor admin.
-            let kinds =
-                spec.flags.write as u8 + spec.flags.readonly as u8 + spec.flags.admin as u8;
+            let kinds = spec.flags.write as u8 + spec.flags.readonly as u8 + spec.flags.admin as u8;
             assert_eq!(kinds, 1, "{} has inconsistent flags", spec.name);
         }
     }
@@ -431,7 +439,17 @@ mod tests {
     #[test]
     fn numkeys_extraction() {
         assert_eq!(
-            keys_for(&cmd(["ZUNIONSTORE", "dest", "2", "a", "b", "WEIGHTS", "1", "2"])).unwrap(),
+            keys_for(&cmd([
+                "ZUNIONSTORE",
+                "dest",
+                "2",
+                "a",
+                "b",
+                "WEIGHTS",
+                "1",
+                "2"
+            ]))
+            .unwrap(),
             cmd(["dest", "a", "b"])
         );
         assert_eq!(
@@ -454,7 +472,10 @@ mod tests {
     #[test]
     fn xread_extraction() {
         assert_eq!(
-            keys_for(&cmd(["XREAD", "COUNT", "5", "STREAMS", "s1", "s2", "0", "0"])).unwrap(),
+            keys_for(&cmd([
+                "XREAD", "COUNT", "5", "STREAMS", "s1", "s2", "0", "0"
+            ]))
+            .unwrap(),
             cmd(["s1", "s2"])
         );
         assert!(keys_for(&cmd(["XREAD", "STREAMS", "s1", "0", "0"])).is_none());

@@ -152,11 +152,7 @@ impl Db {
                 },
             );
         }
-        &mut self
-            .entries
-            .get_mut(key)
-            .expect("inserted above")
-            .value
+        &mut self.entries.get_mut(key).expect("inserted above").value
     }
 
     /// Removes a key, returning its value.
@@ -263,7 +259,11 @@ impl Db {
             }
             i += 1;
         }
-        let next = if i >= self.key_list.len() { 0 } else { i as u64 };
+        let next = if i >= self.key_list.len() {
+            0
+        } else {
+            i as u64
+        };
         (next, out)
     }
 

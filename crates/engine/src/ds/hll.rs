@@ -166,7 +166,14 @@ mod tests {
     fn register_packing_roundtrip() {
         let mut h = Hll::new();
         // Exercise all bit offsets, including byte-straddling registers.
-        for (i, v) in [(0usize, 63u8), (1, 1), (2, 42), (3, 7), (100, 33), (16383, 50)] {
+        for (i, v) in [
+            (0usize, 63u8),
+            (1, 1),
+            (2, 42),
+            (3, 7),
+            (100, 33),
+            (16383, 50),
+        ] {
             h.set_register(i, v);
         }
         assert_eq!(h.get_register(0), 63);

@@ -10,6 +10,9 @@
 //! * [`stream`] — an append-only log of (ms, seq) ids, as used by `XADD` &co.
 //! * [`hll`] — a dense HyperLogLog with 2^14 six-bit registers and the
 //!   standard bias-corrected estimator.
+// Serving/apply path: panic-freedom is an enforced invariant (DESIGN.md §9;
+// `cargo run -p memorydb-analysis`). Keep clippy aligned with the analyzer.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod hll;
 pub mod stream;

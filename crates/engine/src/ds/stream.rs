@@ -177,7 +177,10 @@ impl Stream {
         end: StreamId,
         count: Option<usize>,
     ) -> Vec<(StreamId, StreamEntry)> {
-        let iter = self.entries.range(start..=end).map(|(id, e)| (*id, e.clone()));
+        let iter = self
+            .entries
+            .range(start..=end)
+            .map(|(id, e)| (*id, e.clone()));
         match count {
             Some(n) => iter.take(n).collect(),
             None => iter.collect(),
@@ -203,7 +206,11 @@ impl Stream {
     }
 
     /// Entries strictly after `after`, ascending (the `XREAD` primitive).
-    pub fn read_after(&self, after: StreamId, count: Option<usize>) -> Vec<(StreamId, StreamEntry)> {
+    pub fn read_after(
+        &self,
+        after: StreamId,
+        count: Option<usize>,
+    ) -> Vec<(StreamId, StreamEntry)> {
         let Some(start) = after.next() else {
             return Vec::new();
         };
@@ -215,8 +222,9 @@ impl Stream {
     pub fn trim_maxlen(&mut self, maxlen: usize) -> usize {
         let mut evicted = 0;
         while self.entries.len() > maxlen {
-            let id = *self.entries.keys().next().expect("non-empty");
-            self.entries.remove(&id);
+            let Some((id, _)) = self.entries.pop_first() else {
+                break;
+            };
             if id > self.max_deleted_id {
                 self.max_deleted_id = id;
             }
@@ -227,11 +235,7 @@ impl Stream {
 
     /// Trims entries with id < `minid`; returns the number evicted.
     pub fn trim_minid(&mut self, minid: StreamId) -> usize {
-        let victims: Vec<StreamId> = self
-            .entries
-            .range(..minid)
-            .map(|(id, _)| *id)
-            .collect();
+        let victims: Vec<StreamId> = self.entries.range(..minid).map(|(id, _)| *id).collect();
         let n = victims.len();
         self.delete(&victims);
         n
@@ -358,7 +362,9 @@ impl Stream {
         let Some(g) = self.groups.get_mut(group) else {
             return 0;
         };
-        ids.iter().filter(|id| g.pending.remove(id).is_some()).count()
+        ids.iter()
+            .filter(|id| g.pending.remove(id).is_some())
+            .count()
     }
 
     /// Moves a group's delivery cursor (XGROUP SETID / replication of
@@ -411,7 +417,10 @@ mod tests {
     use super::*;
 
     fn fields(s: &str) -> StreamEntry {
-        vec![(Bytes::from_static(b"f"), Bytes::copy_from_slice(s.as_bytes()))]
+        vec![(
+            Bytes::from_static(b"f"),
+            Bytes::copy_from_slice(s.as_bytes()),
+        )]
     }
 
     fn id(ms: u64, seq: u64) -> StreamId {
@@ -430,8 +439,14 @@ mod tests {
     fn monotonic_ids_enforced() {
         let mut s = Stream::new();
         s.add(id(5, 0), fields("a")).unwrap();
-        assert_eq!(s.add(id(5, 0), fields("b")), Err(StreamAddError::IdTooSmall));
-        assert_eq!(s.add(id(4, 9), fields("b")), Err(StreamAddError::IdTooSmall));
+        assert_eq!(
+            s.add(id(5, 0), fields("b")),
+            Err(StreamAddError::IdTooSmall)
+        );
+        assert_eq!(
+            s.add(id(4, 9), fields("b")),
+            Err(StreamAddError::IdTooSmall)
+        );
         s.add(id(5, 1), fields("b")).unwrap();
         assert_eq!(s.len(), 2);
         assert_eq!(s.add(id(0, 0), fields("z")), Err(StreamAddError::IdZero));
@@ -482,7 +497,10 @@ mod tests {
         assert_eq!(s.delete(&[id(2, 0), id(9, 9)]), 1);
         assert_eq!(s.len(), 1);
         // last_id survives deletion: new adds must still exceed 2-0.
-        assert_eq!(s.add(id(2, 0), fields("c")), Err(StreamAddError::IdTooSmall));
+        assert_eq!(
+            s.add(id(2, 0), fields("c")),
+            Err(StreamAddError::IdTooSmall)
+        );
     }
 
     #[test]
@@ -494,6 +512,29 @@ mod tests {
         assert_eq!(s.trim_maxlen(3), 7);
         assert_eq!(s.len(), 3);
         assert_eq!(s.first().unwrap().0, id(8, 0));
+    }
+
+    /// Panic-freedom regression (analyzer invariant 1): trimming to zero —
+    /// including on an already-empty stream — must drain via the fallible
+    /// pop path, never unwrap a missing first key.
+    #[test]
+    fn trim_maxlen_to_zero_and_on_empty_stream() {
+        let mut s = Stream::new();
+        assert_eq!(s.trim_maxlen(0), 0);
+
+        for i in 1..=4 {
+            s.add(id(i, 0), fields(&i.to_string())).unwrap();
+        }
+        assert_eq!(s.trim_maxlen(0), 4);
+        assert_eq!(s.len(), 0);
+        assert!(s.first().is_none());
+        // Trimming again on the now-empty stream is still a no-op.
+        assert_eq!(s.trim_maxlen(0), 0);
+        // max_deleted_id advanced, so re-adding an evicted id is rejected.
+        assert_eq!(
+            s.add(id(4, 0), fields("x")),
+            Err(StreamAddError::IdTooSmall)
+        );
     }
 
     #[test]

@@ -125,9 +125,10 @@ impl PartialEq for ZSet {
 }
 
 fn cmp_entry(a_score: f64, a_member: &[u8], b_score: f64, b_member: &[u8]) -> Ordering {
+    // Scores are validated NaN-free at the command layer; total_cmp agrees
+    // with partial_cmp on every non-NaN pair and never panics.
     a_score
-        .partial_cmp(&b_score)
-        .expect("scores are never NaN")
+        .total_cmp(&b_score)
         .then_with(|| a_member.cmp(b_member))
 }
 
@@ -267,7 +268,11 @@ impl ZSet {
         let mut out = Vec::with_capacity(stop - start + 1);
         // Jump to `start` with rank arithmetic, then walk level 0.
         if let Some((m, s)) = self.by_rank(start) {
-            let mut cur_idx = self.find_index(s, m).expect("rank hit must exist");
+            let Some(mut cur_idx) = self.find_index(s, m) else {
+                // A rank hit always has an index; returning the partial
+                // window beats panicking the serving path.
+                return out;
+            };
             out.push((m.clone(), s));
             for _ in start..stop {
                 let nxt = self.nodes[cur_idx as usize].links[0].next;
@@ -379,10 +384,7 @@ impl ZSet {
 
     /// Approximate heap footprint.
     pub fn approx_size(&self) -> usize {
-        self.scores
-            .iter()
-            .map(|(m, _)| 2 * m.len() + 64)
-            .sum::<usize>()
+        self.scores.keys().map(|m| 2 * m.len() + 64).sum::<usize>()
     }
 
     // --- internals ---------------------------------------------------------
@@ -510,8 +512,8 @@ impl ZSet {
                 span: (rank[0] - rank[i]) as u32 + 1,
             };
         }
-        for i in lvl..self.level {
-            self.nodes[update[i] as usize].links[i].span += 1;
+        for (i, &up) in update.iter().enumerate().take(self.level).skip(lvl) {
+            self.nodes[up as usize].links[i].span += 1;
         }
     }
 
@@ -544,8 +546,7 @@ impl ZSet {
             }
         }
         let t_levels = self.nodes[target as usize].links.len();
-        for i in 0..self.level {
-            let up = update[i];
+        for (i, &up) in update.iter().enumerate().take(self.level) {
             if self.nodes[up as usize].links[i].next == target && i < t_levels {
                 let t_link = self.nodes[target as usize].links[i];
                 let up_link = &mut self.nodes[up as usize].links[i];
@@ -685,7 +686,10 @@ mod tests {
         assert_eq!(excl[0].0, m("c"));
         let all = z.range_by_score(&ScoreBound::NegInf, &ScoreBound::PosInf);
         assert_eq!(all.len(), 5);
-        assert_eq!(z.count_by_score(&ScoreBound::Incl(2.0), &ScoreBound::PosInf), 3);
+        assert_eq!(
+            z.count_by_score(&ScoreBound::Incl(2.0), &ScoreBound::PosInf),
+            3
+        );
     }
 
     #[test]

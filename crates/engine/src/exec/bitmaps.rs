@@ -26,8 +26,16 @@ fn redis_bit_range(start: i64, end: i64, total: i64) -> Option<(i64, i64)> {
     if start < 0 && end < 0 && start > end {
         return None;
     }
-    let lo = if start < 0 { (total + start).max(0) } else { start };
-    let hi = if end < 0 { (total + end).max(0) } else { end.min(total - 1) };
+    let lo = if start < 0 {
+        (total + start).max(0)
+    } else {
+        start
+    };
+    let hi = if end < 0 {
+        (total + end).max(0)
+    } else {
+        end.min(total - 1)
+    };
     if lo > hi {
         return None;
     }
@@ -38,7 +46,9 @@ fn redis_bit_range(start: i64, end: i64, total: i64) -> Option<(i64, i64)> {
 pub(super) fn setbit(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     let offset = p_i64(&a[2])?;
     if !(0..=MAX_BIT_OFFSET).contains(&offset) {
-        return Err(ExecOutcome::error("bit offset is not an integer or out of range"));
+        return Err(ExecOutcome::error(
+            "bit offset is not an integer or out of range",
+        ));
     }
     let bit = match a[3].as_ref() {
         b"0" => 0u8,
@@ -59,14 +69,20 @@ pub(super) fn setbit(e: &mut Engine, a: &[Bytes]) -> CmdResult {
         buf[byte_idx] &= !(1 << bit_idx);
     }
     e.db.set_value_keep_ttl(a[1].clone(), Value::Str(Bytes::from(buf)));
-    Ok(verbatim_write(Frame::Integer(old as i64), a, vec![a[1].clone()]))
+    Ok(verbatim_write(
+        Frame::Integer(old as i64),
+        a,
+        vec![a[1].clone()],
+    ))
 }
 
 /// `GETBIT key offset`
 pub(super) fn getbit(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     let offset = p_i64(&a[2])?;
     if !(0..=MAX_BIT_OFFSET).contains(&offset) {
-        return Err(ExecOutcome::error("bit offset is not an integer or out of range"));
+        return Err(ExecOutcome::error(
+            "bit offset is not an integer or out of range",
+        ));
     }
     let byte_idx = (offset / 8) as usize;
     let bit_idx = 7 - (offset % 8) as u8;
@@ -96,7 +112,11 @@ pub(super) fn bitcount(e: &mut Engine, a: &[Bytes]) -> CmdResult {
         Some(m) if m == "BIT" => true,
         Some(_) => return Err(ExecOutcome::error("syntax error")),
     };
-    let total = if bit_mode { s.len() as i64 * 8 } else { s.len() as i64 };
+    let total = if bit_mode {
+        s.len() as i64 * 8
+    } else {
+        s.len() as i64
+    };
     let Some((lo, hi)) = redis_bit_range(start, end, total) else {
         return Ok(ExecOutcome::read(Frame::Integer(0)));
     };
@@ -138,7 +158,11 @@ pub(super) fn bitpos(e: &mut Engine, a: &[Bytes]) -> CmdResult {
         // Missing key: looking for 1 finds nothing; looking for 0 finds
         // position 0 (an empty string is "all zeroes" conceptually... Redis
         // returns 0 for bit=0 with no range, -1 for bit=1).
-        return Ok(ExecOutcome::read(Frame::Integer(if target == 0 { 0 } else { -1 })));
+        return Ok(ExecOutcome::read(Frame::Integer(if target == 0 {
+            0
+        } else {
+            -1
+        })));
     };
     let len = s.len() as i64;
     let explicit_end = a.len() >= 5;
@@ -146,11 +170,19 @@ pub(super) fn bitpos(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     // Range endpoints are in the range unit: bytes by default, bits with
     // BIT — negative offsets count back from the same unit's total.
     let total = if bit_mode { len * 8 } else { len };
-    let end = if explicit_end { p_i64(&a[4])? } else { total - 1 };
+    let end = if explicit_end {
+        p_i64(&a[4])?
+    } else {
+        total - 1
+    };
     let Some((lo, hi)) = redis_bit_range(start, end, total) else {
         return Ok(ExecOutcome::read(Frame::Integer(-1)));
     };
-    let (first_bit, last_bit) = if bit_mode { (lo, hi) } else { (lo * 8, hi * 8 + 7) };
+    let (first_bit, last_bit) = if bit_mode {
+        (lo, hi)
+    } else {
+        (lo * 8, hi * 8 + 7)
+    };
     for pos in first_bit..=last_bit {
         let b = s[(pos / 8) as usize];
         if (b >> (7 - (pos % 8) as u8)) & 1 == target {

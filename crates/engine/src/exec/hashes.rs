@@ -5,7 +5,10 @@ use crate::value::Value;
 use rand::seq::SliceRandom;
 use std::collections::HashMap;
 
-fn read_hash<'a>(e: &'a Engine, key: &[u8]) -> Result<Option<&'a HashMap<Bytes, Bytes>>, ExecOutcome> {
+fn read_hash<'a>(
+    e: &'a Engine,
+    key: &[u8],
+) -> Result<Option<&'a HashMap<Bytes, Bytes>>, ExecOutcome> {
     match e.db.lookup(key, e.now()) {
         Some(Value::Hash(h)) => Ok(Some(h)),
         Some(_) => Err(wrongtype()),
@@ -13,7 +16,10 @@ fn read_hash<'a>(e: &'a Engine, key: &[u8]) -> Result<Option<&'a HashMap<Bytes, 
     }
 }
 
-fn hash_mut<'a>(e: &'a mut Engine, key: &Bytes) -> Result<&'a mut HashMap<Bytes, Bytes>, ExecOutcome> {
+fn hash_mut<'a>(
+    e: &'a mut Engine,
+    key: &Bytes,
+) -> Result<&'a mut HashMap<Bytes, Bytes>, ExecOutcome> {
     let now = e.now();
     // Pre-check type to avoid creating on WRONGTYPE.
     if let Some(v) = e.db.lookup(key, now) {
@@ -21,14 +27,17 @@ fn hash_mut<'a>(e: &'a mut Engine, key: &Bytes) -> Result<&'a mut HashMap<Bytes,
             return Err(wrongtype());
         }
     }
-    match e.db.entry_or_insert_with(key, now, || Value::Hash(HashMap::new())) {
+    match e
+        .db
+        .entry_or_insert_with(key, now, || Value::Hash(HashMap::new()))
+    {
         Value::Hash(h) => Ok(h),
         _ => Err(wrongtype()),
     }
 }
 
 pub(super) fn hset(e: &mut Engine, a: &[Bytes], hmset_reply: bool) -> CmdResult {
-    if (a.len() - 2) % 2 != 0 {
+    if !(a.len() - 2).is_multiple_of(2) {
         return Err(wrong_arity(if hmset_reply { "hmset" } else { "hset" }));
     }
     let key = a[1].clone();
@@ -170,7 +179,9 @@ pub(super) fn hincrbyfloat(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     };
     let new = cur + delta;
     if new.is_nan() || new.is_infinite() {
-        return Err(ExecOutcome::error("increment would produce NaN or Infinity"));
+        return Err(ExecOutcome::error(
+            "increment would produce NaN or Infinity",
+        ));
     }
     let text = Bytes::from(fmt_f64(new));
     h.insert(a[2].clone(), text.clone());
@@ -199,7 +210,11 @@ pub(super) fn hrandfield(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     if a.len() > 4 || (a.len() == 4 && !withvalues) {
         return Err(ExecOutcome::error("syntax error"));
     }
-    let count = if a.len() >= 3 { Some(p_i64(&a[2])?) } else { None };
+    let count = if a.len() >= 3 {
+        Some(p_i64(&a[2])?)
+    } else {
+        None
+    };
     let Some(h) = read_hash(e, &a[1])?.cloned() else {
         return Ok(ExecOutcome::read(match count {
             Some(_) => Frame::Array(vec![]),

@@ -27,9 +27,16 @@ fn hll_mut<'a>(e: &'a mut Engine, key: &Bytes) -> Result<&'a mut Hll, ExecOutcom
             )));
         }
     }
-    match e.db.entry_or_insert_with(key, now, || Value::Hll(Hll::new())) {
+    match e
+        .db
+        .entry_or_insert_with(key, now, || Value::Hll(Hll::new()))
+    {
         Value::Hll(h) => Ok(h),
-        _ => unreachable!("type pre-checked"),
+        // Type pre-checked above; answer WRONGTYPE rather than panic if the
+        // entry changed shape underneath us.
+        _ => Err(ExecOutcome::read(Frame::Error(
+            "WRONGTYPE Key is not a valid HyperLogLog string value.".into(),
+        ))),
     }
 }
 

@@ -23,10 +23,7 @@ pub(super) fn del(e: &mut Engine, a: &[Bytes]) -> CmdResult {
 }
 
 pub(super) fn exists(e: &mut Engine, a: &[Bytes]) -> CmdResult {
-    let count = a[1..]
-        .iter()
-        .filter(|k| e.db.exists(k, e.now()))
-        .count();
+    let count = a[1..].iter().filter(|k| e.db.exists(k, e.now())).count();
     Ok(ExecOutcome::read(Frame::Integer(count as i64)))
 }
 
@@ -42,7 +39,12 @@ pub(super) fn type_cmd(e: &mut Engine, a: &[Bytes]) -> CmdResult {
 ///
 /// `unit_ms` converts the argument to milliseconds; `absolute` selects the
 /// `*AT` variants. The effect is always a deterministic `PEXPIREAT`.
-pub(super) fn expire_generic(e: &mut Engine, a: &[Bytes], unit_ms: u64, absolute: bool) -> CmdResult {
+pub(super) fn expire_generic(
+    e: &mut Engine,
+    a: &[Bytes],
+    unit_ms: u64,
+    absolute: bool,
+) -> CmdResult {
     let n = p_i64(&a[2])?;
     // Optional NX/XX/GT/LT flag (Redis 7).
     let flag = a.get(3).map(|f| upper(f));
@@ -73,7 +75,11 @@ pub(super) fn expire_generic(e: &mut Engine, a: &[Bytes], unit_ms: u64, absolute
         // Expiring in the past deletes the key immediately.
         e.db.remove(&a[1]);
         let eff = vec![Bytes::from_static(b"DEL"), a[1].clone()];
-        return Ok(effect_write(Frame::Integer(1), vec![eff], vec![a[1].clone()]));
+        return Ok(effect_write(
+            Frame::Integer(1),
+            vec![eff],
+            vec![a[1].clone()],
+        ));
     }
     e.db.set_expiry(&a[1], Some(at as u64));
     let eff = vec![
@@ -81,7 +87,11 @@ pub(super) fn expire_generic(e: &mut Engine, a: &[Bytes], unit_ms: u64, absolute
         a[1].clone(),
         Bytes::from(at.to_string()),
     ];
-    Ok(effect_write(Frame::Integer(1), vec![eff], vec![a[1].clone()]))
+    Ok(effect_write(
+        Frame::Integer(1),
+        vec![eff],
+        vec![a[1].clone()],
+    ))
 }
 
 pub(super) fn ttl(e: &mut Engine, a: &[Bytes], unit_ms: u64) -> CmdResult {
@@ -122,13 +132,12 @@ pub(super) fn persist(e: &mut Engine, a: &[Bytes]) -> CmdResult {
 
 pub(super) fn keys(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     let now = e.now();
-    let out: Vec<Frame> = e
-        .db
-        .keys_matching(&a[1])
-        .into_iter()
-        .filter(|k| e.db.exists(k, now))
-        .map(Frame::Bulk)
-        .collect();
+    let out: Vec<Frame> =
+        e.db.keys_matching(&a[1])
+            .into_iter()
+            .filter(|k| e.db.exists(k, now))
+            .map(Frame::Bulk)
+            .collect();
     Ok(ExecOutcome::read(Frame::Array(out)))
 }
 
@@ -141,8 +150,11 @@ pub(super) fn scan(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     while i < a.len() {
         match upper(&a[i]).as_str() {
             "COUNT" => {
-                count = p_i64(a.get(i + 1).ok_or_else(|| ExecOutcome::error("syntax error"))?)?
-                    .max(1) as usize;
+                count = p_i64(
+                    a.get(i + 1)
+                        .ok_or_else(|| ExecOutcome::error("syntax error"))?,
+                )?
+                .max(1) as usize;
                 i += 2;
             }
             "MATCH" => {
@@ -156,7 +168,8 @@ pub(super) fn scan(e: &mut Engine, a: &[Bytes]) -> CmdResult {
             "TYPE" => {
                 type_filter = Some(
                     String::from_utf8_lossy(
-                        a.get(i + 1).ok_or_else(|| ExecOutcome::error("syntax error"))?,
+                        a.get(i + 1)
+                            .ok_or_else(|| ExecOutcome::error("syntax error"))?,
                     )
                     .to_lowercase(),
                 );
@@ -209,7 +222,10 @@ pub(super) fn rename(e: &mut Engine, a: &[Bytes], nx: bool) -> CmdResult {
         return Ok(ExecOutcome::read(reply));
     }
     let expiry = e.db.expiry(&a[1]);
-    let value = e.db.remove(&a[1]).expect("existence checked");
+    let Some(value) = e.db.remove(&a[1]) else {
+        // Existence was checked above; treat a vanished key as "no such key".
+        return Err(ExecOutcome::error("no such key"));
+    };
     e.db.set_value(a[2].clone(), value);
     e.db.set_expiry(&a[2], expiry);
     let reply = if nx { Frame::Integer(1) } else { Frame::ok() };
@@ -311,9 +327,6 @@ pub(super) fn flushall(e: &mut Engine, a: &[Bytes]) -> CmdResult {
 }
 
 pub(super) fn touch(e: &mut Engine, a: &[Bytes]) -> CmdResult {
-    let count = a[1..]
-        .iter()
-        .filter(|k| e.db.exists(k, e.now()))
-        .count();
+    let count = a[1..].iter().filter(|k| e.db.exists(k, e.now())).count();
     Ok(ExecOutcome::read(Frame::Integer(count as i64)))
 }

@@ -19,7 +19,10 @@ fn list_mut<'a>(e: &'a mut Engine, key: &Bytes) -> Result<&'a mut VecDeque<Bytes
             return Err(wrongtype());
         }
     }
-    match e.db.entry_or_insert_with(key, now, || Value::List(VecDeque::new())) {
+    match e
+        .db
+        .entry_or_insert_with(key, now, || Value::List(VecDeque::new()))
+    {
         Value::List(l) => Ok(l),
         _ => Err(wrongtype()),
     }
@@ -58,7 +61,9 @@ pub(super) fn pop(e: &mut Engine, a: &[Bytes], left: bool) -> CmdResult {
     let count = if explicit_count {
         let n = p_i64(&a[2])?;
         if n < 0 {
-            return Err(ExecOutcome::error("value is out of range, must be positive"));
+            return Err(ExecOutcome::error(
+                "value is out of range, must be positive",
+            ));
         }
         n as usize
     } else {
@@ -100,7 +105,8 @@ pub(super) fn pop(e: &mut Engine, a: &[Bytes], left: bool) -> CmdResult {
     let reply = if explicit_count {
         Frame::Array(popped.into_iter().map(Frame::Bulk).collect())
     } else {
-        Frame::Bulk(popped.into_iter().next().expect("non-empty"))
+        // popped is non-empty (checked above); Null mirrors the empty case.
+        popped.into_iter().next().map_or(Frame::Null, Frame::Bulk)
     };
     Ok(effect_write(reply, vec![eff], vec![key]))
 }
@@ -200,7 +206,11 @@ pub(super) fn lrem(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     let target = &a[3];
     let mut removed = 0i64;
     if count >= 0 {
-        let limit = if count == 0 { usize::MAX } else { count as usize };
+        let limit = if count == 0 {
+            usize::MAX
+        } else {
+            count as usize
+        };
         let mut i = 0;
         while i < l.len() && (removed as usize) < limit {
             if &l[i] == target {
@@ -292,7 +302,11 @@ pub(super) fn lmove(e: &mut Engine, a: &[Bytes]) -> CmdResult {
         let Some(Value::List(l)) = e.db.lookup_mut(&src, now) else {
             return Ok(ExecOutcome::read(Frame::Null));
         };
-        let item = if from_left { l.pop_front() } else { l.pop_back() };
+        let item = if from_left {
+            l.pop_front()
+        } else {
+            l.pop_back()
+        };
         let Some(item) = item else {
             return Ok(ExecOutcome::read(Frame::Null));
         };
@@ -326,16 +340,20 @@ pub(super) fn lpos(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     while i < a.len() {
         match upper(&a[i]).as_str() {
             "RANK" => {
-                rank = p_i64(a.get(i + 1).ok_or_else(|| ExecOutcome::error("syntax error"))?)?;
+                rank = p_i64(
+                    a.get(i + 1)
+                        .ok_or_else(|| ExecOutcome::error("syntax error"))?,
+                )?;
                 if rank == 0 {
-                    return Err(ExecOutcome::error(
-                        "RANK can't be zero",
-                    ));
+                    return Err(ExecOutcome::error("RANK can't be zero"));
                 }
                 i += 2;
             }
             "COUNT" => {
-                let n = p_i64(a.get(i + 1).ok_or_else(|| ExecOutcome::error("syntax error"))?)?;
+                let n = p_i64(
+                    a.get(i + 1)
+                        .ok_or_else(|| ExecOutcome::error("syntax error"))?,
+                )?;
                 if n < 0 {
                     return Err(ExecOutcome::error("COUNT can't be negative"));
                 }

@@ -1,5 +1,8 @@
 //! The command executor: dispatch, transactions, expiry discipline, and
 //! effect generation.
+// Serving/apply path: panic-freedom is an enforced invariant (DESIGN.md §9;
+// `cargo run -p memorydb-analysis`). Keep clippy aligned with the analyzer.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 use crate::command::{arity_ok, command_spec, keys_for};
 use crate::db::Db;
@@ -224,11 +227,12 @@ impl Engine {
                     name.to_ascii_lowercase()
                 ));
             }
-            session
-                .queued
-                .as_mut()
-                .expect("in_multi checked")
-                .push(args.to_vec());
+            if let Some(queued) = session.queued.as_mut() {
+                queued.push(args.to_vec());
+            } else {
+                // in_multi() implies a queue; recover instead of panicking.
+                session.queued = Some(vec![args.to_vec()]);
+            }
             return ExecOutcome::read(Frame::Simple("QUEUED".into()));
         }
 

@@ -54,7 +54,9 @@ pub(super) fn info(e: &mut Engine, _a: &[Bytes]) -> CmdResult {
 
 pub(super) fn command(_e: &mut Engine, a: &[Bytes]) -> CmdResult {
     if a.len() >= 2 && upper(&a[1]) == "COUNT" {
-        return Ok(ExecOutcome::read(Frame::Integer(all_commands().len() as i64)));
+        return Ok(ExecOutcome::read(Frame::Integer(
+            all_commands().len() as i64
+        )));
     }
     if a.len() >= 2 && upper(&a[1]) == "DOCS" {
         return Ok(ExecOutcome::read(Frame::Array(vec![])));
@@ -103,7 +105,7 @@ pub(super) fn config(e: &mut Engine, a: &[Bytes]) -> CmdResult {
             Ok(ExecOutcome::read(Frame::Array(out)))
         }
         "SET" => {
-            if a.len() < 4 || a.len() % 2 != 0 {
+            if a.len() < 4 || !a.len().is_multiple_of(2) {
                 return Err(wrong_arity("config|set"));
             }
             for pair in a[2..].chunks(2) {

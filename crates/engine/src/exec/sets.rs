@@ -25,7 +25,10 @@ fn set_mut<'a>(e: &'a mut Engine, key: &Bytes) -> Result<&'a mut HashSet<Bytes>,
             return Err(wrongtype());
         }
     }
-    match e.db.entry_or_insert_with(key, now, || Value::Set(HashSet::new())) {
+    match e
+        .db
+        .entry_or_insert_with(key, now, || Value::Set(HashSet::new()))
+    {
         Value::Set(s) => Ok(s),
         _ => Err(wrongtype()),
     }
@@ -113,7 +116,9 @@ pub(super) fn spop(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     let count = if explicit_count {
         let n = p_i64(&a[2])?;
         if n < 0 {
-            return Err(ExecOutcome::error("value is out of range, must be positive"));
+            return Err(ExecOutcome::error(
+                "value is out of range, must be positive",
+            ));
         }
         n as usize
     } else {
@@ -159,13 +164,18 @@ pub(super) fn spop(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     let reply = if explicit_count {
         Frame::Array(chosen.into_iter().map(Frame::Bulk).collect())
     } else {
-        Frame::Bulk(chosen.into_iter().next().expect("non-empty"))
+        // chosen is non-empty (checked above); Null mirrors the empty case.
+        chosen.into_iter().next().map_or(Frame::Null, Frame::Bulk)
     };
     Ok(effect_write(reply, vec![eff], vec![key]))
 }
 
 pub(super) fn srandmember(e: &mut Engine, a: &[Bytes]) -> CmdResult {
-    let count = if a.len() == 3 { Some(p_i64(&a[2])?) } else { None };
+    let count = if a.len() == 3 {
+        Some(p_i64(&a[2])?)
+    } else {
+        None
+    };
     let Some(s) = read_set(e, &a[1])? else {
         return Ok(ExecOutcome::read(match count {
             Some(_) => Frame::Array(vec![]),
@@ -293,7 +303,9 @@ pub(super) fn sintercard(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     }
     let nk = nk as usize;
     if a.len() < 2 + nk {
-        return Err(ExecOutcome::error("Number of keys can't be greater than number of args"));
+        return Err(ExecOutcome::error(
+            "Number of keys can't be greater than number of args",
+        ));
     }
     let mut limit = usize::MAX;
     if a.len() > 2 + nk {

@@ -23,27 +23,31 @@ fn stream_mut<'a>(e: &'a mut Engine, key: &Bytes) -> Result<&'a mut Stream, Exec
             return Err(wrongtype());
         }
     }
-    match e.db.entry_or_insert_with(key, now, || Value::Stream(Stream::new())) {
+    match e
+        .db
+        .entry_or_insert_with(key, now, || Value::Stream(Stream::new()))
+    {
         Value::Stream(s) => Ok(s),
         _ => Err(wrongtype()),
     }
 }
 
 fn parse_id(arg: &[u8], default_seq: u64) -> Result<StreamId, ExecOutcome> {
-    let s = std::str::from_utf8(arg)
-        .map_err(|_| ExecOutcome::error("Invalid stream ID specified as stream command argument"))?;
+    let s = std::str::from_utf8(arg).map_err(|_| {
+        ExecOutcome::error("Invalid stream ID specified as stream command argument")
+    })?;
     if let Some((ms, seq)) = s.split_once('-') {
-        let ms = ms
-            .parse()
-            .map_err(|_| ExecOutcome::error("Invalid stream ID specified as stream command argument"))?;
-        let seq = seq
-            .parse()
-            .map_err(|_| ExecOutcome::error("Invalid stream ID specified as stream command argument"))?;
+        let ms = ms.parse().map_err(|_| {
+            ExecOutcome::error("Invalid stream ID specified as stream command argument")
+        })?;
+        let seq = seq.parse().map_err(|_| {
+            ExecOutcome::error("Invalid stream ID specified as stream command argument")
+        })?;
         Ok(StreamId { ms, seq })
     } else {
-        let ms = s
-            .parse()
-            .map_err(|_| ExecOutcome::error("Invalid stream ID specified as stream command argument"))?;
+        let ms = s.parse().map_err(|_| {
+            ExecOutcome::error("Invalid stream ID specified as stream command argument")
+        })?;
         Ok(StreamId {
             ms,
             seq: default_seq,
@@ -104,7 +108,7 @@ pub(super) fn xadd(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     let id_arg = a.get(i).ok_or_else(|| wrong_arity("xadd"))?.clone();
     i += 1;
     let fields_raw = &a[i..];
-    if fields_raw.is_empty() || fields_raw.len() % 2 != 0 {
+    if fields_raw.is_empty() || !fields_raw.len().is_multiple_of(2) {
         return Err(wrong_arity("xadd"));
     }
 
@@ -209,9 +213,15 @@ pub(super) fn xrange(e: &mut Engine, a: &[Bytes], rev: bool) -> CmdResult {
             let base = parse_id(&arg[1..], u64::MAX)?;
             // Exclusive end: step back one.
             if base.seq > 0 {
-                StreamId { ms: base.ms, seq: base.seq - 1 }
+                StreamId {
+                    ms: base.ms,
+                    seq: base.seq - 1,
+                }
             } else if base.ms > 0 {
-                StreamId { ms: base.ms - 1, seq: u64::MAX }
+                StreamId {
+                    ms: base.ms - 1,
+                    seq: u64::MAX,
+                }
             } else {
                 return Ok(ExecOutcome::read(Frame::Array(vec![])));
             }
@@ -292,7 +302,11 @@ pub(super) fn xtrim(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     // Realized trims are deterministic given identical stream state.
     let mut eff: EffectCmd = vec![Bytes::from_static(b"XTRIM"), key.clone(), a[2].clone()];
     eff.push(val.clone());
-    Ok(effect_write(Frame::Integer(evicted as i64), vec![eff], vec![key]))
+    Ok(effect_write(
+        Frame::Integer(evicted as i64),
+        vec![eff],
+        vec![key],
+    ))
 }
 
 /// `XREAD [COUNT n] STREAMS key... id...` — non-blocking form only.
@@ -303,8 +317,11 @@ pub(super) fn xread(e: &mut Engine, a: &[Bytes]) -> CmdResult {
         match upper(&a[i]).as_str() {
             "COUNT" => {
                 count = Some(
-                    p_i64(a.get(i + 1).ok_or_else(|| ExecOutcome::error("syntax error"))?)?
-                        .max(0) as usize,
+                    p_i64(
+                        a.get(i + 1)
+                            .ok_or_else(|| ExecOutcome::error("syntax error"))?,
+                    )?
+                    .max(0) as usize,
                 );
                 i += 2;
             }
@@ -321,7 +338,7 @@ pub(super) fn xread(e: &mut Engine, a: &[Bytes]) -> CmdResult {
         }
     }
     let rest = &a[i..];
-    if rest.is_empty() || rest.len() % 2 != 0 {
+    if rest.is_empty() || !rest.len().is_multiple_of(2) {
         return Err(ExecOutcome::error(
             "Unbalanced XREAD list of streams: for each stream key an ID or '$' must be specified.",
         ));
@@ -489,9 +506,7 @@ pub(super) fn xgroup(e: &mut Engine, a: &[Bytes]) -> CmdResult {
 }
 
 fn no_group() -> ExecOutcome {
-    ExecOutcome::read(Frame::Error(
-        "NOGROUP No such consumer group".into(),
-    ))
+    ExecOutcome::read(Frame::Error("NOGROUP No such consumer group".into()))
 }
 
 /// `XREADGROUP GROUP g consumer [COUNT n] [NOACK] STREAMS key... id...`
@@ -513,8 +528,11 @@ pub(super) fn xreadgroup(e: &mut Engine, a: &[Bytes]) -> CmdResult {
         match upper(&a[i]).as_str() {
             "COUNT" => {
                 count = Some(
-                    p_i64(a.get(i + 1).ok_or_else(|| ExecOutcome::error("syntax error"))?)?
-                        .max(0) as usize,
+                    p_i64(
+                        a.get(i + 1)
+                            .ok_or_else(|| ExecOutcome::error("syntax error"))?,
+                    )?
+                    .max(0) as usize,
                 );
                 i += 2;
             }
@@ -535,7 +553,7 @@ pub(super) fn xreadgroup(e: &mut Engine, a: &[Bytes]) -> CmdResult {
         }
     }
     let rest = &a[i..];
-    if rest.is_empty() || rest.len() % 2 != 0 {
+    if rest.is_empty() || !rest.len().is_multiple_of(2) {
         return Err(ExecOutcome::error("Unbalanced XREADGROUP list of streams"));
     }
     let nk = rest.len() / 2;
@@ -557,17 +575,18 @@ pub(super) fn xreadgroup(e: &mut Engine, a: &[Bytes]) -> CmdResult {
         if id_arg.as_ref() == b">" {
             // New messages: deliver, assign to the consumer, advance cursor.
             let ids = {
-                let s = read_stream(e, &key)?.expect("checked above");
+                let Some(s) = read_stream(e, &key)? else {
+                    continue; // existence checked above
+                };
                 s.undelivered(&group, count)
             };
-            if ids.is_empty() {
+            let Some(&last) = ids.last() else {
                 continue;
-            }
+            };
             let nownow = e.now();
             let Some(Value::Stream(s)) = e.db.lookup_mut(&key, nownow) else {
                 continue;
             };
-            let last = *ids.last().expect("non-empty");
             if !noack {
                 s.claim(&group, &consumer, &ids, now, Some(1), true);
             }
@@ -609,7 +628,9 @@ pub(super) fn xreadgroup(e: &mut Engine, a: &[Bytes]) -> CmdResult {
             // Re-read the consumer's own pending entries: pure read.
             let after = parse_id(id_arg, 0)?;
             let prev = after; // exclusive per Redis history-read semantics
-            let s = read_stream(e, &key)?.expect("checked above");
+            let Some(s) = read_stream(e, &key)? else {
+                continue; // existence checked above
+            };
             let ids = s.consumer_pending(&group, &consumer, prev, count);
             let frames: Vec<Frame> = ids
                 .iter()
@@ -674,8 +695,16 @@ pub(super) fn xpending(e: &mut Engine, a: &[Bytes]) -> CmdResult {
                 Frame::Null,
             ])));
         }
-        let min = *g.pending.keys().next().expect("non-empty");
-        let max = *g.pending.keys().next_back().expect("non-empty");
+        let (Some(&min), Some(&max)) = (g.pending.keys().next(), g.pending.keys().next_back())
+        else {
+            // Emptiness handled above; mirror the empty summary if racing.
+            return Ok(ExecOutcome::read(Frame::Array(vec![
+                Frame::Integer(0),
+                Frame::Null,
+                Frame::Null,
+                Frame::Null,
+            ])));
+        };
         let mut per: std::collections::BTreeMap<Bytes, i64> = Default::default();
         for p in g.pending.values() {
             *per.entry(p.consumer.clone()).or_default() += 1;
@@ -683,7 +712,10 @@ pub(super) fn xpending(e: &mut Engine, a: &[Bytes]) -> CmdResult {
         let consumers = per
             .into_iter()
             .map(|(c, n)| {
-                Frame::Array(vec![Frame::Bulk(c), Frame::Bulk(Bytes::from(n.to_string()))])
+                Frame::Array(vec![
+                    Frame::Bulk(c),
+                    Frame::Bulk(Bytes::from(n.to_string())),
+                ])
             })
             .collect();
         return Ok(ExecOutcome::read(Frame::Array(vec![
@@ -710,11 +742,7 @@ pub(super) fn xpending(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     let rows: Vec<Frame> = g
         .pending
         .range(start..=end)
-        .filter(|(_, p)| {
-            consumer_filter
-                .as_ref()
-                .is_none_or(|c| p.consumer == *c)
-        })
+        .filter(|(_, p)| consumer_filter.as_ref().is_none_or(|c| p.consumer == *c))
         .take(count)
         .map(|(id, p)| {
             Frame::Array(vec![
@@ -757,22 +785,30 @@ pub(super) fn xclaim(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     while i < a.len() {
         match upper(&a[i]).as_str() {
             "IDLE" => {
-                let idle =
-                    p_i64(a.get(i + 1).ok_or_else(|| ExecOutcome::error("syntax error"))?)?;
+                let idle = p_i64(
+                    a.get(i + 1)
+                        .ok_or_else(|| ExecOutcome::error("syntax error"))?,
+                )?;
                 time_ms = Some(e.now_ms().saturating_sub(idle.max(0) as u64));
                 i += 2;
             }
             "TIME" => {
                 time_ms = Some(
-                    p_i64(a.get(i + 1).ok_or_else(|| ExecOutcome::error("syntax error"))?)?
-                        .max(0) as u64,
+                    p_i64(
+                        a.get(i + 1)
+                            .ok_or_else(|| ExecOutcome::error("syntax error"))?,
+                    )?
+                    .max(0) as u64,
                 );
                 i += 2;
             }
             "RETRYCOUNT" => {
                 retry = Some(
-                    p_i64(a.get(i + 1).ok_or_else(|| ExecOutcome::error("syntax error"))?)?
-                        .max(0) as u64,
+                    p_i64(
+                        a.get(i + 1)
+                            .ok_or_else(|| ExecOutcome::error("syntax error"))?,
+                    )?
+                    .max(0) as u64,
                 );
                 i += 2;
             }
@@ -794,7 +830,9 @@ pub(super) fn xclaim(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     }
     // Filter by idleness before mutating.
     let eligible: Vec<StreamId> = {
-        let s = read_stream(e, &key)?.expect("checked");
+        let Some(s) = read_stream(e, &key)? else {
+            return Err(no_group());
+        };
         let Some(g) = s.groups.get(group.as_ref()) else {
             return Err(no_group());
         };
@@ -827,13 +865,18 @@ pub(super) fn xclaim(e: &mut Engine, a: &[Bytes]) -> CmdResult {
         };
         for id in &eligible {
             let rc = retry_for(s, id);
-            if !s.claim(&group, &consumer, &[*id], time, rc, force).is_empty() {
+            if !s
+                .claim(&group, &consumer, &[*id], time, rc, force)
+                .is_empty()
+            {
                 claimed.push(*id);
             }
         }
     }
     let reply = {
-        let s = read_stream(e, &key)?.expect("checked");
+        let Some(s) = read_stream(e, &key)? else {
+            return Err(no_group());
+        };
         if justid {
             Frame::Array(
                 claimed
@@ -855,8 +898,12 @@ pub(super) fn xclaim(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     }
     e.db.signal_modified(&key);
     // Deterministic effect: explicit TIME, per-id RETRYCOUNT, FORCE.
-    let s = read_stream(e, &key)?.expect("checked");
-    let g = s.groups.get(group.as_ref()).expect("checked");
+    let Some(s) = read_stream(e, &key)? else {
+        return Err(no_group());
+    };
+    let Some(g) = s.groups.get(group.as_ref()) else {
+        return Err(no_group());
+    };
     let effects: Vec<EffectCmd> = claimed
         .iter()
         .map(|id| {
@@ -917,7 +964,9 @@ pub(super) fn xinfo(e: &mut Engine, a: &[Bytes]) -> CmdResult {
                 .collect();
             Ok(ExecOutcome::read(Frame::Array(out)))
         }
-        other => Err(ExecOutcome::error(format!("Unknown XINFO subcommand '{other}'"))),
+        other => Err(ExecOutcome::error(format!(
+            "Unknown XINFO subcommand '{other}'"
+        ))),
     }
 }
 

@@ -13,7 +13,9 @@ fn read_str<'a>(e: &'a Engine, key: &[u8]) -> Result<Option<&'a Bytes>, ExecOutc
 }
 
 pub(super) fn get(e: &mut Engine, a: &[Bytes]) -> CmdResult {
-    Ok(ExecOutcome::read(bulk_or_null(read_str(e, &a[1])?.cloned())))
+    Ok(ExecOutcome::read(bulk_or_null(
+        read_str(e, &a[1])?.cloned(),
+    )))
 }
 
 pub(super) fn strlen(e: &mut Engine, a: &[Bytes]) -> CmdResult {
@@ -35,7 +37,10 @@ pub(super) fn set(e: &mut Engine, a: &[Bytes]) -> CmdResult {
         match upper(&a[i]).as_str() {
             "EX" | "PX" | "EXAT" | "PXAT" => {
                 let opt = upper(&a[i]);
-                let n = p_i64(a.get(i + 1).ok_or_else(|| ExecOutcome::error("syntax error"))?)?;
+                let n = p_i64(
+                    a.get(i + 1)
+                        .ok_or_else(|| ExecOutcome::error("syntax error"))?,
+                )?;
                 if n <= 0 && (opt == "EX" || opt == "PX") {
                     return Err(ExecOutcome::error("invalid expire time in 'set' command"));
                 }
@@ -116,7 +121,11 @@ pub(super) fn setnx(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     }
     e.db.set_value(a[1].clone(), Value::Str(a[2].clone()));
     let eff = vec![Bytes::from_static(b"SET"), a[1].clone(), a[2].clone()];
-    Ok(effect_write(Frame::Integer(1), vec![eff], vec![a[1].clone()]))
+    Ok(effect_write(
+        Frame::Integer(1),
+        vec![eff],
+        vec![a[1].clone()],
+    ))
 }
 
 /// `SETEX key seconds value` / `PSETEX key ms value`
@@ -147,7 +156,11 @@ pub(super) fn getset(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     let old = read_str(e, &a[1])?.cloned();
     e.db.set_value(a[1].clone(), Value::Str(a[2].clone()));
     let eff = vec![Bytes::from_static(b"SET"), a[1].clone(), a[2].clone()];
-    Ok(effect_write(bulk_or_null(old), vec![eff], vec![a[1].clone()]))
+    Ok(effect_write(
+        bulk_or_null(old),
+        vec![eff],
+        vec![a[1].clone()],
+    ))
 }
 
 pub(super) fn getdel(e: &mut Engine, a: &[Bytes]) -> CmdResult {
@@ -157,7 +170,11 @@ pub(super) fn getdel(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     }
     e.db.remove(&a[1]);
     let eff = vec![Bytes::from_static(b"DEL"), a[1].clone()];
-    Ok(effect_write(bulk_or_null(old), vec![eff], vec![a[1].clone()]))
+    Ok(effect_write(
+        bulk_or_null(old),
+        vec![eff],
+        vec![a[1].clone()],
+    ))
 }
 
 /// `GETEX key [EX s|PX ms|EXAT s|PXAT ms|PERSIST]`
@@ -236,15 +253,18 @@ pub(super) fn incr_by(e: &mut Engine, key: &Bytes, delta: i64) -> CmdResult {
     let new = cur
         .checked_add(delta)
         .ok_or_else(|| ExecOutcome::error("increment or decrement would overflow"))?;
-    e.db
-        .set_value_keep_ttl(key.clone(), Value::Str(Bytes::from(new.to_string())));
+    e.db.set_value_keep_ttl(key.clone(), Value::Str(Bytes::from(new.to_string())));
     // Integer increments are deterministic; replicate a canonical INCRBY.
     let eff = vec![
         Bytes::from_static(b"INCRBY"),
         key.clone(),
         Bytes::from(delta.to_string()),
     ];
-    Ok(effect_write(Frame::Integer(new), vec![eff], vec![key.clone()]))
+    Ok(effect_write(
+        Frame::Integer(new),
+        vec![eff],
+        vec![key.clone()],
+    ))
 }
 
 pub(super) fn incrby(e: &mut Engine, a: &[Bytes], negate: bool) -> CmdResult {
@@ -269,11 +289,12 @@ pub(super) fn incrbyfloat(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     };
     let new = cur + delta;
     if new.is_nan() || new.is_infinite() {
-        return Err(ExecOutcome::error("increment would produce NaN or Infinity"));
+        return Err(ExecOutcome::error(
+            "increment would produce NaN or Infinity",
+        ));
     }
     let text = Bytes::from(fmt_f64(new));
-    e.db
-        .set_value_keep_ttl(a[1].clone(), Value::Str(text.clone()));
+    e.db.set_value_keep_ttl(a[1].clone(), Value::Str(text.clone()));
     // Paper §2.1: float arithmetic is replicated by effect — a SET of the
     // result — so replicas never re-do float math. KEEPTTL because
     // INCRBYFLOAT preserves the key's expiry while plain SET clears it.
@@ -283,7 +304,11 @@ pub(super) fn incrbyfloat(e: &mut Engine, a: &[Bytes]) -> CmdResult {
         text.clone(),
         Bytes::from_static(b"KEEPTTL"),
     ];
-    Ok(effect_write(Frame::Bulk(text), vec![eff], vec![a[1].clone()]))
+    Ok(effect_write(
+        Frame::Bulk(text),
+        vec![eff],
+        vec![a[1].clone()],
+    ))
 }
 
 pub(super) fn mget(e: &mut Engine, a: &[Bytes]) -> CmdResult {
@@ -300,7 +325,7 @@ pub(super) fn mget(e: &mut Engine, a: &[Bytes]) -> CmdResult {
 }
 
 pub(super) fn mset(e: &mut Engine, a: &[Bytes]) -> CmdResult {
-    if (a.len() - 1) % 2 != 0 {
+    if !(a.len() - 1).is_multiple_of(2) {
         return Err(wrong_arity("mset"));
     }
     let mut dirty = Vec::new();
@@ -312,12 +337,10 @@ pub(super) fn mset(e: &mut Engine, a: &[Bytes]) -> CmdResult {
 }
 
 pub(super) fn msetnx(e: &mut Engine, a: &[Bytes]) -> CmdResult {
-    if (a.len() - 1) % 2 != 0 {
+    if !(a.len() - 1).is_multiple_of(2) {
         return Err(wrong_arity("msetnx"));
     }
-    let any_exists = a[1..]
-        .chunks(2)
-        .any(|pair| e.db.exists(&pair[0], e.now()));
+    let any_exists = a[1..].chunks(2).any(|pair| e.db.exists(&pair[0], e.now()));
     if any_exists {
         return Ok(ExecOutcome::read(Frame::Integer(0)));
     }
@@ -344,8 +367,7 @@ pub(super) fn setrange(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     let mut buf = vec![0u8; new_len];
     buf[..existing.len()].copy_from_slice(&existing);
     buf[offset..offset + patch.len()].copy_from_slice(patch);
-    e.db
-        .set_value_keep_ttl(a[1].clone(), Value::Str(Bytes::from(buf)));
+    e.db.set_value_keep_ttl(a[1].clone(), Value::Str(Bytes::from(buf)));
     Ok(verbatim_write(
         Frame::Integer(new_len as i64),
         a,

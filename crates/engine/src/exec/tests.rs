@@ -128,10 +128,16 @@ fn append_strlen_getrange_setrange() {
     assert_eq!(run(&mut e, &["GETRANGE", "k", "0", "4"]), bulk("Hello"));
     assert_eq!(run(&mut e, &["GETRANGE", "k", "-5", "-1"]), bulk("World"));
     assert_eq!(run(&mut e, &["GETRANGE", "k", "99", "100"]), bulk(""));
-    assert_eq!(run(&mut e, &["SETRANGE", "k", "6", "Redis"]), Frame::Integer(11));
+    assert_eq!(
+        run(&mut e, &["SETRANGE", "k", "6", "Redis"]),
+        Frame::Integer(11)
+    );
     assert_eq!(run(&mut e, &["GET", "k"]), bulk("Hello Redis"));
     // Extending past the end zero-pads.
-    assert_eq!(run(&mut e, &["SETRANGE", "pad", "3", "x"]), Frame::Integer(4));
+    assert_eq!(
+        run(&mut e, &["SETRANGE", "pad", "3", "x"]),
+        Frame::Integer(4)
+    );
     assert_eq!(
         run(&mut e, &["GET", "pad"]),
         Frame::Bulk(Bytes::from_static(b"\0\0\0x"))
@@ -146,9 +152,15 @@ fn mset_mget_msetnx() {
         run(&mut e, &["MGET", "a", "b", "nope"]),
         Frame::Array(vec![bulk("1"), bulk("2"), Frame::Null])
     );
-    assert_eq!(run(&mut e, &["MSETNX", "c", "3", "a", "x"]), Frame::Integer(0));
+    assert_eq!(
+        run(&mut e, &["MSETNX", "c", "3", "a", "x"]),
+        Frame::Integer(0)
+    );
     assert_eq!(run(&mut e, &["GET", "c"]), Frame::Null);
-    assert_eq!(run(&mut e, &["MSETNX", "c", "3", "d", "4"]), Frame::Integer(1));
+    assert_eq!(
+        run(&mut e, &["MSETNX", "c", "3", "d", "4"]),
+        Frame::Integer(1)
+    );
 }
 
 #[test]
@@ -156,7 +168,10 @@ fn del_exists_type() {
     let mut e = engine();
     run(&mut e, &["SET", "a", "1"]);
     run(&mut e, &["RPUSH", "l", "x"]);
-    assert_eq!(run(&mut e, &["EXISTS", "a", "l", "a", "nope"]), Frame::Integer(3));
+    assert_eq!(
+        run(&mut e, &["EXISTS", "a", "l", "a", "nope"]),
+        Frame::Integer(3)
+    );
     assert_eq!(run(&mut e, &["TYPE", "a"]), Frame::Simple("string".into()));
     assert_eq!(run(&mut e, &["TYPE", "l"]), Frame::Simple("list".into()));
     assert_eq!(run(&mut e, &["TYPE", "nope"]), Frame::Simple("none".into()));
@@ -190,12 +205,27 @@ fn expire_ttl_persist() {
 fn expire_with_flags() {
     let mut e = engine();
     run(&mut e, &["SET", "k", "v"]);
-    assert_eq!(run(&mut e, &["EXPIRE", "k", "100", "XX"]), Frame::Integer(0));
-    assert_eq!(run(&mut e, &["EXPIRE", "k", "100", "NX"]), Frame::Integer(1));
+    assert_eq!(
+        run(&mut e, &["EXPIRE", "k", "100", "XX"]),
+        Frame::Integer(0)
+    );
+    assert_eq!(
+        run(&mut e, &["EXPIRE", "k", "100", "NX"]),
+        Frame::Integer(1)
+    );
     assert_eq!(run(&mut e, &["EXPIRE", "k", "50", "NX"]), Frame::Integer(0));
-    assert_eq!(run(&mut e, &["EXPIRE", "k", "200", "GT"]), Frame::Integer(1));
-    assert_eq!(run(&mut e, &["EXPIRE", "k", "100", "GT"]), Frame::Integer(0));
-    assert_eq!(run(&mut e, &["EXPIRE", "k", "100", "LT"]), Frame::Integer(1));
+    assert_eq!(
+        run(&mut e, &["EXPIRE", "k", "200", "GT"]),
+        Frame::Integer(1)
+    );
+    assert_eq!(
+        run(&mut e, &["EXPIRE", "k", "100", "GT"]),
+        Frame::Integer(0)
+    );
+    assert_eq!(
+        run(&mut e, &["EXPIRE", "k", "100", "LT"]),
+        Frame::Integer(1)
+    );
     assert_eq!(run(&mut e, &["TTL", "k"]), Frame::Integer(100));
 }
 
@@ -223,13 +253,19 @@ fn rename_and_copy() {
     assert_eq!(run(&mut e, &["COPY", "b", "d"]), Frame::Integer(1));
     assert_eq!(run(&mut e, &["GET", "d"]), bulk("v"));
     assert_eq!(run(&mut e, &["COPY", "b", "c"]), Frame::Integer(0));
-    assert_eq!(run(&mut e, &["COPY", "b", "c", "REPLACE"]), Frame::Integer(1));
+    assert_eq!(
+        run(&mut e, &["COPY", "b", "c", "REPLACE"]),
+        Frame::Integer(1)
+    );
 }
 
 #[test]
 fn keys_and_dbsize() {
     let mut e = engine();
-    run(&mut e, &["MSET", "user:1", "a", "user:2", "b", "order:1", "c"]);
+    run(
+        &mut e,
+        &["MSET", "user:1", "a", "user:2", "b", "order:1", "c"],
+    );
     assert_eq!(run(&mut e, &["DBSIZE"]), Frame::Integer(3));
     let reply = run(&mut e, &["KEYS", "user:*"]);
     assert_eq!(reply.as_array().unwrap().len(), 2);
@@ -240,7 +276,10 @@ fn keys_and_dbsize() {
 #[test]
 fn hash_commands() {
     let mut e = engine();
-    assert_eq!(run(&mut e, &["HSET", "h", "f1", "v1", "f2", "v2"]), Frame::Integer(2));
+    assert_eq!(
+        run(&mut e, &["HSET", "h", "f1", "v1", "f2", "v2"]),
+        Frame::Integer(2)
+    );
     assert_eq!(run(&mut e, &["HSET", "h", "f1", "v1b"]), Frame::Integer(0));
     assert_eq!(run(&mut e, &["HGET", "h", "f1"]), bulk("v1b"));
     assert_eq!(run(&mut e, &["HLEN", "h"]), Frame::Integer(2));
@@ -253,7 +292,10 @@ fn hash_commands() {
     assert_eq!(run(&mut e, &["HSETNX", "h", "f1", "x"]), Frame::Integer(0));
     assert_eq!(run(&mut e, &["HSETNX", "h", "f3", "x"]), Frame::Integer(1));
     assert_eq!(run(&mut e, &["HINCRBY", "h", "n", "5"]), Frame::Integer(5));
-    assert_eq!(run(&mut e, &["HINCRBYFLOAT", "h", "fl", "2.5"]), bulk("2.5"));
+    assert_eq!(
+        run(&mut e, &["HINCRBYFLOAT", "h", "fl", "2.5"]),
+        bulk("2.5")
+    );
     assert_eq!(run(&mut e, &["HDEL", "h", "f1", "zz"]), Frame::Integer(1));
     // Deleting the last fields removes the key.
     run(&mut e, &["HDEL", "h", "f2", "f3", "n", "fl"]);
@@ -282,7 +324,10 @@ fn list_push_pop_range() {
     assert_eq!(run(&mut e, &["LLEN", "l"]), Frame::Integer(3));
     assert_eq!(run(&mut e, &["LPOP", "l"]), bulk("a"));
     assert_eq!(run(&mut e, &["RPOP", "l"]), bulk("c"));
-    assert_eq!(run(&mut e, &["LPOP", "l", "5"]), Frame::Array(vec![bulk("b")]));
+    assert_eq!(
+        run(&mut e, &["LPOP", "l", "5"]),
+        Frame::Array(vec![bulk("b")])
+    );
     assert_eq!(run(&mut e, &["EXISTS", "l"]), Frame::Integer(0));
     assert_eq!(run(&mut e, &["LPOP", "l"]), Frame::Null);
     assert_eq!(run(&mut e, &["LPUSHX", "l", "x"]), Frame::Integer(0));
@@ -317,13 +362,19 @@ fn list_index_set_insert_rem_trim() {
 fn lmove_and_rpoplpush() {
     let mut e = engine();
     run(&mut e, &["RPUSH", "src", "a", "b", "c"]);
-    assert_eq!(run(&mut e, &["LMOVE", "src", "dst", "LEFT", "RIGHT"]), bulk("a"));
+    assert_eq!(
+        run(&mut e, &["LMOVE", "src", "dst", "LEFT", "RIGHT"]),
+        bulk("a")
+    );
     assert_eq!(run(&mut e, &["RPOPLPUSH", "src", "dst"]), bulk("c"));
     assert_eq!(
         run(&mut e, &["LRANGE", "dst", "0", "-1"]),
         Frame::Array(vec![bulk("c"), bulk("a")])
     );
-    assert_eq!(run(&mut e, &["LMOVE", "missing", "dst", "LEFT", "LEFT"]), Frame::Null);
+    assert_eq!(
+        run(&mut e, &["LMOVE", "missing", "dst", "LEFT", "LEFT"]),
+        Frame::Null
+    );
 }
 
 #[test]
@@ -331,11 +382,21 @@ fn lpos_ranks_and_counts() {
     let mut e = engine();
     run(&mut e, &["RPUSH", "l", "a", "b", "c", "b", "b"]);
     assert_eq!(run(&mut e, &["LPOS", "l", "b"]), Frame::Integer(1));
-    assert_eq!(run(&mut e, &["LPOS", "l", "b", "RANK", "2"]), Frame::Integer(3));
-    assert_eq!(run(&mut e, &["LPOS", "l", "b", "RANK", "-1"]), Frame::Integer(4));
+    assert_eq!(
+        run(&mut e, &["LPOS", "l", "b", "RANK", "2"]),
+        Frame::Integer(3)
+    );
+    assert_eq!(
+        run(&mut e, &["LPOS", "l", "b", "RANK", "-1"]),
+        Frame::Integer(4)
+    );
     assert_eq!(
         run(&mut e, &["LPOS", "l", "b", "COUNT", "0"]),
-        Frame::Array(vec![Frame::Integer(1), Frame::Integer(3), Frame::Integer(4)])
+        Frame::Array(vec![
+            Frame::Integer(1),
+            Frame::Integer(3),
+            Frame::Integer(4)
+        ])
     );
     assert_eq!(run(&mut e, &["LPOS", "l", "zz"]), Frame::Null);
 }
@@ -343,7 +404,10 @@ fn lpos_ranks_and_counts() {
 #[test]
 fn set_commands() {
     let mut e = engine();
-    assert_eq!(run(&mut e, &["SADD", "s", "a", "b", "c"]), Frame::Integer(3));
+    assert_eq!(
+        run(&mut e, &["SADD", "s", "a", "b", "c"]),
+        Frame::Integer(3)
+    );
     assert_eq!(run(&mut e, &["SADD", "s", "a"]), Frame::Integer(0));
     assert_eq!(run(&mut e, &["SCARD", "s"]), Frame::Integer(3));
     assert_eq!(run(&mut e, &["SISMEMBER", "s", "a"]), Frame::Integer(1));
@@ -394,15 +458,33 @@ fn set_algebra() {
     let mut e = engine();
     run(&mut e, &["SADD", "a", "1", "2", "3"]);
     run(&mut e, &["SADD", "b", "2", "3", "4"]);
-    assert_eq!(run(&mut e, &["SUNION", "a", "b"]).as_array().unwrap().len(), 4);
-    assert_eq!(run(&mut e, &["SINTER", "a", "b"]).as_array().unwrap().len(), 2);
-    assert_eq!(run(&mut e, &["SDIFF", "a", "b"]).as_array().unwrap().len(), 1);
-    assert_eq!(run(&mut e, &["SINTERSTORE", "dst", "a", "b"]), Frame::Integer(2));
+    assert_eq!(
+        run(&mut e, &["SUNION", "a", "b"]).as_array().unwrap().len(),
+        4
+    );
+    assert_eq!(
+        run(&mut e, &["SINTER", "a", "b"]).as_array().unwrap().len(),
+        2
+    );
+    assert_eq!(
+        run(&mut e, &["SDIFF", "a", "b"]).as_array().unwrap().len(),
+        1
+    );
+    assert_eq!(
+        run(&mut e, &["SINTERSTORE", "dst", "a", "b"]),
+        Frame::Integer(2)
+    );
     assert_eq!(run(&mut e, &["SCARD", "dst"]), Frame::Integer(2));
     // Empty result deletes the destination.
-    assert_eq!(run(&mut e, &["SINTERSTORE", "dst", "a", "missing"]), Frame::Integer(0));
+    assert_eq!(
+        run(&mut e, &["SINTERSTORE", "dst", "a", "missing"]),
+        Frame::Integer(0)
+    );
     assert_eq!(run(&mut e, &["EXISTS", "dst"]), Frame::Integer(0));
-    assert_eq!(run(&mut e, &["SINTERCARD", "2", "a", "b"]), Frame::Integer(2));
+    assert_eq!(
+        run(&mut e, &["SINTERCARD", "2", "a", "b"]),
+        Frame::Integer(2)
+    );
     assert_eq!(
         run(&mut e, &["SINTERCARD", "2", "a", "b", "LIMIT", "1"]),
         Frame::Integer(1)
@@ -437,22 +519,40 @@ fn zset_basic() {
 fn zadd_flags() {
     let mut e = engine();
     run(&mut e, &["ZADD", "z", "5", "m"]);
-    assert_eq!(run(&mut e, &["ZADD", "z", "NX", "9", "m"]), Frame::Integer(0));
+    assert_eq!(
+        run(&mut e, &["ZADD", "z", "NX", "9", "m"]),
+        Frame::Integer(0)
+    );
     assert_eq!(run(&mut e, &["ZSCORE", "z", "m"]), bulk("5"));
-    assert_eq!(run(&mut e, &["ZADD", "z", "XX", "CH", "9", "m"]), Frame::Integer(1));
-    assert_eq!(run(&mut e, &["ZADD", "z", "GT", "7", "m"]), Frame::Integer(0));
+    assert_eq!(
+        run(&mut e, &["ZADD", "z", "XX", "CH", "9", "m"]),
+        Frame::Integer(1)
+    );
+    assert_eq!(
+        run(&mut e, &["ZADD", "z", "GT", "7", "m"]),
+        Frame::Integer(0)
+    );
     assert_eq!(run(&mut e, &["ZSCORE", "z", "m"]), bulk("9"));
-    assert_eq!(run(&mut e, &["ZADD", "z", "LT", "7", "m"]), Frame::Integer(0));
+    assert_eq!(
+        run(&mut e, &["ZADD", "z", "LT", "7", "m"]),
+        Frame::Integer(0)
+    );
     assert_eq!(run(&mut e, &["ZSCORE", "z", "m"]), bulk("7"));
     assert_eq!(run(&mut e, &["ZADD", "z", "INCR", "3", "m"]), bulk("10"));
-    assert_eq!(run(&mut e, &["ZADD", "z", "XX", "INCR", "1", "nope"]), Frame::Null);
+    assert_eq!(
+        run(&mut e, &["ZADD", "z", "XX", "INCR", "1", "nope"]),
+        Frame::Null
+    );
     assert!(run(&mut e, &["ZADD", "z", "NX", "XX", "1", "m"]).is_error());
 }
 
 #[test]
 fn zrange_byscore_bylex_rev_limit() {
     let mut e = engine();
-    run(&mut e, &["ZADD", "z", "1", "a", "2", "b", "3", "c", "4", "d"]);
+    run(
+        &mut e,
+        &["ZADD", "z", "1", "a", "2", "b", "3", "c", "4", "d"],
+    );
     assert_eq!(
         run(&mut e, &["ZRANGEBYSCORE", "z", "2", "3"]),
         Frame::Array(vec![bulk("b"), bulk("c")])
@@ -466,7 +566,10 @@ fn zrange_byscore_bylex_rev_limit() {
         Frame::Array(vec![bulk("c"), bulk("b")])
     );
     assert_eq!(
-        run(&mut e, &["ZRANGEBYSCORE", "z", "-inf", "+inf", "LIMIT", "1", "2"]),
+        run(
+            &mut e,
+            &["ZRANGEBYSCORE", "z", "-inf", "+inf", "LIMIT", "1", "2"]
+        ),
         Frame::Array(vec![bulk("b"), bulk("c")])
     );
     assert_eq!(
@@ -483,7 +586,10 @@ fn zrange_byscore_bylex_rev_limit() {
         run(&mut e, &["ZRANGEBYLEX", "lex", "[aa", "(b"]),
         Frame::Array(vec![bulk("aa"), bulk("ab")])
     );
-    assert_eq!(run(&mut e, &["ZLEXCOUNT", "lex", "-", "+"]), Frame::Integer(3));
+    assert_eq!(
+        run(&mut e, &["ZLEXCOUNT", "lex", "-", "+"]),
+        Frame::Integer(3)
+    );
     assert_eq!(
         run(&mut e, &["ZREVRANGE", "lex", "0", "0"]),
         Frame::Array(vec![bulk("b")])
@@ -500,10 +606,7 @@ fn zincrby_and_zpop() {
     assert_eq!(out.effects, vec![cmd(["ZADD", "z", "4", "m"])]);
     run(&mut e, &["ZADD", "z", "1", "low", "9", "high"]);
     let popped = run_full(&mut e, &["ZPOPMIN", "z"]);
-    assert_eq!(
-        popped.reply,
-        Frame::Array(vec![bulk("low"), bulk("1")])
-    );
+    assert_eq!(popped.reply, Frame::Array(vec![bulk("low"), bulk("1")]));
     assert_eq!(popped.effects, vec![cmd(["ZREM", "z", "low"])]);
     assert_eq!(
         run(&mut e, &["ZPOPMAX", "z", "2"]),
@@ -515,12 +618,26 @@ fn zincrby_and_zpop() {
 #[test]
 fn zremrange_variants() {
     let mut e = engine();
-    run(&mut e, &["ZADD", "z", "1", "a", "2", "b", "3", "c", "4", "d", "5", "e"]);
-    assert_eq!(run(&mut e, &["ZREMRANGEBYRANK", "z", "0", "1"]), Frame::Integer(2));
-    assert_eq!(run(&mut e, &["ZREMRANGEBYSCORE", "z", "4", "4"]), Frame::Integer(1));
+    run(
+        &mut e,
+        &[
+            "ZADD", "z", "1", "a", "2", "b", "3", "c", "4", "d", "5", "e",
+        ],
+    );
+    assert_eq!(
+        run(&mut e, &["ZREMRANGEBYRANK", "z", "0", "1"]),
+        Frame::Integer(2)
+    );
+    assert_eq!(
+        run(&mut e, &["ZREMRANGEBYSCORE", "z", "4", "4"]),
+        Frame::Integer(1)
+    );
     assert_eq!(run(&mut e, &["ZCARD", "z"]), Frame::Integer(2));
     run(&mut e, &["ZADD", "lex", "0", "a", "0", "b", "0", "c"]);
-    assert_eq!(run(&mut e, &["ZREMRANGEBYLEX", "lex", "[a", "[b"]), Frame::Integer(2));
+    assert_eq!(
+        run(&mut e, &["ZREMRANGEBYLEX", "lex", "[a", "[b"]),
+        Frame::Integer(2)
+    );
 }
 
 #[test]
@@ -528,20 +645,46 @@ fn zstore_union_inter_diff() {
     let mut e = engine();
     run(&mut e, &["ZADD", "z1", "1", "a", "2", "b"]);
     run(&mut e, &["ZADD", "z2", "10", "b", "20", "c"]);
-    assert_eq!(run(&mut e, &["ZUNIONSTORE", "u", "2", "z1", "z2"]), Frame::Integer(3));
+    assert_eq!(
+        run(&mut e, &["ZUNIONSTORE", "u", "2", "z1", "z2"]),
+        Frame::Integer(3)
+    );
     assert_eq!(run(&mut e, &["ZSCORE", "u", "b"]), bulk("12"));
     assert_eq!(
-        run(&mut e, &["ZUNIONSTORE", "u2", "2", "z1", "z2", "WEIGHTS", "2", "1", "AGGREGATE", "MAX"]),
+        run(
+            &mut e,
+            &[
+                "ZUNIONSTORE",
+                "u2",
+                "2",
+                "z1",
+                "z2",
+                "WEIGHTS",
+                "2",
+                "1",
+                "AGGREGATE",
+                "MAX"
+            ]
+        ),
         Frame::Integer(3)
     );
     assert_eq!(run(&mut e, &["ZSCORE", "u2", "b"]), bulk("10"));
-    assert_eq!(run(&mut e, &["ZINTERSTORE", "i", "2", "z1", "z2"]), Frame::Integer(1));
+    assert_eq!(
+        run(&mut e, &["ZINTERSTORE", "i", "2", "z1", "z2"]),
+        Frame::Integer(1)
+    );
     assert_eq!(run(&mut e, &["ZSCORE", "i", "b"]), bulk("12"));
-    assert_eq!(run(&mut e, &["ZDIFFSTORE", "d", "2", "z1", "z2"]), Frame::Integer(1));
+    assert_eq!(
+        run(&mut e, &["ZDIFFSTORE", "d", "2", "z1", "z2"]),
+        Frame::Integer(1)
+    );
     assert_eq!(run(&mut e, &["ZSCORE", "d", "a"]), bulk("1"));
     // Sets participate as score-1 members.
     run(&mut e, &["SADD", "s", "a", "q"]);
-    assert_eq!(run(&mut e, &["ZUNIONSTORE", "m", "2", "z1", "s"]), Frame::Integer(3));
+    assert_eq!(
+        run(&mut e, &["ZUNIONSTORE", "m", "2", "z1", "s"]),
+        Frame::Integer(3)
+    );
     assert_eq!(run(&mut e, &["ZSCORE", "m", "q"]), bulk("1"));
 }
 
@@ -578,7 +721,10 @@ fn stream_auto_id_effect_carries_concrete_id() {
 fn stream_xread_and_trim() {
     let mut e = engine();
     for i in 1..=5 {
-        run(&mut e, &["XADD", "st", &format!("{i}-0"), "n", &i.to_string()]);
+        run(
+            &mut e,
+            &["XADD", "st", &format!("{i}-0"), "n", &i.to_string()],
+        );
     }
     let reply = run(&mut e, &["XREAD", "COUNT", "2", "STREAMS", "st", "2-0"]);
     let streams = reply.as_array().unwrap();
@@ -586,14 +732,20 @@ fn stream_xread_and_trim() {
     let entries = streams[0].as_array().unwrap()[1].as_array().unwrap();
     assert_eq!(entries.len(), 2);
     assert_eq!(run(&mut e, &["XREAD", "STREAMS", "st", "5-0"]), Frame::Null);
-    assert_eq!(run(&mut e, &["XTRIM", "st", "MAXLEN", "2"]), Frame::Integer(3));
+    assert_eq!(
+        run(&mut e, &["XTRIM", "st", "MAXLEN", "2"]),
+        Frame::Integer(3)
+    );
     assert_eq!(run(&mut e, &["XLEN", "st"]), Frame::Integer(2));
 }
 
 #[test]
 fn hll_commands() {
     let mut e = engine();
-    assert_eq!(run(&mut e, &["PFADD", "h", "a", "b", "c"]), Frame::Integer(1));
+    assert_eq!(
+        run(&mut e, &["PFADD", "h", "a", "b", "c"]),
+        Frame::Integer(1)
+    );
     assert_eq!(run(&mut e, &["PFADD", "h", "a"]), Frame::Integer(0));
     assert_eq!(run(&mut e, &["PFCOUNT", "h"]), Frame::Integer(3));
     run(&mut e, &["PFADD", "h2", "c", "d"]);
@@ -672,7 +824,10 @@ fn watch_aborts_on_conflict() {
     let out = e.execute(&mut s, &cmd(["EXEC"]));
     assert_eq!(out.reply, Frame::Null);
     assert!(out.effects.is_empty());
-    assert_eq!(e.execute(&mut other, &cmd(["GET", "k"])).reply, bulk("conflict"));
+    assert_eq!(
+        e.execute(&mut other, &cmd(["GET", "k"])).reply,
+        bulk("conflict")
+    );
 }
 
 #[test]
@@ -722,7 +877,10 @@ fn replica_does_not_reap_expired_keys() {
     replica.set_time_ms(10_000);
     // Reads treat it as missing...
     let mut s = SessionState::new();
-    assert_eq!(replica.execute(&mut s, &cmd(["GET", "k"])).reply, Frame::Null);
+    assert_eq!(
+        replica.execute(&mut s, &cmd(["GET", "k"])).reply,
+        Frame::Null
+    );
     // ...but the entry stays until the primary's DEL arrives.
     assert_eq!(replica.db.len(), 1);
     replica.apply_effect(&cmd(["DEL", "k"])).unwrap();
@@ -777,19 +935,28 @@ fn cluster_keyslot_via_command() {
         run(&mut e, &["CLUSTER", "COUNTKEYSINSLOT", &slot.to_string()]),
         Frame::Integer(2)
     );
-    let keys = run(&mut e, &["CLUSTER", "GETKEYSINSLOT", &slot.to_string(), "10"]);
+    let keys = run(
+        &mut e,
+        &["CLUSTER", "GETKEYSINSLOT", &slot.to_string(), "10"],
+    );
     assert_eq!(keys.as_array().unwrap().len(), 2);
 }
 
 #[test]
 fn config_set_get() {
     let mut e = engine();
-    assert_eq!(run(&mut e, &["CONFIG", "SET", "maxmemory", "100mb"]), Frame::ok());
+    assert_eq!(
+        run(&mut e, &["CONFIG", "SET", "maxmemory", "100mb"]),
+        Frame::ok()
+    );
     assert_eq!(
         run(&mut e, &["CONFIG", "GET", "maxmemory"]),
         Frame::Array(vec![bulk("maxmemory"), bulk("100mb")])
     );
-    assert_eq!(run(&mut e, &["CONFIG", "GET", "nope*"]), Frame::Array(vec![]));
+    assert_eq!(
+        run(&mut e, &["CONFIG", "GET", "nope*"]),
+        Frame::Array(vec![])
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -864,15 +1031,22 @@ fn effect_replay_with_expirations() {
             r.apply_effect(eff).unwrap();
         }
     };
-    feed(&mut primary, &mut replica, &mut s, &cmd(["SET", "k", "v", "PX", "100"]));
-    feed(&mut primary, &mut replica, &mut s, &cmd(["SET", "stay", "v"]));
+    feed(
+        &mut primary,
+        &mut replica,
+        &mut s,
+        &cmd(["SET", "k", "v", "PX", "100"]),
+    );
+    feed(
+        &mut primary,
+        &mut replica,
+        &mut s,
+        &cmd(["SET", "stay", "v"]),
+    );
     primary.set_time_ms(10_000);
     // Accessing the expired key generates the DEL the replica needs.
     feed(&mut primary, &mut replica, &mut s, &cmd(["GET", "k"]));
-    assert_eq!(
-        crate::rdb::dump(&primary.db),
-        crate::rdb::dump(&replica.db)
-    );
+    assert_eq!(crate::rdb::dump(&primary.db), crate::rdb::dump(&replica.db));
     assert_eq!(replica.db.len(), 1);
 }
 
@@ -881,24 +1055,23 @@ fn arb_command() -> impl Strategy<Value = Vec<Bytes>> {
     let key = prop_oneof![Just("k1"), Just("k2"), Just("k3")];
     let val = "[a-z]{0,6}";
     prop_oneof![
-        (key.clone(), val.clone()).prop_map(|(k, v)| cmd(["SET", k, &v])),
+        (key.clone(), val).prop_map(|(k, v)| cmd(["SET", k, &v])),
         key.clone().prop_map(|k| cmd(["GET", k])),
         key.clone().prop_map(|k| cmd(["DEL", k])),
         key.clone().prop_map(|k| cmd(["INCR", k])),
-        (key.clone(), val.clone()).prop_map(|(k, v)| cmd(["RPUSH", k, &v])),
+        (key.clone(), val).prop_map(|(k, v)| cmd(["RPUSH", k, &v])),
         key.clone().prop_map(|k| cmd(["LPOP", k])),
-        (key.clone(), val.clone()).prop_map(|(k, v)| cmd(["SADD", k, &v])),
+        (key.clone(), val).prop_map(|(k, v)| cmd(["SADD", k, &v])),
         key.clone().prop_map(|k| cmd(["SPOP", k])),
-        (key.clone(), 0i32..100, val.clone())
-            .prop_map(|(k, s, v)| cmd(["ZADD", k, &s.to_string(), &v])),
+        (key.clone(), 0i32..100, val).prop_map(|(k, s, v)| cmd(["ZADD", k, &s.to_string(), &v])),
         key.clone().prop_map(|k| cmd(["ZPOPMIN", k])),
-        (key.clone(), val.clone()).prop_map(|(k, v)| cmd(["HSET", k, "f", &v])),
+        (key.clone(), val).prop_map(|(k, v)| cmd(["HSET", k, "f", &v])),
         (key.clone(), 1i64..1000).prop_map(|(k, ms)| cmd(["PEXPIRE", k, &ms.to_string()])),
-        (key.clone(), val.clone()).prop_map(|(k, v)| cmd(["APPEND", k, &v])),
+        (key.clone(), val).prop_map(|(k, v)| cmd(["APPEND", k, &v])),
         (key.clone(), 0i64..64).prop_map(|(k, off)| cmd(["SETBIT", k, &off.to_string(), "1"])),
-        (key.clone(), val.clone()).prop_map(|(k, v)| cmd(["XADD", k, "*", "f", &v])),
+        (key.clone(), val).prop_map(|(k, v)| cmd(["XADD", k, "*", "f", &v])),
         key.clone().prop_map(|k| cmd(["XTRIM", k, "MAXLEN", "2"])),
-        (key.clone(), val.clone()).prop_map(|(k, v)| cmd(["PFADD", k, &v])),
+        (key.clone(), val).prop_map(|(k, v)| cmd(["PFADD", k, &v])),
         key.clone().prop_map(|k| cmd(["LPOP", k, "2"])),
         (key.clone(), key.clone()).prop_map(|(a, b)| cmd(["ZUNIONSTORE", a, "1", b])),
         (key.clone(), "[a-z]{1,3}").prop_map(|(k, v)| cmd(["SETRANGE", k, "2", &v])),
@@ -929,7 +1102,14 @@ fn zunion_zinter_zdiff_read_variants() {
     );
     assert_eq!(
         run(&mut e, &["ZUNION", "2", "z1", "z2", "WITHSCORES"]),
-        Frame::Array(vec![bulk("a"), bulk("1"), bulk("b"), bulk("12"), bulk("c"), bulk("20")])
+        Frame::Array(vec![
+            bulk("a"),
+            bulk("1"),
+            bulk("b"),
+            bulk("12"),
+            bulk("c"),
+            bulk("20")
+        ])
     );
     assert_eq!(
         run(&mut e, &["ZINTER", "2", "z1", "z2", "WITHSCORES"]),
@@ -941,8 +1121,29 @@ fn zunion_zinter_zdiff_read_variants() {
     );
     // Weights/aggregate on the read forms.
     assert_eq!(
-        run(&mut e, &["ZUNION", "2", "z1", "z2", "WEIGHTS", "2", "1", "AGGREGATE", "MAX", "WITHSCORES"]),
-        Frame::Array(vec![bulk("a"), bulk("2"), bulk("b"), bulk("10"), bulk("c"), bulk("20")])
+        run(
+            &mut e,
+            &[
+                "ZUNION",
+                "2",
+                "z1",
+                "z2",
+                "WEIGHTS",
+                "2",
+                "1",
+                "AGGREGATE",
+                "MAX",
+                "WITHSCORES"
+            ]
+        ),
+        Frame::Array(vec![
+            bulk("a"),
+            bulk("2"),
+            bulk("b"),
+            bulk("10"),
+            bulk("c"),
+            bulk("20")
+        ])
     );
     // Read variants are pure: no effects, nothing stored.
     let out = run_full(&mut e, &["ZUNION", "2", "z1", "z2"]);
@@ -953,7 +1154,14 @@ fn zunion_zinter_zdiff_read_variants() {
     run(&mut e, &["SADD", "s", "x"]);
     assert_eq!(
         run(&mut e, &["ZUNION", "2", "z1", "s", "WITHSCORES"]),
-        Frame::Array(vec![bulk("a"), bulk("1"), bulk("x"), bulk("1"), bulk("b"), bulk("2")])
+        Frame::Array(vec![
+            bulk("a"),
+            bulk("1"),
+            bulk("x"),
+            bulk("1"),
+            bulk("b"),
+            bulk("2")
+        ])
     );
 }
 
@@ -973,10 +1181,7 @@ fn expired_key_reaped_by_active_cycle_is_gone_everywhere() {
     for eff in primary.active_expire_cycle(16) {
         replica.apply_effect(&eff).unwrap();
     }
-    assert_eq!(
-        crate::rdb::dump(&primary.db),
-        crate::rdb::dump(&replica.db)
-    );
+    assert_eq!(crate::rdb::dump(&primary.db), crate::rdb::dump(&replica.db));
     assert_eq!(replica.db.len(), 0);
 }
 
@@ -988,7 +1193,10 @@ fn bitmap_setbit_getbit() {
     assert_eq!(run(&mut e, &["GETBIT", "b", "6"]), Frame::Integer(0));
     assert_eq!(run(&mut e, &["GETBIT", "b", "999"]), Frame::Integer(0));
     // The string grew to exactly one byte: 0b00000001.
-    assert_eq!(run(&mut e, &["GET", "b"]), Frame::Bulk(Bytes::from_static(b"\x01")));
+    assert_eq!(
+        run(&mut e, &["GET", "b"]),
+        Frame::Bulk(Bytes::from_static(b"\x01"))
+    );
     // Flip it back, observing the old value.
     assert_eq!(run(&mut e, &["SETBIT", "b", "7", "0"]), Frame::Integer(1));
     assert_eq!(run(&mut e, &["GETBIT", "b", "7"]), Frame::Integer(0));
@@ -1006,8 +1214,14 @@ fn bitmap_bitcount_ranges() {
     assert_eq!(run(&mut e, &["BITCOUNT", "s"]), Frame::Integer(26));
     assert_eq!(run(&mut e, &["BITCOUNT", "s", "0", "0"]), Frame::Integer(4));
     assert_eq!(run(&mut e, &["BITCOUNT", "s", "1", "1"]), Frame::Integer(6));
-    assert_eq!(run(&mut e, &["BITCOUNT", "s", "-2", "-1"]), Frame::Integer(7)); // "ar"
-    assert_eq!(run(&mut e, &["BITCOUNT", "s", "5", "30", "BIT"]), Frame::Integer(17));
+    assert_eq!(
+        run(&mut e, &["BITCOUNT", "s", "-2", "-1"]),
+        Frame::Integer(7)
+    ); // "ar"
+    assert_eq!(
+        run(&mut e, &["BITCOUNT", "s", "5", "30", "BIT"]),
+        Frame::Integer(17)
+    );
     assert_eq!(run(&mut e, &["BITCOUNT", "missing"]), Frame::Integer(0));
     assert_eq!(run(&mut e, &["BITCOUNT", "s", "3", "1"]), Frame::Integer(0));
 }
@@ -1020,11 +1234,21 @@ fn bitmap_bitpos() {
     assert_eq!(run(&mut e, &["BITPOS", "k", "1", "2"]), Frame::Integer(-1));
     assert_eq!(run(&mut e, &["BITPOS", "k", "0"]), Frame::Integer(0));
     let mut s = SessionState::new();
-    e.execute(&mut s, &vec![Bytes::from_static(b"SET"), Bytes::from_static(b"ones"), Bytes::from_static(b"\xff\xff")]);
+    e.execute(
+        &mut s,
+        &[
+            Bytes::from_static(b"SET"),
+            Bytes::from_static(b"ones"),
+            Bytes::from_static(b"\xff\xff"),
+        ],
+    );
     // All ones with no explicit end: first 0 is past the string.
     assert_eq!(run(&mut e, &["BITPOS", "ones", "0"]), Frame::Integer(16));
     // With an explicit end: no 0 inside the range.
-    assert_eq!(run(&mut e, &["BITPOS", "ones", "0", "0", "1"]), Frame::Integer(-1));
+    assert_eq!(
+        run(&mut e, &["BITPOS", "ones", "0", "0", "1"]),
+        Frame::Integer(-1)
+    );
     assert_eq!(run(&mut e, &["BITPOS", "missing", "1"]), Frame::Integer(-1));
     assert_eq!(run(&mut e, &["BITPOS", "missing", "0"]), Frame::Integer(0));
 }
@@ -1034,21 +1258,36 @@ fn bitmap_bitop() {
     let mut e = engine();
     run(&mut e, &["SET", "a", "abc"]);
     run(&mut e, &["SET", "b", "ab"]);
-    assert_eq!(run(&mut e, &["BITOP", "AND", "dst", "a", "b"]), Frame::Integer(3));
+    assert_eq!(
+        run(&mut e, &["BITOP", "AND", "dst", "a", "b"]),
+        Frame::Integer(3)
+    );
     assert_eq!(
         run(&mut e, &["GET", "dst"]),
         Frame::Bulk(Bytes::from_static(b"ab\x00"))
     );
-    assert_eq!(run(&mut e, &["BITOP", "OR", "dst", "a", "b"]), Frame::Integer(3));
-    assert_eq!(run(&mut e, &["BITOP", "XOR", "dst", "a", "a"]), Frame::Integer(3));
+    assert_eq!(
+        run(&mut e, &["BITOP", "OR", "dst", "a", "b"]),
+        Frame::Integer(3)
+    );
+    assert_eq!(
+        run(&mut e, &["BITOP", "XOR", "dst", "a", "a"]),
+        Frame::Integer(3)
+    );
     assert_eq!(
         run(&mut e, &["GET", "dst"]),
         Frame::Bulk(Bytes::from_static(b"\x00\x00\x00"))
     );
-    assert_eq!(run(&mut e, &["BITOP", "NOT", "dst", "a"]), Frame::Integer(3));
+    assert_eq!(
+        run(&mut e, &["BITOP", "NOT", "dst", "a"]),
+        Frame::Integer(3)
+    );
     assert!(run(&mut e, &["BITOP", "NOT", "dst", "a", "b"]).is_error());
     // Empty result deletes the destination.
-    assert_eq!(run(&mut e, &["BITOP", "AND", "dst", "none1", "none2"]), Frame::Integer(0));
+    assert_eq!(
+        run(&mut e, &["BITOP", "AND", "dst", "none1", "none2"]),
+        Frame::Integer(0)
+    );
     assert_eq!(run(&mut e, &["EXISTS", "dst"]), Frame::Integer(0));
     // Bitmaps replicate like any other string write.
     let out = run_full(&mut e, &["SETBIT", "repl", "3", "1"]);
@@ -1079,8 +1318,14 @@ fn xgroup_create_and_destroy() {
         Frame::Error(msg) => assert!(msg.starts_with("BUSYGROUP"), "{msg}"),
         other => panic!("expected BUSYGROUP, got {other:?}"),
     }
-    assert_eq!(run(&mut e, &["XGROUP", "DESTROY", "st", "g"]), Frame::Integer(1));
-    assert_eq!(run(&mut e, &["XGROUP", "DESTROY", "st", "g"]), Frame::Integer(0));
+    assert_eq!(
+        run(&mut e, &["XGROUP", "DESTROY", "st", "g"]),
+        Frame::Integer(1)
+    );
+    assert_eq!(
+        run(&mut e, &["XGROUP", "DESTROY", "st", "g"]),
+        Frame::Integer(0)
+    );
 }
 
 #[test]
@@ -1090,13 +1335,29 @@ fn xreadgroup_delivers_and_tracks_pel() {
     run(&mut e, &["XADD", "st", "2-1", "n", "2"]);
     run(&mut e, &["XGROUP", "CREATE", "st", "g", "0"]);
     // Consumer A reads both new messages.
-    let reply = run(&mut e, &["XREADGROUP", "GROUP", "g", "alice", "COUNT", "10", "STREAMS", "st", ">"]);
+    let reply = run(
+        &mut e,
+        &[
+            "XREADGROUP",
+            "GROUP",
+            "g",
+            "alice",
+            "COUNT",
+            "10",
+            "STREAMS",
+            "st",
+            ">",
+        ],
+    );
     let streams = reply.as_array().unwrap();
     let entries = streams[0].as_array().unwrap()[1].as_array().unwrap();
     assert_eq!(entries.len(), 2);
     // Nothing new remains.
     assert_eq!(
-        run(&mut e, &["XREADGROUP", "GROUP", "g", "alice", "STREAMS", "st", ">"]),
+        run(
+            &mut e,
+            &["XREADGROUP", "GROUP", "g", "alice", "STREAMS", "st", ">"]
+        ),
         Frame::Null
     );
     // Pending summary: 2 entries, all alice's.
@@ -1104,12 +1365,22 @@ fn xreadgroup_delivers_and_tracks_pel() {
     let summary = pending.as_array().unwrap();
     assert_eq!(summary[0], Frame::Integer(2));
     // History re-read (id 0): alice sees her own PEL.
-    let hist = run(&mut e, &["XREADGROUP", "GROUP", "g", "alice", "STREAMS", "st", "0"]);
-    let entries = hist.as_array().unwrap()[0].as_array().unwrap()[1].as_array().unwrap();
+    let hist = run(
+        &mut e,
+        &["XREADGROUP", "GROUP", "g", "alice", "STREAMS", "st", "0"],
+    );
+    let entries = hist.as_array().unwrap()[0].as_array().unwrap()[1]
+        .as_array()
+        .unwrap();
     assert_eq!(entries.len(), 2);
     // Bob's history is empty.
-    let hist = run(&mut e, &["XREADGROUP", "GROUP", "g", "bob", "STREAMS", "st", "0"]);
-    let entries = hist.as_array().unwrap()[0].as_array().unwrap()[1].as_array().unwrap();
+    let hist = run(
+        &mut e,
+        &["XREADGROUP", "GROUP", "g", "bob", "STREAMS", "st", "0"],
+    );
+    let entries = hist.as_array().unwrap()[0].as_array().unwrap()[1]
+        .as_array()
+        .unwrap();
     assert!(entries.is_empty());
     // ACK one; pending drops to 1.
     assert_eq!(run(&mut e, &["XACK", "st", "g", "1-1"]), Frame::Integer(1));
@@ -1123,7 +1394,10 @@ fn xclaim_moves_ownership() {
     let mut e = engine();
     run(&mut e, &["XADD", "st", "1-1", "n", "1"]);
     run(&mut e, &["XGROUP", "CREATE", "st", "g", "0"]);
-    run(&mut e, &["XREADGROUP", "GROUP", "g", "alice", "STREAMS", "st", ">"]);
+    run(
+        &mut e,
+        &["XREADGROUP", "GROUP", "g", "alice", "STREAMS", "st", ">"],
+    );
     // Bob claims alice's pending entry (min-idle 0).
     let reply = run(&mut e, &["XCLAIM", "st", "g", "bob", "0", "1-1"]);
     assert_eq!(reply.as_array().unwrap().len(), 1);
@@ -1131,8 +1405,11 @@ fn xclaim_moves_ownership() {
     let row = rows.as_array().unwrap()[0].as_array().unwrap();
     assert_eq!(row[1], bulk("bob"));
     assert_eq!(row[3], Frame::Integer(2)); // delivery count bumped
-    // JUSTID re-claim does not bump the count.
-    run(&mut e, &["XCLAIM", "st", "g", "carol", "0", "1-1", "JUSTID"]);
+                                           // JUSTID re-claim does not bump the count.
+    run(
+        &mut e,
+        &["XCLAIM", "st", "g", "carol", "0", "1-1", "JUSTID"],
+    );
     let rows = run(&mut e, &["XPENDING", "st", "g", "-", "+", "10"]);
     let row = rows.as_array().unwrap()[0].as_array().unwrap();
     assert_eq!(row[1], bulk("carol"));
@@ -1149,7 +1426,10 @@ fn xinfo_reports_groups() {
     let mut e = engine();
     run(&mut e, &["XADD", "st", "1-1", "n", "1"]);
     run(&mut e, &["XGROUP", "CREATE", "st", "g", "0"]);
-    run(&mut e, &["XREADGROUP", "GROUP", "g", "alice", "STREAMS", "st", ">"]);
+    run(
+        &mut e,
+        &["XREADGROUP", "GROUP", "g", "alice", "STREAMS", "st", ">"],
+    );
     let info = run(&mut e, &["XINFO", "GROUPS", "st"]);
     let groups = info.as_array().unwrap();
     assert_eq!(groups.len(), 1);
@@ -1168,7 +1448,10 @@ fn xgroup_delconsumer_drops_pel() {
     run(&mut e, &["XADD", "st", "1-1", "n", "1"]);
     run(&mut e, &["XADD", "st", "2-1", "n", "2"]);
     run(&mut e, &["XGROUP", "CREATE", "st", "g", "0"]);
-    run(&mut e, &["XREADGROUP", "GROUP", "g", "alice", "STREAMS", "st", ">"]);
+    run(
+        &mut e,
+        &["XREADGROUP", "GROUP", "g", "alice", "STREAMS", "st", ">"],
+    );
     assert_eq!(
         run(&mut e, &["XGROUP", "DELCONSUMER", "st", "g", "alice"]),
         Frame::Integer(2)
@@ -1185,7 +1468,7 @@ fn consumer_group_state_replicates_by_effect() {
     primary.set_time_ms(5_000);
     let mut replica = Engine::new(Role::Replica);
     let mut s = SessionState::new();
-    let mut feed = |p: &mut Engine, r: &mut Engine, c: &[Bytes]| {
+    let feed = |p: &mut Engine, r: &mut Engine, c: &[Bytes]| {
         let out = {
             let mut sess = SessionState::new();
             p.execute(&mut sess, c)
@@ -1197,13 +1480,37 @@ fn consumer_group_state_replicates_by_effect() {
         out
     };
     let _ = &mut s;
-    feed(&mut primary, &mut replica, &cmd(["XADD", "st", "1-1", "n", "1"]));
-    feed(&mut primary, &mut replica, &cmd(["XADD", "st", "2-1", "n", "2"]));
-    feed(&mut primary, &mut replica, &cmd(["XGROUP", "CREATE", "st", "g", "0"]));
-    feed(&mut primary, &mut replica, &cmd(["XREADGROUP", "GROUP", "g", "alice", "STREAMS", "st", ">"]));
+    feed(
+        &mut primary,
+        &mut replica,
+        &cmd(["XADD", "st", "1-1", "n", "1"]),
+    );
+    feed(
+        &mut primary,
+        &mut replica,
+        &cmd(["XADD", "st", "2-1", "n", "2"]),
+    );
+    feed(
+        &mut primary,
+        &mut replica,
+        &cmd(["XGROUP", "CREATE", "st", "g", "0"]),
+    );
+    feed(
+        &mut primary,
+        &mut replica,
+        &cmd(["XREADGROUP", "GROUP", "g", "alice", "STREAMS", "st", ">"]),
+    );
     feed(&mut primary, &mut replica, &cmd(["XACK", "st", "g", "1-1"]));
-    feed(&mut primary, &mut replica, &cmd(["XCLAIM", "st", "g", "bob", "0", "2-1"]));
-    feed(&mut primary, &mut replica, &cmd(["XGROUP", "CREATECONSUMER", "st", "g", "carol"]));
+    feed(
+        &mut primary,
+        &mut replica,
+        &cmd(["XCLAIM", "st", "g", "bob", "0", "2-1"]),
+    );
+    feed(
+        &mut primary,
+        &mut replica,
+        &cmd(["XGROUP", "CREATECONSUMER", "st", "g", "carol"]),
+    );
     assert_eq!(
         crate::rdb::dump(&primary.db),
         crate::rdb::dump(&replica.db),
@@ -1220,13 +1527,28 @@ fn xreadgroup_noack_advances_without_pel() {
     let mut e = engine();
     run(&mut e, &["XADD", "st", "1-1", "n", "1"]);
     run(&mut e, &["XGROUP", "CREATE", "st", "g", "0"]);
-    let out = run_full(&mut e, &["XREADGROUP", "GROUP", "g", "a", "NOACK", "STREAMS", "st", ">"]);
+    let out = run_full(
+        &mut e,
+        &[
+            "XREADGROUP",
+            "GROUP",
+            "g",
+            "a",
+            "NOACK",
+            "STREAMS",
+            "st",
+            ">",
+        ],
+    );
     assert!(!out.reply.is_error());
     // No PEL entry, cursor advanced.
     let pending = run(&mut e, &["XPENDING", "st", "g"]);
     assert_eq!(pending.as_array().unwrap()[0], Frame::Integer(0));
     assert_eq!(
-        run(&mut e, &["XREADGROUP", "GROUP", "g", "a", "STREAMS", "st", ">"]),
+        run(
+            &mut e,
+            &["XREADGROUP", "GROUP", "g", "a", "STREAMS", "st", ">"]
+        ),
         Frame::Null
     );
     // Effects: just the SETID (no claim).
@@ -1252,7 +1574,10 @@ fn scan_type_filter_and_object_encoding() {
     run(&mut e, &["SET", "big", &"x".repeat(100)]);
     assert_eq!(run(&mut e, &["OBJECT", "ENCODING", "big"]), bulk("raw"));
     assert_eq!(run(&mut e, &["OBJECT", "ENCODING", "z1"]), bulk("skiplist"));
-    assert_eq!(run(&mut e, &["OBJECT", "REFCOUNT", "s1"]), Frame::Integer(1));
+    assert_eq!(
+        run(&mut e, &["OBJECT", "REFCOUNT", "s1"]),
+        Frame::Integer(1)
+    );
     assert!(run(&mut e, &["OBJECT", "ENCODING", "missing"]).is_error());
 }
 
@@ -1302,10 +1627,22 @@ fn bitpos_honors_bit_unit_ranges() {
     // BIT-unit range [1,3] contains bit 3; the same numbers as a BYTE
     // range (bytes 1..3 = bits 8..31) do not. Pre-fix the unit argument
     // was silently ignored and this returned -1.
-    assert_eq!(run(&mut e, &["BITPOS", "k", "1", "1", "3", "BIT"]), Frame::Integer(3));
-    assert_eq!(run(&mut e, &["BITPOS", "k", "1", "1", "3", "BYTE"]), Frame::Integer(-1));
-    assert_eq!(run(&mut e, &["BITPOS", "k", "1", "4", "-1", "BIT"]), Frame::Integer(-1));
-    assert_eq!(run(&mut e, &["BITPOS", "k", "0", "3", "8", "BIT"]), Frame::Integer(4));
+    assert_eq!(
+        run(&mut e, &["BITPOS", "k", "1", "1", "3", "BIT"]),
+        Frame::Integer(3)
+    );
+    assert_eq!(
+        run(&mut e, &["BITPOS", "k", "1", "1", "3", "BYTE"]),
+        Frame::Integer(-1)
+    );
+    assert_eq!(
+        run(&mut e, &["BITPOS", "k", "1", "4", "-1", "BIT"]),
+        Frame::Integer(-1)
+    );
+    assert_eq!(
+        run(&mut e, &["BITPOS", "k", "0", "3", "8", "BIT"]),
+        Frame::Integer(4)
+    );
     // Bad unit / trailing garbage are syntax errors.
     assert!(run(&mut e, &["BITPOS", "k", "1", "0", "-1", "NIBBLE"]).is_error());
     assert!(run(&mut e, &["BITPOS", "k", "1", "0", "-1", "BIT", "x"]).is_error());
@@ -1315,14 +1652,29 @@ fn bitpos_honors_bit_unit_ranges() {
 fn bit_range_start_past_end_is_empty() {
     let mut e = engine();
     run(&mut e, &["SET", "k", "ab"]); // 2 bytes, 6 set bits
-    // A start beyond the value must yield an empty range, not clamp back
-    // onto the last byte (pre-fix this counted byte 1 / found bit 8).
-    assert_eq!(run(&mut e, &["BITCOUNT", "k", "5", "10"]), Frame::Integer(0));
-    assert_eq!(run(&mut e, &["BITPOS", "k", "1", "5", "10"]), Frame::Integer(-1));
-    assert_eq!(run(&mut e, &["BITCOUNT", "k", "30", "40", "BIT"]), Frame::Integer(0));
+                                      // A start beyond the value must yield an empty range, not clamp back
+                                      // onto the last byte (pre-fix this counted byte 1 / found bit 8).
+    assert_eq!(
+        run(&mut e, &["BITCOUNT", "k", "5", "10"]),
+        Frame::Integer(0)
+    );
+    assert_eq!(
+        run(&mut e, &["BITPOS", "k", "1", "5", "10"]),
+        Frame::Integer(-1)
+    );
+    assert_eq!(
+        run(&mut e, &["BITCOUNT", "k", "30", "40", "BIT"]),
+        Frame::Integer(0)
+    );
     // Both-negative inverted ranges are empty even when both clamp to 0.
-    assert_eq!(run(&mut e, &["BITCOUNT", "k", "-1", "-10"]), Frame::Integer(0));
-    assert_eq!(run(&mut e, &["BITCOUNT", "k", "-100", "-200"]), Frame::Integer(0));
+    assert_eq!(
+        run(&mut e, &["BITCOUNT", "k", "-1", "-10"]),
+        Frame::Integer(0)
+    );
+    assert_eq!(
+        run(&mut e, &["BITCOUNT", "k", "-100", "-200"]),
+        Frame::Integer(0)
+    );
 }
 
 #[test]
@@ -1345,8 +1697,16 @@ fn model_bit_range(start: i64, end: i64, total: i64) -> Option<(usize, usize)> {
     if total == 0 || (start < 0 && end < 0 && start > end) {
         return None;
     }
-    let lo = if start < 0 { (total + start).max(0) } else { start };
-    let hi = if end < 0 { (total + end).max(0) } else { end.min(total - 1) };
+    let lo = if start < 0 {
+        (total + start).max(0)
+    } else {
+        start
+    };
+    let hi = if end < 0 {
+        (total + end).max(0)
+    } else {
+        end.min(total - 1)
+    };
     if lo > hi {
         None
     } else {

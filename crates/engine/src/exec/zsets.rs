@@ -21,15 +21,18 @@ fn zset_mut<'a>(e: &'a mut Engine, key: &Bytes) -> Result<&'a mut ZSet, ExecOutc
             return Err(wrongtype());
         }
     }
-    match e.db.entry_or_insert_with(key, now, || Value::ZSet(ZSet::new())) {
+    match e
+        .db
+        .entry_or_insert_with(key, now, || Value::ZSet(ZSet::new()))
+    {
         Value::ZSet(z) => Ok(z),
         _ => Err(wrongtype()),
     }
 }
 
 fn parse_score_bound(arg: &[u8]) -> Result<ScoreBound, ExecOutcome> {
-    let s = std::str::from_utf8(arg)
-        .map_err(|_| ExecOutcome::error("min or max is not a float"))?;
+    let s =
+        std::str::from_utf8(arg).map_err(|_| ExecOutcome::error("min or max is not a float"))?;
     match s {
         "-inf" | "-Inf" => return Ok(ScoreBound::NegInf),
         "+inf" | "inf" | "+Inf" | "Inf" => return Ok(ScoreBound::PosInf),
@@ -95,7 +98,7 @@ pub(super) fn zadd(e: &mut Engine, a: &[Bytes]) -> CmdResult {
         ));
     }
     let rest = &a[i..];
-    if rest.is_empty() || rest.len() % 2 != 0 {
+    if rest.is_empty() || !rest.len().is_multiple_of(2) {
         return Err(ExecOutcome::error("syntax error"));
     }
     if incr && rest.len() != 2 {
@@ -303,8 +306,14 @@ pub(super) fn zrange(e: &mut Engine, a: &[Bytes]) -> CmdResult {
             "REV" => rev = true,
             "WITHSCORES" => withscores = true,
             "LIMIT" => {
-                let off = p_i64(a.get(i + 1).ok_or_else(|| ExecOutcome::error("syntax error"))?)?;
-                let cnt = p_i64(a.get(i + 2).ok_or_else(|| ExecOutcome::error("syntax error"))?)?;
+                let off = p_i64(
+                    a.get(i + 1)
+                        .ok_or_else(|| ExecOutcome::error("syntax error"))?,
+                )?;
+                let cnt = p_i64(
+                    a.get(i + 2)
+                        .ok_or_else(|| ExecOutcome::error("syntax error"))?,
+                )?;
                 limit = Some((off, cnt));
                 i += 2;
             }
@@ -385,8 +394,14 @@ pub(super) fn zrangebyscore(e: &mut Engine, a: &[Bytes], rev: bool) -> CmdResult
         match upper(&a[i]).as_str() {
             "WITHSCORES" => withscores = true,
             "LIMIT" => {
-                let off = p_i64(a.get(i + 1).ok_or_else(|| ExecOutcome::error("syntax error"))?)?;
-                let cnt = p_i64(a.get(i + 2).ok_or_else(|| ExecOutcome::error("syntax error"))?)?;
+                let off = p_i64(
+                    a.get(i + 1)
+                        .ok_or_else(|| ExecOutcome::error("syntax error"))?,
+                )?;
+                let cnt = p_i64(
+                    a.get(i + 2)
+                        .ok_or_else(|| ExecOutcome::error("syntax error"))?,
+                )?;
                 limit = Some((off, cnt));
                 i += 2;
             }
@@ -457,7 +472,10 @@ pub(super) fn zrank(e: &mut Engine, a: &[Bytes], rev: bool) -> CmdResult {
     };
     let rank = if rev { z.len() - 1 - rank } else { rank } as i64;
     if withscore {
-        let score = z.score(&a[2]).expect("ranked member has a score");
+        // A ranked member always has a score; Null if it vanished anyway.
+        let Some(score) = z.score(&a[2]) else {
+            return Ok(ExecOutcome::read(Frame::Null));
+        };
         Ok(ExecOutcome::read(Frame::Array(vec![
             Frame::Integer(rank),
             Frame::Bulk(Bytes::from(fmt_f64(score))),
@@ -471,7 +489,9 @@ pub(super) fn zpop(e: &mut Engine, a: &[Bytes], min: bool) -> CmdResult {
     let count = if a.len() == 3 {
         let n = p_i64(&a[2])?;
         if n < 0 {
-            return Err(ExecOutcome::error("value is out of range, must be positive"));
+            return Err(ExecOutcome::error(
+                "value is out of range, must be positive",
+            ));
         }
         n as usize
     } else {
@@ -485,7 +505,11 @@ pub(super) fn zpop(e: &mut Engine, a: &[Bytes], min: bool) -> CmdResult {
     let Some(Value::ZSet(z)) = e.db.lookup_mut(&key, now) else {
         return Ok(ExecOutcome::read(Frame::Array(vec![])));
     };
-    let popped = if min { z.pop_min(count) } else { z.pop_max(count) };
+    let popped = if min {
+        z.pop_min(count)
+    } else {
+        z.pop_max(count)
+    };
     if popped.is_empty() {
         return Ok(ExecOutcome::read(Frame::Array(vec![])));
     }
@@ -507,7 +531,11 @@ pub(super) fn zrandmember(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     if a.len() > 4 || (a.len() == 4 && !withscores) {
         return Err(ExecOutcome::error("syntax error"));
     }
-    let count = if a.len() >= 3 { Some(p_i64(&a[2])?) } else { None };
+    let count = if a.len() >= 3 {
+        Some(p_i64(&a[2])?)
+    } else {
+        None
+    };
     let Some(z) = read_zset(e, &a[1])? else {
         return Ok(ExecOutcome::read(match count {
             Some(_) => Frame::Array(vec![]),
@@ -590,7 +618,10 @@ pub(super) fn zremrangebylex(e: &mut Engine, a: &[Bytes]) -> CmdResult {
         let Some(z) = read_zset(e, &key)? else {
             return Ok(ExecOutcome::read(Frame::Integer(0)));
         };
-        z.range_by_lex(&min, &max).into_iter().map(|(m, _)| m).collect()
+        z.range_by_lex(&min, &max)
+            .into_iter()
+            .map(|(m, _)| m)
+            .collect()
     };
     let now = e.now();
     let mut removed = Vec::new();
@@ -605,7 +636,12 @@ pub(super) fn zremrangebylex(e: &mut Engine, a: &[Bytes]) -> CmdResult {
 }
 
 /// Shared tail for ZREMRANGEBY*: signals, prunes, and emits a ZREM effect.
-fn remove_effect(e: &mut Engine, _a: &[Bytes], key: Bytes, removed: Vec<(Bytes, f64)>) -> CmdResult {
+fn remove_effect(
+    e: &mut Engine,
+    _a: &[Bytes],
+    key: Bytes,
+    removed: Vec<(Bytes, f64)>,
+) -> CmdResult {
     if removed.is_empty() {
         return Ok(ExecOutcome::read(Frame::Integer(0)));
     }
@@ -662,7 +698,10 @@ fn parse_zop_tail(
                 if op == ZOp::Diff {
                     return Err(ExecOutcome::error("syntax error"));
                 }
-                aggregate = upper(a.get(i + 1).ok_or_else(|| ExecOutcome::error("syntax error"))?);
+                aggregate = upper(
+                    a.get(i + 1)
+                        .ok_or_else(|| ExecOutcome::error("syntax error"))?,
+                );
                 if !matches!(aggregate.as_str(), "SUM" | "MIN" | "MAX") {
                     return Err(ExecOutcome::error("syntax error"));
                 }
@@ -679,10 +718,7 @@ fn parse_zop_tail(
 }
 
 /// Loads the (zset-or-set) sources for a Z-set algebra command.
-fn load_zop_sources(
-    e: &Engine,
-    keys: &[Bytes],
-) -> Result<Vec<Vec<(Bytes, f64)>>, ExecOutcome> {
+fn load_zop_sources(e: &Engine, keys: &[Bytes]) -> Result<Vec<Vec<(Bytes, f64)>>, ExecOutcome> {
     let mut sources = Vec::with_capacity(keys.len());
     for key in keys {
         let pairs = match e.db.lookup(key, e.now()) {
@@ -826,11 +862,9 @@ pub(super) fn zread_op(e: &mut Engine, a: &[Bytes], op: ZOp) -> CmdResult {
         .into_iter()
         .map(|(m, s)| (m, if s.is_nan() { 0.0 } else { s }))
         .collect();
-    pairs.sort_by(|x, y| {
-        x.1.partial_cmp(&y.1)
-            .expect("no NaN after normalization")
-            .then_with(|| x.0.cmp(&y.0))
-    });
+    // NaN was normalized to 0.0 above; total_cmp agrees with partial_cmp
+    // on every non-NaN pair and never panics.
+    pairs.sort_by(|x, y| x.1.total_cmp(&y.1).then_with(|| x.0.cmp(&y.0)));
     Ok(ExecOutcome::read(pairs_to_frames(pairs, withscores)))
 }
 

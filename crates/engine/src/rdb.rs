@@ -56,7 +56,11 @@ fn crc64_table() -> &'static [u64; 256] {
             let mut crc = i as u64;
             let mut j = 0;
             while j < 8 {
-                crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
                 j += 1;
             }
             table[i] = crc;

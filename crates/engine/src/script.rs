@@ -89,9 +89,9 @@ pub fn sha1_hex(data: &[u8]) -> String {
 pub(crate) fn script_cmd(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     match crate::exec::upper(&a[1]).as_str() {
         "LOAD" => {
-            let src = a
-                .get(2)
-                .ok_or_else(|| ExecOutcome::error("wrong number of arguments for 'script|load' command"))?;
+            let src = a.get(2).ok_or_else(|| {
+                ExecOutcome::error("wrong number of arguments for 'script|load' command")
+            })?;
             // Validate eagerly like Redis: a broken script never enters the
             // cache.
             let text = String::from_utf8_lossy(src).to_string();
@@ -114,7 +114,9 @@ pub(crate) fn script_cmd(e: &mut Engine, a: &[Bytes]) -> CmdResult {
             e.script_cache_mut().clear();
             Ok(ExecOutcome::read(Frame::ok()))
         }
-        sub => Err(ExecOutcome::error(format!("Unknown SCRIPT subcommand '{sub}'"))),
+        sub => Err(ExecOutcome::error(format!(
+            "Unknown SCRIPT subcommand '{sub}'"
+        ))),
     }
 }
 
@@ -140,12 +142,15 @@ pub(crate) fn eval(e: &mut Engine, a: &[Bytes]) -> CmdResult {
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| ExecOutcome::error("value is not an integer or out of range"))?;
     if a.len() < 3 + nk {
-        return Err(ExecOutcome::error("Number of keys can't be greater than number of args"));
+        return Err(ExecOutcome::error(
+            "Number of keys can't be greater than number of args",
+        ));
     }
     let keys: Vec<Bytes> = a[3..3 + nk].to_vec();
     let argv: Vec<Bytes> = a[3 + nk..].to_vec();
 
-    let program = parse(&src).map_err(|msg| ExecOutcome::error(format!("script parse error: {msg}")))?;
+    let program =
+        parse(&src).map_err(|msg| ExecOutcome::error(format!("script parse error: {msg}")))?;
     let mut interp = Interp {
         engine: e,
         vars: HashMap::new(),
@@ -188,9 +193,19 @@ enum Cond {
 
 #[derive(Debug, Clone, PartialEq)]
 enum Stmt {
-    Call { bind: Option<String>, args: Vec<Arg> },
-    If { cond: Cond, then_block: Vec<Stmt>, else_block: Vec<Stmt> },
-    While { cond: Cond, body: Vec<Stmt> },
+    Call {
+        bind: Option<String>,
+        args: Vec<Arg>,
+    },
+    If {
+        cond: Cond,
+        then_block: Vec<Stmt>,
+        else_block: Vec<Stmt>,
+    },
+    While {
+        cond: Cond,
+        body: Vec<Stmt>,
+    },
     Return(Arg),
 }
 
@@ -250,7 +265,11 @@ fn parse(src: &str) -> Result<Vec<Stmt>, String> {
     Ok(block)
 }
 
-fn parse_block(lines: &[Vec<Bytes>], pos: &mut usize, inside_if: bool) -> Result<Vec<Stmt>, String> {
+fn parse_block(
+    lines: &[Vec<Bytes>],
+    pos: &mut usize,
+    inside_if: bool,
+) -> Result<Vec<Stmt>, String> {
     let mut out = Vec::new();
     while *pos < lines.len() {
         let toks = &lines[*pos];
@@ -282,7 +301,10 @@ fn parse_block(lines: &[Vec<Bytes>], pos: &mut usize, inside_if: bool) -> Result
                     .iter()
                     .map(parse_arg)
                     .collect::<Result<Vec<_>, _>>()?;
-                out.push(Stmt::Call { bind: Some(name), args });
+                out.push(Stmt::Call {
+                    bind: Some(name),
+                    args,
+                });
                 *pos += 1;
             }
             "IF" => {
@@ -293,9 +315,7 @@ fn parse_block(lines: &[Vec<Bytes>], pos: &mut usize, inside_if: bool) -> Result
                 *pos += 1;
                 let then_block = parse_block(lines, pos, true)?;
                 let mut else_block = Vec::new();
-                if *pos < lines.len()
-                    && lines[*pos][0].eq_ignore_ascii_case(b"ELSE")
-                {
+                if *pos < lines.len() && lines[*pos][0].eq_ignore_ascii_case(b"ELSE") {
                     *pos += 1;
                     else_block = parse_block(lines, pos, true)?;
                 }
@@ -303,7 +323,11 @@ fn parse_block(lines: &[Vec<Bytes>], pos: &mut usize, inside_if: bool) -> Result
                     return Err("IF missing END".into());
                 }
                 *pos += 1;
-                out.push(Stmt::If { cond, then_block, else_block });
+                out.push(Stmt::If {
+                    cond,
+                    then_block,
+                    else_block,
+                });
             }
             "WHILE" => {
                 if toks.len() < 3 || !toks[toks.len() - 1].eq_ignore_ascii_case(b"DO") {
@@ -396,7 +420,11 @@ impl<'a> Interp<'a> {
                     (Frame::Null, _) | (_, Frame::Null) => false,
                     _ => Self::to_bytes(&fa)? == Self::to_bytes(&fb)?,
                 };
-                Ok(if matches!(cond, Cond::Eq(..)) { eq } else { !eq })
+                Ok(if matches!(cond, Cond::Eq(..)) {
+                    eq
+                } else {
+                    !eq
+                })
             }
         }
     }
@@ -412,7 +440,10 @@ impl<'a> Interp<'a> {
                     // Scripts may not nest: EVAL/MULTI inside a script are
                     // rejected (matching Redis).
                     let name = String::from_utf8_lossy(&cmd[0]).to_ascii_uppercase();
-                    if matches!(name.as_str(), "EVAL" | "MULTI" | "EXEC" | "DISCARD" | "WATCH") {
+                    if matches!(
+                        name.as_str(),
+                        "EVAL" | "MULTI" | "EXEC" | "DISCARD" | "WATCH"
+                    ) {
                         return Err(format!("{name} is not allowed inside a script"));
                     }
                     let mut session = crate::exec::SessionState::new();
@@ -426,7 +457,11 @@ impl<'a> Interp<'a> {
                         self.vars.insert(name.clone(), outcome.reply);
                     }
                 }
-                Stmt::If { cond, then_block, else_block } => {
+                Stmt::If {
+                    cond,
+                    then_block,
+                    else_block,
+                } => {
                     let flow = if self.eval_cond(cond)? {
                         self.run_block(then_block)?
                     } else {
@@ -467,7 +502,12 @@ mod tests {
     use crate::{cmd, Frame};
     use bytes::Bytes;
 
-    fn eval_script(e: &mut Engine, script: &str, keys: &[&str], argv: &[&str]) -> crate::ExecOutcome {
+    fn eval_script(
+        e: &mut Engine,
+        script: &str,
+        keys: &[&str],
+        argv: &[&str],
+    ) -> crate::ExecOutcome {
         let mut args = vec![
             Bytes::from_static(b"EVAL"),
             Bytes::from(script.to_string()),
@@ -543,11 +583,11 @@ mod tests {
         let mut e = Engine::new(Role::Primary);
         for bad in [
             "FROB x",
-            "IF ISNIL $x THEN",          // missing END
-            "LET x CALL GET k",          // missing =
+            "IF ISNIL $x THEN", // missing END
+            "LET x CALL GET k", // missing =
             "END",
             "IF BADCOND THEN\nEND",
-            "RETURN",                    // missing value
+            "RETURN", // missing value
         ] {
             let out = eval_script(&mut e, bad, &[], &[]);
             assert!(out.reply.is_error(), "expected parse error for {bad:?}");
@@ -601,8 +641,8 @@ mod tests {
 #[cfg(test)]
 mod sha_and_cache_tests {
     use super::*;
-    use crate::exec::{Role, SessionState};
     use crate::cmd;
+    use crate::exec::{Role, SessionState};
 
     #[test]
     fn sha1_known_vectors() {
@@ -621,12 +661,20 @@ mod sha_and_cache_tests {
         let mut s = SessionState::new();
         let script = "CALL SET $KEYS[1] $ARGV[1]\nRETURN ok";
         let out = e.execute(&mut s, &cmd(["SCRIPT", "LOAD", script]));
-        let Frame::Bulk(sha) = out.reply else { panic!("expected sha, got {:?}", out.reply) };
+        let Frame::Bulk(sha) = out.reply else {
+            panic!("expected sha, got {:?}", out.reply)
+        };
         let sha = String::from_utf8_lossy(&sha).to_string();
         assert_eq!(sha, sha1_hex(script.as_bytes()));
         // EXISTS sees it (case-insensitively).
-        let out = e.execute(&mut s, &cmd(["SCRIPT", "EXISTS", &sha.to_uppercase(), "deadbeef"]));
-        assert_eq!(out.reply, Frame::Array(vec![Frame::Integer(1), Frame::Integer(0)]));
+        let out = e.execute(
+            &mut s,
+            &cmd(["SCRIPT", "EXISTS", &sha.to_uppercase(), "deadbeef"]),
+        );
+        assert_eq!(
+            out.reply,
+            Frame::Array(vec![Frame::Integer(1), Frame::Integer(0)])
+        );
         // EVALSHA runs it with effects.
         let out = e.execute(&mut s, &cmd(["EVALSHA", &sha, "1", "k", "v1"]));
         assert_eq!(out.reply, Frame::Bulk(Bytes::from_static(b"ok")));
@@ -636,7 +684,10 @@ mod sha_and_cache_tests {
             Frame::Bulk(Bytes::from_static(b"v1"))
         );
         // Unknown sha → NOSCRIPT; after FLUSH the loaded one is gone too.
-        let out = e.execute(&mut s, &cmd(["EVALSHA", "0000000000000000000000000000000000000000", "0"]));
+        let out = e.execute(
+            &mut s,
+            &cmd(["EVALSHA", "0000000000000000000000000000000000000000", "0"]),
+        );
         match out.reply {
             Frame::Error(msg) => assert!(msg.starts_with("NOSCRIPT"), "{msg}"),
             other => panic!("expected NOSCRIPT, got {other:?}"),
@@ -695,14 +746,13 @@ mod while_tests {
         assert_eq!(out.reply, Frame::Bulk(Bytes::from_static(b"4")));
         // Replay on a replica converges.
         let mut replica = Engine::new(Role::Replica);
-        replica.apply_effect(&cmd(["RPUSH", "q", "a", "b", "c", "d"])).unwrap();
+        replica
+            .apply_effect(&cmd(["RPUSH", "q", "a", "b", "c", "d"]))
+            .unwrap();
         for eff in &out.effects {
             replica.apply_effect(eff).unwrap();
         }
-        assert_eq!(
-            crate::rdb::dump(&e.db),
-            crate::rdb::dump(&replica.db)
-        );
+        assert_eq!(crate::rdb::dump(&e.db), crate::rdb::dump(&replica.db));
     }
 
     #[test]

@@ -66,7 +66,10 @@ mod tests {
 
     #[test]
     fn hash_tags_group_keys() {
-        assert_eq!(key_hash_slot(b"{user1}.following"), key_hash_slot(b"{user1}.followers"));
+        assert_eq!(
+            key_hash_slot(b"{user1}.following"),
+            key_hash_slot(b"{user1}.followers")
+        );
         assert_eq!(key_hash_slot(b"{user1}.x"), key_hash_slot(b"user1"));
         // Only the first tag counts.
         assert_eq!(key_hash_slot(b"{a}{b}"), key_hash_slot(b"a"));

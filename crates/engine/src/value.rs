@@ -46,7 +46,7 @@ impl Value {
             Value::List(l) => l.is_empty(),
             Value::Hash(h) => h.is_empty(),
             Value::Set(s) => s.is_empty(),
-            Value::ZSet(z) => z.len() == 0,
+            Value::ZSet(z) => z.is_empty(),
             // Streams persist even when all entries are deleted.
             Value::Stream(_) => false,
             Value::Hll(_) => false,
@@ -61,11 +61,9 @@ impl Value {
         match self {
             Value::Str(b) => b.len() + ENTRY_OVERHEAD,
             Value::List(l) => l.iter().map(|b| b.len() + 16).sum::<usize>() + ENTRY_OVERHEAD,
-            Value::Hash(h) => h
-                .iter()
-                .map(|(k, v)| k.len() + v.len() + 32)
-                .sum::<usize>()
-                + ENTRY_OVERHEAD,
+            Value::Hash(h) => {
+                h.iter().map(|(k, v)| k.len() + v.len() + 32).sum::<usize>() + ENTRY_OVERHEAD
+            }
             Value::Set(s) => s.iter().map(|m| m.len() + 24).sum::<usize>() + ENTRY_OVERHEAD,
             Value::ZSet(z) => z.approx_size() + ENTRY_OVERHEAD,
             Value::Stream(s) => s.approx_size() + ENTRY_OVERHEAD,

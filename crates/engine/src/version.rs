@@ -57,9 +57,21 @@ impl FromStr for EngineVersion {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let mut it = s.split('.');
-        let major = it.next().ok_or(ParseVersionError)?.parse().map_err(|_| ParseVersionError)?;
-        let minor = it.next().ok_or(ParseVersionError)?.parse().map_err(|_| ParseVersionError)?;
-        let patch = it.next().ok_or(ParseVersionError)?.parse().map_err(|_| ParseVersionError)?;
+        let major = it
+            .next()
+            .ok_or(ParseVersionError)?
+            .parse()
+            .map_err(|_| ParseVersionError)?;
+        let minor = it
+            .next()
+            .ok_or(ParseVersionError)?
+            .parse()
+            .map_err(|_| ParseVersionError)?;
+        let patch = it
+            .next()
+            .ok_or(ParseVersionError)?
+            .parse()
+            .map_err(|_| ParseVersionError)?;
         if it.next().is_some() {
             return Err(ParseVersionError);
         }

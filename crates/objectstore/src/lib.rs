@@ -111,9 +111,13 @@ impl ObjectStore {
             size: data.len(),
             checksum: fnv1a(&data),
         };
-        self.objects
-            .write()
-            .insert(key.to_string(), Stored { meta: meta.clone(), data });
+        self.objects.write().insert(
+            key.to_string(),
+            Stored {
+                meta: meta.clone(),
+                data,
+            },
+        );
         meta
     }
 
@@ -141,7 +145,7 @@ impl ObjectStore {
             .take_while(|(k, _)| k.starts_with(prefix))
             .map(|(_, s)| s.meta.clone())
             .collect();
-        out.sort_by(|a, b| b.version.cmp(&a.version));
+        out.sort_by_key(|m| std::cmp::Reverse(m.version));
         out
     }
 

@@ -1,4 +1,7 @@
 //! Incremental RESP frame decoder.
+// Serving/apply path: panic-freedom is an enforced invariant (DESIGN.md §9;
+// `cargo run -p memorydb-analysis`). Keep clippy aligned with the analyzer.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 use crate::Frame;
 use bytes::{Buf, Bytes, BytesMut};
@@ -137,22 +140,23 @@ impl<'a> Cursor<'a> {
     /// Reads up to and including the next CRLF, returning the line body.
     fn line(&mut self) -> Result<&'a [u8], ParseOutcome> {
         let start = self.pos;
-        let rest = &self.data[start..];
+        let rest = self.data.get(start..).unwrap_or(&[]);
         match rest.windows(2).position(|w| w == b"\r\n") {
             Some(idx) => {
                 self.pos = start + idx + 2;
-                Ok(&rest[..idx])
+                rest.get(..idx).ok_or(ParseOutcome::Incomplete)
             }
             None => Err(ParseOutcome::Incomplete),
         }
     }
 
     fn exact(&mut self, n: usize) -> Result<&'a [u8], ParseOutcome> {
-        if self.data.len() - self.pos < n {
-            return Err(ParseOutcome::Incomplete);
-        }
-        let out = &self.data[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(ParseOutcome::Incomplete)?;
+        let out = self
+            .data
+            .get(self.pos..end)
+            .ok_or(ParseOutcome::Incomplete)?;
+        self.pos = end;
         Ok(out)
     }
 
@@ -172,9 +176,7 @@ fn protocol(msg: impl Into<String>) -> ParseOutcome {
 fn parse_int(line: &[u8]) -> Result<i64, ParseOutcome> {
     let s = std::str::from_utf8(line).map_err(|_| protocol("non-utf8 integer"))?;
     s.parse::<i64>()
-        .map_err(|_| match protocol(format!("invalid integer {s:?}")) {
-            e => e,
-        })
+        .map_err(|_| protocol(format!("invalid integer {s:?}")))
 }
 
 fn parse_len(line: &[u8], max: usize) -> Result<Option<usize>, ParseOutcome> {
@@ -257,9 +259,7 @@ fn parse_frame(c: &mut Cursor<'_>) -> Result<Frame, ParseOutcome> {
                 "nan" => f64::NAN,
                 _ => s
                     .parse::<f64>()
-                    .map_err(|_| match protocol(format!("invalid double {s:?}")) {
-                        e => e,
-                    })?,
+                    .map_err(|_| protocol(format!("invalid double {s:?}")))?,
             };
             Ok(Frame::Double(d))
         }
@@ -290,13 +290,18 @@ fn parse_frame(c: &mut Cursor<'_>) -> Result<Frame, ParseOutcome> {
             }
             let payload = c.exact(n)?;
             c.crlf()?;
-            if payload[3] != b':' {
+            let (kind_bytes, sep, body) = match (payload.get(..3), payload.get(3), payload.get(4..))
+            {
+                (Some(k), Some(&s), Some(b)) => (k, s, b),
+                _ => return Err(protocol("verbatim string too short")),
+            };
+            if sep != b':' {
                 return Err(protocol("verbatim string missing kind separator"));
             }
-            let kind = std::str::from_utf8(&payload[..3])
+            let kind = std::str::from_utf8(kind_bytes)
                 .map_err(|_| protocol("non-utf8 verbatim kind"))?
                 .to_string();
-            Ok(Frame::Verbatim(kind, Bytes::copy_from_slice(&payload[4..])))
+            Ok(Frame::Verbatim(kind, Bytes::copy_from_slice(body)))
         }
         other => Err(protocol(format!(
             "unexpected frame tag {:?}",

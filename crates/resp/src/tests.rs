@@ -93,7 +93,15 @@ fn empty_array() {
 
 #[test]
 fn double_roundtrip() {
-    for v in [0.0f64, 1.5, -2.25, 3.0, 1e100, f64::INFINITY, f64::NEG_INFINITY] {
+    for v in [
+        0.0f64,
+        1.5,
+        -2.25,
+        3.0,
+        1e100,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    ] {
         let f = Frame::Double(v);
         match dec_full(&enc(&f)) {
             Frame::Double(d) => assert_eq!(d, v),
@@ -133,9 +141,45 @@ fn verbatim_roundtrip() {
     assert_eq!(dec_full(b"=9\r\ntxt:hello\r\n"), f);
 }
 
+/// Panic-freedom regression (analyzer invariant 1): malformed verbatim
+/// frames must come back as protocol errors through the fallible slicing
+/// paths — direct `payload[3]`-style indexing here used to be one bad
+/// length away from a panic on attacker-controlled wire input.
+#[test]
+fn verbatim_malformed_inputs_are_protocol_errors_not_panics() {
+    // Shortest legal frame: kind + separator, empty body.
+    assert_eq!(
+        dec_full(b"=4\r\ntxt:\r\n"),
+        Frame::Verbatim("txt".into(), Bytes::new())
+    );
+    // Declared length below the 4-byte "kkk:" header.
+    assert!(matches!(
+        decode(b"=3\r\nab:\r\n"),
+        Err(DecodeError::Protocol(_))
+    ));
+    assert!(matches!(
+        decode(b"=0\r\n\r\n"),
+        Err(DecodeError::Protocol(_))
+    ));
+    // Wrong separator where ':' must be.
+    assert!(matches!(
+        decode(b"=9\r\ntxtXhello\r\n"),
+        Err(DecodeError::Protocol(_))
+    ));
+    // Non-utf8 kind bytes.
+    assert!(matches!(
+        decode(b"=9\r\n\xff\xfe\xfd:hello\r\n"),
+        Err(DecodeError::Protocol(_))
+    ));
+}
+
 #[test]
 fn incremental_decoder_handles_partial_frames() {
-    let f = Frame::Array(vec![Frame::bulk("SET"), Frame::bulk("key"), Frame::bulk("value")]);
+    let f = Frame::Array(vec![
+        Frame::bulk("SET"),
+        Frame::bulk("key"),
+        Frame::bulk("value"),
+    ]);
     let encoded = enc(&f);
     let mut d = Decoder::new();
     // Feed one byte at a time; only the final byte completes the frame.
@@ -194,7 +238,10 @@ fn too_large_declared_length_rejected() {
     d.feed(b"$100\r\n");
     assert!(matches!(
         d.next_frame(),
-        Err(DecodeError::TooLarge { declared: 100, limit: 16 })
+        Err(DecodeError::TooLarge {
+            declared: 100,
+            limit: 16
+        })
     ));
 }
 
@@ -208,16 +255,30 @@ fn bulk_missing_trailing_crlf_is_protocol_error() {
 
 #[test]
 fn into_command_args_normalizes_scalars() {
-    let f = Frame::Array(vec![Frame::bulk("SET"), Frame::Integer(5), Frame::Simple("v".into())]);
+    let f = Frame::Array(vec![
+        Frame::bulk("SET"),
+        Frame::Integer(5),
+        Frame::Simple("v".into()),
+    ]);
     let args = f.into_command_args().unwrap();
-    assert_eq!(args, vec![Bytes::from("SET"), Bytes::from("5"), Bytes::from("v")]);
+    assert_eq!(
+        args,
+        vec![Bytes::from("SET"), Bytes::from("5"), Bytes::from("v")]
+    );
     assert!(Frame::Integer(1).into_command_args().is_none());
 }
 
 #[test]
 fn tokenize_plain_and_quoted() {
     let toks = tokenize(r#"SET key "hello world""#).unwrap();
-    assert_eq!(toks, vec![Bytes::from("SET"), Bytes::from("key"), Bytes::from("hello world")]);
+    assert_eq!(
+        toks,
+        vec![
+            Bytes::from("SET"),
+            Bytes::from("key"),
+            Bytes::from("hello world")
+        ]
+    );
 }
 
 #[test]
@@ -235,8 +296,14 @@ fn tokenize_single_quotes_literal() {
 
 #[test]
 fn tokenize_unbalanced_quote_error() {
-    assert_eq!(tokenize(r#"SET k "oops"#), Err(TokenizeError::UnbalancedQuotes));
-    assert_eq!(tokenize(r#"SET k "a"b"#), Err(TokenizeError::UnbalancedQuotes));
+    assert_eq!(
+        tokenize(r#"SET k "oops"#),
+        Err(TokenizeError::UnbalancedQuotes)
+    );
+    assert_eq!(
+        tokenize(r#"SET k "a"b"#),
+        Err(TokenizeError::UnbalancedQuotes)
+    );
 }
 
 #[test]
@@ -255,8 +322,7 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         "[a-zA-Z0-9 ]{0,12}".prop_map(Frame::Simple),
         "[A-Z]{3,8} [a-z ]{0,10}".prop_map(Frame::Error),
         any::<i64>().prop_map(Frame::Integer),
-        proptest::collection::vec(any::<u8>(), 0..64)
-            .prop_map(|v| Frame::Bulk(Bytes::from(v))),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(|v| Frame::Bulk(Bytes::from(v))),
         Just(Frame::Null),
         any::<bool>().prop_map(Frame::Boolean),
         // Finite doubles only: NaN breaks PartialEq-based comparison.

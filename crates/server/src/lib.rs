@@ -67,7 +67,7 @@ fn auto_io_threads() -> usize {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    cores.min(4).max(1)
+    cores.clamp(1, 4)
 }
 
 /// A running server bound to one node.
@@ -93,11 +93,7 @@ impl Server {
     }
 
     /// Starts serving with explicit IO options.
-    pub fn start_with(
-        node: Arc<Node>,
-        addr: &str,
-        opts: ServerOptions,
-    ) -> std::io::Result<Server> {
+    pub fn start_with(node: Arc<Node>, addr: &str, opts: ServerOptions) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -343,7 +339,7 @@ fn execute_batch(node: &Node, conn: &mut ConnState, cmds: &[Vec<Bytes>]) {
         }
         let batch: Vec<Vec<Bytes>> = run.iter().map(|&i| cmds[i].clone()).collect();
         let rs = node.handle_batch(session, &batch);
-        for (&i, r) in run.iter().zip(rs.into_iter()) {
+        for (&i, r) in run.iter().zip(rs) {
             replies[i] = Some(r);
         }
         run.clear();
@@ -597,9 +593,7 @@ fn serve_blocking(
         let n = match stream.read(&mut buf) {
             Ok(0) => return Ok(()), // client closed
             Ok(n) => n,
-            Err(e)
-                if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
-            {
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                 continue;
             }
             Err(e) => return Err(e),

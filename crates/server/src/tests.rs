@@ -31,7 +31,10 @@ fn bulk(s: &str) -> Frame {
 fn end_to_end_over_tcp() {
     let (server, _shard) = test_server(0);
     let mut client = BlockingClient::connect(server.local_addr).unwrap();
-    assert_eq!(client.command(["PING"]).unwrap(), Frame::Simple("PONG".into()));
+    assert_eq!(
+        client.command(["PING"]).unwrap(),
+        Frame::Simple("PONG".into())
+    );
     assert_eq!(client.command(["SET", "k", "v"]).unwrap(), Frame::ok());
     assert_eq!(client.command(["GET", "k"]).unwrap(), bulk("v"));
     assert_eq!(client.command(["INCR", "n"]).unwrap(), Frame::Integer(1));
@@ -104,8 +107,13 @@ fn multi_exec_spanning_pipeline_batches() {
     assert_eq!(first[2], Frame::Simple("QUEUED".into()));
 
     // ...EXEC arrives in the next batch and sees the full queue.
-    let second = client.pipeline(vec![vec!["EXEC"], vec!["GET", "t"]]).unwrap();
-    assert_eq!(second[0], Frame::Array(vec![Frame::ok(), Frame::Integer(2)]));
+    let second = client
+        .pipeline(vec![vec!["EXEC"], vec!["GET", "t"]])
+        .unwrap();
+    assert_eq!(
+        second[0],
+        Frame::Array(vec![Frame::ok(), Frame::Integer(2)])
+    );
     assert_eq!(second[1], bulk("2"));
 }
 
@@ -115,10 +123,15 @@ fn watch_conflict_across_pipeline_batches_aborts_exec() {
     let mut watcher = BlockingClient::connect(server.local_addr).unwrap();
     let mut writer = BlockingClient::connect(server.local_addr).unwrap();
 
-    let r = watcher.pipeline(vec![vec!["WATCH", "w"], vec!["MULTI"]]).unwrap();
+    let r = watcher
+        .pipeline(vec![vec!["WATCH", "w"], vec!["MULTI"]])
+        .unwrap();
     assert_eq!(r, vec![Frame::ok(), Frame::ok()]);
     // Another connection clobbers the watched key between the batches.
-    assert_eq!(writer.command(["SET", "w", "clobber"]).unwrap(), Frame::ok());
+    assert_eq!(
+        writer.command(["SET", "w", "clobber"]).unwrap(),
+        Frame::ok()
+    );
     let r = watcher
         .pipeline(vec![vec!["SET", "w", "mine"], vec!["EXEC"]])
         .unwrap();
@@ -247,7 +260,10 @@ fn stop_joins_io_threads_and_refuses_new_connections() {
     let (mut server, _shard) = test_server(0);
     let addr = server.local_addr;
     let mut client = BlockingClient::connect(addr).unwrap();
-    assert_eq!(client.command(["PING"]).unwrap(), Frame::Simple("PONG".into()));
+    assert_eq!(
+        client.command(["PING"]).unwrap(),
+        Frame::Simple("PONG".into())
+    );
 
     let started = std::time::Instant::now();
     server.stop();
@@ -295,7 +311,10 @@ fn quit_mid_pipeline_answers_prefix_then_closes() {
     client.stream.write_all(&out).unwrap();
     assert_eq!(client.read_reply().unwrap(), Frame::ok()); // SET q 1
     assert_eq!(client.read_reply().unwrap(), Frame::ok()); // QUIT
-    assert!(client.read_reply().is_err(), "connection must close after QUIT");
+    assert!(
+        client.read_reply().is_err(),
+        "connection must close after QUIT"
+    );
     // The command pipelined after QUIT was discarded.
     let mut c2 = BlockingClient::connect(server.local_addr).unwrap();
     assert_eq!(c2.command(["GET", "q"]).unwrap(), bulk("1"));

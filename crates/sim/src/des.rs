@@ -50,7 +50,11 @@ pub struct SimParams {
 impl SimParams {
     /// The paper's §6.1.1 benchmark setup on a given system/instance:
     /// 10 load generators × 100 connections, 100-byte values.
-    pub fn paper_setup(system: SystemKind, instance: InstanceType, read_fraction: f64) -> SimParams {
+    pub fn paper_setup(
+        system: SystemKind,
+        instance: InstanceType,
+        read_fraction: f64,
+    ) -> SimParams {
         SimParams {
             system,
             instance,
@@ -311,7 +315,10 @@ mod tests {
         assert!(redis_s.throughput < 220e3, "{}", redis_s.throughput);
         assert!(memdb_s.throughput < 220e3, "{}", memdb_s.throughput);
         let ratio = memdb_s.throughput / redis_s.throughput;
-        assert!((0.7..1.45).contains(&ratio), "should be comparable: {ratio}");
+        assert!(
+            (0.7..1.45).contains(&ratio),
+            "should be comparable: {ratio}"
+        );
     }
 
     #[test]
@@ -425,7 +432,11 @@ mod tests {
     #[test]
     fn throughput_monotone_in_instance_size() {
         let mut last = 0.0;
-        for inst in [InstanceType::Large, InstanceType::XLarge, InstanceType::X2Large] {
+        for inst in [
+            InstanceType::Large,
+            InstanceType::XLarge,
+            InstanceType::X2Large,
+        ] {
             let r = quick(SystemKind::Redis, inst, 1.0);
             assert!(
                 r.throughput >= last * 0.98,

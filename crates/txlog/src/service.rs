@@ -1,4 +1,7 @@
 //! The log service implementation.
+// Serving/apply path: panic-freedom is an enforced invariant (DESIGN.md §9;
+// `cargo run -p memorydb-analysis`). Keep clippy aligned with the analyzer.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
@@ -132,7 +135,10 @@ impl std::fmt::Display for AppendError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             AppendError::Conflict { expected, actual } => {
-                write!(f, "conditional append conflict: expected tail {expected}, actual {actual}")
+                write!(
+                    f,
+                    "conditional append conflict: expected tail {expected}, actual {actual}"
+                )
             }
             AppendError::Partitioned => write!(f, "client partitioned from log service"),
         }
@@ -157,7 +163,10 @@ impl std::fmt::Display for ReadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ReadError::Trimmed { first_available } => {
-                write!(f, "log prefix trimmed; first available entry is {first_available}")
+                write!(
+                    f,
+                    "log prefix trimmed; first available entry is {first_available}"
+                )
             }
             ReadError::Partitioned => write!(f, "client partitioned from log service"),
         }
@@ -292,6 +301,9 @@ impl LogService {
             append_calls: AtomicU64::new(0),
         });
         let weak = Arc::downgrade(&svc);
+        // Baselined in analysis.toml: failing to spawn at service startup is
+        // a boot error, before any append could be accepted or acked.
+        #[allow(clippy::expect_used)]
         std::thread::Builder::new()
             .name("txlog-committer".into())
             .spawn(move || {
@@ -320,7 +332,9 @@ impl LogService {
             };
             match p.ready_at {
                 Some(t) if t <= now => {
-                    let p = inner.pending.remove(&next_seq).expect("present");
+                    let Some(p) = inner.pending.remove(&next_seq) else {
+                        break;
+                    };
                     let chain = fnv1a_chain(inner.committed_chain, &p.payload);
                     inner.committed_chain = chain;
                     let entry = LogEntry {
@@ -370,8 +384,14 @@ impl LogService {
         expected_tail: EntryId,
         payload: Bytes,
     ) -> Result<EntryId, AppendError> {
+        // A successful single-payload batch always yields the dense id right
+        // after the expected tail; never index into the reply.
         self.append_batch_after(client, expected_tail, std::slice::from_ref(&payload))
-            .map(|ids| ids[0])
+            .map(|ids| {
+                ids.into_iter()
+                    .next()
+                    .unwrap_or_else(|| expected_tail.next())
+            })
     }
 
     /// Conditionally appends a whole batch of payloads after `expected_tail`
@@ -503,7 +523,7 @@ impl LogService {
             return None;
         }
         let idx = (upto.0 - inner.trim_base - 1) as usize;
-        Some(inner.committed[idx].chain_checksum)
+        inner.committed.get(idx).map(|e| e.chain_checksum)
     }
 
     /// Reads up to `max` committed entries with id > `after`.
@@ -592,7 +612,10 @@ impl LogService {
     /// appends stall; they commit (with fresh latency) once a quorum returns.
     pub fn set_az_up(&self, az: usize, up: bool) {
         let mut inner = self.inner.lock();
-        inner.az_up[az] = up;
+        let Some(slot) = inner.az_up.get_mut(az) else {
+            return; // unknown AZ index: nothing to flip
+        };
+        *slot = up;
         if inner.quorum_reachable(self.cfg.quorum) {
             // Re-schedule stalled appends.
             let now = Instant::now();

@@ -80,7 +80,9 @@ fn precondition_covers_accepted_not_just_committed() {
     });
     let id1 = log.append_after(1, EntryId::ZERO, b("slow")).unwrap();
     assert!(!log.is_durable(id1));
-    let err = log.append_after(2, EntryId::ZERO, b("usurper")).unwrap_err();
+    let err = log
+        .append_after(2, EntryId::ZERO, b("usurper"))
+        .unwrap_err();
     assert!(matches!(err, AppendError::Conflict { .. }));
     assert!(log.wait_durable(id1, T));
 }
@@ -118,9 +120,15 @@ fn durability_visible_only_after_commit() {
     let id = log.append_after(1, EntryId::ZERO, b("x")).unwrap();
     // Immediately after accept: not durable, not readable.
     assert!(!log.is_durable(id));
-    assert!(log.read_committed_from(2, EntryId::ZERO, 10).unwrap().is_empty());
+    assert!(log
+        .read_committed_from(2, EntryId::ZERO, 10)
+        .unwrap()
+        .is_empty());
     assert!(log.wait_durable(id, T));
-    assert_eq!(log.read_committed_from(2, EntryId::ZERO, 10).unwrap().len(), 1);
+    assert_eq!(
+        log.read_committed_from(2, EntryId::ZERO, 10).unwrap().len(),
+        1
+    );
 }
 
 #[test]
@@ -196,7 +204,12 @@ fn trim_prefix_and_trimmed_reads() {
     assert_eq!(log.first_available(), EntryId(5));
     // Reading from within the trimmed region fails with the restore hint.
     let err = log.read_committed_from(2, EntryId(2), 10).unwrap_err();
-    assert_eq!(err, ReadError::Trimmed { first_available: EntryId(5) });
+    assert_eq!(
+        err,
+        ReadError::Trimmed {
+            first_available: EntryId(5)
+        }
+    );
     // Reading exactly from the trim point works.
     let entries = log.read_committed_from(2, EntryId(4), 100).unwrap();
     assert_eq!(entries.len(), 6);
@@ -283,7 +296,10 @@ fn unconditional_append_follows_tail() {
     assert_eq!(a, EntryId(1));
     assert_eq!(bb, EntryId(2));
     log.set_client_partitioned(1, true);
-    assert_eq!(log.append(1, b("no")).unwrap_err(), AppendError::Partitioned);
+    assert_eq!(
+        log.append(1, b("no")).unwrap_err(),
+        AppendError::Partitioned
+    );
 }
 
 #[test]
@@ -378,7 +394,8 @@ fn append_batch_partitioned_client_rejected() {
     let log = svc();
     log.set_client_partitioned(1, true);
     assert_eq!(
-        log.append_batch_after(1, EntryId::ZERO, &[b("x")]).unwrap_err(),
+        log.append_batch_after(1, EntryId::ZERO, &[b("x")])
+            .unwrap_err(),
         AppendError::Partitioned
     );
     assert_eq!(log.assigned_tail(), EntryId::ZERO);

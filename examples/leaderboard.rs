@@ -37,7 +37,12 @@ fn main() {
         let amount = format!("{}", 1 + x % 100);
         primary.handle(
             &mut session,
-            &cmd(["ZINCRBY", "{auction}board", amount.as_str(), bidder.as_str()]),
+            &cmd([
+                "ZINCRBY",
+                "{auction}board",
+                amount.as_str(),
+                bidder.as_str(),
+            ]),
         );
     }
 
@@ -82,15 +87,15 @@ fn main() {
     for replica in shard.replicas() {
         let mut s = SessionState::new();
         let count = replica.handle(&mut s, &cmd(["ZCARD", "{auction}board"]));
-        let top1 = replica.handle(
-            &mut s,
-            &cmd(["ZRANGE", "{auction}board", "0", "0", "REV"]),
-        );
+        let top1 = replica.handle(&mut s, &cmd(["ZRANGE", "{auction}board", "0", "0", "REV"]));
         println!("replica {}: ZCARD={count:?}, leader={top1:?}", replica.id);
     }
 
     // Aggregations across boards: server-side set algebra.
-    primary.handle(&mut session, &cmd(["ZADD", "{auction}vip", "0", "bidder:07", "0", "bidder:13"]));
+    primary.handle(
+        &mut session,
+        &cmd(["ZADD", "{auction}vip", "0", "bidder:07", "0", "bidder:13"]),
+    );
     let vip_board = primary.handle(
         &mut session,
         &cmd([
@@ -110,7 +115,14 @@ fn main() {
     }
     let vips = primary.handle(
         &mut session,
-        &cmd(["ZRANGE", "{auction}vip_board", "0", "-1", "REV", "WITHSCORES"]),
+        &cmd([
+            "ZRANGE",
+            "{auction}vip_board",
+            "0",
+            "-1",
+            "REV",
+            "WITHSCORES",
+        ]),
     );
     println!("VIP standings: {vips:?}");
 }

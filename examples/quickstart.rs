@@ -32,14 +32,23 @@ fn main() {
     // 2. In-process commands. Every mutation is committed to the log across
     //    a quorum of AZs before the reply is released.
     let mut session = SessionState::new();
-    let reply = primary.handle(&mut session, &cmd(["SET", "greeting", "hello, durable world"]));
+    let reply = primary.handle(
+        &mut session,
+        &cmd(["SET", "greeting", "hello, durable world"]),
+    );
     println!("SET -> {reply:?}");
     let reply = primary.handle(&mut session, &cmd(["GET", "greeting"]));
     println!("GET -> {reply:?}");
 
     // Data structures work too — it is a Redis-compatible engine.
-    primary.handle(&mut session, &cmd(["ZADD", "scores", "42", "alice", "17", "bob"]));
-    let top = primary.handle(&mut session, &cmd(["ZRANGE", "scores", "0", "-1", "WITHSCORES"]));
+    primary.handle(
+        &mut session,
+        &cmd(["ZADD", "scores", "42", "alice", "17", "bob"]),
+    );
+    let top = primary.handle(
+        &mut session,
+        &cmd(["ZRANGE", "scores", "0", "-1", "WITHSCORES"]),
+    );
     println!("ZRANGE scores -> {top:?}");
 
     // 3. The same node over TCP, with any RESP client.

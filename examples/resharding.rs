@@ -22,7 +22,10 @@ fn main() {
     println!("loading 500 user records into the 1-shard cluster...");
     for i in 0..500 {
         let key = format!("user:{i}");
-        assert_eq!(client.command(["SET", key.as_str(), "profile"]), Frame::ok());
+        assert_eq!(
+            client.command(["SET", key.as_str(), "profile"]),
+            Frame::ok()
+        );
     }
     println!("slot map: {:?}\n", summarize(&cluster.slot_map()));
 

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Pre-PR gate: run everything a reviewer would. Each step must pass.
+#
+#   fmt     — no unformatted code
+#   clippy  — no warnings anywhere in the workspace (panic-freedom lints
+#             are warn-by-default in the serving-path modules, so -D
+#             warnings turns them into errors there)
+#   analyze — the workspace invariant analyzer (DESIGN.md §9): green
+#             baseline, no stale entries
+#   test    — the full tier-1 suite (includes tests/analysis.rs, which
+#             re-runs the analyzer, and the chaos smoke schedules)
+#
+# Usage: scripts/check.sh [--offline]
+# Extra cargo flags (e.g. --offline in the hermetic container) are passed
+# through to every cargo invocation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS=("$@")
+
+run() {
+  echo "==> $*"
+  "$@"
+}
+
+run cargo fmt --check
+run cargo clippy --workspace --all-targets "${CARGO_FLAGS[@]}" -- -D warnings
+run cargo run -q -p memorydb-analysis "${CARGO_FLAGS[@]}"
+run cargo test -q --workspace "${CARGO_FLAGS[@]}"
+
+echo "==> all checks passed"

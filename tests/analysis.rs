@@ -1,0 +1,83 @@
+//! Tier-1 invariant gate: runs the workspace analyzer exactly as
+//! `cargo run -p memorydb-analysis` does and fails the build on any
+//! violation or stale baseline entry. This is what makes the four invariant
+//! families (panic-freedom, lock-discipline, sim-determinism,
+//! sync-primitives) enforced properties rather than documentation — see
+//! DESIGN.md, "Enforced invariants".
+
+use memorydb_analysis::{analyze_source, apply_baseline, parse_baseline, run_gate, workspace_root};
+
+#[test]
+fn workspace_invariants_hold_and_baseline_is_tight() {
+    let root = workspace_root();
+    let outcome = match run_gate(&root) {
+        Ok(o) => o,
+        Err(errors) => panic!("analysis gate could not run:\n{}", errors.join("\n")),
+    };
+
+    let mut msg = String::new();
+    for f in &outcome.violations {
+        msg.push_str(&format!("violation: {f}\n"));
+    }
+    for e in &outcome.stale {
+        msg.push_str(&format!(
+            "stale baseline entry (fix merged? remove it): analysis.toml:{} [{}] {}\n",
+            e.decl_line, e.lint, e.path
+        ));
+    }
+    assert!(
+        outcome.is_green(),
+        "workspace invariant gate failed — run `cargo run -p memorydb-analysis` for details:\n{msg}"
+    );
+}
+
+/// Every baseline exception must keep its one-line justification and a
+/// count cap: an uncapped entry could silently absorb *new* violations of
+/// the same shape, defeating the ratchet.
+#[test]
+fn baseline_entries_are_justified_and_capped() {
+    let root = workspace_root();
+    let src = std::fs::read_to_string(root.join("analysis.toml")).expect("read analysis.toml");
+    let entries = parse_baseline(&src).expect("baseline parses");
+    assert!(!entries.is_empty(), "expected a non-empty baseline");
+    for e in &entries {
+        assert!(
+            e.reason.trim().len() >= 10,
+            "analysis.toml:{}: reason too short to justify anything: {:?}",
+            e.decl_line,
+            e.reason
+        );
+        assert!(
+            e.count.is_some(),
+            "analysis.toml:{}: entry for [{}] {} has no count cap",
+            e.decl_line,
+            e.lint,
+            e.path
+        );
+    }
+}
+
+/// Demonstrates the gate actually bites: seed a violation into a
+/// serving-path file and check it surfaces as a finding that no baseline
+/// entry absorbs.
+#[test]
+fn seeded_violation_fails_the_gate() {
+    let seeded = r#"
+        pub fn handle(frame: Option<u8>) -> u8 {
+            frame.unwrap()
+        }
+    "#;
+    let findings = analyze_source("crates/core/src/apply.rs", seeded);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].lint, "panic-freedom");
+
+    let root = workspace_root();
+    let src = std::fs::read_to_string(root.join("analysis.toml")).expect("read analysis.toml");
+    let entries = parse_baseline(&src).expect("baseline parses");
+    let outcome = apply_baseline(findings, &entries);
+    assert_eq!(
+        outcome.violations.len(),
+        1,
+        "the shipped baseline must not absorb an arbitrary new unwrap"
+    );
+}

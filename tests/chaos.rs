@@ -84,7 +84,9 @@ fn cluster_survives_sustained_chaos() {
             memorydb::engine::EngineVersion::CURRENT,
             700_000 + shard.id as u64,
         );
-        offbox.create_snapshot(true).expect("off-box snapshot under load");
+        offbox
+            .create_snapshot(true)
+            .expect("off-box snapshot under load");
     }
 
     std::thread::sleep(Duration::from_millis(150));
@@ -101,7 +103,11 @@ fn cluster_survives_sustained_chaos() {
     for r in readers {
         r.join().unwrap();
     }
-    assert!(acked.len() > 100, "chaos run acked too few writes: {}", acked.len());
+    assert!(
+        acked.len() > 100,
+        "chaos run acked too few writes: {}",
+        acked.len()
+    );
 
     // Invariant 1: nothing acknowledged is lost.
     let mut client = ClusterClient::new(Arc::clone(&cluster));
@@ -122,7 +128,11 @@ fn cluster_survives_sustained_chaos() {
             .iter()
             .filter(|n| n.is_active_primary())
             .count();
-        assert_eq!(actives, 1, "shard {} has {actives} active primaries", shard.id);
+        assert_eq!(
+            actives, 1,
+            "shard {} has {actives} active primaries",
+            shard.id
+        );
     }
 
     // Invariant 3: replicas converge, none halted.
@@ -133,7 +143,12 @@ fn cluster_survives_sustained_chaos() {
             shard.id
         );
         for r in shard.replicas() {
-            assert!(r.halted().is_none(), "replica {} halted: {:?}", r.id, r.halted());
+            assert!(
+                r.halted().is_none(),
+                "replica {} halted: {:?}",
+                r.id,
+                r.halted()
+            );
         }
     }
 

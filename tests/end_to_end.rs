@@ -45,7 +45,10 @@ fn upgrade_protection_stalls_older_replicas() {
     let deadline = std::time::Instant::now() + T;
     loop {
         if let Some(halt) = old_replica.halted() {
-            assert_eq!(halt, HaltReason::StalledUpgrade(EngineVersion::new(7, 0, 7)));
+            assert_eq!(
+                halt,
+                HaltReason::StalledUpgrade(EngineVersion::new(7, 0, 7))
+            );
             break;
         }
         assert!(
@@ -63,7 +66,10 @@ fn upgrade_protection_stalls_older_replicas() {
         if new_replica.handle(&mut s, &cmd(["GET", "after"])) == bulk("2") {
             break;
         }
-        assert!(std::time::Instant::now() < deadline, "new replica must catch up");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "new replica must catch up"
+        );
         std::thread::sleep(Duration::from_millis(10));
     }
     // The stalled replica never campaigns: crash the primary and confirm
@@ -106,7 +112,10 @@ fn snapshot_trim_restore_cycle() {
     assert_eq!(replica.handle(&mut s, &cmd(["GET", "a25"])), bulk("1"));
     assert_eq!(replica.handle(&mut s, &cmd(["GET", "b49"])), bulk("2"));
     assert_eq!(replica.handle(&mut s, &cmd(["GET", "c24"])), bulk("3"));
-    assert_eq!(replica.handle(&mut s, &cmd(["DBSIZE"])), Frame::Integer(125));
+    assert_eq!(
+        replica.handle(&mut s, &cmd(["DBSIZE"])),
+        Frame::Integer(125)
+    );
 }
 
 #[test]
@@ -166,11 +175,17 @@ fn wait_is_trivially_satisfied_by_durability() {
     let primary = shard.wait_for_primary(T).unwrap();
     std::thread::sleep(Duration::from_millis(100)); // heartbeats
     let mut session = SessionState::new();
-    assert_eq!(primary.handle(&mut session, &cmd(["SET", "k", "v"])), Frame::ok());
+    assert_eq!(
+        primary.handle(&mut session, &cmd(["SET", "k", "v"])),
+        Frame::ok()
+    );
     let t0 = std::time::Instant::now();
     let reply = primary.handle(&mut session, &cmd(["WAIT", "2", "1000"]));
     assert_eq!(reply, Frame::Integer(2));
-    assert!(t0.elapsed() < Duration::from_millis(100), "WAIT must not block");
+    assert!(
+        t0.elapsed() < Duration::from_millis(100),
+        "WAIT must not block"
+    );
 }
 
 #[test]
@@ -196,7 +211,10 @@ fn baseline_loses_what_memorydb_keeps() {
     }
     redis.kill_primary();
     let report = failover::elect_and_promote(&redis);
-    assert!(report.lost_writes > 0, "baseline must lose acked writes here");
+    assert!(
+        report.lost_writes > 0,
+        "baseline must lose acked writes here"
+    );
 
     // MemoryDB, same scenario.
     let shard = new_shard(1);
@@ -278,7 +296,10 @@ fn scripts_execute_atomically_and_replicate_by_effect() {
         ),
         Frame::Integer(0)
     );
-    assert_eq!(replica.handle(&mut s, &cmd(["SCARD", "{s}pool"])), Frame::Integer(3));
+    assert_eq!(
+        replica.handle(&mut s, &cmd(["SCARD", "{s}pool"])),
+        Frame::Integer(3)
+    );
 }
 
 #[test]
@@ -290,40 +311,79 @@ fn consumer_groups_survive_replication_and_failover() {
     let primary = shard.wait_for_primary(T).unwrap();
     let mut session = SessionState::new();
     for i in 1..=5 {
-        primary.handle(&mut session, &cmd(["XADD", "jobs", &format!("{i}-0"), "job", &i.to_string()]));
+        primary.handle(
+            &mut session,
+            &cmd(["XADD", "jobs", &format!("{i}-0"), "job", &i.to_string()]),
+        );
     }
     assert_eq!(
-        primary.handle(&mut session, &cmd(["XGROUP", "CREATE", "jobs", "workers", "0"])),
+        primary.handle(
+            &mut session,
+            &cmd(["XGROUP", "CREATE", "jobs", "workers", "0"])
+        ),
         Frame::ok()
     );
     // Worker A takes three jobs, acks one; worker B claims one of A's.
-    primary.handle(&mut session, &cmd(["XREADGROUP", "GROUP", "workers", "a", "COUNT", "3", "STREAMS", "jobs", ">"]));
+    primary.handle(
+        &mut session,
+        &cmd([
+            "XREADGROUP",
+            "GROUP",
+            "workers",
+            "a",
+            "COUNT",
+            "3",
+            "STREAMS",
+            "jobs",
+            ">",
+        ]),
+    );
     assert_eq!(
         primary.handle(&mut session, &cmd(["XACK", "jobs", "workers", "1-0"])),
         Frame::Integer(1)
     );
-    primary.handle(&mut session, &cmd(["XCLAIM", "jobs", "workers", "b", "0", "2-0"]));
+    primary.handle(
+        &mut session,
+        &cmd(["XCLAIM", "jobs", "workers", "b", "0", "2-0"]),
+    );
 
     assert!(shard.wait_replicas_caught_up(T));
     let replica = shard.replicas().into_iter().next().unwrap();
     let mut s = SessionState::new();
     let pending = replica.handle(&mut s, &cmd(["XPENDING", "jobs", "workers"]));
-    assert_eq!(pending.as_array().unwrap()[0], Frame::Integer(2), "{pending:?}");
+    assert_eq!(
+        pending.as_array().unwrap()[0],
+        Frame::Integer(2),
+        "{pending:?}"
+    );
 
     // Failover: the new primary (ex-replica) carries the group state.
     primary.crash();
     let new_primary = shard.wait_for_primary(T).unwrap();
     let mut s = SessionState::new();
     // Job 2 now belongs to b.
-    let rows = new_primary.handle(&mut s, &cmd(["XPENDING", "jobs", "workers", "-", "+", "10"]));
+    let rows = new_primary.handle(
+        &mut s,
+        &cmd(["XPENDING", "jobs", "workers", "-", "+", "10"]),
+    );
     let rows = rows.as_array().unwrap();
     assert_eq!(rows.len(), 2);
     assert_eq!(rows[0].as_array().unwrap()[1], bulk("b"));
     // Undelivered jobs 4 and 5 are still deliverable to a new worker.
     let reply = new_primary.handle(
         &mut s,
-        &cmd(["XREADGROUP", "GROUP", "workers", "c", "STREAMS", "jobs", ">"]),
+        &cmd([
+            "XREADGROUP",
+            "GROUP",
+            "workers",
+            "c",
+            "STREAMS",
+            "jobs",
+            ">",
+        ]),
     );
-    let entries = reply.as_array().unwrap()[0].as_array().unwrap()[1].as_array().unwrap();
+    let entries = reply.as_array().unwrap()[0].as_array().unwrap()[1]
+        .as_array()
+        .unwrap();
     assert_eq!(entries.len(), 2);
 }

@@ -129,7 +129,7 @@ fn linearizable_across_a_primary_crash() {
             while !stop.load(Ordering::Relaxed) {
                 n += 1;
                 let key = format!("k{}", n % 3);
-                if n % 3 == 0 {
+                if n.is_multiple_of(3) {
                     // Unique-value write, retried until acknowledged; the
                     // recorded interval spans every attempt, so any attempt
                     // that silently committed still lies inside it.
@@ -217,7 +217,10 @@ fn lagging_replica_reads_break_linearizability_and_are_caught() {
     // Establish a baseline value, then let it replicate... except the
     // replica is frozen, so it still sees nothing.
     let h = recorder.begin(0, KvInput::Set("k0".into(), "first".into()));
-    assert_eq!(primary.handle(&mut session, &cmd(["SET", "k0", "first"])), Frame::ok());
+    assert_eq!(
+        primary.handle(&mut session, &cmd(["SET", "k0", "first"])),
+        Frame::ok()
+    );
     recorder.finish(h, KvOutput::Ok);
 
     // A sequential read from the frozen replica observes None AFTER the

@@ -105,7 +105,10 @@ fn readonly_replica_scaling_over_tcp() {
     let mut wclient = BlockingClient::connect(primary_srv.local_addr).unwrap();
     for i in 0..20 {
         let key = format!("k{i}");
-        assert_eq!(wclient.command(["SET", key.as_str(), "v"]).unwrap(), Frame::ok());
+        assert_eq!(
+            wclient.command(["SET", key.as_str(), "v"]).unwrap(),
+            Frame::ok()
+        );
     }
     assert!(shard.wait_replicas_caught_up(T));
     // Two replica endpoints for read scaling, each requiring the opt-in.
