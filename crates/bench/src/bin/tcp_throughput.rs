@@ -13,8 +13,14 @@
 //! `ops/append` near P the whole time).
 
 use memorydb_bench::output::{kops, results_dir, Table};
-use memorydb_bench::tcp::{cross, run, to_json, TcpParams};
+use memorydb_bench::tcp::{attribution_problems, cross, run, to_json, TcpParams, TcpRow};
 use memorydb_server::IoMode;
+
+/// Mean µs for one attributed stage, `-` when the case never sampled it.
+fn stage_mean(r: &TcpRow, name: &str) -> String {
+    r.stage(name)
+        .map_or_else(|| "-".to_string(), |s| format!("{:.1}", s.mean_us))
+}
 
 fn parse_list(s: &str) -> Vec<usize> {
     s.split(',')
@@ -29,11 +35,15 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut conns: Option<Vec<usize>> = None;
     let mut pipelines: Option<Vec<usize>> = None;
+    let mut smoke = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--smoke" => params = TcpParams::smoke(),
+            "--smoke" => {
+                params = TcpParams::smoke();
+                smoke = true;
+            }
             "--duration" => {
                 params.duration_s = it
                     .next()
@@ -80,9 +90,50 @@ fn main() {
         params.value_bytes, params.duration_s
     );
     println!("{}", table.render());
+
+    // Per-stage latency attribution (§10): mean µs per stage, plus how much
+    // of the e2e batch span the engine+durability breakdown accounts for.
+    let mut attr = Table::new(&[
+        "mode",
+        "conns",
+        "pipeline",
+        "io_read",
+        "io_write",
+        "parse",
+        "engine",
+        "apply",
+        "durability",
+        "e2e",
+        "e2e_p99",
+        "stage/e2e",
+    ]);
+    for r in &rows {
+        attr.row(vec![
+            r.mode.to_string(),
+            r.connections.to_string(),
+            r.pipeline.to_string(),
+            stage_mean(r, "io_read"),
+            stage_mean(r, "io_write"),
+            stage_mean(r, "parse"),
+            stage_mean(r, "engine"),
+            stage_mean(r, "apply"),
+            stage_mean(r, "durability"),
+            stage_mean(r, "e2e"),
+            r.stage("e2e")
+                .map_or_else(|| "-".to_string(), |s| s.p99_us.to_string()),
+            format!("{:.3}", r.stage_sum_over_e2e),
+        ]);
+    }
+    println!("Per-stage latency attribution (mean µs per span)");
+    println!("{}", attr.render());
+
     let csv = results_dir().join("tcp_throughput.csv");
     if table.write_csv(&csv).is_ok() {
         println!("wrote {}", csv.display());
+    }
+    let attr_csv = results_dir().join("tcp_stage_latency.csv");
+    if attr.write_csv(&attr_csv).is_ok() {
+        println!("wrote {}", attr_csv.display());
     }
     if let Some(path) = json_path {
         std::fs::write(&path, to_json(&params, &rows)).expect("write --json output");
@@ -92,4 +143,19 @@ fn main() {
         "\nClaims under test: multiplexed >= thread-per-conn at 64 conns; \
          pipelined SET scales with P; ops/append tracks the pipeline depth."
     );
+
+    // In smoke mode the attribution doubles as a gate: every declared
+    // stage must have samples and the stage sums must be consistent with
+    // the measured e2e span.
+    if smoke {
+        let problems: Vec<String> = rows.iter().flat_map(attribution_problems).collect();
+        if !problems.is_empty() {
+            eprintln!("metrics smoke FAILED:");
+            for p in &problems {
+                eprintln!("  {p}");
+            }
+            std::process::exit(1);
+        }
+        println!("metrics smoke OK: all stages sampled, stage sums consistent with e2e");
+    }
 }

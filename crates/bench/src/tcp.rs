@@ -9,6 +9,7 @@
 //! one quorum ack covers a whole pipeline, so `ops/append` should track P.
 
 use memorydb_core::{ClusterBus, NodeIdGen, Shard, ShardConfig};
+use memorydb_metrics::MetricsSnapshot;
 use memorydb_objectstore::ObjectStore;
 use memorydb_server::{BlockingClient, IoMode, Server, ServerOptions};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -92,6 +93,19 @@ pub fn cross(modes: &[IoMode], conns: &[usize], pipelines: &[usize]) -> Vec<TcpC
     cases
 }
 
+/// One stage's latency summary, lifted from a [`MetricsSnapshot`] after a
+/// case finishes (§10 observability).
+#[derive(Debug, Clone)]
+pub struct StageLine {
+    pub name: &'static str,
+    pub count: u64,
+    pub mean_us: f64,
+    pub p50_us: u64,
+    pub p99_us: u64,
+    pub max_us: u64,
+    pub sum_us: u64,
+}
+
 /// One measured point.
 #[derive(Debug, Clone)]
 pub struct TcpRow {
@@ -105,6 +119,65 @@ pub struct TcpRow {
     /// Ops amortized per quorum ack; tracks the pipeline depth when group
     /// commit is working.
     pub ops_per_append: f64,
+    /// Per-stage latency attribution over the whole case (warmup included):
+    /// every sampled stage from the node and txlog registries.
+    pub stages: Vec<StageLine>,
+    /// How much of the end-to-end batch span the stage breakdown accounts
+    /// for: `(engine + durability) / e2e` by summed microseconds. The
+    /// remaining sub-spans (lock hold, apply) nest inside `engine`, so a
+    /// healthy pipeline sits just under 1.0.
+    pub stage_sum_over_e2e: f64,
+}
+
+impl TcpRow {
+    /// Looks up one attributed stage by name.
+    pub fn stage(&self, name: &str) -> Option<&StageLine> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+}
+
+/// Stages every case must sample, given its IO mode. `io_read` is only
+/// recorded by the multiplexed sweep: the thread-per-conn path reads
+/// blocking, so its read time is client think time, not server work.
+pub fn required_stages(mode: &str) -> Vec<&'static str> {
+    let mut required = vec![
+        "io_write",
+        "parse",
+        "engine",
+        "engine_lock_hold",
+        "apply",
+        "durability",
+        "e2e",
+        "log_append",
+        "quorum_ack",
+    ];
+    if mode == "multiplexed" {
+        required.insert(0, "io_read");
+    }
+    required
+}
+
+/// Validates a row's stage attribution: every required stage sampled, and
+/// `engine + durability` accounting for the end-to-end span within
+/// tolerance. Returns human-readable problems; empty means the row passes.
+pub fn attribution_problems(row: &TcpRow) -> Vec<String> {
+    let mut problems = Vec::new();
+    for name in required_stages(row.mode) {
+        if row.stage(name).is_none() {
+            problems.push(format!(
+                "{} K={} P={}: stage `{name}` has no samples",
+                row.mode, row.connections, row.pipeline
+            ));
+        }
+    }
+    if !(0.80..=1.02).contains(&row.stage_sum_over_e2e) {
+        problems.push(format!(
+            "{} K={} P={}: engine+durability accounts for {:.3} of e2e \
+             (want 0.80..=1.02)",
+            row.mode, row.connections, row.pipeline, row.stage_sum_over_e2e
+        ));
+    }
+    problems
 }
 
 pub fn mode_name(mode: IoMode) -> &'static str {
@@ -223,6 +296,37 @@ fn run_case(case: &TcpCase, params: &TcpParams) -> TcpRow {
     }
     server.stop();
 
+    // Stage attribution: both registries are cumulative over the case
+    // (warmup + all windows), which is what latency percentiles want.
+    let node_snap = primary.metrics().snapshot();
+    let log_snap = shard.ctx().log.metrics().snapshot();
+    let mut stages = Vec::new();
+    for snap in [&node_snap, &log_snap] {
+        for s in &snap.stages {
+            if s.count > 0 {
+                stages.push(StageLine {
+                    name: s.name,
+                    count: s.count,
+                    mean_us: s.mean_us(),
+                    p50_us: s.p50_us,
+                    p99_us: s.p99_us,
+                    max_us: s.max_us,
+                    sum_us: s.sum_us,
+                });
+            }
+        }
+    }
+    let sum_us = |snap: &MetricsSnapshot, name: &str| snap.stage(name).map_or(0, |s| s.sum_us);
+    let e2e_sum = sum_us(&node_snap, "e2e");
+    // Only the top-level spans: lock hold and apply nest inside `engine`,
+    // and io/parse happen outside the batch's e2e span.
+    let accounted = sum_us(&node_snap, "engine") + sum_us(&node_snap, "durability");
+    let stage_sum_over_e2e = if e2e_sum == 0 {
+        0.0
+    } else {
+        accounted as f64 / e2e_sum as f64
+    };
+
     let (rate, done, append_calls) = best.expect("at least one window");
     TcpRow {
         mode: mode_name(case.mode),
@@ -235,6 +339,8 @@ fn run_case(case: &TcpCase, params: &TcpParams) -> TcpRow {
         } else {
             done as f64 / append_calls as f64
         },
+        stages,
+        stage_sum_over_e2e,
     }
 }
 
@@ -248,15 +354,30 @@ pub fn to_json(params: &TcpParams, rows: &[TcpRow]) -> String {
     s.push_str(&format!("  \"value_bytes\": {},\n", params.value_bytes));
     s.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        let stages = r
+            .stages
+            .iter()
+            .map(|st| {
+                format!(
+                    "\"{}\": {{\"count\": {}, \"mean_us\": {:.1}, \"p50_us\": {}, \
+                     \"p99_us\": {}, \"max_us\": {}}}",
+                    st.name, st.count, st.mean_us, st.p50_us, st.p99_us, st.max_us
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
         s.push_str(&format!(
             "    {{\"mode\": \"{}\", \"connections\": {}, \"pipeline\": {}, \
-             \"ops_per_s\": {:.1}, \"append_calls\": {}, \"ops_per_append\": {:.2}}}{}\n",
+             \"ops_per_s\": {:.1}, \"append_calls\": {}, \"ops_per_append\": {:.2}, \
+             \"stage_sum_over_e2e\": {:.3}, \"stages\": {{{}}}}}{}\n",
             r.mode,
             r.connections,
             r.pipeline,
             r.ops,
             r.append_calls,
             r.ops_per_append,
+            r.stage_sum_over_e2e,
+            stages,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
@@ -290,9 +411,28 @@ mod tests {
             "pipelined batches should group-commit, got {:.2} ops/append",
             deep.ops_per_append
         );
+        // Stage attribution (§10): every declared stage sampled and the
+        // engine+durability sum consistent with the e2e span, per case.
+        for r in &rows {
+            let problems = attribution_problems(r);
+            assert!(
+                problems.is_empty(),
+                "stage attribution failed:\n{}",
+                problems.join("\n")
+            );
+        }
+        // The in-process registries never see socket IO for stages the
+        // server did not run: thread-per-conn cases must not claim io_read.
+        let tpc = rows.iter().find(|r| r.mode == "thread-per-conn").unwrap();
+        assert!(
+            tpc.stage("io_read").is_none(),
+            "blocking reads are client think time"
+        );
         // JSON encoding stays parseable in shape.
         let json = to_json(&params, &rows);
         assert!(json.contains("\"bench\": \"tcp_throughput\""));
+        assert!(json.contains("\"stage_sum_over_e2e\""));
+        assert!(json.contains("\"e2e\": {\"count\""));
         assert_eq!(json.matches("\"mode\"").count(), rows.len());
     }
 

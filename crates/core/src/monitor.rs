@@ -12,6 +12,7 @@ use crate::scheduler::{FreshnessSample, SnapshotScheduler};
 use crate::shard::Shard;
 use crate::snapshot::ShardSnapshot;
 use memorydb_engine::EngineVersion;
+use memorydb_metrics::GaugeId;
 use memorydb_txlog::EntryId;
 use std::sync::Arc;
 use std::time::Duration;
@@ -101,6 +102,25 @@ impl MonitoringService {
 
         // Snapshot freshness (§4.2.3): sample and schedule.
         if let Some(sample) = self.sample_freshness(shard) {
+            // Publish the cluster-level health gauges into the primary's
+            // registry so `INFO stats` has the monitor's view (§10).
+            if let Some(primary) = shard.primary() {
+                let m = primary.metrics();
+                m.set_gauge(GaugeId::LeaseEpoch, primary.epoch() as i64);
+                m.set_gauge(
+                    GaugeId::SnapshotCoveredEntry,
+                    sample.snapshot_covered.0 as i64,
+                );
+                let tail = sample.log_tail.0;
+                let staleness = shard
+                    .nodes()
+                    .iter()
+                    .filter(|n| n.id != primary.id)
+                    .map(|n| tail.saturating_sub(n.applied().0))
+                    .max()
+                    .unwrap_or(0);
+                m.set_gauge(GaugeId::ReplicaStalenessEntries, staleness as i64);
+            }
             if self.scheduler.should_snapshot(&sample) {
                 let worker = OffboxSnapshotter::new(
                     Arc::clone(shard.ctx()),

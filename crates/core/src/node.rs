@@ -22,6 +22,7 @@ use bytes::Bytes;
 use memorydb_engine::command::command_spec;
 use memorydb_engine::exec::Role;
 use memorydb_engine::{key_hash_slot, keys_for, EffectCmd, Engine, Frame, SessionState};
+use memorydb_metrics::{CounterId, GaugeId, Registry, StageId};
 use memorydb_objectstore::ObjectStore;
 use memorydb_txlog::{AppendError, EntryId, LogService, ReadError};
 use parking_lot::Mutex;
@@ -97,6 +98,9 @@ pub struct Node {
     engine: Mutex<Engine>,
     st: Mutex<NodeState>,
     alive: AtomicBool,
+    /// Per-node observability: stage latency histograms, counters, and the
+    /// slowlog ring surfaced by `INFO`/`SLOWLOG`/`LATENCY` (DESIGN.md §10).
+    metrics: Arc<Registry>,
 }
 
 impl std::fmt::Debug for Node {
@@ -133,6 +137,7 @@ impl Node {
                 forward: HashMap::new(),
             }),
             alive: AtomicBool::new(true),
+            metrics: Arc::new(Registry::new()),
         });
         let runner = Arc::clone(&node);
         // Baselined in analysis.toml: failing to spawn at node startup is a
@@ -234,6 +239,14 @@ impl Node {
         &self.ctx
     }
 
+    /// This node's metrics registry (stage histograms, counters, slowlog).
+    /// The server layer records its IO/parse stages here so one registry
+    /// holds the full per-request breakdown; the transaction log keeps its
+    /// own (see [`LogService::metrics`]).
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.metrics
+    }
+
     /// Simulates a hard crash: the run loop exits, the node stops serving.
     pub fn crash(&self) {
         self.alive.store(false, Ordering::SeqCst);
@@ -331,9 +344,24 @@ impl Node {
         // are covered by the batch's own (newer) log entries.
         let mut hazard_reads: Vec<(usize, EntryId)> = Vec::new();
 
+        let e2e_start = self.metrics.now_us();
+        self.metrics.incr(CounterId::BatchesDispatched);
+        self.metrics
+            .add(CounterId::CommandsDispatched, cmds.len() as u64);
+
+        let engine_start = self.metrics.now_us();
         let mut engine = self.engine.lock();
         let mut st = self.st.lock();
+        let lock_acquired_us = self.metrics.now_us();
         engine.set_time_ms(wall_ms());
+        // `CONFIG SET slowlog-log-slower-than` lands in engine config; mirror
+        // it into the registry's slowlog under the already-held engine lock.
+        if let Some(t) = engine
+            .config_param("slowlog-log-slower-than")
+            .and_then(|v| v.parse::<i64>().ok())
+        {
+            self.metrics.slowlog().set_threshold_us(t);
+        }
 
         for (i, args) in cmds.iter().enumerate() {
             let Some(cmd_name) = args.first() else {
@@ -355,7 +383,18 @@ impl Node {
             // INFO at the node level: the engine only knows its keyspace;
             // the replication/cluster sections live here.
             if name == "INFO" {
-                replies.push(self.info_reply_locked(&engine, &st));
+                replies.push(self.info_reply_locked(&engine, &st, args.get(1)));
+                continue;
+            }
+
+            // SLOWLOG / LATENCY read the node's metrics registry; the engine
+            // only carries empty-shaped fallbacks for standalone use.
+            if name == "SLOWLOG" {
+                replies.push(self.slowlog_reply(args));
+                continue;
+            }
+            if name == "LATENCY" {
+                replies.push(self.latency_reply(args));
                 continue;
             }
 
@@ -444,7 +483,19 @@ impl Node {
                 continue;
             }
 
+            let apply_start = self.metrics.now_us();
             let outcome = engine.execute(session, args);
+            let apply_us = self.metrics.now_us().saturating_sub(apply_start);
+            self.metrics.record_stage(StageId::Apply, apply_us);
+            if self
+                .metrics
+                .slowlog()
+                .observe(apply_us, (wall_ms() / 1000) as i64, || {
+                    args.iter().map(|a| a.to_vec()).collect()
+                })
+            {
+                self.metrics.incr(CounterId::SlowlogRecorded);
+            }
 
             if outcome.effects.is_empty() {
                 // Read (or no-op write): key-level hazard check (§3.2).
@@ -546,6 +597,15 @@ impl Node {
 
         drop(st);
         drop(engine);
+        let lock_dropped_us = self.metrics.now_us();
+        self.metrics.record_stage(
+            StageId::EngineLockHold,
+            lock_dropped_us.saturating_sub(lock_acquired_us),
+        );
+        self.metrics.record_stage(
+            StageId::Engine,
+            lock_dropped_us.saturating_sub(engine_start),
+        );
 
         if let Some(e) = append_error {
             // The rebuild will discard everything from the first staged
@@ -561,6 +621,10 @@ impl Node {
             }
             // Reads before the first mutation still honor their hazards.
             self.settle_hazard_reads(&mut replies, &hazard_reads);
+            self.metrics.record_stage(
+                StageId::E2e,
+                self.metrics.now_us().saturating_sub(e2e_start),
+            );
             return replies;
         }
 
@@ -568,11 +632,16 @@ impl Node {
         // a batch with no mutations waits on the newest read hazard only.
         let wait_target = last_entry.or_else(|| hazard_reads.iter().map(|&(_, h)| h).max());
         if let Some(target) = wait_target {
-            if self
+            let durability_start = self.metrics.now_us();
+            let durable = self
                 .ctx
                 .log
-                .wait_durable(target, self.ctx.cfg.commit_timeout)
-            {
+                .wait_durable(target, self.ctx.cfg.commit_timeout);
+            self.metrics.record_stage(
+                StageId::Durability,
+                self.metrics.now_us().saturating_sub(durability_start),
+            );
+            if durable {
                 let committed = self.ctx.log.committed_tail();
                 self.st.lock().tracker.advance_committed(committed);
                 for w in staged {
@@ -592,6 +661,10 @@ impl Node {
                 self.settle_hazard_reads(&mut replies, &hazard_reads);
             }
         }
+        self.metrics.record_stage(
+            StageId::E2e,
+            self.metrics.now_us().saturating_sub(e2e_start),
+        );
         replies
     }
 
@@ -607,9 +680,19 @@ impl Node {
         }
     }
 
-    /// Builds the `INFO` reply: engine keyspace stats plus the node's
-    /// replication and durability state.
-    fn info_reply_locked(&self, engine: &Engine, st: &NodeState) -> Frame {
+    /// Builds the `INFO [section]` reply: engine keyspace stats plus the
+    /// node's replication and durability state, and — from the metrics
+    /// registries — a `stats` counter section and a `latencystats` section
+    /// with per-stage latency percentiles (DESIGN.md §10).
+    fn info_reply_locked(&self, engine: &Engine, st: &NodeState, section: Option<&Bytes>) -> Frame {
+        let filter = section.map(|s| String::from_utf8_lossy(s).to_ascii_lowercase());
+        // Bare INFO keeps its historic shape (no stats sections): existing
+        // parsers split on `# ` headers and count sections.
+        let wants = |name: &str, by_default: bool| match filter.as_deref() {
+            None | Some("default") => by_default,
+            Some("all") | Some("everything") => true,
+            Some(f) => f == name,
+        };
         let role = match st.role {
             Role::Primary => "master",
             Role::Replica => "slave",
@@ -621,32 +704,183 @@ impl Node {
         } else {
             -1
         };
-        let text = format!(
-            "# Server\r\nredis_version:{version}\r\nengine:memorydb-repro\r\nnode_id:{id}\r\n\
-             # Replication\r\nrole:{role}\r\nleader_epoch:{epoch}\r\nknown_leader:{leader}\r\n\
-             applied_log_entry:{applied}\r\ncommitted_log_tail:{committed}\r\n\
-             lease_remaining_ms:{lease_remaining_ms}\r\npending_unacked_keys:{pending}\r\n\
-             halted:{halted}\r\n\
-             # Cluster\r\nshard_id:{shard}\r\nowned_slots:{slots}\r\nconnected_replicas:{replicas}\r\n\
-             # Keyspace\r\ndb0:keys={keys}\r\n\
-             # Memory\r\nused_memory:{mem}\r\n",
-            version = engine.version(),
-            id = self.id,
-            role = role,
-            epoch = st.rs.epoch,
-            leader = st.rs.leader.map(|l| l.to_string()).unwrap_or_else(|| "?".into()),
-            applied = st.rs.applied.0,
-            committed = self.ctx.log.committed_tail().0,
-            lease_remaining_ms = lease_remaining_ms,
-            pending = st.tracker.pending_keys(),
-            halted = st.rs.halted.as_ref().map(|h| h.to_string()).unwrap_or_else(|| "no".into()),
-            shard = self.ctx.shard_id,
-            slots = st.rs.owned_slots.len(),
-            replicas = self.ctx.bus.replica_count(self.ctx.shard_id),
-            keys = engine.db.len(),
-            mem = engine.db.used_memory(),
-        );
+        let mut text = String::new();
+        if wants("server", true) {
+            text.push_str(&format!(
+                "# Server\r\nredis_version:{version}\r\nengine:memorydb-repro\r\nnode_id:{id}\r\n",
+                version = engine.version(),
+                id = self.id,
+            ));
+        }
+        if wants("replication", true) {
+            text.push_str(&format!(
+                "# Replication\r\nrole:{role}\r\nleader_epoch:{epoch}\r\nknown_leader:{leader}\r\n\
+                 applied_log_entry:{applied}\r\ncommitted_log_tail:{committed}\r\n\
+                 lease_remaining_ms:{lease_remaining_ms}\r\npending_unacked_keys:{pending}\r\n\
+                 halted:{halted}\r\n",
+                epoch = st.rs.epoch,
+                leader = st
+                    .rs
+                    .leader
+                    .map(|l| l.to_string())
+                    .unwrap_or_else(|| "?".into()),
+                applied = st.rs.applied.0,
+                committed = self.ctx.log.committed_tail().0,
+                pending = st.tracker.pending_keys(),
+                halted = st
+                    .rs
+                    .halted
+                    .as_ref()
+                    .map(|h| h.to_string())
+                    .unwrap_or_else(|| "no".into()),
+            ));
+        }
+        if wants("cluster", true) {
+            text.push_str(&format!(
+                "# Cluster\r\nshard_id:{shard}\r\nowned_slots:{slots}\r\nconnected_replicas:{replicas}\r\n",
+                shard = self.ctx.shard_id,
+                slots = st.rs.owned_slots.len(),
+                replicas = self.ctx.bus.replica_count(self.ctx.shard_id),
+            ));
+        }
+        if wants("keyspace", true) {
+            text.push_str(&format!("# Keyspace\r\ndb0:keys={}\r\n", engine.db.len()));
+        }
+        if wants("memory", true) {
+            text.push_str(&format!(
+                "# Memory\r\nused_memory:{}\r\n",
+                engine.db.used_memory()
+            ));
+        }
+        if wants("stats", false) {
+            let node = self.metrics.snapshot();
+            let log = self.ctx.log.metrics().snapshot();
+            text.push_str("# Stats\r\n");
+            for (name, v) in &node.counters {
+                text.push_str(&format!("{name}:{v}\r\n"));
+            }
+            for (name, v) in &node.gauges {
+                text.push_str(&format!("{name}:{v}\r\n"));
+            }
+            for (name, v) in &log.counters {
+                text.push_str(&format!("txlog_{name}:{v}\r\n"));
+            }
+            for (name, v) in &log.gauges {
+                text.push_str(&format!("txlog_{name}:{v}\r\n"));
+            }
+        }
+        if wants("latencystats", false) {
+            text.push_str("# Latencystats\r\n");
+            for snap in [self.metrics.snapshot(), self.ctx.log.metrics().snapshot()] {
+                for s in &snap.stages {
+                    if s.count == 0 {
+                        continue;
+                    }
+                    text.push_str(&format!(
+                        "latency_percentiles_usec_{}:p50={},p99={},p99.9={},max={},calls={}\r\n",
+                        s.name, s.p50_us, s.p99_us, s.p999_us, s.max_us, s.count
+                    ));
+                }
+            }
+        }
+        if text.is_empty() {
+            // Unknown section: Redis replies with an empty bulk.
+            return Frame::Bulk(Bytes::new());
+        }
         Frame::Bulk(Bytes::from(text))
+    }
+
+    /// `SLOWLOG GET [n] | RESET | LEN`, served from the node registry's
+    /// slowlog ring (the engine's SLOWLOG is an empty-shaped fallback).
+    fn slowlog_reply(&self, args: &[Bytes]) -> Frame {
+        let Some(sub) = args.get(1) else {
+            return Frame::error("ERR wrong number of arguments for 'slowlog' command");
+        };
+        match String::from_utf8_lossy(sub).to_ascii_uppercase().as_str() {
+            "GET" => {
+                let n = match args.get(2) {
+                    Some(raw) => match String::from_utf8_lossy(raw).parse::<i64>() {
+                        // Redis: a negative count means "everything".
+                        Ok(v) if v < 0 => usize::MAX,
+                        Ok(v) => v as usize,
+                        Err(_) => {
+                            return Frame::error("ERR value is not an integer or out of range")
+                        }
+                    },
+                    None => 10,
+                };
+                Frame::Array(
+                    self.metrics
+                        .slowlog()
+                        .get(n)
+                        .into_iter()
+                        .map(|e| {
+                            Frame::Array(vec![
+                                Frame::Integer(e.id as i64),
+                                Frame::Integer(e.unix_time_s),
+                                Frame::Integer(e.duration_us as i64),
+                                Frame::Array(
+                                    e.args
+                                        .into_iter()
+                                        .map(|a| Frame::Bulk(Bytes::from(a)))
+                                        .collect(),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                )
+            }
+            "RESET" => {
+                self.metrics.slowlog().reset();
+                Frame::ok()
+            }
+            "LEN" => Frame::Integer(self.metrics.slowlog().len() as i64),
+            other => Frame::error(format!("ERR Unknown SLOWLOG subcommand '{other}'")),
+        }
+    }
+
+    /// `LATENCY HISTOGRAM | RESET`: per-stage latency summaries from both
+    /// the node registry (io/parse/engine/apply/durability/e2e) and the
+    /// shard's transaction-log registry (append/quorum-ack/read stages).
+    /// Only stages with at least one sample are reported.
+    fn latency_reply(&self, args: &[Bytes]) -> Frame {
+        let Some(sub) = args.get(1) else {
+            return Frame::error("ERR wrong number of arguments for 'latency' command");
+        };
+        match String::from_utf8_lossy(sub).to_ascii_uppercase().as_str() {
+            "HISTOGRAM" => {
+                let mut out: Vec<(Frame, Frame)> = Vec::new();
+                for snap in [self.metrics.snapshot(), self.ctx.log.metrics().snapshot()] {
+                    for s in &snap.stages {
+                        if s.count == 0 {
+                            continue;
+                        }
+                        let field = |k: &str, v: u64| {
+                            (
+                                Frame::Bulk(Bytes::from(k.to_string())),
+                                Frame::Integer(v as i64),
+                            )
+                        };
+                        out.push((
+                            Frame::Bulk(Bytes::from(s.name.to_string())),
+                            Frame::Map(vec![
+                                field("calls", s.count),
+                                field("p50_us", s.p50_us),
+                                field("p99_us", s.p99_us),
+                                field("p999_us", s.p999_us),
+                                field("max_us", s.max_us),
+                                field("sum_us", s.sum_us),
+                            ]),
+                        ));
+                    }
+                }
+                Frame::Map(out)
+            }
+            // Stage histograms are cumulative (like Redis's latencystats);
+            // RESET acknowledges with the Redis shape without clearing.
+            "RESET" => Frame::Integer(0),
+            other => Frame::error(format!("ERR Unknown LATENCY subcommand '{other}'")),
+        }
     }
 
     // ---------------------------------------------------------------------
@@ -934,6 +1168,15 @@ impl Node {
             }
         }
 
+        // Replica staleness: committed entries this replica has not yet
+        // applied (the monitor also samples this cluster-wide).
+        let tail = self.ctx.log.committed_tail().0;
+        let applied_now = self.st.lock().rs.applied.0;
+        self.metrics.set_gauge(
+            GaugeId::ReplicaStalenessEntries,
+            tail.saturating_sub(applied_now) as i64,
+        );
+
         // Election check (§4.1.3): campaign when no leadership signal has
         // been observed for a full backoff (strictly greater than the
         // lease), or immediately after a voluntary release.
@@ -990,6 +1233,7 @@ impl Node {
                     st.demote_requested = false;
                     drop(st);
                     drop(engine);
+                    self.metrics.set_gauge(GaugeId::LeaseEpoch, epoch as i64);
                     self.ctx
                         .bus
                         .heartbeat(self.id, self.ctx.shard_id, BusRole::Primary);

@@ -1275,3 +1275,247 @@ fn restore_racing_snapshot_trim_retries_from_fresh_snapshot() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Observability: SLOWLOG / LATENCY / INFO sections at the node level, and
+// the EXPIRE overflow fixes replayed through real replication (DESIGN §10).
+// ---------------------------------------------------------------------------
+
+/// Map-frame lookup by bulk key (LATENCY HISTOGRAM replies).
+fn map_get<'a>(frame: &'a Frame, key: &str) -> Option<&'a Frame> {
+    let Frame::Map(pairs) = frame else {
+        return None;
+    };
+    pairs.iter().find_map(|(k, v)| match k {
+        Frame::Bulk(b) if b.as_ref() == key.as_bytes() => Some(v),
+        _ => None,
+    })
+}
+
+#[test]
+fn expire_overflow_is_rejected_and_delete_on_negative_replicates() {
+    let shard = new_shard(1);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut session = SessionState::new();
+    assert_eq!(
+        primary.handle(&mut session, &cmd(["SET", "k", "v"])),
+        Frame::ok()
+    );
+
+    // Overflowing seconds->ms conversion is an error, not a wrapped TTL.
+    let huge = (i64::MAX / 1000 + 1).to_string();
+    let reply = primary.handle(&mut session, &cmd(["EXPIRE", "k", &huge]));
+    let Frame::Error(msg) = &reply else {
+        panic!("EXPIRE overflow must error, got {reply:?}");
+    };
+    assert!(msg.contains("invalid expire time"), "got: {msg}");
+    assert_eq!(
+        primary.handle(&mut session, &cmd(["TTL", "k"])),
+        Frame::Integer(-1)
+    );
+
+    // PEXPIREAT at i64::MAX is representable: accepted, key survives.
+    assert_eq!(
+        primary.handle(
+            &mut session,
+            &cmd(["PEXPIREAT", "k", &i64::MAX.to_string()])
+        ),
+        Frame::Integer(1)
+    );
+
+    // EXPIRE with a negative TTL deletes — and the DEL effect must reach
+    // the replica through the log, not via replica-local clock math.
+    assert_eq!(
+        primary.handle(&mut session, &cmd(["EXPIRE", "k", "-5"])),
+        Frame::Integer(1)
+    );
+    assert_eq!(
+        primary.handle(&mut session, &cmd(["GET", "k"])),
+        Frame::Null
+    );
+    assert!(shard.wait_replicas_caught_up(T));
+    let replica = shard.replicas().into_iter().next().unwrap();
+    let mut s = SessionState::new();
+    assert_eq!(replica.handle(&mut s, &cmd(["GET", "k"])), Frame::Null);
+    let (p_pos, p_crc) = primary.position();
+    let (r_pos, r_crc) = replica.position();
+    assert_eq!(
+        (p_pos, p_crc),
+        (r_pos, r_crc),
+        "divergent after EXPIRE fixes"
+    );
+}
+
+#[test]
+fn slowlog_records_commands_and_serves_get_reset_len() {
+    let shard = new_shard(0);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut session = SessionState::new();
+
+    // Threshold 0 records everything; the setting is engine config and is
+    // mirrored into the registry at the next batch.
+    assert_eq!(
+        primary.handle(
+            &mut session,
+            &cmd(["CONFIG", "SET", "slowlog-log-slower-than", "0"])
+        ),
+        Frame::ok()
+    );
+    assert_eq!(
+        primary.handle(&mut session, &cmd(["SET", "slow", "cmd"])),
+        Frame::ok()
+    );
+
+    let len = primary.handle(&mut session, &cmd(["SLOWLOG", "LEN"]));
+    let Frame::Integer(n) = len else {
+        panic!("SLOWLOG LEN must be an integer, got {len:?}");
+    };
+    assert!(n >= 1, "threshold 0 must record the SET, got {n}");
+
+    let got = primary.handle(&mut session, &cmd(["SLOWLOG", "GET"]));
+    let Frame::Array(entries) = &got else {
+        panic!("SLOWLOG GET must be an array, got {got:?}");
+    };
+    let Some(Frame::Array(fields)) = entries.first() else {
+        panic!("expected at least one slowlog entry");
+    };
+    assert_eq!(fields.len(), 4, "entry = [id, ts, dur_us, args]");
+    assert!(matches!(fields.first(), Some(Frame::Integer(_))));
+    let Some(Frame::Array(args)) = fields.get(3) else {
+        panic!("4th field must be the argv array");
+    };
+    assert!(!args.is_empty());
+
+    // GET with an explicit count limits; negative count means everything.
+    let one = primary.handle(&mut session, &cmd(["SLOWLOG", "GET", "1"]));
+    let Frame::Array(one) = one else { panic!() };
+    assert_eq!(one.len(), 1);
+    let all = primary.handle(&mut session, &cmd(["SLOWLOG", "GET", "-1"]));
+    let Frame::Array(all) = all else { panic!() };
+    assert!(all.len() as i64 >= n);
+
+    // Disabled threshold records nothing. The CONFIG SET batch itself still
+    // runs under the old threshold (the mirror happens at batch start), so
+    // reset AFTER disabling.
+    assert_eq!(
+        primary.handle(
+            &mut session,
+            &cmd(["CONFIG", "SET", "slowlog-log-slower-than", "-1"])
+        ),
+        Frame::ok()
+    );
+    assert_eq!(
+        primary.handle(&mut session, &cmd(["SLOWLOG", "RESET"])),
+        Frame::ok()
+    );
+    assert_eq!(
+        primary.handle(&mut session, &cmd(["SLOWLOG", "LEN"])),
+        Frame::Integer(0)
+    );
+    assert_eq!(
+        primary.handle(&mut session, &cmd(["SET", "quiet", "1"])),
+        Frame::ok()
+    );
+    assert_eq!(
+        primary.handle(&mut session, &cmd(["SLOWLOG", "LEN"])),
+        Frame::Integer(0)
+    );
+
+    let bad = primary.handle(&mut session, &cmd(["SLOWLOG", "NOPE"]));
+    assert!(matches!(bad, Frame::Error(_)));
+}
+
+#[test]
+fn info_sections_and_latency_histogram_reflect_stage_metrics() {
+    let shard = new_shard(0);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut session = SessionState::new();
+    assert_eq!(
+        primary.handle(&mut session, &cmd(["SET", "k", "v"])),
+        Frame::ok()
+    );
+    assert_eq!(primary.handle(&mut session, &cmd(["GET", "k"])), bulk("v"));
+
+    let text = |f: &Frame| -> String {
+        let Frame::Bulk(b) = f else {
+            panic!("INFO must be bulk, got {f:?}")
+        };
+        String::from_utf8_lossy(b).into_owned()
+    };
+
+    // Bare INFO keeps its historic default sections, without stats.
+    let full = text(&primary.handle(&mut session, &cmd(["INFO"])));
+    for section in [
+        "# Server",
+        "# Replication",
+        "# Cluster",
+        "# Keyspace",
+        "# Memory",
+    ] {
+        assert!(full.contains(section), "bare INFO missing {section}");
+    }
+    assert!(!full.contains("# Stats"));
+
+    // Section filtering.
+    let repl = text(&primary.handle(&mut session, &cmd(["INFO", "replication"])));
+    assert!(repl.contains("role:master"));
+    assert!(!repl.contains("# Server"));
+
+    // stats: dispatch counters from the node registry plus txlog-prefixed
+    // counters and gauges from the log's registry.
+    let stats = text(&primary.handle(&mut session, &cmd(["INFO", "stats"])));
+    assert!(stats.contains("commands_dispatched:"), "{stats}");
+    assert!(stats.contains("batches_dispatched:"), "{stats}");
+    assert!(stats.contains("txlog_log_committed_tail:"), "{stats}");
+
+    // latencystats: per-stage percentiles; apply/e2e ran, log_append too
+    // (the SET committed through the log).
+    let lat = text(&primary.handle(&mut session, &cmd(["INFO", "latencystats"])));
+    for stage in [
+        "apply",
+        "e2e",
+        "engine_lock_hold",
+        "durability",
+        "log_append",
+        "quorum_ack",
+    ] {
+        assert!(
+            lat.contains(&format!("latency_percentiles_usec_{stage}:")),
+            "latencystats missing {stage}: {lat}"
+        );
+    }
+
+    // `everything` includes both the default and the stats sections.
+    let every = text(&primary.handle(&mut session, &cmd(["INFO", "everything"])));
+    assert!(every.contains("# Server") && every.contains("# Stats"));
+
+    // Unknown section: empty bulk, like Redis.
+    let unknown = primary.handle(&mut session, &cmd(["INFO", "bogus"]));
+    assert_eq!(unknown, Frame::Bulk(Bytes::new()));
+
+    // LATENCY HISTOGRAM: map keyed by stage, node + txlog registries merged.
+    let hist = primary.handle(&mut session, &cmd(["LATENCY", "HISTOGRAM"]));
+    for stage in ["apply", "e2e", "log_append"] {
+        let entry = map_get(&hist, stage)
+            .unwrap_or_else(|| panic!("LATENCY HISTOGRAM missing stage {stage}"));
+        let calls = map_get(entry, "calls").expect("calls field");
+        assert!(
+            matches!(calls, Frame::Integer(n) if *n > 0),
+            "{stage}: {calls:?}"
+        );
+        for field in ["p50_us", "p99_us", "p999_us", "max_us", "sum_us"] {
+            assert!(map_get(entry, field).is_some(), "{stage} missing {field}");
+        }
+    }
+    assert!(
+        map_get(&hist, "io_read").is_none(),
+        "no IO recorded in-process"
+    );
+
+    assert_eq!(
+        primary.handle(&mut session, &cmd(["LATENCY", "RESET"])),
+        Frame::Integer(0)
+    );
+    let bad = primary.handle(&mut session, &cmd(["LATENCY", "NOPE"]));
+    assert!(matches!(bad, Frame::Error(_)));
+}

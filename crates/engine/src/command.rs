@@ -299,6 +299,8 @@ spec_table! {
     "READONLY" => 1, A, KeyRule::None;
     "READWRITE" => 1, A, KeyRule::None;
     "REPLCONF" => -1, A, KeyRule::None;
+    "SLOWLOG" => -2, A, KeyRule::None;
+    "LATENCY" => -2, A, KeyRule::None;
 }
 
 /// Validates argc against a spec's arity convention.

@@ -11,7 +11,9 @@ fn read_str<'a>(e: &'a Engine, key: &[u8]) -> Result<Option<&'a Bytes>, ExecOutc
     }
 }
 
-const MAX_BIT_OFFSET: i64 = 4 * 1024 * 1024 * 1024 * 8 - 1; // 4 GB of bits
+// 2^32 - 1: bit offsets address at most a 512 MB string, the Redis limit.
+// (A stray ×8 here once allowed SETBIT to zero-fill a 4 GB buffer.)
+const MAX_BIT_OFFSET: i64 = 4 * 1024 * 1024 * 1024 - 1;
 
 /// Normalizes a `[start, end]` range (in bytes or bits, per the caller's
 /// `total`) exactly the way Redis does for BITCOUNT/BITPOS: negative

@@ -54,10 +54,20 @@ pub(super) fn expire_generic(
     if !e.db.exists(&a[1], e.now()) {
         return Ok(ExecOutcome::read(Frame::Integer(0)));
     }
+    // Overflow-checked conversion to absolute ms (Redis semantics): a value
+    // whose magnitude cannot be scaled to milliseconds — seconds beyond
+    // `i64::MAX / 1000` in either direction — is an "invalid expire time"
+    // error, never a silent clamp; a representable negative or past time
+    // falls through to the delete-on-past path below.
+    let overflow = || {
+        let cmd = String::from_utf8_lossy(&a[0]).to_lowercase();
+        ExecOutcome::error(format!("invalid expire time in '{cmd}' command"))
+    };
+    let scaled = n.checked_mul(unit_ms as i64).ok_or_else(overflow)?;
     let at: i64 = if absolute {
-        n.saturating_mul(unit_ms as i64)
+        scaled
     } else {
-        (e.now() as i64).saturating_add(n.saturating_mul(unit_ms as i64))
+        (e.now() as i64).checked_add(scaled).ok_or_else(overflow)?
     };
     let current = e.db.expiry(&a[1]);
     let allowed = match flag.as_deref() {

@@ -519,6 +519,8 @@ impl Engine {
             "DEBUG" => server::debug(self, a),
             "OBJECT" => server::object(self, a),
             "CLUSTER" => server::cluster(self, a),
+            "SLOWLOG" => server::slowlog(self, a),
+            "LATENCY" => server::latency(self, a),
             // Replication-adjacent commands answered at the engine level
             // with standalone semantics; the core/server layers intercept
             // them before they reach the engine when a shard is attached.
@@ -540,6 +542,13 @@ impl Engine {
 
     pub(crate) fn config(&self) -> &HashMap<String, String> {
         &self.config
+    }
+
+    /// Reads one CONFIG parameter. The node layer polls observability knobs
+    /// (e.g. `slowlog-log-slower-than`) from here under the engine lock it
+    /// already holds, so `CONFIG SET` takes effect without extra plumbing.
+    pub fn config_param(&self, key: &str) -> Option<&str> {
+        self.config.get(key).map(String::as_str)
     }
 }
 

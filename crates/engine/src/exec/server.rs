@@ -208,6 +208,33 @@ pub(super) fn object(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     }
 }
 
+/// `SLOWLOG GET|RESET|LEN` — engine-level fallback. The slowlog ring lives
+/// in the node's metrics registry and the node intercepts this command
+/// before dispatch; a standalone engine answers with the empty shapes so
+/// spec-driven clients keep working.
+pub(super) fn slowlog(_e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    match upper(&a[1]).as_str() {
+        "GET" => Ok(ExecOutcome::read(Frame::Array(Vec::new()))),
+        "RESET" => Ok(ExecOutcome::read(Frame::ok())),
+        "LEN" => Ok(ExecOutcome::read(Frame::Integer(0))),
+        sub => Err(ExecOutcome::error(format!(
+            "Unknown SLOWLOG subcommand '{sub}'"
+        ))),
+    }
+}
+
+/// `LATENCY HISTOGRAM|RESET` — engine-level fallback, same story as
+/// [`slowlog`]: the node intercepts with real per-stage histograms.
+pub(super) fn latency(_e: &mut Engine, a: &[Bytes]) -> CmdResult {
+    match upper(&a[1]).as_str() {
+        "HISTOGRAM" => Ok(ExecOutcome::read(Frame::Map(Vec::new()))),
+        "RESET" => Ok(ExecOutcome::read(Frame::Integer(0))),
+        sub => Err(ExecOutcome::error(format!(
+            "Unknown LATENCY subcommand '{sub}'"
+        ))),
+    }
+}
+
 pub(super) fn cluster(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     match upper(&a[1]).as_str() {
         "KEYSLOT" => {

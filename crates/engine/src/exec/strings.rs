@@ -12,6 +12,11 @@ fn read_str<'a>(e: &'a Engine, key: &[u8]) -> Result<Option<&'a Bytes>, ExecOutc
     }
 }
 
+/// Largest string value a write may create (Redis `proto-max-bulk-len`,
+/// shared with the decoder's per-element cap). Guards SETRANGE from turning
+/// an `i64::MAX`-adjacent offset into a multi-GB zero-filled allocation.
+const PROTO_MAX_BULK_LEN: usize = memorydb_resp::DEFAULT_MAX_LEN;
+
 pub(super) fn get(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     Ok(ExecOutcome::read(bulk_or_null(
         read_str(e, &a[1])?.cloned(),
@@ -363,7 +368,18 @@ pub(super) fn setrange(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     if patch.is_empty() {
         return Ok(ExecOutcome::read(Frame::Integer(existing.len() as i64)));
     }
-    let new_len = existing.len().max(offset + patch.len());
+    // Overflow-checked end position, capped before any allocation happens:
+    // `i64::MAX`-adjacent offsets must be a clean error, not a wrapped
+    // length or an attempted multi-GB zero-fill.
+    let end = match offset.checked_add(patch.len()) {
+        Some(end) if end <= PROTO_MAX_BULK_LEN => end,
+        _ => {
+            return Err(ExecOutcome::error(
+                "string exceeds maximum allowed size (proto-max-bulk-len)",
+            ))
+        }
+    };
+    let new_len = existing.len().max(end);
     let mut buf = vec![0u8; new_len];
     buf[..existing.len()].copy_from_slice(&existing);
     buf[offset..offset + patch.len()].copy_from_slice(patch);
@@ -381,7 +397,8 @@ pub(super) fn getrange(e: &mut Engine, a: &[Bytes]) -> CmdResult {
     let len = s.len() as i64;
     let norm = |i: i64| -> i64 {
         if i < 0 {
-            (len + i).max(0)
+            // Saturate: `len + i64::MIN` must clamp to 0, not overflow.
+            len.saturating_add(i).max(0)
         } else {
             i
         }

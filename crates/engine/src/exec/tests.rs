@@ -1864,3 +1864,119 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Boundary-offset regressions (ISSUE 4): i64::MAX-adjacent offsets,
+// proto-max-bulk-len caps, and overflow-checked expire conversion.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn setrange_huge_offsets_error_instead_of_allocating() {
+    let mut e = engine();
+    run(&mut e, &["SET", "k", "abc"]);
+    // i64::MAX-adjacent offset: the checked end position must produce a
+    // clean error (previously it wrapped / attempted a huge zero-fill).
+    let max = i64::MAX.to_string();
+    match run(&mut e, &["SETRANGE", "k", &max, "x"]) {
+        Frame::Error(msg) => assert!(msg.contains("proto-max-bulk-len"), "{msg}"),
+        other => panic!("expected error, got {other:?}"),
+    }
+    // First offset past the 512 MB cap (end = cap + 1 with a 1-byte patch).
+    let over = (512u64 * 1024 * 1024).to_string();
+    assert!(run(&mut e, &["SETRANGE", "k", &over, "x"]).is_error());
+    // The value is untouched and negative offsets still error.
+    assert_eq!(run(&mut e, &["GET", "k"]), bulk("abc"));
+    assert!(run(&mut e, &["SETRANGE", "k", "-1", "x"]).is_error());
+}
+
+#[test]
+fn getrange_i64_extremes_clamp_cleanly() {
+    let mut e = engine();
+    run(&mut e, &["SET", "k", "hello"]);
+    // Regression: `len + i64::MIN` used to overflow in debug builds.
+    let min = i64::MIN.to_string();
+    assert_eq!(run(&mut e, &["GETRANGE", "k", &min, "-1"]), bulk("hello"));
+    assert_eq!(run(&mut e, &["GETRANGE", "k", &min, &min]), bulk("h"));
+    let max = i64::MAX.to_string();
+    assert_eq!(run(&mut e, &["GETRANGE", "k", "0", &max]), bulk("hello"));
+    assert_eq!(run(&mut e, &["GETRANGE", "k", &max, &max]), bulk(""));
+}
+
+#[test]
+fn setbit_getbit_offsets_capped_at_redis_limit() {
+    let mut e = engine();
+    // 2^32 is the first illegal bit offset: a 512 MB string holds exactly
+    // 2^32 bits. (Regression: a stray x8 in the cap let SETBIT zero-fill
+    // a 4 GB buffer.)
+    let first_bad = (1u64 << 32).to_string();
+    assert!(run(&mut e, &["SETBIT", "k", &first_bad, "1"]).is_error());
+    assert!(run(&mut e, &["GETBIT", "k", &first_bad]).is_error());
+    let max = i64::MAX.to_string();
+    assert!(run(&mut e, &["SETBIT", "k", &max, "1"]).is_error());
+    assert!(run(&mut e, &["SETBIT", "k", "-1", "1"]).is_error());
+    // Nothing was created by the rejected writes; in-range offsets work.
+    assert_eq!(run(&mut e, &["EXISTS", "k"]), Frame::Integer(0));
+    assert_eq!(run(&mut e, &["SETBIT", "k", "100", "1"]), Frame::Integer(0));
+    assert_eq!(run(&mut e, &["GETBIT", "k", "100"]), Frame::Integer(1));
+    assert_eq!(run(&mut e, &["STRLEN", "k"]), Frame::Integer(13));
+}
+
+#[test]
+fn expire_overflow_is_error_delete_on_negative_still_works() {
+    let mut e = engine();
+    run(&mut e, &["SET", "k", "v"]);
+    // Seconds beyond i64::MAX / 1000 cannot scale to milliseconds: a typed
+    // error (previously a silent saturating clamp), key and TTL untouched.
+    let over = (i64::MAX / 1000 + 1).to_string();
+    match run(&mut e, &["EXPIRE", "k", &over]) {
+        Frame::Error(msg) => {
+            assert!(msg.contains("invalid expire time"), "{msg}");
+            assert!(msg.contains("expire"), "{msg}");
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+    assert_eq!(run(&mut e, &["GET", "k"]), bulk("v"));
+    assert_eq!(run(&mut e, &["TTL", "k"]), Frame::Integer(-1));
+    // Negation-side overflow: i64::MIN seconds cannot scale to ms either.
+    let min = i64::MIN.to_string();
+    assert!(run(&mut e, &["EXPIRE", "k", &min]).is_error());
+    assert!(run(&mut e, &["EXPIREAT", "k", &over]).is_error());
+    assert_eq!(run(&mut e, &["GET", "k"]), bulk("v"));
+    // Redis semantics preserved: a representable negative deletes the key,
+    // replicated as a deterministic DEL.
+    let out = run_full(&mut e, &["EXPIRE", "k", "-1"]);
+    assert_eq!(out.reply, Frame::Integer(1));
+    assert_eq!(out.effects, vec![cmd(["DEL", "k"])]);
+    assert_eq!(run(&mut e, &["EXISTS", "k"]), Frame::Integer(0));
+    // PEXPIREAT at i64::MAX is representable: accepted with the identical
+    // absolute record propagated to replicas.
+    run(&mut e, &["SET", "k2", "v"]);
+    let max = i64::MAX.to_string();
+    let out = run_full(&mut e, &["PEXPIREAT", "k2", &max]);
+    assert_eq!(out.reply, Frame::Integer(1));
+    assert_eq!(out.effects, vec![cmd(["PEXPIREAT", "k2", &max])]);
+}
+
+#[test]
+fn expire_delete_on_negative_converges_on_replica() {
+    assert_replica_convergence(&[cmd(["SET", "k", "v"]), cmd(["EXPIRE", "k", "-5"])]);
+    assert_replica_convergence(&[
+        cmd(["SET", "k", "v"]),
+        cmd(["PEXPIREAT", "k", &i64::MAX.to_string()]),
+    ]);
+}
+
+#[test]
+fn slowlog_and_latency_engine_fallbacks() {
+    // The node layer intercepts these with real data; the standalone engine
+    // must still answer the documented shapes.
+    let mut e = engine();
+    assert_eq!(run(&mut e, &["SLOWLOG", "GET"]), Frame::Array(vec![]));
+    assert_eq!(run(&mut e, &["SLOWLOG", "LEN"]), Frame::Integer(0));
+    assert_eq!(run(&mut e, &["SLOWLOG", "RESET"]), Frame::ok());
+    assert!(run(&mut e, &["SLOWLOG", "NOPE"]).is_error());
+    assert!(run(&mut e, &["SLOWLOG"]).is_error());
+    assert_eq!(run(&mut e, &["LATENCY", "HISTOGRAM"]), Frame::Map(vec![]));
+    assert_eq!(run(&mut e, &["LATENCY", "RESET"]), Frame::Integer(0));
+    assert!(run(&mut e, &["LATENCY", "NOPE"]).is_error());
+}

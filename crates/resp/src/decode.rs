@@ -14,6 +14,8 @@ pub enum DecodeError {
     Protocol(String),
     /// A declared length exceeds the decoder's configured limit.
     TooLarge { declared: usize, limit: usize },
+    /// Aggregate nesting (arrays/maps) exceeds [`MAX_DEPTH`].
+    TooDeep { limit: usize },
 }
 
 impl fmt::Display for DecodeError {
@@ -22,6 +24,9 @@ impl fmt::Display for DecodeError {
             DecodeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             DecodeError::TooLarge { declared, limit } => {
                 write!(f, "declared length {declared} exceeds limit {limit}")
+            }
+            DecodeError::TooDeep { limit } => {
+                write!(f, "aggregate nesting exceeds depth limit {limit}")
             }
         }
     }
@@ -32,6 +37,12 @@ impl std::error::Error for DecodeError {}
 /// Default cap on any single declared bulk/array length (512 MB, the Redis
 /// proto-max-bulk-len default).
 pub const DEFAULT_MAX_LEN: usize = 512 * 1024 * 1024;
+
+/// Max aggregate (array/map) nesting depth. Real commands are one array of
+/// bulk strings; anything deeper than this is a crafted frame, and the
+/// recursive parser must reject it with a typed error instead of riding the
+/// recursion to a stack overflow.
+pub const MAX_DEPTH: usize = 32;
 
 /// A stateful decoder that accumulates bytes from a stream and yields
 /// complete frames.
@@ -81,7 +92,7 @@ impl Decoder {
             pos: 0,
             max_len: self.max_len,
         };
-        match parse_frame(&mut cursor) {
+        match parse_frame(&mut cursor, 0) {
             Ok(frame) => {
                 let consumed = cursor.pos;
                 self.buf.advance(consumed);
@@ -102,7 +113,7 @@ pub fn decode(data: &[u8]) -> Result<Option<(Frame, usize)>, DecodeError> {
         pos: 0,
         max_len: DEFAULT_MAX_LEN,
     };
-    match parse_frame(&mut cursor) {
+    match parse_frame(&mut cursor, 0) {
         Ok(frame) => Ok(Some((frame, cursor.pos))),
         Err(ParseOutcome::Incomplete) => Ok(None),
         Err(ParseOutcome::Error(e)) => Err(e),
@@ -197,7 +208,7 @@ fn parse_len(line: &[u8], max: usize) -> Result<Option<usize>, ParseOutcome> {
     Ok(Some(n))
 }
 
-fn parse_frame(c: &mut Cursor<'_>) -> Result<Frame, ParseOutcome> {
+fn parse_frame(c: &mut Cursor<'_>, depth: usize) -> Result<Frame, ParseOutcome> {
     let tag = c.take()?;
     match tag {
         b'+' => {
@@ -235,9 +246,14 @@ fn parse_frame(c: &mut Cursor<'_>) -> Result<Frame, ParseOutcome> {
             match parse_len(line, c.max_len)? {
                 None => Ok(Frame::Null),
                 Some(n) => {
+                    if depth >= MAX_DEPTH {
+                        return Err(ParseOutcome::Error(DecodeError::TooDeep {
+                            limit: MAX_DEPTH,
+                        }));
+                    }
                     let mut items = Vec::with_capacity(n.min(1024));
                     for _ in 0..n {
-                        items.push(parse_frame(c)?);
+                        items.push(parse_frame(c, depth + 1)?);
                     }
                     Ok(Frame::Array(items))
                 }
@@ -274,10 +290,15 @@ fn parse_frame(c: &mut Cursor<'_>) -> Result<Frame, ParseOutcome> {
         b'%' => {
             let line = c.line()?;
             let n = parse_len(line, c.max_len)?.ok_or_else(|| protocol("null map length"))?;
+            if depth >= MAX_DEPTH {
+                return Err(ParseOutcome::Error(DecodeError::TooDeep {
+                    limit: MAX_DEPTH,
+                }));
+            }
             let mut pairs = Vec::with_capacity(n.min(1024));
             for _ in 0..n {
-                let k = parse_frame(c)?;
-                let v = parse_frame(c)?;
+                let k = parse_frame(c, depth + 1)?;
+                let v = parse_frame(c, depth + 1)?;
                 pairs.push((k, v));
             }
             Ok(Frame::Map(pairs))

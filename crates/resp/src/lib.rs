@@ -20,7 +20,7 @@ mod encode;
 mod frame;
 mod tokenize;
 
-pub use decode::{decode, DecodeError, Decoder};
+pub use decode::{decode, DecodeError, Decoder, DEFAULT_MAX_LEN, MAX_DEPTH};
 pub use encode::{encode, encoded_len};
 pub use frame::Frame;
 pub use tokenize::{tokenize, TokenizeError};

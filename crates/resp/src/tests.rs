@@ -1,4 +1,6 @@
-use crate::{decode, encode, encoded_len, tokenize, DecodeError, Decoder, Frame, TokenizeError};
+use crate::{
+    decode, encode, encoded_len, tokenize, DecodeError, Decoder, Frame, TokenizeError, MAX_DEPTH,
+};
 use bytes::{Bytes, BytesMut};
 use proptest::prelude::*;
 
@@ -379,4 +381,80 @@ proptest! {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate nesting depth (ISSUE 4 satellite): crafted deep nesting must be
+// a typed protocol error, not unbounded recursion.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ten_thousand_deep_array_nesting_is_a_typed_error_not_a_stack_overflow() {
+    let mut buf = Vec::new();
+    for _ in 0..10_000 {
+        buf.extend_from_slice(b"*1\r\n");
+    }
+    buf.extend_from_slice(b"$1\r\na\r\n");
+    assert_eq!(
+        decode(&buf).unwrap_err(),
+        DecodeError::TooDeep { limit: MAX_DEPTH }
+    );
+    // Same through the incremental decoder.
+    let mut d = Decoder::new();
+    d.feed(&buf);
+    assert_eq!(
+        d.next_frame().unwrap_err(),
+        DecodeError::TooDeep { limit: MAX_DEPTH }
+    );
+}
+
+#[test]
+fn ten_thousand_deep_map_nesting_is_a_typed_error() {
+    // Each level is a one-pair map whose value is the next level down.
+    let mut buf = Vec::new();
+    for _ in 0..10_000 {
+        buf.extend_from_slice(b"%1\r\n+k\r\n");
+    }
+    buf.extend_from_slice(b"+v\r\n");
+    assert_eq!(
+        decode(&buf).unwrap_err(),
+        DecodeError::TooDeep { limit: MAX_DEPTH }
+    );
+}
+
+#[test]
+fn nesting_exactly_at_the_depth_limit_still_parses() {
+    let mut buf = Vec::new();
+    for _ in 0..MAX_DEPTH {
+        buf.extend_from_slice(b"*1\r\n");
+    }
+    buf.extend_from_slice(b":7\r\n");
+    let (frame, used) = decode(&buf).unwrap().unwrap();
+    assert_eq!(used, buf.len());
+    let mut f = &frame;
+    for _ in 0..MAX_DEPTH {
+        match f {
+            Frame::Array(items) => f = &items[0],
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+    assert_eq!(f, &Frame::Integer(7));
+
+    // One level deeper fails.
+    let mut buf = Vec::new();
+    for _ in 0..=MAX_DEPTH {
+        buf.extend_from_slice(b"*1\r\n");
+    }
+    buf.extend_from_slice(b":7\r\n");
+    assert_eq!(
+        decode(&buf).unwrap_err(),
+        DecodeError::TooDeep { limit: MAX_DEPTH }
+    );
+}
+
+#[test]
+fn too_deep_error_display_is_descriptive() {
+    let msg = DecodeError::TooDeep { limit: MAX_DEPTH }.to_string();
+    assert!(msg.contains("nesting"), "{msg}");
+    assert!(msg.contains("32"), "{msg}");
 }

@@ -24,11 +24,12 @@ use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use memorydb_core::Node;
 use memorydb_engine::{command_spec, Frame, SessionState};
+use memorydb_metrics::{CounterId, GaugeId, StageId};
 use memorydb_resp::{encode, Decoder};
 use parking_lot::Mutex;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -70,6 +71,13 @@ fn auto_io_threads() -> usize {
     cores.clamp(1, 4)
 }
 
+/// Applies a connection-count delta shared across IO threads and mirrors
+/// the new total into the node registry's `connected_clients` gauge.
+fn track_clients(node: &Node, live: &AtomicI64, delta: i64) {
+    let v = live.fetch_add(delta, Ordering::Relaxed) + delta;
+    node.metrics().set_gauge(GaugeId::ConnectedClients, v);
+}
+
 /// A running server bound to one node.
 pub struct Server {
     /// The bound address (useful with port 0).
@@ -99,6 +107,7 @@ impl Server {
         let shutdown = Arc::new(AtomicBool::new(false));
         let conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
             Arc::new(Mutex::new(Vec::new()));
+        let live_conns = Arc::new(AtomicI64::new(0));
 
         let mut io_threads = Vec::new();
         let workers = match opts.mode {
@@ -114,10 +123,11 @@ impl Server {
                     txs.push(tx);
                     let node = Arc::clone(&node);
                     let shutdown = Arc::clone(&shutdown);
+                    let live = Arc::clone(&live_conns);
                     io_threads.push(
                         std::thread::Builder::new()
                             .name(format!("memorydb-io-{i}"))
-                            .spawn(move || io_loop(node, rx, shutdown))?,
+                            .spawn(move || io_loop(node, rx, shutdown, live))?,
                     );
                 }
                 Workers::Multiplexed(txs)
@@ -149,10 +159,18 @@ impl Server {
                                     Workers::PerConn => {
                                         let node = Arc::clone(&node);
                                         let shutdown = Arc::clone(&shutdown);
+                                        let live = Arc::clone(&live_conns);
                                         let spawned = std::thread::Builder::new()
                                             .name("memorydb-conn".into())
                                             .spawn(move || {
-                                                let _ = serve_blocking(stream, node, shutdown);
+                                                node.metrics().incr(CounterId::ConnectionsAccepted);
+                                                track_clients(&node, &live, 1);
+                                                let _ = serve_blocking(
+                                                    stream,
+                                                    Arc::clone(&node),
+                                                    shutdown,
+                                                );
+                                                track_clients(&node, &live, -1);
                                             });
                                         if let Ok(h) = spawned {
                                             conn_threads.lock().push(h);
@@ -216,6 +234,10 @@ const BATCH_CAP: usize = 128;
 /// cannot starve its IO thread's other connections.
 const READ_SWEEP_CAP: usize = 256 * 1024;
 
+/// Max length of a telnet-style inline command line (64 KB, the Redis
+/// `PROTO_INLINE_MAX_SIZE` default).
+const INLINE_MAX: usize = 64 * 1024;
+
 /// Pulls the next command from the connection buffer: a RESP array frame,
 /// or (when the first byte is not a RESP type tag) an inline command line,
 /// the `PING\r\n` form redis-cli and telnet users send.
@@ -242,10 +264,19 @@ fn next_command(raw: &mut Vec<u8>) -> Result<Option<Vec<Bytes>>, String> {
                 Err(e) => Err(e.to_string()),
             };
         }
-        // Inline command: consume one line.
+        // Inline command: consume one line. A line that exceeds the cap —
+        // complete or still streaming — is a protocol error, so a client
+        // that never sends a newline cannot grow the buffer without bound
+        // (Redis's PROTO_INLINE_MAX_SIZE behavior).
         let Some(pos) = raw.iter().position(|&b| b == b'\n') else {
+            if raw.len() > INLINE_MAX {
+                return Err("too big inline request".into());
+            }
             return Ok(None);
         };
+        if pos > INLINE_MAX {
+            return Err("too big inline request".into());
+        }
         let line = String::from_utf8_lossy(&raw[..pos]).trim().to_string();
         raw.drain(..=pos);
         if line.is_empty() {
@@ -287,9 +318,11 @@ impl ConnState {
 /// A protocol error mid-stream still executes and answers everything parsed
 /// before it, then appends the error reply and marks the connection closing.
 fn drain_commands(node: &Node, conn: &mut ConnState) {
+    let m = node.metrics();
     while !conn.closing {
         let mut cmds: Vec<Vec<Bytes>> = Vec::new();
         let mut parse_err: Option<String> = None;
+        let parse_start = m.now_us();
         while cmds.len() < BATCH_CAP {
             match next_command(&mut conn.raw) {
                 Ok(Some(args)) => cmds.push(args),
@@ -300,10 +333,14 @@ fn drain_commands(node: &Node, conn: &mut ConnState) {
                 }
             }
         }
+        if !cmds.is_empty() || parse_err.is_some() {
+            m.record_stage(StageId::Parse, m.now_us().saturating_sub(parse_start));
+        }
         if !cmds.is_empty() {
             execute_batch(node, conn, &cmds);
         }
         if let Some(e) = parse_err {
+            m.incr(CounterId::ProtocolErrors);
             if !conn.closing {
                 let mut enc = BytesMut::new();
                 encode(&Frame::error(format!("Protocol error: {e}")), &mut enc);
@@ -406,7 +443,15 @@ struct Conn {
 
 /// Writes as much of `out` as the socket accepts without blocking.
 /// Returns bytes written; `Err` means the connection is dead.
-fn flush_out(stream: &mut TcpStream, out: &mut Vec<u8>) -> std::io::Result<usize> {
+fn flush_out(
+    stream: &mut TcpStream,
+    out: &mut Vec<u8>,
+    m: &memorydb_metrics::Registry,
+) -> std::io::Result<usize> {
+    if out.is_empty() {
+        return Ok(0);
+    }
+    let write_start = m.now_us();
     let mut written = 0usize;
     while written < out.len() {
         match stream.write(&out[written..]) {
@@ -423,6 +468,7 @@ fn flush_out(stream: &mut TcpStream, out: &mut Vec<u8>) -> std::io::Result<usize
         }
     }
     out.drain(..written);
+    m.record_stage(StageId::IoWrite, m.now_us().saturating_sub(write_start));
     Ok(written)
 }
 
@@ -430,8 +476,9 @@ fn flush_out(stream: &mut TcpStream, out: &mut Vec<u8>) -> std::io::Result<usize
 /// readable input, execute, flush again. Returns `(keep, progressed)`.
 fn sweep_conn(node: &Node, conn: &mut Conn, buf: &mut [u8]) -> (bool, bool) {
     let mut progressed = false;
+    let m = node.metrics();
 
-    match flush_out(&mut conn.stream, &mut conn.state.out) {
+    match flush_out(&mut conn.stream, &mut conn.state.out, m) {
         Ok(n) => progressed |= n > 0,
         Err(_) => return (false, true),
     }
@@ -442,6 +489,7 @@ fn sweep_conn(node: &Node, conn: &mut Conn, buf: &mut [u8]) -> (bool, bool) {
 
     if !conn.eof {
         let mut total = 0usize;
+        let read_start = m.now_us();
         loop {
             match conn.stream.read(buf) {
                 Ok(0) => {
@@ -461,9 +509,12 @@ fn sweep_conn(node: &Node, conn: &mut Conn, buf: &mut [u8]) -> (bool, bool) {
             }
         }
         if total > 0 {
+            // The sockets are non-blocking, so this span is syscall time,
+            // not time spent waiting for the client to type.
+            m.record_stage(StageId::IoRead, m.now_us().saturating_sub(read_start));
             progressed = true;
             drain_commands(node, &mut conn.state);
-            if flush_out(&mut conn.stream, &mut conn.state.out).is_err() {
+            if flush_out(&mut conn.stream, &mut conn.state.out, m).is_err() {
                 return (false, true);
             }
         }
@@ -474,7 +525,7 @@ fn sweep_conn(node: &Node, conn: &mut Conn, buf: &mut [u8]) -> (bool, bool) {
         if !conn.state.raw.is_empty() && !conn.state.closing {
             drain_commands(node, &mut conn.state);
         }
-        let _ = flush_out(&mut conn.stream, &mut conn.state.out);
+        let _ = flush_out(&mut conn.stream, &mut conn.state.out, m);
         return (false, progressed);
     }
     if conn.state.closing && conn.state.out.is_empty() {
@@ -486,7 +537,12 @@ fn sweep_conn(node: &Node, conn: &mut Conn, buf: &mut [u8]) -> (bool, bool) {
 /// An IO thread: owns a set of non-blocking sockets, sweeps them for
 /// readiness, and parks on its intake channel when everything is idle
 /// (spin briefly first so pipelined bursts stay hot).
-fn io_loop(node: Arc<Node>, rx: Receiver<TcpStream>, shutdown: Arc<AtomicBool>) {
+fn io_loop(
+    node: Arc<Node>,
+    rx: Receiver<TcpStream>,
+    shutdown: Arc<AtomicBool>,
+    live: Arc<AtomicI64>,
+) {
     let mut conns: Vec<Conn> = Vec::new();
     let mut buf = vec![0u8; 16 * 1024];
     let mut idle_spins = 0u32;
@@ -495,6 +551,8 @@ fn io_loop(node: Arc<Node>, rx: Receiver<TcpStream>, shutdown: Arc<AtomicBool>) 
     let adopt = |stream: TcpStream, conns: &mut Vec<Conn>| {
         if stream.set_nonblocking(true).is_ok() {
             let _ = stream.set_nodelay(true);
+            node.metrics().incr(CounterId::ConnectionsAccepted);
+            track_clients(&node, &live, 1);
             conns.push(Conn {
                 stream,
                 state: ConnState::new(),
@@ -532,6 +590,7 @@ fn io_loop(node: Arc<Node>, rx: Receiver<TcpStream>, shutdown: Arc<AtomicBool>) 
                 i += 1;
             } else {
                 conns.swap_remove(i);
+                track_clients(&node, &live, -1);
             }
         }
 
@@ -601,7 +660,12 @@ fn serve_blocking(
         conn.raw.extend_from_slice(&buf[..n]);
         drain_commands(&node, &mut conn);
         if !conn.out.is_empty() {
+            // No IoRead sample here: the blocking read above waits on the
+            // client, which would attribute client think time to the server.
+            let m = node.metrics();
+            let write_start = m.now_us();
             stream.write_all(&conn.out)?;
+            m.record_stage(StageId::IoWrite, m.now_us().saturating_sub(write_start));
             conn.out.clear();
         }
         if conn.closing {

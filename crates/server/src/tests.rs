@@ -384,3 +384,139 @@ fn protocol_error_mid_batch_flushes_prior_replies() {
     let mut c2 = BlockingClient::connect(server.local_addr).unwrap();
     assert_eq!(c2.command(["GET", "p"]).unwrap(), bulk("1"));
 }
+
+// ---------------------------------------------------------------------------
+// Observability over live TCP, pipeline ordering, inline cap (DESIGN §10)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn info_slowlog_latency_work_over_tcp() {
+    let (server, shard) = test_server(0);
+    let mut client = BlockingClient::connect(server.local_addr).unwrap();
+    assert_eq!(client.command(["SET", "k", "v"]).unwrap(), Frame::ok());
+    assert_eq!(client.command(["GET", "k"]).unwrap(), bulk("v"));
+
+    // INFO: default sections plus a latencystats section on request, with
+    // the server-recorded IO stages present (we came in over a socket).
+    let info = client.command(["INFO"]).unwrap();
+    let Frame::Bulk(b) = &info else {
+        panic!("INFO must be bulk, got {info:?}");
+    };
+    let text = String::from_utf8_lossy(b);
+    assert!(text.contains("# Server") && text.contains("role:master"));
+
+    let lat = client.command(["INFO", "latencystats"]).unwrap();
+    let Frame::Bulk(b) = &lat else { panic!() };
+    let text = String::from_utf8_lossy(b);
+    for stage in ["io_read", "io_write", "parse", "apply", "e2e"] {
+        assert!(
+            text.contains(&format!("latency_percentiles_usec_{stage}:")),
+            "missing {stage} in: {text}"
+        );
+    }
+
+    // SLOWLOG with threshold 0 records the traffic.
+    assert_eq!(
+        client
+            .command(["CONFIG", "SET", "slowlog-log-slower-than", "0"])
+            .unwrap(),
+        Frame::ok()
+    );
+    assert_eq!(client.command(["SET", "slow", "1"]).unwrap(), Frame::ok());
+    let len = client.command(["SLOWLOG", "LEN"]).unwrap();
+    assert!(matches!(len, Frame::Integer(n) if n >= 1), "{len:?}");
+    let got = client.command(["SLOWLOG", "GET", "1"]).unwrap();
+    let Frame::Array(entries) = got else { panic!() };
+    assert_eq!(entries.len(), 1);
+    assert_eq!(client.command(["SLOWLOG", "RESET"]).unwrap(), Frame::ok());
+
+    // LATENCY HISTOGRAM is a RESP3 map keyed by stage name.
+    let hist = client.command(["LATENCY", "HISTOGRAM"]).unwrap();
+    let Frame::Map(pairs) = &hist else {
+        panic!("LATENCY HISTOGRAM must be a map, got {hist:?}");
+    };
+    let stages: Vec<String> = pairs
+        .iter()
+        .filter_map(|(k, _)| match k {
+            Frame::Bulk(b) => Some(String::from_utf8_lossy(b).into_owned()),
+            _ => None,
+        })
+        .collect();
+    for want in [
+        "io_read",
+        "io_write",
+        "parse",
+        "engine",
+        "apply",
+        "e2e",
+        "log_append",
+    ] {
+        assert!(
+            stages.iter().any(|s| s == want),
+            "missing {want} in {stages:?}"
+        );
+    }
+
+    // The registry the server recorded into is the node's own.
+    let primary = shard.primary().unwrap();
+    let snap = primary.metrics().snapshot();
+    assert!(snap.counter("connections_accepted").unwrap_or(0) >= 1);
+    assert!(snap.stage("io_read").is_some_and(|s| s.count > 0));
+}
+
+#[test]
+fn pipeline_replies_never_reorder_under_batch_splits() {
+    // A pipeline mixing connection-level commands (READONLY/READWRITE flush
+    // the run), MULTI/EXEC, errors, and plain commands must come back in
+    // exact submission order. This pins the positional-reply invariant the
+    // batch splitter relies on.
+    let (server, _shard) = test_server(0);
+    let mut client = BlockingClient::connect(server.local_addr).unwrap();
+    let replies = client
+        .pipeline([
+            vec!["SET", "x", "1"],
+            vec!["READONLY"],
+            vec!["INCR", "x"],
+            vec!["READWRITE"],
+            vec!["NOSUCHCMD"],
+            vec!["GET", "x"],
+            vec!["PING"],
+        ])
+        .unwrap();
+    assert_eq!(replies.len(), 7);
+    assert_eq!(replies[0], Frame::ok());
+    assert_eq!(replies[1], Frame::ok());
+    assert_eq!(replies[2], Frame::Integer(2));
+    assert_eq!(replies[3], Frame::ok());
+    assert!(matches!(&replies[4], Frame::Error(_)), "{:?}", replies[4]);
+    assert_eq!(replies[5], bulk("2"));
+    assert_eq!(replies[6], Frame::Simple("PONG".into()));
+
+    // A >BATCH_CAP pipeline split into multiple engine batches keeps order:
+    // INCR replies must be exactly 1..=N.
+    let n = BATCH_CAP * 2 + 17;
+    let cmds: Vec<Vec<String>> = (0..n)
+        .map(|_| vec!["INCR".to_string(), "ctr".to_string()])
+        .collect();
+    let replies = client.pipeline(cmds).unwrap();
+    assert_eq!(replies.len(), n);
+    for (i, r) in replies.iter().enumerate() {
+        assert_eq!(*r, Frame::Integer(i as i64 + 1), "reorder at index {i}");
+    }
+}
+
+#[test]
+fn oversized_inline_line_is_rejected_not_buffered_forever() {
+    let (server, _shard) = test_server(0);
+    let mut client = BlockingClient::connect(server.local_addr).unwrap();
+    // A newline-free inline blob past INLINE_MAX must produce a protocol
+    // error and a closed connection, not unbounded buffering.
+    let blob = vec![b'a'; INLINE_MAX + 512];
+    client.stream.write_all(&blob).unwrap();
+    let reply = client.read_reply().unwrap();
+    let Frame::Error(msg) = reply else {
+        panic!("expected protocol error, got {reply:?}");
+    };
+    assert!(msg.contains("too big inline request"), "{msg}");
+    assert!(client.read_reply().is_err(), "connection must close");
+}

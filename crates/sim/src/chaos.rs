@@ -37,8 +37,9 @@ use memorydb_core::restore::{restore_replica, ReplayTarget};
 use memorydb_core::shard::{NodeIdGen, Shard};
 use memorydb_core::snapshot::ShardSnapshot;
 use memorydb_engine::{cmd, EngineVersion, Frame, SessionState};
+use memorydb_metrics::CounterId;
 use memorydb_objectstore::ObjectStore;
-use memorydb_txlog::EntryId;
+use memorydb_txlog::{EntryId, ReadError};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -474,6 +475,17 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     };
 
     // --- fault director ---------------------------------------------------
+    // The director counts its own fault-hook calls locally; after the run
+    // the log registry's trip counters must match these exactly. Expected
+    // counts are NOT plan-derivable (PartitionPrimary fires only when a
+    // primary exists), so the ground truth lives at the call sites.
+    #[derive(Default)]
+    struct DirectorCounts {
+        az_flips: u64,
+        partition_flips: u64,
+        read_delay_sets: u64,
+        suspend_flips: u64,
+    }
     let director = {
         let shard = Arc::clone(&shard);
         let done = Arc::clone(&done);
@@ -481,6 +493,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         let faults = plan.faults.clone();
         let ids = Arc::clone(&ids);
         std::thread::spawn(move || {
+            let mut counts = DirectorCounts::default();
             let mut partitioned: Vec<u64> = Vec::new();
             let mut snap_client = 50_000u64;
             for step in faults {
@@ -501,16 +514,24 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
                 // satisfied would fire back-to-back and cancel out.
                 let dwell = Duration::from_millis(400);
                 match step.action {
-                    FaultAction::AzDown(az) => shard.ctx().log.set_az_up(az, false),
-                    FaultAction::AzUp(az) => shard.ctx().log.set_az_up(az, true),
+                    FaultAction::AzDown(az) => {
+                        counts.az_flips += 1;
+                        shard.ctx().log.set_az_up(az, false);
+                    }
+                    FaultAction::AzUp(az) => {
+                        counts.az_flips += 1;
+                        shard.ctx().log.set_az_up(az, true);
+                    }
                     FaultAction::PartitionPrimary => {
                         if let Some(p) = shard.primary() {
+                            counts.partition_flips += 1;
                             shard.ctx().log.set_client_partitioned(p.id, true);
                             partitioned.push(p.id);
                         }
                     }
                     FaultAction::HealPartitions => {
                         for id in partitioned.drain(..) {
+                            counts.partition_flips += 1;
                             shard.ctx().log.set_client_partitioned(id, false);
                         }
                     }
@@ -536,6 +557,47 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
                                         covered.next()
                                     ));
                                 }
+                                // Trim boundary probes: a reader starting
+                                // below first_available must observe the
+                                // typed Trimmed error — never a silent
+                                // empty-OK — and a reader AT the boundary
+                                // must not be told it was trimmed unless a
+                                // later trim moved the boundary.
+                                let probe = snap_client + 500_000;
+                                if first.0 >= 2 {
+                                    match shard.ctx().log.read_committed_from(
+                                        probe,
+                                        EntryId(first.0 - 2),
+                                        4,
+                                    ) {
+                                        Err(ReadError::Trimmed { first_available }) => {
+                                            if first_available < first {
+                                                violations.lock().push(format!(
+                                                    "Trimmed reported a regressed boundary: \
+                                                     {first_available:?} < {first:?}"
+                                                ));
+                                            }
+                                        }
+                                        Ok(batch) => violations.lock().push(format!(
+                                            "read below trim boundary {first:?} returned \
+                                             Ok({} entries) instead of Trimmed",
+                                            batch.len()
+                                        )),
+                                        Err(_) => {} // partitioned: no signal
+                                    }
+                                    if let Err(ReadError::Trimmed { first_available }) = shard
+                                        .ctx()
+                                        .log
+                                        .read_committed_from(probe, EntryId(first.0 - 1), 4)
+                                    {
+                                        if first_available <= first {
+                                            violations.lock().push(format!(
+                                                "read at boundary {first:?} reported Trimmed \
+                                                 without the boundary moving ({first_available:?})"
+                                            ));
+                                        }
+                                    }
+                                }
                             }
                             Err(e) => violations
                                 .lock()
@@ -547,8 +609,14 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
                             p.release_leadership();
                         }
                     }
-                    FaultAction::SuspendCommits => shard.ctx().log.set_commits_suspended(true),
-                    FaultAction::ResumeCommits => shard.ctx().log.set_commits_suspended(false),
+                    FaultAction::SuspendCommits => {
+                        counts.suspend_flips += 1;
+                        shard.ctx().log.set_commits_suspended(true);
+                    }
+                    FaultAction::ResumeCommits => {
+                        counts.suspend_flips += 1;
+                        shard.ctx().log.set_commits_suspended(false);
+                    }
                     FaultAction::AddSlowNode(delay_ms) => {
                         if delay_ms > 0 {
                             // NodeIdGen has no peek; burn one probe id to
@@ -557,6 +625,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
                             // read delay is installed before the node's
                             // restore starts issuing log reads.
                             let next_id = ids.next() + 1;
+                            counts.read_delay_sets += 2;
                             shard
                                 .ctx()
                                 .log
@@ -573,6 +642,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
                 }
                 std::thread::sleep(dwell);
             }
+            counts
         })
     };
 
@@ -597,10 +667,46 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     for t in workers {
         t.join().expect("worker panicked");
     }
-    director.join().expect("director panicked");
+    let dir_counts = director.join().expect("director panicked");
 
     // --- heal, settle, final sweep ---------------------------------------
     shard.ctx().log.clear_faults();
+
+    // Fault-hook trip accounting: the log registry's counters must equal
+    // the director's own call counts (clear_faults just above adds the one
+    // FaultClears; nothing else in the run touches the fault hooks).
+    let log_metrics = shard.ctx().log.metrics();
+    let counter_checks = [
+        (
+            "fault_az_flips",
+            CounterId::FaultAzFlips,
+            dir_counts.az_flips,
+        ),
+        (
+            "fault_partition_flips",
+            CounterId::FaultPartitionFlips,
+            dir_counts.partition_flips,
+        ),
+        (
+            "fault_read_delay_sets",
+            CounterId::FaultReadDelaySets,
+            dir_counts.read_delay_sets,
+        ),
+        (
+            "fault_commit_suspend_flips",
+            CounterId::FaultCommitSuspendFlips,
+            dir_counts.suspend_flips,
+        ),
+        ("fault_clears", CounterId::FaultClears, 1),
+    ];
+    for (name, id, want) in counter_checks {
+        let got = log_metrics.counter(id);
+        if got != want {
+            violations.lock().push(format!(
+                "fault counter {name}: registry saw {got} trips, director made {want}"
+            ));
+        }
+    }
     let primary = shard.wait_for_primary(Duration::from_secs(10));
     if primary.is_none() {
         violations
@@ -802,15 +908,33 @@ fn claimed_epochs(shard: &Shard) -> Vec<u64> {
     let mut epochs = Vec::new();
     let mut after = EntryId(log.first_available().0.saturating_sub(1));
     let scan_client = 90_002;
-    while let Ok(batch) = log.read_committed_from(scan_client, after, 512) {
-        if batch.is_empty() {
-            break;
-        }
-        for entry in &batch {
-            if let Some(Record::LeaderClaim { epoch, .. }) = Record::decode(&entry.payload) {
-                epochs.push(epoch);
+    loop {
+        match log.read_committed_from(scan_client, after, 512) {
+            Ok(batch) => {
+                if batch.is_empty() {
+                    break;
+                }
+                for entry in &batch {
+                    if let Some(Record::LeaderClaim { epoch, .. }) = Record::decode(&entry.payload)
+                    {
+                        epochs.push(epoch);
+                    }
+                    after = entry.id;
+                }
             }
-            after = entry.id;
+            // A trim can race the scan; resume just below the new boundary
+            // instead of silently truncating the epoch history (the claims
+            // in the trimmed prefix were already collected or are gone —
+            // either way the strictly-increasing check still applies to
+            // everything readable).
+            Err(ReadError::Trimmed { first_available }) => {
+                let resume = EntryId(first_available.0.saturating_sub(1));
+                if resume <= after {
+                    break; // no forward progress possible
+                }
+                after = resume;
+            }
+            Err(_) => break,
         }
     }
     epochs

@@ -4,6 +4,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 use bytes::Bytes;
+use memorydb_metrics::{CounterId, GaugeId, Registry, StageId};
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -195,6 +196,9 @@ struct Pending {
     /// When a quorum will have stored this entry; `None` while a quorum is
     /// unreachable (too many AZs down).
     ready_at: Option<Instant>,
+    /// Registry time (µs) when the append was accepted — the start of the
+    /// `quorum_ack` stage recorded at commit.
+    accepted_us: u64,
 }
 
 struct Inner {
@@ -264,6 +268,9 @@ pub struct LogService {
     /// batched append counts once — the observable that group commit
     /// amortizes the per-append quorum latency.
     append_calls: AtomicU64,
+    /// Durability-path metrics: append/quorum-ack/read stages, trim and
+    /// fault-hook trip counters, log-position gauges.
+    metrics: Arc<Registry>,
 }
 
 impl std::fmt::Debug for LogService {
@@ -299,7 +306,11 @@ impl LogService {
             work_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             append_calls: AtomicU64::new(0),
+            metrics: Arc::new(Registry::new()),
         });
+        svc.metrics
+            .set_gauge(GaugeId::AzUpCount, svc.cfg.num_azs as i64);
+        svc.metrics.set_gauge(GaugeId::LogFirstAvailable, 1);
         let weak = Arc::downgrade(&svc);
         // Baselined in analysis.toml: failing to spawn at service startup is
         // a boot error, before any append could be accepted or acked.
@@ -335,6 +346,12 @@ impl LogService {
                     let Some(p) = inner.pending.remove(&next_seq) else {
                         break;
                     };
+                    // Accept → quorum commit, per entry (paper §3.2's
+                    // durability wait is dominated by this stage).
+                    self.metrics.record_stage(
+                        StageId::QuorumAck,
+                        self.metrics.now_us().saturating_sub(p.accepted_us),
+                    );
                     let chain = fnv1a_chain(inner.committed_chain, &p.payload);
                     inner.committed_chain = chain;
                     let entry = LogEntry {
@@ -349,6 +366,10 @@ impl LogService {
             }
         }
         if advanced {
+            self.metrics
+                .set_gauge(GaugeId::LogCommittedTail, inner.committed_tail() as i64);
+            self.metrics
+                .set_gauge(GaugeId::LogPendingEntries, inner.pending.len() as i64);
             self.commit_cv.notify_all();
         }
         // Sleep until the next pending deadline (or a nudge).
@@ -415,11 +436,14 @@ impl LogService {
         expected_tail: EntryId,
         payloads: &[Bytes],
     ) -> Result<Vec<EntryId>, AppendError> {
+        let accept_start_us = self.metrics.now_us();
         let mut inner = self.inner.lock();
         if inner.partitioned.contains(&client) {
+            self.metrics.incr(CounterId::PartitionRejections);
             return Err(AppendError::Partitioned);
         }
         if inner.assigned_tail != expected_tail.0 {
+            self.metrics.incr(CounterId::AppendConflicts);
             return Err(AppendError::Conflict {
                 expected: expected_tail,
                 actual: EntryId(inner.assigned_tail),
@@ -436,6 +460,7 @@ impl LogService {
         } else {
             None
         };
+        let accepted_us = self.metrics.now_us();
         let mut ids = Vec::with_capacity(payloads.len());
         for payload in payloads {
             let seq = inner.assigned_tail + 1;
@@ -446,11 +471,19 @@ impl LogService {
                 Pending {
                     payload: payload.clone(),
                     ready_at,
+                    accepted_us,
                 },
             );
             ids.push(EntryId(seq));
         }
+        self.metrics
+            .set_gauge(GaugeId::LogPendingEntries, inner.pending.len() as i64);
         drop(inner);
+        // The synchronous accept span (the quorum wait is `quorum_ack`).
+        self.metrics.record_stage(
+            StageId::LogAppend,
+            accepted_us.saturating_sub(accept_start_us),
+        );
         self.work_cv.notify_all();
         Ok(ids)
     }
@@ -533,29 +566,39 @@ impl LogService {
         after: EntryId,
         max: usize,
     ) -> Result<Vec<LogEntry>, ReadError> {
+        let read_start_us = self.metrics.now_us();
         // Injected read-side latency happens outside the lock: a slow link
         // delays this reader without stalling the service for anyone else.
         let delay = { self.inner.lock().read_delay.get(&client).copied() };
         if let Some(d) = delay {
+            self.metrics
+                .record_stage(StageId::ReadDelay, d.as_micros() as u64);
             std::thread::sleep(d);
         }
         let inner = self.inner.lock();
         if inner.partitioned.contains(&client) {
+            self.metrics.incr(CounterId::PartitionRejections);
             return Err(ReadError::Partitioned);
         }
         if after.0 < inner.trim_base {
+            self.metrics.incr(CounterId::ReadsTrimmed);
             return Err(ReadError::Trimmed {
                 first_available: EntryId(inner.trim_base + 1),
             });
         }
         let start_idx = (after.0 - inner.trim_base) as usize;
-        let out = inner
+        let out: Vec<LogEntry> = inner
             .committed
             .iter()
             .skip(start_idx)
             .take(max)
             .cloned()
             .collect();
+        drop(inner);
+        self.metrics.record_stage(
+            StageId::LogRead,
+            self.metrics.now_us().saturating_sub(read_start_us),
+        );
         Ok(out)
     }
 
@@ -575,7 +618,20 @@ impl LogService {
                 return Ok(out);
             }
             let mut inner = self.inner.lock();
-            // Re-check under the lock to avoid a lost wakeup.
+            // Re-check the trim boundary under the same lock as the
+            // emptiness decision: a reader whose position a concurrent trim
+            // overtook must surface `Trimmed`, never an empty-but-OK
+            // timeout. (A trim implies the tail moved first, so the
+            // top-of-loop read would also catch it on the next pass — this
+            // makes the contract local rather than emergent, and together
+            // with `trim_prefix`'s wakeup it fires before the timeout.)
+            if after.0 < inner.trim_base {
+                self.metrics.incr(CounterId::ReadsTrimmed);
+                return Err(ReadError::Trimmed {
+                    first_available: EntryId(inner.trim_base + 1),
+                });
+            }
+            // Re-check the tail under the lock to avoid a lost wakeup.
             if inner.committed_tail() > after.0 {
                 continue;
             }
@@ -599,6 +655,12 @@ impl LogService {
         let drop_count = (upto - inner.trim_base) as usize;
         inner.committed.drain(..drop_count);
         inner.trim_base = upto;
+        self.metrics
+            .set_gauge(GaugeId::LogFirstAvailable, (upto + 1) as i64);
+        drop(inner);
+        // Wake long-pollers so a reader parked below the new boundary
+        // observes `Trimmed` promptly instead of sleeping to its timeout.
+        self.commit_cv.notify_all();
     }
 
     /// First id still readable (after trimming); `ZERO.next()` on a fresh log.
@@ -606,16 +668,36 @@ impl LogService {
         EntryId(self.inner.lock().trim_base + 1)
     }
 
+    /// Durability-path metrics registry: append/quorum-ack/read stage
+    /// histograms, fault-hook trip counters, and log-position gauges.
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.metrics
+    }
+
     // --- fault injection ---------------------------------------------------
 
     /// Marks an AZ up or down. While fewer than `quorum` AZs are up, accepted
     /// appends stall; they commit (with fresh latency) once a quorum returns.
     pub fn set_az_up(&self, az: usize, up: bool) {
+        self.metrics.incr(CounterId::FaultAzFlips);
         let mut inner = self.inner.lock();
+        self.apply_az_up(&mut inner, az, up);
+        drop(inner);
+        self.work_cv.notify_all();
+        self.commit_cv.notify_all();
+    }
+
+    /// Shared body of [`Self::set_az_up`] and [`Self::clear_faults`]: flips
+    /// the AZ and re-schedules (or stalls) pending appends. Split out so the
+    /// heal path does not route through the public hook and double-count the
+    /// `FaultAzFlips` trip counter.
+    fn apply_az_up(&self, inner: &mut Inner, az: usize, up: bool) {
         let Some(slot) = inner.az_up.get_mut(az) else {
             return; // unknown AZ index: nothing to flip
         };
         *slot = up;
+        let up_count = inner.az_up.iter().filter(|&&u| u).count();
+        self.metrics.set_gauge(GaugeId::AzUpCount, up_count as i64);
         if inner.quorum_reachable(self.cfg.quorum) {
             // Re-schedule stalled appends.
             let now = Instant::now();
@@ -637,13 +719,11 @@ impl LogService {
                 p.ready_at = None;
             }
         }
-        drop(inner);
-        self.work_cv.notify_all();
-        self.commit_cv.notify_all();
     }
 
     /// Partitions (or heals) a client from the service.
     pub fn set_client_partitioned(&self, client: ClientId, partitioned: bool) {
+        self.metrics.incr(CounterId::FaultPartitionFlips);
         let mut inner = self.inner.lock();
         if partitioned {
             inner.partitioned.insert(client);
@@ -657,6 +737,7 @@ impl LogService {
     /// Injects (or with `None` clears) a fixed delay before every log read
     /// this client makes — a deterministic slow replication/restore link.
     pub fn set_read_delay(&self, client: ClientId, delay: Option<Duration>) {
+        self.metrics.incr(CounterId::FaultReadDelaySets);
         let mut inner = self.inner.lock();
         match delay {
             Some(d) => {
@@ -673,6 +754,7 @@ impl LogService {
     /// service's crash/restart hook. On restart every stalled append is
     /// re-scheduled with fresh quorum latency.
     pub fn set_commits_suspended(&self, suspended: bool) {
+        self.metrics.incr(CounterId::FaultCommitSuspendFlips);
         let mut inner = self.inner.lock();
         inner.commits_suspended = suspended;
         if !suspended {
@@ -701,17 +783,20 @@ impl LogService {
     /// partitions, no read delays, commits running. The chaos harness's
     /// heal step between fault injection and invariant checking.
     pub fn clear_faults(&self) {
-        {
-            let mut inner = self.inner.lock();
-            inner.partitioned.clear();
-            inner.read_delay.clear();
-            inner.commits_suspended = false;
-            for up in inner.az_up.iter_mut() {
-                *up = true;
-            }
+        self.metrics.incr(CounterId::FaultClears);
+        let mut inner = self.inner.lock();
+        inner.partitioned.clear();
+        inner.read_delay.clear();
+        inner.commits_suspended = false;
+        for up in inner.az_up.iter_mut() {
+            *up = true;
         }
-        // Re-schedule anything stalled by the faults just cleared.
-        self.set_az_up(0, true);
+        // Re-schedule anything stalled by the faults just cleared. Goes via
+        // the private helper so the heal does not count as a fault flip.
+        self.apply_az_up(&mut inner, 0, true);
+        drop(inner);
+        self.work_cv.notify_all();
+        self.commit_cv.notify_all();
     }
 
     /// Stops the committer thread (used by tests; dropping all Arcs also

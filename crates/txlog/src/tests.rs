@@ -612,6 +612,180 @@ fn read_delay_slows_one_client_only() {
     assert!(t0.elapsed() < Duration::from_millis(50));
 }
 
+// ---------------------------------------------------------------------------
+// Trim/read boundary pins (ISSUE 4 satellite): a reader racing a concurrent
+// trim must observe `Trimmed`, never an empty-but-OK read.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn read_at_exact_trim_boundary_is_ok_one_below_is_trimmed() {
+    let log = svc();
+    let mut tail = EntryId::ZERO;
+    for i in 0..5 {
+        tail = log.append_after(1, tail, b(&format!("e{i}"))).unwrap();
+    }
+    assert!(log.wait_durable(tail, T));
+    log.trim_prefix(EntryId(3));
+    assert_eq!(log.first_available(), EntryId(4));
+    // A reader positioned exactly at `first_available - 1` is legal and sees
+    // the surviving suffix...
+    let ok = log.read_committed_from(2, EntryId(3), 10).unwrap();
+    assert_eq!(ok.len(), 2);
+    assert_eq!(ok[0].id, EntryId(4));
+    // ...one position below must surface `Trimmed`, never empty-but-OK.
+    let err = log.read_committed_from(2, EntryId(2), 10).unwrap_err();
+    assert_eq!(
+        err,
+        ReadError::Trimmed {
+            first_available: EntryId(4)
+        }
+    );
+    // Trimming to the committed tail leaves `tail` itself a legal (empty)
+    // read position: nothing was trimmed past it.
+    log.trim_prefix(tail);
+    let empty = log.read_committed_from(2, tail, 10).unwrap();
+    assert!(empty.is_empty());
+}
+
+#[test]
+fn long_poll_racing_trim_observes_trimmed_not_empty_ok() {
+    // The reader's injected read delay deterministically sequences the
+    // interleaving: while the reader is inside its delayed read, the writer
+    // commits three entries and trims them all away. The reader's position
+    // (ZERO) is now below the trim boundary, so the long poll must end in
+    // `Trimmed` — an empty-but-OK timeout would silently skip entries.
+    let log = svc();
+    log.set_read_delay(7, Some(Duration::from_millis(80)));
+    let log2 = log.clone();
+    let reader = std::thread::spawn(move || {
+        log2.wait_for_entries(7, EntryId::ZERO, 10, Duration::from_secs(5))
+    });
+    std::thread::sleep(Duration::from_millis(20));
+    let mut tail = EntryId::ZERO;
+    for i in 0..3 {
+        tail = log.append_after(1, tail, b(&format!("e{i}"))).unwrap();
+    }
+    assert!(log.wait_durable(tail, T));
+    log.trim_prefix(tail);
+    let got = reader.join().unwrap();
+    assert_eq!(
+        got.unwrap_err(),
+        ReadError::Trimmed {
+            first_available: EntryId(4)
+        }
+    );
+}
+
+#[test]
+fn seeded_trim_read_interleavings_never_yield_empty_ok() {
+    // Sweep deterministic per-seed offsets between the reader's delayed read
+    // and the writer's commit+trim. Depending on who wins, the reader may
+    // legally see entries (read completed before the trim) or `Trimmed`
+    // (trim overtook its position) — but never an empty OK result.
+    for seed in 0u64..8 {
+        let log = svc();
+        let delay_ms = 5 + (seed * 11) % 45;
+        let racer_sleep_ms = (seed * 7) % 30;
+        log.set_read_delay(7, Some(Duration::from_millis(delay_ms)));
+        let log2 = log.clone();
+        let reader = std::thread::spawn(move || {
+            log2.wait_for_entries(7, EntryId::ZERO, 10, Duration::from_secs(5))
+        });
+        std::thread::sleep(Duration::from_millis(racer_sleep_ms));
+        let mut tail = EntryId::ZERO;
+        for i in 0..3 {
+            tail = log.append_after(1, tail, b(&format!("e{i}"))).unwrap();
+        }
+        assert!(log.wait_durable(tail, T));
+        log.trim_prefix(tail);
+        match reader.join().unwrap() {
+            Ok(entries) => assert!(
+                !entries.is_empty(),
+                "seed {seed}: empty-but-OK read past a concurrent trim"
+            ),
+            Err(e) => assert_eq!(
+                e,
+                ReadError::Trimmed {
+                    first_available: EntryId(4)
+                },
+                "seed {seed}"
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics: stage histograms, fault-hook trip counters, log-position gauges.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn metrics_record_append_quorum_and_read_stages() {
+    use memorydb_metrics::{CounterId, GaugeId, StageId};
+    let log = svc();
+    let id = log.append_after(1, EntryId::ZERO, b("a")).unwrap();
+    assert!(log.wait_durable(id, T));
+    log.read_committed_from(2, EntryId::ZERO, 10).unwrap();
+    let m = log.metrics();
+    assert_eq!(m.stage(StageId::LogAppend).count(), 1);
+    assert_eq!(m.stage(StageId::QuorumAck).count(), 1);
+    assert_eq!(m.stage(StageId::LogRead).count(), 1);
+    assert_eq!(m.stage(StageId::ReadDelay).count(), 0);
+    assert_eq!(m.gauge(GaugeId::LogCommittedTail), 1);
+    assert_eq!(m.gauge(GaugeId::LogPendingEntries), 0);
+    assert_eq!(m.gauge(GaugeId::LogFirstAvailable), 1);
+    // An injected read delay is attributed to its own stage.
+    log.set_read_delay(2, Some(Duration::from_millis(5)));
+    log.read_committed_from(2, EntryId::ZERO, 10).unwrap();
+    assert_eq!(m.stage(StageId::ReadDelay).count(), 1);
+    assert!(m.stage(StageId::ReadDelay).max_us() >= 5_000);
+    // Trim moves the first-available gauge and trimmed reads count.
+    log.trim_prefix(id);
+    assert_eq!(m.gauge(GaugeId::LogFirstAvailable), 2);
+    assert!(log.read_committed_from(3, EntryId::ZERO, 10).is_err());
+    assert_eq!(m.counter(CounterId::ReadsTrimmed), 1);
+}
+
+#[test]
+fn metrics_count_conflicts_and_partition_rejections() {
+    use memorydb_metrics::CounterId;
+    let log = svc();
+    let id = log.append_after(1, EntryId::ZERO, b("a")).unwrap();
+    assert!(log.wait_durable(id, T));
+    assert!(log.append_after(2, EntryId::ZERO, b("x")).is_err());
+    let m = log.metrics();
+    assert_eq!(m.counter(CounterId::AppendConflicts), 1);
+    log.set_client_partitioned(3, true);
+    assert!(log.append_after(3, id, b("y")).is_err());
+    assert!(log.read_committed_from(3, EntryId::ZERO, 10).is_err());
+    assert_eq!(m.counter(CounterId::PartitionRejections), 2);
+}
+
+#[test]
+fn fault_hook_trip_counters_count_each_public_call_once() {
+    use memorydb_metrics::{CounterId, GaugeId};
+    let log = svc();
+    log.set_az_up(0, false);
+    log.set_az_up(0, true);
+    log.set_client_partitioned(1, true);
+    log.set_client_partitioned(1, false);
+    log.set_read_delay(2, Some(Duration::from_millis(1)));
+    log.set_read_delay(2, None);
+    log.set_commits_suspended(true);
+    log.set_commits_suspended(false);
+    log.clear_faults();
+    let m = log.metrics();
+    // `clear_faults` heals through a private path: it must count exactly one
+    // clear and must NOT inflate the az-flip counter.
+    assert_eq!(m.counter(CounterId::FaultAzFlips), 2);
+    assert_eq!(m.counter(CounterId::FaultPartitionFlips), 2);
+    assert_eq!(m.counter(CounterId::FaultReadDelaySets), 2);
+    assert_eq!(m.counter(CounterId::FaultCommitSuspendFlips), 2);
+    assert_eq!(m.counter(CounterId::FaultClears), 1);
+    assert_eq!(m.gauge(GaugeId::AzUpCount), 3);
+    log.set_az_up(1, false);
+    assert_eq!(m.gauge(GaugeId::AzUpCount), 2);
+}
+
 #[test]
 fn clear_faults_heals_everything_at_once() {
     let log = svc();

@@ -9,14 +9,26 @@
 #             baseline, no stale entries
 #   test    — the full tier-1 suite (includes tests/analysis.rs, which
 #             re-runs the analyzer, and the chaos smoke schedules)
+#   metrics — tcp_throughput --smoke (§10 observability): per-stage
+#             latency attribution must sample every declared stage and
+#             the stage sums must be consistent with the e2e span; the
+#             binary exits nonzero otherwise. Opt in with --metrics-smoke
+#             (it costs a few seconds of closed-loop TCP load).
 #
-# Usage: scripts/check.sh [--offline]
+# Usage: scripts/check.sh [--metrics-smoke] [--offline]
 # Extra cargo flags (e.g. --offline in the hermetic container) are passed
 # through to every cargo invocation.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-CARGO_FLAGS=("$@")
+METRICS_SMOKE=0
+CARGO_FLAGS=()
+for arg in "$@"; do
+  case "$arg" in
+    --metrics-smoke) METRICS_SMOKE=1 ;;
+    *) CARGO_FLAGS+=("$arg") ;;
+  esac
+done
 
 run() {
   echo "==> $*"
@@ -27,5 +39,8 @@ run cargo fmt --check
 run cargo clippy --workspace --all-targets "${CARGO_FLAGS[@]}" -- -D warnings
 run cargo run -q -p memorydb-analysis "${CARGO_FLAGS[@]}"
 run cargo test -q --workspace "${CARGO_FLAGS[@]}"
+if [[ "$METRICS_SMOKE" == "1" ]]; then
+  run cargo run -q --release -p memorydb-bench "${CARGO_FLAGS[@]}" --bin tcp_throughput -- --smoke
+fi
 
 echo "==> all checks passed"

@@ -56,6 +56,7 @@ pub use memorydb_baseline as baseline;
 pub use memorydb_consistency as consistency;
 pub use memorydb_core as core;
 pub use memorydb_engine as engine;
+pub use memorydb_metrics as metrics;
 pub use memorydb_objectstore as objectstore;
 pub use memorydb_resp as resp;
 pub use memorydb_server as server;
