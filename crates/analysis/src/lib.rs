@@ -1,6 +1,6 @@
 //! Workspace invariant analyzer for the MemoryDB reproduction.
 //!
-//! Four lint families, each protecting one leg of the paper's
+//! Five lint families, each protecting one leg of the paper's
 //! consistency/availability argument (see DESIGN.md "Enforced invariants"):
 //!
 //! 1. **panic-freedom** — no `unwrap`/`expect`/panic macros/direct indexing
@@ -14,6 +14,11 @@
 //!    and DES code; plans must be pure functions of (schedule, seed).
 //! 4. **sync-primitives** — `std::sync::{Mutex,RwLock,Condvar}` forbidden in
 //!    non-test code; the workspace mandates `parking_lot`.
+//! 5. **durability-wait** — no blocking durability wait in the server crate:
+//!    a multiplexed IO thread that blocks in `wait_durable`/`wait_finish`
+//!    stalls every connection it sweeps; replies must park on commit tickets
+//!    instead (DESIGN.md §11). Intentional sites (the thread-per-connection
+//!    settle) are baselined per site.
 //!
 //! Exceptions live in the checked-in `analysis.toml` baseline; every entry
 //! carries a justification, matches at least one finding (else it is
@@ -38,7 +43,7 @@ use std::path::{Path, PathBuf};
 #[derive(Debug, Clone)]
 pub struct Finding {
     /// Lint family name ("panic-freedom", "lock-discipline",
-    /// "sim-determinism", "sync-primitives").
+    /// "sim-determinism", "sync-primitives", "durability-wait").
     pub lint: &'static str,
     /// Workspace-relative path with forward slashes.
     pub file: String,

@@ -1,4 +1,4 @@
-//! The four invariant families. Each lint is a pass over the token stream
+//! The five invariant families. Each lint is a pass over the token stream
 //! from [`crate::lexer`]; scopes are hardcoded here (the baseline file only
 //! holds *exceptions*, never scope). Every diagnostic names the part of the
 //! MemoryDB argument it protects, so a violation reads as "which paper
@@ -43,6 +43,19 @@ const INDEX_SCOPE: &[&str] = &[
 /// Deterministic-simulation code: chaos plan construction and the DES core.
 const DETERMINISM_SCOPE: &[&str] = &["crates/sim/src/chaos.rs", "crates/sim/src/des.rs"];
 
+/// The server crate, whose multiplexed IO threads sweep many connections
+/// each. A durability wait here stalls every connection sharing the thread.
+const SERVER_SCOPE: &[&str] = &["crates/server/"];
+
+/// Calls that block the caller until commit durability (or a resolved
+/// commit ticket): the raw log waits plus the node-level blocking finisher.
+const DURABILITY_WAIT_METHODS: &[&str] = &[
+    "wait_durable",
+    "wait_committed_at_least",
+    "wait_for_entries",
+    "wait_finish",
+];
+
 /// Final-call methods in a `let` initializer that make the binding a guard.
 const GUARD_METHODS: &[&str] = &["lock", "read", "write", "upgradable_read"];
 
@@ -78,6 +91,9 @@ pub(crate) fn lint_tokens(rel: &str, toks: &[Tok]) -> Vec<RawFinding> {
     }
     if in_scope(rel, DETERMINISM_SCOPE) {
         determinism(toks, &mut out);
+    }
+    if in_scope(rel, SERVER_SCOPE) {
+        durability_wait(toks, &mut out);
     }
     // Workspace-wide passes.
     lock_discipline(toks, &mut out);
@@ -189,6 +205,40 @@ fn determinism(toks: &[Tok], out: &mut Vec<RawFinding>) {
                     "`{what}` in deterministic simulation code; chaos plans and DES \
                      scheduling must be pure functions of (schedule, seed) so every \
                      failure reproduces (DESIGN.md \u{a7}8)"
+                ),
+            });
+        }
+    }
+}
+
+/// (5) durability-wait: in the server crate, any call that blocks on commit
+/// durability is a finding, guard or no guard. The multiplexed IO threads
+/// sweep whole connection sets; one blocked sweep stalls every connection on
+/// that thread, which is exactly the head-of-line blocking the commit
+/// pipeline's deferred replies remove (DESIGN.md §11). The sweep must park
+/// replies on the commit ticket and let the completer wake the connection.
+/// The one intentional blocking site — the thread-per-connection settle,
+/// which also serves already-complete tickets on the drain path — is
+/// baselined in analysis.toml; new sites must be justified there one by one.
+fn durability_wait(toks: &[Tok], out: &mut Vec<RawFinding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test || !t.is_punct('.') {
+            continue;
+        }
+        let method = toks
+            .get(i + 1)
+            .and_then(|n| n.ident())
+            .filter(|_| toks.get(i + 2).is_some_and(|n| n.is_punct('(')));
+        if let Some(m) = method.filter(|m| DURABILITY_WAIT_METHODS.contains(m)) {
+            let line = toks.get(i + 1).map_or(t.line, |n| n.line);
+            out.push(RawFinding {
+                lint: "durability-wait",
+                line,
+                message: format!(
+                    "`.{m}()` blocks a server IO thread on commit durability; \
+                     the multiplexed sweep must park replies on the commit \
+                     ticket and let the completer wake the connection \
+                     (DESIGN.md \u{a7}11, paper \u{a7}6 Enhanced-IO)"
                 ),
             });
         }
@@ -495,6 +545,29 @@ mod tests {
             vec!["sim-determinism:1", "sim-determinism:1"]
         );
         assert!(lints_for("crates/sim/src/workload.rs", src).is_empty());
+    }
+
+    #[test]
+    fn durability_wait_flagged_in_server_scope_only() {
+        // No guard anywhere — lock-discipline stays silent, but in the
+        // server crate the bare blocking call is still a finding.
+        let src = "fn settle(&self) {\n\
+                   let rs = node.wait_finish(sb);\n\
+                   self.log.wait_durable(id);\n\
+                   }\n";
+        assert_eq!(
+            lints_for("crates/server/src/lib.rs", src),
+            vec!["durability-wait:2", "durability-wait:3"]
+        );
+        // The same code outside the server crate is not this lint's business.
+        assert!(lints_for("crates/core/src/lease.rs", src).is_empty());
+    }
+
+    #[test]
+    fn durability_wait_ignores_tests_and_nonblocking_calls() {
+        let src = "fn sweep(&self) { let r = node.try_finish(sb); }\n\
+                   #[cfg(test)]\nmod tests { fn t() { log.wait_durable(0); } }\n";
+        assert!(lints_for("crates/server/src/lib.rs", src).is_empty());
     }
 
     #[test]

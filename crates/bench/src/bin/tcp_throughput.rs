@@ -13,7 +13,9 @@
 //! `ops/append` near P the whole time).
 
 use memorydb_bench::output::{kops, results_dir, Table};
-use memorydb_bench::tcp::{attribution_problems, cross, run, to_json, TcpParams, TcpRow};
+use memorydb_bench::tcp::{
+    attribution_problems, coalescing_problems, cross, run, to_json, TcpParams, TcpRow,
+};
 use memorydb_server::IoMode;
 
 /// Mean µs for one attributed stage, `-` when the case never sampled it.
@@ -74,7 +76,16 @@ fn main() {
 
     let rows = run(&params);
 
-    let mut table = Table::new(&["mode", "conns", "pipeline", "op/s", "appends", "ops/append"]);
+    let mut table = Table::new(&[
+        "mode",
+        "conns",
+        "pipeline",
+        "op/s",
+        "appends",
+        "batches",
+        "ops/append",
+        "appends/cmd",
+    ]);
     for r in &rows {
         table.row(vec![
             r.mode.to_string(),
@@ -82,7 +93,9 @@ fn main() {
             r.pipeline.to_string(),
             kops(r.ops),
             r.append_calls.to_string(),
+            r.batches.to_string(),
             format!("{:.1}", r.ops_per_append),
+            format!("{:.4}", r.appends_per_command),
         ]);
     }
     println!(
@@ -102,6 +115,7 @@ fn main() {
         "parse",
         "engine",
         "apply",
+        "cqw",
         "durability",
         "e2e",
         "e2e_p99",
@@ -117,6 +131,7 @@ fn main() {
             stage_mean(r, "parse"),
             stage_mean(r, "engine"),
             stage_mean(r, "apply"),
+            stage_mean(r, "commit_queue_wait"),
             stage_mean(r, "durability"),
             stage_mean(r, "e2e"),
             r.stage("e2e")
@@ -145,10 +160,12 @@ fn main() {
     );
 
     // In smoke mode the attribution doubles as a gate: every declared
-    // stage must have samples and the stage sums must be consistent with
-    // the measured e2e span.
+    // stage must have samples, the stage sums must be consistent with the
+    // measured e2e span, and cross-connection coalescing must be observed
+    // at K >= 8 (append calls strictly below dispatched batches).
     if smoke {
-        let problems: Vec<String> = rows.iter().flat_map(attribution_problems).collect();
+        let mut problems: Vec<String> = rows.iter().flat_map(attribution_problems).collect();
+        problems.extend(coalescing_problems(&rows));
         if !problems.is_empty() {
             eprintln!("metrics smoke FAILED:");
             for p in &problems {
@@ -156,6 +173,9 @@ fn main() {
             }
             std::process::exit(1);
         }
-        println!("metrics smoke OK: all stages sampled, stage sums consistent with e2e");
+        println!(
+            "metrics smoke OK: all stages sampled, stage sums consistent with e2e, \
+             cross-connection coalescing observed"
+        );
     }
 }

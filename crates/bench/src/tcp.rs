@@ -9,7 +9,7 @@
 //! one quorum ack covers a whole pipeline, so `ops/append` should track P.
 
 use memorydb_core::{ClusterBus, NodeIdGen, Shard, ShardConfig};
-use memorydb_metrics::MetricsSnapshot;
+use memorydb_metrics::{CounterId, MetricsSnapshot};
 use memorydb_objectstore::ObjectStore;
 use memorydb_server::{BlockingClient, IoMode, Server, ServerOptions};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -58,12 +58,13 @@ impl TcpParams {
         }
     }
 
-    /// A seconds-long sanity sweep for `cargo test` / CI.
+    /// A seconds-long sanity sweep for `cargo test` / CI. Includes K=8 so
+    /// the cross-connection coalescing gate has a case to bite on.
     pub fn smoke() -> TcpParams {
         TcpParams {
             cases: cross(
                 &[IoMode::ThreadPerConnection, IoMode::Multiplexed],
-                &[1, 4],
+                &[1, 8],
                 &[1, 8],
             ),
             duration_s: 0.2,
@@ -116,9 +117,18 @@ pub struct TcpRow {
     pub ops: f64,
     /// Txlog append calls (= quorum acks) during the window.
     pub append_calls: u64,
+    /// Engine batches dispatched during the window. The commit pipeline
+    /// coalesces staged batches from many connections into single appends,
+    /// so `append_calls < batches` whenever cross-connection group commit
+    /// is working.
+    pub batches: u64,
     /// Ops amortized per quorum ack; tracks the pipeline depth when group
     /// commit is working.
     pub ops_per_append: f64,
+    /// Log appends amortized per acknowledged command — the paper-facing
+    /// inverse of `ops_per_append` (lower is better; 1.0 means every
+    /// command paid its own quorum round-trip).
+    pub appends_per_command: f64,
     /// Per-stage latency attribution over the whole case (warmup included):
     /// every sampled stage from the node and txlog registries.
     pub stages: Vec<StageLine>,
@@ -146,6 +156,7 @@ pub fn required_stages(mode: &str) -> Vec<&'static str> {
         "engine",
         "engine_lock_hold",
         "apply",
+        "commit_queue_wait",
         "durability",
         "e2e",
         "log_append",
@@ -172,10 +183,28 @@ pub fn attribution_problems(row: &TcpRow) -> Vec<String> {
     }
     if !(0.80..=1.02).contains(&row.stage_sum_over_e2e) {
         problems.push(format!(
-            "{} K={} P={}: engine+durability accounts for {:.3} of e2e \
-             (want 0.80..=1.02)",
+            "{} K={} P={}: engine+commit_queue_wait+durability accounts for \
+             {:.3} of e2e (want 0.80..=1.02)",
             row.mode, row.connections, row.pipeline, row.stage_sum_over_e2e
         ));
+    }
+    problems
+}
+
+/// Validates that cross-connection group commit actually coalesced: on the
+/// multiplexed path with enough concurrent connections (K ≥ 8) the
+/// committer must have merged staged batches, so the window's append calls
+/// must be strictly fewer than its dispatched batches. Empty means pass.
+pub fn coalescing_problems(rows: &[TcpRow]) -> Vec<String> {
+    let mut problems = Vec::new();
+    for r in rows {
+        if r.mode == "multiplexed" && r.connections >= 8 && r.append_calls >= r.batches {
+            problems.push(format!(
+                "{} K={} P={}: no cross-connection coalescing observed \
+                 ({} appends for {} batches)",
+                r.mode, r.connections, r.pipeline, r.append_calls, r.batches
+            ));
+        }
     }
     problems
 }
@@ -273,21 +302,23 @@ fn run_case(case: &TcpCase, params: &TcpParams) -> TcpRow {
     // Several back-to-back windows; keep the best one. The shard, server,
     // and clients stay hot across windows, so the max is the steady state
     // with the least scheduler interference.
-    let mut best: Option<(f64, u64, u64)> = None;
+    let mut best: Option<(f64, u64, u64, u64)> = None;
     for _ in 0..params.windows.max(1) {
         let t0 = Instant::now();
         let ops0 = ops.load(Ordering::Relaxed);
         let appends0 = shard.ctx().log.append_calls();
+        let batches0 = primary.metrics().counter(CounterId::BatchesDispatched);
         std::thread::sleep(window);
         let done = ops.load(Ordering::Relaxed) - ops0;
         let append_calls = shard.ctx().log.append_calls() - appends0;
+        let batches = primary.metrics().counter(CounterId::BatchesDispatched) - batches0;
         let rate = done as f64 / t0.elapsed().as_secs_f64();
         let better = match best {
-            Some((best_rate, _, _)) => rate > best_rate,
+            Some((best_rate, _, _, _)) => rate > best_rate,
             None => true,
         };
         if better {
-            best = Some((rate, done, append_calls));
+            best = Some((rate, done, append_calls, batches));
         }
     }
     stop.store(true, Ordering::Relaxed);
@@ -319,25 +350,34 @@ fn run_case(case: &TcpCase, params: &TcpParams) -> TcpRow {
     let sum_us = |snap: &MetricsSnapshot, name: &str| snap.stage(name).map_or(0, |s| s.sum_us);
     let e2e_sum = sum_us(&node_snap, "e2e");
     // Only the top-level spans: lock hold and apply nest inside `engine`,
-    // and io/parse happen outside the batch's e2e span.
-    let accounted = sum_us(&node_snap, "engine") + sum_us(&node_snap, "durability");
+    // io/parse happen outside the batch's e2e span, and the §11 pipeline
+    // tiles the rest of e2e as engine → commit_queue_wait → durability.
+    let accounted = sum_us(&node_snap, "engine")
+        + sum_us(&node_snap, "commit_queue_wait")
+        + sum_us(&node_snap, "durability");
     let stage_sum_over_e2e = if e2e_sum == 0 {
         0.0
     } else {
         accounted as f64 / e2e_sum as f64
     };
 
-    let (rate, done, append_calls) = best.expect("at least one window");
+    let (rate, done, append_calls, batches) = best.expect("at least one window");
     TcpRow {
         mode: mode_name(case.mode),
         connections: case.connections,
         pipeline: case.pipeline,
         ops: rate,
         append_calls,
+        batches,
         ops_per_append: if append_calls == 0 {
             0.0
         } else {
             done as f64 / append_calls as f64
+        },
+        appends_per_command: if done == 0 {
+            0.0
+        } else {
+            append_calls as f64 / done as f64
         },
         stages,
         stage_sum_over_e2e,
@@ -368,14 +408,17 @@ pub fn to_json(params: &TcpParams, rows: &[TcpRow]) -> String {
             .join(", ");
         s.push_str(&format!(
             "    {{\"mode\": \"{}\", \"connections\": {}, \"pipeline\": {}, \
-             \"ops_per_s\": {:.1}, \"append_calls\": {}, \"ops_per_append\": {:.2}, \
+             \"ops_per_s\": {:.1}, \"append_calls\": {}, \"batches\": {}, \
+             \"ops_per_append\": {:.2}, \"appends_per_command\": {:.4}, \
              \"stage_sum_over_e2e\": {:.3}, \"stages\": {{{}}}}}{}\n",
             r.mode,
             r.connections,
             r.pipeline,
             r.ops,
             r.append_calls,
+            r.batches,
             r.ops_per_append,
+            r.appends_per_command,
             r.stage_sum_over_e2e,
             stages,
             if i + 1 == rows.len() { "" } else { "," }
@@ -411,6 +454,14 @@ mod tests {
             "pipelined batches should group-commit, got {:.2} ops/append",
             deep.ops_per_append
         );
+        // Cross-connection coalescing: with K=8 connections the committer
+        // must merge staged batches across connections into fewer appends.
+        let problems = coalescing_problems(&rows);
+        assert!(
+            problems.is_empty(),
+            "coalescing gate failed:\n{}",
+            problems.join("\n")
+        );
         // Stage attribution (§10): every declared stage sampled and the
         // engine+durability sum consistent with the e2e span, per case.
         for r in &rows {
@@ -431,6 +482,8 @@ mod tests {
         // JSON encoding stays parseable in shape.
         let json = to_json(&params, &rows);
         assert!(json.contains("\"bench\": \"tcp_throughput\""));
+        assert!(json.contains("\"appends_per_command\""));
+        assert!(json.contains("\"batches\""));
         assert!(json.contains("\"stage_sum_over_e2e\""));
         assert!(json.contains("\"e2e\": {\"count\""));
         assert_eq!(json.matches("\"mode\"").count(), rows.len());

@@ -24,6 +24,12 @@ pub struct ShardConfig {
     pub commit_timeout: Duration,
     /// Inject a checksum probe every this many Effects records (§7.2.1).
     pub checksum_probe_every: u64,
+    /// Commit-pipeline backpressure: max staged-but-unresolved log entries
+    /// in flight before new batches block at submission.
+    pub commit_window_entries: usize,
+    /// Commit-pipeline backpressure: max staged-but-unresolved payload
+    /// bytes in flight before new batches block at submission.
+    pub commit_window_bytes: usize,
     /// Transaction-log service configuration for this shard.
     pub log: LogConfig,
     /// Snapshot scheduling: take a new snapshot once the un-snapshotted log
@@ -43,6 +49,8 @@ impl Default for ShardConfig {
             tick: Duration::from_millis(25),
             commit_timeout: Duration::from_secs(5),
             checksum_probe_every: 64,
+            commit_window_entries: 1024,
+            commit_window_bytes: 4 << 20,
             log: LogConfig::instant(),
             snapshot_min_bytes: 64 * 1024,
             snapshot_ratio: 0.25,
@@ -81,6 +89,9 @@ impl ShardConfig {
         if self.snapshot_ratio <= 0.0 {
             return Err("snapshot_ratio must be positive".into());
         }
+        if self.commit_window_entries == 0 || self.commit_window_bytes == 0 {
+            return Err("commit window must allow at least one entry/byte".into());
+        }
         Ok(())
     }
 }
@@ -100,6 +111,20 @@ mod tests {
         let cfg = ShardConfig {
             backoff: Duration::from_millis(100),
             lease: Duration::from_millis(100),
+            ..ShardConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn commit_window_must_be_nonzero() {
+        let cfg = ShardConfig {
+            commit_window_entries: 0,
+            ..ShardConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = ShardConfig {
+            commit_window_bytes: 0,
             ..ShardConfig::default()
         };
         assert!(cfg.validate().is_err());

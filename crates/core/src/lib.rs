@@ -15,6 +15,7 @@
 //! |---|---|
 //! | §3.1 decoupled durability, effect interception | [`node`], [`record`] |
 //! | §3.2 client-blocking tracker, key-level hazards | [`tracker`], [`node`] |
+//! | §3.2 commit pipeline, cross-connection group commit | [`pipeline`], [`node`] |
 //! | §4.1 leader election, leases, fencing | [`node`] (election), [`record`] |
 //! | §4.2 recovery, data restoration | [`restore`], [`monitor`] |
 //! | §4.2.2 off-box snapshotting | [`offbox`] |
@@ -33,6 +34,7 @@ pub mod migration;
 pub mod monitor;
 pub mod node;
 pub mod offbox;
+pub mod pipeline;
 pub mod record;
 pub mod restore;
 pub mod scheduler;
@@ -48,8 +50,9 @@ pub use cluster::Cluster;
 pub use config::ShardConfig;
 pub use migration::{migrate_slot, MigrationError};
 pub use monitor::MonitoringService;
-pub use node::{Node, ShardContext};
+pub use node::{Node, ShardContext, SubmittedBatch};
 pub use offbox::OffboxSnapshotter;
+pub use pipeline::TicketOutcome;
 pub use record::{NodeId, Record, ShardId};
 pub use scheduler::SnapshotScheduler;
 pub use shard::{NodeIdGen, Shard};

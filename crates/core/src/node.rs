@@ -14,6 +14,7 @@
 use crate::apply::{apply_entry, fold_appended_payload, ReplicaState};
 use crate::bus::{BusRole, ClusterBus};
 use crate::config::ShardConfig;
+use crate::pipeline::{CommitPipeline, StagedRun, Ticket, TicketOutcome};
 use crate::record::{NodeId, Record, ShardId};
 use crate::restore::{restore_replica, ReplayTarget, RestorePoint};
 use crate::snapshot::ShardSnapshot;
@@ -62,8 +63,11 @@ struct NodeState {
     tracker: Tracker,
     /// Primary: my lease is valid until here; I stop serving at expiry.
     lease_valid_until: Instant,
-    /// Primary: a renewal appended but not yet confirmed durable.
-    pending_renewal: Option<(EntryId, Instant)>,
+    /// Primary: a renewal staged but not yet confirmed durable. The ticket
+    /// (not `is_durable` on the prospective id) is the confirmation: after
+    /// a fence another leader's entry may occupy that id, and extending the
+    /// lease from it would break lease disjointness.
+    pending_renewal: Option<(Arc<Ticket>, Instant)>,
     /// Primary: when to append the next renewal.
     next_renewal_at: Instant,
     effects_since_probe: u64,
@@ -101,6 +105,14 @@ pub struct Node {
     /// Per-node observability: stage latency histograms, counters, and the
     /// slowlog ring surfaced by `INFO`/`SLOWLOG`/`LATENCY` (DESIGN.md §10).
     metrics: Arc<Registry>,
+    /// Commit pipeline (DESIGN.md §11): staged runs awaiting the committer
+    /// thread's coalesced append, and appended tickets awaiting the
+    /// completer thread's watermark check.
+    pipeline: Arc<CommitPipeline>,
+    /// Group-commit leadership: whoever holds this drains the staged queue
+    /// and appends. Serializing drain+append here is what keeps log order
+    /// equal to fold order when submitters flush on their own thread.
+    flush_token: Mutex<()>,
 }
 
 impl std::fmt::Debug for Node {
@@ -109,6 +121,41 @@ impl std::fmt::Debug for Node {
             .field("id", &self.id)
             .field("role", &self.role())
             .finish()
+    }
+}
+
+/// A batch that has executed and staged its mutations on the commit
+/// pipeline, with the mutation replies still parked on its [`Ticket`]
+/// (DESIGN.md §11). Produced by [`Node::handle_batch_submit`], consumed by
+/// [`Node::try_finish`] / [`Node::wait_finish`].
+pub struct SubmittedBatch {
+    /// Replies in submission order; mutation slots hold `Frame::Null`
+    /// placeholders until the ticket resolves.
+    replies: Vec<Frame>,
+    /// `(index, reply)` for each staged mutation — installed only on a
+    /// durable resolution.
+    staged_replies: Vec<(usize, Frame)>,
+    /// `(index, hazard entry)` for reads before the first mutation.
+    hazard_reads: Vec<(usize, EntryId)>,
+    first_write_index: Option<usize>,
+    /// `None` when the batch never touched the pipeline (pure reads with
+    /// no hazards): the replies are final already.
+    ticket: Option<Arc<Ticket>>,
+}
+
+impl SubmittedBatch {
+    /// Has the pipeline resolved this batch's ticket (or was none needed)?
+    pub fn is_complete(&self) -> bool {
+        self.ticket.as_ref().is_none_or(|t| t.is_resolved())
+    }
+
+    /// Registers a completion callback on the pending ticket; fires
+    /// immediately when the batch is already complete.
+    pub fn set_waker(&self, waker: Box<dyn FnOnce() + Send>) {
+        match &self.ticket {
+            Some(t) => t.set_waker(waker),
+            None => waker(),
+        }
     }
 }
 
@@ -138,6 +185,8 @@ impl Node {
             }),
             alive: AtomicBool::new(true),
             metrics: Arc::new(Registry::new()),
+            pipeline: Arc::new(CommitPipeline::new()),
+            flush_token: Mutex::new(()),
         });
         let runner = Arc::clone(&node);
         // Baselined in analysis.toml: failing to spawn at node startup is a
@@ -147,6 +196,18 @@ impl Node {
             .name(format!("node-{id}"))
             .spawn(move || runner.run_loop())
             .expect("spawn node loop");
+        let committer = Arc::clone(&node);
+        #[allow(clippy::expect_used)]
+        std::thread::Builder::new()
+            .name(format!("node-{id}-committer"))
+            .spawn(move || committer.committer_loop())
+            .expect("spawn committer");
+        let completer = Arc::clone(&node);
+        #[allow(clippy::expect_used)]
+        std::thread::Builder::new()
+            .name(format!("node-{id}-completer"))
+            .spawn(move || completer.completer_loop())
+            .expect("spawn completer");
         node
     }
 
@@ -248,9 +309,12 @@ impl Node {
     }
 
     /// Simulates a hard crash: the run loop exits, the node stops serving.
+    /// The pipeline threads drain whatever is in flight before exiting, so
+    /// no parked reply hangs past the commit timeout.
     pub fn crash(&self) {
         self.alive.store(false, Ordering::SeqCst);
         self.ctx.bus.remove(self.id);
+        self.pipeline.notify_all();
     }
 
     /// Is the node alive (not crashed)?
@@ -267,30 +331,21 @@ impl Node {
     /// lease release, letting observers campaign immediately, then demotes.
     /// Returns whether the release was durably recorded.
     pub fn release_leadership(&self) -> bool {
-        let (id, payload) = {
+        let ticket = {
             let mut st = self.st.lock();
-            if st.role != Role::Primary {
+            if st.role != Role::Primary || st.state_poisoned || st.rebuilding {
                 return false;
             }
             let rec = Record::LeaseRelease {
                 node: self.id,
                 epoch: st.rs.epoch,
             };
-            let payload = rec.encode();
-            match self
-                .ctx
-                .log
-                .append_after(self.id, st.rs.applied, payload.clone())
-            {
-                Ok(id) => {
-                    fold_appended_payload(&mut st.rs, id, &payload, false);
-                    (id, payload)
-                }
-                Err(_) => return false,
-            }
+            self.stage_control_locked(&mut st, rec.encode())
         };
-        let _ = payload;
-        let ok = self.ctx.log.wait_durable(id, self.ctx.cfg.commit_timeout);
+        let ok = matches!(
+            ticket.wait(self.ticket_wait_cap()),
+            Some(TicketOutcome::Durable)
+        );
         self.st.lock().demote_requested = true;
         ok
     }
@@ -312,9 +367,9 @@ impl Node {
     }
 
     /// Executes a pipeline of commands with **one** engine-lock
-    /// acquisition, **one** conditional log append covering every mutation
-    /// (group commit, §3.1's BtrLog batching), and **one** durability wait
-    /// releasing the whole pipeline of replies (§3.2).
+    /// acquisition and **one** commit ticket covering every mutation
+    /// (group commit, §3.1's BtrLog batching), blocking until the commit
+    /// pipeline releases the whole pipeline of replies (§3.2).
     ///
     /// Replies come back in submission order. Semantics match running the
     /// same commands one at a time through [`Node::handle`]: per-command
@@ -322,10 +377,34 @@ impl Node {
     /// no-unacknowledged-data-loss rule (a mutation whose append is fenced
     /// poisons every later command in the batch, because those executed
     /// against state that will be discarded on demotion).
+    ///
+    /// This is the blocking wrapper over [`Node::handle_batch_submit`] +
+    /// [`Node::wait_finish`]; the multiplexed server uses the split form
+    /// to park replies instead of blocking its IO threads (DESIGN.md §11).
     pub fn handle_batch(&self, session: &mut SessionState, cmds: &[Vec<Bytes>]) -> Vec<Frame> {
+        let sb = self.handle_batch_submit(session, cmds);
+        self.wait_finish(sb)
+    }
+
+    /// The non-blocking half of [`Node::handle_batch`]: executes the batch
+    /// under the engine lock, stages its mutations (and read hazards) on
+    /// the commit pipeline, and returns with the mutation replies still
+    /// parked on the batch's ticket. [`Node::try_finish`] /
+    /// [`Node::wait_finish`] release them once the ticket resolves.
+    pub fn handle_batch_submit(
+        &self,
+        session: &mut SessionState,
+        cmds: &[Vec<Bytes>],
+    ) -> SubmittedBatch {
         let mut replies: Vec<Frame> = Vec::with_capacity(cmds.len());
         if cmds.is_empty() {
-            return replies;
+            return SubmittedBatch {
+                replies,
+                staged_replies: Vec::new(),
+                hazard_reads: Vec::new(),
+                first_write_index: None,
+                ticket: None,
+            };
         }
 
         /// A mutation staged for the batch's single group-commit append.
@@ -345,6 +424,20 @@ impl Node {
         let mut hazard_reads: Vec<(usize, EntryId)> = Vec::new();
 
         let e2e_start = self.metrics.now_us();
+        // Backpressure (§11): block while the in-flight commit window is
+        // full, before taking any lock (the pipeline threads need them to
+        // drain the window). Attributed to `commit_queue_wait` so the e2e
+        // breakdown still closes when the window engages.
+        let windowed = self.pipeline.wait_for_window(
+            self.ctx.cfg.commit_window_entries,
+            self.ctx.cfg.commit_window_bytes,
+            self.ctx.cfg.commit_timeout,
+        );
+        let windowed_us = windowed.as_micros() as u64;
+        if windowed_us > 0 {
+            self.metrics
+                .record_stage(StageId::CommitQueueWait, windowed_us);
+        }
         self.metrics.incr(CounterId::BatchesDispatched);
         self.metrics
             .add(CounterId::CommandsDispatched, cmds.len() as u64);
@@ -370,13 +463,28 @@ impl Node {
             };
             let name = String::from_utf8_lossy(cmd_name).to_ascii_uppercase();
 
-            // WAIT: every acknowledged write is already durable across AZs,
-            // so WAIT trivially satisfies any replica count; reply with the
-            // number of gossiping replicas, like MemoryDB.
+            // WAIT numreplicas timeout: every acknowledged write is already
+            // durable across AZs, so any satisfiable replica count is met
+            // immediately; reply with the number of gossiping replicas,
+            // like MemoryDB. The arguments are still validated like Redis.
             if name == "WAIT" {
-                replies.push(Frame::Integer(
-                    self.ctx.bus.replica_count(self.ctx.shard_id) as i64,
-                ));
+                let (Some(raw_replicas), Some(raw_timeout), 3) =
+                    (args.get(1), args.get(2), args.len())
+                else {
+                    replies.push(Frame::error(
+                        "ERR wrong number of arguments for 'wait' command",
+                    ));
+                    continue;
+                };
+                let numreplicas = String::from_utf8_lossy(raw_replicas).parse::<i64>();
+                let timeout_ms = String::from_utf8_lossy(raw_timeout).parse::<i64>();
+                replies.push(match (numreplicas, timeout_ms) {
+                    (Ok(_), Ok(t)) if t >= 0 => {
+                        Frame::Integer(self.ctx.bus.replica_count(self.ctx.shard_id) as i64)
+                    }
+                    (Ok(_), Ok(_)) => Frame::error("ERR timeout is negative"),
+                    _ => Frame::error("ERR value is not an integer or out of range"),
+                });
                 continue;
             }
 
@@ -540,59 +648,86 @@ impl Node {
             }
         }
 
-        // Group commit: one conditional append — and one quorum round trip
-        // — covers every mutation in the batch.
-        let mut append_error: Option<String> = None;
-        let mut last_entry: Option<EntryId> = None;
+        // Group commit, decoupled (§11): fold prospective entry ids under
+        // the engine lock — log order equals execution order, exactly as
+        // the synchronous append did — enqueue one commit ticket, and let
+        // the committer thread perform the coalesced conditional append.
+        let mut ticket: Option<Arc<Ticket>> = None;
+        let mut staged_replies: Vec<(usize, Frame)> = Vec::new();
         if !staged.is_empty() {
-            let payloads: Vec<Bytes> = staged.iter().map(|w| w.payload.clone()).collect();
-            match self
-                .ctx
-                .log
-                .append_batch_after(self.id, st.rs.applied, &payloads)
-            {
-                Ok(ids) => {
-                    for (w, id) in staged.iter().zip(&ids) {
-                        fold_appended_payload(&mut st.rs, *id, &w.payload, false);
-                        st.tracker.stage(*id, &w.dirty);
-                    }
-                    st.effects_since_probe += ids.len() as u64;
-                    if st.effects_since_probe >= self.ctx.cfg.checksum_probe_every {
-                        st.effects_since_probe = 0;
-                        let probe = Record::ChecksumProbe {
-                            crc: st.rs.running_crc,
-                        }
-                        .encode();
-                        if let Ok(pid) =
-                            self.ctx
-                                .log
-                                .append_after(self.id, st.rs.applied, probe.clone())
-                        {
-                            fold_appended_payload(&mut st.rs, pid, &probe, true);
-                        }
-                    }
-                    // Mirror to migration targets if these slots are being
-                    // moved (§5.2). Sent while holding the engine lock so
-                    // the target observes effects in execution order.
-                    for w in &staged {
-                        if let Some(slot) = w.slot {
-                            if let Some(target) = st.forward.get(&slot).cloned() {
-                                let _ = target.ingest_effects(&w.effects, true);
-                            }
-                        }
-                    }
-                    last_entry = ids.last().copied();
+            let first_id = st.rs.applied.next();
+            let mut payloads: Vec<Bytes> = Vec::with_capacity(staged.len() + 1);
+            let mut bytes = 0usize;
+            for w in &staged {
+                let id = st.rs.applied.next();
+                fold_appended_payload(&mut st.rs, id, &w.payload, false);
+                st.tracker.stage(id, &w.dirty);
+                bytes += w.payload.len();
+                payloads.push(w.payload.clone());
+            }
+            st.effects_since_probe += staged.len() as u64;
+            if st.effects_since_probe >= self.ctx.cfg.checksum_probe_every {
+                st.effects_since_probe = 0;
+                let probe = Record::ChecksumProbe {
+                    crc: st.rs.running_crc,
                 }
-                Err(e) => {
-                    // Fenced (a new leader exists) or partitioned: these
-                    // mutations must not be acknowledged; demote and resync
-                    // (§3.2). The executed-but-unlogged effects also poison
-                    // the engine state until the rebuild replaces it.
-                    st.demote_requested = true;
-                    st.state_poisoned = true;
-                    append_error = Some(e.to_string());
+                .encode();
+                let pid = st.rs.applied.next();
+                fold_appended_payload(&mut st.rs, pid, &probe, true);
+                bytes += probe.len();
+                payloads.push(probe);
+            }
+            // Mirror to migration targets if these slots are being moved
+            // (§5.2). Sent while holding the engine lock so the target
+            // observes effects in execution order.
+            for w in &staged {
+                if let Some(slot) = w.slot {
+                    if let Some(target) = st.forward.get(&slot).cloned() {
+                        let _ = target.ingest_effects(&w.effects, true);
+                    }
                 }
             }
+            let now_us = self.metrics.now_us();
+            let t = Ticket::new(
+                st.rs.applied,
+                payloads.len(),
+                bytes,
+                Instant::now() + self.ctx.cfg.commit_timeout,
+                e2e_start,
+                now_us,
+                true,
+            );
+            // Staged while `st` is held: queue order is fold order, which
+            // the committer's fencing argument relies on.
+            self.pipeline.stage(StagedRun {
+                ticket: Arc::clone(&t),
+                payloads,
+                first_id,
+            });
+            staged_replies = staged.into_iter().map(|w| (w.index, w.reply)).collect();
+            ticket = Some(t);
+        } else if let Some(h) = hazard_reads.iter().map(|&(_, h)| h).max() {
+            // Read-only batch with hazards: ride the staged queue with an
+            // empty run so a fence poisons it in submission order — the
+            // hazard ids are prospective, and after a fence another
+            // leader's entry may occupy them, so `is_durable` alone cannot
+            // clear these reads.
+            let now_us = self.metrics.now_us();
+            let t = Ticket::new(
+                h,
+                0,
+                0,
+                Instant::now() + self.ctx.cfg.commit_timeout,
+                e2e_start,
+                now_us,
+                true,
+            );
+            self.pipeline.stage(StagedRun {
+                ticket: Arc::clone(&t),
+                payloads: Vec::new(),
+                first_id: EntryId(0),
+            });
+            ticket = Some(t);
         }
 
         drop(st);
@@ -606,51 +741,104 @@ impl Node {
             StageId::Engine,
             lock_dropped_us.saturating_sub(engine_start),
         );
-
-        if let Some(e) = append_error {
-            // The rebuild will discard everything from the first staged
-            // mutation on, and later commands in the batch observed that
-            // state — none of their replies may be released. An append
-            // failure without a staged write cannot happen; treat it as
-            // "nothing to poison" rather than panicking the serving path.
-            let first = first_write_index.unwrap_or(replies.len());
-            for reply in replies.iter_mut().skip(first) {
-                *reply = Frame::Error(format!(
-                    "CLUSTERDOWN cannot commit to transaction log ({e}); demoting"
-                ));
+        match &ticket {
+            // Re-stamp queue entry so the `commit_queue_wait` span starts
+            // where the `engine` span ends (no double counting). When the
+            // pipeline already resolved the ticket — committer, quorum, and
+            // completer all outran this thread's bookkeeping — the reply
+            // could not have shipped before now, so this thread records the
+            // spans with the lock drop as the end stamp.
+            Some(t) => {
+                if t.note_unlocked(lock_dropped_us) && t.attributed {
+                    self.record_ticket_spans(t, lock_dropped_us);
+                }
+                self.try_self_flush();
             }
-            // Reads before the first mutation still honor their hazards.
-            self.settle_hazard_reads(&mut replies, &hazard_reads);
-            self.metrics.record_stage(
-                StageId::E2e,
-                self.metrics.now_us().saturating_sub(e2e_start),
-            );
-            return replies;
+            // No pipeline involvement: the batch is complete right now.
+            None => self
+                .metrics
+                .record_stage(StageId::E2e, lock_dropped_us.saturating_sub(e2e_start)),
         }
 
-        // Block once until the log acknowledges the whole batch (§3.2);
-        // a batch with no mutations waits on the newest read hazard only.
-        let wait_target = last_entry.or_else(|| hazard_reads.iter().map(|&(_, h)| h).max());
-        if let Some(target) = wait_target {
-            let durability_start = self.metrics.now_us();
-            let durable = self
-                .ctx
-                .log
-                .wait_durable(target, self.ctx.cfg.commit_timeout);
-            self.metrics.record_stage(
-                StageId::Durability,
-                self.metrics.now_us().saturating_sub(durability_start),
-            );
-            if durable {
-                let committed = self.ctx.log.committed_tail();
-                self.st.lock().tracker.advance_committed(committed);
-                for w in staged {
-                    if let Some(slot) = replies.get_mut(w.index) {
-                        *slot = w.reply;
+        SubmittedBatch {
+            replies,
+            staged_replies,
+            hazard_reads,
+            first_write_index,
+            ticket,
+        }
+    }
+
+    /// Upper bound on any single ticket wait: generous enough that the
+    /// pipeline threads always resolve first (the completer enforces
+    /// `commit_timeout`), yet finite so a caller can never hang even if
+    /// the node died mid-flight.
+    fn ticket_wait_cap(&self) -> Duration {
+        self.ctx.cfg.commit_timeout * 2 + Duration::from_secs(1)
+    }
+
+    /// Blocks until the batch's ticket resolves and returns the final
+    /// replies (the blocking half of the submit/finish split).
+    pub fn wait_finish(&self, sb: SubmittedBatch) -> Vec<Frame> {
+        let outcome = sb.ticket.as_ref().map(|t| {
+            t.wait(self.ticket_wait_cap())
+                .unwrap_or(TicketOutcome::TimedOut)
+        });
+        self.finish_batch(sb, outcome)
+    }
+
+    /// Non-blocking finish: the final replies if the batch's ticket has
+    /// resolved, or the batch handed back for re-parking.
+    pub fn try_finish(&self, sb: SubmittedBatch) -> Result<Vec<Frame>, SubmittedBatch> {
+        match &sb.ticket {
+            None => Ok(self.finish_batch(sb, None)),
+            Some(t) => match t.outcome() {
+                Some(o) => Ok(self.finish_batch(sb, Some(o))),
+                None => Err(sb),
+            },
+        }
+    }
+
+    /// Installs or poisons the parked replies according to the ticket's
+    /// outcome — the same reply rules the synchronous path enforced.
+    fn finish_batch(&self, sb: SubmittedBatch, outcome: Option<TicketOutcome>) -> Vec<Frame> {
+        let SubmittedBatch {
+            mut replies,
+            staged_replies,
+            hazard_reads,
+            first_write_index,
+            ..
+        } = sb;
+        match outcome {
+            None => {}
+            Some(TicketOutcome::Durable) => {
+                for (i, r) in staged_replies {
+                    if let Some(slot) = replies.get_mut(i) {
+                        *slot = r;
                     }
                 }
-            } else {
-                self.st.lock().demote_requested = true;
+            }
+            Some(TicketOutcome::Poisoned(e)) => {
+                // The rebuild will discard everything from the first staged
+                // mutation on, and later commands in the batch observed
+                // that state — none of their replies may be released.
+                let first = first_write_index.unwrap_or(replies.len());
+                for reply in replies.iter_mut().skip(first) {
+                    *reply = Frame::Error(format!(
+                        "CLUSTERDOWN cannot commit to transaction log ({e}); demoting"
+                    ));
+                }
+                // Hazard ids are prospective: after a fence another
+                // leader's entry may occupy them, so `is_durable` cannot
+                // vouch for these reads — error them all.
+                for &(i, _) in &hazard_reads {
+                    if let Some(slot) = replies.get_mut(i) {
+                        *slot =
+                            Frame::Error("CLUSTERDOWN timed out waiting for hazard commit".into());
+                    }
+                }
+            }
+            Some(TicketOutcome::TimedOut) => {
                 if let Some(first) = first_write_index {
                     for reply in replies.iter_mut().skip(first) {
                         *reply = Frame::Error(
@@ -658,13 +846,12 @@ impl Node {
                         );
                     }
                 }
+                // A timed-out ticket's entries were genuinely appended (it
+                // reached the committed queue), so settling each hazard
+                // against `is_durable` is sound here.
                 self.settle_hazard_reads(&mut replies, &hazard_reads);
             }
         }
-        self.metrics.record_stage(
-            StageId::E2e,
-            self.metrics.now_us().saturating_sub(e2e_start),
-        );
         replies
     }
 
@@ -675,6 +862,265 @@ impl Node {
             if !self.ctx.log.is_durable(h) {
                 if let Some(slot) = replies.get_mut(i) {
                     *slot = Frame::Error("CLUSTERDOWN timed out waiting for hazard commit".into());
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Commit pipeline threads (DESIGN.md §11)
+    // ---------------------------------------------------------------------
+
+    /// Folds one control payload (no tracker entry) into the prospective
+    /// tail and stages it. Caller holds `st` and has already checked
+    /// role / poison / rebuild state.
+    fn stage_control_locked(&self, st: &mut NodeState, payload: Bytes) -> Arc<Ticket> {
+        let id = st.rs.applied.next();
+        fold_appended_payload(&mut st.rs, id, &payload, false);
+        let now_us = self.metrics.now_us();
+        let ticket = Ticket::new(
+            id,
+            1,
+            payload.len(),
+            Instant::now() + self.ctx.cfg.commit_timeout,
+            now_us,
+            now_us,
+            false,
+        );
+        self.pipeline.stage(StagedRun {
+            ticket: Arc::clone(&ticket),
+            payloads: vec![payload],
+            first_id: id,
+        });
+        ticket
+    }
+
+    /// Like [`Node::stage_control_locked`] but for an effects record whose
+    /// dirty keys must be hazard-tracked until commit.
+    fn stage_effects_locked(
+        &self,
+        st: &mut NodeState,
+        payload: Bytes,
+        dirty: &memorydb_engine::DirtySet,
+    ) -> Arc<Ticket> {
+        let id = st.rs.applied.next();
+        fold_appended_payload(&mut st.rs, id, &payload, false);
+        st.tracker.stage(id, dirty);
+        let now_us = self.metrics.now_us();
+        let ticket = Ticket::new(
+            id,
+            1,
+            payload.len(),
+            Instant::now() + self.ctx.cfg.commit_timeout,
+            now_us,
+            now_us,
+            false,
+        );
+        self.pipeline.stage(StagedRun {
+            ticket: Arc::clone(&ticket),
+            payloads: vec![payload],
+            first_id: id,
+        });
+        ticket
+    }
+
+    /// Committer thread: drains every staged run and performs **one**
+    /// coalesced conditional append per drain, chained after the
+    /// prospective tail of the first run. The conditional-append fencing
+    /// contract is preserved: if another leader slipped an entry in, the
+    /// whole flush conflicts and every staged ticket poisons.
+    ///
+    /// Submitting threads usually beat this thread to the flush (see
+    /// [`Node::try_self_flush`]); it remains the fallback that guarantees
+    /// staged runs never linger when every submitter has parked.
+    fn committer_loop(self: Arc<Node>) {
+        loop {
+            if !self.pipeline.wait_for_staged(Duration::from_millis(50))
+                && !self.alive.load(Ordering::SeqCst)
+            {
+                // Final sweep: flush anything that raced in, then exit.
+                let token = self.flush_token.lock();
+                let rest = self.pipeline.take_staged_now();
+                if rest.is_empty() {
+                    return;
+                }
+                self.flush_runs(rest);
+                drop(token);
+                continue;
+            }
+            let token = self.flush_token.lock();
+            let runs = self.pipeline.take_staged_now();
+            if !runs.is_empty() {
+                self.flush_runs(runs);
+            }
+            drop(token);
+        }
+    }
+
+    /// Group-commit leader election: the submitting thread flushes the
+    /// staged queue itself when no other flush is in progress, sparing the
+    /// committer-thread handoff on the uncontended path (on a small host
+    /// every saved wakeup is throughput). Contended submitters just park on
+    /// their tickets — the current leader's drain or the committer picks
+    /// their runs up. Leadership is a *single* drain pass: looping here
+    /// traps one submitter (in the multiplexed server, an IO thread)
+    /// flushing everyone else's runs while its own connections starve;
+    /// whatever stages mid-flush belongs to the committer thread, which
+    /// `stage()` has already woken. Drain+append stays serialized under
+    /// `flush_token`, so log order still equals fold order.
+    fn try_self_flush(&self) {
+        let Some(token) = self.flush_token.try_lock() else {
+            return;
+        };
+        let runs = self.pipeline.take_staged_now();
+        if !runs.is_empty() {
+            self.flush_runs(runs);
+        }
+        drop(token);
+    }
+
+    /// One coalesced flush of staged runs (committer thread body).
+    fn flush_runs(&self, runs: Vec<StagedRun>) {
+        let mut payloads: Vec<Bytes> = Vec::new();
+        let mut first_id: Option<EntryId> = None;
+        let mut write_runs: u64 = 0;
+        for run in &runs {
+            if !run.payloads.is_empty() {
+                first_id.get_or_insert(run.first_id);
+                write_runs += 1;
+                payloads.extend(run.payloads.iter().cloned());
+            }
+        }
+        // Hazard-only runs have nothing to append; they ride straight to
+        // the committed queue (their hazards were appended by earlier
+        // flushes, or this one).
+        if let Some(first) = first_id {
+            if let Err(e) =
+                self.ctx
+                    .log
+                    .append_batch_after(self.id, EntryId(first.0 - 1), &payloads)
+            {
+                self.poison_pipeline(e.to_string(), runs);
+                return;
+            }
+            self.metrics
+                .record_stage(StageId::CommitFlushEntries, payloads.len() as u64);
+            if write_runs > 1 {
+                // Appends saved vs the one-append-per-batch world.
+                self.metrics
+                    .add(CounterId::AppendsCoalesced, write_runs - 1);
+            }
+        }
+        // Attribution happens at resolve time (the enqueued→appended span
+        // is only meaningful once `note_unlocked` has re-stamped the queue
+        // entry; this flush can race ahead of the client's lock drop).
+        let appended_us = self.metrics.now_us();
+        for run in &runs {
+            run.ticket.appended_us.store(appended_us, Ordering::Relaxed);
+        }
+        // Anything the log already committed (zero-latency quorums promote
+        // inline during the append) resolves right here, in submission
+        // order, sparing a completer-thread handoff per flush. The rest
+        // waits on the watermark like before.
+        let tail = self.ctx.log.committed_tail();
+        let mut waiting: Vec<Arc<Ticket>> = Vec::new();
+        let mut advanced = false;
+        for run in runs {
+            if run.ticket.last_id() <= tail {
+                if !advanced {
+                    advanced = true;
+                    self.st.lock().tracker.advance_committed(tail);
+                }
+                self.resolve_ticket(&run.ticket, TicketOutcome::Durable);
+            } else {
+                waiting.push(run.ticket);
+            }
+        }
+        self.pipeline.push_committed(waiting);
+    }
+
+    /// A fenced or partitioned coalesced append: demote, poison the engine
+    /// state (exactly like the synchronous path), and fail every staged
+    /// ticket. The flags are set under `st` *before* draining the queue,
+    /// and staging checks them under `st`, so no run can slip into the
+    /// queue unpoisoned afterwards.
+    fn poison_pipeline(&self, err: String, drained: Vec<StagedRun>) {
+        {
+            let mut st = self.st.lock();
+            st.demote_requested = true;
+            st.state_poisoned = true;
+        }
+        let rest = self.pipeline.take_staged_now();
+        for run in drained.into_iter().chain(rest) {
+            self.resolve_ticket(&run.ticket, TicketOutcome::Poisoned(err.clone()));
+        }
+    }
+
+    /// Resolves a ticket: releases its in-flight window claim, records its
+    /// attribution spans (unless the staging thread has not yet dropped
+    /// the engine lock, in which case it records them), and fires its
+    /// waker. Span recording happens before any waiter can observe the
+    /// outcome, so a released reply never outruns its own metrics.
+    fn resolve_ticket(&self, ticket: &Arc<Ticket>, outcome: TicketOutcome) {
+        let resolved_us = self.metrics.now_us();
+        self.pipeline.release_window(ticket.entries, ticket.bytes);
+        ticket.resolve(outcome, |unlocked| {
+            if unlocked && ticket.attributed {
+                self.record_ticket_spans(ticket, resolved_us);
+            }
+        });
+    }
+
+    /// Attribution for one resolved ticket, ending at `end_us`: the
+    /// `commit_queue_wait` span runs from the engine-lock drop to the
+    /// committer's append, `durability` from the append to resolution, and
+    /// `e2e` covers the whole batch. Stamps are clamped so the spans tile
+    /// e2e without overlapping `engine` regardless of which thread won the
+    /// race to record them.
+    fn record_ticket_spans(&self, ticket: &Ticket, end_us: u64) {
+        let appended = ticket.appended_us.load(Ordering::Relaxed);
+        if appended != 0 {
+            let enqueued = ticket.enqueued_us.load(Ordering::Relaxed);
+            self.metrics
+                .record_stage(StageId::CommitQueueWait, appended.saturating_sub(enqueued));
+            self.metrics.record_stage(
+                StageId::Durability,
+                end_us.saturating_sub(appended.max(enqueued)),
+            );
+        }
+        self.metrics
+            .record_stage(StageId::E2e, end_us.saturating_sub(ticket.e2e_start_us));
+    }
+
+    /// Completer thread: watches the log's commit watermark and resolves
+    /// appended tickets — durable once the watermark passes their last
+    /// entry, timed out past their deadline (which requests demotion,
+    /// matching the synchronous path's ambiguous-commit handling).
+    fn completer_loop(self: Arc<Node>) {
+        loop {
+            let Some((target, deadline)) = self.pipeline.next_wait_target() else {
+                if !self.alive.load(Ordering::SeqCst) {
+                    return;
+                }
+                self.pipeline
+                    .wait_for_committed_work(Duration::from_millis(50));
+                continue;
+            };
+            let slice = deadline
+                .saturating_duration_since(Instant::now())
+                .min(Duration::from_millis(50));
+            let tail = self.ctx.log.wait_committed_at_least(target, slice);
+            let (durable, timed_out) = self.pipeline.split_resolved(tail, Instant::now());
+            if !durable.is_empty() {
+                self.st.lock().tracker.advance_committed(tail);
+                for t in &durable {
+                    self.resolve_ticket(t, TicketOutcome::Durable);
+                }
+            }
+            if !timed_out.is_empty() {
+                self.st.lock().demote_requested = true;
+                for t in &timed_out {
+                    self.resolve_ticket(t, TicketOutcome::TimedOut);
                 }
             }
         }
@@ -899,6 +1345,9 @@ impl Node {
         if st.role != Role::Primary {
             return Err("not the primary".into());
         }
+        if st.state_poisoned || st.rebuilding {
+            return Err("uncommitted state pending rebuild".into());
+        }
         engine.set_time_ms(wall_ms());
         let mut effects: Vec<EffectCmd> = Vec::new();
         let mut dirty = memorydb_engine::DirtySet::None;
@@ -918,77 +1367,59 @@ impl Node {
             version: engine.version(),
             effects,
         };
-        let payload = record.encode();
-        match self
-            .ctx
-            .log
-            .append_after(self.id, st.rs.applied, payload.clone())
-        {
-            Ok(id) => {
-                fold_appended_payload(&mut st.rs, id, &payload, false);
-                st.tracker.stage(id, &dirty);
-                Ok(id)
-            }
-            Err(e) => {
-                st.demote_requested = true;
-                st.state_poisoned = true;
-                Err(format!("log append failed: {e}"))
-            }
-        }
+        // Staged on the commit pipeline like any client mutation (a fenced
+        // flush poisons the state); the migration controller drains via
+        // `max_pending_write` before any ownership transfer.
+        let ticket = self.stage_effects_locked(&mut st, record.encode(), &dirty);
+        Ok(ticket.last_id())
     }
 
     /// Durably appends a control record (migration 2PC messages). Blocks
     /// until committed. The record's semantics are also applied to this
     /// primary's own state (primaries do not consume their own log).
     pub fn commit_record(&self, record: &Record) -> Result<EntryId, String> {
-        let id = {
+        let ticket = {
             let mut engine = self.engine.lock();
             let mut st = self.st.lock();
             if st.role != Role::Primary {
                 return Err("not the primary".into());
             }
-            let payload = record.encode();
-            match self
-                .ctx
-                .log
-                .append_after(self.id, st.rs.applied, payload.clone())
-            {
-                Ok(id) => {
-                    fold_appended_payload(&mut st.rs, id, &payload, false);
-                    // Mirror the consumer-side semantics locally.
-                    match record {
-                        Record::MigrationPrepare { slot, .. } => {
-                            st.rs.blocked_slots.insert(*slot);
-                        }
-                        Record::MigrationCommit { slot, .. } => {
-                            st.rs.owned_slots.insert(*slot);
-                        }
-                        Record::MigrationDone { slot } => {
-                            st.rs.blocked_slots.remove(slot);
-                            st.rs.owned_slots.remove(*slot);
-                            engine.db.delete_slot(*slot);
-                        }
-                        Record::MigrationAbort { slot } => {
-                            st.rs.blocked_slots.remove(slot);
-                        }
-                        Record::SlotOwnership { ranges } => {
-                            st.rs.owned_slots = crate::slotset::SlotSet::from_ranges(ranges);
-                        }
-                        _ => {}
-                    }
-                    id
-                }
-                Err(e) => {
-                    st.demote_requested = true;
-                    return Err(format!("log append failed: {e}"));
-                }
+            if st.state_poisoned || st.rebuilding {
+                return Err("uncommitted state pending rebuild".into());
             }
+            let ticket = self.stage_control_locked(&mut st, record.encode());
+            // Mirror the consumer-side semantics locally (primaries do not
+            // consume their own log). Optimistic like the fold: a fenced
+            // flush poisons the state and the rebuild discards this.
+            match record {
+                Record::MigrationPrepare { slot, .. } => {
+                    st.rs.blocked_slots.insert(*slot);
+                }
+                Record::MigrationCommit { slot, .. } => {
+                    st.rs.owned_slots.insert(*slot);
+                }
+                Record::MigrationDone { slot } => {
+                    st.rs.blocked_slots.remove(slot);
+                    st.rs.owned_slots.remove(*slot);
+                    engine.db.delete_slot(*slot);
+                }
+                Record::MigrationAbort { slot } => {
+                    st.rs.blocked_slots.remove(slot);
+                }
+                Record::SlotOwnership { ranges } => {
+                    st.rs.owned_slots = crate::slotset::SlotSet::from_ranges(ranges);
+                }
+                _ => {}
+            }
+            ticket
         };
-        if self.ctx.log.wait_durable(id, self.ctx.cfg.commit_timeout) {
-            Ok(id)
-        } else {
-            self.st.lock().demote_requested = true;
-            Err("control record did not commit".into())
+        match ticket.wait(self.ticket_wait_cap()) {
+            Some(TicketOutcome::Durable) => Ok(ticket.last_id()),
+            Some(TicketOutcome::Poisoned(e)) => Err(format!("log append failed: {e}")),
+            _ => {
+                self.st.lock().demote_requested = true;
+                Err("control record did not commit".into())
+            }
         }
     }
 
@@ -1231,6 +1662,10 @@ impl Node {
                     st.tracker.reset();
                     st.tracker.advance_committed(id);
                     st.demote_requested = false;
+                    // A stale poison resolution (from a pre-rebuild flush)
+                    // may have landed while we were a replica; winning the
+                    // campaign proves our state is exactly the log prefix.
+                    st.state_poisoned = false;
                     drop(st);
                     drop(engine);
                     self.metrics.set_gauge(GaugeId::LeaseEpoch, epoch as i64);
@@ -1256,7 +1691,7 @@ impl Node {
     fn active_expire(&self) {
         let mut engine = self.engine.lock();
         let mut st = self.st.lock();
-        if st.role != Role::Primary || st.rebuilding {
+        if st.role != Role::Primary || st.rebuilding || st.state_poisoned {
             return;
         }
         engine.set_time_ms(wall_ms());
@@ -1271,18 +1706,9 @@ impl Node {
             version: engine.version(),
             effects,
         };
-        let payload = record.encode();
-        if let Ok(id) = self
-            .ctx
-            .log
-            .append_after(self.id, st.rs.applied, payload.clone())
-        {
-            fold_appended_payload(&mut st.rs, id, &payload, false);
-            st.tracker.stage(id, &dirty);
-        } else {
-            st.demote_requested = true;
-            st.state_poisoned = true;
-        }
+        // Fire-and-forget through the commit pipeline: the DELs are hazard-
+        // tracked until commit, and a fenced flush poisons the state.
+        let _ticket = self.stage_effects_locked(&mut st, record.encode(), &dirty);
     }
 
     fn primary_step(&self) {
@@ -1293,15 +1719,23 @@ impl Node {
         {
             let mut st = self.st.lock();
             // Confirm a pending renewal's durability: the lease extends
-            // from the moment the renewal was *sent*, and only once the
-            // log has committed it.
-            if let Some((id, sent_at)) = st.pending_renewal {
-                if self.ctx.log.is_durable(id) {
-                    st.lease_valid_until = sent_at + cfg.lease;
-                    st.pending_renewal = None;
+            // from the moment the renewal was *sent*, and only once its
+            // ticket resolves durable. The ticket — not `is_durable` on the
+            // prospective id — is the proof: after a fence, another
+            // leader's entry may occupy that id.
+            let renewal = st
+                .pending_renewal
+                .as_ref()
+                .and_then(|(t, sent_at)| t.outcome().map(|o| (o, *sent_at)));
+            if let Some((outcome, sent_at)) = renewal {
+                st.pending_renewal = None;
+                match outcome {
+                    TicketOutcome::Durable => st.lease_valid_until = sent_at + cfg.lease,
+                    // Fenced or ambiguous: never extend; demote.
+                    _ => demote = true,
                 }
             }
-            // Decide demotion BEFORE appending any renewal: an expired
+            // Decide demotion BEFORE staging any renewal: an expired
             // lease (or a requested demotion) means we are no longer the
             // leader, and appending a renewal past that point would reset
             // the replicas' election timers and delay the failover we are
@@ -1309,37 +1743,24 @@ impl Node {
             if st.demote_requested || now >= st.lease_valid_until {
                 demote = true;
             }
-            // Append a renewal when due.
-            if !demote && st.pending_renewal.is_none() && now >= st.next_renewal_at {
+            // Stage a renewal when due; the committer flushes it together
+            // with any client mutations in the queue.
+            if !demote
+                && !st.state_poisoned
+                && st.pending_renewal.is_none()
+                && now >= st.next_renewal_at
+            {
                 let rec = Record::LeaseRenewal {
                     node: self.id,
                     epoch: st.rs.epoch,
                     lease_ms: cfg.lease.as_millis() as u64,
                 };
-                let payload = rec.encode();
-                match self
-                    .ctx
-                    .log
-                    .append_after(self.id, st.rs.applied, payload.clone())
-                {
-                    Ok(id) => {
-                        fold_appended_payload(&mut st.rs, id, &payload, false);
-                        st.pending_renewal = Some((id, now));
-                        st.next_renewal_at = now + cfg.renew_interval;
-                    }
-                    Err(AppendError::Conflict { .. }) => {
-                        // Fenced: someone else appended to our log — a new
-                        // leader exists. Demote immediately.
-                        demote = true;
-                    }
-                    Err(AppendError::Partitioned) => {
-                        // Keep trying until the lease runs out.
-                        st.next_renewal_at = now + cfg.tick;
-                    }
-                }
+                let ticket = self.stage_control_locked(&mut st, rec.encode());
+                st.pending_renewal = Some((ticket, now));
+                st.next_renewal_at = now + cfg.renew_interval;
             }
-            // Appending the renewal can itself detect fencing and request
-            // demotion; re-check before continuing to serve.
+            // The committer can detect fencing and request demotion at any
+            // point; re-check before continuing to serve.
             if st.demote_requested {
                 demote = true;
             }

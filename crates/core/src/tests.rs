@@ -389,6 +389,45 @@ fn wait_reports_replica_count() {
 }
 
 #[test]
+fn wait_malformed_arguments_are_errors() {
+    let shard = new_shard(0);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut s = SessionState::new();
+    let err = |reply: Frame| match reply {
+        Frame::Error(msg) => msg,
+        other => panic!("expected error, got {other:?}"),
+    };
+    // Arity: WAIT takes exactly numreplicas + timeout.
+    for bad in [
+        cmd(["WAIT"]),
+        cmd(["WAIT", "0"]),
+        cmd(["WAIT", "0", "0", "0"]),
+    ] {
+        let msg = err(primary.handle(&mut s, &bad));
+        assert!(
+            msg.contains("wrong number of arguments"),
+            "arity error expected, got: {msg}"
+        );
+    }
+    // Non-integer operands.
+    for bad in [cmd(["WAIT", "abc", "0"]), cmd(["WAIT", "0", "soon"])] {
+        let msg = err(primary.handle(&mut s, &bad));
+        assert!(
+            msg.contains("not an integer"),
+            "integer parse error expected, got: {msg}"
+        );
+    }
+    // Negative timeout.
+    let msg = err(primary.handle(&mut s, &cmd(["WAIT", "0", "-5"])));
+    assert!(msg.contains("timeout is negative"), "{msg}");
+    // A well-formed WAIT still works on the same session afterwards.
+    assert!(matches!(
+        primary.handle(&mut s, &cmd(["WAIT", "0", "100"])),
+        Frame::Integer(_)
+    ));
+}
+
+#[test]
 fn cross_slot_commands_rejected() {
     let shard = new_shard(0);
     let primary = shard.wait_for_primary(T).unwrap();
@@ -975,6 +1014,70 @@ fn batch_replies_in_submission_order_and_one_append_call() {
     assert_eq!(replies[17], Frame::Integer(16));
     // Group commit: 16 mutations, ONE conditional append (one quorum ack).
     assert_eq!(calls_after - calls_before, 1, "batch must group-commit");
+}
+
+/// Cross-connection group commit (the commit pipeline's tentpole claim):
+/// M concurrent sessions each submitting pipelined write batches against
+/// ONE node must need strictly fewer conditional appends than batches —
+/// the committer coalesces staged runs from different connections — while
+/// every session still sees its own replies in exact submission order.
+#[test]
+fn concurrent_batches_coalesce_appends_and_preserve_per_session_order() {
+    const THREADS: usize = 8;
+    const BATCHES: usize = 25;
+    const DEPTH: usize = 4;
+
+    let shard = quiet_shard(0);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+    let calls_before = shard.ctx().log.append_calls();
+
+    let mut workers = Vec::new();
+    for t in 0..THREADS {
+        let primary = Arc::clone(&primary);
+        let barrier = Arc::clone(&barrier);
+        workers.push(std::thread::spawn(move || {
+            let mut s = SessionState::new();
+            let key = format!("coal-ctr-{t}");
+            let mut seen = 0i64;
+            barrier.wait();
+            for _ in 0..BATCHES {
+                let batch: Vec<Vec<Bytes>> = (0..DEPTH).map(|_| cmd(["INCR", &key])).collect();
+                let replies = primary.handle_batch(&mut s, &batch);
+                assert_eq!(replies.len(), DEPTH);
+                // INCR on a session-private key: replies in submission
+                // order are exactly the next DEPTH counter values.
+                for r in replies {
+                    seen += 1;
+                    assert_eq!(
+                        r,
+                        Frame::Integer(seen),
+                        "session {t} replies out of submission order"
+                    );
+                }
+            }
+        }));
+    }
+    for w in workers {
+        w.join().expect("coalescing worker panicked");
+    }
+
+    let appends = shard.ctx().log.append_calls() - calls_before;
+    let total_batches = (THREADS * BATCHES) as u64;
+    assert!(appends > 0, "writes must reach the log");
+    assert!(
+        appends < total_batches,
+        "committer must coalesce staged batches across connections: \
+         {appends} appends for {total_batches} batches"
+    );
+    // Nothing lost to coalescing: every INCR landed exactly once.
+    let mut s = SessionState::new();
+    for t in 0..THREADS {
+        assert_eq!(
+            primary.handle(&mut s, &cmd(["GET", &format!("coal-ctr-{t}")])),
+            bulk(&format!("{}", BATCHES * DEPTH))
+        );
+    }
 }
 
 #[test]

@@ -65,8 +65,13 @@ pub enum StageId {
     EngineLockHold,
     /// Node: one command's `Engine::execute` call.
     Apply,
-    /// Node: the `wait_durable` span for one batch.
+    /// Node: ticket enqueue → committer append (commit-pipeline queueing).
+    CommitQueueWait,
+    /// Node: committer append → commit watermark passing the ticket.
     Durability,
+    /// Node: entries per committer flush (a count histogram, not µs —
+    /// the cross-connection group-commit batch size).
+    CommitFlushEntries,
     /// Server: one full sweep with traffic — read + parse + dispatch + flush.
     E2e,
     /// Txlog: one (batch) append accept call.
@@ -81,14 +86,16 @@ pub enum StageId {
 
 impl StageId {
     /// Every stage, in display order.
-    pub const ALL: [StageId; 12] = [
+    pub const ALL: [StageId; 14] = [
         StageId::IoRead,
         StageId::IoWrite,
         StageId::Parse,
         StageId::Engine,
         StageId::EngineLockHold,
         StageId::Apply,
+        StageId::CommitQueueWait,
         StageId::Durability,
+        StageId::CommitFlushEntries,
         StageId::E2e,
         StageId::LogAppend,
         StageId::QuorumAck,
@@ -105,7 +112,9 @@ impl StageId {
             StageId::Engine => "engine",
             StageId::EngineLockHold => "engine_lock_hold",
             StageId::Apply => "apply",
+            StageId::CommitQueueWait => "commit_queue_wait",
             StageId::Durability => "durability",
+            StageId::CommitFlushEntries => "commit_flush_entries",
             StageId::E2e => "e2e",
             StageId::LogAppend => "log_append",
             StageId::QuorumAck => "quorum_ack",
@@ -124,6 +133,9 @@ pub enum CounterId {
     CommandsDispatched,
     /// Node: batches executed through `handle_batch`.
     BatchesDispatched,
+    /// Node: tickets that shared a committer flush with an earlier ticket
+    /// (`tickets_in_flush - 1` per flush — cross-connection coalescing).
+    AppendsCoalesced,
     /// Server: protocol errors that closed a connection.
     ProtocolErrors,
     /// Node: commands recorded into the slowlog ring.
@@ -148,10 +160,11 @@ pub enum CounterId {
 
 impl CounterId {
     /// Every counter, in display order.
-    pub const ALL: [CounterId; 13] = [
+    pub const ALL: [CounterId; 14] = [
         CounterId::ConnectionsAccepted,
         CounterId::CommandsDispatched,
         CounterId::BatchesDispatched,
+        CounterId::AppendsCoalesced,
         CounterId::ProtocolErrors,
         CounterId::SlowlogRecorded,
         CounterId::ReadsTrimmed,
@@ -170,6 +183,7 @@ impl CounterId {
             CounterId::ConnectionsAccepted => "connections_accepted",
             CounterId::CommandsDispatched => "commands_dispatched",
             CounterId::BatchesDispatched => "batches_dispatched",
+            CounterId::AppendsCoalesced => "appends_coalesced",
             CounterId::ProtocolErrors => "protocol_errors",
             CounterId::SlowlogRecorded => "slowlog_recorded",
             CounterId::ReadsTrimmed => "reads_trimmed",
@@ -653,7 +667,10 @@ impl MetricsSnapshot {
 
     /// Looks up a counter by name.
     pub fn counter(&self, name: &str) -> Option<u64> {
-        self.counters.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
     }
 }
 

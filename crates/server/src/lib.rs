@@ -9,11 +9,17 @@
 //! fixed pool of IO threads ([`IoMode::Multiplexed`], the default) owns all
 //! client sockets in non-blocking mode and funnels parsed commands into the
 //! node's single-threaded engine. Each sweep over a connection parses every
-//! complete frame buffered on it and executes the run as ONE
-//! [`memorydb_core::Node::handle_batch`] call — one engine-lock acquisition
-//! and one group-committed txlog append per pipeline — then coalesces all
-//! replies into a single socket write. [`IoMode::ThreadPerConnection`] keeps
-//! the classic one-thread-per-socket baseline for comparison benchmarks.
+//! complete frame buffered on it and submits the run as ONE
+//! [`memorydb_core::Node::handle_batch_submit`] call — one engine-lock
+//! acquisition per pipeline. Durability is **deferred**: the submit returns
+//! a [`memorydb_core::SubmittedBatch`] holding a commit-pipeline ticket, the
+//! batch is parked on the connection, and the IO thread moves on to sweep
+//! its other sockets instead of blocking inside the node. When the
+//! committer resolves the ticket, a waker message re-arms the IO thread,
+//! which settles parked batches front-to-back (per-connection reply order
+//! is submission order) and coalesces their replies into one socket write.
+//! [`IoMode::ThreadPerConnection`] keeps the classic one-thread-per-socket
+//! baseline for comparison benchmarks; it settles each batch inline.
 //!
 //! Session semantics implemented here (they are connection state, not
 //! engine state): `READONLY`/`READWRITE` opt-in for replica reads (§3.2 —
@@ -22,11 +28,12 @@
 
 use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
-use memorydb_core::Node;
+use memorydb_core::{Node, SubmittedBatch};
 use memorydb_engine::{command_spec, Frame, SessionState};
 use memorydb_metrics::{CounterId, GaugeId, StageId};
 use memorydb_resp::{encode, Decoder};
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
@@ -88,8 +95,17 @@ pub struct Server {
     conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
 }
 
+/// What flows over an IO thread's intake channel: new sockets from the
+/// acceptor, and wake-ups from commit-ticket wakers when a parked batch
+/// becomes ready to settle (so an idle IO thread never sits out its full
+/// nap while replies are releasable).
+enum IoMsg {
+    Conn(TcpStream),
+    Wake,
+}
+
 enum Workers {
-    Multiplexed(Vec<Sender<TcpStream>>),
+    Multiplexed(Vec<Sender<IoMsg>>),
     PerConn,
 }
 
@@ -119,7 +135,10 @@ impl Server {
                 };
                 let mut txs = Vec::with_capacity(n);
                 for i in 0..n {
-                    let (tx, rx) = channel::unbounded::<TcpStream>();
+                    let (tx, rx) = channel::unbounded::<IoMsg>();
+                    // The thread keeps a sender to its own channel: ticket
+                    // wakers clone it to post `IoMsg::Wake`.
+                    let wake_tx = tx.clone();
                     txs.push(tx);
                     let node = Arc::clone(&node);
                     let shutdown = Arc::clone(&shutdown);
@@ -127,7 +146,7 @@ impl Server {
                     io_threads.push(
                         std::thread::Builder::new()
                             .name(format!("memorydb-io-{i}"))
-                            .spawn(move || io_loop(node, rx, shutdown, live))?,
+                            .spawn(move || io_loop(node, rx, wake_tx, shutdown, live))?,
                     );
                 }
                 Workers::Multiplexed(txs)
@@ -153,7 +172,7 @@ impl Server {
                                 }
                                 match &workers {
                                     Workers::Multiplexed(txs) => {
-                                        let _ = txs[next % txs.len()].send(stream);
+                                        let _ = txs[next % txs.len()].send(IoMsg::Conn(stream));
                                         next += 1;
                                     }
                                     Workers::PerConn => {
@@ -230,6 +249,11 @@ impl Drop for Server {
 /// can hold the engine lock before replies start flowing.
 const BATCH_CAP: usize = 128;
 
+/// Max parked (submitted, not yet durable) batches per connection before
+/// the IO thread stops reading more input from that socket. Together with
+/// the node's commit window this bounds per-connection in-flight state.
+const PARKED_CAP: usize = 32;
+
 /// Max bytes drained from one socket per sweep, so a fire-hose client
 /// cannot starve its IO thread's other connections.
 const READ_SWEEP_CAP: usize = 256 * 1024;
@@ -290,13 +314,35 @@ fn next_command(raw: &mut Vec<u8>) -> Result<Option<Vec<Bytes>>, String> {
     }
 }
 
+/// One submitted pipeline batch whose replies may still be waiting on
+/// commit-pipeline tickets. Reply slots are positional; `None` slots are
+/// filled from `waits` when the batch settles.
+struct ParkedBatch {
+    replies: Vec<Option<Frame>>,
+    /// Engine runs awaiting durability: the positional indices each run's
+    /// replies map back to, plus the submitted batch holding the ticket.
+    waits: Vec<(Vec<usize>, SubmittedBatch)>,
+}
+
+impl ParkedBatch {
+    /// True once every run's ticket has resolved (durable, poisoned, or
+    /// timed out) — settling will not block.
+    fn is_complete(&self) -> bool {
+        self.waits.iter().all(|(_, sb)| sb.is_complete())
+    }
+}
+
 /// Per-connection protocol state, independent of the IO mode driving it.
 struct ConnState {
     raw: Vec<u8>,
     out: Vec<u8>,
     session: SessionState,
     readonly_mode: bool,
-    /// Set on QUIT or protocol error: flush `out`, then close.
+    /// Batches submitted to the engine whose replies have not been released
+    /// yet, in submission order. Only the multiplexed path parks; the
+    /// blocking path settles inline so this stays empty there.
+    parked: VecDeque<ParkedBatch>,
+    /// Set on QUIT or protocol error: settle `parked`, flush `out`, close.
     closing: bool,
 }
 
@@ -307,17 +353,36 @@ impl ConnState {
             out: Vec::new(),
             session: SessionState::new(),
             readonly_mode: false,
+            parked: VecDeque::new(),
             closing: false,
         }
     }
 }
 
-/// Parses every complete command buffered on the connection and executes
-/// them in engine batches, appending encoded replies to `conn.out`.
+/// Appends one out-of-band reply (protocol-error farewell) to the
+/// connection, behind any parked batches so replies never reorder.
+fn emit_frame(conn: &mut ConnState, f: Frame) {
+    if conn.parked.is_empty() {
+        let mut enc = BytesMut::new();
+        encode(&f, &mut enc);
+        conn.out.extend_from_slice(&enc);
+    } else {
+        conn.parked.push_back(ParkedBatch {
+            replies: vec![Some(f)],
+            waits: Vec::new(),
+        });
+    }
+}
+
+/// Parses every complete command buffered on the connection and submits
+/// them in engine batches. With `wake_tx` (the multiplexed path) each batch
+/// is parked on the connection and a waker is armed on its pending
+/// tickets; without it (the blocking path) each batch settles inline into
+/// `conn.out`.
 ///
-/// A protocol error mid-stream still executes and answers everything parsed
-/// before it, then appends the error reply and marks the connection closing.
-fn drain_commands(node: &Node, conn: &mut ConnState) {
+/// A protocol error mid-stream still submits everything parsed before it,
+/// then emits the error reply and marks the connection closing.
+fn drain_commands(node: &Node, conn: &mut ConnState, wake_tx: Option<&Sender<IoMsg>>) {
     let m = node.metrics();
     while !conn.closing {
         let mut cmds: Vec<Vec<Bytes>> = Vec::new();
@@ -337,14 +402,26 @@ fn drain_commands(node: &Node, conn: &mut ConnState) {
             m.record_stage(StageId::Parse, m.now_us().saturating_sub(parse_start));
         }
         if !cmds.is_empty() {
-            execute_batch(node, conn, &cmds);
+            let batch = submit_batch(node, conn, &cmds);
+            match wake_tx {
+                None => settle_batch(node, batch, &mut conn.out),
+                Some(tx) => {
+                    for (_, sb) in &batch.waits {
+                        if !sb.is_complete() {
+                            let tx = tx.clone();
+                            sb.set_waker(Box::new(move || {
+                                let _ = tx.send(IoMsg::Wake);
+                            }));
+                        }
+                    }
+                    conn.parked.push_back(batch);
+                }
+            }
         }
         if let Some(e) = parse_err {
             m.incr(CounterId::ProtocolErrors);
             if !conn.closing {
-                let mut enc = BytesMut::new();
-                encode(&Frame::error(format!("Protocol error: {e}")), &mut enc);
-                conn.out.extend_from_slice(&enc);
+                emit_frame(conn, Frame::error(format!("Protocol error: {e}")));
                 conn.closing = true;
             }
             return;
@@ -355,13 +432,15 @@ fn drain_commands(node: &Node, conn: &mut ConnState) {
     }
 }
 
-/// Executes one parsed batch. Connection-level commands (QUIT, READONLY,
-/// READWRITE) and the replica read-gating check are handled here; runs of
-/// plain commands between them go to the engine as ONE
-/// [`Node::handle_batch`] call. Replies are positional, so ordering is
-/// preserved no matter how the batch is partitioned.
-fn execute_batch(node: &Node, conn: &mut ConnState, cmds: &[Vec<Bytes>]) {
+/// Submits one parsed batch to the engine. Connection-level commands (QUIT,
+/// READONLY, READWRITE) and the replica read-gating check are handled here;
+/// runs of plain commands between them go to the engine as ONE
+/// [`Node::handle_batch_submit`] call — executed now, durability pending on
+/// the returned ticket. Replies are positional, so ordering is preserved no
+/// matter how the batch is partitioned.
+fn submit_batch(node: &Node, conn: &mut ConnState, cmds: &[Vec<Bytes>]) -> ParkedBatch {
     let mut replies: Vec<Option<Frame>> = vec![None; cmds.len()];
+    let mut waits: Vec<(Vec<usize>, SubmittedBatch)> = Vec::new();
     let mut run: Vec<usize> = Vec::new();
 
     fn flush_run(
@@ -369,24 +448,21 @@ fn execute_batch(node: &Node, conn: &mut ConnState, cmds: &[Vec<Bytes>]) {
         session: &mut SessionState,
         cmds: &[Vec<Bytes>],
         run: &mut Vec<usize>,
-        replies: &mut [Option<Frame>],
+        waits: &mut Vec<(Vec<usize>, SubmittedBatch)>,
     ) {
         if run.is_empty() {
             return;
         }
         let batch: Vec<Vec<Bytes>> = run.iter().map(|&i| cmds[i].clone()).collect();
-        let rs = node.handle_batch(session, &batch);
-        for (&i, r) in run.iter().zip(rs) {
-            replies[i] = Some(r);
-        }
-        run.clear();
+        let sb = node.handle_batch_submit(session, &batch);
+        waits.push((std::mem::take(run), sb));
     }
 
     for (i, args) in cmds.iter().enumerate() {
         let name = String::from_utf8_lossy(&args[0]).to_ascii_uppercase();
         match name.as_str() {
             "QUIT" => {
-                flush_run(node, &mut conn.session, cmds, &mut run, &mut replies);
+                flush_run(node, &mut conn.session, cmds, &mut run, &mut waits);
                 replies[i] = Some(Frame::ok());
                 conn.closing = true;
                 // Anything pipelined after QUIT is discarded, like Redis.
@@ -396,12 +472,12 @@ fn execute_batch(node: &Node, conn: &mut ConnState, cmds: &[Vec<Bytes>]) {
             // reads are an explicit opt-in). The pending run is flushed
             // first so the mode flip cannot reorder around engine commands.
             "READONLY" => {
-                flush_run(node, &mut conn.session, cmds, &mut run, &mut replies);
+                flush_run(node, &mut conn.session, cmds, &mut run, &mut waits);
                 conn.readonly_mode = true;
                 replies[i] = Some(Frame::ok());
             }
             "READWRITE" => {
-                flush_run(node, &mut conn.session, cmds, &mut run, &mut replies);
+                flush_run(node, &mut conn.session, cmds, &mut run, &mut waits);
                 conn.readonly_mode = false;
                 replies[i] = Some(Frame::ok());
             }
@@ -421,14 +497,41 @@ fn execute_batch(node: &Node, conn: &mut ConnState, cmds: &[Vec<Bytes>]) {
             }
         }
     }
-    flush_run(node, &mut conn.session, cmds, &mut run, &mut replies);
+    flush_run(node, &mut conn.session, cmds, &mut run, &mut waits);
+    ParkedBatch { replies, waits }
+}
 
-    // Coalesce every reply of the batch into the connection's out buffer.
+/// Resolves every pending run of `batch` (blocking until its tickets
+/// settle — instant when [`ParkedBatch::is_complete`] was already true),
+/// fills the reply slots, and coalesces every reply into `out`.
+fn settle_batch(node: &Node, batch: ParkedBatch, out: &mut Vec<u8>) {
+    let ParkedBatch { mut replies, waits } = batch;
+    for (run, sb) in waits {
+        let rs = node.wait_finish(sb);
+        for (&i, r) in run.iter().zip(rs) {
+            replies[i] = Some(r);
+        }
+    }
     let mut enc = BytesMut::new();
     for r in replies.into_iter().flatten() {
         encode(&r, &mut enc);
     }
-    conn.out.extend_from_slice(&enc);
+    out.extend_from_slice(&enc);
+}
+
+/// Settles parked batches front-to-back, stopping at the first batch whose
+/// tickets are still pending: per-connection replies are released in
+/// submission order, so batch N+1 never overtakes batch N even when it
+/// commits first. Returns whether anything settled.
+fn drain_parked(node: &Node, conn: &mut ConnState) -> bool {
+    let mut progressed = false;
+    while conn.parked.front().is_some_and(ParkedBatch::is_complete) {
+        if let Some(batch) = conn.parked.pop_front() {
+            settle_batch(node, batch, &mut conn.out);
+            progressed = true;
+        }
+    }
+    progressed
 }
 
 // ---------------------------------------------------------------------------
@@ -472,22 +575,35 @@ fn flush_out(
     Ok(written)
 }
 
-/// One readiness sweep over one connection: flush pending output, drain
-/// readable input, execute, flush again. Returns `(keep, progressed)`.
-fn sweep_conn(node: &Node, conn: &mut Conn, buf: &mut [u8]) -> (bool, bool) {
+/// One readiness sweep over one connection: settle any parked batches whose
+/// tickets resolved, flush pending output, drain readable input, submit,
+/// settle, flush again. Returns `(keep, progressed)`.
+fn sweep_conn(
+    node: &Node,
+    conn: &mut Conn,
+    buf: &mut [u8],
+    wake_tx: &Sender<IoMsg>,
+) -> (bool, bool) {
     let mut progressed = false;
     let m = node.metrics();
 
+    progressed |= drain_parked(node, &mut conn.state);
     match flush_out(&mut conn.stream, &mut conn.state.out, m) {
         Ok(n) => progressed |= n > 0,
         Err(_) => return (false, true),
     }
     if conn.state.closing {
-        // QUIT / protocol error: keep only until the farewell is flushed.
-        return (!conn.state.out.is_empty(), progressed);
+        // QUIT / protocol error: keep only until every parked reply has
+        // settled and the farewell is flushed.
+        return (
+            !conn.state.out.is_empty() || !conn.state.parked.is_empty(),
+            progressed,
+        );
     }
 
-    if !conn.eof {
+    // Backpressure: a connection with a full parked queue gets no further
+    // reads until the committer releases some of its batches.
+    if !conn.eof && conn.state.parked.len() < PARKED_CAP {
         let mut total = 0usize;
         let read_start = m.now_us();
         loop {
@@ -513,7 +629,8 @@ fn sweep_conn(node: &Node, conn: &mut Conn, buf: &mut [u8]) -> (bool, bool) {
             // not time spent waiting for the client to type.
             m.record_stage(StageId::IoRead, m.now_us().saturating_sub(read_start));
             progressed = true;
-            drain_commands(node, &mut conn.state);
+            drain_commands(node, &mut conn.state, Some(wake_tx));
+            drain_parked(node, &mut conn.state);
             if flush_out(&mut conn.stream, &mut conn.state.out, m).is_err() {
                 return (false, true);
             }
@@ -521,14 +638,21 @@ fn sweep_conn(node: &Node, conn: &mut Conn, buf: &mut [u8]) -> (bool, bool) {
     }
 
     if conn.eof {
-        // Client sent FIN: answer whatever it managed to buffer, then drop.
+        // Client sent FIN: answer whatever it managed to buffer, then drop
+        // once every parked reply has settled and flushed.
         if !conn.state.raw.is_empty() && !conn.state.closing {
-            drain_commands(node, &mut conn.state);
+            drain_commands(node, &mut conn.state, Some(wake_tx));
         }
-        let _ = flush_out(&mut conn.stream, &mut conn.state.out, m);
-        return (false, progressed);
+        drain_parked(node, &mut conn.state);
+        if flush_out(&mut conn.stream, &mut conn.state.out, m).is_err() {
+            return (false, true);
+        }
+        return (
+            !conn.state.out.is_empty() || !conn.state.parked.is_empty(),
+            progressed,
+        );
     }
-    if conn.state.closing && conn.state.out.is_empty() {
+    if conn.state.closing && conn.state.out.is_empty() && conn.state.parked.is_empty() {
         return (false, progressed);
     }
     (true, progressed)
@@ -536,10 +660,14 @@ fn sweep_conn(node: &Node, conn: &mut Conn, buf: &mut [u8]) -> (bool, bool) {
 
 /// An IO thread: owns a set of non-blocking sockets, sweeps them for
 /// readiness, and parks on its intake channel when everything is idle
-/// (spin briefly first so pipelined bursts stay hot).
+/// (spin briefly first so pipelined bursts stay hot). The channel also
+/// delivers `IoMsg::Wake` from commit-ticket wakers, so a thread parked in
+/// `recv_timeout` re-sweeps as soon as a parked batch becomes settleable
+/// instead of waiting out its nap.
 fn io_loop(
     node: Arc<Node>,
-    rx: Receiver<TcpStream>,
+    rx: Receiver<IoMsg>,
+    wake_tx: Sender<IoMsg>,
     shutdown: Arc<AtomicBool>,
     live: Arc<AtomicI64>,
 ) {
@@ -568,7 +696,9 @@ fn io_loop(
         if accepting {
             loop {
                 match rx.try_recv() {
-                    Ok(s) => adopt(s, &mut conns),
+                    Ok(IoMsg::Conn(s)) => adopt(s, &mut conns),
+                    // Wake-ups while already sweeping carry no extra info.
+                    Ok(IoMsg::Wake) => {}
                     Err(TryRecvError::Empty) => break,
                     Err(TryRecvError::Disconnected) => {
                         accepting = false;
@@ -584,7 +714,7 @@ fn io_loop(
         let mut progressed = false;
         let mut i = 0;
         while i < conns.len() {
-            let (keep, p) = sweep_conn(&node, &mut conns[i], &mut buf);
+            let (keep, p) = sweep_conn(&node, &mut conns[i], &mut buf, &wake_tx);
             progressed |= p;
             if keep {
                 i += 1;
@@ -615,10 +745,11 @@ fn io_loop(
         };
         if accepting {
             match rx.recv_timeout(nap) {
-                Ok(s) => {
+                Ok(IoMsg::Conn(s)) => {
                     adopt(s, &mut conns);
                     idle_spins = 0;
                 }
+                Ok(IoMsg::Wake) => idle_spins = 0,
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => accepting = false,
             }
@@ -658,7 +789,7 @@ fn serve_blocking(
             Err(e) => return Err(e),
         };
         conn.raw.extend_from_slice(&buf[..n]);
-        drain_commands(&node, &mut conn);
+        drain_commands(&node, &mut conn, None);
         if !conn.out.is_empty() {
             // No IoRead sample here: the blocking read above waits on the
             // client, which would attribute client think time to the server.

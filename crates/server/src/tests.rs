@@ -505,6 +505,66 @@ fn pipeline_replies_never_reorder_under_batch_splits() {
     }
 }
 
+/// Deferred-reply safety: when the primary is fenced while client batches
+/// are parked awaiting durability, every parked reply must drain as a
+/// CLUSTERDOWN error — never +OK (the write is not durable) and never a
+/// hang (the IO thread no longer blocks inside the node, so resolution
+/// must come from the commit pipeline's poison path).
+#[test]
+fn fenced_primary_errors_parked_replies_instead_of_hanging() {
+    // Quiet renewal cadence (600ms) so the fence is discovered by the
+    // committer's conditional append — the parked-batch poison path —
+    // rather than by a racing lease renewal.
+    let shard = Shard::bootstrap(
+        0,
+        ShardConfig {
+            lease: Duration::from_secs(2),
+            renew_interval: Duration::from_millis(600),
+            backoff: Duration::from_millis(2250),
+            ..ShardConfig::fast()
+        },
+        Arc::new(ObjectStore::new()),
+        Arc::new(ClusterBus::new()),
+        Arc::new(NodeIdGen::new()),
+        vec![(0, 16383)],
+        0,
+    );
+    let primary = shard.wait_for_primary(Duration::from_secs(10)).unwrap();
+    let server = Server::start(primary, "127.0.0.1:0").unwrap();
+    let mut client = BlockingClient::connect(server.local_addr).unwrap();
+    assert_eq!(client.command(["SET", "stable", "1"]).unwrap(), Frame::ok());
+
+    // Fence out-of-band: a foreign append moves the log tail, so the
+    // committer's next conditional append loses and poisons the pipeline.
+    let fence = memorydb_core::Record::Effects {
+        version: memorydb_engine::EngineVersion::CURRENT,
+        effects: vec![memorydb_engine::cmd(["SET", "sneak", "1"])],
+    };
+    shard
+        .ctx()
+        .log
+        .append(999, fence.encode())
+        .expect("foreign append");
+
+    // A pipeline of writes: each parks on the connection until its ticket
+    // resolves. All three must come back as errors, in order, within the
+    // client's read timeout.
+    let replies = client
+        .pipeline(vec![
+            vec!["SET", "lost1", "x"],
+            vec!["SET", "lost2", "x"],
+            vec!["SET", "lost3", "x"],
+        ])
+        .expect("parked replies must drain, not hang");
+    assert_eq!(replies.len(), 3);
+    for r in &replies {
+        match r {
+            Frame::Error(m) => assert!(m.starts_with("CLUSTERDOWN"), "{m}"),
+            other => panic!("fenced parked write was acknowledged: {other:?}"),
+        }
+    }
+}
+
 #[test]
 fn oversized_inline_line_is_rejected_not_buffered_forever() {
     let (server, _shard) = test_server(0);

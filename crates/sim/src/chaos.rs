@@ -62,18 +62,25 @@ pub enum ScheduleKind {
     SnapshotTrimRace,
     /// The primary voluntarily releases leadership under load, twice.
     VoluntaryHandover,
+    /// The log's committer is frozen mid-run while writes keep arriving:
+    /// the node's commit pipeline stages and parks batches that can never
+    /// become durable, the lease fails to renew, and the primary must
+    /// demote — every parked reply must drain as an error (nothing hangs)
+    /// and no acknowledged write may be lost.
+    CommitterStall,
     /// A seeded-random mix drawn from all of the above faults.
     SeededRandom,
 }
 
 impl ScheduleKind {
     /// Every schedule, in the order the sweep runs them.
-    pub const ALL: [ScheduleKind; 6] = [
+    pub const ALL: [ScheduleKind; 7] = [
         ScheduleKind::AzOutage,
         ScheduleKind::PrimaryPartition,
         ScheduleKind::PrimaryCrashRestore,
         ScheduleKind::SnapshotTrimRace,
         ScheduleKind::VoluntaryHandover,
+        ScheduleKind::CommitterStall,
         ScheduleKind::SeededRandom,
     ];
 
@@ -85,6 +92,7 @@ impl ScheduleKind {
             ScheduleKind::SnapshotTrimRace => 4,
             ScheduleKind::VoluntaryHandover => 5,
             ScheduleKind::SeededRandom => 6,
+            ScheduleKind::CommitterStall => 7,
         }
     }
 }
@@ -97,6 +105,7 @@ impl std::fmt::Display for ScheduleKind {
             ScheduleKind::PrimaryCrashRestore => "primary-crash-restore",
             ScheduleKind::SnapshotTrimRace => "snapshot-trim-race",
             ScheduleKind::VoluntaryHandover => "voluntary-handover",
+            ScheduleKind::CommitterStall => "committer-stall",
             ScheduleKind::SeededRandom => "seeded-random",
         };
         f.write_str(s)
@@ -315,6 +324,20 @@ impl ChaosPlan {
                 FaultStep {
                     at_op: at(65),
                     action: FaultAction::ReleaseLeadership,
+                },
+            ],
+            // The stall window (30%→55% of the op stream, plus the 400 ms
+            // director dwell) comfortably exceeds the chaos lease, so the
+            // primary demotes with batches staged in its commit pipeline;
+            // those parked replies must resolve as errors, never hang.
+            ScheduleKind::CommitterStall => vec![
+                FaultStep {
+                    at_op: at(30),
+                    action: FaultAction::SuspendCommits,
+                },
+                FaultStep {
+                    at_op: at(55),
+                    action: FaultAction::ResumeCommits,
                 },
             ],
             ScheduleKind::SeededRandom => {

@@ -330,11 +330,10 @@ impl LogService {
         svc
     }
 
-    /// One committer iteration: commit everything ready, then sleep until
-    /// the next deadline or a wakeup.
-    fn committer_step(&self) {
-        let mut inner = self.inner.lock();
-        let now = Instant::now();
+    /// Promotes every pending entry whose quorum deadline has passed,
+    /// strictly in sequence order, waking blocked readers when the tail
+    /// advances. Caller holds `inner`.
+    fn promote_ready(&self, inner: &mut Inner, now: Instant) {
         let mut advanced = false;
         while !inner.commits_suspended {
             let next_seq = inner.committed_tail() + 1;
@@ -372,6 +371,13 @@ impl LogService {
                 .set_gauge(GaugeId::LogPendingEntries, inner.pending.len() as i64);
             self.commit_cv.notify_all();
         }
+    }
+
+    /// One committer iteration: commit everything ready, then sleep until
+    /// the next deadline or a wakeup.
+    fn committer_step(&self) {
+        let mut inner = self.inner.lock();
+        self.promote_ready(&mut inner, Instant::now());
         // Sleep until the next pending deadline (or a nudge).
         let next_seq = inner.committed_tail() + 1;
         let deadline = if inner.commits_suspended {
@@ -478,13 +484,23 @@ impl LogService {
         }
         self.metrics
             .set_gauge(GaugeId::LogPendingEntries, inner.pending.len() as i64);
+        // Already-elapsed quorum deadlines (zero-latency configs) commit
+        // inline: promoting them here spares a scheduler round trip through
+        // the committer thread per group-commit flush, which dominates on
+        // small hosts. Future deadlines still go through the committer.
+        if ready_at.is_some_and(|t| t <= Instant::now()) {
+            self.promote_ready(&mut inner, Instant::now());
+        }
+        let committer_has_work = !inner.pending.is_empty();
         drop(inner);
         // The synchronous accept span (the quorum wait is `quorum_ack`).
         self.metrics.record_stage(
             StageId::LogAppend,
             accepted_us.saturating_sub(accept_start_us),
         );
-        self.work_cv.notify_all();
+        if committer_has_work {
+            self.work_cv.notify_all();
+        }
         Ok(ids)
     }
 
@@ -528,6 +544,29 @@ impl LogService {
             let now = Instant::now();
             if now >= deadline {
                 return false;
+            }
+            self.commit_cv.wait_for(&mut inner, deadline - now);
+        }
+    }
+
+    /// Blocks until the committed tail reaches at least `target` (or
+    /// `timeout` elapses) and returns the tail observed at wakeup.
+    ///
+    /// This is the batched-wakeup primitive behind the commit pipeline's
+    /// completer thread: one waiter parks on the *minimum* outstanding
+    /// ticket and resolves every ticket at-or-below the returned watermark,
+    /// so N in-flight connections cost one condvar wait, not N.
+    pub fn wait_committed_at_least(&self, target: EntryId, timeout: Duration) -> EntryId {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        loop {
+            let tail = inner.committed_tail();
+            if tail >= target.0 {
+                return EntryId(tail);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return EntryId(tail);
             }
             self.commit_cv.wait_for(&mut inner, deadline - now);
         }

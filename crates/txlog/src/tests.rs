@@ -808,3 +808,30 @@ fn clear_faults_heals_everything_at_once() {
     assert!(t0.elapsed() < Duration::from_millis(100));
     assert_eq!(entries.len(), 2);
 }
+
+#[test]
+fn wait_committed_at_least_returns_watermark() {
+    let log = svc();
+    let id1 = log.append_after(1, EntryId::ZERO, b("a")).unwrap();
+    let id2 = log.append_after(1, id1, b("b")).unwrap();
+    // Already-committed target: returns immediately with the full tail.
+    assert!(log.wait_durable(id2, T));
+    assert_eq!(log.wait_committed_at_least(id1, T), id2);
+    // A waiter parked below the watermark wakes when the commit lands.
+    let log2 = log.clone();
+    let waiter = std::thread::spawn(move || log2.wait_committed_at_least(EntryId(3), T));
+    std::thread::sleep(Duration::from_millis(20));
+    log.append_after(1, id2, b("c")).unwrap();
+    assert!(waiter.join().unwrap() >= EntryId(3));
+}
+
+#[test]
+fn wait_committed_at_least_times_out_with_current_tail() {
+    let log = svc();
+    log.set_commits_suspended(true);
+    let id = log.append_after(1, EntryId::ZERO, b("stalled")).unwrap();
+    let tail = log.wait_committed_at_least(id, Duration::from_millis(30));
+    assert_eq!(tail, EntryId::ZERO);
+    log.clear_faults();
+    assert!(log.wait_durable(id, T));
+}

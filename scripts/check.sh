@@ -10,10 +10,12 @@
 #   test    — the full tier-1 suite (includes tests/analysis.rs, which
 #             re-runs the analyzer, and the chaos smoke schedules)
 #   metrics — tcp_throughput --smoke (§10 observability): per-stage
-#             latency attribution must sample every declared stage and
-#             the stage sums must be consistent with the e2e span; the
-#             binary exits nonzero otherwise. Opt in with --metrics-smoke
-#             (it costs a few seconds of closed-loop TCP load).
+#             latency attribution must sample every declared stage, the
+#             stage sums must be consistent with the e2e span, and the
+#             commit pipeline must show cross-connection coalescing at
+#             K>=8 (append calls < dispatched batches); the binary exits
+#             nonzero otherwise. Opt in with --metrics-smoke (it costs a
+#             few seconds of closed-loop TCP load).
 #
 # Usage: scripts/check.sh [--metrics-smoke] [--offline]
 # Extra cargo flags (e.g. --offline in the hermetic container) are passed
