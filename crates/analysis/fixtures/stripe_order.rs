@@ -1,0 +1,51 @@
+// Fixture: stripe-order lint (workspace-wide outside the stripes module)
+// plus the stripe-guard cases of lock-discipline.
+// Positive cases: nested stripe acquisition while a stripe guard is live,
+// raw stripe-mutex bypass, and a stripe guard held across a blocking wait.
+// Negative cases: guard dropped before reacquisition, block-scoped guard,
+// single acquisition with the blocking call after the drop.
+
+pub fn positive_nested_lock_all(node: &FakeNode) {
+    let guards = node.stripes.lock_one(0);
+    let more = node.stripes.lock_all();
+}
+
+pub fn positive_nested_lock_one(node: &FakeNode) {
+    let mut guards = node.stripes.lock_all();
+    let one = node.stripes.lock_one(3);
+}
+
+pub fn positive_raw_mutex_bypass(node: &FakeNode) {
+    let g = node.stripes.lock_counting(&node.stripes.first);
+}
+
+pub fn positive_stripe_guard_across_wait(node: &FakeNode) {
+    let guards = node.stripes.lock_one(2);
+    node.log.wait_durable(0);
+}
+
+pub fn positive_lock_all_across_put(node: &FakeNode) {
+    let mut guards = node.stripes.lock_all();
+    node.store.put(guards.first_ref().snapshot());
+}
+
+pub fn negative_dropped_then_reacquire(node: &FakeNode) {
+    let guards = node.stripes.lock_one(0);
+    drop(guards);
+    let more = node.stripes.lock_all();
+}
+
+pub fn negative_block_scoped_guard(node: &FakeNode) {
+    let len = {
+        let guards = node.stripes.lock_one(0);
+        guards.first_ref().len()
+    };
+    let more = node.stripes.lock_all();
+}
+
+pub fn negative_wait_after_drop(node: &FakeNode) {
+    let mut guards = node.stripes.lock_all();
+    let id = guards.first_ref().version();
+    drop(guards);
+    node.log.wait_durable(id);
+}

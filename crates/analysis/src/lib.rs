@@ -1,6 +1,6 @@
 //! Workspace invariant analyzer for the MemoryDB reproduction.
 //!
-//! Five lint families, each protecting one leg of the paper's
+//! Six lint families, each protecting one leg of the paper's
 //! consistency/availability argument (see DESIGN.md "Enforced invariants"):
 //!
 //! 1. **panic-freedom** — no `unwrap`/`expect`/panic macros/direct indexing
@@ -19,6 +19,12 @@
 //!    stalls every connection it sweeps; replies must park on commit tickets
 //!    instead (DESIGN.md §11). Intentional sites (the thread-per-connection
 //!    settle) are baselined per site.
+//! 6. **stripe-order** — no nested stripe-lock acquisition (a further
+//!    `lock_one`/`lock_all` while a stripe guard is live) and no raw
+//!    stripe-mutex use outside the stripes module; multi-stripe work must
+//!    take one `lock_all()` in canonical ascending order (DESIGN.md §12).
+//!    The stripe guards also feed lint 2: none may be held across a
+//!    blocking durability or storage wait.
 //!
 //! Exceptions live in the checked-in `analysis.toml` baseline; every entry
 //! carries a justification, matches at least one finding (else it is
@@ -43,7 +49,8 @@ use std::path::{Path, PathBuf};
 #[derive(Debug, Clone)]
 pub struct Finding {
     /// Lint family name ("panic-freedom", "lock-discipline",
-    /// "sim-determinism", "sync-primitives", "durability-wait").
+    /// "sim-determinism", "sync-primitives", "durability-wait",
+    /// "stripe-order").
     pub lint: &'static str,
     /// Workspace-relative path with forward slashes.
     pub file: String,

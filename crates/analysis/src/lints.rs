@@ -1,4 +1,4 @@
-//! The five invariant families. Each lint is a pass over the token stream
+//! The six invariant families. Each lint is a pass over the token stream
 //! from [`crate::lexer`]; scopes are hardcoded here (the baseline file only
 //! holds *exceptions*, never scope). Every diagnostic names the part of the
 //! MemoryDB argument it protects, so a violation reads as "which paper
@@ -22,6 +22,7 @@ const PANIC_SCOPE: &[&str] = &[
     "crates/engine/src/ds/",
     "crates/core/src/apply.rs",
     "crates/core/src/node.rs",
+    "crates/core/src/stripes.rs",
     "crates/txlog/src/service.rs",
     "crates/resp/src/decode.rs",
 ];
@@ -36,6 +37,7 @@ const PANIC_SCOPE: &[&str] = &[
 const INDEX_SCOPE: &[&str] = &[
     "crates/core/src/apply.rs",
     "crates/core/src/node.rs",
+    "crates/core/src/stripes.rs",
     "crates/txlog/src/service.rs",
     "crates/resp/src/decode.rs",
 ];
@@ -57,7 +59,23 @@ const DURABILITY_WAIT_METHODS: &[&str] = &[
 ];
 
 /// Final-call methods in a `let` initializer that make the binding a guard.
-const GUARD_METHODS: &[&str] = &["lock", "read", "write", "upgradable_read"];
+/// These must have an *empty* argument list (so `io::Read::read(&mut buf)`
+/// is not mistaken for a lock).
+const GUARD_METHODS: &[&str] = &["lock", "read", "write", "upgradable_read", "lock_all"];
+
+/// Guard-returning methods that take arguments (`lock_one(idx)` returns the
+/// stripe guard set for one stripe).
+const GUARD_METHODS_WITH_ARGS: &[&str] = &["lock_one"];
+
+/// Stripe-guard constructors: the only sanctioned stripe-lock acquisition
+/// paths. Acquiring another stripe guard while one is live violates the
+/// canonical ascending-order acquisition (`EngineStripes::lock_all`) that
+/// makes multi-stripe locking deadlock-free (DESIGN.md §12).
+const STRIPE_GUARD_METHODS: &[&str] = &["lock_one", "lock_all"];
+
+/// The one module allowed to touch the raw stripe mutexes; everywhere else
+/// must go through `lock_one`/`lock_all`.
+const STRIPE_MODULE: &str = "crates/core/src/stripes.rs";
 
 /// Methods that block on remote durability / storage while running:
 /// holding any lock guard across these defeats PR-1 group commit and stalls
@@ -98,6 +116,9 @@ pub(crate) fn lint_tokens(rel: &str, toks: &[Tok]) -> Vec<RawFinding> {
     // Workspace-wide passes.
     lock_discipline(toks, &mut out);
     sync_primitives(toks, &mut out);
+    if rel != STRIPE_MODULE {
+        stripe_order(toks, &mut out);
+    }
     out.sort_by_key(|f| f.line);
     out
 }
@@ -289,7 +310,7 @@ fn sync_primitives(toks: &[Tok], out: &mut Vec<RawFinding>) {
 }
 
 /// A live lock guard: `let`-bound, final call in its initializer was a
-/// guard-returning method with empty argument list.
+/// guard-returning method (empty argument list, or `lock_one(idx)`).
 #[derive(Clone)]
 struct Guard {
     name: String,
@@ -327,8 +348,12 @@ fn lock_discipline(toks: &[Tok], out: &mut Vec<RawFinding>) {
                 pending.retain(|(_, g)| g.depth <= d);
             }
             Ident(id) if id == "let" && !t.in_test => {
-                if let Some((name, semi)) = parse_let_guard(toks, i) {
-                    pending.push((semi + 1, Guard { name, depth }));
+                if let Some((name, semi, method, empty_args)) = parse_let_final_call(toks, i) {
+                    let is_guard = (empty_args && GUARD_METHODS.contains(&method.as_str()))
+                        || GUARD_METHODS_WITH_ARGS.contains(&method.as_str());
+                    if is_guard {
+                        pending.push((semi + 1, Guard { name, depth }));
+                    }
                 }
             }
             Ident(id) if id == "drop" && !t.in_test => {
@@ -384,13 +409,101 @@ fn lock_discipline(toks: &[Tok], out: &mut Vec<RawFinding>) {
     }
 }
 
-/// Recognises `let [mut] NAME = <expr ending in .lock()/.read()/...>;` and
-/// returns (NAME, index of the terminating `;`). The guard method must be
-/// the *final* call with an empty argument list — this rejects
+/// (6) stripe-order: the only sanctioned multi-stripe acquisition is one
+/// `lock_all()` (canonical ascending order); acquiring any further stripe
+/// guard while one is live can deadlock against a concurrent `lock_all`.
+/// Raw stripe mutexes (`lock_counting`) are private to the stripes module —
+/// mentioning them anywhere else means someone is bypassing the helpers.
+fn stripe_order(toks: &[Tok], out: &mut Vec<RawFinding>) {
+    let mut depth: i32 = 0;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut pending: Vec<(usize, Guard)> = Vec::new();
+
+    let mut i = 0;
+    while i < toks.len() {
+        pending.retain(|(at, g)| {
+            if *at <= i {
+                guards.push(g.clone());
+                false
+            } else {
+                true
+            }
+        });
+
+        let t = &toks[i];
+        match &t.kind {
+            Punct('{') => depth += 1,
+            Punct('}') => {
+                depth -= 1;
+                let d = depth;
+                guards.retain(|g| g.depth <= d);
+                pending.retain(|(_, g)| g.depth <= d);
+            }
+            Ident(id) if id == "lock_counting" && !t.in_test => {
+                out.push(RawFinding {
+                    lint: "stripe-order",
+                    line: t.line,
+                    message: "raw stripe-mutex acquisition outside the stripes module; \
+                              all stripe locking must go through \
+                              `EngineStripes::lock_one`/`lock_all` so acquisition \
+                              order stays canonical (DESIGN.md \u{a7}12)"
+                        .to_string(),
+                });
+            }
+            Ident(id) if id == "let" && !t.in_test => {
+                if let Some((name, semi, method, _)) = parse_let_final_call(toks, i) {
+                    if STRIPE_GUARD_METHODS.contains(&method.as_str()) {
+                        pending.push((semi + 1, Guard { name, depth }));
+                    }
+                }
+            }
+            Ident(id) if id == "drop" && !t.in_test => {
+                let name = toks
+                    .get(i + 1)
+                    .filter(|n| n.is_punct('('))
+                    .and_then(|_| toks.get(i + 2))
+                    .and_then(|n| n.ident())
+                    .filter(|_| toks.get(i + 3).is_some_and(|n| n.is_punct(')')));
+                if let Some(name) = name {
+                    guards.retain(|g| g.name != name);
+                    pending.retain(|(_, g)| g.name != name);
+                }
+            }
+            Punct('.') if !t.in_test && !guards.is_empty() => {
+                let method = toks
+                    .get(i + 1)
+                    .and_then(|n| n.ident())
+                    .filter(|_| toks.get(i + 2).is_some_and(|n| n.is_punct('(')));
+                if let Some(m) = method.filter(|m| STRIPE_GUARD_METHODS.contains(m)) {
+                    let names: Vec<&str> = guards.iter().map(|g| g.name.as_str()).collect();
+                    let names = names.join(", ");
+                    let line = toks.get(i + 1).map_or(t.line, |n| n.line);
+                    out.push(RawFinding {
+                        lint: "stripe-order",
+                        line,
+                        message: format!(
+                            "`.{m}()` while stripe guard(s) `{names}` are live; nested \
+                             stripe acquisition breaks the canonical ascending lock \
+                             order that makes `lock_all` deadlock-free — take one \
+                             `lock_all()` up front instead (DESIGN.md \u{a7}12)"
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Recognises `let [mut] NAME = <expr ending in .method(...)>;` and returns
+/// (NAME, index of the terminating `;`, method, whether the final argument
+/// list is empty). The call must be the *final* expression — this rejects
 /// `let role = { let st = self.st.lock(); st.role };` (guard scoped to the
-/// block), `let x = self.st.lock().role;` (guard is a temporary), and
-/// `file.read(&mut buf)` (argument list non-empty, io::Read not a lock).
-fn parse_let_guard(toks: &[Tok], let_idx: usize) -> Option<(String, usize)> {
+/// block) and `let x = self.st.lock().role;` (guard is a temporary); callers
+/// decide guard-ness from the method name and arity (so io::Read's
+/// `file.read(&mut buf)` is not mistaken for a lock).
+fn parse_let_final_call(toks: &[Tok], let_idx: usize) -> Option<(String, usize, String, bool)> {
     let mut j = let_idx + 1;
     if toks.get(j).and_then(|t| t.ident()) == Some("mut") {
         j += 1;
@@ -426,21 +539,36 @@ fn parse_let_guard(toks: &[Tok], let_idx: usize) -> Option<(String, usize)> {
         Some(t) if t.is_punct('?') => &tail[..tail.len() - 1],
         _ => tail,
     };
-    if tail.len() < 4 {
+    if !tail.last()?.is_punct(')') {
         return None;
     }
-    let n = tail.len();
-    let is_guard = tail[n - 4].is_punct('.')
-        && tail[n - 3]
-            .ident()
-            .is_some_and(|m| GUARD_METHODS.contains(&m))
-        && tail[n - 2].is_punct('(')
-        && tail[n - 1].is_punct(')');
-    if is_guard {
-        Some((name.to_string(), semi))
-    } else {
-        None
+    // Walk back to the `(` matching the final `)`; the tokens before it must
+    // be `.method`, making the call the initializer's final expression.
+    let mut depth = 0i32;
+    let mut open = None;
+    for (idx, t) in tail.iter().enumerate().rev() {
+        match &t.kind {
+            Punct(')') | Punct(']') | Punct('}') => depth += 1,
+            Punct('(') | Punct('[') | Punct('{') => {
+                depth -= 1;
+                if depth == 0 {
+                    open = Some(idx);
+                    break;
+                }
+            }
+            _ => {}
+        }
     }
+    let open = open?;
+    if open < 2 {
+        return None;
+    }
+    let method = tail.get(open - 1)?.ident()?;
+    if !tail.get(open - 2)?.is_punct('.') {
+        return None;
+    }
+    let empty_args = open + 1 == tail.len() - 1;
+    Some((name.to_string(), semi, method.to_string(), empty_args))
 }
 
 #[cfg(test)]
@@ -568,6 +696,58 @@ mod tests {
         let src = "fn sweep(&self) { let r = node.try_finish(sb); }\n\
                    #[cfg(test)]\nmod tests { fn t() { log.wait_durable(0); } }\n";
         assert!(lints_for("crates/server/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn stripe_guard_across_blocking_wait() {
+        // `lock_all()` (empty args) and `lock_one(idx)` (with args) both
+        // register as guards for the lock-discipline pass.
+        let src = "fn f(&self) {\n\
+                   let mut guards = self.stripes.lock_all();\n\
+                   self.log.wait_durable(id);\n\
+                   }\n\
+                   fn g(&self, idx: usize) {\n\
+                   let guards = self.stripes.lock_one(idx);\n\
+                   self.log.wait_durable(id);\n\
+                   }\n";
+        assert_eq!(
+            lints_for("crates/core/src/x.rs", src),
+            vec!["lock-discipline:3", "lock-discipline:7"]
+        );
+    }
+
+    #[test]
+    fn nested_stripe_acquisition_is_flagged() {
+        let src = "fn f(&self) {\n\
+                   let mut guards = self.stripes.lock_one(0);\n\
+                   let more = self.stripes.lock_all();\n\
+                   }\n";
+        assert_eq!(
+            lints_for("crates/core/src/x.rs", src),
+            vec!["stripe-order:3"]
+        );
+        // The stripes module itself (lock_all's own implementation calls
+        // lock_counting per stripe) is exempt.
+        assert!(lints_for("crates/core/src/stripes.rs", src).is_empty());
+    }
+
+    #[test]
+    fn dropped_stripe_guard_allows_reacquisition() {
+        let src = "fn f(&self) {\n\
+                   let guards = self.stripes.lock_one(0);\n\
+                   drop(guards);\n\
+                   let more = self.stripes.lock_all();\n\
+                   }\n";
+        assert!(lints_for("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_stripe_mutex_use_is_flagged_outside_module() {
+        let src = "fn f(&self) { let g = self.stripes.lock_counting(&m); }\n";
+        assert_eq!(
+            lints_for("crates/core/src/x.rs", src),
+            vec!["stripe-order:1"]
+        );
     }
 
     #[test]

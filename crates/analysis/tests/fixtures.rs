@@ -94,6 +94,38 @@ fn lock_fixture_flags_guards_across_waits() {
 }
 
 #[test]
+fn stripe_fixture_flags_nested_acquisition_and_guarded_waits() {
+    let src = fixture("stripe_order.rs");
+    // Both passes are workspace-wide: any non-stripes path works.
+    let findings = analyze_source("crates/core/src/anywhere.rs", &src);
+    let stripe: Vec<_> = findings
+        .iter()
+        .filter(|f| f.lint == "stripe-order")
+        .collect();
+    let lockd: Vec<_> = findings
+        .iter()
+        .filter(|f| f.lint == "lock-discipline")
+        .collect();
+    assert_eq!(
+        stripe.len(),
+        3,
+        "expected nested lock_all, nested lock_one, raw bypass:\n{findings:#?}"
+    );
+    assert_eq!(
+        lockd.len(),
+        2,
+        "expected wait_durable and put under stripe guards:\n{findings:#?}"
+    );
+    assert_eq!(findings.len(), 5, "{findings:#?}");
+    assert_only_positives(&findings, &src);
+
+    // The stripes module itself implements lock_one/lock_all over the raw
+    // mutexes; the stripe-order lint must not fire there.
+    let in_module = analyze_source("crates/core/src/stripes.rs", &src);
+    assert!(in_module.iter().all(|f| f.lint != "stripe-order"));
+}
+
+#[test]
 fn determinism_fixture_flags_wall_clock_and_entropy() {
     let src = fixture("nondeterminism.rs");
     let findings = analyze_source("crates/sim/src/chaos.rs", &src);

@@ -4,17 +4,22 @@
 //! loopback sockets. Usage:
 //!
 //! ```text
-//! tcp_throughput [--smoke] [--duration S] [--value-bytes N]
-//!                [--conns a,b,..] [--pipeline a,b,..] [--json PATH]
+//! tcp_throughput [--smoke] [--duration S] [--value-bytes N] [--zipfian]
+//!                [--conns a,b,..] [--pipeline a,b,..] [--stripes a,b,..]
+//!                [--json PATH]
 //! ```
 //!
 //! The interesting comparisons: multiplexed vs thread-per-conn at 64
-//! connections, and P=16 pipelined SET vs P=1 (group commit should hold
-//! `ops/append` near P the whole time).
+//! connections, P=16 pipelined SET vs P=1 (group commit should hold
+//! `ops/append` near P the whole time), and 16 engine stripes vs 1 at
+//! K>=8 (DESIGN.md §12 lock striping). `--zipfian` replaces the disjoint
+//! per-connection keys with one shared hot-key distribution, showing the
+//! contended end of the striping win.
 
 use memorydb_bench::output::{kops, results_dir, Table};
 use memorydb_bench::tcp::{
-    attribution_problems, coalescing_problems, cross, run, to_json, TcpParams, TcpRow,
+    attribution_problems, coalescing_problems, cross, run, scaling_gate_active, scaling_problems,
+    to_json, TcpParams, TcpRow,
 };
 use memorydb_server::IoMode;
 
@@ -37,6 +42,7 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut conns: Option<Vec<usize>> = None;
     let mut pipelines: Option<Vec<usize>> = None;
+    let mut stripes: Option<Vec<usize>> = None;
     let mut smoke = false;
 
     let mut it = args.iter();
@@ -46,6 +52,7 @@ fn main() {
                 params = TcpParams::smoke();
                 smoke = true;
             }
+            "--zipfian" => params.zipfian = true,
             "--duration" => {
                 params.duration_s = it
                     .next()
@@ -62,15 +69,17 @@ fn main() {
             "--pipeline" => {
                 pipelines = Some(parse_list(it.next().expect("--pipeline needs a list")))
             }
+            "--stripes" => stripes = Some(parse_list(it.next().expect("--stripes needs a list"))),
             "--json" => json_path = Some(it.next().expect("--json needs a path").clone()),
             other => panic!("unknown argument: {other}"),
         }
     }
-    if conns.is_some() || pipelines.is_some() {
+    if conns.is_some() || pipelines.is_some() || stripes.is_some() {
         params.cases = cross(
             &[IoMode::ThreadPerConnection, IoMode::Multiplexed],
             &conns.unwrap_or_else(|| vec![1, 8, 64]),
             &pipelines.unwrap_or_else(|| vec![1, 16, 64]),
+            &stripes.unwrap_or_else(|| vec![1, 16]),
         );
     }
 
@@ -80,6 +89,7 @@ fn main() {
         "mode",
         "conns",
         "pipeline",
+        "stripes",
         "op/s",
         "appends",
         "batches",
@@ -91,6 +101,7 @@ fn main() {
             r.mode.to_string(),
             r.connections.to_string(),
             r.pipeline.to_string(),
+            r.stripes.to_string(),
             kops(r.ops),
             r.append_calls.to_string(),
             r.batches.to_string(),
@@ -110,10 +121,12 @@ fn main() {
         "mode",
         "conns",
         "pipeline",
+        "stripes",
         "io_read",
         "io_write",
         "parse",
         "engine",
+        "stripe_hold",
         "apply",
         "cqw",
         "durability",
@@ -126,10 +139,12 @@ fn main() {
             r.mode.to_string(),
             r.connections.to_string(),
             r.pipeline.to_string(),
+            r.stripes.to_string(),
             stage_mean(r, "io_read"),
             stage_mean(r, "io_write"),
             stage_mean(r, "parse"),
             stage_mean(r, "engine"),
+            stage_mean(r, "stripe_lock_hold"),
             stage_mean(r, "apply"),
             stage_mean(r, "commit_queue_wait"),
             stage_mean(r, "durability"),
@@ -156,16 +171,21 @@ fn main() {
     }
     println!(
         "\nClaims under test: multiplexed >= thread-per-conn at 64 conns; \
-         pipelined SET scales with P; ops/append tracks the pipeline depth."
+         pipelined SET scales with P; ops/append tracks the pipeline depth; \
+         16 stripes beat 1 at K>=8 multiplexed."
     );
 
     // In smoke mode the attribution doubles as a gate: every declared
     // stage must have samples, the stage sums must be consistent with the
-    // measured e2e span, and cross-connection coalescing must be observed
-    // at K >= 8 (append calls strictly below dispatched batches).
+    // measured e2e span, cross-connection coalescing must be observed at
+    // K >= 8 (append calls strictly below dispatched batches), and the
+    // 16-stripe configuration must beat the 1-stripe baseline by >=1.5x
+    // at K >= 8 multiplexed (skipped on hosts with fewer than 4 cores,
+    // where stripes just time-share one CPU).
     if smoke {
         let mut problems: Vec<String> = rows.iter().flat_map(attribution_problems).collect();
         problems.extend(coalescing_problems(&rows));
+        problems.extend(scaling_problems(&rows));
         if !problems.is_empty() {
             eprintln!("metrics smoke FAILED:");
             for p in &problems {
@@ -173,9 +193,14 @@ fn main() {
             }
             std::process::exit(1);
         }
+        let scaling_note = if scaling_gate_active() {
+            "stripe scaling gate held"
+        } else {
+            "stripe scaling gate skipped (<4 cores)"
+        };
         println!(
             "metrics smoke OK: all stages sampled, stage sums consistent with e2e, \
-             cross-connection coalescing observed"
+             cross-connection coalescing observed, {scaling_note}"
         );
     }
 }

@@ -16,12 +16,15 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
-/// One (mode, connections, pipeline-depth) point of the sweep.
+/// One (mode, connections, pipeline-depth, stripe-count) point of the sweep.
 #[derive(Debug, Clone, Copy)]
 pub struct TcpCase {
     pub mode: IoMode,
     pub connections: usize,
     pub pipeline: usize,
+    /// Engine stripe count for the case's shard (DESIGN.md §12). 1 is the
+    /// pre-striping single-mutex configuration, the scaling baseline.
+    pub stripes: usize,
 }
 
 /// Sweep parameters.
@@ -32,6 +35,11 @@ pub struct TcpParams {
     pub duration_s: f64,
     /// SET payload size, bytes.
     pub value_bytes: usize,
+    /// Hot-key workload: draw keys from one shared, skewed (approximately
+    /// Zipfian) distribution instead of disjoint per-connection key sets.
+    /// Skewed keys concentrate on few stripes, so this exposes the
+    /// contended end of the striping win.
+    pub zipfian: bool,
     /// Leadership lease for the bench shard. Large sweeps oversubscribe
     /// the CPU with client threads, and an aggressive lease would let the
     /// primary's renewal starve and demote it mid-measurement; size this
@@ -43,51 +51,74 @@ pub struct TcpParams {
 }
 
 impl TcpParams {
-    /// The full sweep the benchmark binary runs by default.
+    /// The full sweep the benchmark binary runs by default. Stripes 1 vs 16
+    /// at every point is the before/after of the §12 lock striping.
     pub fn full() -> TcpParams {
         TcpParams {
             cases: cross(
                 &[IoMode::ThreadPerConnection, IoMode::Multiplexed],
                 &[1, 8, 64],
                 &[1, 16, 64],
+                &[1, 16],
             ),
             duration_s: 1.0,
             value_bytes: 64,
+            zipfian: false,
             lease: Duration::from_secs(5),
             windows: 3,
         }
     }
 
     /// A seconds-long sanity sweep for `cargo test` / CI. Includes K=8 so
-    /// the cross-connection coalescing gate has a case to bite on.
+    /// the cross-connection coalescing gate has a case to bite on, plus a
+    /// 1-stripe twin of the multiplexed K=8 point so the stripe-scaling
+    /// gate has a baseline to compare against.
     pub fn smoke() -> TcpParams {
+        let mut cases = cross(
+            &[IoMode::ThreadPerConnection, IoMode::Multiplexed],
+            &[1, 8],
+            &[1, 8],
+            &[16],
+        );
+        cases.push(TcpCase {
+            mode: IoMode::Multiplexed,
+            connections: 8,
+            pipeline: 8,
+            stripes: 1,
+        });
         TcpParams {
-            cases: cross(
-                &[IoMode::ThreadPerConnection, IoMode::Multiplexed],
-                &[1, 8],
-                &[1, 8],
-            ),
+            cases,
             duration_s: 0.2,
             value_bytes: 16,
+            zipfian: false,
             lease: Duration::from_millis(600),
             windows: 1,
         }
     }
 }
 
-/// Cartesian product of connection counts × pipeline depths × modes. Modes
-/// alternate innermost so the two implementations of each (K, P) point run
-/// back-to-back — fairer when the host throttles sustained CPU use.
-pub fn cross(modes: &[IoMode], conns: &[usize], pipelines: &[usize]) -> Vec<TcpCase> {
+/// Cartesian product of connection counts × pipeline depths × stripe counts
+/// × modes. Modes alternate innermost so the two implementations of each
+/// (K, P, stripes) point run back-to-back — fairer when the host throttles
+/// sustained CPU use.
+pub fn cross(
+    modes: &[IoMode],
+    conns: &[usize],
+    pipelines: &[usize],
+    stripes: &[usize],
+) -> Vec<TcpCase> {
     let mut cases = Vec::new();
     for &connections in conns {
         for &pipeline in pipelines {
-            for &mode in modes {
-                cases.push(TcpCase {
-                    mode,
-                    connections,
-                    pipeline,
-                });
+            for &stripes in stripes {
+                for &mode in modes {
+                    cases.push(TcpCase {
+                        mode,
+                        connections,
+                        pipeline,
+                        stripes,
+                    });
+                }
             }
         }
     }
@@ -113,6 +144,8 @@ pub struct TcpRow {
     pub mode: &'static str,
     pub connections: usize,
     pub pipeline: usize,
+    /// Engine stripe count the case ran with.
+    pub stripes: usize,
     /// Achieved SETs per second over the measurement window.
     pub ops: f64,
     /// Txlog append calls (= quorum acks) during the window.
@@ -155,6 +188,7 @@ pub fn required_stages(mode: &str) -> Vec<&'static str> {
         "parse",
         "engine",
         "engine_lock_hold",
+        "stripe_lock_hold",
         "apply",
         "commit_queue_wait",
         "durability",
@@ -176,16 +210,16 @@ pub fn attribution_problems(row: &TcpRow) -> Vec<String> {
     for name in required_stages(row.mode) {
         if row.stage(name).is_none() {
             problems.push(format!(
-                "{} K={} P={}: stage `{name}` has no samples",
-                row.mode, row.connections, row.pipeline
+                "{} K={} P={} S={}: stage `{name}` has no samples",
+                row.mode, row.connections, row.pipeline, row.stripes
             ));
         }
     }
     if !(0.80..=1.02).contains(&row.stage_sum_over_e2e) {
         problems.push(format!(
-            "{} K={} P={}: engine+commit_queue_wait+durability accounts for \
+            "{} K={} P={} S={}: engine+commit_queue_wait+durability accounts for \
              {:.3} of e2e (want 0.80..=1.02)",
-            row.mode, row.connections, row.pipeline, row.stage_sum_over_e2e
+            row.mode, row.connections, row.pipeline, row.stripes, row.stage_sum_over_e2e
         ));
     }
     problems
@@ -200,10 +234,55 @@ pub fn coalescing_problems(rows: &[TcpRow]) -> Vec<String> {
     for r in rows {
         if r.mode == "multiplexed" && r.connections >= 8 && r.append_calls >= r.batches {
             problems.push(format!(
-                "{} K={} P={}: no cross-connection coalescing observed \
+                "{} K={} P={} S={}: no cross-connection coalescing observed \
                  ({} appends for {} batches)",
-                r.mode, r.connections, r.pipeline, r.append_calls, r.batches
+                r.mode, r.connections, r.pipeline, r.stripes, r.append_calls, r.batches
             ));
+        }
+    }
+    problems
+}
+
+/// True when the host has enough cores for stripe scaling to be measurable.
+/// On 1-2 core machines every stripe shares one CPU, so the ≥1.5× gate
+/// would only measure scheduler noise; the smoke gate skips it there.
+pub fn scaling_gate_active() -> bool {
+    std::thread::available_parallelism().is_ok_and(|n| n.get() >= 4)
+}
+
+/// Validates the §12 scaling claim: for every multiplexed K≥8 point that
+/// was measured at both 1 stripe and 16 stripes (same K, P, workload), the
+/// striped configuration must deliver ≥1.5× the ops/s of the single-mutex
+/// baseline. Empty when the gate is inactive ([`scaling_gate_active`]) or
+/// no such pair exists in the sweep.
+pub fn scaling_problems(rows: &[TcpRow]) -> Vec<String> {
+    let mut problems = Vec::new();
+    if !scaling_gate_active() {
+        return problems;
+    }
+    for base in rows {
+        if base.mode != "multiplexed" || base.connections < 8 || base.stripes != 1 {
+            continue;
+        }
+        let striped = rows.iter().find(|r| {
+            r.mode == base.mode
+                && r.connections == base.connections
+                && r.pipeline == base.pipeline
+                && r.stripes == 16
+        });
+        if let Some(s) = striped {
+            if s.ops < 1.5 * base.ops {
+                problems.push(format!(
+                    "{} K={} P={}: 16-stripe ops/s must be >=1.5x the 1-stripe \
+                     baseline, got {:.0} vs {:.0} ({:.2}x)",
+                    base.mode,
+                    base.connections,
+                    base.pipeline,
+                    s.ops,
+                    base.ops,
+                    s.ops / base.ops.max(1.0)
+                ));
+            }
         }
     }
     problems
@@ -230,6 +309,7 @@ fn run_case(case: &TcpCase, params: &TcpParams) -> TcpRow {
             lease,
             renew_interval: lease / 5,
             backoff: lease + lease / 10,
+            engine_stripes: case.stripes,
             ..ShardConfig::default()
         },
         Arc::new(ObjectStore::new()),
@@ -266,14 +346,32 @@ fn run_case(case: &TcpCase, params: &TcpParams) -> TcpRow {
         let barrier = Arc::clone(&barrier);
         let value = value.clone();
         let depth = case.pipeline;
+        let zipfian = params.zipfian;
         workers.push(std::thread::spawn(move || {
             let mut client = BlockingClient::connect(addr).expect("bench client connect");
             barrier.wait();
             let mut i = 0u64;
+            // Per-worker xorshift64* for the skewed key draw; seeded from
+            // the connection id so streams differ but stay reproducible.
+            let mut rng: u64 = 0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(conn_id as u64 + 1);
             while !stop.load(Ordering::Relaxed) {
                 let batch: Vec<Vec<String>> = (0..depth)
                     .map(|j| {
-                        let key = format!("c{conn_id}:{}", (i + j as u64) % 1024);
+                        let key = if zipfian {
+                            // Approximate Zipf by cubing a uniform draw:
+                            // low indices get most of the mass (the top
+                            // key sees ~10% of ops at N=1024). Every
+                            // connection shares the `z` keyspace, so hot
+                            // keys pile onto few stripes by design.
+                            rng ^= rng >> 12;
+                            rng ^= rng << 25;
+                            rng ^= rng >> 27;
+                            let u = (rng.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64
+                                / (1u64 << 53) as f64;
+                            format!("z{}", (1024.0 * u * u * u) as usize)
+                        } else {
+                            format!("c{conn_id}:{}", (i + j as u64) % 1024)
+                        };
                         vec!["SET".into(), key, value.clone()]
                     })
                     .collect();
@@ -366,6 +464,7 @@ fn run_case(case: &TcpCase, params: &TcpParams) -> TcpRow {
         mode: mode_name(case.mode),
         connections: case.connections,
         pipeline: case.pipeline,
+        stripes: case.stripes,
         ops: rate,
         append_calls,
         batches,
@@ -392,6 +491,7 @@ pub fn to_json(params: &TcpParams, rows: &[TcpRow]) -> String {
     s.push_str("  \"bench\": \"tcp_throughput\",\n");
     s.push_str(&format!("  \"duration_s\": {},\n", params.duration_s));
     s.push_str(&format!("  \"value_bytes\": {},\n", params.value_bytes));
+    s.push_str(&format!("  \"zipfian\": {},\n", params.zipfian));
     s.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let stages = r
@@ -408,12 +508,14 @@ pub fn to_json(params: &TcpParams, rows: &[TcpRow]) -> String {
             .join(", ");
         s.push_str(&format!(
             "    {{\"mode\": \"{}\", \"connections\": {}, \"pipeline\": {}, \
+             \"stripes\": {}, \
              \"ops_per_s\": {:.1}, \"append_calls\": {}, \"batches\": {}, \
              \"ops_per_append\": {:.2}, \"appends_per_command\": {:.4}, \
              \"stage_sum_over_e2e\": {:.3}, \"stages\": {{{}}}}}{}\n",
             r.mode,
             r.connections,
             r.pipeline,
+            r.stripes,
             r.ops,
             r.append_calls,
             r.batches,
@@ -462,6 +564,19 @@ mod tests {
             "coalescing gate failed:\n{}",
             problems.join("\n")
         );
+        // Stripe scaling (§12): the multiplexed K=8 point runs at both 1
+        // and 16 stripes; on a machine with cores to use, 16 stripes must
+        // beat the single-mutex baseline by >=1.5x.
+        if scaling_gate_active() {
+            let problems = scaling_problems(&rows);
+            assert!(
+                problems.is_empty(),
+                "stripe scaling gate failed:\n{}",
+                problems.join("\n")
+            );
+        } else {
+            eprintln!("stripe scaling gate skipped: fewer than 4 cores available");
+        }
         // Stage attribution (§10): every declared stage sampled and the
         // engine+durability sum consistent with the e2e span, per case.
         for r in &rows {
@@ -484,8 +599,12 @@ mod tests {
         assert!(json.contains("\"bench\": \"tcp_throughput\""));
         assert!(json.contains("\"appends_per_command\""));
         assert!(json.contains("\"batches\""));
+        assert!(json.contains("\"stripes\": 16"));
+        assert!(json.contains("\"stripes\": 1,"));
+        assert!(json.contains("\"zipfian\": false"));
         assert!(json.contains("\"stage_sum_over_e2e\""));
         assert!(json.contains("\"e2e\": {\"count\""));
+        assert!(json.contains("\"stripe_lock_hold\": {\"count\""));
         assert_eq!(json.matches("\"mode\"").count(), rows.len());
     }
 
@@ -498,9 +617,11 @@ mod tests {
                 &[IoMode::ThreadPerConnection, IoMode::Multiplexed],
                 &[64],
                 &[1, 16],
+                &[16],
             ),
             duration_s: 1.0,
             value_bytes: 64,
+            zipfian: false,
             lease: Duration::from_secs(5),
             windows: 3,
         };

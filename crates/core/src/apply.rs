@@ -8,7 +8,7 @@ use crate::record::{NodeId, Record};
 use crate::slotset::SlotSet;
 use bytes::Bytes;
 use memorydb_engine::rdb::Crc64;
-use memorydb_engine::{Engine, EngineVersion};
+use memorydb_engine::{key_hash_slot, keys_for, EffectCmd, Engine, EngineVersion};
 use memorydb_txlog::{EntryId, LogEntry};
 use std::collections::HashSet;
 use std::time::Instant;
@@ -110,13 +110,65 @@ impl Default for ReplicaState {
     }
 }
 
-/// Applies one committed log entry to `(engine, rs)`.
+/// Applies one committed log entry to `(engine, rs)` — the unstriped form,
+/// equivalent to [`apply_entry_striped`] with a single stripe.
+pub fn apply_entry(
+    engine: &mut Engine,
+    rs: &mut ReplicaState,
+    entry: &LogEntry,
+    my_version: EngineVersion,
+) -> Result<(), HaltReason> {
+    apply_entry_striped(&mut [engine], |_| 0, rs, entry, my_version)
+}
+
+/// Routes one effect to its owning stripe engine. Keyed effects go to the
+/// stripe of their first key (all of an effect's keys share a slot — the
+/// primary enforced CROSSSLOT before logging, and effect rewrites preserve
+/// the keys of the command they replace). Keyless `FLUSHALL`/`FLUSHDB`
+/// apply to every stripe; any other keyless effect goes to stripe 0,
+/// matching the single-engine behavior exactly when `n == 1`.
+fn apply_effect_striped(
+    engines: &mut [&mut Engine],
+    stripe_of: &impl Fn(u16) -> usize,
+    eff: &EffectCmd,
+) -> Result<(), String> {
+    let keyed = keys_for(eff).and_then(|keys| keys.into_iter().next());
+    if let Some(key) = keyed {
+        let idx = stripe_of(key_hash_slot(&key));
+        return match engines.get_mut(idx) {
+            Some(e) => e.apply_effect(eff),
+            None => Err(format!("stripe index {idx} out of range")),
+        };
+    }
+    let name = eff
+        .first()
+        .map(|b| String::from_utf8_lossy(b).to_ascii_uppercase())
+        .unwrap_or_default();
+    if name == "FLUSHALL" || name == "FLUSHDB" {
+        for e in engines.iter_mut() {
+            e.apply_effect(eff)?;
+        }
+        return Ok(());
+    }
+    match engines.first_mut() {
+        Some(e) => e.apply_effect(eff),
+        None => Err("no stripe engines".into()),
+    }
+}
+
+/// Applies one committed log entry to a striped engine set and `rs`.
+///
+/// `engines` is every stripe in ascending order (a consumer holding
+/// `EngineStripes::lock_all` passes its guards); `stripe_of` is the same
+/// slot→stripe map the primary routed with, so replica replay lands every
+/// effect on the stripe whose fold order the log position encodes.
 ///
 /// Returns `Err` with the halt reason when consumption must stop; in that
 /// case `rs.applied` does NOT advance past the offending entry and
 /// `rs.halted` is set.
-pub fn apply_entry(
-    engine: &mut Engine,
+pub fn apply_entry_striped(
+    engines: &mut [&mut Engine],
+    stripe_of: impl Fn(u16) -> usize,
     rs: &mut ReplicaState,
     entry: &LogEntry,
     my_version: EngineVersion,
@@ -137,7 +189,7 @@ pub fn apply_entry(
                 return Err(halt);
             }
             for eff in effects {
-                if let Err(e) = engine.apply_effect(eff) {
+                if let Err(e) = apply_effect_striped(engines, &stripe_of, eff) {
                     let halt = HaltReason::EffectFailed(e);
                     rs.halted = Some(halt.clone());
                     return Err(halt);
@@ -193,8 +245,11 @@ pub fn apply_entry(
         Record::MigrationDone { slot } => {
             rs.blocked_slots.remove(slot);
             rs.owned_slots.remove(*slot);
-            // The old owner deletes the transferred data (§5.2).
-            engine.db.delete_slot(*slot);
+            // The old owner deletes the transferred data (§5.2) — only the
+            // stripe owning the slot holds any of it.
+            if let Some(e) = engines.get_mut(stripe_of(*slot)) {
+                e.db.delete_slot(*slot);
+            }
         }
         Record::MigrationAbort { slot } => {
             rs.blocked_slots.remove(slot);
@@ -476,6 +531,105 @@ mod tests {
         }
         assert_eq!(producer.running_crc, consumer.running_crc);
         assert_eq!(producer.applied, consumer.applied);
+    }
+
+    /// Striped replay: keyed effects land on the owning stripe, keyless
+    /// flushes broadcast, and the running checksum is identical to the
+    /// unstriped fold (the checksum chains over payloads, not stripes).
+    #[test]
+    fn striped_apply_routes_effects_and_broadcasts_flush() {
+        let route = |slot: u16| crate::stripes::stripe_of(slot, 4);
+        let mut engines: Vec<Engine> = (0..4).map(|_| Engine::new(Role::Replica)).collect();
+        let mut single = Engine::new(Role::Replica);
+        let mut rs = ReplicaState::new();
+        let mut rs_single = ReplicaState::new();
+        let recs = [
+            Record::Effects {
+                version: EngineVersion::CURRENT,
+                effects: vec![cmd(["SET", "foo", "1"])],
+            },
+            Record::Effects {
+                version: EngineVersion::CURRENT,
+                effects: vec![cmd(["SET", "bar", "2"])],
+            },
+        ];
+        for (i, rec) in recs.iter().enumerate() {
+            let mut refs: Vec<&mut Engine> = engines.iter_mut().collect();
+            apply_entry_striped(
+                &mut refs,
+                route,
+                &mut rs,
+                &entry(i as u64 + 1, rec),
+                EngineVersion::CURRENT,
+            )
+            .unwrap();
+            apply_entry(
+                &mut single,
+                &mut rs_single,
+                &entry(i as u64 + 1, rec),
+                EngineVersion::CURRENT,
+            )
+            .unwrap();
+        }
+        assert_eq!(rs.running_crc, rs_single.running_crc);
+        let foo_stripe = route(memorydb_engine::key_hash_slot(b"foo"));
+        let bar_stripe = route(memorydb_engine::key_hash_slot(b"bar"));
+        assert_ne!(foo_stripe, bar_stripe, "test keys must span stripes");
+        assert_eq!(engines[foo_stripe].db.len(), 1);
+        assert_eq!(engines[bar_stripe].db.len(), 1);
+        let total: usize = engines.iter().map(|e| e.db.len()).sum();
+        assert_eq!(total, 2, "each key lives on exactly one stripe");
+
+        // FLUSHALL is keyless: it must clear every stripe.
+        let flush = Record::Effects {
+            version: EngineVersion::CURRENT,
+            effects: vec![cmd(["FLUSHALL"])],
+        };
+        let mut refs: Vec<&mut Engine> = engines.iter_mut().collect();
+        apply_entry_striped(
+            &mut refs,
+            route,
+            &mut rs,
+            &entry(3, &flush),
+            EngineVersion::CURRENT,
+        )
+        .unwrap();
+        assert!(engines.iter().all(|e| e.db.is_empty()));
+    }
+
+    /// MigrationDone on a striped consumer deletes slot data from the
+    /// owning stripe only.
+    #[test]
+    fn striped_migration_done_deletes_from_owning_stripe() {
+        let route = |slot: u16| crate::stripes::stripe_of(slot, 4);
+        let mut engines: Vec<Engine> = (0..4).map(|_| Engine::new(Role::Replica)).collect();
+        let mut rs = ReplicaState::new();
+        let set = Record::Effects {
+            version: EngineVersion::CURRENT,
+            effects: vec![cmd(["SET", "foo", "v"])],
+        };
+        let mut refs: Vec<&mut Engine> = engines.iter_mut().collect();
+        apply_entry_striped(
+            &mut refs,
+            route,
+            &mut rs,
+            &entry(1, &set),
+            EngineVersion::CURRENT,
+        )
+        .unwrap();
+        let slot = memorydb_engine::key_hash_slot(b"foo");
+        let done = Record::MigrationDone { slot };
+        let mut refs: Vec<&mut Engine> = engines.iter_mut().collect();
+        apply_entry_striped(
+            &mut refs,
+            route,
+            &mut rs,
+            &entry(2, &done),
+            EngineVersion::CURRENT,
+        )
+        .unwrap();
+        let total: usize = engines.iter().map(|e| e.db.len()).sum();
+        assert_eq!(total, 0, "migrated slot data deleted from its stripe");
     }
 
     /// Panic-freedom regression (analyzer invariant 1): malformed or

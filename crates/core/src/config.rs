@@ -38,6 +38,11 @@ pub struct ShardConfig {
     pub snapshot_min_bytes: usize,
     /// See `snapshot_min_bytes`.
     pub snapshot_ratio: f64,
+    /// Number of slot-range engine stripes. The 16384 hash slots are split
+    /// into this many contiguous ranges, each guarded by its own mutex, so
+    /// batches touching different stripes execute concurrently. `1` restores
+    /// the single-lock engine.
+    pub engine_stripes: usize,
 }
 
 impl Default for ShardConfig {
@@ -54,6 +59,7 @@ impl Default for ShardConfig {
             log: LogConfig::instant(),
             snapshot_min_bytes: 64 * 1024,
             snapshot_ratio: 0.25,
+            engine_stripes: 16,
         }
     }
 }
@@ -92,6 +98,13 @@ impl ShardConfig {
         if self.commit_window_entries == 0 || self.commit_window_bytes == 0 {
             return Err("commit window must allow at least one entry/byte".into());
         }
+        if self.engine_stripes == 0 || self.engine_stripes > memorydb_engine::NUM_SLOTS as usize {
+            return Err(format!(
+                "engine_stripes ({}) must be in 1..={}",
+                self.engine_stripes,
+                memorydb_engine::NUM_SLOTS
+            ));
+        }
         Ok(())
     }
 }
@@ -125,6 +138,20 @@ mod tests {
         assert!(cfg.validate().is_err());
         let cfg = ShardConfig {
             commit_window_bytes: 0,
+            ..ShardConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn engine_stripes_must_be_nonzero() {
+        let cfg = ShardConfig {
+            engine_stripes: 0,
+            ..ShardConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = ShardConfig {
+            engine_stripes: 1 << 20,
             ..ShardConfig::default()
         };
         assert!(cfg.validate().is_err());

@@ -41,6 +41,7 @@ pub mod scheduler;
 pub mod shard;
 pub mod slotset;
 pub mod snapshot;
+pub mod stripes;
 pub mod tracker;
 
 pub use apply::{HaltReason, ReplicaState};
@@ -58,6 +59,7 @@ pub use scheduler::SnapshotScheduler;
 pub use shard::{NodeIdGen, Shard};
 pub use slotset::SlotSet;
 pub use snapshot::ShardSnapshot;
+pub use stripes::{stripe_of, EngineStripes, StripeGuards};
 pub use tracker::Tracker;
 
 #[cfg(test)]

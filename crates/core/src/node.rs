@@ -11,18 +11,22 @@
 // `cargo run -p memorydb-analysis`). Keep clippy aligned with the analyzer.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
-use crate::apply::{apply_entry, fold_appended_payload, ReplicaState};
+use crate::apply::{apply_entry_striped, fold_appended_payload, ReplicaState};
 use crate::bus::{BusRole, ClusterBus};
 use crate::config::ShardConfig;
 use crate::pipeline::{CommitPipeline, StagedRun, Ticket, TicketOutcome};
 use crate::record::{NodeId, Record, ShardId};
 use crate::restore::{restore_replica, ReplayTarget, RestorePoint};
 use crate::snapshot::ShardSnapshot;
+use crate::stripes::{stripe_of, EngineStripes, StripeGuards};
 use crate::tracker::Tracker;
 use bytes::Bytes;
 use memorydb_engine::command::command_spec;
 use memorydb_engine::exec::Role;
-use memorydb_engine::{key_hash_slot, keys_for, EffectCmd, Engine, Frame, SessionState};
+use memorydb_engine::{
+    eval_on_host, key_hash_slot, keys_for, DirtySet, EffectCmd, Engine, ExecOutcome, Frame,
+    ScriptHost, SessionState,
+};
 use memorydb_metrics::{CounterId, GaugeId, Registry, StageId};
 use memorydb_objectstore::ObjectStore;
 use memorydb_txlog::{AppendError, EntryId, LogService, ReadError};
@@ -99,7 +103,11 @@ pub struct Node {
     /// Globally unique node id (also its txlog client id).
     pub id: NodeId,
     ctx: Arc<ShardContext>,
-    engine: Mutex<Engine>,
+    /// Slot-partitioned engine stripes (DESIGN.md §12): a batch confined to
+    /// one stripe takes only that stripe's lock, so disjoint-stripe batches
+    /// execute concurrently; cross-stripe work acquires every stripe in
+    /// canonical ascending order via [`EngineStripes::lock_all`].
+    stripes: EngineStripes,
     st: Mutex<NodeState>,
     alive: AtomicBool,
     /// Per-node observability: stage latency histograms, counters, and the
@@ -159,6 +167,48 @@ impl SubmittedBatch {
     }
 }
 
+/// Commands that must observe every stripe regardless of their key
+/// signature: whole-keyspace scans and fan-outs, transaction closers (the
+/// queued commands may span stripes), and the config/script broadcasts that
+/// keep per-stripe state identical.
+const FORCE_ALL_STRIPES: &[&str] = &[
+    "EXEC",
+    "SCAN",
+    "KEYS",
+    "RANDOMKEY",
+    "DBSIZE",
+    "FLUSHALL",
+    "FLUSHDB",
+    "INFO",
+    "CONFIG",
+    "SCRIPT",
+    "EVAL",
+    "EVALSHA",
+];
+
+/// Keyless commands that touch no keyspace state at all (session- or
+/// node-level only) — safe to run on whichever single stripe a batch holds.
+/// Any other keyless command conservatively takes the all-stripe route.
+const STRIPE_AGNOSTIC: &[&str] = &[
+    "PING", "ECHO", "TIME", "SELECT", "WAIT", "SLOWLOG", "LATENCY", "MULTI", "DISCARD", "UNWATCH",
+    "COMMAND",
+];
+
+/// A [`ScriptHost`] over the full stripe set: routes each of a script's
+/// inner commands to the stripe owning its keys (the interpreter rejects
+/// MULTI/EXEC/EVAL inside scripts before they reach the host), so one
+/// script may read and write across stripes while its effects still form
+/// one atomic replication batch.
+struct StripedHost<'g, 'a> {
+    guards: &'g mut StripeGuards<'a>,
+}
+
+impl ScriptHost for StripedHost<'_, '_> {
+    fn run_script_cmd(&mut self, cmd: &[Bytes]) -> ExecOutcome {
+        Node::execute_single_routed(self.guards, cmd)
+    }
+}
+
 impl Node {
     /// Starts a node from a restore point, spawning its run loop.
     pub fn start(ctx: Arc<ShardContext>, id: NodeId, rp: RestorePoint) -> Arc<Node> {
@@ -166,10 +216,12 @@ impl Node {
         // A fresh node always starts as a replica (paper §4.2) and must
         // wait out a full backoff before campaigning.
         rs.last_leadership_signal = Instant::now();
+        let metrics = Arc::new(Registry::new());
+        let stripes = EngineStripes::split(rp.engine, ctx.cfg.engine_stripes, Arc::clone(&metrics));
         let node = Arc::new(Node {
             id,
             ctx,
-            engine: Mutex::new(rp.engine),
+            stripes,
             st: Mutex::new(NodeState {
                 role: Role::Replica,
                 rs,
@@ -184,7 +236,7 @@ impl Node {
                 forward: HashMap::new(),
             }),
             alive: AtomicBool::new(true),
-            metrics: Arc::new(Registry::new()),
+            metrics,
             pipeline: Arc::new(CommitPipeline::new()),
             flush_token: Mutex::new(()),
         });
@@ -366,7 +418,7 @@ impl Node {
             .unwrap_or_else(|| Frame::error("ERR internal: batch returned no reply"))
     }
 
-    /// Executes a pipeline of commands with **one** engine-lock
+    /// Executes a pipeline of commands with **one** stripe-lock
     /// acquisition and **one** commit ticket covering every mutation
     /// (group commit, §3.1's BtrLog batching), blocking until the commit
     /// pipeline releases the whole pipeline of replies (§3.2).
@@ -386,8 +438,9 @@ impl Node {
         self.wait_finish(sb)
     }
 
-    /// The non-blocking half of [`Node::handle_batch`]: executes the batch
-    /// under the engine lock, stages its mutations (and read hazards) on
+    /// The non-blocking half of [`Node::handle_batch`]: classifies the batch
+    /// by CRC16 slot stripe, executes it under the owning stripe lock(s)
+    /// (DESIGN.md §12), stages its mutations (and read hazards) on
     /// the commit pipeline, and returns with the mutation replies still
     /// parked on the batch's ticket. [`Node::try_finish`] /
     /// [`Node::wait_finish`] release them once the ticket resolves.
@@ -442,14 +495,28 @@ impl Node {
         self.metrics
             .add(CounterId::CommandsDispatched, cmds.len() as u64);
 
+        // Classify before any lock: a batch confined to one stripe takes
+        // only that stripe's lock and runs concurrently with batches on
+        // other stripes; anything else locks all stripes in ascending order.
+        let route = self.classify_batch(cmds);
         let engine_start = self.metrics.now_us();
-        let mut engine = self.engine.lock();
-        let mut st = self.st.lock();
+        let mut guards = match route {
+            Some(idx) => self.stripes.lock_one(idx),
+            None => {
+                self.metrics.incr(CounterId::CrossStripeOps);
+                self.stripes.lock_all()
+            }
+        };
         let lock_acquired_us = self.metrics.now_us();
-        engine.set_time_ms(wall_ms());
-        // `CONFIG SET slowlog-log-slower-than` lands in engine config; mirror
-        // it into the registry's slowlog under the already-held engine lock.
-        if let Some(t) = engine
+        let now_ms = wall_ms();
+        for e in guards.each() {
+            e.set_time_ms(now_ms);
+        }
+        // `CONFIG SET slowlog-log-slower-than` lands in engine config
+        // (broadcast to every stripe); mirror it into the registry's slowlog
+        // under the already-held stripe lock.
+        if let Some(t) = guards
+            .first_ref()
             .config_param("slowlog-log-slower-than")
             .and_then(|v| v.parse::<i64>().ok())
         {
@@ -491,7 +558,8 @@ impl Node {
             // INFO at the node level: the engine only knows its keyspace;
             // the replication/cluster sections live here.
             if name == "INFO" {
-                replies.push(self.info_reply_locked(&engine, &st, args.get(1)));
+                let st = self.st.lock();
+                replies.push(self.info_reply_locked(&guards, &st, args.get(1)));
                 continue;
             }
 
@@ -506,93 +574,84 @@ impl Node {
                 continue;
             }
 
-            if st.rebuilding {
-                replies.push(Frame::Error(
-                    "CLUSTERDOWN node is syncing from the transaction log".into(),
-                ));
-                continue;
-            }
-            if let Some(halt) = &st.rs.halted {
-                replies.push(Frame::Error(format!(
-                    "CLUSTERDOWN replication halted: {halt}"
-                )));
-                continue;
-            }
-
             let keys = keys_for(args);
             let is_write = command_spec(&name).is_some_and(|s| s.flags.write);
-            match st.role {
-                Role::Primary => {
-                    // A fenced append left executed-but-unlogged mutations
-                    // in the engine: serving even a read here could expose
-                    // values that the imminent rebuild will discard (a
-                    // read-then-unread anomaly the chaos harness caught).
-                    if st.state_poisoned {
-                        replies.push(Frame::Error(
-                            "CLUSTERDOWN uncommitted state pending rebuild; demoting".into(),
-                        ));
-                        continue;
-                    }
-                    // §4.1.3: a primary that cannot keep its lease
-                    // voluntarily stops servicing reads and writes.
-                    if Instant::now() >= st.lease_valid_until {
-                        replies.push(Frame::Error(
-                            "CLUSTERDOWN leadership lease expired; demoting".into(),
-                        ));
-                        continue;
-                    }
-                }
-                Role::Replica => {
-                    if is_write {
-                        replies.push(Frame::Error(format!(
-                            "MOVED {} shard-{}",
-                            keys.as_ref()
-                                .and_then(|k| k.first())
-                                .map(|k| key_hash_slot(k))
-                                .unwrap_or(0),
-                            self.ctx.shard_id
-                        )));
-                        continue;
-                    }
-                }
-            }
-
-            // Cluster slot checks.
+            // Cross-slot detection needs no node state.
             let mut cmd_slot: Option<u16> = None;
-            let mut slot_error: Option<Frame> = None;
+            let mut crossslot = false;
             if let Some(keys) = &keys {
                 for key in keys {
                     let slot = key_hash_slot(key);
                     match cmd_slot {
                         None => cmd_slot = Some(slot),
                         Some(s) if s != slot => {
-                            slot_error = Some(Frame::Error(
-                                "CROSSSLOT Keys in request don't hash to the same slot".into(),
-                            ));
+                            crossslot = true;
                             break;
                         }
                         _ => {}
                     }
                 }
-                if slot_error.is_none() {
-                    if let Some(slot) = cmd_slot {
-                        if !st.rs.owned_slots.contains(slot) {
-                            slot_error = Some(Frame::Error(format!("MOVED {slot} ?")));
-                        } else if is_write && st.rs.blocked_slots.contains(&slot) {
-                            slot_error = Some(Frame::Error(
-                                "TRYAGAIN slot ownership transfer in progress".into(),
-                            ));
-                        }
+            }
+
+            // Node-state gate, under a short `st` section: the stripe lock
+            // (not `st`) is what serializes execution now, so `st` is held
+            // only long enough to read the role/lease/slot state. Check
+            // order matches the pre-striping single-lock path exactly.
+            let gate: Option<Frame> = {
+                let st = self.st.lock();
+                if st.rebuilding {
+                    Some(Frame::Error(
+                        "CLUSTERDOWN node is syncing from the transaction log".into(),
+                    ))
+                } else if let Some(halt) = &st.rs.halted {
+                    Some(Frame::Error(format!(
+                        "CLUSTERDOWN replication halted: {halt}"
+                    )))
+                } else {
+                    match st.role {
+                        // A fenced append left executed-but-unlogged
+                        // mutations in the engine: serving even a read here
+                        // could expose values that the imminent rebuild will
+                        // discard (a read-then-unread anomaly the chaos
+                        // harness caught).
+                        Role::Primary if st.state_poisoned => Some(Frame::Error(
+                            "CLUSTERDOWN uncommitted state pending rebuild; demoting".into(),
+                        )),
+                        // §4.1.3: a primary that cannot keep its lease
+                        // voluntarily stops servicing reads and writes.
+                        Role::Primary if Instant::now() >= st.lease_valid_until => Some(
+                            Frame::Error("CLUSTERDOWN leadership lease expired; demoting".into()),
+                        ),
+                        Role::Replica if is_write => Some(Frame::Error(format!(
+                            "MOVED {} shard-{}",
+                            keys.as_ref()
+                                .and_then(|k| k.first())
+                                .map(|k| key_hash_slot(k))
+                                .unwrap_or(0),
+                            self.ctx.shard_id
+                        ))),
+                        _ if crossslot => Some(Frame::Error(
+                            "CROSSSLOT Keys in request don't hash to the same slot".into(),
+                        )),
+                        _ => match cmd_slot {
+                            Some(slot) if !st.rs.owned_slots.contains(slot) => {
+                                Some(Frame::Error(format!("MOVED {slot} ?")))
+                            }
+                            Some(slot) if is_write && st.rs.blocked_slots.contains(&slot) => Some(
+                                Frame::Error("TRYAGAIN slot ownership transfer in progress".into()),
+                            ),
+                            _ => None,
+                        },
                     }
                 }
-            }
-            if let Some(err) = slot_error {
+            };
+            if let Some(err) = gate {
                 replies.push(err);
                 continue;
             }
 
             let apply_start = self.metrics.now_us();
-            let outcome = engine.execute(session, args);
+            let outcome = self.execute_routed(&mut guards, session, &name, args);
             let apply_us = self.metrics.now_us().saturating_sub(apply_start);
             self.metrics.record_stage(StageId::Apply, apply_us);
             if self
@@ -608,13 +667,19 @@ impl Node {
             if outcome.effects.is_empty() {
                 // Read (or no-op write): key-level hazard check (§3.2).
                 // EXEC has no keys of its own; be conservative and use the
-                // max pending.
-                let hazard = match &keys {
-                    Some(ks) if name != "EXEC" => st.tracker.hazard_for(ks.iter()),
-                    _ if name == "EXEC" || name == "FLUSHALL" || name == "FLUSHDB" => {
-                        st.tracker.max_pending()
+                // max pending. A write to this command's keys lives on this
+                // same stripe, and writers hold their stripe lock through
+                // the fold, so the tracker already carries any hazard our
+                // read could have observed.
+                let hazard = {
+                    let st = self.st.lock();
+                    match &keys {
+                        Some(ks) if name != "EXEC" => st.tracker.hazard_for(ks.iter()),
+                        _ if name == "EXEC" || name == "FLUSHALL" || name == "FLUSHDB" => {
+                            st.tracker.max_pending()
+                        }
+                        _ => None,
                     }
-                    _ => None,
                 };
                 if let Some(h) = hazard {
                     if first_write_index.is_none() {
@@ -625,12 +690,11 @@ impl Node {
                 }
                 replies.push(outcome.reply);
             } else {
-                // Mutation: stage its effect record; the append happens
-                // once, below, while the engine lock is still held, so log
-                // order equals execution order (§3.2).
-                debug_assert_eq!(st.role, Role::Primary, "replicas never produce effects");
+                // Mutation: stage its effect record; the fold happens
+                // once, below, while the stripe lock is still held, so log
+                // order equals execution order within the stripe (§3.2).
                 let payload = Record::Effects {
-                    version: engine.version(),
+                    version: guards.first_ref().version(),
                     effects: outcome.effects.clone(),
                 }
                 .encode();
@@ -649,63 +713,93 @@ impl Node {
         }
 
         // Group commit, decoupled (§11): fold prospective entry ids under
-        // the engine lock — log order equals execution order, exactly as
-        // the synchronous append did — enqueue one commit ticket, and let
-        // the committer thread perform the coalesced conditional append.
+        // `st` while the stripe lock is still held — within a stripe, log
+        // order equals execution order, exactly as the single-lock path
+        // did — enqueue one commit ticket, and let the committer thread
+        // perform the coalesced conditional append.
         let mut ticket: Option<Arc<Ticket>> = None;
         let mut staged_replies: Vec<(usize, Frame)> = Vec::new();
+        let run_stripe: Option<u16> = if guards.is_all() {
+            None
+        } else {
+            Some(guards.held_idx() as u16)
+        };
         if !staged.is_empty() {
-            let first_id = st.rs.applied.next();
-            let mut payloads: Vec<Bytes> = Vec::with_capacity(staged.len() + 1);
-            let mut bytes = 0usize;
-            for w in &staged {
-                let id = st.rs.applied.next();
-                fold_appended_payload(&mut st.rs, id, &w.payload, false);
-                st.tracker.stage(id, &w.dirty);
-                bytes += w.payload.len();
-                payloads.push(w.payload.clone());
-            }
-            st.effects_since_probe += staged.len() as u64;
-            if st.effects_since_probe >= self.ctx.cfg.checksum_probe_every {
-                st.effects_since_probe = 0;
-                let probe = Record::ChecksumProbe {
-                    crc: st.rs.running_crc,
+            let mut st = self.st.lock();
+            if st.state_poisoned || st.rebuilding || st.role != Role::Primary {
+                // The per-command gate no longer holds `st` through
+                // execution, so a fence on another stripe can poison the
+                // node mid-batch. These mutations executed but must not
+                // fold: they are exactly the executed-but-unlogged state
+                // the imminent rebuild discards. Fail their replies (and
+                // any earlier hazard reads) like a poisoned ticket would.
+                drop(st);
+                let first = first_write_index.unwrap_or(replies.len());
+                for reply in replies.iter_mut().skip(first) {
+                    *reply = Frame::Error(
+                        "CLUSTERDOWN uncommitted state pending rebuild; demoting".into(),
+                    );
                 }
-                .encode();
-                let pid = st.rs.applied.next();
-                fold_appended_payload(&mut st.rs, pid, &probe, true);
-                bytes += probe.len();
-                payloads.push(probe);
-            }
-            // Mirror to migration targets if these slots are being moved
-            // (§5.2). Sent while holding the engine lock so the target
-            // observes effects in execution order.
-            for w in &staged {
-                if let Some(slot) = w.slot {
-                    if let Some(target) = st.forward.get(&slot).cloned() {
-                        let _ = target.ingest_effects(&w.effects, true);
+                for &(i, _) in &hazard_reads {
+                    if let Some(slot) = replies.get_mut(i) {
+                        *slot =
+                            Frame::Error("CLUSTERDOWN timed out waiting for hazard commit".into());
                     }
                 }
+            } else {
+                let first_id = st.rs.applied.next();
+                let mut payloads: Vec<Bytes> = Vec::with_capacity(staged.len() + 1);
+                let mut bytes = 0usize;
+                for w in &staged {
+                    let id = st.rs.applied.next();
+                    fold_appended_payload(&mut st.rs, id, &w.payload, false);
+                    st.tracker.stage(id, &w.dirty);
+                    bytes += w.payload.len();
+                    payloads.push(w.payload.clone());
+                }
+                st.effects_since_probe += staged.len() as u64;
+                if st.effects_since_probe >= self.ctx.cfg.checksum_probe_every {
+                    st.effects_since_probe = 0;
+                    let probe = Record::ChecksumProbe {
+                        crc: st.rs.running_crc,
+                    }
+                    .encode();
+                    let pid = st.rs.applied.next();
+                    fold_appended_payload(&mut st.rs, pid, &probe, true);
+                    bytes += probe.len();
+                    payloads.push(probe);
+                }
+                // Mirror to migration targets if these slots are being moved
+                // (§5.2). Sent while holding the stripe lock so the target
+                // observes effects in execution order.
+                for w in &staged {
+                    if let Some(slot) = w.slot {
+                        if let Some(target) = st.forward.get(&slot).cloned() {
+                            let _ = target.ingest_effects(&w.effects, true);
+                        }
+                    }
+                }
+                let now_us = self.metrics.now_us();
+                let t = Ticket::new(
+                    st.rs.applied,
+                    payloads.len(),
+                    bytes,
+                    Instant::now() + self.ctx.cfg.commit_timeout,
+                    e2e_start,
+                    now_us,
+                    true,
+                );
+                // Staged while `st` is held: queue order is fold order,
+                // which the committer's fencing argument relies on.
+                self.pipeline.stage(StagedRun {
+                    ticket: Arc::clone(&t),
+                    payloads,
+                    first_id,
+                    stripe: run_stripe,
+                });
+                staged_replies = staged.into_iter().map(|w| (w.index, w.reply)).collect();
+                ticket = Some(t);
             }
-            let now_us = self.metrics.now_us();
-            let t = Ticket::new(
-                st.rs.applied,
-                payloads.len(),
-                bytes,
-                Instant::now() + self.ctx.cfg.commit_timeout,
-                e2e_start,
-                now_us,
-                true,
-            );
-            // Staged while `st` is held: queue order is fold order, which
-            // the committer's fencing argument relies on.
-            self.pipeline.stage(StagedRun {
-                ticket: Arc::clone(&t),
-                payloads,
-                first_id,
-            });
-            staged_replies = staged.into_iter().map(|w| (w.index, w.reply)).collect();
-            ticket = Some(t);
         } else if let Some(h) = hazard_reads.iter().map(|&(_, h)| h).max() {
             // Read-only batch with hazards: ride the staged queue with an
             // empty run so a fence poisons it in submission order — the
@@ -726,17 +820,19 @@ impl Node {
                 ticket: Arc::clone(&t),
                 payloads: Vec::new(),
                 first_id: EntryId(0),
+                stripe: run_stripe,
             });
             ticket = Some(t);
         }
 
-        drop(st);
-        drop(engine);
+        drop(guards);
         let lock_dropped_us = self.metrics.now_us();
-        self.metrics.record_stage(
-            StageId::EngineLockHold,
-            lock_dropped_us.saturating_sub(lock_acquired_us),
-        );
+        let held_us = lock_dropped_us.saturating_sub(lock_acquired_us);
+        // Both views of the same span: `engine_lock_hold` keeps its historic
+        // name for existing dashboards; `stripe_lock_hold` is the per-stripe
+        // serving-lock hold the striping work gates on.
+        self.metrics.record_stage(StageId::EngineLockHold, held_us);
+        self.metrics.record_stage(StageId::StripeLockHold, held_us);
         self.metrics.record_stage(
             StageId::Engine,
             lock_dropped_us.saturating_sub(engine_start),
@@ -767,6 +863,323 @@ impl Node {
             first_write_index,
             ticket,
         }
+    }
+
+    // ---------------------------------------------------------------------
+    // Stripe routing (DESIGN.md §12)
+    // ---------------------------------------------------------------------
+
+    /// Classifies a batch by the stripes its commands touch: `Some(idx)`
+    /// when every command is confined to stripe `idx` (the single-stripe
+    /// fast path), `None` when any command needs the all-stripe route.
+    /// Pure — runs before any lock is taken, so misrouting is impossible
+    /// to race into: keys hash to the same stripe no matter who computes it.
+    fn classify_batch(&self, cmds: &[Vec<Bytes>]) -> Option<usize> {
+        let n = self.stripes.count();
+        if n == 1 {
+            return Some(0);
+        }
+        let mut stripe: Option<usize> = None;
+        for args in cmds {
+            let Some(cmd_name) = args.first() else {
+                continue; // empty commands error without touching the keyspace
+            };
+            let name = String::from_utf8_lossy(cmd_name).to_ascii_uppercase();
+            if FORCE_ALL_STRIPES.contains(&name.as_str()) {
+                return None;
+            }
+            match keys_for(args) {
+                Some(keys) if !keys.is_empty() => {
+                    for key in &keys {
+                        let s = stripe_of(key_hash_slot(key), n);
+                        match stripe {
+                            None => stripe = Some(s),
+                            Some(prev) if prev != s => return None,
+                            _ => {}
+                        }
+                    }
+                }
+                _ => {
+                    // Keyless or unknown: only the known session-/node-local
+                    // commands are safe on one stripe; everything else gets
+                    // the conservative all-stripe route.
+                    if !STRIPE_AGNOSTIC.contains(&name.as_str()) {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(stripe.unwrap_or(0))
+    }
+
+    /// Executes one client command against the held stripe set. On the
+    /// single-stripe route the classification already proved every key
+    /// lives on the held stripe, so this is a plain engine call; on the
+    /// all-stripe route, fan-out commands visit every stripe and keyed
+    /// commands their owning stripe.
+    fn execute_routed(
+        &self,
+        guards: &mut StripeGuards<'_>,
+        session: &mut SessionState,
+        name: &str,
+        args: &[Bytes],
+    ) -> ExecOutcome {
+        if !guards.is_all() || guards.stripe_count() == 1 {
+            return guards.any_engine().execute(session, args);
+        }
+        if name == "EXEC" {
+            return self.exec_striped(guards, session);
+        }
+        if session.in_multi() {
+            // Queueing (and the MULTI-nesting / WATCH-inside-MULTI errors)
+            // is session state only; no keyspace is touched until EXEC.
+            return guards.any_engine().execute(session, args);
+        }
+        match name {
+            "FLUSHALL" | "FLUSHDB" | "DBSIZE" | "KEYS" | "SCAN" | "RANDOMKEY" | "CONFIG"
+            | "SCRIPT" | "EVAL" | "EVALSHA" => Self::execute_single_routed(guards, args),
+            _ => match keys_for(args).as_ref().and_then(|k| k.first()) {
+                // Keys past the first share its slot (the CROSSSLOT gate
+                // already ran), hence its stripe — WATCH included.
+                Some(key) => {
+                    let slot = key_hash_slot(key);
+                    guards.engine_for_slot(slot).execute(session, args)
+                }
+                None => guards.any_engine().execute(session, args),
+            },
+        }
+    }
+
+    /// Node-level `EXEC` for the all-stripe route: mirrors the engine's
+    /// `exec_transaction` exactly, but routes each watch validation and
+    /// each queued command to the stripe owning its keys, so a transaction
+    /// may span stripes while its effects stay one atomic log record.
+    fn exec_striped(
+        &self,
+        guards: &mut StripeGuards<'_>,
+        session: &mut SessionState,
+    ) -> ExecOutcome {
+        if !session.in_multi() {
+            return ExecOutcome::error("EXEC without MULTI");
+        }
+        let (queued, queue_error, watches) = session.take_transaction();
+        if queue_error {
+            return ExecOutcome::read(Frame::Error(
+                "EXECABORT Transaction discarded because of previous errors.".into(),
+            ));
+        }
+        // WATCH validation: any watched key modified since WATCH aborts.
+        // Each key's version lives on its owning stripe.
+        let aborted = watches
+            .iter()
+            .any(|(key, ver)| guards.engine_for_slot(key_hash_slot(key)).db.version(key) != *ver);
+        if aborted {
+            return ExecOutcome::read(Frame::Null);
+        }
+        let mut replies = Vec::with_capacity(queued.len());
+        let mut effects: Vec<EffectCmd> = Vec::new();
+        let mut dirty = DirtySet::None;
+        for cmd in &queued {
+            let out = Self::execute_single_routed(guards, cmd);
+            replies.push(out.reply);
+            effects.extend(out.effects);
+            dirty.merge(out.dirty);
+        }
+        // The whole transaction's effects form one atomic replication unit,
+        // exactly like the single-engine EXEC.
+        ExecOutcome::write(Frame::Array(replies), effects, dirty)
+    }
+
+    /// One already-validated command on the all-stripe route, without
+    /// session semantics: queued `EXEC` bodies and script-inner commands
+    /// (the engine rejects MULTI/EXEC/WATCH at queue/interpreter time, so
+    /// none of those reach here). Fan-out commands visit every stripe;
+    /// keyed commands run on their owning stripe.
+    fn execute_single_routed(guards: &mut StripeGuards<'_>, cmd: &[Bytes]) -> ExecOutcome {
+        let Some(first) = cmd.first() else {
+            return ExecOutcome::error("empty command");
+        };
+        let name = String::from_utf8_lossy(first).to_ascii_uppercase();
+        match name.as_str() {
+            "FLUSHALL" | "FLUSHDB" => Self::flush_striped(guards, cmd),
+            "DBSIZE" => Self::dbsize_striped(guards, cmd),
+            "KEYS" => Self::keys_striped(guards, cmd),
+            "SCAN" => Self::scan_striped(guards, cmd),
+            "RANDOMKEY" => Self::randomkey_striped(guards, cmd),
+            // Broadcast so per-stripe configs and script caches stay
+            // identical (both are node-local, never replicated); the
+            // replies are deterministic and equal, keep the first.
+            "CONFIG" | "SCRIPT" => Self::broadcast_striped(guards, cmd),
+            "EVAL" | "EVALSHA" => Self::eval_striped(guards, &name, cmd),
+            _ => match keys_for(cmd).as_ref().and_then(|k| k.first()) {
+                Some(key) => {
+                    let slot = key_hash_slot(key);
+                    guards.engine_for_slot(slot).execute_single(cmd)
+                }
+                None => guards.any_engine().execute_single(cmd),
+            },
+        }
+    }
+
+    /// `FLUSHALL`/`FLUSHDB` across every stripe: one merged effect record
+    /// iff any stripe actually dropped keys, matching the single-engine
+    /// no-op rule (an empty database flush replicates nothing).
+    fn flush_striped(guards: &mut StripeGuards<'_>, args: &[Bytes]) -> ExecOutcome {
+        let mut reply: Option<Frame> = None;
+        let mut dirty = DirtySet::None;
+        let mut any_effect = false;
+        for e in guards.each() {
+            let out = e.execute_single(args);
+            if !out.effects.is_empty() {
+                any_effect = true;
+                dirty.merge(out.dirty);
+            }
+            reply.get_or_insert(out.reply);
+        }
+        let reply = reply.unwrap_or_else(Frame::ok);
+        if any_effect {
+            let name_only: Vec<Bytes> = args.iter().take(1).cloned().collect();
+            ExecOutcome::write(reply, vec![name_only], dirty)
+        } else {
+            ExecOutcome::read(reply)
+        }
+    }
+
+    /// `DBSIZE`: the sum of every stripe's key count.
+    fn dbsize_striped(guards: &mut StripeGuards<'_>, args: &[Bytes]) -> ExecOutcome {
+        let mut total: i64 = 0;
+        for e in guards.each() {
+            match e.execute_single(args).reply {
+                Frame::Integer(v) => total += v,
+                other => return ExecOutcome::read(other), // arity error
+            }
+        }
+        ExecOutcome::read(Frame::Integer(total))
+    }
+
+    /// `KEYS pattern`: the concatenation of every stripe's matches (like
+    /// Redis, the order is unspecified).
+    fn keys_striped(guards: &mut StripeGuards<'_>, args: &[Bytes]) -> ExecOutcome {
+        let mut all: Vec<Frame> = Vec::new();
+        for e in guards.each() {
+            match e.execute_single(args).reply {
+                Frame::Array(mut items) => all.append(&mut items),
+                other => return ExecOutcome::read(other), // arity error
+            }
+        }
+        ExecOutcome::read(Frame::Array(all))
+    }
+
+    /// `SCAN` with a composite cursor: the high bits select the stripe, the
+    /// low 48 the stripe-local cursor. A stripe's exhausted cursor (inner
+    /// 0) advances to the next stripe; the final stripe's yields cursor 0,
+    /// completing the iteration exactly once like a single-engine SCAN.
+    fn scan_striped(guards: &mut StripeGuards<'_>, args: &[Bytes]) -> ExecOutcome {
+        const INNER_BITS: u32 = 48;
+        const INNER_MASK: u64 = (1 << INNER_BITS) - 1;
+        let Some(raw) = args.get(1) else {
+            return guards.any_engine().execute_single(args); // arity error
+        };
+        let Ok(cursor) = String::from_utf8_lossy(raw).parse::<u64>() else {
+            return guards.any_engine().execute_single(args); // invalid cursor
+        };
+        let stripe = (cursor >> INNER_BITS) as usize;
+        let inner = cursor & INNER_MASK;
+        let n = guards.stripe_count();
+        if stripe >= n {
+            // A stale cursor past the last stripe: terminate cleanly.
+            return ExecOutcome::read(Frame::Array(vec![
+                Frame::Bulk(Bytes::from_static(b"0")),
+                Frame::Array(Vec::new()),
+            ]));
+        }
+        let mut sub = args.to_vec();
+        if let Some(slot) = sub.get_mut(1) {
+            *slot = Bytes::from(inner.to_string());
+        }
+        let out = guards.engine_at(stripe).execute_single(&sub);
+        match out.reply {
+            Frame::Array(mut items) => {
+                let next_inner = match items.first() {
+                    Some(Frame::Bulk(raw)) => {
+                        String::from_utf8_lossy(raw).parse::<u64>().unwrap_or(0)
+                    }
+                    _ => 0,
+                };
+                let next = if next_inner != 0 {
+                    ((stripe as u64) << INNER_BITS) | (next_inner & INNER_MASK)
+                } else if stripe + 1 < n {
+                    ((stripe as u64) + 1) << INNER_BITS
+                } else {
+                    0
+                };
+                if let Some(slot) = items.get_mut(0) {
+                    *slot = Frame::Bulk(Bytes::from(next.to_string()));
+                }
+                ExecOutcome::read(Frame::Array(items))
+            }
+            other => ExecOutcome::read(other), // bad MATCH/COUNT arguments
+        }
+    }
+
+    /// `RANDOMKEY`: pick a stripe weighted by its key count (so the overall
+    /// distribution matches the unstriped engine), then delegate.
+    fn randomkey_striped(guards: &mut StripeGuards<'_>, args: &[Bytes]) -> ExecOutcome {
+        if args.len() != 1 {
+            return guards.any_engine().execute_single(args); // arity error
+        }
+        let per: Vec<usize> = guards.dbs().iter().map(|db| db.len()).collect();
+        let total: usize = per.iter().sum();
+        if total == 0 {
+            return ExecOutcome::read(Frame::Null);
+        }
+        let mut pick = guards.any_engine().rand_index(total);
+        let mut idx = 0usize;
+        for (i, len) in per.iter().enumerate() {
+            if pick < *len {
+                idx = i;
+                break;
+            }
+            pick -= len;
+        }
+        guards.engine_at(idx).execute_single(args)
+    }
+
+    /// Runs `args` on every stripe, returning the first stripe's outcome
+    /// (CONFIG/SCRIPT are deterministic and node-local, so the outcomes are
+    /// identical — the broadcast only keeps the per-stripe state in sync).
+    fn broadcast_striped(guards: &mut StripeGuards<'_>, args: &[Bytes]) -> ExecOutcome {
+        let mut first: Option<ExecOutcome> = None;
+        for e in guards.each() {
+            let out = e.execute_single(args);
+            first.get_or_insert(out);
+        }
+        first.unwrap_or_else(|| ExecOutcome::error("empty command"))
+    }
+
+    /// `EVAL`/`EVALSHA` against the full stripe set: resolve `EVALSHA` to
+    /// its cached source (any stripe's cache — they are broadcast-identical)
+    /// and interpret with a [`StripedHost`] routing each inner command.
+    fn eval_striped(guards: &mut StripeGuards<'_>, name: &str, args: &[Bytes]) -> ExecOutcome {
+        if args.len() < 3 {
+            return guards.any_engine().execute_single(args); // arity error
+        }
+        let mut eargs = args.to_vec();
+        if name == "EVALSHA" {
+            let sha = eargs
+                .get(1)
+                .map(|b| String::from_utf8_lossy(b).to_ascii_lowercase())
+                .unwrap_or_default();
+            let Some(src) = guards.first_ref().script_source(&sha) else {
+                return ExecOutcome::read(Frame::Error(
+                    "NOSCRIPT No matching script. Please use EVAL.".into(),
+                ));
+            };
+            if let Some(slot) = eargs.get_mut(1) {
+                *slot = src;
+            }
+        }
+        eval_on_host(&mut StripedHost { guards }, &eargs)
     }
 
     /// Upper bound on any single ticket wait: generous enough that the
@@ -891,6 +1304,7 @@ impl Node {
             ticket: Arc::clone(&ticket),
             payloads: vec![payload],
             first_id: id,
+            stripe: None,
         });
         ticket
     }
@@ -920,6 +1334,7 @@ impl Node {
             ticket: Arc::clone(&ticket),
             payloads: vec![payload],
             first_id: id,
+            stripe: None,
         });
         ticket
     }
@@ -981,6 +1396,24 @@ impl Node {
 
     /// One coalesced flush of staged runs (committer thread body).
     fn flush_runs(&self, runs: Vec<StagedRun>) {
+        // Per-stripe fold order: write runs staged from one stripe must
+        // carry strictly ascending first ids — queue order is fold order
+        // restricted to that stripe (the striping invariant DESIGN.md §12
+        // rests on). All-stripe runs (`stripe: None`) serialize globally.
+        debug_assert!(
+            {
+                let mut last: HashMap<u16, u64> = HashMap::new();
+                runs.iter()
+                    .filter(|r| !r.payloads.is_empty())
+                    .all(|r| match r.stripe {
+                        Some(s) => last
+                            .insert(s, r.first_id.0)
+                            .is_none_or(|prev| prev < r.first_id.0),
+                        None => true,
+                    })
+            },
+            "staged runs out of per-stripe fold order"
+        );
         let mut payloads: Vec<Bytes> = Vec::new();
         let mut first_id: Option<EntryId> = None;
         let mut write_runs: u64 = 0;
@@ -1058,7 +1491,7 @@ impl Node {
 
     /// Resolves a ticket: releases its in-flight window claim, records its
     /// attribution spans (unless the staging thread has not yet dropped
-    /// the engine lock, in which case it records them), and fires its
+    /// its stripe lock(s), in which case it records them), and fires its
     /// waker. Span recording happens before any waiter can observe the
     /// outcome, so a released reply never outruns its own metrics.
     fn resolve_ticket(&self, ticket: &Arc<Ticket>, outcome: TicketOutcome) {
@@ -1130,7 +1563,12 @@ impl Node {
     /// node's replication and durability state, and — from the metrics
     /// registries — a `stats` counter section and a `latencystats` section
     /// with per-stage latency percentiles (DESIGN.md §10).
-    fn info_reply_locked(&self, engine: &Engine, st: &NodeState, section: Option<&Bytes>) -> Frame {
+    fn info_reply_locked(
+        &self,
+        guards: &StripeGuards<'_>,
+        st: &NodeState,
+        section: Option<&Bytes>,
+    ) -> Frame {
         let filter = section.map(|s| String::from_utf8_lossy(s).to_ascii_lowercase());
         // Bare INFO keeps its historic shape (no stats sections): existing
         // parsers split on `# ` headers and count sections.
@@ -1153,9 +1591,10 @@ impl Node {
         let mut text = String::new();
         if wants("server", true) {
             text.push_str(&format!(
-                "# Server\r\nredis_version:{version}\r\nengine:memorydb-repro\r\nnode_id:{id}\r\n",
-                version = engine.version(),
+                "# Server\r\nredis_version:{version}\r\nengine:memorydb-repro\r\nnode_id:{id}\r\nengine_stripes:{stripes}\r\n",
+                version = guards.first_ref().version(),
                 id = self.id,
+                stripes = guards.stripe_count(),
             ));
         }
         if wants("replication", true) {
@@ -1190,13 +1629,12 @@ impl Node {
             ));
         }
         if wants("keyspace", true) {
-            text.push_str(&format!("# Keyspace\r\ndb0:keys={}\r\n", engine.db.len()));
+            let keys: usize = guards.dbs().iter().map(|db| db.len()).sum();
+            text.push_str(&format!("# Keyspace\r\ndb0:keys={keys}\r\n"));
         }
         if wants("memory", true) {
-            text.push_str(&format!(
-                "# Memory\r\nused_memory:{}\r\n",
-                engine.db.used_memory()
-            ));
+            let used: usize = guards.dbs().iter().map(|db| db.used_memory()).sum();
+            text.push_str(&format!("# Memory\r\nused_memory:{used}\r\n"));
         }
         if wants("stats", false) {
             let node = self.metrics.snapshot();
@@ -1340,7 +1778,8 @@ impl Node {
     /// the end state exact). Returns the appended entry (or the current
     /// position when nothing was logged).
     pub fn ingest_effects(&self, cmds: &[EffectCmd], lenient: bool) -> Result<EntryId, String> {
-        let mut engine = self.engine.lock();
+        self.metrics.incr(CounterId::CrossStripeOps);
+        let mut guards = self.stripes.lock_all();
         let mut st = self.st.lock();
         if st.role != Role::Primary {
             return Err("not the primary".into());
@@ -1348,12 +1787,19 @@ impl Node {
         if st.state_poisoned || st.rebuilding {
             return Err("uncommitted state pending rebuild".into());
         }
-        engine.set_time_ms(wall_ms());
+        let now_ms = wall_ms();
+        for e in guards.each() {
+            e.set_time_ms(now_ms);
+        }
         let mut effects: Vec<EffectCmd> = Vec::new();
-        let mut dirty = memorydb_engine::DirtySet::None;
+        let mut dirty = DirtySet::None;
         let mut session = SessionState::new();
         for cmd in cmds {
-            let out = engine.execute(&mut session, cmd);
+            let name = cmd
+                .first()
+                .map(|c| String::from_utf8_lossy(c).to_ascii_uppercase())
+                .unwrap_or_default();
+            let out = self.execute_routed(&mut guards, &mut session, &name, cmd);
             if out.reply.is_error() && !lenient {
                 return Err(format!("effect {cmd:?} failed: {:?}", out.reply));
             }
@@ -1364,7 +1810,7 @@ impl Node {
             return Ok(st.rs.applied);
         }
         let record = Record::Effects {
-            version: engine.version(),
+            version: guards.first_ref().version(),
             effects,
         };
         // Staged on the commit pipeline like any client mutation (a fenced
@@ -1379,7 +1825,7 @@ impl Node {
     /// primary's own state (primaries do not consume their own log).
     pub fn commit_record(&self, record: &Record) -> Result<EntryId, String> {
         let ticket = {
-            let mut engine = self.engine.lock();
+            let mut guards = self.stripes.lock_all();
             let mut st = self.st.lock();
             if st.role != Role::Primary {
                 return Err("not the primary".into());
@@ -1401,7 +1847,7 @@ impl Node {
                 Record::MigrationDone { slot } => {
                     st.rs.blocked_slots.remove(slot);
                     st.rs.owned_slots.remove(*slot);
-                    engine.db.delete_slot(*slot);
+                    guards.engine_for_slot(*slot).db.delete_slot(*slot);
                 }
                 Record::MigrationAbort { slot } => {
                     st.rs.blocked_slots.remove(slot);
@@ -1423,9 +1869,11 @@ impl Node {
         }
     }
 
-    /// Serializes every key in `slot` (with expiry) for transfer.
+    /// Serializes every key in `slot` (with expiry) for transfer. Only the
+    /// stripe owning the slot needs locking.
     pub fn serialize_slot(&self, slot: u16) -> Vec<(Bytes, Vec<u8>)> {
-        let engine = self.engine.lock();
+        let guards = self.stripes.lock_one(self.stripes.stripe_for_slot(slot));
+        let engine = guards.first_ref();
         let mut out = Vec::new();
         for key in engine.db.keys_in_slot(slot) {
             // Serialize physical state including logically-expired entries;
@@ -1444,7 +1892,11 @@ impl Node {
 
     /// Keys currently stored in a slot.
     pub fn slot_keys(&self, slot: u16) -> Vec<Bytes> {
-        self.engine.lock().db.keys_in_slot(slot)
+        self.stripes
+            .lock_one(self.stripes.stripe_for_slot(slot))
+            .first_ref()
+            .db
+            .keys_in_slot(slot)
     }
 
     /// Digest of a slot's content for the §5.2 integrity handshake.
@@ -1506,13 +1958,13 @@ impl Node {
     /// by on-box snapshotting comparisons; production-path snapshots are
     /// taken off-box, see `offbox.rs`).
     pub fn capture_snapshot(&self) -> ShardSnapshot {
-        let engine = self.engine.lock();
+        let guards = self.stripes.lock_all();
         let st = self.st.lock();
-        ShardSnapshot::capture(
-            &engine.db,
+        ShardSnapshot::capture_multi(
+            &guards.dbs(),
             st.rs.applied,
             st.rs.running_crc,
-            engine.version(),
+            guards.first_ref().version(),
             st.rs.epoch,
             st.rs.owned_slots.to_ranges(),
             st.rs.blocked_slots.iter().copied().collect(),
@@ -1521,12 +1973,22 @@ impl Node {
 
     /// Approximate dataset size in bytes (snapshot scheduling input).
     pub fn dataset_bytes(&self) -> usize {
-        self.engine.lock().db.used_memory()
+        self.stripes
+            .lock_all()
+            .dbs()
+            .iter()
+            .map(|db| db.used_memory())
+            .sum()
     }
 
     /// Number of keys stored.
     pub fn key_count(&self) -> usize {
-        self.engine.lock().db.len()
+        self.stripes
+            .lock_all()
+            .dbs()
+            .iter()
+            .map(|db| db.len())
+            .sum()
     }
 
     // ---------------------------------------------------------------------
@@ -1575,15 +2037,28 @@ impl Node {
             .wait_for_entries(self.id, applied, 256, cfg.tick)
         {
             Ok(entries) if !entries.is_empty() => {
-                let mut engine = self.engine.lock();
+                let mut guards = self.stripes.lock_all();
                 let mut st = self.st.lock();
-                engine.set_time_ms(wall_ms());
-                let version = engine.version();
+                let now_ms = wall_ms();
+                let version = guards.first_ref().version();
+                let n = guards.stripe_count();
+                let mut engines: Vec<&mut Engine> = guards.each().collect();
+                for e in engines.iter_mut() {
+                    e.set_time_ms(now_ms);
+                }
                 for entry in &entries {
                     if entry.id != st.rs.applied.next() {
                         break; // raced with a state swap; re-read next tick
                     }
-                    if apply_entry(&mut engine, &mut st.rs, entry, version).is_err() {
+                    if apply_entry_striped(
+                        &mut engines,
+                        |s| stripe_of(s, n),
+                        &mut st.rs,
+                        entry,
+                        version,
+                    )
+                    .is_err()
+                    {
                         break;
                     }
                 }
@@ -1644,7 +2119,7 @@ impl Node {
             Ok(id) => {
                 // Serve only after the claim itself is durable.
                 if self.ctx.log.wait_durable(id, cfg.commit_timeout) {
-                    let mut engine = self.engine.lock();
+                    let mut guards = self.stripes.lock_all();
                     let mut st = self.st.lock();
                     // The append succeeded at our applied tail, so we had
                     // observed every committed update — the §4.1.2
@@ -1655,7 +2130,9 @@ impl Node {
                     st.rs.release_observed = false;
                     st.rs.last_leadership_signal = Instant::now();
                     st.role = Role::Primary;
-                    engine.set_role(Role::Primary);
+                    for e in guards.each() {
+                        e.set_role(Role::Primary);
+                    }
                     st.lease_valid_until = t0 + cfg.lease;
                     st.next_renewal_at = t0 + cfg.renew_interval;
                     st.pending_renewal = None;
@@ -1667,7 +2144,7 @@ impl Node {
                     // campaign proves our state is exactly the log prefix.
                     st.state_poisoned = false;
                     drop(st);
-                    drop(engine);
+                    drop(guards);
                     self.metrics.set_gauge(GaugeId::LeaseEpoch, epoch as i64);
                     self.ctx
                         .bus
@@ -1689,13 +2166,17 @@ impl Node {
     /// primary reaps expired keys and replicates explicit `DEL`s so
     /// replicas converge without consulting their own clocks.
     fn active_expire(&self) {
-        let mut engine = self.engine.lock();
+        let mut guards = self.stripes.lock_all();
         let mut st = self.st.lock();
         if st.role != Role::Primary || st.rebuilding || st.state_poisoned {
             return;
         }
-        engine.set_time_ms(wall_ms());
-        let effects = engine.active_expire_cycle(64);
+        let now_ms = wall_ms();
+        let mut effects = Vec::new();
+        for e in guards.each() {
+            e.set_time_ms(now_ms);
+            effects.extend(e.active_expire_cycle(64));
+        }
         if effects.is_empty() {
             return;
         }
@@ -1703,7 +2184,7 @@ impl Node {
             effects.iter().filter_map(|e| e.get(1).cloned()).collect(),
         );
         let record = Record::Effects {
-            version: engine.version(),
+            version: guards.first_ref().version(),
             effects,
         };
         // Fire-and-forget through the commit pipeline: the DELs are hazard-
@@ -1792,7 +2273,7 @@ impl Node {
             .bus
             .heartbeat(self.id, self.ctx.shard_id, BusRole::Replica);
         while self.alive.load(Ordering::SeqCst) {
-            let version = self.engine.lock().version();
+            let version = self.stripes.engine_version();
             match restore_replica(
                 &self.ctx.store,
                 &self.ctx.log,
@@ -1802,9 +2283,13 @@ impl Node {
                 ReplayTarget::Tail,
             ) {
                 Ok(rp) => {
-                    let mut engine = self.engine.lock();
+                    // Re-partition the restored engine into stripes, then
+                    // install under the all-stripe lock so no reader observes
+                    // a torn mix of old and new state.
+                    let parts = self.stripes.partition(rp.engine);
+                    let mut guards = self.stripes.lock_all();
                     let mut st = self.st.lock();
-                    *engine = rp.engine;
+                    guards.install(parts);
                     st.rs = rp.rs;
                     st.rs.last_leadership_signal = Instant::now();
                     // A demoted primary defers to the other replicas even if

@@ -64,6 +64,31 @@ impl ShardSnapshot {
         slot_ranges: Vec<(u16, u16)>,
         blocked_slots: Vec<u16>,
     ) -> ShardSnapshot {
+        Self::capture_multi(
+            &[db],
+            covered,
+            running_crc,
+            engine_version,
+            epoch,
+            slot_ranges,
+            blocked_slots,
+        )
+    }
+
+    /// Creates a snapshot from a striped keyspace: the per-stripe databases
+    /// are captured as one image, ascending stripe order (stripes hold
+    /// contiguous slot ranges, so the dump stays slot-ordered like the
+    /// unstriped one). Caller must hold every stripe lock — the consistent
+    /// cut the striped node takes under `EngineStripes::lock_all`.
+    pub fn capture_multi(
+        dbs: &[&Db],
+        covered: EntryId,
+        running_crc: u64,
+        engine_version: EngineVersion,
+        epoch: u64,
+        slot_ranges: Vec<(u16, u16)>,
+        blocked_slots: Vec<u16>,
+    ) -> ShardSnapshot {
         ShardSnapshot {
             covered,
             running_crc,
@@ -71,7 +96,7 @@ impl ShardSnapshot {
             epoch,
             slot_ranges,
             blocked_slots,
-            rdb: rdb::dump(db),
+            rdb: rdb::dump_multi(dbs),
         }
     }
 
@@ -287,6 +312,40 @@ mod tests {
         assert!(ShardSnapshot::fetch_latest(&store, "shard-1")
             .unwrap()
             .is_none());
+    }
+
+    #[test]
+    fn capture_multi_equals_whole_db_capture() {
+        let filled = || {
+            let mut e = Engine::new(Role::Primary);
+            let mut s = SessionState::new();
+            for k in ["k1", "k2", "foo", "bar", "hello"] {
+                e.execute(&mut s, &cmd(["SET", k, k]));
+            }
+            e
+        };
+        let whole = ShardSnapshot::capture(
+            &filled().db,
+            EntryId(3),
+            9,
+            EngineVersion::CURRENT,
+            2,
+            vec![(0, 16383)],
+            vec![],
+        );
+        let parts = filled().split_striped(4, |s| crate::stripes::stripe_of(s, 4));
+        let dbs: Vec<&memorydb_engine::Db> = parts.iter().map(|p| &p.db).collect();
+        let multi = ShardSnapshot::capture_multi(
+            &dbs,
+            EntryId(3),
+            9,
+            EngineVersion::CURRENT,
+            2,
+            vec![(0, 16383)],
+            vec![],
+        );
+        assert_eq!(whole, multi, "striped capture must be byte-identical");
+        assert_eq!(multi.load_db().unwrap().len(), 5);
     }
 
     #[test]

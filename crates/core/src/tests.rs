@@ -1558,6 +1558,10 @@ fn info_sections_and_latency_histogram_reflect_stage_metrics() {
         assert!(full.contains(section), "bare INFO missing {section}");
     }
     assert!(!full.contains("# Stats"));
+    assert!(
+        full.contains("engine_stripes:16"),
+        "INFO # Server must report the stripe count: {full}"
+    );
 
     // Section filtering.
     let repl = text(&primary.handle(&mut session, &cmd(["INFO", "replication"])));
@@ -1578,6 +1582,7 @@ fn info_sections_and_latency_histogram_reflect_stage_metrics() {
         "apply",
         "e2e",
         "engine_lock_hold",
+        "stripe_lock_hold",
         "durability",
         "log_append",
         "quorum_ack",
@@ -1621,4 +1626,238 @@ fn info_sections_and_latency_histogram_reflect_stage_metrics() {
     );
     let bad = primary.handle(&mut session, &cmd(["LATENCY", "NOPE"]));
     assert!(matches!(bad, Frame::Error(_)));
+}
+
+// ---------------------------------------------------------------------------
+// Stripe routing (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+fn striped_shard(stripes: usize, replicas: usize) -> Arc<Shard> {
+    let cfg = ShardConfig {
+        engine_stripes: stripes,
+        ..ShardConfig::fast()
+    };
+    Shard::bootstrap(
+        0,
+        cfg,
+        Arc::new(ObjectStore::new()),
+        Arc::new(ClusterBus::new()),
+        Arc::new(NodeIdGen::new()),
+        vec![(0, 16383)],
+        replicas,
+    )
+}
+
+/// Tiny deterministic RNG (xorshift64*): the command stream below must be a
+/// pure function of the seed so two shards replay the same program.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Builds a deterministic batch stream that hops across stripes: point
+/// commands on three disjoint key namespaces (no cross-type collisions, so
+/// every reply is deterministic), a FLUSHDB fanning out to all stripes at
+/// the midpoint, and periodic MULTI/EXEC transactions whose keys (`foo`
+/// slot 12182, `bar` slot 5061, `n0`) land on different stripes at 16.
+fn random_cross_stripe_program(seed: u64, len: usize) -> Vec<Vec<Vec<Bytes>>> {
+    let mut rng = XorShift(seed | 1);
+    let mut program = Vec::new();
+    for step in 0..len {
+        if step == len / 2 {
+            program.push(vec![cmd(["FLUSHDB"])]);
+            continue;
+        }
+        let mut batch = Vec::new();
+        for _ in 0..=rng.below(2) {
+            let k = format!("k{}", rng.below(48));
+            batch.push(match rng.below(7) {
+                0 | 1 => cmd(["SET", &k, &format!("v{step}")]),
+                2 => cmd(["APPEND", &k, "x"]),
+                3 => cmd(["INCR", &format!("n{}", rng.below(8))]),
+                4 => cmd(["RPUSH", &format!("l{}", rng.below(8)), &k]),
+                5 => cmd(["DEL", &k]),
+                _ => cmd(["GET", &k]),
+            });
+        }
+        if rng.below(6) == 0 {
+            batch.push(cmd(["MULTI"]));
+            batch.push(cmd(["SET", "foo", &format!("f{step}")]));
+            batch.push(cmd(["SET", "bar", &format!("b{step}")]));
+            batch.push(cmd(["INCR", "n0"]));
+            batch.push(cmd(["EXEC"]));
+        }
+        program.push(batch);
+    }
+    program
+}
+
+/// The tentpole invariant: per-stripe execution order equals fold order, so
+/// a 16-stripe shard and a 1-stripe shard fold the same command stream to
+/// byte-identical datasets, and a replica replaying the striped primary's
+/// log converges to its exact (covered, crc, dump) triple.
+#[test]
+fn striped_fold_matches_unstriped_and_replica_replay() {
+    let program = random_cross_stripe_program(0xC0FFEE, 60);
+
+    let striped = striped_shard(16, 1);
+    let unstriped = striped_shard(1, 0);
+    let ps = striped.wait_for_primary(T).unwrap();
+    let pu = unstriped.wait_for_primary(T).unwrap();
+    let mut ss = SessionState::new();
+    let mut su = SessionState::new();
+    for (i, batch) in program.iter().enumerate() {
+        let rs = ps.handle_batch(&mut ss, batch);
+        let ru = pu.handle_batch(&mut su, batch);
+        assert_eq!(rs, ru, "replies diverged at batch {i}: {batch:?}");
+    }
+
+    // Identical datasets regardless of stripe count: the snapshot dump
+    // concatenates stripes in slot order, so it is byte-comparable.
+    assert_eq!(
+        ps.capture_snapshot().rdb,
+        pu.capture_snapshot().rdb,
+        "stripe partitioning changed the folded dataset"
+    );
+
+    // The replica replays the same log stripe-by-stripe and must land on
+    // the primary's exact snapshot. Lease-renewal control records keep
+    // advancing the primary's applied index, so capture both sides until
+    // they line up on the same covered id.
+    assert!(striped.wait_replicas_caught_up(T));
+    let replica = striped.replicas().into_iter().next().unwrap();
+    let deadline = std::time::Instant::now() + T;
+    loop {
+        let p = ps.capture_snapshot();
+        let r = replica.capture_snapshot();
+        if p.covered == r.covered {
+            assert_eq!(p.running_crc, r.running_crc, "replica fold crc diverged");
+            assert_eq!(p.rdb, r.rdb, "replica dataset diverged");
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "primary and replica never aligned on a covered entry"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// MULTI/EXEC spanning stripes commits atomically under all-stripe
+/// acquisition, and a WATCH on one stripe still aborts a transaction whose
+/// queued write targets a different stripe.
+#[test]
+fn exec_across_stripes_is_atomic_and_watch_aborts_cross_stripe() {
+    let shard = striped_shard(16, 0);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut session = SessionState::new();
+    let queued = Frame::Simple("QUEUED".into());
+
+    // foo (slot 12182) and bar (slot 5061) live on different stripes at 16.
+    let replies = primary.handle_batch(
+        &mut session,
+        &[
+            cmd(["MULTI"]),
+            cmd(["SET", "foo", "F"]),
+            cmd(["SET", "bar", "B"]),
+            cmd(["EXEC"]),
+        ],
+    );
+    assert_eq!(
+        replies,
+        vec![
+            Frame::ok(),
+            queued.clone(),
+            queued.clone(),
+            Frame::Array(vec![Frame::ok(), Frame::ok()]),
+        ]
+    );
+    assert_eq!(
+        primary.handle(&mut session, &cmd(["GET", "foo"])),
+        bulk("F")
+    );
+    assert_eq!(
+        primary.handle(&mut session, &cmd(["GET", "bar"])),
+        bulk("B")
+    );
+
+    // WATCH a key on one stripe, queue a write to another stripe, then let
+    // a second session clobber the watched key: EXEC must abort (null
+    // reply) and the queued cross-stripe write must not land.
+    assert_eq!(
+        primary.handle(&mut session, &cmd(["WATCH", "foo"])),
+        Frame::ok()
+    );
+    assert_eq!(primary.handle(&mut session, &cmd(["MULTI"])), Frame::ok());
+    assert_eq!(
+        primary.handle(&mut session, &cmd(["SET", "bar", "stale"])),
+        queued
+    );
+    let mut other = SessionState::new();
+    assert_eq!(
+        primary.handle(&mut other, &cmd(["SET", "foo", "clobbered"])),
+        Frame::ok()
+    );
+    assert_eq!(primary.handle(&mut session, &cmd(["EXEC"])), Frame::Null);
+    assert_eq!(
+        primary.handle(&mut session, &cmd(["GET", "bar"])),
+        bulk("B")
+    );
+}
+
+/// SCAN's composite cursor (stripe index in the high bits) walks every
+/// stripe to completion and visits each key exactly once per pass.
+#[test]
+fn scan_iterates_every_stripe() {
+    let shard = striped_shard(16, 0);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut session = SessionState::new();
+    for i in 0..100 {
+        assert_eq!(
+            primary.handle(&mut session, &cmd(["SET", &format!("k{i}"), "v"])),
+            Frame::ok()
+        );
+    }
+
+    let mut seen = std::collections::BTreeSet::new();
+    let mut cursor = String::from("0");
+    for _round in 0..200 {
+        let reply = primary.handle(&mut session, &cmd(["SCAN", &cursor, "COUNT", "7"]));
+        let Frame::Array(items) = reply else {
+            panic!("SCAN must return [cursor, keys]")
+        };
+        let [cur, keys] = items.as_slice() else {
+            panic!("SCAN reply must have two elements, got {items:?}")
+        };
+        let Frame::Bulk(c) = cur else {
+            panic!("SCAN cursor must be bulk, got {cur:?}")
+        };
+        cursor = String::from_utf8_lossy(c).into_owned();
+        let Frame::Array(ks) = keys else {
+            panic!("SCAN keys must be an array, got {keys:?}")
+        };
+        for k in ks {
+            let Frame::Bulk(kb) = k else {
+                panic!("SCAN key must be bulk, got {k:?}")
+            };
+            seen.insert(String::from_utf8_lossy(kb).into_owned());
+        }
+        if cursor == "0" {
+            break;
+        }
+    }
+    assert_eq!(cursor, "0", "SCAN never terminated");
+    assert_eq!(seen.len(), 100, "SCAN must visit every stripe's keys");
 }

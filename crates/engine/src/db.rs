@@ -323,6 +323,25 @@ impl Db {
         self.entries.iter()
     }
 
+    /// Splits the keyspace into `n` partitions, assigning each key by
+    /// `stripe_of(slot)`. Entries move with their TTLs; per-key versions
+    /// restart from zero in each partition (the same semantics as loading
+    /// an RDB image, which is where the split happens in practice).
+    pub fn split_by_slot(self, n: usize, stripe_of: impl Fn(u16) -> usize) -> Vec<Db> {
+        let mut out: Vec<Db> = (0..n.max(1)).map(|_| Db::new()).collect();
+        let last = out.len() - 1;
+        for (key, entry) in self.entries {
+            let idx = stripe_of(key_hash_slot(&key)).min(last);
+            if let Some(db) = out.get_mut(idx) {
+                db.set_value(key.clone(), entry.value);
+                if entry.expire_at.is_some() {
+                    db.set_expiry(&key, entry.expire_at);
+                }
+            }
+        }
+        out
+    }
+
     /// Recomputes the approximate dataset footprint in bytes.
     pub fn used_memory(&self) -> usize {
         self.entries

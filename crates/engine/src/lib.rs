@@ -53,6 +53,7 @@ pub use db::Db;
 pub use effects::{DirtySet, EffectCmd, ExecOutcome};
 pub use exec::{Engine, SessionState};
 pub use memorydb_resp::Frame;
+pub use script::{eval_on_host, ScriptHost};
 pub use slots::{key_hash_slot, NUM_SLOTS};
 pub use value::Value;
 pub use version::EngineVersion;

@@ -63,6 +63,9 @@ pub enum StageId {
     Engine,
     /// Node: engine-lock acquisition → release (hold only).
     EngineLockHold,
+    /// Node: one stripe-lock acquisition → release (per-stripe hold; for
+    /// all-stripe ops, the span from full acquisition to full release).
+    StripeLockHold,
     /// Node: one command's `Engine::execute` call.
     Apply,
     /// Node: ticket enqueue → committer append (commit-pipeline queueing).
@@ -86,12 +89,13 @@ pub enum StageId {
 
 impl StageId {
     /// Every stage, in display order.
-    pub const ALL: [StageId; 14] = [
+    pub const ALL: [StageId; 15] = [
         StageId::IoRead,
         StageId::IoWrite,
         StageId::Parse,
         StageId::Engine,
         StageId::EngineLockHold,
+        StageId::StripeLockHold,
         StageId::Apply,
         StageId::CommitQueueWait,
         StageId::Durability,
@@ -111,6 +115,7 @@ impl StageId {
             StageId::Parse => "parse",
             StageId::Engine => "engine",
             StageId::EngineLockHold => "engine_lock_hold",
+            StageId::StripeLockHold => "stripe_lock_hold",
             StageId::Apply => "apply",
             StageId::CommitQueueWait => "commit_queue_wait",
             StageId::Durability => "durability",
@@ -136,6 +141,12 @@ pub enum CounterId {
     /// Node: tickets that shared a committer flush with an earlier ticket
     /// (`tickets_in_flush - 1` per flush — cross-connection coalescing).
     AppendsCoalesced,
+    /// Node: batches that required all-stripe acquisition (cross-stripe
+    /// transactions, keyless sweeps, admin commands).
+    CrossStripeOps,
+    /// Node: stripe-lock acquisitions that found the lock already held
+    /// (opportunistic `try_lock` missed and had to block).
+    StripeConflicts,
     /// Server: protocol errors that closed a connection.
     ProtocolErrors,
     /// Node: commands recorded into the slowlog ring.
@@ -160,11 +171,13 @@ pub enum CounterId {
 
 impl CounterId {
     /// Every counter, in display order.
-    pub const ALL: [CounterId; 14] = [
+    pub const ALL: [CounterId; 16] = [
         CounterId::ConnectionsAccepted,
         CounterId::CommandsDispatched,
         CounterId::BatchesDispatched,
         CounterId::AppendsCoalesced,
+        CounterId::CrossStripeOps,
+        CounterId::StripeConflicts,
         CounterId::ProtocolErrors,
         CounterId::SlowlogRecorded,
         CounterId::ReadsTrimmed,
@@ -184,6 +197,8 @@ impl CounterId {
             CounterId::CommandsDispatched => "commands_dispatched",
             CounterId::BatchesDispatched => "batches_dispatched",
             CounterId::AppendsCoalesced => "appends_coalesced",
+            CounterId::CrossStripeOps => "cross_stripe_ops",
+            CounterId::StripeConflicts => "stripe_conflicts",
             CounterId::ProtocolErrors => "protocol_errors",
             CounterId::SlowlogRecorded => "slowlog_recorded",
             CounterId::ReadsTrimmed => "reads_trimmed",

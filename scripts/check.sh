@@ -9,11 +9,14 @@
 #             baseline, no stale entries
 #   test    — the full tier-1 suite (includes tests/analysis.rs, which
 #             re-runs the analyzer, and the chaos smoke schedules)
-#   metrics — tcp_throughput --smoke (§10 observability): per-stage
-#             latency attribution must sample every declared stage, the
-#             stage sums must be consistent with the e2e span, and the
-#             commit pipeline must show cross-connection coalescing at
-#             K>=8 (append calls < dispatched batches); the binary exits
+#   metrics — tcp_throughput --smoke (§10 observability + §12 striping):
+#             per-stage latency attribution must sample every declared
+#             stage, the stage sums must be consistent with the e2e span,
+#             the commit pipeline must show cross-connection coalescing at
+#             K>=8 (append calls < dispatched batches), and at K>=8
+#             multiplexed the 16-stripe engine must beat the 1-stripe
+#             baseline by >=1.5x ops/s (skipped on hosts with <4 cores,
+#             where stripes only time-share one CPU); the binary exits
 #             nonzero otherwise. Opt in with --metrics-smoke (it costs a
 #             few seconds of closed-loop TCP load).
 #
