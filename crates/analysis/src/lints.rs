@@ -80,7 +80,16 @@ const STRIPE_MODULE: &str = "crates/core/src/stripes.rs";
 /// Methods that block on remote durability / storage while running:
 /// holding any lock guard across these defeats PR-1 group commit and stalls
 /// the engine for a multi-AZ round trip. Always a violation.
-const BLOCKING_METHODS: &[&str] = &["wait_durable", "wait_for_entries", "put"];
+/// `flush_inline_idle` is the §13 idle fast path — a *blocking* flush-token
+/// acquire plus a log append on the submitting connection's thread, so
+/// holding a stripe guard (or `st`) across it would serialize every other
+/// stripe behind one connection's append.
+const BLOCKING_METHODS: &[&str] = &[
+    "wait_durable",
+    "wait_for_entries",
+    "put",
+    "flush_inline_idle",
+];
 
 /// Non-blocking ordered-append calls into the txlog. Holding the engine/state
 /// lock across these is the *intentional* ordering contract (log order =
@@ -696,6 +705,26 @@ mod tests {
         let src = "fn sweep(&self) { let r = node.try_finish(sb); }\n\
                    #[cfg(test)]\nmod tests { fn t() { log.wait_durable(0); } }\n";
         assert!(lints_for("crates/server/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn inline_idle_flush_under_guard_is_reported() {
+        // The §13 idle fast path blocks on the flush token and the log
+        // append; calling it with a stripe guard live is a violation, and
+        // calling it after the guards drop is the sanctioned shape.
+        let src = "fn f(&self) {\n\
+                   let guards = self.stripes.lock_one(idx);\n\
+                   self.flush_inline_idle();\n\
+                   }\n\
+                   fn g(&self) {\n\
+                   let guards = self.stripes.lock_one(idx);\n\
+                   drop(guards);\n\
+                   self.flush_inline_idle();\n\
+                   }\n";
+        assert_eq!(
+            lints_for("crates/core/src/x.rs", src),
+            vec!["lock-discipline:3"]
+        );
     }
 
     #[test]

@@ -79,7 +79,7 @@ pub fn report_table(reports: &[ChaosReport]) -> Table {
 mod tests {
     use super::*;
 
-    /// CI smoke: all seven fault schedules under one seed, invariants and
+    /// CI smoke: all eight fault schedules under one seed, invariants and
     /// linearizability asserted. (~tens of seconds; the heavy sweep below
     /// is the multi-seed version.)
     #[test]

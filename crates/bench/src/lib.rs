@@ -14,6 +14,7 @@
 //! | [`fig7`] | Fig 7 — MemoryDB off-box snapshotting impact |
 //! | [`extras`] | §6.1.2.1 write bandwidth, durability & recovery ablations |
 //! | [`tcp`] | Enhanced-IO: real TCP throughput, multiplexed vs thread-per-conn |
+//! | [`log_latency`] | Adaptive group commit: offered-load sweep over the low-latency log path |
 //! | [`chaos_suite`] | Deterministic chaos harness — failover/crash-recovery invariants |
 
 pub mod chaos_suite;
@@ -22,5 +23,6 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod log_latency;
 pub mod output;
 pub mod tcp;

@@ -191,6 +191,7 @@ pub fn required_stages(mode: &str) -> Vec<&'static str> {
         "stripe_lock_hold",
         "apply",
         "commit_queue_wait",
+        "flush_window",
         "durability",
         "e2e",
         "log_append",

@@ -174,10 +174,18 @@ pub fn apply_entry_striped(
     my_version: EngineVersion,
 ) -> Result<(), HaltReason> {
     debug_assert_eq!(entry.id, rs.applied.next(), "entries must apply in order");
-    let Some(record) = Record::decode(&entry.payload) else {
-        let halt = HaltReason::EffectFailed(format!("undecodable record at {}", entry.id));
-        rs.halted = Some(halt.clone());
-        return Err(halt);
+    // Both record formats coexist in one log (restore compatibility): v2
+    // length-prefixed frames with a per-record CRC, and the legacy tag
+    // encoding from before the frame format. The frame check pins
+    // corruption to the exact record — a CRC mismatch halts with the typed
+    // frame error naming this entry, instead of a generic decode failure.
+    let record = match Record::decode_any(&entry.payload) {
+        Ok(record) => record,
+        Err(e) => {
+            let halt = HaltReason::EffectFailed(format!("record at {}: {e}", entry.id));
+            rs.halted = Some(halt.clone());
+            return Err(halt);
+        }
     };
     match &record {
         Record::Effects { version, effects } => {
@@ -630,6 +638,82 @@ mod tests {
         .unwrap();
         let total: usize = engines.iter().map(|e| e.db.len()).sum();
         assert_eq!(total, 0, "migrated slot data deleted from its stripe");
+    }
+
+    /// Mixed-format replay (restore compatibility): a log whose prefix was
+    /// written in the legacy tag encoding and whose suffix uses v2 frames
+    /// must apply seamlessly, and the producer-side fold (which chains over
+    /// the raw payload bytes, framed or not) must still match the consumer.
+    #[test]
+    fn mixed_legacy_and_framed_entries_apply_with_matching_checksums() {
+        let mut engine = Engine::new(Role::Replica);
+        let mut consumer = ReplicaState::new();
+        let mut producer = ReplicaState::new();
+        let recs = [
+            Record::Effects {
+                version: EngineVersion::CURRENT,
+                effects: vec![cmd(["SET", "old", "1"])],
+            },
+            Record::LeaseRenewal {
+                node: 1,
+                epoch: 1,
+                lease_ms: 100,
+            },
+            Record::Effects {
+                version: EngineVersion::CURRENT,
+                effects: vec![cmd(["SET", "new", "2"])],
+            },
+        ];
+        for (i, rec) in recs.iter().enumerate() {
+            // Legacy encoding for the prefix, framed for the suffix.
+            let payload = if i < 1 {
+                rec.encode()
+            } else {
+                rec.encode_framed()
+            };
+            fold_appended_payload(&mut producer, EntryId(i as u64 + 1), &payload, false);
+            let e = LogEntry {
+                id: EntryId(i as u64 + 1),
+                payload,
+                chain_checksum: 0,
+            };
+            apply_entry(&mut engine, &mut consumer, &e, EngineVersion::CURRENT).unwrap();
+        }
+        assert_eq!(producer.running_crc, consumer.running_crc);
+        assert_eq!(consumer.applied, EntryId(3));
+        let mut s = SessionState::new();
+        assert_eq!(
+            engine.execute(&mut s, &cmd(["GET", "new"])).reply,
+            memorydb_engine::Frame::Bulk(Bytes::from_static(b"2"))
+        );
+    }
+
+    /// A corrupted v2 frame (flipped body byte) halts with the typed CRC
+    /// error naming the exact entry — not a generic decode failure.
+    #[test]
+    fn corrupted_frame_halts_with_crc_error_at_entry() {
+        let mut engine = Engine::new(Role::Replica);
+        let mut rs = ReplicaState::new();
+        let mut raw = Record::Effects {
+            version: EngineVersion::CURRENT,
+            effects: vec![cmd(["SET", "k", "v"])],
+        }
+        .encode_framed()
+        .to_vec();
+        let last = raw.len() - 1;
+        raw[last] ^= 0xFF;
+        let bad = LogEntry {
+            id: EntryId(1),
+            payload: Bytes::from(raw),
+            chain_checksum: 0,
+        };
+        let err = apply_entry(&mut engine, &mut rs, &bad, EngineVersion::CURRENT).unwrap_err();
+        let HaltReason::EffectFailed(msg) = err else {
+            panic!("expected EffectFailed, got {err:?}");
+        };
+        assert!(msg.contains("record at #1"), "names the entry: {msg}");
+        assert!(msg.contains("crc mismatch"), "typed CRC error: {msg}");
+        assert_eq!(rs.applied, EntryId::ZERO);
     }
 
     /// Panic-freedom regression (analyzer invariant 1): malformed or

@@ -30,6 +30,13 @@ pub struct ShardConfig {
     /// Commit-pipeline backpressure: max staged-but-unresolved payload
     /// bytes in flight before new batches block at submission.
     pub commit_window_bytes: usize,
+    /// Adaptive group commit: when the commit queue is empty at submission
+    /// time, the submitting connection appends its own batch inline (no
+    /// committer wakeup, no flush-token bounce). Under load the flush
+    /// window widens up to `commit_window_*` exactly as before. The
+    /// idle/busy decision reads the in-flight ticket count, never a
+    /// wall-clock sleep.
+    pub flush_idle_fastpath: bool,
     /// Transaction-log service configuration for this shard.
     pub log: LogConfig,
     /// Snapshot scheduling: take a new snapshot once the un-snapshotted log
@@ -56,6 +63,7 @@ impl Default for ShardConfig {
             checksum_probe_every: 64,
             commit_window_entries: 1024,
             commit_window_bytes: 4 << 20,
+            flush_idle_fastpath: true,
             log: LogConfig::instant(),
             snapshot_min_bytes: 64 * 1024,
             snapshot_ratio: 0.25,
@@ -97,6 +105,9 @@ impl ShardConfig {
         }
         if self.commit_window_entries == 0 || self.commit_window_bytes == 0 {
             return Err("commit window must allow at least one entry/byte".into());
+        }
+        if self.log.quorum_pipeline_depth == 0 {
+            return Err("quorum_pipeline_depth must allow at least one in-flight batch".into());
         }
         if self.engine_stripes == 0 || self.engine_stripes > memorydb_engine::NUM_SLOTS as usize {
             return Err(format!(
@@ -155,6 +166,15 @@ mod tests {
             ..ShardConfig::default()
         };
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn quorum_pipeline_depth_must_be_nonzero() {
+        let mut cfg = ShardConfig::default();
+        cfg.log.quorum_pipeline_depth = 0;
+        assert!(cfg.validate().is_err());
+        cfg.log.quorum_pipeline_depth = 1;
+        cfg.validate().unwrap();
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use crate::apply::{apply_entry_striped, fold_appended_payload, ReplicaState};
 use crate::bus::{BusRole, ClusterBus};
 use crate::config::ShardConfig;
-use crate::pipeline::{CommitPipeline, StagedRun, Ticket, TicketOutcome};
+use crate::pipeline::{CommitPipeline, StagedRun, Ticket, TicketOutcome, TicketSpec};
 use crate::record::{NodeId, Record, ShardId};
 use crate::restore::{restore_replica, ReplayTarget, RestorePoint};
 use crate::snapshot::ShardSnapshot;
@@ -145,6 +145,10 @@ pub struct SubmittedBatch {
     staged_replies: Vec<(usize, Frame)>,
     /// `(index, hazard entry)` for reads before the first mutation.
     hazard_reads: Vec<(usize, EntryId)>,
+    /// Indices of successfully-validated `WAIT` commands: on a timed-out
+    /// ticket these report the replica count actually achieved instead of
+    /// inheriting the blanket ambiguous-commit error.
+    wait_indices: Vec<usize>,
     first_write_index: Option<usize>,
     /// `None` when the batch never touched the pipeline (pure reads with
     /// no hazards): the replies are final already.
@@ -164,6 +168,12 @@ impl SubmittedBatch {
             Some(t) => t.set_waker(waker),
             None => waker(),
         }
+    }
+
+    /// The batch's commit ticket, if it staged one (test visibility).
+    #[cfg(test)]
+    pub(crate) fn ticket_ref(&self) -> Option<&Arc<Ticket>> {
+        self.ticket.as_ref()
     }
 }
 
@@ -352,6 +362,13 @@ impl Node {
         &self.ctx
     }
 
+    /// In-flight window occupancy (entries, bytes) — regression-test
+    /// visibility into the exactly-once release accounting.
+    #[cfg(test)]
+    pub(crate) fn pipeline_inflight(&self) -> (usize, usize) {
+        self.pipeline.inflight()
+    }
+
     /// This node's metrics registry (stage histograms, counters, slowlog).
     /// The server layer records its IO/parse stages here so one registry
     /// holds the full per-request breakdown; the transaction log keeps its
@@ -392,7 +409,7 @@ impl Node {
                 node: self.id,
                 epoch: st.rs.epoch,
             };
-            self.stage_control_locked(&mut st, rec.encode())
+            self.stage_control_locked(&mut st, rec.encode_framed())
         };
         let ok = matches!(
             ticket.wait(self.ticket_wait_cap()),
@@ -433,8 +450,13 @@ impl Node {
     /// This is the blocking wrapper over [`Node::handle_batch_submit`] +
     /// [`Node::wait_finish`]; the multiplexed server uses the split form
     /// to park replies instead of blocking its IO threads (DESIGN.md §11).
+    ///
+    /// Because this caller blocks for its replies anyway, it is the path
+    /// that takes the adaptive idle fast path (DESIGN.md §13): when the
+    /// pipeline is idle at staging time the submitting thread appends its
+    /// own run inline instead of bouncing through the committer.
     pub fn handle_batch(&self, session: &mut SessionState, cmds: &[Vec<Bytes>]) -> Vec<Frame> {
-        let sb = self.handle_batch_submit(session, cmds);
+        let sb = self.submit_batch_inner(session, cmds, true);
         self.wait_finish(sb)
     }
 
@@ -444,10 +466,28 @@ impl Node {
     /// the commit pipeline, and returns with the mutation replies still
     /// parked on the batch's ticket. [`Node::try_finish`] /
     /// [`Node::wait_finish`] release them once the ticket resolves.
+    ///
+    /// This split form never takes the inline idle flush: the caller is a
+    /// multiplexing IO thread that must return to its event loop, so the
+    /// run always rides the committer handoff — which is also what lets
+    /// the committer coalesce runs from many connections into one append.
     pub fn handle_batch_submit(
         &self,
         session: &mut SessionState,
         cmds: &[Vec<Bytes>],
+    ) -> SubmittedBatch {
+        self.submit_batch_inner(session, cmds, false)
+    }
+
+    /// Shared body of [`Node::handle_batch`] / [`Node::handle_batch_submit`].
+    /// `allow_inline` is true only for blocking callers: the idle fast path
+    /// blocks the submitting thread on the log append, which is only
+    /// acceptable when that thread was about to block on the reply anyway.
+    fn submit_batch_inner(
+        &self,
+        session: &mut SessionState,
+        cmds: &[Vec<Bytes>],
+        allow_inline: bool,
     ) -> SubmittedBatch {
         let mut replies: Vec<Frame> = Vec::with_capacity(cmds.len());
         if cmds.is_empty() {
@@ -455,6 +495,7 @@ impl Node {
                 replies,
                 staged_replies: Vec::new(),
                 hazard_reads: Vec::new(),
+                wait_indices: Vec::new(),
                 first_write_index: None,
                 ticket: None,
             };
@@ -475,6 +516,7 @@ impl Node {
         // Read hazards for commands before the first mutation; later reads
         // are covered by the batch's own (newer) log entries.
         let mut hazard_reads: Vec<(usize, EntryId)> = Vec::new();
+        let mut wait_indices: Vec<usize> = Vec::new();
 
         let e2e_start = self.metrics.now_us();
         // Backpressure (§11): block while the in-flight commit window is
@@ -547,6 +589,7 @@ impl Node {
                 let timeout_ms = String::from_utf8_lossy(raw_timeout).parse::<i64>();
                 replies.push(match (numreplicas, timeout_ms) {
                     (Ok(_), Ok(t)) if t >= 0 => {
+                        wait_indices.push(i);
                         Frame::Integer(self.ctx.bus.replica_count(self.ctx.shard_id) as i64)
                     }
                     (Ok(_), Ok(_)) => Frame::error("ERR timeout is negative"),
@@ -697,7 +740,7 @@ impl Node {
                     version: guards.first_ref().version(),
                     effects: outcome.effects.clone(),
                 }
-                .encode();
+                .encode_framed();
                 first_write_index.get_or_insert(i);
                 staged.push(StagedWrite {
                     index: i,
@@ -719,6 +762,11 @@ impl Node {
         // perform the coalesced conditional append.
         let mut ticket: Option<Arc<Ticket>> = None;
         let mut staged_replies: Vec<(usize, Frame)> = Vec::new();
+        // Adaptive group commit (DESIGN.md §13): set when the pipeline was
+        // idle at staging time — the submitting connection then appends its
+        // own run inline after dropping the locks, instead of bouncing
+        // through the flush-token race and the committer thread.
+        let mut inline_flush = false;
         let run_stripe: Option<u16> = if guards.is_all() {
             None
         } else {
@@ -763,7 +811,7 @@ impl Node {
                     let probe = Record::ChecksumProbe {
                         crc: st.rs.running_crc,
                     }
-                    .encode();
+                    .encode_framed();
                     let pid = st.rs.applied.next();
                     fold_appended_payload(&mut st.rs, pid, &probe, true);
                     bytes += probe.len();
@@ -780,23 +828,40 @@ impl Node {
                     }
                 }
                 let now_us = self.metrics.now_us();
-                let t = Ticket::new(
-                    st.rs.applied,
-                    payloads.len(),
+                // Idle/busy decision from the in-flight ticket count (never
+                // a wall-clock sleep): with nothing staged and no window
+                // claims outstanding, this connection appends inline. `st`
+                // is held, and every staging site holds `st`, so no run can
+                // slip in between this check and ours. Lock order st < q
+                // makes the pipeline probe safe here.
+                let idle =
+                    allow_inline && self.ctx.cfg.flush_idle_fastpath && self.pipeline.is_idle();
+                let t = Ticket::new(TicketSpec {
+                    last_id: st.rs.applied,
+                    entries: payloads.len(),
                     bytes,
-                    Instant::now() + self.ctx.cfg.commit_timeout,
-                    e2e_start,
+                    epoch: st.rs.epoch,
+                    deadline: Instant::now() + self.ctx.cfg.commit_timeout,
+                    e2e_start_us: e2e_start,
                     now_us,
-                    true,
-                );
+                    attributed: true,
+                });
                 // Staged while `st` is held: queue order is fold order,
-                // which the committer's fencing argument relies on.
-                self.pipeline.stage(StagedRun {
+                // which the committer's fencing argument relies on. The
+                // idle path skips the committer wakeup — the submitting
+                // thread flushes this run itself right after unlocking.
+                let run = StagedRun {
                     ticket: Arc::clone(&t),
                     payloads,
                     first_id,
                     stripe: run_stripe,
-                });
+                };
+                if idle {
+                    self.pipeline.stage_quiet(run);
+                    inline_flush = true;
+                } else {
+                    self.pipeline.stage(run);
+                }
                 staged_replies = staged.into_iter().map(|w| (w.index, w.reply)).collect();
                 ticket = Some(t);
             }
@@ -805,24 +870,39 @@ impl Node {
             // empty run so a fence poisons it in submission order — the
             // hazard ids are prospective, and after a fence another
             // leader's entry may occupy them, so `is_durable` alone cannot
-            // clear these reads.
-            let now_us = self.metrics.now_us();
-            let t = Ticket::new(
-                h,
-                0,
-                0,
-                Instant::now() + self.ctx.cfg.commit_timeout,
-                e2e_start,
-                now_us,
-                true,
-            );
-            self.pipeline.stage(StagedRun {
-                ticket: Arc::clone(&t),
-                payloads: Vec::new(),
-                first_id: EntryId(0),
-                stripe: run_stripe,
-            });
-            ticket = Some(t);
+            // clear these reads. Staged under `st` like the write path: a
+            // fence can land between execution and here, and an unpoisoned
+            // hazard run staged after the poison drain would wait out its
+            // full deadline against ids another leader may now own.
+            let st = self.st.lock();
+            if st.state_poisoned || st.rebuilding || st.role != Role::Primary {
+                drop(st);
+                for &(i, _) in &hazard_reads {
+                    if let Some(slot) = replies.get_mut(i) {
+                        *slot =
+                            Frame::Error("CLUSTERDOWN timed out waiting for hazard commit".into());
+                    }
+                }
+            } else {
+                let now_us = self.metrics.now_us();
+                let t = Ticket::new(TicketSpec {
+                    last_id: h,
+                    entries: 0,
+                    bytes: 0,
+                    epoch: st.rs.epoch,
+                    deadline: Instant::now() + self.ctx.cfg.commit_timeout,
+                    e2e_start_us: e2e_start,
+                    now_us,
+                    attributed: true,
+                });
+                self.pipeline.stage(StagedRun {
+                    ticket: Arc::clone(&t),
+                    payloads: Vec::new(),
+                    first_id: EntryId(0),
+                    stripe: run_stripe,
+                });
+                ticket = Some(t);
+            }
         }
 
         drop(guards);
@@ -848,7 +928,11 @@ impl Node {
                 if t.note_unlocked(lock_dropped_us) && t.attributed {
                     self.record_ticket_spans(t, lock_dropped_us);
                 }
-                self.try_self_flush();
+                if inline_flush {
+                    self.flush_inline_idle();
+                } else {
+                    self.try_self_flush();
+                }
             }
             // No pipeline involvement: the batch is complete right now.
             None => self
@@ -860,6 +944,7 @@ impl Node {
             replies,
             staged_replies,
             hazard_reads,
+            wait_indices,
             first_write_index,
             ticket,
         }
@@ -1083,42 +1168,57 @@ impl Node {
         let Ok(cursor) = String::from_utf8_lossy(raw).parse::<u64>() else {
             return guards.any_engine().execute_single(args); // invalid cursor
         };
-        let stripe = (cursor >> INNER_BITS) as usize;
-        let inner = cursor & INNER_MASK;
+        let mut stripe = (cursor >> INNER_BITS) as usize;
+        let mut inner = cursor & INNER_MASK;
         let n = guards.stripe_count();
         if stripe >= n {
-            // A stale cursor past the last stripe: terminate cleanly.
+            // A stale cursor past the last stripe (e.g. the stripe count
+            // shrank between calls): terminate cleanly.
             return ExecOutcome::read(Frame::Array(vec![
                 Frame::Bulk(Bytes::from_static(b"0")),
                 Frame::Array(Vec::new()),
             ]));
         }
-        let mut sub = args.to_vec();
-        if let Some(slot) = sub.get_mut(1) {
-            *slot = Bytes::from(inner.to_string());
-        }
-        let out = guards.engine_at(stripe).execute_single(&sub);
-        match out.reply {
-            Frame::Array(mut items) => {
-                let next_inner = match items.first() {
-                    Some(Frame::Bulk(raw)) => {
-                        String::from_utf8_lossy(raw).parse::<u64>().unwrap_or(0)
-                    }
-                    _ => 0,
-                };
-                let next = if next_inner != 0 {
-                    ((stripe as u64) << INNER_BITS) | (next_inner & INNER_MASK)
-                } else if stripe + 1 < n {
-                    ((stripe as u64) + 1) << INNER_BITS
-                } else {
-                    0
-                };
-                if let Some(slot) = items.get_mut(0) {
-                    *slot = Frame::Bulk(Bytes::from(next.to_string()));
-                }
-                ExecOutcome::read(Frame::Array(items))
+        loop {
+            let mut sub = args.to_vec();
+            if let Some(slot) = sub.get_mut(1) {
+                *slot = Bytes::from(inner.to_string());
             }
-            other => ExecOutcome::read(other), // bad MATCH/COUNT arguments
+            let out = guards.engine_at(stripe).execute_single(&sub);
+            match out.reply {
+                Frame::Array(mut items) => {
+                    let next_inner = match items.first() {
+                        Some(Frame::Bulk(raw)) => {
+                            String::from_utf8_lossy(raw).parse::<u64>().unwrap_or(0)
+                        }
+                        _ => 0,
+                    };
+                    let batch_empty = matches!(items.get(1), Some(Frame::Array(b)) if b.is_empty());
+                    if next_inner == 0 && batch_empty && stripe + 1 < n {
+                        // Exhausted stripe, nothing to return: fast-forward
+                        // to the next stripe inside this call. Without this,
+                        // a cursor gone stale mid-scan (FLUSHDB emptied the
+                        // keyspace) hands the client one empty page with a
+                        // nonzero cursor per remaining stripe before finally
+                        // reaching 0.
+                        stripe += 1;
+                        inner = 0;
+                        continue;
+                    }
+                    let next = if next_inner != 0 {
+                        ((stripe as u64) << INNER_BITS) | (next_inner & INNER_MASK)
+                    } else if stripe + 1 < n {
+                        ((stripe as u64) + 1) << INNER_BITS
+                    } else {
+                        0
+                    };
+                    if let Some(slot) = items.get_mut(0) {
+                        *slot = Frame::Bulk(Bytes::from(next.to_string()));
+                    }
+                    return ExecOutcome::read(Frame::Array(items));
+                }
+                other => return ExecOutcome::read(other), // bad MATCH/COUNT arguments
+            }
         }
     }
 
@@ -1219,8 +1319,9 @@ impl Node {
             mut replies,
             staged_replies,
             hazard_reads,
+            wait_indices,
             first_write_index,
-            ..
+            ticket,
         } = sb;
         match outcome {
             None => {}
@@ -1258,6 +1359,25 @@ impl Node {
                             "CLUSTERDOWN write could not be committed durably; demoting".into(),
                         );
                     }
+                    // WAIT asks "how many replicas hold this write" — on a
+                    // timeout the count achieved so far IS the answer, not
+                    // an ambiguous-commit error (Redis semantics: WAIT
+                    // returns the replica count reached when its timeout
+                    // expires). Restore those replies after the blanket
+                    // overwrite above.
+                    if !wait_indices.is_empty() {
+                        let acked = ticket
+                            .as_ref()
+                            .map_or(0, |t| self.ctx.log.acked_count(t.last_id()))
+                            as i64;
+                        for &i in &wait_indices {
+                            if i >= first {
+                                if let Some(slot) = replies.get_mut(i) {
+                                    *slot = Frame::Integer(acked);
+                                }
+                            }
+                        }
+                    }
                 }
                 // A timed-out ticket's entries were genuinely appended (it
                 // reached the committed queue), so settling each hazard
@@ -1291,15 +1411,16 @@ impl Node {
         let id = st.rs.applied.next();
         fold_appended_payload(&mut st.rs, id, &payload, false);
         let now_us = self.metrics.now_us();
-        let ticket = Ticket::new(
-            id,
-            1,
-            payload.len(),
-            Instant::now() + self.ctx.cfg.commit_timeout,
+        let ticket = Ticket::new(TicketSpec {
+            last_id: id,
+            entries: 1,
+            bytes: payload.len(),
+            epoch: st.rs.epoch,
+            deadline: Instant::now() + self.ctx.cfg.commit_timeout,
+            e2e_start_us: now_us,
             now_us,
-            now_us,
-            false,
-        );
+            attributed: false,
+        });
         self.pipeline.stage(StagedRun {
             ticket: Arc::clone(&ticket),
             payloads: vec![payload],
@@ -1321,15 +1442,16 @@ impl Node {
         fold_appended_payload(&mut st.rs, id, &payload, false);
         st.tracker.stage(id, dirty);
         let now_us = self.metrics.now_us();
-        let ticket = Ticket::new(
-            id,
-            1,
-            payload.len(),
-            Instant::now() + self.ctx.cfg.commit_timeout,
+        let ticket = Ticket::new(TicketSpec {
+            last_id: id,
+            entries: 1,
+            bytes: payload.len(),
+            epoch: st.rs.epoch,
+            deadline: Instant::now() + self.ctx.cfg.commit_timeout,
+            e2e_start_us: now_us,
             now_us,
-            now_us,
-            false,
-        );
+            attributed: false,
+        });
         self.pipeline.stage(StagedRun {
             ticket: Arc::clone(&ticket),
             payloads: vec![payload],
@@ -1394,6 +1516,22 @@ impl Node {
         drop(token);
     }
 
+    /// The adaptive group-commit idle fast path (DESIGN.md §13): the
+    /// pipeline was idle when this connection staged its run, so it appends
+    /// the run itself — no committer wakeup, no try-lock bounce. The
+    /// blocking acquire is safe precisely because the queue was empty at
+    /// staging time: any concurrent token holder is draining at most a
+    /// straggler sweep. BLOCKING: must not be called with a stripe guard or
+    /// `st` held (the analyzer's lock-discipline pass enforces the former).
+    fn flush_inline_idle(&self) {
+        let token = self.flush_token.lock();
+        let runs = self.pipeline.take_staged_now();
+        if !runs.is_empty() {
+            self.flush_runs(runs);
+        }
+        drop(token);
+    }
+
     /// One coalesced flush of staged runs (committer thread body).
     fn flush_runs(&self, runs: Vec<StagedRun>) {
         // Per-stripe fold order: write runs staged from one stripe must
@@ -1448,8 +1586,22 @@ impl Node {
         // is only meaningful once `note_unlocked` has re-stamped the queue
         // entry; this flush can race ahead of the client's lock drop).
         let appended_us = self.metrics.now_us();
+        let mut oldest_enqueued = u64::MAX;
         for run in &runs {
             run.ticket.appended_us.store(appended_us, Ordering::Relaxed);
+            if run.ticket.attributed && !run.payloads.is_empty() {
+                oldest_enqueued =
+                    oldest_enqueued.min(run.ticket.enqueued_us.load(Ordering::Relaxed));
+            }
+        }
+        if first_id.is_some() && oldest_enqueued != u64::MAX {
+            // Realized flush-window width: how long the oldest client run
+            // in this flush sat staged before the append handoff. ~0 on
+            // the idle fast path; widens with coalescing under load.
+            self.metrics.record_stage(
+                StageId::FlushWindow,
+                appended_us.saturating_sub(oldest_enqueued),
+            );
         }
         // Anything the log already committed (zero-latency quorums promote
         // inline during the append) resolves right here, in submission
@@ -1457,19 +1609,44 @@ impl Node {
         // waits on the watermark like before.
         let tail = self.ctx.log.committed_tail();
         let mut waiting: Vec<Arc<Ticket>> = Vec::new();
-        let mut advanced = false;
+        let mut resolve_now: Vec<Arc<Ticket>> = Vec::new();
         for run in runs {
             if run.ticket.last_id() <= tail {
-                if !advanced {
-                    advanced = true;
-                    self.st.lock().tracker.advance_committed(tail);
-                }
-                self.resolve_ticket(&run.ticket, TicketOutcome::Durable);
+                resolve_now.push(run.ticket);
             } else {
                 waiting.push(run.ticket);
             }
         }
+        if !resolve_now.is_empty() {
+            let (fenced, epoch) = self.ack_fence(tail);
+            for t in resolve_now {
+                if fenced || t.epoch != epoch {
+                    self.resolve_ticket(&t, TicketOutcome::TimedOut);
+                } else {
+                    self.resolve_ticket(&t, TicketOutcome::Durable);
+                }
+            }
+        }
         self.pipeline.push_committed(waiting);
+    }
+
+    /// Pipelined-quorum fencing (DESIGN.md §13), read under `st` at every
+    /// watermark advance (the committed tracker advances in the same
+    /// critical section). Returns `(fenced, current_epoch)`: when `fenced`,
+    /// or when a ticket's staged epoch differs from `current_epoch`, the
+    /// ticket must NOT resolve durable — a demoted, poisoned, or rebuilding
+    /// node may no longer ack batches staged under a lease it has lost,
+    /// even if those batches went on to commit. They resolve ambiguous
+    /// (`TimedOut`) instead: the entries really are in the log, but this
+    /// node's parked replies were computed against state the rebuild
+    /// discards.
+    fn ack_fence(&self, tail: EntryId) -> (bool, u64) {
+        let mut st = self.st.lock();
+        st.tracker.advance_committed(tail);
+        (
+            st.state_poisoned || st.rebuilding || st.demote_requested || st.role != Role::Primary,
+            st.rs.epoch,
+        )
     }
 
     /// A fenced or partitioned coalesced append: demote, poison the engine
@@ -1494,9 +1671,16 @@ impl Node {
     /// its stripe lock(s), in which case it records them), and fires its
     /// waker. Span recording happens before any waiter can observe the
     /// outcome, so a released reply never outruns its own metrics.
-    fn resolve_ticket(&self, ticket: &Arc<Ticket>, outcome: TicketOutcome) {
+    pub(crate) fn resolve_ticket(&self, ticket: &Arc<Ticket>, outcome: TicketOutcome) {
         let resolved_us = self.metrics.now_us();
-        self.pipeline.release_window(ticket.entries, ticket.bytes);
+        // Exactly-once window release: resolution paths can race (the
+        // flush leader's inline resolve, the completer's watermark pass,
+        // the poison drain), and `resolve` only dedupes the outcome — a
+        // second caller must not return the window claim again, or the
+        // in-flight accounting undercounts and backpressure opens early.
+        if ticket.begin_release() {
+            self.pipeline.release_window(ticket.entries, ticket.bytes);
+        }
         ticket.resolve(outcome, |unlocked| {
             if unlocked && ticket.attributed {
                 self.record_ticket_spans(ticket, resolved_us);
@@ -1545,9 +1729,16 @@ impl Node {
             let tail = self.ctx.log.wait_committed_at_least(target, slice);
             let (durable, timed_out) = self.pipeline.split_resolved(tail, Instant::now());
             if !durable.is_empty() {
-                self.st.lock().tracker.advance_committed(tail);
+                // Re-validate leadership at the watermark advance: batches
+                // pipelined before a demotion may commit after it, and a
+                // fenced node must not release their acks (see `ack_fence`).
+                let (fenced, epoch) = self.ack_fence(tail);
                 for t in &durable {
-                    self.resolve_ticket(t, TicketOutcome::Durable);
+                    if fenced || t.epoch != epoch {
+                        self.resolve_ticket(t, TicketOutcome::TimedOut);
+                    } else {
+                        self.resolve_ticket(t, TicketOutcome::Durable);
+                    }
                 }
             }
             if !timed_out.is_empty() {
@@ -1816,7 +2007,7 @@ impl Node {
         // Staged on the commit pipeline like any client mutation (a fenced
         // flush poisons the state); the migration controller drains via
         // `max_pending_write` before any ownership transfer.
-        let ticket = self.stage_effects_locked(&mut st, record.encode(), &dirty);
+        let ticket = self.stage_effects_locked(&mut st, record.encode_framed(), &dirty);
         Ok(ticket.last_id())
     }
 
@@ -1833,7 +2024,7 @@ impl Node {
             if st.state_poisoned || st.rebuilding {
                 return Err("uncommitted state pending rebuild".into());
             }
-            let ticket = self.stage_control_locked(&mut st, record.encode());
+            let ticket = self.stage_control_locked(&mut st, record.encode_framed());
             // Mirror the consumer-side semantics locally (primaries do not
             // consume their own log). Optimistic like the fold: a fenced
             // flush poisons the state and the rebuild discards this.
@@ -2108,7 +2299,7 @@ impl Node {
                 epoch,
                 lease_ms: cfg.lease.as_millis() as u64,
             };
-            (st.rs.applied, epoch, rec.encode())
+            (st.rs.applied, epoch, rec.encode_framed())
         };
         let t0 = Instant::now();
         match self
@@ -2189,7 +2380,7 @@ impl Node {
         };
         // Fire-and-forget through the commit pipeline: the DELs are hazard-
         // tracked until commit, and a fenced flush poisons the state.
-        let _ticket = self.stage_effects_locked(&mut st, record.encode(), &dirty);
+        let _ticket = self.stage_effects_locked(&mut st, record.encode_framed(), &dirty);
     }
 
     fn primary_step(&self) {
@@ -2236,7 +2427,7 @@ impl Node {
                     epoch: st.rs.epoch,
                     lease_ms: cfg.lease.as_millis() as u64,
                 };
-                let ticket = self.stage_control_locked(&mut st, rec.encode());
+                let ticket = self.stage_control_locked(&mut st, rec.encode_framed());
                 st.pending_renewal = Some((ticket, now));
                 st.next_renewal_at = now + cfg.renew_interval;
             }

@@ -17,7 +17,7 @@ use bytes::Bytes;
 use memorydb_txlog::EntryId;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -72,29 +72,46 @@ pub struct Ticket {
     /// Client batches record per-ticket stages (queue wait, durability,
     /// e2e); internal traffic (renewals, expiry, control records) does not.
     pub(crate) attributed: bool,
+    /// Leadership epoch observed when the ticket was staged. The completer
+    /// re-validates it at watermark advance: a ticket staged under a lease
+    /// this node has since lost must not ack, even if its pipelined batch
+    /// went on to commit (pipelined-quorum fencing).
+    pub(crate) epoch: u64,
+    /// Exactly-once guard for the ticket's in-flight window claim: the
+    /// resolver that wins this CAS releases the window; any later resolver
+    /// (idle-promote vs. flush leader vs. completer races) must not.
+    released: AtomicBool,
     inner: Mutex<TicketInner>,
     cv: Condvar,
 }
 
+/// Constructor arguments for [`Ticket::new`], named to keep staging sites
+/// readable as the field list grows.
+pub(crate) struct TicketSpec {
+    pub last_id: EntryId,
+    pub entries: usize,
+    pub bytes: usize,
+    /// Leadership epoch at staging time (see [`Ticket::epoch`]).
+    pub epoch: u64,
+    pub deadline: Instant,
+    pub e2e_start_us: u64,
+    pub now_us: u64,
+    pub attributed: bool,
+}
+
 impl Ticket {
-    pub(crate) fn new(
-        last_id: EntryId,
-        entries: usize,
-        bytes: usize,
-        deadline: Instant,
-        e2e_start_us: u64,
-        now_us: u64,
-        attributed: bool,
-    ) -> Arc<Ticket> {
+    pub(crate) fn new(spec: TicketSpec) -> Arc<Ticket> {
         Arc::new(Ticket {
-            last_id,
-            entries,
-            bytes,
-            deadline,
-            e2e_start_us,
-            enqueued_us: AtomicU64::new(now_us),
+            last_id: spec.last_id,
+            entries: spec.entries,
+            bytes: spec.bytes,
+            deadline: spec.deadline,
+            e2e_start_us: spec.e2e_start_us,
+            enqueued_us: AtomicU64::new(spec.now_us),
             appended_us: AtomicU64::new(0),
-            attributed,
+            attributed: spec.attributed,
+            epoch: spec.epoch,
+            released: AtomicBool::new(false),
             inner: Mutex::new(TicketInner {
                 outcome: None,
                 waker: None,
@@ -102,6 +119,15 @@ impl Ticket {
             }),
             cv: Condvar::new(),
         })
+    }
+
+    /// Claims the right to release this ticket's window accounting. True
+    /// exactly once across all resolvers — the idempotence guard behind
+    /// `Node::resolve_ticket`.
+    pub(crate) fn begin_release(&self) -> bool {
+        self.released
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
     }
 
     /// The prospective id of this ticket's newest entry.
@@ -279,6 +305,34 @@ impl CommitPipeline {
         self.work_cv.notify_one();
     }
 
+    /// `stage` without the committer wakeup: the idle fast path enqueues
+    /// its own run and flushes it inline on the submitting connection, so
+    /// poking the committer thread awake would only add a futile wakeup.
+    /// The committer's periodic sweep still collects the run if the inline
+    /// flush loses the token race. Same locking contract as `stage`.
+    pub fn stage_quiet(&self, run: StagedRun) {
+        let mut q = self.q.lock();
+        q.inflight_entries += run.ticket.entries;
+        q.inflight_bytes += run.ticket.bytes;
+        q.runs.push_back(run);
+    }
+
+    /// True when nothing is staged and no resolved-window claims are
+    /// outstanding — the adaptive group-commit idle signal. Reads the
+    /// in-flight ticket accounting; never sleeps.
+    pub fn is_idle(&self) -> bool {
+        let q = self.q.lock();
+        q.runs.is_empty() && q.inflight_entries == 0 && q.inflight_bytes == 0
+    }
+
+    /// Current in-flight window occupancy (entries, bytes) — regression-test
+    /// visibility into the exactly-once release accounting.
+    #[cfg(test)]
+    pub fn inflight(&self) -> (usize, usize) {
+        let q = self.q.lock();
+        (q.inflight_entries, q.inflight_bytes)
+    }
+
     /// Committer: blocks up to `timeout` for staged work; returns whether
     /// the queue is non-empty. Draining is separate (`take_staged_now`)
     /// because it must happen under the node's flush token.
@@ -372,15 +426,16 @@ mod tests {
     use super::*;
 
     fn ticket(last: u64, entries: usize, bytes: usize) -> Arc<Ticket> {
-        Ticket::new(
-            EntryId(last),
+        Ticket::new(TicketSpec {
+            last_id: EntryId(last),
             entries,
             bytes,
-            Instant::now() + Duration::from_secs(5),
-            0,
-            0,
-            true,
-        )
+            epoch: 1,
+            deadline: Instant::now() + Duration::from_secs(5),
+            e2e_start_us: 0,
+            now_us: 0,
+            attributed: true,
+        })
     }
 
     #[test]
@@ -430,6 +485,35 @@ mod tests {
         p.release_window(t.entries, t.bytes);
         let waited = p.wait_for_window(4, 1 << 20, Duration::from_millis(40));
         assert!(waited < Duration::from_millis(30));
+    }
+
+    #[test]
+    fn begin_release_wins_exactly_once() {
+        let t = ticket(1, 2, 20);
+        assert!(t.begin_release());
+        assert!(!t.begin_release());
+        assert!(!t.begin_release());
+    }
+
+    #[test]
+    fn idle_signal_tracks_staging_and_release() {
+        let p = CommitPipeline::new();
+        assert!(p.is_idle());
+        let t = ticket(1, 2, 20);
+        p.stage_quiet(StagedRun {
+            ticket: Arc::clone(&t),
+            payloads: Vec::new(),
+            first_id: EntryId(1),
+            stripe: None,
+        });
+        assert!(!p.is_idle());
+        assert_eq!(p.inflight(), (2, 20));
+        let _drained = p.take_staged_now();
+        // Window claim survives the drain until the ticket resolves.
+        assert!(!p.is_idle());
+        p.release_window(t.entries, t.bytes);
+        assert!(p.is_idle());
+        assert_eq!(p.inflight(), (0, 0));
     }
 
     #[test]

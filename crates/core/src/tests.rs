@@ -1861,3 +1861,144 @@ fn scan_iterates_every_stripe() {
     assert_eq!(cursor, "0", "SCAN never terminated");
     assert_eq!(seen.len(), 100, "SCAN must visit every stripe's keys");
 }
+
+/// A composite cursor taken mid-scan stays valid across FLUSHDB: replaying
+/// it against the now-empty keyspace fast-forwards through the exhausted
+/// stripes and terminates in ONE call instead of handing back a stale
+/// non-zero cursor the client would chase forever.
+#[test]
+fn scan_cursor_from_before_flushdb_terminates_promptly() {
+    let shard = striped_shard(16, 0);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut session = SessionState::new();
+    for i in 0..100 {
+        assert_eq!(
+            primary.handle(&mut session, &cmd(["SET", &format!("k{i}"), "v"])),
+            Frame::ok()
+        );
+    }
+
+    // Walk a few rounds so the cursor points mid-keyspace (non-zero).
+    let mut cursor = String::from("0");
+    for _ in 0..3 {
+        let Frame::Array(items) =
+            primary.handle(&mut session, &cmd(["SCAN", &cursor, "COUNT", "7"]))
+        else {
+            panic!("SCAN must return [cursor, keys]")
+        };
+        let Some(Frame::Bulk(c)) = items.first() else {
+            panic!("SCAN cursor must be bulk")
+        };
+        cursor = String::from_utf8_lossy(c).into_owned();
+    }
+    assert_ne!(cursor, "0", "need a mid-scan cursor for this test");
+
+    assert_eq!(primary.handle(&mut session, &cmd(["FLUSHDB"])), Frame::ok());
+
+    // The stale cursor must land on "0" with no keys in a single call: the
+    // scan loop skips every exhausted empty stripe instead of bouncing the
+    // client once per stripe (or worse, echoing a cursor that never ends).
+    let reply = primary.handle(&mut session, &cmd(["SCAN", &cursor, "COUNT", "7"]));
+    assert_eq!(
+        reply,
+        Frame::Array(vec![bulk("0"), Frame::Array(Vec::new())]),
+        "stale cursor after FLUSHDB must terminate immediately"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Durability-boundary regressions (adaptive group commit, DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+/// WAIT whose batch ticket times out while parked reports the replica count
+/// actually achieved (Redis semantics) — not the blanket ambiguous-commit
+/// error the staged mutations inherit.
+#[test]
+fn wait_timeout_reports_achieved_count_not_error() {
+    let shard = Shard::bootstrap(
+        0,
+        ShardConfig {
+            commit_timeout: Duration::from_millis(150),
+            ..ShardConfig::fast()
+        },
+        Arc::new(ObjectStore::new()),
+        Arc::new(ClusterBus::new()),
+        Arc::new(NodeIdGen::new()),
+        vec![(0, 16383)],
+        0,
+    );
+    let primary = shard.wait_for_primary(T).unwrap();
+    // Freeze the commit watermark: appends land but never reach quorum, so
+    // the batch ticket must run into its 150ms deadline.
+    shard.ctx().log.set_commits_suspended(true);
+
+    let mut s = SessionState::new();
+    let replies = primary.handle_batch(&mut s, &[cmd(["SET", "k", "v"]), cmd(["WAIT", "0", "50"])]);
+    shard.ctx().log.set_commits_suspended(false);
+
+    assert_eq!(replies.len(), 2);
+    assert!(
+        matches!(&replies[0], Frame::Error(e) if e.contains("CLUSTERDOWN")),
+        "timed-out mutation must error, got {:?}",
+        replies[0]
+    );
+    match &replies[1] {
+        Frame::Integer(n) => assert!(*n >= 0, "achieved count cannot be negative"),
+        other => panic!("WAIT on a timed-out ticket must report the achieved replica count as an integer, got {other:?}"),
+    }
+}
+
+/// Racing resolutions of one ticket (flush leader inline vs completer vs
+/// idle-promote) must release its in-flight window claim exactly once: a
+/// double release would under-count the window and let backpressure open
+/// early. Exercised directly by resolving the same ticket twice while a
+/// second batch still holds its claim.
+#[test]
+fn double_ticket_resolution_releases_window_once() {
+    use crate::pipeline::TicketOutcome;
+
+    let shard = quiet_shard(0);
+    let primary = shard.wait_for_primary(T).unwrap();
+    // Stall the committer so both tickets stay in flight.
+    shard.ctx().log.set_commits_suspended(true);
+
+    let mut s1 = SessionState::new();
+    let mut s2 = SessionState::new();
+    let sb1 = primary.handle_batch_submit(&mut s1, &[cmd(["SET", "a", "1"])]);
+    let sb2 = primary.handle_batch_submit(&mut s2, &[cmd(["SET", "b", "2"])]);
+    let t1 = Arc::clone(sb1.ticket_ref().expect("write batch must carry a ticket"));
+    assert!(sb2.ticket_ref().is_some());
+
+    let (entries_before, bytes_before) = primary.pipeline_inflight();
+    assert!(
+        entries_before >= 2,
+        "both batches must hold window claims, got {entries_before}"
+    );
+
+    primary.resolve_ticket(&t1, TicketOutcome::Durable);
+    let (entries_one, bytes_one) = primary.pipeline_inflight();
+    assert_eq!(
+        entries_one,
+        entries_before - 1,
+        "first resolve releases once"
+    );
+    assert!(bytes_one < bytes_before);
+
+    // Second resolution of the SAME ticket: outcome dedupe already existed,
+    // the regression was the window being returned again.
+    primary.resolve_ticket(&t1, TicketOutcome::Durable);
+    let (entries_two, bytes_two) = primary.pipeline_inflight();
+    assert_eq!(
+        (entries_two, bytes_two),
+        (entries_one, bytes_one),
+        "double resolution must not release the window claim twice"
+    );
+
+    // The first batch's replies come back durable; the second drains
+    // normally once commits resume.
+    let r1 = primary.wait_finish(sb1);
+    assert_eq!(r1, vec![Frame::ok()]);
+    shard.ctx().log.set_commits_suspended(false);
+    let r2 = primary.wait_finish(sb2);
+    assert_eq!(r2, vec![Frame::ok()]);
+}

@@ -70,6 +70,9 @@ pub enum StageId {
     Apply,
     /// Node: ticket enqueue → committer append (commit-pipeline queueing).
     CommitQueueWait,
+    /// Node: adaptive flush-window width per flush — oldest staged ticket's
+    /// enqueue → append handoff (idle fast path ≈ 0, widens under load).
+    FlushWindow,
     /// Node: committer append → commit watermark passing the ticket.
     Durability,
     /// Node: entries per committer flush (a count histogram, not µs —
@@ -89,7 +92,7 @@ pub enum StageId {
 
 impl StageId {
     /// Every stage, in display order.
-    pub const ALL: [StageId; 15] = [
+    pub const ALL: [StageId; 16] = [
         StageId::IoRead,
         StageId::IoWrite,
         StageId::Parse,
@@ -98,6 +101,7 @@ impl StageId {
         StageId::StripeLockHold,
         StageId::Apply,
         StageId::CommitQueueWait,
+        StageId::FlushWindow,
         StageId::Durability,
         StageId::CommitFlushEntries,
         StageId::E2e,
@@ -118,6 +122,7 @@ impl StageId {
             StageId::StripeLockHold => "stripe_lock_hold",
             StageId::Apply => "apply",
             StageId::CommitQueueWait => "commit_queue_wait",
+            StageId::FlushWindow => "flush_window",
             StageId::Durability => "durability",
             StageId::CommitFlushEntries => "commit_flush_entries",
             StageId::E2e => "e2e",
@@ -230,13 +235,16 @@ pub enum GaugeId {
     LogPendingEntries,
     /// Txlog: AZs currently marked up.
     AzUpCount,
+    /// Txlog: appended batches whose quorum ack is still outstanding
+    /// (the pipelined-quorum in-flight depth).
+    QuorumInflight,
     /// Server: currently connected clients.
     ConnectedClients,
 }
 
 impl GaugeId {
     /// Every gauge, in display order.
-    pub const ALL: [GaugeId; 8] = [
+    pub const ALL: [GaugeId; 9] = [
         GaugeId::LeaseEpoch,
         GaugeId::SnapshotCoveredEntry,
         GaugeId::ReplicaStalenessEntries,
@@ -244,6 +252,7 @@ impl GaugeId {
         GaugeId::LogFirstAvailable,
         GaugeId::LogPendingEntries,
         GaugeId::AzUpCount,
+        GaugeId::QuorumInflight,
         GaugeId::ConnectedClients,
     ];
 
@@ -257,6 +266,7 @@ impl GaugeId {
             GaugeId::LogFirstAvailable => "log_first_available",
             GaugeId::LogPendingEntries => "log_pending_entries",
             GaugeId::AzUpCount => "az_up_count",
+            GaugeId::QuorumInflight => "quorum_inflight",
             GaugeId::ConnectedClients => "connected_clients",
         }
     }

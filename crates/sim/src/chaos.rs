@@ -68,19 +68,28 @@ pub enum ScheduleKind {
     /// demote — every parked reply must drain as an error (nothing hangs)
     /// and no acknowledged write may be lost.
     CommitterStall,
+    /// Demotion with a full quorum pipeline in flight: the watermark is
+    /// frozen so the appender streams batches up to `quorum_pipeline_depth`
+    /// without a single ack landing, then the primary is partitioned. The
+    /// fenced primary holds pipelined batches whose acks arrive only after
+    /// it lost its lease — the watermark-advance fence must refuse to
+    /// confirm them (no commit from a fenced primary), yet nothing it DID
+    /// acknowledge may be lost by the successor.
+    PipelinedDemote,
     /// A seeded-random mix drawn from all of the above faults.
     SeededRandom,
 }
 
 impl ScheduleKind {
     /// Every schedule, in the order the sweep runs them.
-    pub const ALL: [ScheduleKind; 7] = [
+    pub const ALL: [ScheduleKind; 8] = [
         ScheduleKind::AzOutage,
         ScheduleKind::PrimaryPartition,
         ScheduleKind::PrimaryCrashRestore,
         ScheduleKind::SnapshotTrimRace,
         ScheduleKind::VoluntaryHandover,
         ScheduleKind::CommitterStall,
+        ScheduleKind::PipelinedDemote,
         ScheduleKind::SeededRandom,
     ];
 
@@ -93,6 +102,7 @@ impl ScheduleKind {
             ScheduleKind::VoluntaryHandover => 5,
             ScheduleKind::SeededRandom => 6,
             ScheduleKind::CommitterStall => 7,
+            ScheduleKind::PipelinedDemote => 8,
         }
     }
 }
@@ -106,6 +116,7 @@ impl std::fmt::Display for ScheduleKind {
             ScheduleKind::SnapshotTrimRace => "snapshot-trim-race",
             ScheduleKind::VoluntaryHandover => "voluntary-handover",
             ScheduleKind::CommitterStall => "committer-stall",
+            ScheduleKind::PipelinedDemote => "pipelined-demote",
             ScheduleKind::SeededRandom => "seeded-random",
         };
         f.write_str(s)
@@ -338,6 +349,32 @@ impl ChaosPlan {
                 FaultStep {
                     at_op: at(55),
                     action: FaultAction::ResumeCommits,
+                },
+            ],
+            // Freeze the watermark FIRST so writes pipeline up to the
+            // quorum depth with every ack outstanding, THEN fence the
+            // primary. When commits resume (25% of the stream + a dwell
+            // later — past the 400 ms commit timeout and the chaos lease),
+            // the stale primary's in-flight batches reach quorum in the
+            // log, but its watermark-advance fence must refuse to confirm
+            // them to clients; the successor replays them from the log, so
+            // nothing that WAS acknowledged disappears.
+            ScheduleKind::PipelinedDemote => vec![
+                FaultStep {
+                    at_op: at(25),
+                    action: FaultAction::SuspendCommits,
+                },
+                FaultStep {
+                    at_op: at(40),
+                    action: FaultAction::PartitionPrimary,
+                },
+                FaultStep {
+                    at_op: at(65),
+                    action: FaultAction::ResumeCommits,
+                },
+                FaultStep {
+                    at_op: at(80),
+                    action: FaultAction::HealPartitions,
                 },
             ],
             ScheduleKind::SeededRandom => {
@@ -938,7 +975,8 @@ fn claimed_epochs(shard: &Shard) -> Vec<u64> {
                     break;
                 }
                 for entry in &batch {
-                    if let Some(Record::LeaderClaim { epoch, .. }) = Record::decode(&entry.payload)
+                    if let Ok(Record::LeaderClaim { epoch, .. }) =
+                        Record::decode_any(&entry.payload)
                     {
                         epochs.push(epoch);
                     }

@@ -89,6 +89,11 @@ pub struct LogConfig {
     pub latency: CommitLatency,
     /// RNG seed for latency jitter.
     pub seed: u64,
+    /// Pipelined quorum (BtrLog-style): max appended batches whose quorum
+    /// ack is still outstanding before `append_batch_after` blocks the
+    /// appender. Replicas ack out of order; the committer advances the
+    /// commit watermark strictly in order. `1` restores stop-and-wait.
+    pub quorum_pipeline_depth: usize,
 }
 
 impl Default for LogConfig {
@@ -98,6 +103,7 @@ impl Default for LogConfig {
             quorum: 2,
             latency: CommitLatency::ZERO,
             seed: 7,
+            quorum_pipeline_depth: 4,
         }
     }
 }
@@ -193,12 +199,38 @@ pub(crate) fn fnv1a_chain(prev: u64, payload: &[u8]) -> u64 {
 
 struct Pending {
     payload: Bytes,
-    /// When a quorum will have stored this entry; `None` while a quorum is
-    /// unreachable (too many AZs down).
-    ready_at: Option<Instant>,
+    /// Per-AZ replica ack deadline, sampled when the batch is sent. `None`
+    /// while that AZ is down or the send is stalled: the AZ acks with
+    /// fresh latency after healing. Acks land out of order across batches;
+    /// `promote_ready` still advances the commit watermark strictly in
+    /// sequence order (pipelined quorum).
+    acks: Vec<Option<Instant>>,
     /// Registry time (µs) when the append was accepted — the start of the
     /// `quorum_ack` stage recorded at commit.
     accepted_us: u64,
+}
+
+/// When a quorum of AZs will have acked (`quorum`-th smallest ack
+/// deadline); `None` while fewer than `quorum` AZs have a scheduled ack.
+fn quorum_deadline(acks: &[Option<Instant>], quorum: usize) -> Option<Instant> {
+    let mut acked: Vec<Instant> = acks.iter().flatten().copied().collect();
+    if acked.len() < quorum || quorum == 0 {
+        return None;
+    }
+    acked.sort_unstable();
+    acked.get(quorum - 1).copied()
+}
+
+impl Pending {
+    /// See [`quorum_deadline`].
+    fn ready_at(&self, quorum: usize) -> Option<Instant> {
+        quorum_deadline(&self.acks, quorum)
+    }
+
+    /// How many AZ acks have already landed by `now`.
+    fn acks_landed(&self, now: Instant) -> usize {
+        self.acks.iter().flatten().filter(|t| **t <= now).count()
+    }
 }
 
 struct Inner {
@@ -208,10 +240,12 @@ struct Inner {
     trim_base: u64,
     /// Accepted-but-not-committed appends keyed by sequence.
     pending: BTreeMap<u64, Pending>,
+    /// Last sequence of each appended batch whose quorum ack is still
+    /// outstanding — the pipelined-quorum in-flight window. A batch
+    /// retires when the commit watermark passes its tail.
+    batch_tails: std::collections::BTreeSet<u64>,
     /// Highest assigned sequence (committed or pending).
     assigned_tail: u64,
-    /// Chained checksum at the assigned tail.
-    assigned_chain: u64,
     /// Chained checksum at the committed tail. Kept separately from the
     /// entries so trimming the whole log cannot reset the chain (§7.2.1
     /// verification depends on the chain being a pure function of the
@@ -236,10 +270,6 @@ impl Inner {
         self.trim_base + self.committed.len() as u64
     }
 
-    fn quorum_reachable(&self, quorum: usize) -> bool {
-        self.az_up.iter().filter(|up| **up).count() >= quorum
-    }
-
     fn sample_quorum_latency(&mut self, cfg: &LogConfig) -> Duration {
         let jitter_us = cfg.latency.jitter.as_micros() as u64;
         let extra = if jitter_us == 0 {
@@ -248,6 +278,23 @@ impl Inner {
             Duration::from_micros(self.rng.gen_range(0..=jitter_us))
         };
         cfg.latency.base + extra
+    }
+
+    /// Samples one replica-ack deadline per AZ for a freshly sent batch:
+    /// up AZs ack after independent latency draws, down AZs don't ack until
+    /// they heal. One send per batch — every entry in the batch shares the
+    /// same per-AZ ack schedule.
+    fn sample_batch_acks(&mut self, cfg: &LogConfig, now: Instant) -> Vec<Option<Instant>> {
+        (0..cfg.num_azs)
+            .map(|az| {
+                if self.az_up.get(az).copied().unwrap_or(false) {
+                    let lat = self.sample_quorum_latency(cfg);
+                    Some(now + lat)
+                } else {
+                    None
+                }
+            })
+            .collect()
     }
 }
 
@@ -292,8 +339,8 @@ impl LogService {
                 committed: Vec::new(),
                 trim_base: 0,
                 pending: BTreeMap::new(),
+                batch_tails: Default::default(),
                 assigned_tail: 0,
-                assigned_chain: 0,
                 committed_chain: 0,
                 az_up: vec![true; cfg.num_azs],
                 partitioned: Default::default(),
@@ -340,7 +387,10 @@ impl LogService {
             let Some(p) = inner.pending.get(&next_seq) else {
                 break;
             };
-            match p.ready_at {
+            // A later batch's acks may all have landed already (out-of-order
+            // acks); the watermark still only advances once THIS entry has a
+            // quorum — pipelined sends, in-order commit.
+            match p.ready_at(self.cfg.quorum) {
                 Some(t) if t <= now => {
                     let Some(p) = inner.pending.remove(&next_seq) else {
                         break;
@@ -359,6 +409,9 @@ impl LogService {
                         payload: p.payload,
                     };
                     inner.committed.push(entry);
+                    // Retire the batch once the watermark passes its tail,
+                    // opening a pipeline slot for a blocked appender.
+                    inner.batch_tails.remove(&next_seq);
                     advanced = true;
                 }
                 _ => break,
@@ -369,6 +422,8 @@ impl LogService {
                 .set_gauge(GaugeId::LogCommittedTail, inner.committed_tail() as i64);
             self.metrics
                 .set_gauge(GaugeId::LogPendingEntries, inner.pending.len() as i64);
+            self.metrics
+                .set_gauge(GaugeId::QuorumInflight, inner.batch_tails.len() as i64);
             self.commit_cv.notify_all();
         }
     }
@@ -383,7 +438,10 @@ impl LogService {
         let deadline = if inner.commits_suspended {
             None
         } else {
-            inner.pending.get(&next_seq).and_then(|p| p.ready_at)
+            inner
+                .pending
+                .get(&next_seq)
+                .and_then(|p| p.ready_at(self.cfg.quorum))
         };
         match deadline {
             Some(t) => {
@@ -428,11 +486,16 @@ impl LogService {
     ///
     /// Each entry keeps its own id and chained checksum exactly as if the
     /// payloads had been appended one at a time, but the *whole batch shares
-    /// one quorum round trip*: a single latency sample covers every entry, so
-    /// the last entry of the batch becomes durable at the same instant as the
-    /// first. One [`LogService::wait_durable`] on the final id therefore
-    /// releases a whole pipeline of client replies (paper §3.2; BtrLog-style
-    /// group commit).
+    /// one quorum round trip*: every entry shares the batch's per-AZ ack
+    /// schedule, so the last entry of the batch becomes durable at the same
+    /// instant as the first. One [`LogService::wait_durable`] on the final id
+    /// therefore releases a whole pipeline of client replies (paper §3.2;
+    /// BtrLog-style group commit).
+    ///
+    /// Appends are **pipelined**: the call does not wait for earlier batches
+    /// to be acked, up to `quorum_pipeline_depth` outstanding batches. AZ
+    /// acks land out of order across batches; the commit watermark still
+    /// advances strictly in sequence order.
     ///
     /// An empty batch is a no-op that still checks the precondition and
     /// returns an empty id list.
@@ -443,53 +506,68 @@ impl LogService {
         payloads: &[Bytes],
     ) -> Result<Vec<EntryId>, AppendError> {
         let accept_start_us = self.metrics.now_us();
+        let depth = self.cfg.quorum_pipeline_depth.max(1);
         let mut inner = self.inner.lock();
-        if inner.partitioned.contains(&client) {
-            self.metrics.incr(CounterId::PartitionRejections);
-            return Err(AppendError::Partitioned);
-        }
-        if inner.assigned_tail != expected_tail.0 {
-            self.metrics.incr(CounterId::AppendConflicts);
-            return Err(AppendError::Conflict {
-                expected: expected_tail,
-                actual: EntryId(inner.assigned_tail),
-            });
+        loop {
+            if inner.partitioned.contains(&client) {
+                self.metrics.incr(CounterId::PartitionRejections);
+                return Err(AppendError::Partitioned);
+            }
+            if inner.assigned_tail != expected_tail.0 {
+                self.metrics.incr(CounterId::AppendConflicts);
+                return Err(AppendError::Conflict {
+                    expected: expected_tail,
+                    actual: EntryId(inner.assigned_tail),
+                });
+            }
+            // Pipelined quorum: keep streaming batches without waiting for
+            // earlier acks, up to `quorum_pipeline_depth` outstanding. At
+            // the cap, block until the watermark retires a batch — and
+            // re-check fencing/partition on every wakeup, since both can
+            // change while parked.
+            if payloads.is_empty() || inner.batch_tails.len() < depth {
+                break;
+            }
+            self.commit_cv
+                .wait_for(&mut inner, Duration::from_millis(50));
         }
         self.append_calls.fetch_add(1, Ordering::Relaxed);
         if payloads.is_empty() {
             return Ok(Vec::new());
         }
-        // One quorum round trip for the whole batch (group commit).
-        let ready_at = if inner.quorum_reachable(self.cfg.quorum) {
-            let lat = inner.sample_quorum_latency(&self.cfg);
-            Some(Instant::now() + lat)
-        } else {
-            None
-        };
+        // One send per batch: each AZ replica acks after its own latency
+        // draw (out-of-order across batches); the quorum deadline is the
+        // quorum-th earliest ack.
+        let acks = inner.sample_batch_acks(&self.cfg, Instant::now());
         let accepted_us = self.metrics.now_us();
         let mut ids = Vec::with_capacity(payloads.len());
         for payload in payloads {
             let seq = inner.assigned_tail + 1;
             inner.assigned_tail = seq;
-            inner.assigned_chain = fnv1a_chain(inner.assigned_chain, payload);
             inner.pending.insert(
                 seq,
                 Pending {
                     payload: payload.clone(),
-                    ready_at,
+                    acks: acks.clone(),
                     accepted_us,
                 },
             );
             ids.push(EntryId(seq));
         }
+        if let Some(last) = ids.last() {
+            inner.batch_tails.insert(last.0);
+        }
         self.metrics
             .set_gauge(GaugeId::LogPendingEntries, inner.pending.len() as i64);
+        self.metrics
+            .set_gauge(GaugeId::QuorumInflight, inner.batch_tails.len() as i64);
         // Already-elapsed quorum deadlines (zero-latency configs) commit
         // inline: promoting them here spares a scheduler round trip through
         // the committer thread per group-commit flush, which dominates on
         // small hosts. Future deadlines still go through the committer.
-        if ready_at.is_some_and(|t| t <= Instant::now()) {
-            self.promote_ready(&mut inner, Instant::now());
+        let now = Instant::now();
+        if quorum_deadline(&acks, self.cfg.quorum).is_some_and(|t| t <= now) {
+            self.promote_ready(&mut inner, now);
         }
         let committer_has_work = !inner.pending.is_empty();
         drop(inner);
@@ -547,6 +625,26 @@ impl LogService {
             }
             self.commit_cv.wait_for(&mut inner, deadline - now);
         }
+    }
+
+    /// Number of AZ replicas that have acknowledged `id` so far — the
+    /// observable behind `WAIT`'s "replicas achieved" reply when the wait
+    /// times out before commit. Committed entries count every up AZ (never
+    /// below the quorum that committed them); pending entries count the
+    /// acks that have landed; unassigned ids count zero.
+    pub fn acked_count(&self, id: EntryId) -> usize {
+        let inner = self.inner.lock();
+        if id.0 > inner.assigned_tail {
+            return 0;
+        }
+        if id.0 <= inner.committed_tail() {
+            let up = inner.az_up.iter().filter(|&&u| u).count();
+            return up.max(self.cfg.quorum);
+        }
+        inner
+            .pending
+            .get(&id.0)
+            .map_or(0, |p| p.acks_landed(Instant::now()))
     }
 
     /// Blocks until the committed tail reaches at least `target` (or
@@ -737,25 +835,39 @@ impl LogService {
         *slot = up;
         let up_count = inner.az_up.iter().filter(|&&u| u).count();
         self.metrics.set_gauge(GaugeId::AzUpCount, up_count as i64);
-        if inner.quorum_reachable(self.cfg.quorum) {
-            // Re-schedule stalled appends.
-            let now = Instant::now();
-            let mut deadlines = Vec::new();
-            for (&seq, p) in inner.pending.iter() {
-                if p.ready_at.is_none() {
-                    deadlines.push(seq);
-                }
-            }
-            for seq in deadlines {
-                let lat = inner.sample_quorum_latency(&self.cfg);
-                if let Some(p) = inner.pending.get_mut(&seq) {
-                    p.ready_at = Some(now + lat);
-                }
-            }
+        if up {
+            // The healed AZ (re)acks every in-flight entry with fresh
+            // latency; entries stalled below a quorum become committable.
+            self.reschedule_missing_acks(inner);
         } else {
-            // Stall everything not yet committed.
+            // A downed AZ's outstanding acks are lost.
             for p in inner.pending.values_mut() {
-                p.ready_at = None;
+                if let Some(ack) = p.acks.get_mut(az) {
+                    *ack = None;
+                }
+            }
+        }
+    }
+
+    /// Assigns fresh ack deadlines for every (pending entry, up AZ) pair
+    /// whose ack is missing — the heal/restart path for both AZ recovery
+    /// and commit-pipeline restart. Caller holds `inner`.
+    fn reschedule_missing_acks(&self, inner: &mut Inner) {
+        let now = Instant::now();
+        let mut fills: Vec<(u64, usize)> = Vec::new();
+        for (&seq, p) in inner.pending.iter() {
+            for (az, ack) in p.acks.iter().enumerate() {
+                if ack.is_none() && inner.az_up.get(az).copied().unwrap_or(false) {
+                    fills.push((seq, az));
+                }
+            }
+        }
+        for (seq, az) in fills {
+            let lat = inner.sample_quorum_latency(&self.cfg);
+            if let Some(p) = inner.pending.get_mut(&seq) {
+                if let Some(ack) = p.acks.get_mut(az) {
+                    *ack = Some(now + lat);
+                }
             }
         }
     }
@@ -797,21 +909,9 @@ impl LogService {
         let mut inner = self.inner.lock();
         inner.commits_suspended = suspended;
         if !suspended {
-            let now = Instant::now();
-            let stalled: Vec<u64> = inner
-                .pending
-                .iter()
-                .filter(|(_, p)| p.ready_at.is_none())
-                .map(|(&seq, _)| seq)
-                .collect();
-            if inner.quorum_reachable(self.cfg.quorum) {
-                for seq in stalled {
-                    let lat = inner.sample_quorum_latency(&self.cfg);
-                    if let Some(p) = inner.pending.get_mut(&seq) {
-                        p.ready_at = Some(now + lat);
-                    }
-                }
-            }
+            // Restart: anything whose acks were lost while frozen gets a
+            // fresh schedule from every up AZ.
+            self.reschedule_missing_acks(&mut inner);
         }
         drop(inner);
         self.work_cv.notify_all();

@@ -835,3 +835,100 @@ fn wait_committed_at_least_times_out_with_current_tail() {
     log.clear_faults();
     assert!(log.wait_durable(id, T));
 }
+
+#[test]
+fn pipelined_appends_block_at_depth_cap() {
+    // Depth 2: two batches stream without waiting for acks; the third
+    // append parks until the watermark retires the first batch.
+    let log = LogService::new(LogConfig {
+        latency: CommitLatency {
+            base: Duration::from_millis(40),
+            jitter: Duration::ZERO,
+        },
+        quorum_pipeline_depth: 2,
+        ..LogConfig::default()
+    });
+    let t0 = std::time::Instant::now();
+    let id1 = log.append_after(1, EntryId::ZERO, b("b1")).unwrap();
+    let id2 = log.append_after(1, id1, b("b2")).unwrap();
+    let streamed = t0.elapsed();
+    assert!(
+        streamed < Duration::from_millis(35),
+        "first two batches must not wait for acks, took {streamed:?}"
+    );
+    let id3 = log.append_after(1, id2, b("b3")).unwrap();
+    assert!(
+        t0.elapsed() >= Duration::from_millis(35),
+        "third batch must park until a pipeline slot opens"
+    );
+    assert!(log.wait_durable(id3, T));
+    let entries = log.read_committed_from(2, EntryId::ZERO, 10).unwrap();
+    assert_eq!(entries.len(), 3);
+}
+
+#[test]
+fn acked_count_reports_partial_acks_before_commit() {
+    let log = svc();
+    // Freeze the commit watermark; with instant latency every up AZ's ack
+    // lands immediately, but nothing commits.
+    log.set_commits_suspended(true);
+    let id = log.append_after(1, EntryId::ZERO, b("parked")).unwrap();
+    assert!(!log.is_durable(id));
+    assert_eq!(log.acked_count(id), 3);
+    // A downed AZ loses its outstanding ack.
+    log.set_az_up(2, false);
+    assert_eq!(log.acked_count(id), 2);
+    // Unassigned ids have no acks.
+    assert_eq!(log.acked_count(EntryId(99)), 0);
+    log.set_commits_suspended(false);
+    assert!(log.wait_durable(id, T));
+    // Committed: counts every up AZ, never below quorum.
+    assert_eq!(log.acked_count(id), 2);
+    log.set_az_up(2, true);
+    assert_eq!(log.acked_count(id), 3);
+}
+
+#[test]
+fn parked_appender_observes_partition() {
+    // An appender parked at the pipeline depth cap must notice it got
+    // partitioned while waiting, not sail through after the heal.
+    let log = LogService::new(LogConfig {
+        quorum_pipeline_depth: 1,
+        ..LogConfig::default()
+    });
+    log.set_commits_suspended(true);
+    let id1 = log.append_after(1, EntryId::ZERO, b("inflight")).unwrap();
+    let log2 = log.clone();
+    let parked = std::thread::spawn(move || log2.append_after(5, id1, b("parked")));
+    std::thread::sleep(Duration::from_millis(30));
+    log.set_client_partitioned(5, true);
+    assert_eq!(parked.join().unwrap(), Err(AppendError::Partitioned));
+    log.clear_faults();
+    assert!(log.wait_durable(id1, T));
+}
+
+#[test]
+fn watermark_holds_while_earlier_batch_lacks_quorum() {
+    // Two pipelined batches are in flight during an outage that leaves
+    // each with a single AZ ack — below quorum, so the watermark must not
+    // move even though acks have landed. The heal re-acks both and the
+    // watermark advances strictly in sequence order.
+    let log = LogService::new(LogConfig {
+        quorum_pipeline_depth: 4,
+        ..LogConfig::default()
+    });
+    log.set_az_up(0, false);
+    log.set_az_up(1, false);
+    let id1 = log.append_after(1, EntryId::ZERO, b("first")).unwrap();
+    let id2 = log.append_after(1, id1, b("second")).unwrap();
+    assert_eq!(log.acked_count(id1), 1);
+    assert_eq!(log.acked_count(id2), 1);
+    assert!(!log.is_durable(id1));
+    assert_eq!(log.committed_tail(), EntryId::ZERO);
+    log.set_az_up(0, true);
+    assert!(log.wait_durable(id2, T));
+    let entries = log.read_committed_from(2, EntryId::ZERO, 10).unwrap();
+    assert_eq!(entries[0].id, EntryId(1));
+    assert_eq!(entries[1].id, EntryId(2));
+    assert_eq!(entries[0].payload, b("first"));
+}

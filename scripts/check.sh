@@ -18,7 +18,12 @@
 #             baseline by >=1.5x ops/s (skipped on hosts with <4 cores,
 #             where stripes only time-share one CPU); the binary exits
 #             nonzero otherwise. Opt in with --metrics-smoke (it costs a
-#             few seconds of closed-loop TCP load).
+#             few seconds of closed-loop TCP load). Also runs
+#             log_latency --smoke (§13 adaptive group commit): at K=1 the
+#             idle fast path must append exactly once per command and —
+#             on hosts with >=4 cores — beat the committer-handoff
+#             baseline on mean commit latency; the smoke rows land in
+#             BENCH_log_latency.json.
 #
 # Usage: scripts/check.sh [--metrics-smoke] [--offline]
 # Extra cargo flags (e.g. --offline in the hermetic container) are passed
@@ -46,6 +51,7 @@ run cargo run -q -p memorydb-analysis "${CARGO_FLAGS[@]}"
 run cargo test -q --workspace "${CARGO_FLAGS[@]}"
 if [[ "$METRICS_SMOKE" == "1" ]]; then
   run cargo run -q --release -p memorydb-bench "${CARGO_FLAGS[@]}" --bin tcp_throughput -- --smoke
+  run cargo run -q --release -p memorydb-bench "${CARGO_FLAGS[@]}" --bin log_latency -- --smoke
 fi
 
 echo "==> all checks passed"
