@@ -1,0 +1,47 @@
+// Fixture: atomics-ordering lint (total Ordering::Relaxed census).
+// Positive cases: Relaxed on a handoff flag load/store and on a
+// compare_exchange failure ordering — anything that gates cross-thread
+// handoff.
+// Negative cases: counter RMW (fetch_add family), non-Relaxed orderings,
+// Relaxed inside test code, and "Relaxed" appearing in a string literal.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub fn positive_handoff_load(ready: &AtomicBool) -> bool {
+    ready.load(Ordering::Relaxed)
+}
+
+pub fn positive_handoff_store(ready: &AtomicBool) {
+    ready.store(true, Ordering::Relaxed);
+}
+
+pub fn positive_cas_failure_ordering(released: &AtomicBool) -> bool {
+    released
+        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+        .is_ok()
+}
+
+pub fn negative_counter_rmw(hits: &AtomicU64) -> u64 {
+    hits.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn negative_acquire_release(ready: &AtomicBool) -> bool {
+    ready.store(true, Ordering::Release);
+    ready.load(Ordering::Acquire)
+}
+
+pub fn negative_string_literal() -> &'static str {
+    "Ordering::Relaxed in prose is not a site"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negative_tests_may_use_relaxed() {
+        let b = AtomicBool::new(false);
+        b.store(true, Ordering::Relaxed);
+        assert!(b.load(Ordering::Relaxed));
+    }
+}

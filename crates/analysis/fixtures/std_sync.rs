@@ -15,7 +15,9 @@ pub fn negative_arc(v: u8) -> Arc<u8> {
 }
 
 pub fn negative_atomic(a: &AtomicU64) -> u64 {
-    a.load(Ordering::Relaxed)
+    // fetch_add keeps this negative for atomics-ordering too (counter RMW);
+    // scrutinized Relaxed cases live in atomics_relaxed.rs.
+    a.fetch_add(1, Ordering::Relaxed)
 }
 
 pub fn negative_parking_lot(m: &parking_lot::Mutex<u8>) -> u8 {

@@ -26,6 +26,25 @@ pub struct AllowEntry {
     pub decl_line: u32,
 }
 
+impl AllowEntry {
+    /// The entry's key fields verbatim, as they appear in analysis.toml —
+    /// stale-entry errors print this so the offending `[[allow]]` block can
+    /// be located by exact text search, not just by line number.
+    pub fn describe(&self) -> String {
+        let mut s = format!(
+            "analysis.toml:{}: lint = \"{}\", path = \"{}\"",
+            self.decl_line, self.lint, self.path
+        );
+        if let Some(c) = &self.contains {
+            s.push_str(&format!(", contains = \"{c}\""));
+        }
+        if let Some(n) = self.count {
+            s.push_str(&format!(", count = {n}"));
+        }
+        s
+    }
+}
+
 /// Parses the baseline. Returns either the entries or a list of errors
 /// (every error carries its analysis.toml line number).
 pub fn parse_baseline(src: &str) -> Result<Vec<AllowEntry>, Vec<String>> {
@@ -207,5 +226,28 @@ reason = "log order = execution order"
     #[test]
     fn empty_file_is_ok() {
         assert_eq!(parse_baseline("# nothing\n").expect("ok"), vec![]);
+    }
+
+    #[test]
+    fn describe_reports_key_fields_verbatim() {
+        let src = "[[allow]]\nlint = \"atomics-ordering\"\npath = \"crates/txlog/src/service.rs\"\ncontains = \"append_calls.load\"\ncount = 1\nreason = \"monotone counter\"\n";
+        let entries = parse_baseline(src).expect("parses");
+        let d = entries[0].describe();
+        assert_eq!(
+            d,
+            "analysis.toml:1: lint = \"atomics-ordering\", \
+             path = \"crates/txlog/src/service.rs\", \
+             contains = \"append_calls.load\", count = 1"
+        );
+    }
+
+    #[test]
+    fn describe_omits_absent_optionals() {
+        let src = "[[allow]]\nlint = \"x\"\npath = \"y\"\nreason = \"needed here\"\n";
+        let entries = parse_baseline(src).expect("parses");
+        assert_eq!(
+            entries[0].describe(),
+            "analysis.toml:1: lint = \"x\", path = \"y\""
+        );
     }
 }

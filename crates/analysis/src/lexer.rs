@@ -421,6 +421,65 @@ mod tests {
     }
 
     #[test]
+    fn raw_strings_containing_lock_calls_yield_no_idents() {
+        // A raw string whose *content* looks like lock acquisition must be
+        // opaque to every token consumer (the guard parser and the lock
+        // graph both key off `lock`/`try_lock` idents).
+        let src = r####"
+            let msg = r#"call m.lock() then q.try_lock() here"#;
+            let hashy = r##"even r#"nested"# m.lock() text"##;
+            real.try_lock();
+        "####;
+        let toks = scan(src);
+        let locks: Vec<u32> = toks
+            .iter()
+            .filter(|t| matches!(t.ident(), Some("lock" | "try_lock")))
+            .map(|t| t.line)
+            .collect();
+        assert_eq!(locks, vec![4], "only the real call may survive: {locks:?}");
+    }
+
+    #[test]
+    fn turbofish_with_nested_generics_keeps_surrounding_calls() {
+        // `::<Vec<Arc<Mutex<T>>>>` must not unbalance anything: the method
+        // idents on both sides of the turbofish stay visible with correct
+        // lines.
+        let src = "let g = m.lock();\nlet v = it.collect::<Vec<Arc<Mutex<u8>>>>();\nq.try_lock();";
+        let toks = scan(src);
+        let find = |name: &str| {
+            toks.iter()
+                .find(|t| t.ident() == Some(name))
+                .map(|t| t.line)
+        };
+        assert_eq!(find("lock"), Some(1));
+        assert_eq!(find("collect"), Some(2));
+        assert_eq!(find("try_lock"), Some(3));
+    }
+
+    #[test]
+    fn if_let_try_lock_tokens_survive_with_lines() {
+        let src = "if let Some(g) = m.try_lock() {\n    g.push(1);\n}";
+        let toks = scan(src);
+        let tl = toks.iter().find(|t| t.ident() == Some("try_lock")).unwrap();
+        assert_eq!(tl.line, 1);
+        assert!(!tl.in_test);
+        // The binding ident and the Some wrapper are both present for the
+        // guard parser to consume.
+        assert!(toks.iter().any(|t| t.ident() == Some("Some")));
+        assert!(toks.iter().filter(|t| t.ident() == Some("g")).count() >= 2);
+    }
+
+    #[test]
+    fn multi_line_method_chains_report_per_line_positions() {
+        let src = "let g = self\n    .inner\n    .lock();\nuse_it(g);";
+        let toks = scan(src);
+        let lock = toks.iter().find(|t| t.ident() == Some("lock")).unwrap();
+        assert_eq!(lock.line, 3, "chain segments keep their own lines");
+        let inner = toks.iter().find(|t| t.ident() == Some("inner")).unwrap();
+        assert_eq!(inner.line, 2);
+    }
+
+    #[test]
     fn test_attribute_marks_single_fn() {
         let src = r#"
             #[test]

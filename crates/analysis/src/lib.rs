@@ -25,6 +25,16 @@
 //!    take one `lock_all()` in canonical ascending order (DESIGN.md §12).
 //!    The stripe guards also feed lint 2: none may be held across a
 //!    blocking durability or storage wait.
+//! 7. **atomics-ordering** — every `Ordering::Relaxed` site is classified:
+//!    metrics/bench scopes and pure counter RMW (`fetch_add` family) are
+//!    allowed; `Relaxed` on anything else gates a cross-thread handoff
+//!    (released flags, watermark reads, in-flight window observations) and
+//!    is a finding unless baselined with a written justification. There is
+//!    no silent third bucket: the census in [`WorkspaceAnalysis::atomics`]
+//!    is total over sites.
+//! 8. **lock-order** — the whole-workspace acquisition graph built by
+//!    [`lockgraph`] must be acyclic; each cycle is one potential-deadlock
+//!    finding naming the full lock path.
 //!
 //! Exceptions live in the checked-in `analysis.toml` baseline; every entry
 //! carries a justification, matches at least one finding (else it is
@@ -39,8 +49,11 @@
 pub mod baseline;
 pub mod lexer;
 mod lints;
+pub mod lockgraph;
 
 pub use baseline::{parse_baseline, AllowEntry};
+pub use lints::{AtomicClass, AtomicSite};
+pub use lockgraph::LockGraph;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -50,7 +63,7 @@ use std::path::{Path, PathBuf};
 pub struct Finding {
     /// Lint family name ("panic-freedom", "lock-discipline",
     /// "sim-determinism", "sync-primitives", "durability-wait",
-    /// "stripe-order").
+    /// "stripe-order", "atomics-ordering", "lock-order").
     pub lint: &'static str,
     /// Workspace-relative path with forward slashes.
     pub file: String,
@@ -108,6 +121,49 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
         findings.extend(analyze_source(rel, &src));
     }
     Ok(findings)
+}
+
+/// Whole-workspace analysis: per-file findings plus the cross-file results
+/// (lock-order graph, total `Ordering::Relaxed` census).
+pub struct WorkspaceAnalysis {
+    /// Per-file lint findings plus one "lock-order" finding per graph cycle.
+    pub findings: Vec<Finding>,
+    /// The acquisition-order graph (render with `to_dot`/`to_toml`).
+    pub graph: LockGraph,
+    /// Every non-test `Ordering::Relaxed` site as `(file, site)`, including
+    /// the allowed classes — the census is total, nothing passes silently.
+    pub atomics: Vec<(String, AtomicSite)>,
+}
+
+/// Walks the workspace once and runs everything: per-file lints, the
+/// lock-order graph (cycles become findings), and the atomics census.
+pub fn analyze_workspace_full(root: &Path) -> std::io::Result<WorkspaceAnalysis> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut sources = Vec::with_capacity(files.len());
+    for rel in files {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        sources.push((rel, src));
+    }
+    let mut findings = Vec::new();
+    let mut atomics = Vec::new();
+    for (rel, src) in &sources {
+        findings.extend(analyze_source(rel, src));
+        let toks = lexer::scan(src);
+        atomics.extend(
+            lints::classify_relaxed_sites(rel, &toks)
+                .into_iter()
+                .map(|s| (rel.clone(), s)),
+        );
+    }
+    let graph = LockGraph::build(&sources);
+    findings.extend(graph.cycle_findings());
+    Ok(WorkspaceAnalysis {
+        findings,
+        graph,
+        atomics,
+    })
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
@@ -190,10 +246,16 @@ pub fn workspace_root() -> PathBuf {
         .unwrap_or(manifest)
 }
 
-/// Convenience: run the full gate (workspace lints + baseline) from `root`.
-/// Returns the outcome, or error strings when the baseline itself is broken
-/// or the tree is unreadable.
+/// Convenience: run the full gate (workspace lints + lock-order graph +
+/// baseline) from `root`. Returns the outcome, or error strings when the
+/// baseline itself is broken or the tree is unreadable.
 pub fn run_gate(root: &Path) -> Result<Outcome, Vec<String>> {
+    run_gate_full(root).map(|(outcome, _)| outcome)
+}
+
+/// [`run_gate`] plus the cross-file artifacts (graph, atomics census) for
+/// callers that render or assert on them.
+pub fn run_gate_full(root: &Path) -> Result<(Outcome, WorkspaceAnalysis), Vec<String>> {
     let baseline_path = root.join("analysis.toml");
     let entries = if baseline_path.exists() {
         let src = std::fs::read_to_string(&baseline_path)
@@ -202,9 +264,10 @@ pub fn run_gate(root: &Path) -> Result<Outcome, Vec<String>> {
     } else {
         Vec::new()
     };
-    let findings = analyze_workspace(root)
+    let analysis = analyze_workspace_full(root)
         .map_err(|e| vec![format!("cannot walk workspace at {}: {e}", root.display())])?;
-    Ok(apply_baseline(findings, &entries))
+    let outcome = apply_baseline(analysis.findings.clone(), &entries);
+    Ok((outcome, analysis))
 }
 
 #[cfg(test)]

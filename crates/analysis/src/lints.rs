@@ -1,8 +1,11 @@
-//! The six invariant families. Each lint is a pass over the token stream
-//! from [`crate::lexer`]; scopes are hardcoded here (the baseline file only
-//! holds *exceptions*, never scope). Every diagnostic names the part of the
-//! MemoryDB argument it protects, so a violation reads as "which paper
-//! property would this break", not just "style nit".
+//! The per-file invariant families. Each lint is a pass over the token
+//! stream from [`crate::lexer`]; scopes are hardcoded here (the baseline
+//! file only holds *exceptions*, never scope). Every diagnostic names the
+//! part of the MemoryDB argument it protects, so a violation reads as
+//! "which paper property would this break", not just "style nit".
+//!
+//! The whole-workspace lock-order graph (lint family "lock-order") lives in
+//! [`crate::lockgraph`]; it shares the guard parser defined here.
 
 use crate::lexer::Tok;
 use crate::lexer::TokKind::{Ident, Punct};
@@ -60,8 +63,17 @@ const DURABILITY_WAIT_METHODS: &[&str] = &[
 
 /// Final-call methods in a `let` initializer that make the binding a guard.
 /// These must have an *empty* argument list (so `io::Read::read(&mut buf)`
-/// is not mistaken for a lock).
-const GUARD_METHODS: &[&str] = &["lock", "read", "write", "upgradable_read", "lock_all"];
+/// is not mistaken for a lock). `try_lock` guards arrive through
+/// `if let Some(g) = m.try_lock()` / `let Some(g) = m.try_lock() else`
+/// bindings, which [`parse_guard_binding`] also understands.
+const GUARD_METHODS: &[&str] = &[
+    "lock",
+    "try_lock",
+    "read",
+    "write",
+    "upgradable_read",
+    "lock_all",
+];
 
 /// Guard-returning methods that take arguments (`lock_one(idx)` returns the
 /// stripe guard set for one stripe).
@@ -125,6 +137,7 @@ pub(crate) fn lint_tokens(rel: &str, toks: &[Tok]) -> Vec<RawFinding> {
     // Workspace-wide passes.
     lock_discipline(toks, &mut out);
     sync_primitives(toks, &mut out);
+    atomics_ordering(rel, toks, &mut out);
     if rel != STRIPE_MODULE {
         stripe_order(toks, &mut out);
     }
@@ -357,11 +370,15 @@ fn lock_discipline(toks: &[Tok], out: &mut Vec<RawFinding>) {
                 pending.retain(|(_, g)| g.depth <= d);
             }
             Ident(id) if id == "let" && !t.in_test => {
-                if let Some((name, semi, method, empty_args)) = parse_let_final_call(toks, i) {
-                    let is_guard = (empty_args && GUARD_METHODS.contains(&method.as_str()))
-                        || GUARD_METHODS_WITH_ARGS.contains(&method.as_str());
-                    if is_guard {
-                        pending.push((semi + 1, Guard { name, depth }));
+                if let Some(gb) = parse_guard_binding(toks, i, depth) {
+                    if gb.is_lock_guard() {
+                        pending.push((
+                            gb.activate_at,
+                            Guard {
+                                name: gb.name,
+                                depth: gb.guard_depth,
+                            },
+                        ));
                     }
                 }
             }
@@ -460,9 +477,15 @@ fn stripe_order(toks: &[Tok], out: &mut Vec<RawFinding>) {
                 });
             }
             Ident(id) if id == "let" && !t.in_test => {
-                if let Some((name, semi, method, _)) = parse_let_final_call(toks, i) {
-                    if STRIPE_GUARD_METHODS.contains(&method.as_str()) {
-                        pending.push((semi + 1, Guard { name, depth }));
+                if let Some(gb) = parse_guard_binding(toks, i, depth) {
+                    if STRIPE_GUARD_METHODS.contains(&gb.method.as_str()) {
+                        pending.push((
+                            gb.activate_at,
+                            Guard {
+                                name: gb.name,
+                                depth: gb.guard_depth,
+                            },
+                        ));
                     }
                 }
             }
@@ -505,45 +528,167 @@ fn stripe_order(toks: &[Tok], out: &mut Vec<RawFinding>) {
     }
 }
 
-/// Recognises `let [mut] NAME = <expr ending in .method(...)>;` and returns
-/// (NAME, index of the terminating `;`, method, whether the final argument
-/// list is empty). The call must be the *final* expression — this rejects
+/// A parsed guard-producing binding. Three shapes are recognised:
+///
+/// * `let [mut] NAME = <expr ending in .method(...)>;` — live after the `;`.
+/// * `let Some(NAME) = <expr>.method(...) else { ... };` — live after the
+///   diverging else block's `;` (the else path never sees the guard).
+/// * `if let Some(NAME) = <expr>.method(...) {` (also `while let`, and `Ok`
+///   as the wrapper) — live only inside the then-block, so `guard_depth` is
+///   one deeper than the `let` itself.
+///
+/// The call must be the *final* expression — this rejects
 /// `let role = { let st = self.st.lock(); st.role };` (guard scoped to the
 /// block) and `let x = self.st.lock().role;` (guard is a temporary); callers
 /// decide guard-ness from the method name and arity (so io::Read's
 /// `file.read(&mut buf)` is not mistaken for a lock).
-fn parse_let_final_call(toks: &[Tok], let_idx: usize) -> Option<(String, usize, String, bool)> {
+pub(crate) struct GuardBinding {
+    pub name: String,
+    /// Token index from which the binding is live.
+    pub activate_at: usize,
+    /// Block depth the guard belongs to, relative to the caller's counter
+    /// at the `let` token (if/while-let guards live one level deeper).
+    pub guard_depth: i32,
+    /// Final method call of the initializer.
+    pub method: String,
+    /// Absolute token index of that method's ident (so whole-graph passes
+    /// can mark the acquisition site as consumed by this binding).
+    pub method_idx: usize,
+    /// Whether the final call's argument list is empty.
+    pub empty_args: bool,
+    /// Last path ident before `.method(`, e.g. `self.st.lock()` → `st`.
+    pub receiver: Option<String>,
+}
+
+impl GuardBinding {
+    /// Does this binding hold a lock guard (by method name and arity)?
+    pub(crate) fn is_lock_guard(&self) -> bool {
+        (self.empty_args && GUARD_METHODS.contains(&self.method.as_str()))
+            || GUARD_METHODS_WITH_ARGS.contains(&self.method.as_str())
+    }
+}
+
+/// How a binding's initializer expression ends.
+enum InitEnd {
+    /// Plain `let`: `;` at this index.
+    Semi(usize),
+    /// `let ... else`: the `else` ident at this index.
+    Else(usize),
+    /// `if let` / `while let` condition: the then-block `{` at this index.
+    Brace(usize),
+}
+
+pub(crate) fn parse_guard_binding(
+    toks: &[Tok],
+    let_idx: usize,
+    depth: i32,
+) -> Option<GuardBinding> {
+    let in_cond = let_idx > 0 && matches!(toks[let_idx - 1].ident(), Some("if") | Some("while"));
     let mut j = let_idx + 1;
     if toks.get(j).and_then(|t| t.ident()) == Some("mut") {
         j += 1;
     }
-    let name = toks.get(j).and_then(|t| t.ident())?;
+    let first = toks.get(j).and_then(|t| t.ident())?;
+    let wrapper =
+        matches!(first, "Some" | "Ok") && toks.get(j + 1).is_some_and(|t| t.is_punct('('));
+    let (name, eq_idx) = if wrapper {
+        let mut k = j + 2;
+        if toks.get(k).and_then(|t| t.ident()) == Some("mut") {
+            k += 1;
+        }
+        let n = toks.get(k).and_then(|t| t.ident())?;
+        if !toks.get(k + 1)?.is_punct(')') {
+            return None; // nested patterns: not handled.
+        }
+        (n, k + 2)
+    } else {
+        if in_cond {
+            return None; // `if let <other pattern>` never binds a guard here.
+        }
+        (first, j + 1)
+    };
     if name == "_" {
         return None; // `let _ = ...` drops immediately.
     }
-    j += 1;
-    if !toks.get(j)?.is_punct('=') {
-        return None; // patterns, type ascription, let-else: not handled.
+    if !toks.get(eq_idx)?.is_punct('=') {
+        return None; // tuple patterns, type ascription: not handled.
     }
-    let init_start = j + 1;
-    // Find the terminating `;` at relative bracket depth 0.
-    let mut depth = 0i32;
-    let mut semi = None;
+    let init_start = eq_idx + 1;
+    // Find where the initializer ends, at relative bracket depth 0.
+    let mut d = 0i32;
     let mut k = init_start;
-    while let Some(t) = toks.get(k) {
+    let end = loop {
+        let t = toks.get(k)?;
         match &t.kind {
-            Punct('(') | Punct('[') | Punct('{') => depth += 1,
-            Punct(')') | Punct(']') | Punct('}') => depth -= 1,
-            Punct(';') if depth == 0 => {
-                semi = Some(k);
-                break;
-            }
+            Punct('{') if d == 0 && in_cond => break InitEnd::Brace(k),
+            Punct('(') | Punct('[') | Punct('{') => d += 1,
+            Punct(')') | Punct(']') | Punct('}') => d -= 1,
+            Punct(';') if d == 0 => break InitEnd::Semi(k),
+            Ident(id) if d == 0 && id == "else" && !in_cond => break InitEnd::Else(k),
             _ => {}
         }
         k += 1;
-    }
-    let semi = semi?;
-    let tail = &toks[init_start..semi];
+    };
+    let (tail_end, activate_at, guard_depth) = match end {
+        InitEnd::Semi(semi) => {
+            if wrapper {
+                return None; // refutable pattern without else: not valid Rust.
+            }
+            (semi, semi + 1, depth)
+        }
+        InitEnd::Else(els) => {
+            if !wrapper {
+                return None;
+            }
+            // Skip the diverging else block, then the terminating `;`.
+            if !toks.get(els + 1)?.is_punct('{') {
+                return None;
+            }
+            let mut bd = 0i32;
+            let mut m = els + 1;
+            let close = loop {
+                let t = toks.get(m)?;
+                if t.is_punct('{') {
+                    bd += 1;
+                } else if t.is_punct('}') {
+                    bd -= 1;
+                    if bd == 0 {
+                        break m;
+                    }
+                }
+                m += 1;
+            };
+            let after = if toks.get(close + 1).is_some_and(|t| t.is_punct(';')) {
+                close + 2
+            } else {
+                close + 1
+            };
+            (els, after, depth)
+        }
+        InitEnd::Brace(brace) => {
+            if !wrapper {
+                return None;
+            }
+            (brace, brace + 1, depth + 1)
+        }
+    };
+    let tail = &toks[init_start..tail_end];
+    let (method, rel_idx, empty_args, receiver) = final_method_call(tail)?;
+    Some(GuardBinding {
+        name: name.to_string(),
+        activate_at,
+        guard_depth,
+        method,
+        method_idx: init_start + rel_idx,
+        empty_args,
+        receiver,
+    })
+}
+
+/// If `tail` ends in `.method(...)` (optionally followed by `?`), returns
+/// (method, tail-relative index of the method ident, empty-args, receiver
+/// ident directly before the `.`, if it is a plain ident).
+fn final_method_call(tail: &[Tok]) -> Option<(String, usize, bool, Option<String>)> {
     let tail = match tail.last() {
         Some(t) if t.is_punct('?') => &tail[..tail.len() - 1],
         _ => tail,
@@ -576,8 +721,150 @@ fn parse_let_final_call(toks: &[Tok], let_idx: usize) -> Option<(String, usize, 
     if !tail.get(open - 2)?.is_punct('.') {
         return None;
     }
+    let receiver = if open >= 3 {
+        tail.get(open - 3)
+            .and_then(|t| t.ident())
+            .map(str::to_string)
+    } else {
+        None
+    };
     let empty_args = open + 1 == tail.len() - 1;
-    Some((name.to_string(), semi, method.to_string(), empty_args))
+    Some((method.to_string(), open - 1, empty_args, receiver))
+}
+
+// ---------------------------------------------------------------------------
+// (7) atomics-ordering
+// ---------------------------------------------------------------------------
+
+/// Atomic RMW methods whose `Relaxed` use is always a counter/gauge update:
+/// the modification itself is atomic and no cross-thread control flow hangs
+/// off the ordering of a statistics increment.
+const RELAXED_OK_RMW: &[&str] = &["fetch_add", "fetch_sub", "fetch_max", "fetch_min"];
+
+/// Crates that are statistics/observability or load-driver code by
+/// construction — off the serving path, so `Relaxed` is categorically fine.
+const RELAXED_OK_SCOPES: &[&str] = &["crates/metrics/", "crates/bench/"];
+
+/// How one `Ordering::Relaxed` site is classified. The census is total:
+/// every site in non-test workspace code gets exactly one class, and every
+/// `Scrutinized` site is either baselined with a written justification in
+/// analysis.toml or a gate-failing finding — no silent passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicClass {
+    /// In a stats/bench crate ([`RELAXED_OK_SCOPES`]).
+    StatsScope,
+    /// A counter/gauge RMW ([`RELAXED_OK_RMW`]).
+    CounterRmw,
+    /// A load/store/swap/CAS that may gate a cross-thread handoff.
+    Scrutinized,
+}
+
+impl AtomicClass {
+    /// Short census label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AtomicClass::StatsScope => "stats-scope",
+            AtomicClass::CounterRmw => "counter-rmw",
+            AtomicClass::Scrutinized => "scrutinized",
+        }
+    }
+}
+
+/// One `Ordering::Relaxed` site found in non-test code.
+#[derive(Debug, Clone)]
+pub struct AtomicSite {
+    /// 1-based source line of the `Relaxed` token.
+    pub line: u32,
+    /// Receiver ident before `.method(`, or `<expr>` when it is not a plain
+    /// ident (chained call, free function).
+    pub receiver: String,
+    /// The atomic method the ordering parameterizes.
+    pub method: String,
+    /// Classification (total — every site gets one).
+    pub class: AtomicClass,
+}
+
+/// Classifies every `Ordering::Relaxed` token in `toks` (non-test code).
+pub(crate) fn classify_relaxed_sites(rel: &str, toks: &[Tok]) -> Vec<AtomicSite> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test || t.ident() != Some("Relaxed") {
+            continue;
+        }
+        let qualified = i >= 3
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+            && toks[i - 3].ident() == Some("Ordering");
+        if !qualified {
+            continue;
+        }
+        let (method, receiver) = enclosing_atomic_call(toks, i - 3)
+            .unwrap_or_else(|| ("<unknown>".to_string(), "<expr>".to_string()));
+        let class = if RELAXED_OK_SCOPES.iter().any(|s| rel.starts_with(s)) {
+            AtomicClass::StatsScope
+        } else if RELAXED_OK_RMW.contains(&method.as_str()) {
+            AtomicClass::CounterRmw
+        } else {
+            AtomicClass::Scrutinized
+        };
+        out.push(AtomicSite {
+            line: t.line,
+            receiver,
+            method,
+            class,
+        });
+    }
+    out
+}
+
+/// Walks backwards from the `Ordering` ident to the innermost enclosing call
+/// and returns (method, receiver). Stops at a statement boundary.
+fn enclosing_atomic_call(toks: &[Tok], ord_idx: usize) -> Option<(String, String)> {
+    let mut depth = 0i32;
+    let mut j = ord_idx;
+    while j > 1 {
+        j -= 1;
+        match &toks[j].kind {
+            Punct(')') | Punct(']') => depth += 1,
+            Punct('(') | Punct('[') if depth > 0 => depth -= 1,
+            Punct('(') => {
+                if let Some(m) = toks[j - 1].ident() {
+                    let receiver = (j >= 3 && toks[j - 2].is_punct('.'))
+                        .then(|| toks[j - 3].ident())
+                        .flatten()
+                        .unwrap_or("<expr>");
+                    return Some((m.to_string(), receiver.to_string()));
+                }
+                // A grouping paren, not a call — keep walking outward.
+            }
+            Punct(';') | Punct('{') | Punct('}') if depth == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// (7) atomics-ordering: every `Ordering::Relaxed` outside the stats crates
+/// must be a counter RMW; loads/stores/swaps/CAS become findings that need
+/// a written justification in analysis.toml (or a stronger ordering).
+fn atomics_ordering(rel: &str, toks: &[Tok], out: &mut Vec<RawFinding>) {
+    for site in classify_relaxed_sites(rel, toks) {
+        if site.class == AtomicClass::Scrutinized {
+            out.push(RawFinding {
+                lint: "atomics-ordering",
+                line: site.line,
+                message: format!(
+                    "`Ordering::Relaxed` on `{}.{}`: an atomic that gates a \
+                     cross-thread handoff needs Release/Acquire so the writer's \
+                     prior stores happen-before the reader's loads (the \
+                     reply-after-durable chain, DESIGN.md \u{a7}9); counters may \
+                     stay Relaxed, every other site needs a written \
+                     justification in analysis.toml",
+                    site.receiver, site.method
+                ),
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -776,6 +1063,118 @@ mod tests {
         assert_eq!(
             lints_for("crates/core/src/x.rs", src),
             vec!["stripe-order:1"]
+        );
+    }
+
+    #[test]
+    fn if_let_try_lock_binding_is_a_guard_inside_its_block_only() {
+        // `if let Some(g) = m.try_lock()` guards the then-block; after the
+        // block closes the same blocking call is fine.
+        let src = "fn f(&self) {\n\
+                   if let Some(token) = self.flush_token.try_lock() {\n\
+                   self.log.wait_durable(id);\n\
+                   }\n\
+                   self.log.wait_durable(id);\n\
+                   }\n";
+        assert_eq!(
+            lints_for("crates/core/src/x.rs", src),
+            vec!["lock-discipline:3"]
+        );
+    }
+
+    #[test]
+    fn let_else_try_lock_binding_is_a_guard_after_the_else_block() {
+        let src = "fn f(&self) {\n\
+                   let Some(token) = self.flush_token.try_lock() else {\n\
+                   return;\n\
+                   };\n\
+                   self.log.wait_durable(id);\n\
+                   }\n";
+        assert_eq!(
+            lints_for("crates/core/src/x.rs", src),
+            vec!["lock-discipline:5"]
+        );
+        // The diverging else path itself never holds the guard.
+        let src_ok = "fn f(&self) {\n\
+                      let Some(token) = self.flush_token.try_lock() else {\n\
+                      self.log.wait_durable(id);\n\
+                      return;\n\
+                      };\n\
+                      }\n";
+        assert!(lints_for("crates/core/src/x.rs", src_ok).is_empty());
+    }
+
+    #[test]
+    fn if_let_non_guard_patterns_are_ignored() {
+        // `if let Some(v) = map.get(&k)` must not register a guard, and
+        // tuple-pattern lets must stay unparsed (no false guards).
+        let src = "fn f(&self) {\n\
+                   if let Some(v) = self.map.get(&k) {\n\
+                   self.log.wait_durable(v);\n\
+                   }\n\
+                   let (a, b) = self.pair.lock_parts();\n\
+                   self.log.wait_durable(a);\n\
+                   }\n";
+        assert!(lints_for("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn multi_line_chain_and_turbofish_still_bind_guards() {
+        // The guard parser sees tokens, not lines: a chained multi-line
+        // `.lock()` and a turbofish with nested generics in the initializer
+        // both still end in a guard method call.
+        let src = "fn f(&self) {\n\
+                   let st = self\n\
+                   .state::<Vec<Arc<Inner>>>()\n\
+                   .lock();\n\
+                   self.log.wait_durable(st.id);\n\
+                   }\n";
+        assert_eq!(
+            lints_for("crates/core/src/x.rs", src),
+            vec!["lock-discipline:5"]
+        );
+    }
+
+    #[test]
+    fn raw_string_lock_text_does_not_bind_a_guard() {
+        let src = "fn f(&self) {\n\
+                   let msg = r#\"call .lock() and wait_durable( now\"#;\n\
+                   self.log.wait_durable(id);\n\
+                   }\n";
+        assert!(lints_for("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_counter_rmw_allowed_handoff_flagged() {
+        let src = "fn f(&self) {\n\
+                   self.ops.fetch_add(1, Ordering::Relaxed);\n\
+                   self.shutdown.store(true, Ordering::Relaxed);\n\
+                   if self.shutdown.load(Ordering::Relaxed) { return; }\n\
+                   }\n";
+        assert_eq!(
+            lints_for("crates/core/src/x.rs", src),
+            vec!["atomics-ordering:3", "atomics-ordering:4"]
+        );
+        // The same source inside the stats scopes is categorically fine.
+        assert!(lints_for("crates/metrics/src/lib.rs", src).is_empty());
+        assert!(lints_for("crates/bench/src/tcp.rs", src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_census_is_total_over_sites() {
+        let src = "fn f(&self) {\n\
+                   self.ops.fetch_add(1, Ordering::Relaxed);\n\
+                   self.flag.swap(true, Ordering::Relaxed);\n\
+                   self.seq.load(Ordering::SeqCst);\n\
+                   }\n";
+        let sites = classify_relaxed_sites("crates/core/src/x.rs", &scan(src));
+        assert_eq!(sites.len(), 2, "{sites:#?}");
+        assert_eq!(sites[0].class, AtomicClass::CounterRmw);
+        assert_eq!(sites[0].receiver, "ops");
+        assert_eq!(sites[1].class, AtomicClass::Scrutinized);
+        assert_eq!(
+            (sites[1].receiver.as_str(), sites[1].method.as_str()),
+            ("flag", "swap")
         );
     }
 

@@ -1,22 +1,41 @@
-//! `cargo run -p memorydb-analysis [workspace-root]`
+//! `cargo run -p memorydb-analysis [workspace-root] [--lockgraph-dot PATH]
+//! [--lockgraph-toml PATH]`
 //!
 //! Runs the invariant gate and prints every violation with file:line, the
-//! invariant family, and the paper property it protects. Exit status is
-//! nonzero when any violation exists, when the baseline has stale entries,
-//! or when analysis.toml cannot be parsed — the same condition enforced in
-//! tier-1 by `tests/analysis.rs`.
+//! invariant family, and the paper property it protects, plus the
+//! `Ordering::Relaxed` census (total: every site is printed with its class)
+//! and a lock-order graph summary. The optional flags write the acquisition
+//! graph as Graphviz dot / TOML artifacts. Exit status is nonzero when any
+//! violation exists, when the baseline has stale entries, or when
+//! analysis.toml cannot be parsed — the same condition enforced in tier-1 by
+//! `tests/analysis.rs`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let root = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(memorydb_analysis::workspace_root);
+    let mut root: Option<PathBuf> = None;
+    let mut dot_path: Option<PathBuf> = None;
+    let mut toml_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--lockgraph-dot" => match args.next() {
+                Some(p) => dot_path = Some(PathBuf::from(p)),
+                None => return usage("--lockgraph-dot needs a path"),
+            },
+            "--lockgraph-toml" => match args.next() {
+                Some(p) => toml_path = Some(PathBuf::from(p)),
+                None => return usage("--lockgraph-toml needs a path"),
+            },
+            _ if a.starts_with('-') => return usage(&format!("unknown flag {a}")),
+            _ => root = Some(PathBuf::from(a)),
+        }
+    }
+    let root = root.unwrap_or_else(memorydb_analysis::workspace_root);
 
-    let outcome = match memorydb_analysis::run_gate(&root) {
-        Ok(o) => o,
+    let (outcome, analysis) = match memorydb_analysis::run_gate_full(&root) {
+        Ok(pair) => pair,
         Err(errors) => {
             for e in errors {
                 eprintln!("error: {e}");
@@ -24,6 +43,44 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if !analysis.atomics.is_empty() {
+        println!(
+            "Ordering::Relaxed census ({} site(s), total — every site classified):",
+            analysis.atomics.len()
+        );
+        for (file, site) in &analysis.atomics {
+            println!(
+                "  [{}] {}:{} {}.{}",
+                site.class.label(),
+                file,
+                site.line,
+                site.receiver,
+                site.method
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "lock-order graph: {} node(s), {} edge(s), {} cycle(s)",
+        analysis.graph.nodes.len(),
+        analysis.graph.edges.len(),
+        analysis.graph.cycles().len()
+    );
+    for (path, contents) in [
+        (&dot_path, analysis.graph.to_dot()),
+        (&toml_path, analysis.graph.to_toml()),
+    ] {
+        if let Some(p) = path {
+            if let Err(e) = std::fs::write(p, contents) {
+                eprintln!("error: cannot write {}: {e}", p.display());
+                return ExitCode::FAILURE;
+            }
+            println!("  wrote {}", p.display());
+        }
+    }
+    println!();
 
     if !outcome.allowed.is_empty() {
         println!(
@@ -47,9 +104,9 @@ fn main() -> ExitCode {
     }
     for e in &outcome.stale {
         println!(
-            "stale baseline entry (matches nothing — remove it): \
-             analysis.toml:{} [{}] {} ({})",
-            e.decl_line, e.lint, e.path, e.reason
+            "stale baseline entry (matches nothing — remove it): {} ({})",
+            e.describe(),
+            e.reason
         );
     }
 
@@ -67,4 +124,12 @@ fn main() -> ExitCode {
         );
         ExitCode::FAILURE
     }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!(
+        "error: {err}\nusage: memorydb-analysis [workspace-root] \
+         [--lockgraph-dot PATH] [--lockgraph-toml PATH]"
+    );
+    ExitCode::FAILURE
 }

@@ -154,6 +154,68 @@ fn std_sync_fixture_flags_mutex_and_rwlock() {
 }
 
 #[test]
+fn atomics_fixture_classifies_every_relaxed_site() {
+    let src = fixture("atomics_relaxed.rs");
+    // Workspace-wide outside the stats scopes.
+    let findings = analyze_source("crates/core/src/anywhere.rs", &src);
+    let atomics: Vec<_> = findings
+        .iter()
+        .filter(|f| f.lint == "atomics-ordering")
+        .collect();
+    assert_eq!(
+        atomics.len(),
+        3,
+        "expected handoff load, handoff store, CAS failure ordering:\n{findings:#?}"
+    );
+    assert_eq!(
+        findings.len(),
+        3,
+        "no other lint may fire here:\n{findings:#?}"
+    );
+    assert_only_positives(&findings, &src);
+
+    // The same source inside a stats scope is all allowed.
+    assert!(
+        analyze_source("crates/metrics/src/extra.rs", &src).is_empty(),
+        "metrics scope must absorb every Relaxed site"
+    );
+}
+
+#[test]
+fn lock_cycle_fixture_is_flagged_by_the_lockgraph() {
+    let src = fixture("lock_cycle.rs");
+    let g =
+        memorydb_analysis::LockGraph::build(&[("crates/core/src/anywhere.rs".to_string(), src)]);
+    let findings = g.cycle_findings();
+    // One SCC cycle (alpha <-> beta) + one direct self-loop (gamma).
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+    assert!(findings.iter().all(|f| f.lint == "lock-order"));
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("alpha") && f.message.contains("beta")),
+        "{findings:#?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.snippet.contains("gamma -> core.anywhere.gamma")),
+        "{findings:#?}"
+    );
+    // The stripes special case: lock_all then another lock is a plain edge
+    // out of the single stripes node, never a cycle.
+    let stripes_edge = (
+        memorydb_analysis::lockgraph::STRIPES_NODE.to_string(),
+        "core.anywhere.delta".to_string(),
+    );
+    assert!(g.edges.contains_key(&stripes_edge), "{:?}", g.edges.keys());
+    assert!(!g
+        .cycles()
+        .iter()
+        .any(|c| c.contains(&memorydb_analysis::lockgraph::STRIPES_NODE.to_string())));
+}
+
+#[test]
 fn fixtures_are_excluded_from_the_workspace_walk() {
     let root = memorydb_analysis::workspace_root();
     let findings = memorydb_analysis::analyze_workspace(&root).expect("walk workspace");

@@ -180,7 +180,7 @@ impl MonitoringService {
         let handle = std::thread::Builder::new()
             .name("monitoring-service".into())
             .spawn(move || {
-                while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                while !stop2.load(std::sync::atomic::Ordering::Acquire) {
                     monitor.tick();
                     std::thread::sleep(interval);
                 }
@@ -201,7 +201,9 @@ pub struct MonitorGuard {
 
 impl Drop for MonitorGuard {
     fn drop(&mut self) {
-        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        // Release pairs with the monitor loop's Acquire: everything this
+        // thread did before requesting the stop is visible to the last tick.
+        self.stop.store(true, std::sync::atomic::Ordering::Release);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }

@@ -1588,10 +1588,13 @@ impl Node {
         let appended_us = self.metrics.now_us();
         let mut oldest_enqueued = u64::MAX;
         for run in &runs {
-            run.ticket.appended_us.store(appended_us, Ordering::Relaxed);
+            // Release pairs with the completer's Acquire in
+            // record_ticket_spans: a nonzero appended stamp guarantees the
+            // enqueue stamp it is compared against is visible too.
+            run.ticket.appended_us.store(appended_us, Ordering::Release);
             if run.ticket.attributed && !run.payloads.is_empty() {
                 oldest_enqueued =
-                    oldest_enqueued.min(run.ticket.enqueued_us.load(Ordering::Relaxed));
+                    oldest_enqueued.min(run.ticket.enqueued_us.load(Ordering::Acquire));
             }
         }
         if first_id.is_some() && oldest_enqueued != u64::MAX {
@@ -1695,9 +1698,9 @@ impl Node {
     /// e2e without overlapping `engine` regardless of which thread won the
     /// race to record them.
     fn record_ticket_spans(&self, ticket: &Ticket, end_us: u64) {
-        let appended = ticket.appended_us.load(Ordering::Relaxed);
+        let appended = ticket.appended_us.load(Ordering::Acquire);
         if appended != 0 {
-            let enqueued = ticket.enqueued_us.load(Ordering::Relaxed);
+            let enqueued = ticket.enqueued_us.load(Ordering::Acquire);
             self.metrics
                 .record_stage(StageId::CommitQueueWait, appended.saturating_sub(enqueued));
             self.metrics.record_stage(

@@ -141,7 +141,9 @@ impl Ticket {
     /// this thread's bookkeeping, so the *caller* must record the
     /// attribution spans (resolve skipped them).
     pub(crate) fn note_unlocked(&self, now_us: u64) -> bool {
-        self.enqueued_us.store(now_us, Ordering::Relaxed);
+        // Release pairs with the flush thread's Acquire load: the stamp must
+        // be visible before the flusher computes the realized window width.
+        self.enqueued_us.store(now_us, Ordering::Release);
         let mut inner = self.inner.lock();
         inner.unlocked = true;
         inner.outcome.is_some()

@@ -167,7 +167,7 @@ impl Server {
                     loop {
                         match listener.accept() {
                             Ok((stream, _)) => {
-                                if shutdown.load(Ordering::Relaxed) {
+                                if shutdown.load(Ordering::Acquire) {
                                     return;
                                 }
                                 match &workers {
@@ -198,7 +198,7 @@ impl Server {
                                 }
                             }
                             Err(_) => {
-                                if shutdown.load(Ordering::Relaxed) {
+                                if shutdown.load(Ordering::Acquire) {
                                     return;
                                 }
                             }
@@ -219,7 +219,9 @@ impl Server {
     /// Stops the server: wakes the acceptor, then joins the accept thread,
     /// every IO thread, and any per-connection threads.
     pub fn stop(&mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
+        // Release pairs with the IO/accept loops' Acquire loads: all
+        // stop-time state written before the flag is visible to them.
+        self.shutdown.store(true, Ordering::Release);
         // Unblock the acceptor; it checks the flag right after accept.
         let _ = TcpStream::connect(self.local_addr);
         if let Some(t) = self.accept_thread.take() {
@@ -690,7 +692,7 @@ fn io_loop(
     };
 
     loop {
-        if shutdown.load(Ordering::Relaxed) {
+        if shutdown.load(Ordering::Acquire) {
             return; // dropping conns closes the sockets
         }
         if accepting {
@@ -777,7 +779,7 @@ fn serve_blocking(
     let mut buf = [0u8; 16 * 1024];
 
     loop {
-        if shutdown.load(Ordering::Relaxed) {
+        if shutdown.load(Ordering::Acquire) {
             return Ok(());
         }
         let n = match stream.read(&mut buf) {

@@ -1,0 +1,366 @@
+//! Exhaustive interleaving explorer for small concurrency models.
+//!
+//! The commit pipeline's trickiest invariants — exactly-once window release
+//! through the `begin_release` CAS, flush-token leadership handoff, and the
+//! watermark-advance vs. ack-fence race (DESIGN.md §11/§13) — rest on
+//! reasoning about a handful of instructions interleaving across two or
+//! three threads. This module checks that reasoning mechanically: a model is
+//! a tiny shared state plus per-thread step lists, and [`explore`] runs
+//! *every* schedule, checking an invariant after each step and a final
+//! predicate at each terminal state.
+//!
+//! Dependency-free and deterministic by construction (same policy as the
+//! metrics registry): no real threads, no clocks — the "threads" are step
+//! closures and the scheduler is a DFS over which thread runs next. Steps
+//! are atomic units: everything inside one step happens without
+//! interleaving, so model steps at the granularity of the atomic operations
+//! whose orderings you want to vary.
+//!
+//! A step returns `false` to say it is *blocked* (a guard: mutex
+//! unavailable, queue empty); the explorer discards that branch's state
+//! mutation and retries the step later. A schedule where no thread can run
+//! but a non-daemon thread still has steps left is reported as a deadlock.
+//! Daemon threads (background committers) need not finish for a schedule to
+//! terminate.
+
+/// One step of a modelled thread: mutates the shared state and returns
+/// `false` when blocked (the mutation is then discarded and retried later).
+pub type Step<S> = Box<dyn Fn(&mut S) -> bool>;
+
+/// One modelled thread: a name for traces, its step list, and whether the
+/// schedule may end while it still has steps left.
+pub struct ThreadSpec<S> {
+    pub name: &'static str,
+    pub steps: Vec<Step<S>>,
+    pub daemon: bool,
+}
+
+impl<S> ThreadSpec<S> {
+    /// A worker thread: every step must run before a schedule is terminal.
+    pub fn worker(name: &'static str, steps: Vec<Step<S>>) -> Self {
+        ThreadSpec {
+            name,
+            steps,
+            daemon: false,
+        }
+    }
+
+    /// A daemon thread: schedules may end with steps left over.
+    pub fn daemon(name: &'static str, steps: Vec<Step<S>>) -> Self {
+        ThreadSpec {
+            name,
+            steps,
+            daemon: true,
+        }
+    }
+}
+
+/// What [`explore`] found. `failures` holds at most [`MAX_FAILURES`]
+/// messages; each carries the schedule prefix that produced it.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Complete schedules reaching a terminal state.
+    pub interleavings: usize,
+    /// Invariant/final-check/deadlock failures (capped).
+    pub failures: Vec<String>,
+    /// True when exploration stopped at [`MAX_INTERLEAVINGS`] — a capped
+    /// run must itself be treated as a model bug, never a silent pass.
+    pub capped: bool,
+}
+
+impl Outcome {
+    /// Panics with every failure if the exploration was not clean.
+    pub fn assert_clean(&self) {
+        assert!(
+            !self.capped,
+            "model too large: exploration capped at {MAX_INTERLEAVINGS} schedules"
+        );
+        assert!(
+            self.failures.is_empty(),
+            "{} schedule failure(s) over {} interleavings:\n{}",
+            self.failures.len(),
+            self.interleavings,
+            self.failures.join("\n")
+        );
+    }
+}
+
+/// Exploration cap: generous for 2–3 threads with a handful of steps, small
+/// enough that a runaway model fails fast instead of hanging tier-1.
+pub const MAX_INTERLEAVINGS: usize = 250_000;
+
+/// At most this many failure messages are kept (each names its schedule).
+pub const MAX_FAILURES: usize = 8;
+
+/// Runs every schedule of `threads` from `init`. `invariant` is checked
+/// after each step; `final_check` at each terminal state. Both return
+/// `Err(why)` to fail the schedule.
+pub fn explore<S: Clone>(
+    init: &S,
+    threads: &[ThreadSpec<S>],
+    invariant: &dyn Fn(&S) -> Result<(), String>,
+    final_check: &dyn Fn(&S) -> Result<(), String>,
+) -> Outcome {
+    let mut out = Outcome::default();
+    let pcs = vec![0usize; threads.len()];
+    let mut trace: Vec<&'static str> = Vec::new();
+    dfs(
+        init,
+        threads,
+        &pcs,
+        invariant,
+        final_check,
+        &mut trace,
+        &mut out,
+    );
+    out
+}
+
+fn fail(out: &mut Outcome, trace: &[&'static str], why: &str) {
+    if out.failures.len() < MAX_FAILURES {
+        out.failures.push(format!("[{}] {why}", trace.join(" ")));
+    }
+}
+
+fn dfs<S: Clone>(
+    state: &S,
+    threads: &[ThreadSpec<S>],
+    pcs: &[usize],
+    invariant: &dyn Fn(&S) -> Result<(), String>,
+    final_check: &dyn Fn(&S) -> Result<(), String>,
+    trace: &mut Vec<&'static str>,
+    out: &mut Outcome,
+) {
+    if out.capped {
+        return;
+    }
+    let mut ran_any = false;
+    let mut workers_pending = false;
+    for (t, spec) in threads.iter().enumerate() {
+        let pc = pcs[t];
+        if pc >= spec.steps.len() {
+            continue;
+        }
+        if !spec.daemon {
+            workers_pending = true;
+        }
+        // Run the step on a clone; a `false` return means blocked — the
+        // clone (and any partial mutation) is discarded.
+        let mut next = state.clone();
+        if !spec.steps[pc](&mut next) {
+            continue;
+        }
+        ran_any = true;
+        trace.push(spec.name);
+        match invariant(&next) {
+            Ok(()) => {
+                let mut next_pcs = pcs.to_vec();
+                next_pcs[t] += 1;
+                dfs(
+                    &next,
+                    threads,
+                    &next_pcs,
+                    invariant,
+                    final_check,
+                    trace,
+                    out,
+                );
+            }
+            Err(why) => fail(out, trace, &format!("invariant: {why}")),
+        }
+        trace.pop();
+    }
+    if ran_any {
+        return;
+    }
+    if workers_pending {
+        fail(out, trace, "deadlock: a worker thread can never run again");
+        return;
+    }
+    out.interleavings += 1;
+    if out.interleavings >= MAX_INTERLEAVINGS {
+        out.capped = true;
+    }
+    if let Err(why) = final_check(state) {
+        fail(out, trace, &format!("final: {why}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    fn step<S>(f: impl Fn(&mut S) -> bool + 'static) -> Step<S> {
+        Box::new(f)
+    }
+
+    #[test]
+    fn two_by_two_threads_yield_six_interleavings() {
+        let threads = vec![
+            ThreadSpec::worker("a", vec![step(|_: &mut u8| true), step(|_: &mut u8| true)]),
+            ThreadSpec::worker("b", vec![step(|_: &mut u8| true), step(|_: &mut u8| true)]),
+        ];
+        let out = explore(&0u8, &threads, &|_| Ok(()), &|_| Ok(()));
+        out.assert_clean();
+        assert_eq!(out.interleavings, 6); // C(4,2)
+    }
+
+    #[test]
+    fn blocked_step_mutations_are_discarded() {
+        // The guard mutates before discovering it is blocked; the explorer
+        // must throw that mutation away or the count goes wrong.
+        #[derive(Clone, Default)]
+        struct S {
+            flag: bool,
+            count: u32,
+        }
+        let threads = vec![
+            ThreadSpec::worker(
+                "setter",
+                vec![step(|s: &mut S| {
+                    s.flag = true;
+                    true
+                })],
+            ),
+            ThreadSpec::worker(
+                "waiter",
+                vec![step(|s: &mut S| {
+                    s.count += 1; // speculative; must vanish when blocked
+                    s.flag
+                })],
+            ),
+        ];
+        let out = explore(&S::default(), &threads, &|_| Ok(()), &|s| {
+            if s.count == 1 {
+                Ok(())
+            } else {
+                Err(format!("count = {}", s.count))
+            }
+        });
+        out.assert_clean();
+        // Only one terminal order (waiter can only run after setter) but
+        // the schedule where waiter tries first still terminates.
+        assert_eq!(out.interleavings, 1);
+    }
+
+    #[test]
+    fn mutual_wait_is_reported_as_deadlock() {
+        #[derive(Clone, Default)]
+        struct S {
+            a: bool,
+            b: bool,
+        }
+        let threads = vec![
+            ThreadSpec::worker(
+                "a",
+                vec![
+                    step(|s: &mut S| s.b),
+                    step(|s: &mut S| {
+                        s.a = true;
+                        true
+                    }),
+                ],
+            ),
+            ThreadSpec::worker(
+                "b",
+                vec![
+                    step(|s: &mut S| s.a),
+                    step(|s: &mut S| {
+                        s.b = true;
+                        true
+                    }),
+                ],
+            ),
+        ];
+        let out = explore(&S::default(), &threads, &|_| Ok(()), &|_| Ok(()));
+        assert_eq!(out.interleavings, 0);
+        assert!(
+            out.failures.iter().any(|f| f.contains("deadlock")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn daemon_leftover_steps_do_not_deadlock() {
+        let threads = vec![
+            ThreadSpec::worker("w", vec![step(|_: &mut u8| true)]),
+            // Daemon blocked forever: schedules still terminate.
+            ThreadSpec::daemon("d", vec![step(|_: &mut u8| false)]),
+        ];
+        let out = explore(&0u8, &threads, &|_| Ok(()), &|_| Ok(()));
+        out.assert_clean();
+        assert_eq!(out.interleavings, 1);
+    }
+
+    #[test]
+    fn invariant_failures_carry_the_schedule_trace() {
+        let threads = vec![ThreadSpec::worker(
+            "inc",
+            vec![step(|s: &mut u8| {
+                *s += 1;
+                true
+            })],
+        )];
+        let out = explore(
+            &0u8,
+            &threads,
+            &|s| {
+                if *s == 0 {
+                    Ok(())
+                } else {
+                    Err("nonzero".to_string())
+                }
+            },
+            &|_| Ok(()),
+        );
+        assert_eq!(out.failures.len(), 1);
+        assert!(out.failures[0].contains("[inc] invariant: nonzero"));
+    }
+
+    #[test]
+    fn every_reachable_outcome_is_visited() {
+        // Two racers CAS-claim a flag; across all schedules each must win
+        // at least once — the explorer really does permute.
+        #[derive(Clone, Default)]
+        struct S {
+            taken: bool,
+            winner: u8,
+        }
+        let first = Cell::new(0u32);
+        let second = Cell::new(0u32);
+        let threads = vec![
+            ThreadSpec::worker(
+                "r1",
+                vec![step(|s: &mut S| {
+                    if !s.taken {
+                        s.taken = true;
+                        s.winner = 1;
+                    }
+                    true
+                })],
+            ),
+            ThreadSpec::worker(
+                "r2",
+                vec![step(|s: &mut S| {
+                    if !s.taken {
+                        s.taken = true;
+                        s.winner = 2;
+                    }
+                    true
+                })],
+            ),
+        ];
+        let out = explore(&S::default(), &threads, &|_| Ok(()), &|s| {
+            match s.winner {
+                1 => first.set(first.get() + 1),
+                2 => second.set(second.get() + 1),
+                _ => return Err("no winner".to_string()),
+            }
+            Ok(())
+        });
+        out.assert_clean();
+        assert_eq!(out.interleavings, 2);
+        assert!(first.get() > 0 && second.get() > 0);
+    }
+}

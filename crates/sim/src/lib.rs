@@ -25,6 +25,7 @@
 pub mod chaos;
 pub mod des;
 pub mod instance;
+pub mod interleave;
 pub mod metrics;
 
 pub use des::{run_sim, LoadMode, SimParams, SimResult};

@@ -1,0 +1,406 @@
+//! Interleaving models for the commit pipeline's three handoff invariants
+//! (DESIGN.md §11/§13). Each correct model is checked over *every* schedule;
+//! each is paired with a deliberately-broken variant the explorer must
+//! catch, so a silently-weakened model cannot pass.
+//!
+//! Named invariants pinned here:
+//! 1. `model_window_release_exactly_once` — the `begin_release` CAS makes
+//!    ticket resolution idempotent: the in-flight window is released
+//!    exactly once no matter which of three racing resolvers wins.
+//! 2. `model_flush_leader_handoff_no_loss` — a submitter whose try-lock
+//!    leadership bid loses while the current leader has already snapshotted
+//!    the stage queue cannot lose its entry: the committer fallback drains
+//!    it, and appends never reorder against submission order.
+//! 3. `model_fenced_ticket_resolves_ambiguous` — the ack-fence re-check at
+//!    watermark advance: a demotion before the fence read forces the
+//!    ambiguous (TimedOut) resolution; durable resolution implies the fence
+//!    was read clean *after* the watermark advanced.
+
+use memorydb_sim::interleave::{explore, Step, ThreadSpec};
+use std::cell::Cell;
+
+fn step<S>(f: impl Fn(&mut S) -> bool + 'static) -> Step<S> {
+    Box::new(f)
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 1: exactly-once window release (begin_release CAS).
+
+#[derive(Clone)]
+struct ReleaseState {
+    released: bool,     // the Ticket::released CAS flag
+    claimed: [bool; 3], // which resolver won the CAS
+    window: i32,        // in-flight window permits (entries + bytes stand-in)
+    releases: u8,
+}
+
+fn release_threads(use_cas: bool) -> Vec<ThreadSpec<ReleaseState>> {
+    ["flush", "completer", "fence"]
+        .into_iter()
+        .enumerate()
+        .map(|(i, name)| {
+            ThreadSpec::worker(
+                name,
+                vec![
+                    step(move |s: &mut ReleaseState| {
+                        // begin_release: compare_exchange(false, true).
+                        if use_cas {
+                            if !s.released {
+                                s.released = true;
+                                s.claimed[i] = true;
+                            }
+                        } else {
+                            // Buggy variant: resolve without the CAS gate.
+                            s.claimed[i] = true;
+                        }
+                        true
+                    }),
+                    step(move |s: &mut ReleaseState| {
+                        if s.claimed[i] {
+                            s.window -= 2;
+                            s.releases += 1;
+                        }
+                        true
+                    }),
+                ],
+            )
+        })
+        .collect()
+}
+
+fn run_release_model(use_cas: bool) -> memorydb_sim::interleave::Outcome {
+    let init = ReleaseState {
+        released: false,
+        claimed: [false; 3],
+        window: 2,
+        releases: 0,
+    };
+    explore(
+        &init,
+        &release_threads(use_cas),
+        &|s| {
+            if s.releases <= 1 && s.window >= 0 {
+                Ok(())
+            } else {
+                Err(format!(
+                    "window released {} times (window = {})",
+                    s.releases, s.window
+                ))
+            }
+        },
+        &|s| {
+            if s.releases == 1 && s.window == 0 {
+                Ok(())
+            } else {
+                Err(format!(
+                    "terminal: releases = {}, window = {}",
+                    s.releases, s.window
+                ))
+            }
+        },
+    )
+}
+
+#[test]
+fn model_window_release_exactly_once() {
+    run_release_model(true).assert_clean();
+}
+
+#[test]
+fn model_detects_missing_begin_release_cas() {
+    let out = run_release_model(false);
+    assert!(
+        !out.failures.is_empty(),
+        "the explorer must catch the double release"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 2: flush-token leadership handoff loses no staged entry.
+
+#[derive(Clone, Default)]
+struct FlushState {
+    next: u32,
+    order: Vec<u32>,      // submission order (what the log must follow)
+    staged: Vec<u32>,     // the stage queue
+    taken: [Vec<u32>; 2], // per-submitter drained snapshot
+    committer_taken: Vec<u32>,
+    log: Vec<u32>,
+    token: bool, // the flush token mutex
+    leader: [bool; 2],
+    committer_leads: bool,
+}
+
+/// Submitter steps: stage → try-token → snapshot-if-leader →
+/// append+release. `release_before_append` is the buggy variant where the
+/// token is released before the snapshot is appended.
+fn submitter(i: usize, name: &'static str, release_before_append: bool) -> ThreadSpec<FlushState> {
+    let mut steps: Vec<Step<FlushState>> = vec![
+        step(move |s: &mut FlushState| {
+            let id = s.next;
+            s.next += 1;
+            s.order.push(id);
+            s.staged.push(id);
+            true
+        }),
+        step(move |s: &mut FlushState| {
+            // try_lock: non-blocking leadership bid.
+            if !s.token {
+                s.token = true;
+                s.leader[i] = true;
+            }
+            true
+        }),
+        step(move |s: &mut FlushState| {
+            if s.leader[i] {
+                s.taken[i] = std::mem::take(&mut s.staged);
+            }
+            true
+        }),
+    ];
+    if release_before_append {
+        steps.push(step(move |s: &mut FlushState| {
+            if s.leader[i] {
+                s.token = false; // bug: hand the token off too early
+            }
+            true
+        }));
+        steps.push(step(move |s: &mut FlushState| {
+            if s.leader[i] {
+                s.log.append(&mut s.taken[i]);
+                s.leader[i] = false;
+            }
+            true
+        }));
+    } else {
+        steps.push(step(move |s: &mut FlushState| {
+            if s.leader[i] {
+                s.log.append(&mut s.taken[i]);
+                s.leader[i] = false;
+                s.token = false;
+            }
+            true
+        }));
+    }
+    ThreadSpec::worker(name, steps)
+}
+
+/// The committer fallback: blocked until there is stranded work and the
+/// token is free; two passes cover both submitters stranding entries.
+fn committer() -> ThreadSpec<FlushState> {
+    let acquire = |s: &mut FlushState| {
+        if s.token || s.staged.is_empty() {
+            return false; // parked: no work, or a submitter leads
+        }
+        s.token = true;
+        s.committer_leads = true;
+        s.committer_taken = std::mem::take(&mut s.staged);
+        true
+    };
+    let append = |s: &mut FlushState| {
+        if s.committer_leads {
+            s.log.append(&mut s.committer_taken);
+            s.committer_leads = false;
+            s.token = false;
+        }
+        true
+    };
+    ThreadSpec::daemon(
+        "committer",
+        vec![step(acquire), step(append), step(acquire), step(append)],
+    )
+}
+
+fn flush_invariant(s: &FlushState) -> Result<(), String> {
+    if s.order.starts_with(&s.log) {
+        Ok(())
+    } else {
+        Err(format!(
+            "log {:?} is not a prefix of submission order {:?}",
+            s.log, s.order
+        ))
+    }
+}
+
+fn flush_final(s: &FlushState) -> Result<(), String> {
+    if s.log != s.order {
+        return Err(format!(
+            "handoff lost entries: log {:?} != submitted {:?} (staged {:?})",
+            s.log, s.order, s.staged
+        ));
+    }
+    Ok(())
+}
+
+#[test]
+fn model_flush_leader_handoff_no_loss() {
+    let threads = vec![
+        submitter(0, "sub-a", false),
+        submitter(1, "sub-b", false),
+        committer(),
+    ];
+    let out = explore(
+        &FlushState::default(),
+        &threads,
+        &flush_invariant,
+        &flush_final,
+    );
+    out.assert_clean();
+    assert!(out.interleavings > 100, "explorer barely permuted: {out:?}");
+}
+
+#[test]
+fn model_detects_stranded_stage_without_committer_fallback() {
+    // Without the committer, a submitter whose token bid loses after the
+    // leader's snapshot strands its entry — the starvation hole the single
+    // drain pass leaves open by design.
+    let threads = vec![submitter(0, "sub-a", false), submitter(1, "sub-b", false)];
+    let out = explore(
+        &FlushState::default(),
+        &threads,
+        &flush_invariant,
+        &flush_final,
+    );
+    assert!(
+        out.failures.iter().any(|f| f.contains("handoff lost")),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn model_detects_append_after_token_release() {
+    // Releasing the token before appending lets the next leader append
+    // first: submission order breaks.
+    let threads = vec![
+        submitter(0, "sub-a", true),
+        submitter(1, "sub-b", true),
+        committer(),
+    ];
+    let out = explore(
+        &FlushState::default(),
+        &threads,
+        &flush_invariant,
+        &flush_final,
+    );
+    assert!(
+        out.failures.iter().any(|f| f.contains("not a prefix")),
+        "{out:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 3: watermark advance vs. ack fencing.
+
+#[derive(Clone, Default)]
+struct FenceState {
+    clock: u32,
+    watermark_at: u32,
+    fence_read_at: u32,
+    demoted_at: u32,
+    fenced: bool,
+    snap_clean: Option<bool>,
+    durable: bool,
+    ambiguous: bool,
+}
+
+/// Completer steps in the given order; the correct protocol advances the
+/// watermark first and reads the fence after.
+fn completer(fence_read_first: bool) -> ThreadSpec<FenceState> {
+    let advance = |s: &mut FenceState| {
+        s.clock += 1;
+        s.watermark_at = s.clock;
+        true
+    };
+    let fence_read = |s: &mut FenceState| {
+        s.clock += 1;
+        s.fence_read_at = s.clock;
+        s.snap_clean = Some(!s.fenced);
+        true
+    };
+    let resolve = |s: &mut FenceState| {
+        if s.snap_clean == Some(true) {
+            s.durable = true;
+        } else {
+            s.ambiguous = true;
+        }
+        true
+    };
+    let steps: Vec<Step<FenceState>> = if fence_read_first {
+        vec![step(fence_read), step(advance), step(resolve)]
+    } else {
+        vec![step(advance), step(fence_read), step(resolve)]
+    };
+    ThreadSpec::worker("completer", steps)
+}
+
+fn demoter() -> ThreadSpec<FenceState> {
+    ThreadSpec::worker(
+        "demoter",
+        vec![step(|s: &mut FenceState| {
+            s.clock += 1;
+            s.demoted_at = s.clock;
+            s.fenced = true;
+            true
+        })],
+    )
+}
+
+fn fence_final(s: &FenceState) -> Result<(), String> {
+    if s.durable == s.ambiguous {
+        return Err("ticket must resolve exactly one way".to_string());
+    }
+    if s.durable {
+        // Durable requires: fence read after the watermark advanced, and no
+        // demotion before that read.
+        if s.fence_read_at <= s.watermark_at {
+            return Err(format!(
+                "durable but fence read (t{}) precedes watermark advance (t{})",
+                s.fence_read_at, s.watermark_at
+            ));
+        }
+        if s.demoted_at != 0 && s.demoted_at < s.fence_read_at {
+            return Err(format!(
+                "durable although demoted (t{}) before the fence read (t{})",
+                s.demoted_at, s.fence_read_at
+            ));
+        }
+    } else if s.demoted_at == 0 || s.demoted_at > s.fence_read_at {
+        return Err("ambiguous without a demotion before the fence read".to_string());
+    }
+    Ok(())
+}
+
+#[test]
+fn model_fenced_ticket_resolves_ambiguous() {
+    let durable_seen = Cell::new(0u32);
+    let ambiguous_seen = Cell::new(0u32);
+    let threads = vec![completer(false), demoter()];
+    let out = explore(&FenceState::default(), &threads, &|_| Ok(()), &|s| {
+        fence_final(s)?;
+        if s.durable {
+            durable_seen.set(durable_seen.get() + 1);
+        } else {
+            ambiguous_seen.set(ambiguous_seen.get() + 1);
+        }
+        Ok(())
+    });
+    out.assert_clean();
+    // Both outcomes must be reachable: demote-late schedules stay durable,
+    // demote-early schedules must downgrade to ambiguous.
+    assert!(durable_seen.get() > 0, "no schedule resolved durable");
+    assert!(ambiguous_seen.get() > 0, "no schedule resolved ambiguous");
+}
+
+#[test]
+fn model_detects_fence_read_before_watermark_advance() {
+    // Snapshotting the fence before the watermark advances leaves a window
+    // where a demotion lands unseen and the ticket still resolves durable.
+    let threads = vec![completer(true), demoter()];
+    let out = explore(&FenceState::default(), &threads, &|_| Ok(()), &fence_final);
+    assert!(
+        out.failures
+            .iter()
+            .any(|f| f.contains("precedes watermark advance")),
+        "{out:?}"
+    );
+}

@@ -366,7 +366,7 @@ impl LogService {
             .name("txlog-committer".into())
             .spawn(move || {
                 while let Some(svc) = weak.upgrade() {
-                    if svc.shutdown.load(Ordering::Relaxed) {
+                    if svc.shutdown.load(Ordering::Acquire) {
                         break;
                     }
                     svc.committer_step();
@@ -941,7 +941,8 @@ impl LogService {
     /// Stops the committer thread (used by tests; dropping all Arcs also
     /// ends it).
     pub fn shutdown(&self) {
-        self.shutdown.store(true, Ordering::Relaxed);
+        // Release pairs with the committer loop's Acquire load.
+        self.shutdown.store(true, Ordering::Release);
         self.work_cv.notify_all();
     }
 }

@@ -25,17 +25,31 @@
 #             baseline on mean commit latency; the smoke rows land in
 #             BENCH_log_latency.json.
 #
-# Usage: scripts/check.sh [--metrics-smoke] [--offline]
+#   concurrency — the §9 concurrency-correctness pass, opt in with
+#             --concurrency: re-runs the analyzer with the lock-order
+#             graph artifacts enabled (results/lockgraph.dot +
+#             results/lockgraph.toml, the sanctioned acquisition order as
+#             reviewable files), which also prints the total Relaxed
+#             atomics census, then runs the interleaving model tests
+#             (crates/sim/tests/interleave_models.rs) that exhaustively
+#             schedule the commit-pipeline handoffs. Each sub-step is
+#             timed. Finishes with a best-effort `cargo miri` /
+#             ThreadSanitizer probe that self-skips — loudly — when the
+#             toolchain component is not installed on this (offline) box.
+#
+# Usage: scripts/check.sh [--metrics-smoke] [--concurrency] [--offline]
 # Extra cargo flags (e.g. --offline in the hermetic container) are passed
 # through to every cargo invocation.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 METRICS_SMOKE=0
+CONCURRENCY=0
 CARGO_FLAGS=()
 for arg in "$@"; do
   case "$arg" in
     --metrics-smoke) METRICS_SMOKE=1 ;;
+    --concurrency) CONCURRENCY=1 ;;
     *) CARGO_FLAGS+=("$arg") ;;
   esac
 done
@@ -45,6 +59,18 @@ run() {
   "$@"
 }
 
+# Like run, but reports the wall-clock time of the step.
+timed() {
+  local label="$1"
+  shift
+  echo "==> [$label] $*"
+  local t0 t1
+  t0=$(date +%s)
+  "$@"
+  t1=$(date +%s)
+  echo "==> [$label] done in $((t1 - t0))s"
+}
+
 run cargo fmt --check
 run cargo clippy --workspace --all-targets "${CARGO_FLAGS[@]}" -- -D warnings
 run cargo run -q -p memorydb-analysis "${CARGO_FLAGS[@]}"
@@ -52,6 +78,31 @@ run cargo test -q --workspace "${CARGO_FLAGS[@]}"
 if [[ "$METRICS_SMOKE" == "1" ]]; then
   run cargo run -q --release -p memorydb-bench "${CARGO_FLAGS[@]}" --bin tcp_throughput -- --smoke
   run cargo run -q --release -p memorydb-bench "${CARGO_FLAGS[@]}" --bin log_latency -- --smoke
+fi
+if [[ "$CONCURRENCY" == "1" ]]; then
+  mkdir -p results
+  timed lockgraph cargo run -q -p memorydb-analysis "${CARGO_FLAGS[@]}" -- \
+    --lockgraph-dot results/lockgraph.dot --lockgraph-toml results/lockgraph.toml
+  echo "==> lock-order artifacts: results/lockgraph.dot results/lockgraph.toml"
+  timed model-tests cargo test -q -p memorydb-sim "${CARGO_FLAGS[@]}" --test interleave_models
+  # Best-effort dynamic checkers. Neither toolchain component ships in the
+  # hermetic container, so probe first and skip explicitly instead of
+  # failing: a skip line in the log is a fact, a missing line is a mystery.
+  if cargo miri --version >/dev/null 2>&1; then
+    timed miri cargo miri test -p memorydb-sim --test interleave_models
+  else
+    echo "==> [miri] SKIPPED: \`cargo miri\` unavailable (offline box, component not installed)"
+  fi
+  # TSan needs a sanitized std (-Zbuild-std), which needs the nightly
+  # rust-src component — probe for it, not just for a nightly rustc.
+  if [[ "$(uname -m)" == "x86_64" ]] \
+    && rustup +nightly component list --installed 2>/dev/null | grep -q '^rust-src'; then
+    timed tsan env RUSTFLAGS="-Zsanitizer=thread" \
+      cargo +nightly test -q -p memorydb-sim "${CARGO_FLAGS[@]}" --test interleave_models \
+      -Zbuild-std --target x86_64-unknown-linux-gnu
+  else
+    echo "==> [tsan] SKIPPED: nightly rust-src for -Zsanitizer=thread unavailable (offline box)"
+  fi
 fi
 
 echo "==> all checks passed"
