@@ -15,6 +15,7 @@
 //! | [`extras`] | §6.1.2.1 write bandwidth, durability & recovery ablations |
 //! | [`tcp`] | Enhanced-IO: real TCP throughput, multiplexed vs thread-per-conn |
 //! | [`log_latency`] | Adaptive group commit: offered-load sweep over the low-latency log path |
+//! | [`restore_mttr`] | Incremental snapshots + parallel restore: MTTR vs dataset size × freshness |
 //! | [`chaos_suite`] | Deterministic chaos harness — failover/crash-recovery invariants |
 
 pub mod chaos_suite;
@@ -25,4 +26,5 @@ pub mod fig6;
 pub mod fig7;
 pub mod log_latency;
 pub mod output;
+pub mod restore_mttr;
 pub mod tcp;

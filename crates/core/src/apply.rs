@@ -8,7 +8,7 @@ use crate::record::{NodeId, Record};
 use crate::slotset::SlotSet;
 use bytes::Bytes;
 use memorydb_engine::rdb::Crc64;
-use memorydb_engine::{key_hash_slot, keys_for, EffectCmd, Engine, EngineVersion};
+use memorydb_engine::{key_hash_slot, keys_for, DirtySet, EffectCmd, Engine, EngineVersion};
 use memorydb_txlog::{EntryId, LogEntry};
 use std::collections::HashSet;
 use std::time::Instant;
@@ -84,6 +84,13 @@ pub struct ReplicaState {
     pub release_observed: bool,
     /// Set when the consumer must stop applying (upgrade/corruption).
     pub halted: Option<HaltReason>,
+    /// Slots whose data changed since this state was last seeded from a
+    /// snapshot (or since boot, when no snapshot was loaded). Maintained at
+    /// fold time on primaries and at apply time on consumers; a restore that
+    /// replays the log suffix on top of a snapshot therefore ends with
+    /// exactly the slots dirtied *since that snapshot* — the delta the
+    /// incremental off-box snapshotter captures (DESIGN.md §14).
+    pub dirty_slots: SlotSet,
 }
 
 impl ReplicaState {
@@ -100,6 +107,22 @@ impl ReplicaState {
             last_leadership_signal: Instant::now(),
             release_observed: false,
             halted: None,
+            dirty_slots: SlotSet::empty(),
+        }
+    }
+
+    /// Folds an executed command's dirty-key set into the dirty-slot bitmap
+    /// (primaries call this next to [`fold_appended_payload`]; consumers get
+    /// the equivalent marking inside [`apply_entry_striped`]).
+    pub fn mark_dirty(&mut self, dirty: &DirtySet) {
+        match dirty {
+            DirtySet::None => {}
+            DirtySet::All => self.dirty_slots = SlotSet::full(),
+            DirtySet::Keys(keys) => {
+                for key in keys {
+                    self.dirty_slots.insert(key_hash_slot(key));
+                }
+            }
         }
     }
 }
@@ -121,30 +144,45 @@ pub fn apply_entry(
     apply_entry_striped(&mut [engine], |_| 0, rs, entry, my_version)
 }
 
+/// The slot an effect touches, for routing and dirty-slot tracking: keyed
+/// effects touch the slot of their first key (all of an effect's keys share
+/// a slot — the primary enforced CROSSSLOT before logging, and effect
+/// rewrites preserve the keys of the command they replace); keyless effects
+/// touch no single slot.
+pub(crate) fn effect_slot(eff: &EffectCmd) -> Option<u16> {
+    keys_for(eff)
+        .and_then(|keys| keys.into_iter().next())
+        .map(|key| key_hash_slot(&key))
+}
+
+/// Whether a keyless effect applies to *every* stripe (`FLUSHALL`/`FLUSHDB`).
+/// Any other keyless effect goes to stripe 0, matching the single-engine
+/// behavior exactly when `n == 1`. Shared by the immediate striped apply and
+/// the parallel-restore task router so both agree on broadcast semantics.
+pub(crate) fn is_broadcast_effect(eff: &EffectCmd) -> bool {
+    let name = eff
+        .first()
+        .map(|b| String::from_utf8_lossy(b).to_ascii_uppercase())
+        .unwrap_or_default();
+    name == "FLUSHALL" || name == "FLUSHDB"
+}
+
 /// Routes one effect to its owning stripe engine. Keyed effects go to the
-/// stripe of their first key (all of an effect's keys share a slot — the
-/// primary enforced CROSSSLOT before logging, and effect rewrites preserve
-/// the keys of the command they replace). Keyless `FLUSHALL`/`FLUSHDB`
-/// apply to every stripe; any other keyless effect goes to stripe 0,
-/// matching the single-engine behavior exactly when `n == 1`.
+/// stripe of their slot (see [`effect_slot`]); broadcast effects apply to
+/// every stripe; remaining keyless effects go to stripe 0.
 fn apply_effect_striped(
     engines: &mut [&mut Engine],
     stripe_of: &impl Fn(u16) -> usize,
     eff: &EffectCmd,
 ) -> Result<(), String> {
-    let keyed = keys_for(eff).and_then(|keys| keys.into_iter().next());
-    if let Some(key) = keyed {
-        let idx = stripe_of(key_hash_slot(&key));
+    if let Some(slot) = effect_slot(eff) {
+        let idx = stripe_of(slot);
         return match engines.get_mut(idx) {
             Some(e) => e.apply_effect(eff),
             None => Err(format!("stripe index {idx} out of range")),
         };
     }
-    let name = eff
-        .first()
-        .map(|b| String::from_utf8_lossy(b).to_ascii_uppercase())
-        .unwrap_or_default();
-    if name == "FLUSHALL" || name == "FLUSHDB" {
+    if is_broadcast_effect(eff) {
         for e in engines.iter_mut() {
             e.apply_effect(eff)?;
         }
@@ -154,6 +192,136 @@ fn apply_effect_striped(
         Some(e) => e.apply_effect(eff),
         None => Err("no stripe engines".into()),
     }
+}
+
+/// Data-changing work an entry defers to its owning stripe(s) after the
+/// control fold. Produced by [`fold_entry_deferred`]; the immediate path
+/// ([`apply_entry_striped`]) executes it on the spot, the parallel restore
+/// queues it per stripe and drains the queues concurrently — per-stripe
+/// queue order equals log order, the invariant striped replay pins.
+pub(crate) enum DeferredWork {
+    /// Nothing to run on an engine (pure control record).
+    None,
+    /// Version-checked effects, in log order.
+    Effects(Vec<EffectCmd>),
+    /// `MigrationDone`: the owning stripe deletes the slot's data (§5.2).
+    DeleteSlot(u16),
+}
+
+/// Folds one committed entry's *control* state into `rs` — decode, upgrade
+/// gate, leadership/epoch, checksum chain + probe verification, slot
+/// ownership, dirty-slot tracking — and returns the data-changing work to
+/// run against the engines. The single source of truth for log application:
+/// both the immediate striped apply and the parallel restore build on it.
+///
+/// On `Err` the halt is recorded in `rs.halted` and `rs.applied` does not
+/// advance. On `Ok` the checksum and position have already advanced; a
+/// caller whose engine-side application then fails must either roll those
+/// two fields back (the immediate path does) or discard the whole state
+/// (restore does).
+pub(crate) fn fold_entry_deferred(
+    rs: &mut ReplicaState,
+    entry: &LogEntry,
+    my_version: EngineVersion,
+) -> Result<DeferredWork, HaltReason> {
+    debug_assert_eq!(entry.id, rs.applied.next(), "entries must apply in order");
+    // Both record formats coexist in one log (restore compatibility): v2
+    // length-prefixed frames with a per-record CRC, and the legacy tag
+    // encoding from before the frame format. The frame check pins
+    // corruption to the exact record — a CRC mismatch halts with the typed
+    // frame error naming this entry, instead of a generic decode failure.
+    let record = match Record::decode_any(&entry.payload) {
+        Ok(record) => record,
+        Err(e) => {
+            let halt = HaltReason::EffectFailed(format!("record at {}: {e}", entry.id));
+            rs.halted = Some(halt.clone());
+            return Err(halt);
+        }
+    };
+    let mut work = DeferredWork::None;
+    match record {
+        Record::Effects { version, effects } => {
+            // Upgrade protection (§7.1): an older engine must not interpret
+            // a stream produced by a newer one.
+            if !my_version.can_consume_stream_from(version) {
+                let halt = HaltReason::StalledUpgrade(version);
+                rs.halted = Some(halt.clone());
+                return Err(halt);
+            }
+            for eff in &effects {
+                // Dirty-slot tracking: a keyed effect dirties its slot; a
+                // keyless one (FLUSHALL and kin) can touch anything.
+                match effect_slot(eff) {
+                    Some(slot) => rs.dirty_slots.insert(slot),
+                    None => rs.dirty_slots = SlotSet::full(),
+                }
+            }
+            work = DeferredWork::Effects(effects);
+        }
+        Record::LeaderClaim {
+            node,
+            epoch,
+            lease_ms,
+        } => {
+            rs.epoch = epoch;
+            rs.leader = Some(node);
+            rs.observed_lease_ms = lease_ms;
+            rs.last_leadership_signal = Instant::now();
+            rs.release_observed = false;
+        }
+        Record::LeaseRenewal {
+            node,
+            epoch,
+            lease_ms,
+        } => {
+            rs.epoch = epoch.max(rs.epoch);
+            rs.leader = Some(node);
+            rs.observed_lease_ms = lease_ms;
+            rs.last_leadership_signal = Instant::now();
+            rs.release_observed = false;
+        }
+        Record::LeaseRelease { node, .. } => {
+            if rs.leader == Some(node) {
+                rs.release_observed = true;
+            }
+        }
+        Record::ChecksumProbe { crc } => {
+            // Verify, do NOT fold the probe into the checksum.
+            if crc != rs.running_crc {
+                let halt = HaltReason::ChecksumMismatch {
+                    expected: crc,
+                    actual: rs.running_crc,
+                };
+                rs.halted = Some(halt.clone());
+                return Err(halt);
+            }
+            rs.applied = entry.id;
+            return Ok(DeferredWork::None);
+        }
+        Record::MigrationPrepare { slot, .. } => {
+            rs.blocked_slots.insert(slot);
+        }
+        Record::MigrationCommit { slot, .. } => {
+            rs.owned_slots.insert(slot);
+        }
+        Record::MigrationDone { slot } => {
+            rs.blocked_slots.remove(&slot);
+            rs.owned_slots.remove(slot);
+            // Deleting the transferred data (§5.2) is a data change: the
+            // slot is dirty relative to any earlier snapshot.
+            rs.dirty_slots.insert(slot);
+            work = DeferredWork::DeleteSlot(slot);
+        }
+        Record::MigrationAbort { slot } => {
+            rs.blocked_slots.remove(&slot);
+        }
+        Record::SlotOwnership { ranges } => {
+            rs.owned_slots = SlotSet::from_ranges(&ranges);
+        }
+    }
+    rs.running_crc = chain_crc(rs.running_crc, &entry.payload);
+    rs.applied = entry.id;
+    Ok(work)
 }
 
 /// Applies one committed log entry to a striped engine set and `rs`.
@@ -173,101 +341,30 @@ pub fn apply_entry_striped(
     entry: &LogEntry,
     my_version: EngineVersion,
 ) -> Result<(), HaltReason> {
-    debug_assert_eq!(entry.id, rs.applied.next(), "entries must apply in order");
-    // Both record formats coexist in one log (restore compatibility): v2
-    // length-prefixed frames with a per-record CRC, and the legacy tag
-    // encoding from before the frame format. The frame check pins
-    // corruption to the exact record — a CRC mismatch halts with the typed
-    // frame error naming this entry, instead of a generic decode failure.
-    let record = match Record::decode_any(&entry.payload) {
-        Ok(record) => record,
-        Err(e) => {
-            let halt = HaltReason::EffectFailed(format!("record at {}: {e}", entry.id));
-            rs.halted = Some(halt.clone());
-            return Err(halt);
-        }
-    };
-    match &record {
-        Record::Effects { version, effects } => {
-            // Upgrade protection (§7.1): an older engine must not interpret
-            // a stream produced by a newer one.
-            if !my_version.can_consume_stream_from(*version) {
-                let halt = HaltReason::StalledUpgrade(*version);
-                rs.halted = Some(halt.clone());
-                return Err(halt);
-            }
-            for eff in effects {
+    let (prev_applied, prev_crc) = (rs.applied, rs.running_crc);
+    match fold_entry_deferred(rs, entry, my_version)? {
+        DeferredWork::None => {}
+        DeferredWork::Effects(effects) => {
+            for eff in &effects {
                 if let Err(e) = apply_effect_striped(engines, &stripe_of, eff) {
+                    // A halted entry is not applied: undo the position/
+                    // checksum advance the fold made (dirty-slot marks may
+                    // stay — over-approximation is safe).
+                    rs.applied = prev_applied;
+                    rs.running_crc = prev_crc;
                     let halt = HaltReason::EffectFailed(e);
                     rs.halted = Some(halt.clone());
                     return Err(halt);
                 }
             }
         }
-        Record::LeaderClaim {
-            node,
-            epoch,
-            lease_ms,
-        } => {
-            rs.epoch = *epoch;
-            rs.leader = Some(*node);
-            rs.observed_lease_ms = *lease_ms;
-            rs.last_leadership_signal = Instant::now();
-            rs.release_observed = false;
-        }
-        Record::LeaseRenewal {
-            node,
-            epoch,
-            lease_ms,
-        } => {
-            rs.epoch = (*epoch).max(rs.epoch);
-            rs.leader = Some(*node);
-            rs.observed_lease_ms = *lease_ms;
-            rs.last_leadership_signal = Instant::now();
-            rs.release_observed = false;
-        }
-        Record::LeaseRelease { node, .. } => {
-            if rs.leader == Some(*node) {
-                rs.release_observed = true;
+        DeferredWork::DeleteSlot(slot) => {
+            // Only the stripe owning the slot holds any of its data.
+            if let Some(e) = engines.get_mut(stripe_of(slot)) {
+                e.db.delete_slot(slot);
             }
-        }
-        Record::ChecksumProbe { crc } => {
-            // Verify, do NOT fold the probe into the checksum.
-            if *crc != rs.running_crc {
-                let halt = HaltReason::ChecksumMismatch {
-                    expected: *crc,
-                    actual: rs.running_crc,
-                };
-                rs.halted = Some(halt.clone());
-                return Err(halt);
-            }
-            rs.applied = entry.id;
-            return Ok(());
-        }
-        Record::MigrationPrepare { slot, .. } => {
-            rs.blocked_slots.insert(*slot);
-        }
-        Record::MigrationCommit { slot, .. } => {
-            rs.owned_slots.insert(*slot);
-        }
-        Record::MigrationDone { slot } => {
-            rs.blocked_slots.remove(slot);
-            rs.owned_slots.remove(*slot);
-            // The old owner deletes the transferred data (§5.2) — only the
-            // stripe owning the slot holds any of it.
-            if let Some(e) = engines.get_mut(stripe_of(*slot)) {
-                e.db.delete_slot(*slot);
-            }
-        }
-        Record::MigrationAbort { slot } => {
-            rs.blocked_slots.remove(slot);
-        }
-        Record::SlotOwnership { ranges } => {
-            rs.owned_slots = SlotSet::from_ranges(ranges);
         }
     }
-    rs.running_crc = chain_crc(rs.running_crc, &entry.payload);
-    rs.applied = entry.id;
     Ok(())
 }
 

@@ -50,6 +50,18 @@ pub struct ShardConfig {
     /// batches touching different stripes execute concurrently. `1` restores
     /// the single-lock engine.
     pub engine_stripes: usize,
+    /// Worker threads for restore: parallel snapshot-chunk fetch/decode and
+    /// partitioned log replay (§4.2.1). `0` = auto (one per available
+    /// core), `1` = fully sequential.
+    pub restore_workers: usize,
+    /// How many slot-range chunks a full snapshot is split into (and the
+    /// upper bound on a delta's dirty ranges after coalescing). More chunks
+    /// = more restore parallelism, more objects per snapshot.
+    pub snapshot_chunks: usize,
+    /// Max deltas stacked on one full snapshot before the off-box
+    /// snapshotter forces a fresh full (bounds restore chain length and the
+    /// blast radius of a lost delta).
+    pub snapshot_max_chain: u32,
 }
 
 impl Default for ShardConfig {
@@ -68,6 +80,9 @@ impl Default for ShardConfig {
             snapshot_min_bytes: 64 * 1024,
             snapshot_ratio: 0.25,
             engine_stripes: 16,
+            restore_workers: 0,
+            snapshot_chunks: 16,
+            snapshot_max_chain: 4,
         }
     }
 }
@@ -114,6 +129,18 @@ impl ShardConfig {
                 "engine_stripes ({}) must be in 1..={}",
                 self.engine_stripes,
                 memorydb_engine::NUM_SLOTS
+            ));
+        }
+        if self.snapshot_chunks == 0 || self.snapshot_chunks > 1024 {
+            return Err(format!(
+                "snapshot_chunks ({}) must be in 1..=1024",
+                self.snapshot_chunks
+            ));
+        }
+        if self.snapshot_max_chain > 64 {
+            return Err(format!(
+                "snapshot_max_chain ({}) must be at most 64",
+                self.snapshot_max_chain
             ));
         }
         Ok(())
@@ -174,6 +201,30 @@ mod tests {
         cfg.log.quorum_pipeline_depth = 0;
         assert!(cfg.validate().is_err());
         cfg.log.quorum_pipeline_depth = 1;
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn snapshot_chunks_and_chain_are_bounded() {
+        let cfg = ShardConfig {
+            snapshot_chunks: 0,
+            ..ShardConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = ShardConfig {
+            snapshot_chunks: 4096,
+            ..ShardConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = ShardConfig {
+            snapshot_max_chain: 65,
+            ..ShardConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = ShardConfig {
+            snapshot_max_chain: 0, // every snapshot full — valid
+            ..ShardConfig::default()
+        };
         cfg.validate().unwrap();
     }
 

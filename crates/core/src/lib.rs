@@ -17,8 +17,8 @@
 //! | §3.2 client-blocking tracker, key-level hazards | [`tracker`], [`node`] |
 //! | §3.2 commit pipeline, cross-connection group commit | [`pipeline`], [`node`] |
 //! | §4.1 leader election, leases, fencing | [`node`] (election), [`record`] |
-//! | §4.2 recovery, data restoration | [`restore`], [`monitor`] |
-//! | §4.2.2 off-box snapshotting | [`offbox`] |
+//! | §4.2 recovery, data restoration | [`restore`], [`manifest`], [`monitor`] |
+//! | §4.2.2 off-box snapshotting (incremental) | [`offbox`], [`manifest`] |
 //! | §4.2.3 snapshot scheduling | [`scheduler`] |
 //! | §5.1 monitoring (external + internal views) | [`monitor`], [`bus`] |
 //! | §5.2 scaling & slot migration (2PC) | [`migration`], [`cluster`], [`shard`] |
@@ -30,6 +30,7 @@ pub mod bus;
 pub mod client;
 pub mod cluster;
 pub mod config;
+pub mod manifest;
 pub mod migration;
 pub mod monitor;
 pub mod node;
@@ -49,17 +50,19 @@ pub use bus::{BusRole, ClusterBus};
 pub use client::ClusterClient;
 pub use cluster::Cluster;
 pub use config::ShardConfig;
+pub use manifest::{ChunkRef, SnapshotImage, SnapshotManifest};
 pub use migration::{migrate_slot, MigrationError};
 pub use monitor::MonitoringService;
 pub use node::{Node, ShardContext, SubmittedBatch};
 pub use offbox::OffboxSnapshotter;
 pub use pipeline::TicketOutcome;
 pub use record::{NodeId, Record, ShardId};
+pub use restore::{RestoreOptions, SeedInfo};
 pub use scheduler::SnapshotScheduler;
 pub use shard::{NodeIdGen, Shard};
 pub use slotset::SlotSet;
 pub use snapshot::ShardSnapshot;
-pub use stripes::{stripe_of, EngineStripes, StripeGuards};
+pub use stripes::{slot_range_of, stripe_of, EngineStripes, StripeGuards};
 pub use tracker::Tracker;
 
 #[cfg(test)]

@@ -1,0 +1,777 @@
+//! Incremental snapshot manifests and chain resolution (DESIGN.md §14).
+//!
+//! A full-state `ShardSnapshot` blob scales its upload with the whole
+//! dataset even when only a sliver changed between snapshot cycles. The
+//! incremental format splits a snapshot into a small **manifest** plus
+//! chunked per-slot-range **blobs**:
+//!
+//! * a **full** manifest (`chain_len == 0`, `base == EntryId::ZERO`) chunks
+//!   the entire keyspace into contiguous slot ranges;
+//! * a **delta** manifest chunks only the slots dirtied since its `base`
+//!   snapshot (the dirty-slot bitmap the replica state maintains at fold
+//!   time), and names that base by covered position;
+//! * chains are bounded: after `snapshot_max_chain` deltas the off-box
+//!   snapshotter forces a full snapshot, so restore cost and blast radius
+//!   of a lost base stay bounded.
+//!
+//! Restoration resolves the chain newest → oldest down to its full base,
+//! fetches/decodes the chunks (in parallel when the restore is configured
+//! with workers), and merges them newest-first: once a newer manifest's
+//! chunk has claimed a slot range, older data in those slots is ignored —
+//! which is also how deletions propagate, since a dirtied-but-now-empty
+//! slot still claims its range.
+//!
+//! Store layout (separate prefixes so the legacy `snapshots/` namespace and
+//! its ordering stay intact):
+//!
+//! ```text
+//! snapmeta/{shard}/{covered:020}                 manifest (publication point)
+//! snapchunk/{shard}/{covered:020}/{lo:05}-{hi:05} chunk blob (RDB format)
+//! ```
+//!
+//! Chunks are uploaded **before** their manifest: a manifest in the store
+//! implies every chunk it references is fetchable (the same
+//! publication-point discipline as put-before-trim, see [`crate::offbox`]).
+
+use crate::slotset::SlotSet;
+use crate::snapshot::{ShardSnapshot, SnapshotError};
+use bytes::Bytes;
+use memorydb_engine::rdb::{self, crc64};
+use memorydb_engine::{key_hash_slot, Db, EngineVersion};
+use memorydb_objectstore::ObjectStore;
+use memorydb_txlog::EntryId;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const MAGIC: &[u8; 4] = b"MDSM";
+
+/// Longest base-pointer walk we will follow before declaring a cycle. Far
+/// above any real `snapshot_max_chain`; guards against a corrupted or
+/// adversarial manifest graph.
+const MAX_CHAIN_WALK: usize = 1024;
+
+/// One chunk of a snapshot: the keys of slot range `lo..=hi` at the
+/// manifest's covered position, stored as an RDB-format blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkRef {
+    /// First slot of the inclusive range.
+    pub lo: u16,
+    /// Last slot of the inclusive range.
+    pub hi: u16,
+    /// Size of the stored blob in bytes.
+    pub len: u64,
+    /// CRC64 of the stored blob (verified before decode on restore).
+    pub crc: u64,
+}
+
+/// A snapshot manifest: the metadata of one (full or delta) snapshot plus
+/// references to its chunk blobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotManifest {
+    /// Last transaction-log entry included in this image.
+    pub covered: EntryId,
+    /// Running checksum of the record payload sequence through `covered`.
+    pub running_crc: u64,
+    /// Engine version that produced the image (§7.1).
+    pub engine_version: EngineVersion,
+    /// Leadership epoch at snapshot time (diagnostics).
+    pub epoch: u64,
+    /// Slot ownership at snapshot time, as inclusive ranges.
+    pub slot_ranges: Vec<(u16, u16)>,
+    /// Slots blocked mid-migration at snapshot time.
+    pub blocked_slots: Vec<u16>,
+    /// Covered position of the snapshot this delta builds on;
+    /// `EntryId::ZERO` for a full snapshot.
+    pub base: EntryId,
+    /// Number of deltas between this manifest and its full base (0 = full).
+    pub chain_len: u32,
+    /// The chunk blobs making up the image, ascending disjoint slot ranges.
+    pub chunks: Vec<ChunkRef>,
+}
+
+impl SnapshotManifest {
+    /// Whether this manifest is a chain-anchoring full snapshot.
+    pub fn is_full(&self) -> bool {
+        self.chain_len == 0
+    }
+
+    /// Object-store key of a shard's manifest at a covered position;
+    /// zero-padded so lexicographic order equals log order.
+    pub fn store_key(shard_name: &str, covered: EntryId) -> String {
+        format!("snapmeta/{shard_name}/{:020}", covered.0)
+    }
+
+    /// Object-store key of one chunk blob of a manifest.
+    pub fn chunk_key(shard_name: &str, covered: EntryId, lo: u16, hi: u16) -> String {
+        format!("snapchunk/{shard_name}/{:020}/{lo:05}-{hi:05}", covered.0)
+    }
+
+    /// Serializes the manifest for the object store.
+    pub fn encode(&self) -> Bytes {
+        let mut out = Vec::with_capacity(64 + self.chunks.len() * 20);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&self.covered.0.to_le_bytes());
+        out.extend_from_slice(&self.running_crc.to_le_bytes());
+        out.extend_from_slice(&self.engine_version.major.to_le_bytes());
+        out.extend_from_slice(&self.engine_version.minor.to_le_bytes());
+        out.extend_from_slice(&self.engine_version.patch.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.base.0.to_le_bytes());
+        out.extend_from_slice(&self.chain_len.to_le_bytes());
+        out.extend_from_slice(&(self.slot_ranges.len() as u32).to_le_bytes());
+        for (lo, hi) in &self.slot_ranges {
+            out.extend_from_slice(&lo.to_le_bytes());
+            out.extend_from_slice(&hi.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.blocked_slots.len() as u32).to_le_bytes());
+        for s in &self.blocked_slots {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.chunks.len() as u32).to_le_bytes());
+        for c in &self.chunks {
+            out.extend_from_slice(&c.lo.to_le_bytes());
+            out.extend_from_slice(&c.hi.to_le_bytes());
+            out.extend_from_slice(&c.len.to_le_bytes());
+            out.extend_from_slice(&c.crc.to_le_bytes());
+        }
+        let crc = crc64(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        Bytes::from(out)
+    }
+
+    /// Parses and integrity-checks a blob produced by [`encode`]. Every
+    /// declared count is validated against the remaining buffer before any
+    /// allocation sized from it (the same discipline as
+    /// [`ShardSnapshot::decode`]).
+    ///
+    /// [`encode`]: SnapshotManifest::encode
+    pub fn decode(data: &[u8]) -> Result<SnapshotManifest, SnapshotError> {
+        if data.len() < 4 + 8 + 8 + 6 + 8 + 8 + 4 + 4 + 4 + 4 + 8 {
+            return Err(SnapshotError::Corrupt("manifest too short".into()));
+        }
+        let (payload, trailer) = data.split_at(data.len() - 8);
+        let stored = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+        if crc64(payload) != stored {
+            return Err(SnapshotError::Corrupt(
+                "manifest envelope checksum mismatch".into(),
+            ));
+        }
+        if &payload[..4] != MAGIC {
+            return Err(SnapshotError::Corrupt("bad manifest magic".into()));
+        }
+        struct Cur<'a> {
+            d: &'a [u8],
+            p: usize,
+        }
+        impl<'a> Cur<'a> {
+            fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+                let end = self
+                    .p
+                    .checked_add(n)
+                    .ok_or_else(|| SnapshotError::Corrupt("length overflow".into()))?;
+                let out = self
+                    .d
+                    .get(self.p..end)
+                    .ok_or_else(|| SnapshotError::Corrupt("truncated manifest".into()))?;
+                self.p = end;
+                Ok(out)
+            }
+            fn remaining(&self) -> usize {
+                self.d.len().saturating_sub(self.p)
+            }
+            fn u16(&mut self) -> Result<u16, SnapshotError> {
+                Ok(u16::from_le_bytes(
+                    self.take(2)?.try_into().expect("2 bytes"),
+                ))
+            }
+            fn u32(&mut self) -> Result<u32, SnapshotError> {
+                Ok(u32::from_le_bytes(
+                    self.take(4)?.try_into().expect("4 bytes"),
+                ))
+            }
+            fn u64(&mut self) -> Result<u64, SnapshotError> {
+                Ok(u64::from_le_bytes(
+                    self.take(8)?.try_into().expect("8 bytes"),
+                ))
+            }
+        }
+        let mut c = Cur { d: payload, p: 4 };
+        let covered = EntryId(c.u64()?);
+        let running_crc = c.u64()?;
+        let engine_version = EngineVersion::new(c.u16()?, c.u16()?, c.u16()?);
+        let epoch = c.u64()?;
+        let base = EntryId(c.u64()?);
+        let chain_len = c.u32()?;
+        if (chain_len == 0) != (base == EntryId::ZERO) {
+            return Err(SnapshotError::Corrupt(
+                "chain_len/base disagree on full vs delta".into(),
+            ));
+        }
+        let nranges = c.u32()? as usize;
+        if nranges > 16384 || nranges.saturating_mul(4) > c.remaining() {
+            return Err(SnapshotError::Corrupt("too many slot ranges".into()));
+        }
+        let mut slot_ranges = Vec::with_capacity(nranges);
+        for _ in 0..nranges {
+            let lo = c.u16()?;
+            let hi = c.u16()?;
+            slot_ranges.push((lo, hi));
+        }
+        let nblocked = c.u32()? as usize;
+        if nblocked > 16384 || nblocked.saturating_mul(2) > c.remaining() {
+            return Err(SnapshotError::Corrupt("too many blocked slots".into()));
+        }
+        let mut blocked_slots = Vec::with_capacity(nblocked);
+        for _ in 0..nblocked {
+            blocked_slots.push(c.u16()?);
+        }
+        let nchunks = c.u32()? as usize;
+        if nchunks > 16384 || nchunks.saturating_mul(20) > c.remaining() {
+            return Err(SnapshotError::Corrupt("too many chunks".into()));
+        }
+        let mut chunks = Vec::with_capacity(nchunks);
+        let mut prev_hi: Option<u16> = None;
+        for _ in 0..nchunks {
+            let lo = c.u16()?;
+            let hi = c.u16()?;
+            let len = c.u64()?;
+            let crc = c.u64()?;
+            if lo > hi || hi >= memorydb_engine::NUM_SLOTS {
+                return Err(SnapshotError::Corrupt("bad chunk slot range".into()));
+            }
+            if let Some(p) = prev_hi {
+                if lo <= p {
+                    return Err(SnapshotError::Corrupt(
+                        "chunk ranges not ascending/disjoint".into(),
+                    ));
+                }
+            }
+            prev_hi = Some(hi);
+            chunks.push(ChunkRef { lo, hi, len, crc });
+        }
+        if c.remaining() != 0 {
+            return Err(SnapshotError::Corrupt("trailing manifest bytes".into()));
+        }
+        Ok(SnapshotManifest {
+            covered,
+            running_crc,
+            engine_version,
+            epoch,
+            slot_ranges,
+            blocked_slots,
+            base,
+            chain_len,
+            chunks,
+        })
+    }
+
+    /// Fetches and verifies the manifest stored for `covered`, if present.
+    pub fn fetch_at(
+        store: &ObjectStore,
+        shard_name: &str,
+        covered: EntryId,
+    ) -> Result<SnapshotManifest, SnapshotError> {
+        let key = Self::store_key(shard_name, covered);
+        let (_, blob) = store
+            .get(&key)
+            .map_err(|e| SnapshotError::Corrupt(format!("manifest {key}: {e}")))?;
+        let m = Self::decode(&blob)?;
+        if m.covered != covered {
+            return Err(SnapshotError::Corrupt(format!(
+                "manifest {key} claims covered {}",
+                m.covered.0
+            )));
+        }
+        Ok(m)
+    }
+}
+
+/// A resolved incremental chain: manifests newest → oldest, the last one
+/// full. Produced by [`resolve_chain`]; the restorable image is the merge
+/// of the chunks newest-first.
+#[derive(Debug, Clone)]
+pub struct SnapshotChain {
+    /// Manifests newest → oldest; `manifests[0]` is the chain head whose
+    /// `covered`/`running_crc` seed the restored replica state, the last
+    /// element is the anchoring full snapshot.
+    pub manifests: Vec<SnapshotManifest>,
+}
+
+impl SnapshotChain {
+    /// Covered position of the chain head.
+    pub fn covered(&self) -> EntryId {
+        self.manifests
+            .first()
+            .map(|m| m.covered)
+            .unwrap_or(EntryId::ZERO)
+    }
+
+    /// Covered position of the anchoring full snapshot — the log position
+    /// trims must never pass while deltas still build on it.
+    pub fn full_covered(&self) -> EntryId {
+        self.manifests
+            .last()
+            .map(|m| m.covered)
+            .unwrap_or(EntryId::ZERO)
+    }
+
+    /// Deltas above the full base.
+    pub fn chain_len(&self) -> u32 {
+        self.manifests
+            .first()
+            .map(|m| m.chain_len)
+            .unwrap_or_default()
+    }
+}
+
+/// Walks base pointers from `head` down to its full snapshot. Fails —
+/// without touching any chunk — when a base manifest is missing or corrupt,
+/// when covered positions do not strictly decrease, or when the walk
+/// exceeds [`MAX_CHAIN_WALK`]: a broken chain, which restoration answers by
+/// falling back to an older candidate (ultimately the newest full).
+pub fn resolve_chain(
+    store: &ObjectStore,
+    shard_name: &str,
+    head: SnapshotManifest,
+) -> Result<SnapshotChain, SnapshotError> {
+    let mut manifests = vec![head];
+    while let Some(last) = manifests.last() {
+        if last.is_full() {
+            break;
+        }
+        if manifests.len() >= MAX_CHAIN_WALK {
+            return Err(SnapshotError::Corrupt("manifest chain too long".into()));
+        }
+        if last.base >= last.covered {
+            return Err(SnapshotError::Corrupt(
+                "manifest base does not precede it".into(),
+            ));
+        }
+        let base = SnapshotManifest::fetch_at(store, shard_name, last.base)
+            .map_err(|e| SnapshotError::Corrupt(format!("broken chain: {e}")))?;
+        manifests.push(base);
+    }
+    Ok(SnapshotChain { manifests })
+}
+
+/// One restorable snapshot candidate found in the object store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotCandidate {
+    /// A legacy monolithic `ShardSnapshot` blob at this covered position.
+    Legacy(EntryId),
+    /// An incremental manifest (chain head) at this covered position.
+    Manifest(EntryId),
+}
+
+impl SnapshotCandidate {
+    /// Covered position of the candidate.
+    pub fn covered(&self) -> EntryId {
+        match self {
+            SnapshotCandidate::Legacy(id) | SnapshotCandidate::Manifest(id) => *id,
+        }
+    }
+}
+
+/// Lists every snapshot candidate of a shard, newest first. Manifests and
+/// legacy blobs are interleaved by covered position; at equal positions the
+/// manifest wins (chunked restore parallelizes, the blob does not).
+pub fn list_candidates(store: &ObjectStore, shard_name: &str) -> Vec<SnapshotCandidate> {
+    fn covered_of(key: &str) -> Option<EntryId> {
+        key.rsplit('/').next()?.parse::<u64>().ok().map(EntryId)
+    }
+    let mut out = Vec::new();
+    for meta in store.list(&format!("snapmeta/{shard_name}/")) {
+        if let Some(id) = covered_of(&meta.key) {
+            out.push(SnapshotCandidate::Manifest(id));
+        }
+    }
+    for meta in store.list(&format!("snapshots/{shard_name}/")) {
+        if let Some(id) = covered_of(&meta.key) {
+            out.push(SnapshotCandidate::Legacy(id));
+        }
+    }
+    // Newest first; manifest before legacy at the same position.
+    out.sort_by_key(|c| {
+        let manifest_first = matches!(c, SnapshotCandidate::Legacy(_));
+        (std::cmp::Reverse(c.covered()), manifest_first)
+    });
+    out
+}
+
+/// A materialized point-in-time image — everything restore needs before log
+/// replay, whether it came from a legacy blob or an incremental chain.
+#[derive(Debug)]
+pub struct SnapshotImage {
+    /// The merged keyspace at `covered`.
+    pub db: Db,
+    /// Last transaction-log entry included.
+    pub covered: EntryId,
+    /// Running checksum through `covered`.
+    pub running_crc: u64,
+    /// Leadership epoch at snapshot time.
+    pub epoch: u64,
+    /// Slot ownership at snapshot time.
+    pub slot_ranges: Vec<(u16, u16)>,
+    /// Slots blocked mid-migration at snapshot time.
+    pub blocked_slots: Vec<u16>,
+    /// Deltas above the full base (0 when the image is/derives from a full).
+    pub chain_len: u32,
+    /// Covered position of the anchoring full snapshot.
+    pub full_covered: EntryId,
+    /// Whether the image came from a chunked manifest chain.
+    pub from_manifest: bool,
+    /// Whether the image came from the newest candidate in the store (a
+    /// fallback past a broken newer candidate clears this; the off-box
+    /// snapshotter then forces a full snapshot rather than extending a
+    /// chain that is no longer the freshest).
+    pub newest: bool,
+}
+
+/// Fetches the newest restorable snapshot image, degrading candidate by
+/// candidate: a corrupt blob, broken chain, or corrupt/unfetchable chunk
+/// fails only that candidate. `workers > 1` fetches and decodes chunk blobs
+/// on that many threads. Returns `Ok(None)` on an empty store and the last
+/// error when candidates exist but none restores.
+pub fn fetch_latest_image(
+    store: &ObjectStore,
+    shard_name: &str,
+    workers: usize,
+) -> Result<Option<SnapshotImage>, SnapshotError> {
+    let candidates = list_candidates(store, shard_name);
+    if candidates.is_empty() {
+        return Ok(None);
+    }
+    let mut last_err = SnapshotError::Corrupt("no restorable snapshot".into());
+    for (i, cand) in candidates.iter().enumerate() {
+        match materialize(store, shard_name, cand, workers) {
+            Ok(mut image) => {
+                image.newest = i == 0;
+                return Ok(Some(image));
+            }
+            Err(e) => last_err = e,
+        }
+    }
+    Err(last_err)
+}
+
+/// Covered position of the newest snapshot whose *metadata* verifies: the
+/// legacy blob decodes, or the manifest chain resolves down to its full
+/// base. Cheap relative to [`fetch_latest_image`] — chunk blobs are not
+/// fetched — so monitoring can sample freshness without materializing a
+/// keyspace. `None` when no candidate verifies.
+pub fn newest_restorable_covered(store: &ObjectStore, shard_name: &str) -> Option<EntryId> {
+    for cand in list_candidates(store, shard_name) {
+        let ok = match &cand {
+            SnapshotCandidate::Legacy(covered) => {
+                let key = ShardSnapshot::store_key(shard_name, *covered);
+                store
+                    .get(&key)
+                    .ok()
+                    .is_some_and(|(_, blob)| ShardSnapshot::decode(&blob).is_ok())
+            }
+            SnapshotCandidate::Manifest(covered) => {
+                SnapshotManifest::fetch_at(store, shard_name, *covered)
+                    .and_then(|head| resolve_chain(store, shard_name, head))
+                    .is_ok()
+            }
+        };
+        if ok {
+            return Some(cand.covered());
+        }
+    }
+    None
+}
+
+/// Materializes one candidate into an image (`newest` left true; the caller
+/// that walked the candidate list sets it).
+fn materialize(
+    store: &ObjectStore,
+    shard_name: &str,
+    cand: &SnapshotCandidate,
+    workers: usize,
+) -> Result<SnapshotImage, SnapshotError> {
+    match cand {
+        SnapshotCandidate::Legacy(covered) => {
+            let key = ShardSnapshot::store_key(shard_name, *covered);
+            let (_, blob) = store
+                .get(&key)
+                .map_err(|e| SnapshotError::Corrupt(format!("snapshot {key}: {e}")))?;
+            let snap = ShardSnapshot::decode(&blob)?;
+            let db = snap.load_db()?;
+            Ok(SnapshotImage {
+                db,
+                covered: snap.covered,
+                running_crc: snap.running_crc,
+                epoch: snap.epoch,
+                slot_ranges: snap.slot_ranges,
+                blocked_slots: snap.blocked_slots,
+                chain_len: 0,
+                full_covered: snap.covered,
+                from_manifest: false,
+                newest: true,
+            })
+        }
+        SnapshotCandidate::Manifest(covered) => {
+            let head = SnapshotManifest::fetch_at(store, shard_name, *covered)?;
+            let chain = resolve_chain(store, shard_name, head)?;
+            let db = merge_chain(store, shard_name, &chain, workers)?;
+            let full_covered = chain.full_covered();
+            let chain_len = chain.chain_len();
+            let Some(head) = chain.manifests.into_iter().next() else {
+                return Err(SnapshotError::Corrupt("empty chain".into()));
+            };
+            Ok(SnapshotImage {
+                db,
+                covered: head.covered,
+                running_crc: head.running_crc,
+                epoch: head.epoch,
+                slot_ranges: head.slot_ranges,
+                blocked_slots: head.blocked_slots,
+                chain_len,
+                full_covered,
+                from_manifest: true,
+                newest: true,
+            })
+        }
+    }
+}
+
+/// Fetches, verifies and decodes one chunk blob.
+fn load_chunk(
+    store: &ObjectStore,
+    shard_name: &str,
+    covered: EntryId,
+    chunk: &ChunkRef,
+) -> Result<Db, SnapshotError> {
+    let key = SnapshotManifest::chunk_key(shard_name, covered, chunk.lo, chunk.hi);
+    let (_, blob) = store
+        .get(&key)
+        .map_err(|e| SnapshotError::Corrupt(format!("chunk {key}: {e}")))?;
+    if blob.len() as u64 != chunk.len || crc64(&blob) != chunk.crc {
+        return Err(SnapshotError::Corrupt(format!(
+            "chunk {key} does not match its manifest reference"
+        )));
+    }
+    rdb::load(&blob).map_err(|e| SnapshotError::Corrupt(format!("chunk {key}: {e}")))
+}
+
+/// Fetches and decodes every chunk of the chain, then merges newest → oldest
+/// under slot-coverage masking. With `workers > 1` the fetch+decode runs on
+/// a scoped thread pool pulling tasks off a shared counter; the merge itself
+/// stays sequential in chain order (it is cheap relative to decode).
+fn merge_chain(
+    store: &ObjectStore,
+    shard_name: &str,
+    chain: &SnapshotChain,
+    workers: usize,
+) -> Result<Db, SnapshotError> {
+    // Flat task list: (manifest index, chunk). Chain order is preserved by
+    // indexing results, not by completion order.
+    let tasks: Vec<(usize, &ChunkRef)> = chain
+        .manifests
+        .iter()
+        .enumerate()
+        .flat_map(|(mi, m)| m.chunks.iter().map(move |c| (mi, c)))
+        .collect();
+    let mut decoded: Vec<Option<Result<Db, SnapshotError>>> = Vec::new();
+    decoded.resize_with(tasks.len(), || None);
+    let workers = workers.max(1).min(tasks.len().max(1));
+    if workers <= 1 {
+        for (slot, &(mi, chunk)) in decoded.iter_mut().zip(&tasks) {
+            let covered = chain.manifests.get(mi).map(|m| m.covered);
+            let covered = covered.unwrap_or(EntryId::ZERO);
+            *slot = Some(load_chunk(store, shard_name, covered, chunk));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<Db, SnapshotError>>>> =
+            tasks.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(mi, chunk)) = tasks.get(i) else {
+                        break;
+                    };
+                    let covered = chain
+                        .manifests
+                        .get(mi)
+                        .map(|m| m.covered)
+                        .unwrap_or(EntryId::ZERO);
+                    let result = load_chunk(store, shard_name, covered, chunk);
+                    if let Some(slot) = slots.get(i) {
+                        *slot.lock() = Some(result);
+                    }
+                });
+            }
+        });
+        for (dst, src) in decoded.iter_mut().zip(slots) {
+            *dst = src.into_inner();
+        }
+    }
+
+    // Merge newest-first: a slot range claimed by a newer manifest masks
+    // older data in those slots — including deletions, because an empty
+    // dirtied slot still claims its range.
+    let mut db = Db::new();
+    let mut claimed = SlotSet::empty();
+    let mut cursor = 0usize;
+    for m in &chain.manifests {
+        for _ in &m.chunks {
+            let part = match decoded.get_mut(cursor).and_then(Option::take) {
+                Some(Ok(part)) => part,
+                Some(Err(e)) => return Err(e),
+                None => return Err(SnapshotError::Corrupt("chunk task lost".into())),
+            };
+            cursor += 1;
+            db.absorb_if(part, |key| !claimed.contains(key_hash_slot(key)));
+        }
+        for c in &m.chunks {
+            for slot in c.lo..=c.hi {
+                claimed.insert(slot);
+            }
+        }
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_manifest() -> SnapshotManifest {
+        SnapshotManifest {
+            covered: EntryId(42),
+            running_crc: 0xDEAD_BEEF,
+            engine_version: EngineVersion::CURRENT,
+            epoch: 7,
+            slot_ranges: vec![(0, 16383)],
+            blocked_slots: vec![9, 400],
+            base: EntryId(17),
+            chain_len: 2,
+            chunks: vec![
+                ChunkRef {
+                    lo: 0,
+                    hi: 100,
+                    len: 321,
+                    crc: 0x1111,
+                },
+                ChunkRef {
+                    lo: 5000,
+                    hi: 8191,
+                    len: 4,
+                    crc: 0x2222,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let m = sample_manifest();
+        let back = SnapshotManifest::decode(&m.encode()).unwrap();
+        assert_eq!(back, m);
+        assert!(!back.is_full());
+        let mut full = m.clone();
+        full.base = EntryId::ZERO;
+        full.chain_len = 0;
+        let back = SnapshotManifest::decode(&full.encode()).unwrap();
+        assert!(back.is_full());
+    }
+
+    #[test]
+    fn decode_rejects_structural_corruption() {
+        let m = sample_manifest();
+        let blob = m.encode().to_vec();
+        // Flip a byte: envelope CRC catches it.
+        let mut flipped = blob.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x55;
+        assert!(SnapshotManifest::decode(&flipped).is_err());
+        assert!(SnapshotManifest::decode(&blob[..11]).is_err());
+        // Inconsistent full/delta markers.
+        let mut bad = m.clone();
+        bad.base = EntryId::ZERO; // chain_len still 2
+        assert!(SnapshotManifest::decode(&bad.encode()).is_err());
+        // Overlapping chunk ranges.
+        let mut bad = m;
+        bad.chunks[1].lo = 50;
+        assert!(SnapshotManifest::decode(&bad.encode()).is_err());
+    }
+
+    #[test]
+    fn keys_order_lexicographically() {
+        let a = SnapshotManifest::store_key("s", EntryId(9));
+        let b = SnapshotManifest::store_key("s", EntryId(10));
+        assert!(a < b);
+        let c = SnapshotManifest::chunk_key("s", EntryId(9), 0, 99);
+        let d = SnapshotManifest::chunk_key("s", EntryId(9), 100, 200);
+        assert!(c < d);
+        // Namespaces are disjoint from the legacy one.
+        assert!(a.starts_with("snapmeta/"));
+        assert!(c.starts_with("snapchunk/"));
+    }
+
+    #[test]
+    fn resolve_chain_walks_to_full_and_reports_breaks() {
+        let store = ObjectStore::new();
+        let mut full = sample_manifest();
+        full.covered = EntryId(10);
+        full.base = EntryId::ZERO;
+        full.chain_len = 0;
+        let mut d1 = sample_manifest();
+        d1.covered = EntryId(20);
+        d1.base = EntryId(10);
+        d1.chain_len = 1;
+        let mut d2 = sample_manifest();
+        d2.covered = EntryId(30);
+        d2.base = EntryId(20);
+        d2.chain_len = 2;
+        for m in [&full, &d1, &d2] {
+            store.put(&SnapshotManifest::store_key("s", m.covered), m.encode());
+        }
+        let chain = resolve_chain(&store, "s", d2.clone()).unwrap();
+        assert_eq!(chain.manifests.len(), 3);
+        assert_eq!(chain.covered(), EntryId(30));
+        assert_eq!(chain.full_covered(), EntryId(10));
+        assert_eq!(chain.chain_len(), 2);
+        // Removing the middle manifest breaks the chain.
+        store.delete(&SnapshotManifest::store_key("s", EntryId(20)));
+        assert!(resolve_chain(&store, "s", d2).is_err());
+        // A full head resolves to itself without any store reads.
+        let solo = resolve_chain(&ObjectStore::new(), "s", full).unwrap();
+        assert_eq!(solo.manifests.len(), 1);
+    }
+
+    #[test]
+    fn candidates_interleave_both_namespaces_newest_first() {
+        let store = ObjectStore::new();
+        store.put(
+            &SnapshotManifest::store_key("s", EntryId(30)),
+            Bytes::from_static(b"m"),
+        );
+        store.put(
+            &ShardSnapshot::store_key("s", EntryId(40)),
+            Bytes::from_static(b"l"),
+        );
+        store.put(
+            &SnapshotManifest::store_key("s", EntryId(40)),
+            Bytes::from_static(b"m"),
+        );
+        store.put(
+            &ShardSnapshot::store_key("s", EntryId(10)),
+            Bytes::from_static(b"l"),
+        );
+        let got = list_candidates(&store, "s");
+        assert_eq!(
+            got,
+            vec![
+                SnapshotCandidate::Manifest(EntryId(40)),
+                SnapshotCandidate::Legacy(EntryId(40)),
+                SnapshotCandidate::Manifest(EntryId(30)),
+                SnapshotCandidate::Legacy(EntryId(10)),
+            ]
+        );
+        assert!(list_candidates(&store, "other").is_empty());
+    }
+}

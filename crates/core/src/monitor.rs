@@ -10,7 +10,6 @@
 use crate::offbox::OffboxSnapshotter;
 use crate::scheduler::{FreshnessSample, SnapshotScheduler};
 use crate::shard::Shard;
-use crate::snapshot::ShardSnapshot;
 use memorydb_engine::EngineVersion;
 use memorydb_metrics::GaugeId;
 use memorydb_txlog::EntryId;
@@ -144,11 +143,11 @@ impl MonitoringService {
     /// Samples the freshness inputs for a shard.
     pub fn sample_freshness(&self, shard: &Shard) -> Option<FreshnessSample> {
         let log = &shard.ctx().log;
-        let covered = ShardSnapshot::fetch_latest(&shard.ctx().store, &shard.ctx().name)
-            .ok()
-            .flatten()
-            .map(|s| s.covered)
-            .unwrap_or(EntryId::ZERO);
+        // Chain-aware: the newest candidate whose metadata verifies, whether
+        // an incremental manifest chain or a legacy monolithic blob.
+        let covered =
+            crate::manifest::newest_restorable_covered(&shard.ctx().store, &shard.ctx().name)
+                .unwrap_or(EntryId::ZERO);
         let tail = log.committed_tail();
         let suffix_entries = tail.0.saturating_sub(covered.0);
         // Approximate suffix bytes from entry count (records here are

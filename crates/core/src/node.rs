@@ -16,7 +16,7 @@ use crate::bus::{BusRole, ClusterBus};
 use crate::config::ShardConfig;
 use crate::pipeline::{CommitPipeline, StagedRun, Ticket, TicketOutcome, TicketSpec};
 use crate::record::{NodeId, Record, ShardId};
-use crate::restore::{restore_replica, ReplayTarget, RestorePoint};
+use crate::restore::{restore_replica_opts, ReplayTarget, RestoreOptions, RestorePoint};
 use crate::snapshot::ShardSnapshot;
 use crate::stripes::{stripe_of, EngineStripes, StripeGuards};
 use crate::tracker::Tracker;
@@ -290,13 +290,16 @@ impl Node {
         id: NodeId,
         version: memorydb_engine::EngineVersion,
     ) -> Result<Arc<Node>, crate::restore::RestoreError> {
-        let mut rp = restore_replica(
+        let mut rp = restore_replica_opts(
             &ctx.store,
             &ctx.log,
             id,
             &ctx.name,
             version,
             ReplayTarget::Tail,
+            RestoreOptions {
+                workers: ctx.cfg.restore_workers,
+            },
         )?;
         // restore_replica builds the engine at `version` already; assert the
         // invariant here so a future refactor cannot silently drop it.
@@ -801,6 +804,7 @@ impl Node {
                 for w in &staged {
                     let id = st.rs.applied.next();
                     fold_appended_payload(&mut st.rs, id, &w.payload, false);
+                    st.rs.mark_dirty(&w.dirty);
                     st.tracker.stage(id, &w.dirty);
                     bytes += w.payload.len();
                     payloads.push(w.payload.clone());
@@ -1440,6 +1444,7 @@ impl Node {
     ) -> Arc<Ticket> {
         let id = st.rs.applied.next();
         fold_appended_payload(&mut st.rs, id, &payload, false);
+        st.rs.mark_dirty(dirty);
         st.tracker.stage(id, dirty);
         let now_us = self.metrics.now_us();
         let ticket = Ticket::new(TicketSpec {
@@ -2041,6 +2046,9 @@ impl Node {
                 Record::MigrationDone { slot } => {
                     st.rs.blocked_slots.remove(slot);
                     st.rs.owned_slots.remove(*slot);
+                    // Deleting the handed-off data dirties the slot relative
+                    // to any earlier snapshot (mirrors the consumer fold).
+                    st.rs.dirty_slots.insert(*slot);
                     guards.engine_for_slot(*slot).db.delete_slot(*slot);
                 }
                 Record::MigrationAbort { slot } => {
@@ -2468,13 +2476,16 @@ impl Node {
             .heartbeat(self.id, self.ctx.shard_id, BusRole::Replica);
         while self.alive.load(Ordering::SeqCst) {
             let version = self.stripes.engine_version();
-            match restore_replica(
+            match restore_replica_opts(
                 &self.ctx.store,
                 &self.ctx.log,
                 self.id,
                 &self.ctx.name,
                 version,
                 ReplayTarget::Tail,
+                RestoreOptions {
+                    workers: self.ctx.cfg.restore_workers,
+                },
             ) {
                 Ok(rp) => {
                     // Re-partition the restored engine into stripes, then

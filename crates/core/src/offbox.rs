@@ -8,16 +8,28 @@
 //! steals no CPU, no memory headroom, and no replica read capacity from
 //! customer traffic (the Figure 7 result).
 //!
+//! Snapshots are **incremental** where possible: when the shadow replica
+//! restored from the newest manifest chain and the chain is still short
+//! (`ShardConfig::snapshot_max_chain`), only the slots the replayed suffix
+//! dirtied are dumped, as a *delta* manifest whose `base` points at the
+//! restored position. Otherwise a *full* snapshot is cut, chunked into
+//! `ShardConfig::snapshot_chunks` slot ranges so restore can fetch and load
+//! them in parallel (see [`crate::manifest`]).
+//!
 //! Every new snapshot is **verified before it is made available**: the
 //! shadow replica recomputes the running checksum while replaying and
 //! cross-checks it against the checksum probes the primary injects into the
-//! log; the produced blob is then decoded and integrity-checked end to end
-//! (§7.2.1's "rehearse restoring it").
+//! log; every produced chunk is then decoded, its key placement checked
+//! against the live keyspace, and the manifest round-tripped (§7.2.1's
+//! "rehearse restoring it") — all before anything is published.
 
+use crate::manifest::{ChunkRef, SnapshotManifest};
 use crate::node::ShardContext;
-use crate::restore::{restore_replica, ReplayTarget, RestoreError};
-use crate::snapshot::ShardSnapshot;
-use memorydb_engine::EngineVersion;
+use crate::restore::{restore_replica_opts, ReplayTarget, RestoreError, RestoreOptions};
+use crate::stripes::slot_range_of;
+use bytes::Bytes;
+use memorydb_engine::rdb;
+use memorydb_engine::{key_hash_slot, EngineVersion};
 use memorydb_txlog::EntryId;
 use std::sync::Arc;
 
@@ -68,80 +80,232 @@ impl OffboxSnapshotter {
         }
     }
 
-    /// Runs one off-box snapshot cycle and returns the new snapshot's store
-    /// key and covered position. `trim_log` additionally trims the log
-    /// prefix the verified snapshot now covers (§4.2.3).
+    /// Runs one off-box snapshot cycle and returns the new snapshot's
+    /// manifest store key and covered position. `trim_log` additionally
+    /// trims the log prefix that is now safely re-derivable (§4.2.3).
     ///
-    /// **Ordering contract (trim safety).** The log prefix is trimmed only
-    /// *after* the verified snapshot blob is durably in the object store —
-    /// `store.put` strictly precedes `log.trim_prefix`, and the trim point
-    /// equals the snapshot's `covered` position. Consequences restorers may
-    /// rely on:
+    /// **Ordering contract (trim safety).** Publication is ordered: chunk
+    /// blobs first, the manifest referencing them *last* — a manifest in
+    /// the store implies its chunks are too. The log prefix is trimmed only
+    /// *after* that, and the trim point is the covered position of the
+    /// newest **full** snapshot — never a delta's. Consequences restorers
+    /// may rely on:
     ///
     /// 1. Every committed entry is always reachable as (some stored
     ///    snapshot) + (the untrimmed log suffix): `first_available()` never
-    ///    exceeds `latest_snapshot.covered + 1`.
+    ///    exceeds `newest_full.covered + 1`.
     /// 2. A restore that observes `ReadError::Trimmed` mid-replay raced a
     ///    concurrent snapshot+trim cycle, and a *fresher* snapshot covering
     ///    at least the trim point is already fetchable — retrying from the
     ///    latest snapshot always makes progress (see
     ///    [`crate::restore::restore_replica`]).
+    /// 3. A delta chain that breaks (corrupt or lost intermediate) never
+    ///    strands a restorer: the suffix above the newest full snapshot is
+    ///    still in the log, so falling back to that full and replaying
+    ///    reaches the same position the chain covered.
     ///
-    /// Violating this order (trim first, put after) would open a window
-    /// where a crash loses the only copy of the trimmed prefix.
+    /// Violating this order (trim first, put after; or trimming to a
+    /// delta's covered) would open a window where a crash — or a single
+    /// corrupt delta — loses the only copy of committed data.
     pub fn create_snapshot(&self, trim_log: bool) -> Result<(String, EntryId), OffboxError> {
         // (1) Record the tail at creation time, restore to exactly there —
         // a static data view guaranteed fresher than any previous snapshot.
         let tail = self.ctx.log.committed_tail();
-        let rp = restore_replica(
+        let rp = restore_replica_opts(
             &self.ctx.store,
             &self.ctx.log,
             self.client_id,
             &self.ctx.name,
             self.version,
             ReplayTarget::Exactly(tail),
+            RestoreOptions {
+                workers: self.ctx.cfg.restore_workers,
+            },
         )
         .map_err(OffboxError::Restore)?;
+        let seed = rp.seeded_from;
 
-        // (2) Dump the view into a new snapshot.
-        let snapshot = ShardSnapshot::capture(
-            &rp.engine.db,
-            rp.rs.applied,
-            rp.rs.running_crc,
-            self.version,
-            rp.rs.epoch,
-            rp.rs.owned_slots.to_ranges(),
-            rp.rs.blocked_slots.iter().copied().collect(),
-        );
-
-        // (3) Verification rehearsal before publication (§7.2.1): decode the
-        // blob, check both checksums, reload the keyspace.
-        let blob = snapshot.encode();
-        let reparsed =
-            ShardSnapshot::decode(&blob).map_err(|e| OffboxError::Verification(e.to_string()))?;
-        let db = reparsed
-            .load_db()
-            .map_err(|e| OffboxError::Verification(e.to_string()))?;
-        if db.len() != rp.engine.db.len() {
-            return Err(OffboxError::Verification(format!(
-                "rehearsal keyspace size mismatch: {} vs {}",
-                db.len(),
-                rp.engine.db.len()
-            )));
-        }
-        if reparsed.running_crc != rp.rs.running_crc {
-            return Err(OffboxError::Verification(
-                "rehearsal running checksum mismatch".into(),
-            ));
+        // Nothing committed since the seed we restored from, and that seed
+        // is the newest manifest in the store: re-publishing would create a
+        // delta whose base is itself. Point at the existing manifest.
+        if let Some(s) = seed {
+            if s.from_manifest && s.newest && s.covered == rp.rs.applied {
+                let key = SnapshotManifest::store_key(&self.ctx.name, s.covered);
+                return Ok((key, s.covered));
+            }
         }
 
-        // Only successfully verified snapshots are made available.
-        let key = ShardSnapshot::store_key(&self.ctx.name, snapshot.covered);
-        self.ctx.store.put(&key, blob);
+        // (2) Full or delta? A delta may only extend the chain we actually
+        // restored from, and only while that chain is the newest thing in
+        // the store and still under the configured length bound.
+        let max_chain = self.ctx.cfg.snapshot_max_chain;
+        let delta_base = seed.filter(|s| {
+            s.from_manifest && s.newest && s.chain_len < max_chain && rp.rs.applied > s.covered
+        });
+
+        // (3) Choose chunk slot ranges. Full: an even partition of the slot
+        // space. Delta: the slots the replayed suffix dirtied, coalesced to
+        // at most `snapshot_chunks` ranges (coalescing pulls in clean slots
+        // between dirty ones — their chunk data is current, so claims stay
+        // correct, the chunks are just slightly bigger).
+        let n_chunks = self.ctx.cfg.snapshot_chunks.max(1);
+        let ranges: Vec<(u16, u16)> = match delta_base {
+            None => (0..n_chunks).map(|i| slot_range_of(i, n_chunks)).collect(),
+            Some(_) => coalesce_ranges(&rp.rs.dirty_slots.to_ranges(), n_chunks),
+        };
+
+        // (4) Dump each range and build the manifest.
+        let covered = rp.rs.applied;
+        let mut chunks = Vec::with_capacity(ranges.len());
+        let mut blobs = Vec::with_capacity(ranges.len());
+        for &(lo, hi) in &ranges {
+            let blob = rdb::dump_slot_range(&[&rp.engine.db], lo, hi);
+            chunks.push(ChunkRef {
+                lo,
+                hi,
+                len: blob.len() as u64,
+                crc: rdb::crc64(&blob),
+            });
+            blobs.push(Bytes::from(blob));
+        }
+        let manifest = SnapshotManifest {
+            covered,
+            running_crc: rp.rs.running_crc,
+            engine_version: self.version,
+            epoch: rp.rs.epoch,
+            slot_ranges: rp.rs.owned_slots.to_ranges(),
+            blocked_slots: rp.rs.blocked_slots.iter().copied().collect(),
+            base: delta_base.map_or(EntryId::ZERO, |s| s.covered),
+            chain_len: delta_base.map_or(0, |s| s.chain_len + 1),
+            chunks,
+        };
+
+        // (5) Verification rehearsal before publication (§7.2.1): the
+        // manifest must round-trip, and every chunk must decode and hold
+        // exactly the live keys of its slot range — no more, no fewer.
+        self.rehearse(&manifest, &blobs, &rp.engine.db)?;
+
+        // (6) Publication: chunks first, manifest last. The manifest is the
+        // publication point — only verified, fully-uploaded snapshots are
+        // ever visible to a restorer.
+        for (chunk, blob) in manifest.chunks.iter().zip(&blobs) {
+            let key = SnapshotManifest::chunk_key(&self.ctx.name, covered, chunk.lo, chunk.hi);
+            self.ctx.store.put(&key, blob.clone());
+        }
+        let key = SnapshotManifest::store_key(&self.ctx.name, covered);
+        self.ctx.store.put(&key, manifest.encode());
 
         if trim_log {
-            self.ctx.log.trim_prefix(snapshot.covered);
+            // Trim to the newest FULL snapshot only: a delta's prefix must
+            // stay replayable in case its chain breaks (consequence 3).
+            let trim_to = delta_base.map_or(covered, |s| s.full_covered);
+            self.ctx.log.trim_prefix(trim_to);
         }
-        Ok((key, snapshot.covered))
+        Ok((key, covered))
+    }
+
+    /// §7.2.1 rehearsal: decode the manifest and every chunk as a restorer
+    /// would, and cross-check chunk contents against the live keyspace.
+    fn rehearse(
+        &self,
+        manifest: &SnapshotManifest,
+        blobs: &[Bytes],
+        db: &memorydb_engine::Db,
+    ) -> Result<(), OffboxError> {
+        let reparsed = SnapshotManifest::decode(&manifest.encode())
+            .map_err(|e| OffboxError::Verification(e.to_string()))?;
+        if &reparsed != manifest {
+            return Err(OffboxError::Verification(
+                "manifest did not round-trip".into(),
+            ));
+        }
+        // Expected key count per range, from one pass over the live db.
+        let ranges: Vec<(u16, u16)> = manifest.chunks.iter().map(|c| (c.lo, c.hi)).collect();
+        let mut expected = vec![0usize; ranges.len()];
+        let mut outside = 0usize;
+        for (key, _) in db.iter_entries() {
+            match range_index_of(&ranges, key_hash_slot(key)) {
+                Some(i) => expected[i] += 1,
+                None => outside += 1,
+            }
+        }
+        if manifest.is_full() && outside != 0 {
+            return Err(OffboxError::Verification(format!(
+                "full snapshot ranges miss {outside} keys"
+            )));
+        }
+        for ((chunk, blob), want) in manifest.chunks.iter().zip(blobs).zip(&expected) {
+            let loaded = rdb::load(blob).map_err(|e| {
+                OffboxError::Verification(format!("chunk {}-{}: {e}", chunk.lo, chunk.hi))
+            })?;
+            if loaded.len() != *want {
+                return Err(OffboxError::Verification(format!(
+                    "chunk {}-{} rehearsal count mismatch: {} vs {}",
+                    chunk.lo,
+                    chunk.hi,
+                    loaded.len(),
+                    want
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reduces a sorted, disjoint range list to at most `max` ranges by merging
+/// across the smallest gaps first (keeping the `max - 1` largest gaps).
+fn coalesce_ranges(ranges: &[(u16, u16)], max: usize) -> Vec<(u16, u16)> {
+    if ranges.len() <= max || max == 0 {
+        return ranges.to_vec();
+    }
+    let mut gaps: Vec<usize> = (0..ranges.len() - 1).collect();
+    gaps.sort_by_key(|&i| std::cmp::Reverse(ranges[i + 1].0 - ranges[i].1));
+    let keep: std::collections::HashSet<usize> = gaps.into_iter().take(max - 1).collect();
+    let mut out = Vec::with_capacity(max);
+    let mut cur = ranges[0];
+    for (i, r) in ranges.iter().enumerate().skip(1) {
+        if keep.contains(&(i - 1)) {
+            out.push(cur);
+            cur = *r;
+        } else {
+            cur.1 = r.1;
+        }
+    }
+    out.push(cur);
+    out
+}
+
+/// Index of the range containing `slot`, if any (`ranges` sorted by `lo`).
+fn range_index_of(ranges: &[(u16, u16)], slot: u16) -> Option<usize> {
+    let i = ranges.partition_point(|r| r.1 < slot);
+    (i < ranges.len() && ranges[i].0 <= slot).then_some(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesce_keeps_largest_gaps() {
+        let ranges = vec![(0, 10), (12, 20), (100, 110), (112, 120), (500, 600)];
+        // max 3: keep the two largest gaps (20→100 and 120→500).
+        let out = coalesce_ranges(&ranges, 3);
+        assert_eq!(out, vec![(0, 20), (100, 120), (500, 600)]);
+        // max >= len: unchanged.
+        assert_eq!(coalesce_ranges(&ranges, 5), ranges);
+        // max 1: one covering range.
+        assert_eq!(coalesce_ranges(&ranges, 1), vec![(0, 600)]);
+        assert!(coalesce_ranges(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn range_index_lookup() {
+        let ranges = vec![(0u16, 10u16), (20, 30), (40, 40)];
+        assert_eq!(range_index_of(&ranges, 0), Some(0));
+        assert_eq!(range_index_of(&ranges, 10), Some(0));
+        assert_eq!(range_index_of(&ranges, 15), None);
+        assert_eq!(range_index_of(&ranges, 25), Some(1));
+        assert_eq!(range_index_of(&ranges, 40), Some(2));
+        assert_eq!(range_index_of(&ranges, 41), None);
     }
 }

@@ -1,18 +1,75 @@
 //! Data restoration (paper §4.2.1).
 //!
 //! Restoring is local to the restoring replica: fetch the latest verified
-//! snapshot from the object store, then replay the transaction log suffix —
-//! never talking to healthy peers, so any number of replicas can restore in
-//! parallel without a centralized bottleneck.
+//! snapshot image from the object store (a legacy single-blob snapshot or a
+//! chunked incremental chain, see [`crate::manifest`]), then replay the
+//! transaction log suffix — never talking to healthy peers, so any number
+//! of replicas can restore in parallel without a centralized bottleneck.
+//!
+//! With [`RestoreOptions::workers`] > 1, restoration itself parallelizes:
+//! chunk blobs are fetched/decoded on a worker pool, the seeded engine is
+//! split into per-slot-range partitions, and log replay folds control state
+//! sequentially while fanning the data work out per stripe — each stripe's
+//! queue preserves log order, which is exactly the fold-order invariant the
+//! striped serving path pins (see [`crate::stripes`]).
 
-use crate::apply::{apply_entry, HaltReason, ReplicaState};
+use crate::apply::{
+    effect_slot, fold_entry_deferred, is_broadcast_effect, DeferredWork, HaltReason, ReplicaState,
+};
+use crate::manifest;
 use crate::slotset::SlotSet;
-use crate::snapshot::ShardSnapshot;
+use crate::stripes::stripe_of;
 use memorydb_engine::exec::Role;
-use memorydb_engine::{Engine, EngineVersion};
+use memorydb_engine::{EffectCmd, Engine, EngineVersion};
 use memorydb_objectstore::ObjectStore;
 use memorydb_txlog::{ClientId, EntryId, LogService, ReadError};
 use std::time::Instant;
+
+/// Knobs for a restore run.
+#[derive(Debug, Clone, Copy)]
+pub struct RestoreOptions {
+    /// Worker threads for chunk fetch/decode and partitioned replay.
+    /// `0` = auto (one per available core), `1` = fully sequential.
+    pub workers: usize,
+}
+
+impl Default for RestoreOptions {
+    fn default() -> Self {
+        RestoreOptions { workers: 1 }
+    }
+}
+
+impl RestoreOptions {
+    fn resolved_workers(&self) -> usize {
+        match self.workers {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+}
+
+/// Where the restored image was seeded from (None = empty store, replay
+/// from the log head). The off-box snapshotter uses this to decide whether
+/// an incremental snapshot may extend the chain it restored from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedInfo {
+    /// Last log entry the seed image covered.
+    pub covered: EntryId,
+    /// Deltas above the full base (0 = full image).
+    pub chain_len: u32,
+    /// Covered position of the anchoring full snapshot.
+    pub full_covered: EntryId,
+    /// Whether the seed came from a chunked manifest chain (vs. a legacy
+    /// single-blob snapshot).
+    pub from_manifest: bool,
+    /// Whether the seed was the newest candidate in the store. False when
+    /// restore fell back past a broken/corrupt newer candidate — extending
+    /// such a seed with a delta would fork the chain, so the snapshotter
+    /// forces a full snapshot instead.
+    pub newest: bool,
+}
 
 /// A fully restored replica image: engine + log-derived state, positioned
 /// at `rs.applied`.
@@ -21,6 +78,8 @@ pub struct RestorePoint {
     pub engine: Engine,
     /// Log-derived state at the restore position.
     pub rs: ReplicaState,
+    /// Provenance of the snapshot seed, if any.
+    pub seeded_from: Option<SeedInfo>,
 }
 
 /// Errors during restoration.
@@ -58,6 +117,27 @@ pub enum ReplayTarget {
 }
 
 /// Restores a replica image for `shard_name` from the object store plus the
+/// transaction log, fully sequentially. See [`restore_replica_opts`].
+pub fn restore_replica(
+    store: &ObjectStore,
+    log: &LogService,
+    client: ClientId,
+    shard_name: &str,
+    my_version: EngineVersion,
+    target: ReplayTarget,
+) -> Result<RestorePoint, RestoreError> {
+    restore_replica_opts(
+        store,
+        log,
+        client,
+        shard_name,
+        my_version,
+        target,
+        RestoreOptions::default(),
+    )
+}
+
+/// Restores a replica image for `shard_name` from the object store plus the
 /// transaction log.
 ///
 /// With `ReplayTarget::Tail` the returned state is caught up to the
@@ -70,22 +150,30 @@ pub enum ReplayTarget {
 /// ordering contract (put-before-trim, see [`crate::offbox`]) guarantees a
 /// `Trimmed` error implies a newer snapshot covering at least the trim point
 /// is already in the store — so the correct response is to start over from
-/// that fresher snapshot, not to fail. Retries are bounded: each one
-/// requires a whole snapshot+trim cycle to land inside our replay window, so
-/// repeated losses indicate a trimming policy violation and surface as the
-/// final `Trimmed` error rather than looping forever.
-pub fn restore_replica(
+/// that fresher snapshot, not to fail. The same bound covers a *broken
+/// incremental chain*: the log is only ever trimmed to the newest **full**
+/// snapshot's covered position, so when a delta manifest's chain no longer
+/// resolves, the candidate walk in [`crate::manifest::fetch_latest_image`]
+/// falls back to that full snapshot and the (untrimmed) suffix above it.
+/// Retries are bounded: each one requires a whole snapshot+trim cycle to
+/// land inside our replay window, so repeated losses indicate a trimming
+/// policy violation and surface as the final `Trimmed` error rather than
+/// looping forever.
+#[allow(clippy::too_many_arguments)]
+pub fn restore_replica_opts(
     store: &ObjectStore,
     log: &LogService,
     client: ClientId,
     shard_name: &str,
     my_version: EngineVersion,
     target: ReplayTarget,
+    opts: RestoreOptions,
 ) -> Result<RestorePoint, RestoreError> {
     const MAX_TRIM_RETRIES: usize = 5;
+    let workers = opts.resolved_workers();
     let mut attempt = 0;
     loop {
-        match restore_replica_once(store, log, client, shard_name, my_version, target) {
+        match restore_replica_once(store, log, client, shard_name, my_version, target, workers) {
             Err(RestoreError::Log(ReadError::Trimmed { .. })) if attempt < MAX_TRIM_RETRIES => {
                 attempt += 1;
             }
@@ -94,6 +182,7 @@ pub fn restore_replica(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn restore_replica_once(
     store: &ObjectStore,
     log: &LogService,
@@ -101,25 +190,44 @@ fn restore_replica_once(
     shard_name: &str,
     my_version: EngineVersion,
     target: ReplayTarget,
+    workers: usize,
 ) -> Result<RestorePoint, RestoreError> {
     let mut engine = Engine::with_version(Role::Replica, my_version);
     let mut rs = ReplicaState::new();
+    let mut seeded_from = None;
 
-    // Step 1: newest snapshot, if any (§4.2.1 "loads a recent point-in-time
-    // snapshot").
-    if let Some(snap) =
-        ShardSnapshot::fetch_latest(store, shard_name).map_err(RestoreError::Snapshot)?
+    // Step 1: newest restorable snapshot image, if any (§4.2.1 "loads a
+    // recent point-in-time snapshot"). Handles both legacy single-blob
+    // snapshots and chunked incremental chains; a corrupt newest candidate
+    // degrades to the next older restorable one.
+    if let Some(image) =
+        manifest::fetch_latest_image(store, shard_name, workers).map_err(RestoreError::Snapshot)?
     {
-        let db = snap.load_db().map_err(RestoreError::Snapshot)?;
-        engine.db = db;
-        rs.applied = snap.covered;
-        rs.running_crc = snap.running_crc;
-        rs.epoch = snap.epoch;
-        rs.owned_slots = SlotSet::from_ranges(&snap.slot_ranges);
-        rs.blocked_slots = snap.blocked_slots.iter().copied().collect();
+        seeded_from = Some(SeedInfo {
+            covered: image.covered,
+            chain_len: image.chain_len,
+            full_covered: image.full_covered,
+            from_manifest: image.from_manifest,
+            newest: image.newest,
+        });
+        engine.db = image.db;
+        rs.applied = image.covered;
+        rs.running_crc = image.running_crc;
+        rs.epoch = image.epoch;
+        rs.owned_slots = SlotSet::from_ranges(&image.slot_ranges);
+        rs.blocked_slots = image.blocked_slots.iter().copied().collect();
     }
 
     // Step 2: replay the log suffix ("replays subsequent transactions").
+    // With workers > 1 the engine is split into per-slot-range partitions;
+    // each batch folds control state sequentially and drains the deferred
+    // data work per partition concurrently.
+    let k = workers.max(1);
+    let mut parts = if k > 1 {
+        engine.split_striped(k, |slot| stripe_of(slot, k))
+    } else {
+        vec![engine]
+    };
     'replay: loop {
         let upper = match target {
             ReplayTarget::Tail => None,
@@ -149,48 +257,167 @@ fn restore_replica_once(
                     if more.is_empty() && rs.applied < limit {
                         continue;
                     }
-                    if !apply_batch(&mut engine, &mut rs, &more, my_version, Some(limit))? {
+                    if !apply_batch_partitioned(
+                        &mut parts,
+                        &mut rs,
+                        &more,
+                        my_version,
+                        Some(limit),
+                    )? {
                         break 'replay;
                     }
                     continue;
                 }
             }
         }
-        if !apply_batch(&mut engine, &mut rs, &batch, my_version, upper)? {
+        if !apply_batch_partitioned(&mut parts, &mut rs, &batch, my_version, upper)? {
             break 'replay;
         }
     }
     // Restoration is replay of already-persisted data: nothing it "applied"
     // is a fresh leadership signal, so reset the election timer reference.
     rs.last_leadership_signal = Instant::now();
-    Ok(RestorePoint { engine, rs })
+
+    // Merge the partitions back into one engine: the slot partitioning is
+    // disjoint, so absorbing moves each key exactly once.
+    let mut parts_it = parts.into_iter();
+    let Some(mut engine) = parts_it.next() else {
+        return Err(RestoreError::Halted(HaltReason::EffectFailed(
+            "restore produced no engine partitions".into(),
+        )));
+    };
+    for p in parts_it {
+        engine.db.absorb(p.db);
+    }
+    Ok(RestorePoint {
+        engine,
+        rs,
+        seeded_from,
+    })
 }
 
-/// Applies a batch. Returns `Ok(false)` when replay must stop because the
-/// consumer upgrade-stalled (§7.1) — the node still boots, parked at its
-/// last safely-applied position with `rs.halted` set. Corruption-class
-/// halts remain hard errors.
-fn apply_batch(
-    engine: &mut Engine,
+/// One unit of deferred per-partition work, in log order within its queue.
+enum StripeTask {
+    Effect(EffectCmd),
+    DeleteSlot(u16),
+}
+
+/// Applies a batch against the partitioned engines. Control state folds
+/// sequentially (checksums, probes, leadership, ownership must see exact
+/// log order); the data work each entry defers is queued per partition and
+/// drained concurrently afterwards — per-partition queue order equals log
+/// order, so the fold-order invariant holds within every partition.
+///
+/// Returns `Ok(false)` when replay must stop because the consumer
+/// upgrade-stalled (§7.1) — the node still boots, parked at its last
+/// safely-applied position with `rs.halted` set; work deferred by entries
+/// before the stall is still drained. Corruption-class halts remain hard
+/// errors and discard the whole restore attempt.
+fn apply_batch_partitioned(
+    parts: &mut [Engine],
     rs: &mut ReplicaState,
     batch: &[memorydb_txlog::LogEntry],
     my_version: EngineVersion,
     upper: Option<EntryId>,
 ) -> Result<bool, RestoreError> {
+    let k = parts.len();
+    let mut queues: Vec<Vec<StripeTask>> = (0..k).map(|_| Vec::new()).collect();
+    let mut keep_going = true;
+    let mut hard_halt = None;
     for entry in batch {
         if let Some(limit) = upper {
             if entry.id > limit {
-                return Ok(true);
+                break;
             }
         }
-        match apply_entry(engine, rs, entry, my_version) {
-            Ok(()) => {}
-            Err(halt @ HaltReason::StalledUpgrade(_)) => {
-                rs.halted = Some(halt);
-                return Ok(false);
+        match fold_entry_deferred(rs, entry, my_version) {
+            Ok(DeferredWork::None) => {}
+            Ok(DeferredWork::Effects(effects)) => {
+                for eff in effects {
+                    enqueue_effect(&mut queues, eff);
+                }
             }
-            Err(halt) => return Err(RestoreError::Halted(halt)),
+            Ok(DeferredWork::DeleteSlot(slot)) => {
+                if let Some(q) = queues.get_mut(stripe_of(slot, k)) {
+                    q.push(StripeTask::DeleteSlot(slot));
+                }
+            }
+            // `fold_entry_deferred` has already recorded the halt in
+            // `rs.halted` and left `rs.applied` before the offending entry.
+            Err(HaltReason::StalledUpgrade(_)) => {
+                keep_going = false;
+                break;
+            }
+            Err(halt) => {
+                hard_halt = Some(halt);
+                break;
+            }
         }
     }
-    Ok(true)
+    // Entries folded before any stop are applied: drain their queued work.
+    drain_queues(parts, queues).map_err(RestoreError::Halted)?;
+    if let Some(halt) = hard_halt {
+        return Err(RestoreError::Halted(halt));
+    }
+    Ok(keep_going)
+}
+
+/// Routes one effect to its partition queue, mirroring the routing of
+/// `apply_effect_striped`: keyed effects go to the partition owning the
+/// key's slot, broadcast effects (FLUSHALL and kin) to every partition,
+/// other keyless effects to the first.
+fn enqueue_effect(queues: &mut [Vec<StripeTask>], eff: EffectCmd) {
+    let k = queues.len();
+    if let Some(slot) = effect_slot(&eff) {
+        if let Some(q) = queues.get_mut(stripe_of(slot, k)) {
+            q.push(StripeTask::Effect(eff));
+        }
+    } else if is_broadcast_effect(&eff) {
+        for q in queues.iter_mut() {
+            q.push(StripeTask::Effect(eff.clone()));
+        }
+    } else if let Some(q) = queues.first_mut() {
+        q.push(StripeTask::Effect(eff));
+    }
+}
+
+/// Drains every partition's queue; one worker thread per non-empty queue
+/// when there is more than one partition, inline otherwise.
+fn drain_queues(parts: &mut [Engine], queues: Vec<Vec<StripeTask>>) -> Result<(), HaltReason> {
+    if parts.len() <= 1 {
+        for (part, queue) in parts.iter_mut().zip(queues) {
+            run_queue(part, queue).map_err(HaltReason::EffectFailed)?;
+        }
+        return Ok(());
+    }
+    let results: Vec<Result<(), String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .iter_mut()
+            .zip(queues)
+            .map(|(part, queue)| s.spawn(move || run_queue(part, queue)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("restore worker panicked".into()))
+            })
+            .collect()
+    });
+    for r in results {
+        r.map_err(HaltReason::EffectFailed)?;
+    }
+    Ok(())
+}
+
+fn run_queue(part: &mut Engine, queue: Vec<StripeTask>) -> Result<(), String> {
+    for task in queue {
+        match task {
+            StripeTask::Effect(eff) => part.apply_effect(&eff)?,
+            StripeTask::DeleteSlot(slot) => {
+                part.db.delete_slot(slot);
+            }
+        }
+    }
+    Ok(())
 }

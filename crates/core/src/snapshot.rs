@@ -154,12 +154,22 @@ impl ShardSnapshot {
         }
         impl<'a> Cur<'a> {
             fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+                // Checked arithmetic: `n` comes from untrusted length fields,
+                // so `p + n` must not be allowed to wrap before the range
+                // check sees it.
+                let end = self
+                    .p
+                    .checked_add(n)
+                    .ok_or_else(|| SnapshotError::Corrupt("length overflow".into()))?;
                 let out = self
                     .d
-                    .get(self.p..self.p + n)
+                    .get(self.p..end)
                     .ok_or_else(|| SnapshotError::Corrupt("truncated".into()))?;
-                self.p += n;
+                self.p = end;
                 Ok(out)
+            }
+            fn remaining(&self) -> usize {
+                self.d.len().saturating_sub(self.p)
             }
             fn u16(&mut self) -> Result<u16, SnapshotError> {
                 Ok(u16::from_le_bytes(
@@ -183,7 +193,10 @@ impl ShardSnapshot {
         let engine_version = EngineVersion::new(c.u16()?, c.u16()?, c.u16()?);
         let epoch = c.u64()?;
         let nranges = c.u32()? as usize;
-        if nranges > 16384 {
+        // Reject declared counts before allocating for them: the count must
+        // be plausible (≤ one range per slot) AND the remaining buffer must
+        // actually hold that many encoded elements.
+        if nranges > 16384 || nranges.saturating_mul(4) > c.remaining() {
             return Err(SnapshotError::Corrupt("too many slot ranges".into()));
         }
         let mut slot_ranges = Vec::with_capacity(nranges);
@@ -193,15 +206,17 @@ impl ShardSnapshot {
             slot_ranges.push((lo, hi));
         }
         let nblocked = c.u32()? as usize;
-        if nblocked > 16384 {
+        if nblocked > 16384 || nblocked.saturating_mul(2) > c.remaining() {
             return Err(SnapshotError::Corrupt("too many blocked slots".into()));
         }
         let mut blocked_slots = Vec::with_capacity(nblocked);
         for _ in 0..nblocked {
             blocked_slots.push(c.u16()?);
         }
-        let rdb_len = c.u64()? as usize;
-        if payload.len() != c.p + rdb_len {
+        // Compare in u64 so a huge declared length can neither wrap the
+        // cursor nor (on 32-bit targets) truncate before the check.
+        let rdb_len = c.u64()?;
+        if rdb_len != c.remaining() as u64 {
             return Err(SnapshotError::Corrupt("length mismatch".into()));
         }
         let rdb = payload[c.p..].to_vec();
@@ -234,19 +249,38 @@ impl ShardSnapshot {
         key
     }
 
-    /// Fetches the newest snapshot of a shard, if any, verifying integrity.
+    /// Fetches the newest *verified* snapshot of a shard, if any.
+    ///
+    /// A corrupt blob at the head of the prefix does not fail the fetch:
+    /// restoration degrades to the next-older snapshot that decodes and
+    /// checksums cleanly (it merely replays a longer log suffix). Only when
+    /// snapshots exist but none verifies does this return the last error.
     pub fn fetch_latest(
         store: &ObjectStore,
         shard_name: &str,
     ) -> Result<Option<ShardSnapshot>, SnapshotError> {
         let prefix = format!("snapshots/{shard_name}/");
-        let Some(meta) = store.latest(&prefix) else {
+        let mut metas = store.list(&prefix);
+        if metas.is_empty() {
             return Ok(None);
-        };
-        let (_, blob) = store
-            .get(&meta.key)
-            .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
-        Ok(Some(ShardSnapshot::decode(&blob)?))
+        }
+        // Zero-padded keys order by covered position; walk newest first.
+        metas.sort_by(|a, b| b.key.cmp(&a.key));
+        let mut last_err = SnapshotError::Corrupt("no verifiable snapshot".into());
+        for meta in metas {
+            let blob = match store.get(&meta.key) {
+                Ok((_, blob)) => blob,
+                Err(e) => {
+                    last_err = SnapshotError::Corrupt(e.to_string());
+                    continue;
+                }
+            };
+            match ShardSnapshot::decode(&blob) {
+                Ok(snap) => return Ok(Some(snap)),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
     }
 }
 
@@ -312,6 +346,80 @@ mod tests {
         assert!(ShardSnapshot::fetch_latest(&store, "shard-1")
             .unwrap()
             .is_none());
+    }
+
+    #[test]
+    fn fetch_latest_falls_back_past_corrupted_newest() {
+        let store = ObjectStore::new();
+        let mut old = sample_snapshot();
+        old.covered = EntryId(5);
+        old.upload(&store, "shard-0");
+        let mut newer = sample_snapshot();
+        newer.covered = EntryId(9);
+        let newest_key = newer.upload(&store, "shard-0");
+        // Corrupting the newest blob must degrade the fetch to the older
+        // verified snapshot (longer replay), not fail the restore outright.
+        assert!(store.corrupt_for_test(&newest_key));
+        let got = ShardSnapshot::fetch_latest(&store, "shard-0")
+            .unwrap()
+            .unwrap();
+        assert_eq!(got.covered, EntryId(5));
+        // Once every candidate is corrupt there is nothing to degrade to.
+        let old_key = ShardSnapshot::store_key("shard-0", EntryId(5));
+        assert!(store.corrupt_for_test(&old_key));
+        assert!(ShardSnapshot::fetch_latest(&store, "shard-0").is_err());
+    }
+
+    #[test]
+    fn decode_survives_randomized_corruption() {
+        // Fuzz-style sweep: byte flips, truncations, and inflated length
+        // fields — with the envelope CRC re-stamped so the mutations reach
+        // the structural parser — must yield Err or a valid snapshot, never
+        // a panic or an allocation driven by an unchecked length.
+        struct Lcg(u64);
+        impl Lcg {
+            fn next(&mut self) -> u64 {
+                self.0 = self
+                    .0
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                self.0 >> 33
+            }
+        }
+        fn restamp(m: &mut [u8]) {
+            let len = m.len();
+            if len < 8 {
+                return;
+            }
+            let mut crc = Crc64::new();
+            crc.update(&m[..len - 8]);
+            m[len - 8..].copy_from_slice(&crc.digest().to_le_bytes());
+        }
+        let blob = sample_snapshot().encode().to_vec();
+        let mut rng = Lcg(0x9E37_79B9_7F4A_7C15);
+        for round in 0..600 {
+            let mut m = blob.clone();
+            match round % 3 {
+                0 => {
+                    let i = (rng.next() as usize) % m.len();
+                    m[i] ^= (rng.next() as u8) | 1;
+                }
+                1 => {
+                    m.truncate((rng.next() as usize) % m.len());
+                }
+                _ => {
+                    // Stomp a 4-byte window with a huge value, aimed across
+                    // the whole header so every length field gets hit.
+                    if m.len() > 24 {
+                        let i = 4 + (rng.next() as usize) % (m.len() - 16);
+                        let v = (rng.next() as u32) | 0x8000_0000;
+                        m[i..i + 4].copy_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
+            restamp(&mut m);
+            let _ = ShardSnapshot::decode(&m);
+        }
     }
 
     #[test]

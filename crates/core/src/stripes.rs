@@ -38,6 +38,23 @@ pub fn stripe_of(slot: u16, stripes: usize) -> usize {
     (slot as usize * stripes) / (NUM_SLOTS as usize)
 }
 
+/// Inclusive slot range `[lo, hi]` owned by `stripe` under an `n`-way
+/// partitioning — the inverse of [`stripe_of`]. Full-snapshot chunking and
+/// the parallel restore partition the slot space with this so chunk
+/// boundaries line up with stripe boundaries. Out-of-range `stripe` clamps
+/// to the last stripe (total, like the other accessors here).
+pub fn slot_range_of(stripe: usize, n: usize) -> (u16, u16) {
+    if n <= 1 {
+        return (0, NUM_SLOTS - 1);
+    }
+    let s = stripe.min(n - 1);
+    let num = NUM_SLOTS as usize;
+    // stripe_of(slot, n) == s  ⇔  ceil(s·num/n) <= slot < ceil((s+1)·num/n)
+    let lo = (s * num).div_ceil(n);
+    let hi = ((s + 1) * num).div_ceil(n) - 1;
+    (lo as u16, (hi.min(num - 1)) as u16)
+}
+
 /// The striped engine: stripe 0 plus the remaining stripes. Structurally
 /// non-empty (`first` is not behind a `Vec`), so accessors that need *some*
 /// engine are total without a panic path.
@@ -266,6 +283,24 @@ mod tests {
             assert_eq!(stripe_of(0, n), 0);
             assert_eq!(stripe_of(NUM_SLOTS - 1, n), n - 1);
         }
+    }
+
+    #[test]
+    fn slot_ranges_partition_the_slot_space() {
+        for &n in &[1usize, 2, 3, 16, 64] {
+            let mut next = 0u32;
+            for s in 0..n {
+                let (lo, hi) = slot_range_of(s, n);
+                assert_eq!(lo as u32, next, "stripe {s}/{n} must abut the previous");
+                assert!(hi >= lo);
+                assert_eq!(stripe_of(lo, n), s, "lo of stripe {s}/{n}");
+                assert_eq!(stripe_of(hi, n), s, "hi of stripe {s}/{n}");
+                next = hi as u32 + 1;
+            }
+            assert_eq!(next, NUM_SLOTS as u32, "n={n} must cover every slot");
+        }
+        // Out-of-range stripe clamps instead of panicking.
+        assert_eq!(slot_range_of(99, 4), slot_range_of(3, 4));
     }
 
     #[test]

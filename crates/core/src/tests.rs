@@ -6,7 +6,6 @@ use crate::bus::ClusterBus;
 use crate::config::ShardConfig;
 use crate::offbox::OffboxSnapshotter;
 use crate::shard::{NodeIdGen, Shard};
-use crate::snapshot::ShardSnapshot;
 use bytes::Bytes;
 use memorydb_engine::exec::Role;
 use memorydb_engine::{cmd, Frame, SessionState};
@@ -349,10 +348,10 @@ fn offbox_snapshot_verification_rejects_corruption() {
         9_999,
     );
     let (key, _) = offbox.create_snapshot(false).unwrap();
-    // Corrupt the stored snapshot; a fetch (as any restoring replica would
+    // Corrupt the stored manifest; a fetch (as any restoring replica would
     // do) must fail integrity, not silently load garbage.
     assert!(shard.ctx().store.corrupt_for_test(&key));
-    let err = ShardSnapshot::fetch_latest(&shard.ctx().store, &shard.ctx().name);
+    let err = crate::manifest::fetch_latest_image(&shard.ctx().store, &shard.ctx().name, 1);
     assert!(err.is_err(), "corrupted snapshot must not verify");
 }
 
@@ -879,9 +878,7 @@ fn monitor_schedules_snapshots_when_freshness_decays() {
         "freshness decay must trigger a snapshot"
     );
     assert!(
-        ShardSnapshot::fetch_latest(&shard.ctx().store, &shard.ctx().name)
-            .unwrap()
-            .is_some()
+        crate::manifest::newest_restorable_covered(&shard.ctx().store, &shard.ctx().name).is_some()
     );
     // The suffix is now bounded: an immediate second tick does nothing.
     let report2 = monitor.tick_shard(&shard);
@@ -2001,4 +1998,258 @@ fn double_ticket_resolution_releases_window_once() {
     shard.ctx().log.set_commits_suspended(false);
     let r2 = primary.wait_finish(sb2);
     assert_eq!(r2, vec![Frame::ok()]);
+}
+
+// ---- Incremental snapshots + parallel per-slot restore ----
+
+/// Deterministic LCG so the randomized chain test reproduces exactly.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// Property (randomized, seeded): restoring full + N deltas yields a Db
+/// byte-identical — canonical RDB dump, TTLs included — to folding the
+/// entire untrimmed log from scratch at the same covered position. Both the
+/// sequential and the parallel restore path must match.
+#[test]
+fn incremental_chain_restores_byte_identical_to_full_replay() {
+    use crate::restore::{restore_replica_opts, ReplayTarget, RestoreOptions};
+    let shard = new_shard(0);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut session = SessionState::new();
+    let offbox = OffboxSnapshotter::new(
+        Arc::clone(shard.ctx()),
+        memorydb_engine::EngineVersion::CURRENT,
+        9_999,
+    );
+    let mut rng = Lcg(0x1234_5678);
+    // Phases of randomized SET/DEL/EXPIRE; a snapshot after each phase
+    // grows the chain (full, then deltas). No trimming, so the whole log
+    // stays replayable for the ground-truth comparison.
+    for _phase in 0..4 {
+        for _ in 0..60 {
+            let k = format!("k{}", rng.next() % 120);
+            match rng.next() % 4 {
+                0 => {
+                    primary.handle(&mut session, &cmd(["DEL", &k]));
+                }
+                1 => {
+                    let v = format!("v{}", rng.next());
+                    primary.handle(&mut session, &cmd(["SET", &k, &v]));
+                    // Far-future TTL: must survive the chain byte-for-byte.
+                    primary.handle(&mut session, &cmd(["EXPIRE", &k, "100000"]));
+                }
+                _ => {
+                    let v = format!("v{}", rng.next());
+                    primary.handle(&mut session, &cmd(["SET", &k, &v]));
+                }
+            }
+        }
+        offbox.create_snapshot(false).expect("snapshot");
+    }
+    // The newest candidate must actually be a delta (the chain grew).
+    let head = crate::manifest::list_candidates(&shard.ctx().store, &shard.ctx().name)
+        .into_iter()
+        .next()
+        .unwrap();
+    let crate::manifest::SnapshotCandidate::Manifest(head_covered) = head else {
+        panic!("newest candidate must be a manifest");
+    };
+    let head = crate::manifest::SnapshotManifest::fetch_at(
+        &shard.ctx().store,
+        &shard.ctx().name,
+        head_covered,
+    )
+    .unwrap();
+    assert!(head.chain_len >= 1, "expected a delta chain, got a full");
+
+    // Ground truth: fold the whole untrimmed log from scratch.
+    let tail = shard.ctx().log.committed_tail();
+    let mut engine = memorydb_engine::Engine::with_version(
+        Role::Replica,
+        memorydb_engine::EngineVersion::CURRENT,
+    );
+    let mut rs = crate::apply::ReplicaState::new();
+    // Fold exactly up to `tail`: the primary keeps committing lease
+    // renewals in the background, so the log may grow past it.
+    'fold: loop {
+        let batch = shard
+            .ctx()
+            .log
+            .read_committed_from(77_001, rs.applied, 512)
+            .unwrap();
+        if batch.is_empty() {
+            break;
+        }
+        for entry in &batch {
+            if entry.id > tail {
+                break 'fold;
+            }
+            crate::apply::apply_entry(
+                &mut engine,
+                &mut rs,
+                entry,
+                memorydb_engine::EngineVersion::CURRENT,
+            )
+            .unwrap();
+        }
+    }
+    assert_eq!(rs.applied, tail);
+    assert!(!engine.db.is_empty(), "ground truth must hold data");
+    let want = memorydb_engine::rdb::dump(&engine.db);
+
+    // Chain restore, sequential and parallel: byte-identical to the truth.
+    for workers in [1usize, 4] {
+        let rp = restore_replica_opts(
+            &shard.ctx().store,
+            &shard.ctx().log,
+            88_000 + workers as u64,
+            &shard.ctx().name,
+            memorydb_engine::EngineVersion::CURRENT,
+            ReplayTarget::Exactly(tail),
+            RestoreOptions { workers },
+        )
+        .expect("chain restore");
+        let seed = rp.seeded_from.expect("must seed from the chain");
+        assert!(seed.from_manifest && seed.newest, "seed: {seed:?}");
+        assert!(seed.chain_len >= 1);
+        assert_eq!(rp.rs.applied, tail);
+        assert_eq!(rp.rs.running_crc, rs.running_crc, "workers={workers}");
+        assert_eq!(
+            memorydb_engine::rdb::dump(&rp.engine.db),
+            want,
+            "workers={workers}: chain restore diverged from full replay"
+        );
+    }
+}
+
+/// Regression: a slot blocked mid-migration must survive a crash-restore
+/// through the snapshot+trim cycle — the manifest carries `blocked_slots`,
+/// and the cold restore re-seeds them even though the `MigrationPrepare`
+/// record itself was trimmed away.
+#[test]
+fn blocked_slots_survive_snapshot_trim_and_cold_restore() {
+    use crate::restore::{restore_replica, ReplayTarget};
+    let shard = new_shard(0);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut session = SessionState::new();
+    for i in 0..30 {
+        primary.handle(&mut session, &cmd(["SET", &format!("k{i}"), "v"]));
+    }
+    let slot = memorydb_engine::key_hash_slot(b"k0");
+    primary
+        .commit_record(&crate::record::Record::MigrationPrepare { slot, target: 1 })
+        .unwrap();
+    let offbox = OffboxSnapshotter::new(
+        Arc::clone(shard.ctx()),
+        memorydb_engine::EngineVersion::CURRENT,
+        9_999,
+    );
+    let (_, covered) = offbox.create_snapshot(true).unwrap();
+    // The prepare record is inside the trimmed prefix: only the snapshot
+    // can preserve the block now.
+    assert!(shard.ctx().log.first_available() > memorydb_txlog::EntryId::ZERO.next());
+    let image = crate::manifest::fetch_latest_image(&shard.ctx().store, &shard.ctx().name, 1)
+        .unwrap()
+        .expect("snapshot image");
+    assert!(
+        image.blocked_slots.contains(&slot),
+        "manifest dropped the blocked slot"
+    );
+    let rp = restore_replica(
+        &shard.ctx().store,
+        &shard.ctx().log,
+        90_001,
+        &shard.ctx().name,
+        memorydb_engine::EngineVersion::CURRENT,
+        ReplayTarget::Tail,
+    )
+    .unwrap();
+    assert!(rp.rs.applied >= covered);
+    assert!(
+        rp.rs.blocked_slots.contains(&slot),
+        "blocked_slots dropped across crash-restore mid-migration"
+    );
+}
+
+/// A corrupted delta manifest must not strand restore: the log is only ever
+/// trimmed to the newest FULL snapshot, so restore falls back to that full
+/// and replays the (still available) suffix to the tail.
+#[test]
+fn broken_delta_chain_falls_back_to_newest_full_plus_suffix() {
+    use crate::restore::{restore_replica, ReplayTarget};
+    let shard = new_shard(0);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut session = SessionState::new();
+    let offbox = OffboxSnapshotter::new(
+        Arc::clone(shard.ctx()),
+        memorydb_engine::EngineVersion::CURRENT,
+        9_999,
+    );
+    for i in 0..30 {
+        primary.handle(&mut session, &cmd(["SET", &format!("a{i}"), "1"]));
+    }
+    let (_, full_covered) = offbox.create_snapshot(true).unwrap();
+    for i in 0..30 {
+        primary.handle(&mut session, &cmd(["SET", &format!("b{i}"), "2"]));
+    }
+    let (delta_key, delta_covered) = offbox.create_snapshot(true).unwrap();
+    assert!(delta_covered > full_covered);
+    // Trim stayed at the full snapshot; the delta's prefix is replayable.
+    assert!(shard.ctx().log.first_available() <= full_covered.next());
+    for i in 0..10 {
+        primary.handle(&mut session, &cmd(["SET", &format!("c{i}"), "3"]));
+    }
+    assert!(shard.ctx().store.corrupt_for_test(&delta_key));
+    let rp = restore_replica(
+        &shard.ctx().store,
+        &shard.ctx().log,
+        90_002,
+        &shard.ctx().name,
+        memorydb_engine::EngineVersion::CURRENT,
+        ReplayTarget::Tail,
+    )
+    .expect("restore must fall back past the broken chain");
+    let seed = rp.seeded_from.expect("must seed from the full snapshot");
+    assert_eq!(seed.covered, full_covered);
+    assert!(!seed.newest, "fallback seed must not count as newest");
+    assert_eq!(rp.rs.applied, shard.ctx().log.committed_tail());
+    assert_eq!(rp.engine.db.len(), 70);
+}
+
+/// Pre-manifest monolithic snapshot blobs must still seed a restore
+/// (mixed-version fleets during the rollout of incremental snapshots).
+#[test]
+fn legacy_monolithic_snapshot_still_seeds_restore() {
+    use crate::restore::{restore_replica, ReplayTarget};
+    let shard = new_shard(0);
+    let primary = shard.wait_for_primary(T).unwrap();
+    let mut session = SessionState::new();
+    for i in 0..25 {
+        primary.handle(&mut session, &cmd(["SET", &format!("k{i}"), "v"]));
+    }
+    let snap = primary.capture_snapshot();
+    snap.upload(&shard.ctx().store, &shard.ctx().name);
+    let rp = restore_replica(
+        &shard.ctx().store,
+        &shard.ctx().log,
+        91_000,
+        &shard.ctx().name,
+        memorydb_engine::EngineVersion::CURRENT,
+        ReplayTarget::Tail,
+    )
+    .unwrap();
+    let seed = rp.seeded_from.expect("must seed from the legacy blob");
+    assert!(!seed.from_manifest);
+    assert_eq!(seed.chain_len, 0);
+    assert_eq!(rp.engine.db.len(), 25);
+    assert_eq!(rp.rs.applied, shard.ctx().log.committed_tail());
 }

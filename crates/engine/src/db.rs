@@ -342,6 +342,29 @@ impl Db {
         out
     }
 
+    /// Moves every entry of `other` into this keyspace, keeping TTLs.
+    /// Existing keys are overwritten (the restore merge feeds disjoint
+    /// partitions, but overwrite semantics keep the call total). Per-key
+    /// versions restart like an RDB load, same as [`Db::split_by_slot`].
+    pub fn absorb(&mut self, other: Db) {
+        self.absorb_if(other, |_| true);
+    }
+
+    /// Like [`Db::absorb`] but keeps only entries whose key satisfies
+    /// `keep` — the incremental-restore merge uses this to skip keys whose
+    /// slot a newer snapshot chunk already provided authoritatively.
+    pub fn absorb_if(&mut self, other: Db, keep: impl Fn(&Bytes) -> bool) {
+        for (key, entry) in other.entries {
+            if !keep(&key) {
+                continue;
+            }
+            self.set_value(key.clone(), entry.value);
+            if entry.expire_at.is_some() {
+                self.set_expiry(&key, entry.expire_at);
+            }
+        }
+    }
+
     /// Recomputes the approximate dataset footprint in bytes.
     pub fn used_memory(&self) -> usize {
         self.entries
@@ -515,6 +538,31 @@ mod tests {
         db.set_expiry(b"k", Some(100));
         db.set_value_keep_ttl(b("k"), sval("v3"));
         assert_eq!(db.expiry(b"k"), Some(100));
+    }
+
+    #[test]
+    fn absorb_moves_entries_with_ttls() {
+        let mut a = Db::new();
+        a.set_value(b("keep"), sval("old"));
+        a.set_value(b("clash"), sval("mine"));
+        let mut other = Db::new();
+        other.set_value(b("clash"), sval("theirs"));
+        other.set_value(b("ttl"), sval("v"));
+        other.set_expiry(b"ttl", Some(777));
+        other.set_value(b("skipme"), sval("x"));
+        a.absorb_if(other, |k| k.as_ref() != b"skipme");
+        assert_eq!(a.lookup(b"keep", 0), Some(&sval("old")));
+        assert_eq!(a.lookup(b"clash", 0), Some(&sval("theirs")));
+        assert_eq!(a.lookup(b"ttl", 0), Some(&sval("v")));
+        assert_eq!(a.expiry(b"ttl"), Some(777));
+        assert!(a.lookup(b"skipme", 0).is_none());
+        assert_eq!(a.len(), 3);
+
+        let mut c = Db::new();
+        c.set_value(b("z"), sval("1"));
+        let mut d = Db::new();
+        d.absorb(c);
+        assert_eq!(d.lookup(b"z", 0), Some(&sval("1")));
     }
 
     #[test]

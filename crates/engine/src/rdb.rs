@@ -430,16 +430,12 @@ pub fn deserialize_entry(data: &[u8]) -> Result<(Value, Option<u64>), RdbError> 
     Ok((v, expire_at))
 }
 
-/// Serializes a whole keyspace into the snapshot format.
-///
-/// Layout: `MAGIC | version u32 | count u64 | entries... | crc64 u64` where
-/// each entry is `key | expiry-tag(+ms) | value`. Keys are emitted in sorted
-/// order so equal keyspaces produce byte-identical snapshots.
-pub fn dump(db: &Db) -> Vec<u8> {
+/// Shared body of the dump variants: sorts the entries by key and emits the
+/// canonical `MAGIC | version | count | entries | crc64` envelope.
+fn dump_entries(mut entries: Vec<(&Bytes, &crate::db::Entry)>) -> Vec<u8> {
     let mut w = Writer { buf: Vec::new() };
     w.buf.extend_from_slice(MAGIC);
     w.u32(FORMAT_VERSION);
-    let mut entries: Vec<_> = db.iter_entries().collect();
     entries.sort_by(|a, b| a.0.cmp(b.0));
     w.u64(entries.len() as u64);
     for (key, entry) in entries {
@@ -458,31 +454,37 @@ pub fn dump(db: &Db) -> Vec<u8> {
     w.buf
 }
 
+/// Serializes a whole keyspace into the snapshot format.
+///
+/// Layout: `MAGIC | version u32 | count u64 | entries... | crc64 u64` where
+/// each entry is `key | expiry-tag(+ms) | value`. Keys are emitted in sorted
+/// order so equal keyspaces produce byte-identical snapshots.
+pub fn dump(db: &Db) -> Vec<u8> {
+    dump_entries(db.iter_entries().collect())
+}
+
 /// Serializes several disjoint keyspaces into one snapshot, as if they were
 /// a single [`Db`]. Entries are merge-sorted by key across partitions, so the
 /// output is byte-identical to [`dump`] of the unsplit keyspace — striped
 /// engines snapshot without re-merging their data first.
 pub fn dump_multi(dbs: &[&Db]) -> Vec<u8> {
-    let mut w = Writer { buf: Vec::new() };
-    w.buf.extend_from_slice(MAGIC);
-    w.u32(FORMAT_VERSION);
-    let mut entries: Vec<_> = dbs.iter().flat_map(|db| db.iter_entries()).collect();
-    entries.sort_by(|a, b| a.0.cmp(b.0));
-    w.u64(entries.len() as u64);
-    for (key, entry) in entries {
-        w.bytes(key);
-        match entry.expire_at {
-            Some(at) => {
-                w.u8(1);
-                w.u64(at);
-            }
-            None => w.u8(0),
-        }
-        write_value(&mut w, &entry.value);
-    }
-    let crc = crc64(&w.buf);
-    w.u64(crc);
-    w.buf
+    dump_entries(dbs.iter().flat_map(|db| db.iter_entries()).collect())
+}
+
+/// Serializes only the keys whose hash slot falls in `lo..=hi`, merge-sorted
+/// across partitions. This is the payload of one incremental-snapshot chunk:
+/// the same envelope as [`dump`], so [`load`] decodes it unchanged, but
+/// restricted to a slot range so deltas ship only dirtied slots.
+pub fn dump_slot_range(dbs: &[&Db], lo: u16, hi: u16) -> Vec<u8> {
+    dump_entries(
+        dbs.iter()
+            .flat_map(|db| db.iter_entries())
+            .filter(|(key, _)| {
+                let slot = crate::slots::key_hash_slot(key);
+                (lo..=hi).contains(&slot)
+            })
+            .collect(),
+    )
 }
 
 /// Loads a snapshot produced by [`dump`], verifying the CRC64 trailer.
@@ -594,6 +596,32 @@ mod tests {
         // Degenerate cases: one partition, and empty input.
         assert_eq!(dump_multi(&[&e.db]), whole);
         assert_eq!(dump_multi(&[]), dump(&Db::new()));
+    }
+
+    #[test]
+    fn dump_slot_range_partitions_cover_dump() {
+        let e = populated_engine();
+        // Disjoint ranges covering the whole slot space must together hold
+        // exactly the keys of the full dump, each loadable via plain load().
+        let ranges = [(0u16, 4095u16), (4096, 8191), (8192, 12287), (12288, 16383)];
+        let mut total = 0usize;
+        for (lo, hi) in ranges {
+            let chunk = dump_slot_range(&[&e.db], lo, hi);
+            let part = load(&chunk).unwrap();
+            for (key, entry) in part.iter_entries() {
+                let slot = crate::slots::key_hash_slot(key);
+                assert!((lo..=hi).contains(&slot), "key {key:?} outside {lo}..={hi}");
+                assert_eq!(e.db.lookup(key, 0), Some(&entry.value));
+                assert_eq!(e.db.expiry(key), entry.expire_at);
+            }
+            total += part.len();
+        }
+        assert_eq!(total, e.db.len());
+        // The full slot range is byte-identical to a plain dump.
+        assert_eq!(
+            dump_slot_range(&[&e.db], 0, crate::slots::NUM_SLOTS - 1),
+            dump(&e.db)
+        );
     }
 
     #[test]

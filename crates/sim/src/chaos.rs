@@ -16,7 +16,9 @@
 //!    applied position report the same running checksum.
 //! 4. **Restorability** — restores complete (or fail cleanly) even when
 //!    racing snapshot+trim cycles; a trim never strands a restore below
-//!    `first_available()`.
+//!    `first_available()`, and a deliberately broken incremental snapshot
+//!    chain must make restores fall back to the newest full snapshot
+//!    rather than fail or load a partial image.
 //!
 //! **Determinism model.** The *plan* — every worker's operation stream and
 //! the fault script with its trigger points — is a pure function of
@@ -31,11 +33,11 @@ use memorydb_consistency::history::HistoryRecorder;
 use memorydb_consistency::model::{KvInput, KvModel, KvOutput};
 use memorydb_core::bus::ClusterBus;
 use memorydb_core::config::ShardConfig;
+use memorydb_core::manifest::{self, SnapshotCandidate, SnapshotManifest};
 use memorydb_core::offbox::OffboxSnapshotter;
 use memorydb_core::record::Record;
 use memorydb_core::restore::{restore_replica, ReplayTarget};
 use memorydb_core::shard::{NodeIdGen, Shard};
-use memorydb_core::snapshot::ShardSnapshot;
 use memorydb_engine::{cmd, EngineVersion, Frame, SessionState};
 use memorydb_metrics::CounterId;
 use memorydb_objectstore::ObjectStore;
@@ -58,7 +60,11 @@ pub enum ScheduleKind {
     /// Snapshot, then crash the primary; a cold node restores from the
     /// latest snapshot and rejoins.
     PrimaryCrashRestore,
-    /// Off-box snapshot + trim cycles racing a slow replica restore.
+    /// Off-box snapshot + trim cycles racing a slow replica restore; the
+    /// later cycles build an incremental manifest chain which is then
+    /// deliberately broken, so restores (one immediate, one from a cold
+    /// node added afterwards) must fall back to the newest full snapshot
+    /// and replay the untrimmed suffix.
     SnapshotTrimRace,
     /// The primary voluntarily releases leadership under load, twice.
     VoluntaryHandover,
@@ -208,6 +214,12 @@ pub enum FaultAction {
     /// `u64` is a read delay in ms applied to its txlog client, to widen
     /// the restore window that `SnapshotTrim` then races.
     AddSlowNode(u64),
+    /// Corrupt a link in the newest incremental snapshot chain (the head
+    /// delta's base manifest, or a head chunk when the base is already the
+    /// full). Restores must detect the broken chain during metadata
+    /// verification and fall back to an older candidate — ultimately the
+    /// newest full snapshot, whose log suffix a trim never removes.
+    BreakChain,
 }
 
 /// A fault with its trigger: fired when the global completed-op counter
@@ -309,6 +321,11 @@ impl ChaosPlan {
                     action: FaultAction::AddSlowNode(0),
                 },
             ],
+            // The first trim publishes a full snapshot; the @45/@60 trims
+            // publish deltas chained on it. BreakChain@70 then corrupts a
+            // chain link, so the @80 cold node (and the director's own
+            // immediate restore probe) must fall back to the full snapshot
+            // and replay the suffix the trim policy kept available.
             ScheduleKind::SnapshotTrimRace => vec![
                 FaultStep {
                     at_op: at(25),
@@ -325,6 +342,14 @@ impl ChaosPlan {
                 FaultStep {
                     at_op: at(60),
                     action: FaultAction::SnapshotTrim,
+                },
+                FaultStep {
+                    at_op: at(70),
+                    action: FaultAction::BreakChain,
+                },
+                FaultStep {
+                    at_op: at(80),
+                    action: FaultAction::AddSlowNode(0),
                 },
             ],
             ScheduleKind::VoluntaryHandover => vec![
@@ -677,6 +702,69 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
                         counts.suspend_flips += 1;
                         shard.ctx().log.set_commits_suspended(false);
                     }
+                    FaultAction::BreakChain => {
+                        // Corrupt a link inside the newest incremental
+                        // manifest chain, then restore immediately: the
+                        // broken chain must be rejected during metadata
+                        // verification (never a partial load) and the
+                        // restore must seed from an older candidate.
+                        // Store-side corruption touches no log fault
+                        // hooks, so DirectorCounts stays untouched.
+                        let store = &shard.ctx().store;
+                        let name = &shard.ctx().name;
+                        let head = manifest::list_candidates(store, name).into_iter().find_map(
+                            |c| match c {
+                                SnapshotCandidate::Manifest(covered) => {
+                                    SnapshotManifest::fetch_at(store, name, covered)
+                                        .ok()
+                                        .filter(|m| !m.is_full())
+                                }
+                                SnapshotCandidate::Legacy(_) => None,
+                            },
+                        );
+                        if let Some(head) = head {
+                            // Prefer a mid-chain break (the head's base,
+                            // when that base is itself a delta) so the
+                            // chain walk fails on a non-head hop; else
+                            // break the head's own payload.
+                            let base_is_delta = SnapshotManifest::fetch_at(store, name, head.base)
+                                .is_ok_and(|b| !b.is_full());
+                            let key = if base_is_delta {
+                                SnapshotManifest::store_key(name, head.base)
+                            } else if let Some(c) = head.chunks.first() {
+                                SnapshotManifest::chunk_key(name, head.covered, c.lo, c.hi)
+                            } else {
+                                SnapshotManifest::store_key(name, head.covered)
+                            };
+                            if store.corrupt_for_test(&key) {
+                                match restore_replica(
+                                    store,
+                                    &shard.ctx().log,
+                                    snap_client + 700_000,
+                                    name,
+                                    EngineVersion::CURRENT,
+                                    ReplayTarget::Tail,
+                                ) {
+                                    Ok(rp) => {
+                                        let fell_back = rp
+                                            .seeded_from
+                                            .is_some_and(|s| s.covered < head.covered);
+                                        if !fell_back {
+                                            violations.lock().push(format!(
+                                                "restore after chain break did not fall \
+                                                 back below the broken head: {:?}",
+                                                rp.seeded_from
+                                            ));
+                                        }
+                                    }
+                                    Err(e) => violations.lock().push(format!(
+                                        "restore after chain break failed instead of \
+                                         falling back: {e}"
+                                    )),
+                                }
+                            }
+                        }
+                    }
                     FaultAction::AddSlowNode(delay_ms) => {
                         if delay_ms > 0 {
                             // NodeIdGen has no peek; burn one probe id to
@@ -846,13 +934,17 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     }
 
     // Invariant 4 (standing half): restores can never need entries below
-    // first_available().
-    if let Ok(Some(snap)) = ShardSnapshot::fetch_latest(&shard.ctx().store, &shard.ctx().name) {
+    // first_available(). Chain-aware: the newest candidate whose metadata
+    // still verifies (a broken delta chain is skipped, exactly as a restore
+    // skips it) must cover the trim point.
+    if let Some(covered) =
+        manifest::newest_restorable_covered(&shard.ctx().store, &shard.ctx().name)
+    {
         let first = shard.ctx().log.first_available();
-        if first > snap.covered.next() {
+        if first > covered.next() {
             violations.lock().push(format!(
-                "log trimmed past snapshot coverage: first_available {first:?}, covered {:?}",
-                snap.covered
+                "log trimmed past restorable snapshot coverage: \
+                 first_available {first:?}, covered {covered:?}"
             ));
         }
     }
@@ -1114,6 +1206,88 @@ mod tests {
         let a = ChaosPlan::generate(&ChaosConfig::new(ScheduleKind::SeededRandom, 1));
         let b = ChaosPlan::generate(&ChaosConfig::new(ScheduleKind::SeededRandom, 2));
         assert_ne!(a, b);
+    }
+
+    /// Migration write-blocks must survive the full interleaving the
+    /// satellite pins: MigrationPrepare → snapshot+trim (the prepare entry
+    /// leaves the log; the block now lives only in the snapshot image) →
+    /// primary crash → failover, with client writes landing throughout.
+    /// The successor (log replay), a cold restore (snapshot seed + suffix),
+    /// and the restored blocked-slot gate must all still refuse writes to
+    /// the migrating slot.
+    #[test]
+    fn blocked_slots_survive_crash_failover_mid_migration() {
+        let ids = Arc::new(NodeIdGen::new());
+        let shard = Shard::bootstrap(
+            0,
+            chaos_config(),
+            Arc::new(ObjectStore::new()),
+            Arc::new(ClusterBus::new()),
+            Arc::clone(&ids),
+            vec![(0, 16383)],
+            2,
+        );
+        let primary = shard
+            .wait_for_primary(Duration::from_secs(5))
+            .expect("initial primary");
+        let mut s = SessionState::new();
+        for i in 0..20 {
+            let reply = primary.handle(&mut s, &cmd(["SET", &format!("mig{i}"), "v"]));
+            assert_eq!(reply, Frame::ok(), "seed write {i} must succeed");
+        }
+
+        let blocked_key = "migkey";
+        let slot = memorydb_engine::key_hash_slot(blocked_key.as_bytes());
+        primary
+            .commit_record(&Record::MigrationPrepare { slot, target: 9 })
+            .expect("migration prepare must commit");
+        match primary.handle(&mut s, &cmd(["SET", blocked_key, "x"])) {
+            Frame::Error(e) => assert!(e.starts_with("TRYAGAIN"), "got {e}"),
+            other => panic!("write to blocked slot must be refused, got {other:?}"),
+        }
+
+        // Interleave more traffic, then snapshot + trim: the prepare entry
+        // is now below first_available, so only the snapshot image carries
+        // the block forward.
+        for i in 20..30 {
+            let _ = primary.handle(&mut s, &cmd(["SET", &format!("mig{i}"), "v"]));
+        }
+        let offbox =
+            OffboxSnapshotter::new(Arc::clone(shard.ctx()), EngineVersion::CURRENT, 40_001);
+        offbox.create_snapshot(true).expect("snapshot+trim");
+
+        shard.crash_primary();
+        shard.reap_dead();
+        let successor = shard
+            .wait_for_primary(Duration::from_secs(5))
+            .expect("successor after crash");
+        let mut s2 = SessionState::new();
+        match successor.handle(&mut s2, &cmd(["SET", blocked_key, "y"])) {
+            Frame::Error(e) => assert!(
+                e.starts_with("TRYAGAIN"),
+                "successor must keep the migration block, got {e}"
+            ),
+            other => panic!("successor accepted a write to a blocked slot: {other:?}"),
+        }
+        // Unrelated slots keep serving writes across the failover.
+        assert_eq!(
+            successor.handle(&mut s2, &cmd(["SET", "mig0", "post-crash"])),
+            Frame::ok()
+        );
+
+        let rp = restore_replica(
+            &shard.ctx().store,
+            &shard.ctx().log,
+            91_001,
+            &shard.ctx().name,
+            EngineVersion::CURRENT,
+            ReplayTarget::Tail,
+        )
+        .expect("cold restore mid-migration");
+        assert!(
+            rp.rs.blocked_slots.contains(&slot),
+            "cold restore dropped blocked slot {slot}"
+        );
     }
 
     #[test]

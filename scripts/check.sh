@@ -23,7 +23,14 @@
 #             idle fast path must append exactly once per command and —
 #             on hosts with >=4 cores — beat the committer-handoff
 #             baseline on mean commit latency; the smoke rows land in
-#             BENCH_log_latency.json.
+#             BENCH_log_latency.json. Also runs restore_mttr --smoke
+#             (§4.2 + DESIGN.md §14 incremental snapshots / parallel
+#             restore): every row must restore a complete image at both
+#             worker counts, and on hosts with >=4 cores the parallel
+#             restore of the largest (10x) dataset must beat the
+#             sequential path by >=2x (skipped below 4 cores, where
+#             restore workers only time-share one CPU); the smoke rows
+#             land in BENCH_restore_mttr.json.
 #
 #   concurrency — the §9 concurrency-correctness pass, opt in with
 #             --concurrency: re-runs the analyzer with the lock-order
@@ -78,6 +85,7 @@ run cargo test -q --workspace "${CARGO_FLAGS[@]}"
 if [[ "$METRICS_SMOKE" == "1" ]]; then
   run cargo run -q --release -p memorydb-bench "${CARGO_FLAGS[@]}" --bin tcp_throughput -- --smoke
   run cargo run -q --release -p memorydb-bench "${CARGO_FLAGS[@]}" --bin log_latency -- --smoke
+  run cargo run -q --release -p memorydb-bench "${CARGO_FLAGS[@]}" --bin restore_mttr -- --smoke
 fi
 if [[ "$CONCURRENCY" == "1" ]]; then
   mkdir -p results

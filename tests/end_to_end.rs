@@ -2,9 +2,7 @@
 //! verification + trimming + restore (§4.2/§7.2.1), the WAIT contract, and
 //! the baseline-vs-MemoryDB durability comparison end to end.
 
-use memorydb::core::{
-    ClusterBus, HaltReason, NodeIdGen, OffboxSnapshotter, Shard, ShardConfig, ShardSnapshot,
-};
+use memorydb::core::{ClusterBus, HaltReason, NodeIdGen, OffboxSnapshotter, Shard, ShardConfig};
 use memorydb::engine::{cmd, EngineVersion, Frame, SessionState};
 use memorydb::objectstore::ObjectStore;
 use std::sync::Arc;
@@ -160,8 +158,18 @@ fn only_verified_snapshots_are_served() {
     let offbox = OffboxSnapshotter::new(Arc::clone(shard.ctx()), EngineVersion::CURRENT, 502);
     let (key, _) = offbox.create_snapshot(false).unwrap();
     assert!(shard.ctx().store.corrupt_for_test(&key));
-    // Fetch (what any restoring replica does) fails closed.
-    assert!(ShardSnapshot::fetch_latest(&shard.ctx().store, &shard.ctx().name).is_err());
+    // Fetch (what any restoring replica does) fails closed: the only
+    // candidate is the corrupt manifest, so there is nothing to fall
+    // back to and the chain-aware fetch reports the corruption.
+    assert!(
+        memorydb::core::manifest::fetch_latest_image(&shard.ctx().store, &shard.ctx().name, 1)
+            .is_err()
+    );
+    assert!(memorydb::core::manifest::newest_restorable_covered(
+        &shard.ctx().store,
+        &shard.ctx().name
+    )
+    .is_none());
     // And a new off-box run from the corrupt base fails rather than
     // producing a bogus "fresher" snapshot.
     assert!(offbox.create_snapshot(false).is_err());
