@@ -1,6 +1,6 @@
 //! Workspace invariant analyzer for the MemoryDB reproduction.
 //!
-//! Six lint families, each protecting one leg of the paper's
+//! Nine lint families, each protecting one leg of the paper's
 //! consistency/availability argument (see DESIGN.md "Enforced invariants"):
 //!
 //! 1. **panic-freedom** — no `unwrap`/`expect`/panic macros/direct indexing
@@ -35,6 +35,11 @@
 //! 8. **lock-order** — the whole-workspace acquisition graph built by
 //!    [`lockgraph`] must be acyclic; each cycle is one potential-deadlock
 //!    finding naming the full lock path.
+//! 9. **zero-copy** — on the serve-path files (the server's parse→submit
+//!    pipeline and the RESP decoder), no `.to_vec()` and no `.clone()` of
+//!    command-argument vectors or wire buffers: each copies bytes the
+//!    borrowed decode deliberately shares and regresses the allocation
+//!    census budget (DESIGN.md §15). Intentional copies are baselined.
 //!
 //! Exceptions live in the checked-in `analysis.toml` baseline; every entry
 //! carries a justification, matches at least one finding (else it is

@@ -48,6 +48,18 @@ const INDEX_SCOPE: &[&str] = &[
 /// Deterministic-simulation code: chaos plan construction and the DES core.
 const DETERMINISM_SCOPE: &[&str] = &["crates/sim/src/chaos.rs", "crates/sim/src/des.rs"];
 
+/// The zero-copy serve path (DESIGN.md §15): parse → submit must hand
+/// command bytes around as refcounted slices of the input chunk, never as
+/// fresh copies. These are the files where the allocation census's
+/// per-command budget is won or lost.
+const ZERO_COPY_SCOPE: &[&str] = &["crates/server/src/lib.rs", "crates/resp/src/decode.rs"];
+
+/// Identifiers that name command-argument vectors or wire buffers on the
+/// serve path. `.clone()` with one of these as receiver (directly or via
+/// an index expression like `cmds[i]`) deep-copies bytes the zero-copy
+/// path deliberately borrows.
+const CMD_BYTES_IDENTS: &[&str] = &["args", "arg", "cmds", "cmd", "batch", "raw", "buf", "out"];
+
 /// The server crate, whose multiplexed IO threads sweep many connections
 /// each. A durability wait here stalls every connection sharing the thread.
 const SERVER_SCOPE: &[&str] = &["crates/server/"];
@@ -133,6 +145,9 @@ pub(crate) fn lint_tokens(rel: &str, toks: &[Tok]) -> Vec<RawFinding> {
     }
     if in_scope(rel, SERVER_SCOPE) {
         durability_wait(toks, &mut out);
+    }
+    if in_scope(rel, ZERO_COPY_SCOPE) {
+        zero_copy(toks, &mut out);
     }
     // Workspace-wide passes.
     lock_discipline(toks, &mut out);
@@ -282,6 +297,80 @@ fn durability_wait(toks: &[Tok], out: &mut Vec<RawFinding>) {
                      the multiplexed sweep must park replies on the commit \
                      ticket and let the completer wake the connection \
                      (DESIGN.md \u{a7}11, paper \u{a7}6 Enhanced-IO)"
+                ),
+            });
+        }
+    }
+}
+
+/// (9) zero-copy: on the serve-path files, `.to_vec()` anywhere and
+/// `.clone()` whose receiver is a command-argument vector or wire buffer
+/// ([`CMD_BYTES_IDENTS`], directly or through an index expression) are
+/// findings. Each copies bytes the borrowed-decode path deliberately
+/// shares, regressing the allocation census (DESIGN.md §15) one
+/// "harmless" clone at a time. Intentional copies must be baselined in
+/// analysis.toml with a written justification.
+fn zero_copy(toks: &[Tok], out: &mut Vec<RawFinding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test || !t.is_punct('.') || i == 0 {
+            continue;
+        }
+        let method = toks
+            .get(i + 1)
+            .and_then(|n| n.ident())
+            .filter(|_| toks.get(i + 2).is_some_and(|n| n.is_punct('(')));
+        let Some(m) = method else { continue };
+        let line = toks.get(i + 1).map_or(t.line, |n| n.line);
+        if m == "to_vec" {
+            out.push(RawFinding {
+                lint: "zero-copy",
+                line,
+                message: "`.to_vec()` on the zero-copy serve path copies wire bytes \
+                          the borrowed decode deliberately shares; pass `Bytes` \
+                          slices through instead (DESIGN.md \u{a7}15)"
+                    .to_string(),
+            });
+            continue;
+        }
+        if m != "clone" {
+            continue;
+        }
+        // Receiver ident: the token before `.`, walking an index
+        // expression (`cmds[i].clone()`) back through its brackets.
+        let recv = match &toks[i - 1].kind {
+            Ident(id) => Some(id.as_str()),
+            Punct(']') => {
+                let mut d = 0i32;
+                let mut j = i - 1;
+                loop {
+                    match &toks[j].kind {
+                        Punct(']') => d += 1,
+                        Punct('[') => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if j == 0 {
+                        break;
+                    }
+                    j -= 1;
+                }
+                (j > 0).then(|| toks[j - 1].ident()).flatten()
+            }
+            _ => None,
+        };
+        if let Some(r) = recv.filter(|r| CMD_BYTES_IDENTS.contains(r)) {
+            out.push(RawFinding {
+                lint: "zero-copy",
+                line,
+                message: format!(
+                    "`{r}.clone()` deep-copies command bytes on the serve path; \
+                     the parse\u{2192}submit pipeline hands arguments around by \
+                     reference (refcounted slices of the input chunk) so per-command \
+                     allocations stay within the census budget (DESIGN.md \u{a7}15)"
                 ),
             });
         }
@@ -1176,6 +1265,29 @@ mod tests {
             (sites[1].receiver.as_str(), sites[1].method.as_str()),
             ("flag", "swap")
         );
+    }
+
+    #[test]
+    fn serve_path_clone_and_to_vec_flagged_in_scope_only() {
+        let src = "fn f(&self) {\n\
+                   let owned = cmds[i].clone();\n\
+                   let a = args.clone();\n\
+                   let v = payload.to_vec();\n\
+                   let tx2 = tx.clone();\n\
+                   let r2 = run.clone();\n\
+                   }\n";
+        assert_eq!(
+            lints_for("crates/server/src/lib.rs", src),
+            vec!["zero-copy:2", "zero-copy:3", "zero-copy:4"]
+        );
+        // The same code off the serve path is not this lint's business.
+        assert!(lints_for("crates/core/src/lease.rs", src).is_empty());
+    }
+
+    #[test]
+    fn serve_path_clone_lint_skips_tests() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { let c = cmds[0].clone(); } }\n";
+        assert!(lints_for("crates/resp/src/decode.rs", src).is_empty());
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //! | [`log_latency`] | Adaptive group commit: offered-load sweep over the low-latency log path |
 //! | [`restore_mttr`] | Incremental snapshots + parallel restore: MTTR vs dataset size × freshness |
 //! | [`chaos_suite`] | Deterministic chaos harness — failover/crash-recovery invariants |
+//! | [`alloc_census`] | Zero-copy serve path: allocations-per-command census (runs on 1 core) |
 
+pub mod alloc_census;
 pub mod chaos_suite;
 pub mod extras;
 pub mod fig4;

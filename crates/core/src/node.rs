@@ -24,15 +24,15 @@ use bytes::Bytes;
 use memorydb_engine::command::command_spec;
 use memorydb_engine::exec::Role;
 use memorydb_engine::{
-    eval_on_host, key_hash_slot, keys_for, DirtySet, EffectCmd, Engine, ExecOutcome, Frame,
-    ScriptHost, SessionState,
+    eval_on_host, for_each_key, key_hash_slot, keys_for, CmdName, DirtySet, EffectCmd, Engine,
+    ExecOutcome, Frame, ScriptHost, SessionState,
 };
 use memorydb_metrics::{CounterId, GaugeId, Registry, StageId};
 use memorydb_objectstore::ObjectStore;
 use memorydb_txlog::{AppendError, EntryId, LogService, ReadError};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
@@ -121,6 +121,10 @@ pub struct Node {
     /// and appends. Serializing drain+append here is what keeps log order
     /// equal to fold order when submitters flush on their own thread.
     flush_token: Mutex<()>,
+    /// Rotating active-expire cursor: each pass reaps one stripe under its
+    /// own `lock_one`, so background expiration never stalls the other
+    /// stripes behind an all-stripe acquisition.
+    expire_cursor: AtomicUsize,
 }
 
 impl std::fmt::Debug for Node {
@@ -181,19 +185,13 @@ impl SubmittedBatch {
 /// signature: whole-keyspace scans and fan-outs, transaction closers (the
 /// queued commands may span stripes), and the config/script broadcasts that
 /// keep per-stripe state identical.
+/// `DBSIZE` and `RANDOMKEY` are deliberately absent: per-stripe key
+/// counters (refreshed on every guard drop) let `DBSIZE` answer from any
+/// single stripe and let `RANDOMKEY` pre-pick a count-weighted stripe, so
+/// neither needs the all-stripe acquisition on its own any more. Both keep
+/// their exact all-stripe forms for EXEC bodies, scripts and mixed batches.
 const FORCE_ALL_STRIPES: &[&str] = &[
-    "EXEC",
-    "SCAN",
-    "KEYS",
-    "RANDOMKEY",
-    "DBSIZE",
-    "FLUSHALL",
-    "FLUSHDB",
-    "INFO",
-    "CONFIG",
-    "SCRIPT",
-    "EVAL",
-    "EVALSHA",
+    "EXEC", "SCAN", "KEYS", "FLUSHALL", "FLUSHDB", "INFO", "CONFIG", "SCRIPT", "EVAL", "EVALSHA",
 ];
 
 /// Keyless commands that touch no keyspace state at all (session- or
@@ -249,6 +247,7 @@ impl Node {
             metrics,
             pipeline: Arc::new(CommitPipeline::new()),
             flush_token: Mutex::new(()),
+            expire_cursor: AtomicUsize::new(0),
         });
         let runner = Arc::clone(&node);
         // Baselined in analysis.toml: failing to spawn at node startup is a
@@ -573,7 +572,7 @@ impl Node {
                 replies.push(Frame::error("empty command"));
                 continue;
             };
-            let name = String::from_utf8_lossy(cmd_name).to_ascii_uppercase();
+            let name = CmdName::from_arg(cmd_name);
 
             // WAIT numreplicas timeout: every acknowledged write is already
             // durable across AZs, so any satisfiable replica count is met
@@ -650,9 +649,9 @@ impl Node {
                         "CLUSTERDOWN node is syncing from the transaction log".into(),
                     ))
                 } else if let Some(halt) = &st.rs.halted {
-                    Some(Frame::Error(format!(
-                        "CLUSTERDOWN replication halted: {halt}"
-                    )))
+                    Some(Frame::Error(
+                        format!("CLUSTERDOWN replication halted: {halt}").into(),
+                    ))
                 } else {
                     match st.role {
                         // A fenced append left executed-but-unlogged
@@ -668,20 +667,23 @@ impl Node {
                         Role::Primary if Instant::now() >= st.lease_valid_until => Some(
                             Frame::Error("CLUSTERDOWN leadership lease expired; demoting".into()),
                         ),
-                        Role::Replica if is_write => Some(Frame::Error(format!(
-                            "MOVED {} shard-{}",
-                            keys.as_ref()
-                                .and_then(|k| k.first())
-                                .map(|k| key_hash_slot(k))
-                                .unwrap_or(0),
-                            self.ctx.shard_id
-                        ))),
+                        Role::Replica if is_write => Some(Frame::Error(
+                            format!(
+                                "MOVED {} shard-{}",
+                                keys.as_ref()
+                                    .and_then(|k| k.first())
+                                    .map(|k| key_hash_slot(k))
+                                    .unwrap_or(0),
+                                self.ctx.shard_id
+                            )
+                            .into(),
+                        )),
                         _ if crossslot => Some(Frame::Error(
                             "CROSSSLOT Keys in request don't hash to the same slot".into(),
                         )),
                         _ => match cmd_slot {
                             Some(slot) if !st.rs.owned_slots.contains(slot) => {
-                                Some(Frame::Error(format!("MOVED {slot} ?")))
+                                Some(Frame::Error(format!("MOVED {slot} ?").into()))
                             }
                             Some(slot) if is_write && st.rs.blocked_slots.contains(&slot) => Some(
                                 Frame::Error("TRYAGAIN slot ownership transfer in progress".into()),
@@ -693,6 +695,25 @@ impl Node {
             };
             if let Some(err) = gate {
                 replies.push(err);
+                continue;
+            }
+
+            // DBSIZE without an all-stripe sweep: the held stripe's live
+            // count plus the other stripes' published counters (refreshed on
+            // every guard drop). Inside MULTI the command queues like any
+            // other and EXEC's all-stripe route answers it exactly.
+            if name == "DBSIZE" && !session.in_multi() {
+                if args.len() == 1 {
+                    let total = if guards.is_all() {
+                        guards.dbs().iter().map(|db| db.len()).sum::<usize>()
+                    } else {
+                        guards.first_ref().db.len() + self.stripes.keys_elsewhere(guards.held_idx())
+                    };
+                    replies.push(Frame::Integer(total as i64));
+                } else {
+                    // Arity error, straight from the engine's own gate.
+                    replies.push(guards.any_engine().execute_single(args).reply);
+                }
                 continue;
             }
 
@@ -739,18 +760,24 @@ impl Node {
                 // Mutation: stage its effect record; the fold happens
                 // once, below, while the stripe lock is still held, so log
                 // order equals execution order within the stripe (§3.2).
-                let payload = Record::Effects {
+                let record = Record::Effects {
                     version: guards.first_ref().version(),
-                    effects: outcome.effects.clone(),
-                }
-                .encode_framed();
+                    effects: outcome.effects,
+                };
+                let payload = record.encode_framed();
+                // Take the effects back out — encoding borrowed them, so the
+                // argument vectors never re-clone on the hot path.
+                let effects = match record {
+                    Record::Effects { effects, .. } => effects,
+                    _ => Vec::new(),
+                };
                 first_write_index.get_or_insert(i);
                 staged.push(StagedWrite {
                     index: i,
                     payload,
                     dirty: outcome.dirty,
                     slot: cmd_slot,
-                    effects: outcome.effects,
+                    effects,
                     reply: outcome.reply,
                 });
                 // Placeholder until the batch commits durably.
@@ -973,21 +1000,44 @@ impl Node {
             let Some(cmd_name) = args.first() else {
                 continue; // empty commands error without touching the keyspace
             };
-            let name = String::from_utf8_lossy(cmd_name).to_ascii_uppercase();
+            let name = CmdName::from_arg(cmd_name);
             if FORCE_ALL_STRIPES.contains(&name.as_str()) {
                 return None;
             }
-            match keys_for(args) {
-                Some(keys) if !keys.is_empty() => {
-                    for key in &keys {
-                        let s = stripe_of(key_hash_slot(key), n);
-                        match stripe {
-                            None => stripe = Some(s),
-                            Some(prev) if prev != s => return None,
-                            _ => {}
-                        }
-                    }
+            // DBSIZE is answered from any held stripe (live count plus the
+            // other stripes' published counters) — stripe-agnostic.
+            if name == "DBSIZE" {
+                continue;
+            }
+            // RANDOMKEY: pre-pick a count-weighted stripe so the overall key
+            // distribution matches the unstriped engine; a batch whose other
+            // commands live elsewhere degrades to the all-stripe route,
+            // where `randomkey_striped` still answers exactly.
+            if name == "RANDOMKEY" && args.len() == 1 {
+                let s = self.stripes.weighted_random_stripe();
+                match stripe {
+                    None => stripe = Some(s),
+                    Some(prev) if prev != s => return None,
+                    _ => {}
                 }
+                continue;
+            }
+            // Visit the keys without collecting them — classification only
+            // needs each key's stripe, never the key itself.
+            let mut conflict = false;
+            let visited = for_each_key(args, |key| {
+                let s = stripe_of(key_hash_slot(key), n);
+                match stripe {
+                    None => stripe = Some(s),
+                    Some(prev) if prev != s => conflict = true,
+                    _ => {}
+                }
+            });
+            if conflict {
+                return None;
+            }
+            match visited {
+                Some(k) if k > 0 => {}
                 _ => {
                     // Keyless or unknown: only the known session-/node-local
                     // commands are safe on one stripe; everything else gets
@@ -1088,7 +1138,7 @@ impl Node {
         let Some(first) = cmd.first() else {
             return ExecOutcome::error("empty command");
         };
-        let name = String::from_utf8_lossy(first).to_ascii_uppercase();
+        let name = CmdName::from_arg(first);
         match name.as_str() {
             "FLUSHALL" | "FLUSHDB" => Self::flush_striped(guards, cmd),
             "DBSIZE" => Self::dbsize_striped(guards, cmd),
@@ -1342,9 +1392,10 @@ impl Node {
                 // that state — none of their replies may be released.
                 let first = first_write_index.unwrap_or(replies.len());
                 for reply in replies.iter_mut().skip(first) {
-                    *reply = Frame::Error(format!(
-                        "CLUSTERDOWN cannot commit to transaction log ({e}); demoting"
-                    ));
+                    *reply = Frame::Error(
+                        format!("CLUSTERDOWN cannot commit to transaction log ({e}); demoting")
+                            .into(),
+                    );
                 }
                 // Hazard ids are prospective: after a fence another
                 // leader's entry may occupy them, so `is_durable` cannot
@@ -1435,12 +1486,16 @@ impl Node {
     }
 
     /// Like [`Node::stage_control_locked`] but for an effects record whose
-    /// dirty keys must be hazard-tracked until commit.
+    /// dirty keys must be hazard-tracked until commit. `stripe` carries the
+    /// single held stripe (the caller must hold that stripe's guard while
+    /// staging) so the committer's per-stripe fold-order check applies;
+    /// `None` means the caller holds every stripe.
     fn stage_effects_locked(
         &self,
         st: &mut NodeState,
         payload: Bytes,
         dirty: &memorydb_engine::DirtySet,
+        stripe: Option<u16>,
     ) -> Arc<Ticket> {
         let id = st.rs.applied.next();
         fold_appended_payload(&mut st.rs, id, &payload, false);
@@ -1461,7 +1516,7 @@ impl Node {
             ticket: Arc::clone(&ticket),
             payloads: vec![payload],
             first_id: id,
-            stripe: None,
+            stripe,
         });
         ticket
     }
@@ -1994,10 +2049,7 @@ impl Node {
         let mut dirty = DirtySet::None;
         let mut session = SessionState::new();
         for cmd in cmds {
-            let name = cmd
-                .first()
-                .map(|c| String::from_utf8_lossy(c).to_ascii_uppercase())
-                .unwrap_or_default();
+            let name = CmdName::from_arg(cmd.first().map_or(b"".as_slice(), |c| c));
             let out = self.execute_routed(&mut guards, &mut session, &name, cmd);
             if out.reply.is_error() && !lenient {
                 return Err(format!("effect {cmd:?} failed: {:?}", out.reply));
@@ -2015,7 +2067,7 @@ impl Node {
         // Staged on the commit pipeline like any client mutation (a fenced
         // flush poisons the state); the migration controller drains via
         // `max_pending_write` before any ownership transfer.
-        let ticket = self.stage_effects_locked(&mut st, record.encode_framed(), &dirty);
+        let ticket = self.stage_effects_locked(&mut st, record.encode_framed(), &dirty, None);
         Ok(ticket.last_id())
     }
 
@@ -2366,9 +2418,15 @@ impl Node {
 
     /// One active-expire pass (Redis's background expiration, §2.1): the
     /// primary reaps expired keys and replicates explicit `DEL`s so
-    /// replicas converge without consulting their own clocks.
+    /// replicas converge without consulting their own clocks. Each pass
+    /// visits ONE stripe under its own `lock_one`, rotating a cursor across
+    /// passes — background reaping never stalls the other stripes behind an
+    /// all-stripe acquisition, and every stripe is still visited once per
+    /// full rotation.
     fn active_expire(&self) {
-        let mut guards = self.stripes.lock_all();
+        let n = self.stripes.count();
+        let idx = self.expire_cursor.fetch_add(1, Ordering::Relaxed) % n.max(1);
+        let mut guards = self.stripes.lock_one(idx);
         let mut st = self.st.lock();
         if st.role != Role::Primary || st.rebuilding || st.state_poisoned {
             return;
@@ -2389,9 +2447,15 @@ impl Node {
             version: guards.first_ref().version(),
             effects,
         };
+        let stripe = if guards.is_all() {
+            None
+        } else {
+            Some(guards.held_idx() as u16)
+        };
         // Fire-and-forget through the commit pipeline: the DELs are hazard-
-        // tracked until commit, and a fenced flush poisons the state.
-        let _ticket = self.stage_effects_locked(&mut st, record.encode_framed(), &dirty);
+        // tracked until commit, and a fenced flush poisons the state. Staged
+        // while the stripe guard is held, so per-stripe fold order holds.
+        let _ticket = self.stage_effects_locked(&mut st, record.encode_framed(), &dirty, stripe);
     }
 
     fn primary_step(&self) {

@@ -6,7 +6,9 @@
 //! verification (§7.2.1), and the slot-migration 2PC (§5.2).
 
 use bytes::Bytes;
-use memorydb_engine::effects::{decode_effect_batch, encode_effect_batch, EffectCmd};
+use memorydb_engine::effects::{
+    decode_effect_batch, effect_batch_encoded_len, encode_effect_batch_into, EffectCmd,
+};
 use memorydb_engine::EngineVersion;
 
 /// Identifier of a node within a cluster.
@@ -237,14 +239,32 @@ impl<'a> Rd<'a> {
 impl Record {
     /// Serializes the record into a transaction-log payload.
     pub fn encode(&self) -> Bytes {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(self.encoded_len_hint());
+        self.encode_into(&mut out);
+        Bytes::from(out)
+    }
+
+    /// Exact body size for `Effects` (the hot-path record), a small upper
+    /// bound for the fixed-size control records — sizing one buffer up
+    /// front keeps the append path to a single allocation.
+    fn encoded_len_hint(&self) -> usize {
+        match self {
+            Record::Effects { effects, .. } => 7 + effect_batch_encoded_len(effects),
+            Record::SlotOwnership { ranges } => 5 + ranges.len() * 4,
+            _ => 32,
+        }
+    }
+
+    /// Appends the body serialization to `out` (the single-buffer half of
+    /// [`Record::encode`] / [`Record::encode_framed`]).
+    fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
             Record::Effects { version, effects } => {
                 out.push(TAG_EFFECTS);
-                push_u16(&mut out, version.major);
-                push_u16(&mut out, version.minor);
-                push_u16(&mut out, version.patch);
-                out.extend_from_slice(&encode_effect_batch(effects));
+                push_u16(out, version.major);
+                push_u16(out, version.minor);
+                push_u16(out, version.patch);
+                encode_effect_batch_into(effects, out);
             }
             Record::LeaderClaim {
                 node,
@@ -252,9 +272,9 @@ impl Record {
                 lease_ms,
             } => {
                 out.push(TAG_CLAIM);
-                push_u64(&mut out, *node);
-                push_u64(&mut out, *epoch);
-                push_u64(&mut out, *lease_ms);
+                push_u64(out, *node);
+                push_u64(out, *epoch);
+                push_u64(out, *lease_ms);
             }
             Record::LeaseRenewal {
                 node,
@@ -262,47 +282,46 @@ impl Record {
                 lease_ms,
             } => {
                 out.push(TAG_RENEWAL);
-                push_u64(&mut out, *node);
-                push_u64(&mut out, *epoch);
-                push_u64(&mut out, *lease_ms);
+                push_u64(out, *node);
+                push_u64(out, *epoch);
+                push_u64(out, *lease_ms);
             }
             Record::LeaseRelease { node, epoch } => {
                 out.push(TAG_RELEASE);
-                push_u64(&mut out, *node);
-                push_u64(&mut out, *epoch);
+                push_u64(out, *node);
+                push_u64(out, *epoch);
             }
             Record::ChecksumProbe { crc } => {
                 out.push(TAG_CHECKSUM);
-                push_u64(&mut out, *crc);
+                push_u64(out, *crc);
             }
             Record::MigrationPrepare { slot, target } => {
                 out.push(TAG_MIG_PREPARE);
-                push_u16(&mut out, *slot);
-                push_u32(&mut out, *target);
+                push_u16(out, *slot);
+                push_u32(out, *target);
             }
             Record::MigrationCommit { slot, source } => {
                 out.push(TAG_MIG_COMMIT);
-                push_u16(&mut out, *slot);
-                push_u32(&mut out, *source);
+                push_u16(out, *slot);
+                push_u32(out, *source);
             }
             Record::MigrationDone { slot } => {
                 out.push(TAG_MIG_DONE);
-                push_u16(&mut out, *slot);
+                push_u16(out, *slot);
             }
             Record::MigrationAbort { slot } => {
                 out.push(TAG_MIG_ABORT);
-                push_u16(&mut out, *slot);
+                push_u16(out, *slot);
             }
             Record::SlotOwnership { ranges } => {
                 out.push(TAG_SLOTS);
-                push_u32(&mut out, ranges.len() as u32);
+                push_u32(out, ranges.len() as u32);
                 for (lo, hi) in ranges {
-                    push_u16(&mut out, *lo);
-                    push_u16(&mut out, *hi);
+                    push_u16(out, *lo);
+                    push_u16(out, *hi);
                 }
             }
         }
-        Bytes::from(out)
     }
 
     /// Deserializes a transaction-log payload.
@@ -361,12 +380,23 @@ impl Record {
     /// chained full-entry checksum on the hot append path; chain checksums
     /// are still folded at batch boundaries for stream integrity.
     pub fn encode_framed(&self) -> Bytes {
-        let body = self.encode();
-        let mut out = Vec::with_capacity(FRAME_HEADER_LEN + body.len());
-        out.push(FRAME_MAGIC);
-        push_u32(&mut out, body.len() as u32);
-        push_u32(&mut out, crc32(&body));
-        out.extend_from_slice(&body);
+        // One pre-sized buffer: reserve the header, encode the body in
+        // place, then back-patch length and CRC — the whole frame is a
+        // single allocation instead of body + copy.
+        let mut out = Vec::with_capacity(FRAME_HEADER_LEN + self.encoded_len_hint());
+        out.resize(FRAME_HEADER_LEN, 0);
+        self.encode_into(&mut out);
+        let body_len = out.len() - FRAME_HEADER_LEN;
+        let crc = crc32(out.get(FRAME_HEADER_LEN..).unwrap_or(&[]));
+        if let Some(h) = out.first_mut() {
+            *h = FRAME_MAGIC;
+        }
+        if let Some(h) = out.get_mut(1..5) {
+            h.copy_from_slice(&(body_len as u32).to_le_bytes());
+        }
+        if let Some(h) = out.get_mut(5..9) {
+            h.copy_from_slice(&crc.to_le_bytes());
+        }
         Bytes::from(out)
     }
 

@@ -26,6 +26,7 @@ use memorydb_engine::exec::Role;
 use memorydb_engine::{Db, Engine, EngineVersion, NUM_SLOTS};
 use memorydb_metrics::{CounterId, Registry};
 use parking_lot::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Maps a CRC16 slot to its owning stripe: contiguous slot ranges, so a
@@ -62,6 +63,16 @@ pub struct EngineStripes {
     first: Mutex<Engine>,
     rest: Vec<Mutex<Engine>>,
     metrics: Arc<Registry>,
+    /// Published per-stripe key counts: written (Release) by every guard
+    /// drop from the live `db.len()`, read (Acquire) lock-free by `DBSIZE`
+    /// and the `RANDOMKEY` stripe pick — neither needs the all-stripe
+    /// acquisition any more. Bounded staleness: a stripe's count lags only
+    /// while a batch on that stripe is mid-execution.
+    counts: Vec<AtomicUsize>,
+    /// SplitMix64 state for the count-weighted `RANDOMKEY` stripe pick —
+    /// node-local scheduling randomness only, never replicated (the key
+    /// choice within the stripe still uses the engine's seeded RNG).
+    rand_state: AtomicU64,
 }
 
 impl EngineStripes {
@@ -70,10 +81,13 @@ impl EngineStripes {
     pub fn split(engine: Engine, stripes: usize, metrics: Arc<Registry>) -> EngineStripes {
         let n = stripes.max(1);
         if n == 1 {
+            let counts = vec![AtomicUsize::new(engine.db.len())];
             return EngineStripes {
                 first: Mutex::new(engine),
                 rest: Vec::new(),
                 metrics,
+                counts,
+                rand_state: AtomicU64::new(0x243F_6A88_85A3_08D3),
             };
         }
         let mut parts = engine
@@ -82,11 +96,20 @@ impl EngineStripes {
         // `split_striped` returns exactly `n >= 1` engines; the fallback
         // keeps this constructor total.
         let first = parts.next().unwrap_or_else(|| Engine::new(Role::Replica));
-        let rest = parts.map(Mutex::new).collect();
+        let mut counts = Vec::with_capacity(n);
+        counts.push(AtomicUsize::new(first.db.len()));
+        let rest: Vec<Mutex<Engine>> = parts
+            .map(|e| {
+                counts.push(AtomicUsize::new(e.db.len()));
+                Mutex::new(e)
+            })
+            .collect();
         EngineStripes {
             first: Mutex::new(first),
             rest,
             metrics,
+            counts,
+            rand_state: AtomicU64::new(0x243F_6A88_85A3_08D3),
         }
     }
 
@@ -139,6 +162,7 @@ impl EngineStripes {
                 rest: Vec::new(),
                 n: self.count(),
                 all,
+                counts: &self.counts,
             };
         }
         match self.rest.get(idx - 1) {
@@ -148,6 +172,7 @@ impl EngineStripes {
                 rest: Vec::new(),
                 n: self.count(),
                 all: false,
+                counts: &self.counts,
             },
             None => self.lock_all(),
         }
@@ -165,7 +190,63 @@ impl EngineStripes {
             rest,
             n: self.count(),
             all: true,
+            counts: &self.counts,
         }
+    }
+
+    /// Published key count of stripe `idx` (zero for an out-of-range index).
+    /// Refreshed by every guard drop; see [`EngineStripes::counts`].
+    pub fn key_count(&self, idx: usize) -> usize {
+        self.counts
+            .get(idx)
+            .map_or(0, |c| c.load(Ordering::Acquire))
+    }
+
+    /// Sum of the published key counts over every stripe EXCEPT `held` —
+    /// the lock-free half of a `DBSIZE` answered from one held stripe.
+    pub fn keys_elsewhere(&self, held: usize) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != held)
+            .map(|(_, c)| c.load(Ordering::Acquire))
+            .sum()
+    }
+
+    /// Picks a stripe with probability proportional to its published key
+    /// count (so a `RANDOMKEY` routed to that single stripe draws from the
+    /// whole keyspace uniformly, matching the unstriped engine). An empty
+    /// keyspace picks stripe 0, where the engine answers `Null` itself.
+    pub fn weighted_random_stripe(&self) -> usize {
+        if self.count() == 1 {
+            return 0;
+        }
+        let per: Vec<usize> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .collect();
+        let total: usize = per.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        // SplitMix64 over an atomic counter: cheap, lock-free, and good
+        // enough for load-spreading (not replicated, not security-relevant).
+        let mut z = self
+            .rand_state
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let mut pick = (z % total as u64) as usize;
+        for (i, len) in per.iter().enumerate() {
+            if pick < *len {
+                return i;
+            }
+            pick = pick.saturating_sub(*len);
+        }
+        0
     }
 }
 
@@ -178,6 +259,23 @@ pub struct StripeGuards<'a> {
     rest: Vec<MutexGuard<'a, Engine>>,
     n: usize,
     all: bool,
+    /// Backing [`EngineStripes::counts`]: the drop impl publishes each held
+    /// stripe's final `db.len()` here, so the lock-free readers observe
+    /// every batch's net key-count effect as soon as its locks release.
+    counts: &'a [AtomicUsize],
+}
+
+impl Drop for StripeGuards<'_> {
+    fn drop(&mut self) {
+        if let Some(c) = self.counts.get(self.first_idx) {
+            c.store(self.first.db.len(), Ordering::Release);
+        }
+        for (off, g) in self.rest.iter().enumerate() {
+            if let Some(c) = self.counts.get(self.first_idx + 1 + off) {
+                c.store(g.db.len(), Ordering::Release);
+            }
+        }
+    }
 }
 
 impl StripeGuards<'_> {

@@ -2253,3 +2253,61 @@ fn legacy_monolithic_snapshot_still_seeds_restore() {
     assert_eq!(rp.engine.db.len(), 25);
     assert_eq!(rp.rs.applied, shard.ctx().log.committed_tail());
 }
+
+/// Satellite: DBSIZE and RANDOMKEY are no longer all-stripe commands. On a
+/// 16-stripe shard DBSIZE answers from one stripe's live count plus the
+/// per-stripe key counters (refreshed on every guard release, so
+/// sequential reads are exact), and RANDOMKEY locks one weighted-random
+/// stripe. Both must agree with a 1-stripe shard folding the same stream.
+#[test]
+fn dbsize_and_randomkey_striped_match_unstriped() {
+    let striped = striped_shard(16, 0);
+    let unstriped = striped_shard(1, 0);
+    let ps = striped.wait_for_primary(T).unwrap();
+    let pu = unstriped.wait_for_primary(T).unwrap();
+    let mut ss = SessionState::new();
+    let mut su = SessionState::new();
+
+    for i in 0..64i64 {
+        let k = format!("k{i}");
+        assert_eq!(ps.handle(&mut ss, &cmd(["SET", &k, "v"])), Frame::ok());
+        assert_eq!(pu.handle(&mut su, &cmd(["SET", &k, "v"])), Frame::ok());
+        // Exact at every step, not only at the end.
+        assert_eq!(ps.handle(&mut ss, &cmd(["DBSIZE"])), Frame::Integer(i + 1));
+        assert_eq!(pu.handle(&mut su, &cmd(["DBSIZE"])), Frame::Integer(i + 1));
+    }
+
+    // RANDOMKEY returns only live keys, and the weighted stripe pick must
+    // reach a broad spread of them — a stuck stripe selector would
+    // concentrate on one stripe's handful of keys.
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..512 {
+        match ps.handle(&mut ss, &cmd(["RANDOMKEY"])) {
+            Frame::Bulk(k) => {
+                let k = String::from_utf8(k.to_vec()).unwrap();
+                assert!(k.starts_with('k'), "RANDOMKEY invented key {k}");
+                seen.insert(k);
+            }
+            other => panic!("RANDOMKEY on a non-empty db returned {other:?}"),
+        }
+    }
+    assert!(
+        seen.len() > 16,
+        "RANDOMKEY visited only {} distinct keys in 512 draws",
+        seen.len()
+    );
+
+    // Deletions keep the counters exact too.
+    for i in 0..32 {
+        let k = format!("k{i}");
+        assert_eq!(ps.handle(&mut ss, &cmd(["DEL", &k])), Frame::Integer(1));
+        assert_eq!(pu.handle(&mut su, &cmd(["DEL", &k])), Frame::Integer(1));
+    }
+    assert_eq!(ps.handle(&mut ss, &cmd(["DBSIZE"])), Frame::Integer(32));
+    assert_eq!(pu.handle(&mut su, &cmd(["DBSIZE"])), Frame::Integer(32));
+
+    // Empty database: DBSIZE 0 and RANDOMKEY Null on both.
+    assert_eq!(ps.handle(&mut ss, &cmd(["FLUSHALL"])), Frame::ok());
+    assert_eq!(ps.handle(&mut ss, &cmd(["DBSIZE"])), Frame::Integer(0));
+    assert_eq!(ps.handle(&mut ss, &cmd(["RANDOMKEY"])), Frame::Null);
+}

@@ -11,6 +11,84 @@
 
 use bytes::Bytes;
 
+/// Longest command name the stack-resident fast path covers. Every name in
+/// the command table fits; anything longer is by definition unknown and
+/// takes the spill path.
+const CMD_NAME_INLINE: usize = 24;
+
+/// An uppercased command name that lives on the stack.
+///
+/// The serve path needs the canonical (ASCII-uppercase) name of every
+/// command two or three times per request — dispatch in the server,
+/// classification in the node, key extraction in the command table. The
+/// old idiom, `String::from_utf8_lossy(..).to_ascii_uppercase()`, paid up
+/// to two heap allocations per use. `CmdName` uppercases into a fixed
+/// 24-byte buffer instead; names that are longer or non-ASCII (possible on
+/// the wire, never a real command) spill to the old lossy-`String` path so
+/// error messages that embed the name stay byte-identical.
+pub struct CmdName {
+    buf: [u8; CMD_NAME_INLINE],
+    len: usize,
+    spill: Option<String>,
+}
+
+impl CmdName {
+    /// Uppercases `arg` (a command's first argument) without allocating in
+    /// the common case.
+    pub fn from_arg(arg: &[u8]) -> CmdName {
+        if arg.len() <= CMD_NAME_INLINE && arg.is_ascii() {
+            let mut buf = [0u8; CMD_NAME_INLINE];
+            for (dst, src) in buf.iter_mut().zip(arg) {
+                *dst = src.to_ascii_uppercase();
+            }
+            CmdName {
+                buf,
+                len: arg.len(),
+                spill: None,
+            }
+        } else {
+            CmdName {
+                buf: [0u8; CMD_NAME_INLINE],
+                len: 0,
+                spill: Some(String::from_utf8_lossy(arg).to_ascii_uppercase()),
+            }
+        }
+    }
+
+    /// The canonical name.
+    pub fn as_str(&self) -> &str {
+        match &self.spill {
+            Some(s) => s,
+            // Inline bytes are uppercased ASCII, always valid UTF-8.
+            None => std::str::from_utf8(self.buf.get(..self.len).unwrap_or(&[])).unwrap_or(""),
+        }
+    }
+}
+
+impl std::ops::Deref for CmdName {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl std::fmt::Display for CmdName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl PartialEq<str> for CmdName {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+impl PartialEq<&str> for CmdName {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
 /// Behavioural flags of a command.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CommandFlags {
@@ -312,63 +390,74 @@ pub fn arity_ok(spec: &CommandSpec, argc: usize) -> bool {
     }
 }
 
-/// Extracts the keys referenced by a command, per its [`KeyRule`].
-///
-/// Returns `None` for unknown commands or malformed key layouts; an empty
-/// vec means "valid, but touches no keys".
-pub fn keys_for(args: &[Bytes]) -> Option<Vec<Bytes>> {
+/// Visits each key referenced by a command, per its [`KeyRule`], without
+/// allocating. Returns the number of keys visited; `None` for unknown
+/// commands or malformed key layouts (in which case `f` is never called —
+/// layouts are validated before the first visit). The allocating
+/// [`keys_for`] is implemented on top of this; hot paths that only need to
+/// *look at* the keys (stripe classification, expiry reaping) call this
+/// directly and skip the `Vec`.
+pub fn for_each_key(args: &[Bytes], mut f: impl FnMut(&Bytes)) -> Option<usize> {
     if args.is_empty() {
         return None;
     }
-    let name = String::from_utf8_lossy(&args[0]).to_ascii_uppercase();
+    let name = CmdName::from_arg(args.first().map_or(&[][..], |a| a));
     let spec = command_spec(&name)?;
     let argc = args.len();
+    let mut count = 0usize;
     match spec.keys {
-        KeyRule::None => Some(Vec::new()),
+        KeyRule::None => {}
         KeyRule::Range { first, last, step } => {
             if first >= argc {
-                return Some(Vec::new());
+                return Some(0);
             }
             let last = if last == 0 {
                 argc - 1
             } else {
                 last.min(argc - 1)
             };
-            let mut keys = Vec::new();
             let mut i = first;
             while i <= last {
-                keys.push(args[i].clone());
+                if let Some(k) = args.get(i) {
+                    f(k);
+                    count += 1;
+                }
                 i += step;
             }
-            Some(keys)
         }
         KeyRule::DestPlusNumkeys => {
             // Two layouts share this rule:
             //  ZUNIONSTORE dest numkeys k...   (dest at 1, numkeys at 2)
             //  SINTERCARD numkeys k...         (numkeys at 1)
-            let (dest, nk_pos) =
+            let (has_dest, nk_pos) =
                 if matches!(name.as_str(), "SINTERCARD" | "ZUNION" | "ZINTER" | "ZDIFF") {
-                    (None, 1)
+                    (false, 1)
                 } else {
-                    (Some(args.get(1)?.clone()), 2)
+                    (true, 2)
                 };
             let nk: usize = std::str::from_utf8(args.get(nk_pos)?).ok()?.parse().ok()?;
-            let mut keys = Vec::new();
-            if let Some(d) = dest {
-                keys.push(d);
+            // Validate the whole layout before the first visit.
+            if nk > 0 {
+                args.get(nk_pos + nk)?;
+            }
+            if has_dest {
+                f(args.get(1)?);
+                count += 1;
             }
             for i in 0..nk {
-                keys.push(args.get(nk_pos + 1 + i)?.clone());
+                f(args.get(nk_pos + 1 + i)?);
+                count += 1;
             }
-            Some(keys)
         }
         KeyRule::EvalStyle => {
             let nk: usize = std::str::from_utf8(args.get(2)?).ok()?.parse().ok()?;
-            let mut keys = Vec::new();
-            for i in 0..nk {
-                keys.push(args.get(3 + i)?.clone());
+            if nk > 0 {
+                args.get(2 + nk)?;
             }
-            Some(keys)
+            for i in 0..nk {
+                f(args.get(3 + i)?);
+                count += 1;
+            }
         }
         KeyRule::XRead => {
             let streams_pos = args
@@ -378,10 +467,24 @@ pub fn keys_for(args: &[Bytes]) -> Option<Vec<Bytes>> {
             if rest == 0 || !rest.is_multiple_of(2) {
                 return None;
             }
-            Some(args[streams_pos + 1..streams_pos + 1 + rest / 2].to_vec())
+            for k in args.get(streams_pos + 1..streams_pos + 1 + rest / 2)? {
+                f(k);
+                count += 1;
+            }
         }
-        KeyRule::Unsupported => None,
+        KeyRule::Unsupported => return None,
     }
+    Some(count)
+}
+
+/// Extracts the keys referenced by a command, per its [`KeyRule`].
+///
+/// Returns `None` for unknown commands or malformed key layouts; an empty
+/// vec means "valid, but touches no keys".
+pub fn keys_for(args: &[Bytes]) -> Option<Vec<Bytes>> {
+    let mut keys: Vec<Bytes> = Vec::new();
+    for_each_key(args, |k| keys.push(k.clone()))?;
+    Some(keys)
 }
 
 #[cfg(test)]

@@ -75,7 +75,7 @@ impl ExecOutcome {
     }
 
     /// An error outcome (no effects).
-    pub fn error(msg: impl Into<String>) -> ExecOutcome {
+    pub fn error(msg: impl Into<memorydb_resp::FrameStr>) -> ExecOutcome {
         ExecOutcome::read(Frame::error(msg))
     }
 
@@ -98,12 +98,27 @@ pub fn encode_effect(cmd: &EffectCmd, out: &mut Vec<u8>) {
 
 /// Serializes a batch of effects (one atomic log record).
 pub fn encode_effect_batch(cmds: &[EffectCmd]) -> Vec<u8> {
-    let mut out = Vec::new();
+    let mut out = Vec::with_capacity(effect_batch_encoded_len(cmds));
+    encode_effect_batch_into(cmds, &mut out);
+    out
+}
+
+/// Appends [`encode_effect_batch`]'s serialization to `out` — the hot
+/// append path pre-sizes one buffer (via [`effect_batch_encoded_len`]) and
+/// encodes straight into it instead of allocating an intermediate batch.
+pub fn encode_effect_batch_into(cmds: &[EffectCmd], out: &mut Vec<u8>) {
     out.extend_from_slice(&(cmds.len() as u32).to_le_bytes());
     for c in cmds {
-        encode_effect(c, &mut out);
+        encode_effect(c, out);
     }
-    out
+}
+
+/// Exact encoded size of [`encode_effect_batch`]'s output for `cmds`.
+pub fn effect_batch_encoded_len(cmds: &[EffectCmd]) -> usize {
+    4 + cmds
+        .iter()
+        .map(|c| 4 + c.iter().map(|a| 4 + a.len()).sum::<usize>())
+        .sum::<usize>()
 }
 
 /// Decodes a batch produced by [`encode_effect_batch`].
@@ -168,12 +183,14 @@ mod tests {
             vec![], // degenerate but encodable
         ];
         let encoded = encode_effect_batch(&cmds);
+        assert_eq!(encoded.len(), effect_batch_encoded_len(&cmds));
         assert_eq!(decode_effect_batch(&encoded), Some(cmds));
     }
 
     #[test]
     fn empty_batch_roundtrip() {
         let encoded = encode_effect_batch(&[]);
+        assert_eq!(encoded.len(), effect_batch_encoded_len(&[]));
         assert_eq!(decode_effect_batch(&encoded), Some(vec![]));
     }
 

@@ -4,7 +4,7 @@
 // `cargo run -p memorydb-analysis`). Keep clippy aligned with the analyzer.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
-use crate::command::{arity_ok, command_spec, keys_for};
+use crate::command::{arity_ok, command_spec, CmdName};
 use crate::db::Db;
 use crate::effects::{DirtySet, EffectCmd, ExecOutcome};
 use crate::version::EngineVersion;
@@ -187,7 +187,7 @@ impl Engine {
         if args.is_empty() {
             return ExecOutcome::error("empty command");
         }
-        let name = String::from_utf8_lossy(&args[0]).to_ascii_uppercase();
+        let name = CmdName::from_arg(&args[0]);
 
         // Transaction control commands act on the session, not the keyspace.
         match name.as_str() {
@@ -276,7 +276,7 @@ impl Engine {
         let mut effects: Vec<EffectCmd> = Vec::new();
         let mut dirty = DirtySet::None;
         for cmd in queued {
-            let name = String::from_utf8_lossy(&cmd[0]).to_ascii_uppercase();
+            let name = CmdName::from_arg(&cmd[0]);
             let outcome = self.execute_one(&name, &cmd);
             replies.push(outcome.reply);
             effects.extend(outcome.effects);
@@ -305,14 +305,14 @@ impl Engine {
         let mut pre_effects: Vec<EffectCmd> = Vec::new();
         let mut pre_dirty = DirtySet::None;
         if self.role == Role::Primary && !self.applying_effects {
-            if let Some(keys) = keys_for(args) {
-                for key in keys {
-                    if self.db.reap_if_expired(&key, self.now_ms) {
-                        pre_effects.push(vec![Bytes::from_static(b"DEL"), key.clone()]);
-                        pre_dirty.merge(DirtySet::Keys(vec![key]));
-                    }
+            let now_ms = self.now_ms;
+            let db = &mut self.db;
+            let _ = crate::command::for_each_key(args, |key| {
+                if db.reap_if_expired(key, now_ms) {
+                    pre_effects.push(vec![Bytes::from_static(b"DEL"), key.clone()]);
+                    pre_dirty.merge(DirtySet::Keys(vec![key.clone()]));
                 }
-            }
+            });
         }
 
         let result = self.dispatch(name, args);
@@ -335,12 +335,12 @@ impl Engine {
         if cmd.is_empty() {
             return Err("empty effect".into());
         }
-        let name = String::from_utf8_lossy(&cmd[0]).to_ascii_uppercase();
+        let name = CmdName::from_arg(&cmd[0]);
         self.applying_effects = true;
         let outcome = self.execute_one(&name, cmd);
         self.applying_effects = false;
         match outcome.reply {
-            Frame::Error(e) => Err(e),
+            Frame::Error(e) => Err(e.into()),
             _ => Ok(()),
         }
     }
@@ -573,7 +573,7 @@ impl Engine {
         if args.is_empty() {
             return ExecOutcome::error("empty command");
         }
-        let name = String::from_utf8_lossy(&args[0]).to_ascii_uppercase();
+        let name = CmdName::from_arg(&args[0]);
         self.execute_one(&name, args)
     }
 

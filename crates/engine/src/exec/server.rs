@@ -152,11 +152,14 @@ pub(super) fn debug(e: &mut Engine, a: &[Bytes]) -> CmdResult {
                 return Err(wrong_arity("debug|object"));
             };
             match e.db.lookup(key, e.now()) {
-                Some(v) => Ok(ExecOutcome::read(Frame::Simple(format!(
-                    "Value at:0 refcount:1 encoding:{} serializedlength:{}",
-                    v.type_name(),
-                    v.approx_size()
-                )))),
+                Some(v) => Ok(ExecOutcome::read(Frame::Simple(
+                    format!(
+                        "Value at:0 refcount:1 encoding:{} serializedlength:{}",
+                        v.type_name(),
+                        v.approx_size()
+                    )
+                    .into(),
+                ))),
                 None => Err(ExecOutcome::error("no such key")),
             }
         }

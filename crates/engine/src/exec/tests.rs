@@ -1585,7 +1585,7 @@ fn scan_type_filter_and_object_encoding() {
 
 fn err_text(f: &Frame) -> String {
     match f {
-        Frame::Error(e) => e.clone(),
+        Frame::Error(e) => e.to_string(),
         other => panic!("expected error frame, got {other:?}"),
     }
 }

@@ -48,7 +48,7 @@ pub mod slots;
 pub mod value;
 pub mod version;
 
-pub use command::{command_spec, keys_for, CommandFlags, CommandSpec};
+pub use command::{command_spec, for_each_key, keys_for, CmdName, CommandFlags, CommandSpec};
 pub use db::Db;
 pub use effects::{DirtySet, EffectCmd, ExecOutcome};
 pub use exec::{Engine, SessionState};

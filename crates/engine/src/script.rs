@@ -483,7 +483,7 @@ impl<'a> Interp<'a> {
                     }
                     let outcome = self.host.run_script_cmd(&cmd);
                     if let Frame::Error(msg) = &outcome.reply {
-                        return Err(msg.clone());
+                        return Err(msg.to_string());
                     }
                     self.effects.extend(outcome.effects);
                     self.dirty.merge(outcome.dirty);

@@ -27,6 +27,10 @@
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod alloc;
+
+pub use alloc::{alloc_counts, AllocCounts, CountingAlloc};
+
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};

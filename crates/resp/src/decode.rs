@@ -120,6 +120,103 @@ pub fn decode(data: &[u8]) -> Result<Option<(Frame, usize)>, DecodeError> {
     }
 }
 
+/// Result of [`decode_command`]: one attempt to pull a command off the
+/// front of a connection's input buffer.
+#[derive(Debug, PartialEq)]
+pub enum CommandParse {
+    /// A complete command: the argument vector. On the flat fast path each
+    /// [`Bytes`] is a zero-copy slice of one shared buffer region.
+    Cmd(Vec<Bytes>),
+    /// A complete frame that is not an array of bulk-string-likes (the
+    /// server answers with a protocol error). The frame's bytes have been
+    /// consumed from the buffer.
+    NotCommand,
+    /// The buffer holds only a partial frame; feed more bytes and retry.
+    Incomplete,
+}
+
+/// Decodes one command from the front of `buf`, consuming exactly the bytes
+/// of that command (nothing on `Incomplete` or `Err`).
+///
+/// The hot path — a flat `*N` array whose elements are all plain bulk
+/// strings, i.e. every real client command — is parsed **borrowed**: the
+/// consumed region is split off and frozen once, and each argument is an
+/// `O(1)` refcounted slice of it, so argument payloads are never copied
+/// out one by one. Anything else (null arrays, nested or non-bulk
+/// elements, every other frame tag) falls back to the generic
+/// [`decode`]+[`Frame::into_command_args`] pipeline, which also keeps
+/// protocol-error messages byte-identical to the pre-fast-path decoder:
+/// both paths report errors through the same cursor helpers.
+pub fn decode_command(buf: &mut BytesMut) -> Result<CommandParse, DecodeError> {
+    if buf.first() == Some(&b'*') {
+        match flat_command_ranges(buf.as_ref()) {
+            Ok(Some((ranges, used))) => {
+                let chunk = buf.split_to(used).freeze();
+                let args = ranges
+                    .iter()
+                    .map(|&(start, len)| chunk.slice(start..start + len))
+                    .collect();
+                return Ok(CommandParse::Cmd(args));
+            }
+            Ok(None) => {} // legal but not flat — generic path below
+            Err(ParseOutcome::Incomplete) => return Ok(CommandParse::Incomplete),
+            Err(ParseOutcome::Error(e)) => return Err(e),
+        }
+    }
+    match decode(buf.as_ref())? {
+        None => Ok(CommandParse::Incomplete),
+        Some((frame, used)) => {
+            buf.advance(used);
+            match frame.into_command_args() {
+                Some(args) => Ok(CommandParse::Cmd(args)),
+                None => Ok(CommandParse::NotCommand),
+            }
+        }
+    }
+}
+
+/// Scans a flat command array without materializing frames: returns the
+/// `(start, len)` payload ranges of each bulk-string element plus the total
+/// bytes consumed, or `Ok(None)` when the frame is legal RESP but not a
+/// flat array of non-null bulk strings (caller falls back to [`decode`]).
+/// Errors are produced by the same helpers as the generic parser, so the
+/// two paths emit identical protocol-error messages.
+#[allow(clippy::type_complexity)]
+fn flat_command_ranges(data: &[u8]) -> Result<Option<(Vec<(usize, usize)>, usize)>, ParseOutcome> {
+    let mut c = Cursor {
+        data,
+        pos: 0,
+        max_len: DEFAULT_MAX_LEN,
+    };
+    c.take()?; // the caller checked the '*' tag
+    let header = c.line()?;
+    let Some(n) = parse_len(header, c.max_len)? else {
+        return Ok(None); // `*-1` null array — generic path decodes Frame::Null
+    };
+    let mut ranges = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        match c.peek() {
+            Some(b'$') => {}
+            // Integer / simple-string elements are legal command arguments
+            // (normalized by `into_command_args`); other tags are either
+            // protocol errors or non-command shapes. Either way the generic
+            // path owns the answer.
+            Some(_) => return Ok(None),
+            None => return Err(ParseOutcome::Incomplete),
+        }
+        c.take()?;
+        let line = c.line()?;
+        let Some(len) = parse_len(line, c.max_len)? else {
+            return Ok(None); // `$-1` element — generic path maps it to Null
+        };
+        let start = c.pos;
+        c.exact(len)?;
+        c.crlf()?;
+        ranges.push((start, len));
+    }
+    Ok(Some((ranges, c.pos)))
+}
+
 enum ParseOutcome {
     Incomplete,
     Error(DecodeError),
@@ -216,14 +313,14 @@ fn parse_frame(c: &mut Cursor<'_>, depth: usize) -> Result<Frame, ParseOutcome> 
             let s = std::str::from_utf8(line)
                 .map_err(|_| protocol("non-utf8 simple string"))?
                 .to_string();
-            Ok(Frame::Simple(s))
+            Ok(Frame::Simple(s.into()))
         }
         b'-' => {
             let line = c.line()?;
             let s = std::str::from_utf8(line)
                 .map_err(|_| protocol("non-utf8 error string"))?
                 .to_string();
-            Ok(Frame::Error(s))
+            Ok(Frame::Error(s.into()))
         }
         b':' => {
             let line = c.line()?;

@@ -23,12 +23,12 @@ pub fn encode(frame: &Frame, out: &mut BytesMut) {
         }
         Frame::Integer(i) => {
             out.put_u8(b':');
-            out.put_slice(i.to_string().as_bytes());
+            put_i64(out, *i);
             out.put_slice(b"\r\n");
         }
         Frame::Bulk(b) => {
             out.put_u8(b'$');
-            out.put_slice(b.len().to_string().as_bytes());
+            put_usize(out, b.len());
             out.put_slice(b"\r\n");
             out.put_slice(b);
             out.put_slice(b"\r\n");
@@ -36,7 +36,7 @@ pub fn encode(frame: &Frame, out: &mut BytesMut) {
         Frame::Null => out.put_slice(b"$-1\r\n"),
         Frame::Array(items) => {
             out.put_u8(b'*');
-            out.put_slice(items.len().to_string().as_bytes());
+            put_usize(out, items.len());
             out.put_slice(b"\r\n");
             for item in items {
                 encode(item, out);
@@ -58,7 +58,7 @@ pub fn encode(frame: &Frame, out: &mut BytesMut) {
         }
         Frame::Map(pairs) => {
             out.put_u8(b'%');
-            out.put_slice(pairs.len().to_string().as_bytes());
+            put_usize(out, pairs.len());
             out.put_slice(b"\r\n");
             for (k, v) in pairs {
                 encode(k, out);
@@ -67,7 +67,7 @@ pub fn encode(frame: &Frame, out: &mut BytesMut) {
         }
         Frame::Verbatim(kind, b) => {
             out.put_u8(b'=');
-            out.put_slice((b.len() + 4).to_string().as_bytes());
+            put_usize(out, b.len() + 4);
             out.put_slice(b"\r\n");
             out.put_slice(kind.as_bytes());
             out.put_u8(b':');
@@ -75,6 +75,32 @@ pub fn encode(frame: &Frame, out: &mut BytesMut) {
             out.put_slice(b"\r\n");
         }
     }
+}
+
+/// Writes a decimal `usize` digit by digit from a stack buffer. The encoder
+/// runs once per reply frame on the serve path; `to_string()` here was one
+/// heap allocation per integer/bulk/array header.
+fn put_usize(out: &mut BytesMut, n: usize) {
+    let mut buf = [0u8; 20]; // u64::MAX has 20 digits
+    let mut n = n;
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    out.put_slice(&buf[i..]);
+}
+
+/// Signed companion of [`put_usize`].
+fn put_i64(out: &mut BytesMut, v: i64) {
+    if v < 0 {
+        out.put_u8(b'-');
+    }
+    put_usize(out, v.unsigned_abs() as usize);
 }
 
 /// Formats a double the way Redis does: integers without a fractional part,
@@ -101,7 +127,10 @@ pub fn encoded_len(frame: &Frame) -> usize {
     }
     match frame {
         Frame::Simple(s) | Frame::Error(s) => 1 + s.len() + 2,
-        Frame::Integer(i) => 1 + i.to_string().len() + 2,
+        Frame::Integer(i) => {
+            let sign = usize::from(*i < 0);
+            1 + sign + digits(i.unsigned_abs() as usize) + 2
+        }
         Frame::Bulk(b) => 1 + digits(b.len()) + 2 + b.len() + 2,
         Frame::Null => 5,
         Frame::Array(items) => {

@@ -2,18 +2,141 @@
 
 use bytes::Bytes;
 use std::fmt;
+use std::ops::Deref;
+
+/// The payload of a simple-string or error frame.
+///
+/// The serve path emits the same handful of fixed replies (`+OK`, `+PONG`,
+/// `+QUEUED`, canned `-ERR ...` messages) millions of times; materializing a
+/// fresh heap `String` for each one is pure allocator traffic. `Static`
+/// carries an interned `&'static str` at zero cost, `Owned` keeps the
+/// general case (formatted errors, decoded peer replies). The type derefs
+/// to `str`, compares by content across variants, and converts from string
+/// literals and `String` via `From`, so construction sites read exactly as
+/// they did when the payload was a plain `String`.
+#[derive(Clone)]
+pub enum FrameStr {
+    /// An interned constant — no allocation, no refcount.
+    Static(&'static str),
+    /// A heap-owned string for dynamically built payloads.
+    Owned(String),
+}
+
+impl FrameStr {
+    /// The payload as a string slice.
+    pub fn as_str(&self) -> &str {
+        match self {
+            FrameStr::Static(s) => s,
+            FrameStr::Owned(s) => s,
+        }
+    }
+
+    /// Converts into reference-counted bytes. The static variant still
+    /// costs nothing extra beyond what [`Bytes::from_static`] charges.
+    pub fn into_bytes(self) -> Bytes {
+        match self {
+            FrameStr::Static(s) => Bytes::from_static(s.as_bytes()),
+            FrameStr::Owned(s) => Bytes::from(s),
+        }
+    }
+}
+
+impl Deref for FrameStr {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for FrameStr {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl fmt::Display for FrameStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for FrameStr {
+    // Render as a bare quoted string (exactly how the old `String` payload
+    // printed) so `Frame`'s Debug output is unchanged.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl PartialEq for FrameStr {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+impl Eq for FrameStr {}
+
+impl PartialEq<str> for FrameStr {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+impl PartialEq<&str> for FrameStr {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+impl PartialEq<String> for FrameStr {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+impl PartialEq<FrameStr> for str {
+    fn eq(&self, other: &FrameStr) -> bool {
+        self == other.as_str()
+    }
+}
+impl PartialEq<FrameStr> for &str {
+    fn eq(&self, other: &FrameStr) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl From<&'static str> for FrameStr {
+    fn from(s: &'static str) -> Self {
+        FrameStr::Static(s)
+    }
+}
+impl From<String> for FrameStr {
+    fn from(s: String) -> Self {
+        FrameStr::Owned(s)
+    }
+}
+impl From<FrameStr> for String {
+    fn from(s: FrameStr) -> Self {
+        match s {
+            FrameStr::Static(s) => s.to_string(),
+            FrameStr::Owned(s) => s,
+        }
+    }
+}
+impl From<FrameStr> for Bytes {
+    fn from(s: FrameStr) -> Self {
+        s.into_bytes()
+    }
+}
 
 /// A single RESP frame.
 ///
 /// Covers RESP2 (`+ - : $ *`) plus the RESP3 types this reproduction's
 /// server emits (`_ , # = %`). Frames are cheap to clone: bulk payloads are
-/// reference-counted [`Bytes`].
+/// reference-counted [`Bytes`] and fixed simple/error strings are interned
+/// [`FrameStr::Static`] constants.
 #[derive(Clone, PartialEq)]
 pub enum Frame {
     /// `+OK\r\n` — a simple (non-binary-safe) string.
-    Simple(String),
+    Simple(FrameStr),
     /// `-ERR ...\r\n` — an error reply.
-    Error(String),
+    Error(FrameStr),
     /// `:123\r\n` — a signed 64-bit integer.
     Integer(i64),
     /// `$5\r\nhello\r\n` — a binary-safe bulk string.
@@ -33,9 +156,10 @@ pub enum Frame {
 }
 
 impl Frame {
-    /// A conventional `+OK` reply.
+    /// A conventional `+OK` reply. Allocation-free: the payload is the
+    /// interned [`FrameStr::Static`] constant.
     pub fn ok() -> Frame {
-        Frame::Simple("OK".to_string())
+        Frame::Simple(FrameStr::Static("OK"))
     }
 
     /// Builds a bulk frame from anything byte-like.
@@ -44,8 +168,9 @@ impl Frame {
     }
 
     /// Builds an error frame with the conventional `ERR` prefix unless the
-    /// message already carries an error code (all-caps first word).
-    pub fn error(msg: impl Into<String>) -> Frame {
+    /// message already carries an error code (all-caps first word). A
+    /// `&'static str` message that already has a code stays interned.
+    pub fn error(msg: impl Into<FrameStr>) -> Frame {
         let msg = msg.into();
         let has_code = msg
             .split_whitespace()
@@ -54,7 +179,7 @@ impl Frame {
         if has_code {
             Frame::Error(msg)
         } else {
-            Frame::Error(format!("ERR {msg}"))
+            Frame::Error(FrameStr::Owned(format!("ERR {}", msg.as_str())))
         }
     }
 

@@ -8,6 +8,9 @@
 //!   emits: doubles, booleans, maps, nulls, verbatim strings).
 //! * [`Decoder`] — an incremental, allocation-light frame decoder that copes
 //!   with partial reads from a TCP stream.
+//! * [`decode_command`] — the server's zero-copy fast path: flat command
+//!   arrays decode to refcounted slices of the input buffer instead of
+//!   per-argument copies.
 //! * [`encode`] — the matching encoder.
 //! * [`tokenize`] — inline-command tokenizer (the `PING\r\n` style accepted
 //!   by redis-cli), used by tests and the interactive examples.
@@ -20,9 +23,11 @@ mod encode;
 mod frame;
 mod tokenize;
 
-pub use decode::{decode, DecodeError, Decoder, DEFAULT_MAX_LEN, MAX_DEPTH};
+pub use decode::{
+    decode, decode_command, CommandParse, DecodeError, Decoder, DEFAULT_MAX_LEN, MAX_DEPTH,
+};
 pub use encode::{encode, encoded_len};
-pub use frame::Frame;
+pub use frame::{Frame, FrameStr};
 pub use tokenize::{tokenize, TokenizeError};
 
 #[cfg(test)]

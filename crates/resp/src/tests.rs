@@ -1,5 +1,6 @@
 use crate::{
-    decode, encode, encoded_len, tokenize, DecodeError, Decoder, Frame, TokenizeError, MAX_DEPTH,
+    decode, decode_command, encode, encoded_len, tokenize, CommandParse, DecodeError, Decoder,
+    Frame, TokenizeError, MAX_DEPTH,
 };
 use bytes::{Bytes, BytesMut};
 use proptest::prelude::*;
@@ -321,8 +322,8 @@ fn tokenize_empty_line() {
 
 fn arb_frame() -> impl Strategy<Value = Frame> {
     let leaf = prop_oneof![
-        "[a-zA-Z0-9 ]{0,12}".prop_map(Frame::Simple),
-        "[A-Z]{3,8} [a-z ]{0,10}".prop_map(Frame::Error),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(|s| Frame::Simple(s.into())),
+        "[A-Z]{3,8} [a-z ]{0,10}".prop_map(|s| Frame::Error(s.into())),
         any::<i64>().prop_map(Frame::Integer),
         proptest::collection::vec(any::<u8>(), 0..64).prop_map(|v| Frame::Bulk(Bytes::from(v))),
         Just(Frame::Null),
@@ -457,4 +458,136 @@ fn too_deep_error_display_is_descriptive() {
     let msg = DecodeError::TooDeep { limit: MAX_DEPTH }.to_string();
     assert!(msg.contains("nesting"), "{msg}");
     assert!(msg.contains("32"), "{msg}");
+}
+
+// ---------------------------------------------------------------------------
+// Borrowed command decode (ISSUE 10): the zero-copy fast path must be
+// observationally identical to the generic decode → into_command_args
+// pipeline — same commands, same argument bytes, same protocol errors —
+// under arbitrary pipelining and arbitrary read-boundary splits. (Inline
+// commands never reach `decode_command`; the server routes non-'*' leading
+// bytes through `tokenize`, and its own equivalence test covers that.)
+// ---------------------------------------------------------------------------
+
+/// What one drain step of either decode path observed.
+#[derive(Debug, PartialEq, Clone)]
+enum CmdOut {
+    Cmd(Vec<Vec<u8>>),
+    NotCommand,
+    Err(String),
+}
+
+/// Reference model: the pre-fast-path serve loop — one-shot [`decode`] over
+/// the remaining bytes, then [`Frame::into_command_args`].
+fn reference_outs(data: &[u8]) -> Vec<CmdOut> {
+    let mut pos = 0;
+    let mut outs = Vec::new();
+    loop {
+        match decode(&data[pos..]) {
+            Ok(Some((frame, used))) => {
+                pos += used;
+                outs.push(match frame.into_command_args() {
+                    Some(args) => CmdOut::Cmd(args.iter().map(|b| b.to_vec()).collect()),
+                    None => CmdOut::NotCommand,
+                });
+            }
+            Ok(None) => break,
+            Err(e) => {
+                outs.push(CmdOut::Err(e.to_string()));
+                break;
+            }
+        }
+    }
+    outs
+}
+
+/// The new path: feed `data` into a `BytesMut` in `chunk`-byte pieces and
+/// drain [`decode_command`] after every feed, exactly like the server's
+/// sweep loop. Errors are terminal (the server closes the connection).
+fn incremental_outs(data: &[u8], chunk: usize) -> Vec<CmdOut> {
+    let mut buf = BytesMut::new();
+    let mut outs = Vec::new();
+    'feed: for piece in data.chunks(chunk.max(1)) {
+        buf.extend_from_slice(piece);
+        loop {
+            match decode_command(&mut buf) {
+                Ok(CommandParse::Cmd(args)) => {
+                    outs.push(CmdOut::Cmd(args.iter().map(|b| b.to_vec()).collect()));
+                }
+                Ok(CommandParse::NotCommand) => outs.push(CmdOut::NotCommand),
+                Ok(CommandParse::Incomplete) => break,
+                Err(e) => {
+                    outs.push(CmdOut::Err(e.to_string()));
+                    break 'feed;
+                }
+            }
+        }
+    }
+    outs
+}
+
+/// One wire message for the pipeline: mostly flat commands (the fast path),
+/// plus every fallback shape — null/empty arrays, normalized non-bulk
+/// arguments, non-command frames, and outright protocol errors.
+fn arb_wire_msg() -> impl Strategy<Value = Vec<u8>> {
+    fn flat_cmd() -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..12), 1..5)
+            .prop_map(|args| enc(&Frame::command(args)))
+    }
+    prop_oneof![
+        flat_cmd(),
+        flat_cmd(),
+        flat_cmd(),
+        flat_cmd(),
+        Just(b"*0\r\n".to_vec()),
+        Just(b"*-1\r\n".to_vec()),
+        Just(b"*3\r\n$3\r\nSET\r\n:42\r\n+ok\r\n".to_vec()),
+        Just(b"*2\r\n$4\r\nPING\r\n$-1\r\n".to_vec()),
+        Just(b"*1\r\n*1\r\n$1\r\na\r\n".to_vec()),
+        Just(b":123\r\n".to_vec()),
+        Just(b"+OK\r\n".to_vec()),
+        Just(b"$3\r\nGET\r\n".to_vec()),
+        Just(b"*2\r\n$x\r\n".to_vec()),
+        Just(b"!oops\r\n".to_vec()),
+        Just(b"*1\r\n$-2\r\n".to_vec()),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn prop_borrowed_decode_matches_generic_path(
+        msgs in proptest::collection::vec(arb_wire_msg(), 0..6),
+        chunk in 1usize..9,
+    ) {
+        let pipeline: Vec<u8> = msgs.concat();
+        let want = reference_outs(&pipeline);
+        // Byte-at-a-time exercises every split boundary; the random chunk
+        // size exercises multi-command reads landing in one sweep.
+        prop_assert_eq!(incremental_outs(&pipeline, 1), want.clone());
+        prop_assert_eq!(incremental_outs(&pipeline, chunk), want);
+    }
+}
+
+#[test]
+fn decode_command_flat_path_slices_one_shared_chunk() {
+    let mut buf = BytesMut::new();
+    buf.extend_from_slice(b"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$2\r\nvv\r\n*1\r\n$4\r\nPING");
+    let args = match decode_command(&mut buf).unwrap() {
+        CommandParse::Cmd(args) => args,
+        other => panic!("expected command, got {other:?}"),
+    };
+    assert_eq!(
+        args,
+        vec![Bytes::from("SET"), Bytes::from("k"), Bytes::from("vv")]
+    );
+    // Exactly the first command's bytes were consumed.
+    assert_eq!(buf.as_ref(), b"*1\r\n$4\r\nPING");
+    // And the rest is an incomplete frame until its CRLF arrives.
+    assert_eq!(decode_command(&mut buf).unwrap(), CommandParse::Incomplete);
+    buf.extend_from_slice(b"\r\n");
+    assert_eq!(
+        decode_command(&mut buf).unwrap(),
+        CommandParse::Cmd(vec![Bytes::from("PING")])
+    );
+    assert!(buf.is_empty());
 }

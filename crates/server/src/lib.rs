@@ -26,12 +26,12 @@
 //! "clients must explicitly opt-in, ensuring they do not accidentally
 //! consume stale data") and `QUIT`.
 
-use bytes::{Bytes, BytesMut};
+use bytes::{Buf, Bytes, BytesMut};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use memorydb_core::{Node, SubmittedBatch};
-use memorydb_engine::{command_spec, Frame, SessionState};
+use memorydb_engine::{command_spec, CmdName, Frame, SessionState};
 use memorydb_metrics::{CounterId, GaugeId, StageId};
-use memorydb_resp::{encode, Decoder};
+use memorydb_resp::{encode, CommandParse, Decoder};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
@@ -267,26 +267,31 @@ const INLINE_MAX: usize = 64 * 1024;
 /// Pulls the next command from the connection buffer: a RESP array frame,
 /// or (when the first byte is not a RESP type tag) an inline command line,
 /// the `PING\r\n` form redis-cli and telnet users send.
-fn next_command(raw: &mut Vec<u8>) -> Result<Option<Vec<Bytes>>, String> {
+///
+/// Consumption is cursor-based: the buffer's read position advances in
+/// `O(1)` instead of memmoving the unread tail to the front after every
+/// command (the old `Vec::drain(..used)` made a K-deep pipeline cost
+/// `O(K²)` byte moves per sweep). Flat RESP command arrays additionally
+/// take the zero-copy [`memorydb_resp::decode_command`] path: each argument
+/// is a refcounted slice of the consumed region, never a fresh copy.
+fn next_command(raw: &mut BytesMut) -> Result<Option<Vec<Bytes>>, String> {
     loop {
         // Skip blank separator lines between inline commands.
         while matches!(raw.first(), Some(b'\r') | Some(b'\n')) {
-            raw.remove(0);
+            raw.advance(1);
         }
         let Some(&first) = raw.first() else {
+            // Fully drained: reset the cursor region so appended reads
+            // reuse the front of the allocation instead of growing it.
+            raw.clear();
             return Ok(None);
         };
         if b"+-:$*_,#%=".contains(&first) {
-            return match memorydb_resp::decode(raw) {
-                Ok(Some((frame, used))) => {
-                    raw.drain(..used);
-                    match frame.into_command_args() {
-                        Some(args) if args.is_empty() => continue,
-                        Some(args) => Ok(Some(args)),
-                        None => Err("expected array of bulk strings".into()),
-                    }
-                }
-                Ok(None) => Ok(None),
+            return match memorydb_resp::decode_command(raw) {
+                Ok(CommandParse::Cmd(args)) if args.is_empty() => continue,
+                Ok(CommandParse::Cmd(args)) => Ok(Some(args)),
+                Ok(CommandParse::NotCommand) => Err("expected array of bulk strings".into()),
+                Ok(CommandParse::Incomplete) => Ok(None),
                 Err(e) => Err(e.to_string()),
             };
         }
@@ -304,7 +309,7 @@ fn next_command(raw: &mut Vec<u8>) -> Result<Option<Vec<Bytes>>, String> {
             return Err("too big inline request".into());
         }
         let line = String::from_utf8_lossy(&raw[..pos]).trim().to_string();
-        raw.drain(..=pos);
+        raw.advance(pos + 1);
         if line.is_empty() {
             continue;
         }
@@ -321,9 +326,12 @@ fn next_command(raw: &mut Vec<u8>) -> Result<Option<Vec<Bytes>>, String> {
 /// filled from `waits` when the batch settles.
 struct ParkedBatch {
     replies: Vec<Option<Frame>>,
-    /// Engine runs awaiting durability: the positional indices each run's
-    /// replies map back to, plus the submitted batch holding the ticket.
-    waits: Vec<(Vec<usize>, SubmittedBatch)>,
+    /// Engine runs awaiting durability: the contiguous positional index
+    /// range each run's replies map back to, plus the submitted batch
+    /// holding the ticket. Runs are always contiguous because every
+    /// non-run command (QUIT, READONLY/READWRITE, a gated replica read)
+    /// flushes the pending run before claiming its own reply slot.
+    waits: Vec<(std::ops::Range<usize>, SubmittedBatch)>,
 }
 
 impl ParkedBatch {
@@ -334,10 +342,54 @@ impl ParkedBatch {
     }
 }
 
+/// How many drained IO buffers an IO thread keeps around for reuse. Sized
+/// to the connection churn one sweep can realistically see; beyond this,
+/// returned buffers are simply dropped.
+const POOL_CAP: usize = 16;
+
+/// High-water mark for a pooled/retained IO buffer (64 KB). A buffer that
+/// grew past this during a burst is released once it drains instead of
+/// pinning megabytes for the rest of the connection's (or pool's) life.
+/// Env-tunable for experiments: `MEMORYDB_BUF_HIGH_WATER` (bytes).
+const BUF_HIGH_WATER: usize = 64 * 1024;
+
+fn buf_high_water() -> usize {
+    static HW: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *HW.get_or_init(|| {
+        std::env::var("MEMORYDB_BUF_HIGH_WATER")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(BUF_HIGH_WATER)
+    })
+}
+
+/// An IO thread's free-list of connection buffers. New connections draw
+/// their input/output buffers here so short-lived connections in a churn
+/// burst don't each pay two fresh heap growth curves; drained buffers come
+/// back on close. Oversized buffers (over [`buf_high_water`]) never enter
+/// the pool — that is the anti-bloat half of the policy.
+#[derive(Default)]
+struct BufPool {
+    free: Vec<BytesMut>,
+}
+
+impl BufPool {
+    fn get(&mut self) -> BytesMut {
+        self.free.pop().unwrap_or_default()
+    }
+
+    fn put(&mut self, mut b: BytesMut) {
+        b.clear();
+        if b.capacity() <= buf_high_water() && self.free.len() < POOL_CAP {
+            self.free.push(b);
+        }
+    }
+}
+
 /// Per-connection protocol state, independent of the IO mode driving it.
 struct ConnState {
-    raw: Vec<u8>,
-    out: Vec<u8>,
+    raw: BytesMut,
+    out: BytesMut,
     session: SessionState,
     readonly_mode: bool,
     /// Batches submitted to the engine whose replies have not been released
@@ -346,18 +398,61 @@ struct ConnState {
     parked: VecDeque<ParkedBatch>,
     /// Set on QUIT or protocol error: settle `parked`, flush `out`, close.
     closing: bool,
+    /// Parse scratch: the outer command vector is recycled across
+    /// `drain_commands` calls so the steady-state hot path performs no
+    /// per-drain allocation for it. Cleared (inner argument vectors
+    /// dropped) before being stashed so it never pins input chunks while
+    /// the connection is idle.
+    cmd_scratch: Vec<Vec<Bytes>>,
+    /// Reply-slot vector recycled from the most recently settled batch.
+    spare_replies: Vec<Option<Frame>>,
+    /// Wait vector recycled from the most recently settled batch.
+    spare_waits: Vec<(std::ops::Range<usize>, SubmittedBatch)>,
 }
 
 impl ConnState {
     fn new() -> ConnState {
         ConnState {
-            raw: Vec::new(),
-            out: Vec::new(),
+            raw: BytesMut::new(),
+            out: BytesMut::new(),
             session: SessionState::new(),
             readonly_mode: false,
             parked: VecDeque::new(),
             closing: false,
+            cmd_scratch: Vec::new(),
+            spare_replies: Vec::new(),
+            spare_waits: Vec::new(),
         }
+    }
+
+    /// Draws the IO buffers from an IO thread's pool instead of allocating.
+    fn new_pooled(pool: &mut BufPool) -> ConnState {
+        let mut c = ConnState::new();
+        c.raw = pool.get();
+        c.out = pool.get();
+        c
+    }
+
+    /// Anti-bloat sweep, run when the connection goes idle: a pipelined
+    /// burst can balloon `raw`/`out` far past steady state, and without
+    /// this the capacity stays resident until the client disconnects. Any
+    /// drained buffer over the high-water mark is swapped for a pooled one
+    /// and its allocation dropped.
+    fn shed_oversized(&mut self, pool: &mut BufPool) {
+        let hw = buf_high_water();
+        if self.raw.is_empty() && self.raw.capacity() > hw {
+            self.raw = pool.get();
+        }
+        if self.out.is_empty() && self.out.capacity() > hw {
+            self.out = pool.get();
+        }
+    }
+
+    /// Returns the connection's buffers to the pool on close. Whatever
+    /// undelivered bytes they held die with the connection; `put` clears.
+    fn recycle(self, pool: &mut BufPool) {
+        pool.put(self.raw);
+        pool.put(self.out);
     }
 }
 
@@ -365,9 +460,7 @@ impl ConnState {
 /// connection, behind any parked batches so replies never reorder.
 fn emit_frame(conn: &mut ConnState, f: Frame) {
     if conn.parked.is_empty() {
-        let mut enc = BytesMut::new();
-        encode(&f, &mut enc);
-        conn.out.extend_from_slice(&enc);
+        encode(&f, &mut conn.out);
     } else {
         conn.parked.push_back(ParkedBatch {
             replies: vec![Some(f)],
@@ -386,8 +479,12 @@ fn emit_frame(conn: &mut ConnState, f: Frame) {
 /// then emits the error reply and marks the connection closing.
 fn drain_commands(node: &Node, conn: &mut ConnState, wake_tx: Option<&Sender<IoMsg>>) {
     let m = node.metrics();
+    // The outer command vector is recycled across drains (and across
+    // connections' lifetimes) via `cmd_scratch`, so steady-state parsing
+    // allocates nothing for it.
+    let mut cmds = std::mem::take(&mut conn.cmd_scratch);
     while !conn.closing {
-        let mut cmds: Vec<Vec<Bytes>> = Vec::new();
+        cmds.clear();
         let mut parse_err: Option<String> = None;
         let parse_start = m.now_us();
         while cmds.len() < BATCH_CAP {
@@ -406,7 +503,11 @@ fn drain_commands(node: &Node, conn: &mut ConnState, wake_tx: Option<&Sender<IoM
         if !cmds.is_empty() {
             let batch = submit_batch(node, conn, &cmds);
             match wake_tx {
-                None => settle_batch(node, batch, &mut conn.out),
+                None => {
+                    let (r, w) = settle_batch(node, batch, &mut conn.out);
+                    conn.spare_replies = r;
+                    conn.spare_waits = w;
+                }
                 Some(tx) => {
                     for (_, sb) in &batch.waits {
                         if !sb.is_complete() {
@@ -426,12 +527,16 @@ fn drain_commands(node: &Node, conn: &mut ConnState, wake_tx: Option<&Sender<IoM
                 emit_frame(conn, Frame::error(format!("Protocol error: {e}")));
                 conn.closing = true;
             }
-            return;
+            break;
         }
         if cmds.len() < BATCH_CAP {
-            return; // input buffer exhausted
+            break; // input buffer exhausted
         }
     }
+    // Drop any parsed arguments (they hold slices of the input chunk)
+    // before stashing the scratch, so idle connections pin nothing.
+    cmds.clear();
+    conn.cmd_scratch = cmds;
 }
 
 /// Submits one parsed batch to the engine. Connection-level commands (QUIT,
@@ -440,46 +545,59 @@ fn drain_commands(node: &Node, conn: &mut ConnState, wake_tx: Option<&Sender<IoM
 /// [`Node::handle_batch_submit`] call — executed now, durability pending on
 /// the returned ticket. Replies are positional, so ordering is preserved no
 /// matter how the batch is partitioned.
+///
+/// Runs of plain commands are **contiguous** index ranges, so each run is
+/// submitted as a direct sub-slice of the parsed batch — no per-run
+/// collection, no clone, no move. Reply-slot and wait vectors are drawn
+/// from the connection's recycled spares, so a warmed-up connection
+/// allocates nothing here.
 fn submit_batch(node: &Node, conn: &mut ConnState, cmds: &[Vec<Bytes>]) -> ParkedBatch {
-    let mut replies: Vec<Option<Frame>> = vec![None; cmds.len()];
-    let mut waits: Vec<(Vec<usize>, SubmittedBatch)> = Vec::new();
-    let mut run: Vec<usize> = Vec::new();
+    let mut replies = std::mem::take(&mut conn.spare_replies);
+    replies.clear();
+    replies.resize(cmds.len(), None);
+    let mut waits = std::mem::take(&mut conn.spare_waits);
+    waits.clear();
+    // The pending run is cmds[run_start..i] — flushed whenever a non-run
+    // command claims slot i, which keeps every run contiguous.
+    let mut run_start: usize = 0;
 
     fn flush_run(
         node: &Node,
         session: &mut SessionState,
         cmds: &[Vec<Bytes>],
-        run: &mut Vec<usize>,
-        waits: &mut Vec<(Vec<usize>, SubmittedBatch)>,
+        run: std::ops::Range<usize>,
+        waits: &mut Vec<(std::ops::Range<usize>, SubmittedBatch)>,
     ) {
         if run.is_empty() {
             return;
         }
-        let batch: Vec<Vec<Bytes>> = run.iter().map(|&i| cmds[i].clone()).collect();
-        let sb = node.handle_batch_submit(session, &batch);
-        waits.push((std::mem::take(run), sb));
+        let sb = node.handle_batch_submit(session, &cmds[run.clone()]);
+        waits.push((run, sb));
     }
 
-    for (i, args) in cmds.iter().enumerate() {
-        let name = String::from_utf8_lossy(&args[0]).to_ascii_uppercase();
+    for i in 0..cmds.len() {
+        let name = CmdName::from_arg(&cmds[i][0]);
         match name.as_str() {
             "QUIT" => {
-                flush_run(node, &mut conn.session, cmds, &mut run, &mut waits);
+                flush_run(node, &mut conn.session, cmds, run_start..i, &mut waits);
+                // Anything pipelined after QUIT is discarded, like Redis.
+                run_start = cmds.len();
                 replies[i] = Some(Frame::ok());
                 conn.closing = true;
-                // Anything pipelined after QUIT is discarded, like Redis.
                 break;
             }
             // READONLY/READWRITE are connection state (paper §2.1: replica
             // reads are an explicit opt-in). The pending run is flushed
             // first so the mode flip cannot reorder around engine commands.
             "READONLY" => {
-                flush_run(node, &mut conn.session, cmds, &mut run, &mut waits);
+                flush_run(node, &mut conn.session, cmds, run_start..i, &mut waits);
+                run_start = i + 1;
                 conn.readonly_mode = true;
                 replies[i] = Some(Frame::ok());
             }
             "READWRITE" => {
-                flush_run(node, &mut conn.session, cmds, &mut run, &mut waits);
+                flush_run(node, &mut conn.session, cmds, run_start..i, &mut waits);
+                run_start = i + 1;
                 conn.readonly_mode = false;
                 replies[i] = Some(Frame::ok());
             }
@@ -490,35 +608,55 @@ fn submit_batch(node: &Node, conn: &mut ConnState, cmds: &[Vec<Bytes>]) -> Parke
                     && !conn.readonly_mode
                     && !command_spec(&name).is_some_and(|s| s.flags.admin);
                 if gated {
+                    flush_run(node, &mut conn.session, cmds, run_start..i, &mut waits);
+                    run_start = i + 1;
                     replies[i] = Some(Frame::Error(
                         "MOVED 0 ? (replica requires READONLY opt-in)".into(),
                     ));
-                } else {
-                    run.push(i);
                 }
             }
         }
     }
-    flush_run(node, &mut conn.session, cmds, &mut run, &mut waits);
+    flush_run(
+        node,
+        &mut conn.session,
+        cmds,
+        run_start..cmds.len(),
+        &mut waits,
+    );
     ParkedBatch { replies, waits }
 }
 
 /// Resolves every pending run of `batch` (blocking until its tickets
 /// settle — instant when [`ParkedBatch::is_complete`] was already true),
-/// fills the reply slots, and coalesces every reply into `out`.
-fn settle_batch(node: &Node, batch: ParkedBatch, out: &mut Vec<u8>) {
-    let ParkedBatch { mut replies, waits } = batch;
-    for (run, sb) in waits {
+/// fills the reply slots, and encodes every reply **directly** into the
+/// connection's output buffer — no intermediate scratch buffer and no
+/// second copy of the encoded bytes.
+/// Returns the two emptied vectors so the caller can hand them back to
+/// the connection's spares for the next batch (capacity recycling).
+#[allow(clippy::type_complexity)]
+fn settle_batch(
+    node: &Node,
+    batch: ParkedBatch,
+    out: &mut BytesMut,
+) -> (
+    Vec<Option<Frame>>,
+    Vec<(std::ops::Range<usize>, SubmittedBatch)>,
+) {
+    let ParkedBatch {
+        mut replies,
+        mut waits,
+    } = batch;
+    for (run, sb) in waits.drain(..) {
         let rs = node.wait_finish(sb);
-        for (&i, r) in run.iter().zip(rs) {
+        for (i, r) in run.zip(rs) {
             replies[i] = Some(r);
         }
     }
-    let mut enc = BytesMut::new();
-    for r in replies.into_iter().flatten() {
-        encode(&r, &mut enc);
+    for r in replies.drain(..).flatten() {
+        encode(&r, out);
     }
-    out.extend_from_slice(&enc);
+    (replies, waits)
 }
 
 /// Settles parked batches front-to-back, stopping at the first batch whose
@@ -529,7 +667,9 @@ fn drain_parked(node: &Node, conn: &mut ConnState) -> bool {
     let mut progressed = false;
     while conn.parked.front().is_some_and(ParkedBatch::is_complete) {
         if let Some(batch) = conn.parked.pop_front() {
-            settle_batch(node, batch, &mut conn.out);
+            let (r, w) = settle_batch(node, batch, &mut conn.out);
+            conn.spare_replies = r;
+            conn.spare_waits = w;
             progressed = true;
         }
     }
@@ -547,10 +687,14 @@ struct Conn {
 }
 
 /// Writes as much of `out` as the socket accepts without blocking.
-/// Returns bytes written; `Err` means the connection is dead.
+/// Returns bytes written; `Err` means the connection is dead. Consumed
+/// bytes advance the buffer's read cursor in `O(1)` (the old
+/// `Vec::drain(..written)` memmoved the unwritten tail on every partial
+/// write); a fully flushed buffer is `clear()`ed so the next replies are
+/// encoded at the front of the same allocation.
 fn flush_out(
     stream: &mut TcpStream,
-    out: &mut Vec<u8>,
+    out: &mut BytesMut,
     m: &memorydb_metrics::Registry,
 ) -> std::io::Result<usize> {
     if out.is_empty() {
@@ -572,7 +716,11 @@ fn flush_out(
             Err(e) => return Err(e),
         }
     }
-    out.drain(..written);
+    if written == out.len() {
+        out.clear();
+    } else {
+        out.advance(written);
+    }
     m.record_stage(StageId::IoWrite, m.now_us().saturating_sub(write_start));
     Ok(written)
 }
@@ -675,17 +823,18 @@ fn io_loop(
 ) {
     let mut conns: Vec<Conn> = Vec::new();
     let mut buf = vec![0u8; 16 * 1024];
+    let mut pool = BufPool::default();
     let mut idle_spins = 0u32;
     let mut accepting = true;
 
-    let adopt = |stream: TcpStream, conns: &mut Vec<Conn>| {
+    let adopt = |stream: TcpStream, conns: &mut Vec<Conn>, pool: &mut BufPool| {
         if stream.set_nonblocking(true).is_ok() {
             let _ = stream.set_nodelay(true);
             node.metrics().incr(CounterId::ConnectionsAccepted);
             track_clients(&node, &live, 1);
             conns.push(Conn {
                 stream,
-                state: ConnState::new(),
+                state: ConnState::new_pooled(pool),
                 eof: false,
             });
         }
@@ -698,7 +847,7 @@ fn io_loop(
         if accepting {
             loop {
                 match rx.try_recv() {
-                    Ok(IoMsg::Conn(s)) => adopt(s, &mut conns),
+                    Ok(IoMsg::Conn(s)) => adopt(s, &mut conns, &mut pool),
                     // Wake-ups while already sweeping carry no extra info.
                     Ok(IoMsg::Wake) => {}
                     Err(TryRecvError::Empty) => break,
@@ -721,7 +870,7 @@ fn io_loop(
             if keep {
                 i += 1;
             } else {
-                conns.swap_remove(i);
+                conns.swap_remove(i).state.recycle(&mut pool);
                 track_clients(&node, &live, -1);
             }
         }
@@ -731,6 +880,13 @@ fn io_loop(
             continue;
         }
         idle_spins += 1;
+        if idle_spins == 8 {
+            // Entering idle: burst-bloated buffers on drained connections
+            // get released now rather than riding out the connection.
+            for c in &mut conns {
+                c.state.shed_oversized(&mut pool);
+            }
+        }
         if idle_spins < 8 {
             // A short spin keeps pipelined bursts hot; yielding (rather
             // than busy-polling) matters on small machines where the
@@ -748,7 +904,7 @@ fn io_loop(
         if accepting {
             match rx.recv_timeout(nap) {
                 Ok(IoMsg::Conn(s)) => {
-                    adopt(s, &mut conns);
+                    adopt(s, &mut conns, &mut pool);
                     idle_spins = 0;
                 }
                 Ok(IoMsg::Wake) => idle_spins = 0,

@@ -580,3 +580,156 @@ fn oversized_inline_line_is_rejected_not_buffered_forever() {
     assert!(msg.contains("too big inline request"), "{msg}");
     assert!(client.read_reply().is_err(), "connection must close");
 }
+
+/// Drains every complete command currently buffered on `raw` into `out`
+/// as owned byte vectors, surfacing any protocol error.
+fn drain_all_owned(raw: &mut BytesMut, out: &mut Vec<Vec<Vec<u8>>>) -> Result<(), String> {
+    loop {
+        match next_command(raw)? {
+            Some(args) => out.push(args.iter().map(|a| a.to_vec()).collect()),
+            None => return Ok(()),
+        }
+    }
+}
+
+/// Equivalence property for the borrowed-decode parser: a mixed stream of
+/// RESP arrays (including binary args with embedded CRLF/NUL and empty
+/// bulks), inline commands, and blank separator lines must parse to the
+/// same command sequence whether it arrives as one contiguous read or
+/// split at every possible chunk boundary.
+#[test]
+fn next_command_equivalence_across_arbitrary_splits() {
+    let mut stream: Vec<u8> = Vec::new();
+    stream.extend_from_slice(b"*3\r\n$3\r\nSET\r\n$2\r\nk1\r\n$2\r\nv1\r\n");
+    stream.extend_from_slice(b"*2\r\n$3\r\nGET\r\n$2\r\nk1\r\n");
+    stream.extend_from_slice(b"*3\r\n$3\r\nSET\r\n$3\r\nbin\r\n$6\r\na\r\nb\x00c\r\n");
+    stream.extend_from_slice(b"\r\n"); // blank separator line
+    stream.extend_from_slice(b"PING\r\n"); // inline command
+    stream.extend_from_slice(b"  ECHO   hi  \r\n"); // inline, extra spaces
+    stream.extend_from_slice(b"\n");
+    stream.extend_from_slice(b"*3\r\n$3\r\nSET\r\n$5\r\nempty\r\n$0\r\n\r\n");
+
+    let expected: Vec<Vec<Vec<u8>>> = vec![
+        vec![b"SET".to_vec(), b"k1".to_vec(), b"v1".to_vec()],
+        vec![b"GET".to_vec(), b"k1".to_vec()],
+        vec![b"SET".to_vec(), b"bin".to_vec(), b"a\r\nb\x00c".to_vec()],
+        vec![b"PING".to_vec()],
+        vec![b"ECHO".to_vec(), b"hi".to_vec()],
+        vec![b"SET".to_vec(), b"empty".to_vec(), b"".to_vec()],
+    ];
+
+    // Whole-stream parse.
+    let mut raw = BytesMut::new();
+    raw.extend_from_slice(&stream);
+    let mut whole = Vec::new();
+    drain_all_owned(&mut raw, &mut whole).unwrap();
+    assert_eq!(whole, expected);
+    assert!(raw.is_empty());
+
+    // Chunked parses: every fixed chunk size exercises a different set of
+    // split points, including mid-header, mid-argument, and mid-CRLF.
+    for chunk in [1usize, 2, 3, 5, 8, 13, 64] {
+        let mut raw = BytesMut::new();
+        let mut got = Vec::new();
+        for piece in stream.chunks(chunk) {
+            raw.extend_from_slice(piece);
+            drain_all_owned(&mut raw, &mut got)
+                .unwrap_or_else(|e| panic!("chunk={chunk}: unexpected error {e}"));
+        }
+        assert_eq!(got, expected, "chunk={chunk} parsed a different sequence");
+    }
+}
+
+/// A malformed stream must fail identically whole and chunked, after
+/// yielding the same valid prefix.
+#[test]
+fn next_command_errors_identically_chunked_and_whole() {
+    let mut stream: Vec<u8> = Vec::new();
+    stream.extend_from_slice(b"*2\r\n$3\r\nGET\r\n$2\r\nk1\r\n"); // valid prefix
+    stream.extend_from_slice(b":5\r\n"); // top-level non-array frame
+
+    let mut raw = BytesMut::new();
+    raw.extend_from_slice(&stream);
+    let mut whole = Vec::new();
+    let whole_err = drain_all_owned(&mut raw, &mut whole).unwrap_err();
+    assert_eq!(whole, vec![vec![b"GET".to_vec(), b"k1".to_vec()]]);
+
+    for chunk in [1usize, 3, 7] {
+        let mut raw = BytesMut::new();
+        let mut got = Vec::new();
+        let mut err = None;
+        for piece in stream.chunks(chunk) {
+            raw.extend_from_slice(piece);
+            if let Err(e) = drain_all_owned(&mut raw, &mut got) {
+                err = Some(e);
+                break;
+            }
+        }
+        assert_eq!(got, whole, "chunk={chunk}: different valid prefix");
+        assert_eq!(err.as_ref(), Some(&whole_err), "chunk={chunk}");
+    }
+}
+
+/// Satellite (c) regression: a connection that ballooned its IO buffers
+/// during a pipelined burst must shed them once drained — idle
+/// connections may not pin burst-sized capacity — and the IO-thread pool
+/// must never adopt an oversized buffer either.
+#[test]
+fn oversized_idle_buffers_are_shed_and_never_pooled() {
+    let hw = buf_high_water();
+    let mut pool = BufPool::default();
+
+    // Balloon both connection buffers past the high-water mark, then
+    // drain them (the idle state after a burst).
+    let mut conn = ConnState::new();
+    conn.raw.extend_from_slice(&vec![0u8; hw + 1]);
+    conn.raw.clear();
+    conn.out.extend_from_slice(&vec![0u8; hw + 1]);
+    conn.out.clear();
+    assert!(conn.raw.capacity() > hw && conn.out.capacity() > hw);
+
+    conn.shed_oversized(&mut pool);
+    assert!(
+        conn.raw.capacity() <= hw,
+        "idle raw buffer still resident at {} bytes",
+        conn.raw.capacity()
+    );
+    assert!(
+        conn.out.capacity() <= hw,
+        "idle out buffer still resident at {} bytes",
+        conn.out.capacity()
+    );
+
+    // A buffer still holding bytes is NOT shed: shedding it would drop
+    // undelivered data.
+    let mut busy = ConnState::new();
+    busy.raw.extend_from_slice(&vec![0u8; hw + 1]);
+    let before = busy.raw.capacity();
+    busy.shed_oversized(&mut pool);
+    assert_eq!(busy.raw.capacity(), before);
+    assert_eq!(busy.raw.len(), hw + 1);
+
+    // The pool never adopts an oversized buffer and clears what it keeps.
+    let mut big = BytesMut::new();
+    big.extend_from_slice(&vec![0u8; hw + 1]);
+    big.clear();
+    pool.put(big);
+    assert!(
+        pool.free.iter().all(|b| b.capacity() <= hw),
+        "pool adopted an oversized buffer"
+    );
+    let mut small = BytesMut::new();
+    small.extend_from_slice(b"leftover bytes");
+    pool.put(small);
+    let recycled = pool.free.last().expect("small buffer should be pooled");
+    assert!(recycled.is_empty(), "pool must clear recycled buffers");
+
+    // And the pool is bounded: POOL_CAP puts, not one more.
+    let mut pool = BufPool::default();
+    for _ in 0..(POOL_CAP + 8) {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"x");
+        pool.put(b);
+    }
+    assert_eq!(pool.free.len(), POOL_CAP);
+}

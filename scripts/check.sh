@@ -32,6 +32,16 @@
 #             restore workers only time-share one CPU); the smoke rows
 #             land in BENCH_restore_mttr.json.
 #
+#   alloc-census — the §15 zero-copy allocation gate, opt in with
+#             --alloc-census (also folded into --metrics-smoke):
+#             alloc_census --smoke counts allocations-per-command on the
+#             K=1 multiplexed GET/SET path with a counting global
+#             allocator. Every workload must stay under its pinned
+#             absolute budget AND >=50% below the committed pre-PR
+#             baseline. This gate has NO core-count skip-guard — it runs
+#             (and is meaningful) on a 1-core box. Rows land in
+#             BENCH_alloc.json.
+#
 #   concurrency — the §9 concurrency-correctness pass, opt in with
 #             --concurrency: re-runs the analyzer with the lock-order
 #             graph artifacts enabled (results/lockgraph.dot +
@@ -44,18 +54,20 @@
 #             ThreadSanitizer probe that self-skips — loudly — when the
 #             toolchain component is not installed on this (offline) box.
 #
-# Usage: scripts/check.sh [--metrics-smoke] [--concurrency] [--offline]
+# Usage: scripts/check.sh [--metrics-smoke] [--alloc-census] [--concurrency] [--offline]
 # Extra cargo flags (e.g. --offline in the hermetic container) are passed
 # through to every cargo invocation.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 METRICS_SMOKE=0
+ALLOC_CENSUS=0
 CONCURRENCY=0
 CARGO_FLAGS=()
 for arg in "$@"; do
   case "$arg" in
     --metrics-smoke) METRICS_SMOKE=1 ;;
+    --alloc-census) ALLOC_CENSUS=1 ;;
     --concurrency) CONCURRENCY=1 ;;
     *) CARGO_FLAGS+=("$arg") ;;
   esac
@@ -86,6 +98,10 @@ if [[ "$METRICS_SMOKE" == "1" ]]; then
   run cargo run -q --release -p memorydb-bench "${CARGO_FLAGS[@]}" --bin tcp_throughput -- --smoke
   run cargo run -q --release -p memorydb-bench "${CARGO_FLAGS[@]}" --bin log_latency -- --smoke
   run cargo run -q --release -p memorydb-bench "${CARGO_FLAGS[@]}" --bin restore_mttr -- --smoke
+fi
+if [[ "$METRICS_SMOKE" == "1" || "$ALLOC_CENSUS" == "1" ]]; then
+  run cargo run -q --release -p memorydb-bench "${CARGO_FLAGS[@]}" --bin alloc_census -- \
+    --smoke --json BENCH_alloc.json
 fi
 if [[ "$CONCURRENCY" == "1" ]]; then
   mkdir -p results
